@@ -1,0 +1,106 @@
+//===- FigureCommon.cpp - Shared figure-bench harness -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::bench;
+using namespace warpc::parallel;
+
+RunPoint bench::runPoint(const Environment &Env, workload::FunctionSize Size,
+                         unsigned N) {
+  auto Job = buildJob(workload::makeTestModule(Size, N), Env.MM);
+  if (!Job) {
+    std::fprintf(stderr, "fatal: workload failed to compile: %s\n",
+                 Job.getError().message().c_str());
+    std::exit(1);
+  }
+  RunPoint Point;
+  Point.NumFunctions = N;
+  Point.Seq = simulateSequential(*Job, Env.Host, Env.Model);
+  Assignment Assign = scheduleFCFS(*Job, Env.Host.NumWorkstations);
+  Point.Par = simulateParallel(*Job, Assign, Env.Host, Env.Model);
+  Point.Overheads = computeOverheads(Point.Seq, Point.Par, N);
+  return Point;
+}
+
+std::vector<unsigned> bench::paperCounts() { return {1, 2, 4, 8}; }
+
+std::vector<unsigned> bench::denseCounts() {
+  return {1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+void bench::printFigureHeader(const std::string &Figure,
+                              const std::string &Title,
+                              const std::string &PaperExpectation) {
+  std::string Banner = "=== " + Figure + ": " + Title + " ===";
+  std::printf("%s\n", Banner.c_str());
+  std::printf("paper: %s\n\n", PaperExpectation.c_str());
+}
+
+void bench::printTimesFigure(const Environment &Env,
+                             workload::FunctionSize Size,
+                             const std::string &Figure,
+                             const std::string &PaperExpectation) {
+  printFigureHeader(Figure,
+                    std::string("execution times for ") +
+                        workload::sizeName(Size),
+                    PaperExpectation);
+  TextTable Table({"functions", "seq elapsed [s]", "seq cpu [s]",
+                   "par elapsed [s]", "par cpu/proc [s]", "speedup"});
+  for (unsigned N : paperCounts()) {
+    RunPoint P = runPoint(Env, Size, N);
+    Table.addRow(std::to_string(N),
+                 {P.Seq.ElapsedSec, P.Seq.CpuSec, P.Par.ElapsedSec,
+                  P.Par.perProcessorCpuSec(), P.speedup()},
+                 2);
+  }
+  std::printf("%s\n", Table.str().c_str());
+}
+
+void bench::printRelativeOverheadFigure(
+    const Environment &Env, const std::vector<workload::FunctionSize> &Sizes,
+    const std::string &Figure, const std::string &PaperExpectation) {
+  printFigureHeader(Figure, "overheads as percentage of total time",
+                    PaperExpectation);
+  for (workload::FunctionSize Size : Sizes) {
+    std::printf("-- %s --\n", workload::sizeName(Size));
+    TextTable Table({"functions", "total overhead [%]",
+                     "system overhead [%]", "par elapsed [s]"});
+    for (unsigned N : denseCounts()) {
+      RunPoint P = runPoint(Env, Size, N);
+      Table.addRow(std::to_string(N),
+                   {P.Overheads.relTotalPct(), P.Overheads.relSysPct(),
+                    P.Par.ElapsedSec},
+                   1);
+    }
+    std::printf("%s\n", Table.str().c_str());
+  }
+}
+
+void bench::printAbsoluteOverheadFigure(
+    const Environment &Env, const std::vector<workload::FunctionSize> &Sizes,
+    const std::string &Figure, const std::string &PaperExpectation) {
+  printFigureHeader(Figure, "absolute overhead", PaperExpectation);
+  for (workload::FunctionSize Size : Sizes) {
+    std::printf("-- %s --\n", workload::sizeName(Size));
+    TextTable Table({"functions", "total overhead [s]",
+                     "system overhead [s]", "impl overhead [s]"});
+    for (unsigned N : denseCounts()) {
+      RunPoint P = runPoint(Env, Size, N);
+      Table.addRow(std::to_string(N),
+                   {P.Overheads.TotalSec, P.Overheads.SysSec,
+                    P.Overheads.ImplSec},
+                   1);
+    }
+    std::printf("%s\n", Table.str().c_str());
+  }
+}

@@ -1,0 +1,85 @@
+//===- FigureCommon.h - Shared figure-bench harness -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the figure-reproduction benches. Every measured
+/// figure of the paper (Figures 3-16) has one binary that calls into this
+/// helper: it builds the benchmark workload with the real compiler,
+/// replays it on the simulated 1989 host system, and prints the figure's
+/// data series as an aligned table together with the paper's qualitative
+/// expectation, so EXPERIMENTS.md can record paper-vs-measured directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_BENCH_FIGURECOMMON_H
+#define WARPC_BENCH_FIGURECOMMON_H
+
+#include "parallel/Job.h"
+#include "parallel/Scheduler.h"
+#include "parallel/SimRunner.h"
+#include "workload/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace bench {
+
+/// The standard experiment environment (calibrated 1989 host + model).
+struct Environment {
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  parallel::CostModel Model = parallel::CostModel::lisp1989();
+};
+
+/// One measured point: a module of N functions compiled both ways.
+struct RunPoint {
+  unsigned NumFunctions = 0;
+  parallel::SeqStats Seq;
+  parallel::ParStats Par;
+  parallel::OverheadBreakdown Overheads;
+
+  double speedup() const { return Seq.ElapsedSec / Par.ElapsedSec; }
+};
+
+/// Compiles and simulates the S_n module of \p Size with \p N functions,
+/// one function master per workstation (the paper's configuration).
+RunPoint runPoint(const Environment &Env, workload::FunctionSize Size,
+                  unsigned N);
+
+/// The standard function counts the paper sweeps (1, 2, 4, 8).
+std::vector<unsigned> paperCounts();
+
+/// All counts 1..8 for the overhead figures.
+std::vector<unsigned> denseCounts();
+
+/// Prints the figure banner.
+void printFigureHeader(const std::string &Figure, const std::string &Title,
+                       const std::string &PaperExpectation);
+
+/// Prints a total-execution-time figure (Figures 3, 4, 5, 12, 13):
+/// elapsed and per-processor CPU time for both compilers over the counts.
+void printTimesFigure(const Environment &Env, workload::FunctionSize Size,
+                      const std::string &Figure,
+                      const std::string &PaperExpectation);
+
+/// Prints a relative-overhead figure (Figures 8, 9, 10) for the given
+/// sizes: total and system overhead as percentage of parallel elapsed.
+void printRelativeOverheadFigure(const Environment &Env,
+                                 const std::vector<workload::FunctionSize> &Sizes,
+                                 const std::string &Figure,
+                                 const std::string &PaperExpectation);
+
+/// Prints an absolute-overhead figure (Figures 14, 15, 16).
+void printAbsoluteOverheadFigure(const Environment &Env,
+                                 const std::vector<workload::FunctionSize> &Sizes,
+                                 const std::string &Figure,
+                                 const std::string &PaperExpectation);
+
+} // namespace bench
+} // namespace warpc
+
+#endif // WARPC_BENCH_FIGURECOMMON_H

@@ -1,0 +1,132 @@
+//===- ablation_optimization_level.cpp - Extra optimization effort --------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Section 5.1: "more sophisticated optimization algorithms can be used
+// that would make compilation on a uniprocessor too slow. Here,
+// parallelism not only speeds up the compilation process, but can also
+// improve the quality of the generated code." This ablation adds the
+// optional LICM pass on top of the default pipeline and reports both the
+// code-quality gain (instruction words, dynamic kernel work) and the
+// compile-time cost, sequential vs parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "asmout/Assembly.h"
+#include "codegen/CodeGen.h"
+#include "ir/IRBuilder.h"
+#include "opt/LICM.h"
+#include "opt/LoopInfo.h"
+#include "opt/LocalOpt.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::bench;
+
+int main() {
+  Environment Env;
+  printFigureHeader(
+      "Ablation", "optional extra optimization (LICM) on f_large x 4",
+      "extra optimization passes cost compile time that parallel "
+      "compilation absorbs, while improving the generated code");
+
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Large, 4);
+  DiagnosticEngine Diags;
+  w2::Lexer Lexer(Source, Diags);
+  w2::Parser Parser(Lexer.lexAll(), Diags);
+  auto Module = Parser.parseModule();
+  w2::Sema Sema(Diags);
+  if (Diags.hasErrors() || !Sema.checkModule(*Module)) {
+    std::fprintf(stderr, "fatal: %s\n", Diags.str().c_str());
+    return 1;
+  }
+
+  TextTable Table({"pipeline", "in-loop instrs", "kernel ii sum",
+                   "hoisted", "opt visits", "seq compile [s]",
+                   "par elapsed [s]"});
+
+  for (bool WithLicm : {false, true}) {
+    uint64_t Hoisted = 0, OptVisits = 0;
+    uint64_t KernelIISum = 0, InLoopInstrs = 0;
+    double SeqCompileSec = 0, ParElapsed = 0;
+
+    parallel::CompilationJob Job;
+    Job.ModuleName = Module->getName();
+    Job.Phase1.Tokens = Lexer.tokenCount();
+    for (size_t S = 0; S != Module->numSections(); ++S) {
+      const w2::SectionDecl *Section = Module->getSection(S);
+      std::vector<parallel::FunctionTask> Tasks;
+      for (size_t F = 0; F != Section->numFunctions(); ++F) {
+        const w2::FunctionDecl *Fn = Section->getFunction(F);
+        auto IRF = ir::lowerFunction(*Fn);
+        opt::OptStats Stats = opt::runLocalOpt(*IRF);
+        if (WithLicm) {
+          Hoisted += opt::hoistLoopInvariants(*IRF, Stats);
+          // LICM exposes new local opportunities; re-run the pipeline.
+          Stats += opt::runLocalOpt(*IRF);
+        }
+        codegen::MachineFunction MF =
+            codegen::generateCode(*IRF, Env.MM);
+        asmout::CellProgram Program = asmout::assembleFunction(*IRF, MF);
+        // Steady-state quality: instructions that execute every loop
+        // iteration (any nesting level), plus the pipelined kernels' II.
+        opt::LoopInfo LI = opt::LoopInfo::compute(*IRF);
+        for (size_t B = 0; B != IRF->numBlocks(); ++B)
+          if (LI.loopDepth(static_cast<ir::BlockId>(B)) > 0)
+            InLoopInstrs +=
+                IRF->block(static_cast<ir::BlockId>(B))->Instrs.size();
+        for (const auto &[Body, LS] : MF.PipelinedLoops) {
+          (void)Body;
+          KernelIISum += LS.II;
+        }
+
+        parallel::FunctionTask Task;
+        Task.SectionName = Section->getName();
+        Task.FunctionName = Fn->getName();
+        Task.Metrics.SourceLines = Fn->lineCount();
+        Task.Metrics.LoopDepth = w2::maxLoopDepth(*Fn);
+        Task.Metrics.AstNodes = w2::countAstNodes(*Fn);
+        Task.Metrics.IRInstrs = IRF->instructionCount();
+        Task.Metrics.OptVisited = Stats.InstrsVisited;
+        Task.Metrics.OptTransforms = Stats.totalTransforms();
+        Task.Metrics.ListSchedAttempts = MF.Metrics.ListSchedAttempts;
+        Task.Metrics.ModuloSchedAttempts = MF.Metrics.ModuloSchedAttempts;
+        Task.Metrics.RecMIIWork = MF.Metrics.RecMIIWork;
+        Task.Metrics.RegAllocWork = MF.Metrics.RegAllocWork;
+        Task.Metrics.CodeWords = Program.CodeWords;
+        Task.Metrics.ImageBytes = Program.Image.size();
+        Task.OutputKB = std::max(
+            1.0, static_cast<double>(Program.Image.size()) / 1024.0);
+        OptVisits += Stats.InstrsVisited;
+        SeqCompileSec += Env.Model.compileSec(Task.Metrics);
+        Tasks.push_back(std::move(Task));
+      }
+      Job.Sections.push_back(std::move(Tasks));
+    }
+    parallel::Assignment Assign =
+        parallel::scheduleFCFS(Job, Env.Host.NumWorkstations);
+    ParElapsed =
+        parallel::simulateParallel(Job, Assign, Env.Host, Env.Model)
+            .ElapsedSec;
+
+    Table.addRow({WithLicm ? "default + LICM" : "default",
+                  std::to_string(InLoopInstrs),
+                  std::to_string(KernelIISum), std::to_string(Hoisted),
+                  std::to_string(OptVisits),
+                  formatDouble(SeqCompileSec, 0),
+                  formatDouble(ParElapsed, 0)});
+  }
+  std::printf("%s\n", Table.str().c_str());
+  std::printf("LICM moves invariant work out of the loops (fewer "
+              "instructions per iteration); the extra optimizer work is "
+              "absorbed by the parallel compiler.\n");
+  return 0;
+}

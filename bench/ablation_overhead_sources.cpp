@@ -1,0 +1,90 @@
+//===- ablation_overhead_sources.cpp - System-overhead ablation ----------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Ablates each system-overhead source Section 4.2.3 names — Lisp process
+// startup (core-image download + init), network load, garbage
+// collection, and file-server/paging load — by idealizing one source at
+// a time and re-running the f_huge x 8 experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::bench;
+using namespace warpc::parallel;
+
+namespace {
+
+double parallelElapsed(const Environment &Env, const CompilationJob &Job) {
+  Assignment Assign = scheduleFCFS(Job, Env.Host.NumWorkstations);
+  return simulateParallel(Job, Assign, Env.Host, Env.Model).ElapsedSec;
+}
+
+} // namespace
+
+int main() {
+  Environment Base;
+  auto Job = buildJob(
+      workload::makeTestModule(workload::FunctionSize::Huge, 8), Base.MM);
+  if (!Job) {
+    std::fprintf(stderr, "fatal: %s\n", Job.getError().message().c_str());
+    return 1;
+  }
+
+  printFigureHeader(
+      "Ablation", "system-overhead sources (f_huge, 8 functions)",
+      "Section 4.2.3 attributes system overhead to Lisp startup, network "
+      "load, garbage collection and file-server load; removing each "
+      "should recover part of the parallel elapsed time");
+
+  double Baseline = parallelElapsed(Base, *Job);
+  TextTable Table({"configuration", "par elapsed [s]", "saved [s]",
+                   "saved [%]"});
+  Table.addRow({"calibrated 1989 host", formatDouble(Baseline, 0), "-",
+                "-"});
+
+  auto Report = [&](const char *Name, const Environment &Env) {
+    double Elapsed = parallelElapsed(Env, *Job);
+    double Saved = Baseline - Elapsed;
+    Table.addRow({Name, formatDouble(Elapsed, 0), formatDouble(Saved, 0),
+                  formatDouble(100.0 * Saved / Baseline, 1)});
+  };
+
+  {
+    Environment Env;
+    Env.Host.CoreDownloadKB = 1;
+    Env.Host.LispInitSec = 0.1;
+    Env.Host.ForkSec = 0.01;
+    Report("free process startup", Env);
+  }
+  {
+    Environment Env;
+    Env.Host.EthernetKBps = 1e9;
+    Env.Host.EthernetContention = 0;
+    Report("infinite Ethernet", Env);
+  }
+  {
+    Environment Env;
+    Env.Model.GCSweepKBPerSec = 1e9;
+    Report("free garbage collection", Env);
+  }
+  {
+    Environment Env;
+    Env.Host.ServerKBps = 1e9;
+    Env.Host.ServerRequestSec = 0;
+    Report("infinite file server", Env);
+  }
+  {
+    Environment Env;
+    Env.Model.PagingKBPerSec = 0;
+    Report("infinite workstation memory (no paging)", Env);
+  }
+  std::printf("%s\n", Table.str().c_str());
+  return 0;
+}

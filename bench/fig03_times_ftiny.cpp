@@ -1,0 +1,20 @@
+//===- fig03_times_ftiny.cpp - Figure 3 reproduction -------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 3: execution times for f_tiny.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printTimesFigure(
+      Env, workload::FunctionSize::Tiny, "Figure 3",
+      "parallel elapsed time is considerably larger than sequential "
+      "elapsed time; for small functions, parallel compilation is of no "
+      "use");
+  return 0;
+}

@@ -1,0 +1,20 @@
+//===- fig04_times_flarge.cpp - Figure 4 reproduction ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 4: execution times for f_large.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printTimesFigure(
+      Env, workload::FunctionSize::Large, "Figure 4",
+      "the best results: parallel elapsed time is considerably smaller "
+      "than sequential, and adding more tasks increases parallel time "
+      "only marginally");
+  return 0;
+}

@@ -1,0 +1,20 @@
+//===- fig05_times_fhuge.cpp - Figure 5 reproduction --------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 5: execution times for f_huge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printTimesFigure(
+      Env, workload::FunctionSize::Huge, "Figure 5",
+      "still much faster than the sequential compiler, but the speedup "
+      "decreases compared to f_large; behavior is optimal for functions "
+      "about the size of f_large");
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- fig06_speedup_by_count.cpp - Figure 6 reproduction ---------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 6: speedup over the sequential compiler versus the number of
+// functions, for all five benchmark sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::bench;
+
+int main() {
+  Environment Env;
+  printFigureHeader(
+      "Figure 6", "speedup over sequential compiler vs number of functions",
+      "except for f_tiny the speedup is always greater than 1 and "
+      "increases with the number of functions; the paper reports 3-6 "
+      "with at most 9 processors, best for f_large");
+
+  TextTable Table({"functions", "f_tiny", "f_small", "f_medium", "f_large",
+                   "f_huge"});
+  for (unsigned N : paperCounts()) {
+    std::vector<double> Row;
+    for (workload::FunctionSize Size : workload::AllSizes)
+      Row.push_back(runPoint(Env, Size, N).speedup());
+    Table.addRow(std::to_string(N), Row, 2);
+  }
+  std::printf("%s\n", Table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- fig07_speedup_by_size.cpp - Figure 7 reproduction ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 7: speedup versus function size (lines of code) for 1, 2, 4 and
+// 8 functions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::bench;
+
+int main() {
+  Environment Env;
+  printFigureHeader(
+      "Figure 7", "speedup versus function size (lines of code)",
+      "if the number of functions is small, size barely matters; for 4 "
+      "and 8 functions speedup grows with size but is significantly "
+      "smaller for the largest function (f_huge) — performance peaks "
+      "before the largest size");
+
+  TextTable Table({"lines", "size class", "n=1", "n=2", "n=4", "n=8"});
+  for (workload::FunctionSize Size : workload::AllSizes) {
+    std::vector<double> Row;
+    for (unsigned N : paperCounts())
+      Row.push_back(runPoint(Env, Size, N).speedup());
+    std::vector<std::string> Cells;
+    Cells.push_back(std::to_string(workload::sizeLines(Size)));
+    Cells.push_back(workload::sizeName(Size));
+    for (double V : Row)
+      Cells.push_back(formatDouble(V, 2));
+    Table.addRow(std::move(Cells));
+  }
+  std::printf("%s\n", Table.str().c_str());
+  return 0;
+}

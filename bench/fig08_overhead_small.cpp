@@ -1,0 +1,22 @@
+//===- fig08_overhead_small.cpp - Figure 8 reproduction ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 8: overheads as percentage of total time for f_tiny and f_small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printRelativeOverheadFigure(
+      Env, {workload::FunctionSize::Tiny, workload::FunctionSize::Small},
+      "Figure 8",
+      "for f_tiny the overhead contributes up to 70% of parallel elapsed "
+      "time and system overhead is almost as big as the total; for "
+      "f_small the overhead is less but still substantial, with system "
+      "overhead about half of the total");
+  return 0;
+}

@@ -1,0 +1,25 @@
+//===- fig09_overhead_medium_large.cpp - Figure 9 reproduction ----------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 9: overheads as percentage of total time for f_medium and
+// f_large.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printRelativeOverheadFigure(
+      Env, {workload::FunctionSize::Medium, workload::FunctionSize::Large},
+      "Figure 9",
+      "the system overhead is NEGATIVE when the number of functions is "
+      "small: the sequential compiler processes a program that does not "
+      "fit into the memory and system space of one workstation, so it "
+      "garbage-collects and swaps extensively, while each function "
+      "master works on a smaller subproblem; overhead turns positive and "
+      "grows as functions are added");
+  return 0;
+}

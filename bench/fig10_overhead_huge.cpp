@@ -1,0 +1,20 @@
+//===- fig10_overhead_huge.cpp - Figure 10 reproduction ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 10: overheads as percentage of total time for f_huge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printRelativeOverheadFigure(
+      Env, {workload::FunctionSize::Huge}, "Figure 10",
+      "system overhead is a significant portion of the total; at eight "
+      "functions about 50% of total execution time is overhead (f_large "
+      "has the best ratio, <= 25%)");
+  return 0;
+}

@@ -1,0 +1,19 @@
+//===- fig12_times_fsmall.cpp - Figure 12 reproduction ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 12 (appendix): execution times for f_small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printTimesFigure(
+      Env, workload::FunctionSize::Small, "Figure 12",
+      "continually better results for parallel compilation than f_tiny, "
+      "with a modest speedup at eight functions");
+  return 0;
+}

@@ -1,0 +1,19 @@
+//===- fig13_times_fmedium.cpp - Figure 13 reproduction -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 13 (appendix): execution times for f_medium.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printTimesFigure(
+      Env, workload::FunctionSize::Medium, "Figure 13",
+      "continually better results for parallel compilation as the level "
+      "of parallelism grows");
+  return 0;
+}

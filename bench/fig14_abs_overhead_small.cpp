@@ -1,0 +1,20 @@
+//===- fig14_abs_overhead_small.cpp - Figure 14 reproduction ------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 14 (appendix): absolute overhead for f_tiny and f_small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printAbsoluteOverheadFigure(
+      Env, {workload::FunctionSize::Tiny, workload::FunctionSize::Small},
+      "Figure 14",
+      "absolute overhead grows with the number of functions; for these "
+      "sizes it is dominated by process startup (system overhead)");
+  return 0;
+}

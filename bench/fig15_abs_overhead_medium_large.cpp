@@ -1,0 +1,20 @@
+//===- fig15_abs_overhead_medium_large.cpp - Figure 15 reproduction -----------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 15 (appendix): absolute overhead for f_medium and f_large.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printAbsoluteOverheadFigure(
+      Env, {workload::FunctionSize::Medium, workload::FunctionSize::Large},
+      "Figure 15",
+      "absolute overhead grows with the number of functions and starts "
+      "negative at small counts (the sequential baseline thrashes)");
+  return 0;
+}

@@ -1,0 +1,20 @@
+//===- fig16_abs_overhead_huge.cpp - Figure 16 reproduction --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// Figure 16 (appendix): absolute overhead for f_huge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace warpc;
+
+int main() {
+  bench::Environment Env;
+  bench::printAbsoluteOverheadFigure(
+      Env, {workload::FunctionSize::Huge}, "Figure 16",
+      "the largest absolute overheads of all sizes, growing steeply with "
+      "the number of functions (multiple Lisp images swap off the same "
+      "file server)");
+  return 0;
+}

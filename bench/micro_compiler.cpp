@@ -1,0 +1,117 @@
+//===- micro_compiler.cpp - Compiler phase microbenchmarks ---------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// google-benchmark microbenchmarks of the real compiler's phases on the
+// benchmark workloads: lexing, parsing, semantic checking, lowering,
+// optimization, software pipelining, and whole-module compilation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "driver/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "opt/LocalOpt.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+#include "workload/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warpc;
+
+namespace {
+
+workload::FunctionSize sizeFromIndex(int64_t Index) {
+  return workload::AllSizes[Index];
+}
+
+std::string sourceFor(int64_t Index) {
+  return workload::makeTestModule(sizeFromIndex(Index), 1);
+}
+
+void BM_Lex(benchmark::State &State) {
+  std::string Source = sourceFor(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    w2::Lexer Lexer(Source, Diags);
+    benchmark::DoNotOptimize(Lexer.lexAll());
+  }
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_Lex)->DenseRange(0, 4);
+
+void BM_Parse(benchmark::State &State) {
+  std::string Source = sourceFor(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    w2::Lexer Lexer(Source, Diags);
+    w2::Parser Parser(Lexer.lexAll(), Diags);
+    benchmark::DoNotOptimize(Parser.parseModule());
+  }
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 4);
+
+void BM_Sema(benchmark::State &State) {
+  std::string Source = sourceFor(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    DiagnosticEngine Diags;
+    w2::Lexer Lexer(Source, Diags);
+    w2::Parser Parser(Lexer.lexAll(), Diags);
+    auto Module = Parser.parseModule();
+    State.ResumeTiming();
+    w2::Sema Sema(Diags);
+    benchmark::DoNotOptimize(Sema.checkModule(*Module));
+  }
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_Sema)->DenseRange(0, 4);
+
+/// Parses and checks once, outside the timed region.
+std::unique_ptr<w2::ModuleDecl> prepare(const std::string &Source) {
+  DiagnosticEngine Diags;
+  w2::Lexer Lexer(Source, Diags);
+  w2::Parser Parser(Lexer.lexAll(), Diags);
+  auto Module = Parser.parseModule();
+  w2::Sema Sema(Diags);
+  Sema.checkModule(*Module);
+  return Module;
+}
+
+void BM_LowerAndOptimize(benchmark::State &State) {
+  auto Module = prepare(sourceFor(State.range(0)));
+  const w2::FunctionDecl *F = Module->getSection(0)->getFunction(0);
+  for (auto _ : State) {
+    auto IRF = ir::lowerFunction(*F);
+    benchmark::DoNotOptimize(opt::runLocalOpt(*IRF));
+  }
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_LowerAndOptimize)->DenseRange(0, 4);
+
+void BM_CodeGen(benchmark::State &State) {
+  auto Module = prepare(sourceFor(State.range(0)));
+  const w2::FunctionDecl *F = Module->getSection(0)->getFunction(0);
+  auto IRF = ir::lowerFunction(*F);
+  opt::runLocalOpt(*IRF);
+  auto MM = codegen::MachineModel::warpCell();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(codegen::generateCode(*IRF, MM));
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_CodeGen)->DenseRange(0, 4);
+
+void BM_WholeModule(benchmark::State &State) {
+  std::string Source = sourceFor(State.range(0));
+  auto MM = codegen::MachineModel::warpCell();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(driver::compileModuleSequential(Source, MM));
+  State.SetLabel(workload::sizeName(sizeFromIndex(State.range(0))));
+}
+BENCHMARK(BM_WholeModule)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

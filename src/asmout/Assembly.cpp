@@ -1,0 +1,155 @@
+//===- Assembly.cpp - Warp assembly and binary encoding --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmout/Assembly.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace warpc;
+using namespace warpc::asmout;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+namespace {
+
+/// Appends a little-endian 32-bit value.
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+/// Encodes one operation into an 8-byte micro-word.
+void encodeOp(std::vector<uint8_t> &Out, const Instr &I, FUKind Unit) {
+  Out.push_back(static_cast<uint8_t>(I.Op));
+  Out.push_back(static_cast<uint8_t>(Unit));
+  Out.push_back(static_cast<uint8_t>(I.Ty));
+  Out.push_back(static_cast<uint8_t>(I.Operands.size()));
+  uint32_t Packed = 0;
+  for (size_t K = 0; K != I.Operands.size() && K != 3; ++K)
+    Packed |= (I.Operands[K] & 0x3ff) << (10 * K);
+  put32(Out, Packed);
+}
+
+/// Renders one operation as assembly text.
+std::string renderOp(const IRFunction &F, const Instr &I, FUKind Unit) {
+  std::string Text = fuKindName(Unit);
+  Text += '.';
+  Text += opcodeName(I.Op);
+  if (I.definesReg())
+    Text += " r" + std::to_string(I.Dst);
+  for (Reg R : I.Operands)
+    Text += " r" + std::to_string(R);
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    Text += " #" + std::to_string(I.IntImm);
+    break;
+  case Opcode::ConstFloat:
+    Text += " #" + formatDouble(I.FloatImm, 4);
+    break;
+  case Opcode::LoadVar:
+  case Opcode::StoreVar:
+  case Opcode::LoadElem:
+  case Opcode::StoreElem:
+    Text += " [" + F.variable(I.Var).Name + "]";
+    break;
+  case Opcode::Send:
+  case Opcode::Recv:
+    Text += std::string(" ") + w2::channelName(I.Chan);
+    break;
+  case Opcode::Call:
+    Text += " " + I.Callee;
+    break;
+  case Opcode::Br:
+    Text += " L" + std::to_string(I.Target0);
+    break;
+  case Opcode::CondBr:
+    Text += " L" + std::to_string(I.Target0) + " L" +
+            std::to_string(I.Target1);
+    break;
+  default:
+    break;
+  }
+  return Text;
+}
+
+} // namespace
+
+CellProgram asmout::assembleFunction(const IRFunction &F,
+                                     const MachineFunction &MF) {
+  CellProgram Program;
+  Program.FunctionName = F.name();
+  Program.CodeWords = MF.codeWords();
+  Program.IntRegsUsed = MF.RA.IntRegsUsed;
+  Program.FloatRegsUsed = MF.RA.FloatRegsUsed;
+  Program.Spills = MF.RA.Spills;
+
+  std::string &Text = Program.Listing;
+  Text += ".function " + F.name() + "\n";
+  Text += ".regs int=" + std::to_string(MF.RA.IntRegsUsed) +
+          " float=" + std::to_string(MF.RA.FloatRegsUsed) +
+          " spills=" + std::to_string(MF.RA.Spills) + "\n";
+
+  std::vector<uint8_t> &Image = Program.Image;
+  // Header: magic, code word count, register usage.
+  put32(Image, 0x57415250); // "WARP"
+  put32(Image, static_cast<uint32_t>(Program.CodeWords));
+  put32(Image, MF.RA.IntRegsUsed << 16 | MF.RA.FloatRegsUsed);
+
+  for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+    BlockId Id = static_cast<BlockId>(B);
+    const BasicBlock *BB = F.block(Id);
+
+    auto Pipelined = MF.PipelinedLoops.find(Id);
+    if (Pipelined != MF.PipelinedLoops.end()) {
+      const LoopSchedule &LS = Pipelined->second;
+      Text += "L" + std::to_string(B) +
+              ": .pipelined ii=" + std::to_string(LS.II) +
+              " stages=" + std::to_string(LS.Stages) +
+              " (mii=" + std::to_string(LS.MII) + ")\n";
+      // Emit the kernel cycle by cycle; prologue/epilogue are abbreviated
+      // in the listing but counted in the image.
+      std::vector<const KernelOp *> ByCycle[64];
+      for (const KernelOp &K : LS.Kernel)
+        if (K.Cycle < 64)
+          ByCycle[K.Cycle].push_back(&K);
+      for (uint32_t Cycle = 0; Cycle != LS.II && Cycle != 64; ++Cycle) {
+        Text += "    [" + std::to_string(Cycle) + "]";
+        for (const KernelOp *K : ByCycle[Cycle]) {
+          Text += "  (s" + std::to_string(K->Stage) + ") " +
+                  renderOp(F, BB->Instrs[K->InstrIdx], K->Unit);
+          encodeOp(Image, BB->Instrs[K->InstrIdx], K->Unit);
+        }
+        Text += "\n";
+      }
+      // Prologue/epilogue words (encoded as replicated kernel stages).
+      uint32_t Ramp = LS.Stages > 0 ? LS.Stages - 1 : 0;
+      for (uint32_t R = 0; R != 2 * Ramp; ++R)
+        put32(Image, 0x50524f4c); // "PROL"
+      continue;
+    }
+
+    const BlockSchedule &BS = MF.Blocks[B];
+    Text += "L" + std::to_string(B) + ":\n";
+    std::vector<ScheduledOp> Ordered = BS.Ops;
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const ScheduledOp &X, const ScheduledOp &Y) {
+                if (X.Cycle != Y.Cycle)
+                  return X.Cycle < Y.Cycle;
+                return X.InstrIdx < Y.InstrIdx;
+              });
+    for (const ScheduledOp &Op : Ordered) {
+      Text += "    [" + std::to_string(Op.Cycle) + "]  " +
+              renderOp(F, BB->Instrs[Op.InstrIdx], Op.Unit) + "\n";
+      encodeOp(Image, BB->Instrs[Op.InstrIdx], Op.Unit);
+    }
+  }
+  return Program;
+}

@@ -1,0 +1,51 @@
+//===- Assembly.h - Warp assembly and binary encoding -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler phase 4, part 1: assembling one function's scheduled code into
+/// a textual listing plus a binary cell-program image. The parallel
+/// compiler is careful to make function masters produce "the same input
+/// for the assembly phase as the sequential compiler" (Section 3.2), so
+/// this representation is the interchange format between function masters
+/// and their section master.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ASMOUT_ASSEMBLY_H
+#define WARPC_ASMOUT_ASSEMBLY_H
+
+#include "codegen/CodeGen.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace asmout {
+
+/// Assembled code for one function, ready for section combination.
+struct CellProgram {
+  std::string FunctionName;
+  /// Wide instruction words emitted.
+  uint64_t CodeWords = 0;
+  uint32_t IntRegsUsed = 0;
+  uint32_t FloatRegsUsed = 0;
+  uint32_t Spills = 0;
+  /// Human-readable Warp assembly listing.
+  std::string Listing;
+  /// Binary encoding (8 bytes per instruction word plus a header).
+  std::vector<uint8_t> Image;
+};
+
+/// Assembles \p MF (the phase-3 output for \p F).
+CellProgram assembleFunction(const ir::IRFunction &F,
+                             const codegen::MachineFunction &MF);
+
+} // namespace asmout
+} // namespace warpc
+
+#endif // WARPC_ASMOUT_ASSEMBLY_H

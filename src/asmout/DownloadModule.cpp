@@ -1,0 +1,107 @@
+//===- DownloadModule.cpp - Section combination and linking ----------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmout/DownloadModule.h"
+
+using namespace warpc;
+using namespace warpc::asmout;
+
+namespace {
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+void putString(std::vector<uint8_t> &Out, const std::string &S) {
+  put32(Out, static_cast<uint32_t>(S.size()));
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+uint32_t checksum(const std::vector<uint8_t> &Bytes) {
+  // Fletcher-style rolling checksum; cheap and order sensitive.
+  uint32_t A = 1, B = 0;
+  for (uint8_t Byte : Bytes) {
+    A = (A + Byte) % 65521;
+    B = (B + A) % 65521;
+  }
+  return (B << 16) | A;
+}
+
+} // namespace
+
+uint64_t SectionImage::totalWords() const {
+  uint64_t Words = IODriver.size() / 8;
+  for (const CellProgram &P : Programs)
+    Words += P.CodeWords;
+  return Words;
+}
+
+std::vector<uint8_t>
+asmout::generateIODriver(const std::string &SectionName, uint32_t NumCells,
+                         const std::vector<CellProgram> &Programs) {
+  std::vector<uint8_t> Driver;
+  // The driver header names the section and its cell group.
+  put32(Driver, 0x494f4452); // "IODR"
+  putString(Driver, SectionName);
+  put32(Driver, NumCells);
+  // One queue-setup word per cell per channel direction, plus a transfer
+  // loop per function (the host must start/stop each function's streams).
+  uint32_t Words = NumCells * 4 + static_cast<uint32_t>(Programs.size()) * 6;
+  for (uint32_t W = 0; W != Words; ++W)
+    put32(Driver, 0x10000000u | W);
+  return Driver;
+}
+
+SectionImage asmout::combineSection(std::string SectionName,
+                                    uint32_t NumCells,
+                                    std::vector<CellProgram> Programs) {
+  SectionImage Image;
+  Image.SectionName = std::move(SectionName);
+  Image.NumCells = NumCells;
+  Image.IODriver = generateIODriver(Image.SectionName, NumCells, Programs);
+  Image.Programs = std::move(Programs);
+  return Image;
+}
+
+DownloadModule asmout::linkModule(std::string ModuleName,
+                                  std::vector<SectionImage> Sections) {
+  DownloadModule Module;
+  Module.ModuleName = std::move(ModuleName);
+  Module.Sections = std::move(Sections);
+
+  std::vector<uint8_t> &Out = Module.Image;
+  put32(Out, 0x5750444dU); // "WPDM" download module magic
+  put32(Out, 1);           // format version
+  putString(Out, Module.ModuleName);
+  put32(Out, static_cast<uint32_t>(Module.Sections.size()));
+
+  // Symbol table: (section, function) -> offset of the code that follows.
+  // Two passes: measure, then emit; offsets are relative to the code area.
+  std::vector<uint8_t> Code;
+  std::vector<uint8_t> Symtab;
+  for (const SectionImage &S : Module.Sections) {
+    putString(Symtab, S.SectionName);
+    put32(Symtab, S.NumCells);
+    put32(Symtab, static_cast<uint32_t>(S.Programs.size()));
+    put32(Symtab, static_cast<uint32_t>(Code.size()));
+    Code.insert(Code.end(), S.IODriver.begin(), S.IODriver.end());
+    for (const CellProgram &P : S.Programs) {
+      putString(Symtab, P.FunctionName);
+      put32(Symtab, static_cast<uint32_t>(Code.size()));
+      put32(Symtab, static_cast<uint32_t>(P.CodeWords));
+      Code.insert(Code.end(), P.Image.begin(), P.Image.end());
+    }
+  }
+  put32(Out, static_cast<uint32_t>(Symtab.size()));
+  Out.insert(Out.end(), Symtab.begin(), Symtab.end());
+  put32(Out, static_cast<uint32_t>(Code.size()));
+  Out.insert(Out.end(), Code.begin(), Code.end());
+  put32(Out, checksum(Code));
+  return Module;
+}

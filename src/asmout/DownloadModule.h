@@ -1,0 +1,70 @@
+//===- DownloadModule.h - Section combination and linking -------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler phase 4, parts 2-4: I/O driver generation, per-section
+/// combination of function images (the section master's job), and final
+/// linking into a download module for the Warp array ("generation of I/O
+/// driver code, assembly and post-processing (linking, format conversion
+/// for download modules, etc.)", Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ASMOUT_DOWNLOADMODULE_H
+#define WARPC_ASMOUT_DOWNLOADMODULE_H
+
+#include "asmout/Assembly.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace asmout {
+
+/// The combined image of one section program.
+struct SectionImage {
+  std::string SectionName;
+  uint32_t NumCells = 1;
+  std::vector<CellProgram> Programs;
+  /// Generated host-interface glue that feeds the section's cells.
+  std::vector<uint8_t> IODriver;
+
+  /// Total instruction words across programs and driver.
+  uint64_t totalWords() const;
+};
+
+/// A fully linked Warp download module.
+struct DownloadModule {
+  std::string ModuleName;
+  std::vector<SectionImage> Sections;
+  /// The flat byte image written to the download file.
+  std::vector<uint8_t> Image;
+
+  uint64_t byteSize() const { return Image.size(); }
+};
+
+/// Generates the I/O driver for a section: per-cell channel glue sized by
+/// the number of cells and the channel traffic of the member functions.
+std::vector<uint8_t> generateIODriver(const std::string &SectionName,
+                                      uint32_t NumCells,
+                                      const std::vector<CellProgram> &Programs);
+
+/// The section master's combination step: collects the function programs
+/// (in declaration order) and the generated I/O driver into one image.
+SectionImage combineSection(std::string SectionName, uint32_t NumCells,
+                            std::vector<CellProgram> Programs);
+
+/// Links all section images into the final download module; computes the
+/// flat image with a module header, a symbol table of function offsets,
+/// and a trailing checksum.
+DownloadModule linkModule(std::string ModuleName,
+                          std::vector<SectionImage> Sections);
+
+} // namespace asmout
+} // namespace warpc
+
+#endif // WARPC_ASMOUT_DOWNLOADMODULE_H

@@ -1,0 +1,82 @@
+//===- HostSystem.h - 1989 host-system configuration ------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the paper's host system (Section 3.3): "an
+/// Ethernet-based network of about 40 diskless SUN workstations that share
+/// the same file system", of which 10-15 are free in practice. Constants
+/// are calibrated 1989-era values: a ~10 Mbit shared Ethernet, an NFS
+/// file server, heavy-weight UNIX processes, and a multi-megabyte Common
+/// Lisp core image that must be downloaded at every process start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CLUSTER_HOSTSYSTEM_H
+#define WARPC_CLUSTER_HOSTSYSTEM_H
+
+#include <cstdint>
+
+namespace warpc {
+namespace cluster {
+
+/// Static description of the workstation network.
+struct HostConfig {
+  /// Workstations free to run compilations ("the number of processors
+  /// that can be used in parallel is limited to 10-15").
+  unsigned NumWorkstations = 14;
+
+  /// Physical memory per workstation in KB (a SUN-3 class machine).
+  double MemoryKB = 16 * 1024;
+
+  /// Memory available to a compile process after the OS and window system
+  /// take their share.
+  double UsableMemoryKB = 9400;
+
+  /// Resident size of the Common Lisp system (core image) in KB.
+  double LispCoreKB = 6500;
+
+  /// Portion of the core image downloaded from the file server when a
+  /// Lisp process starts on a diskless node.
+  double CoreDownloadKB = 5000;
+
+  /// Effective shared-Ethernet bandwidth in KB/s (10 Mbit/s nominal).
+  double EthernetKBps = 1000;
+
+  /// Collision-backoff stretch per concurrent transfer on the segment.
+  double EthernetContention = 0.12;
+
+  /// File-server service bandwidth in KB/s (disk + NFS protocol).
+  double ServerKBps = 850;
+
+  /// Fixed per-request server overhead in seconds.
+  double ServerRequestSec = 0.04;
+
+  /// Cost of forking a heavy-weight UNIX process.
+  double ForkSec = 0.25;
+
+  /// Lisp process initialization after the image is resident ("each lisp
+  /// process has to interpret initializing information").
+  double LispInitSec = 8.0;
+
+  /// One parent-child synchronization message.
+  double MessageSec = 0.05;
+
+  /// Measurement jitter: every service time is stretched by a uniform
+  /// factor in [1-Jitter, 1+Jitter]. Zero keeps the simulation exactly
+  /// deterministic; the methodology bench uses a few percent to mirror
+  /// the paper's repeated measurements ("the deviation of the individual
+  /// measurements are within 10% of the average", Section 4.2).
+  double JitterPct = 0.0;
+  uint64_t JitterSeed = 1;
+
+  /// The standard configuration used by all benches.
+  static HostConfig sunNetwork1989() { return HostConfig(); }
+};
+
+} // namespace cluster
+} // namespace warpc
+
+#endif // WARPC_CLUSTER_HOSTSYSTEM_H

@@ -1,0 +1,150 @@
+//===- Simulation.h - Discrete-event simulation engine ----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small discrete-event simulation engine with continuation-style
+/// processes, used to model the paper's host system: an Ethernet-based
+/// network of diskless SUN workstations sharing one file server. Events
+/// carry absolute simulated times in seconds; processes are chains of
+/// callbacks; serial resources provide FIFO queueing with optional
+/// contention penalties (Ethernet collision backoff).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CLUSTER_SIMULATION_H
+#define WARPC_CLUSTER_SIMULATION_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace cluster {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// The event queue. Events scheduled for the same instant run in FIFO
+/// order, keeping the simulation deterministic.
+class Simulation {
+public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return Now; }
+
+  /// Schedules \p Fn at absolute time \p At (>= now).
+  void at(SimTime At, Callback Fn) {
+    assert(At >= Now - 1e-9 && "scheduling into the past");
+    Queue.push(Event{At, NextSeq++, std::move(Fn)});
+  }
+
+  /// Schedules \p Fn \p Delay seconds from now.
+  void after(double Delay, Callback Fn) {
+    assert(Delay >= 0 && "negative delay");
+    at(Now + Delay, std::move(Fn));
+  }
+
+  /// Runs events until the queue drains; returns the final time.
+  SimTime run() {
+    while (!Queue.empty()) {
+      Event E = Queue.top();
+      Queue.pop();
+      Now = E.At;
+      E.Fn();
+    }
+    return Now;
+  }
+
+private:
+  struct Event {
+    SimTime At;
+    uint64_t Seq;
+    Callback Fn;
+    bool operator>(const Event &O) const {
+      if (At != O.At)
+        return At > O.At;
+      return Seq > O.Seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
+  SimTime Now = 0;
+  uint64_t NextSeq = 0;
+};
+
+/// A FIFO-served serial resource (a CPU, the Ethernet segment, the file
+/// server's disk). Requests are granted in arrival order; the resource
+/// tracks utilization and total queueing delay for overhead accounting.
+class SerialResource {
+public:
+  SerialResource(Simulation &Sim, std::string Name,
+                 double ContentionFactor = 0.0)
+      : Sim(Sim), Name(std::move(Name)), ContentionFactor(ContentionFactor) {}
+
+  /// Requests \p ServiceSeconds of exclusive service. \p Done runs at
+  /// completion and receives the queueing delay experienced. When a
+  /// contention factor is set (Ethernet), service stretches by
+  /// factor * (number of requests already in the system), modeling
+  /// collision backoff under load.
+  void request(double ServiceSeconds, std::function<void(double)> Done) {
+    assert(ServiceSeconds >= 0 && "negative service time");
+    double Stretch = 1.0 + ContentionFactor * static_cast<double>(InSystem);
+    double Service = ServiceSeconds * Stretch;
+    SimTime Start = std::max(Sim.now(), NextFree);
+    double Waited = Start - Sim.now();
+    NextFree = Start + Service;
+    BusySeconds += Service;
+    WaitSeconds += Waited;
+    ++InSystem;
+    ++Requests;
+    Sim.at(NextFree, [this, Done = std::move(Done), Waited] {
+      --InSystem;
+      Done(Waited);
+    });
+  }
+
+  double busySeconds() const { return BusySeconds; }
+  double waitSeconds() const { return WaitSeconds; }
+  uint64_t requestCount() const { return Requests; }
+  const std::string &name() const { return Name; }
+
+private:
+  Simulation &Sim;
+  std::string Name;
+  double ContentionFactor;
+  SimTime NextFree = 0;
+  double BusySeconds = 0;
+  double WaitSeconds = 0;
+  uint64_t InSystem = 0;
+  uint64_t Requests = 0;
+};
+
+/// Fork-join helper: runs a continuation once N arrivals occur.
+class JoinCounter {
+public:
+  JoinCounter(unsigned Count, Simulation::Callback Done)
+      : Remaining(Count), Done(std::move(Done)) {
+    assert(Count > 0 && "joining on zero events");
+  }
+
+  void arrive() {
+    assert(Remaining > 0 && "too many arrivals");
+    if (--Remaining == 0)
+      Done();
+  }
+
+private:
+  unsigned Remaining;
+  Simulation::Callback Done;
+};
+
+} // namespace cluster
+} // namespace warpc
+
+#endif // WARPC_CLUSTER_SIMULATION_H

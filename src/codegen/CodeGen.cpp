@@ -1,0 +1,74 @@
+//===- CodeGen.cpp - Phase 3 orchestration ----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "opt/Dependence.h"
+#include "opt/LoopInfo.h"
+
+#include <set>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+uint64_t MachineFunction::codeWords() const {
+  uint64_t Words = 0;
+  std::set<BlockId> Pipelined;
+  for (const auto &[Body, Sched] : PipelinedLoops) {
+    Pipelined.insert(Body);
+    // Kernel of II words plus (Stages-1) stages of prologue and epilogue.
+    Words += Sched.II;
+    Words += 2ull * Sched.II * (Sched.Stages > 0 ? Sched.Stages - 1 : 0);
+  }
+  for (size_t B = 0; B != Blocks.size(); ++B) {
+    if (Pipelined.count(static_cast<BlockId>(B)))
+      continue;
+    Words += Blocks[B].Length;
+  }
+  return Words;
+}
+
+MachineFunction codegen::generateCode(const IRFunction &F,
+                                      const MachineModel &MM) {
+  MachineFunction MF;
+  MF.Name = F.name();
+
+  // Software-pipeline innermost simple loops first (innermost-first order
+  // is what LoopInfo::compute returns).
+  opt::LoopInfo LI = opt::LoopInfo::compute(F);
+  std::set<BlockId> PipelinedBodies;
+  for (const opt::Loop &L : LI.loops()) {
+    if (!L.isSimpleInnerLoop())
+      continue;
+    if (PipelinedBodies.count(L.bodyBlock()))
+      continue;
+    ++MF.Metrics.LoopsConsidered;
+    opt::LoopDeps Deps = opt::analyzeLoopDependences(F, L);
+    LoopSchedule Sched = moduloSchedule(F, L, Deps, MM);
+    MF.Metrics.ModuloSchedAttempts += Sched.Attempts;
+    MF.Metrics.RecMIIWork += Sched.RecMIIWork;
+    if (Sched.Pipelined) {
+      ++MF.Metrics.LoopsPipelined;
+      PipelinedBodies.insert(L.bodyBlock());
+      MF.PipelinedLoops.emplace(L.bodyBlock(), std::move(Sched));
+    }
+  }
+
+  // List-schedule every block (pipelined bodies keep an entry of length 0
+  // so indexing by BlockId stays uniform).
+  MF.Blocks.resize(F.numBlocks());
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    if (PipelinedBodies.count(static_cast<BlockId>(B)))
+      continue;
+    MF.Blocks[B] = listSchedule(*F.block(static_cast<BlockId>(B)), MM);
+    MF.Metrics.ListSchedAttempts += MF.Blocks[B].Attempts;
+  }
+
+  MF.RA = allocateRegisters(F, MM);
+  MF.Metrics.RegAllocWork = MF.RA.Work;
+  return MF;
+}

@@ -1,0 +1,75 @@
+//===- CodeGen.h - Phase 3 orchestration ------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler phase 3 for one function: software pipelining of innermost
+/// simple loops, list scheduling of everything else, and register
+/// allocation. Produces a MachineFunction consumed by the assembler
+/// (phase 4) and the work metrics consumed by the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_CODEGEN_H
+#define WARPC_CODEGEN_CODEGEN_H
+
+#include "codegen/ListScheduler.h"
+#include "codegen/MachineModel.h"
+#include "codegen/ModuloScheduler.h"
+#include "codegen/RegAlloc.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace codegen {
+
+/// Work counters accumulated while generating code for one function.
+struct CodeGenMetrics {
+  uint64_t ListSchedAttempts = 0;
+  uint64_t ModuloSchedAttempts = 0;
+  uint64_t RecMIIWork = 0;
+  uint64_t RegAllocWork = 0;
+  uint32_t LoopsConsidered = 0;
+  uint32_t LoopsPipelined = 0;
+
+  CodeGenMetrics &operator+=(const CodeGenMetrics &O) {
+    ListSchedAttempts += O.ListSchedAttempts;
+    ModuloSchedAttempts += O.ModuloSchedAttempts;
+    RecMIIWork += O.RecMIIWork;
+    RegAllocWork += O.RegAllocWork;
+    LoopsConsidered += O.LoopsConsidered;
+    LoopsPipelined += O.LoopsPipelined;
+    return *this;
+  }
+};
+
+/// Scheduled, register-allocated code for one function.
+struct MachineFunction {
+  std::string Name;
+  /// Per-block list schedules (indexed by BlockId). Blocks that were
+  /// software-pipelined still carry a (unused) fallback entry so the
+  /// structure is uniform.
+  std::vector<BlockSchedule> Blocks;
+  /// Pipelined loops keyed by their body block.
+  std::map<ir::BlockId, LoopSchedule> PipelinedLoops;
+  RegAllocResult RA;
+  CodeGenMetrics Metrics;
+
+  /// Instruction words of the emitted code: one word per schedule cycle,
+  /// plus prologue + kernel + epilogue for each pipelined loop.
+  uint64_t codeWords() const;
+};
+
+/// Runs phase 3 on optimized IR.
+MachineFunction generateCode(const ir::IRFunction &F, const MachineModel &MM);
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_CODEGEN_H

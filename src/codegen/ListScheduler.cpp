@@ -1,0 +1,153 @@
+//===- ListScheduler.cpp - Cycle-driven list scheduling --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ListScheduler.h"
+
+#include "codegen/ScheduleDAG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+namespace {
+
+/// Tracks functional-unit occupancy per cycle.
+class ReservationTable {
+public:
+  explicit ReservationTable(const MachineModel &MM) : MM(MM) {}
+
+  bool canIssue(FUKind Unit, uint32_t Cycle, uint32_t Reserve) const {
+    for (uint32_t C = Cycle; C != Cycle + Reserve; ++C) {
+      auto It = Used.find({Unit, C});
+      if (It != Used.end() && It->second >= MM.slots(Unit))
+        return false;
+    }
+    return true;
+  }
+
+  void issue(FUKind Unit, uint32_t Cycle, uint32_t Reserve) {
+    for (uint32_t C = Cycle; C != Cycle + Reserve; ++C)
+      ++Used[{Unit, C}];
+  }
+
+private:
+  const MachineModel &MM;
+  std::map<std::pair<FUKind, uint32_t>, uint32_t> Used;
+};
+
+} // namespace
+
+BlockSchedule codegen::listSchedule(const BasicBlock &BB,
+                                    const MachineModel &MM) {
+  BlockSchedule Sched;
+  ScheduleDAG DAG = ScheduleDAG::build(BB, MM);
+  Sched.Attempts += DAG.BuildWork;
+  uint32_t N = DAG.NumNodes;
+
+  // Predecessor counts and in-edges per node.
+  std::vector<uint32_t> PredsLeft(N, 0);
+  std::vector<std::vector<const DAGEdge *>> InEdges(N);
+  std::vector<std::vector<const DAGEdge *>> OutEdges(N);
+  for (const DAGEdge &E : DAG.Edges) {
+    ++PredsLeft[E.To];
+    InEdges[E.To].push_back(&E);
+    OutEdges[E.From].push_back(&E);
+  }
+
+  std::vector<uint32_t> StartCycle(N, 0);
+  std::vector<bool> Placed(N, false);
+  std::vector<uint32_t> Earliest(N, 0);
+  std::vector<uint32_t> Ready; // node ids whose preds are all placed
+  for (uint32_t Node = 0; Node != N; ++Node)
+    if (PredsLeft[Node] == 0)
+      Ready.push_back(Node);
+
+  ReservationTable RT(MM);
+  uint32_t Cycle = 0;
+  uint32_t NumPlaced = 0;
+  uint32_t Horizon = 0;
+
+  while (NumPlaced != N) {
+    // Issue as many ready ops as the word allows this cycle, preferring
+    // the longest critical path.
+    std::sort(Ready.begin(), Ready.end(), [&](uint32_t A, uint32_t B) {
+      if (DAG.Height[A] != DAG.Height[B])
+        return DAG.Height[A] > DAG.Height[B];
+      return A < B;
+    });
+    std::vector<uint32_t> StillReady;
+    for (uint32_t Node : Ready) {
+      ++Sched.Attempts;
+      OpInfo Info = MM.opInfo(BB.Instrs[Node]);
+      if (Earliest[Node] <= Cycle && RT.canIssue(Info.Unit, Cycle,
+                                                 Info.Reserve)) {
+        RT.issue(Info.Unit, Cycle, Info.Reserve);
+        StartCycle[Node] = Cycle;
+        Placed[Node] = true;
+        ++NumPlaced;
+        Horizon = std::max(Horizon,
+                           Cycle + std::max(Info.Latency, Info.Reserve));
+        Sched.Ops.push_back(ScheduledOp{Node, Cycle, Info.Unit});
+        // Release successors whose predecessors are all placed.
+        for (const DAGEdge *E : OutEdges[Node]) {
+          Earliest[E->To] =
+              std::max(Earliest[E->To], Cycle + E->Latency);
+          if (--PredsLeft[E->To] == 0)
+            StillReady.push_back(E->To);
+        }
+        continue;
+      }
+      StillReady.push_back(Node);
+    }
+    Ready = std::move(StillReady);
+    ++Cycle;
+    assert(Cycle < 1000000 && "list scheduler failed to make progress");
+  }
+
+  // The terminator issues once every operation has completed issue; its
+  // own latency (branch delay) extends the block.
+  if (!BB.Instrs.empty() && isTerminator(BB.Instrs.back().Op)) {
+    uint32_t TermIdx = static_cast<uint32_t>(BB.Instrs.size() - 1);
+    OpInfo Info = MM.opInfo(BB.Instrs[TermIdx]);
+    uint32_t TermCycle = Horizon;
+    // A conditional branch must wait for its condition register.
+    Sched.Ops.push_back(ScheduledOp{TermIdx, TermCycle, Info.Unit});
+    Horizon = TermCycle + Info.Latency;
+  }
+  Sched.Length = Horizon;
+  return Sched;
+}
+
+std::string codegen::validateBlockSchedule(const BasicBlock &BB,
+                                           const MachineModel &MM,
+                                           const BlockSchedule &S) {
+  ScheduleDAG DAG = ScheduleDAG::build(BB, MM);
+  std::vector<int64_t> Start(DAG.NumNodes, -1);
+  for (const ScheduledOp &Op : S.Ops)
+    if (Op.InstrIdx < DAG.NumNodes)
+      Start[Op.InstrIdx] = Op.Cycle;
+  for (uint32_t Node = 0; Node != DAG.NumNodes; ++Node)
+    if (Start[Node] < 0)
+      return "instruction " + std::to_string(Node) + " was never scheduled";
+  for (const DAGEdge &E : DAG.Edges)
+    if (Start[E.To] < Start[E.From] + static_cast<int64_t>(E.Latency))
+      return "dependence " + std::to_string(E.From) + " -> " +
+             std::to_string(E.To) + " violated";
+  // Resource check.
+  std::map<std::pair<FUKind, uint32_t>, uint32_t> Used;
+  for (const ScheduledOp &Op : S.Ops) {
+    OpInfo Info = MM.opInfo(BB.Instrs[Op.InstrIdx]);
+    for (uint32_t C = Op.Cycle; C != Op.Cycle + Info.Reserve; ++C)
+      if (++Used[{Info.Unit, C}] > MM.slots(Info.Unit))
+        return std::string("oversubscribed ") + fuKindName(Info.Unit) +
+               " at cycle " + std::to_string(C);
+  }
+  return "";
+}

@@ -1,0 +1,55 @@
+//===- ListScheduler.h - Cycle-driven list scheduling -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Critical-path list scheduling of one basic block onto the Warp cell's
+/// wide instruction word. Acyclic regions (everything the software
+/// pipeliner does not handle) go through this scheduler in phase 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_LISTSCHEDULER_H
+#define WARPC_CODEGEN_LISTSCHEDULER_H
+
+#include "codegen/MachineModel.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace codegen {
+
+/// One instruction placed in the schedule.
+struct ScheduledOp {
+  uint32_t InstrIdx = 0; ///< Index into the block's instruction list.
+  uint32_t Cycle = 0;
+  FUKind Unit = FUKind::IAlu;
+};
+
+/// The schedule of one basic block.
+struct BlockSchedule {
+  std::vector<ScheduledOp> Ops;
+  /// Total cycles including latency drain and the terminator.
+  uint32_t Length = 0;
+  /// Issue-slot probes performed; a phase-3 work metric.
+  uint64_t Attempts = 0;
+};
+
+/// Schedules \p BB. The terminator (if any) is placed after every other
+/// operation has issued.
+BlockSchedule listSchedule(const ir::BasicBlock &BB, const MachineModel &MM);
+
+/// Returns an empty string when \p S respects all dependences and resource
+/// limits of \p BB, else a description of the first violation. Test hook.
+std::string validateBlockSchedule(const ir::BasicBlock &BB,
+                                  const MachineModel &MM,
+                                  const BlockSchedule &S);
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_LISTSCHEDULER_H

@@ -1,0 +1,88 @@
+//===- MachineModel.cpp - Warp cell machine description --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineModel.h"
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+const char *codegen::fuKindName(FUKind Kind) {
+  switch (Kind) {
+  case FUKind::FAdd:
+    return "fadd";
+  case FUKind::FMul:
+    return "fmul";
+  case FUKind::IAlu:
+    return "ialu";
+  case FUKind::Mem:
+    return "mem";
+  case FUKind::Chan:
+    return "chan";
+  case FUKind::Branch:
+    return "br";
+  }
+  return "?";
+}
+
+MachineModel MachineModel::warpCell() { return MachineModel(); }
+
+OpInfo MachineModel::opInfo(const Instr &I) const {
+  bool FloatOp = I.Ty == ValueType::Float;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Neg:
+    return FloatOp ? OpInfo{FUKind::FAdd, 5, 1} : OpInfo{FUKind::IAlu, 1, 1};
+  case Opcode::Mul:
+    return FloatOp ? OpInfo{FUKind::FMul, 5, 1} : OpInfo{FUKind::IAlu, 2, 1};
+  case Opcode::Div:
+    // Divide iterates in the multiplier; partially pipelined (a new
+    // divide may start every 4 cycles).
+    return FloatOp ? OpInfo{FUKind::FMul, 12, 4}
+                   : OpInfo{FUKind::IAlu, 10, 4};
+  case Opcode::Rem:
+    return OpInfo{FUKind::IAlu, 10, 4};
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Not:
+    return OpInfo{FUKind::IAlu, 1, 1};
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    return FloatOp ? OpInfo{FUKind::FAdd, 5, 1} : OpInfo{FUKind::IAlu, 1, 1};
+  case Opcode::IntToFloat:
+    return OpInfo{FUKind::FAdd, 3, 1};
+  case Opcode::ConstInt:
+  case Opcode::ConstFloat:
+  case Opcode::Copy:
+    return OpInfo{FUKind::IAlu, 1, 1};
+  case Opcode::LoadVar:
+  case Opcode::LoadElem:
+    return OpInfo{FUKind::Mem, 2, 1};
+  case Opcode::StoreVar:
+  case Opcode::StoreElem:
+    return OpInfo{FUKind::Mem, 1, 1};
+  case Opcode::Send:
+  case Opcode::Recv:
+    return OpInfo{FUKind::Chan, 1, 1};
+  case Opcode::Sqrt:
+    return OpInfo{FUKind::FMul, 14, 4};
+  case Opcode::Abs:
+    return OpInfo{FUKind::FAdd, 2, 1};
+  case Opcode::Call:
+    // Calls flush the pipelines and transfer control.
+    return OpInfo{FUKind::Branch, 15, 15};
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return OpInfo{FUKind::Branch, 2, 1};
+  }
+  return OpInfo{FUKind::IAlu, 1, 1};
+}

@@ -1,0 +1,78 @@
+//===- MachineModel.h - Warp cell machine description -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine description of one Warp processing element. Each cell is a
+/// wide-instruction-word (horizontally microcoded) processor with multiple
+/// pipelined functional units — a floating-point adder, a floating-point
+/// multiplier, an integer ALU/address unit, a local-memory port, and the
+/// X/Y systolic channel queues — all issuing in one instruction word per
+/// cycle. "These architectural features give a compiler an opportunity to
+/// produce good (and sometimes even optimal) code, but determining the
+/// appropriate code sequence can be expensive" (Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_MACHINEMODEL_H
+#define WARPC_CODEGEN_MACHINEMODEL_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace warpc {
+namespace codegen {
+
+/// The functional units of a Warp cell's instruction word.
+enum class FUKind : uint8_t {
+  FAdd,   ///< Pipelined floating add/subtract/compare/convert.
+  FMul,   ///< Pipelined floating multiply (also divide, sqrt).
+  IAlu,   ///< Integer ALU and address generation.
+  Mem,    ///< Local data-memory port.
+  Chan,   ///< X/Y channel queue access.
+  Branch, ///< Sequencer (branches, calls).
+};
+inline constexpr unsigned NumFUKinds = 6;
+
+/// Returns a short mnemonic ("fadd", "mem", ...).
+const char *fuKindName(FUKind Kind);
+
+/// Static issue/latency data for one opcode on the Warp cell.
+struct OpInfo {
+  FUKind Unit = FUKind::IAlu;
+  /// Cycles until the result may be consumed. All units are fully
+  /// pipelined (initiation interval 1) except divide and sqrt.
+  uint32_t Latency = 1;
+  /// Cycles the unit stays reserved (1 for pipelined operations).
+  uint32_t Reserve = 1;
+};
+
+/// Describes one Warp processing element.
+class MachineModel {
+public:
+  /// The standard PC-Warp cell configuration used by all benches.
+  static MachineModel warpCell();
+
+  /// Issue and latency data for an instruction.
+  OpInfo opInfo(const ir::Instr &I) const;
+
+  /// Number of issue slots per cycle for \p Kind (one each on Warp).
+  uint32_t slots(FUKind Kind) const { return Slots[static_cast<unsigned>(Kind)]; }
+
+  /// Register file sizes (per type) for the allocator.
+  uint32_t intRegs() const { return NumIntRegs; }
+  uint32_t floatRegs() const { return NumFloatRegs; }
+
+private:
+  uint32_t Slots[NumFUKinds] = {1, 1, 1, 1, 1, 1};
+  uint32_t NumIntRegs = 31;
+  uint32_t NumFloatRegs = 31;
+};
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_MACHINEMODEL_H

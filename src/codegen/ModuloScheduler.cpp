@@ -1,0 +1,435 @@
+//===- ModuloScheduler.cpp - Software pipelining ---------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ModuloScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+using namespace warpc::opt;
+
+namespace {
+
+constexpr int64_t NegInf = std::numeric_limits<int64_t>::min() / 4;
+
+/// Longest-path check: does the dependence graph contain a positive cycle
+/// under initiation interval II? Edge weight = latency(From) - II*distance.
+bool hasPositiveCycle(uint32_t N, const std::vector<DepEdge> &Edges,
+                      const std::vector<uint32_t> &Latency, uint32_t II,
+                      uint64_t &Work) {
+  std::vector<int64_t> Dist(static_cast<size_t>(N) * N, NegInf);
+  auto At = [&](uint32_t I, uint32_t J) -> int64_t & {
+    return Dist[static_cast<size_t>(I) * N + J];
+  };
+  for (const DepEdge &E : Edges) {
+    int64_t W = static_cast<int64_t>(Latency[E.From]) -
+                static_cast<int64_t>(II) * E.Distance;
+    At(E.From, E.To) = std::max(At(E.From, E.To), W);
+    // A self-edge is itself a cycle.
+    if (E.From == E.To && W > 0)
+      return true;
+  }
+  for (uint32_t K = 0; K != N; ++K)
+    for (uint32_t I = 0; I != N; ++I) {
+      if (At(I, K) == NegInf)
+        continue;
+      for (uint32_t J = 0; J != N; ++J) {
+        ++Work;
+        if (At(K, J) == NegInf)
+          continue;
+        int64_t Cand = At(I, K) + At(K, J);
+        if (Cand > At(I, J))
+          At(I, J) = Cand;
+      }
+    }
+  for (uint32_t I = 0; I != N; ++I)
+    if (At(I, I) > 0)
+      return true;
+  return false;
+}
+
+/// Modulo reservation table: per-unit occupancy of the II kernel slots.
+class ModuloRT {
+public:
+  ModuloRT(const MachineModel &MM, uint32_t II) : MM(MM), II(II) {
+    for (unsigned U = 0; U != NumFUKinds; ++U)
+      Used[U].assign(II, 0);
+  }
+
+  bool canIssue(FUKind Unit, uint32_t Cycle, uint32_t Reserve) const {
+    uint32_t R = std::min(Reserve, II);
+    for (uint32_t C = 0; C != R; ++C)
+      if (Used[static_cast<unsigned>(Unit)][(Cycle + C) % II] >=
+          MM.slots(Unit))
+        return false;
+    // An operation reserving the unit for >= II cycles can never share it.
+    if (Reserve >= II)
+      for (uint32_t Slot = 0; Slot != II; ++Slot)
+        if (Used[static_cast<unsigned>(Unit)][Slot] != 0)
+          return false;
+    return true;
+  }
+
+  void issue(FUKind Unit, uint32_t Cycle, uint32_t Reserve) {
+    uint32_t R = std::min(std::max(Reserve, 1u), II);
+    if (Reserve >= II)
+      R = II;
+    for (uint32_t C = 0; C != R; ++C)
+      ++Used[static_cast<unsigned>(Unit)][(Cycle + C) % II];
+  }
+
+  void release(FUKind Unit, uint32_t Cycle, uint32_t Reserve) {
+    uint32_t R = std::min(std::max(Reserve, 1u), II);
+    if (Reserve >= II)
+      R = II;
+    for (uint32_t C = 0; C != R; ++C) {
+      assert(Used[static_cast<unsigned>(Unit)][(Cycle + C) % II] > 0 &&
+             "releasing an unreserved slot");
+      --Used[static_cast<unsigned>(Unit)][(Cycle + C) % II];
+    }
+  }
+
+private:
+  const MachineModel &MM;
+  uint32_t II;
+  std::vector<uint32_t> Used[NumFUKinds];
+};
+
+} // namespace
+
+LoopSchedule codegen::moduloSchedule(const IRFunction &F, const Loop &L,
+                                     const LoopDeps &Deps,
+                                     const MachineModel &MM) {
+  LoopSchedule Sched;
+  if (!Deps.PipelineSafe)
+    return Sched;
+
+  const BasicBlock *Body = F.block(L.bodyBlock());
+  uint32_t N = static_cast<uint32_t>(Body->Instrs.size());
+  if (N > 0 && isTerminator(Body->Instrs.back().Op))
+    --N;
+  if (N == 0)
+    return Sched;
+
+  std::vector<OpInfo> Info(N);
+  std::vector<uint32_t> Latency(N);
+  for (uint32_t Op = 0; Op != N; ++Op) {
+    Info[Op] = MM.opInfo(Body->Instrs[Op]);
+    Latency[Op] = Info[Op].Latency;
+  }
+
+  // ResMII: each unit's demand over its slots.
+  uint32_t UnitCount[NumFUKinds] = {0};
+  for (uint32_t Op = 0; Op != N; ++Op)
+    UnitCount[static_cast<unsigned>(Info[Op].Unit)] +=
+        std::max(Info[Op].Reserve, 1u);
+  Sched.ResMII = 1;
+  for (unsigned U = 0; U != NumFUKinds; ++U) {
+    FUKind Kind = static_cast<FUKind>(U);
+    if (UnitCount[U] == 0)
+      continue;
+    uint32_t Bound = (UnitCount[U] + MM.slots(Kind) - 1) / MM.slots(Kind);
+    Sched.ResMII = std::max(Sched.ResMII, Bound);
+  }
+
+  // Very large bodies make both the recurrence analysis (O(n^3) longest
+  // paths) and the modulo reservation search explode; fall back to list
+  // scheduling before paying for them, as the 1989 compiler fell back to
+  // straight code generation for unpipelinable loops.
+  constexpr uint32_t MaxPracticalII = 128;
+  constexpr uint32_t MaxPipelineOps = 192;
+  if (N > MaxPipelineOps || Sched.ResMII > MaxPracticalII) {
+    Sched.RecMII = 0;
+    Sched.MII = Sched.ResMII;
+    return Sched;
+  }
+
+  // RecMII: smallest II admitting no positive dependence cycle. "No
+  // positive cycle at II" is monotone in II, so binary search applies.
+  // The exact check is an O(n^3) longest-path computation, so beyond
+  // RecMIIExactOps we fall back to a lower bound from one- and two-node
+  // cycles (underestimating RecMII only costs extra failed attempts).
+  constexpr uint32_t RecMIIExactOps = 96;
+  uint32_t LatencySum = 1;
+  for (uint32_t Lat : Latency)
+    LatencySum += Lat;
+  if (N > RecMIIExactOps) {
+    uint32_t Bound = 1;
+    for (const DepEdge &E : Deps.Edges) {
+      ++Sched.RecMIIWork;
+      if (E.From == E.To && E.Distance > 0)
+        Bound = std::max(Bound, (Latency[E.From] + E.Distance - 1) /
+                                    E.Distance);
+      if (E.Distance == 0)
+        continue;
+      // Two-node cycle with a distance-0 return edge.
+      for (const DepEdge &Back : Deps.Edges) {
+        if (Back.From != E.To || Back.To != E.From)
+          continue;
+        uint32_t Dist = E.Distance + Back.Distance;
+        if (Dist > 0)
+          Bound = std::max(
+              Bound, (Latency[E.From] + Latency[Back.From] + Dist - 1) /
+                         Dist);
+      }
+    }
+    Sched.RecMII = Bound;
+  } else {
+    uint32_t Lo = 1, Hi = LatencySum;
+    if (hasPositiveCycle(N, Deps.Edges, Latency, Hi, Sched.RecMIIWork)) {
+      // Pathological graph; refuse to pipeline.
+      Sched.RecMII = LatencySum + 1;
+    } else {
+      while (Lo < Hi) {
+        uint32_t Mid = Lo + (Hi - Lo) / 2;
+        if (hasPositiveCycle(N, Deps.Edges, Latency, Mid,
+                             Sched.RecMIIWork))
+          Lo = Mid + 1;
+        else
+          Hi = Mid;
+      }
+      Sched.RecMII = Lo;
+    }
+  }
+  Sched.MII = std::max(Sched.ResMII, Sched.RecMII);
+
+  // A loop whose MII approaches its sequential length gains nothing from
+  // overlap.
+  if (Sched.MII > MaxPracticalII)
+    return Sched;
+
+  // Priority: critical-path height over same-iteration edges.
+  std::vector<uint32_t> Height(N, 0);
+  std::vector<std::vector<const DepEdge *>> OutZero(N);
+  for (const DepEdge &E : Deps.Edges)
+    if (E.Distance == 0)
+      OutZero[E.From].push_back(&E);
+  for (uint32_t Op = N; Op-- > 0;) {
+    uint32_t H = Latency[Op];
+    for (const DepEdge *E : OutZero[Op])
+      H = std::max(H, Latency[Op] + Height[E->To]);
+    Height[Op] = H;
+  }
+
+  std::vector<std::vector<const DepEdge *>> InEdges(N), OutEdges(N);
+  for (const DepEdge &E : Deps.Edges) {
+    if (E.From < N && E.To < N) {
+      OutEdges[E.From].push_back(&E);
+      InEdges[E.To].push_back(&E);
+    }
+  }
+
+  // Compile-time guard rail: across all candidate IIs, give up once the
+  // scheduler has burned this many placement probes. The expended probes
+  // still land in the work metrics — a hard-to-pipeline loop was exactly
+  // as expensive for the 1989 compiler.
+  const uint64_t AttemptCap = 150000;
+
+  const uint32_t MaxII = Sched.MII * 2 + 32;
+  for (uint32_t II = Sched.MII; II <= MaxII; ++II) {
+    if (Sched.Attempts > AttemptCap)
+      return Sched;
+    ModuloRT RT(MM, II);
+    std::vector<int64_t> Time(N, -1);
+    std::vector<int64_t> PrevTime(N, -1);
+    int64_t Budget = static_cast<int64_t>(N) * 6 + 24;
+
+    // Height-ordered work stack; re-pushed entries keep priority order.
+    auto Better = [&](uint32_t A, uint32_t B) {
+      if (Height[A] != Height[B])
+        return Height[A] < Height[B]; // max-heap via sorted vector back
+      return A > B;
+    };
+    std::vector<uint32_t> Work(N);
+    for (uint32_t Op = 0; Op != N; ++Op)
+      Work[Op] = Op;
+    std::sort(Work.begin(), Work.end(), Better);
+
+    bool Failed = false;
+    while (!Work.empty()) {
+      if (Budget-- <= 0) {
+        Failed = true;
+        break;
+      }
+      uint32_t Op = Work.back();
+      Work.pop_back();
+
+      // Earliest start from scheduled predecessors.
+      int64_t Earliest = 0;
+      for (const DepEdge *E : InEdges[Op]) {
+        if (Time[E->From] < 0)
+          continue;
+        int64_t Bound = Time[E->From] + static_cast<int64_t>(Latency[E->From]) -
+                        static_cast<int64_t>(II) * E->Distance;
+        Earliest = std::max(Earliest, Bound);
+      }
+      if (PrevTime[Op] >= 0)
+        Earliest = std::max(Earliest, PrevTime[Op] + 1);
+
+      // Probe II consecutive start cycles.
+      int64_t Chosen = -1;
+      for (int64_t T = Earliest; T != Earliest + II; ++T) {
+        ++Sched.Attempts;
+        if (RT.canIssue(Info[Op].Unit, static_cast<uint32_t>(T % II),
+                        Info[Op].Reserve)) {
+          Chosen = T;
+          break;
+        }
+      }
+      bool Forced = false;
+      if (Chosen < 0) {
+        Chosen = Earliest;
+        Forced = true;
+      }
+
+      // Evict operations that conflict with a forced placement: resource
+      // conflicts on the same unit, and already-scheduled successors whose
+      // dependence would now be violated.
+      if (Forced) {
+        for (uint32_t Other = 0; Other != N; ++Other) {
+          if (Other == Op || Time[Other] < 0)
+            continue;
+          bool Conflict = false;
+          if (Info[Other].Unit == Info[Op].Unit) {
+            // Approximate: same modulo footprint overlap.
+            uint32_t RA = std::min(std::max(Info[Op].Reserve, 1u), II);
+            uint32_t RB = std::min(std::max(Info[Other].Reserve, 1u), II);
+            for (uint32_t A = 0; A != RA && !Conflict; ++A)
+              for (uint32_t B = 0; B != RB && !Conflict; ++B)
+                if ((Chosen + A) % II ==
+                    (Time[Other] + B) % II)
+                  Conflict = true;
+          }
+          if (Conflict) {
+            RT.release(Info[Other].Unit,
+                       static_cast<uint32_t>(Time[Other] % II),
+                       Info[Other].Reserve);
+            PrevTime[Other] = Time[Other];
+            Time[Other] = -1;
+            Work.push_back(Other);
+          }
+        }
+      }
+
+      RT.issue(Info[Op].Unit, static_cast<uint32_t>(Chosen % II),
+               Info[Op].Reserve);
+      Time[Op] = Chosen;
+      PrevTime[Op] = Chosen;
+
+      // Unschedule successors whose constraint is now violated.
+      for (const DepEdge *E : OutEdges[Op]) {
+        uint32_t Succ = E->To;
+        if (Succ == Op || Time[Succ] < 0)
+          continue;
+        int64_t Bound = Chosen + static_cast<int64_t>(Latency[Op]) -
+                        static_cast<int64_t>(II) * E->Distance;
+        if (Time[Succ] < Bound) {
+          RT.release(Info[Succ].Unit,
+                     static_cast<uint32_t>(Time[Succ] % II),
+                     Info[Succ].Reserve);
+          PrevTime[Succ] = Time[Succ];
+          Time[Succ] = -1;
+          Work.push_back(Succ);
+        }
+      }
+      // Keep the stack ordered by priority so eviction does not starve.
+      std::sort(Work.begin(), Work.end(), Better);
+    }
+
+    if (Failed)
+      continue;
+
+    // Verify every edge (paranoia against eviction ordering bugs); retry
+    // with a larger II on violation.
+    bool Valid = true;
+    for (const DepEdge &E : Deps.Edges) {
+      int64_t Bound = Time[E.From] + static_cast<int64_t>(Latency[E.From]) -
+                      static_cast<int64_t>(II) * E.Distance;
+      if (Time[E.To] < Bound) {
+        Valid = false;
+        break;
+      }
+    }
+    if (!Valid)
+      continue;
+
+    // Success: normalize times, split into stage and kernel cycle.
+    int64_t MinTime = *std::min_element(Time.begin(), Time.end());
+    uint32_t MaxStage = 0;
+    Sched.Kernel.clear();
+    for (uint32_t Op = 0; Op != N; ++Op) {
+      uint64_t T = static_cast<uint64_t>(Time[Op] - MinTime);
+      KernelOp K;
+      K.InstrIdx = Op;
+      K.Cycle = static_cast<uint32_t>(T % II);
+      K.Stage = static_cast<uint32_t>(T / II);
+      K.Unit = Info[Op].Unit;
+      MaxStage = std::max(MaxStage, K.Stage);
+      Sched.Kernel.push_back(K);
+    }
+    Sched.Pipelined = true;
+    Sched.II = II;
+    Sched.Stages = MaxStage + 1;
+    return Sched;
+  }
+
+  // No II within range worked; caller falls back to list scheduling.
+  return Sched;
+}
+
+std::string codegen::validateLoopSchedule(const IRFunction &F, const Loop &L,
+                                          const LoopDeps &Deps,
+                                          const MachineModel &MM,
+                                          const LoopSchedule &S) {
+  if (!S.Pipelined)
+    return "schedule is not pipelined";
+  const BasicBlock *Body = F.block(L.bodyBlock());
+  uint32_t N = static_cast<uint32_t>(Body->Instrs.size());
+  if (N > 0 && isTerminator(Body->Instrs.back().Op))
+    --N;
+
+  std::vector<int64_t> Time(N, -1);
+  for (const KernelOp &K : S.Kernel) {
+    if (K.InstrIdx >= N)
+      return "kernel references instruction out of range";
+    Time[K.InstrIdx] =
+        static_cast<int64_t>(K.Stage) * S.II + K.Cycle;
+  }
+  for (uint32_t Op = 0; Op != N; ++Op)
+    if (Time[Op] < 0)
+      return "instruction " + std::to_string(Op) + " missing from kernel";
+
+  for (const DepEdge &E : Deps.Edges) {
+    uint32_t Lat = MM.opInfo(Body->Instrs[E.From]).Latency;
+    int64_t Bound = Time[E.From] + Lat -
+                    static_cast<int64_t>(S.II) * E.Distance;
+    if (Time[E.To] < Bound)
+      return "dependence " + std::to_string(E.From) + " -> " +
+             std::to_string(E.To) + " (distance " +
+             std::to_string(E.Distance) + ") violated";
+  }
+
+  // Modulo resource check.
+  std::vector<std::vector<uint32_t>> Used(
+      NumFUKinds, std::vector<uint32_t>(S.II, 0));
+  for (const KernelOp &K : S.Kernel) {
+    OpInfo Info = MM.opInfo(Body->Instrs[K.InstrIdx]);
+    uint32_t R = std::min(std::max(Info.Reserve, 1u), S.II);
+    for (uint32_t C = 0; C != R; ++C) {
+      uint32_t Slot = (K.Cycle + C) % S.II;
+      if (++Used[static_cast<unsigned>(Info.Unit)][Slot] >
+          MM.slots(Info.Unit))
+        return std::string("oversubscribed ") + fuKindName(Info.Unit) +
+               " at kernel slot " + std::to_string(Slot);
+    }
+  }
+  return "";
+}

@@ -1,0 +1,75 @@
+//===- ModuloScheduler.h - Software pipelining ------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative modulo scheduling (software pipelining) of innermost simple
+/// loops — the heart of compiler phase 3 and the dominant share of
+/// compilation time. The algorithm follows Rau's iterative modulo
+/// scheduling: compute MII = max(ResMII, RecMII), then try successive
+/// initiation intervals, placing operations by critical-path priority with
+/// eviction when no slot satisfies both dependence and resource
+/// constraints under a fixed budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_MODULOSCHEDULER_H
+#define WARPC_CODEGEN_MODULOSCHEDULER_H
+
+#include "codegen/MachineModel.h"
+#include "ir/IR.h"
+#include "opt/Dependence.h"
+#include "opt/LoopInfo.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace codegen {
+
+/// One kernel operation: issued at Cycle within the kernel (0 <= Cycle <
+/// II) in pipeline stage Stage.
+struct KernelOp {
+  uint32_t InstrIdx = 0;
+  uint32_t Cycle = 0;
+  uint32_t Stage = 0;
+  FUKind Unit = FUKind::IAlu;
+};
+
+/// Result of software pipelining one loop.
+struct LoopSchedule {
+  bool Pipelined = false;
+  uint32_t II = 0;     ///< Achieved initiation interval.
+  uint32_t MII = 0;    ///< max(ResMII, RecMII) lower bound.
+  uint32_t ResMII = 0; ///< Resource-constrained bound.
+  uint32_t RecMII = 0; ///< Recurrence-constrained bound.
+  uint32_t Stages = 0; ///< Kernel depth; prologue/epilogue are Stages-1 deep.
+  std::vector<KernelOp> Kernel;
+  /// Placement probes across all II attempts; the phase-3 work metric.
+  uint64_t Attempts = 0;
+  /// Longest-path relaxations spent computing RecMII.
+  uint64_t RecMIIWork = 0;
+};
+
+/// Pipelines the body of \p L using precomputed dependences. When \p Deps
+/// is not PipelineSafe the result has Pipelined = false and the caller
+/// falls back to list scheduling.
+LoopSchedule moduloSchedule(const ir::IRFunction &F, const opt::Loop &L,
+                            const opt::LoopDeps &Deps,
+                            const MachineModel &MM);
+
+/// Returns an empty string when \p S satisfies every dependence edge
+/// (start(To) >= start(From) + latency - II*distance) and the modulo
+/// reservation table; else the first violation. Test hook.
+std::string validateLoopSchedule(const ir::IRFunction &F, const opt::Loop &L,
+                                 const opt::LoopDeps &Deps,
+                                 const MachineModel &MM,
+                                 const LoopSchedule &S);
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_MODULOSCHEDULER_H

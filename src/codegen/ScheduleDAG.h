@@ -1,0 +1,51 @@
+//===- ScheduleDAG.h - Basic-block dependence DAG ---------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence DAG over the instructions of one basic block, the input to
+/// the list scheduler. Edges carry the producer's latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CODEGEN_SCHEDULEDAG_H
+#define WARPC_CODEGEN_SCHEDULEDAG_H
+
+#include "codegen/MachineModel.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace codegen {
+
+/// One edge of the DAG: To may not start before start(From) + Latency.
+struct DAGEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  uint32_t Latency = 1;
+};
+
+/// Dependence DAG over a block's instructions (terminator excluded — it is
+/// always scheduled last by construction).
+struct ScheduleDAG {
+  uint32_t NumNodes = 0;
+  std::vector<DAGEdge> Edges;
+  /// Per-node critical-path height (longest latency path to any sink),
+  /// used as the list scheduler's priority.
+  std::vector<uint32_t> Height;
+  /// Edges examined while building; a phase-3 work metric.
+  uint64_t BuildWork = 0;
+
+  /// Builds the DAG for \p BB: register def-use edges, conservative memory
+  /// ordering per variable, channel FIFO ordering, and call barriers.
+  static ScheduleDAG build(const ir::BasicBlock &BB, const MachineModel &MM);
+};
+
+} // namespace codegen
+} // namespace warpc
+
+#endif // WARPC_CODEGEN_SCHEDULEDAG_H

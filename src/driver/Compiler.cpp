@@ -1,0 +1,183 @@
+//===- Compiler.cpp - The four-phase W2 compiler ----------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "codegen/CodeGen.h"
+#include "ir/IRBuilder.h"
+#include "opt/Liveness.h"
+#include "opt/LocalOpt.h"
+#include "opt/ReachingDefs.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::driver;
+
+ParseResult driver::parseAndCheck(const std::string &Source) {
+  ParseResult Result;
+
+  w2::Lexer Lexer(Source, Result.Diags);
+  std::vector<w2::Token> Tokens = Lexer.lexAll();
+  Result.Metrics.Tokens = Lexer.tokenCount();
+  if (Result.Diags.hasErrors())
+    return Result;
+
+  w2::Parser Parser(std::move(Tokens), Result.Diags);
+  Result.Module = Parser.parseModule();
+  if (!Result.Module || Result.Diags.hasErrors()) {
+    Result.Module.reset();
+    return Result;
+  }
+
+  for (size_t S = 0; S != Result.Module->numSections(); ++S) {
+    const w2::SectionDecl *Section = Result.Module->getSection(S);
+    for (size_t F = 0; F != Section->numFunctions(); ++F) {
+      const w2::FunctionDecl *Func = Section->getFunction(F);
+      Result.Metrics.AstNodes += w2::countAstNodes(*Func);
+      Result.Metrics.SourceLines += Func->lineCount();
+      Result.Metrics.LoopCount += w2::countLoops(*Func);
+      uint32_t Depth = w2::maxLoopDepth(*Func);
+      if (Depth > Result.Metrics.LoopDepth)
+        Result.Metrics.LoopDepth = Depth;
+    }
+  }
+
+  w2::Sema Sema(Result.Diags);
+  Sema.checkModule(*Result.Module);
+  Result.Metrics.SemaNodes = Sema.checkedNodeCount();
+  if (Result.Diags.hasErrors())
+    Result.Module.reset();
+  return Result;
+}
+
+FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
+                                       const w2::FunctionDecl &F,
+                                       const codegen::MachineModel &MM) {
+  FunctionResult Result;
+  Result.SectionName = Section.getName();
+  Result.FunctionName = F.getName();
+  Result.Metrics.SourceLines = F.lineCount();
+  Result.Metrics.LoopDepth = w2::maxLoopDepth(F);
+  Result.Metrics.LoopCount = w2::countLoops(F);
+  Result.Metrics.AstNodes = w2::countAstNodes(F);
+
+  // Phase 2: flowgraph construction and optimization.
+  std::unique_ptr<ir::IRFunction> IRF = ir::lowerFunction(F);
+  assert(verifyFunction(*IRF).empty() && "lowering produced invalid IR");
+  Result.Metrics.IRInstrs = IRF->instructionCount();
+
+  opt::OptStats Stats = opt::runLocalOpt(*IRF);
+  Result.Metrics.OptVisited = Stats.InstrsVisited;
+  Result.Metrics.OptTransforms = Stats.totalTransforms();
+  assert(verifyFunction(*IRF).empty() && "optimization broke the IR");
+
+  // Global dependency computation (liveness + reaching definitions are the
+  // "global dependencies" of Section 3.2; their iteration counts meter the
+  // dataflow work).
+  opt::LivenessInfo Live = opt::LivenessInfo::compute(*IRF);
+  opt::ReachingDefsInfo Reach = opt::ReachingDefsInfo::compute(*IRF);
+  Result.Metrics.DataflowIterations = Live.Iterations + Reach.Iterations;
+  Result.Metrics.DependenceWork =
+      Live.Iterations * IRF->instructionCount() +
+      Reach.Iterations * IRF->instructionCount();
+  Result.IRInstrsAfterOpt = IRF->instructionCount();
+
+  // Phase 3: scheduling and register allocation.
+  codegen::MachineFunction MF = codegen::generateCode(*IRF, MM);
+  Result.Metrics.ListSchedAttempts = MF.Metrics.ListSchedAttempts;
+  Result.Metrics.ModuloSchedAttempts = MF.Metrics.ModuloSchedAttempts;
+  Result.Metrics.RecMIIWork = MF.Metrics.RecMIIWork;
+  Result.Metrics.RegAllocWork = MF.Metrics.RegAllocWork;
+  Result.LoopsPipelined = MF.Metrics.LoopsPipelined;
+  Result.LoopsConsidered = MF.Metrics.LoopsConsidered;
+
+  if (MF.RA.Spills > 0)
+    Result.Diags.warning(F.getLoc(),
+                         "function '" + F.getName() + "' spills " +
+                             std::to_string(MF.RA.Spills) +
+                             " value(s) to cell memory");
+  for (const auto &[Body, LS] : MF.PipelinedLoops) {
+    (void)Body;
+    if (LS.II > LS.MII)
+      Result.Diags.note(F.getLoc(),
+                        "loop pipelined at ii=" + std::to_string(LS.II) +
+                            " above its lower bound " +
+                            std::to_string(LS.MII));
+  }
+
+  // The function's own slice of assembly; the section master combines the
+  // resulting CellPrograms so phase 4 sees the same input as in the
+  // sequential compiler.
+  Result.Program = asmout::assembleFunction(*IRF, MF);
+  Result.Metrics.CodeWords = Result.Program.CodeWords;
+  Result.Metrics.ImageBytes = Result.Program.Image.size();
+  return Result;
+}
+
+WorkMetrics ModuleResult::totalMetrics() const {
+  WorkMetrics Total = Phase1;
+  for (const FunctionResult &F : Functions)
+    Total += F.Metrics;
+  Total += Phase4;
+  return Total;
+}
+
+void driver::assembleAndLink(const w2::ModuleDecl &Module,
+                             std::vector<FunctionResult> &&Results,
+                             ModuleResult &Out) {
+  // Group results by section, preserving declaration order.
+  std::vector<asmout::SectionImage> Sections;
+  size_t Cursor = 0;
+  for (size_t S = 0; S != Module.numSections(); ++S) {
+    const w2::SectionDecl *Section = Module.getSection(S);
+    std::vector<asmout::CellProgram> Programs;
+    for (size_t F = 0; F != Section->numFunctions(); ++F) {
+      assert(Cursor < Results.size() && "function results out of sync");
+      // Section masters combine diagnostics along with code. The program
+      // is copied (it is small) so callers can still inspect per-function
+      // listings through ModuleResult::Functions.
+      Out.Diags.merge(Results[Cursor].Diags);
+      Programs.push_back(Results[Cursor].Program);
+      ++Cursor;
+    }
+    Sections.push_back(asmout::combineSection(
+        Section->getName(), Section->getNumCells(), std::move(Programs)));
+    Out.Phase4.ImageBytes += Sections.back().IODriver.size();
+  }
+  Out.Image = asmout::linkModule(Module.getName(), std::move(Sections));
+  Out.Phase4.CodeWords = 0;
+  for (const asmout::SectionImage &S : Out.Image.Sections)
+    Out.Phase4.CodeWords += S.totalWords();
+  Out.Phase4.ImageBytes += Out.Image.byteSize();
+  Out.Functions = std::move(Results);
+}
+
+ModuleResult driver::compileModuleSequential(const std::string &Source,
+                                             const codegen::MachineModel &MM) {
+  ModuleResult Result;
+
+  ParseResult Parsed = parseAndCheck(Source);
+  Result.Diags.merge(Parsed.Diags);
+  Result.Phase1 = Parsed.Metrics;
+  if (!Parsed.succeeded())
+    return Result;
+
+  std::vector<FunctionResult> Functions;
+  for (size_t S = 0; S != Parsed.Module->numSections(); ++S) {
+    const w2::SectionDecl *Section = Parsed.Module->getSection(S);
+    for (size_t F = 0; F != Section->numFunctions(); ++F)
+      Functions.push_back(
+          compileFunction(*Section, *Section->getFunction(F), MM));
+  }
+
+  assembleAndLink(*Parsed.Module, std::move(Functions), Result);
+  Result.Succeeded = !Result.Diags.hasErrors();
+  return Result;
+}

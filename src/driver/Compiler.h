@@ -1,0 +1,105 @@
+//===- Compiler.h - The four-phase W2 compiler ------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete W2 compiler pipeline, factored along the paper's phase
+/// boundaries so that the parallel compiler can run phase 1 in the master,
+/// phases 2+3 in function masters, and phase 4 in the section masters and
+/// master:
+///
+///   Phase 1: parsing and semantic checking            (sequential)
+///   Phase 2: flowgraph, local optimization, deps      (per function)
+///   Phase 3: software pipelining and code generation  (per function)
+///   Phase 4: I/O driver generation, assembly, linking (sequential)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_DRIVER_COMPILER_H
+#define WARPC_DRIVER_COMPILER_H
+
+#include "asmout/DownloadModule.h"
+#include "codegen/MachineModel.h"
+#include "driver/WorkMetrics.h"
+#include "support/Diagnostics.h"
+#include "w2/AST.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace driver {
+
+/// Result of phase 1 on a whole module.
+struct ParseResult {
+  std::unique_ptr<w2::ModuleDecl> Module; ///< Null on hard failure.
+  DiagnosticEngine Diags;
+  WorkMetrics Metrics;
+
+  bool succeeded() const { return Module != nullptr && !Diags.hasErrors(); }
+};
+
+/// Runs phase 1 (lex, parse, semantic check) on W2 source text. This is
+/// what the master process runs "to obtain enough information to set up
+/// the parallel compilation"; syntax and semantic errors surface here and
+/// abort the compilation (Section 3.2).
+ParseResult parseAndCheck(const std::string &Source);
+
+/// Result of phases 2+3 for one function (a function master's task).
+struct FunctionResult {
+  std::string SectionName;
+  std::string FunctionName;
+  asmout::CellProgram Program;
+  WorkMetrics Metrics;
+  /// Per-function diagnostic output, combined later by the section master.
+  DiagnosticEngine Diags;
+  /// Final IR statistics for tests and listings.
+  uint64_t IRInstrsAfterOpt = 0;
+  uint32_t LoopsPipelined = 0;
+  uint32_t LoopsConsidered = 0;
+};
+
+/// Compiles one checked function through phases 2 and 3 (+ its private
+/// slice of assembly). \p Section provides the signatures of sibling
+/// functions; the body of no other function is touched, which is what
+/// makes function-level parallel compilation correct.
+FunctionResult compileFunction(const w2::SectionDecl &Section,
+                               const w2::FunctionDecl &F,
+                               const codegen::MachineModel &MM);
+
+/// Result of compiling a whole module.
+struct ModuleResult {
+  bool Succeeded = false;
+  DiagnosticEngine Diags;
+  /// Phase-1 work (parse + sema).
+  WorkMetrics Phase1;
+  /// Per-function phases 2+3 results in declaration order.
+  std::vector<FunctionResult> Functions;
+  /// Phase-4 work (combination + linking).
+  WorkMetrics Phase4;
+  asmout::DownloadModule Image;
+
+  /// Sum of all work metrics (the sequential compiler's total).
+  WorkMetrics totalMetrics() const;
+};
+
+/// Runs phase 4: combines per-function programs into section images and
+/// links the download module. \p Results must be ordered as the module
+/// declares its functions.
+void assembleAndLink(const w2::ModuleDecl &Module,
+                     std::vector<FunctionResult> &&Results,
+                     ModuleResult &Out);
+
+/// The sequential compiler: all four phases in one process, functions
+/// compiled one after another. The baseline every speedup in the paper is
+/// measured against.
+ModuleResult compileModuleSequential(const std::string &Source,
+                                     const codegen::MachineModel &MM);
+
+} // namespace driver
+} // namespace warpc
+
+#endif // WARPC_DRIVER_COMPILER_H

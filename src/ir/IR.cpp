@@ -1,0 +1,251 @@
+//===- IR.cpp - Flowgraph intermediate representation ---------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Not:
+    return "not";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::IntToFloat:
+    return "itof";
+  case Opcode::ConstInt:
+    return "iconst";
+  case Opcode::ConstFloat:
+    return "fconst";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::LoadVar:
+    return "ldvar";
+  case Opcode::StoreVar:
+    return "stvar";
+  case Opcode::LoadElem:
+    return "ldelem";
+  case Opcode::StoreElem:
+    return "stelem";
+  case Opcode::Send:
+    return "send";
+  case Opcode::Recv:
+    return "recv";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Sqrt:
+    return "sqrt";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "cbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+bool ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+std::vector<BlockId> BasicBlock::successors() const {
+  const Instr *Term = terminator();
+  if (!Term)
+    return {};
+  switch (Term->Op) {
+  case Opcode::Br:
+    return {Term->Target0};
+  case Opcode::CondBr:
+    return {Term->Target0, Term->Target1};
+  default:
+    return {};
+  }
+}
+
+BasicBlock *IRFunction::createBlock() {
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(static_cast<BlockId>(Blocks.size())));
+  return Blocks.back().get();
+}
+
+VarId IRFunction::addVariable(Variable V) {
+  Variables.push_back(std::move(V));
+  return static_cast<VarId>(Variables.size() - 1);
+}
+
+std::vector<std::vector<BlockId>> IRFunction::computePredecessors() const {
+  std::vector<std::vector<BlockId>> Preds(Blocks.size());
+  for (const auto &BB : Blocks)
+    for (BlockId Succ : BB->successors())
+      Preds[Succ].push_back(BB->id());
+  return Preds;
+}
+
+uint64_t IRFunction::instructionCount() const {
+  uint64_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->Instrs.size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static std::string regName(Reg R) {
+  if (R == InvalidReg)
+    return "<invalid>";
+  return "%" + std::to_string(R);
+}
+
+static std::string printInstr(const IRFunction &F, const Instr &I) {
+  std::string Out = "  ";
+  if (I.definesReg())
+    Out += regName(I.Dst) + " = ";
+  Out += opcodeName(I.Op);
+  Out += I.Ty == ValueType::Float ? ".f" : ".i";
+
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    Out += " " + std::to_string(I.IntImm);
+    break;
+  case Opcode::ConstFloat:
+    Out += " " + formatDouble(I.FloatImm, 6);
+    break;
+  case Opcode::LoadVar:
+  case Opcode::StoreVar:
+  case Opcode::LoadElem:
+  case Opcode::StoreElem:
+    Out += " @" + F.variable(I.Var).Name;
+    break;
+  case Opcode::Send:
+  case Opcode::Recv:
+    Out += std::string(" ") + w2::channelName(I.Chan);
+    break;
+  case Opcode::Call:
+    Out += " " + I.Callee;
+    break;
+  case Opcode::Br:
+    Out += " bb" + std::to_string(I.Target0);
+    break;
+  case Opcode::CondBr:
+    Out += " bb" + std::to_string(I.Target0) + ", bb" +
+           std::to_string(I.Target1);
+    break;
+  default:
+    break;
+  }
+  for (Reg R : I.Operands)
+    Out += " " + regName(R);
+  for (VarId V : I.ArrayArgs)
+    Out += " @" + F.variable(V).Name;
+  return Out;
+}
+
+std::string ir::printFunction(const IRFunction &F) {
+  std::string Out = "function " + F.name() + " : " + F.returnType().str() +
+                    " {\n";
+  for (size_t V = 0; V != F.numVariables(); ++V) {
+    const Variable &Var = F.variable(static_cast<VarId>(V));
+    Out += "  var @" + Var.Name + " : " + Var.Ty.str() +
+           (Var.IsParam ? " (param)\n" : "\n");
+  }
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    Out += "bb" + std::to_string(B) + ":\n";
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs) {
+      Out += printInstr(F, I);
+      Out += '\n';
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
+std::string ir::verifyFunction(const IRFunction &F) {
+  if (F.numBlocks() == 0)
+    return "function '" + F.name() + "' has no blocks";
+
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    std::string Where =
+        "function '" + F.name() + "' block bb" + std::to_string(B);
+    if (BB->Instrs.empty())
+      return Where + " is empty";
+    if (!isTerminator(BB->Instrs.back().Op))
+      return Where + " does not end in a terminator";
+    for (size_t Pos = 0; Pos != BB->Instrs.size(); ++Pos) {
+      const Instr &I = BB->Instrs[Pos];
+      if (isTerminator(I.Op) && Pos + 1 != BB->Instrs.size())
+        return Where + " has a terminator before the end";
+      for (Reg R : I.Operands)
+        if (R >= F.numRegs())
+          return Where + " uses unallocated register %" + std::to_string(R);
+      if (I.definesReg() && I.Dst >= F.numRegs())
+        return Where + " defines unallocated register %" +
+               std::to_string(I.Dst);
+      switch (I.Op) {
+      case Opcode::LoadVar:
+      case Opcode::StoreVar:
+      case Opcode::LoadElem:
+      case Opcode::StoreElem:
+        if (I.Var >= F.numVariables())
+          return Where + " references unknown variable slot";
+        break;
+      case Opcode::Br:
+        if (I.Target0 >= F.numBlocks())
+          return Where + " branches to unknown block";
+        break;
+      case Opcode::CondBr:
+        if (I.Target0 >= F.numBlocks() || I.Target1 >= F.numBlocks())
+          return Where + " branches to unknown block";
+        if (I.Operands.size() != 1)
+          return Where + " conditional branch needs one condition operand";
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return "";
+}

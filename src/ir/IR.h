@@ -1,0 +1,224 @@
+//===- IR.h - Flowgraph intermediate representation -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three-address intermediate representation with an explicit flowgraph.
+/// Compiler phase 2 builds this IR from the checked AST ("construction of
+/// the flowgraph, local optimization, and computation of global
+/// dependencies", Section 3.2), and phase 3 schedules it onto the Warp
+/// cell's functional units.
+///
+/// Instructions are plain structs held contiguously per basic block; values
+/// live in virtual registers, and named storage (scalars and arrays) is
+/// accessed through Load/Store instructions against a per-function variable
+/// table. The representation is deliberately not SSA: the 1989 compiler
+/// predates SSA, and the classic bit-vector dataflow in opt/ matches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_IR_IR_H
+#define WARPC_IR_IR_H
+
+#include "support/SourceLoc.h"
+#include "w2/AST.h"
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace ir {
+
+/// A virtual register id.
+using Reg = uint32_t;
+inline constexpr Reg InvalidReg = std::numeric_limits<Reg>::max();
+
+/// A variable slot id into IRFunction's variable table.
+using VarId = uint32_t;
+
+/// A basic block id; blocks are owned and numbered by their IRFunction.
+using BlockId = uint32_t;
+inline constexpr BlockId InvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// Result/operand scalar type of an instruction.
+enum class ValueType : uint8_t { Int, Float };
+
+/// Instruction opcodes.
+enum class Opcode : uint8_t {
+  // Arithmetic; Ty selects int or float flavor.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem, // int only
+  Neg,
+  // Logical (int only). And/Or are strict (W2 has no short-circuit).
+  And,
+  Or,
+  Not,
+  // Comparisons produce an int 0/1; Ty is the operand type.
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Conversion.
+  IntToFloat,
+  // Constants and copies.
+  ConstInt,
+  ConstFloat,
+  Copy,
+  // Memory: scalars (LoadVar/StoreVar) and array elements (LoadElem uses
+  // operand 0 as index; StoreElem uses operand 0 as index, 1 as value).
+  LoadVar,
+  StoreVar,
+  LoadElem,
+  StoreElem,
+  // Systolic channel queues.
+  Send, // operand 0: value
+  Recv, // defines Dst
+  // Call to a function in the same section (or sqrt/abs intrinsics get
+  // their own opcodes below). Scalar args in Operands, array args by VarId.
+  Call,
+  // Math intrinsics.
+  Sqrt,
+  Abs,
+  // Control flow terminators.
+  Br,     // unconditional, to Target0
+  CondBr, // operand 0: condition; true -> Target0, false -> Target1
+  Ret,    // optional operand 0: return value
+};
+
+/// Returns the mnemonic for an opcode.
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Br/CondBr/Ret.
+bool isTerminator(Opcode Op);
+
+/// One IR instruction.
+struct Instr {
+  Opcode Op = Opcode::Copy;
+  ValueType Ty = ValueType::Int;
+  Reg Dst = InvalidReg;
+  /// Register operands; the meaning is positional per opcode.
+  std::vector<Reg> Operands;
+  /// Immediate payloads.
+  int64_t IntImm = 0;
+  double FloatImm = 0;
+  VarId Var = 0;
+  w2::Channel Chan = w2::Channel::X;
+  /// Callee name and whole-array arguments for Call.
+  std::string Callee;
+  std::vector<VarId> ArrayArgs;
+  /// Branch targets.
+  BlockId Target0 = InvalidBlock;
+  BlockId Target1 = InvalidBlock;
+  SourceLoc Loc;
+
+  bool definesReg() const { return Dst != InvalidReg; }
+  bool isBranch() const { return Op == Opcode::Br || Op == Opcode::CondBr; }
+
+  /// True when this instruction reads memory (variable or element load).
+  bool readsMemory() const {
+    return Op == Opcode::LoadVar || Op == Opcode::LoadElem;
+  }
+  /// True when this instruction writes memory.
+  bool writesMemory() const {
+    return Op == Opcode::StoreVar || Op == Opcode::StoreElem;
+  }
+  /// Calls and channel ops must keep their relative order.
+  bool hasSideEffects() const {
+    return Op == Opcode::Call || Op == Opcode::Send || Op == Opcode::Recv;
+  }
+};
+
+/// A maximal straight-line sequence ending in a terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(BlockId Id) : Id(Id) {}
+
+  BlockId id() const { return Id; }
+
+  std::vector<Instr> Instrs;
+
+  /// Successor block ids derived from the terminator; empty for Ret.
+  std::vector<BlockId> successors() const;
+
+  /// The terminator, or null while the block is under construction.
+  const Instr *terminator() const {
+    if (Instrs.empty() || !isTerminator(Instrs.back().Op))
+      return nullptr;
+    return &Instrs.back();
+  }
+
+private:
+  BlockId Id;
+};
+
+/// A named storage location: parameter, local scalar, or local array.
+struct Variable {
+  std::string Name;
+  w2::Type Ty;
+  bool IsParam = false;
+};
+
+/// The IR for one W2 function: the unit of parallel compilation.
+class IRFunction {
+public:
+  IRFunction(std::string Name, w2::Type RetTy)
+      : Name(std::move(Name)), RetTy(RetTy) {}
+
+  const std::string &name() const { return Name; }
+  w2::Type returnType() const { return RetTy; }
+
+  /// Creates and owns a new empty basic block.
+  BasicBlock *createBlock();
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(BlockId Id) { return Blocks[Id].get(); }
+  const BasicBlock *block(BlockId Id) const { return Blocks[Id].get(); }
+
+  /// The entry block is always block 0.
+  BasicBlock *entry() { return Blocks.empty() ? nullptr : Blocks[0].get(); }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return NextReg++; }
+  uint32_t numRegs() const { return NextReg; }
+
+  /// Adds a variable slot; returns its id.
+  VarId addVariable(Variable V);
+  size_t numVariables() const { return Variables.size(); }
+  const Variable &variable(VarId Id) const { return Variables[Id]; }
+
+  /// Predecessor lists; recomputed on demand after CFG edits.
+  std::vector<std::vector<BlockId>> computePredecessors() const;
+
+  /// Total instruction count across all blocks, a phase-2 work metric.
+  uint64_t instructionCount() const;
+
+private:
+  std::string Name;
+  w2::Type RetTy;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<Variable> Variables;
+  Reg NextReg = 0;
+};
+
+/// Renders the whole function as text, one instruction per line. Used by
+/// tests and by -debug style dumps.
+std::string printFunction(const IRFunction &F);
+
+/// Structural validity checks: every block ends in exactly one terminator,
+/// branch targets are in range, register operands are allocated, variable
+/// ids are in range. Returns an empty string on success, else a message.
+std::string verifyFunction(const IRFunction &F);
+
+} // namespace ir
+} // namespace warpc
+
+#endif // WARPC_IR_IR_H

@@ -1,0 +1,529 @@
+//===- IRBuilder.cpp - AST to IR lowering ---------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::w2;
+
+namespace {
+
+/// Lowers one function body. Scalar variables live in memory slots; loop
+/// induction variables live in a dedicated virtual register so that the
+/// increment forms an explicit recurrence for the software pipeliner.
+class Builder {
+public:
+  explicit Builder(const FunctionDecl &F)
+      : F(F), IRF(std::make_unique<IRFunction>(F.getName(),
+                                               F.getReturnType())) {}
+
+  std::unique_ptr<IRFunction> run() {
+    Cur = IRF->createBlock();
+    pushScope();
+    for (const ParamDecl &P : F.params()) {
+      VarId Id = IRF->addVariable(Variable{P.Name, P.Ty, /*IsParam=*/true});
+      bindVar(P.Name, Id, P.Ty);
+    }
+    lowerStmt(F.getBody());
+    popScope();
+    ensureTerminated();
+    return std::move(IRF);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Bindings and scopes
+  //===--------------------------------------------------------------------===//
+
+  struct Binding {
+    bool InReg = false;
+    Reg R = InvalidReg;
+    VarId V = 0;
+    w2::Type Ty;
+  };
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void bindVar(const std::string &Name, VarId V, w2::Type Ty) {
+    Scopes.back()[Name] = Binding{false, InvalidReg, V, Ty};
+  }
+  void bindReg(const std::string &Name, Reg R, w2::Type Ty) {
+    Scopes.back()[Name] = Binding{true, R, 0, Ty};
+  }
+
+  const Binding &lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    assert(false && "Sema guarantees all names resolve");
+    static Binding Dummy;
+    return Dummy;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  Instr &emit(Instr I) {
+    // After a return the insert point is cleared; any trailing statements
+    // are unreachable and get a fresh block lazily so reachable code never
+    // carries empty dead blocks.
+    if (!Cur)
+      Cur = IRF->createBlock();
+    Cur->Instrs.push_back(std::move(I));
+    return Cur->Instrs.back();
+  }
+
+  static ValueType valueTypeOf(w2::Type Ty) {
+    assert(Ty.isScalarNumeric() && "value type of non-scalar");
+    return Ty.isInt() ? ValueType::Int : ValueType::Float;
+  }
+
+  Reg emitConstInt(int64_t Value, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::ConstInt;
+    I.Ty = ValueType::Int;
+    I.Dst = IRF->newReg();
+    I.IntImm = Value;
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  Reg emitConstFloat(double Value, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::ConstFloat;
+    I.Ty = ValueType::Float;
+    I.Dst = IRF->newReg();
+    I.FloatImm = Value;
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  /// Emits a register-defining instruction with the given operands.
+  Reg emitDef(Opcode Op, ValueType Ty, std::vector<Reg> Operands,
+              SourceLoc Loc) {
+    Instr I;
+    I.Op = Op;
+    I.Ty = Ty;
+    I.Dst = IRF->newReg();
+    I.Operands = std::move(Operands);
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  void emitBr(BlockId Target, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::Br;
+    I.Target0 = Target;
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+
+  void emitCondBr(Reg Cond, BlockId TrueB, BlockId FalseB, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::CondBr;
+    I.Operands = {Cond};
+    I.Target0 = TrueB;
+    I.Target1 = FalseB;
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+
+  /// If the current block has no terminator, emit a function-exit return.
+  void ensureTerminated() {
+    if (!Cur || Cur->terminator())
+      return;
+    Instr I;
+    I.Op = Opcode::Ret;
+    if (!F.getReturnType().isVoid()) {
+      // Sema guarantees a value return exists on some path; paths that fall
+      // off the end return zero, matching the 1989 compiler's behavior.
+      Reg Zero = F.getReturnType().isInt()
+                     ? emitConstInt(0, F.getEndLoc())
+                     : emitConstFloat(0.0, F.getEndLoc());
+      I.Operands = {Zero};
+      I.Ty = valueTypeOf(F.getReturnType());
+    }
+    I.Loc = F.getEndLoc();
+    emit(std::move(I));
+  }
+
+  /// Starts emitting into \p BB.
+  void setInsertPoint(BasicBlock *BB) { Cur = BB; }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Reg lowerExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      return emitConstInt(cast<IntLitExpr>(E)->getValue(), E->getLoc());
+    case Expr::Kind::FloatLit:
+      return emitConstFloat(cast<FloatLitExpr>(E)->getValue(), E->getLoc());
+    case Expr::Kind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      const Binding &B = lookup(Ref->getName());
+      if (B.InReg)
+        return B.R;
+      assert(!B.Ty.isArray() && "whole-array reference in scalar context");
+      Instr I;
+      I.Op = Opcode::LoadVar;
+      I.Ty = valueTypeOf(B.Ty);
+      I.Dst = IRF->newReg();
+      I.Var = B.V;
+      I.Loc = E->getLoc();
+      return emit(std::move(I)).Dst;
+    }
+    case Expr::Kind::Index: {
+      const auto *Idx = cast<IndexExpr>(E);
+      const Binding &B = lookup(Idx->getBaseName());
+      Reg Index = lowerExpr(Idx->getIndex());
+      Instr I;
+      I.Op = Opcode::LoadElem;
+      I.Ty = valueTypeOf(B.Ty.elementType());
+      I.Dst = IRF->newReg();
+      I.Var = B.V;
+      I.Operands = {Index};
+      I.Loc = E->getLoc();
+      return emit(std::move(I)).Dst;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Reg Operand = lowerExpr(U->getOperand());
+      Opcode Op = U->getOp() == UnaryOp::Neg ? Opcode::Neg : Opcode::Not;
+      return emitDef(Op, valueTypeOf(U->getType()), {Operand}, E->getLoc());
+    }
+    case Expr::Kind::Binary:
+      return lowerBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Call:
+      return lowerCall(cast<CallExpr>(E));
+    case Expr::Kind::Cast: {
+      Reg Operand = lowerExpr(cast<CastExpr>(E)->getOperand());
+      return emitDef(Opcode::IntToFloat, ValueType::Float, {Operand},
+                     E->getLoc());
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return InvalidReg;
+  }
+
+  Reg lowerBinary(const BinaryExpr *B) {
+    Reg L = lowerExpr(B->getLHS());
+    Reg R = lowerExpr(B->getRHS());
+    // Comparisons carry the operand type so the scheduler can pick the
+    // right functional unit; the result is always an int.
+    ValueType OperandTy = valueTypeOf(B->getLHS()->getType());
+    ValueType ResultTy = valueTypeOf(B->getType());
+
+    Opcode Op = Opcode::Add;
+    ValueType Ty = ResultTy;
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      Op = Opcode::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = Opcode::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = Opcode::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = Opcode::Div;
+      break;
+    case BinaryOp::Rem:
+      Op = Opcode::Rem;
+      break;
+    case BinaryOp::LAnd:
+      Op = Opcode::And;
+      break;
+    case BinaryOp::LOr:
+      Op = Opcode::Or;
+      break;
+    case BinaryOp::EQ:
+      Op = Opcode::CmpEQ;
+      Ty = OperandTy;
+      break;
+    case BinaryOp::NE:
+      Op = Opcode::CmpNE;
+      Ty = OperandTy;
+      break;
+    case BinaryOp::LT:
+      Op = Opcode::CmpLT;
+      Ty = OperandTy;
+      break;
+    case BinaryOp::LE:
+      Op = Opcode::CmpLE;
+      Ty = OperandTy;
+      break;
+    case BinaryOp::GT:
+      Op = Opcode::CmpGT;
+      Ty = OperandTy;
+      break;
+    case BinaryOp::GE:
+      Op = Opcode::CmpGE;
+      Ty = OperandTy;
+      break;
+    }
+    return emitDef(Op, Ty, {L, R}, B->getLoc());
+  }
+
+  Reg lowerCall(const CallExpr *C) {
+    // Intrinsics lower to dedicated opcodes.
+    if (C->getCallee() == "sqrt" || C->getCallee() == "abs") {
+      Reg Arg = lowerExpr(C->getArg(0));
+      Opcode Op = C->getCallee() == "sqrt" ? Opcode::Sqrt : Opcode::Abs;
+      return emitDef(Op, ValueType::Float, {Arg}, C->getLoc());
+    }
+
+    Instr I;
+    I.Op = Opcode::Call;
+    I.Callee = C->getCallee();
+    I.Loc = C->getLoc();
+    for (size_t A = 0, N = C->getNumArgs(); A != N; ++A) {
+      const Expr *Arg = C->getArg(A);
+      if (const auto *Ref = dyn_cast<VarRefExpr>(Arg)) {
+        const Binding &B = lookup(Ref->getName());
+        if (B.Ty.isArray()) {
+          I.ArrayArgs.push_back(B.V);
+          continue;
+        }
+      }
+      I.Operands.push_back(lowerExpr(Arg));
+    }
+    if (!C->getType().isVoid()) {
+      I.Dst = IRF->newReg();
+      I.Ty = valueTypeOf(C->getType());
+    }
+    return emit(std::move(I)).Dst;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      const auto *B = cast<BlockStmt>(S);
+      pushScope();
+      for (const StmtPtr &Child : B->stmts())
+        lowerStmt(Child.get());
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      VarId Id = IRF->addVariable(
+          Variable{D->getName(), D->getType(), /*IsParam=*/false});
+      bindVar(D->getName(), Id, D->getType());
+      if (D->getInit()) {
+        Reg Value = lowerExpr(D->getInit());
+        Instr I;
+        I.Op = Opcode::StoreVar;
+        I.Ty = valueTypeOf(D->getType());
+        I.Var = Id;
+        I.Operands = {Value};
+        I.Loc = D->getLoc();
+        emit(std::move(I));
+      }
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Reg Value = lowerExpr(A->getValue());
+      storeTo(A->getTarget(), Value, A->getLoc());
+      return;
+    }
+    case Stmt::Kind::If:
+      lowerIf(cast<IfStmt>(S));
+      return;
+    case Stmt::Kind::For:
+      lowerFor(cast<ForStmt>(S));
+      return;
+    case Stmt::Kind::While:
+      lowerWhile(cast<WhileStmt>(S));
+      return;
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      Instr I;
+      I.Op = Opcode::Ret;
+      if (R->getValue()) {
+        I.Operands = {lowerExpr(R->getValue())};
+        I.Ty = valueTypeOf(R->getValue()->getType());
+      }
+      I.Loc = R->getLoc();
+      emit(std::move(I));
+      // Trailing statements are unreachable; clear the insert point so a
+      // block is only created if they exist.
+      setInsertPoint(nullptr);
+      return;
+    }
+    case Stmt::Kind::Send: {
+      const auto *Send = cast<SendStmt>(S);
+      Reg Value = lowerExpr(Send->getValue());
+      Instr I;
+      I.Op = Opcode::Send;
+      I.Ty = ValueType::Float;
+      I.Chan = Send->getChannel();
+      I.Operands = {Value};
+      I.Loc = Send->getLoc();
+      emit(std::move(I));
+      return;
+    }
+    case Stmt::Kind::Receive: {
+      const auto *Recv = cast<ReceiveStmt>(S);
+      Instr I;
+      I.Op = Opcode::Recv;
+      I.Ty = ValueType::Float;
+      I.Chan = Recv->getChannel();
+      I.Dst = IRF->newReg();
+      I.Loc = Recv->getLoc();
+      Reg Value = emit(std::move(I)).Dst;
+      storeTo(Recv->getTarget(), Value, Recv->getLoc());
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      lowerExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    }
+  }
+
+  void storeTo(const Expr *Target, Reg Value, SourceLoc Loc) {
+    if (const auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+      const Binding &B = lookup(Ref->getName());
+      assert(!B.InReg && "Sema rejects assignment to induction variables");
+      Instr I;
+      I.Op = Opcode::StoreVar;
+      I.Ty = valueTypeOf(B.Ty);
+      I.Var = B.V;
+      I.Operands = {Value};
+      I.Loc = Loc;
+      emit(std::move(I));
+      return;
+    }
+    const auto *Idx = cast<IndexExpr>(Target);
+    const Binding &B = lookup(Idx->getBaseName());
+    Reg Index = lowerExpr(Idx->getIndex());
+    Instr I;
+    I.Op = Opcode::StoreElem;
+    I.Ty = valueTypeOf(B.Ty.elementType());
+    I.Var = B.V;
+    I.Operands = {Index, Value};
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+
+  void lowerIf(const IfStmt *S) {
+    Reg Cond = lowerExpr(S->getCond());
+    BasicBlock *ThenB = IRF->createBlock();
+    BasicBlock *ElseB = S->getElse() ? IRF->createBlock() : nullptr;
+    BasicBlock *MergeB = IRF->createBlock();
+    emitCondBr(Cond, ThenB->id(), ElseB ? ElseB->id() : MergeB->id(),
+               S->getLoc());
+
+    setInsertPoint(ThenB);
+    lowerStmt(S->getThen());
+    if (Cur && !Cur->terminator())
+      emitBr(MergeB->id(), S->getLoc());
+
+    if (ElseB) {
+      setInsertPoint(ElseB);
+      lowerStmt(S->getElse());
+      if (Cur && !Cur->terminator())
+        emitBr(MergeB->id(), S->getLoc());
+    }
+    setInsertPoint(MergeB);
+  }
+
+  void lowerFor(const ForStmt *S) {
+    SourceLoc Loc = S->getLoc();
+    Reg Lo = lowerExpr(S->getLo());
+    Reg Hi = lowerExpr(S->getHi());
+    Reg Step = emitConstInt(S->getStep(), Loc);
+    // The induction variable is a fixed register updated in the latch; the
+    // Copy below and the Add in the latch define the same register, forming
+    // the recurrence the modulo scheduler uses for RecMII.
+    Reg Ind = IRF->newReg();
+    {
+      Instr I;
+      I.Op = Opcode::Copy;
+      I.Ty = ValueType::Int;
+      I.Dst = Ind;
+      I.Operands = {Lo};
+      I.Loc = Loc;
+      emit(std::move(I));
+    }
+
+    BasicBlock *Header = IRF->createBlock();
+    BasicBlock *Body = IRF->createBlock();
+    BasicBlock *Exit = IRF->createBlock();
+    emitBr(Header->id(), Loc);
+
+    setInsertPoint(Header);
+    Opcode CmpOp = S->getStep() > 0 ? Opcode::CmpLE : Opcode::CmpGE;
+    Reg Cond = emitDef(CmpOp, ValueType::Int, {Ind, Hi}, Loc);
+    emitCondBr(Cond, Body->id(), Exit->id(), Loc);
+
+    setInsertPoint(Body);
+    pushScope();
+    bindReg(S->getIndVar(), Ind, w2::Type::intTy());
+    lowerStmt(S->getBody());
+    popScope();
+    if (Cur && !Cur->terminator()) {
+      // Latch: advance the induction register and loop back.
+      Instr I;
+      I.Op = Opcode::Add;
+      I.Ty = ValueType::Int;
+      I.Dst = Ind;
+      I.Operands = {Ind, Step};
+      I.Loc = Loc;
+      emit(std::move(I));
+      emitBr(Header->id(), Loc);
+    }
+    setInsertPoint(Exit);
+  }
+
+  void lowerWhile(const WhileStmt *S) {
+    SourceLoc Loc = S->getLoc();
+    BasicBlock *Header = IRF->createBlock();
+    BasicBlock *Body = IRF->createBlock();
+    BasicBlock *Exit = IRF->createBlock();
+    emitBr(Header->id(), Loc);
+
+    setInsertPoint(Header);
+    Reg Cond = lowerExpr(S->getCond());
+    emitCondBr(Cond, Body->id(), Exit->id(), Loc);
+
+    setInsertPoint(Body);
+    lowerStmt(S->getBody());
+    if (Cur && !Cur->terminator())
+      emitBr(Header->id(), Loc);
+    setInsertPoint(Exit);
+  }
+
+  const FunctionDecl &F;
+  std::unique_ptr<IRFunction> IRF;
+  BasicBlock *Cur = nullptr;
+  std::vector<std::map<std::string, Binding>> Scopes;
+};
+
+} // namespace
+
+std::unique_ptr<IRFunction> ir::lowerFunction(const FunctionDecl &F) {
+  Builder B(F);
+  return B.run();
+}

@@ -1,0 +1,34 @@
+//===- IRBuilder.h - AST to IR lowering -------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically checked W2 function into flowgraph IR. This is
+/// the entry of compiler phase 2 and runs inside a function master during
+/// parallel compilation: lowering one function never needs another
+/// function's body, only the signatures Sema already checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_IR_IRBUILDER_H
+#define WARPC_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+#include "w2/AST.h"
+
+#include <memory>
+
+namespace warpc {
+namespace ir {
+
+/// Lowers \p F to IR. \p F must have passed Sema (every expression typed,
+/// casts explicit); lowering asserts on malformed input rather than
+/// diagnosing it.
+std::unique_ptr<IRFunction> lowerFunction(const w2::FunctionDecl &F);
+
+} // namespace ir
+} // namespace warpc
+
+#endif // WARPC_IR_IRBUILDER_H

@@ -1,0 +1,304 @@
+//===- Interpreter.cpp - Flowgraph IR interpreter ---------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+using namespace warpc;
+using namespace warpc::ir;
+
+namespace {
+
+/// Execution state of one function activation.
+class Machine {
+public:
+  Machine(const IRFunction &F, const ExecInput &Input,
+          const CallHandler *Calls)
+      : F(F), Input(Input), Calls(Calls) {
+    Regs.resize(F.numRegs());
+    Scalars.resize(F.numVariables());
+    Arrays.resize(F.numVariables());
+    XQueue.assign(Input.XInput.begin(), Input.XInput.end());
+    YQueue.assign(Input.YInput.begin(), Input.YInput.end());
+  }
+
+  ExecResult run() {
+    if (!bindParameters())
+      return Result;
+    BlockId Block = 0;
+    uint32_t Pos = 0;
+    while (Result.StepsExecuted < Input.StepBudget) {
+      const BasicBlock *BB = F.block(Block);
+      if (Pos >= BB->Instrs.size())
+        return fault("fell off the end of bb" + std::to_string(Block));
+      const Instr &I = BB->Instrs[Pos];
+      ++Result.StepsExecuted;
+
+      switch (I.Op) {
+      case Opcode::Br:
+        Block = I.Target0;
+        Pos = 0;
+        continue;
+      case Opcode::CondBr: {
+        RuntimeValue Cond = Regs[I.Operands[0]];
+        Block = Cond.asInt() != 0 ? I.Target0 : I.Target1;
+        Pos = 0;
+        continue;
+      }
+      case Opcode::Ret:
+        if (!I.Operands.empty()) {
+          Result.HasReturn = true;
+          Result.Return = Regs[I.Operands[0]];
+        }
+        finish();
+        Result.Completed = true;
+        return Result;
+      default:
+        if (!execute(I))
+          return Result;
+        ++Pos;
+        continue;
+      }
+    }
+    return fault("step budget exhausted");
+  }
+
+private:
+  ExecResult fault(std::string Message) {
+    Result.Completed = false;
+    Result.Fault = std::move(Message);
+    return Result;
+  }
+
+  /// Copies array parameters out so callers can observe mutations.
+  void finish() {
+    for (size_t P = 0; P != Input.Args.size(); ++P) {
+      if (Input.Args[P].IsArray)
+        Result.FinalArrays.push_back(Arrays[P]);
+      else
+        Result.FinalArrays.emplace_back();
+    }
+  }
+
+  bool bindParameters() {
+    // Parameters occupy the first variable slots, in declaration order.
+    size_t NumParams = 0;
+    for (size_t V = 0; V != F.numVariables(); ++V)
+      NumParams += F.variable(static_cast<VarId>(V)).IsParam;
+    if (Input.Args.size() != NumParams) {
+      fault("argument count mismatch");
+      return false;
+    }
+    for (size_t P = 0; P != NumParams; ++P) {
+      const Variable &Var = F.variable(static_cast<VarId>(P));
+      const ExecInput::Arg &Arg = Input.Args[P];
+      if (Var.Ty.isArray() != Arg.IsArray) {
+        fault("argument kind mismatch for '" + Var.Name + "'");
+        return false;
+      }
+      if (Arg.IsArray) {
+        Arrays[P] = Arg.Array;
+        Arrays[P].resize(Var.Ty.arraySize(), 0.0);
+      } else {
+        Scalars[P] = Arg.Scalar;
+      }
+    }
+    // Locals: zero-initialize (stores happen before loads in well-formed
+    // programs, but the interpreter must not read indeterminate data).
+    for (size_t V = NumParams; V != F.numVariables(); ++V) {
+      const Variable &Var = F.variable(static_cast<VarId>(V));
+      if (Var.Ty.isArray())
+        Arrays[V].assign(Var.Ty.arraySize(), 0.0);
+      else
+        Scalars[V] = Var.Ty.isFloat() ? RuntimeValue::ofFloat(0)
+                                      : RuntimeValue::ofInt(0);
+    }
+    return true;
+  }
+
+  RuntimeValue arith(const Instr &I, bool &Ok) {
+    bool FloatOp = I.Ty == ValueType::Float;
+    auto L = [&](size_t K) { return Regs[I.Operands[K]].asFloat(); };
+    auto Li = [&](size_t K) { return Regs[I.Operands[K]].asInt(); };
+    Ok = true;
+    switch (I.Op) {
+    case Opcode::Add:
+      return FloatOp ? RuntimeValue::ofFloat(L(0) + L(1))
+                     : RuntimeValue::ofInt(Li(0) + Li(1));
+    case Opcode::Sub:
+      return FloatOp ? RuntimeValue::ofFloat(L(0) - L(1))
+                     : RuntimeValue::ofInt(Li(0) - Li(1));
+    case Opcode::Mul:
+      return FloatOp ? RuntimeValue::ofFloat(L(0) * L(1))
+                     : RuntimeValue::ofInt(Li(0) * Li(1));
+    case Opcode::Div:
+      if (FloatOp) {
+        if (L(1) == 0) {
+          Ok = false;
+          return RuntimeValue();
+        }
+        return RuntimeValue::ofFloat(L(0) / L(1));
+      }
+      if (Li(1) == 0) {
+        Ok = false;
+        return RuntimeValue();
+      }
+      return RuntimeValue::ofInt(Li(0) / Li(1));
+    case Opcode::Rem:
+      if (Li(1) == 0) {
+        Ok = false;
+        return RuntimeValue();
+      }
+      return RuntimeValue::ofInt(Li(0) % Li(1));
+    case Opcode::Neg:
+      return FloatOp ? RuntimeValue::ofFloat(-L(0))
+                     : RuntimeValue::ofInt(-Li(0));
+    case Opcode::And:
+      return RuntimeValue::ofInt((Li(0) != 0 && Li(1) != 0) ? 1 : 0);
+    case Opcode::Or:
+      return RuntimeValue::ofInt((Li(0) != 0 || Li(1) != 0) ? 1 : 0);
+    case Opcode::Not:
+      return RuntimeValue::ofInt(Li(0) == 0 ? 1 : 0);
+    case Opcode::CmpEQ:
+      return RuntimeValue::ofInt(FloatOp ? L(0) == L(1) : Li(0) == Li(1));
+    case Opcode::CmpNE:
+      return RuntimeValue::ofInt(FloatOp ? L(0) != L(1) : Li(0) != Li(1));
+    case Opcode::CmpLT:
+      return RuntimeValue::ofInt(FloatOp ? L(0) < L(1) : Li(0) < Li(1));
+    case Opcode::CmpLE:
+      return RuntimeValue::ofInt(FloatOp ? L(0) <= L(1) : Li(0) <= Li(1));
+    case Opcode::CmpGT:
+      return RuntimeValue::ofInt(FloatOp ? L(0) > L(1) : Li(0) > Li(1));
+    case Opcode::CmpGE:
+      return RuntimeValue::ofInt(FloatOp ? L(0) >= L(1) : Li(0) >= Li(1));
+    case Opcode::IntToFloat:
+      return RuntimeValue::ofFloat(static_cast<double>(Li(0)));
+    case Opcode::Sqrt:
+      // The cell's sqrt operates on the magnitude (no trap path on Warp).
+      return RuntimeValue::ofFloat(std::sqrt(std::fabs(L(0))));
+    case Opcode::Abs:
+      return RuntimeValue::ofFloat(std::fabs(L(0)));
+    default:
+      Ok = false;
+      return RuntimeValue();
+    }
+  }
+
+  /// Executes one non-terminator instruction. Returns false on fault.
+  bool execute(const Instr &I) {
+    switch (I.Op) {
+    case Opcode::ConstInt:
+      Regs[I.Dst] = RuntimeValue::ofInt(I.IntImm);
+      return true;
+    case Opcode::ConstFloat:
+      Regs[I.Dst] = RuntimeValue::ofFloat(I.FloatImm);
+      return true;
+    case Opcode::Copy:
+      Regs[I.Dst] = Regs[I.Operands[0]];
+      return true;
+    case Opcode::LoadVar:
+      Regs[I.Dst] = Scalars[I.Var];
+      return true;
+    case Opcode::StoreVar:
+      Scalars[I.Var] = Regs[I.Operands[0]];
+      // Keep the stored representation faithful to the variable's type.
+      if (F.variable(I.Var).Ty.isFloat() && !Scalars[I.Var].IsFloat)
+        Scalars[I.Var] = RuntimeValue::ofFloat(Scalars[I.Var].asFloat());
+      return true;
+    case Opcode::LoadElem: {
+      int64_t Index = Regs[I.Operands[0]].asInt();
+      auto &Array = Arrays[I.Var];
+      if (Index < 0 || static_cast<size_t>(Index) >= Array.size()) {
+        fault("array index out of bounds");
+        return false;
+      }
+      double V = Array[static_cast<size_t>(Index)];
+      Regs[I.Dst] = I.Ty == ValueType::Float
+                        ? RuntimeValue::ofFloat(V)
+                        : RuntimeValue::ofInt(static_cast<int64_t>(V));
+      return true;
+    }
+    case Opcode::StoreElem: {
+      int64_t Index = Regs[I.Operands[0]].asInt();
+      auto &Array = Arrays[I.Var];
+      if (Index < 0 || static_cast<size_t>(Index) >= Array.size()) {
+        fault("array index out of bounds");
+        return false;
+      }
+      Array[static_cast<size_t>(Index)] = Regs[I.Operands[1]].asFloat();
+      return true;
+    }
+    case Opcode::Send: {
+      double V = Regs[I.Operands[0]].asFloat();
+      (I.Chan == w2::Channel::X ? Result.XOutput : Result.YOutput)
+          .push_back(V);
+      return true;
+    }
+    case Opcode::Recv: {
+      auto &Queue = I.Chan == w2::Channel::X ? XQueue : YQueue;
+      if (Queue.empty()) {
+        fault("receive on an empty channel");
+        return false;
+      }
+      Regs[I.Dst] = RuntimeValue::ofFloat(Queue.front());
+      Queue.pop_front();
+      return true;
+    }
+    case Opcode::Call: {
+      if (!Calls) {
+        fault("call to '" + I.Callee + "' without a call handler");
+        return false;
+      }
+      std::vector<RuntimeValue> ScalarArgs;
+      for (Reg R : I.Operands)
+        ScalarArgs.push_back(Regs[R]);
+      std::vector<std::vector<double> *> ArrayArgs;
+      for (VarId V : I.ArrayArgs)
+        ArrayArgs.push_back(&Arrays[V]);
+      bool Ok = true;
+      RuntimeValue R = (*Calls)(I.Callee, ScalarArgs, ArrayArgs, Ok);
+      if (!Ok) {
+        fault("call to '" + I.Callee + "' faulted");
+        return false;
+      }
+      if (I.definesReg())
+        Regs[I.Dst] = R;
+      return true;
+    }
+    default: {
+      bool Ok = true;
+      RuntimeValue R = arith(I, Ok);
+      if (!Ok) {
+        fault(std::string("arithmetic fault in ") + opcodeName(I.Op));
+        return false;
+      }
+      assert(I.definesReg() && "arithmetic must define a register");
+      Regs[I.Dst] = R;
+      return true;
+    }
+    }
+  }
+
+  const IRFunction &F;
+  const ExecInput &Input;
+  const CallHandler *Calls;
+  ExecResult Result;
+  std::vector<RuntimeValue> Regs;
+  std::vector<RuntimeValue> Scalars;
+  std::vector<std::vector<double>> Arrays;
+  std::deque<double> XQueue, YQueue;
+};
+
+} // namespace
+
+ExecResult ir::interpret(const IRFunction &F, const ExecInput &Input,
+                         const CallHandler *Calls) {
+  Machine M(F, Input, Calls);
+  return M.run();
+}

@@ -1,0 +1,119 @@
+//===- Interpreter.h - Flowgraph IR interpreter -----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the flowgraph IR. It exists for testing:
+/// every optimization and the procedure inliner must preserve observable
+/// behavior — the returned value, the values sent on each channel, and
+/// the final contents of array parameters. The differential tests in
+/// tests/ execute a function before and after a transformation on the
+/// same inputs and compare.
+///
+/// The interpreter models one Warp cell: scalar/array storage, the X and
+/// Y input queues (provided up front) and output queues (captured).
+/// Execution is bounded by a step budget so broken control flow cannot
+/// hang the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_IR_INTERPRETER_H
+#define WARPC_IR_INTERPRETER_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace ir {
+
+/// A runtime scalar (int or float, after W2's static typing).
+struct RuntimeValue {
+  bool IsFloat = false;
+  int64_t I = 0;
+  double F = 0;
+
+  static RuntimeValue ofInt(int64_t V) { return RuntimeValue{false, V, 0}; }
+  static RuntimeValue ofFloat(double V) { return RuntimeValue{true, 0, V}; }
+
+  double asFloat() const { return IsFloat ? F : static_cast<double>(I); }
+  int64_t asInt() const { return IsFloat ? static_cast<int64_t>(F) : I; }
+
+  friend bool operator==(const RuntimeValue &A, const RuntimeValue &B) {
+    if (A.IsFloat != B.IsFloat)
+      return false;
+    return A.IsFloat ? A.F == B.F : A.I == B.I;
+  }
+};
+
+/// Inputs to one execution.
+struct ExecInput {
+  /// One entry per function parameter, in order. Scalar parameters use
+  /// Scalar; array parameters use Array (sized to the declared extent or
+  /// zero-filled up to it).
+  struct Arg {
+    RuntimeValue Scalar;
+    std::vector<double> Array;
+    bool IsArray = false;
+
+    static Arg ofInt(int64_t V) {
+      Arg A;
+      A.Scalar = RuntimeValue::ofInt(V);
+      return A;
+    }
+    static Arg ofFloat(double V) {
+      Arg A;
+      A.Scalar = RuntimeValue::ofFloat(V);
+      return A;
+    }
+    static Arg ofArray(std::vector<double> Values) {
+      Arg A;
+      A.Array = std::move(Values);
+      A.IsArray = true;
+      return A;
+    }
+  };
+  std::vector<Arg> Args;
+  /// Values waiting on the X and Y input queues.
+  std::vector<double> XInput;
+  std::vector<double> YInput;
+  /// Maximum instructions executed before giving up.
+  uint64_t StepBudget = 2'000'000;
+};
+
+/// Observable results of one execution.
+struct ExecResult {
+  bool Completed = false;   ///< False on budget exhaustion or a fault.
+  std::string Fault;        ///< Empty when clean.
+  bool HasReturn = false;
+  RuntimeValue Return;
+  std::vector<double> XOutput; ///< Values sent on X.
+  std::vector<double> YOutput; ///< Values sent on Y.
+  /// Final contents of array parameters (same order as declared params,
+  /// scalars get empty vectors).
+  std::vector<std::vector<double>> FinalArrays;
+  uint64_t StepsExecuted = 0;
+};
+
+/// Hook for resolving calls (used by differential tests that interpret a
+/// whole section: the callee is itself interpreted). Receives the callee
+/// name, scalar arguments, and array arguments by reference; returns the
+/// call's result.
+using CallHandler = std::function<RuntimeValue(
+    const std::string &Callee, const std::vector<RuntimeValue> &ScalarArgs,
+    std::vector<std::vector<double> *> &ArrayArgs, bool &Ok)>;
+
+/// Executes \p F on \p Input. \p Calls may be null when the function
+/// contains no calls (intrinsics are always built in).
+ExecResult interpret(const IRFunction &F, const ExecInput &Input,
+                     const CallHandler *Calls = nullptr);
+
+} // namespace ir
+} // namespace warpc
+
+#endif // WARPC_IR_INTERPRETER_H

@@ -1,0 +1,348 @@
+//===- Dependence.cpp - Loop dependence analysis ---------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Dependence.h"
+
+#include <map>
+#include <optional>
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+namespace {
+
+/// An affine array subscript: IndReg + Offset, or unknown.
+struct Subscript {
+  bool Affine = false;
+  int64_t Offset = 0;
+};
+
+/// Collects, for registers with exactly one definition in the whole
+/// function, the constant they hold (if any). Multiply-defined registers
+/// (like induction registers) are excluded.
+std::map<Reg, int64_t> collectUniqueIntConsts(const IRFunction &F) {
+  std::map<Reg, uint32_t> DefCount;
+  std::map<Reg, int64_t> Consts;
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs)
+      if (I.definesReg())
+        ++DefCount[I.Dst];
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs)
+      if (I.Op == Opcode::ConstInt && DefCount[I.Dst] == 1)
+        Consts[I.Dst] = I.IntImm;
+  return Consts;
+}
+
+} // namespace
+
+LoopDeps opt::analyzeLoopDependences(const IRFunction &F, const Loop &L) {
+  assert(L.isSimpleInnerLoop() && "dependence analysis needs a simple loop");
+  LoopDeps Deps;
+  const BasicBlock *Body = F.block(L.bodyBlock());
+  // The body's terminator (back branch) is excluded.
+  size_t NumOps = Body->Instrs.empty() ? 0 : Body->Instrs.size() - 1;
+  Deps.InstrsAnalyzed = NumOps;
+
+  std::map<Reg, int64_t> Consts = collectUniqueIntConsts(F);
+
+  // Recognize the induction update "ind = add.i ind, step" as the last
+  // non-branch instruction.
+  uint32_t IndPos = 0;
+  if (NumOps > 0) {
+    const Instr &Last = Body->Instrs[NumOps - 1];
+    if (Last.Op == Opcode::Add && Last.Ty == ValueType::Int &&
+        Last.definesReg() && Last.Operands.size() == 2 &&
+        Last.Operands[0] == Last.Dst) {
+      auto StepIt = Consts.find(Last.Operands[1]);
+      if (StepIt != Consts.end() && StepIt->second != 0) {
+        Deps.InductionReg = Last.Dst;
+        Deps.Step = StepIt->second;
+        IndPos = static_cast<uint32_t>(NumOps - 1);
+      }
+    }
+  }
+
+  bool HasCall = false;
+  for (size_t Pos = 0; Pos != NumOps; ++Pos)
+    if (Body->Instrs[Pos].Op == Opcode::Call)
+      HasCall = true;
+  Deps.PipelineSafe = Deps.InductionReg != InvalidReg && !HasCall;
+
+  auto AddEdge = [&](uint32_t From, uint32_t To, uint32_t Distance,
+                     DepKind Kind) {
+    // Skip degenerate same-instruction, same-iteration edges.
+    if (From == To && Distance == 0)
+      return;
+    Deps.Edges.push_back(DepEdge{From, To, Distance, Kind});
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Register dependences
+  //===--------------------------------------------------------------------===//
+
+  // Last definition position of each register within the body.
+  std::map<Reg, uint32_t> LastDef;
+  for (uint32_t Pos = 0; Pos != NumOps; ++Pos) {
+    const Instr &I = Body->Instrs[Pos];
+    ++Deps.InstrsAnalyzed;
+    for (Reg R : I.Operands) {
+      // Find the closest def at or before this position (intra-iteration),
+      // otherwise the body def reaches from the previous iteration.
+      bool FoundIntra = false;
+      for (uint32_t D = Pos; D-- > 0;) {
+        const Instr &DefI = Body->Instrs[D];
+        if (DefI.definesReg() && DefI.Dst == R) {
+          AddEdge(D, Pos, 0, DepKind::Register);
+          FoundIntra = true;
+          break;
+        }
+      }
+      if (FoundIntra)
+        continue;
+      for (uint32_t D = static_cast<uint32_t>(NumOps); D-- > Pos;) {
+        const Instr &DefI = Body->Instrs[D];
+        if (DefI.definesReg() && DefI.Dst == R) {
+          AddEdge(D, Pos, 1, DepKind::Register);
+          break;
+        }
+      }
+    }
+    // Anti/output dependences on registers: a redefinition must not
+    // overtake earlier uses or defs of the same register in the same
+    // iteration (distance 0) — the modulo scheduler relies on these to
+    // keep multiply-defined registers (induction, accumulators) sane.
+    if (I.definesReg()) {
+      for (uint32_t P = 0; P != Pos; ++P) {
+        const Instr &Prev = Body->Instrs[P];
+        bool PrevUses = false;
+        for (Reg R : Prev.Operands)
+          PrevUses |= R == I.Dst;
+        if (PrevUses)
+          AddEdge(P, Pos, 0, DepKind::Register); // anti
+        if (Prev.definesReg() && Prev.Dst == I.Dst)
+          AddEdge(P, Pos, 0, DepKind::Register); // output
+      }
+    }
+    (void)LastDef;
+  }
+
+  // The induction recurrence: ind update in iteration i feeds every use of
+  // ind in iteration i+1 (handled by the generic scan above) and itself.
+  if (Deps.InductionReg != InvalidReg)
+    AddEdge(IndPos, IndPos, 1, DepKind::Register);
+
+  //===--------------------------------------------------------------------===//
+  // Memory dependences
+  //===--------------------------------------------------------------------===//
+
+  // Classify each memory access's subscript.
+  auto ClassifySubscript = [&](Reg IndexReg) -> Subscript {
+    if (Deps.InductionReg == InvalidReg)
+      return {};
+    if (IndexReg == Deps.InductionReg)
+      return {true, 0};
+    // Look for "idx = add/sub(ind, c)" defined in the body before use.
+    for (uint32_t D = 0; D != NumOps; ++D) {
+      const Instr &DefI = Body->Instrs[D];
+      if (!DefI.definesReg() || DefI.Dst != IndexReg)
+        continue;
+      if (DefI.Op == Opcode::Add && DefI.Operands.size() == 2) {
+        if (DefI.Operands[0] == Deps.InductionReg) {
+          auto C = Consts.find(DefI.Operands[1]);
+          if (C != Consts.end())
+            return {true, C->second};
+        }
+        if (DefI.Operands[1] == Deps.InductionReg) {
+          auto C = Consts.find(DefI.Operands[0]);
+          if (C != Consts.end())
+            return {true, C->second};
+        }
+      }
+      if (DefI.Op == Opcode::Sub && DefI.Operands.size() == 2 &&
+          DefI.Operands[0] == Deps.InductionReg) {
+        auto C = Consts.find(DefI.Operands[1]);
+        if (C != Consts.end())
+          return {true, -C->second};
+      }
+      return {};
+    }
+    return {};
+  };
+
+  struct MemAccess {
+    uint32_t Pos;
+    VarId Var;
+    bool IsWrite;
+    bool IsElement;
+    Subscript Sub;
+  };
+  std::vector<MemAccess> Accesses;
+  for (uint32_t Pos = 0; Pos != NumOps; ++Pos) {
+    const Instr &I = Body->Instrs[Pos];
+    switch (I.Op) {
+    case Opcode::LoadVar:
+      Accesses.push_back({Pos, I.Var, false, false, {}});
+      break;
+    case Opcode::StoreVar:
+      Accesses.push_back({Pos, I.Var, true, false, {}});
+      break;
+    case Opcode::LoadElem:
+      Accesses.push_back({Pos, I.Var, false, true,
+                          ClassifySubscript(I.Operands[0])});
+      break;
+    case Opcode::StoreElem:
+      Accesses.push_back({Pos, I.Var, true, true,
+                          ClassifySubscript(I.Operands[0])});
+      break;
+    default:
+      break;
+    }
+  }
+
+  for (size_t A = 0; A != Accesses.size(); ++A) {
+    for (size_t B = 0; B != Accesses.size(); ++B) {
+      if (A == B)
+        continue;
+      const MemAccess &X = Accesses[A];
+      const MemAccess &Y = Accesses[B];
+      if (X.Var != Y.Var)
+        continue;
+      if (!X.IsWrite && !Y.IsWrite)
+        continue; // Loads never conflict.
+      // Emit each unordered pair once per direction decision below; iterate
+      // A over writers to cover flow/output, B over writers for anti.
+      if (!X.IsWrite)
+        continue; // Handle pairs from the writer's side only.
+
+      if (X.IsElement && Y.IsElement && X.Sub.Affine && Y.Sub.Affine &&
+          Deps.Step != 0) {
+        // X writes step*i + oX; Y accesses step*i + oY.
+        int64_t Delta = X.Sub.Offset - Y.Sub.Offset;
+        if (Delta % Deps.Step != 0)
+          continue; // Never the same location.
+        int64_t Dist = Delta / Deps.Step;
+        if (Dist == 0) {
+          // Same iteration: order by position.
+          if (X.Pos < Y.Pos)
+            AddEdge(X.Pos, Y.Pos, 0, DepKind::Memory);
+          else
+            AddEdge(Y.Pos, X.Pos, 0, DepKind::Memory);
+        } else if (Dist > 0) {
+          // X in iteration i conflicts with Y in iteration i + Dist.
+          AddEdge(X.Pos, Y.Pos, static_cast<uint32_t>(Dist),
+                  DepKind::Memory);
+        } else {
+          // Y in iteration i conflicts with X in iteration i + |Dist|.
+          AddEdge(Y.Pos, X.Pos, static_cast<uint32_t>(-Dist),
+                  DepKind::Memory);
+        }
+        continue;
+      }
+
+      // Unanalyzable element subscripts: conservative ordering within the
+      // iteration plus a distance-1 carried edge in both directions.
+      if (X.IsElement || Y.IsElement) {
+        if (X.Pos < Y.Pos)
+          AddEdge(X.Pos, Y.Pos, 0, DepKind::Memory);
+        else
+          AddEdge(Y.Pos, X.Pos, 0, DepKind::Memory);
+        AddEdge(X.Pos, Y.Pos, 1, DepKind::Memory);
+        AddEdge(Y.Pos, X.Pos, 1, DepKind::Memory);
+        continue;
+      }
+      // Scalars are handled precisely below (per variable, not per pair).
+    }
+  }
+
+  // Scalar variables: exact intra-iteration ordering by position, and
+  // loop-carried edges derived from the kill structure — the last store of
+  // iteration i only reaches loads that execute before the first store of
+  // iteration i+1. This keeps real recurrences (accumulators) while
+  // avoiding artificial all-pairs cycles that would make every loop look
+  // sequential.
+  {
+    std::map<VarId, std::vector<const MemAccess *>> ScalarAccesses;
+    for (const MemAccess &A : Accesses)
+      if (!A.IsElement)
+        ScalarAccesses[A.Var].push_back(&A);
+    for (auto &[Var, List] : ScalarAccesses) {
+      (void)Var;
+      const MemAccess *FirstStore = nullptr;
+      const MemAccess *LastStore = nullptr;
+      for (const MemAccess *A : List)
+        if (A->IsWrite) {
+          if (!FirstStore)
+            FirstStore = A;
+          LastStore = A;
+        }
+      if (!FirstStore)
+        continue; // Only loads: no dependence at all.
+      for (const MemAccess *A : List) {
+        for (const MemAccess *B : List) {
+          if (A == B || !A->IsWrite || A->Pos >= B->Pos)
+            continue;
+          // Intra-iteration: store -> later access.
+          AddEdge(A->Pos, B->Pos, 0, DepKind::Memory);
+        }
+        // Intra-iteration anti: load -> later store.
+        if (!A->IsWrite)
+          for (const MemAccess *B : List)
+            if (B->IsWrite && B->Pos > A->Pos)
+              AddEdge(A->Pos, B->Pos, 0, DepKind::Memory);
+      }
+      // Loop-carried flow: last store -> loads upward-exposed at the top
+      // of the next iteration (before its first store).
+      for (const MemAccess *A : List)
+        if (!A->IsWrite && A->Pos < FirstStore->Pos)
+          AddEdge(LastStore->Pos, A->Pos, 1, DepKind::Memory);
+      // Loop-carried anti: loads after the last store must issue before
+      // the next iteration's first store overwrites the value.
+      for (const MemAccess *A : List)
+        if (!A->IsWrite && A->Pos > LastStore->Pos)
+          AddEdge(A->Pos, FirstStore->Pos, 1, DepKind::Memory);
+      // Loop-carried output dependence.
+      AddEdge(LastStore->Pos, FirstStore->Pos, 1, DepKind::Memory);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Channel and call ordering
+  //===--------------------------------------------------------------------===//
+
+  // Channel queues are FIFO per channel: program order within an
+  // iteration, and the last access of iteration i precedes the first of
+  // iteration i+1.
+  for (int ChanIdx = 0; ChanIdx != 2; ++ChanIdx) {
+    w2::Channel C = ChanIdx == 0 ? w2::Channel::X : w2::Channel::Y;
+    std::vector<uint32_t> Ops;
+    for (uint32_t Pos = 0; Pos != NumOps; ++Pos) {
+      const Instr &I = Body->Instrs[Pos];
+      if ((I.Op == Opcode::Send || I.Op == Opcode::Recv) && I.Chan == C)
+        Ops.push_back(Pos);
+    }
+    for (size_t K = 1; K < Ops.size(); ++K)
+      AddEdge(Ops[K - 1], Ops[K], 0, DepKind::Channel);
+    if (!Ops.empty())
+      AddEdge(Ops.back(), Ops.front(), 1, DepKind::Channel);
+  }
+
+  // Calls act as full barriers (only relevant for the list-scheduling
+  // fallback, since calls disable pipelining).
+  for (uint32_t Pos = 0; Pos != NumOps; ++Pos) {
+    if (Body->Instrs[Pos].Op != Opcode::Call)
+      continue;
+    for (uint32_t Other = 0; Other != NumOps; ++Other) {
+      if (Other < Pos)
+        AddEdge(Other, Pos, 0, DepKind::Control);
+      else if (Other > Pos)
+        AddEdge(Pos, Other, 0, DepKind::Control);
+    }
+  }
+
+  return Deps;
+}

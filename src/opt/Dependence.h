@@ -1,0 +1,63 @@
+//===- Dependence.h - Loop dependence analysis ------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-dependence analysis for innermost simple loops, the input to the
+/// software pipeliner. Array subscripts that are affine in the loop's
+/// induction register (i, i+c, i-c) get exact dependence distances; all
+/// other same-array access pairs are ordered conservatively with distance
+/// one. Scalar memory and channel operations are likewise serialized
+/// across iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_DEPENDENCE_H
+#define WARPC_OPT_DEPENDENCE_H
+
+#include "ir/IR.h"
+#include "opt/LoopInfo.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace opt {
+
+/// Why two body instructions must be ordered.
+enum class DepKind : uint8_t { Register, Memory, Channel, Control };
+
+/// One dependence edge between instructions of the loop body block. The
+/// scheduler must satisfy start(To) >= start(From) + latency(From) -
+/// II * Distance.
+struct DepEdge {
+  uint32_t From = 0; ///< Index into the body block's instruction list.
+  uint32_t To = 0;
+  uint32_t Distance = 0; ///< 0 = same iteration; k = k iterations later.
+  DepKind Kind = DepKind::Register;
+};
+
+/// Dependence summary of one innermost simple loop.
+struct LoopDeps {
+  /// True when the body can be modulo-scheduled: a recognized induction
+  /// register and no calls in the body.
+  bool PipelineSafe = false;
+  ir::Reg InductionReg = ir::InvalidReg;
+  int64_t Step = 0;
+  /// All edges, including the induction recurrence itself.
+  std::vector<DepEdge> Edges;
+  /// Instructions inspected; a phase-2 work metric.
+  uint64_t InstrsAnalyzed = 0;
+};
+
+/// Analyzes the body of \p L (which must satisfy isSimpleInnerLoop()).
+/// The terminator is excluded from the dependence graph; the scheduler
+/// places it in the last stage of the kernel.
+LoopDeps analyzeLoopDependences(const ir::IRFunction &F, const Loop &L);
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_DEPENDENCE_H

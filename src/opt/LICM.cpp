@@ -1,0 +1,155 @@
+//===- LICM.cpp - Loop-invariant code motion --------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LICM.h"
+
+#include "opt/LoopInfo.h"
+#include "support/BitSet.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+namespace {
+
+/// True when the instruction may be executed speculatively in the
+/// preheader (even if the loop body never runs) and computes the same
+/// value every iteration given invariant operands.
+bool isHoistableOp(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstFloat:
+  case Opcode::Copy:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Neg:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Not:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::IntToFloat:
+  case Opcode::Sqrt: // magnitude square root: never faults
+  case Opcode::Abs:
+    return true;
+  // Divide/remainder can fault on a zero divisor; hoisting would
+  // introduce the fault on zero-trip loops.
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+uint64_t opt::hoistLoopInvariants(IRFunction &F, OptStats &Stats) {
+  LoopInfo LI = LoopInfo::compute(*const_cast<const IRFunction *>(&F));
+  auto Preds = F.computePredecessors();
+
+  // Definition counts: only registers with exactly one definition are
+  // safe to relocate (multi-def registers encode recurrences).
+  std::map<Reg, uint32_t> DefCount;
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs) {
+      ++Stats.InstrsVisited;
+      if (I.definesReg())
+        ++DefCount[I.Dst];
+    }
+
+  uint64_t Hoisted = 0;
+  // LoopInfo sorts innermost-first; hoisting inner loops first lets an
+  // outer pass move the same computation further out on a later call.
+  for (const Loop &L : LI.loops()) {
+    // Find the unique preheader: the predecessor of the header outside
+    // the loop.
+    BlockId Preheader = InvalidBlock;
+    bool Unique = true;
+    for (BlockId P : Preds[L.Header]) {
+      if (L.contains(P))
+        continue;
+      if (Preheader != InvalidBlock)
+        Unique = false;
+      Preheader = P;
+    }
+    if (Preheader == InvalidBlock || !Unique)
+      continue;
+    BasicBlock *Pre = F.block(Preheader);
+    if (!Pre->terminator())
+      continue;
+
+    // Memory state inside the loop: which scalars are stored, and whether
+    // anything prevents load hoisting wholesale.
+    std::set<VarId> StoredScalars;
+    bool HasCallOrRecv = false;
+    for (BlockId B : L.Blocks)
+      for (const Instr &I : F.block(B)->Instrs) {
+        ++Stats.InstrsVisited;
+        if (I.Op == Opcode::StoreVar)
+          StoredScalars.insert(I.Var);
+        HasCallOrRecv |= I.Op == Opcode::Call || I.Op == Opcode::Recv;
+      }
+
+    // Registers defined inside the loop (hoisted ones get removed as we
+    // go, making their consumers eligible on the next sweep).
+    std::set<Reg> DefinedInLoop;
+    for (BlockId B : L.Blocks)
+      for (const Instr &I : F.block(B)->Instrs)
+        if (I.definesReg())
+          DefinedInLoop.insert(I.Dst);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : L.Blocks) {
+        BasicBlock *BB = F.block(B);
+        for (size_t Pos = 0; Pos < BB->Instrs.size(); ++Pos) {
+          Instr &I = BB->Instrs[Pos];
+          ++Stats.InstrsVisited;
+          if (!I.definesReg() || DefCount[I.Dst] != 1)
+            continue;
+
+          bool Eligible = false;
+          if (isHoistableOp(I)) {
+            Eligible = true;
+          } else if (I.Op == Opcode::LoadVar && !HasCallOrRecv &&
+                     !StoredScalars.count(I.Var)) {
+            // The scalar is never stored in the loop; its value at the
+            // preheader equals its value on every iteration. (Calls and
+            // receives are conservatively treated as barriers.)
+            Eligible = true;
+          }
+          if (!Eligible)
+            continue;
+
+          bool OperandsInvariant = true;
+          for (Reg R : I.Operands)
+            OperandsInvariant &= !DefinedInLoop.count(R);
+          if (!OperandsInvariant)
+            continue;
+
+          // Move the instruction before the preheader's terminator.
+          Instr Moved = std::move(I);
+          BB->Instrs.erase(BB->Instrs.begin() +
+                           static_cast<std::ptrdiff_t>(Pos));
+          --Pos;
+          DefinedInLoop.erase(Moved.Dst);
+          Pre->Instrs.insert(Pre->Instrs.end() - 1, std::move(Moved));
+          ++Hoisted;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Hoisted;
+}

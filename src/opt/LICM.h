@@ -1,0 +1,40 @@
+//===- LICM.h - Loop-invariant code motion ----------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-invariant code motion, an *optional* extra optimization in the
+/// spirit of the paper's Section 5.1: "more sophisticated optimization
+/// algorithms can be used that would make compilation on a uniprocessor
+/// too slow" — the parallel compiler makes extra passes affordable. LICM
+/// is not part of the default runLocalOpt pipeline (the calibrated 1989
+/// cost model reflects the default pipeline); benches enable it
+/// explicitly to study the compile-time/code-quality trade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_LICM_H
+#define WARPC_OPT_LICM_H
+
+#include "ir/IR.h"
+#include "opt/LocalOpt.h"
+
+#include <cstdint>
+
+namespace warpc {
+namespace opt {
+
+/// Hoists loop-invariant, single-definition, non-faulting computations
+/// (constants, copies, arithmetic except divide/remainder, conversions,
+/// and loads of scalars that no store in the loop touches) into each
+/// loop's preheader. Runs innermost loops first and iterates to a
+/// fixpoint per loop. Returns the number of instructions moved;
+/// \p Stats accumulates visit counts like the other passes.
+uint64_t hoistLoopInvariants(ir::IRFunction &F, OptStats &Stats);
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_LICM_H

@@ -1,0 +1,54 @@
+//===- Liveness.cpp - Register liveness -----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Liveness.h"
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+LivenessInfo LivenessInfo::compute(const IRFunction &F) {
+  size_t NumBlocks = F.numBlocks();
+  size_t NumRegs = F.numRegs();
+  LivenessInfo Info;
+  Info.LiveIn.assign(NumBlocks, BitSet(NumRegs));
+  Info.LiveOut.assign(NumBlocks, BitSet(NumRegs));
+
+  // Per-block UEVar (upward-exposed uses) and VarKill (defs).
+  std::vector<BitSet> Use(NumBlocks, BitSet(NumRegs));
+  std::vector<BitSet> Def(NumBlocks, BitSet(NumRegs));
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs) {
+      for (Reg R : I.Operands)
+        if (!Def[B].test(R))
+          Use[B].set(R);
+      if (I.definesReg())
+        Def[B].set(I.Dst);
+    }
+  }
+
+  // Backward fixpoint: out(B) = union in(S); in(B) = use(B) | (out(B)-def).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Info.Iterations;
+    for (size_t BI = NumBlocks; BI-- > 0;) {
+      BlockId B = static_cast<BlockId>(BI);
+      BitSet Out(NumRegs);
+      for (BlockId Succ : F.block(B)->successors())
+        Out.unionWith(Info.LiveIn[Succ]);
+      BitSet In = Out;
+      In.subtract(Def[BI]);
+      In.unionWith(Use[BI]);
+      if (!(Out == Info.LiveOut[BI]) || !(In == Info.LiveIn[BI])) {
+        Info.LiveOut[BI] = std::move(Out);
+        Info.LiveIn[BI] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}

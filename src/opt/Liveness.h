@@ -1,0 +1,39 @@
+//===- Liveness.h - Register liveness ---------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward bit-vector liveness over virtual registers: one of the
+/// "global dependencies" computed in compiler phase 2. Drives dead-code
+/// elimination and the register allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_LIVENESS_H
+#define WARPC_OPT_LIVENESS_H
+
+#include "ir/IR.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace warpc {
+namespace opt {
+
+/// Per-block live-in/live-out register sets.
+struct LivenessInfo {
+  std::vector<BitSet> LiveIn;
+  std::vector<BitSet> LiveOut;
+  /// Number of dataflow sweeps until the fixpoint; a work metric.
+  uint64_t Iterations = 0;
+
+  /// Solves the dataflow equations for \p F.
+  static LivenessInfo compute(const ir::IRFunction &F);
+};
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_LIVENESS_H

@@ -1,0 +1,599 @@
+//===- LocalOpt.cpp - Local optimization pipeline --------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LocalOpt.h"
+
+#include "opt/Liveness.h"
+#include "support/BitSet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+OptStats &OptStats::operator+=(const OptStats &O) {
+  ConstFolded += O.ConstFolded;
+  Simplified += O.Simplified;
+  CSEEliminated += O.CSEEliminated;
+  CopiesPropagated += O.CopiesPropagated;
+  DeadRemoved += O.DeadRemoved;
+  BlocksRemoved += O.BlocksRemoved;
+  Iterations += O.Iterations;
+  InstrsVisited += O.InstrsVisited;
+  return *this;
+}
+
+namespace {
+
+/// A compile-time constant value of either scalar type.
+struct ConstValue {
+  ValueType Ty = ValueType::Int;
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+
+  bool isIntZero() const { return Ty == ValueType::Int && IntVal == 0; }
+  bool isIntOne() const { return Ty == ValueType::Int && IntVal == 1; }
+  bool isFloatZero() const { return Ty == ValueType::Float && FloatVal == 0; }
+  bool isFloatOne() const { return Ty == ValueType::Float && FloatVal == 1; }
+};
+
+/// Rewrites \p I into a constant definition of its current Dst.
+void makeConst(Instr &I, ConstValue V) {
+  Reg Dst = I.Dst;
+  SourceLoc Loc = I.Loc;
+  I = Instr();
+  I.Dst = Dst;
+  I.Loc = Loc;
+  if (V.Ty == ValueType::Int) {
+    I.Op = Opcode::ConstInt;
+    I.Ty = ValueType::Int;
+    I.IntImm = V.IntVal;
+  } else {
+    I.Op = Opcode::ConstFloat;
+    I.Ty = ValueType::Float;
+    I.FloatImm = V.FloatVal;
+  }
+}
+
+/// Rewrites \p I into "Dst = copy Src".
+void makeCopy(Instr &I, Reg Src) {
+  Reg Dst = I.Dst;
+  ValueType Ty = I.Ty;
+  SourceLoc Loc = I.Loc;
+  I = Instr();
+  I.Op = Opcode::Copy;
+  I.Ty = Ty;
+  I.Dst = Dst;
+  I.Operands = {Src};
+  I.Loc = Loc;
+}
+
+/// Evaluates a pure opcode over constant operands. Returns false when the
+/// operation cannot be folded (for example division by zero).
+bool evalConst(const Instr &I, const std::vector<ConstValue> &Ops,
+               ConstValue &Out) {
+  auto IntResult = [&](int64_t V) {
+    Out.Ty = ValueType::Int;
+    Out.IntVal = V;
+    return true;
+  };
+  auto FloatResult = [&](double V) {
+    Out.Ty = ValueType::Float;
+    Out.FloatVal = V;
+    return true;
+  };
+
+  bool FloatOp = I.Ty == ValueType::Float;
+  auto L = [&](size_t Idx) {
+    return FloatOp ? Ops[Idx].FloatVal : static_cast<double>(Ops[Idx].IntVal);
+  };
+
+  switch (I.Op) {
+  case Opcode::Add:
+    return FloatOp ? FloatResult(L(0) + L(1))
+                   : IntResult(Ops[0].IntVal + Ops[1].IntVal);
+  case Opcode::Sub:
+    return FloatOp ? FloatResult(L(0) - L(1))
+                   : IntResult(Ops[0].IntVal - Ops[1].IntVal);
+  case Opcode::Mul:
+    return FloatOp ? FloatResult(L(0) * L(1))
+                   : IntResult(Ops[0].IntVal * Ops[1].IntVal);
+  case Opcode::Div:
+    if (FloatOp) {
+      if (Ops[1].FloatVal == 0)
+        return false;
+      return FloatResult(Ops[0].FloatVal / Ops[1].FloatVal);
+    }
+    if (Ops[1].IntVal == 0)
+      return false;
+    return IntResult(Ops[0].IntVal / Ops[1].IntVal);
+  case Opcode::Rem:
+    if (Ops[1].IntVal == 0)
+      return false;
+    return IntResult(Ops[0].IntVal % Ops[1].IntVal);
+  case Opcode::Neg:
+    return FloatOp ? FloatResult(-Ops[0].FloatVal) : IntResult(-Ops[0].IntVal);
+  case Opcode::And:
+    return IntResult((Ops[0].IntVal != 0 && Ops[1].IntVal != 0) ? 1 : 0);
+  case Opcode::Or:
+    return IntResult((Ops[0].IntVal != 0 || Ops[1].IntVal != 0) ? 1 : 0);
+  case Opcode::Not:
+    return IntResult(Ops[0].IntVal == 0 ? 1 : 0);
+  case Opcode::CmpEQ:
+    return IntResult(FloatOp ? L(0) == L(1) : Ops[0].IntVal == Ops[1].IntVal);
+  case Opcode::CmpNE:
+    return IntResult(FloatOp ? L(0) != L(1) : Ops[0].IntVal != Ops[1].IntVal);
+  case Opcode::CmpLT:
+    return IntResult(FloatOp ? L(0) < L(1) : Ops[0].IntVal < Ops[1].IntVal);
+  case Opcode::CmpLE:
+    return IntResult(FloatOp ? L(0) <= L(1) : Ops[0].IntVal <= Ops[1].IntVal);
+  case Opcode::CmpGT:
+    return IntResult(FloatOp ? L(0) > L(1) : Ops[0].IntVal > Ops[1].IntVal);
+  case Opcode::CmpGE:
+    return IntResult(FloatOp ? L(0) >= L(1) : Ops[0].IntVal >= Ops[1].IntVal);
+  case Opcode::IntToFloat:
+    return FloatResult(static_cast<double>(Ops[0].IntVal));
+  case Opcode::Abs:
+    return FloatResult(std::fabs(Ops[0].FloatVal));
+  case Opcode::Sqrt:
+    // Matches the cell's magnitude square root (see ir/Interpreter.cpp).
+    return FloatResult(std::sqrt(std::fabs(Ops[0].FloatVal)));
+  default:
+    return false;
+  }
+}
+
+/// Algebraic identities on partially constant operands. Returns true and
+/// rewrites \p I when one applies.
+bool simplifyAlgebraic(Instr &I, const ConstValue *LHS,
+                       const ConstValue *RHS) {
+  if (I.Operands.size() != 2)
+    return false;
+  auto IsZero = [&](const ConstValue *C) {
+    return C && (I.Ty == ValueType::Int ? C->isIntZero() : C->isFloatZero());
+  };
+  auto IsOne = [&](const ConstValue *C) {
+    return C && (I.Ty == ValueType::Int ? C->isIntOne() : C->isFloatOne());
+  };
+
+  switch (I.Op) {
+  case Opcode::Add:
+    if (IsZero(LHS)) {
+      makeCopy(I, I.Operands[1]);
+      return true;
+    }
+    if (IsZero(RHS)) {
+      makeCopy(I, I.Operands[0]);
+      return true;
+    }
+    return false;
+  case Opcode::Sub:
+    if (IsZero(RHS)) {
+      makeCopy(I, I.Operands[0]);
+      return true;
+    }
+    return false;
+  case Opcode::Mul:
+    if (IsOne(LHS)) {
+      makeCopy(I, I.Operands[1]);
+      return true;
+    }
+    if (IsOne(RHS)) {
+      makeCopy(I, I.Operands[0]);
+      return true;
+    }
+    // x*0 -> 0. The 1989 compiler applied this to floats as well; we keep
+    // that behavior (it is unsound for NaN/Inf inputs, as it was then).
+    if (IsZero(LHS) || IsZero(RHS)) {
+      ConstValue Zero;
+      Zero.Ty = I.Ty;
+      makeConst(I, Zero);
+      return true;
+    }
+    return false;
+  case Opcode::Div:
+    if (IsOne(RHS)) {
+      makeCopy(I, I.Operands[0]);
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+uint64_t opt::foldConstants(IRFunction &F, OptStats &Stats) {
+  uint64_t Applied = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    // Register -> known constant, local to the block. Entries are dropped
+    // when their register is redefined.
+    std::map<Reg, ConstValue> Known;
+    for (Instr &I : BB->Instrs) {
+      ++Stats.InstrsVisited;
+
+      // Gather operand constants.
+      std::vector<ConstValue> Ops;
+      bool AllConst = true;
+      const ConstValue *LHS = nullptr;
+      const ConstValue *RHS = nullptr;
+      for (size_t OpIdx = 0; OpIdx != I.Operands.size(); ++OpIdx) {
+        auto It = Known.find(I.Operands[OpIdx]);
+        if (It == Known.end()) {
+          AllConst = false;
+          Ops.emplace_back();
+          continue;
+        }
+        Ops.push_back(It->second);
+        if (OpIdx == 0)
+          LHS = &It->second;
+        else if (OpIdx == 1)
+          RHS = &It->second;
+      }
+
+      bool Rewritten = false;
+      if (I.definesReg() && !I.hasSideEffects() && !I.readsMemory()) {
+        if (AllConst && !I.Operands.empty()) {
+          ConstValue Result;
+          if (evalConst(I, Ops, Result)) {
+            makeConst(I, Result);
+            ++Stats.ConstFolded;
+            ++Applied;
+            Rewritten = true;
+          }
+        }
+        if (!Rewritten && simplifyAlgebraic(I, LHS, RHS)) {
+          ++Stats.Simplified;
+          ++Applied;
+          Rewritten = true;
+        }
+      }
+
+      // Update the constant map after any rewrite.
+      if (I.definesReg()) {
+        Known.erase(I.Dst);
+        if (I.Op == Opcode::ConstInt)
+          Known[I.Dst] = ConstValue{ValueType::Int, I.IntImm, 0};
+        else if (I.Op == Opcode::ConstFloat)
+          Known[I.Dst] = ConstValue{ValueType::Float, 0, I.FloatImm};
+        else if (I.Op == Opcode::Copy) {
+          auto It = Known.find(I.Operands[0]);
+          if (It != Known.end())
+            Known[I.Dst] = It->second;
+        }
+      }
+    }
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+uint64_t opt::propagateCopies(IRFunction &F, OptStats &Stats) {
+  uint64_t Applied = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    // Dst -> Src for live copies in this block.
+    std::map<Reg, Reg> Copies;
+    auto Invalidate = [&](Reg R) {
+      Copies.erase(R);
+      for (auto It = Copies.begin(); It != Copies.end();) {
+        if (It->second == R)
+          It = Copies.erase(It);
+        else
+          ++It;
+      }
+    };
+    for (Instr &I : BB->Instrs) {
+      ++Stats.InstrsVisited;
+      for (Reg &R : I.Operands) {
+        auto It = Copies.find(R);
+        if (It != Copies.end()) {
+          R = It->second;
+          ++Stats.CopiesPropagated;
+          ++Applied;
+        }
+      }
+      if (I.definesReg()) {
+        Invalidate(I.Dst);
+        if (I.Op == Opcode::Copy && I.Operands[0] != I.Dst)
+          Copies[I.Dst] = I.Operands[0];
+      }
+    }
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Local CSE (including redundant load elimination)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Availability key for a pure computation or a load.
+using CSEKey = std::tuple<Opcode, ValueType, std::vector<Reg>, int64_t,
+                          int64_t /*FloatImm bits*/, VarId>;
+
+int64_t doubleBits(double D) {
+  int64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(D), "bit-cast size mismatch");
+  __builtin_memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+bool isCSECandidate(const Instr &I) {
+  if (!I.definesReg() || I.hasSideEffects())
+    return false;
+  switch (I.Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstFloat:
+  case Opcode::Copy:
+    // Handled by folding/copy propagation; CSE on them adds nothing.
+    return false;
+  case Opcode::LoadVar:
+  case Opcode::LoadElem:
+    return true;
+  default:
+    return !I.writesMemory() && !I.isBranch();
+  }
+}
+
+} // namespace
+
+uint64_t opt::eliminateCommonSubexprs(IRFunction &F, OptStats &Stats) {
+  uint64_t Applied = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    std::map<CSEKey, Reg> Available;
+
+    auto InvalidateReg = [&](Reg R) {
+      for (auto It = Available.begin(); It != Available.end();) {
+        const auto &Operands = std::get<2>(It->first);
+        bool Uses = It->second == R;
+        for (Reg Op : Operands)
+          Uses |= Op == R;
+        if (Uses)
+          It = Available.erase(It);
+        else
+          ++It;
+      }
+    };
+    auto InvalidateLoadsOf = [&](VarId V, bool ElementsOnly) {
+      for (auto It = Available.begin(); It != Available.end();) {
+        Opcode Op = std::get<0>(It->first);
+        bool IsLoad = Op == Opcode::LoadVar || Op == Opcode::LoadElem;
+        bool Match = IsLoad && std::get<5>(It->first) == V &&
+                     (!ElementsOnly || Op == Opcode::LoadElem);
+        if (Match)
+          It = Available.erase(It);
+        else
+          ++It;
+      }
+    };
+    auto InvalidateAllLoads = [&] {
+      for (auto It = Available.begin(); It != Available.end();) {
+        Opcode Op = std::get<0>(It->first);
+        if (Op == Opcode::LoadVar || Op == Opcode::LoadElem)
+          It = Available.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    // Store-to-load forwarding: the register most recently stored to each
+    // scalar variable, while still valid.
+    std::map<VarId, Reg> StoredValue;
+
+    for (Instr &I : BB->Instrs) {
+      ++Stats.InstrsVisited;
+
+      // Forward a stored scalar to a subsequent load of the same variable
+      // (the local scalar promotion that keeps loop bodies out of memory).
+      if (I.Op == Opcode::LoadVar) {
+        auto Stored = StoredValue.find(I.Var);
+        if (Stored != StoredValue.end()) {
+          makeCopy(I, Stored->second);
+          ++Stats.CSEEliminated;
+          ++Applied;
+        }
+      }
+
+      bool Candidate = isCSECandidate(I);
+      bool Rewritten = false;
+      if (Candidate) {
+        CSEKey Key{I.Op, I.Ty, I.Operands, I.IntImm, doubleBits(I.FloatImm),
+                   I.Var};
+        auto It = Available.find(Key);
+        if (It != Available.end()) {
+          makeCopy(I, It->second);
+          ++Stats.CSEEliminated;
+          ++Applied;
+          Rewritten = true;
+        }
+      }
+
+      // Invalidate stale state that depended on the redefined register
+      // *before* publishing this instruction's own availability.
+      if (I.definesReg()) {
+        InvalidateReg(I.Dst);
+        for (auto It = StoredValue.begin(); It != StoredValue.end();) {
+          if (It->second == I.Dst)
+            It = StoredValue.erase(It);
+          else
+            ++It;
+        }
+      }
+      if (Candidate && !Rewritten) {
+        // Never publish an expression that reads its own destination (an
+        // induction update): the operand refers to the pre-update value,
+        // so a later textual match would compute something different.
+        bool ReadsOwnDst = false;
+        for (Reg R : I.Operands)
+          ReadsOwnDst |= R == I.Dst;
+        if (!ReadsOwnDst)
+          Available.emplace(CSEKey{I.Op, I.Ty, I.Operands, I.IntImm,
+                                   doubleBits(I.FloatImm), I.Var},
+                            I.Dst);
+      }
+      if (I.Op == Opcode::StoreVar) {
+        InvalidateLoadsOf(I.Var, /*ElementsOnly=*/false);
+        StoredValue[I.Var] = I.Operands[0];
+      } else if (I.Op == Opcode::StoreElem) {
+        InvalidateLoadsOf(I.Var, /*ElementsOnly=*/true);
+      } else if (I.Op == Opcode::Call) {
+        InvalidateAllLoads(); // The callee may write arrays passed to it.
+        StoredValue.clear();
+      }
+    }
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+uint64_t opt::eliminateDeadCode(IRFunction &F, OptStats &Stats) {
+  LivenessInfo Live = LivenessInfo::compute(F);
+  uint64_t Applied = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    BitSet LiveNow = Live.LiveOut[B];
+    std::vector<Instr> Kept;
+    Kept.reserve(BB->Instrs.size());
+    for (size_t Pos = BB->Instrs.size(); Pos-- > 0;) {
+      Instr &I = BB->Instrs[Pos];
+      ++Stats.InstrsVisited;
+      bool Removable = I.definesReg() && !LiveNow.test(I.Dst) &&
+                       !I.hasSideEffects() && !I.writesMemory() &&
+                       !isTerminator(I.Op);
+      if (Removable) {
+        ++Stats.DeadRemoved;
+        ++Applied;
+        continue;
+      }
+      if (I.definesReg())
+        LiveNow.reset(I.Dst);
+      for (Reg R : I.Operands)
+        LiveNow.set(R);
+      Kept.push_back(std::move(I));
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    BB->Instrs = std::move(Kept);
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead store elimination
+//===----------------------------------------------------------------------===//
+
+uint64_t opt::eliminateDeadStores(IRFunction &F, OptStats &Stats) {
+  // A scalar variable is observable only through LoadVar: W2 scalars are
+  // local to their function and scalar parameters are passed by value.
+  // Arrays are excluded — they may be passed by reference to callees.
+  std::vector<bool> EverLoaded(F.numVariables(), false);
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs) {
+      ++Stats.InstrsVisited;
+      if (I.Op == Opcode::LoadVar)
+        EverLoaded[I.Var] = true;
+    }
+  }
+
+  uint64_t Applied = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    std::vector<Instr> Kept;
+    Kept.reserve(BB->Instrs.size());
+    for (Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::StoreVar && !F.variable(I.Var).Ty.isArray() &&
+          !EverLoaded[I.Var]) {
+        ++Stats.DeadRemoved;
+        ++Applied;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    BB->Instrs = std::move(Kept);
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Unreachable block removal
+//===----------------------------------------------------------------------===//
+
+uint64_t opt::removeUnreachableBlocks(IRFunction &F, OptStats &Stats) {
+  size_t N = F.numBlocks();
+  if (N == 0)
+    return 0;
+  BitSet Reached(N);
+  std::vector<BlockId> Work = {0};
+  Reached.set(0);
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId Succ : F.block(B)->successors())
+      if (!Reached.test(Succ)) {
+        Reached.set(Succ);
+        Work.push_back(Succ);
+      }
+  }
+
+  uint64_t Removed = 0;
+  for (size_t B = 0; B != N; ++B) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    Stats.InstrsVisited += BB->Instrs.size();
+    if (!Reached.test(B) && !BB->Instrs.empty()) {
+      // Empty the block but keep a trivial terminator so the function stays
+      // verifiable; block ids remain stable for all analyses.
+      Instr Ret;
+      Ret.Op = Opcode::Ret;
+      BB->Instrs.clear();
+      BB->Instrs.push_back(std::move(Ret));
+      ++Removed;
+    }
+  }
+  Stats.BlocksRemoved += Removed;
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+OptStats opt::runLocalOpt(IRFunction &F) {
+  OptStats Stats;
+  const uint64_t MaxSweeps = 10;
+  for (uint64_t Sweep = 0; Sweep != MaxSweeps; ++Sweep) {
+    ++Stats.Iterations;
+    uint64_t Applied = 0;
+    Applied += removeUnreachableBlocks(F, Stats);
+    Applied += foldConstants(F, Stats);
+    Applied += propagateCopies(F, Stats);
+    Applied += eliminateCommonSubexprs(F, Stats);
+    Applied += propagateCopies(F, Stats);
+    Applied += eliminateDeadStores(F, Stats);
+    Applied += eliminateDeadCode(F, Stats);
+    if (Applied == 0)
+      break;
+  }
+  return Stats;
+}

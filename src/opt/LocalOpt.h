@@ -1,0 +1,68 @@
+//===- LocalOpt.h - Local optimization pipeline -----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The phase-2 optimization pipeline: constant folding, algebraic
+/// simplification, local common-subexpression elimination (including
+/// redundant loads), local copy propagation, liveness-based dead-code
+/// elimination, and unreachable-block removal. The pipeline iterates to a
+/// fixpoint; the iteration and transformation counts feed the compile-time
+/// cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_LOCALOPT_H
+#define WARPC_OPT_LOCALOPT_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace warpc {
+namespace opt {
+
+/// Counts of transformations applied by runLocalOpt.
+struct OptStats {
+  uint64_t ConstFolded = 0;
+  uint64_t Simplified = 0;
+  uint64_t CSEEliminated = 0;
+  uint64_t CopiesPropagated = 0;
+  uint64_t DeadRemoved = 0;
+  uint64_t BlocksRemoved = 0;
+  /// Pipeline sweeps until the fixpoint.
+  uint64_t Iterations = 0;
+  /// Instructions visited across all sweeps; the phase-2 work metric.
+  uint64_t InstrsVisited = 0;
+
+  uint64_t totalTransforms() const {
+    return ConstFolded + Simplified + CSEEliminated + CopiesPropagated +
+           DeadRemoved + BlocksRemoved;
+  }
+
+  OptStats &operator+=(const OptStats &O);
+};
+
+/// Runs the pipeline on \p F until no pass makes progress (bounded by a
+/// fixed sweep limit). The function remains verifiable throughout.
+OptStats runLocalOpt(ir::IRFunction &F);
+
+/// Individual passes, exposed for unit tests and ablation benches. Each
+/// returns the number of transformations applied and accumulates visited
+/// instruction counts into \p Stats.
+uint64_t foldConstants(ir::IRFunction &F, OptStats &Stats);
+uint64_t propagateCopies(ir::IRFunction &F, OptStats &Stats);
+uint64_t eliminateCommonSubexprs(ir::IRFunction &F, OptStats &Stats);
+uint64_t eliminateDeadCode(ir::IRFunction &F, OptStats &Stats);
+/// Removes stores to scalar locals that are never loaded anywhere in the
+/// function (every W2 scalar is function-local, so such stores cannot be
+/// observed).
+uint64_t eliminateDeadStores(ir::IRFunction &F, OptStats &Stats);
+uint64_t removeUnreachableBlocks(ir::IRFunction &F, OptStats &Stats);
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_LOCALOPT_H

@@ -1,0 +1,155 @@
+//===- LoopInfo.cpp - Dominators and natural loops ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LoopInfo.h"
+
+#include "support/BitSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+/// Computes the set of blocks reachable from entry.
+static BitSet reachableBlocks(const IRFunction &F) {
+  BitSet Reached(F.numBlocks());
+  std::vector<BlockId> Work = {0};
+  Reached.set(0);
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId Succ : F.block(B)->successors())
+      if (!Reached.test(Succ)) {
+        Reached.set(Succ);
+        Work.push_back(Succ);
+      }
+  }
+  return Reached;
+}
+
+LoopInfo LoopInfo::compute(const IRFunction &F) {
+  LoopInfo LI;
+  size_t N = F.numBlocks();
+  LI.DepthOf.assign(N, 0);
+  if (N == 0)
+    return LI;
+
+  BitSet Reached = reachableBlocks(F);
+  auto Preds = F.computePredecessors();
+
+  // Iterative dominator computation with bit sets:
+  // dom(entry) = {entry}; dom(B) = {B} | intersection of dom(preds).
+  std::vector<BitSet> Dom(N, BitSet(N));
+  BitSet All(N);
+  for (size_t B = 0; B != N; ++B)
+    All.set(B);
+  for (size_t B = 0; B != N; ++B)
+    Dom[B] = All;
+  BitSet EntryDom(N);
+  EntryDom.set(0);
+  Dom[0] = EntryDom;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = 1; B != N; ++B) {
+      if (!Reached.test(B))
+        continue;
+      BitSet NewDom = All;
+      bool AnyPred = false;
+      for (BlockId P : Preds[B]) {
+        if (!Reached.test(P))
+          continue;
+        NewDom.intersectWith(Dom[P]);
+        AnyPred = true;
+      }
+      if (!AnyPred)
+        NewDom = BitSet(N);
+      NewDom.set(B);
+      if (!(NewDom == Dom[B])) {
+        Dom[B] = NewDom;
+        Changed = true;
+      }
+    }
+  }
+
+  LI.Dominators.resize(N);
+  for (size_t B = 0; B != N; ++B)
+    for (size_t D = 0; D != N; ++D)
+      if (Reached.test(B) && Dom[B].test(D))
+        LI.Dominators[B].push_back(static_cast<BlockId>(D));
+
+  // Back edges: an edge L -> H where H dominates L.
+  for (size_t L = 0; L != N; ++L) {
+    if (!Reached.test(L))
+      continue;
+    for (BlockId H : F.block(static_cast<BlockId>(L))->successors()) {
+      if (!Dom[L].test(H))
+        continue;
+      // Natural loop of the back edge: H plus all blocks that reach L
+      // without passing through H.
+      Loop NewLoop;
+      NewLoop.Header = H;
+      NewLoop.Latch = static_cast<BlockId>(L);
+      BitSet InLoop(N);
+      InLoop.set(H);
+      std::vector<BlockId> Work;
+      if (static_cast<BlockId>(L) != H) {
+        InLoop.set(L);
+        Work.push_back(static_cast<BlockId>(L));
+      }
+      while (!Work.empty()) {
+        BlockId B = Work.back();
+        Work.pop_back();
+        for (BlockId P : Preds[B])
+          if (Reached.test(P) && !InLoop.test(P)) {
+            InLoop.set(P);
+            Work.push_back(P);
+          }
+      }
+      NewLoop.Blocks.push_back(H);
+      for (size_t B = 0; B != N; ++B)
+        if (B != H && InLoop.test(B))
+          NewLoop.Blocks.push_back(static_cast<BlockId>(B));
+      LI.Loops.push_back(std::move(NewLoop));
+    }
+  }
+
+  // Depth: a block's depth is the number of loops containing it. A loop's
+  // depth is the depth of its header.
+  for (size_t B = 0; B != N; ++B) {
+    uint32_t Depth = 0;
+    for (const Loop &L : LI.Loops)
+      if (L.contains(static_cast<BlockId>(B)))
+        ++Depth;
+    LI.DepthOf[B] = Depth;
+  }
+  for (Loop &L : LI.Loops)
+    L.Depth = LI.DepthOf[L.Header];
+
+  // Sort loops innermost-first so the scheduler pipelines inner loops.
+  std::sort(LI.Loops.begin(), LI.Loops.end(),
+            [](const Loop &A, const Loop &B) { return A.Depth > B.Depth; });
+  return LI;
+}
+
+uint32_t LoopInfo::maxDepth() const {
+  uint32_t Max = 0;
+  for (uint32_t D : DepthOf)
+    Max = std::max(Max, D);
+  return Max;
+}
+
+bool LoopInfo::dominates(BlockId A, BlockId B) const {
+  if (B >= Dominators.size())
+    return false;
+  for (BlockId D : Dominators[B])
+    if (D == A)
+      return true;
+  return false;
+}

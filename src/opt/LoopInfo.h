@@ -1,0 +1,84 @@
+//===- LoopInfo.h - Dominators and natural loops ----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation and natural-loop detection over the flowgraph.
+/// Innermost loops whose body is a single basic block are the software
+/// pipelining candidates in compiler phase 3; loop depth also feeds the
+/// master's load-balancing heuristic (paper Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_LOOPINFO_H
+#define WARPC_OPT_LOOPINFO_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace warpc {
+namespace opt {
+
+/// One natural loop discovered from a back edge.
+struct Loop {
+  /// Loop header (target of the back edge); tests the exit condition.
+  ir::BlockId Header = ir::InvalidBlock;
+  /// Source of the back edge (the latch).
+  ir::BlockId Latch = ir::InvalidBlock;
+  /// All blocks in the loop, header first.
+  std::vector<ir::BlockId> Blocks;
+  /// Nesting depth; 1 for outermost loops.
+  uint32_t Depth = 1;
+
+  /// True when the loop body is exactly {header, one body block} with the
+  /// body ending in a branch back to the header — the shape the modulo
+  /// scheduler pipelines.
+  bool isSimpleInnerLoop() const { return Blocks.size() == 2; }
+
+  /// The single body block of a simple inner loop.
+  ir::BlockId bodyBlock() const {
+    assert(isSimpleInnerLoop() && "not a simple loop");
+    return Latch;
+  }
+
+  bool contains(ir::BlockId B) const {
+    for (ir::BlockId Member : Blocks)
+      if (Member == B)
+        return true;
+    return false;
+  }
+};
+
+/// Dominator sets and the loop forest of one function.
+class LoopInfo {
+public:
+  /// Analyzes \p F. Unreachable blocks are ignored.
+  static LoopInfo compute(const ir::IRFunction &F);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Loop nesting depth of a block; 0 when not in any loop.
+  uint32_t loopDepth(ir::BlockId B) const {
+    return B < DepthOf.size() ? DepthOf[B] : 0;
+  }
+
+  /// Maximum loop depth in the function.
+  uint32_t maxDepth() const;
+
+  /// Returns true when \p A dominates \p B.
+  bool dominates(ir::BlockId A, ir::BlockId B) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<uint32_t> DepthOf;
+  // Dominators[B] holds every block dominating B (including B).
+  std::vector<std::vector<ir::BlockId>> Dominators;
+};
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_LOOPINFO_H

@@ -1,0 +1,99 @@
+//===- ReachingDefs.cpp - Reaching definitions of variables ---------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ReachingDefs.h"
+
+using namespace warpc;
+using namespace warpc::opt;
+using namespace warpc::ir;
+
+ReachingDefsInfo ReachingDefsInfo::compute(const IRFunction &F) {
+  ReachingDefsInfo Info;
+  size_t NumBlocks = F.numBlocks();
+
+  // Enumerate store sites.
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    const BasicBlock *BB = F.block(static_cast<BlockId>(B));
+    for (uint32_t Pos = 0; Pos != BB->Instrs.size(); ++Pos) {
+      const Instr &I = BB->Instrs[Pos];
+      if (!I.writesMemory())
+        continue;
+      Info.Sites.push_back(DefSite{static_cast<BlockId>(B), Pos, I.Var,
+                                   I.Op == Opcode::StoreElem});
+    }
+  }
+  size_t NumSites = Info.Sites.size();
+
+  // Per-block Gen and Kill sets.
+  std::vector<BitSet> Gen(NumBlocks, BitSet(NumSites));
+  std::vector<BitSet> Kill(NumBlocks, BitSet(NumSites));
+  for (uint32_t S = 0; S != NumSites; ++S) {
+    const DefSite &Site = Info.Sites[S];
+    size_t B = Site.Block;
+    Gen[B].set(S);
+    if (Site.IsElement)
+      continue; // Element stores never kill.
+    // A scalar store kills every other store of the same variable...
+    for (uint32_t T = 0; T != NumSites; ++T)
+      if (T != S && !Info.Sites[T].IsElement && Info.Sites[T].Var == Site.Var)
+        Kill[B].set(T);
+  }
+  // ...including earlier stores in the same block: recompute Gen precisely
+  // by a forward scan so only downward-exposed definitions survive.
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    BitSet Exposed(NumSites);
+    for (uint32_t S = 0; S != NumSites; ++S) {
+      if (Info.Sites[S].Block != B)
+        continue;
+      if (!Info.Sites[S].IsElement) {
+        // Clear earlier scalar defs of the same variable in this block.
+        for (uint32_t T = 0; T != NumSites; ++T)
+          if (Info.Sites[T].Block == B && T != S &&
+              Info.Sites[T].Pos < Info.Sites[S].Pos &&
+              !Info.Sites[T].IsElement &&
+              Info.Sites[T].Var == Info.Sites[S].Var)
+            Exposed.reset(T);
+      }
+      Exposed.set(S);
+    }
+    Gen[B] = Exposed;
+  }
+
+  Info.In.assign(NumBlocks, BitSet(NumSites));
+  Info.Out.assign(NumBlocks, BitSet(NumSites));
+  auto Preds = F.computePredecessors();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Info.Iterations;
+    for (size_t B = 0; B != NumBlocks; ++B) {
+      BitSet In(NumSites);
+      for (BlockId P : Preds[B])
+        In.unionWith(Info.Out[P]);
+      BitSet Out = In;
+      Out.subtract(Kill[B]);
+      Out.unionWith(Gen[B]);
+      if (!(In == Info.In[B]) || !(Out == Info.Out[B])) {
+        Info.In[B] = std::move(In);
+        Info.Out[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}
+
+std::vector<uint32_t> ReachingDefsInfo::defsReaching(BlockId B,
+                                                     VarId Var) const {
+  std::vector<uint32_t> Result;
+  if (B >= In.size())
+    return Result;
+  for (uint32_t S = 0; S != Sites.size(); ++S)
+    if (In[B].test(S) && Sites[S].Var == Var)
+      Result.push_back(S);
+  return Result;
+}

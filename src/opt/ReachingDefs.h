@@ -1,0 +1,53 @@
+//===- ReachingDefs.h - Reaching definitions of variables -------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward bit-vector reaching definitions over memory stores (StoreVar,
+/// StoreElem). The universe is the set of store instructions; a scalar
+/// store kills all other stores of the same variable, while array element
+/// stores accumulate (may-defs). Part of phase 2's "computation of global
+/// dependencies".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OPT_REACHINGDEFS_H
+#define WARPC_OPT_REACHINGDEFS_H
+
+#include "ir/IR.h"
+#include "support/BitSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace opt {
+
+/// Identifies one store instruction.
+struct DefSite {
+  ir::BlockId Block = 0;
+  uint32_t Pos = 0;
+  ir::VarId Var = 0;
+  bool IsElement = false;
+};
+
+/// Reaching-definition sets over a function's stores.
+struct ReachingDefsInfo {
+  /// All store sites, in (block, position) order; bit i refers to Sites[i].
+  std::vector<DefSite> Sites;
+  std::vector<BitSet> In;
+  std::vector<BitSet> Out;
+  uint64_t Iterations = 0;
+
+  static ReachingDefsInfo compute(const ir::IRFunction &F);
+
+  /// Returns the indices of definitions of \p Var reaching block entry.
+  std::vector<uint32_t> defsReaching(ir::BlockId B, ir::VarId Var) const;
+};
+
+} // namespace opt
+} // namespace warpc
+
+#endif // WARPC_OPT_REACHINGDEFS_H

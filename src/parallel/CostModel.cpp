@@ -1,0 +1,39 @@
+//===- CostModel.cpp - 1989 compile-time cost model -------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/CostModel.h"
+
+#include <algorithm>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+CostModel CostModel::lisp1989() { return CostModel(); }
+
+StepCost CostModel::evaluate(const LispStep &Step,
+                             const cluster::HostConfig &Host) const {
+  StepCost Cost;
+  Cost.CpuSec = Step.WorkSec;
+
+  // GC: sweep cost proportional to allocation, inflated by heap pressure.
+  // Live data is what must be traced repeatedly; a heap living far above
+  // the comfort point collects more often and copies more.
+  double LiveHeapKB = Step.LiveKB + Retention * Step.AllocKB;
+  double Pressure = std::max(1.0, LiveHeapKB / HeapComfortKB);
+  Cost.GCSec = (Step.AllocKB / GCSweepKBPerSec) * Pressure;
+
+  // Paging: the working set is the core image plus live data. Excess over
+  // usable memory is refetched continuously from the file server while the
+  // process computes.
+  double WorkingSetKB = Host.LispCoreKB + LiveHeapKB;
+  double ExcessKB = WorkingSetKB - Host.UsableMemoryKB;
+  if (ExcessKB > 0) {
+    double ExcessFraction = ExcessKB / WorkingSetKB;
+    Cost.PageTrafficKB = (Cost.CpuSec + Cost.GCSec) * PagingKBPerSec *
+                         ExcessFraction * Step.PageScale;
+  }
+  return Cost;
+}

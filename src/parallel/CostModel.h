@@ -1,0 +1,130 @@
+//===- CostModel.h - 1989 compile-time cost model ---------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts measured compiler work (driver::WorkMetrics) into simulated
+/// 1989 seconds on a SUN workstation running the Common Lisp W2 compiler,
+/// including the two system effects the paper identifies as decisive:
+///
+///  * Garbage collection: Lisp allocation is swept at a fixed rate, and
+///    sweep cost inflates under heap pressure. The sequential compiler
+///    accumulates live data (parse structures, emitted code) across all
+///    functions in one image, so its GC bill grows superlinearly with
+///    module size — the mechanism behind the paper's *negative system
+///    overhead* ("the sequential compiler processes a program that does
+///    not fit into the local memory and system space of a single
+///    workstation. Extensive garbage collection and swapping are the
+///    result", Section 4.2.3).
+///
+///  * Paging: workstations are diskless, so exceeding memory turns into
+///    network/file-server traffic that contends with everything else.
+///
+/// Calibration anchors from the paper (Section 4.3): a ~300-line function
+/// compiles sequentially in 19-22 minutes; 5-45 line functions take 2-6
+/// minutes; parsing is under 5% of total time (Section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_COSTMODEL_H
+#define WARPC_PARALLEL_COSTMODEL_H
+
+#include "cluster/HostSystem.h"
+#include "driver/WorkMetrics.h"
+
+namespace warpc {
+namespace parallel {
+
+/// CPU and memory cost of one Lisp compute step.
+struct LispStep {
+  double WorkSec = 0;   ///< Raw CPU seconds at full speed.
+  double AllocKB = 0;   ///< Heap allocated during the step.
+  double LiveKB = 0;    ///< Live data resident during the step
+                        ///< (excluding the Lisp core itself).
+  double PageScale = 1.0; ///< Locality factor on paging traffic. The
+                          ///< sequential compiler sweeps its data with good
+                          ///< locality and competes with nobody for the
+                          ///< server's cache; concurrent function masters
+                          ///< evict each other (paper Section 4.2.3:
+                          ///< "multiple processes swap off the same file
+                          ///< server").
+};
+
+/// The simulated cost of executing a LispStep on one workstation.
+struct StepCost {
+  double CpuSec = 0;        ///< Mutator time.
+  double GCSec = 0;         ///< Garbage-collection time.
+  double PageTrafficKB = 0; ///< Paging traffic to the file server.
+
+  double computeSec() const { return CpuSec + GCSec; }
+};
+
+/// Work-to-seconds conversion rates and memory-behavior constants.
+class CostModel {
+public:
+  /// The calibrated 1989 model used by every bench.
+  static CostModel lisp1989();
+
+  // Work-unit rates (units per second) per compiler phase.
+  double Phase1WUPerSec = 900;    ///< Parse + semantic check (Lisp).
+  double Phase2WUPerSec = 56;    ///< Flowgraph + optimization (Lisp).
+  double Phase3WUPerSec = 303;    ///< Scheduling + regalloc (Lisp).
+  double Phase4WUPerSec = 1500;   ///< Assembly + linking (Lisp).
+  double CMasterWUPerSec = 250000; ///< C master/section-master code.
+
+  /// Fixed Lisp cost per function compilation (reading parse information,
+  /// macroexpansion of the compiler itself, result file I/O).
+  double PerFunctionSec = 8.0;
+
+  // Garbage collector.
+  double GCSweepKBPerSec = 120;  ///< Base sweep throughput.
+  double HeapComfortKB = 1200;   ///< Live size where GC overhead doubles.
+  double Retention = 0.40;       ///< Fraction of allocation live at GC.
+
+  // The sequential compiler keeps the whole module's parse structures and
+  // compiler bookkeeping live while compiling each function; this factor
+  // scales (and the cap bounds) that resident set. Function masters only
+  // hold the small parse information their section master ships them.
+  double SeqParseLiveFactor = 6.0;
+  double SeqParseLiveCapKB = 3000;
+
+  // Paging (diskless nodes page over the network).
+  double PagingKBPerSec = 800; ///< Refetch traffic per second of compute
+                               ///< when the working set just exceeds memory
+                               ///< (scaled by the excess fraction).
+
+  /// Paging locality advantage of the single sequential process.
+  double SeqPagingLocality = 0.35;
+
+  /// Seconds of phase-1 work (used for the master's setup parse).
+  double phase1Sec(const driver::WorkMetrics &M) const {
+    return static_cast<double>(M.phase1Work()) / Phase1WUPerSec;
+  }
+  /// Seconds of phases 2+3 work for one function.
+  double compileSec(const driver::WorkMetrics &M) const {
+    return PerFunctionSec +
+           static_cast<double>(M.phase2Work()) / Phase2WUPerSec +
+           static_cast<double>(M.phase3Work()) / Phase3WUPerSec;
+  }
+  /// Seconds of phase-4 work.
+  double phase4Sec(const driver::WorkMetrics &M) const {
+    return static_cast<double>(M.phase4Work()) / Phase4WUPerSec;
+  }
+
+  /// Master/section-master bookkeeping (C code) for \p WorkUnits of work.
+  double cMasterSec(double WorkUnits) const {
+    return WorkUnits / CMasterWUPerSec;
+  }
+
+  /// Evaluates GC and paging behavior of a step on a host with the given
+  /// configuration.
+  StepCost evaluate(const LispStep &Step,
+                    const cluster::HostConfig &Host) const;
+};
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_COSTMODEL_H

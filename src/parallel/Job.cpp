@@ -1,0 +1,46 @@
+//===- Job.cpp - Compilation job description --------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Job.h"
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+ErrorOr<CompilationJob> parallel::buildJob(const std::string &Source,
+                                           const codegen::MachineModel &MM) {
+  driver::ModuleResult Result = driver::compileModuleSequential(Source, MM);
+  if (!Result.Succeeded)
+    return makeError("module failed to compile:\n" + Result.Diags.str());
+
+  CompilationJob Job;
+  Job.ModuleName = Result.Image.ModuleName;
+  Job.Phase1 = Result.Phase1;
+  Job.Phase4 = Result.Phase4;
+
+  // Re-group the flat function results by section using the image, which
+  // preserves declaration order.
+  size_t Cursor = 0;
+  for (const asmout::SectionImage &Section : Result.Image.Sections) {
+    std::vector<FunctionTask> Tasks;
+    for (const asmout::CellProgram &P : Section.Programs) {
+      assert(Cursor < Result.Functions.size() && "result count mismatch");
+      const driver::FunctionResult &F = Result.Functions[Cursor++];
+      FunctionTask Task;
+      Task.SectionName = Section.SectionName;
+      Task.FunctionName = F.FunctionName;
+      Task.Metrics = F.Metrics;
+      Task.OutputKB = static_cast<double>(P.Image.size() +
+                                          P.Listing.size()) /
+                      1024.0;
+      // Result files are small but never empty.
+      if (Task.OutputKB < 1.0)
+        Task.OutputKB = 1.0;
+      Tasks.push_back(std::move(Task));
+    }
+    Job.Sections.push_back(std::move(Tasks));
+  }
+  return Job;
+}

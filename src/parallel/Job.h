@@ -1,0 +1,72 @@
+//===- Job.h - Compilation job description ----------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CompilationJob is the complete description of one module compilation
+/// as both execution engines need it: per-function work metrics measured
+/// by running the real compiler, plus module structure. Building a job
+/// runs the actual C++ compiler once (microseconds today); the cluster
+/// simulator then replays the same work under the 1989 cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_JOB_H
+#define WARPC_PARALLEL_JOB_H
+
+#include "codegen/MachineModel.h"
+#include "driver/Compiler.h"
+#include "driver/WorkMetrics.h"
+#include "support/ErrorOr.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+
+/// One function-master task.
+struct FunctionTask {
+  std::string SectionName;
+  std::string FunctionName;
+  /// Phases 2+3 (and the function's own assembly slice).
+  driver::WorkMetrics Metrics;
+  /// Size of the function's result file (the assembled cell program).
+  double OutputKB = 0;
+};
+
+/// A whole module ready for (simulated or real) parallel compilation.
+struct CompilationJob {
+  std::string ModuleName;
+  /// Phase-1 work for the entire module.
+  driver::WorkMetrics Phase1;
+  /// Function tasks grouped by section, in declaration order.
+  std::vector<std::vector<FunctionTask>> Sections;
+  /// Phase-4 (combination + linking) work.
+  driver::WorkMetrics Phase4;
+
+  unsigned numFunctions() const {
+    unsigned N = 0;
+    for (const auto &S : Sections)
+      N += static_cast<unsigned>(S.size());
+    return N;
+  }
+
+  /// Live parse-information size the sequential compiler keeps resident
+  /// while compiling (the whole module's ASTs and symbol tables).
+  double parseResidentKB() const {
+    return static_cast<double>(Phase1.workingSetKB());
+  }
+};
+
+/// Compiles \p Source with the real compiler and packages the measured
+/// work as a job. Fails when the module has errors.
+ErrorOr<CompilationJob> buildJob(const std::string &Source,
+                                 const codegen::MachineModel &MM);
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_JOB_H

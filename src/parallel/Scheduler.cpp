@@ -1,0 +1,85 @@
+//===- Scheduler.cpp - Processor assignment ----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+double parallel::heuristicCostEstimate(const driver::WorkMetrics &M) {
+  // Lines of code scaled by loop nesting: scheduling cost grows quickly
+  // with nesting because the pipeliner works hardest on deep loop bodies.
+  double Depth = static_cast<double>(M.LoopDepth);
+  return static_cast<double>(M.SourceLines) * (1.0 + 0.6 * Depth * Depth);
+}
+
+Assignment parallel::scheduleFCFS(const CompilationJob &Job,
+                                  unsigned NumProcessors) {
+  assert(NumProcessors > 0 && "need at least one processor");
+  Assignment Result;
+  std::set<unsigned> Used;
+  unsigned Next = 0;
+  for (const auto &Section : Job.Sections) {
+    std::vector<unsigned> Ws;
+    for (size_t F = 0; F != Section.size(); ++F) {
+      unsigned Target = Next % NumProcessors;
+      ++Next;
+      Ws.push_back(Target);
+      Used.insert(Target);
+    }
+    Result.WsOf.push_back(std::move(Ws));
+  }
+  Result.ProcessorsUsed = static_cast<unsigned>(Used.size());
+  return Result;
+}
+
+Assignment parallel::scheduleBalanced(const CompilationJob &Job,
+                                      unsigned NumProcessors) {
+  assert(NumProcessors > 0 && "need at least one processor");
+
+  struct Item {
+    unsigned Section;
+    unsigned Index;
+    double Cost;
+  };
+  std::vector<Item> Items;
+  for (unsigned S = 0; S != Job.Sections.size(); ++S)
+    for (unsigned F = 0; F != Job.Sections[S].size(); ++F)
+      Items.push_back(
+          Item{S, F, heuristicCostEstimate(Job.Sections[S][F].Metrics)});
+
+  // Longest processing time first onto the least-loaded machine.
+  std::sort(Items.begin(), Items.end(), [](const Item &A, const Item &B) {
+    if (A.Cost != B.Cost)
+      return A.Cost > B.Cost;
+    if (A.Section != B.Section)
+      return A.Section < B.Section;
+    return A.Index < B.Index;
+  });
+
+  std::vector<double> Load(NumProcessors, 0.0);
+  Assignment Result;
+  Result.WsOf.resize(Job.Sections.size());
+  for (unsigned S = 0; S != Job.Sections.size(); ++S)
+    Result.WsOf[S].assign(Job.Sections[S].size(), 0);
+
+  std::set<unsigned> Used;
+  for (const Item &I : Items) {
+    unsigned Best = 0;
+    for (unsigned P = 1; P != NumProcessors; ++P)
+      if (Load[P] < Load[Best])
+        Best = P;
+    Load[Best] += I.Cost;
+    Result.WsOf[I.Section][I.Index] = Best;
+    Used.insert(Best);
+  }
+  Result.ProcessorsUsed = static_cast<unsigned>(Used.size());
+  return Result;
+}

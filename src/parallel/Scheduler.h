@@ -1,0 +1,56 @@
+//===- Scheduler.h - Processor assignment -----------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assignment of function masters to workstations. The paper's default is
+/// "a simple first-come-first-served strategy that distributes the tasks
+/// over the available processors" (Section 3.3); Section 4.3 improves on
+/// it for mixed workloads with a balancing heuristic where "a combination
+/// of lines of code and loop nesting can serve as approximation of the
+/// compilation time", letting 5 processors match 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_SCHEDULER_H
+#define WARPC_PARALLEL_SCHEDULER_H
+
+#include "parallel/Job.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+
+/// Maps every function (by section, index) to a workstation id.
+struct Assignment {
+  /// WsOf[S][F] = workstation running function F of section S.
+  std::vector<std::vector<unsigned>> WsOf;
+  unsigned ProcessorsUsed = 0;
+};
+
+/// The master's compile-time estimate for one function, computed from the
+/// parse information only (lines and loop nesting): the heuristic of
+/// Section 4.3. Unit: arbitrary "cost points", comparable across tasks.
+double heuristicCostEstimate(const driver::WorkMetrics &M);
+
+/// First-come-first-served: functions are assigned to workstations in
+/// declaration order, round-robin over \p NumProcessors machines. With at
+/// least as many machines as functions this is the paper's
+/// one-function-per-processor configuration.
+Assignment scheduleFCFS(const CompilationJob &Job, unsigned NumProcessors);
+
+/// Longest-processing-time-first bin packing over \p NumProcessors
+/// machines using heuristicCostEstimate: the improved scheduler of
+/// Section 4.3 ("smaller functions can be grouped and compiled on the
+/// same processor").
+Assignment scheduleBalanced(const CompilationJob &Job,
+                            unsigned NumProcessors);
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_SCHEDULER_H

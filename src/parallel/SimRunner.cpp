@@ -1,0 +1,408 @@
+//===- SimRunner.cpp - Simulated compilation runs ----------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/SimRunner.h"
+
+#include "cluster/Simulation.h"
+#include "support/PRNG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using namespace warpc::cluster;
+
+namespace {
+
+/// Parse information shipped to a function master (function ASTs plus
+/// section signatures) — small compared to the sequential compiler's
+/// whole-module structures.
+constexpr double FnMasterParseInfoKB = 64.0;
+
+/// In-image size of a function's emitted code before it is written out,
+/// relative to the result file (Lisp structures are fatter than bytes).
+constexpr double OutputRetainFactor = 2.0;
+
+/// C work units for the master's scheduling decision per function.
+constexpr double SchedWorkPerFn = 4000.0;
+
+/// C work units for a section master to interpret directives, per
+/// function in the section.
+constexpr double DirectiveWorkPerFn = 2500.0;
+
+/// C work units for a section master to combine results, per KB of
+/// function output (code images and diagnostics).
+constexpr double CombineWorkPerKB = 900.0;
+
+/// Shared state of one simulated run. Continuation lambdas that form
+/// cycles (loops over chunks or task lists) are retained in Keep and
+/// released after the event loop drains, avoiding both dangling and
+/// self-destruction hazards.
+struct SimContext {
+  Simulation Sim;
+  SerialResource Ethernet;
+  SerialResource Server;
+  std::vector<std::unique_ptr<SerialResource>> Ws;
+  /// Measurement jitter source (inert when JitterPct is zero).
+  PRNG Jitter;
+  const HostConfig &Host;
+  const CostModel &Model;
+
+  double NetWaitSec = 0;
+  double PageWaitSec = 0;
+
+  /// Closures kept alive for the duration of the run.
+  std::vector<std::shared_ptr<void>> Keep;
+
+  SimContext(const HostConfig &Host, const CostModel &Model)
+      : Ethernet(Sim, "ethernet", Host.EthernetContention),
+        Server(Sim, "fileserver"), Jitter(Host.JitterSeed), Host(Host),
+        Model(Model) {
+    for (unsigned W = 0; W != Host.NumWorkstations; ++W)
+      Ws.push_back(
+          std::make_unique<SerialResource>(Sim, "ws" + std::to_string(W)));
+  }
+
+  /// Uniform service-time stretch in [1-J, 1+J].
+  double jittered(double Seconds) {
+    if (Host.JitterPct <= 0)
+      return Seconds;
+    return Seconds * Jitter.uniform(1.0 - Host.JitterPct,
+                                    1.0 + Host.JitterPct);
+  }
+
+  /// A file transfer: server service followed by the Ethernet segment.
+  /// \p Done receives the elapsed transfer time.
+  void transfer(double KB, std::function<void(double)> Done) {
+    double Start = Sim.now();
+    double ServerSec =
+        jittered(KB / Host.ServerKBps + Host.ServerRequestSec);
+    Server.request(
+        ServerSec, [this, KB, Start, Done = std::move(Done)](double W1) {
+          NetWaitSec += W1;
+          double EtherSec = jittered(KB / Host.EthernetKBps);
+          Ethernet.request(EtherSec,
+                           [this, Start, Done = std::move(Done)](double W2) {
+                             NetWaitSec += W2;
+                             Done(Sim.now() - Start);
+                           });
+        });
+  }
+
+  /// CPU burst on workstation \p W.
+  void cpu(unsigned W, double Seconds, std::function<void()> Done) {
+    assert(W < Ws.size() && "workstation out of range");
+    Ws[W]->request(jittered(Seconds),
+                   [Done = std::move(Done)](double) { Done(); });
+  }
+
+  /// Lisp process startup on \p W: core-image download from the file
+  /// server plus initialization. \p Done receives the startup elapsed.
+  void startLisp(unsigned W, std::function<void(double)> Done) {
+    double Start = Sim.now();
+    transfer(Host.CoreDownloadKB,
+             [this, W, Start, Done = std::move(Done)](double) {
+               cpu(W, Host.LispInitSec, [this, Start, Done = std::move(Done)] {
+                 Done(Sim.now() - Start);
+               });
+             });
+  }
+
+  /// One Lisp compute step on \p W with GC and paging applied. Paging
+  /// traffic interleaves with compute in chunks so that it contends with
+  /// other processes' transfers. \p Done receives the StepCost.
+  void lispStep(unsigned W, const LispStep &Step,
+                std::function<void(StepCost)> Done) {
+    StepCost Cost = Model.evaluate(Step, Host);
+    if (Cost.PageTrafficKB < 1.0) {
+      cpu(W, Cost.computeSec(),
+          [Cost, Done = std::move(Done)] { Done(Cost); });
+      return;
+    }
+    // Thrashing: alternate compute and page-fault service.
+    constexpr unsigned Chunks = 4;
+    struct ChunkLoop {
+      unsigned Remaining = Chunks;
+      std::function<void()> Step;
+    };
+    auto Loop = std::make_shared<ChunkLoop>();
+    Keep.push_back(Loop);
+    Loop->Step = [this, W, Cost, Loop, Done = std::move(Done)] {
+      if (Loop->Remaining == 0) {
+        Done(Cost);
+        return;
+      }
+      --Loop->Remaining;
+      cpu(W, Cost.computeSec() / Chunks, [this, Cost, Loop] {
+        transfer(Cost.PageTrafficKB / Chunks, [this, Loop](double Sec) {
+          PageWaitSec += Sec;
+          Loop->Step();
+        });
+      });
+    };
+    Loop->Step();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sequential simulation
+//===----------------------------------------------------------------------===//
+
+SeqStats parallel::simulateSequential(const CompilationJob &Job,
+                                      const HostConfig &Host,
+                                      const CostModel &Model) {
+  SimContext Ctx(Host, Model);
+  SeqStats Stats;
+
+  // Flatten tasks in declaration order.
+  std::vector<const FunctionTask *> Tasks;
+  for (const auto &Section : Job.Sections)
+    for (const FunctionTask &T : Section)
+      Tasks.push_back(&T);
+
+  const double ParseLiveKB =
+      std::min(Job.parseResidentKB() * Model.SeqParseLiveFactor,
+               Model.SeqParseLiveCapKB);
+
+  // The chain: startup -> parse -> each function -> assembly -> write.
+  struct SeqLoop {
+    std::function<void(size_t, double)> CompileFrom;
+  };
+  auto Loop = std::make_shared<SeqLoop>();
+  Ctx.Keep.push_back(Loop);
+
+  Loop->CompileFrom = [&, Loop](size_t Index, double RetainedKB) {
+    if (Index == Tasks.size()) {
+      // Phase 4 with everything live in the image.
+      LispStep Asm;
+      Asm.WorkSec = Model.phase4Sec(Job.Phase4);
+      Asm.AllocKB = static_cast<double>(Job.Phase4.allocationKB());
+      Asm.PageScale = Model.SeqPagingLocality;
+      Asm.LiveKB = ParseLiveKB + RetainedKB;
+      Ctx.lispStep(0, Asm, [&](StepCost Cost) {
+        Stats.CpuSec += Cost.computeSec();
+        Stats.GCSec += Cost.GCSec;
+        double ImageKB =
+            static_cast<double>(Job.Phase4.ImageBytes) / 1024.0 + 1.0;
+        Ctx.transfer(ImageKB, [](double) {});
+      });
+      return;
+    }
+    const FunctionTask *Task = Tasks[Index];
+    LispStep Step;
+    Step.WorkSec = Model.compileSec(Task->Metrics);
+    Step.AllocKB = static_cast<double>(Task->Metrics.allocationKB());
+    Step.PageScale = Model.SeqPagingLocality;
+    // Live: whole-module parse structures + code already emitted for
+    // earlier functions + this function's own working data.
+    Step.LiveKB = ParseLiveKB + RetainedKB +
+                  static_cast<double>(Task->Metrics.workingSetKB());
+    Ctx.lispStep(0, Step, [&, Loop, Index, RetainedKB, Task](StepCost Cost) {
+      Stats.CpuSec += Cost.computeSec();
+      Stats.GCSec += Cost.GCSec;
+      Loop->CompileFrom(Index + 1,
+                        RetainedKB + Task->OutputKB * OutputRetainFactor);
+    });
+  };
+
+  Ctx.startLisp(0, [&, Loop](double StartupSec) {
+    Stats.StartupSec = StartupSec;
+    LispStep Parse;
+    Parse.WorkSec = Model.phase1Sec(Job.Phase1);
+    Parse.AllocKB = static_cast<double>(Job.Phase1.allocationKB());
+    Parse.LiveKB = ParseLiveKB * 0.5; // structures grow during the parse
+    Ctx.lispStep(0, Parse, [&, Loop](StepCost Cost) {
+      Stats.CpuSec += Cost.computeSec();
+      Stats.GCSec += Cost.GCSec;
+      Loop->CompileFrom(0, 0.0);
+    });
+  });
+
+  Stats.ElapsedSec = Ctx.Sim.run();
+  Stats.NetWaitSec = Ctx.NetWaitSec;
+  Stats.PageWaitSec = Ctx.PageWaitSec;
+  Loop->CompileFrom = nullptr;
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel simulation
+//===----------------------------------------------------------------------===//
+
+ParStats parallel::simulateParallel(const CompilationJob &Job,
+                                    const Assignment &Assign,
+                                    const HostConfig &Host,
+                                    const CostModel &Model,
+                                    std::vector<TraceEvent> *Trace) {
+  assert(Assign.WsOf.size() == Job.Sections.size() &&
+         "assignment does not match the job");
+  SimContext Ctx(Host, Model);
+  ParStats Stats;
+  Stats.ProcessorsUsed = Assign.ProcessorsUsed;
+  auto Record = [&](const std::string &What) {
+    if (Trace)
+      Trace->push_back(TraceEvent{Ctx.Sim.now(), What});
+  };
+
+  const unsigned NumSections = static_cast<unsigned>(Job.Sections.size());
+  double TotalOutputKB = 0;
+  for (const auto &Section : Job.Sections)
+    for (const FunctionTask &T : Section)
+      TotalOutputKB += T.OutputKB;
+
+  // Join counters stay alive for the whole run.
+  std::vector<std::unique_ptr<JoinCounter>> Joins;
+
+  // --- Phase 4: runs in the master's Lisp process once all sections have
+  // combined their results.
+  auto RunAssembly = [&] {
+    Record("master: all sections complete; assembly begins");
+    Ctx.transfer(TotalOutputKB, [&](double) {
+      LispStep Asm;
+      Asm.WorkSec = Model.phase4Sec(Job.Phase4);
+      Asm.AllocKB = static_cast<double>(Job.Phase4.allocationKB());
+      Asm.LiveKB =
+          Job.parseResidentKB() + TotalOutputKB * OutputRetainFactor;
+      Ctx.lispStep(0, Asm, [&](StepCost) {
+        // Assembly is compiler work, not coordination overhead.
+        Record("master: download module linked");
+        double ImageKB =
+            static_cast<double>(Job.Phase4.ImageBytes) / 1024.0 + 1.0;
+        Ctx.transfer(ImageKB, [](double) {});
+      });
+    });
+  };
+
+  auto SectionsJoin =
+      std::make_unique<JoinCounter>(NumSections, [&] { RunAssembly(); });
+
+  // --- One function master: startup, compile, write the result file,
+  // report to the section master.
+  auto RunFunctionMaster = [&](const FunctionTask *Task, unsigned W,
+                               JoinCounter *FnJoin) {
+    Record("fork function master for '" + Task->FunctionName + "' -> ws" +
+           std::to_string(W));
+    Ctx.startLisp(W, [&, Task, W, FnJoin](double StartupSec) {
+      Stats.StartupSec += StartupSec;
+      Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
+             "' compiling (startup took " +
+             std::to_string(static_cast<int>(StartupSec)) + "s)");
+      LispStep Step;
+      Step.WorkSec = Model.compileSec(Task->Metrics);
+      Step.AllocKB = static_cast<double>(Task->Metrics.allocationKB());
+      Step.LiveKB = FnMasterParseInfoKB +
+                    static_cast<double>(Task->Metrics.workingSetKB());
+      Ctx.lispStep(W, Step, [&, Task, FnJoin, W](StepCost Cost) {
+        Stats.FnCpuSec += Cost.computeSec();
+        Stats.FnGCSec += Cost.GCSec;
+        Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
+               "' done (cpu+gc " +
+               std::to_string(static_cast<int>(Cost.computeSec())) + "s)");
+        Ctx.transfer(Task->OutputKB, [&, FnJoin](double) {
+          Ctx.Sim.after(Host.MessageSec, [FnJoin] { FnJoin->arrive(); });
+        });
+      });
+    });
+  };
+
+  // --- Section masters.
+  auto StartSection = [&, RunFunctionMaster](unsigned S) {
+    const auto &Tasks = Job.Sections[S];
+    const unsigned NumFns = static_cast<unsigned>(Tasks.size());
+    double SectionOutKB = 0;
+    for (const FunctionTask &T : Tasks)
+      SectionOutKB += T.OutputKB;
+
+    // When every function is done, the section master gathers the result
+    // files, combines code and diagnostics, and reports to the master.
+    JoinCounter *SectionsJoinPtr = SectionsJoin.get();
+    auto Combine = [&, S, SectionOutKB, SectionsJoinPtr] {
+      Record("section master " + std::to_string(S) +
+             ": combining results and diagnostics");
+      Ctx.transfer(SectionOutKB, [&, SectionOutKB, SectionsJoinPtr](double) {
+        double CombineSec = Model.cMasterSec(CombineWorkPerKB * SectionOutKB);
+        Ctx.cpu(0, CombineSec, [&, CombineSec, SectionOutKB,
+                                SectionsJoinPtr] {
+          Stats.SectionCpuSec += CombineSec;
+          Ctx.transfer(SectionOutKB, [&, SectionsJoinPtr](double) {
+            Ctx.Sim.after(Host.MessageSec,
+                          [SectionsJoinPtr] { SectionsJoinPtr->arrive(); });
+          });
+        });
+      });
+    };
+    Joins.push_back(std::make_unique<JoinCounter>(NumFns, Combine));
+    JoinCounter *FnJoin = Joins.back().get();
+
+    // Interpret the master's directives, then fork the function masters.
+    double DirectiveSec = Model.cMasterSec(DirectiveWorkPerFn * NumFns);
+    Ctx.cpu(0, DirectiveSec, [&, S, DirectiveSec, FnJoin, RunFunctionMaster] {
+      Stats.SectionCpuSec += DirectiveSec;
+      const auto &SectionTasks = Job.Sections[S];
+      for (unsigned F = 0; F != SectionTasks.size(); ++F) {
+        const FunctionTask *Task = &SectionTasks[F];
+        unsigned W = Assign.WsOf[S][F];
+        // The fork of each function master runs on the section master's
+        // machine (the user's workstation).
+        Ctx.cpu(0, Host.ForkSec, [&, Task, W, FnJoin, RunFunctionMaster] {
+          Stats.SectionCpuSec += Host.ForkSec;
+          RunFunctionMaster(Task, W, FnJoin);
+        });
+      }
+    });
+  };
+
+  // --- Master: fork the parse process, parse, schedule, fork sections.
+  Ctx.cpu(0, Host.ForkSec, [&, StartSection] {
+    Stats.MasterCpuSec += Host.ForkSec;
+    Ctx.startLisp(0, [&, StartSection](double StartupSec) {
+      Stats.StartupSec += StartupSec;
+      LispStep Parse;
+      Parse.WorkSec = Model.phase1Sec(Job.Phase1);
+      Parse.AllocKB = static_cast<double>(Job.Phase1.allocationKB());
+      Parse.LiveKB = Job.parseResidentKB() * 0.5;
+      Ctx.lispStep(0, Parse, [&, StartSection](StepCost Cost) {
+        // "Time for one extra parse of the program to determine
+        // partitioning" counts as master (implementation) overhead.
+        Stats.MasterCpuSec += Cost.computeSec();
+        Record("master: setup parse complete; scheduling " +
+               std::to_string(Job.numFunctions()) + " function(s)");
+        double SchedSec =
+            Model.cMasterSec(SchedWorkPerFn * Job.numFunctions());
+        Ctx.cpu(0, SchedSec, [&, SchedSec, StartSection] {
+          Stats.MasterCpuSec += SchedSec;
+          for (unsigned S = 0; S != NumSections; ++S) {
+            Ctx.cpu(0, Host.ForkSec, [&, S, StartSection] {
+              Stats.MasterCpuSec += Host.ForkSec;
+              StartSection(S);
+            });
+          }
+        });
+      });
+    });
+  });
+
+  Stats.ElapsedSec = Ctx.Sim.run();
+  Stats.NetWaitSec = Ctx.NetWaitSec;
+  Stats.PageWaitSec = Ctx.PageWaitSec;
+  return Stats;
+}
+
+OverheadBreakdown parallel::computeOverheads(const SeqStats &Seq,
+                                             const ParStats &Par,
+                                             unsigned NumFunctions) {
+  assert(NumFunctions > 0 && "overheads need at least one function");
+  OverheadBreakdown B;
+  B.ParElapsedSec = Par.ElapsedSec;
+  B.TotalSec = Par.ElapsedSec - Seq.ElapsedSec / NumFunctions;
+  B.ImplSec = Par.implOverheadSec();
+  B.SysSec = B.TotalSec - B.ImplSec;
+  return B;
+}

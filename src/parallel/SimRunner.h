@@ -1,0 +1,126 @@
+//===- SimRunner.h - Simulated compilation runs -----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a CompilationJob on the simulated 1989 host system, either
+/// sequentially (one Lisp process does everything — the paper's baseline)
+/// or with the paper's process hierarchy:
+///
+///   master (C, user's workstation)
+///     -> Lisp parse process (setup parse, later assembly/linking)
+///     -> one section master (C) per section
+///          -> one function master (Lisp) per function, distributed
+///             over the workstation network
+///
+/// "The only communication required is between a parent process and its
+/// children; processes on the same level of the hierarchy operate
+/// completely independent of each other" (Section 3.2). Synchronization
+/// is by messages; there is no shared memory.
+///
+/// The runner also produces the paper's overhead decomposition
+/// (Section 4.2.3): total overhead relative to the ideal k-fold speedup,
+/// split into implementation overhead (master + section master CPU,
+/// including the extra parse) and system overhead (startup, network,
+/// GC, file-server load) — the latter obtained by subtraction exactly as
+/// in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_SIMRUNNER_H
+#define WARPC_PARALLEL_SIMRUNNER_H
+
+#include "cluster/HostSystem.h"
+#include "parallel/CostModel.h"
+#include "parallel/Job.h"
+#include "parallel/Scheduler.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+
+/// Timing of one simulated sequential compilation.
+struct SeqStats {
+  double ElapsedSec = 0; ///< Wall clock ("user time" in the paper).
+  double CpuSec = 0;     ///< Processor time (mutator + GC).
+  double GCSec = 0;
+  double PageWaitSec = 0;
+  double StartupSec = 0;
+  double NetWaitSec = 0;
+};
+
+/// Timing of one simulated parallel compilation.
+struct ParStats {
+  double ElapsedSec = 0;
+
+  // Implementation overhead components (CPU of the coordination code).
+  double MasterCpuSec = 0;  ///< Setup parse + scheduling + forks.
+  double SectionCpuSec = 0; ///< Section masters: directives + combining.
+
+  // Function-master compute.
+  double FnCpuSec = 0; ///< Total mutator + GC over all function masters.
+  double FnGCSec = 0;
+
+  // System overhead components.
+  double StartupSec = 0; ///< Sum of per-process Lisp startup elapsed.
+  double NetWaitSec = 0; ///< Queueing on Ethernet + file server.
+  double PageWaitSec = 0;
+
+  unsigned ProcessorsUsed = 0;
+
+  /// The paper reports parallel CPU time per processor.
+  double perProcessorCpuSec() const {
+    return ProcessorsUsed ? FnCpuSec / ProcessorsUsed : 0;
+  }
+
+  double implOverheadSec() const { return MasterCpuSec + SectionCpuSec; }
+};
+
+/// The paper's overhead decomposition for a run of \p k functions.
+struct OverheadBreakdown {
+  double TotalSec = 0; ///< parallel elapsed - sequential elapsed / k.
+  double ImplSec = 0;  ///< master + section master CPU (incl. the parse).
+  double SysSec = 0;   ///< TotalSec - ImplSec (can be negative).
+  double ParElapsedSec = 0;
+
+  double relTotalPct() const {
+    return ParElapsedSec > 0 ? 100.0 * TotalSec / ParElapsedSec : 0;
+  }
+  double relSysPct() const {
+    return ParElapsedSec > 0 ? 100.0 * SysSec / ParElapsedSec : 0;
+  }
+};
+
+/// Simulates the sequential compiler on one workstation.
+SeqStats simulateSequential(const CompilationJob &Job,
+                            const cluster::HostConfig &Host,
+                            const CostModel &Model);
+
+/// One timestamped event of a simulated run (for timeline displays).
+struct TraceEvent {
+  double AtSec = 0;
+  std::string What;
+};
+
+/// Simulates the parallel compiler under \p Assign. When \p Trace is
+/// non-null, the run's milestones (parse, scheduling, every function
+/// master's start and finish, section combination, assembly) are
+/// appended in time order.
+ParStats simulateParallel(const CompilationJob &Job, const Assignment &Assign,
+                          const cluster::HostConfig &Host,
+                          const CostModel &Model,
+                          std::vector<TraceEvent> *Trace = nullptr);
+
+/// Computes the Section 4.2.3 decomposition; \p NumFunctions is k, the
+/// ideal speedup with one function per processor.
+OverheadBreakdown computeOverheads(const SeqStats &Seq, const ParStats &Par,
+                                   unsigned NumFunctions);
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_SIMRUNNER_H

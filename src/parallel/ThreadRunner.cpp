@@ -1,0 +1,105 @@
+//===- ThreadRunner.cpp - Real parallel compilation --------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadRunner.h"
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+ThreadRunResult parallel::compileModuleParallel(
+    const std::string &Source, const codegen::MachineModel &MM,
+    unsigned NumWorkers, const FailureInjector *InjectFailure) {
+  assert(NumWorkers > 0 && "need at least one worker");
+  ThreadRunResult Result;
+  Timer Total;
+
+  // Phase 1: the master parses and checks sequentially; errors abort the
+  // compilation here, before any parallel work starts.
+  Timer PhaseTimer;
+  driver::ParseResult Parsed = driver::parseAndCheck(Source);
+  Result.Phase1Sec = PhaseTimer.seconds();
+  Result.Module.Diags.merge(Parsed.Diags);
+  Result.Module.Phase1 = Parsed.Metrics;
+  if (!Parsed.succeeded()) {
+    Result.ElapsedSec = Total.seconds();
+    return Result;
+  }
+
+  // Build the task list: one (section, function) pair per function master.
+  struct Task {
+    const w2::SectionDecl *Section;
+    const w2::FunctionDecl *Function;
+  };
+  std::vector<Task> Tasks;
+  for (size_t S = 0; S != Parsed.Module->numSections(); ++S) {
+    const w2::SectionDecl *Section = Parsed.Module->getSection(S);
+    for (size_t F = 0; F != Section->numFunctions(); ++F)
+      Tasks.push_back(Task{Section, Section->getFunction(F)});
+  }
+
+  // Phases 2+3: a pool of function-master threads drains the task list
+  // first-come-first-served, one function per claim (the paper's
+  // scheduling strategy). Results land in declaration order.
+  PhaseTimer.restart();
+  std::vector<driver::FunctionResult> FnResults(Tasks.size());
+  std::atomic<size_t> NextTask{0};
+  unsigned Workers =
+      static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
+  Result.WorkersUsed = Workers;
+
+  std::vector<char> Produced(Tasks.size(), 0);
+  auto Worker = [&] {
+    while (true) {
+      size_t Index = NextTask.fetch_add(1);
+      if (Index >= Tasks.size())
+        return;
+      // A "failed" master vanishes without producing its result file.
+      if (InjectFailure && (*InjectFailure)(Index))
+        continue;
+      FnResults[Index] =
+          driver::compileFunction(*Tasks[Index].Section,
+                                  *Tasks[Index].Function, MM);
+      Produced[Index] = 1;
+    }
+  };
+  if (Workers <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  // Recovery: any function whose master died is recompiled here, on the
+  // master's own machine, before assembly starts.
+  for (size_t Index = 0; Index != Tasks.size(); ++Index) {
+    if (Produced[Index])
+      continue;
+    FnResults[Index] = driver::compileFunction(*Tasks[Index].Section,
+                                               *Tasks[Index].Function, MM);
+    ++Result.FunctionsRecovered;
+  }
+  Result.ParallelPhaseSec = PhaseTimer.seconds();
+
+  // Phase 4: the section masters combine results; the master links.
+  PhaseTimer.restart();
+  driver::assembleAndLink(*Parsed.Module, std::move(FnResults),
+                          Result.Module);
+  Result.Phase4Sec = PhaseTimer.seconds();
+
+  Result.Module.Succeeded = !Result.Module.Diags.hasErrors();
+  Result.ElapsedSec = Total.seconds();
+  return Result;
+}

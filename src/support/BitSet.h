@@ -1,0 +1,104 @@
+//===- BitSet.h - Dense bit vectors -----------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense fixed-universe bit vector for the classic iterative dataflow
+/// problems in opt/ (liveness, reaching definitions). Set operations work
+/// a word at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_BITSET_H
+#define WARPC_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+
+/// Fixed-size set of small integers backed by 64-bit words.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t Universe)
+      : NumBits(Universe), Words((Universe + 63) / 64, 0) {}
+
+  size_t universe() const { return NumBits; }
+
+  void set(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
+
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// This |= Other. Returns true when this set changed.
+  bool unionWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// This &= Other.
+  void intersectWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  /// This -= Other.
+  void subtract(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  friend bool operator==(const BitSet &A, const BitSet &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_BITSET_H

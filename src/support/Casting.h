@@ -1,0 +1,48 @@
+//===- Casting.h - isa/cast/dyn_cast ----------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. Classes opt in by providing a
+/// static classof(const Base *) predicate; compiler RTTI stays disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_CASTING_H
+#define WARPC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace warpc {
+
+/// Returns true if \p V is an instance of To. \p V must be non-null.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null when \p V is not a To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_CASTING_H

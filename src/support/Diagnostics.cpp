@@ -1,0 +1,47 @@
+//===- Diagnostics.cpp - Diagnostic engine --------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace warpc;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Note:
+    return "note";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  return Loc.str() + ": " + kindName(Kind) + ": " + Message;
+}
+
+void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Kind, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::merge(const DiagnosticEngine &Other) {
+  for (const Diagnostic &D : Other.Diags)
+    Diags.push_back(D);
+  NumErrors += Other.NumErrors;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

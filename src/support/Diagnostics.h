@@ -1,0 +1,76 @@
+//===- Diagnostics.h - Diagnostic engine ------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the W2 front end. Diagnostics are
+/// collected rather than printed so that the parallel compiler's section
+/// masters can combine the diagnostic output of many function masters,
+/// exactly as Section 3.2 of the paper requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_DIAGNOSTICS_H
+#define WARPC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Note, Warning, Error };
+
+/// One diagnostic message tied to a source location.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "loc: severity: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+///
+/// The engine deliberately has value semantics so that each function master
+/// owns an independent engine; merge() implements the section master's
+/// "combine the diagnostic output" step.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+
+  /// Convenience wrappers for the common severities.
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Appends all diagnostics of \p Other, preserving their order. Used by
+  /// section masters to combine function-master output.
+  void merge(const DiagnosticEngine &Other);
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_DIAGNOSTICS_H

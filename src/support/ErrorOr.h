@@ -1,0 +1,100 @@
+//===- ErrorOr.h - Result-or-error utility ----------------------*- C++ -*-===//
+//
+// Part of the warpc project: a reproduction of "Parallel Compilation for a
+// Parallel Machine" (Gross, Zobel, Zolg; PLDI 1989).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight result-or-error type used throughout the library for
+/// recoverable errors (malformed source programs, bad configuration).
+/// Programmatic errors are handled with assert, following the LLVM
+/// error-handling philosophy; exceptions and RTTI are not used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_ERROROR_H
+#define WARPC_SUPPORT_ERROROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace warpc {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// Messages follow the convention of starting with a lowercase letter and
+/// omitting a trailing period, so they compose well after "error: ".
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Holds either a value of type \p T or an Error describing why the value
+/// could not be produced.
+///
+/// Typical usage:
+/// \code
+///   ErrorOr<Module> M = parseModule(Source);
+///   if (!M)
+///     return M.takeError();
+///   use(*M);
+/// \endcode
+template <typename T> class ErrorOr {
+public:
+  /// Construct a success value.
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+
+  /// Construct a failure value.
+  ErrorOr(Error Err) : Storage(std::move(Err)) {}
+
+  /// Returns true when a value is present.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  /// Returns the contained value. Must only be called on success values.
+  T &operator*() {
+    assert(*this && "dereferencing an ErrorOr in error state");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an ErrorOr in error state");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Returns the error. Must only be called on failure values.
+  const Error &getError() const {
+    assert(!*this && "no error present");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the error out, for propagation to the caller.
+  Error takeError() {
+    assert(!*this && "no error present");
+    return std::move(std::get<Error>(Storage));
+  }
+
+  /// Moves the value out of a success result.
+  T takeValue() {
+    assert(*this && "no value present");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Creates an Error from a message, mirroring llvm::createStringError.
+inline Error makeError(std::string Message) { return Error(std::move(Message)); }
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_ERROROR_H

@@ -1,0 +1,70 @@
+//===- PRNG.cpp - Deterministic pseudo-random numbers ---------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PRNG.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace warpc;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void PRNG::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t PRNG::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double PRNG::uniform() {
+  // 53 bits of mantissa gives a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double PRNG::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "inverted uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t PRNG::below(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  while (true) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+double PRNG::exponential(double Mean) {
+  assert(Mean > 0 && "mean must be positive");
+  double U = uniform();
+  // Guard against log(0).
+  if (U <= 0)
+    U = 0x1.0p-53;
+  return -Mean * std::log(U);
+}

@@ -1,0 +1,52 @@
+//===- PRNG.h - Deterministic pseudo-random numbers -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64 seeded xoshiro256**) used by the
+/// cluster simulator for Ethernet collision backoff and measurement jitter,
+/// and by the workload generator. We avoid <random> so that the simulation
+/// is bit-reproducible across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_PRNG_H
+#define WARPC_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace warpc {
+
+/// Deterministic 64-bit PRNG with a convenient scalar API.
+class PRNG {
+public:
+  explicit PRNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns an integer uniformly distributed in [0, Bound). \p Bound must
+  /// be nonzero.
+  uint64_t below(uint64_t Bound);
+
+  /// Returns an exponentially distributed value with the given mean.
+  double exponential(double Mean);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_PRNG_H

@@ -1,0 +1,45 @@
+//===- SourceLoc.h - Source locations --------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations used by the W2 front end and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_SOURCELOC_H
+#define WARPC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace warpc {
+
+/// A position in a W2 source buffer. Lines and columns are 1-based; the
+/// default-constructed location is invalid and prints as "<unknown>".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders the location as "line:column" for diagnostics.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,59 @@
+//===- Stats.cpp - Summary statistics -------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace warpc;
+
+void Summary::add(double Sample) { Samples.push_back(Sample); }
+
+double Summary::mean() const {
+  assert(!Samples.empty() && "mean of an empty summary");
+  double Sum = 0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double Summary::min() const {
+  assert(!Samples.empty() && "min of an empty summary");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double Summary::max() const {
+  assert(!Samples.empty() && "max of an empty summary");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double Summary::stddev() const {
+  if (Samples.size() < 2)
+    return 0;
+  double M = mean();
+  double Acc = 0;
+  for (double S : Samples)
+    Acc += (S - M) * (S - M);
+  return std::sqrt(Acc / static_cast<double>(Samples.size() - 1));
+}
+
+double Summary::maxRelativeDeviation() const {
+  assert(!Samples.empty() && "deviation of an empty summary");
+  double M = mean();
+  if (M == 0)
+    return 0;
+  double Worst = 0;
+  for (double S : Samples)
+    Worst = std::max(Worst, std::fabs(S - M) / std::fabs(M));
+  return Worst;
+}
+
+double warpc::speedup(double Baseline, double Improved) {
+  assert(Improved > 0 && "speedup with nonpositive improved time");
+  return Baseline / Improved;
+}

@@ -1,0 +1,55 @@
+//===- Stats.h - Summary statistics -----------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over repeated measurements. The paper runs each test
+/// multiple times and reports the arithmetic mean, noting deviations within
+/// 10% of the average (Section 4.2); Summary reproduces that methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_STATS_H
+#define WARPC_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace warpc {
+
+/// Accumulates samples and reports mean / min / max / standard deviation.
+class Summary {
+public:
+  void add(double Sample);
+
+  size_t count() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Sample standard deviation (N-1 denominator); zero for fewer than two
+  /// samples.
+  double stddev() const;
+
+  /// Largest |sample - mean| / mean, the paper's "deviation of the
+  /// individual measurements ... within 10% of the average" check. Returns
+  /// zero when the mean is zero.
+  double maxRelativeDeviation() const;
+
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  std::vector<double> Samples;
+};
+
+/// Returns speedup = \p Baseline / \p Improved; asserts on nonpositive
+/// improved time.
+double speedup(double Baseline, double Improved);
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_STATS_H

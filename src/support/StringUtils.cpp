@@ -1,0 +1,73 @@
+//===- StringUtils.cpp - String helpers -----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace warpc;
+
+std::vector<std::string> warpc::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view warpc::trim(std::string_view Text) {
+  const char *WS = " \t\r\n";
+  size_t First = Text.find_first_not_of(WS);
+  if (First == std::string_view::npos)
+    return {};
+  size_t Last = Text.find_last_not_of(WS);
+  return Text.substr(First, Last - First + 1);
+}
+
+bool warpc::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool warpc::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string warpc::join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string warpc::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string warpc::padLeft(std::string Text, size_t Width) {
+  if (Text.size() < Width)
+    Text.insert(Text.begin(), Width - Text.size(), ' ');
+  return Text;
+}
+
+std::string warpc::padRight(std::string Text, size_t Width) {
+  if (Text.size() < Width)
+    Text.append(Width - Text.size(), ' ');
+  return Text;
+}

@@ -1,0 +1,48 @@
+//===- StringUtils.h - String helpers ---------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the front end, the assembler and the
+/// bench harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_STRINGUTILS_H
+#define WARPC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision);
+
+/// Left-pads \p Text with spaces to at least \p Width characters.
+std::string padLeft(std::string Text, size_t Width);
+
+/// Right-pads \p Text with spaces to at least \p Width characters.
+std::string padRight(std::string Text, size_t Width);
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,63 @@
+//===- TextTable.cpp - Aligned text tables --------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warpc;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addRow(const std::string &Label,
+                       const std::vector<double> &Values, int Precision) {
+  std::vector<std::string> Cells;
+  Cells.push_back(Label);
+  for (double V : Values)
+    Cells.push_back(formatDouble(V, Precision));
+  addRow(std::move(Cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      // Left-align the first column (labels), right-align numbers.
+      Line += I == 0 ? padRight(Row[I], Widths[I]) : padLeft(Row[I], Widths[I]);
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  Total += 2 * (Widths.size() - 1);
+  Out += std::string(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

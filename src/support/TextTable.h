@@ -1,0 +1,44 @@
+//===- TextTable.h - Aligned text tables ------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned text tables. Every bench binary regenerating one of the
+/// paper's figures prints its data series through this class so the output
+/// is uniform and easy to diff against EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_TEXTTABLE_H
+#define WARPC_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+
+/// A simple column-aligned table with a header row.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends a row; the number of cells must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats doubles with \p Precision decimals.
+  void addRow(const std::string &Label, const std::vector<double> &Values,
+              int Precision = 2);
+
+  /// Renders the table with a separator under the header.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_TEXTTABLE_H

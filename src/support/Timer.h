@@ -1,0 +1,40 @@
+//===- Timer.h - Wall-clock timing ------------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer used by the real-thread execution engine and the
+/// microbenchmarks. The 1989 reproductions use simulated time instead
+/// (see cluster/Simulation.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_TIMER_H
+#define WARPC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace warpc {
+
+/// Measures elapsed wall-clock seconds from construction or restart().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since the last restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_TIMER_H

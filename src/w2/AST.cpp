@@ -1,0 +1,191 @@
+//===- AST.cpp - W2 abstract syntax tree ----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/AST.h"
+
+using namespace warpc;
+using namespace warpc::w2;
+
+std::string Type::str() const {
+  const char *Base = "void";
+  if (Scalar == ScalarKind::Int)
+    Base = "int";
+  else if (Scalar == ScalarKind::Float)
+    Base = "float";
+  if (!isArray())
+    return Base;
+  return std::string(Base) + "[" + std::to_string(ArraySize) + "]";
+}
+
+const char *w2::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LOr:
+    return "||";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::EQ:
+    return "==";
+  case BinaryOp::NE:
+    return "!=";
+  case BinaryOp::LT:
+    return "<";
+  case BinaryOp::LE:
+    return "<=";
+  case BinaryOp::GT:
+    return ">";
+  case BinaryOp::GE:
+    return ">=";
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  }
+  return "?";
+}
+
+const char *w2::channelName(Channel C) { return C == Channel::X ? "X" : "Y"; }
+
+FunctionDecl *SectionDecl::lookup(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+size_t ModuleDecl::numFunctions() const {
+  size_t N = 0;
+  for (const auto &S : Sections)
+    N += S->numFunctions();
+  return N;
+}
+
+namespace {
+
+/// Walks a function body accumulating node counts and loop statistics.
+class AstWalker {
+public:
+  uint64_t Nodes = 0;
+  uint32_t MaxDepth = 0;
+  uint32_t Loops = 0;
+
+  void walkStmt(const Stmt *S, uint32_t Depth) {
+    if (!S)
+      return;
+    ++Nodes;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      const auto *B = cast<BlockStmt>(S);
+      for (const auto &Child : B->stmts())
+        walkStmt(Child.get(), Depth);
+      return;
+    }
+    case Stmt::Kind::Decl:
+      walkExpr(cast<DeclStmt>(S)->getDecl()->getInit());
+      return;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      walkExpr(A->getTarget());
+      walkExpr(A->getValue());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      walkExpr(I->getCond());
+      walkStmt(I->getThen(), Depth);
+      walkStmt(I->getElse(), Depth);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      ++Loops;
+      MaxDepth = std::max(MaxDepth, Depth + 1);
+      walkExpr(F->getLo());
+      walkExpr(F->getHi());
+      walkStmt(F->getBody(), Depth + 1);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      ++Loops;
+      MaxDepth = std::max(MaxDepth, Depth + 1);
+      walkExpr(W->getCond());
+      walkStmt(W->getBody(), Depth + 1);
+      return;
+    }
+    case Stmt::Kind::Return:
+      walkExpr(cast<ReturnStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::Send:
+      walkExpr(cast<SendStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::Receive:
+      walkExpr(cast<ReceiveStmt>(S)->getTarget());
+      return;
+    case Stmt::Kind::ExprStmt:
+      walkExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    }
+  }
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    ++Nodes;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::VarRef:
+      return;
+    case Expr::Kind::Index:
+      walkExpr(cast<IndexExpr>(E)->getIndex());
+      return;
+    case Expr::Kind::Unary:
+      walkExpr(cast<UnaryExpr>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      walkExpr(B->getLHS());
+      walkExpr(B->getRHS());
+      return;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      for (size_t I = 0, N = C->getNumArgs(); I != N; ++I)
+        walkExpr(C->getArg(I));
+      return;
+    }
+    case Expr::Kind::Cast:
+      walkExpr(cast<CastExpr>(E)->getOperand());
+      return;
+    }
+  }
+};
+
+} // namespace
+
+uint64_t w2::countAstNodes(const FunctionDecl &F) {
+  AstWalker W;
+  W.walkStmt(F.getBody(), 0);
+  return W.Nodes;
+}
+
+uint32_t w2::maxLoopDepth(const FunctionDecl &F) {
+  AstWalker W;
+  W.walkStmt(F.getBody(), 0);
+  return W.MaxDepth;
+}
+
+uint32_t w2::countLoops(const FunctionDecl &F) {
+  AstWalker W;
+  W.walkStmt(F.getBody(), 0);
+  return W.Loops;
+}

@@ -1,0 +1,664 @@
+//===- AST.h - W2 abstract syntax tree --------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the W2-like language. The tree mirrors the
+/// structure of a Warp program described in Section 3.1 of the paper:
+/// a module consists of section programs, each section program contains
+/// one or more functions, and section programs execute independently on
+/// groups of processing cells.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_AST_H
+#define WARPC_W2_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace w2 {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar kinds of the W2 type system.
+enum class ScalarKind { Int, Float, Void };
+
+/// A W2 type: a scalar, or a one-dimensional array of a scalar. Warp cell
+/// memories are small and the language keeps arrays one-dimensional with
+/// static extents.
+class Type {
+public:
+  Type() : Scalar(ScalarKind::Void), ArraySize(0) {}
+
+  static Type intTy() { return Type(ScalarKind::Int, 0); }
+  static Type floatTy() { return Type(ScalarKind::Float, 0); }
+  static Type voidTy() { return Type(ScalarKind::Void, 0); }
+  static Type arrayTy(ScalarKind Elem, uint32_t Size) {
+    assert(Elem != ScalarKind::Void && "array of void");
+    assert(Size > 0 && "zero-sized array");
+    return Type(Elem, Size);
+  }
+
+  bool isArray() const { return ArraySize != 0; }
+  bool isInt() const { return !isArray() && Scalar == ScalarKind::Int; }
+  bool isFloat() const { return !isArray() && Scalar == ScalarKind::Float; }
+  bool isVoid() const { return !isArray() && Scalar == ScalarKind::Void; }
+  bool isScalarNumeric() const { return isInt() || isFloat(); }
+
+  ScalarKind scalar() const { return Scalar; }
+  uint32_t arraySize() const { return ArraySize; }
+
+  /// The scalar type of an array's elements.
+  Type elementType() const {
+    assert(isArray() && "elementType of non-array");
+    return Type(Scalar, 0);
+  }
+
+  /// Renders "int", "float", "float[64]", "void".
+  std::string str() const;
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.Scalar == B.Scalar && A.ArraySize == B.ArraySize;
+  }
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+
+private:
+  Type(ScalarKind Scalar, uint32_t ArraySize)
+      : Scalar(Scalar), ArraySize(ArraySize) {}
+
+  ScalarKind Scalar;
+  uint32_t ArraySize;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all W2 expressions. The semantic checker annotates every
+/// expression with its type and inserts explicit CastExpr nodes for the
+/// implicit int-to-float widenings, so lowering never needs to coerce.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    VarRef,
+    Index,
+    Unary,
+    Binary,
+    Call,
+    Cast,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Type assigned by Sema; Void until semantic checking runs.
+  Type getType() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+protected:
+  Expr(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+  Type Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  int64_t getValue() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A floating-point literal.
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(SourceLoc Loc, double Value)
+      : Expr(Kind::FloatLit, Loc), Value(Value) {}
+
+  double getValue() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::FloatLit; }
+
+private:
+  double Value;
+};
+
+/// A reference to a scalar variable, parameter, or whole array.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// An array element access a[i].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, std::string BaseName, ExprPtr Index)
+      : Expr(Kind::Index, Loc), BaseName(std::move(BaseName)),
+        Index(std::move(Index)) {}
+
+  const std::string &getBaseName() const { return BaseName; }
+  Expr *getIndex() const { return Index.get(); }
+  /// Owning slot of the index, for AST rewriters (Sema, the inliner).
+  ExprPtr &indexSlot() { return Index; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Index; }
+
+private:
+  std::string BaseName;
+  ExprPtr Index;
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Operand)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp getOp() const { return Op; }
+  Expr *getOperand() const { return Operand.get(); }
+  ExprPtr takeOperand() { return std::move(Operand); }
+  /// Owning slot of the operand, for AST rewriters.
+  ExprPtr &operandSlot() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+/// Binary operators in increasing precedence groups.
+enum class BinaryOp {
+  LOr,
+  LAnd,
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+};
+
+/// Returns the operator's source spelling ("+", "&&", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS.get(); }
+  Expr *getRHS() const { return RHS.get(); }
+
+  /// Replaces an operand (used by Sema to wrap operands in casts).
+  void setLHS(ExprPtr E) { LHS = std::move(E); }
+  void setRHS(ExprPtr E) { RHS = std::move(E); }
+  ExprPtr takeLHS() { return std::move(LHS); }
+  ExprPtr takeRHS() { return std::move(RHS); }
+  /// Owning slots, for AST rewriters.
+  ExprPtr &lhsSlot() { return LHS; }
+  ExprPtr &rhsSlot() { return RHS; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// A call to another function in the same section, or to the sqrt/abs
+/// intrinsics.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &getCallee() const { return Callee; }
+  size_t getNumArgs() const { return Args.size(); }
+  Expr *getArg(size_t I) const { return Args[I].get(); }
+  void setArg(size_t I, ExprPtr E) { Args[I] = std::move(E); }
+  ExprPtr takeArg(size_t I) { return std::move(Args[I]); }
+  /// Owning slot of argument \p I, for AST rewriters.
+  ExprPtr &argSlot(size_t I) { return Args[I]; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// An implicit conversion made explicit by Sema. Only int-to-float
+/// widening exists in W2.
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, ExprPtr Operand)
+      : Expr(Kind::Cast, Loc), Operand(std::move(Operand)) {
+    setType(Type::floatTy());
+  }
+
+  Expr *getOperand() const { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Cast; }
+
+private:
+  ExprPtr Operand;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class VarDecl;
+
+/// Base class of all W2 statements.
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    Decl,
+    Assign,
+    If,
+    For,
+    While,
+    Return,
+    Send,
+    Receive,
+    ExprStmt,
+  };
+
+  virtual ~Stmt() = default;
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Stmt(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A brace-enclosed statement list introducing a scope.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<StmtPtr> Stmts)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  size_t size() const { return Stmts.size(); }
+  Stmt *get(size_t I) const { return Stmts[I].get(); }
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  /// Mutable statement list, for AST rewriters (the inliner splices
+  /// expansion prefixes here).
+  std::vector<StmtPtr> &stmtsMutable() { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// A local variable declaration with optional initializer.
+class VarDecl {
+public:
+  VarDecl(SourceLoc Loc, std::string Name, Type Ty, ExprPtr Init)
+      : Loc(Loc), Name(std::move(Name)), Ty(Ty), Init(std::move(Init)) {}
+
+  SourceLoc getLoc() const { return Loc; }
+  const std::string &getName() const { return Name; }
+  Type getType() const { return Ty; }
+  Expr *getInit() const { return Init.get(); }
+  void setInit(ExprPtr E) { Init = std::move(E); }
+  ExprPtr takeInit() { return std::move(Init); }
+  /// Owning slot of the initializer, for AST rewriters.
+  ExprPtr &initSlot() { return Init; }
+
+private:
+  SourceLoc Loc;
+  std::string Name;
+  Type Ty;
+  ExprPtr Init;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, std::unique_ptr<VarDecl> Decl)
+      : Stmt(Kind::Decl, Loc), Decl(std::move(Decl)) {}
+
+  VarDecl *getDecl() const { return Decl.get(); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+
+private:
+  std::unique_ptr<VarDecl> Decl;
+};
+
+/// An assignment to a scalar variable or array element. The target is a
+/// VarRefExpr or IndexExpr.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(SourceLoc Loc, ExprPtr Target, ExprPtr Value)
+      : Stmt(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+
+  Expr *getTarget() const { return Target.get(); }
+  Expr *getValue() const { return Value.get(); }
+  void setValue(ExprPtr E) { Value = std::move(E); }
+  ExprPtr takeValue() { return std::move(Value); }
+  /// Owning slots, for AST rewriters.
+  ExprPtr &targetSlot() { return Target; }
+  ExprPtr &valueSlot() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  ExprPtr Target, Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *getCond() const { return Cond.get(); }
+  Stmt *getThen() const { return Then.get(); }
+  Stmt *getElse() const { return Else.get(); }
+  /// Owning slot of the condition, for AST rewriters.
+  ExprPtr &condSlot() { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+/// A counted loop: "for i = lo to hi [by step] { ... }". The induction
+/// variable is an implicitly declared int, scoped to the loop body; "by"
+/// takes a (possibly negative) integer literal step, defaulting to 1.
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, std::string IndVar, ExprPtr Lo, ExprPtr Hi,
+          int64_t Step, StmtPtr Body)
+      : Stmt(Kind::For, Loc), IndVar(std::move(IndVar)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Step(Step), Body(std::move(Body)) {}
+
+  const std::string &getIndVar() const { return IndVar; }
+  Expr *getLo() const { return Lo.get(); }
+  Expr *getHi() const { return Hi.get(); }
+  int64_t getStep() const { return Step; }
+  Stmt *getBody() const { return Body.get(); }
+  /// Owning slots of the bounds, for AST rewriters.
+  ExprPtr &loSlot() { return Lo; }
+  ExprPtr &hiSlot() { return Hi; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+
+private:
+  std::string IndVar;
+  ExprPtr Lo, Hi;
+  int64_t Step;
+  StmtPtr Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  Expr *getCond() const { return Cond.get(); }
+  Stmt *getBody() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  Expr *getValue() const { return Value.get(); }
+  void setValue(ExprPtr E) { Value = std::move(E); }
+  ExprPtr takeValue() { return std::move(Value); }
+  /// Owning slot of the returned value, for AST rewriters.
+  ExprPtr &valueSlot() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+/// The systolic communication channels of a Warp cell.
+enum class Channel { X, Y };
+
+/// Returns "X" or "Y".
+const char *channelName(Channel C);
+
+/// "send(X, expr);" — enqueue a value on an output channel.
+class SendStmt : public Stmt {
+public:
+  SendStmt(SourceLoc Loc, Channel Chan, ExprPtr Value)
+      : Stmt(Kind::Send, Loc), Chan(Chan), Value(std::move(Value)) {}
+
+  Channel getChannel() const { return Chan; }
+  Expr *getValue() const { return Value.get(); }
+  void setValue(ExprPtr E) { Value = std::move(E); }
+  ExprPtr takeValue() { return std::move(Value); }
+  /// Owning slot of the sent value, for AST rewriters.
+  ExprPtr &valueSlot() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Send; }
+
+private:
+  Channel Chan;
+  ExprPtr Value;
+};
+
+/// "receive(X, lvalue);" — dequeue a value from an input channel.
+class ReceiveStmt : public Stmt {
+public:
+  ReceiveStmt(SourceLoc Loc, Channel Chan, ExprPtr Target)
+      : Stmt(Kind::Receive, Loc), Chan(Chan), Target(std::move(Target)) {}
+
+  Channel getChannel() const { return Chan; }
+  Expr *getTarget() const { return Target.get(); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Receive; }
+
+private:
+  Channel Chan;
+  ExprPtr Target;
+};
+
+/// A call evaluated for its side effects.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, ExprPtr E)
+      : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+
+  Expr *getExpr() const { return E.get(); }
+  /// Owning slot of the expression, for AST rewriters.
+  ExprPtr &exprSlot() { return E; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::ExprStmt; }
+
+private:
+  ExprPtr E;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A formal parameter. Array parameters are passed by reference into the
+/// cell's local memory.
+struct ParamDecl {
+  SourceLoc Loc;
+  std::string Name;
+  Type Ty;
+};
+
+/// One W2 function. Functions are the unit of parallel compilation: each
+/// function master compiles exactly one of these (paper Section 3.2).
+class FunctionDecl {
+public:
+  FunctionDecl(SourceLoc Loc, std::string Name, std::vector<ParamDecl> Params,
+               Type RetTy, std::unique_ptr<BlockStmt> Body, SourceLoc EndLoc)
+      : Loc(Loc), EndLoc(EndLoc), Name(std::move(Name)),
+        Params(std::move(Params)), RetTy(RetTy), Body(std::move(Body)) {}
+
+  SourceLoc getLoc() const { return Loc; }
+  SourceLoc getEndLoc() const { return EndLoc; }
+  const std::string &getName() const { return Name; }
+  const std::vector<ParamDecl> &params() const { return Params; }
+  Type getReturnType() const { return RetTy; }
+  BlockStmt *getBody() const { return Body.get(); }
+
+  /// Source lines spanned by the function, the paper's rough size metric
+  /// ("we use the number of lines as a rough indication of the size").
+  uint32_t lineCount() const {
+    if (!Loc.isValid() || !EndLoc.isValid() || EndLoc.Line < Loc.Line)
+      return 1;
+    return EndLoc.Line - Loc.Line + 1;
+  }
+
+private:
+  SourceLoc Loc, EndLoc;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  Type RetTy;
+  std::unique_ptr<BlockStmt> Body;
+};
+
+/// One section program: a group of cells running the contained functions.
+class SectionDecl {
+public:
+  SectionDecl(SourceLoc Loc, std::string Name, uint32_t NumCells)
+      : Loc(Loc), Name(std::move(Name)), NumCells(NumCells) {}
+
+  SourceLoc getLoc() const { return Loc; }
+  const std::string &getName() const { return Name; }
+  uint32_t getNumCells() const { return NumCells; }
+
+  void addFunction(std::unique_ptr<FunctionDecl> F) {
+    Functions.push_back(std::move(F));
+  }
+  size_t numFunctions() const { return Functions.size(); }
+  FunctionDecl *getFunction(size_t I) const { return Functions[I].get(); }
+
+  /// Removes the function at \p I (used by the inliner to drop helpers
+  /// whose every call was expanded).
+  void removeFunction(size_t I) {
+    assert(I < Functions.size() && "function index out of range");
+    Functions.erase(Functions.begin() +
+                    static_cast<std::ptrdiff_t>(I));
+  }
+
+  /// Finds a function by name; null if absent.
+  FunctionDecl *lookup(const std::string &Name) const;
+
+private:
+  SourceLoc Loc;
+  std::string Name;
+  uint32_t NumCells;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+/// A whole W2 module, the unit the user asks the compiler to translate.
+class ModuleDecl {
+public:
+  explicit ModuleDecl(SourceLoc Loc, std::string Name)
+      : Loc(Loc), Name(std::move(Name)) {}
+
+  SourceLoc getLoc() const { return Loc; }
+  const std::string &getName() const { return Name; }
+
+  void addSection(std::unique_ptr<SectionDecl> S) {
+    Sections.push_back(std::move(S));
+  }
+  size_t numSections() const { return Sections.size(); }
+  SectionDecl *getSection(size_t I) const { return Sections[I].get(); }
+
+  /// Total number of functions across all sections.
+  size_t numFunctions() const;
+
+private:
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<std::unique_ptr<SectionDecl>> Sections;
+};
+
+//===----------------------------------------------------------------------===//
+// AST utilities
+//===----------------------------------------------------------------------===//
+
+/// Counts every Expr and Stmt node in a function body; a phase-1 work
+/// metric for the cost model.
+uint64_t countAstNodes(const FunctionDecl &F);
+
+/// Maximum loop nesting depth of a function body. Together with the line
+/// count this drives the paper's Section 4.3 load-balancing heuristic
+/// ("a combination of lines of code and loop nesting can serve as
+/// approximation of the compilation time").
+uint32_t maxLoopDepth(const FunctionDecl &F);
+
+/// Total number of loops in a function body.
+uint32_t countLoops(const FunctionDecl &F);
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_AST_H

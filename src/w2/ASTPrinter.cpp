@@ -1,0 +1,232 @@
+//===- ASTPrinter.cpp - W2 source printer -----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/ASTPrinter.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+/// Binding power used to decide parenthesization; mirrors the parser's
+/// precedence table.
+int precedenceOf(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LOr:
+    return 1;
+  case BinaryOp::LAnd:
+    return 2;
+  case BinaryOp::EQ:
+  case BinaryOp::NE:
+    return 3;
+  case BinaryOp::LT:
+  case BinaryOp::LE:
+  case BinaryOp::GT:
+  case BinaryOp::GE:
+    return 4;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 5;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    return 6;
+  }
+  return 0;
+}
+
+std::string renderFloat(double Value) {
+  // Always keep a decimal point so the literal re-lexes as a float.
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%g", Value);
+  std::string Text = Buffer;
+  if (Text.find('.') == std::string::npos &&
+      Text.find('e') == std::string::npos &&
+      Text.find("inf") == std::string::npos &&
+      Text.find("nan") == std::string::npos)
+    Text += ".0";
+  return Text;
+}
+
+/// Prints \p E, parenthesizing when its binding is looser than the
+/// context's minimum precedence.
+std::string render(const Expr &E, int MinPrec) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(&E)->getValue());
+  case Expr::Kind::FloatLit:
+    return renderFloat(cast<FloatLitExpr>(&E)->getValue());
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(&E)->getName();
+  case Expr::Kind::Index: {
+    const auto *Idx = cast<IndexExpr>(&E);
+    return Idx->getBaseName() + "[" + render(*Idx->getIndex(), 1) + "]";
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    // W2 has no unary-minus-literal fusion pitfalls, but "- -x" must not
+    // fuse into "--x" (no such token exists; still keep a space).
+    const char *Op = U->getOp() == UnaryOp::Neg ? "-" : "!";
+    return std::string(Op) + render(*U->getOperand(), 7);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    int Prec = precedenceOf(B->getOp());
+    // Left associative: the right child needs strictly tighter binding.
+    std::string Text = render(*B->getLHS(), Prec) + " " +
+                       binaryOpSpelling(B->getOp()) + " " +
+                       render(*B->getRHS(), Prec + 1);
+    if (Prec < MinPrec)
+      return "(" + Text + ")";
+    return Text;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    std::string Text = C->getCallee() + "(";
+    for (size_t A = 0; A != C->getNumArgs(); ++A) {
+      if (A != 0)
+        Text += ", ";
+      Text += render(*C->getArg(A), 1);
+    }
+    return Text + ")";
+  }
+  case Expr::Kind::Cast:
+    // Implicit in source.
+    return render(*cast<CastExpr>(&E)->getOperand(), MinPrec);
+  }
+  return "?";
+}
+
+class StmtPrinter {
+public:
+  std::string Out;
+
+  void line(unsigned Indent, const std::string &Text) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  void printStmt(const Stmt *S, unsigned Indent) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+        printStmt(Child.get(), Indent);
+      return;
+    case Stmt::Kind::Decl: {
+      const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      std::string Text =
+          "var " + D->getName() + ": " + D->getType().str();
+      if (D->getInit())
+        Text += " = " + render(*D->getInit(), 1);
+      line(Indent, Text + ";");
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      line(Indent, render(*A->getTarget(), 1) + " = " +
+                       render(*A->getValue(), 1) + ";");
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      line(Indent, "if (" + render(*I->getCond(), 1) + ") {");
+      printStmt(I->getThen(), Indent + 1);
+      if (I->getElse()) {
+        line(Indent, "} else {");
+        printStmt(I->getElse(), Indent + 1);
+      }
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      std::string Head = "for " + F->getIndVar() + " = " +
+                         render(*F->getLo(), 1) + " to " +
+                         render(*F->getHi(), 1);
+      if (F->getStep() != 1)
+        Head += " by " + std::to_string(F->getStep());
+      line(Indent, Head + " {");
+      printStmt(F->getBody(), Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      line(Indent, "while (" + render(*W->getCond(), 1) + ") {");
+      printStmt(W->getBody(), Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->getValue())
+        line(Indent, "return " + render(*R->getValue(), 1) + ";");
+      else
+        line(Indent, "return;");
+      return;
+    }
+    case Stmt::Kind::Send: {
+      const auto *Send = cast<SendStmt>(S);
+      line(Indent, std::string("send(") + channelName(Send->getChannel()) +
+                       ", " + render(*Send->getValue(), 1) + ");");
+      return;
+    }
+    case Stmt::Kind::Receive: {
+      const auto *Recv = cast<ReceiveStmt>(S);
+      line(Indent, std::string("receive(") +
+                       channelName(Recv->getChannel()) + ", " +
+                       render(*Recv->getTarget(), 1) + ");");
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      line(Indent, render(*cast<ExprStmt>(S)->getExpr(), 1) + ";");
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::string w2::printExpr(const Expr &E) { return render(E, 1); }
+
+std::string w2::printFunction(const FunctionDecl &F) {
+  std::string Out = "function " + F.getName() + "(";
+  for (size_t P = 0; P != F.params().size(); ++P) {
+    if (P != 0)
+      Out += ", ";
+    Out += F.params()[P].Name + ": " + F.params()[P].Ty.str();
+  }
+  Out += ")";
+  if (!F.getReturnType().isVoid())
+    Out += ": " + F.getReturnType().str();
+  Out += " {\n";
+  StmtPrinter Printer;
+  Printer.printStmt(F.getBody(), 1);
+  Out += Printer.Out;
+  Out += "}\n";
+  return Out;
+}
+
+std::string w2::printModule(const ModuleDecl &Module) {
+  std::string Out = "module " + Module.getName() + ";\n";
+  for (size_t S = 0; S != Module.numSections(); ++S) {
+    const SectionDecl *Section = Module.getSection(S);
+    Out += "section " + Section->getName();
+    if (Section->getNumCells() != 1)
+      Out += " cells " + std::to_string(Section->getNumCells());
+    Out += " {\n";
+    for (size_t F = 0; F != Section->numFunctions(); ++F)
+      Out += printFunction(*Section->getFunction(F));
+    Out += "}\n";
+  }
+  return Out;
+}

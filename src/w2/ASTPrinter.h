@@ -1,0 +1,38 @@
+//===- ASTPrinter.h - W2 source printer -------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an AST back as W2 source text. The output re-parses to an
+/// equivalent tree (round-trip tested), which lets AST-level transforms
+/// like the inliner compose with any consumer that takes source text
+/// (the thread runner, the job builder, the CLI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_ASTPRINTER_H
+#define WARPC_W2_ASTPRINTER_H
+
+#include "w2/AST.h"
+
+#include <string>
+
+namespace warpc {
+namespace w2 {
+
+/// Renders a whole module as compilable W2 source. Sema-inserted casts
+/// print as their operand (they are implicit in the source language).
+std::string printModule(const ModuleDecl &Module);
+
+/// Renders one function (used by tests and dumps).
+std::string printFunction(const FunctionDecl &F);
+
+/// Renders one expression with minimal parentheses.
+std::string printExpr(const Expr &E);
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_ASTPRINTER_H

@@ -1,0 +1,599 @@
+//===- Inliner.cpp - Procedure inlining --------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Inliner.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Cloning with renaming
+//===----------------------------------------------------------------------===//
+
+/// Maps callee-scope names (parameters, locals, induction variables) to
+/// the fresh names they get inside the caller.
+using RenameMap = std::map<std::string, std::string>;
+
+std::string renamed(const RenameMap &Rename, const std::string &Name) {
+  auto It = Rename.find(Name);
+  return It == Rename.end() ? Name : It->second;
+}
+
+ExprPtr cloneExpr(const Expr *E, const RenameMap &Rename);
+
+StmtPtr cloneStmt(const Stmt *S, const RenameMap &Rename);
+
+ExprPtr cloneExpr(const Expr *E, const RenameMap &Rename) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return std::make_unique<IntLitExpr>(E->getLoc(),
+                                        cast<IntLitExpr>(E)->getValue());
+  case Expr::Kind::FloatLit:
+    return std::make_unique<FloatLitExpr>(E->getLoc(),
+                                          cast<FloatLitExpr>(E)->getValue());
+  case Expr::Kind::VarRef:
+    return std::make_unique<VarRefExpr>(
+        E->getLoc(), renamed(Rename, cast<VarRefExpr>(E)->getName()));
+  case Expr::Kind::Index: {
+    const auto *Idx = cast<IndexExpr>(E);
+    return std::make_unique<IndexExpr>(E->getLoc(),
+                                       renamed(Rename, Idx->getBaseName()),
+                                       cloneExpr(Idx->getIndex(), Rename));
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::make_unique<UnaryExpr>(E->getLoc(), U->getOp(),
+                                       cloneExpr(U->getOperand(), Rename));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(E->getLoc(), B->getOp(),
+                                        cloneExpr(B->getLHS(), Rename),
+                                        cloneExpr(B->getRHS(), Rename));
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (size_t A = 0; A != C->getNumArgs(); ++A)
+      Args.push_back(cloneExpr(C->getArg(A), Rename));
+    return std::make_unique<CallExpr>(E->getLoc(), C->getCallee(),
+                                      std::move(Args));
+  }
+  case Expr::Kind::Cast:
+    // The inliner runs before Sema; no casts exist yet.
+    assert(false && "cast node in a pre-Sema tree");
+    return nullptr;
+  }
+  assert(false && "unhandled expression kind");
+  return nullptr;
+}
+
+StmtPtr cloneBlock(const BlockStmt *B, const RenameMap &Rename) {
+  std::vector<StmtPtr> Stmts;
+  for (const StmtPtr &Child : B->stmts())
+    Stmts.push_back(cloneStmt(Child.get(), Rename));
+  return std::make_unique<BlockStmt>(B->getLoc(), std::move(Stmts));
+}
+
+StmtPtr cloneStmt(const Stmt *S, const RenameMap &Rename) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    return cloneBlock(cast<BlockStmt>(S), Rename);
+  case Stmt::Kind::Decl: {
+    // Every callee-scope name was pre-renamed from CalleeScan's collected
+    // set before cloning starts, so the mapping already exists here.
+    const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    auto NewDecl = std::make_unique<VarDecl>(
+        D->getLoc(), renamed(Rename, D->getName()), D->getType(),
+        D->getInit() ? cloneExpr(D->getInit(), Rename) : nullptr);
+    return std::make_unique<DeclStmt>(S->getLoc(), std::move(NewDecl));
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    return std::make_unique<AssignStmt>(S->getLoc(),
+                                        cloneExpr(A->getTarget(), Rename),
+                                        cloneExpr(A->getValue(), Rename));
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return std::make_unique<IfStmt>(
+        S->getLoc(), cloneExpr(I->getCond(), Rename),
+        cloneStmt(I->getThen(), Rename),
+        I->getElse() ? cloneStmt(I->getElse(), Rename) : nullptr);
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return std::make_unique<ForStmt>(
+        S->getLoc(), renamed(Rename, F->getIndVar()),
+        cloneExpr(F->getLo(), Rename), cloneExpr(F->getHi(), Rename),
+        F->getStep(), cloneStmt(F->getBody(), Rename));
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return std::make_unique<WhileStmt>(
+        S->getLoc(), cloneExpr(W->getCond(), Rename),
+        cloneStmt(W->getBody(), Rename));
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    return std::make_unique<ReturnStmt>(
+        S->getLoc(),
+        R->getValue() ? cloneExpr(R->getValue(), Rename) : nullptr);
+  }
+  case Stmt::Kind::Send: {
+    const auto *Send = cast<SendStmt>(S);
+    return std::make_unique<SendStmt>(S->getLoc(), Send->getChannel(),
+                                      cloneExpr(Send->getValue(), Rename));
+  }
+  case Stmt::Kind::Receive: {
+    const auto *Recv = cast<ReceiveStmt>(S);
+    return std::make_unique<ReceiveStmt>(S->getLoc(), Recv->getChannel(),
+                                         cloneExpr(Recv->getTarget(),
+                                                   Rename));
+  }
+  case Stmt::Kind::ExprStmt:
+    return std::make_unique<ExprStmt>(
+        S->getLoc(), cloneExpr(cast<ExprStmt>(S)->getExpr(), Rename));
+  }
+  assert(false && "unhandled statement kind");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Eligibility
+//===----------------------------------------------------------------------===//
+
+/// Walks a callee body checking the simplicity constraints and collecting
+/// every name it declares (locals and induction variables).
+class CalleeScan {
+public:
+  bool Ok = true;
+  std::set<std::string> DeclaredNames;
+  unsigned TopLevelReturns = 0;
+
+  void scan(const Stmt *S, bool TopLevel) {
+    if (!S || !Ok)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+        scan(Child.get(), TopLevel);
+      return;
+    case Stmt::Kind::Decl:
+      DeclaredNames.insert(cast<DeclStmt>(S)->getDecl()->getName());
+      scanExpr(cast<DeclStmt>(S)->getDecl()->getInit());
+      return;
+    case Stmt::Kind::Assign:
+      scanExpr(cast<AssignStmt>(S)->getTarget());
+      scanExpr(cast<AssignStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      scanExpr(I->getCond());
+      scan(I->getThen(), /*TopLevel=*/false);
+      scan(I->getElse(), /*TopLevel=*/false);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      DeclaredNames.insert(F->getIndVar());
+      scanExpr(F->getLo());
+      scanExpr(F->getHi());
+      scan(F->getBody(), /*TopLevel=*/false);
+      return;
+    }
+    case Stmt::Kind::While:
+      // While bodies may loop an unknown number of times; fine for
+      // inlining semantically, but the simplicity bar excludes them to
+      // keep expansion predictable.
+      Ok = false;
+      return;
+    case Stmt::Kind::Return:
+      if (!TopLevel) {
+        Ok = false; // early return inside control flow: not expandable
+        return;
+      }
+      ++TopLevelReturns;
+      scanExpr(cast<ReturnStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::Send:
+    case Stmt::Kind::Receive:
+      // Channel traffic must keep its global order; expansion at an
+      // arbitrary call site could reorder it.
+      Ok = false;
+      return;
+    case Stmt::Kind::ExprStmt:
+      scanExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    }
+  }
+
+  void scanExpr(const Expr *E) {
+    if (!E || !Ok)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::Call:
+      // Calls inside the callee would need recursive expansion; a later
+      // inliner pass may make this callee eligible once its own calls
+      // are gone.
+      Ok = false;
+      return;
+    case Expr::Kind::Index:
+      scanExpr(cast<IndexExpr>(E)->getIndex());
+      return;
+    case Expr::Kind::Unary:
+      scanExpr(cast<UnaryExpr>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary:
+      scanExpr(cast<BinaryExpr>(E)->getLHS());
+      scanExpr(cast<BinaryExpr>(E)->getRHS());
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+bool w2::isInlinableCallee(const FunctionDecl &F,
+                           const InlineOptions &Options) {
+  if (F.lineCount() > Options.MaxCalleeLines)
+    return false;
+  if (F.getReturnType().isVoid())
+    return false; // void helpers are usually channel glue; keep them
+  for (const ParamDecl &P : F.params())
+    if (P.Ty.isArray())
+      return false;
+  const BlockStmt *Body = F.getBody();
+  if (!Body || Body->size() == 0)
+    return false;
+  CalleeScan Scan;
+  Scan.scan(Body, /*TopLevel=*/true);
+  if (!Scan.Ok || Scan.TopLevelReturns != 1)
+    return false;
+  // The single return must be the final top-level statement.
+  return isa<ReturnStmt>(Body->get(Body->size() - 1));
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+/// Performs expansions within one caller function.
+class FunctionInliner {
+public:
+  FunctionInliner(const SectionDecl &Section, const InlineOptions &Options,
+                  InlineStats &Stats, std::set<std::string> &ExpandedCallees)
+      : Section(Section), Options(Options), Stats(Stats),
+        ExpandedCallees(ExpandedCallees) {}
+
+  /// Expands eligible calls in \p Caller; returns true on any change.
+  bool run(FunctionDecl &Caller) {
+    Changed = false;
+    rewriteBlock(Caller.getBody());
+    return Changed;
+  }
+
+private:
+  /// Statements to splice in front of the statement under rewrite.
+  std::vector<StmtPtr> Prefix;
+
+  void rewriteBlock(BlockStmt *B) {
+    auto &Stmts = B->stmtsMutable();
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      rewriteStmt(Stmts[I].get());
+      if (Prefix.empty())
+        continue;
+      // Splice the expansion prefix before the current statement.
+      Stmts.insert(Stmts.begin() + static_cast<std::ptrdiff_t>(I),
+                   std::make_move_iterator(Prefix.begin()),
+                   std::make_move_iterator(Prefix.end()));
+      I += Prefix.size();
+      Prefix.clear();
+    }
+  }
+
+  void rewriteStmt(Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      rewriteBlock(cast<BlockStmt>(S));
+      return;
+    case Stmt::Kind::Decl: {
+      VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      if (D->getInit())
+        rewriteExpr(D->initSlot());
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      rewriteExpr(A->targetSlot());
+      rewriteExpr(A->valueSlot());
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      rewriteExpr(I->condSlot());
+      rewriteStmt(I->getThen());
+      if (I->getElse())
+        rewriteStmt(I->getElse());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      // Bounds are evaluated once on loop entry, so hoisting their calls
+      // in front of the loop preserves semantics. The body is a nested
+      // block with its own splice point.
+      rewriteExpr(F->loSlot());
+      rewriteExpr(F->hiSlot());
+      rewriteStmt(F->getBody());
+      return;
+    }
+    case Stmt::Kind::While:
+      // The condition re-evaluates every iteration; hoisting a call out
+      // of it would change semantics, so only the body is rewritten.
+      rewriteStmt(cast<WhileStmt>(S)->getBody());
+      return;
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->getValue())
+        rewriteExpr(R->valueSlot());
+      return;
+    }
+    case Stmt::Kind::Send:
+      rewriteExpr(cast<SendStmt>(S)->valueSlot());
+      return;
+    case Stmt::Kind::Receive:
+      return; // target is an lvalue; calls cannot appear there
+    case Stmt::Kind::ExprStmt:
+      rewriteExpr(cast<ExprStmt>(S)->exprSlot());
+      return;
+    }
+  }
+
+  void rewriteExpr(ExprPtr &Slot) {
+    if (!Slot)
+      return;
+    // Expand children first so nested calls (g(h(x))) inline inside-out.
+    switch (Slot->getKind()) {
+    case Expr::Kind::Index:
+      rewriteExpr(cast<IndexExpr>(Slot.get())->indexSlot());
+      break;
+    case Expr::Kind::Unary:
+      rewriteExpr(cast<UnaryExpr>(Slot.get())->operandSlot());
+      break;
+    case Expr::Kind::Binary:
+      rewriteExpr(cast<BinaryExpr>(Slot.get())->lhsSlot());
+      rewriteExpr(cast<BinaryExpr>(Slot.get())->rhsSlot());
+      break;
+    case Expr::Kind::Call: {
+      auto *C = cast<CallExpr>(Slot.get());
+      for (size_t A = 0; A != C->getNumArgs(); ++A)
+        rewriteExpr(C->argSlot(A));
+      break;
+    }
+    default:
+      break;
+    }
+
+    auto *Call = dyn_cast<CallExpr>(Slot.get());
+    if (!Call)
+      return;
+    const FunctionDecl *Callee = Section.lookup(Call->getCallee());
+    if (!Callee || !isInlinableCallee(*Callee, Options))
+      return;
+    if (Call->getNumArgs() != Callee->params().size())
+      return; // malformed call; leave it for Sema to diagnose
+    ExpandedCallees.insert(Callee->getName());
+    Slot = expand(Call, *Callee);
+    ++Stats.CallsInlined;
+    Changed = true;
+  }
+
+  /// Expands one call: emits parameter bindings and the renamed callee
+  /// body into Prefix, and returns the replacement expression (a
+  /// reference to the result temporary).
+  ExprPtr expand(CallExpr *Call, const FunctionDecl &Callee) {
+    SourceLoc Loc = Call->getLoc();
+    unsigned Id = FreshCounter++;
+    std::string Base = "__inl" + std::to_string(Id) + "_";
+
+    // Fresh names for every callee-scope name.
+    RenameMap Rename;
+    CalleeScan Scan;
+    Scan.scan(Callee.getBody(), /*TopLevel=*/true);
+    for (const ParamDecl &P : Callee.params())
+      Rename[P.Name] = Base + P.Name;
+    for (const std::string &Name : Scan.DeclaredNames)
+      Rename[Name] = Base + Name;
+
+    // Parameter bindings: var __inlN_p: T = <argument>;
+    for (size_t A = 0; A != Call->getNumArgs(); ++A) {
+      const ParamDecl &P = Callee.params()[A];
+      auto Decl = std::make_unique<VarDecl>(Loc, Rename[P.Name], P.Ty,
+                                            Call->takeArg(A));
+      Prefix.push_back(std::make_unique<DeclStmt>(Loc, std::move(Decl)));
+    }
+
+    // Result temporary (uninitialized; the return assignment fills it).
+    std::string RetName = Base + "ret";
+    {
+      auto Decl = std::make_unique<VarDecl>(Loc, RetName,
+                                            Callee.getReturnType(), nullptr);
+      Prefix.push_back(std::make_unique<DeclStmt>(Loc, std::move(Decl)));
+    }
+
+    // Body: clone all statements but the trailing return, which becomes
+    // an assignment to the result temporary.
+    const BlockStmt *Body = Callee.getBody();
+    for (size_t I = 0; I + 1 < Body->size(); ++I)
+      Prefix.push_back(cloneStmt(Body->get(I), Rename));
+    const auto *Ret = cast<ReturnStmt>(Body->get(Body->size() - 1));
+    assert(Ret->getValue() && "inlinable callees return a value");
+    Prefix.push_back(std::make_unique<AssignStmt>(
+        Loc, std::make_unique<VarRefExpr>(Loc, RetName),
+        cloneExpr(Ret->getValue(), Rename)));
+
+    return std::make_unique<VarRefExpr>(Loc, RetName);
+  }
+
+  const SectionDecl &Section;
+  const InlineOptions &Options;
+  InlineStats &Stats;
+  std::set<std::string> &ExpandedCallees;
+  bool Changed = false;
+  unsigned FreshCounter = 0;
+};
+
+/// Counts remaining calls to \p Name within a section.
+unsigned countCallsTo(const SectionDecl &Section, const std::string &Name);
+
+class CallCounter {
+public:
+  explicit CallCounter(const std::string &Name) : Name(Name) {}
+  unsigned Count = 0;
+
+  void walkStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &C : cast<BlockStmt>(S)->stmts())
+        walkStmt(C.get());
+      return;
+    case Stmt::Kind::Decl:
+      walkExpr(cast<DeclStmt>(S)->getDecl()->getInit());
+      return;
+    case Stmt::Kind::Assign:
+      walkExpr(cast<AssignStmt>(S)->getTarget());
+      walkExpr(cast<AssignStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::If:
+      walkExpr(cast<IfStmt>(S)->getCond());
+      walkStmt(cast<IfStmt>(S)->getThen());
+      walkStmt(cast<IfStmt>(S)->getElse());
+      return;
+    case Stmt::Kind::For:
+      walkExpr(cast<ForStmt>(S)->getLo());
+      walkExpr(cast<ForStmt>(S)->getHi());
+      walkStmt(cast<ForStmt>(S)->getBody());
+      return;
+    case Stmt::Kind::While:
+      walkExpr(cast<WhileStmt>(S)->getCond());
+      walkStmt(cast<WhileStmt>(S)->getBody());
+      return;
+    case Stmt::Kind::Return:
+      walkExpr(cast<ReturnStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::Send:
+      walkExpr(cast<SendStmt>(S)->getValue());
+      return;
+    case Stmt::Kind::Receive:
+      return;
+    case Stmt::Kind::ExprStmt:
+      walkExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    }
+  }
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (C->getCallee() == Name)
+        ++Count;
+      for (size_t A = 0; A != C->getNumArgs(); ++A)
+        walkExpr(C->getArg(A));
+      return;
+    }
+    case Expr::Kind::Index:
+      walkExpr(cast<IndexExpr>(E)->getIndex());
+      return;
+    case Expr::Kind::Unary:
+      walkExpr(cast<UnaryExpr>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary:
+      walkExpr(cast<BinaryExpr>(E)->getLHS());
+      walkExpr(cast<BinaryExpr>(E)->getRHS());
+      return;
+    default:
+      return;
+    }
+  }
+
+private:
+  std::string Name;
+};
+
+unsigned countCallsTo(const SectionDecl &Section, const std::string &Name) {
+  CallCounter Counter(Name);
+  for (size_t F = 0; F != Section.numFunctions(); ++F)
+    Counter.walkStmt(Section.getFunction(F)->getBody());
+  return Counter.Count;
+}
+
+} // namespace
+
+InlineStats w2::inlineSmallFunctions(ModuleDecl &Module,
+                                     const InlineOptions &Options) {
+  InlineStats Stats;
+  // Helpers that were expanded somewhere; only these may be removed.
+  std::set<std::string> ExpandedCallees;
+  for (uint32_t Pass = 0; Pass != Options.MaxPasses; ++Pass) {
+    bool Changed = false;
+    for (size_t S = 0; S != Module.numSections(); ++S) {
+      SectionDecl *Section = Module.getSection(S);
+      FunctionInliner Inliner(*Section, Options, Stats, ExpandedCallees);
+      for (size_t F = 0; F != Section->numFunctions(); ++F) {
+        FunctionDecl *Caller = Section->getFunction(F);
+        // A function never inlines into itself (recursion guard): the
+        // eligibility bar already rejects callees containing calls, so a
+        // self-recursive function is simply not a candidate.
+        Changed |= Inliner.run(*Caller);
+      }
+    }
+    if (Changed)
+      ++Stats.Passes;
+    else
+      break;
+  }
+
+  if (Options.RemoveUncalledHelpers) {
+    for (size_t S = 0; S != Module.numSections(); ++S) {
+      SectionDecl *Section = Module.getSection(S);
+      // Iterate backwards so removals do not shift pending indices. Keep
+      // at least one function per section.
+      for (size_t F = Section->numFunctions(); F-- > 0;) {
+        if (Section->numFunctions() == 1)
+          break;
+        FunctionDecl *Candidate = Section->getFunction(F);
+        // Only helpers that actually got expanded somewhere are dropped;
+        // never-called entry functions stay downloadable.
+        if (!ExpandedCallees.count(Candidate->getName()))
+          continue;
+        if (countCallsTo(*Section, Candidate->getName()) != 0)
+          continue;
+        Section->removeFunction(F);
+        ++Stats.HelpersRemoved;
+      }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,70 @@
+//===- Inliner.h - Procedure inlining ---------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure inlining, the extension the paper proposes in Section 5.1:
+/// "procedure inlining is an important optimization that should be
+/// included in the compiler if the source programs consists of many
+/// small functions. Not only will procedure inlining allow the code
+/// generator to perform a better job, the increase in size of each
+/// function operated upon will also improve the speedup obtained by the
+/// parallel compiler."
+///
+/// The inliner runs on the parsed (pre-Sema) AST, because it is the
+/// master's partitioning step that benefits: bigger functions mean
+/// bigger, better-balanced parallel tasks. Only calls to *simple*
+/// callees are expanded — straight-line/loop bodies with one trailing
+/// return, scalar parameters, and no channel traffic or further calls —
+/// which keeps expansion a pure statement-prefix rewrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_INLINER_H
+#define WARPC_W2_INLINER_H
+
+#include "w2/AST.h"
+
+#include <cstdint>
+
+namespace warpc {
+namespace w2 {
+
+/// Tuning knobs for the inliner.
+struct InlineOptions {
+  /// Callees up to this many source lines are candidates.
+  uint32_t MaxCalleeLines = 24;
+  /// Repeat expansion until no candidate call remains (callees whose
+  /// bodies contain calls become eligible after their own callees are
+  /// expanded); bounded by this many passes.
+  uint32_t MaxPasses = 4;
+  /// Drop helper functions that are no longer called from anywhere after
+  /// inlining. On Warp every remaining function is still downloadable;
+  /// removal only applies to helpers every use of which was expanded.
+  bool RemoveUncalledHelpers = true;
+};
+
+/// What the inliner did.
+struct InlineStats {
+  uint32_t CallsInlined = 0;
+  uint32_t HelpersRemoved = 0;
+  uint32_t Passes = 0;
+};
+
+/// Expands eligible calls in every section of \p Module. Must run after
+/// parsing and before Sema (Sema re-checks and re-types the expanded
+/// tree). Source locations of inlined statements point at the callee.
+InlineStats inlineSmallFunctions(ModuleDecl &Module,
+                                 const InlineOptions &Options = {});
+
+/// Returns true when \p F is simple enough to expand: scalar parameters
+/// only, no send/receive, no calls, no while loops, and exactly one
+/// return as the final top-level statement.
+bool isInlinableCallee(const FunctionDecl &F, const InlineOptions &Options);
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_INLINER_H

@@ -1,0 +1,301 @@
+//===- Lexer.cpp - W2 lexer -----------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+const char *w2::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Invalid:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwModule:
+    return "'module'";
+  case TokenKind::KwSection:
+    return "'section'";
+  case TokenKind::KwCells:
+    return "'cells'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwBy:
+    return "'by'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSend:
+    return "'send'";
+  case TokenKind::KwReceive:
+    return "'receive'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    // Line comments start with "//" as in C++, or "--" as in W2 listings.
+    if ((C == '/' && peek(1) == '/') || (C == '-' && peek(1) == '-')) {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  ++NumTokens;
+  return Token{Kind, Loc, std::move(Text)};
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  SourceLoc Start = loc();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+
+  struct Keyword {
+    const char *Spelling;
+    TokenKind Kind;
+  };
+  static const Keyword Keywords[] = {
+      {"module", TokenKind::KwModule},     {"section", TokenKind::KwSection},
+      {"cells", TokenKind::KwCells},       {"function", TokenKind::KwFunction},
+      {"var", TokenKind::KwVar},           {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},         {"for", TokenKind::KwFor},
+      {"to", TokenKind::KwTo},             {"by", TokenKind::KwBy},
+      {"while", TokenKind::KwWhile},       {"return", TokenKind::KwReturn},
+      {"send", TokenKind::KwSend},         {"receive", TokenKind::KwReceive},
+      {"int", TokenKind::KwInt},           {"float", TokenKind::KwFloat},
+  };
+  for (const Keyword &K : Keywords)
+    if (Text == K.Spelling)
+      return makeToken(K.Kind, Start);
+  return makeToken(TokenKind::Identifier, Start, std::move(Text));
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Start = loc();
+  std::string Text;
+  bool IsFloat = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text += advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Look = 1;
+    if (peek(1) == '+' || peek(1) == '-')
+      Look = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(Look)))) {
+      IsFloat = true;
+      for (size_t I = 0; I != Look; ++I)
+        Text += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+  }
+  return makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   Start, std::move(Text));
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc Start = loc();
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Start);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case ':':
+    return makeToken(TokenKind::Colon, Start);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case '/':
+    return makeToken(TokenKind::Slash, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, Start);
+    }
+    return makeToken(TokenKind::Assign, Start);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::BangEqual, Start);
+    }
+    return makeToken(TokenKind::Bang, Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, Start);
+    }
+    return makeToken(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, Start);
+    }
+    return makeToken(TokenKind::Greater, Start);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, Start);
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, Start);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Start, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Invalid, Start, std::string(1, C));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,65 @@
+//===- Lexer.h - W2 lexer ---------------------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the W2-like language. Lexing is part of compiler
+/// phase 1, which the paper keeps sequential: it accounts for less than 5%
+/// of total compilation time (Section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_LEXER_H
+#define WARPC_W2_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "w2/Token.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+namespace w2 {
+
+/// Converts a W2 source buffer into a token stream.
+///
+/// The lexer never throws; malformed characters produce diagnostics and an
+/// Invalid token, and lexing continues so that the parser can report as
+/// many errors as possible in one pass.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer, appending a final Eof token.
+  std::vector<Token> lexAll();
+
+  /// Number of tokens produced so far, used as a phase-1 work metric.
+  uint64_t tokenCount() const { return NumTokens; }
+
+private:
+  Token lexToken();
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = "");
+  void skipWhitespaceAndComments();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Column); }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint64_t NumTokens = 0;
+};
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_LEXER_H

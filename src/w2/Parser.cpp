@@ -1,0 +1,660 @@
+//===- Parser.cpp - W2 parser ---------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Parser.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1;
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+/// Skips tokens until a statement boundary, to resume parsing after an
+/// error. Stops before '}' so block parsing can terminate.
+void Parser::synchronize() {
+  while (!check(TokenKind::Eof)) {
+    if (match(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::KwFunction) ||
+        check(TokenKind::KwSection))
+      return;
+    consume();
+  }
+}
+
+std::unique_ptr<ModuleDecl> Parser::parseModule() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwModule, "at start of module");
+  std::string Name = "anonymous";
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else
+    Diags.error(current().Loc, "expected module name");
+  match(TokenKind::Semicolon);
+
+  auto Module = std::make_unique<ModuleDecl>(Loc, std::move(Name));
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwSection)) {
+      if (auto Section = parseSection())
+        Module->addSection(std::move(Section));
+      continue;
+    }
+    Diags.error(current().Loc, "expected 'section' at module level");
+    synchronize();
+    if (check(TokenKind::RBrace))
+      consume();
+  }
+  if (Module->numSections() == 0)
+    Diags.error(Loc, "module contains no sections");
+  return Module;
+}
+
+std::unique_ptr<SectionDecl> Parser::parseSection() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwSection, "at start of section");
+  std::string Name = "section";
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else
+    Diags.error(current().Loc, "expected section name");
+
+  uint32_t NumCells = 1;
+  if (match(TokenKind::KwCells)) {
+    if (check(TokenKind::IntLiteral)) {
+      NumCells = static_cast<uint32_t>(std::strtoul(
+          consume().Text.c_str(), nullptr, 10));
+      if (NumCells == 0) {
+        Diags.error(Loc, "section must run on at least one cell");
+        NumCells = 1;
+      }
+    } else {
+      Diags.error(current().Loc, "expected cell count after 'cells'");
+    }
+  }
+
+  auto Section = std::make_unique<SectionDecl>(Loc, std::move(Name), NumCells);
+  if (!expect(TokenKind::LBrace, "to open section body"))
+    return Section;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (check(TokenKind::KwFunction)) {
+      if (auto F = parseFunction())
+        Section->addFunction(std::move(F));
+      continue;
+    }
+    Diags.error(current().Loc, "expected 'function' in section body");
+    synchronize();
+  }
+  expect(TokenKind::RBrace, "to close section body");
+  if (Section->numFunctions() == 0)
+    Diags.error(Loc, "section '" + Section->getName() +
+                         "' contains no functions");
+  return Section;
+}
+
+bool Parser::parseType(Type &Out) {
+  ScalarKind Scalar;
+  if (match(TokenKind::KwInt)) {
+    Scalar = ScalarKind::Int;
+  } else if (match(TokenKind::KwFloat)) {
+    Scalar = ScalarKind::Float;
+  } else {
+    Diags.error(current().Loc, "expected type ('int' or 'float')");
+    return false;
+  }
+  if (match(TokenKind::LBracket)) {
+    uint32_t Size = 0;
+    if (check(TokenKind::IntLiteral))
+      Size = static_cast<uint32_t>(
+          std::strtoul(consume().Text.c_str(), nullptr, 10));
+    else
+      Diags.error(current().Loc, "expected array size");
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return false;
+    if (Size == 0) {
+      Diags.error(current().Loc, "array size must be positive");
+      Size = 1;
+    }
+    Out = Type::arrayTy(Scalar, Size);
+    return true;
+  }
+  Out = Scalar == ScalarKind::Int ? Type::intTy() : Type::floatTy();
+  return true;
+}
+
+bool Parser::parseParamList(std::vector<ParamDecl> &Params) {
+  if (!expect(TokenKind::LParen, "to open parameter list"))
+    return false;
+  if (match(TokenKind::RParen))
+    return true;
+  while (true) {
+    SourceLoc Loc = current().Loc;
+    std::string Name;
+    if (check(TokenKind::Identifier))
+      Name = consume().Text;
+    else {
+      Diags.error(Loc, "expected parameter name");
+      return false;
+    }
+    if (!expect(TokenKind::Colon, "after parameter name"))
+      return false;
+    Type Ty;
+    if (!parseType(Ty))
+      return false;
+    Params.push_back(ParamDecl{Loc, std::move(Name), Ty});
+    if (match(TokenKind::RParen))
+      return true;
+    if (!expect(TokenKind::Comma, "between parameters"))
+      return false;
+  }
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwFunction, "at start of function");
+  std::string Name = "anonymous";
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else
+    Diags.error(current().Loc, "expected function name");
+
+  std::vector<ParamDecl> Params;
+  if (!parseParamList(Params)) {
+    synchronize();
+    return nullptr;
+  }
+
+  Type RetTy = Type::voidTy();
+  if (match(TokenKind::Colon)) {
+    if (!parseType(RetTy))
+      return nullptr;
+    if (RetTy.isArray()) {
+      Diags.error(Loc, "functions cannot return arrays");
+      RetTy = Type::floatTy();
+    }
+  }
+
+  auto Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  SourceLoc EndLoc = Tokens[Pos > 0 ? Pos - 1 : 0].Loc;
+  return std::make_unique<FunctionDecl>(Loc, std::move(Name),
+                                        std::move(Params), RetTy,
+                                        std::move(Body), EndLoc);
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (StmtPtr S = parseStmt())
+      Stmts.push_back(std::move(S));
+    else
+      synchronize();
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(Loc, std::move(Stmts));
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (current().Kind) {
+  case TokenKind::KwVar:
+    return parseVarDeclStmt();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwSend:
+    return parseSend();
+  case TokenKind::KwReceive:
+    return parseReceive();
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::Identifier:
+    return parseAssignOrCall();
+  default:
+    Diags.error(current().Loc, std::string("unexpected ") +
+                                   tokenKindName(current().Kind) +
+                                   " at start of statement");
+    return nullptr;
+  }
+}
+
+StmtPtr Parser::parseVarDeclStmt() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'var'
+  std::string Name;
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else {
+    Diags.error(current().Loc, "expected variable name after 'var'");
+    return nullptr;
+  }
+  if (!expect(TokenKind::Colon, "after variable name"))
+    return nullptr;
+  Type Ty;
+  if (!parseType(Ty))
+    return nullptr;
+  ExprPtr Init;
+  if (match(TokenKind::Assign)) {
+    Init = parseExpr();
+    if (!Init)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon, "after variable declaration"))
+    return nullptr;
+  auto Decl = std::make_unique<VarDecl>(Loc, std::move(Name), Ty,
+                                        std::move(Init));
+  return std::make_unique<DeclStmt>(Loc, std::move(Decl));
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'if'
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after if condition"))
+    return nullptr;
+  StmtPtr Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (match(TokenKind::KwElse)) {
+    Else = check(TokenKind::KwIf) ? parseIf() : StmtPtr(parseBlock());
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'for'
+  std::string IndVar;
+  if (check(TokenKind::Identifier))
+    IndVar = consume().Text;
+  else {
+    Diags.error(current().Loc, "expected induction variable after 'for'");
+    return nullptr;
+  }
+  if (!expect(TokenKind::Assign, "after induction variable"))
+    return nullptr;
+  ExprPtr Lo = parseExpr();
+  if (!Lo)
+    return nullptr;
+  if (!expect(TokenKind::KwTo, "in for statement"))
+    return nullptr;
+  ExprPtr Hi = parseExpr();
+  if (!Hi)
+    return nullptr;
+  int64_t Step = 1;
+  if (match(TokenKind::KwBy)) {
+    bool Negative = match(TokenKind::Minus);
+    if (check(TokenKind::IntLiteral)) {
+      Step = std::strtoll(consume().Text.c_str(), nullptr, 10);
+      if (Negative)
+        Step = -Step;
+      if (Step == 0) {
+        Diags.error(Loc, "for step must be nonzero");
+        Step = 1;
+      }
+    } else {
+      Diags.error(current().Loc, "expected integer literal after 'by'");
+    }
+  }
+  StmtPtr Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<ForStmt>(Loc, std::move(IndVar), std::move(Lo),
+                                   std::move(Hi), Step, std::move(Body));
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'while'
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after while condition"))
+    return nullptr;
+  StmtPtr Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semicolon)) {
+    Value = parseExpr();
+    if (!Value)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon, "after return statement"))
+    return nullptr;
+  return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+}
+
+bool Parser::parseChannel(Channel &Out) {
+  if (check(TokenKind::Identifier)) {
+    const std::string &Name = current().Text;
+    if (Name == "X" || Name == "x") {
+      Out = Channel::X;
+      consume();
+      return true;
+    }
+    if (Name == "Y" || Name == "y") {
+      Out = Channel::Y;
+      consume();
+      return true;
+    }
+  }
+  Diags.error(current().Loc, "expected channel name 'X' or 'Y'");
+  return false;
+}
+
+StmtPtr Parser::parseSend() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'send'
+  if (!expect(TokenKind::LParen, "after 'send'"))
+    return nullptr;
+  Channel Chan;
+  if (!parseChannel(Chan))
+    return nullptr;
+  if (!expect(TokenKind::Comma, "after channel name"))
+    return nullptr;
+  ExprPtr Value = parseExpr();
+  if (!Value)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "to close send"))
+    return nullptr;
+  if (!expect(TokenKind::Semicolon, "after send statement"))
+    return nullptr;
+  return std::make_unique<SendStmt>(Loc, Chan, std::move(Value));
+}
+
+StmtPtr Parser::parseReceive() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'receive'
+  if (!expect(TokenKind::LParen, "after 'receive'"))
+    return nullptr;
+  Channel Chan;
+  if (!parseChannel(Chan))
+    return nullptr;
+  if (!expect(TokenKind::Comma, "after channel name"))
+    return nullptr;
+  ExprPtr Target = parseLValue();
+  if (!Target)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "to close receive"))
+    return nullptr;
+  if (!expect(TokenKind::Semicolon, "after receive statement"))
+    return nullptr;
+  return std::make_unique<ReceiveStmt>(Loc, Chan, std::move(Target));
+}
+
+ExprPtr Parser::parseLValue() {
+  SourceLoc Loc = current().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Loc, "expected variable or array element");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  if (match(TokenKind::LBracket)) {
+    ExprPtr Index = parseExpr();
+    if (!Index)
+      return nullptr;
+    if (!expect(TokenKind::RBracket, "after array index"))
+      return nullptr;
+    return std::make_unique<IndexExpr>(Loc, std::move(Name),
+                                       std::move(Index));
+  }
+  return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+}
+
+StmtPtr Parser::parseAssignOrCall() {
+  SourceLoc Loc = current().Loc;
+  // A statement starting with an identifier is either a call statement
+  // "f(...);" or an assignment "lvalue = expr;".
+  if (peek(1).is(TokenKind::LParen)) {
+    ExprPtr Call = parsePrimary();
+    if (!Call)
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after call statement"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(Loc, std::move(Call));
+  }
+  ExprPtr Target = parseLValue();
+  if (!Target)
+    return nullptr;
+  if (!expect(TokenKind::Assign, "in assignment"))
+    return nullptr;
+  ExprPtr Value = parseExpr();
+  if (!Value)
+    return nullptr;
+  if (!expect(TokenKind::Semicolon, "after assignment"))
+    return nullptr;
+  return std::make_unique<AssignStmt>(Loc, std::move(Target),
+                                      std::move(Value));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binding power of a binary operator token; -1 when not binary.
+static int binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqualEqual:
+  case TokenKind::BangEqual:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::LessEqual:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEqual:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return BinaryOp::LOr;
+  case TokenKind::AmpAmp:
+    return BinaryOp::LAnd;
+  case TokenKind::EqualEqual:
+    return BinaryOp::EQ;
+  case TokenKind::BangEqual:
+    return BinaryOp::NE;
+  case TokenKind::Less:
+    return BinaryOp::LT;
+  case TokenKind::LessEqual:
+    return BinaryOp::LE;
+  case TokenKind::Greater:
+    return BinaryOp::GT;
+  case TokenKind::GreaterEqual:
+    return BinaryOp::GE;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  return parseBinaryRHS(1, std::move(LHS));
+}
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (true) {
+    int Prec = binaryPrecedence(current().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    Token OpTok = consume();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    // Left associativity: bind tighter operators on the right first.
+    int NextPrec = binaryPrecedence(current().Kind);
+    if (NextPrec > Prec) {
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+      if (!RHS)
+        return nullptr;
+    }
+    LHS = std::make_unique<BinaryExpr>(OpTok.Loc, binaryOpFor(OpTok.Kind),
+                                       std::move(LHS), std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = current().Loc;
+  if (match(TokenKind::Minus)) {
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, std::move(Operand));
+  }
+  if (match(TokenKind::Bang)) {
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Not, std::move(Operand));
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return std::make_unique<IntLitExpr>(
+        Loc, std::strtoll(T.Text.c_str(), nullptr, 10));
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return std::make_unique<FloatLitExpr>(Loc,
+                                          std::strtod(T.Text.c_str(), nullptr));
+  }
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return Inner;
+  }
+  case TokenKind::Identifier: {
+    std::string Name = consume().Text;
+    if (match(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!match(TokenKind::RParen)) {
+        while (true) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+          if (match(TokenKind::RParen))
+            break;
+          if (!expect(TokenKind::Comma, "between call arguments"))
+            return nullptr;
+        }
+      }
+      return std::make_unique<CallExpr>(Loc, std::move(Name),
+                                        std::move(Args));
+    }
+    if (match(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "after array index"))
+        return nullptr;
+      return std::make_unique<IndexExpr>(Loc, std::move(Name),
+                                         std::move(Index));
+    }
+    return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(current().Kind));
+    return nullptr;
+  }
+}

@@ -1,0 +1,83 @@
+//===- Parser.h - W2 parser -------------------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the W2-like language (compiler phase 1).
+/// Parsing runs sequentially in the master process: the master parses the
+/// module once to learn its structure and set up the parallel compilation,
+/// and syntax errors abort the compilation at this point (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_PARSER_H
+#define WARPC_W2_PARSER_H
+
+#include "support/Diagnostics.h"
+#include "w2/AST.h"
+#include "w2/Token.h"
+
+#include <memory>
+#include <vector>
+
+namespace warpc {
+namespace w2 {
+
+/// Parses a token stream into a ModuleDecl.
+///
+/// The parser recovers from statement-level errors by skipping to the next
+/// ';' or '}' so that a single run reports as many problems as possible.
+/// A module is returned even when diagnostics were emitted; callers must
+/// consult DiagnosticEngine::hasErrors() before using it.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses one complete module.
+  std::unique_ptr<ModuleDecl> parseModule();
+
+private:
+  // Token stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronize();
+
+  // Grammar productions.
+  std::unique_ptr<SectionDecl> parseSection();
+  std::unique_ptr<FunctionDecl> parseFunction();
+  bool parseParamList(std::vector<ParamDecl> &Params);
+  bool parseType(Type &Out);
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseVarDeclStmt();
+  StmtPtr parseIf();
+  StmtPtr parseFor();
+  StmtPtr parseWhile();
+  StmtPtr parseReturn();
+  StmtPtr parseSend();
+  StmtPtr parseReceive();
+  StmtPtr parseAssignOrCall();
+  bool parseChannel(Channel &Out);
+  ExprPtr parseLValue();
+
+  // Expression precedence climbing.
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_PARSER_H

@@ -1,0 +1,541 @@
+//===- Sema.cpp - W2 semantic checking ------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Sema.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+/// A name binding in the current scope.
+struct Symbol {
+  Type Ty;
+  bool IsInduction = false;
+};
+
+/// Checks one function against its section's signatures.
+class FunctionChecker {
+public:
+  FunctionChecker(SectionDecl &Section, FunctionDecl &F,
+                  DiagnosticEngine &Diags, uint64_t &NodesChecked)
+      : Section(Section), F(F), Diags(Diags), NodesChecked(NodesChecked) {}
+
+  void run() {
+    pushScope();
+    for (const ParamDecl &P : F.params()) {
+      if (!declare(P.Name, Symbol{P.Ty, false}))
+        Diags.error(P.Loc, "duplicate parameter '" + P.Name + "'");
+    }
+    checkStmt(F.getBody());
+    popScope();
+    if (!F.getReturnType().isVoid() && !SawValueReturn)
+      Diags.error(F.getLoc(), "function '" + F.getName() + "' declared " +
+                                  F.getReturnType().str() +
+                                  " but contains no value return");
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Scopes
+  //===--------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declare(const std::string &Name, Symbol Sym) {
+    auto &Scope = Scopes.back();
+    return Scope.emplace(Name, Sym).second;
+  }
+
+  const Symbol *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Coercion helpers
+  //===--------------------------------------------------------------------===//
+
+  /// Wraps \p E in an int-to-float cast. \p E must have int type.
+  static ExprPtr widen(ExprPtr E) {
+    SourceLoc Loc = E->getLoc();
+    return std::make_unique<CastExpr>(Loc, std::move(E));
+  }
+
+  /// Coerces a subexpression to \p Want, given a take/set pair from the
+  /// owning node. Reports an error when no implicit conversion exists.
+  void coerce(Type Want, Expr *E, std::function<ExprPtr()> Take,
+              std::function<void(ExprPtr)> Set, const char *Context) {
+    Type Have = E->getType();
+    if (Have == Want || Have.isVoid())
+      return; // Void means a checking error was already reported below it.
+    if (Want.isFloat() && Have.isInt()) {
+      Set(widen(Take()));
+      return;
+    }
+    Diags.error(E->getLoc(), std::string(Context) + " has type " +
+                                 Have.str() + " but " + Want.str() +
+                                 " is required");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void checkStmt(Stmt *S) {
+    if (!S)
+      return;
+    ++NodesChecked;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      auto *B = cast<BlockStmt>(S);
+      pushScope();
+      for (const StmtPtr &Child : B->stmts())
+        checkStmt(Child.get());
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      if (D->getInit()) {
+        Type InitTy = checkExpr(D->getInit());
+        if (D->getType().isArray()) {
+          Diags.error(D->getLoc(), "array variable '" + D->getName() +
+                                       "' cannot have a scalar initializer");
+        } else if (!InitTy.isVoid()) {
+          coerce(D->getType(), D->getInit(), [&] { return D->takeInit(); },
+                 [&](ExprPtr E) { D->setInit(std::move(E)); },
+                 "initializer");
+        }
+      }
+      if (!declare(D->getName(), Symbol{D->getType(), false}))
+        Diags.error(D->getLoc(),
+                    "redeclaration of '" + D->getName() + "' in this scope");
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      Type TargetTy = checkLValue(A->getTarget(), /*ForWrite=*/true);
+      Type ValueTy = checkExpr(A->getValue());
+      if (!TargetTy.isVoid() && !ValueTy.isVoid())
+        coerce(TargetTy, A->getValue(), [&] { return A->takeValue(); },
+               [&](ExprPtr E) { A->setValue(std::move(E)); },
+               "assigned value");
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      checkCondition(I->getCond());
+      checkStmt(I->getThen());
+      checkStmt(I->getElse());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *L = cast<ForStmt>(S);
+      Type LoTy = checkExpr(L->getLo());
+      Type HiTy = checkExpr(L->getHi());
+      if (!LoTy.isVoid() && !LoTy.isInt())
+        Diags.error(L->getLo()->getLoc(), "for bound must be int, found " +
+                                              LoTy.str());
+      if (!HiTy.isVoid() && !HiTy.isInt())
+        Diags.error(L->getHi()->getLoc(), "for bound must be int, found " +
+                                              HiTy.str());
+      pushScope();
+      declare(L->getIndVar(), Symbol{Type::intTy(), /*IsInduction=*/true});
+      checkStmt(L->getBody());
+      popScope();
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      checkCondition(W->getCond());
+      checkStmt(W->getBody());
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      Type Want = F.getReturnType();
+      if (!R->getValue()) {
+        if (!Want.isVoid())
+          Diags.error(R->getLoc(), "non-void function '" + F.getName() +
+                                       "' must return a value");
+        return;
+      }
+      SawValueReturn = true;
+      Type Have = checkExpr(R->getValue());
+      if (Want.isVoid()) {
+        Diags.error(R->getLoc(),
+                    "void function '" + F.getName() + "' returns a value");
+        return;
+      }
+      if (!Have.isVoid())
+        coerce(Want, R->getValue(), [&] { return R->takeValue(); },
+               [&](ExprPtr E) { R->setValue(std::move(E)); },
+               "returned value");
+      return;
+    }
+    case Stmt::Kind::Send: {
+      auto *Send = cast<SendStmt>(S);
+      Type Ty = checkExpr(Send->getValue());
+      // Warp channels carry 32-bit floating point words.
+      if (!Ty.isVoid() && !Ty.isFloat()) {
+        if (Ty.isInt())
+          Send->setValue(widen(Send->takeValue()));
+        else
+          Diags.error(Send->getValue()->getLoc(),
+                      "send value must be numeric, found " + Ty.str());
+      }
+      return;
+    }
+    case Stmt::Kind::Receive: {
+      auto *Recv = cast<ReceiveStmt>(S);
+      Type Ty = checkLValue(Recv->getTarget(), /*ForWrite=*/true);
+      if (!Ty.isVoid() && !Ty.isFloat())
+        Diags.error(Recv->getTarget()->getLoc(),
+                    "receive target must be float, found " + Ty.str());
+      return;
+    }
+    case Stmt::Kind::ExprStmt: {
+      Expr *E = cast<ExprStmt>(S)->getExpr();
+      if (!isa<CallExpr>(E)) {
+        Diags.error(E->getLoc(), "expression statement must be a call");
+        return;
+      }
+      checkExpr(E);
+      return;
+    }
+    }
+  }
+
+  void checkCondition(Expr *Cond) {
+    Type Ty = checkExpr(Cond);
+    if (!Ty.isVoid() && !Ty.isInt())
+      Diags.error(Cond->getLoc(),
+                  "condition must be int (boolean), found " + Ty.str());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Checks an lvalue (assignment or receive target). Returns the element
+  /// type being written, or Void on error.
+  Type checkLValue(Expr *E, bool ForWrite) {
+    ++NodesChecked;
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      const Symbol *Sym = lookup(Ref->getName());
+      if (!Sym) {
+        Diags.error(E->getLoc(),
+                    "use of undeclared variable '" + Ref->getName() + "'");
+        return Type::voidTy();
+      }
+      if (ForWrite && Sym->IsInduction) {
+        Diags.error(E->getLoc(), "cannot assign to loop induction variable '" +
+                                     Ref->getName() + "'");
+        return Type::voidTy();
+      }
+      if (Sym->Ty.isArray()) {
+        Diags.error(E->getLoc(), "cannot assign to whole array '" +
+                                     Ref->getName() + "'");
+        return Type::voidTy();
+      }
+      Ref->setType(Sym->Ty);
+      return Sym->Ty;
+    }
+    if (auto *Idx = dyn_cast<IndexExpr>(E))
+      return checkIndex(Idx);
+    Diags.error(E->getLoc(), "expression is not assignable");
+    return Type::voidTy();
+  }
+
+  Type checkIndex(IndexExpr *Idx) {
+    const Symbol *Sym = lookup(Idx->getBaseName());
+    if (!Sym) {
+      Diags.error(Idx->getLoc(),
+                  "use of undeclared array '" + Idx->getBaseName() + "'");
+      return Type::voidTy();
+    }
+    if (!Sym->Ty.isArray()) {
+      Diags.error(Idx->getLoc(), "'" + Idx->getBaseName() +
+                                     "' has non-array type " + Sym->Ty.str() +
+                                     " and cannot be indexed");
+      return Type::voidTy();
+    }
+    Type IndexTy = checkExpr(Idx->getIndex());
+    if (!IndexTy.isVoid() && !IndexTy.isInt())
+      Diags.error(Idx->getIndex()->getLoc(),
+                  "array index must be int, found " + IndexTy.str());
+    Type ElemTy = Sym->Ty.elementType();
+    Idx->setType(ElemTy);
+    return ElemTy;
+  }
+
+  /// Type-checks \p E, annotates it, and returns its type (Void on error).
+  Type checkExpr(Expr *E) {
+    if (!E)
+      return Type::voidTy();
+    ++NodesChecked;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      E->setType(Type::intTy());
+      return E->getType();
+    case Expr::Kind::FloatLit:
+      E->setType(Type::floatTy());
+      return E->getType();
+    case Expr::Kind::VarRef: {
+      auto *Ref = cast<VarRefExpr>(E);
+      const Symbol *Sym = lookup(Ref->getName());
+      if (!Sym) {
+        Diags.error(E->getLoc(),
+                    "use of undeclared variable '" + Ref->getName() + "'");
+        return Type::voidTy();
+      }
+      if (Sym->Ty.isArray()) {
+        Diags.error(E->getLoc(), "array '" + Ref->getName() +
+                                     "' must be indexed or passed as an "
+                                     "array argument");
+        return Type::voidTy();
+      }
+      Ref->setType(Sym->Ty);
+      return Sym->Ty;
+    }
+    case Expr::Kind::Index:
+      return checkIndex(cast<IndexExpr>(E));
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      Type Ty = checkExpr(U->getOperand());
+      if (Ty.isVoid())
+        return Ty;
+      if (U->getOp() == UnaryOp::Not) {
+        if (!Ty.isInt()) {
+          Diags.error(E->getLoc(), "'!' requires an int operand, found " +
+                                       Ty.str());
+          return Type::voidTy();
+        }
+        U->setType(Type::intTy());
+        return U->getType();
+      }
+      if (!Ty.isScalarNumeric()) {
+        Diags.error(E->getLoc(),
+                    "'-' requires a numeric operand, found " + Ty.str());
+        return Type::voidTy();
+      }
+      U->setType(Ty);
+      return Ty;
+    }
+    case Expr::Kind::Binary:
+      return checkBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Call:
+      return checkCall(cast<CallExpr>(E));
+    case Expr::Kind::Cast:
+      // Casts are only created by Sema itself, already typed.
+      return E->getType();
+    }
+    return Type::voidTy();
+  }
+
+  Type checkBinary(BinaryExpr *B) {
+    Type L = checkExpr(B->getLHS());
+    Type R = checkExpr(B->getRHS());
+    if (L.isVoid() || R.isVoid())
+      return Type::voidTy();
+
+    BinaryOp Op = B->getOp();
+    auto RequireNumeric = [&](Type Ty, Expr *Operand) {
+      if (Ty.isScalarNumeric())
+        return true;
+      Diags.error(Operand->getLoc(), std::string("operator '") +
+                                         binaryOpSpelling(Op) +
+                                         "' requires numeric operands, "
+                                         "found " +
+                                         Ty.str());
+      return false;
+    };
+
+    switch (Op) {
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      if (!L.isInt() || !R.isInt()) {
+        Diags.error(B->getLoc(), std::string("operator '") +
+                                     binaryOpSpelling(Op) +
+                                     "' requires int operands");
+        return Type::voidTy();
+      }
+      B->setType(Type::intTy());
+      return B->getType();
+    case BinaryOp::Rem:
+      if (!L.isInt() || !R.isInt()) {
+        Diags.error(B->getLoc(), "operator '%' requires int operands");
+        return Type::voidTy();
+      }
+      B->setType(Type::intTy());
+      return B->getType();
+    case BinaryOp::EQ:
+    case BinaryOp::NE:
+    case BinaryOp::LT:
+    case BinaryOp::LE:
+    case BinaryOp::GT:
+    case BinaryOp::GE: {
+      if (!RequireNumeric(L, B->getLHS()) || !RequireNumeric(R, B->getRHS()))
+        return Type::voidTy();
+      unifyOperands(B, L, R);
+      B->setType(Type::intTy());
+      return B->getType();
+    }
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div: {
+      if (!RequireNumeric(L, B->getLHS()) || !RequireNumeric(R, B->getRHS()))
+        return Type::voidTy();
+      Type Result = unifyOperands(B, L, R);
+      B->setType(Result);
+      return Result;
+    }
+    }
+    return Type::voidTy();
+  }
+
+  /// Widens the int side of a mixed int/float pair; returns the common type.
+  Type unifyOperands(BinaryExpr *B, Type L, Type R) {
+    if (L == R)
+      return L;
+    if (L.isInt())
+      B->setLHS(widen(B->takeLHS()));
+    else
+      B->setRHS(widen(B->takeRHS()));
+    return Type::floatTy();
+  }
+
+  Type checkCall(CallExpr *C) {
+    // Intrinsics available on every cell.
+    if (C->getCallee() == "sqrt" || C->getCallee() == "abs") {
+      if (C->getNumArgs() != 1) {
+        Diags.error(C->getLoc(), "intrinsic '" + C->getCallee() +
+                                     "' takes exactly one argument");
+        return Type::voidTy();
+      }
+      Type ArgTy = checkExpr(C->getArg(0));
+      if (ArgTy.isVoid())
+        return ArgTy;
+      if (!ArgTy.isScalarNumeric()) {
+        Diags.error(C->getArg(0)->getLoc(),
+                    "intrinsic argument must be numeric, found " +
+                        ArgTy.str());
+        return Type::voidTy();
+      }
+      if (ArgTy.isInt())
+        C->setArg(0, widen(C->takeArg(0)));
+      C->setType(Type::floatTy());
+      return C->getType();
+    }
+
+    FunctionDecl *Callee = Section.lookup(C->getCallee());
+    if (!Callee) {
+      Diags.error(C->getLoc(), "call to unknown function '" + C->getCallee() +
+                                   "' (not defined in section '" +
+                                   Section.getName() + "')");
+      return Type::voidTy();
+    }
+    const auto &Params = Callee->params();
+    if (C->getNumArgs() != Params.size()) {
+      Diags.error(C->getLoc(),
+                  "function '" + C->getCallee() + "' takes " +
+                      std::to_string(Params.size()) + " argument(s), " +
+                      std::to_string(C->getNumArgs()) + " given");
+      return Callee->getReturnType();
+    }
+    for (size_t I = 0, N = Params.size(); I != N; ++I) {
+      Type Want = Params[I].Ty;
+      if (Want.isArray()) {
+        // Arrays are passed by name: the argument must be a whole-array
+        // reference with a matching type.
+        auto *Ref = dyn_cast<VarRefExpr>(C->getArg(I));
+        const Symbol *Sym = Ref ? lookup(Ref->getName()) : nullptr;
+        if (!Sym || Sym->Ty != Want) {
+          Diags.error(C->getArg(I)->getLoc(),
+                      "argument " + std::to_string(I + 1) + " of '" +
+                          C->getCallee() + "' must be an array of type " +
+                          Want.str());
+        } else {
+          Ref->setType(Want);
+        }
+        ++NodesChecked;
+        continue;
+      }
+      Type Have = checkExpr(C->getArg(I));
+      if (Have.isVoid())
+        continue;
+      if (Have == Want)
+        continue;
+      if (Want.isFloat() && Have.isInt()) {
+        C->setArg(I, widen(C->takeArg(I)));
+        continue;
+      }
+      Diags.error(C->getArg(I)->getLoc(),
+                  "argument " + std::to_string(I + 1) + " of '" +
+                      C->getCallee() + "' has type " + Have.str() +
+                      " but " + Want.str() + " is required");
+    }
+    // This is the paper's motivating global check: the return value's type
+    // must agree with its use at the call site. The type annotation below
+    // is what enforces it at the enclosing expression.
+    C->setType(Callee->getReturnType());
+    return Callee->getReturnType();
+  }
+
+  SectionDecl &Section;
+  FunctionDecl &F;
+  DiagnosticEngine &Diags;
+  uint64_t &NodesChecked;
+  std::vector<std::map<std::string, Symbol>> Scopes;
+  bool SawValueReturn = false;
+};
+
+} // namespace
+
+bool Sema::checkSection(SectionDecl &Section) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  // Duplicate function names within a section.
+  for (size_t I = 0, N = Section.numFunctions(); I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J)
+      if (Section.getFunction(I)->getName() ==
+          Section.getFunction(J)->getName())
+        Diags.error(Section.getFunction(J)->getLoc(),
+                    "duplicate function '" +
+                        Section.getFunction(J)->getName() + "' in section '" +
+                        Section.getName() + "'");
+
+  for (size_t I = 0, N = Section.numFunctions(); I != N; ++I) {
+    FunctionChecker Checker(Section, *Section.getFunction(I), Diags,
+                            NodesChecked);
+    Checker.run();
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+bool Sema::checkModule(ModuleDecl &Module) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  for (size_t I = 0, N = Module.numSections(); I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J)
+      if (Module.getSection(I)->getName() == Module.getSection(J)->getName())
+        Diags.error(Module.getSection(J)->getLoc(),
+                    "duplicate section '" + Module.getSection(J)->getName() +
+                        "'");
+
+  for (size_t I = 0, N = Module.numSections(); I != N; ++I)
+    checkSection(*Module.getSection(I));
+  return Diags.errorCount() == ErrorsBefore;
+}

@@ -1,0 +1,53 @@
+//===- Sema.h - W2 semantic checking ----------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checking for W2 (the second half of compiler phase 1). This is
+/// the phase the paper keeps sequential because it requires global
+/// information that depends on all functions in a section: "to discover a
+/// type mismatch between a function return value and its use at a call
+/// site, the semantic checker has to process the complete section program"
+/// (Section 3.2). Sema also rewrites the AST, annotating every expression
+/// with its type and making the implicit int-to-float widenings explicit
+/// via CastExpr so the IR builder never coerces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_SEMA_H
+#define WARPC_W2_SEMA_H
+
+#include "support/Diagnostics.h"
+#include "w2/AST.h"
+
+#include <cstdint>
+
+namespace warpc {
+namespace w2 {
+
+/// Performs name resolution and type checking over a module.
+class Sema {
+public:
+  explicit Sema(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Checks an entire module. Returns true when no errors were found.
+  bool checkModule(ModuleDecl &Module);
+
+  /// Checks one section (all functions, including cross-function call
+  /// signature checks within the section).
+  bool checkSection(SectionDecl &Section);
+
+  /// Number of AST nodes visited; a phase-1 work metric.
+  uint64_t checkedNodeCount() const { return NodesChecked; }
+
+private:
+  DiagnosticEngine &Diags;
+  uint64_t NodesChecked = 0;
+};
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_SEMA_H

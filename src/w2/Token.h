@@ -1,0 +1,97 @@
+//===- Token.h - W2 tokens --------------------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the W2-like source language. W2 is the language of the
+/// CMU Warp systolic array: a module contains section programs, each
+/// section contains functions, and cells communicate over the X and Y
+/// channels via send/receive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_W2_TOKEN_H
+#define WARPC_W2_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace warpc {
+namespace w2 {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Invalid,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwModule,
+  KwSection,
+  KwCells,
+  KwFunction,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwTo,
+  KwBy,
+  KwWhile,
+  KwReturn,
+  KwSend,
+  KwReceive,
+  KwInt,
+  KwFloat,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Semicolon,
+
+  // Operators.
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqualEqual,
+  BangEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+};
+
+/// Returns a human-readable spelling for diagnostics ("'{'", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is only meaningful for identifiers and literals.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLoc Loc;
+  std::string Text;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace w2
+} // namespace warpc
+
+#endif // WARPC_W2_TOKEN_H

@@ -1,0 +1,395 @@
+//===- Generator.cpp - Synthetic W2 workload generation --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/PRNG.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::workload;
+
+const char *workload::sizeName(FunctionSize Size) {
+  switch (Size) {
+  case FunctionSize::Tiny:
+    return "f_tiny";
+  case FunctionSize::Small:
+    return "f_small";
+  case FunctionSize::Medium:
+    return "f_medium";
+  case FunctionSize::Large:
+    return "f_large";
+  case FunctionSize::Huge:
+    return "f_huge";
+  }
+  return "?";
+}
+
+uint32_t workload::sizeLines(FunctionSize Size) {
+  switch (Size) {
+  case FunctionSize::Tiny:
+    return 4;
+  case FunctionSize::Small:
+    return 35;
+  case FunctionSize::Medium:
+    return 100;
+  case FunctionSize::Large:
+    return 280;
+  case FunctionSize::Huge:
+    return 360;
+  }
+  return 4;
+}
+
+uint32_t workload::sizeLoopDepth(FunctionSize Size) {
+  switch (Size) {
+  case FunctionSize::Tiny:
+    return 0;
+  case FunctionSize::Small:
+    return 2;
+  case FunctionSize::Medium:
+    return 3;
+  case FunctionSize::Large:
+    return 4;
+  case FunctionSize::Huge:
+    return 4;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Emits one function line by line with exact line accounting.
+class FunctionWriter {
+public:
+  FunctionWriter(uint32_t TargetLines, uint32_t LoopDepth,
+                 const std::string &Name, uint64_t Seed)
+      : Target(TargetLines), Depth(LoopDepth), Name(Name), Rng(Seed) {}
+
+  std::string write() {
+    assert(Target >= 4 && "a W2 function needs at least 4 lines");
+    emit("function " + Name + "(xin: float, gain: float): float {");
+
+    if (Target < 10) {
+      // The canonical f_tiny shape: straight-line code, no loops.
+      emit("  var acc: float = xin * 2.0 + gain;");
+      for (uint32_t L = 4; L != Target; ++L)
+        emit("  acc = acc * " + constant() + " + xin;");
+      emit("  return acc;");
+      emit("}");
+      return Out;
+    }
+
+    // Preamble: locals and one receive, mirroring a systolic kernel that
+    // consumes a stream element per invocation.
+    emit("  var acc: float = 0.0;");
+    emit("  var tmp: float = 1.0;");
+    emit("  var buf: float[64];");
+    emit("  var aux: float[64];");
+    emit("  receive(X, tmp);");
+    uint32_t Preamble = 5;
+
+    // Lines available for the loop nest: total minus header, preamble,
+    // the trailing send/return, and the closing brace.
+    uint32_t Tail = 3; // send, return, closing brace
+    assert(Target > 1 + Preamble + Tail && "line budget too small");
+    uint32_t NestBudget = Target - 1 - Preamble - Tail;
+
+    uint32_t EffDepth = Depth;
+    // Every loop level costs two lines plus at least one statement.
+    while (EffDepth > 0 && NestBudget < 3 * EffDepth)
+      --EffDepth;
+    emitNest(EffDepth, NestBudget, 1);
+
+    emit("  send(Y, acc);");
+    emit("  return acc;");
+    emit("}");
+    return Out;
+  }
+
+private:
+  void emit(const std::string &Line) { Out += Line + "\n"; }
+
+  std::string indent(uint32_t Level) const {
+    return std::string(2 * Level, ' ');
+  }
+
+  /// A float rvalue usable at loop level \p Level (Level >= 1 inside the
+  /// outermost loop; index variables i1..iLevel are in scope).
+  std::string scalarRef(uint32_t Level) {
+    switch (Rng.below(4)) {
+    case 0:
+      return "acc";
+    case 1:
+      return "tmp";
+    case 2:
+      return "xin";
+    default:
+      return Level >= 1 ? arrayRef(Level) : std::string("gain");
+    }
+  }
+
+  std::string arrayRef(uint32_t Level) {
+    assert(Level >= 1 && "array refs need an index variable");
+    std::string Arr = Rng.below(2) == 0 ? "buf" : "aux";
+    uint32_t Idx = 1 + static_cast<uint32_t>(Rng.below(Level));
+    std::string Index = "i" + std::to_string(Idx);
+    // Occasionally offset the subscript so the dependence analyzer sees
+    // nonzero distances.
+    switch (Rng.below(4)) {
+    case 0:
+      return Arr + "[" + Index + " + 1]";
+    case 1:
+      return Arr + "[" + Index + " + 2]";
+    default:
+      return Arr + "[" + Index + "]";
+    }
+  }
+
+  std::string constant() {
+    static const char *Consts[] = {"0.5", "1.25", "2.0", "3.75", "0.125",
+                                   "1.5", "4.0",  "0.25"};
+    return Consts[Rng.below(8)];
+  }
+
+  /// Emits one computation statement at loop nesting \p Level. The mix
+  /// is mostly element-wise array work (independent across iterations,
+  /// the shape Warp kernels have) with an occasional accumulator update
+  /// — a short recurrence the software pipeliner can still overlap.
+  void emitStatement(uint32_t Level) {
+    std::string Pad = indent(Level + 1);
+    if (Level == 0) {
+      // Straight-line statements outside all loops.
+      switch (Rng.below(4)) {
+      case 0:
+        emit(Pad + "acc = acc + tmp * " + constant() + ";");
+        return;
+      case 1:
+        emit(Pad + "tmp = xin * gain + " + constant() + ";");
+        return;
+      case 2:
+        emit(Pad + "acc = acc * " + constant() + " + xin;");
+        return;
+      default:
+        emit(Pad + "tmp = abs(tmp) + " + constant() + ";");
+        return;
+      }
+    }
+    switch (Rng.below(16)) {
+    case 0:
+    case 1:
+    case 2:
+      emit(Pad + arrayRef(Level) + " = " + arrayRef(Level) + " * gain + " +
+           constant() + ";");
+      return;
+    case 3:
+    case 4:
+    case 5:
+      emit(Pad + arrayRef(Level) + " = " + arrayRef(Level) + " + xin * " +
+           constant() + ";");
+      return;
+    case 6:
+    case 7:
+      emit(Pad + arrayRef(Level) + " = " + arrayRef(Level) + " - " +
+           arrayRef(Level) + " / " + constant() + ";");
+      return;
+    case 8:
+    case 9:
+      emit(Pad + arrayRef(Level) + " = abs(" + arrayRef(Level) + ") + " +
+           constant() + ";");
+      return;
+    case 10:
+      // The one serial recurrence per mix: a dot-product style update.
+      emit(Pad + "acc = acc + " + arrayRef(Level) + " * " + constant() +
+           ";");
+      return;
+    case 11:
+      emit(Pad + "tmp = " + arrayRef(Level) + " * gain;");
+      return;
+    case 12:
+      emit(Pad + arrayRef(Level) + " = tmp + " + constant() + ";");
+      return;
+    case 13:
+      if (Rng.below(4) == 0) {
+        emit(Pad + "send(X, " + arrayRef(Level) + ");");
+        return;
+      }
+      emit(Pad + arrayRef(Level) + " = xin - " + arrayRef(Level) + " * " +
+           constant() + ";");
+      return;
+    case 14:
+      if (Rng.below(4) == 0) {
+        emit(Pad + "tmp = sqrt(" + arrayRef(Level) + " * " +
+             arrayRef(Level) + " + " + constant() + ");");
+        return;
+      }
+      emit(Pad + arrayRef(Level) + " = " + arrayRef(Level) + " * " +
+           constant() + ";");
+      return;
+    default:
+      emit(Pad + arrayRef(Level) + " = " + arrayRef(Level) + " + " +
+           arrayRef(Level) + " * " + constant() + ";");
+      return;
+    }
+  }
+
+  /// Emits a nest of \p Levels loops consuming exactly \p Budget lines.
+  /// The innermost body is kept small (a pipelinable Warp kernel); the
+  /// surplus becomes straight-line work in the outer loop bodies, which is
+  /// what makes the larger benchmark functions expensive to schedule.
+  void emitNest(uint32_t Levels, uint32_t Budget, uint32_t NextIndex) {
+    uint32_t Level = NextIndex - 1; // statements outside use this nesting
+    if (Levels == 0) {
+      for (uint32_t L = 0; L != Budget; ++L)
+        emitStatement(Level);
+      return;
+    }
+    assert(Budget >= 3 * Levels && "insufficient budget for loop nest");
+
+    // Plan the whole nest at once: two lines of loop overhead per level,
+    // an innermost body of at most MaxInnerStmts, and the remaining
+    // statements spread over the outer bodies (biased toward the deeper
+    // levels — "deeply nested loop bodies in the case of the larger
+    // programs").
+    constexpr uint32_t MaxInnerStmts = 14;
+    uint32_t Stmts = Budget - 2 * Levels;
+    uint32_t Inner = std::min(
+        Stmts - (Levels - 1), // leave one statement per outer level
+        6 + static_cast<uint32_t>(Rng.below(MaxInnerStmts - 5)));
+    if (Levels == 1)
+      Inner = Stmts;
+    uint32_t Rest = Stmts - Inner;
+
+    // Shares for outer levels 1..Levels-1, deeper levels get more.
+    std::vector<uint32_t> Share(Levels, 0);
+    Share[Levels - 1] = Inner;
+    if (Levels > 1) {
+      uint32_t TotalWeight = Levels * (Levels - 1) / 2;
+      uint32_t Assigned = 0;
+      for (uint32_t D = 0; D + 1 < Levels; ++D) {
+        uint32_t Weight = D + 1;
+        uint32_t Part = Rest * Weight / TotalWeight;
+        Share[D] = Part;
+        Assigned += Part;
+      }
+      Share[Levels - 2] += Rest - Assigned;
+    }
+
+    emitNestLevels(Share, 0, NextIndex);
+    (void)Level;
+  }
+
+  /// Emits loop level \p D of the planned nest.
+  void emitNestLevels(const std::vector<uint32_t> &Share, uint32_t D,
+                      uint32_t NextIndex) {
+    uint32_t Extent = 16u << Rng.below(3); // 16, 32, or 64 iterations
+    if (Extent > 62)
+      Extent = 62; // stay within buf[64] with +2 subscript offsets
+    std::string Pad = indent(NextIndex);
+    emit(Pad + "for i" + std::to_string(NextIndex) + " = 0 to " +
+         std::to_string(Extent - 1) + " {");
+    if (D + 1 == Share.size()) {
+      for (uint32_t L = 0; L != Share[D]; ++L)
+        emitStatement(NextIndex);
+    } else {
+      uint32_t Before = Share[D] / 2;
+      for (uint32_t L = 0; L != Before; ++L)
+        emitStatement(NextIndex);
+      emitNestLevels(Share, D + 1, NextIndex + 1);
+      for (uint32_t L = Before; L != Share[D]; ++L)
+        emitStatement(NextIndex);
+    }
+    emit(Pad + "}");
+  }
+
+  std::string Out;
+  uint32_t Target;
+  uint32_t Depth;
+  std::string Name;
+  PRNG Rng;
+};
+
+} // namespace
+
+std::string workload::generateFunctionWithLines(uint32_t TargetLines,
+                                                uint32_t LoopDepth,
+                                                const std::string &Name,
+                                                uint64_t Seed) {
+  FunctionWriter Writer(TargetLines, LoopDepth, Name, Seed);
+  return Writer.write();
+}
+
+std::string workload::generateFunction(FunctionSize Size,
+                                       const std::string &Name,
+                                       uint64_t Seed) {
+  return generateFunctionWithLines(sizeLines(Size), sizeLoopDepth(Size), Name,
+                                   Seed);
+}
+
+std::string workload::makeTestModule(FunctionSize Size, unsigned NumFunctions,
+                                     uint64_t Seed) {
+  assert(NumFunctions > 0 && "a test module needs at least one function");
+  std::string Out = "module s" + std::to_string(NumFunctions) + "_" +
+                    std::string(sizeName(Size)).substr(2) + ";\n";
+  Out += "section main cells 10 {\n";
+  for (unsigned F = 0; F != NumFunctions; ++F)
+    Out += generateFunction(Size, "f" + std::to_string(F + 1),
+                            Seed * 1315423911u + F);
+  Out += "}\n";
+  return Out;
+}
+
+std::string workload::makeUserProgram(uint64_t Seed) {
+  // "The program consists of three section programs with three functions
+  // each ... The sequential compilation times of three functions ranged
+  // between 19 and 22 minutes (about 300 lines of code each), the
+  // compilation times for the other six functions are in the 2 to 6
+  // minutes range (between 5 and 45 lines of code)."
+  struct Spec {
+    uint32_t Lines;
+    uint32_t Depth;
+    uint64_t FixedSeed; ///< Calibrated so the big functions land in the
+                        ///< paper's 19-22 minute band under the 1989 cost
+                        ///< model, with the default Seed.
+  };
+  const Spec SectionSpecs[3][3] = {
+      {{300, 4, 19}, {45, 2, 2}, {12, 1, 3}},
+      {{310, 4, 19}, {30, 2, 5}, {5, 0, 4}},
+      {{295, 4, 19}, {38, 2, 13}, {18, 1, 10}},
+  };
+
+  std::string Out = "module fem_solver;\n";
+  for (unsigned S = 0; S != 3; ++S) {
+    Out += "section stage" + std::to_string(S + 1) + " cells 3 {\n";
+    for (unsigned F = 0; F != 3; ++F) {
+      const Spec &SpecFS = SectionSpecs[S][F];
+      uint32_t Lines = SpecFS.Lines < 4 ? 4 : SpecFS.Lines;
+      Out += generateFunctionWithLines(
+          Lines, SpecFS.Depth,
+          "phase" + std::to_string(S + 1) + "_f" + std::to_string(F + 1),
+          SpecFS.FixedSeed + (Seed - 1989));
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+std::string workload::makeFigure1Program() {
+  // Program S from Figure 1: section 1 holds function 1.1; section 2
+  // holds functions 2.1, 2.2 and 2.3.
+  std::string Out = "module s;\n";
+  Out += "section sec1 cells 4 {\n";
+  Out += generateFunctionWithLines(40, 2, "func_1_1", 11);
+  Out += "}\n";
+  Out += "section sec2 cells 6 {\n";
+  Out += generateFunctionWithLines(35, 2, "func_2_1", 21);
+  Out += generateFunctionWithLines(28, 1, "func_2_2", 22);
+  Out += generateFunctionWithLines(44, 2, "func_2_3", 23);
+  Out += "}\n";
+  return Out;
+}

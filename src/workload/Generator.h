@@ -1,0 +1,79 @@
+//===- Generator.h - Synthetic W2 workload generation -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the paper's benchmark programs (Section 4.1): synthetic W2
+/// functions "derived from one of our largest application programs, a
+/// Monte Carlo style simulation", in five sizes —
+///
+///   f_tiny   =   4 lines    f_small =  35 lines    f_medium = 100 lines
+///   f_large  = 280 lines    f_huge  = 360 lines
+///
+/// — each a loop nest ("with deeply nested loop bodies in the case of the
+/// larger programs"); the S_n test modules containing n equal-size
+/// functions; and the mechanical-engineering user program of Section 4.3
+/// (three sections with three functions each: one ~300-line function plus
+/// two of 5-45 lines per section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_WORKLOAD_GENERATOR_H
+#define WARPC_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace workload {
+
+/// The five benchmark function sizes of Section 4.1.
+enum class FunctionSize { Tiny, Small, Medium, Large, Huge };
+
+inline constexpr FunctionSize AllSizes[] = {
+    FunctionSize::Tiny, FunctionSize::Small, FunctionSize::Medium,
+    FunctionSize::Large, FunctionSize::Huge};
+
+/// "f_tiny", "f_small", ...
+const char *sizeName(FunctionSize Size);
+
+/// Source lines of the size class (4, 35, 100, 280, 360).
+uint32_t sizeLines(FunctionSize Size);
+
+/// Loop nesting depth used for the size class.
+uint32_t sizeLoopDepth(FunctionSize Size);
+
+/// Generates one W2 function of the given size class. \p Seed varies the
+/// statement mix deterministically so that S_n modules do not contain
+/// byte-identical functions.
+std::string generateFunction(FunctionSize Size, const std::string &Name,
+                             uint64_t Seed);
+
+/// Generates a function with an explicit line target (for Figure 7 style
+/// size sweeps and the user program's mixed sizes).
+std::string generateFunctionWithLines(uint32_t TargetLines,
+                                      uint32_t LoopDepth,
+                                      const std::string &Name, uint64_t Seed);
+
+/// The S_n test module: one section of \p NumFunctions functions of size
+/// \p Size (the paper varies n over 1, 2, 4 and 8).
+std::string makeTestModule(FunctionSize Size, unsigned NumFunctions,
+                           uint64_t Seed = 1989);
+
+/// The Section 4.3 user program: a mechanical-engineering application of
+/// three section programs with three functions each — per section one
+/// function of ~300 lines and two of 5-45 lines (nine functions total).
+std::string makeUserProgram(uint64_t Seed = 1989);
+
+/// A small fixed two-section module used by quickstart documentation and
+/// smoke tests; mirrors Figure 1's program S (section 1 with one function,
+/// section 2 with three).
+std::string makeFigure1Program();
+
+} // namespace workload
+} // namespace warpc
+
+#endif // WARPC_WORKLOAD_GENERATOR_H

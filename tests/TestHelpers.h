@@ -1,0 +1,89 @@
+//===- TestHelpers.h - Shared test utilities --------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the test suite: parse/check/lower W2 snippets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_TESTS_TESTHELPERS_H
+#define WARPC_TESTS_TESTHELPERS_H
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "opt/LocalOpt.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace warpc {
+namespace test {
+
+/// Parses and semantically checks a whole module; fails the test on any
+/// diagnostic error.
+inline std::unique_ptr<w2::ModuleDecl> checkModule(const std::string &Source) {
+  DiagnosticEngine Diags;
+  w2::Lexer L(Source, Diags);
+  w2::Parser P(L.lexAll(), Diags);
+  auto M = P.parseModule();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  if (Diags.hasErrors())
+    return nullptr;
+  w2::Sema S(Diags);
+  S.checkModule(*M);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}
+
+/// Wraps a function body in "module m; section s { ... }".
+inline std::string wrapFunction(const std::string &FunctionText) {
+  return "module m;\nsection s cells 2 {\n" + FunctionText + "\n}\n";
+}
+
+/// Lowers the first function of \p Source to IR and verifies it.
+inline std::unique_ptr<ir::IRFunction>
+lowerFirstFunction(const std::string &Source) {
+  auto M = checkModule(Source);
+  if (!M)
+    return nullptr;
+  auto F = ir::lowerFunction(*M->getSection(0)->getFunction(0));
+  std::string Verdict = ir::verifyFunction(*F);
+  EXPECT_EQ(Verdict, "") << printFunction(*F);
+  return F;
+}
+
+/// Lowers and fully optimizes the first function of \p Source.
+inline std::unique_ptr<ir::IRFunction>
+optimizeFirstFunction(const std::string &Source) {
+  auto F = lowerFirstFunction(Source);
+  if (!F)
+    return nullptr;
+  opt::runLocalOpt(*F);
+  std::string Verdict = ir::verifyFunction(*F);
+  EXPECT_EQ(Verdict, "") << printFunction(*F);
+  return F;
+}
+
+/// Counts instructions with a given opcode across the whole function.
+inline unsigned countOps(const ir::IRFunction &F, ir::Opcode Op) {
+  unsigned N = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const ir::Instr &I : F.block(static_cast<ir::BlockId>(B))->Instrs)
+      N += I.Op == Op;
+  return N;
+}
+
+} // namespace test
+} // namespace warpc
+
+#endif // WARPC_TESTS_TESTHELPERS_H

@@ -1,0 +1,107 @@
+//===- AssemblyTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmout/Assembly.h"
+
+#include "../TestHelpers.h"
+#include "codegen/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::asmout;
+using namespace warpc::codegen;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+namespace {
+
+CellProgram assemble(const std::string &Source) {
+  auto F = optimizeFirstFunction(Source);
+  EXPECT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  MachineFunction MF = generateCode(*F, MM);
+  return assembleFunction(*F, MF);
+}
+
+} // namespace
+
+TEST(AssemblyTest, ProducesListingAndImage) {
+  CellProgram P = assemble(wrapFunction(R"(
+function f(x: float): float {
+  return x * 2.0 + 1.0;
+}
+)"));
+  EXPECT_EQ(P.FunctionName, "f");
+  EXPECT_GT(P.CodeWords, 0u);
+  EXPECT_FALSE(P.Listing.empty());
+  EXPECT_GT(P.Image.size(), 12u); // more than the header
+}
+
+TEST(AssemblyTest, ImageStartsWithMagic) {
+  CellProgram P = assemble(wrapFunction(R"(
+function f(x: float): float { return x; }
+)"));
+  ASSERT_GE(P.Image.size(), 4u);
+  uint32_t Magic = P.Image[0] | (P.Image[1] << 8) | (P.Image[2] << 16) |
+                   (static_cast<uint32_t>(P.Image[3]) << 24);
+  EXPECT_EQ(Magic, 0x57415250u); // "WARP"
+}
+
+TEST(AssemblyTest, ListingMentionsFunctionAndRegs) {
+  CellProgram P = assemble(wrapFunction(R"(
+function kernel(x: float): float { return x + 1.0; }
+)"));
+  EXPECT_NE(P.Listing.find(".function kernel"), std::string::npos);
+  EXPECT_NE(P.Listing.find(".regs"), std::string::npos);
+}
+
+TEST(AssemblyTest, PipelinedLoopAnnotated) {
+  CellProgram P = assemble(wrapFunction(R"(
+function f(a: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * x + 0.5;
+  }
+  return a[0];
+}
+)"));
+  EXPECT_NE(P.Listing.find(".pipelined ii="), std::string::npos);
+  EXPECT_NE(P.Listing.find("stages="), std::string::npos);
+}
+
+TEST(AssemblyTest, CodeWordsMatchMachineFunction) {
+  auto F = optimizeFirstFunction(wrapFunction(R"(
+function f(a: float[16]): float {
+  var acc: float = 0.0;
+  for i = 0 to 15 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  MachineFunction MF = generateCode(*F, MM);
+  CellProgram P = assembleFunction(*F, MF);
+  EXPECT_EQ(P.CodeWords, MF.codeWords());
+  EXPECT_EQ(P.IntRegsUsed, MF.RA.IntRegsUsed);
+  EXPECT_EQ(P.FloatRegsUsed, MF.RA.FloatRegsUsed);
+}
+
+TEST(AssemblyTest, DeterministicOutput) {
+  std::string Source = wrapFunction(R"(
+function f(a: float[8], x: float): float {
+  for i = 0 to 7 {
+    a[i] = a[i] + x;
+  }
+  return a[0];
+}
+)");
+  CellProgram P1 = assemble(Source);
+  CellProgram P2 = assemble(Source);
+  EXPECT_EQ(P1.Listing, P2.Listing);
+  EXPECT_EQ(P1.Image, P2.Image);
+}

@@ -1,0 +1,132 @@
+//===- DownloadModuleTest.cpp ----------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmout/DownloadModule.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::asmout;
+
+namespace {
+
+CellProgram makeProgram(const std::string &Name, size_t Words) {
+  CellProgram P;
+  P.FunctionName = Name;
+  P.CodeWords = Words;
+  for (size_t B = 0; B != Words * 8; ++B)
+    P.Image.push_back(static_cast<uint8_t>(B * 31 + Name.size()));
+  return P;
+}
+
+} // namespace
+
+TEST(DownloadModuleTest, IODriverScalesWithCells) {
+  std::vector<CellProgram> Programs;
+  Programs.push_back(makeProgram("f", 4));
+  auto Small = generateIODriver("s", 2, Programs);
+  auto Large = generateIODriver("s", 10, Programs);
+  EXPECT_GT(Large.size(), Small.size());
+}
+
+TEST(DownloadModuleTest, IODriverScalesWithFunctions) {
+  std::vector<CellProgram> One, Three;
+  One.push_back(makeProgram("a", 2));
+  Three.push_back(makeProgram("a", 2));
+  Three.push_back(makeProgram("b", 2));
+  Three.push_back(makeProgram("c", 2));
+  EXPECT_GT(generateIODriver("s", 4, Three).size(),
+            generateIODriver("s", 4, One).size());
+}
+
+TEST(DownloadModuleTest, CombineKeepsDeclarationOrder) {
+  std::vector<CellProgram> Programs;
+  Programs.push_back(makeProgram("first", 1));
+  Programs.push_back(makeProgram("second", 2));
+  SectionImage S = combineSection("sec", 4, std::move(Programs));
+  ASSERT_EQ(S.Programs.size(), 2u);
+  EXPECT_EQ(S.Programs[0].FunctionName, "first");
+  EXPECT_EQ(S.Programs[1].FunctionName, "second");
+  EXPECT_EQ(S.SectionName, "sec");
+  EXPECT_EQ(S.NumCells, 4u);
+  EXPECT_FALSE(S.IODriver.empty());
+}
+
+TEST(DownloadModuleTest, TotalWordsIncludeDriverAndPrograms) {
+  std::vector<CellProgram> Programs;
+  Programs.push_back(makeProgram("f", 10));
+  SectionImage S = combineSection("sec", 2, std::move(Programs));
+  EXPECT_GE(S.totalWords(), 10u);
+}
+
+TEST(DownloadModuleTest, LinkedModuleHasMagicAndName) {
+  std::vector<SectionImage> Sections;
+  {
+    std::vector<CellProgram> Programs;
+    Programs.push_back(makeProgram("f", 3));
+    Sections.push_back(combineSection("sec1", 2, std::move(Programs)));
+  }
+  DownloadModule M = linkModule("prog", std::move(Sections));
+  EXPECT_EQ(M.ModuleName, "prog");
+  ASSERT_GE(M.Image.size(), 4u);
+  uint32_t Magic = M.Image[0] | (M.Image[1] << 8) | (M.Image[2] << 16) |
+                   (static_cast<uint32_t>(M.Image[3]) << 24);
+  EXPECT_EQ(Magic, 0x5750444du); // "WPDM"
+  // The module name appears in the image.
+  std::string Blob(M.Image.begin(), M.Image.end());
+  EXPECT_NE(Blob.find("prog"), std::string::npos);
+}
+
+TEST(DownloadModuleTest, SymbolsForEveryFunction) {
+  std::vector<SectionImage> Sections;
+  {
+    std::vector<CellProgram> Programs;
+    Programs.push_back(makeProgram("alpha", 1));
+    Programs.push_back(makeProgram("beta", 1));
+    Sections.push_back(combineSection("sec1", 2, std::move(Programs)));
+  }
+  {
+    std::vector<CellProgram> Programs;
+    Programs.push_back(makeProgram("gamma", 1));
+    Sections.push_back(combineSection("sec2", 3, std::move(Programs)));
+  }
+  DownloadModule M = linkModule("prog", std::move(Sections));
+  std::string Blob(M.Image.begin(), M.Image.end());
+  EXPECT_NE(Blob.find("alpha"), std::string::npos);
+  EXPECT_NE(Blob.find("beta"), std::string::npos);
+  EXPECT_NE(Blob.find("gamma"), std::string::npos);
+  EXPECT_NE(Blob.find("sec1"), std::string::npos);
+  EXPECT_NE(Blob.find("sec2"), std::string::npos);
+}
+
+TEST(DownloadModuleTest, ImageIsDeterministic) {
+  auto Build = [] {
+    std::vector<SectionImage> Sections;
+    std::vector<CellProgram> Programs;
+    Programs.push_back(makeProgram("f", 5));
+    Sections.push_back(combineSection("s", 2, std::move(Programs)));
+    return linkModule("m", std::move(Sections));
+  };
+  EXPECT_EQ(Build().Image, Build().Image);
+}
+
+TEST(DownloadModuleTest, ChangedCodeChangesChecksum) {
+  auto Build = [](uint8_t Tweak) {
+    std::vector<SectionImage> Sections;
+    std::vector<CellProgram> Programs;
+    CellProgram P = makeProgram("f", 5);
+    P.Image[20] ^= Tweak;
+    Programs.push_back(std::move(P));
+    Sections.push_back(combineSection("s", 2, std::move(Programs)));
+    return linkModule("m", std::move(Sections));
+  };
+  DownloadModule A = Build(0), B = Build(0xff);
+  EXPECT_NE(A.Image, B.Image);
+  // The trailing four bytes are the checksum; they must differ too.
+  std::vector<uint8_t> TailA(A.Image.end() - 4, A.Image.end());
+  std::vector<uint8_t> TailB(B.Image.end() - 4, B.Image.end());
+  EXPECT_NE(TailA, TailB);
+}

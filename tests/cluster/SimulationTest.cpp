@@ -1,0 +1,120 @@
+//===- SimulationTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Simulation.h"
+
+#include "cluster/HostSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::cluster;
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation Sim;
+  std::vector<int> Order;
+  Sim.at(3.0, [&] { Order.push_back(3); });
+  Sim.at(1.0, [&] { Order.push_back(1); });
+  Sim.at(2.0, [&] { Order.push_back(2); });
+  Sim.run();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], 1);
+  EXPECT_EQ(Order[1], 2);
+  EXPECT_EQ(Order[2], 3);
+}
+
+TEST(SimulationTest, TiesRunFIFO) {
+  Simulation Sim;
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    Sim.at(1.0, [&Order, I] { Order.push_back(I); });
+  Sim.run();
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(SimulationTest, AfterSchedulesRelative) {
+  Simulation Sim;
+  double SawAt = -1;
+  Sim.at(10.0, [&] { Sim.after(5.0, [&] { SawAt = Sim.now(); }); });
+  EXPECT_DOUBLE_EQ(Sim.run(), 15.0);
+  EXPECT_DOUBLE_EQ(SawAt, 15.0);
+}
+
+TEST(SimulationTest, RunReturnsFinalTime) {
+  Simulation Sim;
+  Sim.at(42.5, [] {});
+  EXPECT_DOUBLE_EQ(Sim.run(), 42.5);
+}
+
+TEST(SerialResourceTest, BackToBackRequestsQueue) {
+  Simulation Sim;
+  SerialResource R(Sim, "disk");
+  double End1 = -1, End2 = -1, Waited2 = -1;
+  R.request(10.0, [&](double) { End1 = Sim.now(); });
+  R.request(5.0, [&](double W) {
+    End2 = Sim.now();
+    Waited2 = W;
+  });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(End1, 10.0);
+  EXPECT_DOUBLE_EQ(End2, 15.0);
+  EXPECT_DOUBLE_EQ(Waited2, 10.0);
+  EXPECT_DOUBLE_EQ(R.busySeconds(), 15.0);
+  EXPECT_DOUBLE_EQ(R.waitSeconds(), 10.0);
+  EXPECT_EQ(R.requestCount(), 2u);
+}
+
+TEST(SerialResourceTest, IdleResourceServesImmediately) {
+  Simulation Sim;
+  SerialResource R(Sim, "cpu");
+  double Waited = -1;
+  Sim.at(7.0, [&] { R.request(2.0, [&](double W) { Waited = W; }); });
+  EXPECT_DOUBLE_EQ(Sim.run(), 9.0);
+  EXPECT_DOUBLE_EQ(Waited, 0.0);
+}
+
+TEST(SerialResourceTest, ContentionStretchesService) {
+  // With a contention factor (Ethernet collisions), a transfer issued
+  // while another is in flight takes longer than its raw service time.
+  Simulation NoContention;
+  SerialResource Quiet(NoContention, "ether", 0.0);
+  double QuietEnd = 0;
+  Quiet.request(10.0, [&](double) {});
+  Quiet.request(10.0, [&](double) { QuietEnd = NoContention.now(); });
+  NoContention.run();
+
+  Simulation Contended;
+  SerialResource Busy(Contended, "ether", 0.5);
+  double BusyEnd = 0;
+  Busy.request(10.0, [&](double) {});
+  Busy.request(10.0, [&](double) { BusyEnd = Contended.now(); });
+  Contended.run();
+
+  EXPECT_DOUBLE_EQ(QuietEnd, 20.0);
+  EXPECT_GT(BusyEnd, QuietEnd);
+}
+
+TEST(JoinCounterTest, FiresAfterAllArrivals) {
+  Simulation Sim;
+  bool Fired = false;
+  JoinCounter Join(3, [&] { Fired = true; });
+  Join.arrive();
+  Join.arrive();
+  EXPECT_FALSE(Fired);
+  Join.arrive();
+  EXPECT_TRUE(Fired);
+}
+
+TEST(HostConfigTest, DefaultsAreSane) {
+  HostConfig Host = HostConfig::sunNetwork1989();
+  EXPECT_GE(Host.NumWorkstations, 10u);
+  EXPECT_LE(Host.NumWorkstations, 15u);
+  EXPECT_GT(Host.MemoryKB, Host.UsableMemoryKB);
+  EXPECT_GT(Host.UsableMemoryKB, Host.LispCoreKB);
+  EXPECT_GT(Host.EthernetKBps, 0.0);
+  EXPECT_GT(Host.ServerKBps, 0.0);
+}

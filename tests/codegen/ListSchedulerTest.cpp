@@ -1,0 +1,162 @@
+//===- ListSchedulerTest.cpp -----------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ListScheduler.h"
+
+#include "../TestHelpers.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+using warpc::test::lowerFirstFunction;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(ListSchedulerTest, SchedulesEveryInstructionOnce) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  return (x * 2.0 + 1.0) / (x + 3.0);
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  BlockSchedule S = listSchedule(*F->block(0), MM);
+  EXPECT_EQ(S.Ops.size(), F->block(0)->Instrs.size());
+  EXPECT_EQ(validateBlockSchedule(*F->block(0), MM, S), "");
+}
+
+TEST(ListSchedulerTest, RespectsLatency) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  return x * 2.0 + 1.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  BlockSchedule S = listSchedule(*BB, MM);
+  uint32_t MulCycle = 0, AddCycle = 0;
+  for (const ScheduledOp &Op : S.Ops) {
+    if (BB->Instrs[Op.InstrIdx].Op == Opcode::Mul)
+      MulCycle = Op.Cycle;
+    if (BB->Instrs[Op.InstrIdx].Op == Opcode::Add)
+      AddCycle = Op.Cycle;
+  }
+  EXPECT_GE(AddCycle, MulCycle + 5);
+}
+
+TEST(ListSchedulerTest, IndependentOpsOverlapAcrossUnits) {
+  // An int op and a float op with no dependence can share a cycle.
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float, n: int): float {
+  var a: float = x * 2.0;
+  var b: int = n + 1;
+  if (b > 0) {
+    return a;
+  }
+  return 0.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  BlockSchedule S = listSchedule(*F->block(0), MM);
+  EXPECT_EQ(validateBlockSchedule(*F->block(0), MM, S), "");
+  // The schedule is shorter than fully sequential issue.
+  EXPECT_LT(S.Length, F->block(0)->Instrs.size() * 3);
+}
+
+TEST(ListSchedulerTest, SerializesSameUnit) {
+  // Two independent float multiplies still issue in different cycles (one
+  // multiplier).
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float, y: float): float {
+  return x * 2.0 + y * 3.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  BlockSchedule S = listSchedule(*BB, MM);
+  std::vector<uint32_t> MulCycles;
+  for (const ScheduledOp &Op : S.Ops)
+    if (BB->Instrs[Op.InstrIdx].Op == Opcode::Mul)
+      MulCycles.push_back(Op.Cycle);
+  ASSERT_EQ(MulCycles.size(), 2u);
+  EXPECT_NE(MulCycles[0], MulCycles[1]);
+}
+
+TEST(ListSchedulerTest, TerminatorIssuesLast) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x * 2.0; }
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  BlockSchedule S = listSchedule(*BB, MM);
+  uint32_t TermIdx = static_cast<uint32_t>(BB->Instrs.size() - 1);
+  uint32_t TermCycle = 0;
+  for (const ScheduledOp &Op : S.Ops)
+    if (Op.InstrIdx == TermIdx)
+      TermCycle = Op.Cycle;
+  for (const ScheduledOp &Op : S.Ops)
+    EXPECT_LE(Op.Cycle, TermCycle);
+}
+
+TEST(ListSchedulerTest, EmptyBlockZeroLength) {
+  IRFunction F("f", w2::Type::voidTy());
+  BasicBlock *BB = F.createBlock();
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  BB->Instrs.push_back(Ret);
+  MachineModel MM = MachineModel::warpCell();
+  BlockSchedule S = listSchedule(*BB, MM);
+  EXPECT_EQ(S.Ops.size(), 1u); // just the terminator
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: every block of every optimized workload function has a
+// valid schedule.
+//===----------------------------------------------------------------------===//
+
+struct SweepParam {
+  workload::FunctionSize Size;
+  uint64_t Seed;
+};
+
+class ListSchedulerSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ListSchedulerSweep, AllBlocksValid) {
+  std::string Source = workload::makeTestModule(GetParam().Size, 1,
+                                                GetParam().Seed);
+  auto F = optimizeFirstFunction(Source);
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  for (size_t B = 0; B != F->numBlocks(); ++B) {
+    BlockSchedule S = listSchedule(*F->block(static_cast<BlockId>(B)), MM);
+    EXPECT_EQ(validateBlockSchedule(*F->block(static_cast<BlockId>(B)), MM,
+                                    S),
+              "")
+        << "block " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ListSchedulerSweep,
+    ::testing::Values(SweepParam{workload::FunctionSize::Tiny, 1},
+                      SweepParam{workload::FunctionSize::Small, 1},
+                      SweepParam{workload::FunctionSize::Small, 2},
+                      SweepParam{workload::FunctionSize::Small, 3},
+                      SweepParam{workload::FunctionSize::Medium, 1},
+                      SweepParam{workload::FunctionSize::Medium, 2},
+                      SweepParam{workload::FunctionSize::Large, 1},
+                      SweepParam{workload::FunctionSize::Huge, 1}),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      return std::string(workload::sizeName(Info.param.Size)).substr(2) +
+             "_seed" + std::to_string(Info.param.Seed);
+    });

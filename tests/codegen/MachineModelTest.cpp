@@ -1,0 +1,109 @@
+//===- MachineModelTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+
+namespace {
+
+Instr make(Opcode Op, ValueType Ty) {
+  Instr I;
+  I.Op = Op;
+  I.Ty = Ty;
+  return I;
+}
+
+} // namespace
+
+TEST(MachineModelTest, FloatAddUsesAdderPipelined) {
+  MachineModel MM = MachineModel::warpCell();
+  OpInfo Info = MM.opInfo(make(Opcode::Add, ValueType::Float));
+  EXPECT_EQ(Info.Unit, FUKind::FAdd);
+  EXPECT_EQ(Info.Latency, 5u);
+  EXPECT_EQ(Info.Reserve, 1u); // fully pipelined
+}
+
+TEST(MachineModelTest, IntAddUsesALU) {
+  MachineModel MM = MachineModel::warpCell();
+  OpInfo Info = MM.opInfo(make(Opcode::Add, ValueType::Int));
+  EXPECT_EQ(Info.Unit, FUKind::IAlu);
+  EXPECT_EQ(Info.Latency, 1u);
+}
+
+TEST(MachineModelTest, MultiplierOps) {
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_EQ(MM.opInfo(make(Opcode::Mul, ValueType::Float)).Unit,
+            FUKind::FMul);
+  OpInfo Div = MM.opInfo(make(Opcode::Div, ValueType::Float));
+  EXPECT_EQ(Div.Unit, FUKind::FMul);
+  EXPECT_GT(Div.Latency, 5u);
+  EXPECT_GT(Div.Reserve, 1u); // partially pipelined
+  EXPECT_EQ(MM.opInfo(make(Opcode::Sqrt, ValueType::Float)).Unit,
+            FUKind::FMul);
+}
+
+TEST(MachineModelTest, MemoryOps) {
+  MachineModel MM = MachineModel::warpCell();
+  OpInfo Load = MM.opInfo(make(Opcode::LoadElem, ValueType::Float));
+  EXPECT_EQ(Load.Unit, FUKind::Mem);
+  EXPECT_EQ(Load.Latency, 2u);
+  OpInfo Store = MM.opInfo(make(Opcode::StoreVar, ValueType::Float));
+  EXPECT_EQ(Store.Unit, FUKind::Mem);
+  EXPECT_EQ(Store.Latency, 1u);
+}
+
+TEST(MachineModelTest, ChannelOps) {
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_EQ(MM.opInfo(make(Opcode::Send, ValueType::Float)).Unit,
+            FUKind::Chan);
+  EXPECT_EQ(MM.opInfo(make(Opcode::Recv, ValueType::Float)).Unit,
+            FUKind::Chan);
+}
+
+TEST(MachineModelTest, ControlFlowOnSequencer) {
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_EQ(MM.opInfo(make(Opcode::Br, ValueType::Int)).Unit,
+            FUKind::Branch);
+  EXPECT_EQ(MM.opInfo(make(Opcode::CondBr, ValueType::Int)).Unit,
+            FUKind::Branch);
+  OpInfo Call = MM.opInfo(make(Opcode::Call, ValueType::Float));
+  EXPECT_EQ(Call.Unit, FUKind::Branch);
+  EXPECT_GT(Call.Latency, 5u);
+}
+
+TEST(MachineModelTest, FloatCompareOnAdder) {
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_EQ(MM.opInfo(make(Opcode::CmpLT, ValueType::Float)).Unit,
+            FUKind::FAdd);
+  EXPECT_EQ(MM.opInfo(make(Opcode::CmpLT, ValueType::Int)).Unit,
+            FUKind::IAlu);
+}
+
+TEST(MachineModelTest, OneSlotPerUnit) {
+  MachineModel MM = MachineModel::warpCell();
+  for (unsigned U = 0; U != NumFUKinds; ++U)
+    EXPECT_EQ(MM.slots(static_cast<FUKind>(U)), 1u);
+}
+
+TEST(MachineModelTest, RegisterFiles) {
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_GT(MM.intRegs(), 0u);
+  EXPECT_GT(MM.floatRegs(), 0u);
+}
+
+TEST(MachineModelTest, UnitNames) {
+  EXPECT_STREQ(fuKindName(FUKind::FAdd), "fadd");
+  EXPECT_STREQ(fuKindName(FUKind::FMul), "fmul");
+  EXPECT_STREQ(fuKindName(FUKind::IAlu), "ialu");
+  EXPECT_STREQ(fuKindName(FUKind::Mem), "mem");
+  EXPECT_STREQ(fuKindName(FUKind::Chan), "chan");
+  EXPECT_STREQ(fuKindName(FUKind::Branch), "br");
+}

@@ -1,0 +1,225 @@
+//===- ModuloSchedulerTest.cpp ---------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ModuloScheduler.h"
+
+#include "../TestHelpers.h"
+#include "opt/Dependence.h"
+#include "opt/LoopInfo.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+namespace {
+
+struct Pipelined {
+  std::unique_ptr<IRFunction> F;
+  Loop TheLoop;
+  LoopDeps Deps;
+  LoopSchedule Sched;
+  bool FoundLoop = false;
+};
+
+Pipelined pipelineFirstLoop(const std::string &Source) {
+  Pipelined Result;
+  Result.F = optimizeFirstFunction(Source);
+  if (!Result.F)
+    return Result;
+  MachineModel MM = MachineModel::warpCell();
+  LoopInfo LI = LoopInfo::compute(*Result.F);
+  for (const Loop &L : LI.loops()) {
+    if (!L.isSimpleInnerLoop())
+      continue;
+    Result.TheLoop = L;
+    Result.Deps = analyzeLoopDependences(*Result.F, L);
+    Result.Sched = moduloSchedule(*Result.F, L, Result.Deps, MM);
+    Result.FoundLoop = true;
+    return Result;
+  }
+  return Result;
+}
+
+} // namespace
+
+TEST(ModuloSchedulerTest, PipelinesElementwiseLoop) {
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * x + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  ASSERT_TRUE(P.Sched.Pipelined);
+  MachineModel MM = MachineModel::warpCell();
+  EXPECT_EQ(validateLoopSchedule(*P.F, P.TheLoop, P.Deps, MM, P.Sched), "");
+  EXPECT_GE(P.Sched.II, P.Sched.MII);
+  EXPECT_GE(P.Sched.Stages, 2u) << "no overlap achieved";
+}
+
+TEST(ModuloSchedulerTest, IIAtLeastResMII) {
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32], b: float[32]): float {
+  for i = 0 to 31 {
+    a[i] = a[i] + b[i];
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  ASSERT_TRUE(P.Sched.Pipelined);
+  // 2 loads + 1 store on one memory port: ResMII >= 3.
+  EXPECT_GE(P.Sched.ResMII, 3u);
+  EXPECT_GE(P.Sched.II, P.Sched.ResMII);
+}
+
+TEST(ModuloSchedulerTest, AccumulatorBoundsRecMII) {
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32]): float {
+  var acc: float = 0.0;
+  for i = 0 to 31 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  // The memory-carried accumulator chain (load, fadd, store) bounds the
+  // initiation interval: load(2) + add(5) + store(1) = 8.
+  EXPECT_GE(P.Sched.RecMII, 8u);
+  if (P.Sched.Pipelined) {
+    MachineModel MM = MachineModel::warpCell();
+    EXPECT_EQ(validateLoopSchedule(*P.F, P.TheLoop, P.Deps, MM, P.Sched),
+              "");
+  }
+}
+
+TEST(ModuloSchedulerTest, KernelCyclesWithinII) {
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * x;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  ASSERT_TRUE(P.Sched.Pipelined);
+  for (const KernelOp &K : P.Sched.Kernel) {
+    EXPECT_LT(K.Cycle, P.Sched.II);
+    EXPECT_LT(K.Stage, P.Sched.Stages);
+  }
+}
+
+TEST(ModuloSchedulerTest, UnsafeLoopNotPipelined) {
+  LoopDeps Deps;
+  Deps.PipelineSafe = false;
+  IRFunction F("f", w2::Type::voidTy());
+  F.createBlock();
+  Loop L;
+  L.Header = 0;
+  L.Latch = 0;
+  L.Blocks = {0, 0};
+  MachineModel MM = MachineModel::warpCell();
+  LoopSchedule S = moduloSchedule(F, L, Deps, MM);
+  EXPECT_FALSE(S.Pipelined);
+}
+
+TEST(ModuloSchedulerTest, AttemptsAreCounted) {
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * x + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  EXPECT_GT(P.Sched.Attempts, 0u);
+  EXPECT_GT(P.Sched.RecMIIWork, 0u);
+}
+
+TEST(ModuloSchedulerTest, PipeliningBeatsSequentialIssue) {
+  // The whole point: II is much smaller than the loop body's sequential
+  // length.
+  auto P = pipelineFirstLoop(wrapFunction(R"(
+function f(a: float[32], b: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = b[i] * x + 1.0;
+    b[i] = b[i] + 0.5;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(P.FoundLoop);
+  ASSERT_TRUE(P.Sched.Pipelined);
+  // Sequential issue of the body costs at least the critical path; the
+  // kernel initiates a new iteration every II cycles.
+  uint32_t BodyOps = 0;
+  const BasicBlock *Body = P.F->block(P.TheLoop.bodyBlock());
+  BodyOps = static_cast<uint32_t>(Body->Instrs.size()) - 1;
+  EXPECT_LT(P.Sched.II, BodyOps * 2);
+  EXPECT_GT(P.Sched.Stages, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: every pipelined loop in the benchmark workloads
+// validates against its dependences and the modulo reservation table.
+//===----------------------------------------------------------------------===//
+
+struct ModuloSweepParam {
+  workload::FunctionSize Size;
+  uint64_t Seed;
+};
+
+class ModuloSweep : public ::testing::TestWithParam<ModuloSweepParam> {};
+
+TEST_P(ModuloSweep, PipelinedLoopsValidate) {
+  std::string Source = workload::makeTestModule(GetParam().Size, 1,
+                                                GetParam().Seed);
+  auto F = optimizeFirstFunction(Source);
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  LoopInfo LI = LoopInfo::compute(*F);
+  unsigned Checked = 0;
+  for (const Loop &L : LI.loops()) {
+    if (!L.isSimpleInnerLoop())
+      continue;
+    LoopDeps Deps = analyzeLoopDependences(*F, L);
+    LoopSchedule S = moduloSchedule(*F, L, Deps, MM);
+    if (!S.Pipelined)
+      continue;
+    ++Checked;
+    EXPECT_EQ(validateLoopSchedule(*F, L, Deps, MM, S), "");
+    EXPECT_GE(S.II, S.MII);
+  }
+  if (GetParam().Size != workload::FunctionSize::Tiny) {
+    EXPECT_GT(Checked, 0u) << "no loop was pipelined";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ModuloSweep,
+    ::testing::Values(ModuloSweepParam{workload::FunctionSize::Small, 1},
+                      ModuloSweepParam{workload::FunctionSize::Small, 7},
+                      ModuloSweepParam{workload::FunctionSize::Medium, 1},
+                      ModuloSweepParam{workload::FunctionSize::Medium, 5},
+                      ModuloSweepParam{workload::FunctionSize::Large, 1},
+                      ModuloSweepParam{workload::FunctionSize::Large, 3},
+                      ModuloSweepParam{workload::FunctionSize::Huge, 1},
+                      ModuloSweepParam{workload::FunctionSize::Huge, 2}),
+    [](const ::testing::TestParamInfo<ModuloSweepParam> &Info) {
+      return std::string(workload::sizeName(Info.param.Size)).substr(2) +
+             "_seed" + std::to_string(Info.param.Seed);
+    });

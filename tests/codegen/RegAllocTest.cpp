@@ -1,0 +1,123 @@
+//===- RegAllocTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include "../TestHelpers.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+using warpc::test::lowerFirstFunction;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(RegAllocTest, SmallFunctionFitsWithoutSpills) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  return x * 2.0 + 1.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  RegAllocResult RA = allocateRegisters(*F, MM);
+  EXPECT_EQ(RA.Spills, 0u);
+  EXPECT_GT(RA.FloatRegsUsed, 0u);
+  EXPECT_LE(RA.FloatRegsUsed, MM.floatRegs());
+}
+
+TEST(RegAllocTest, IntAndFloatFilesIndependent) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float, n: int): float {
+  var a: int = n + 1;
+  var b: float = x * 2.0;
+  if (a > 0) {
+    return b;
+  }
+  return 0.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  RegAllocResult RA = allocateRegisters(*F, MM);
+  EXPECT_GT(RA.IntRegsUsed, 0u);
+  EXPECT_GT(RA.FloatRegsUsed, 0u);
+  EXPECT_EQ(RA.Spills, 0u);
+}
+
+TEST(RegAllocTest, ComparisonsConsumeIntRegisters) {
+  Instr Cmp;
+  Cmp.Op = Opcode::CmpLT;
+  Cmp.Ty = ValueType::Float; // float operands...
+  EXPECT_EQ(resultType(Cmp), ValueType::Int); // ...but an int result.
+
+  Instr Itof;
+  Itof.Op = Opcode::IntToFloat;
+  Itof.Ty = ValueType::Float;
+  EXPECT_EQ(resultType(Itof), ValueType::Float);
+
+  Instr Recv;
+  Recv.Op = Opcode::Recv;
+  EXPECT_EQ(resultType(Recv), ValueType::Float);
+}
+
+TEST(RegAllocTest, AssignmentsWithinFileOrSpill) {
+  auto F = optimizeFirstFunction(
+      workload::makeTestModule(workload::FunctionSize::Medium, 1));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  RegAllocResult RA = allocateRegisters(*F, MM);
+  EXPECT_EQ(RA.Assignment.size(), F->numRegs());
+  EXPECT_LE(RA.IntRegsUsed, MM.intRegs());
+  EXPECT_LE(RA.FloatRegsUsed, MM.floatRegs());
+}
+
+TEST(RegAllocTest, DisjointLiveRangesShareRegisters) {
+  // Many short-lived values in sequence reuse a small set of registers.
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  var a: float = x + 1.0;
+  var b: float = a + 1.0;
+  var c: float = b + 1.0;
+  var d: float = c + 1.0;
+  var e: float = d + 1.0;
+  return e;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  RegAllocResult RA = allocateRegisters(*F, MM);
+  EXPECT_EQ(RA.Spills, 0u);
+  // Chained single-use values need only a few physical registers even
+  // though the function uses many virtual ones.
+  EXPECT_LT(RA.FloatRegsUsed, F->numRegs());
+}
+
+TEST(RegAllocTest, PressureTracked) {
+  auto F = optimizeFirstFunction(
+      workload::makeTestModule(workload::FunctionSize::Small, 1));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  RegAllocResult RA = allocateRegisters(*F, MM);
+  EXPECT_GT(RA.PeakPressure, 0u);
+  EXPECT_GT(RA.Work, 0u);
+}
+
+TEST(RegAllocTest, WorkloadsStayAllocatable) {
+  for (auto Size : {workload::FunctionSize::Small,
+                    workload::FunctionSize::Medium,
+                    workload::FunctionSize::Large}) {
+    auto F = optimizeFirstFunction(workload::makeTestModule(Size, 1));
+    ASSERT_TRUE(F);
+    MachineModel MM = MachineModel::warpCell();
+    RegAllocResult RA = allocateRegisters(*F, MM);
+    EXPECT_LE(RA.IntRegsUsed, MM.intRegs()) << workload::sizeName(Size);
+    EXPECT_LE(RA.FloatRegsUsed, MM.floatRegs()) << workload::sizeName(Size);
+  }
+}

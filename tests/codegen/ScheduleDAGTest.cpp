@@ -1,0 +1,173 @@
+//===- ScheduleDAGTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ScheduleDAG.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::codegen;
+using namespace warpc::ir;
+using warpc::test::lowerFirstFunction;
+using warpc::test::wrapFunction;
+
+namespace {
+
+bool hasEdge(const ScheduleDAG &DAG, uint32_t From, uint32_t To) {
+  for (const DAGEdge &E : DAG.Edges)
+    if (E.From == From && E.To == To)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ScheduleDAGTest, ExcludesTerminator) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x + 1.0; }
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  ScheduleDAG DAG = ScheduleDAG::build(*F->block(0), MM);
+  EXPECT_EQ(DAG.NumNodes, F->block(0)->Instrs.size() - 1);
+}
+
+TEST(ScheduleDAGTest, DefUseEdgeCarriesLatency) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x * 2.0 + 1.0; }
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  ScheduleDAG DAG = ScheduleDAG::build(*BB, MM);
+
+  // Find the mul and the add; the edge between them carries the mul's
+  // 5-cycle latency.
+  uint32_t MulIdx = UINT32_MAX, AddIdx = UINT32_MAX;
+  for (uint32_t I = 0; I != DAG.NumNodes; ++I) {
+    if (BB->Instrs[I].Op == Opcode::Mul)
+      MulIdx = I;
+    if (BB->Instrs[I].Op == Opcode::Add)
+      AddIdx = I;
+  }
+  ASSERT_NE(MulIdx, UINT32_MAX);
+  ASSERT_NE(AddIdx, UINT32_MAX);
+  bool Found = false;
+  for (const DAGEdge &E : DAG.Edges)
+    if (E.From == MulIdx && E.To == AddIdx) {
+      Found = true;
+      EXPECT_EQ(E.Latency, 5u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ScheduleDAGTest, AllEdgesPointForward) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[8], x: float): float {
+  a[0] = x * 2.0;
+  a[1] = a[0] + 1.0;
+  var v: float = 0.0;
+  receive(X, v);
+  send(Y, v + a[1]);
+  return v;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  ScheduleDAG DAG = ScheduleDAG::build(*F->block(0), MM);
+  for (const DAGEdge &E : DAG.Edges)
+    EXPECT_LT(E.From, E.To);
+}
+
+TEST(ScheduleDAGTest, MemoryOrderingSameVariable) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[8]): float {
+  a[0] = 1.0;
+  return a[1];
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  ScheduleDAG DAG = ScheduleDAG::build(*BB, MM);
+  uint32_t StoreIdx = UINT32_MAX, LoadIdx = UINT32_MAX;
+  for (uint32_t I = 0; I != DAG.NumNodes; ++I) {
+    if (BB->Instrs[I].Op == Opcode::StoreElem)
+      StoreIdx = I;
+    if (BB->Instrs[I].Op == Opcode::LoadElem)
+      LoadIdx = I;
+  }
+  ASSERT_NE(StoreIdx, UINT32_MAX);
+  ASSERT_NE(LoadIdx, UINT32_MAX);
+  // Conservative same-array ordering.
+  EXPECT_TRUE(hasEdge(DAG, StoreIdx, LoadIdx));
+}
+
+TEST(ScheduleDAGTest, IndependentVariablesUnordered) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[8], b: float[8]) {
+  a[0] = 1.0;
+  b[0] = 2.0;
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  ScheduleDAG DAG = ScheduleDAG::build(*BB, MM);
+  uint32_t StoreA = UINT32_MAX, StoreB = UINT32_MAX;
+  for (uint32_t I = 0; I != DAG.NumNodes; ++I)
+    if (BB->Instrs[I].Op == Opcode::StoreElem) {
+      if (StoreA == UINT32_MAX)
+        StoreA = I;
+      else
+        StoreB = I;
+    }
+  ASSERT_NE(StoreB, UINT32_MAX);
+  EXPECT_FALSE(hasEdge(DAG, StoreA, StoreB));
+  EXPECT_FALSE(hasEdge(DAG, StoreB, StoreA));
+}
+
+TEST(ScheduleDAGTest, ChannelFIFOOrdering) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float) {
+  send(X, x);
+  send(X, x + 1.0);
+  send(Y, x);
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  const BasicBlock *BB = F->block(0);
+  ScheduleDAG DAG = ScheduleDAG::build(*BB, MM);
+  std::vector<uint32_t> XSends, YSends;
+  for (uint32_t I = 0; I != DAG.NumNodes; ++I)
+    if (BB->Instrs[I].Op == Opcode::Send) {
+      if (BB->Instrs[I].Chan == w2::Channel::X)
+        XSends.push_back(I);
+      else
+        YSends.push_back(I);
+    }
+  ASSERT_EQ(XSends.size(), 2u);
+  ASSERT_EQ(YSends.size(), 1u);
+  EXPECT_TRUE(hasEdge(DAG, XSends[0], XSends[1]));
+  // Different channels are independent.
+  EXPECT_FALSE(hasEdge(DAG, XSends[1], YSends[0]));
+}
+
+TEST(ScheduleDAGTest, HeightsDecreaseAlongEdges) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  return (x * 2.0 + 1.0) * (x - 3.0);
+}
+)"));
+  ASSERT_TRUE(F);
+  MachineModel MM = MachineModel::warpCell();
+  ScheduleDAG DAG = ScheduleDAG::build(*F->block(0), MM);
+  for (const DAGEdge &E : DAG.Edges)
+    EXPECT_GE(DAG.Height[E.From], E.Latency + DAG.Height[E.To]);
+}

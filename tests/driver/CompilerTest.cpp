@@ -1,0 +1,140 @@
+//===- CompilerTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::driver;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+} // namespace
+
+TEST(CompilerTest, ParsePhaseCollectsMetrics) {
+  ParseResult R = parseAndCheck(workload::makeFigure1Program());
+  ASSERT_TRUE(R.succeeded()) << R.Diags.str();
+  EXPECT_GT(R.Metrics.Tokens, 0u);
+  EXPECT_GT(R.Metrics.AstNodes, 0u);
+  EXPECT_GT(R.Metrics.SemaNodes, 0u);
+  EXPECT_GT(R.Metrics.SourceLines, 0u);
+}
+
+TEST(CompilerTest, ParseFailureAbortsEarly) {
+  ParseResult R = parseAndCheck("module broken; section s { garbage }");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_FALSE(R.Module);
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(CompilerTest, SemanticFailureAbortsEarly) {
+  ParseResult R = parseAndCheck(
+      "module m; section s { function f(): int { return missing; } }");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(CompilerTest, CompileFunctionProducesProgramAndMetrics) {
+  ParseResult R = parseAndCheck(workload::makeFigure1Program());
+  ASSERT_TRUE(R.succeeded());
+  const w2::SectionDecl *S = R.Module->getSection(0);
+  FunctionResult F = compileFunction(*S, *S->getFunction(0), MM);
+  EXPECT_EQ(F.SectionName, S->getName());
+  EXPECT_EQ(F.FunctionName, S->getFunction(0)->getName());
+  EXPECT_GT(F.Metrics.IRInstrs, 0u);
+  EXPECT_GT(F.Metrics.phase2Work(), 0u);
+  EXPECT_GT(F.Metrics.phase3Work(), 0u);
+  EXPECT_GT(F.Program.CodeWords, 0u);
+  EXPECT_GT(F.IRInstrsAfterOpt, 0u);
+}
+
+TEST(CompilerTest, SequentialCompileEndToEnd) {
+  ModuleResult R = compileModuleSequential(workload::makeFigure1Program(), MM);
+  ASSERT_TRUE(R.Succeeded) << R.Diags.str();
+  EXPECT_EQ(R.Functions.size(), 4u); // Figure 1: 1 + 3 functions
+  EXPECT_EQ(R.Image.Sections.size(), 2u);
+  EXPECT_GT(R.Image.byteSize(), 0u);
+  EXPECT_GT(R.Phase4.CodeWords, 0u);
+}
+
+TEST(CompilerTest, SequentialCompileFailsOnBadModule) {
+  ModuleResult R = compileModuleSequential(
+      "module m; section s { function f(): float { return g(); } }", MM);
+  EXPECT_FALSE(R.Succeeded);
+  EXPECT_TRUE(R.Functions.empty());
+}
+
+TEST(CompilerTest, MetricsScaleWithFunctionSize) {
+  ModuleResult Small = compileModuleSequential(
+      workload::makeTestModule(workload::FunctionSize::Small, 1), MM);
+  ModuleResult Large = compileModuleSequential(
+      workload::makeTestModule(workload::FunctionSize::Large, 1), MM);
+  ASSERT_TRUE(Small.Succeeded);
+  ASSERT_TRUE(Large.Succeeded);
+  const WorkMetrics &MS = Small.Functions[0].Metrics;
+  const WorkMetrics &ML = Large.Functions[0].Metrics;
+  EXPECT_GT(ML.IRInstrs, MS.IRInstrs);
+  EXPECT_GT(ML.phase2Work(), MS.phase2Work());
+  EXPECT_GT(ML.phase3Work(), MS.phase3Work());
+  EXPECT_GT(ML.allocationKB(), MS.allocationKB());
+  EXPECT_GT(ML.workingSetKB(), MS.workingSetKB());
+}
+
+TEST(CompilerTest, TotalMetricsSumPhases) {
+  ModuleResult R = compileModuleSequential(
+      workload::makeTestModule(workload::FunctionSize::Small, 2), MM);
+  ASSERT_TRUE(R.Succeeded);
+  WorkMetrics Total = R.totalMetrics();
+  EXPECT_EQ(Total.Tokens, R.Phase1.Tokens);
+  uint64_t FnInstrs = 0;
+  for (const FunctionResult &F : R.Functions)
+    FnInstrs += F.Metrics.IRInstrs;
+  EXPECT_EQ(Total.IRInstrs, FnInstrs);
+}
+
+TEST(CompilerTest, DeterministicAcrossRuns) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Medium, 2, /*Seed=*/42);
+  ModuleResult A = compileModuleSequential(Source, MM);
+  ModuleResult B = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(A.Succeeded);
+  ASSERT_TRUE(B.Succeeded);
+  EXPECT_EQ(A.Image.Image, B.Image.Image);
+  EXPECT_EQ(A.Functions[0].Metrics.phase3Work(),
+            B.Functions[0].Metrics.phase3Work());
+}
+
+TEST(CompilerTest, PipelinesLoopsInWorkloads) {
+  ModuleResult R = compileModuleSequential(
+      workload::makeTestModule(workload::FunctionSize::Medium, 1), MM);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_GT(R.Functions[0].LoopsConsidered, 0u);
+  EXPECT_GT(R.Functions[0].LoopsPipelined, 0u);
+}
+
+TEST(CompilerTest, UserProgramCompiles) {
+  ModuleResult R = compileModuleSequential(workload::makeUserProgram(), MM);
+  ASSERT_TRUE(R.Succeeded) << R.Diags.str();
+  EXPECT_EQ(R.Functions.size(), 9u);
+  EXPECT_EQ(R.Image.Sections.size(), 3u);
+}
+
+TEST(CompilerTest, AllSizesAllCountsCompile) {
+  for (auto Size : workload::AllSizes) {
+    for (unsigned N : {1u, 2u}) {
+      ModuleResult R =
+          compileModuleSequential(workload::makeTestModule(Size, N), MM);
+      EXPECT_TRUE(R.Succeeded)
+          << workload::sizeName(Size) << " n=" << N << "\n" << R.Diags.str();
+      EXPECT_EQ(R.Functions.size(), N);
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- RandomSweepTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// A broad randomized sweep: many generated modules must survive the whole
+// pipeline with verifiable IR, valid schedules, and deterministic images.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::driver;
+
+namespace {
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+} // namespace
+
+class RandomModuleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomModuleSweep, CompilesEndToEnd) {
+  uint64_t Seed = GetParam();
+  // Vary size class and function count by seed.
+  workload::FunctionSize Size =
+      workload::AllSizes[Seed % 3 + 1]; // small/medium/large
+  unsigned Count = 1 + Seed % 3;
+  std::string Source = workload::makeTestModule(Size, Count, Seed);
+
+  ModuleResult First = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(First.Succeeded) << First.Diags.str();
+  EXPECT_EQ(First.Functions.size(), Count);
+  EXPECT_GT(First.Image.byteSize(), 0u);
+
+  // Deterministic images.
+  ModuleResult Second = compileModuleSequential(Source, MM);
+  EXPECT_EQ(First.Image.Image, Second.Image.Image);
+
+  // Every function produced code, registers fit the files, and the work
+  // metrics are all populated.
+  for (const FunctionResult &F : First.Functions) {
+    EXPECT_GT(F.Program.CodeWords, 0u) << F.FunctionName;
+    EXPECT_LE(F.Program.IntRegsUsed, MM.intRegs());
+    EXPECT_LE(F.Program.FloatRegsUsed, MM.floatRegs());
+    EXPECT_GT(F.Metrics.phase2Work(), 0u);
+    EXPECT_GT(F.Metrics.phase3Work(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModuleSweep,
+                         ::testing::Range<uint64_t>(100, 124));

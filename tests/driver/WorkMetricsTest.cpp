@@ -1,0 +1,65 @@
+//===- WorkMetricsTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/WorkMetrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::driver;
+
+TEST(WorkMetricsTest, DefaultIsZero) {
+  WorkMetrics M;
+  EXPECT_EQ(M.phase1Work(), 0u);
+  EXPECT_EQ(M.phase2Work(), 0u);
+  EXPECT_EQ(M.phase3Work(), 0u);
+  EXPECT_EQ(M.phase4Work(), 0u);
+  EXPECT_EQ(M.allocationKB(), 0u);
+  EXPECT_EQ(M.workingSetKB(), 0u);
+}
+
+TEST(WorkMetricsTest, AccumulationAddsCounters) {
+  WorkMetrics A, B;
+  A.Tokens = 10;
+  A.IRInstrs = 5;
+  A.LoopDepth = 2;
+  B.Tokens = 20;
+  B.IRInstrs = 7;
+  B.LoopDepth = 4;
+  A += B;
+  EXPECT_EQ(A.Tokens, 30u);
+  EXPECT_EQ(A.IRInstrs, 12u);
+  // Depth takes the maximum, not the sum.
+  EXPECT_EQ(A.LoopDepth, 4u);
+}
+
+TEST(WorkMetricsTest, PhaseWorkComposition) {
+  WorkMetrics M;
+  M.Tokens = 100;
+  M.AstNodes = 50;
+  M.SemaNodes = 25;
+  EXPECT_EQ(M.phase1Work(), 175u);
+
+  M.IRInstrs = 10;
+  M.OptVisited = 20;
+  M.OptTransforms = 5;
+  M.DependenceWork = 3;
+  EXPECT_EQ(M.phase2Work(), 10u + 20u + 20u + 3u);
+
+  M.ListSchedAttempts = 7;
+  M.ModuloSchedAttempts = 9;
+  M.RecMIIWork = 128;
+  M.RegAllocWork = 4;
+  EXPECT_EQ(M.phase3Work(), 7u + 9u + 2u + 4u);
+}
+
+TEST(WorkMetricsTest, AllocationGrowsWithWork) {
+  WorkMetrics Small, Large;
+  Small.IRInstrs = 100;
+  Large.IRInstrs = 10000;
+  EXPECT_GT(Large.allocationKB(), Small.allocationKB());
+  EXPECT_GT(Large.workingSetKB(), Small.workingSetKB());
+}

@@ -1,0 +1,173 @@
+//===- IRTest.cpp ----------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+
+namespace {
+
+/// Builds a two-block function: entry computes a constant and branches to
+/// an exit block that returns it.
+std::unique_ptr<IRFunction> makeTwoBlockFunction() {
+  auto F = std::make_unique<IRFunction>("f", w2::Type::intTy());
+  BasicBlock *Entry = F->createBlock();
+  BasicBlock *Exit = F->createBlock();
+
+  Instr C;
+  C.Op = Opcode::ConstInt;
+  C.Ty = ValueType::Int;
+  C.Dst = F->newReg();
+  C.IntImm = 7;
+  Entry->Instrs.push_back(C);
+
+  Instr Br;
+  Br.Op = Opcode::Br;
+  Br.Target0 = Exit->id();
+  Entry->Instrs.push_back(Br);
+
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Ty = ValueType::Int;
+  Ret.Operands = {C.Dst};
+  Exit->Instrs.push_back(Ret);
+  return F;
+}
+
+} // namespace
+
+TEST(IRTest, BlockIdsAreDense) {
+  IRFunction F("f", w2::Type::voidTy());
+  EXPECT_EQ(F.createBlock()->id(), 0u);
+  EXPECT_EQ(F.createBlock()->id(), 1u);
+  EXPECT_EQ(F.createBlock()->id(), 2u);
+  EXPECT_EQ(F.numBlocks(), 3u);
+  EXPECT_EQ(F.entry()->id(), 0u);
+}
+
+TEST(IRTest, RegistersAllocateSequentially) {
+  IRFunction F("f", w2::Type::voidTy());
+  EXPECT_EQ(F.newReg(), 0u);
+  EXPECT_EQ(F.newReg(), 1u);
+  EXPECT_EQ(F.numRegs(), 2u);
+}
+
+TEST(IRTest, VariablesRoundTrip) {
+  IRFunction F("f", w2::Type::voidTy());
+  VarId V = F.addVariable(Variable{"acc", w2::Type::floatTy(), false});
+  EXPECT_EQ(F.variable(V).Name, "acc");
+  EXPECT_TRUE(F.variable(V).Ty.isFloat());
+}
+
+TEST(IRTest, SuccessorsOfBranches) {
+  auto F = makeTwoBlockFunction();
+  auto Succs = F->block(0)->successors();
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0], 1u);
+  EXPECT_TRUE(F->block(1)->successors().empty());
+}
+
+TEST(IRTest, PredecessorsComputed) {
+  auto F = makeTwoBlockFunction();
+  auto Preds = F->computePredecessors();
+  ASSERT_EQ(Preds.size(), 2u);
+  EXPECT_TRUE(Preds[0].empty());
+  ASSERT_EQ(Preds[1].size(), 1u);
+  EXPECT_EQ(Preds[1][0], 0u);
+}
+
+TEST(IRTest, VerifyAcceptsWellFormed) {
+  auto F = makeTwoBlockFunction();
+  EXPECT_EQ(verifyFunction(*F), "");
+}
+
+TEST(IRTest, VerifyRejectsMissingTerminator) {
+  IRFunction F("f", w2::Type::voidTy());
+  BasicBlock *B = F.createBlock();
+  Instr C;
+  C.Op = Opcode::ConstInt;
+  C.Dst = F.newReg();
+  B->Instrs.push_back(C);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(IRTest, VerifyRejectsEmptyBlock) {
+  IRFunction F("f", w2::Type::voidTy());
+  F.createBlock();
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(IRTest, VerifyRejectsBadBranchTarget) {
+  IRFunction F("f", w2::Type::voidTy());
+  BasicBlock *B = F.createBlock();
+  Instr Br;
+  Br.Op = Opcode::Br;
+  Br.Target0 = 99;
+  B->Instrs.push_back(Br);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(IRTest, VerifyRejectsUnallocatedRegister) {
+  IRFunction F("f", w2::Type::intTy());
+  BasicBlock *B = F.createBlock();
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Operands = {42}; // never allocated
+  B->Instrs.push_back(Ret);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(IRTest, VerifyRejectsMidBlockTerminator) {
+  auto F = makeTwoBlockFunction();
+  // Append an extra instruction after the entry's branch.
+  Instr C;
+  C.Op = Opcode::ConstInt;
+  C.Dst = F->newReg();
+  F->block(0)->Instrs.push_back(C);
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
+TEST(IRTest, PrintContainsStructure) {
+  auto F = makeTwoBlockFunction();
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("function f"), std::string::npos);
+  EXPECT_NE(Text.find("bb0:"), std::string::npos);
+  EXPECT_NE(Text.find("bb1:"), std::string::npos);
+  EXPECT_NE(Text.find("iconst"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(IRTest, OpcodePredicates) {
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::CondBr));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+
+  Instr Load;
+  Load.Op = Opcode::LoadElem;
+  EXPECT_TRUE(Load.readsMemory());
+  EXPECT_FALSE(Load.writesMemory());
+
+  Instr Store;
+  Store.Op = Opcode::StoreVar;
+  EXPECT_TRUE(Store.writesMemory());
+
+  Instr Call;
+  Call.Op = Opcode::Call;
+  EXPECT_TRUE(Call.hasSideEffects());
+
+  Instr Send;
+  Send.Op = Opcode::Send;
+  EXPECT_TRUE(Send.hasSideEffects());
+}
+
+TEST(IRTest, InstructionCount) {
+  auto F = makeTwoBlockFunction();
+  EXPECT_EQ(F->instructionCount(), 3u);
+}

@@ -1,0 +1,381 @@
+//===- InterpreterTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "../TestHelpers.h"
+#include "opt/LocalOpt.h"
+#include "support/PRNG.h"
+#include "w2/Inliner.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using warpc::test::lowerFirstFunction;
+using warpc::test::wrapFunction;
+
+namespace {
+
+ExecInput makeInput(std::vector<ExecInput::Arg> Args,
+                    std::vector<double> XIn = {},
+                    std::vector<double> YIn = {}) {
+  ExecInput Input;
+  Input.Args = std::move(Args);
+  Input.XInput = std::move(XIn);
+  Input.YInput = std::move(YIn);
+  return Input;
+}
+
+} // namespace
+
+TEST(InterpreterTest, ArithmeticAndReturn) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float, n: int): float {
+  return x * 2.0 + n;
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(
+      *F, makeInput({ExecInput::Arg::ofFloat(3.5), ExecInput::Arg::ofInt(4)}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  ASSERT_TRUE(R.HasReturn);
+  EXPECT_DOUBLE_EQ(R.Return.asFloat(), 11.0);
+}
+
+TEST(InterpreterTest, LoopAccumulation) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(n: int): int {
+  var acc: int = 0;
+  for i = 1 to 10 {
+    acc = acc + i;
+  }
+  return acc + n;
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({ExecInput::Arg::ofInt(100)}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  EXPECT_EQ(R.Return.asInt(), 155);
+}
+
+TEST(InterpreterTest, BranchesAndWhile) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): int {
+  var count: int = 0;
+  var v: float = x;
+  while (v > 1.0) {
+    v = v / 2.0;
+    count = count + 1;
+  }
+  if (count > 3) {
+    return count;
+  }
+  return 0 - count;
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({ExecInput::Arg::ofFloat(32.0)}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  EXPECT_EQ(R.Return.asInt(), 5);
+  ExecResult R2 = interpret(*F, makeInput({ExecInput::Arg::ofFloat(4.0)}));
+  ASSERT_TRUE(R2.Completed);
+  EXPECT_EQ(R2.Return.asInt(), -2);
+}
+
+TEST(InterpreterTest, ArraysMutateInPlace) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[4]): float {
+  for i = 0 to 3 {
+    a[i] = a[i] * 2.0;
+  }
+  return a[3];
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(
+      *F, makeInput({ExecInput::Arg::ofArray({1, 2, 3, 4})}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  EXPECT_DOUBLE_EQ(R.Return.asFloat(), 8.0);
+  ASSERT_EQ(R.FinalArrays.size(), 1u);
+  EXPECT_EQ(R.FinalArrays[0], (std::vector<double>{2, 4, 6, 8}));
+}
+
+TEST(InterpreterTest, ChannelsFIFO) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f() {
+  var a: float = 0.0;
+  var b: float = 0.0;
+  receive(X, a);
+  receive(X, b);
+  send(Y, a + b);
+  send(Y, a - b);
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({}, {10.0, 4.0}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  ASSERT_EQ(R.YOutput.size(), 2u);
+  EXPECT_DOUBLE_EQ(R.YOutput[0], 14.0);
+  EXPECT_DOUBLE_EQ(R.YOutput[1], 6.0);
+}
+
+TEST(InterpreterTest, EmptyChannelFaults) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f() {
+  var a: float = 0.0;
+  receive(X, a);
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({}));
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Fault.find("empty channel"), std::string::npos);
+}
+
+TEST(InterpreterTest, DivisionByZeroFaults) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(n: int): int {
+  return 10 / n;
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({ExecInput::Arg::ofInt(0)}));
+  EXPECT_FALSE(R.Completed);
+  ExecResult R2 = interpret(*F, makeInput({ExecInput::Arg::ofInt(5)}));
+  ASSERT_TRUE(R2.Completed);
+  EXPECT_EQ(R2.Return.asInt(), 2);
+}
+
+TEST(InterpreterTest, StepBudgetStopsRunaway) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var v: float = 1.0;
+  while (v > 0.0) {
+    v = v + 1.0;
+  }
+  return 0;
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecInput Input = makeInput({});
+  Input.StepBudget = 10000;
+  ExecResult R = interpret(*F, Input);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Fault.find("budget"), std::string::npos);
+}
+
+TEST(InterpreterTest, Intrinsics) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  return sqrt(x) + abs(0.0 - x);
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecResult R = interpret(*F, makeInput({ExecInput::Arg::ofFloat(9.0)}));
+  ASSERT_TRUE(R.Completed) << R.Fault;
+  EXPECT_DOUBLE_EQ(R.Return.asFloat(), 12.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing: the optimizer must preserve observable behavior.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compares two results field by field.
+void expectSameBehavior(const ExecResult &A, const ExecResult &B,
+                        const std::string &Context) {
+  ASSERT_TRUE(A.Completed) << Context << ": baseline faulted: " << A.Fault;
+  ASSERT_TRUE(B.Completed) << Context << ": transformed faulted: " << B.Fault;
+  EXPECT_EQ(A.HasReturn, B.HasReturn) << Context;
+  if (A.HasReturn && B.HasReturn) {
+    EXPECT_TRUE(A.Return == B.Return)
+        << Context << ": return " << A.Return.asFloat() << " vs "
+        << B.Return.asFloat();
+  }
+  EXPECT_EQ(A.XOutput, B.XOutput) << Context;
+  EXPECT_EQ(A.YOutput, B.YOutput) << Context;
+  EXPECT_EQ(A.FinalArrays, B.FinalArrays) << Context;
+}
+
+/// Workload functions take (xin, gain) and read at most a few X values.
+ExecInput workloadInput(PRNG &Rng) {
+  ExecInput Input;
+  Input.Args.push_back(
+      ExecInput::Arg::ofFloat(Rng.uniform(0.25, 3.0)));
+  Input.Args.push_back(
+      ExecInput::Arg::ofFloat(Rng.uniform(0.25, 2.0)));
+  for (int I = 0; I != 64; ++I)
+    Input.XInput.push_back(Rng.uniform(-2.0, 2.0));
+  return Input;
+}
+
+} // namespace
+
+struct DiffParam {
+  workload::FunctionSize Size;
+  uint64_t Seed;
+};
+
+class OptimizerDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(OptimizerDifferential, OptimizationPreservesBehavior) {
+  std::string Source = workload::makeTestModule(GetParam().Size, 1,
+                                                GetParam().Seed);
+  auto M = test::checkModule(Source);
+  ASSERT_TRUE(M);
+  const w2::FunctionDecl *F = M->getSection(0)->getFunction(0);
+
+  auto Raw = lowerFunction(*F);
+  auto Optimized = lowerFunction(*F);
+  opt::runLocalOpt(*Optimized);
+
+  PRNG Rng(GetParam().Seed * 7919 + 13);
+  for (int Trial = 0; Trial != 3; ++Trial) {
+    ExecInput Input = workloadInput(Rng);
+    ExecResult A = interpret(*Raw, Input);
+    ExecResult B = interpret(*Optimized, Input);
+    expectSameBehavior(A, B,
+                       std::string(workload::sizeName(GetParam().Size)) +
+                           " trial " + std::to_string(Trial));
+  }
+}
+
+// Only the shallow workloads run to completion in reasonable step
+// budgets (the deeper nests execute millions of iterations); a
+// handwritten deep-nest case below covers nesting with small extents.
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, OptimizerDifferential,
+    ::testing::Values(DiffParam{workload::FunctionSize::Tiny, 1},
+                      DiffParam{workload::FunctionSize::Tiny, 3},
+                      DiffParam{workload::FunctionSize::Small, 1},
+                      DiffParam{workload::FunctionSize::Small, 2},
+                      DiffParam{workload::FunctionSize::Small, 5},
+                      DiffParam{workload::FunctionSize::Small, 9}),
+    [](const ::testing::TestParamInfo<DiffParam> &Info) {
+      return std::string(workload::sizeName(Info.param.Size)).substr(2) +
+             "_seed" + std::to_string(Info.param.Seed);
+    });
+
+TEST(OptimizerDifferentialTest, DeepNestWithSmallExtents) {
+  // A depth-4 nest like f_huge's, but with tiny trip counts so the
+  // interpreter finishes quickly.
+  auto Source = wrapFunction(R"(
+function f(xin: float, gain: float): float {
+  var acc: float = 0.0;
+  var tmp: float = 1.0;
+  var buf: float[16];
+  var aux: float[16];
+  receive(X, tmp);
+  for i1 = 0 to 3 {
+    buf[i1] = xin * gain + tmp;
+    for i2 = 0 to 3 {
+      aux[i2] = aux[i2] + buf[i1] * 0.5;
+      for i3 = 0 to 3 {
+        buf[i3 + 1] = buf[i3] * gain + aux[i2];
+        for i4 = 0 to 3 {
+          acc = acc + buf[i4] * aux[i4 + 2] - sqrt(buf[i4 + 2] * aux[i4]
+                + 0.25);
+          tmp = abs(tmp - acc) * 0.125 + xin;
+        }
+      }
+      send(X, acc * 0.5);
+    }
+    send(Y, tmp);
+  }
+  return acc;
+}
+)");
+  auto M = test::checkModule(Source);
+  ASSERT_TRUE(M);
+  const w2::FunctionDecl *F = M->getSection(0)->getFunction(0);
+  auto Raw = lowerFunction(*F);
+  auto Optimized = lowerFunction(*F);
+  opt::runLocalOpt(*Optimized);
+  PRNG Rng(99);
+  for (int Trial = 0; Trial != 4; ++Trial) {
+    ExecInput Input = workloadInput(Rng);
+    ExecResult A = interpret(*Raw, Input);
+    ExecResult B = interpret(*Optimized, Input);
+    expectSameBehavior(A, B, "deep nest trial " + std::to_string(Trial));
+    // The optimizer must not change the instruction count upward.
+    EXPECT_LE(B.StepsExecuted, A.StepsExecuted);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing: the inliner must preserve observable behavior.
+//===----------------------------------------------------------------------===//
+
+TEST(InlinerDifferential, InliningPreservesBehavior) {
+  const std::string Source = R"(
+module m;
+section s {
+  function weight(x: float, k: float): float {
+    var r: float = x * k + 0.5;
+    return r;
+  }
+  function f(a: float[8], g: float): float {
+    var acc: float = 0.0;
+    for i = 0 to 7 {
+      a[i] = weight(a[i], g);
+      acc = acc + a[i];
+    }
+    return acc;
+  }
+}
+)";
+  // Baseline: compile with the call resolved by interpreting the callee.
+  auto Original = test::checkModule(Source);
+  ASSERT_TRUE(Original);
+  auto CalleeIR = lowerFunction(*Original->getSection(0)->getFunction(0));
+  auto CallerIR = lowerFunction(*Original->getSection(0)->getFunction(1));
+
+  CallHandler Handler = [&](const std::string &Callee,
+                            const std::vector<RuntimeValue> &ScalarArgs,
+                            std::vector<std::vector<double> *> &ArrayArgs,
+                            bool &Ok) -> RuntimeValue {
+    EXPECT_EQ(Callee, "weight");
+    EXPECT_TRUE(ArrayArgs.empty());
+    ExecInput Input;
+    for (const RuntimeValue &V : ScalarArgs) {
+      ExecInput::Arg Arg;
+      Arg.Scalar = V;
+      Input.Args.push_back(Arg);
+    }
+    ExecResult R = interpret(*CalleeIR, Input);
+    Ok = R.Completed && R.HasReturn;
+    return R.Return;
+  };
+
+  // Transformed: inline, re-check, lower.
+  DiagnosticEngine Diags;
+  w2::Lexer L(Source, Diags);
+  w2::Parser P(L.lexAll(), Diags);
+  auto Inlined = P.parseModule();
+  w2::inlineSmallFunctions(*Inlined);
+  w2::Sema S(Diags);
+  ASSERT_TRUE(S.checkModule(*Inlined)) << Diags.str();
+  ASSERT_EQ(Inlined->getSection(0)->numFunctions(), 1u);
+  auto InlinedIR = lowerFunction(*Inlined->getSection(0)->getFunction(0));
+  opt::runLocalOpt(*InlinedIR);
+
+  PRNG Rng(4242);
+  for (int Trial = 0; Trial != 5; ++Trial) {
+    std::vector<double> Data;
+    for (int I = 0; I != 8; ++I)
+      Data.push_back(Rng.uniform(-4.0, 4.0));
+    ExecInput Input;
+    Input.Args.push_back(ExecInput::Arg::ofArray(Data));
+    Input.Args.push_back(ExecInput::Arg::ofFloat(Rng.uniform(0.5, 2.0)));
+
+    ExecResult A = interpret(*CallerIR, Input, &Handler);
+    ExecResult B = interpret(*InlinedIR, Input);
+    expectSameBehavior(A, B, "trial " + std::to_string(Trial));
+  }
+}

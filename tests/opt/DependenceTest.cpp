@@ -1,0 +1,260 @@
+//===- DependenceTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Dependence.h"
+
+#include "../TestHelpers.h"
+#include "opt/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+namespace {
+
+/// Lowers, optimizes, and analyzes the innermost loop of the first
+/// function.
+struct LoopAnalysis {
+  std::unique_ptr<IRFunction> F;
+  Loop TheLoop;
+  LoopDeps Deps;
+  bool Valid = false;
+};
+
+LoopAnalysis analyze(const std::string &Source) {
+  LoopAnalysis Result;
+  Result.F = optimizeFirstFunction(Source);
+  if (!Result.F)
+    return Result;
+  LoopInfo LI = LoopInfo::compute(*Result.F);
+  for (const Loop &L : LI.loops()) {
+    if (L.isSimpleInnerLoop()) {
+      Result.TheLoop = L;
+      Result.Deps = analyzeLoopDependences(*Result.F, L);
+      Result.Valid = true;
+      return Result;
+    }
+  }
+  return Result;
+}
+
+/// Finds a loop-carried edge between two opcodes; returns its distance or
+/// -1 when absent.
+int carriedDistance(const LoopAnalysis &A, Opcode FromOp, Opcode ToOp) {
+  const BasicBlock *Body = A.F->block(A.TheLoop.bodyBlock());
+  for (const DepEdge &E : A.Deps.Edges) {
+    if (E.Distance == 0)
+      continue;
+    if (Body->Instrs[E.From].Op == FromOp && Body->Instrs[E.To].Op == ToOp)
+      return static_cast<int>(E.Distance);
+  }
+  return -1;
+}
+
+} // namespace
+
+TEST(DependenceTest, RecognizesInductionRegister) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * 2.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  EXPECT_TRUE(A.Deps.PipelineSafe);
+  EXPECT_NE(A.Deps.InductionReg, InvalidReg);
+  EXPECT_EQ(A.Deps.Step, 1);
+}
+
+TEST(DependenceTest, NegativeStepRecognized) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]): float {
+  for i = 31 to 0 by -1 {
+    a[i] = a[i] + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  EXPECT_TRUE(A.Deps.PipelineSafe);
+  EXPECT_EQ(A.Deps.Step, -1);
+}
+
+TEST(DependenceTest, ElementwiseLoopHasNoCarriedMemoryDependence) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32], x: float): float {
+  for i = 0 to 31 {
+    a[i] = a[i] * x;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  for (const DepEdge &E : A.Deps.Edges) {
+    if (E.Kind == DepKind::Memory) {
+      EXPECT_EQ(E.Distance, 0u) << "unexpected carried memory dependence";
+    }
+  }
+}
+
+TEST(DependenceTest, OffsetSubscriptGivesExactDistance) {
+  // a[i+2] = f(a[i]): the value stored in iteration i is loaded two
+  // iterations later.
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[40]): float {
+  for i = 0 to 30 {
+    a[i + 2] = a[i] + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  EXPECT_EQ(carriedDistance(A, Opcode::StoreElem, Opcode::LoadElem), 2);
+}
+
+TEST(DependenceTest, ReverseOffsetGivesAntiDependence) {
+  // a[i] = f(a[i+1]): the load in iteration i reads the location stored
+  // one iteration later -> anti dependence load -> store, distance 1.
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[40]): float {
+  for i = 0 to 30 {
+    a[i] = a[i + 1] + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  EXPECT_EQ(carriedDistance(A, Opcode::LoadElem, Opcode::StoreElem), 1);
+}
+
+TEST(DependenceTest, AccumulatorHasCarriedScalarDependence) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]): float {
+  var acc: float = 0.0;
+  for i = 0 to 31 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  // After store-to-load forwarding, the accumulator flows through memory
+  // across iterations: the body's store feeds the next iteration's load.
+  EXPECT_EQ(carriedDistance(A, Opcode::StoreVar, Opcode::LoadVar), 1);
+}
+
+TEST(DependenceTest, InductionRecurrencePresent) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]): float {
+  for i = 0 to 31 {
+    a[i] = 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  // The induction add has a self-edge with distance 1.
+  const BasicBlock *Body = A.F->block(A.TheLoop.bodyBlock());
+  bool FoundSelf = false;
+  for (const DepEdge &E : A.Deps.Edges)
+    if (E.From == E.To && E.Distance == 1 &&
+        Body->Instrs[E.From].Op == Opcode::Add)
+      FoundSelf = true;
+  EXPECT_TRUE(FoundSelf);
+}
+
+TEST(DependenceTest, ChannelOpsSerializedAcrossIterations) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]) {
+  for i = 0 to 31 {
+    send(X, a[i]);
+  }
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  bool FoundChanCarried = false;
+  for (const DepEdge &E : A.Deps.Edges)
+    FoundChanCarried |= E.Kind == DepKind::Channel && E.Distance == 1;
+  EXPECT_TRUE(FoundChanCarried);
+}
+
+TEST(DependenceTest, CallsDisablePipelining) {
+  auto M = test::checkModule(wrapFunction(R"(
+function g(x: float): float { return x + 1.0; }
+function f(a: float[32]): float {
+  for i = 0 to 31 {
+    a[i] = g(a[i]);
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(M);
+  auto F = lowerFunction(*M->getSection(0)->getFunction(1));
+  runLocalOpt(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  bool FoundSimple = false;
+  for (const Loop &L : LI.loops()) {
+    if (!L.isSimpleInnerLoop())
+      continue;
+    FoundSimple = true;
+    LoopDeps Deps = analyzeLoopDependences(*F, L);
+    EXPECT_FALSE(Deps.PipelineSafe);
+  }
+  EXPECT_TRUE(FoundSimple);
+}
+
+TEST(DependenceTest, IntraIterationEdgesRespectProgramOrder) {
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32]): float {
+  for i = 0 to 31 {
+    a[i] = 1.0;
+    a[i] = a[i] + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  // All distance-0 edges point forward in program order.
+  for (const DepEdge &E : A.Deps.Edges) {
+    if (E.Distance == 0) {
+      EXPECT_LT(E.From, E.To);
+    }
+  }
+}
+
+TEST(DependenceTest, UnknownSubscriptConservative) {
+  // Index computed from a loaded value: not affine in the induction
+  // register, so conservative distance-1 edges both ways appear.
+  auto A = analyze(wrapFunction(R"(
+function f(a: float[32], k: int): float {
+  for i = 0 to 31 {
+    a[k] = a[k] + 1.0;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(A.Valid);
+  bool Forward = false, Backward = false;
+  const BasicBlock *Body = A.F->block(A.TheLoop.bodyBlock());
+  for (const DepEdge &E : A.Deps.Edges) {
+    if (E.Kind != DepKind::Memory || E.Distance == 0)
+      continue;
+    if (Body->Instrs[E.From].Op == Opcode::StoreElem &&
+        Body->Instrs[E.To].Op == Opcode::LoadElem)
+      Forward = true;
+    if (Body->Instrs[E.From].Op == Opcode::LoadElem &&
+        Body->Instrs[E.To].Op == Opcode::StoreElem)
+      Backward = true;
+  }
+  EXPECT_TRUE(Forward);
+  EXPECT_TRUE(Backward);
+}

@@ -1,0 +1,166 @@
+//===- LICMTest.cpp --------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LICM.h"
+
+#include "../TestHelpers.h"
+#include "ir/Interpreter.h"
+#include "support/PRNG.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::countOps;
+using warpc::test::lowerFirstFunction;
+using warpc::test::optimizeFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(LICMTest, HoistsInvariantArithmetic) {
+  auto F = optimizeFirstFunction(wrapFunction(R"(
+function f(a: float[16], x: float, y: float): float {
+  for i = 0 to 15 {
+    a[i] = a[i] + x * y;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(F);
+  OptStats Stats;
+  uint64_t Hoisted = hoistLoopInvariants(*F, Stats);
+  EXPECT_GE(Hoisted, 1u);
+  EXPECT_EQ(verifyFunction(*F), "");
+  // The multiply now lives outside the loop body (block 2).
+  bool MulInBody = false;
+  for (const Instr &I : F->block(2)->Instrs)
+    MulInBody |= I.Op == Opcode::Mul;
+  EXPECT_FALSE(MulInBody);
+}
+
+TEST(LICMTest, HoistsUnstoredScalarLoad) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[16], g: float): float {
+  for i = 0 to 15 {
+    a[i] = a[i] * g;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(F);
+  OptStats Stats;
+  hoistLoopInvariants(*F, Stats);
+  EXPECT_EQ(verifyFunction(*F), "");
+  // g is never stored in the loop; its load moves to the preheader.
+  unsigned LoadsOfGInBody = 0;
+  for (const Instr &I : F->block(2)->Instrs)
+    if (I.Op == Opcode::LoadVar && F->variable(I.Var).Name == "g")
+      ++LoadsOfGInBody;
+  EXPECT_EQ(LoadsOfGInBody, 0u);
+}
+
+TEST(LICMTest, DoesNotHoistStoredScalar) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[16]): float {
+  var acc: float = 0.0;
+  for i = 0 to 15 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  OptStats Stats;
+  hoistLoopInvariants(*F, Stats);
+  EXPECT_EQ(verifyFunction(*F), "");
+  // acc is stored in the loop; its load must stay inside.
+  bool LoadAccInBody = false;
+  for (const Instr &I : F->block(2)->Instrs)
+    if (I.Op == Opcode::LoadVar && F->variable(I.Var).Name == "acc")
+      LoadAccInBody = true;
+  EXPECT_TRUE(LoadAccInBody);
+}
+
+TEST(LICMTest, DoesNotHoistDivision) {
+  // 10.0 / d could fault on d == 0; a zero-trip loop must not fault.
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[16], d: float, n: int): float {
+  for i = 0 to n {
+    a[i] = 10.0 / d;
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(F);
+  OptStats Stats;
+  hoistLoopInvariants(*F, Stats);
+  EXPECT_EQ(verifyFunction(*F), "");
+  bool DivInBody = false;
+  for (const Instr &I : F->block(2)->Instrs)
+    DivInBody |= I.Op == Opcode::Div;
+  EXPECT_TRUE(DivInBody);
+}
+
+TEST(LICMTest, PreservesBehaviorOnWorkloads) {
+  for (uint64_t Seed : {1ull, 2ull, 9ull}) {
+    std::string Source =
+        workload::makeTestModule(workload::FunctionSize::Small, 1, Seed);
+    auto M = test::checkModule(Source);
+    ASSERT_TRUE(M);
+    const w2::FunctionDecl *Fn = M->getSection(0)->getFunction(0);
+    auto Plain = lowerFunction(*Fn);
+    runLocalOpt(*Plain);
+    auto Licm = lowerFunction(*Fn);
+    runLocalOpt(*Licm);
+    OptStats Stats;
+    hoistLoopInvariants(*Licm, Stats);
+    ASSERT_EQ(verifyFunction(*Licm), "");
+
+    PRNG Rng(Seed * 31 + 5);
+    ExecInput Input;
+    Input.Args.push_back(ExecInput::Arg::ofFloat(Rng.uniform(0.5, 2.0)));
+    Input.Args.push_back(ExecInput::Arg::ofFloat(Rng.uniform(0.5, 2.0)));
+    for (int I = 0; I != 64; ++I)
+      Input.XInput.push_back(Rng.uniform(-2.0, 2.0));
+
+    ExecResult A = interpret(*Plain, Input);
+    ExecResult B = interpret(*Licm, Input);
+    ASSERT_TRUE(A.Completed) << A.Fault;
+    ASSERT_TRUE(B.Completed) << B.Fault;
+    EXPECT_TRUE(A.Return == B.Return) << "seed " << Seed;
+    EXPECT_EQ(A.XOutput, B.XOutput);
+    EXPECT_EQ(A.YOutput, B.YOutput);
+    // LICM strictly reduces dynamic instruction count here.
+    EXPECT_LE(B.StepsExecuted, A.StepsExecuted);
+  }
+}
+
+TEST(LICMTest, ReducesDynamicWork) {
+  auto F = optimizeFirstFunction(wrapFunction(R"(
+function f(a: float[16], x: float, y: float): float {
+  for i = 0 to 15 {
+    a[i] = a[i] + sqrt(x * y + 1.0);
+  }
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(F);
+  ExecInput Input;
+  Input.Args.push_back(ExecInput::Arg::ofArray(std::vector<double>(16, 1.0)));
+  Input.Args.push_back(ExecInput::Arg::ofFloat(2.0));
+  Input.Args.push_back(ExecInput::Arg::ofFloat(3.0));
+  ExecResult Before = interpret(*F, Input);
+  ASSERT_TRUE(Before.Completed) << Before.Fault;
+
+  OptStats Stats;
+  uint64_t Hoisted = hoistLoopInvariants(*F, Stats);
+  EXPECT_GE(Hoisted, 2u); // the multiply, the add, the sqrt chain
+  ExecResult After = interpret(*F, Input);
+  ASSERT_TRUE(After.Completed) << After.Fault;
+  EXPECT_TRUE(Before.Return == After.Return);
+  EXPECT_LT(After.StepsExecuted, Before.StepsExecuted);
+}

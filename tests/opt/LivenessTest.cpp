@@ -1,0 +1,111 @@
+//===- LivenessTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Liveness.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::lowerFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(LivenessTest, StraightLineHasEmptyBoundarySets) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x * 2.0; }
+)"));
+  ASSERT_TRUE(F);
+  LivenessInfo Live = LivenessInfo::compute(*F);
+  ASSERT_EQ(Live.LiveIn.size(), 1u);
+  EXPECT_FALSE(Live.LiveIn[0].any());
+  EXPECT_FALSE(Live.LiveOut[0].any());
+  EXPECT_GE(Live.Iterations, 1u);
+}
+
+TEST(LivenessTest, LoopCarriedRegisterIsLiveAroundLoop) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 9 {
+    acc = acc + i;
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LivenessInfo Live = LivenessInfo::compute(*F);
+
+  // The induction register is updated in the body (block 2) and read in
+  // the header (block 1): it must be live into the header and live out of
+  // the body.
+  const BasicBlock *Body = F->block(2);
+  const Instr &Latch = Body->Instrs[Body->Instrs.size() - 2];
+  ASSERT_EQ(Latch.Op, Opcode::Add);
+  Reg Ind = Latch.Dst;
+  EXPECT_TRUE(Live.LiveIn[1].test(Ind));
+  EXPECT_TRUE(Live.LiveOut[2].test(Ind));
+  EXPECT_TRUE(Live.LiveIn[2].test(Ind));
+}
+
+TEST(LivenessTest, ValueDeadAfterLastUse) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(n: int): int {
+  var r: int = 0;
+  if (n > 0) {
+    r = 1;
+  }
+  return r;
+}
+)"));
+  ASSERT_TRUE(F);
+  LivenessInfo Live = LivenessInfo::compute(*F);
+  // The condition register of the entry's CondBr is consumed by the
+  // terminator and is dead everywhere else.
+  const Instr *Term = F->block(0)->terminator();
+  ASSERT_TRUE(Term && Term->Op == Opcode::CondBr);
+  Reg Cond = Term->Operands[0];
+  for (size_t B = 0; B != F->numBlocks(); ++B)
+    EXPECT_FALSE(Live.LiveOut[B].test(Cond)) << "block " << B;
+}
+
+TEST(LivenessTest, CrossBlockValueLiveOnPath) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float, n: int): float {
+  var y: float = x * 3.0;
+  if (n > 0) {
+    y = y + 1.0;
+  }
+  return y;
+}
+)"));
+  ASSERT_TRUE(F);
+  LivenessInfo Live = LivenessInfo::compute(*F);
+  // Some register (the loaded x product chain feeds memory, but the
+  // condition path keeps values alive) — generic invariant: LiveIn of
+  // entry is empty.
+  EXPECT_FALSE(Live.LiveIn[0].any());
+}
+
+TEST(LivenessTest, IterationsBoundedOnWorkloads) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[16]): float {
+  var acc: float = 0.0;
+  for i = 0 to 15 {
+    for j = 0 to 15 {
+      acc = acc + a[j];
+    }
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LivenessInfo Live = LivenessInfo::compute(*F);
+  // Classic liveness converges in a handful of sweeps on reducible CFGs.
+  EXPECT_LE(Live.Iterations, 10u);
+}

@@ -1,0 +1,192 @@
+//===- LoopInfoTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LoopInfo.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::lowerFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(LoopInfoTest, StraightLineHasNoLoops) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x; }
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_EQ(LI.maxDepth(), 0u);
+}
+
+TEST(LoopInfoTest, SingleForLoop) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 9 {
+    acc = acc + i;
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Latch, 2u);
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_TRUE(L.isSimpleInnerLoop());
+  EXPECT_EQ(L.bodyBlock(), 2u);
+  EXPECT_TRUE(L.contains(1));
+  EXPECT_TRUE(L.contains(2));
+  EXPECT_FALSE(L.contains(0));
+  EXPECT_FALSE(L.contains(3));
+}
+
+TEST(LoopInfoTest, NestedLoopsDepths) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 3 {
+    for j = 0 to 3 {
+      acc = acc + i * j;
+    }
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  // Innermost first.
+  EXPECT_EQ(LI.loops()[0].Depth, 2u);
+  EXPECT_EQ(LI.loops()[1].Depth, 1u);
+  EXPECT_TRUE(LI.loops()[0].isSimpleInnerLoop());
+  EXPECT_FALSE(LI.loops()[1].isSimpleInnerLoop());
+  EXPECT_EQ(LI.maxDepth(), 2u);
+}
+
+TEST(LoopInfoTest, LoopWithIfIsNotSimple) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 9 {
+    if (i > 4) {
+      acc = acc + 1;
+    }
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_FALSE(LI.loops()[0].isSimpleInnerLoop());
+  EXPECT_GT(LI.loops()[0].Blocks.size(), 2u);
+}
+
+TEST(LoopInfoTest, WhileLoopDetected) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float {
+  var v: float = x;
+  while (v > 1.0) {
+    v = v / 2.0;
+  }
+  return v;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_TRUE(LI.loops()[0].isSimpleInnerLoop());
+}
+
+TEST(LoopInfoTest, DominatorsBasic) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(n: int): int {
+  var r: int = 0;
+  if (n > 0) {
+    r = 1;
+  } else {
+    r = 2;
+  }
+  return r;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  // Entry dominates everything.
+  for (BlockId B = 0; B != F->numBlocks(); ++B)
+    EXPECT_TRUE(LI.dominates(0, B)) << B;
+  // Neither arm dominates the merge block (id 3 by construction).
+  EXPECT_FALSE(LI.dominates(1, 3));
+  // A block dominates itself.
+  EXPECT_TRUE(LI.dominates(2, 2));
+}
+
+TEST(LoopInfoTest, LoopBlocksDominatedByHeader) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 5 {
+    acc = acc + 1;
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  for (BlockId B : L.Blocks)
+    EXPECT_TRUE(LI.dominates(L.Header, B));
+}
+
+TEST(LoopInfoTest, DepthOfBlocksOutsideLoopsIsZero) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 5 {
+    acc = acc + 1;
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  EXPECT_EQ(LI.loopDepth(0), 0u); // entry
+  EXPECT_EQ(LI.loopDepth(1), 1u); // header
+  EXPECT_EQ(LI.loopDepth(2), 1u); // body
+  EXPECT_EQ(LI.loopDepth(3), 0u); // exit
+}
+
+TEST(LoopInfoTest, TripleNestInnermostFirst) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 2 {
+    for j = 0 to 2 {
+      for k = 0 to 2 {
+        acc = acc + 1;
+      }
+    }
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  ASSERT_EQ(LI.loops().size(), 3u);
+  EXPECT_EQ(LI.loops()[0].Depth, 3u);
+  EXPECT_EQ(LI.loops()[1].Depth, 2u);
+  EXPECT_EQ(LI.loops()[2].Depth, 1u);
+  EXPECT_EQ(LI.maxDepth(), 3u);
+}

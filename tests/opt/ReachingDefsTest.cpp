@@ -1,0 +1,129 @@
+//===- ReachingDefsTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ReachingDefs.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::ir;
+using namespace warpc::opt;
+using warpc::test::lowerFirstFunction;
+using warpc::test::wrapFunction;
+
+TEST(ReachingDefsTest, EnumeratesStores) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[4]): float {
+  var x: float = 1.0;
+  a[0] = 2.0;
+  x = 3.0;
+  return x;
+}
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  // var init, element store, scalar store.
+  EXPECT_EQ(RD.Sites.size(), 3u);
+  unsigned ElementStores = 0;
+  for (const DefSite &S : RD.Sites)
+    ElementStores += S.IsElement;
+  EXPECT_EQ(ElementStores, 1u);
+}
+
+TEST(ReachingDefsTest, ScalarStoreKillsWithinBlock) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): float {
+  var x: float = 1.0;
+  x = 2.0;
+  return x;
+}
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  ASSERT_EQ(RD.Sites.size(), 2u);
+  // Only the second store is downward exposed, so Out of the single block
+  // contains exactly one definition.
+  EXPECT_TRUE(RD.Out[0].test(1));
+  EXPECT_FALSE(RD.Out[0].test(0));
+}
+
+TEST(ReachingDefsTest, BothBranchDefsReachMerge) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(n: int): int {
+  var r: int = 0;
+  if (n > 0) {
+    r = 1;
+  } else {
+    r = 2;
+  }
+  return r;
+}
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  // Find r's variable id.
+  VarId RVar = 0;
+  bool Found = false;
+  for (size_t V = 0; V != F->numVariables(); ++V)
+    if (F->variable(static_cast<VarId>(V)).Name == "r") {
+      RVar = static_cast<VarId>(V);
+      Found = true;
+    }
+  ASSERT_TRUE(Found);
+  // At the merge block (3), both branch stores reach; the initial store
+  // is killed on both paths.
+  auto Reaching = RD.defsReaching(3, RVar);
+  EXPECT_EQ(Reaching.size(), 2u);
+}
+
+TEST(ReachingDefsTest, LoopStoreReachesHeader) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(): int {
+  var acc: int = 0;
+  for i = 0 to 9 {
+    acc = acc + 1;
+  }
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  VarId AccVar = 0;
+  for (size_t V = 0; V != F->numVariables(); ++V)
+    if (F->variable(static_cast<VarId>(V)).Name == "acc")
+      AccVar = static_cast<VarId>(V);
+  // Both the init store (entry) and the loop store (body) reach the
+  // header.
+  auto Reaching = RD.defsReaching(1, AccVar);
+  EXPECT_EQ(Reaching.size(), 2u);
+}
+
+TEST(ReachingDefsTest, ElementStoresAccumulate) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(a: float[4]): float {
+  a[0] = 1.0;
+  a[1] = 2.0;
+  return a[0];
+}
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  ASSERT_EQ(RD.Sites.size(), 2u);
+  // Element stores do not kill each other: both are downward exposed.
+  EXPECT_TRUE(RD.Out[0].test(0));
+  EXPECT_TRUE(RD.Out[0].test(1));
+}
+
+TEST(ReachingDefsTest, NoStoresNoSites) {
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(x: float): float { return x; }
+)"));
+  ASSERT_TRUE(F);
+  ReachingDefsInfo RD = ReachingDefsInfo::compute(*F);
+  EXPECT_TRUE(RD.Sites.empty());
+}

@@ -1,0 +1,113 @@
+//===- CostModelTest.cpp ---------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/CostModel.h"
+
+#include "codegen/MachineModel.h"
+#include "driver/Compiler.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+
+driver::WorkMetrics metricsFor(workload::FunctionSize Size) {
+  auto MM = codegen::MachineModel::warpCell();
+  auto R = driver::compileModuleSequential(
+      workload::makeTestModule(Size, 1), MM);
+  EXPECT_TRUE(R.Succeeded);
+  return R.Functions[0].Metrics;
+}
+
+} // namespace
+
+TEST(CostModelTest, CompileTimeOrderedBySize) {
+  CostModel Model = CostModel::lisp1989();
+  double Prev = 0;
+  for (auto Size : workload::AllSizes) {
+    double Sec = Model.compileSec(metricsFor(Size));
+    EXPECT_GT(Sec, Prev) << workload::sizeName(Size);
+    Prev = Sec;
+  }
+}
+
+TEST(CostModelTest, PaperAnchorLargeFunctionAround20Minutes) {
+  // Section 4.3: ~300-line functions compiled sequentially in 19-22
+  // minutes. f_large (280 lines) should land in that neighborhood.
+  CostModel Model = CostModel::lisp1989();
+  double Sec = Model.compileSec(metricsFor(workload::FunctionSize::Large));
+  EXPECT_GT(Sec, 15 * 60.0);
+  EXPECT_LT(Sec, 26 * 60.0);
+}
+
+TEST(CostModelTest, ParseIsUnderFivePercent) {
+  // Section 3.4: "a sequential compiler spends less than 5% of its time
+  // on parsing".
+  auto MM = codegen::MachineModel::warpCell();
+  CostModel Model = CostModel::lisp1989();
+  auto R = driver::compileModuleSequential(
+      workload::makeTestModule(workload::FunctionSize::Large, 4), MM);
+  ASSERT_TRUE(R.Succeeded);
+  double Parse = Model.phase1Sec(R.Phase1);
+  double Total = Parse;
+  for (const auto &F : R.Functions)
+    Total += Model.compileSec(F.Metrics);
+  Total += Model.phase4Sec(R.Phase4);
+  EXPECT_LT(Parse / Total, 0.05);
+}
+
+TEST(CostModelTest, TinyFunctionIsSeconds) {
+  CostModel Model = CostModel::lisp1989();
+  double Sec = Model.compileSec(metricsFor(workload::FunctionSize::Tiny));
+  EXPECT_LT(Sec, 60.0);
+  EXPECT_GT(Sec, 1.0);
+}
+
+TEST(CostModelTest, GCGrowsWithLiveData) {
+  CostModel Model = CostModel::lisp1989();
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  LispStep Lean{100.0, 5000.0, 100.0, 1.0};
+  LispStep Fat{100.0, 5000.0, 8000.0, 1.0};
+  StepCost LeanCost = Model.evaluate(Lean, Host);
+  StepCost FatCost = Model.evaluate(Fat, Host);
+  EXPECT_GT(FatCost.GCSec, LeanCost.GCSec);
+  EXPECT_DOUBLE_EQ(FatCost.CpuSec, LeanCost.CpuSec);
+}
+
+TEST(CostModelTest, NoPagingWhenWorkingSetFits) {
+  CostModel Model = CostModel::lisp1989();
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  LispStep Small{10.0, 100.0, 100.0, 1.0};
+  EXPECT_DOUBLE_EQ(Model.evaluate(Small, Host).PageTrafficKB, 0.0);
+}
+
+TEST(CostModelTest, PagingKicksInAboveMemory) {
+  CostModel Model = CostModel::lisp1989();
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  double HugeLive = Host.UsableMemoryKB; // core + this >> usable
+  LispStep Thrashing{100.0, 1000.0, HugeLive, 1.0};
+  EXPECT_GT(Model.evaluate(Thrashing, Host).PageTrafficKB, 0.0);
+}
+
+TEST(CostModelTest, SequentialLocalityReducesPaging) {
+  CostModel Model = CostModel::lisp1989();
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  LispStep Par{100.0, 1000.0, Host.UsableMemoryKB, 1.0};
+  LispStep Seq = Par;
+  Seq.PageScale = Model.SeqPagingLocality;
+  EXPECT_LT(Model.evaluate(Seq, Host).PageTrafficKB,
+            Model.evaluate(Par, Host).PageTrafficKB);
+}
+
+TEST(CostModelTest, CMasterCodeIsFast) {
+  CostModel Model = CostModel::lisp1989();
+  // "these processes start up much faster and require fewer resources
+  // than a Common Lisp process" — C master bookkeeping is sub-second.
+  EXPECT_LT(Model.cMasterSec(10000.0), 1.0);
+}

@@ -1,0 +1,63 @@
+//===- JobTest.cpp ---------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Job.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+} // namespace
+
+TEST(JobTest, BuildsFromValidModule) {
+  auto Job = buildJob(workload::makeFigure1Program(), MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+  EXPECT_EQ(Job->ModuleName, "s");
+  ASSERT_EQ(Job->Sections.size(), 2u);
+  EXPECT_EQ(Job->Sections[0].size(), 1u);
+  EXPECT_EQ(Job->Sections[1].size(), 3u);
+  EXPECT_EQ(Job->numFunctions(), 4u);
+}
+
+TEST(JobTest, FailsOnBadModule) {
+  auto Job = buildJob("module m; section s { function f(): int { return x; "
+                      "} }",
+                      MM);
+  EXPECT_FALSE(static_cast<bool>(Job));
+  EXPECT_NE(Job.getError().message().find("failed to compile"),
+            std::string::npos);
+}
+
+TEST(JobTest, TasksCarryMetricsAndOutputs) {
+  auto Job = buildJob(workload::makeTestModule(
+                          workload::FunctionSize::Small, 2),
+                      MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+  for (const auto &Section : Job->Sections)
+    for (const FunctionTask &T : Section) {
+      EXPECT_GT(T.Metrics.phase2Work(), 0u);
+      EXPECT_GT(T.Metrics.phase3Work(), 0u);
+      EXPECT_GE(T.OutputKB, 1.0);
+      EXPECT_FALSE(T.FunctionName.empty());
+      EXPECT_EQ(T.SectionName, "main");
+    }
+  EXPECT_GT(Job->Phase1.phase1Work(), 0u);
+  EXPECT_GT(Job->Phase4.phase4Work(), 0u);
+  EXPECT_GT(Job->parseResidentKB(), 0.0);
+}
+
+TEST(JobTest, FunctionOrderMatchesDeclaration) {
+  auto Job = buildJob(workload::makeUserProgram(), MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+  ASSERT_EQ(Job->Sections.size(), 3u);
+  EXPECT_EQ(Job->Sections[0][0].FunctionName, "phase1_f1");
+  EXPECT_EQ(Job->Sections[2][2].FunctionName, "phase3_f3");
+}

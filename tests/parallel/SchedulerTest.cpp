@@ -1,0 +1,108 @@
+//===- SchedulerTest.cpp ---------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Scheduler.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+CompilationJob userJob() {
+  auto Job = buildJob(workload::makeUserProgram(), MM);
+  EXPECT_TRUE(static_cast<bool>(Job));
+  return Job.takeValue();
+}
+
+} // namespace
+
+TEST(SchedulerTest, FCFSOneFunctionPerProcessorWhenEnough) {
+  CompilationJob Job = userJob();
+  Assignment A = scheduleFCFS(Job, 9);
+  EXPECT_EQ(A.ProcessorsUsed, 9u);
+  // Every function gets its own workstation.
+  std::set<unsigned> Seen;
+  for (const auto &Section : A.WsOf)
+    for (unsigned W : Section)
+      EXPECT_TRUE(Seen.insert(W).second) << "workstation reused";
+}
+
+TEST(SchedulerTest, FCFSRoundRobinWhenScarce) {
+  CompilationJob Job = userJob();
+  Assignment A = scheduleFCFS(Job, 4);
+  EXPECT_EQ(A.ProcessorsUsed, 4u);
+  for (const auto &Section : A.WsOf)
+    for (unsigned W : Section)
+      EXPECT_LT(W, 4u);
+}
+
+TEST(SchedulerTest, HeuristicGrowsWithLinesAndNesting) {
+  driver::WorkMetrics Flat;
+  Flat.SourceLines = 100;
+  Flat.LoopDepth = 0;
+  driver::WorkMetrics Nested = Flat;
+  Nested.LoopDepth = 4;
+  driver::WorkMetrics Longer = Flat;
+  Longer.SourceLines = 300;
+  EXPECT_GT(heuristicCostEstimate(Nested), heuristicCostEstimate(Flat));
+  EXPECT_GT(heuristicCostEstimate(Longer), heuristicCostEstimate(Flat));
+}
+
+TEST(SchedulerTest, BalancedSeparatesTheBigFunctions) {
+  // Section 4.3: "instead of scheduling one function per processor,
+  // smaller functions can be grouped and compiled on the same processor".
+  // With 3 processors and 3 big + 6 small functions, LPT must put each
+  // big function on its own processor.
+  CompilationJob Job = userJob();
+  Assignment A = scheduleBalanced(Job, 3);
+  EXPECT_EQ(A.ProcessorsUsed, 3u);
+  std::set<unsigned> BigHomes;
+  for (unsigned S = 0; S != 3; ++S)
+    BigHomes.insert(A.WsOf[S][0]); // the first function is the big one
+  EXPECT_EQ(BigHomes.size(), 3u);
+}
+
+TEST(SchedulerTest, BalancedLoadsRoughlyEven) {
+  CompilationJob Job = userJob();
+  Assignment A = scheduleBalanced(Job, 3);
+  double Load[3] = {0, 0, 0};
+  for (unsigned S = 0; S != Job.Sections.size(); ++S)
+    for (unsigned F = 0; F != Job.Sections[S].size(); ++F)
+      Load[A.WsOf[S][F]] +=
+          heuristicCostEstimate(Job.Sections[S][F].Metrics);
+  double Max = std::max({Load[0], Load[1], Load[2]});
+  double Min = std::min({Load[0], Load[1], Load[2]});
+  // LPT keeps the imbalance well under one big function.
+  EXPECT_LT(Max - Min, Max * 0.5);
+}
+
+TEST(SchedulerTest, BalancedWithOneProcessorUsesOne) {
+  CompilationJob Job = userJob();
+  Assignment A = scheduleBalanced(Job, 1);
+  EXPECT_EQ(A.ProcessorsUsed, 1u);
+  for (const auto &Section : A.WsOf)
+    for (unsigned W : Section)
+      EXPECT_EQ(W, 0u);
+}
+
+TEST(SchedulerTest, AssignmentShapeMatchesJob) {
+  CompilationJob Job = userJob();
+  for (auto Mode : {0, 1}) {
+    Assignment A =
+        Mode == 0 ? scheduleFCFS(Job, 5) : scheduleBalanced(Job, 5);
+    ASSERT_EQ(A.WsOf.size(), Job.Sections.size());
+    for (unsigned S = 0; S != Job.Sections.size(); ++S)
+      EXPECT_EQ(A.WsOf[S].size(), Job.Sections[S].size());
+  }
+}

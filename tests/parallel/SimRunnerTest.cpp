@@ -1,0 +1,270 @@
+//===- SimRunnerTest.cpp ---------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/SimRunner.h"
+
+#include "support/Stats.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using workload::FunctionSize;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+const cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+const CostModel Model = CostModel::lisp1989();
+
+CompilationJob jobFor(FunctionSize Size, unsigned N) {
+  auto Job = buildJob(workload::makeTestModule(Size, N), MM);
+  EXPECT_TRUE(static_cast<bool>(Job));
+  return Job.takeValue();
+}
+
+} // namespace
+
+TEST(SimRunnerTest, SequentialElapsedCoversCpu) {
+  CompilationJob Job = jobFor(FunctionSize::Small, 2);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  EXPECT_GT(Seq.ElapsedSec, 0.0);
+  EXPECT_GT(Seq.CpuSec, 0.0);
+  EXPECT_GE(Seq.ElapsedSec, Seq.CpuSec);
+  EXPECT_GT(Seq.StartupSec, 0.0);
+}
+
+TEST(SimRunnerTest, SequentialScalesWithFunctionCount) {
+  SeqStats One = simulateSequential(jobFor(FunctionSize::Small, 1), Host,
+                                    Model);
+  SeqStats Four = simulateSequential(jobFor(FunctionSize::Small, 4), Host,
+                                     Model);
+  EXPECT_GT(Four.ElapsedSec, 2.5 * One.ElapsedSec);
+}
+
+TEST(SimRunnerTest, ParallelUsesAssignedProcessors) {
+  CompilationJob Job = jobFor(FunctionSize::Medium, 4);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  EXPECT_EQ(Par.ProcessorsUsed, 4u);
+  EXPECT_GT(Par.FnCpuSec, 0.0);
+  EXPECT_GT(Par.perProcessorCpuSec(), 0.0);
+  EXPECT_GT(Par.MasterCpuSec, 0.0);
+  EXPECT_GT(Par.SectionCpuSec, 0.0);
+  EXPECT_GT(Par.StartupSec, 0.0);
+}
+
+TEST(SimRunnerTest, DeterministicRuns) {
+  CompilationJob Job = jobFor(FunctionSize::Medium, 2);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats P1 = simulateParallel(Job, A, Host, Model);
+  ParStats P2 = simulateParallel(Job, A, Host, Model);
+  EXPECT_DOUBLE_EQ(P1.ElapsedSec, P2.ElapsedSec);
+  SeqStats S1 = simulateSequential(Job, Host, Model);
+  SeqStats S2 = simulateSequential(Job, Host, Model);
+  EXPECT_DOUBLE_EQ(S1.ElapsedSec, S2.ElapsedSec);
+}
+
+TEST(SimRunnerTest, LargeFunctionsWinBigWithEightWorkers) {
+  // The headline claim: "a speedup ranging from 3 to 6 using not more
+  // than 9 processors" for typical (medium/large) programs.
+  CompilationJob Job = jobFor(FunctionSize::Large, 8);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  double Speedup = Seq.ElapsedSec / Par.ElapsedSec;
+  EXPECT_GT(Speedup, 3.0);
+  EXPECT_LT(Speedup, 8.0);
+}
+
+TEST(SimRunnerTest, TinyFunctionsDoNotWin) {
+  // "for small functions, parallel compilation is of no use" (Fig. 3).
+  CompilationJob Job = jobFor(FunctionSize::Tiny, 2);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  EXPECT_LT(Seq.ElapsedSec / Par.ElapsedSec, 1.0);
+}
+
+TEST(SimRunnerTest, OverheadIdentityHolds) {
+  CompilationJob Job = jobFor(FunctionSize::Medium, 4);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, 4);
+  EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-9);
+  EXPECT_NEAR(Ov.TotalSec, Par.ElapsedSec - Seq.ElapsedSec / 4, 1e-9);
+  EXPECT_DOUBLE_EQ(Ov.ParElapsedSec, Par.ElapsedSec);
+}
+
+TEST(SimRunnerTest, RelativeOverheadIncreasesWithFunctionCount) {
+  // "in all tests the relative overhead increases with the number of
+  // functions, regardless of their size" (Section 4.2.3).
+  double Prev = -1e9;
+  for (unsigned N : {1u, 2u, 4u, 8u}) {
+    CompilationJob Job = jobFor(FunctionSize::Medium, N);
+    SeqStats Seq = simulateSequential(Job, Host, Model);
+    Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+    ParStats Par = simulateParallel(Job, A, Host, Model);
+    OverheadBreakdown Ov = computeOverheads(Seq, Par, N);
+    EXPECT_GT(Ov.relTotalPct(), Prev) << "n=" << N;
+    Prev = Ov.relTotalPct();
+  }
+}
+
+TEST(SimRunnerTest, NegativeSystemOverheadForMediumAtOneFunction) {
+  // Figure 9's surprise: the system overhead is negative when the number
+  // of functions is small, because the sequential compiler GCs and swaps
+  // over the whole module while each function master works on a small
+  // subproblem.
+  CompilationJob Job = jobFor(FunctionSize::Medium, 1);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, 1);
+  EXPECT_LT(Ov.relSysPct(), 0.0);
+}
+
+TEST(SimRunnerTest, HugeSlowerThanLargeInSpeedup) {
+  // Figure 6/7: speedup peaks at f_large and decreases for f_huge.
+  auto SpeedupOf = [&](FunctionSize Size) {
+    CompilationJob Job = jobFor(Size, 8);
+    SeqStats Seq = simulateSequential(Job, Host, Model);
+    Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+    ParStats Par = simulateParallel(Job, A, Host, Model);
+    return Seq.ElapsedSec / Par.ElapsedSec;
+  };
+  EXPECT_LT(SpeedupOf(FunctionSize::Huge), SpeedupOf(FunctionSize::Large));
+}
+
+TEST(SimRunnerTest, UserProgramMatchesPaperShape) {
+  auto Job = buildJob(workload::makeUserProgram(), MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+  SeqStats Seq = simulateSequential(*Job, Host, Model);
+
+  // Figure 11: ~2.16 at 2 processors (superlinear), ~4.5 at 9, and 5
+  // processors nearly as good as 9.
+  ParStats At2 = simulateParallel(*Job, scheduleBalanced(*Job, 2), Host,
+                                  Model);
+  double Speedup2 = Seq.ElapsedSec / At2.ElapsedSec;
+  EXPECT_GT(Speedup2, 2.0);
+  EXPECT_LT(Speedup2, 2.5);
+
+  ParStats At5 = simulateParallel(*Job, scheduleBalanced(*Job, 5), Host,
+                                  Model);
+  ParStats At9 = simulateParallel(*Job, scheduleFCFS(*Job, 9), Host, Model);
+  double Speedup5 = Seq.ElapsedSec / At5.ElapsedSec;
+  double Speedup9 = Seq.ElapsedSec / At9.ElapsedSec;
+  EXPECT_GT(Speedup9, 3.5);
+  // "the speedup for 5 processors is almost as good as the speedup for 9".
+  EXPECT_GT(Speedup5, Speedup9 * 0.9);
+}
+
+TEST(SimRunnerTest, MoreWorkersNeverHurtMuch) {
+  CompilationJob Job = jobFor(FunctionSize::Large, 4);
+  Assignment Few = scheduleFCFS(Job, 2);
+  Assignment Many = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats PFew = simulateParallel(Job, Few, Host, Model);
+  ParStats PMany = simulateParallel(Job, Many, Host, Model);
+  EXPECT_LE(PMany.ElapsedSec, PFew.ElapsedSec * 1.01);
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement jitter (the Section 4.2 methodology hooks)
+//===----------------------------------------------------------------------===//
+
+TEST(SimRunnerTest, JitterIsDeterministicPerSeed) {
+  CompilationJob Job = jobFor(FunctionSize::Small, 2);
+  cluster::HostConfig Jittery = Host;
+  Jittery.JitterPct = 0.05;
+  Jittery.JitterSeed = 7;
+  SeqStats A = simulateSequential(Job, Jittery, Model);
+  SeqStats B = simulateSequential(Job, Jittery, Model);
+  EXPECT_DOUBLE_EQ(A.ElapsedSec, B.ElapsedSec);
+}
+
+TEST(SimRunnerTest, DifferentJitterSeedsDiffer) {
+  CompilationJob Job = jobFor(FunctionSize::Small, 2);
+  cluster::HostConfig J1 = Host, J2 = Host;
+  J1.JitterPct = J2.JitterPct = 0.05;
+  J1.JitterSeed = 1;
+  J2.JitterSeed = 2;
+  SeqStats A = simulateSequential(Job, J1, Model);
+  SeqStats B = simulateSequential(Job, J2, Model);
+  EXPECT_NE(A.ElapsedSec, B.ElapsedSec);
+}
+
+TEST(SimRunnerTest, JitterStaysWithinPaperTolerance) {
+  // Five jittered runs of the same experiment deviate well under the
+  // paper's 10% acceptance bound.
+  CompilationJob Job = jobFor(FunctionSize::Medium, 4);
+  Summary Runs;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    cluster::HostConfig Jittery = Host;
+    Jittery.JitterPct = 0.04;
+    Jittery.JitterSeed = Seed;
+    Assignment A = scheduleFCFS(Job, Jittery.NumWorkstations);
+    Runs.add(simulateParallel(Job, A, Jittery, Model).ElapsedSec);
+  }
+  EXPECT_LT(Runs.maxRelativeDeviation(), 0.10);
+}
+
+TEST(SimRunnerTest, ZeroJitterMatchesDeterministicRun) {
+  CompilationJob Job = jobFor(FunctionSize::Small, 2);
+  cluster::HostConfig NoJitter = Host;
+  NoJitter.JitterPct = 0.0;
+  NoJitter.JitterSeed = 12345; // must be inert
+  SeqStats A = simulateSequential(Job, Host, Model);
+  SeqStats B = simulateSequential(Job, NoJitter, Model);
+  EXPECT_DOUBLE_EQ(A.ElapsedSec, B.ElapsedSec);
+}
+
+//===----------------------------------------------------------------------===//
+// Overhead identities across the whole experiment grid
+//===----------------------------------------------------------------------===//
+
+struct GridParam {
+  FunctionSize Size;
+  unsigned N;
+};
+
+class OverheadGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(OverheadGrid, DecompositionConsistent) {
+  CompilationJob Job = jobFor(GetParam().Size, GetParam().N);
+  SeqStats Seq = simulateSequential(Job, Host, Model);
+  Assignment A = scheduleFCFS(Job, Host.NumWorkstations);
+  ParStats Par = simulateParallel(Job, A, Host, Model);
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, GetParam().N);
+
+  // total = impl + sys, and the relative forms agree.
+  EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-9);
+  EXPECT_NEAR(Ov.relTotalPct(),
+              100.0 * Ov.TotalSec / Par.ElapsedSec, 1e-9);
+  // Implementation overhead is real nonnegative CPU time.
+  EXPECT_GE(Ov.ImplSec, 0.0);
+  // Elapsed covers the per-processor CPU time.
+  EXPECT_GE(Par.ElapsedSec, Par.perProcessorCpuSec());
+  // Resource usage is accounted.
+  EXPECT_GT(Par.StartupSec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OverheadGrid,
+    ::testing::Values(GridParam{FunctionSize::Tiny, 1},
+                      GridParam{FunctionSize::Tiny, 8},
+                      GridParam{FunctionSize::Small, 2},
+                      GridParam{FunctionSize::Small, 8},
+                      GridParam{FunctionSize::Medium, 1},
+                      GridParam{FunctionSize::Medium, 8},
+                      GridParam{FunctionSize::Large, 4},
+                      GridParam{FunctionSize::Large, 8},
+                      GridParam{FunctionSize::Huge, 8}),
+    [](const ::testing::TestParamInfo<GridParam> &Info) {
+      return std::string(workload::sizeName(Info.param.Size)).substr(2) +
+             "_n" + std::to_string(Info.param.N);
+    });

@@ -1,0 +1,115 @@
+//===- ThreadRunnerTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadRunner.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+} // namespace
+
+TEST(ThreadRunnerTest, ProducesSameImageAsSequential) {
+  // The parallel compiler must produce "the same input for the assembly
+  // phase as the sequential compiler" — and therefore the same download
+  // module, bit for bit.
+  std::string Source = workload::makeFigure1Program();
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ThreadRunResult Par = compileModuleParallel(Source, MM, Workers);
+    ASSERT_TRUE(Par.Module.Succeeded) << "workers=" << Workers;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadRunnerTest, ErrorsAbortBeforeParallelPhase) {
+  ThreadRunResult R = compileModuleParallel(
+      "module m; section s { function f(): int { return y; } }", MM, 4);
+  EXPECT_FALSE(R.Module.Succeeded);
+  EXPECT_EQ(R.WorkersUsed, 0u);
+  EXPECT_TRUE(R.Module.Diags.hasErrors());
+}
+
+TEST(ThreadRunnerTest, WorkerCountCappedByFunctions) {
+  ThreadRunResult R = compileModuleParallel(
+      workload::makeTestModule(workload::FunctionSize::Tiny, 2), MM, 16);
+  ASSERT_TRUE(R.Module.Succeeded);
+  EXPECT_EQ(R.WorkersUsed, 2u);
+}
+
+TEST(ThreadRunnerTest, PhaseTimesAccounted) {
+  ThreadRunResult R = compileModuleParallel(
+      workload::makeTestModule(workload::FunctionSize::Small, 4), MM, 4);
+  ASSERT_TRUE(R.Module.Succeeded);
+  EXPECT_GT(R.ElapsedSec, 0.0);
+  EXPECT_GE(R.ElapsedSec,
+            R.Phase1Sec + R.ParallelPhaseSec + R.Phase4Sec - 1e-6);
+}
+
+TEST(ThreadRunnerTest, DiagnosticsCombinedInDeclarationOrder) {
+  // Function masters may produce warnings; the section masters combine
+  // them in declaration order regardless of completion order.
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Medium, 4);
+  ThreadRunResult A = compileModuleParallel(Source, MM, 4);
+  ThreadRunResult B = compileModuleParallel(Source, MM, 1);
+  ASSERT_TRUE(A.Module.Succeeded);
+  ASSERT_TRUE(B.Module.Succeeded);
+  EXPECT_EQ(A.Module.Diags.str(), B.Module.Diags.str());
+}
+
+TEST(ThreadRunnerTest, UserProgramParallelCompiles) {
+  ThreadRunResult R =
+      compileModuleParallel(workload::makeUserProgram(), MM, 9);
+  ASSERT_TRUE(R.Module.Succeeded) << R.Module.Diags.str();
+  EXPECT_EQ(R.Module.Functions.size(), 9u);
+  EXPECT_EQ(R.WorkersUsed, 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure injection: dying function masters (Section 5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadRunnerTest, RecoversFromDyingFunctionMasters) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Small, 6);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  // Kill every other function master.
+  FailureInjector Kill = [](size_t Index) { return Index % 2 == 0; };
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, &Kill);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.FunctionsRecovered, 3u);
+  // Recovery reproduces the exact same module image.
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, RecoversFromTotalWorkerLoss) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Tiny, 4);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  FailureInjector KillAll = [](size_t) { return true; };
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, &KillAll);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.FunctionsRecovered, 4u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, NoSpuriousRecoveryWithoutFailures) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Tiny, 4);
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u);
+}

@@ -1,0 +1,102 @@
+//===- BitSetTest.cpp ------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+TEST(BitSetTest, StartsEmpty) {
+  BitSet S(100);
+  EXPECT_EQ(S.universe(), 100u);
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_FALSE(S.any());
+  for (size_t I = 0; I != 100; ++I)
+    EXPECT_FALSE(S.test(I));
+}
+
+TEST(BitSetTest, SetAndTest) {
+  BitSet S(130);
+  S.set(0);
+  S.set(63);
+  S.set(64);
+  S.set(129);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(63));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(129));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_FALSE(S.test(65));
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_TRUE(S.any());
+}
+
+TEST(BitSetTest, Reset) {
+  BitSet S(10);
+  S.set(3);
+  S.reset(3);
+  EXPECT_FALSE(S.test(3));
+  EXPECT_EQ(S.count(), 0u);
+}
+
+TEST(BitSetTest, Clear) {
+  BitSet S(200);
+  for (size_t I = 0; I < 200; I += 3)
+    S.set(I);
+  S.clear();
+  EXPECT_EQ(S.count(), 0u);
+}
+
+TEST(BitSetTest, UnionReportsChange) {
+  BitSet A(70), B(70);
+  B.set(5);
+  B.set(69);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(5));
+  EXPECT_TRUE(A.test(69));
+  // A second union with the same set changes nothing.
+  EXPECT_FALSE(A.unionWith(B));
+}
+
+TEST(BitSetTest, Intersect) {
+  BitSet A(70), B(70);
+  A.set(1);
+  A.set(2);
+  A.set(65);
+  B.set(2);
+  B.set(65);
+  A.intersectWith(B);
+  EXPECT_FALSE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_TRUE(A.test(65));
+}
+
+TEST(BitSetTest, Subtract) {
+  BitSet A(70), B(70);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  A.subtract(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+}
+
+TEST(BitSetTest, Equality) {
+  BitSet A(50), B(50);
+  EXPECT_TRUE(A == B);
+  A.set(17);
+  EXPECT_FALSE(A == B);
+  B.set(17);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(BitSetTest, WordBoundaryUniverse) {
+  BitSet S(64);
+  S.set(63);
+  EXPECT_TRUE(S.test(63));
+  EXPECT_EQ(S.count(), 1u);
+}

@@ -1,0 +1,65 @@
+//===- CastingTest.cpp -----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+namespace {
+
+struct Base {
+  enum class Kind { A, B };
+  explicit Base(Kind K) : TheKind(K) {}
+  Kind getKind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->getKind() == Kind::A; }
+};
+
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->getKind() == Kind::B; }
+};
+
+} // namespace
+
+TEST(CastingTest, Isa) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+}
+
+TEST(CastingTest, Cast) {
+  DerivedB Obj;
+  Base *B = &Obj;
+  EXPECT_EQ(cast<DerivedB>(B), &Obj);
+}
+
+TEST(CastingTest, ConstCast) {
+  DerivedA Obj;
+  const Base *B = &Obj;
+  EXPECT_EQ(cast<DerivedA>(B), &Obj);
+}
+
+TEST(CastingTest, DynCastSucceeds) {
+  DerivedA Obj;
+  Base *B = &Obj;
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &Obj);
+}
+
+TEST(CastingTest, DynCastFails) {
+  DerivedA Obj;
+  Base *B = &Obj;
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+}

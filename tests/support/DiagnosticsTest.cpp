@@ -1,0 +1,62 @@
+//===- DiagnosticsTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+TEST(DiagnosticsTest, StartsClean) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, ErrorsCount) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 2), "first problem");
+  Diags.warning(SourceLoc(3, 4), "a warning");
+  Diags.error(SourceLoc(5, 6), "second problem");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, WarningsAreNotErrors) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc(1, 1), "only a warning");
+  Diags.note(SourceLoc(1, 1), "a note");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(DiagnosticsTest, Rendering) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(12, 7), "unexpected token");
+  EXPECT_EQ(Diags.str(), "12:7: error: unexpected token\n");
+}
+
+TEST(DiagnosticsTest, InvalidLocation) {
+  Diagnostic D{DiagKind::Note, SourceLoc(), "context"};
+  EXPECT_EQ(D.str(), "<unknown>: note: context");
+}
+
+TEST(DiagnosticsTest, MergePreservesOrderAndCounts) {
+  // The section master combines the diagnostic output of its function
+  // masters (paper Section 3.2).
+  DiagnosticEngine First, Second;
+  First.warning(SourceLoc(1, 1), "from function master one");
+  Second.error(SourceLoc(2, 2), "from function master two");
+
+  DiagnosticEngine Combined;
+  Combined.merge(First);
+  Combined.merge(Second);
+  ASSERT_EQ(Combined.diagnostics().size(), 2u);
+  EXPECT_EQ(Combined.diagnostics()[0].Message, "from function master one");
+  EXPECT_EQ(Combined.diagnostics()[1].Message, "from function master two");
+  EXPECT_EQ(Combined.errorCount(), 1u);
+}

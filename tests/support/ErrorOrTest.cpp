@@ -1,0 +1,45 @@
+//===- ErrorOrTest.cpp -----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorOr.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace warpc;
+
+TEST(ErrorOrTest, SuccessValue) {
+  ErrorOr<int> R(42);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(ErrorOrTest, ErrorValue) {
+  ErrorOr<int> R(makeError("could not open file"));
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.getError().message(), "could not open file");
+}
+
+TEST(ErrorOrTest, TakeValueMoves) {
+  ErrorOr<std::unique_ptr<int>> R(std::make_unique<int>(7));
+  ASSERT_TRUE(static_cast<bool>(R));
+  std::unique_ptr<int> V = R.takeValue();
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 7);
+}
+
+TEST(ErrorOrTest, TakeErrorMoves) {
+  ErrorOr<int> R(makeError("bad input"));
+  Error E = R.takeError();
+  EXPECT_EQ(E.message(), "bad input");
+}
+
+TEST(ErrorOrTest, ArrowOperator) {
+  ErrorOr<std::string> R(std::string("warp"));
+  EXPECT_EQ(R->size(), 4u);
+}

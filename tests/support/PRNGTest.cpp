@@ -1,0 +1,79 @@
+//===- PRNGTest.cpp --------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PRNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+TEST(PRNGTest, DeterministicForSameSeed) {
+  PRNG A(12345), B(12345);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(PRNGTest, DifferentSeedsDiffer) {
+  PRNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(PRNGTest, UniformInUnitInterval) {
+  PRNG R(99);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(PRNGTest, UniformRange) {
+  PRNG R(7);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.uniform(5.0, 10.0);
+    EXPECT_GE(U, 5.0);
+    EXPECT_LT(U, 10.0);
+  }
+}
+
+TEST(PRNGTest, BelowStaysBelow) {
+  PRNG R(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(PRNGTest, BelowCoversAllResidues) {
+  PRNG R(5);
+  bool Seen[10] = {};
+  for (int I = 0; I != 1000; ++I)
+    Seen[R.below(10)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(PRNGTest, ExponentialIsPositiveWithPlausibleMean) {
+  PRNG R(11);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    double E = R.exponential(3.0);
+    EXPECT_GE(E, 0.0);
+    Sum += E;
+  }
+  double Mean = Sum / N;
+  EXPECT_NEAR(Mean, 3.0, 0.15);
+}
+
+TEST(PRNGTest, ReseedRestoresSequence) {
+  PRNG R(77);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(77);
+  EXPECT_EQ(R.next(), First);
+}

@@ -1,0 +1,60 @@
+//===- StatsTest.cpp -------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace warpc;
+
+TEST(StatsTest, MeanMinMax) {
+  Summary S;
+  S.add(2.0);
+  S.add(4.0);
+  S.add(6.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(StatsTest, StddevOfConstantIsZero) {
+  Summary S;
+  for (int I = 0; I != 5; ++I)
+    S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatsTest, StddevSample) {
+  Summary S;
+  S.add(1.0);
+  S.add(3.0);
+  // Sample variance of {1,3} is 2.
+  EXPECT_NEAR(S.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, SingleSampleStddevZero) {
+  Summary S;
+  S.add(9.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatsTest, MaxRelativeDeviation) {
+  // The paper accepts measurements whose deviation is within 10% of the
+  // average (Section 4.2); this is the check that enforces it.
+  Summary S;
+  S.add(95);
+  S.add(100);
+  S.add(105);
+  EXPECT_NEAR(S.maxRelativeDeviation(), 0.05, 1e-9);
+}
+
+TEST(StatsTest, Speedup) {
+  EXPECT_DOUBLE_EQ(speedup(100.0, 25.0), 4.0);
+  EXPECT_DOUBLE_EQ(speedup(30.0, 60.0), 0.5);
+}

@@ -1,0 +1,65 @@
+//===- StringUtilsTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+TEST(StringUtilsTest, SplitBasic) {
+  auto Parts = split("a,b,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Parts = split(",x,", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "");
+  EXPECT_EQ(Parts[1], "x");
+  EXPECT_EQ(Parts[2], "");
+}
+
+TEST(StringUtilsTest, SplitNoSeparator) {
+  auto Parts = split("whole", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "whole");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("none"), "none");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("function foo", "function"));
+  EXPECT_FALSE(startsWith("fun", "function"));
+  EXPECT_TRUE(endsWith("module.w2", ".w2"));
+  EXPECT_FALSE(endsWith("w2", ".w2"));
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(StringUtilsTest, Padding) {
+  EXPECT_EQ(padLeft("7", 3), "  7");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("long", 2), "long");
+}

@@ -1,0 +1,48 @@
+//===- TextTableTest.cpp ---------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  size_t Lines = 0;
+  for (char C : Out)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 4u);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable T({"n", "speedup"});
+  T.addRow("8", {5.564}, 2);
+  EXPECT_NE(T.str().find("5.56"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable T({"x", "y"});
+  T.addRow({"a", "1"});
+  T.addRow({"bbbb", "22"});
+  std::string Out = T.str();
+  // Every line has the same length because columns are padded.
+  size_t FirstLen = Out.find('\n');
+  size_t Pos = 0;
+  while (Pos < Out.size()) {
+    size_t End = Out.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    EXPECT_EQ(End - Pos, FirstLen);
+    Pos = End + 1;
+  }
+}

@@ -1,0 +1,129 @@
+//===- AstTest.cpp ---------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/AST.h"
+
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+std::unique_ptr<ModuleDecl> parseClean(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  auto M = P.parseModule();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return M;
+}
+
+} // namespace
+
+TEST(TypeTest, Scalars) {
+  EXPECT_TRUE(Type::intTy().isInt());
+  EXPECT_TRUE(Type::floatTy().isFloat());
+  EXPECT_TRUE(Type::voidTy().isVoid());
+  EXPECT_FALSE(Type::intTy().isArray());
+  EXPECT_TRUE(Type::intTy().isScalarNumeric());
+  EXPECT_FALSE(Type::voidTy().isScalarNumeric());
+}
+
+TEST(TypeTest, Arrays) {
+  Type A = Type::arrayTy(ScalarKind::Float, 64);
+  EXPECT_TRUE(A.isArray());
+  EXPECT_FALSE(A.isFloat());
+  EXPECT_EQ(A.arraySize(), 64u);
+  EXPECT_TRUE(A.elementType().isFloat());
+}
+
+TEST(TypeTest, Printing) {
+  EXPECT_EQ(Type::intTy().str(), "int");
+  EXPECT_EQ(Type::floatTy().str(), "float");
+  EXPECT_EQ(Type::voidTy().str(), "void");
+  EXPECT_EQ(Type::arrayTy(ScalarKind::Int, 8).str(), "int[8]");
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::intTy(), Type::intTy());
+  EXPECT_NE(Type::intTy(), Type::floatTy());
+  EXPECT_NE(Type::arrayTy(ScalarKind::Float, 4),
+            Type::arrayTy(ScalarKind::Float, 8));
+  EXPECT_EQ(Type::arrayTy(ScalarKind::Float, 4),
+            Type::arrayTy(ScalarKind::Float, 4));
+}
+
+TEST(AstWalkTest, CountsNodes) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(x: float): float {
+    return x + 1.0;
+  }
+}
+)");
+  const FunctionDecl *F = M->getSection(0)->getFunction(0);
+  // Block, Return, Binary, VarRef, FloatLit at minimum.
+  EXPECT_GE(countAstNodes(*F), 5u);
+}
+
+TEST(AstWalkTest, LoopDepth) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function flat(x: float): float { return x; }
+  function one(x: float): float {
+    var a: float = 0.0;
+    for i = 0 to 3 { a = a + x; }
+    return a;
+  }
+  function three(x: float): float {
+    var a: float = 0.0;
+    for i = 0 to 3 {
+      for j = 0 to 3 {
+        for k = 0 to 3 { a = a + x; }
+      }
+      while (a > 100.0) { a = a / 2.0; }
+    }
+    return a;
+  }
+}
+)");
+  EXPECT_EQ(maxLoopDepth(*M->getSection(0)->getFunction(0)), 0u);
+  EXPECT_EQ(maxLoopDepth(*M->getSection(0)->getFunction(1)), 1u);
+  EXPECT_EQ(maxLoopDepth(*M->getSection(0)->getFunction(2)), 3u);
+  EXPECT_EQ(countLoops(*M->getSection(0)->getFunction(2)), 4u);
+}
+
+TEST(AstWalkTest, SectionLookup) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function a(): int { return 1; }
+  function b(): int { return 2; }
+}
+)");
+  const SectionDecl *S = M->getSection(0);
+  EXPECT_NE(S->lookup("a"), nullptr);
+  EXPECT_NE(S->lookup("b"), nullptr);
+  EXPECT_EQ(S->lookup("c"), nullptr);
+}
+
+TEST(AstTest, BinaryOpSpellings) {
+  EXPECT_STREQ(binaryOpSpelling(BinaryOp::Add), "+");
+  EXPECT_STREQ(binaryOpSpelling(BinaryOp::LAnd), "&&");
+  EXPECT_STREQ(binaryOpSpelling(BinaryOp::LE), "<=");
+  EXPECT_STREQ(binaryOpSpelling(BinaryOp::Rem), "%");
+}
+
+TEST(AstTest, ChannelNames) {
+  EXPECT_STREQ(channelName(Channel::X), "X");
+  EXPECT_STREQ(channelName(Channel::Y), "Y");
+}

@@ -1,0 +1,152 @@
+//===- LexerTest.cpp -------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexClean(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexClean("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexClean("module section cells function var if else for to "
+                         "by while return send receive int float");
+  ASSERT_EQ(Tokens.size(), 17u); // 16 keywords + Eof
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwModule));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::KwSection));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwCells));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::KwFunction));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::KwVar));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::KwIf));
+  EXPECT_TRUE(Tokens[6].is(TokenKind::KwElse));
+  EXPECT_TRUE(Tokens[7].is(TokenKind::KwFor));
+  EXPECT_TRUE(Tokens[8].is(TokenKind::KwTo));
+  EXPECT_TRUE(Tokens[9].is(TokenKind::KwBy));
+  EXPECT_TRUE(Tokens[10].is(TokenKind::KwWhile));
+  EXPECT_TRUE(Tokens[11].is(TokenKind::KwReturn));
+  EXPECT_TRUE(Tokens[12].is(TokenKind::KwSend));
+  EXPECT_TRUE(Tokens[13].is(TokenKind::KwReceive));
+  EXPECT_TRUE(Tokens[14].is(TokenKind::KwInt));
+  EXPECT_TRUE(Tokens[15].is(TokenKind::KwFloat));
+}
+
+TEST(LexerTest, IdentifiersKeepText) {
+  auto Tokens = lexClean("foo _bar x9");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x9");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lexClean("0 42 1989");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::IntLiteral));
+  EXPECT_EQ(Tokens[1].Text, "42");
+  EXPECT_EQ(Tokens[2].Text, "1989");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lexClean("3.5 0.25 1e6 2.5e-3");
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_TRUE(Tokens[I].is(TokenKind::FloatLiteral)) << I;
+  EXPECT_EQ(Tokens[3].Text, "2.5e-3");
+}
+
+TEST(LexerTest, IntThenDotIsNotFloatWithoutDigit) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("5.", Diags);
+  // "5" lexes as an int; the bare '.' is an error.
+  EXPECT_TRUE(Tokens[0].is(TokenKind::IntLiteral));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, Operators) {
+  auto Tokens = lexClean("+ - * / % == != < <= > >= && || ! =");
+  TokenKind Expected[] = {
+      TokenKind::Plus,        TokenKind::Minus,      TokenKind::Star,
+      TokenKind::Slash,       TokenKind::Percent,    TokenKind::EqualEqual,
+      TokenKind::BangEqual,   TokenKind::Less,       TokenKind::LessEqual,
+      TokenKind::Greater,     TokenKind::GreaterEqual, TokenKind::AmpAmp,
+      TokenKind::PipePipe,    TokenKind::Bang,       TokenKind::Assign,
+  };
+  for (size_t I = 0; I != std::size(Expected); ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, Punctuation) {
+  auto Tokens = lexClean("( ) { } [ ] , : ;");
+  TokenKind Expected[] = {
+      TokenKind::LParen,   TokenKind::RParen, TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma,    TokenKind::Colon,  TokenKind::Semicolon,
+  };
+  for (size_t I = 0; I != std::size(Expected); ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, LineComments) {
+  auto Tokens = lexClean("x // a C++ style comment\ny -- a W2 comment\nz");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "x");
+  EXPECT_EQ(Tokens[1].Text, "y");
+  EXPECT_EQ(Tokens[2].Text, "z");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Tokens = lexClean("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues after the bad character.
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Eof);
+  bool SawB = false;
+  for (const Token &T : Tokens)
+    SawB |= T.Text == "b";
+  EXPECT_TRUE(SawB);
+}
+
+TEST(LexerTest, TokenCountMetric) {
+  DiagnosticEngine Diags;
+  Lexer L("a + b;", Diags);
+  L.lexAll();
+  EXPECT_EQ(L.tokenCount(), 5u); // a, +, b, ;, eof
+}
+
+TEST(LexerTest, MinusBeforeNumberIsSeparateToken) {
+  auto Tokens = lexClean("-5");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Minus));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::IntLiteral));
+}

@@ -1,0 +1,347 @@
+//===- ParserTest.cpp ------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "w2/Parser.h"
+
+#include "support/Casting.h"
+#include "w2/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::w2;
+
+namespace {
+
+std::unique_ptr<ModuleDecl> parse(const std::string &Source,
+                                  DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseModule();
+}
+
+std::unique_ptr<ModuleDecl> parseClean(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto M = parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return M;
+}
+
+const char *MinimalModule = R"(
+module demo;
+section pipe cells 4 {
+  function f(x: float): float {
+    return x;
+  }
+}
+)";
+
+} // namespace
+
+TEST(ParserTest, MinimalModule) {
+  auto M = parseClean(MinimalModule);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->getName(), "demo");
+  ASSERT_EQ(M->numSections(), 1u);
+  const SectionDecl *S = M->getSection(0);
+  EXPECT_EQ(S->getName(), "pipe");
+  EXPECT_EQ(S->getNumCells(), 4u);
+  ASSERT_EQ(S->numFunctions(), 1u);
+  EXPECT_EQ(S->getFunction(0)->getName(), "f");
+}
+
+TEST(ParserTest, MultipleSectionsAndFunctions) {
+  // The shape of Figure 1: section 1 with one function, section 2 with
+  // three.
+  auto M = parseClean(R"(
+module s;
+section sec1 cells 2 {
+  function f11(): int { return 1; }
+}
+section sec2 cells 8 {
+  function f21(): int { return 1; }
+  function f22(): int { return 2; }
+  function f23(): int { return 3; }
+}
+)");
+  ASSERT_TRUE(M);
+  ASSERT_EQ(M->numSections(), 2u);
+  EXPECT_EQ(M->getSection(0)->numFunctions(), 1u);
+  EXPECT_EQ(M->getSection(1)->numFunctions(), 3u);
+  EXPECT_EQ(M->numFunctions(), 4u);
+}
+
+TEST(ParserTest, DefaultCellCountIsOne) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(): int { return 0; }
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->getSection(0)->getNumCells(), 1u);
+}
+
+TEST(ParserTest, FunctionParametersAndTypes) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(a: int, b: float, c: float[16]): float {
+    return b;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const FunctionDecl *F = M->getSection(0)->getFunction(0);
+  ASSERT_EQ(F->params().size(), 3u);
+  EXPECT_TRUE(F->params()[0].Ty.isInt());
+  EXPECT_TRUE(F->params()[1].Ty.isFloat());
+  EXPECT_TRUE(F->params()[2].Ty.isArray());
+  EXPECT_EQ(F->params()[2].Ty.arraySize(), 16u);
+  EXPECT_TRUE(F->getReturnType().isFloat());
+}
+
+TEST(ParserTest, VoidFunctionHasNoReturnType) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(x: float) {
+    send(X, x);
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(M->getSection(0)->getFunction(0)->getReturnType().isVoid());
+}
+
+TEST(ParserTest, ForLoopWithStep) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(): int {
+    var acc: int = 0;
+    for i = 0 to 30 by 2 {
+      acc = acc + i;
+    }
+    for j = 10 to 0 by -1 {
+      acc = acc - j;
+    }
+    return acc;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *Loop1 = dyn_cast<ForStmt>(Body->get(1));
+  ASSERT_TRUE(Loop1);
+  EXPECT_EQ(Loop1->getIndVar(), "i");
+  EXPECT_EQ(Loop1->getStep(), 2);
+  const auto *Loop2 = dyn_cast<ForStmt>(Body->get(2));
+  ASSERT_TRUE(Loop2);
+  EXPECT_EQ(Loop2->getStep(), -1);
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(x: int): int {
+    if (x > 0) {
+      return 1;
+    } else if (x < 0) {
+      return 2;
+    } else {
+      return 3;
+    }
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *If = dyn_cast<IfStmt>(Body->get(0));
+  ASSERT_TRUE(If);
+  ASSERT_TRUE(If->getElse());
+  EXPECT_TRUE(isa<IfStmt>(If->getElse()));
+}
+
+TEST(ParserTest, SendReceiveChannels) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(buf: float[8]) {
+    var v: float = 0.0;
+    receive(X, v);
+    receive(Y, buf[2]);
+    send(Y, v * 2.0);
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *RecvX = dyn_cast<ReceiveStmt>(Body->get(1));
+  ASSERT_TRUE(RecvX);
+  EXPECT_EQ(RecvX->getChannel(), Channel::X);
+  const auto *RecvY = dyn_cast<ReceiveStmt>(Body->get(2));
+  ASSERT_TRUE(RecvY);
+  EXPECT_EQ(RecvY->getChannel(), Channel::Y);
+  EXPECT_TRUE(isa<IndexExpr>(RecvY->getTarget()));
+  const auto *Send = dyn_cast<SendStmt>(Body->get(3));
+  ASSERT_TRUE(Send);
+  EXPECT_EQ(Send->getChannel(), Channel::Y);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(a: int, b: int, c: int): int {
+    return a + b * c;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *Ret = cast<ReturnStmt>(Body->get(0));
+  const auto *Add = dyn_cast<BinaryExpr>(Ret->getValue());
+  ASSERT_TRUE(Add);
+  EXPECT_EQ(Add->getOp(), BinaryOp::Add);
+  const auto *Mul = dyn_cast<BinaryExpr>(Add->getRHS());
+  ASSERT_TRUE(Mul);
+  EXPECT_EQ(Mul->getOp(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceComparisonsBelowArithmetic) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(a: int, b: int): int {
+    return a + 1 < b * 2 && b > 0;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *Ret = cast<ReturnStmt>(Body->get(0));
+  const auto *And = dyn_cast<BinaryExpr>(Ret->getValue());
+  ASSERT_TRUE(And);
+  EXPECT_EQ(And->getOp(), BinaryOp::LAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(a: int, b: int, c: int): int {
+    return (a + b) * c;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const BlockStmt *Body = M->getSection(0)->getFunction(0)->getBody();
+  const auto *Ret = cast<ReturnStmt>(Body->get(0));
+  const auto *Mul = dyn_cast<BinaryExpr>(Ret->getValue());
+  ASSERT_TRUE(Mul);
+  EXPECT_EQ(Mul->getOp(), BinaryOp::Mul);
+  EXPECT_EQ(cast<BinaryExpr>(Mul->getLHS())->getOp(), BinaryOp::Add);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function f(a: int): int {
+    return -a + !a;
+  }
+}
+)");
+  ASSERT_TRUE(M);
+}
+
+TEST(ParserTest, CallStatementAndExpression) {
+  auto M = parseClean(R"(
+module m;
+section s {
+  function g(x: float): float { return x; }
+  function f(x: float): float {
+    g(x);
+    return g(x + 1.0);
+  }
+}
+)");
+  ASSERT_TRUE(M);
+  const FunctionDecl *F = M->getSection(0)->getFunction(1);
+  EXPECT_TRUE(isa<ExprStmt>(F->getBody()->get(0)));
+}
+
+TEST(ParserTest, LineCountMatchesSpan) {
+  auto M = parseClean(MinimalModule);
+  ASSERT_TRUE(M);
+  // "function f..." through the closing brace spans 3 lines.
+  EXPECT_EQ(M->getSection(0)->getFunction(0)->lineCount(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Error cases: the master aborts the compilation when the setup parse
+// finds errors (Section 3.2), so these must all be diagnosed.
+//===----------------------------------------------------------------------===//
+
+struct ParserErrorCase {
+  const char *Name;
+  const char *Source;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<ParserErrorCase> {};
+
+TEST_P(ParserErrorTest, Diagnosed) {
+  DiagnosticEngine Diags;
+  parse(GetParam().Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrorTest,
+    ::testing::Values(
+        ParserErrorCase{"MissingModule", "section s { }"},
+        ParserErrorCase{"EmptyModule", "module m;"},
+        ParserErrorCase{"EmptySection", "module m; section s { }"},
+        ParserErrorCase{"MissingSemicolon",
+                        "module m; section s { function f(): int { return 1 "
+                        "} }"},
+        ParserErrorCase{"BadType",
+                        "module m; section s { function f(x: banana) { } }"},
+        ParserErrorCase{"MissingBrace",
+                        "module m; section s { function f() { "},
+        ParserErrorCase{"BadChannel",
+                        "module m; section s { function f() { send(Q, 1.0); "
+                        "} }"},
+        ParserErrorCase{"ZeroStep",
+                        "module m; section s { function f() { for i = 0 to 3 "
+                        "by 0 { } } }"},
+        ParserErrorCase{"AssignToCall",
+                        "module m; section s { function f() { f() = 3; } }"},
+        ParserErrorCase{"ZeroArraySize",
+                        "module m; section s { function f(a: float[0]) { } "
+                        "}"}),
+    [](const ::testing::TestParamInfo<ParserErrorCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(ParserTest, RecoversAndReportsMultipleErrors) {
+  DiagnosticEngine Diags;
+  parse(R"(
+module m;
+section s {
+  function f(): int {
+    var x: int = @;
+    var y: int = #;
+    return x;
+  }
+}
+)",
+        Diags);
+  // Both bad statements produce diagnostics thanks to recovery.
+  EXPECT_GE(Diags.errorCount(), 2u);
+}

@@ -1,0 +1,144 @@
+//===- GeneratorTest.cpp ---------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::workload;
+
+namespace {
+
+unsigned countLines(const std::string &Text) {
+  unsigned N = 0;
+  for (char C : Text)
+    N += C == '\n';
+  return N;
+}
+
+} // namespace
+
+TEST(GeneratorTest, SizeTable) {
+  EXPECT_EQ(sizeLines(FunctionSize::Tiny), 4u);
+  EXPECT_EQ(sizeLines(FunctionSize::Small), 35u);
+  EXPECT_EQ(sizeLines(FunctionSize::Medium), 100u);
+  EXPECT_EQ(sizeLines(FunctionSize::Large), 280u);
+  EXPECT_EQ(sizeLines(FunctionSize::Huge), 360u);
+  EXPECT_STREQ(sizeName(FunctionSize::Tiny), "f_tiny");
+  EXPECT_STREQ(sizeName(FunctionSize::Huge), "f_huge");
+}
+
+TEST(GeneratorTest, FunctionHasExactLineCount) {
+  for (auto Size : AllSizes) {
+    std::string Text = generateFunction(Size, "f", 1);
+    EXPECT_EQ(countLines(Text), sizeLines(Size)) << sizeName(Size);
+  }
+}
+
+TEST(GeneratorTest, ExplicitLineTargets) {
+  for (uint32_t Lines : {4u, 5u, 9u, 12u, 45u, 120u, 300u}) {
+    std::string Text =
+        generateFunctionWithLines(Lines, 2, "f", 7);
+    EXPECT_EQ(countLines(Text), Lines) << "target " << Lines;
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  EXPECT_EQ(generateFunction(FunctionSize::Medium, "f", 5),
+            generateFunction(FunctionSize::Medium, "f", 5));
+  EXPECT_NE(generateFunction(FunctionSize::Medium, "f", 5),
+            generateFunction(FunctionSize::Medium, "f", 6));
+}
+
+// Every generated workload must survive the full front end: this is the
+// property that keeps the benchmark harness honest.
+struct GenParam {
+  FunctionSize Size;
+  unsigned Count;
+  uint64_t Seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorSweep, ParsesAndChecksCleanly) {
+  std::string Source = makeTestModule(GetParam().Size, GetParam().Count,
+                                      GetParam().Seed);
+  auto M = test::checkModule(Source);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numFunctions(), GetParam().Count);
+  // Functions carry the advertised line count.
+  for (size_t F = 0; F != M->getSection(0)->numFunctions(); ++F)
+    EXPECT_EQ(M->getSection(0)->getFunction(F)->lineCount(),
+              sizeLines(GetParam().Size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCounts, GeneratorSweep,
+    ::testing::Values(GenParam{FunctionSize::Tiny, 1, 1989},
+                      GenParam{FunctionSize::Tiny, 8, 1989},
+                      GenParam{FunctionSize::Small, 2, 1989},
+                      GenParam{FunctionSize::Small, 8, 7},
+                      GenParam{FunctionSize::Medium, 4, 1989},
+                      GenParam{FunctionSize::Medium, 1, 3},
+                      GenParam{FunctionSize::Large, 2, 1989},
+                      GenParam{FunctionSize::Huge, 1, 1989},
+                      GenParam{FunctionSize::Huge, 2, 11}),
+    [](const ::testing::TestParamInfo<GenParam> &Info) {
+      return std::string(sizeName(Info.param.Size)).substr(2) + "_n" +
+             std::to_string(Info.param.Count) + "_s" +
+             std::to_string(Info.param.Seed);
+    });
+
+TEST(GeneratorTest, LoopDepthsMatchSpec) {
+  for (auto Size : AllSizes) {
+    auto M = test::checkModule(makeTestModule(Size, 1));
+    ASSERT_TRUE(M);
+    const w2::FunctionDecl *F = M->getSection(0)->getFunction(0);
+    EXPECT_EQ(w2::maxLoopDepth(*F), sizeLoopDepth(Size))
+        << sizeName(Size);
+  }
+}
+
+TEST(GeneratorTest, UserProgramShape) {
+  auto M = test::checkModule(makeUserProgram());
+  ASSERT_TRUE(M);
+  // "three section programs with three functions each, i.e. a total of
+  // nine functions".
+  ASSERT_EQ(M->numSections(), 3u);
+  for (size_t S = 0; S != 3; ++S)
+    EXPECT_EQ(M->getSection(S)->numFunctions(), 3u);
+  // Per section: one ~300-line function and two of 5-45 lines.
+  for (size_t S = 0; S != 3; ++S) {
+    unsigned Big = 0, Small = 0;
+    for (size_t F = 0; F != 3; ++F) {
+      uint32_t Lines = M->getSection(S)->getFunction(F)->lineCount();
+      if (Lines >= 290 && Lines <= 315)
+        ++Big;
+      else if (Lines >= 5 && Lines <= 45)
+        ++Small;
+    }
+    EXPECT_EQ(Big, 1u) << "section " << S;
+    EXPECT_EQ(Small, 2u) << "section " << S;
+  }
+}
+
+TEST(GeneratorTest, Figure1ProgramShape) {
+  auto M = test::checkModule(makeFigure1Program());
+  ASSERT_TRUE(M);
+  ASSERT_EQ(M->numSections(), 2u);
+  EXPECT_EQ(M->getSection(0)->numFunctions(), 1u);
+  EXPECT_EQ(M->getSection(1)->numFunctions(), 3u);
+}
+
+TEST(GeneratorTest, ModulesHaveSystolicIO) {
+  // The kernels exercise the cell's X/Y channels like real Warp programs.
+  std::string Source = makeTestModule(FunctionSize::Medium, 1);
+  EXPECT_NE(Source.find("receive(X"), std::string::npos);
+  EXPECT_NE(Source.find("send("), std::string::npos);
+}

@@ -1,0 +1,53 @@
+//===- calibrate.cpp - Cost-model calibration sweep -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Prints the full calibration sweep the cost model was fitted against:
+// for every benchmark size and function count, the simulated sequential
+// and parallel times, speedups, and the overhead decomposition, plus the
+// user-program speedups. Re-run this after touching CostModel or
+// HostConfig constants and compare against EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineModel.h"
+#include "parallel/Job.h"
+#include "parallel/CostModel.h"
+#include "parallel/SimRunner.h"
+#include "parallel/Scheduler.h"
+#include "workload/Generator.h"
+#include <cstdio>
+using namespace warpc;
+using namespace warpc::parallel;
+int main() {
+  auto MM = codegen::MachineModel::warpCell();
+  auto Model = CostModel::lisp1989();
+  auto Host = cluster::HostConfig::sunNetwork1989();
+  for (auto Size : workload::AllSizes) {
+    std::printf("== %s ==\n", workload::sizeName(Size));
+    for (unsigned n : {1u,2u,4u,8u}) {
+      auto Job = buildJob(workload::makeTestModule(Size, n), MM);
+      if (!Job) { std::printf("ERROR %s\n", Job.getError().message().c_str()); continue; }
+      auto Seq = simulateSequential(*Job, Host, Model);
+      auto Asg = scheduleFCFS(*Job, Host.NumWorkstations);
+      auto Par = simulateParallel(*Job, Asg, Host, Model);
+      auto Ov = computeOverheads(Seq, Par, n);
+      std::printf("n=%u seqEl=%7.0f seqCpu=%7.0f parEl=%7.0f parCpu/p=%6.0f speedup=%5.2f totOv%%=%6.1f sysOv%%=%6.1f seqGC=%5.0f parGC=%5.0f seqPage=%5.0f parPage=%5.0f startup=%5.0f\n",
+        n, Seq.ElapsedSec, Seq.CpuSec, Par.ElapsedSec, Par.perProcessorCpuSec(),
+        Seq.ElapsedSec/Par.ElapsedSec, Ov.relTotalPct(), Ov.relSysPct(),
+        Seq.GCSec, Par.FnGCSec, Seq.PageWaitSec, Par.PageWaitSec, Par.StartupSec);
+    }
+  }
+  std::printf("== user program ==\n");
+  auto UJob = buildJob(workload::makeUserProgram(), MM);
+  if (UJob) {
+    auto Seq = simulateSequential(*UJob, Host, Model);
+    std::printf("seq elapsed=%.0f cpu=%.0f gc=%.0f page=%.0f\n", Seq.ElapsedSec, Seq.CpuSec, Seq.GCSec, Seq.PageWaitSec);
+    for (unsigned p : {2u,3u,5u,9u}) {
+      auto Asg = p >= 9 ? scheduleFCFS(*UJob, p) : scheduleBalanced(*UJob, p);
+      auto Par = simulateParallel(*UJob, Asg, Host, Model);
+      std::printf("p=%u parEl=%7.0f speedup=%5.2f procs=%u\n", p, Par.ElapsedSec, Seq.ElapsedSec/Par.ElapsedSec, Par.ProcessorsUsed);
+    }
+  }
+  return 0;
+}

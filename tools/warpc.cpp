@@ -1,0 +1,287 @@
+//===- warpc.cpp - The warpc command-line driver --------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The command-line compiler:
+//
+//   warpc [options] module.w2
+//   warpc --demo user --simulate --processors 5
+//
+// Options:
+//   -o <file>          write the linked download module image
+//   --emit-asm         print the Warp assembly listing of every function
+//   --parallel <N>     compile with N function-master threads (default 1)
+//   --inline           run procedure inlining before compilation
+//   --simulate         replay the compilation on the simulated 1989 host
+//   --processors <N>   processors for the simulated parallel run
+//   --demo <which>     compile a built-in workload instead of a file:
+//                      tiny|small|medium|large|huge|user|fig1
+//   --verbose          print per-function statistics
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "parallel/SimRunner.h"
+#include "parallel/ThreadRunner.h"
+#include "support/StringUtils.h"
+#include "w2/ASTPrinter.h"
+#include "w2/Inliner.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace warpc;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string OutputFile;
+  std::string Demo;
+  unsigned Workers = 1;
+  unsigned SimProcessors = 14;
+  bool EmitAsm = false;
+  bool Inline = false;
+  bool Simulate = false;
+  bool Verbose = false;
+};
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [options] <module.w2>\n"
+               "  -o <file>        write the download module image\n"
+               "  --emit-asm       print Warp assembly listings\n"
+               "  --parallel <N>   use N function-master threads\n"
+               "  --inline         inline small functions first\n"
+               "  --simulate       replay on the simulated 1989 host\n"
+               "  --processors <N> processors for the simulated run\n"
+               "  --demo <w>       tiny|small|medium|large|huge|user|fig1\n"
+               "  --verbose        per-function statistics\n",
+               Prog);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "-o") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.OutputFile = V;
+    } else if (Arg == "--emit-asm") {
+      Opts.EmitAsm = true;
+    } else if (Arg == "--parallel") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Workers = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Workers == 0)
+        Opts.Workers = 1;
+    } else if (Arg == "--processors") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SimProcessors =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.SimProcessors == 0)
+        Opts.SimProcessors = 1;
+    } else if (Arg == "--inline") {
+      Opts.Inline = true;
+    } else if (Arg == "--simulate") {
+      Opts.Simulate = true;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "--demo") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Demo = V;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.InputFile = Arg;
+    }
+  }
+  return !Opts.InputFile.empty() || !Opts.Demo.empty();
+}
+
+bool loadSource(const Options &Opts, std::string &Source) {
+  if (!Opts.Demo.empty()) {
+    if (Opts.Demo == "user")
+      Source = workload::makeUserProgram();
+    else if (Opts.Demo == "fig1")
+      Source = workload::makeFigure1Program();
+    else {
+      for (auto Size : workload::AllSizes) {
+        if (Opts.Demo == std::string(workload::sizeName(Size)).substr(2)) {
+          Source = workload::makeTestModule(Size, 4);
+          return true;
+        }
+      }
+      if (Source.empty()) {
+        std::fprintf(stderr, "error: unknown demo '%s'\n",
+                     Opts.Demo.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+  std::ifstream In(Opts.InputFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Opts.InputFile.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Source = Buffer.str();
+  return true;
+}
+
+/// Runs the full pipeline and prints every requested report.
+int compileAndReport(const Options &Opts, const std::string &Source) {
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+  // Parse (+ optional inlining) happens first so diagnostics surface
+  // before any parallel work, exactly like the paper's master process.
+  DiagnosticEngine Diags;
+  w2::Lexer Lexer(Source, Diags);
+  w2::Parser Parser(Lexer.lexAll(), Diags);
+  auto Module = Parser.parseModule();
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (Opts.Inline) {
+    w2::InlineStats Stats = w2::inlineSmallFunctions(*Module);
+    std::printf("inliner: %u call(s) expanded, %u helper(s) removed\n",
+                Stats.CallsInlined, Stats.HelpersRemoved);
+  }
+  w2::Sema Sema(Diags);
+  if (!Sema.checkModule(*Module)) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // Phases 2-4 through the standard pipeline (threaded when requested).
+  driver::ModuleResult Result;
+  {
+    std::vector<driver::FunctionResult> FnResults;
+    if (Opts.Workers <= 1) {
+      for (size_t S = 0; S != Module->numSections(); ++S) {
+        const w2::SectionDecl *Section = Module->getSection(S);
+        for (size_t F = 0; F != Section->numFunctions(); ++F)
+          FnResults.push_back(driver::compileFunction(
+              *Section, *Section->getFunction(F), MM));
+      }
+      driver::assembleAndLink(*Module, std::move(FnResults), Result);
+      Result.Succeeded = !Result.Diags.hasErrors();
+    } else {
+      // The thread runner consumes source text; after inlining, the
+      // transformed AST is pretty-printed back to W2 first.
+      std::string ThreadSource =
+          Opts.Inline ? w2::printModule(*Module) : Source;
+      parallel::ThreadRunResult Par =
+          parallel::compileModuleParallel(ThreadSource, MM, Opts.Workers);
+      Result = std::move(Par.Module);
+      std::printf("parallel compile with %u workers: %.1f ms\n",
+                  Par.WorkersUsed, Par.ElapsedSec * 1e3);
+    }
+  }
+  if (!Result.Succeeded) {
+    std::fprintf(stderr, "%s", Result.Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("compiled module '%s': %zu section(s), %zu function(s), "
+              "image %llu bytes\n",
+              Result.Image.ModuleName.c_str(), Result.Image.Sections.size(),
+              Result.Functions.size(),
+              static_cast<unsigned long long>(Result.Image.byteSize()));
+  std::fputs(Result.Diags.str().c_str(), stdout);
+
+  if (Opts.Verbose) {
+    for (const driver::FunctionResult &F : Result.Functions)
+      std::printf("  %-16s %5u lines  %6llu words  %u/%u regs  "
+                  "%u spill(s)  %u loop(s) pipelined\n",
+                  F.FunctionName.c_str(), F.Metrics.SourceLines,
+                  static_cast<unsigned long long>(F.Program.CodeWords),
+                  F.Program.IntRegsUsed, F.Program.FloatRegsUsed,
+                  F.Program.Spills, F.LoopsPipelined);
+  }
+
+  if (Opts.EmitAsm)
+    for (const driver::FunctionResult &F : Result.Functions)
+      std::printf("\n%s", F.Program.Listing.c_str());
+
+  if (!Opts.OutputFile.empty()) {
+    std::ofstream Out(Opts.OutputFile, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.OutputFile.c_str());
+      return 1;
+    }
+    Out.write(reinterpret_cast<const char *>(Result.Image.Image.data()),
+              static_cast<std::streamsize>(Result.Image.Image.size()));
+    std::printf("wrote %s\n", Opts.OutputFile.c_str());
+  }
+
+  if (Opts.Simulate) {
+    auto Host = cluster::HostConfig::sunNetwork1989();
+    auto Model = parallel::CostModel::lisp1989();
+    auto Job = parallel::buildJob(Source, MM);
+    if (!Job) {
+      std::fprintf(stderr, "simulation skipped: %s\n",
+                   Job.getError().message().c_str());
+      return 0;
+    }
+    parallel::SeqStats Seq =
+        parallel::simulateSequential(*Job, Host, Model);
+    parallel::Assignment Assign =
+        Opts.SimProcessors >= Job->numFunctions()
+            ? parallel::scheduleFCFS(*Job, Opts.SimProcessors)
+            : parallel::scheduleBalanced(*Job, Opts.SimProcessors);
+    parallel::ParStats Par =
+        parallel::simulateParallel(*Job, Assign, Host, Model);
+    std::printf("\nsimulated 1989 host (%u processors):\n",
+                Opts.SimProcessors);
+    std::printf("  sequential: %8.0f s (%.1f min)\n", Seq.ElapsedSec,
+                Seq.ElapsedSec / 60);
+    std::printf("  parallel:   %8.0f s (%.1f min)\n", Par.ElapsedSec,
+                Par.ElapsedSec / 60);
+    std::printf("  speedup:    %8.2f\n", Seq.ElapsedSec / Par.ElapsedSec);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+  std::string Source;
+  if (!loadSource(Opts, Source))
+    return 1;
+  return compileAndReport(Opts, Source);
+}
