@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inlining.dir/ablation_inlining.cpp.o"
+  "CMakeFiles/ablation_inlining.dir/ablation_inlining.cpp.o.d"
+  "ablation_inlining"
+  "ablation_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimization_level.dir/ablation_optimization_level.cpp.o"
+  "CMakeFiles/ablation_optimization_level.dir/ablation_optimization_level.cpp.o.d"
+  "ablation_optimization_level"
+  "ablation_optimization_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimization_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

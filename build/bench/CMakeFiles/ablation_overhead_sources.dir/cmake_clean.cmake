@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead_sources.dir/ablation_overhead_sources.cpp.o"
+  "CMakeFiles/ablation_overhead_sources.dir/ablation_overhead_sources.cpp.o.d"
+  "ablation_overhead_sources"
+  "ablation_overhead_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_times_ftiny.dir/fig03_times_ftiny.cpp.o"
+  "CMakeFiles/fig03_times_ftiny.dir/fig03_times_ftiny.cpp.o.d"
+  "fig03_times_ftiny"
+  "fig03_times_ftiny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_times_ftiny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

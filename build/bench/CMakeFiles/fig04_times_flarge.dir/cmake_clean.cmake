@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_times_flarge.dir/fig04_times_flarge.cpp.o"
+  "CMakeFiles/fig04_times_flarge.dir/fig04_times_flarge.cpp.o.d"
+  "fig04_times_flarge"
+  "fig04_times_flarge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_times_flarge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_times_flarge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_times_fhuge.dir/fig05_times_fhuge.cpp.o"
+  "CMakeFiles/fig05_times_fhuge.dir/fig05_times_fhuge.cpp.o.d"
+  "fig05_times_fhuge"
+  "fig05_times_fhuge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_times_fhuge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

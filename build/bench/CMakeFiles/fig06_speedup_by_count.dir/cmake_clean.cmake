@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_speedup_by_count.dir/fig06_speedup_by_count.cpp.o"
+  "CMakeFiles/fig06_speedup_by_count.dir/fig06_speedup_by_count.cpp.o.d"
+  "fig06_speedup_by_count"
+  "fig06_speedup_by_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup_by_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

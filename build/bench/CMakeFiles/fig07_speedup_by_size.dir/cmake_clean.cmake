@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_speedup_by_size.dir/fig07_speedup_by_size.cpp.o"
+  "CMakeFiles/fig07_speedup_by_size.dir/fig07_speedup_by_size.cpp.o.d"
+  "fig07_speedup_by_size"
+  "fig07_speedup_by_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedup_by_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

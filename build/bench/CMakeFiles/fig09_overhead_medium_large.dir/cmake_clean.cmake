@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_overhead_medium_large.dir/fig09_overhead_medium_large.cpp.o"
+  "CMakeFiles/fig09_overhead_medium_large.dir/fig09_overhead_medium_large.cpp.o.d"
+  "fig09_overhead_medium_large"
+  "fig09_overhead_medium_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overhead_medium_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

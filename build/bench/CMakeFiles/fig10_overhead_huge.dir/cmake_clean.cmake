@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overhead_huge.dir/fig10_overhead_huge.cpp.o"
+  "CMakeFiles/fig10_overhead_huge.dir/fig10_overhead_huge.cpp.o.d"
+  "fig10_overhead_huge"
+  "fig10_overhead_huge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overhead_huge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

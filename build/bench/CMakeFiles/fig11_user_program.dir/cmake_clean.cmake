@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_user_program.dir/fig11_user_program.cpp.o"
+  "CMakeFiles/fig11_user_program.dir/fig11_user_program.cpp.o.d"
+  "fig11_user_program"
+  "fig11_user_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_user_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_times_fsmall.dir/fig12_times_fsmall.cpp.o"
+  "CMakeFiles/fig12_times_fsmall.dir/fig12_times_fsmall.cpp.o.d"
+  "fig12_times_fsmall"
+  "fig12_times_fsmall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_times_fsmall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_times_fmedium.dir/fig13_times_fmedium.cpp.o"
+  "CMakeFiles/fig13_times_fmedium.dir/fig13_times_fmedium.cpp.o.d"
+  "fig13_times_fmedium"
+  "fig13_times_fmedium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_times_fmedium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

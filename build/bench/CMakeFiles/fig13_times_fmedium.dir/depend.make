@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_times_fmedium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_abs_overhead_small.
+# This may be replaced when dependencies are built.

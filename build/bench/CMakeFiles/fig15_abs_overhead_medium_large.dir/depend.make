@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_abs_overhead_medium_large.
+# This may be replaced when dependencies are built.

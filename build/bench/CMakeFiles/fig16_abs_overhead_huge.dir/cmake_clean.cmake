@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_abs_overhead_huge.dir/fig16_abs_overhead_huge.cpp.o"
+  "CMakeFiles/fig16_abs_overhead_huge.dir/fig16_abs_overhead_huge.cpp.o.d"
+  "fig16_abs_overhead_huge"
+  "fig16_abs_overhead_huge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_abs_overhead_huge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

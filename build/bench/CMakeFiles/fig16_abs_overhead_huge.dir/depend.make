@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_abs_overhead_huge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_repeats.dir/methodology_repeats.cpp.o"
+  "CMakeFiles/methodology_repeats.dir/methodology_repeats.cpp.o.d"
+  "methodology_repeats"
+  "methodology_repeats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for methodology_repeats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_threads_speedup.dir/real_threads_speedup.cpp.o"
+  "CMakeFiles/real_threads_speedup.dir/real_threads_speedup.cpp.o.d"
+  "real_threads_speedup"
+  "real_threads_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_threads_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

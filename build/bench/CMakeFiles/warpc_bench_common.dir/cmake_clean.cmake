@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_bench_common.dir/FigureCommon.cpp.o"
+  "CMakeFiles/warpc_bench_common.dir/FigureCommon.cpp.o.d"
+  "libwarpc_bench_common.a"
+  "libwarpc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_pipeline.dir/inspect_pipeline.cpp.o"
+  "CMakeFiles/inspect_pipeline.dir/inspect_pipeline.cpp.o.d"
+  "inspect_pipeline"
+  "inspect_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_pipeline.dir/systolic_pipeline.cpp.o"
+  "CMakeFiles/systolic_pipeline.dir/systolic_pipeline.cpp.o.d"
+  "systolic_pipeline"
+  "systolic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

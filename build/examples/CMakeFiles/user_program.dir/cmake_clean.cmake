@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_program.dir/user_program.cpp.o"
+  "CMakeFiles/user_program.dir/user_program.cpp.o.d"
+  "user_program"
+  "user_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_asmout.dir/Assembly.cpp.o"
+  "CMakeFiles/warpc_asmout.dir/Assembly.cpp.o.d"
+  "CMakeFiles/warpc_asmout.dir/DownloadModule.cpp.o"
+  "CMakeFiles/warpc_asmout.dir/DownloadModule.cpp.o.d"
+  "libwarpc_asmout.a"
+  "libwarpc_asmout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_asmout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CodeGen.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/CodeGen.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/codegen/ListScheduler.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/ListScheduler.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/codegen/MachineModel.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/MachineModel.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/MachineModel.cpp.o.d"
+  "/root/repo/src/codegen/ModuloScheduler.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/ModuloScheduler.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/ModuloScheduler.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/RegAlloc.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/codegen/ScheduleDAG.cpp" "src/codegen/CMakeFiles/warpc_codegen.dir/ScheduleDAG.cpp.o" "gcc" "src/codegen/CMakeFiles/warpc_codegen.dir/ScheduleDAG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/warpc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/warpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2/CMakeFiles/warpc_w2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

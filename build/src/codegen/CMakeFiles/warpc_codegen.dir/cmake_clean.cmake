@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_codegen.dir/CodeGen.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/warpc_codegen.dir/ListScheduler.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/warpc_codegen.dir/MachineModel.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/warpc_codegen.dir/ModuloScheduler.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/ModuloScheduler.cpp.o.d"
+  "CMakeFiles/warpc_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/warpc_codegen.dir/ScheduleDAG.cpp.o"
+  "CMakeFiles/warpc_codegen.dir/ScheduleDAG.cpp.o.d"
+  "libwarpc_codegen.a"
+  "libwarpc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for warpc_codegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/warpc_driver.dir/Compiler.cpp.o.d"
+  "libwarpc_driver.a"
+  "libwarpc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

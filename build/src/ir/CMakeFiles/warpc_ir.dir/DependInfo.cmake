@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/warpc_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/warpc_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/warpc_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/warpc_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/warpc_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/warpc_ir.dir/Interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/w2/CMakeFiles/warpc_w2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

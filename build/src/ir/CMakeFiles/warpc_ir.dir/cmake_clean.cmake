@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_ir.dir/IR.cpp.o"
+  "CMakeFiles/warpc_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/warpc_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/warpc_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/warpc_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/warpc_ir.dir/Interpreter.cpp.o.d"
+  "libwarpc_ir.a"
+  "libwarpc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/Dependence.cpp" "src/opt/CMakeFiles/warpc_opt.dir/Dependence.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/Dependence.cpp.o.d"
+  "/root/repo/src/opt/LICM.cpp" "src/opt/CMakeFiles/warpc_opt.dir/LICM.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/LICM.cpp.o.d"
+  "/root/repo/src/opt/Liveness.cpp" "src/opt/CMakeFiles/warpc_opt.dir/Liveness.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/Liveness.cpp.o.d"
+  "/root/repo/src/opt/LocalOpt.cpp" "src/opt/CMakeFiles/warpc_opt.dir/LocalOpt.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/LocalOpt.cpp.o.d"
+  "/root/repo/src/opt/LoopInfo.cpp" "src/opt/CMakeFiles/warpc_opt.dir/LoopInfo.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/opt/ReachingDefs.cpp" "src/opt/CMakeFiles/warpc_opt.dir/ReachingDefs.cpp.o" "gcc" "src/opt/CMakeFiles/warpc_opt.dir/ReachingDefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/warpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2/CMakeFiles/warpc_w2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

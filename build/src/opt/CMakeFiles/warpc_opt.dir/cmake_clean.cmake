@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_opt.dir/Dependence.cpp.o"
+  "CMakeFiles/warpc_opt.dir/Dependence.cpp.o.d"
+  "CMakeFiles/warpc_opt.dir/LICM.cpp.o"
+  "CMakeFiles/warpc_opt.dir/LICM.cpp.o.d"
+  "CMakeFiles/warpc_opt.dir/Liveness.cpp.o"
+  "CMakeFiles/warpc_opt.dir/Liveness.cpp.o.d"
+  "CMakeFiles/warpc_opt.dir/LocalOpt.cpp.o"
+  "CMakeFiles/warpc_opt.dir/LocalOpt.cpp.o.d"
+  "CMakeFiles/warpc_opt.dir/LoopInfo.cpp.o"
+  "CMakeFiles/warpc_opt.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/warpc_opt.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/warpc_opt.dir/ReachingDefs.cpp.o.d"
+  "libwarpc_opt.a"
+  "libwarpc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwarpc_opt.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_parallel.dir/CostModel.cpp.o"
+  "CMakeFiles/warpc_parallel.dir/CostModel.cpp.o.d"
+  "CMakeFiles/warpc_parallel.dir/Job.cpp.o"
+  "CMakeFiles/warpc_parallel.dir/Job.cpp.o.d"
+  "CMakeFiles/warpc_parallel.dir/Scheduler.cpp.o"
+  "CMakeFiles/warpc_parallel.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/warpc_parallel.dir/SimRunner.cpp.o"
+  "CMakeFiles/warpc_parallel.dir/SimRunner.cpp.o.d"
+  "CMakeFiles/warpc_parallel.dir/ThreadRunner.cpp.o"
+  "CMakeFiles/warpc_parallel.dir/ThreadRunner.cpp.o.d"
+  "libwarpc_parallel.a"
+  "libwarpc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

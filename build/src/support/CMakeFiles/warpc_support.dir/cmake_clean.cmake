@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/warpc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/warpc_support.dir/PRNG.cpp.o"
+  "CMakeFiles/warpc_support.dir/PRNG.cpp.o.d"
+  "CMakeFiles/warpc_support.dir/Stats.cpp.o"
+  "CMakeFiles/warpc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/warpc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/warpc_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/warpc_support.dir/TextTable.cpp.o"
+  "CMakeFiles/warpc_support.dir/TextTable.cpp.o.d"
+  "libwarpc_support.a"
+  "libwarpc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

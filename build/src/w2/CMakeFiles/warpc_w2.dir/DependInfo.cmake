@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/w2/AST.cpp" "src/w2/CMakeFiles/warpc_w2.dir/AST.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/AST.cpp.o.d"
+  "/root/repo/src/w2/ASTPrinter.cpp" "src/w2/CMakeFiles/warpc_w2.dir/ASTPrinter.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/ASTPrinter.cpp.o.d"
+  "/root/repo/src/w2/Inliner.cpp" "src/w2/CMakeFiles/warpc_w2.dir/Inliner.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/Inliner.cpp.o.d"
+  "/root/repo/src/w2/Lexer.cpp" "src/w2/CMakeFiles/warpc_w2.dir/Lexer.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/Lexer.cpp.o.d"
+  "/root/repo/src/w2/Parser.cpp" "src/w2/CMakeFiles/warpc_w2.dir/Parser.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/Parser.cpp.o.d"
+  "/root/repo/src/w2/Sema.cpp" "src/w2/CMakeFiles/warpc_w2.dir/Sema.cpp.o" "gcc" "src/w2/CMakeFiles/warpc_w2.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_w2.dir/AST.cpp.o"
+  "CMakeFiles/warpc_w2.dir/AST.cpp.o.d"
+  "CMakeFiles/warpc_w2.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/warpc_w2.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/warpc_w2.dir/Inliner.cpp.o"
+  "CMakeFiles/warpc_w2.dir/Inliner.cpp.o.d"
+  "CMakeFiles/warpc_w2.dir/Lexer.cpp.o"
+  "CMakeFiles/warpc_w2.dir/Lexer.cpp.o.d"
+  "CMakeFiles/warpc_w2.dir/Parser.cpp.o"
+  "CMakeFiles/warpc_w2.dir/Parser.cpp.o.d"
+  "CMakeFiles/warpc_w2.dir/Sema.cpp.o"
+  "CMakeFiles/warpc_w2.dir/Sema.cpp.o.d"
+  "libwarpc_w2.a"
+  "libwarpc_w2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_w2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for warpc_w2.
+# This may be replaced when dependencies are built.

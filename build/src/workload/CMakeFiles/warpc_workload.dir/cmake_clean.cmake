@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc_workload.dir/Generator.cpp.o"
+  "CMakeFiles/warpc_workload.dir/Generator.cpp.o.d"
+  "libwarpc_workload.a"
+  "libwarpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

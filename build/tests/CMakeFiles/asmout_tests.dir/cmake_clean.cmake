@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmout_tests.dir/asmout/AssemblyTest.cpp.o"
+  "CMakeFiles/asmout_tests.dir/asmout/AssemblyTest.cpp.o.d"
+  "CMakeFiles/asmout_tests.dir/asmout/DownloadModuleTest.cpp.o"
+  "CMakeFiles/asmout_tests.dir/asmout/DownloadModuleTest.cpp.o.d"
+  "asmout_tests"
+  "asmout_tests.pdb"
+  "asmout_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmout_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asmout_tests.
+# This may be replaced when dependencies are built.

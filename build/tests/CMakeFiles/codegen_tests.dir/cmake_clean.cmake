@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tests.dir/codegen/ListSchedulerTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/ListSchedulerTest.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/MachineModelTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/MachineModelTest.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/ModuloSchedulerTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/ModuloSchedulerTest.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/RegAllocTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/RegAllocTest.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/ScheduleDAGTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/ScheduleDAGTest.cpp.o.d"
+  "codegen_tests"
+  "codegen_tests.pdb"
+  "codegen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_tests.dir/driver/CompilerTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/CompilerTest.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/driver/RandomSweepTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/RandomSweepTest.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/driver/WorkMetricsTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/WorkMetricsTest.cpp.o.d"
+  "driver_tests"
+  "driver_tests.pdb"
+  "driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/DependenceTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/DependenceTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/DependenceTest.cpp.o.d"
+  "/root/repo/tests/opt/LICMTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/LICMTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/LICMTest.cpp.o.d"
+  "/root/repo/tests/opt/LivenessTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/LivenessTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/LivenessTest.cpp.o.d"
+  "/root/repo/tests/opt/LocalOptTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/LocalOptTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/LocalOptTest.cpp.o.d"
+  "/root/repo/tests/opt/LoopInfoTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/LoopInfoTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/LoopInfoTest.cpp.o.d"
+  "/root/repo/tests/opt/ReachingDefsTest.cpp" "tests/CMakeFiles/opt_tests.dir/opt/ReachingDefsTest.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/ReachingDefsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/warpc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/warpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/warpc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmout/CMakeFiles/warpc_asmout.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/warpc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/warpc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/warpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2/CMakeFiles/warpc_w2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/DependenceTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/DependenceTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/LICMTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/LICMTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/LivenessTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/LivenessTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/LocalOptTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/LocalOptTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/LoopInfoTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/LoopInfoTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/ReachingDefsTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/ReachingDefsTest.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

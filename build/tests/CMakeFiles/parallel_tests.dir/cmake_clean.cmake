@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tests.dir/parallel/CostModelTest.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/CostModelTest.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/JobTest.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/JobTest.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/SchedulerTest.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/SchedulerTest.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/SimRunnerTest.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/SimRunnerTest.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/ThreadRunnerTest.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/ThreadRunnerTest.cpp.o.d"
+  "parallel_tests"
+  "parallel_tests.pdb"
+  "parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/BitSetTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/BitSetTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/CastingTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/CastingTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/DiagnosticsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/ErrorOrTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/ErrorOrTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/PRNGTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/PRNGTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StatsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StatsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StringUtilsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StringUtilsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/TextTableTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/TextTableTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

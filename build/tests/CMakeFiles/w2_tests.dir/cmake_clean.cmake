@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w2_tests.dir/w2/ASTPrinterTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/ASTPrinterTest.cpp.o.d"
+  "CMakeFiles/w2_tests.dir/w2/AstTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/AstTest.cpp.o.d"
+  "CMakeFiles/w2_tests.dir/w2/InlinerTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/InlinerTest.cpp.o.d"
+  "CMakeFiles/w2_tests.dir/w2/LexerTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/LexerTest.cpp.o.d"
+  "CMakeFiles/w2_tests.dir/w2/ParserTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/ParserTest.cpp.o.d"
+  "CMakeFiles/w2_tests.dir/w2/SemaTest.cpp.o"
+  "CMakeFiles/w2_tests.dir/w2/SemaTest.cpp.o.d"
+  "w2_tests"
+  "w2_tests.pdb"
+  "w2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/w2_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/opt_tests[1]_include.cmake")
+include("/root/repo/build/tests/codegen_tests[1]_include.cmake")
+include("/root/repo/build/tests/asmout_tests[1]_include.cmake")
+include("/root/repo/build/tests/driver_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/parallel_tests[1]_include.cmake")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/calibrate.cpp" "tools/CMakeFiles/calibrate.dir/calibrate.cpp.o" "gcc" "tools/CMakeFiles/calibrate.dir/calibrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/warpc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/warpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/warpc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmout/CMakeFiles/warpc_asmout.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/warpc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/warpc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/warpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2/CMakeFiles/warpc_w2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/warpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

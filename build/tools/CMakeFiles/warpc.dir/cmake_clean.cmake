@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpc.dir/warpc.cpp.o"
+  "CMakeFiles/warpc.dir/warpc.cpp.o.d"
+  "warpc"
+  "warpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
