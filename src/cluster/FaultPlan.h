@@ -1,0 +1,176 @@
+//===- FaultPlan.h - Deterministic failure schedules ------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic failure schedule for a simulated run of the 1989 host
+/// system. Section 5.2 of the paper singles out fault handling as the
+/// hard part of the distributed compiler: "the application code becomes
+/// unwieldy as it tries to account for all possible failures in the child
+/// processes and their host processors." The plan models exactly those
+/// failures: a workstation that crashes at a given instant (and possibly
+/// reboots later), a degraded "slow host", and lost synchronization
+/// messages drawn from a seeded support::PRNG so that every run is
+/// reproducible. An empty plan leaves the simulation bit-identical to a
+/// run without fault injection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CLUSTER_FAULTPLAN_H
+#define WARPC_CLUSTER_FAULTPLAN_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace cluster {
+
+/// Failure schedule of one workstation.
+struct HostFault {
+  /// Simulated time at which the host crashes; negative = never crashes.
+  double CrashAtSec = -1;
+  /// Downtime after the crash before the host accepts work again;
+  /// negative = the host stays down for the rest of the run.
+  double RebootAfterSec = -1;
+  /// Service-time stretch for all CPU work on this host (a degraded
+  /// "slow host"); 1.0 = nominal speed.
+  double SlowdownFactor = 1.0;
+
+  bool crashes() const { return CrashAtSec >= 0; }
+};
+
+/// Per-run failure schedule: per-host crash/reboot/degradation plus a
+/// message-loss probability. Indexing past the configured hosts yields a
+/// healthy host, so a plan only needs entries for the hosts it breaks.
+struct FaultPlan {
+  std::vector<HostFault> Hosts; ///< Indexed by workstation id.
+  double MessageLossProb = 0;   ///< Per-message loss probability.
+  uint64_t Seed = 1;            ///< Seed for the message-loss draws.
+
+  /// True when the plan injects nothing at all.
+  bool empty() const {
+    if (MessageLossProb > 0)
+      return false;
+    for (const HostFault &H : Hosts)
+      if (H.crashes() || H.SlowdownFactor != 1.0)
+        return false;
+    return true;
+  }
+
+  const HostFault &host(unsigned W) const {
+    static const HostFault Healthy;
+    return W < Hosts.size() ? Hosts[W] : Healthy;
+  }
+
+  /// Entry for host \p W, growing the table as needed.
+  HostFault &hostMut(unsigned W) {
+    if (W >= Hosts.size())
+      Hosts.resize(W + 1);
+    return Hosts[W];
+  }
+
+  /// Is host \p W accepting new work at time \p At?
+  bool isUp(unsigned W, double At) const {
+    const HostFault &H = host(W);
+    if (!H.crashes() || At < H.CrashAtSec)
+      return true;
+    return H.RebootAfterSec >= 0 && At >= H.CrashAtSec + H.RebootAfterSec;
+  }
+
+  /// Does work on host \p W spanning (\p From, \p To] lose its state to a
+  /// crash? True when the crash instant falls inside the span, or when
+  /// the span starts while the host is still down.
+  bool losesWork(unsigned W, double From, double To) const {
+    const HostFault &H = host(W);
+    if (!H.crashes())
+      return false;
+    if (From < H.CrashAtSec)
+      return To >= H.CrashAtSec;
+    return !isUp(W, From);
+  }
+
+  double slowdown(unsigned W) const { return host(W).SlowdownFactor; }
+};
+
+/// Parses a command-line fault-plan spec into \p Plan. The spec is a
+/// comma-separated list of items:
+///
+///   crash=<ws>@<sec>         host <ws> crashes at <sec> and stays down
+///   crash=<ws>@<sec>+<sec>   ... and reboots after the given delay
+///   slow=<ws>x<factor>       host <ws> runs <factor> times slower
+///   loss=<prob>              per-message loss probability in [0, 1]
+///   seed=<n>                 PRNG seed for the loss draws
+///
+/// Example: "crash=3@120+60,crash=5@200,slow=2x3.0,loss=0.01,seed=7".
+/// Returns false and fills \p Error on a malformed spec.
+inline bool parseFaultPlan(const std::string &Spec, FaultPlan &Plan,
+                           std::string &Error) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos) {
+      Error = "fault-plan item '" + Item + "' has no '='";
+      return false;
+    }
+    std::string Key = Item.substr(0, Eq);
+    std::string Val = Item.substr(Eq + 1);
+    char *Rest = nullptr;
+    if (Key == "crash") {
+      unsigned W = static_cast<unsigned>(std::strtoul(Val.c_str(), &Rest, 10));
+      if (!Rest || *Rest != '@') {
+        Error = "crash item '" + Item + "' needs <ws>@<sec>";
+        return false;
+      }
+      double At = std::strtod(Rest + 1, &Rest);
+      HostFault &H = Plan.hostMut(W);
+      H.CrashAtSec = At;
+      if (Rest && *Rest == '+')
+        H.RebootAfterSec = std::strtod(Rest + 1, &Rest);
+      if (Rest && *Rest != '\0') {
+        Error = "trailing characters in crash item '" + Item + "'";
+        return false;
+      }
+    } else if (Key == "slow") {
+      unsigned W = static_cast<unsigned>(std::strtoul(Val.c_str(), &Rest, 10));
+      if (!Rest || *Rest != 'x') {
+        Error = "slow item '" + Item + "' needs <ws>x<factor>";
+        return false;
+      }
+      double Factor = std::strtod(Rest + 1, &Rest);
+      if (Factor < 1.0) {
+        Error = "slowdown factor must be >= 1.0 in '" + Item + "'";
+        return false;
+      }
+      Plan.hostMut(W).SlowdownFactor = Factor;
+    } else if (Key == "loss") {
+      Plan.MessageLossProb = std::strtod(Val.c_str(), &Rest);
+      if (Plan.MessageLossProb < 0 || Plan.MessageLossProb > 1) {
+        Error = "loss probability must be in [0, 1] in '" + Item + "'";
+        return false;
+      }
+    } else if (Key == "seed") {
+      Plan.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+    } else {
+      Error = "unknown fault-plan key '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace cluster
+} // namespace warpc
+
+#endif // WARPC_CLUSTER_FAULTPLAN_H

@@ -17,6 +17,8 @@
 #ifndef WARPC_CLUSTER_HOSTSYSTEM_H
 #define WARPC_CLUSTER_HOSTSYSTEM_H
 
+#include "cluster/FaultPlan.h"
+
 #include <cstdint>
 
 namespace warpc {
@@ -71,6 +73,11 @@ struct HostConfig {
   /// measurements are within 10% of the average", Section 4.2).
   double JitterPct = 0.0;
   uint64_t JitterSeed = 1;
+
+  /// Failure schedule for the run (empty = no faults injected). The
+  /// paper's master runs on the user's own workstation, which we assume
+  /// reliable: the runners ignore crash/slowdown entries for host 0.
+  FaultPlan Faults;
 
   /// The standard configuration used by all benches.
   static HostConfig sunNetwork1989() { return HostConfig(); }

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -36,12 +37,18 @@ class Simulation {
 public:
   using Callback = std::function<void()>;
 
+  /// Handle for an event scheduled with atCancellable(): setting the
+  /// pointee to true before the event fires drops it without running it
+  /// and, crucially, without advancing the clock — a cancelled watchdog
+  /// timeout must not stretch the measured run.
+  using CancelToken = std::shared_ptr<bool>;
+
   SimTime now() const { return Now; }
 
   /// Schedules \p Fn at absolute time \p At (>= now).
   void at(SimTime At, Callback Fn) {
     assert(At >= Now - 1e-9 && "scheduling into the past");
-    Queue.push(Event{At, NextSeq++, std::move(Fn)});
+    Queue.push(Event{At, NextSeq++, std::move(Fn), nullptr});
   }
 
   /// Schedules \p Fn \p Delay seconds from now.
@@ -50,11 +57,23 @@ public:
     at(Now + Delay, std::move(Fn));
   }
 
+  /// Schedules \p Fn at \p At like at(), returning a cancellation token.
+  CancelToken atCancellable(SimTime At, Callback Fn) {
+    assert(At >= Now - 1e-9 && "scheduling into the past");
+    auto Token = std::make_shared<bool>(false);
+    Queue.push(Event{At, NextSeq++, std::move(Fn), Token});
+    return Token;
+  }
+
   /// Runs events until the queue drains; returns the final time.
+  /// Cancelled events are discarded without running and without moving
+  /// the clock, so the final time is the time of the last live event.
   SimTime run() {
     while (!Queue.empty()) {
       Event E = Queue.top();
       Queue.pop();
+      if (E.Cancelled && *E.Cancelled)
+        continue;
       Now = E.At;
       E.Fn();
     }
@@ -66,6 +85,7 @@ private:
     SimTime At;
     uint64_t Seq;
     Callback Fn;
+    CancelToken Cancelled;
     bool operator>(const Event &O) const {
       if (At != O.At)
         return At > O.At;

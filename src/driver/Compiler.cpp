@@ -121,6 +121,22 @@ FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
   return Result;
 }
 
+bool driver::validateFunctionResult(const w2::SectionDecl &Section,
+                                    const w2::FunctionDecl &F,
+                                    const FunctionResult &R) {
+  // The result must name the task it was produced for.
+  if (R.SectionName != Section.getName() || R.FunctionName != F.getName())
+    return false;
+  if (R.Program.FunctionName != F.getName())
+    return false;
+  // Every assembled cell program carries at least the 12-byte image
+  // header and one instruction word; an empty image is a truncated
+  // result file.
+  if (R.Program.CodeWords == 0 || R.Program.Image.size() < 12)
+    return false;
+  return true;
+}
+
 WorkMetrics ModuleResult::totalMetrics() const {
   WorkMetrics Total = Phase1;
   for (const FunctionResult &F : Functions)

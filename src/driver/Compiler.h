@@ -70,6 +70,15 @@ FunctionResult compileFunction(const w2::SectionDecl &Section,
                                const w2::FunctionDecl &F,
                                const codegen::MachineModel &MM);
 
+/// Sanity-checks a function master's result against the task it was
+/// asked to compile: the master's defense against a corrupted (poisoned)
+/// result file from a dying worker or host (paper Section 5.2). Returns
+/// true when the result plausibly belongs to \p F; a failing result must
+/// be discarded and the function recompiled.
+bool validateFunctionResult(const w2::SectionDecl &Section,
+                            const w2::FunctionDecl &F,
+                            const FunctionResult &R);
+
 /// Result of compiling a whole module.
 struct ModuleResult {
   bool Succeeded = false;

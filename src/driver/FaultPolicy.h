@@ -1,0 +1,60 @@
+//===- FaultPolicy.h - Fault-tolerance policy knobs -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The master-side fault-tolerance policy shared by both parallel
+/// execution engines (the cluster simulator and the thread runner).
+/// Section 5.2 of the paper reports that ad-hoc failure handling made
+/// "the application code ... unwieldy"; this policy centralizes it:
+/// per-function timeouts derived from the cost-model estimate, bounded
+/// retries with backoff and reassignment to a live host, and speculative
+/// re-execution of stragglers. When every distributed
+/// attempt is exhausted, the master recompiles the function in its own
+/// process, so a compilation always completes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_DRIVER_FAULTPOLICY_H
+#define WARPC_DRIVER_FAULTPOLICY_H
+
+namespace warpc {
+namespace driver {
+
+/// Timeout / retry / reassignment policy for the parallel engines.
+struct FaultPolicy {
+  /// A function master is declared lost when its attempt exceeds this
+  /// multiple of the cost-model estimate (startup + compile incl. GC +
+  /// result transfer). Large enough that resource contention in a
+  /// healthy run never trips it; a host slowed beyond this factor is
+  /// treated as failed and its work reassigned.
+  double TimeoutFactor = 3.0;
+
+  /// Each retry lengthens the timeout by this factor, so a congested
+  /// network does not cause retry storms.
+  double BackoffFactor = 1.5;
+
+  /// Floor on any timeout, in simulated seconds: process startup alone
+  /// costs tens of seconds on the 1989 host, so shorter timeouts would
+  /// misfire on tiny functions.
+  double MinTimeoutSec = 30.0;
+
+  /// Distributed attempts per function (including the first) before the
+  /// master stops trusting the network and recompiles the function in
+  /// its own process.
+  unsigned MaxAttempts = 3;
+
+  /// When a function master runs past a soft deadline — half the
+  /// watchdog timeout, i.e. TimeoutFactor/2 times the estimate — launch
+  /// a speculative duplicate on another live host and accept whichever
+  /// result arrives first. The original attempt is not declared dead;
+  /// the hard watchdog still backs it up. One speculation per function.
+  bool SpeculateStragglers = true;
+};
+
+} // namespace driver
+} // namespace warpc
+
+#endif // WARPC_DRIVER_FAULTPOLICY_H

@@ -83,3 +83,25 @@ Assignment parallel::scheduleBalanced(const CompilationJob &Job,
   Result.ProcessorsUsed = static_cast<unsigned>(Used.size());
   return Result;
 }
+
+unsigned parallel::chooseReassignment(const std::vector<double> &HostLoadSec,
+                                      const std::vector<char> &HostAlive,
+                                      unsigned PreviousHost) {
+  assert(HostLoadSec.size() == HostAlive.size() &&
+         "load and liveness tables disagree");
+  bool Found = false;
+  unsigned Best = 0;
+  for (unsigned W = 0; W != HostAlive.size(); ++W) {
+    if (!HostAlive[W] || W == PreviousHost)
+      continue;
+    if (!Found || HostLoadSec[W] < HostLoadSec[Best]) {
+      Best = W;
+      Found = true;
+    }
+  }
+  if (Found)
+    return Best;
+  if (PreviousHost < HostAlive.size() && HostAlive[PreviousHost])
+    return PreviousHost;
+  return 0;
+}

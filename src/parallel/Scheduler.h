@@ -50,6 +50,16 @@ Assignment scheduleFCFS(const CompilationJob &Job, unsigned NumProcessors);
 Assignment scheduleBalanced(const CompilationJob &Job,
                             unsigned NumProcessors);
 
+/// Picks the workstation for a retried (or speculated) function master:
+/// the least-loaded live host other than \p PreviousHost, where
+/// \p HostLoadSec is the estimated work currently assigned to each host
+/// and \p HostAlive marks hosts accepting work. Falls back to
+/// \p PreviousHost when it is the only live host, and to host 0 (the
+/// master's own workstation, assumed reliable) when nothing is alive.
+unsigned chooseReassignment(const std::vector<double> &HostLoadSec,
+                            const std::vector<char> &HostAlive,
+                            unsigned PreviousHost);
+
 } // namespace parallel
 } // namespace warpc
 

@@ -52,6 +52,9 @@ struct SimContext {
   PRNG Jitter;
   const HostConfig &Host;
   const CostModel &Model;
+  /// Active fault plan, or null: degraded (slow) hosts stretch their CPU
+  /// service times by the plan's slowdown factor.
+  const FaultPlan *Faults = nullptr;
 
   double NetWaitSec = 0;
   double PageWaitSec = 0;
@@ -94,10 +97,14 @@ struct SimContext {
         });
   }
 
-  /// CPU burst on workstation \p W.
+  /// CPU burst on workstation \p W. A degraded host (FaultPlan slowdown
+  /// factor > 1) stretches its bursts; host 0 — the master's own
+  /// workstation — is never degraded.
   void cpu(unsigned W, double Seconds, std::function<void()> Done) {
     assert(W < Ws.size() && "workstation out of range");
-    Ws[W]->request(jittered(Seconds),
+    double Stretch =
+        (Faults && W != 0) ? std::max(1.0, Faults->slowdown(W)) : 1.0;
+    Ws[W]->request(jittered(Seconds) * Stretch,
                    [Done = std::move(Done)](double) { Done(); });
   }
 
@@ -236,14 +243,54 @@ SeqStats parallel::simulateSequential(const CompilationJob &Job,
 // Parallel simulation
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// One function's distribution state during a fault-tolerant run.
+struct TaskRec {
+  const FunctionTask *Task = nullptr;
+  unsigned Section = 0;
+  unsigned HomeWs = 0; ///< Workstation the scheduler originally chose.
+  unsigned LastWs = 0; ///< Workstation of the most recent attempt.
+  unsigned Attempts = 0;
+  bool Done = false;            ///< A result has been accepted.
+  bool Reassigned = false;      ///< Counted into FunctionsReassigned.
+  bool SpecScheduled = false;   ///< A straggler check has been armed.
+  bool FallbackStarted = false; ///< Master-local recompile in flight.
+  double EstimateSec = 0;       ///< Master's cost-model elapsed estimate.
+  double NextTimeoutSec = 0;    ///< Current watchdog interval (backs off).
+  double LastAttemptStart = 0;
+  Simulation::CancelToken Timeout;
+  Simulation::CancelToken SpecCheck;
+  JoinCounter *Join = nullptr;
+};
+
+/// Recursive fault-handling actions. Held by shared_ptr in SimContext::Keep
+/// so the mutually-recursive std::functions outlive every scheduled event;
+/// the cycles are broken explicitly after the event loop drains.
+struct FaultEngine {
+  std::function<void(size_t, unsigned, bool)> Launch;
+  std::function<void(size_t)> ArmTimeout;
+  std::function<void(size_t)> ArmSpec;
+  std::function<void(size_t)> Recover;
+  std::function<void(size_t)> MasterFallback;
+};
+
+} // namespace
+
 ParStats parallel::simulateParallel(const CompilationJob &Job,
                                     const Assignment &Assign,
                                     const HostConfig &Host,
                                     const CostModel &Model,
-                                    std::vector<TraceEvent> *Trace) {
+                                    std::vector<TraceEvent> *Trace,
+                                    const driver::FaultPolicy &Policy) {
   assert(Assign.WsOf.size() == Job.Sections.size() &&
          "assignment does not match the job");
   SimContext Ctx(Host, Model);
+  const FaultPlan &Plan = Host.Faults;
+  const bool FaultsActive = !Plan.empty();
+  if (FaultsActive)
+    Ctx.Faults = &Plan;
+  PRNG LossPRNG(Plan.Seed);
   ParStats Stats;
   Stats.ProcessorsUsed = Assign.ProcessorsUsed;
   auto Record = [&](const std::string &What) {
@@ -260,8 +307,88 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // Join counters stay alive for the whole run.
   std::vector<std::unique_ptr<JoinCounter>> Joins;
 
+  // --- Task table. Built completely before the event loop starts, so the
+  // vector never reallocates while events hold indices into it.
+  auto Tasks = std::make_shared<std::vector<TaskRec>>();
+  Ctx.Keep.push_back(Tasks);
+  std::vector<std::vector<size_t>> SectionTaskIds(NumSections);
+
+  auto MakeStep = [&](const FunctionTask &T) {
+    LispStep Step;
+    Step.WorkSec = Model.compileSec(T.Metrics);
+    Step.AllocKB = static_cast<double>(T.Metrics.allocationKB());
+    Step.LiveKB =
+        FnMasterParseInfoKB + static_cast<double>(T.Metrics.workingSetKB());
+    return Step;
+  };
+
+  // The master's elapsed estimate for one function master, used to derive
+  // its watchdog timeout: quiet-network startup plus a backlog term (the
+  // fan-out pushes every core-image download through one file server),
+  // compute including GC, result write-back, and the completion message.
+  const unsigned TotalFns = Job.numFunctions();
+  auto EstimateFor = [&](const FunctionTask &T) {
+    StepCost Cost = Model.evaluate(MakeStep(T), Host);
+    double ServerLegSec =
+        Host.CoreDownloadKB / Host.ServerKBps + Host.ServerRequestSec;
+    double StartupSec =
+        ServerLegSec + Host.CoreDownloadKB / Host.EthernetKBps +
+        Host.LispInitSec;
+    double BacklogSec = (TotalFns > 0 ? TotalFns - 1 : 0) * ServerLegSec;
+    double OutputSec = (T.OutputKB + Cost.PageTrafficKB) *
+                           (1.0 / Host.ServerKBps + 1.0 / Host.EthernetKBps) +
+                       Host.ServerRequestSec;
+    return StartupSec + BacklogSec + Cost.computeSec() + OutputSec +
+           Host.MessageSec;
+  };
+
+  for (unsigned S = 0; S != NumSections; ++S) {
+    for (unsigned F = 0; F != Job.Sections[S].size(); ++F) {
+      TaskRec TR;
+      TR.Task = &Job.Sections[S][F];
+      TR.Section = S;
+      TR.HomeWs = Assign.WsOf[S][F];
+      TR.LastWs = TR.HomeWs;
+      TR.EstimateSec = EstimateFor(*TR.Task);
+      SectionTaskIds[S].push_back(Tasks->size());
+      Tasks->push_back(TR);
+    }
+  }
+
+  // Estimated work currently placed on each host; reassignment picks the
+  // least-loaded live machine.
+  std::vector<double> WsLoad(Host.NumWorkstations, 0.0);
+
+  auto HostUp = [&](unsigned W) {
+    return W == 0 || !FaultsActive || Plan.isUp(W, Ctx.Sim.now());
+  };
+  auto LostWork = [&](unsigned W, double Since) {
+    return FaultsActive && W != 0 && Plan.losesWork(W, Since, Ctx.Sim.now());
+  };
+  // Elapsed an attempt really consumed before now — clipped at the host's
+  // crash instant so a long-unnoticed failure is not billed as retry time.
+  auto ConsumedSince = [&](unsigned W, double Since) {
+    double End = Ctx.Sim.now();
+    if (FaultsActive) {
+      const HostFault &H = Plan.host(W);
+      if (H.crashes() && H.CrashAtSec > Since && H.CrashAtSec < End)
+        End = H.CrashAtSec;
+    }
+    return std::max(0.0, End - Since);
+  };
+  auto PickHost = [&](unsigned Avoid) {
+    std::vector<char> Alive(Host.NumWorkstations, 0);
+    for (unsigned W = 0; W != Host.NumWorkstations; ++W)
+      Alive[W] = HostUp(W) ? 1 : 0;
+    return chooseReassignment(WsLoad, Alive, Avoid);
+  };
+
   // --- Phase 4: runs in the master's Lisp process once all sections have
-  // combined their results.
+  // combined their results. The compilation is over when the final image
+  // transfer lands; abandoned attempts (redundant speculation losers, work
+  // on crashed hosts) may still be draining from the event queue after
+  // that, and must not count toward the elapsed time.
+  double FinishedAtSec = -1.0;
   auto RunAssembly = [&] {
     Record("master: all sections complete; assembly begins");
     Ctx.transfer(TotalOutputKB, [&](double) {
@@ -275,7 +402,7 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
         Record("master: download module linked");
         double ImageKB =
             static_cast<double>(Job.Phase4.ImageBytes) / 1024.0 + 1.0;
-        Ctx.transfer(ImageKB, [](double) {});
+        Ctx.transfer(ImageKB, [&](double) { FinishedAtSec = Ctx.Sim.now(); });
       });
     });
   };
@@ -283,41 +410,268 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   auto SectionsJoin =
       std::make_unique<JoinCounter>(NumSections, [&] { RunAssembly(); });
 
-  // --- One function master: startup, compile, write the result file,
-  // report to the section master.
-  auto RunFunctionMaster = [&](const FunctionTask *Task, unsigned W,
-                               JoinCounter *FnJoin) {
-    Record("fork function master for '" + Task->FunctionName + "' -> ws" +
-           std::to_string(W));
-    Ctx.startLisp(W, [&, Task, W, FnJoin](double StartupSec) {
-      Stats.StartupSec += StartupSec;
-      Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
-             "' compiling (startup took " +
-             std::to_string(static_cast<int>(StartupSec)) + "s)");
-      LispStep Step;
-      Step.WorkSec = Model.compileSec(Task->Metrics);
-      Step.AllocKB = static_cast<double>(Task->Metrics.allocationKB());
-      Step.LiveKB = FnMasterParseInfoKB +
-                    static_cast<double>(Task->Metrics.workingSetKB());
-      Ctx.lispStep(W, Step, [&, Task, FnJoin, W](StepCost Cost) {
-        Stats.FnCpuSec += Cost.computeSec();
-        Stats.FnGCSec += Cost.GCSec;
+  // --- The fault engine: launching (and re-launching) function masters,
+  // watchdog timeouts, reassignment, straggler speculation, and the
+  // master-local fallback recompile. With an empty fault plan only Launch
+  // ever runs, and its event schedule is exactly the legacy one.
+  auto Eng = std::make_shared<FaultEngine>();
+  Ctx.Keep.push_back(Eng);
+
+  // One attempt of one function master: startup, compile, write the
+  // result file, report to the section master. Milestone checks discard
+  // the attempt if its host crashed since the attempt began or if a
+  // competing attempt already delivered; a discarded attempt is *not*
+  // retried here — the master's watchdog timeout drives recovery.
+  Eng->Launch = [&, Eng](size_t Id, unsigned W, bool Speculative) {
+    {
+      TaskRec &TR = (*Tasks)[Id];
+      ++TR.Attempts;
+      TR.LastWs = W;
+      WsLoad[W] += TR.EstimateSec;
+    }
+    const bool Extra = (*Tasks)[Id].Attempts > 1;
+    // The fork of each function master runs on the section master's
+    // machine (the user's workstation).
+    Ctx.cpu(0, Host.ForkSec, [&, Eng, Id, W, Speculative, Extra] {
+      Stats.SectionCpuSec += Host.ForkSec;
+      TaskRec &TR = (*Tasks)[Id];
+      const FunctionTask *Task = TR.Task;
+      if (TR.Done) {
+        WsLoad[W] -= TR.EstimateSec;
+        return;
+      }
+      if (FaultsActive && !HostUp(W)) {
+        // The fork's first message goes unanswered: the master notices
+        // right away and re-places the function without burning a timeout.
+        Record("master: ws" + std::to_string(W) + " is down; cannot place '" +
+               Task->FunctionName + "'");
+        WsLoad[W] -= TR.EstimateSec;
+        Eng->Recover(Id);
+        return;
+      }
+      Record("fork function master for '" + Task->FunctionName + "' -> ws" +
+             std::to_string(W) +
+             (Speculative ? " (speculative)" : (Extra ? " (retry)" : "")));
+      const double AttemptStart = Ctx.Sim.now();
+      TR.LastAttemptStart = AttemptStart;
+      if (!Speculative)
+        Eng->ArmSpec(Id);
+      Ctx.startLisp(W, [&, Eng, Id, W, Task, Speculative, Extra,
+                        AttemptStart](double StartupSec) {
+        TaskRec &TR = (*Tasks)[Id];
+        if (LostWork(W, AttemptStart)) {
+          Record("ws" + std::to_string(W) + ": crashed; '" +
+                 Task->FunctionName + "' startup lost");
+          Stats.RetriesSec += ConsumedSince(W, AttemptStart);
+          WsLoad[W] -= TR.EstimateSec;
+          return;
+        }
+        if (TR.Done) {
+          Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+          WsLoad[W] -= TR.EstimateSec;
+          return;
+        }
+        Stats.StartupSec += StartupSec;
         Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
-               "' done (cpu+gc " +
-               std::to_string(static_cast<int>(Cost.computeSec())) + "s)");
-        Ctx.transfer(Task->OutputKB, [&, FnJoin](double) {
-          Ctx.Sim.after(Host.MessageSec, [FnJoin] { FnJoin->arrive(); });
+               "' compiling (startup took " +
+               std::to_string(static_cast<int>(StartupSec)) + "s)");
+        LispStep Step = MakeStep(*Task);
+        Ctx.lispStep(W, Step, [&, Eng, Id, W, Task, Speculative, Extra,
+                               AttemptStart](StepCost Cost) {
+          TaskRec &TR = (*Tasks)[Id];
+          if (LostWork(W, AttemptStart)) {
+            Record("ws" + std::to_string(W) + ": crashed; '" +
+                   Task->FunctionName + "' compile lost");
+            Stats.RetriesSec += ConsumedSince(W, AttemptStart);
+            WsLoad[W] -= TR.EstimateSec;
+            return;
+          }
+          if (TR.Done) {
+            Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+            WsLoad[W] -= TR.EstimateSec;
+            return;
+          }
+          Stats.FnCpuSec += Cost.computeSec();
+          Stats.FnGCSec += Cost.GCSec;
+          Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
+                 "' done (cpu+gc " +
+                 std::to_string(static_cast<int>(Cost.computeSec())) + "s)");
+          Ctx.transfer(Task->OutputKB, [&, Eng, Id, W, Task, Speculative,
+                                        Extra, AttemptStart](double) {
+            TaskRec &TR = (*Tasks)[Id];
+            if (LostWork(W, AttemptStart)) {
+              Record("ws" + std::to_string(W) + ": crashed; '" +
+                     Task->FunctionName + "' result file lost");
+              Stats.RetriesSec += ConsumedSince(W, AttemptStart);
+              WsLoad[W] -= TR.EstimateSec;
+              return;
+            }
+            if (TR.Done) {
+              Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+              WsLoad[W] -= TR.EstimateSec;
+              return;
+            }
+            // The result file is durable on the server now; only the
+            // completion message itself can still be lost.
+            if (FaultsActive && W != 0 && Plan.MessageLossProb > 0 &&
+                LossPRNG.uniform() < Plan.MessageLossProb) {
+              Record("ws" + std::to_string(W) + ": completion message for '" +
+                     Task->FunctionName + "' lost");
+              Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+              WsLoad[W] -= TR.EstimateSec;
+              return;
+            }
+            Ctx.Sim.after(Host.MessageSec, [&, Eng, Id, W, Speculative, Extra,
+                                            AttemptStart] {
+              TaskRec &TR = (*Tasks)[Id];
+              WsLoad[W] -= TR.EstimateSec;
+              if (TR.Done) {
+                Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+                return;
+              }
+              TR.Done = true;
+              if (TR.Timeout) {
+                *TR.Timeout = true;
+                TR.Timeout = nullptr;
+              }
+              if (TR.SpecCheck) {
+                *TR.SpecCheck = true;
+                TR.SpecCheck = nullptr;
+              }
+              ++Stats.FunctionsCompleted;
+              if (Speculative)
+                ++Stats.SpeculativeWins;
+              if (Extra)
+                Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+              TR.Join->arrive();
+            });
+          });
         });
       });
     });
   };
 
+  Eng->ArmTimeout = [&, Eng](size_t Id) {
+    if (!FaultsActive)
+      return;
+    TaskRec &TR = (*Tasks)[Id];
+    if (TR.Timeout)
+      *TR.Timeout = true;
+    TR.Timeout = Ctx.Sim.atCancellable(
+        Ctx.Sim.now() + TR.NextTimeoutSec, [&, Eng, Id] {
+          TaskRec &TR = (*Tasks)[Id];
+          if (TR.Done || TR.FallbackStarted)
+            return;
+          ++Stats.TimeoutsFired;
+          Record("master: timeout waiting for '" + TR.Task->FunctionName +
+                 "' on ws" + std::to_string(TR.LastWs));
+          Eng->Recover(Id);
+        });
+  };
+
+  Eng->Recover = [&, Eng](size_t Id) {
+    TaskRec &TR = (*Tasks)[Id];
+    if (TR.Done || TR.FallbackStarted)
+      return;
+    if (TR.Attempts >= Policy.MaxAttempts) {
+      Eng->MasterFallback(Id);
+      return;
+    }
+    unsigned W = PickHost(TR.LastWs);
+    if (W != TR.HomeWs && !TR.Reassigned) {
+      TR.Reassigned = true;
+      ++Stats.FunctionsReassigned;
+    }
+    TR.NextTimeoutSec *= Policy.BackoffFactor;
+    Record("master: reassigning '" + TR.Task->FunctionName + "' to ws" +
+           std::to_string(W) + " (attempt " + std::to_string(TR.Attempts + 1) +
+           ")");
+    Eng->ArmTimeout(Id);
+    Eng->Launch(Id, W, false);
+  };
+
+  // Last resort after the attempt cap: the master recompiles the function
+  // in its own Lisp process, which already holds the module's parse data.
+  // Host 0 is reliable, so this always completes.
+  Eng->MasterFallback = [&, Eng](size_t Id) {
+    TaskRec &TR = (*Tasks)[Id];
+    if (TR.Done || TR.FallbackStarted)
+      return;
+    TR.FallbackStarted = true;
+    if (TR.Timeout) {
+      *TR.Timeout = true;
+      TR.Timeout = nullptr;
+    }
+    ++Stats.MasterRecompiles;
+    Record("master: retries exhausted for '" + TR.Task->FunctionName +
+           "'; recompiling in the master's own process");
+    const double Start = Ctx.Sim.now();
+    LispStep Step = MakeStep(*TR.Task);
+    Step.LiveKB += Job.parseResidentKB();
+    Ctx.lispStep(0, Step, [&, Eng, Id, Start](StepCost Cost) {
+      TaskRec &TR = (*Tasks)[Id];
+      Stats.FnCpuSec += Cost.computeSec();
+      Stats.FnGCSec += Cost.GCSec;
+      if (TR.Done) {
+        Stats.RetriesSec += Ctx.Sim.now() - Start;
+        return;
+      }
+      Ctx.transfer(TR.Task->OutputKB, [&, Eng, Id, Start](double) {
+        TaskRec &TR = (*Tasks)[Id];
+        Stats.RetriesSec += Ctx.Sim.now() - Start;
+        if (TR.Done)
+          return;
+        TR.Done = true;
+        if (TR.SpecCheck) {
+          *TR.SpecCheck = true;
+          TR.SpecCheck = nullptr;
+        }
+        ++Stats.FunctionsCompleted;
+        Record("master: '" + TR.Task->FunctionName +
+               "' recompiled locally; section " + std::to_string(TR.Section) +
+               " notified");
+        TR.Join->arrive();
+      });
+    });
+  };
+
+  // Straggler speculation: a soft deadline at half the watchdog interval.
+  // A function master that runs well past the master's estimate — slow
+  // host, silently crashed host, lost completion message — is duplicated
+  // on another live machine and whichever copy reports first wins. The
+  // original is not declared dead; the hard watchdog still backs it up.
+  // One speculation per function, and only if no recovery has superseded
+  // the attempt it was armed for.
+  Eng->ArmSpec = [&, Eng](size_t Id) {
+    if (!FaultsActive || !Policy.SpeculateStragglers)
+      return;
+    TaskRec &TR = (*Tasks)[Id];
+    if (TR.SpecScheduled)
+      return;
+    TR.SpecScheduled = true;
+    const unsigned ArmedAttempts = TR.Attempts;
+    double SlackSec = std::max(Policy.MinTimeoutSec,
+                               0.5 * Policy.TimeoutFactor * TR.EstimateSec);
+    TR.SpecCheck = Ctx.Sim.atCancellable(
+        Ctx.Sim.now() + SlackSec, [&, Eng, Id, ArmedAttempts] {
+          TaskRec &TR = (*Tasks)[Id];
+          if (TR.Done || TR.FallbackStarted || TR.Attempts != ArmedAttempts)
+            return;
+          if (TR.Attempts >= Policy.MaxAttempts)
+            return; // the watchdog path handles exhaustion
+          unsigned W = PickHost(TR.LastWs);
+          Record("master: speculating straggler '" + TR.Task->FunctionName +
+                 "' on ws" + std::to_string(W));
+          Eng->Launch(Id, W, true);
+        });
+  };
+
   // --- Section masters.
-  auto StartSection = [&, RunFunctionMaster](unsigned S) {
-    const auto &Tasks = Job.Sections[S];
-    const unsigned NumFns = static_cast<unsigned>(Tasks.size());
+  auto StartSection = [&, Eng](unsigned S) {
+    const auto &SectionTasks = Job.Sections[S];
+    const unsigned NumFns = static_cast<unsigned>(SectionTasks.size());
     double SectionOutKB = 0;
-    for (const FunctionTask &T : Tasks)
+    for (const FunctionTask &T : SectionTasks)
       SectionOutKB += T.OutputKB;
 
     // When every function is done, the section master gathers the result
@@ -340,21 +694,21 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     };
     Joins.push_back(std::make_unique<JoinCounter>(NumFns, Combine));
     JoinCounter *FnJoin = Joins.back().get();
+    for (size_t Id : SectionTaskIds[S])
+      (*Tasks)[Id].Join = FnJoin;
 
-    // Interpret the master's directives, then fork the function masters.
+    // Interpret the master's directives, then fork the function masters,
+    // arming a watchdog per function when a fault plan is active. The
+    // timeout is derived from the master's own cost estimate.
     double DirectiveSec = Model.cMasterSec(DirectiveWorkPerFn * NumFns);
-    Ctx.cpu(0, DirectiveSec, [&, S, DirectiveSec, FnJoin, RunFunctionMaster] {
+    Ctx.cpu(0, DirectiveSec, [&, Eng, S, DirectiveSec] {
       Stats.SectionCpuSec += DirectiveSec;
-      const auto &SectionTasks = Job.Sections[S];
-      for (unsigned F = 0; F != SectionTasks.size(); ++F) {
-        const FunctionTask *Task = &SectionTasks[F];
-        unsigned W = Assign.WsOf[S][F];
-        // The fork of each function master runs on the section master's
-        // machine (the user's workstation).
-        Ctx.cpu(0, Host.ForkSec, [&, Task, W, FnJoin, RunFunctionMaster] {
-          Stats.SectionCpuSec += Host.ForkSec;
-          RunFunctionMaster(Task, W, FnJoin);
-        });
+      for (size_t Id : SectionTaskIds[S]) {
+        TaskRec &TR = (*Tasks)[Id];
+        TR.NextTimeoutSec = std::max(Policy.MinTimeoutSec,
+                                     Policy.TimeoutFactor * TR.EstimateSec);
+        Eng->ArmTimeout(Id);
+        Eng->Launch(Id, TR.HomeWs, false);
       }
     });
   };
@@ -389,18 +743,26 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     });
   });
 
-  Stats.ElapsedSec = Ctx.Sim.run();
+  double DrainedAtSec = Ctx.Sim.run();
+  Stats.ElapsedSec = FinishedAtSec >= 0 ? FinishedAtSec : DrainedAtSec;
   Stats.NetWaitSec = Ctx.NetWaitSec;
   Stats.PageWaitSec = Ctx.PageWaitSec;
+  // Break the shared_ptr cycles among the engine's recursive closures.
+  Eng->Launch = nullptr;
+  Eng->ArmTimeout = nullptr;
+  Eng->ArmSpec = nullptr;
+  Eng->Recover = nullptr;
+  Eng->MasterFallback = nullptr;
   return Stats;
 }
 
 OverheadBreakdown parallel::computeOverheads(const SeqStats &Seq,
                                              const ParStats &Par,
                                              unsigned NumFunctions) {
-  assert(NumFunctions > 0 && "overheads need at least one function");
   OverheadBreakdown B;
   B.ParElapsedSec = Par.ElapsedSec;
+  if (NumFunctions == 0)
+    return B; // no ideal speedup to compare against
   B.TotalSec = Par.ElapsedSec - Seq.ElapsedSec / NumFunctions;
   B.ImplSec = Par.implOverheadSec();
   B.SysSec = B.TotalSec - B.ImplSec;

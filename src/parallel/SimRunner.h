@@ -33,6 +33,7 @@
 #define WARPC_PARALLEL_SIMRUNNER_H
 
 #include "cluster/HostSystem.h"
+#include "driver/FaultPolicy.h"
 #include "parallel/CostModel.h"
 #include "parallel/Job.h"
 #include "parallel/Scheduler.h"
@@ -72,6 +73,17 @@ struct ParStats {
 
   unsigned ProcessorsUsed = 0;
 
+  // Fault tolerance (all zero in a fault-free run). RetriesSec is the
+  // approximate elapsed time consumed by redundant work: attempts beyond
+  // a function's first, plus first attempts whose result was lost to a
+  // crash or a dropped message.
+  double RetriesSec = 0;
+  unsigned FunctionsReassigned = 0; ///< Functions retried on another host.
+  unsigned SpeculativeWins = 0;     ///< Straggler duplicates that won.
+  unsigned TimeoutsFired = 0;       ///< Master-side timeout expirations.
+  unsigned MasterRecompiles = 0;    ///< Attempt-cap fallbacks on the master.
+  unsigned FunctionsCompleted = 0;  ///< Functions with an accepted result.
+
   /// The paper reports parallel CPU time per processor.
   double perProcessorCpuSec() const {
     return ProcessorsUsed ? FnCpuSec / ProcessorsUsed : 0;
@@ -108,15 +120,28 @@ struct TraceEvent {
 
 /// Simulates the parallel compiler under \p Assign. When \p Trace is
 /// non-null, the run's milestones (parse, scheduling, every function
-/// master's start and finish, section combination, assembly) are
-/// appended in time order.
+/// master's start and finish, section combination, assembly, and all
+/// fault-handling decisions) are appended in time order.
+///
+/// Failures come from Host.Faults (crashes, reboots, slow hosts, lost
+/// messages); \p Policy governs the master's reaction: per-function
+/// timeouts derived from the cost-model estimate, bounded retries with
+/// backoff and reassignment to a live host, speculative re-execution of
+/// any function running past its soft deadline, and as a last resort a
+/// local recompile by the master — so the run always completes. With an
+/// empty fault plan the schedule of events is bit-identical to a run
+/// without fault machinery. Host 0 (the master's workstation) is assumed
+/// reliable; fault entries for it are ignored.
 ParStats simulateParallel(const CompilationJob &Job, const Assignment &Assign,
                           const cluster::HostConfig &Host,
                           const CostModel &Model,
-                          std::vector<TraceEvent> *Trace = nullptr);
+                          std::vector<TraceEvent> *Trace = nullptr,
+                          const driver::FaultPolicy &Policy =
+                              driver::FaultPolicy());
 
 /// Computes the Section 4.2.3 decomposition; \p NumFunctions is k, the
-/// ideal speedup with one function per processor.
+/// ideal speedup with one function per processor. With k == 0 there is
+/// no ideal to compare against and every overhead is reported as zero.
 OverheadBreakdown computeOverheads(const SeqStats &Seq, const ParStats &Par,
                                    unsigned NumFunctions);
 

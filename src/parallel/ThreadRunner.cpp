@@ -16,10 +16,42 @@
 using namespace warpc;
 using namespace warpc::parallel;
 
+namespace {
+
+/// splitmix64 finalizer over a (seed, function, attempt, salt) tuple:
+/// a stateless uniform draw in [0, 1).
+double hashDraw(uint64_t Seed, uint64_t Fn, uint64_t Attempt, uint64_t Salt) {
+  uint64_t X = Seed + 0x9E3779B97F4A7C15ULL * (Fn + 1) +
+               0xBF58476D1CE4E5B9ULL * (Attempt + 1) +
+               0x94D049BB133111EBULL * (Salt + 1);
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ULL;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBULL;
+  X ^= X >> 31;
+  return static_cast<double>(X >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace
+
+FaultInjection parallel::makeSeededInjection(uint64_t Seed, double VanishProb,
+                                             double PoisonProb) {
+  FaultInjection Inj;
+  Inj.Vanish = [Seed, VanishProb](size_t Fn, unsigned Attempt) {
+    return hashDraw(Seed, Fn, Attempt, 1) < VanishProb;
+  };
+  Inj.Poison = [Seed, PoisonProb](size_t Fn, unsigned Attempt) {
+    return hashDraw(Seed, Fn, Attempt, 2) < PoisonProb;
+  };
+  return Inj;
+}
+
 ThreadRunResult parallel::compileModuleParallel(
     const std::string &Source, const codegen::MachineModel &MM,
-    unsigned NumWorkers, const FailureInjector *InjectFailure) {
+    unsigned NumWorkers, const driver::FaultPolicy &Policy,
+    const FaultInjection *Inject) {
   assert(NumWorkers > 0 && "need at least one worker");
+  assert(Policy.MaxAttempts > 0 && "need at least one attempt");
   ThreadRunResult Result;
   Timer Total;
 
@@ -47,46 +79,89 @@ ThreadRunResult parallel::compileModuleParallel(
       Tasks.push_back(Task{Section, Section->getFunction(F)});
   }
 
-  // Phases 2+3: a pool of function-master threads drains the task list
+  // Phases 2+3: a pool of function-master threads drains the pending list
   // first-come-first-served, one function per claim (the paper's
-  // scheduling strategy). Results land in declaration order.
+  // scheduling strategy). Results land in declaration order. Failed
+  // attempts — vanished masters and results that fail validation — are
+  // retried in later rounds by whichever worker claims them, up to the
+  // attempt cap; the master then recompiles the leftovers itself, so the
+  // run always completes.
   PhaseTimer.restart();
   std::vector<driver::FunctionResult> FnResults(Tasks.size());
-  std::atomic<size_t> NextTask{0};
   unsigned Workers =
       static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
   Result.WorkersUsed = Workers;
 
   std::vector<char> Produced(Tasks.size(), 0);
-  auto Worker = [&] {
-    while (true) {
-      size_t Index = NextTask.fetch_add(1);
-      if (Index >= Tasks.size())
-        return;
-      // A "failed" master vanishes without producing its result file.
-      if (InjectFailure && (*InjectFailure)(Index))
-        continue;
-      FnResults[Index] =
-          driver::compileFunction(*Tasks[Index].Section,
-                                  *Tasks[Index].Function, MM);
-      Produced[Index] = 1;
+  std::atomic<unsigned> Poisoned{0};
+  std::vector<size_t> Pending(Tasks.size());
+  for (size_t Index = 0; Index != Tasks.size(); ++Index)
+    Pending[Index] = Index;
+
+  for (unsigned Attempt = 1;
+       Attempt <= Policy.MaxAttempts && !Pending.empty(); ++Attempt) {
+    if (Attempt > 1)
+      Result.RetriesAttempted += static_cast<unsigned>(Pending.size());
+
+    std::atomic<size_t> NextTask{0};
+    auto Worker = [&] {
+      while (true) {
+        size_t Slot = NextTask.fetch_add(1);
+        if (Slot >= Pending.size())
+          return;
+        size_t Index = Pending[Slot];
+        // A "failed" master vanishes without producing its result file.
+        if (Inject && Inject->Vanish && Inject->Vanish(Index, Attempt))
+          continue;
+        driver::FunctionResult R = driver::compileFunction(
+            *Tasks[Index].Section, *Tasks[Index].Function, MM);
+        if (Inject && Inject->Poison && Inject->Poison(Index, Attempt)) {
+          // A sick master writes a truncated result file.
+          R.Program.Image.clear();
+          R.Program.CodeWords = 0;
+        }
+        // The section master accepts a result file only after checking it
+        // names the right task and carries a complete image.
+        if (!driver::validateFunctionResult(*Tasks[Index].Section,
+                                            *Tasks[Index].Function, R)) {
+          Poisoned.fetch_add(1);
+          continue;
+        }
+        FnResults[Index] = std::move(R);
+        Produced[Index] = 1;
+      }
+    };
+
+    unsigned RoundWorkers =
+        static_cast<unsigned>(std::min<size_t>(Workers, Pending.size()));
+    if (RoundWorkers <= 1) {
+      Worker();
+    } else {
+      std::vector<std::thread> Pool;
+      Pool.reserve(RoundWorkers);
+      for (unsigned W = 0; W != RoundWorkers; ++W)
+        Pool.emplace_back(Worker);
+      for (std::thread &T : Pool)
+        T.join();
     }
-  };
-  if (Workers <= 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W != Workers; ++W)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
+
+    std::vector<size_t> StillPending;
+    for (size_t Index : Pending) {
+      if (Produced[Index]) {
+        if (Attempt > 1)
+          ++Result.FunctionsReassigned;
+      } else {
+        StillPending.push_back(Index);
+      }
+    }
+    Pending = std::move(StillPending);
   }
-  // Recovery: any function whose master died is recompiled here, on the
-  // master's own machine, before assembly starts.
-  for (size_t Index = 0; Index != Tasks.size(); ++Index) {
-    if (Produced[Index])
-      continue;
+  Result.PoisonedResultsDetected = Poisoned.load();
+
+  // Recovery of last resort: any function still missing after the attempt
+  // cap is recompiled here, on the master's own machine, before assembly
+  // starts. The master trusts its own results — no injection applies.
+  for (size_t Index : Pending) {
     FnResults[Index] = driver::compileFunction(*Tasks[Index].Section,
                                                *Tasks[Index].Function, MM);
     ++Result.FunctionsRecovered;
@@ -102,4 +177,21 @@ ThreadRunResult parallel::compileModuleParallel(
   Result.Module.Succeeded = !Result.Module.Diags.hasErrors();
   Result.ElapsedSec = Total.seconds();
   return Result;
+}
+
+ThreadRunResult parallel::compileModuleParallel(
+    const std::string &Source, const codegen::MachineModel &MM,
+    unsigned NumWorkers, const FailureInjector *InjectFailure) {
+  // Legacy behavior: a single worker attempt per function; every function
+  // whose master died is recompiled by the master and counted in
+  // FunctionsRecovered.
+  driver::FaultPolicy OneShot;
+  OneShot.MaxAttempts = 1;
+  if (!InjectFailure || !*InjectFailure)
+    return compileModuleParallel(Source, MM, NumWorkers, OneShot, nullptr);
+  FaultInjection Inj;
+  Inj.Vanish = [InjectFailure](size_t Fn, unsigned) {
+    return (*InjectFailure)(Fn);
+  };
+  return compileModuleParallel(Source, MM, NumWorkers, OneShot, &Inj);
 }

@@ -12,6 +12,14 @@
 /// correct and yields real wall-clock speedup; the cluster simulator is
 /// what reproduces the 1989 numbers.
 ///
+/// Fault tolerance follows the same policy as the simulator
+/// (driver::FaultPolicy): an attempt whose function master vanished or
+/// returned a result that fails validation is retried — on whichever
+/// worker claims it next, the thread-pool analogue of reassignment to
+/// another workstation — up to the attempt cap, after which the master
+/// recompiles the function itself. The final module is therefore always
+/// bit-identical to driver::compileModuleSequential.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARPC_PARALLEL_THREADRUNNER_H
@@ -19,6 +27,7 @@
 
 #include "codegen/MachineModel.h"
 #include "driver/Compiler.h"
+#include "driver/FaultPolicy.h"
 
 #include <cstdint>
 #include <functional>
@@ -40,6 +49,15 @@ struct ThreadRunResult {
   /// account for all possible failures in the child processes and their
   /// host processors" — here the recovery is built in).
   unsigned FunctionsRecovered = 0;
+  /// Worker attempts beyond each function's first (retry rounds).
+  unsigned RetriesAttempted = 0;
+  /// Functions whose first attempt failed but that a later worker
+  /// attempt completed — the pool analogue of moving a function master
+  /// to another workstation.
+  unsigned FunctionsReassigned = 0;
+  /// Results rejected by driver::validateFunctionResult (truncated or
+  /// mislabeled result files from a sick master).
+  unsigned PoisonedResultsDetected = 0;
 };
 
 /// Test hook simulating the loss of a function master (a crashed child
@@ -47,13 +65,37 @@ struct ThreadRunResult {
 /// index; returning true makes that master vanish without a result.
 using FailureInjector = std::function<bool(size_t FunctionIndex)>;
 
+/// Deterministic failure schedule for the thread engine. Both hooks are
+/// called with the flat function index and the 1-based attempt number;
+/// decisions must be pure functions of their arguments so runs are
+/// reproducible regardless of thread interleaving. Vanish makes the
+/// attempt produce nothing; Poison makes it produce a corrupt result
+/// (truncated image) that validation must catch.
+struct FaultInjection {
+  std::function<bool(size_t FunctionIndex, unsigned Attempt)> Vanish;
+  std::function<bool(size_t FunctionIndex, unsigned Attempt)> Poison;
+};
+
+/// Builds a FaultInjection whose decisions are seeded hashes of
+/// (Seed, FunctionIndex, Attempt): every attempt vanishes with
+/// \p VanishProb and is poisoned with \p PoisonProb, independently.
+FaultInjection makeSeededInjection(uint64_t Seed, double VanishProb,
+                                   double PoisonProb);
+
 /// Compiles \p Source with up to \p NumWorkers function masters running
-/// concurrently. The result is bit-identical to
-/// driver::compileModuleSequential: phase 1 and phase 4 run on the
-/// calling thread; each function is compiled by exactly one worker.
-/// \p InjectFailure, when non-null, simulates dying function masters;
-/// the master detects missing results after the join and recompiles the
-/// affected functions itself, so the compilation still succeeds.
+/// concurrently under \p Policy: failed attempts (vanished masters or
+/// poisoned results) are retried by the pool until Policy.MaxAttempts,
+/// then recompiled by the master itself. The result is bit-identical to
+/// driver::compileModuleSequential no matter the failure schedule.
+ThreadRunResult compileModuleParallel(const std::string &Source,
+                                      const codegen::MachineModel &MM,
+                                      unsigned NumWorkers,
+                                      const driver::FaultPolicy &Policy,
+                                      const FaultInjection *Inject = nullptr);
+
+/// Legacy entry point: one attempt per function (\p InjectFailure decides
+/// per flat index); the master recompiles every function whose master
+/// died, counted in FunctionsRecovered.
 ThreadRunResult compileModuleParallel(const std::string &Source,
                                       const codegen::MachineModel &MM,
                                       unsigned NumWorkers,

@@ -36,6 +36,53 @@ TEST(SimulationTest, TiesRunFIFO) {
     EXPECT_EQ(Order[I], I);
 }
 
+TEST(SimulationTest, InterleavedTiesStayFIFO) {
+  // Same-instant events keep submission order even when interleaved with
+  // other instants and scheduled from inside running events — the
+  // property the fault engine's determinism rests on.
+  Simulation Sim;
+  std::vector<int> Order;
+  Sim.at(2.0, [&] { Order.push_back(20); });
+  Sim.at(1.0, [&] {
+    Order.push_back(10);
+    Sim.at(2.0, [&] { Order.push_back(22); }); // after the first t=2 event
+  });
+  Sim.at(2.0, [&] { Order.push_back(21); });
+  Sim.at(1.0, [&] { Order.push_back(11); });
+  Sim.run();
+  ASSERT_EQ(Order.size(), 5u);
+  EXPECT_EQ(Order, (std::vector<int>{10, 11, 20, 21, 22}));
+}
+
+TEST(SimulationTest, CancelledEventsDoNotRun) {
+  Simulation Sim;
+  bool Ran = false;
+  Simulation::CancelToken Token =
+      Sim.atCancellable(5.0, [&] { Ran = true; });
+  Sim.at(1.0, [&] { *Token = true; });
+  Sim.run();
+  EXPECT_FALSE(Ran);
+}
+
+TEST(SimulationTest, CancelledEventsDoNotAdvanceTime) {
+  // A canceled watchdog must not stretch the measured elapsed time: the
+  // run ends at the last *executed* event.
+  Simulation Sim;
+  Simulation::CancelToken Token = Sim.atCancellable(100.0, [] {});
+  Sim.at(2.0, [&] { *Token = true; });
+  EXPECT_DOUBLE_EQ(Sim.run(), 2.0);
+}
+
+TEST(SimulationTest, UncancelledCancellableEventRuns) {
+  Simulation Sim;
+  double SawAt = -1;
+  Simulation::CancelToken Token =
+      Sim.atCancellable(4.0, [&] { SawAt = Sim.now(); });
+  (void)Token;
+  EXPECT_DOUBLE_EQ(Sim.run(), 4.0);
+  EXPECT_DOUBLE_EQ(SawAt, 4.0);
+}
+
 TEST(SimulationTest, AfterSchedulesRelative) {
   Simulation Sim;
   double SawAt = -1;

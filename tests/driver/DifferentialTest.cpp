@@ -1,0 +1,104 @@
+//===- DifferentialTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Differential testing of the parallel compiler against the sequential
+// one: for a large population of generated modules, the parallel engine
+// must hand the assembly phase the exact input the sequential compiler
+// would — bit-identical download images — for every worker count and
+// under every seeded failure schedule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "parallel/ThreadRunner.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::driver;
+using namespace warpc::parallel;
+
+namespace {
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+} // namespace
+
+class DifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweep, ParallelMatchesSequentialEverywhere) {
+  uint64_t Seed = GetParam();
+  // Vary shape by seed: 1-8 functions of tiny or small size.
+  workload::FunctionSize Size = Seed % 2 ? workload::FunctionSize::Small
+                                         : workload::FunctionSize::Tiny;
+  unsigned Count = 1 + Seed % 8;
+  std::string Source = workload::makeTestModule(Size, Count, Seed);
+
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded) << Seq.Diags.str();
+
+  // Clean runs across the worker grid.
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    ThreadRunResult Par = compileModuleParallel(Source, MM, Workers);
+    ASSERT_TRUE(Par.Module.Succeeded)
+        << "seed=" << Seed << " workers=" << Workers;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "seed=" << Seed << " workers=" << Workers;
+    EXPECT_EQ(Par.Module.Diags.str(), Seq.Diags.str())
+        << "seed=" << Seed << " workers=" << Workers;
+  }
+
+  // Faulted runs: attempts vanish and results arrive corrupted under a
+  // schedule derived from the module seed. Recovery must reproduce the
+  // sequential image exactly.
+  driver::FaultPolicy Policy;
+  for (uint64_t FaultSeed : {Seed, Seed + 101}) {
+    FaultInjection Inj = makeSeededInjection(FaultSeed, 0.35, 0.25);
+    ThreadRunResult Par = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+    ASSERT_TRUE(Par.Module.Succeeded)
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Diags.str(), Seq.Diags.str())
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Range<uint64_t>(200, 250));
+
+TEST(DifferentialTest, UserProgramSurvivesHostileSchedules) {
+  // One realistic module swept across many failure schedules, including
+  // rates high enough that most functions need the master fallback.
+  std::string Source = workload::makeUserProgram();
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  driver::FaultPolicy Policy;
+  for (uint64_t FaultSeed = 1; FaultSeed <= 8; ++FaultSeed) {
+    FaultInjection Inj =
+        makeSeededInjection(FaultSeed, /*VanishProb=*/0.6, /*PoisonProb=*/0.3);
+    ThreadRunResult Par = compileModuleParallel(Source, MM, 8, Policy, &Inj);
+    ASSERT_TRUE(Par.Module.Succeeded) << "fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "fault-seed=" << FaultSeed;
+  }
+}
+
+TEST(DifferentialTest, TightAttemptBudgetStillMatches) {
+  // With a single distributed attempt allowed, any failure goes straight
+  // to the master recompile path; the image must still match.
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Small, 6);
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  driver::FaultPolicy Policy;
+  Policy.MaxAttempts = 1;
+  FaultInjection Inj = makeSeededInjection(9, 0.5, 0.0);
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.RetriesAttempted, 0u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}

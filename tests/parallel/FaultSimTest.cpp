@@ -1,0 +1,278 @@
+//===- FaultSimTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Failure-matrix tests for the simulated fault-tolerant runner: hosts
+// crashing at every phase boundary, permanent host loss, total message
+// loss, slow hosts, and determinism of the whole event stream under a
+// fixed seed and fault plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/SimRunner.h"
+
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using cluster::FaultPlan;
+using workload::FunctionSize;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+const cluster::HostConfig CleanHost = cluster::HostConfig::sunNetwork1989();
+const CostModel Model = CostModel::lisp1989();
+
+CompilationJob jobFor(FunctionSize Size, unsigned N) {
+  auto Job = buildJob(workload::makeTestModule(Size, N), MM);
+  EXPECT_TRUE(static_cast<bool>(Job));
+  return Job.takeValue();
+}
+
+/// Time of the first trace event whose text contains \p Needle.
+double eventTime(const std::vector<TraceEvent> &Trace,
+                 const std::string &Needle) {
+  for (const TraceEvent &E : Trace)
+    if (E.What.find(Needle) != std::string::npos)
+      return E.AtSec;
+  ADD_FAILURE() << "no trace event contains '" << Needle << "'";
+  return 0;
+}
+
+/// Runs the job under \p Plan and returns the stats.
+ParStats runWithPlan(const CompilationJob &Job, const Assignment &Assign,
+                     const FaultPlan &Plan, const driver::FaultPolicy &Policy,
+                     std::vector<TraceEvent> *Trace = nullptr) {
+  cluster::HostConfig Host = CleanHost;
+  Host.Faults = Plan;
+  return simulateParallel(Job, Assign, Host, Model, Trace, Policy);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Crash matrix: every host at every phase boundary
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSimTest, CrashMatrixAlwaysCompletes) {
+  CompilationJob Job = jobFor(FunctionSize::Medium, 4);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+  SeqStats Seq = simulateSequential(Job, CleanHost, Model);
+
+  // Phase boundaries from a clean traced run. FCFS puts function fN+1 on
+  // workstation N, so each host's own mid-compile instant is the midpoint
+  // of its "compiling" and "done" trace events.
+  std::vector<TraceEvent> Clean;
+  ParStats Base = simulateParallel(Job, Assign, CleanHost, Model, &Clean);
+  double FanOutSec = eventTime(Clean, "setup parse complete");
+  double CombineSec = eventTime(Clean, "combining results");
+
+  driver::FaultPolicy Policy;
+  Policy.SpeculateStragglers = false; // recovery via the watchdog only
+
+  for (unsigned W = 1; W <= 3; ++W) {
+    std::string Fn = "'f" + std::to_string(W + 1) + "'";
+    std::string Ws = "ws" + std::to_string(W) + ": ";
+    double MidSec = (eventTime(Clean, Ws + Fn + " compiling") +
+                     eventTime(Clean, Ws + Fn + " done")) /
+                    2;
+    enum ElapsedVs { Any, Slower, Same };
+    struct Boundary {
+      const char *Name;
+      double AtSec;
+      unsigned ExpectReassigned;
+      ElapsedVs Elapsed;
+    } Boundaries[] = {
+        // Down at fork time: the master re-places the function instantly;
+        // the replacement host sees different server contention, so the
+        // run may finish on either side of the baseline.
+        {"parse fan-out", FanOutSec, 1, Any},
+        // Lost mid-compile: only the watchdog notices, much later.
+        {"mid function master", MidSec, 1, Slower},
+        // After the result is in: the crash costs nothing at all.
+        {"section combine", CombineSec, 0, Same},
+    };
+    for (const Boundary &B : Boundaries) {
+      FaultPlan Plan;
+      Plan.hostMut(W).CrashAtSec = B.AtSec; // never reboots
+      ParStats Par = runWithPlan(Job, Assign, Plan, Policy);
+      SCOPED_TRACE(std::string("ws") + std::to_string(W) + " crash at " +
+                   B.Name);
+      EXPECT_EQ(Par.FunctionsCompleted, 4u);
+      EXPECT_EQ(Par.FunctionsReassigned, B.ExpectReassigned);
+      EXPECT_EQ(Par.MasterRecompiles, 0u);
+      if (B.Elapsed == Slower)
+        EXPECT_GT(Par.ElapsedSec, Base.ElapsedSec);
+      else if (B.Elapsed == Same)
+        EXPECT_DOUBLE_EQ(Par.ElapsedSec, Base.ElapsedSec);
+      if (B.ExpectReassigned > 0)
+        EXPECT_GT(Par.RetriesSec, 0.0);
+      // The Section 4.2.3 decomposition stays internally consistent.
+      OverheadBreakdown Ov = computeOverheads(Seq, Par, 4);
+      EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-9);
+      EXPECT_DOUBLE_EQ(Ov.ParElapsedSec, Par.ElapsedSec);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSimTest, SameSeedAndPlanGiveIdenticalTraces) {
+  CompilationJob Job = jobFor(FunctionSize::Small, 6);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+
+  FaultPlan Plan;
+  Plan.hostMut(1).CrashAtSec = 200;
+  Plan.hostMut(1).RebootAfterSec = 300;
+  Plan.hostMut(2).SlowdownFactor = 4.0;
+  Plan.MessageLossProb = 0.2;
+  Plan.Seed = 42;
+  driver::FaultPolicy Policy;
+
+  std::vector<TraceEvent> TraceA, TraceB;
+  ParStats A = runWithPlan(Job, Assign, Plan, Policy, &TraceA);
+  ParStats B = runWithPlan(Job, Assign, Plan, Policy, &TraceB);
+
+  EXPECT_DOUBLE_EQ(A.ElapsedSec, B.ElapsedSec);
+  EXPECT_DOUBLE_EQ(A.RetriesSec, B.RetriesSec);
+  EXPECT_EQ(A.FunctionsReassigned, B.FunctionsReassigned);
+  EXPECT_EQ(A.TimeoutsFired, B.TimeoutsFired);
+  EXPECT_EQ(A.SpeculativeWins, B.SpeculativeWins);
+  ASSERT_EQ(TraceA.size(), TraceB.size());
+  for (size_t I = 0; I != TraceA.size(); ++I) {
+    EXPECT_DOUBLE_EQ(TraceA[I].AtSec, TraceB[I].AtSec) << "event " << I;
+    EXPECT_EQ(TraceA[I].What, TraceB[I].What) << "event " << I;
+  }
+}
+
+TEST(FaultSimTest, ArmedButInertPlanMatchesLegacySchedule) {
+  // A plan whose only crash lies far beyond the end of the run arms all
+  // the watchdog machinery but never trips it; the event schedule must be
+  // bit-identical to a run with no fault plan at all.
+  CompilationJob Job = jobFor(FunctionSize::Medium, 4);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+
+  std::vector<TraceEvent> Legacy;
+  ParStats Base = simulateParallel(Job, Assign, CleanHost, Model, &Legacy);
+
+  FaultPlan Inert;
+  Inert.hostMut(1).CrashAtSec = 1e9;
+  driver::FaultPolicy Policy;
+  Policy.SpeculateStragglers = false;
+  std::vector<TraceEvent> Armed;
+  ParStats Par = runWithPlan(Job, Assign, Inert, Policy, &Armed);
+
+  EXPECT_DOUBLE_EQ(Par.ElapsedSec, Base.ElapsedSec);
+  EXPECT_EQ(Par.TimeoutsFired, 0u);
+  EXPECT_EQ(Par.FunctionsReassigned, 0u);
+  EXPECT_DOUBLE_EQ(Par.RetriesSec, 0.0);
+  ASSERT_EQ(Armed.size(), Legacy.size());
+  for (size_t I = 0; I != Legacy.size(); ++I) {
+    EXPECT_DOUBLE_EQ(Armed[I].AtSec, Legacy[I].AtSec) << "event " << I;
+    EXPECT_EQ(Armed[I].What, Legacy[I].What) << "event " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance: a third of the masters die, one host never returns
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSimTest, ThirdOfMastersDyingPlusPermanentHostLoss) {
+  auto JobOr = buildJob(workload::makeUserProgram(), MM);
+  ASSERT_TRUE(static_cast<bool>(JobOr));
+  CompilationJob Job = JobOr.takeValue();
+  const unsigned K = Job.numFunctions();
+  ASSERT_EQ(K, 9u);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+
+  std::vector<TraceEvent> Clean;
+  simulateParallel(Job, Assign, CleanHost, Model, &Clean);
+
+  // ceil(9/3) = 3 function masters die mid-compile; a fourth host is down
+  // before the fan-out and never comes back.
+  FaultPlan Plan;
+  for (unsigned W = 1; W <= 3; ++W) {
+    std::string Ws = "ws" + std::to_string(W) + ": ";
+    double Compiling = 0, Done = 0;
+    for (const TraceEvent &E : Clean) {
+      if (E.What.rfind(Ws, 0) == 0 &&
+          E.What.find("compiling") != std::string::npos && Compiling == 0)
+        Compiling = E.AtSec;
+      if (E.What.rfind(Ws, 0) == 0 &&
+          E.What.find("done") != std::string::npos && Done == 0)
+        Done = E.AtSec;
+    }
+    ASSERT_GT(Done, Compiling) << "ws" << W;
+    Plan.hostMut(W).CrashAtSec = (Compiling + Done) / 2; // never reboots
+  }
+  Plan.hostMut(4).CrashAtSec = 0.0;
+
+  driver::FaultPolicy Policy;
+  Policy.SpeculateStragglers = false;
+  ParStats Par = runWithPlan(Job, Assign, Plan, Policy);
+
+  EXPECT_EQ(Par.FunctionsCompleted, K);
+  EXPECT_EQ(Par.FunctionsReassigned, 4u); // 3 lost mid-compile + 1 placement
+  EXPECT_EQ(Par.MasterRecompiles, 0u);
+  EXPECT_GE(Par.TimeoutsFired, 3u);
+  EXPECT_GT(Par.RetriesSec, 0.0);
+
+  SeqStats Seq = simulateSequential(Job, CleanHost, Model);
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, K);
+  EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Message loss and slow hosts
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSimTest, TotalMessageLossFallsBackToMasterRecompiles) {
+  // Every completion message from a remote host is dropped. With a single
+  // distributed attempt allowed, each remote function times out once and
+  // ends as a master-local recompile. (f1 runs on the master's own
+  // workstation; its local hand-off cannot be lost. Retries can also be
+  // re-placed there, which is why MaxAttempts is pinned to 1 here.)
+  CompilationJob Job = jobFor(FunctionSize::Small, 4);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+
+  FaultPlan Plan;
+  Plan.MessageLossProb = 1.0;
+  Plan.Seed = 3;
+  driver::FaultPolicy Policy;
+  Policy.SpeculateStragglers = false;
+  Policy.MaxAttempts = 1;
+  ParStats Par = runWithPlan(Job, Assign, Plan, Policy);
+
+  EXPECT_EQ(Par.FunctionsCompleted, 4u);
+  EXPECT_EQ(Par.MasterRecompiles, 3u);
+  EXPECT_EQ(Par.TimeoutsFired, 3u);
+  EXPECT_GT(Par.RetriesSec, 0.0);
+}
+
+TEST(FaultSimTest, SpeculationBeatsWatchdogOnSlowHost) {
+  // A host degraded far beyond the timeout factor: with speculation the
+  // duplicate is launched at the soft deadline (half the watchdog), so
+  // the run finishes strictly earlier than with the watchdog alone.
+  CompilationJob Job = jobFor(FunctionSize::Small, 4);
+  Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
+
+  FaultPlan Plan;
+  Plan.hostMut(2).SlowdownFactor = 10.0;
+
+  driver::FaultPolicy SpecOn;
+  ParStats WithSpec = runWithPlan(Job, Assign, Plan, SpecOn);
+
+  driver::FaultPolicy SpecOff;
+  SpecOff.SpeculateStragglers = false;
+  ParStats WithoutSpec = runWithPlan(Job, Assign, Plan, SpecOff);
+
+  EXPECT_EQ(WithSpec.FunctionsCompleted, 4u);
+  EXPECT_EQ(WithoutSpec.FunctionsCompleted, 4u);
+  EXPECT_EQ(WithSpec.SpeculativeWins, 1u);
+  EXPECT_LT(WithSpec.ElapsedSec, WithoutSpec.ElapsedSec);
+}

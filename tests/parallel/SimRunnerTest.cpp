@@ -224,6 +224,63 @@ TEST(SimRunnerTest, ZeroJitterMatchesDeterministicRun) {
 }
 
 //===----------------------------------------------------------------------===//
+// computeOverheads / ParStats edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(SimRunnerTest, OverheadsWithZeroFunctionsAreAllZero) {
+  // k == 0 has no ideal speedup to compare against; everything but the
+  // recorded parallel elapsed must come back zero, not trap.
+  SeqStats Seq;
+  Seq.ElapsedSec = 100.0;
+  ParStats Par;
+  Par.ElapsedSec = 42.0;
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, 0);
+  EXPECT_DOUBLE_EQ(Ov.ParElapsedSec, 42.0);
+  EXPECT_DOUBLE_EQ(Ov.TotalSec, 0.0);
+  EXPECT_DOUBLE_EQ(Ov.ImplSec, 0.0);
+  EXPECT_DOUBLE_EQ(Ov.SysSec, 0.0);
+  EXPECT_DOUBLE_EQ(Ov.relTotalPct(), 0.0);
+  EXPECT_DOUBLE_EQ(Ov.relSysPct(), 0.0);
+}
+
+TEST(SimRunnerTest, OverheadsWithOneFunctionCompareWholeRuns) {
+  // k == 1: the "ideal" parallel time is the sequential time itself, so
+  // total overhead is simply the difference of the two elapsed times.
+  SeqStats Seq;
+  Seq.ElapsedSec = 100.0;
+  ParStats Par;
+  Par.ElapsedSec = 130.0;
+  Par.MasterCpuSec = 12.0;
+  Par.SectionCpuSec = 3.0;
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, 1);
+  EXPECT_DOUBLE_EQ(Ov.TotalSec, 30.0);
+  EXPECT_DOUBLE_EQ(Ov.ImplSec, 15.0);
+  EXPECT_DOUBLE_EQ(Ov.SysSec, 15.0);
+}
+
+TEST(SimRunnerTest, NegativeSystemOverheadKeepsIdentity) {
+  // SysSec is obtained by subtraction (Section 4.2.3) and the paper
+  // reports it going negative for medium functions at small k; the
+  // decomposition identity must survive that.
+  SeqStats Seq;
+  Seq.ElapsedSec = 400.0;
+  ParStats Par;
+  Par.ElapsedSec = 90.0; // better than the 4-fold ideal of 100s
+  Par.MasterCpuSec = 8.0;
+  OverheadBreakdown Ov = computeOverheads(Seq, Par, 4);
+  EXPECT_LT(Ov.TotalSec, 0.0);
+  EXPECT_LT(Ov.SysSec, 0.0);
+  EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-12);
+}
+
+TEST(SimRunnerTest, PerProcessorCpuWithZeroProcessorsIsZero) {
+  ParStats Par;
+  Par.FnCpuSec = 250.0;
+  Par.ProcessorsUsed = 0; // e.g. an empty module
+  EXPECT_DOUBLE_EQ(Par.perProcessorCpuSec(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
 // Overhead identities across the whole experiment grid
 //===----------------------------------------------------------------------===//
 

@@ -112,4 +112,113 @@ TEST(ThreadRunnerTest, NoSpuriousRecoveryWithoutFailures) {
   ThreadRunResult Par = compileModuleParallel(Source, MM, 4);
   ASSERT_TRUE(Par.Module.Succeeded);
   EXPECT_EQ(Par.FunctionsRecovered, 0u);
+  EXPECT_EQ(Par.RetriesAttempted, 0u);
+  EXPECT_EQ(Par.PoisonedResultsDetected, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault policy: retry rounds, poisoned results, determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadRunnerTest, RetryRoundRecoversVanishedAttempts) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Small, 6);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  // The first attempt of every even function vanishes; the retry round
+  // succeeds, so the master never recompiles anything itself.
+  FaultInjection Inj;
+  Inj.Vanish = [](size_t Fn, unsigned Attempt) {
+    return Attempt == 1 && Fn % 2 == 0;
+  };
+  driver::FaultPolicy Policy;
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.RetriesAttempted, 3u);
+  EXPECT_EQ(Par.FunctionsReassigned, 3u);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u);
+  EXPECT_EQ(Par.PoisonedResultsDetected, 0u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, PoisonedResultsDetectedAndRetried) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Tiny, 4);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  // Every first attempt writes a truncated result file; validation must
+  // reject all four and the retry round must replace them.
+  FaultInjection Inj;
+  Inj.Poison = [](size_t, unsigned Attempt) { return Attempt == 1; };
+  driver::FaultPolicy Policy;
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.PoisonedResultsDetected, 4u);
+  EXPECT_EQ(Par.RetriesAttempted, 4u);
+  EXPECT_EQ(Par.FunctionsReassigned, 4u);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, AttemptCapFallsBackToMasterRecompile) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Tiny, 4);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+
+  // Every distributed attempt vanishes: after MaxAttempts rounds the
+  // master recompiles all functions itself (injection never applies to
+  // the master's own work).
+  FaultInjection Inj;
+  Inj.Vanish = [](size_t, unsigned) { return true; };
+  driver::FaultPolicy Policy;
+  Policy.MaxAttempts = 2;
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.RetriesAttempted, 4u); // one retry round for 4 functions
+  EXPECT_EQ(Par.FunctionsReassigned, 0u);
+  EXPECT_EQ(Par.FunctionsRecovered, 4u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, SeededInjectionIsDeterministic) {
+  std::string Source = workload::makeTestModule(
+      workload::FunctionSize::Small, 8);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  // Failure decisions are pure functions of (seed, function, attempt), so
+  // two runs agree on every counter no matter how threads interleave.
+  FaultInjection Inj = makeSeededInjection(7, 0.3, 0.2);
+  driver::FaultPolicy Policy;
+  ThreadRunResult A = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ThreadRunResult B = compileModuleParallel(Source, MM, 4, Policy, &Inj);
+  ASSERT_TRUE(A.Module.Succeeded);
+  ASSERT_TRUE(B.Module.Succeeded);
+  EXPECT_EQ(A.RetriesAttempted, B.RetriesAttempted);
+  EXPECT_EQ(A.PoisonedResultsDetected, B.PoisonedResultsDetected);
+  EXPECT_EQ(A.FunctionsReassigned, B.FunctionsReassigned);
+  EXPECT_EQ(A.FunctionsRecovered, B.FunctionsRecovered);
+  EXPECT_EQ(A.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(B.Module.Image.Image, Seq.Image.Image);
+}
+
+TEST(ThreadRunnerTest, SurvivesThirdOfFunctionMastersDying) {
+  // The acceptance bar: with ceil(k/3) of the function masters dying on
+  // their first attempt, the run completes bit-identical to sequential.
+  std::string Source = workload::makeUserProgram();
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  FaultInjection Inj;
+  Inj.Vanish = [](size_t Fn, unsigned Attempt) {
+    return Attempt == 1 && Fn % 3 == 0; // 3 of the 9 user functions
+  };
+  driver::FaultPolicy Policy;
+  ThreadRunResult Par = compileModuleParallel(Source, MM, 8, Policy, &Inj);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.FunctionsReassigned, 3u);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
 }

@@ -14,13 +14,19 @@
 //   --inline           run procedure inlining before compilation
 //   --simulate         replay the compilation on the simulated 1989 host
 //   --processors <N>   processors for the simulated parallel run
+//   --fault-plan <p>   inject failures into the simulated run, e.g.
+//                      "crash=3@120+600,slow=5x4,loss=0.01,seed=7"
+//   --timeout-factor <x>  watchdog timeout as a multiple of the master's
+//                      cost estimate (default 3)
 //   --demo <which>     compile a built-in workload instead of a file:
 //                      tiny|small|medium|large|huge|user|fig1
 //   --verbose          print per-function statistics
 //
 //===----------------------------------------------------------------------===//
 
+#include "cluster/FaultPlan.h"
 #include "driver/Compiler.h"
+#include "driver/FaultPolicy.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
 #include "support/StringUtils.h"
@@ -46,8 +52,10 @@ struct Options {
   std::string InputFile;
   std::string OutputFile;
   std::string Demo;
+  std::string FaultPlanSpec;
   unsigned Workers = 1;
   unsigned SimProcessors = 14;
+  double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
   bool EmitAsm = false;
   bool Inline = false;
   bool Simulate = false;
@@ -63,6 +71,12 @@ void usage(const char *Prog) {
                "  --inline         inline small functions first\n"
                "  --simulate       replay on the simulated 1989 host\n"
                "  --processors <N> processors for the simulated run\n"
+               "  --fault-plan <p> inject failures into the simulation:\n"
+               "                   crash=<ws>@<sec>[+<reboot sec>]\n"
+               "                   slow=<ws>x<factor> loss=<prob> seed=<n>\n"
+               "                   (comma separated; ws 0 is reliable)\n"
+               "  --timeout-factor <x>  watchdog timeout as a multiple of\n"
+               "                   the master's cost estimate (default 3)\n"
                "  --demo <w>       tiny|small|medium|large|huge|user|fig1\n"
                "  --verbose        per-function statistics\n",
                Prog);
@@ -100,6 +114,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
       if (Opts.SimProcessors == 0)
         Opts.SimProcessors = 1;
+    } else if (Arg == "--fault-plan") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FaultPlanSpec = V;
+    } else if (Arg == "--timeout-factor") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TimeoutFactor = std::strtod(V, nullptr);
+      if (Opts.TimeoutFactor <= 1.0) {
+        std::fprintf(stderr, "error: --timeout-factor must be > 1\n");
+        return false;
+      }
     } else if (Arg == "--inline") {
       Opts.Inline = true;
     } else if (Arg == "--simulate") {
@@ -247,6 +275,15 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
   if (Opts.Simulate) {
     auto Host = cluster::HostConfig::sunNetwork1989();
     auto Model = parallel::CostModel::lisp1989();
+    driver::FaultPolicy Policy;
+    Policy.TimeoutFactor = Opts.TimeoutFactor;
+    if (!Opts.FaultPlanSpec.empty()) {
+      std::string Error;
+      if (!cluster::parseFaultPlan(Opts.FaultPlanSpec, Host.Faults, Error)) {
+        std::fprintf(stderr, "error: bad --fault-plan: %s\n", Error.c_str());
+        return 1;
+      }
+    }
     auto Job = parallel::buildJob(Source, MM);
     if (!Job) {
       std::fprintf(stderr, "simulation skipped: %s\n",
@@ -260,7 +297,8 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
             ? parallel::scheduleFCFS(*Job, Opts.SimProcessors)
             : parallel::scheduleBalanced(*Job, Opts.SimProcessors);
     parallel::ParStats Par =
-        parallel::simulateParallel(*Job, Assign, Host, Model);
+        parallel::simulateParallel(*Job, Assign, Host, Model, nullptr,
+                                   Policy);
     std::printf("\nsimulated 1989 host (%u processors):\n",
                 Opts.SimProcessors);
     std::printf("  sequential: %8.0f s (%.1f min)\n", Seq.ElapsedSec,
@@ -268,6 +306,27 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     std::printf("  parallel:   %8.0f s (%.1f min)\n", Par.ElapsedSec,
                 Par.ElapsedSec / 60);
     std::printf("  speedup:    %8.2f\n", Seq.ElapsedSec / Par.ElapsedSec);
+    if (!Host.Faults.empty()) {
+      // Fault-tolerance overhead: the same run on healthy hardware.
+      cluster::HostConfig Clean = Host;
+      Clean.Faults = cluster::FaultPlan();
+      parallel::ParStats Base =
+          parallel::simulateParallel(*Job, Assign, Clean, Model, nullptr,
+                                     Policy);
+      double OverheadSec = Par.ElapsedSec - Base.ElapsedSec;
+      std::printf("  under faults:\n");
+      std::printf("    timeouts fired:      %u\n", Par.TimeoutsFired);
+      std::printf("    reassigned:          %u function(s)\n",
+                  Par.FunctionsReassigned);
+      std::printf("    speculative wins:    %u\n", Par.SpeculativeWins);
+      std::printf("    master recompiles:   %u\n", Par.MasterRecompiles);
+      std::printf("    retry time:          %.0f s\n", Par.RetriesSec);
+      std::printf("    fault overhead:      %.0f s (%.1f%% of parallel "
+                  "elapsed)\n",
+                  OverheadSec,
+                  Par.ElapsedSec > 0 ? 100.0 * OverheadSec / Par.ElapsedSec
+                                     : 0.0);
+    }
   }
   return 0;
 }
