@@ -9,11 +9,75 @@
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 using namespace warpc;
 using namespace warpc::bench;
 using namespace warpc::parallel;
+
+//===----------------------------------------------------------------------===//
+// Machine-readable companion output (BENCH_*.json)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BenchJsonSink {
+  bool Enabled = false;
+  std::string Path;
+  json::Value Doc = json::Value::object();
+
+  void flush() const {
+    if (!Enabled)
+      return;
+    json::Value Out = Doc; // Doc's "rows" grows between flushes
+    std::ofstream File(Path);
+    if (!File) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    File << Out.dump(1) << "\n";
+  }
+};
+
+BenchJsonSink &sink() {
+  static BenchJsonSink S;
+  return S;
+}
+
+/// "Figure 6" -> "fig06", "Ablation fault tolerance" ->
+/// "ablation_fault_tolerance": the BENCH_ file slug.
+std::string figureSlug(const std::string &Figure) {
+  std::string Lower;
+  for (char C : Figure)
+    Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Lower.rfind("figure ", 0) == 0) {
+    std::string Num = Lower.substr(7);
+    if (Num.size() == 1)
+      Num = "0" + Num;
+    return "fig" + Num;
+  }
+  std::string Slug;
+  for (char C : Lower)
+    Slug += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+  return Slug;
+}
+
+} // namespace
+
+bool bench::benchJsonEnabled() { return sink().Enabled; }
+
+void bench::benchJsonRow(json::Value Row) {
+  BenchJsonSink &S = sink();
+  if (!S.Enabled)
+    return;
+  json::Value Rows = S.Doc.get("rows");
+  Rows.push(std::move(Row));
+  S.Doc.set("rows", std::move(Rows));
+  S.flush();
+}
 
 RunPoint bench::runPoint(const Environment &Env, workload::FunctionSize Size,
                          unsigned N) {
@@ -44,6 +108,19 @@ void bench::printFigureHeader(const std::string &Figure,
   std::string Banner = "=== " + Figure + ": " + Title + " ===";
   std::printf("%s\n", Banner.c_str());
   std::printf("paper: %s\n\n", PaperExpectation.c_str());
+
+  if (const char *Dir = std::getenv("WARPC_BENCH_JSON")) {
+    BenchJsonSink &S = sink();
+    S.Enabled = true;
+    S.Path = std::string(Dir) + "/BENCH_" + figureSlug(Figure) + ".json";
+    S.Doc = json::Value::object();
+    S.Doc.set("figure", Figure);
+    S.Doc.set("title", Title);
+    S.Doc.set("paper", PaperExpectation);
+    S.Doc.set("rows", json::Value::array());
+    S.flush();
+    std::printf("(also writing %s)\n\n", S.Path.c_str());
+  }
 }
 
 void bench::printTimesFigure(const Environment &Env,
@@ -62,6 +139,15 @@ void bench::printTimesFigure(const Environment &Env,
                  {P.Seq.ElapsedSec, P.Seq.CpuSec, P.Par.ElapsedSec,
                   P.Par.perProcessorCpuSec(), P.speedup()},
                  2);
+    json::Value Row = json::Value::object();
+    Row.set("size", workload::sizeName(Size));
+    Row.set("functions", static_cast<int64_t>(N));
+    Row.set("seq_elapsed_sec", P.Seq.ElapsedSec);
+    Row.set("seq_cpu_sec", P.Seq.CpuSec);
+    Row.set("par_elapsed_sec", P.Par.ElapsedSec);
+    Row.set("par_cpu_per_proc_sec", P.Par.perProcessorCpuSec());
+    Row.set("speedup", P.speedup());
+    benchJsonRow(std::move(Row));
   }
   std::printf("%s\n", Table.str().c_str());
 }
@@ -81,6 +167,13 @@ void bench::printRelativeOverheadFigure(
                    {P.Overheads.relTotalPct(), P.Overheads.relSysPct(),
                     P.Par.ElapsedSec},
                    1);
+      json::Value Row = json::Value::object();
+      Row.set("size", workload::sizeName(Size));
+      Row.set("functions", static_cast<int64_t>(N));
+      Row.set("rel_total_pct", P.Overheads.relTotalPct());
+      Row.set("rel_sys_pct", P.Overheads.relSysPct());
+      Row.set("par_elapsed_sec", P.Par.ElapsedSec);
+      benchJsonRow(std::move(Row));
     }
     std::printf("%s\n", Table.str().c_str());
   }
@@ -100,6 +193,13 @@ void bench::printAbsoluteOverheadFigure(
                    {P.Overheads.TotalSec, P.Overheads.SysSec,
                     P.Overheads.ImplSec},
                    1);
+      json::Value Row = json::Value::object();
+      Row.set("size", workload::sizeName(Size));
+      Row.set("functions", static_cast<int64_t>(N));
+      Row.set("total_overhead_sec", P.Overheads.TotalSec);
+      Row.set("sys_overhead_sec", P.Overheads.SysSec);
+      Row.set("impl_overhead_sec", P.Overheads.ImplSec);
+      benchJsonRow(std::move(Row));
     }
     std::printf("%s\n", Table.str().c_str());
   }

@@ -20,6 +20,7 @@
 #include "parallel/Job.h"
 #include "parallel/Scheduler.h"
 #include "parallel/SimRunner.h"
+#include "support/Json.h"
 #include "workload/Generator.h"
 
 #include <string>
@@ -56,9 +57,23 @@ std::vector<unsigned> paperCounts();
 /// All counts 1..8 for the overhead figures.
 std::vector<unsigned> denseCounts();
 
-/// Prints the figure banner.
+/// Prints the figure banner. Also opens the machine-readable companion
+/// document when BENCH json output is enabled (see benchJsonEnabled).
 void printFigureHeader(const std::string &Figure, const std::string &Title,
                        const std::string &PaperExpectation);
+
+/// Machine-readable figure output. When the WARPC_BENCH_JSON environment
+/// variable names a directory, every figure binary writes
+/// <dir>/BENCH_<figure>.json ("Figure 6" -> BENCH_fig06.json) holding
+/// {"figure", "title", "paper", "rows": [...]} next to its text table;
+/// the shared printers below record their rows automatically, and
+/// figure-specific mains append theirs with benchJsonRow(). Without the
+/// variable the sink is inert and the binaries behave exactly as before.
+bool benchJsonEnabled();
+
+/// Appends one row object to the open figure document and rewrites the
+/// file, so even an aborted sweep leaves the rows measured so far.
+void benchJsonRow(json::Value Row);
 
 /// Prints a total-execution-time figure (Figures 3, 4, 5, 12, 13):
 /// elapsed and per-processor CPU time for both compilers over the counts.

@@ -27,9 +27,15 @@ int main() {
                    "f_huge"});
   for (unsigned N : paperCounts()) {
     std::vector<double> Row;
-    for (workload::FunctionSize Size : workload::AllSizes)
-      Row.push_back(runPoint(Env, Size, N).speedup());
+    json::Value JRow = json::Value::object();
+    JRow.set("functions", static_cast<int64_t>(N));
+    for (workload::FunctionSize Size : workload::AllSizes) {
+      double Speedup = runPoint(Env, Size, N).speedup();
+      Row.push_back(Speedup);
+      JRow.set(std::string("speedup_") + workload::sizeName(Size), Speedup);
+    }
     Table.addRow(std::to_string(N), Row, 2);
+    benchJsonRow(std::move(JRow));
   }
   std::printf("%s\n", Table.str().c_str());
   return 0;

@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Event.h"
+#include "obs/TraceRecorder.h"
 #include "parallel/SimRunner.h"
 #include "workload/Generator.h"
 
@@ -31,12 +33,13 @@ int main() {
 
   std::printf("=== Simulated timeline: parallel compilation of program S "
               "(Figure 2) ===\n\n");
-  std::vector<TraceEvent> Trace;
+  obs::TraceRecorder Rec(obs::ClockDomain::Simulated);
   Assignment Assign = scheduleFCFS(*Job, Host.NumWorkstations);
-  ParStats Par = simulateParallel(*Job, Assign, Host, Model, &Trace);
+  ParStats Par = simulateParallel(*Job, Assign, Host, Model, &Rec);
+  obs::TraceSession Session = Rec.finish();
 
-  for (const TraceEvent &E : Trace)
-    std::printf("[%8.1fs] %s\n", E.AtSec, E.What.c_str());
+  for (const obs::SpanEvent &E : Session.Events)
+    std::printf("%s\n", obs::renderEvent(Session, E).c_str());
   std::printf("[%8.1fs] compilation complete (elapsed %.1f min)\n",
               Par.ElapsedSec, Par.ElapsedSec / 60);
   return 0;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# smoke-test the observability pipeline end to end (warpc --trace-json
+# -> warp-traceview on an example module).
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_DIR/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_DIR"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== trace smoke test =="
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+"$BUILD_DIR/tools/warpc" --demo user --simulate \
+    --trace-json "$TMP_DIR/user.trace.json" \
+    --stats-json "$TMP_DIR/user.stats.json"
+test -s "$TMP_DIR/user.trace.json"
+test -s "$TMP_DIR/user.stats.json"
+
+"$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/user.trace.json" \
+    | tee "$TMP_DIR/traceview.out"
+grep -q "critical path" "$TMP_DIR/traceview.out"
+
+echo "== OK =="

@@ -20,7 +20,8 @@
 using namespace warpc;
 using namespace warpc::driver;
 
-ParseResult driver::parseAndCheck(const std::string &Source) {
+ParseResult driver::parseAndCheck(const std::string &Source,
+                                  obs::MetricsRegistry *Metrics) {
   ParseResult Result;
 
   w2::Lexer Lexer(Source, Result.Diags);
@@ -54,12 +55,25 @@ ParseResult driver::parseAndCheck(const std::string &Source) {
   Result.Metrics.SemaNodes = Sema.checkedNodeCount();
   if (Result.Diags.hasErrors())
     Result.Module.reset();
+  if (Metrics) {
+    Metrics->add("phase1.runs");
+    Metrics->add("phase1.tokens", static_cast<double>(Result.Metrics.Tokens));
+    Metrics->add("phase1.ast_nodes",
+                 static_cast<double>(Result.Metrics.AstNodes));
+    Metrics->add("phase1.sema_nodes",
+                 static_cast<double>(Result.Metrics.SemaNodes));
+    Metrics->add("phase1.source_lines",
+                 static_cast<double>(Result.Metrics.SourceLines));
+    if (Result.Diags.hasErrors())
+      Metrics->add("phase1.failed_runs");
+  }
   return Result;
 }
 
 FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
                                        const w2::FunctionDecl &F,
-                                       const codegen::MachineModel &MM) {
+                                       const codegen::MachineModel &MM,
+                                       obs::MetricsRegistry *Metrics) {
   FunctionResult Result;
   Result.SectionName = Section.getName();
   Result.FunctionName = F.getName();
@@ -118,6 +132,24 @@ FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
   Result.Program = asmout::assembleFunction(*IRF, MF);
   Result.Metrics.CodeWords = Result.Program.CodeWords;
   Result.Metrics.ImageBytes = Result.Program.Image.size();
+
+  if (Metrics) {
+    Metrics->add("phase2.functions");
+    Metrics->observe("phase2.ir_instrs",
+                     static_cast<double>(Result.Metrics.IRInstrs));
+    Metrics->observe("phase2.dataflow_iterations",
+                     static_cast<double>(Result.Metrics.DataflowIterations));
+    Metrics->add("phase2.opt_transforms",
+                 static_cast<double>(Result.Metrics.OptTransforms));
+    Metrics->observe("phase3.code_words",
+                     static_cast<double>(Result.Metrics.CodeWords));
+    Metrics->observe("phase3.image_bytes",
+                     static_cast<double>(Result.Metrics.ImageBytes));
+    Metrics->add("phase3.loops_pipelined",
+                 static_cast<double>(Result.LoopsPipelined));
+    if (MF.RA.Spills > 0)
+      Metrics->add("phase3.spills", static_cast<double>(MF.RA.Spills));
+  }
   return Result;
 }
 
@@ -147,7 +179,8 @@ WorkMetrics ModuleResult::totalMetrics() const {
 
 void driver::assembleAndLink(const w2::ModuleDecl &Module,
                              std::vector<FunctionResult> &&Results,
-                             ModuleResult &Out) {
+                             ModuleResult &Out,
+                             obs::MetricsRegistry *Metrics) {
   // Group results by section, preserving declaration order.
   std::vector<asmout::SectionImage> Sections;
   size_t Cursor = 0;
@@ -173,13 +206,23 @@ void driver::assembleAndLink(const w2::ModuleDecl &Module,
     Out.Phase4.CodeWords += S.totalWords();
   Out.Phase4.ImageBytes += Out.Image.byteSize();
   Out.Functions = std::move(Results);
+  if (Metrics) {
+    Metrics->add("phase4.runs");
+    Metrics->add("phase4.code_words",
+                 static_cast<double>(Out.Phase4.CodeWords));
+    Metrics->add("phase4.image_bytes",
+                 static_cast<double>(Out.Phase4.ImageBytes));
+    Metrics->setGauge("phase4.sections",
+                      static_cast<double>(Out.Image.Sections.size()));
+  }
 }
 
 ModuleResult driver::compileModuleSequential(const std::string &Source,
-                                             const codegen::MachineModel &MM) {
+                                             const codegen::MachineModel &MM,
+                                             obs::MetricsRegistry *Metrics) {
   ModuleResult Result;
 
-  ParseResult Parsed = parseAndCheck(Source);
+  ParseResult Parsed = parseAndCheck(Source, Metrics);
   Result.Diags.merge(Parsed.Diags);
   Result.Phase1 = Parsed.Metrics;
   if (!Parsed.succeeded())
@@ -190,10 +233,10 @@ ModuleResult driver::compileModuleSequential(const std::string &Source,
     const w2::SectionDecl *Section = Parsed.Module->getSection(S);
     for (size_t F = 0; F != Section->numFunctions(); ++F)
       Functions.push_back(
-          compileFunction(*Section, *Section->getFunction(F), MM));
+          compileFunction(*Section, *Section->getFunction(F), MM, Metrics));
   }
 
-  assembleAndLink(*Parsed.Module, std::move(Functions), Result);
+  assembleAndLink(*Parsed.Module, std::move(Functions), Result, Metrics);
   Result.Succeeded = !Result.Diags.hasErrors();
   return Result;
 }

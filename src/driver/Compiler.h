@@ -23,6 +23,7 @@
 #include "asmout/DownloadModule.h"
 #include "codegen/MachineModel.h"
 #include "driver/WorkMetrics.h"
+#include "obs/MetricsRegistry.h"
 #include "support/Diagnostics.h"
 #include "w2/AST.h"
 
@@ -45,8 +46,10 @@ struct ParseResult {
 /// Runs phase 1 (lex, parse, semantic check) on W2 source text. This is
 /// what the master process runs "to obtain enough information to set up
 /// the parallel compilation"; syntax and semantic errors surface here and
-/// abort the compilation (Section 3.2).
-ParseResult parseAndCheck(const std::string &Source);
+/// abort the compilation (Section 3.2). A non-null \p Metrics receives
+/// phase1.* counters (tokens, AST nodes, sema nodes).
+ParseResult parseAndCheck(const std::string &Source,
+                          obs::MetricsRegistry *Metrics = nullptr);
 
 /// Result of phases 2+3 for one function (a function master's task).
 struct FunctionResult {
@@ -65,10 +68,14 @@ struct FunctionResult {
 /// Compiles one checked function through phases 2 and 3 (+ its private
 /// slice of assembly). \p Section provides the signatures of sibling
 /// functions; the body of no other function is touched, which is what
-/// makes function-level parallel compilation correct.
+/// makes function-level parallel compilation correct. A non-null
+/// \p Metrics receives phase2.*/phase3.* distributions (IR sizes, code
+/// words, spills); recording is mutex-guarded, so concurrent function
+/// masters may share one registry.
 FunctionResult compileFunction(const w2::SectionDecl &Section,
                                const w2::FunctionDecl &F,
-                               const codegen::MachineModel &MM);
+                               const codegen::MachineModel &MM,
+                               obs::MetricsRegistry *Metrics = nullptr);
 
 /// Sanity-checks a function master's result against the task it was
 /// asked to compile: the master's defense against a corrupted (poisoned)
@@ -97,16 +104,19 @@ struct ModuleResult {
 
 /// Runs phase 4: combines per-function programs into section images and
 /// links the download module. \p Results must be ordered as the module
-/// declares its functions.
+/// declares its functions. A non-null \p Metrics receives phase4.*
+/// counters (image bytes, code words).
 void assembleAndLink(const w2::ModuleDecl &Module,
                      std::vector<FunctionResult> &&Results,
-                     ModuleResult &Out);
+                     ModuleResult &Out,
+                     obs::MetricsRegistry *Metrics = nullptr);
 
 /// The sequential compiler: all four phases in one process, functions
 /// compiled one after another. The baseline every speedup in the paper is
 /// measured against.
 ModuleResult compileModuleSequential(const std::string &Source,
-                                     const codegen::MachineModel &MM);
+                                     const codegen::MachineModel &MM,
+                                     obs::MetricsRegistry *Metrics = nullptr);
 
 } // namespace driver
 } // namespace warpc

@@ -1,0 +1,262 @@
+//===- ChromeTrace.cpp - Chrome trace-event JSON sink --------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+
+#include "support/Json.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+/// Human-readable event label shown on the Perfetto track.
+std::string eventLabel(const TraceSession &S, const SpanEvent &E) {
+  std::string Name = kindName(E.Kind);
+  // Strip the "span_" prefix for display; the exact kind is in args.
+  if (Name.rfind("span_", 0) == 0)
+    Name = Name.substr(5);
+  if (E.Function >= 0)
+    Name += " '" + S.functionName(E.Function) + "'";
+  else if (E.Section >= 0)
+    Name += " s" + std::to_string(E.Section);
+  return Name;
+}
+
+json::Value eventArgs(const SpanEvent &E) {
+  json::Value Args = json::Value::object();
+  Args.set("kind", json::Value(kindName(E.Kind)));
+  Args.set("t", json::Value(E.TSec));
+  if (E.isSpan())
+    Args.set("dur", json::Value(E.DurSec));
+  if (E.CpuSec != 0)
+    Args.set("cpu", json::Value(E.CpuSec));
+  Args.set("seq", json::Value(E.Seq));
+  if (E.Host >= 0)
+    Args.set("host", json::Value(E.Host));
+  if (E.Section >= 0)
+    Args.set("section", json::Value(E.Section));
+  if (E.Function >= 0)
+    Args.set("fn", json::Value(E.Function));
+  if (E.Attempt > 0)
+    Args.set("attempt", json::Value(E.Attempt));
+  if (E.Cause != FaultCause::None)
+    Args.set("cause", json::Value(causeName(E.Cause)));
+  if (E.Speculative)
+    Args.set("speculative", json::Value(true));
+  return Args;
+}
+
+} // namespace
+
+std::string obs::writeChromeTrace(const TraceSession &S) {
+  json::Value Root = json::Value::object();
+  json::Value Events = json::Value::array();
+
+  const int64_t Pid = 0;
+  auto TidOf = [](const SpanEvent &E) {
+    return static_cast<int64_t>(E.Host >= 0 ? E.Host : 0);
+  };
+
+  // Track-naming metadata. Perfetto shows these as process/thread names.
+  {
+    json::Value M = json::Value::object();
+    M.set("name", json::Value("process_name"));
+    M.set("ph", json::Value("M"));
+    M.set("pid", json::Value(Pid));
+    json::Value Args = json::Value::object();
+    Args.set("name",
+             json::Value(S.Domain == ClockDomain::Simulated
+                             ? "warpc simulated 1989 cluster"
+                             : "warpc thread engine"));
+    M.set("args", std::move(Args));
+    Events.push(std::move(M));
+  }
+  for (uint32_t H = 0; H != S.NumHosts; ++H) {
+    json::Value M = json::Value::object();
+    M.set("name", json::Value("thread_name"));
+    M.set("ph", json::Value("M"));
+    M.set("pid", json::Value(Pid));
+    M.set("tid", json::Value(static_cast<int64_t>(H)));
+    json::Value Args = json::Value::object();
+    std::string TrackName =
+        S.Domain == ClockDomain::Simulated
+            ? (H == 0 ? "ws0 (master)" : "ws" + std::to_string(H))
+            : (H == 0 ? "master" : "worker " + std::to_string(H));
+    Args.set("name", json::Value(TrackName));
+    M.set("args", std::move(Args));
+    Events.push(std::move(M));
+  }
+
+  for (const SpanEvent &E : S.Events) {
+    json::Value Ev = json::Value::object();
+    Ev.set("name", json::Value(eventLabel(S, E)));
+    Ev.set("cat", json::Value(phaseName(E.Ph)));
+    Ev.set("ph", json::Value(E.isSpan() ? "X" : "i"));
+    Ev.set("ts", json::Value(E.TSec * 1e6));
+    if (E.isSpan())
+      Ev.set("dur", json::Value(E.DurSec * 1e6));
+    else
+      Ev.set("s", json::Value("t")); // thread-scoped instant
+    Ev.set("pid", json::Value(Pid));
+    Ev.set("tid", json::Value(TidOf(E)));
+    Ev.set("args", eventArgs(E));
+    Events.push(std::move(Ev));
+  }
+
+  for (const CounterEvent &C : S.Counters) {
+    if (C.Counter < 0 ||
+        static_cast<size_t>(C.Counter) >= S.CounterNames.size())
+      continue;
+    json::Value Ev = json::Value::object();
+    Ev.set("name", json::Value(S.CounterNames[static_cast<size_t>(C.Counter)]));
+    Ev.set("ph", json::Value("C"));
+    Ev.set("ts", json::Value(C.TSec * 1e6));
+    Ev.set("pid", json::Value(Pid));
+    json::Value Args = json::Value::object();
+    Args.set("value", json::Value(C.Value));
+    Args.set("t", json::Value(C.TSec));
+    Args.set("seq", json::Value(C.Seq));
+    Args.set("id", json::Value(C.Counter));
+    Ev.set("args", std::move(Args));
+    Events.push(std::move(Ev));
+  }
+
+  Root.set("traceEvents", std::move(Events));
+  Root.set("displayTimeUnit", json::Value("ms"));
+
+  json::Value Other = json::Value::object();
+  Other.set("tool", json::Value("warpc"));
+  Other.set("clockDomain",
+            json::Value(S.Domain == ClockDomain::Simulated ? "simulated"
+                                                           : "steady"));
+  Other.set("numHosts", json::Value(static_cast<int64_t>(S.NumHosts)));
+  Other.set("numSections", json::Value(static_cast<int64_t>(S.NumSections)));
+  Other.set("numFunctions",
+            json::Value(static_cast<int64_t>(S.NumFunctions)));
+  Other.set("parElapsedSec", json::Value(S.ParElapsedSec));
+  Other.set("seqElapsedSec", json::Value(S.SeqElapsedSec));
+  json::Value FnNames = json::Value::array();
+  for (const std::string &N : S.FunctionNames)
+    FnNames.push(json::Value(N));
+  Other.set("functionNames", std::move(FnNames));
+  json::Value CtrNames = json::Value::array();
+  for (const std::string &N : S.CounterNames)
+    CtrNames.push(json::Value(N));
+  Other.set("counterNames", std::move(CtrNames));
+  Root.set("otherData", std::move(Other));
+
+  return Root.dump(1);
+}
+
+bool obs::writeChromeTraceFile(const TraceSession &S, const std::string &Path,
+                               std::string &Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << writeChromeTrace(S) << "\n";
+  if (!Out) {
+    Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
+                           std::string &Error) {
+  Out = TraceSession();
+  json::Value Root = json::parse(Text, Error);
+  if (!Error.empty())
+    return false;
+  if (!Root.isObject() || !Root.get("traceEvents").isArray()) {
+    Error = "not a Chrome trace: missing traceEvents array";
+    return false;
+  }
+
+  const json::Value &Other = Root.get("otherData");
+  if (Other.isObject()) {
+    Out.Domain = Other.get("clockDomain").str() == "steady"
+                     ? ClockDomain::Steady
+                     : ClockDomain::Simulated;
+    Out.NumHosts = static_cast<uint32_t>(Other.get("numHosts").integer());
+    Out.NumSections =
+        static_cast<uint32_t>(Other.get("numSections").integer());
+    Out.NumFunctions =
+        static_cast<uint32_t>(Other.get("numFunctions").integer());
+    Out.ParElapsedSec = Other.get("parElapsedSec").number();
+    Out.SeqElapsedSec = Other.get("seqElapsedSec").number();
+    for (const json::Value &N : Other.get("functionNames").elements())
+      Out.FunctionNames.push_back(N.str());
+    for (const json::Value &N : Other.get("counterNames").elements())
+      Out.CounterNames.push_back(N.str());
+  }
+
+  for (const json::Value &Ev : Root.get("traceEvents").elements()) {
+    if (!Ev.isObject())
+      continue;
+    const std::string &Ph = Ev.get("ph").str();
+    const json::Value &Args = Ev.get("args");
+    if (Ph == "C") {
+      if (!Args.isObject() || !Args.has("id"))
+        continue;
+      CounterEvent C;
+      C.Counter = static_cast<int32_t>(Args.get("id").integer());
+      C.TSec = Args.get("t").number();
+      C.Value = Args.get("value").number();
+      C.Seq = static_cast<uint64_t>(Args.get("seq").integer());
+      Out.Counters.push_back(C);
+      continue;
+    }
+    if (Ph != "X" && Ph != "i")
+      continue; // metadata and anything exotic
+    if (!Args.isObject())
+      continue;
+    SpanEvent E;
+    if (!kindFromName(Args.get("kind").str(), E.Kind))
+      continue;
+    E.TSec = Args.get("t").number();
+    E.DurSec = Args.has("dur") ? Args.get("dur").number() : -1.0;
+    E.CpuSec = Args.has("cpu") ? Args.get("cpu").number() : 0.0;
+    E.Seq = static_cast<uint64_t>(Args.get("seq").integer());
+    E.Host = Args.has("host")
+                 ? static_cast<int32_t>(Args.get("host").integer())
+                 : -1;
+    E.Section = Args.has("section")
+                    ? static_cast<int32_t>(Args.get("section").integer())
+                    : -1;
+    E.Function = Args.has("fn")
+                     ? static_cast<int32_t>(Args.get("fn").integer())
+                     : -1;
+    E.Attempt = Args.has("attempt")
+                    ? static_cast<int32_t>(Args.get("attempt").integer())
+                    : 0;
+    if (Args.has("cause"))
+      causeFromName(Args.get("cause").str(), E.Cause);
+    E.Speculative = Args.get("speculative").kind() == json::Value::Kind::Bool
+                        ? Args.get("speculative").boolean()
+                        : false;
+    phaseFromName(Ev.get("cat").str(), E.Ph);
+    Out.Events.push_back(E);
+  }
+  return true;
+}
+
+bool obs::readChromeTraceFile(const std::string &Path, TraceSession &Out,
+                              std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parseChromeTrace(Buf.str(), Out, Error);
+}

@@ -1,0 +1,52 @@
+//===- ChromeTrace.h - Chrome trace-event JSON sink -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a TraceSession to the Chrome trace-event JSON format (the
+/// "JSON Array Format" with an object wrapper), loadable in Perfetto or
+/// chrome://tracing: one track (tid) per simulated workstation or real
+/// worker thread, complete ("X") events for spans, instant ("i") events
+/// for milestones and fault decisions, and counter ("C") events for time
+/// series. Timestamps are microseconds as the format requires; every
+/// event additionally carries the exact double-precision seconds (and all
+/// typed fields) under "args", and the run-level aggregates ride in the
+/// top-level "otherData" object, so parseChromeTrace() reconstructs the
+/// session losslessly — the trace file carries the same information as
+/// the aggregate stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_CHROMETRACE_H
+#define WARPC_OBS_CHROMETRACE_H
+
+#include "obs/Event.h"
+
+#include <string>
+
+namespace warpc {
+namespace obs {
+
+/// Serializes \p S as a Chrome trace-event JSON document.
+std::string writeChromeTrace(const TraceSession &S);
+
+/// Writes writeChromeTrace(S) to \p Path; false + \p Error on I/O failure.
+bool writeChromeTraceFile(const TraceSession &S, const std::string &Path,
+                          std::string &Error);
+
+/// Parses a document produced by writeChromeTrace back into a session.
+/// Unknown events are skipped; malformed JSON or a missing traceEvents
+/// array fails with \p Error set.
+bool parseChromeTrace(const std::string &Text, TraceSession &Out,
+                      std::string &Error);
+
+/// Reads \p Path and parses it; false + \p Error on failure.
+bool readChromeTraceFile(const std::string &Path, TraceSession &Out,
+                         std::string &Error);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_CHROMETRACE_H

@@ -1,0 +1,153 @@
+//===- Event.cpp - Typed trace events -----------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Event.h"
+
+#include "support/StringUtils.h"
+
+#include <utility>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+constexpr std::pair<EventKind, const char *> KindNames[] = {
+    {EventKind::SpanMasterFork, "span_master_fork"},
+    {EventKind::SpanStartup, "span_startup"},
+    {EventKind::SpanParse, "span_parse"},
+    {EventKind::SpanSchedule, "span_schedule"},
+    {EventKind::SpanSectionFork, "span_section_fork"},
+    {EventKind::SpanDirectives, "span_directives"},
+    {EventKind::SpanFunctionFork, "span_function_fork"},
+    {EventKind::SpanCompile, "span_compile"},
+    {EventKind::SpanCombine, "span_combine"},
+    {EventKind::SpanAssembly, "span_assembly"},
+    {EventKind::SpanMasterRecompile, "span_master_recompile"},
+    {EventKind::PlacementFailed, "placement_failed"},
+    {EventKind::AttemptLost, "attempt_lost"},
+    {EventKind::MessageLost, "message_lost"},
+    {EventKind::TimeoutFired, "timeout_fired"},
+    {EventKind::Reassigned, "reassigned"},
+    {EventKind::SpeculationLaunched, "speculation_launched"},
+    {EventKind::ResultRejected, "result_rejected"},
+    {EventKind::FunctionDone, "function_done"},
+    {EventKind::SectionDone, "section_done"},
+    {EventKind::AllSectionsDone, "all_sections_done"},
+    {EventKind::ModuleLinked, "module_linked"},
+    {EventKind::RunComplete, "run_complete"},
+};
+
+constexpr std::pair<Phase, const char *> PhaseNames[] = {
+    {Phase::Setup, "setup"},       {Phase::Parse, "parse"},
+    {Phase::Schedule, "schedule"}, {Phase::Compile, "compile"},
+    {Phase::Combine, "combine"},   {Phase::Assembly, "assembly"},
+    {Phase::Recovery, "recovery"},
+};
+
+constexpr std::pair<FaultCause, const char *> CauseNames[] = {
+    {FaultCause::None, "none"},
+    {FaultCause::HostDown, "host_down"},
+    {FaultCause::CrashDuringStartup, "crash_during_startup"},
+    {FaultCause::CrashDuringCompile, "crash_during_compile"},
+    {FaultCause::CrashDuringResult, "crash_during_result"},
+    {FaultCause::MessageLoss, "message_loss"},
+    {FaultCause::TimeoutExpired, "timeout_expired"},
+    {FaultCause::AttemptCapReached, "attempt_cap_reached"},
+    {FaultCause::PoisonedResult, "poisoned_result"},
+    {FaultCause::Superseded, "superseded"},
+};
+
+} // namespace
+
+const char *obs::kindName(EventKind K) {
+  for (const auto &[Kind, Name] : KindNames)
+    if (Kind == K)
+      return Name;
+  return "unknown";
+}
+
+bool obs::kindFromName(const std::string &Name, EventKind &K) {
+  for (const auto &[Kind, KName] : KindNames) {
+    if (Name == KName) {
+      K = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool obs::isSpanKind(EventKind K) {
+  switch (K) {
+  case EventKind::SpanMasterFork:
+  case EventKind::SpanStartup:
+  case EventKind::SpanParse:
+  case EventKind::SpanSchedule:
+  case EventKind::SpanSectionFork:
+  case EventKind::SpanDirectives:
+  case EventKind::SpanFunctionFork:
+  case EventKind::SpanCompile:
+  case EventKind::SpanCombine:
+  case EventKind::SpanAssembly:
+  case EventKind::SpanMasterRecompile:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *obs::phaseName(Phase P) {
+  for (const auto &[Ph, Name] : PhaseNames)
+    if (Ph == P)
+      return Name;
+  return "unknown";
+}
+
+bool obs::phaseFromName(const std::string &Name, Phase &P) {
+  for (const auto &[Ph, PName] : PhaseNames) {
+    if (Name == PName) {
+      P = Ph;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char *obs::causeName(FaultCause C) {
+  for (const auto &[Cause, Name] : CauseNames)
+    if (Cause == C)
+      return Name;
+  return "unknown";
+}
+
+bool obs::causeFromName(const std::string &Name, FaultCause &C) {
+  for (const auto &[Cause, CName] : CauseNames) {
+    if (Name == CName) {
+      C = Cause;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string obs::renderEvent(const TraceSession &S, const SpanEvent &E) {
+  std::string Who = E.Host >= 0 ? "ws" + std::to_string(E.Host) : "run";
+  std::string Out = "[" + padLeft(formatDouble(E.TSec, 1), 9) + "s] " + Who +
+                    ": " + kindName(E.Kind);
+  if (E.Function >= 0)
+    Out += " '" + S.functionName(E.Function) + "'";
+  else if (E.Section >= 0)
+    Out += " section " + std::to_string(E.Section);
+  if (E.Attempt > 1)
+    Out += " (attempt " + std::to_string(E.Attempt) + ")";
+  if (E.Speculative)
+    Out += " (speculative)";
+  if (E.Cause != FaultCause::None)
+    Out += " cause=" + std::string(causeName(E.Cause));
+  if (E.isSpan())
+    Out += " dur=" + formatDouble(E.DurSec, 1) + "s";
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===- Event.h - Typed trace events -----------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed, allocation-light event model for both execution engines.
+/// A SpanEvent is one fixed-size record: enum kind, host id, section and
+/// function ids (interned — names live in the TraceSession string table),
+/// phase, attempt number, and fault cause. It replaces the old free-text
+/// TraceEvent{AtSec, What}, which nothing downstream could aggregate
+/// without regex-scraping. Events from the cluster simulator carry
+/// simulated seconds; events from the thread engine carry steady-clock
+/// seconds since the run started — the ClockDomain on the session says
+/// which.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_EVENT_H
+#define WARPC_OBS_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+/// What one event records. Span* kinds carry a duration; the rest are
+/// instants (DurSec < 0).
+enum class EventKind : uint8_t {
+  // Spans (work with extent in time).
+  SpanMasterFork,      ///< Master forks the Lisp parse process.
+  SpanStartup,         ///< Lisp process startup (download + init).
+  SpanParse,           ///< Phase 1 in the master's Lisp process.
+  SpanSchedule,        ///< Master's scheduling decision.
+  SpanSectionFork,     ///< Master forks one section master.
+  SpanDirectives,      ///< Section master interprets directives.
+  SpanFunctionFork,    ///< Section master forks one function master.
+  SpanCompile,         ///< Phases 2+3 of one function on one host.
+  SpanCombine,         ///< Section master combines results.
+  SpanAssembly,        ///< Phase 4 in the master's Lisp process.
+  SpanMasterRecompile, ///< Attempt-cap fallback in the master.
+
+  // Instants (milestones and fault-handling decisions).
+  PlacementFailed,  ///< Target host down at fork time.
+  AttemptLost,      ///< Work lost to a crash (see Cause).
+  MessageLost,      ///< Completion message dropped.
+  TimeoutFired,     ///< Master-side watchdog expired.
+  Reassigned,       ///< Function re-placed on another host.
+  SpeculationLaunched, ///< Straggler duplicate started.
+  ResultRejected,   ///< Poisoned result failed validation.
+  FunctionDone,     ///< A function's result was accepted.
+  SectionDone,      ///< A section reported to the master.
+  AllSectionsDone,  ///< Assembly can begin.
+  ModuleLinked,     ///< Download module linked.
+  RunComplete,      ///< Final image transfer landed.
+};
+
+/// Returns a stable lowercase identifier ("span_compile", "timeout_fired")
+/// used in serialized traces; kindFromName inverts it.
+const char *kindName(EventKind K);
+bool kindFromName(const std::string &Name, EventKind &K);
+
+/// Returns true for Span* kinds.
+bool isSpanKind(EventKind K);
+
+/// The paper's phase taxonomy, used as the Chrome trace category so
+/// Perfetto can filter tracks by phase.
+enum class Phase : uint8_t {
+  Setup,    ///< Forks and process startup.
+  Parse,    ///< Phase 1.
+  Schedule, ///< Partitioning decision.
+  Compile,  ///< Phases 2+3 on the function masters.
+  Combine,  ///< Section-master result combination.
+  Assembly, ///< Phase 4.
+  Recovery, ///< Fault handling: timeouts, retries, fallbacks.
+};
+
+const char *phaseName(Phase P);
+bool phaseFromName(const std::string &Name, Phase &P);
+
+/// Why a fault-handling event happened.
+enum class FaultCause : uint8_t {
+  None,
+  HostDown,           ///< Host unreachable at placement time.
+  CrashDuringStartup, ///< Host crashed while the Lisp image loaded.
+  CrashDuringCompile, ///< Host crashed mid-compile.
+  CrashDuringResult,  ///< Host crashed writing the result file.
+  MessageLoss,        ///< Completion message dropped by the network.
+  TimeoutExpired,     ///< Watchdog declared the attempt lost.
+  AttemptCapReached,  ///< Retries exhausted; master takes over.
+  PoisonedResult,     ///< Result file failed validation.
+  Superseded,         ///< A competing attempt delivered first.
+};
+
+const char *causeName(FaultCause C);
+bool causeFromName(const std::string &Name, FaultCause &C);
+
+/// One trace record. 56 bytes, no owned strings: names are interned in
+/// the TraceSession the event belongs to.
+struct SpanEvent {
+  double TSec = 0;    ///< Start time (or instant time) in seconds.
+  double DurSec = -1; ///< Extent; negative for instants.
+  /// CPU seconds attributed to the implementation-overhead ledger
+  /// (master/section-master coordination work). Zero for events that do
+  /// not contribute; lets the analyzer rebuild the Section 4.2.3
+  /// decomposition from the trace alone.
+  double CpuSec = 0;
+  uint64_t Seq = 0;   ///< Emission order: the deterministic tie-break.
+  int32_t Host = -1;  ///< Simulated workstation or thread lane; -1 n/a.
+  int32_t Section = -1;
+  int32_t Function = -1; ///< Flat function id into the name table.
+  int32_t Attempt = 0;   ///< 1-based attempt number; 0 when n/a.
+  EventKind Kind = EventKind::RunComplete;
+  Phase Ph = Phase::Setup;
+  FaultCause Cause = FaultCause::None;
+  bool Speculative = false;
+
+  bool isSpan() const { return DurSec >= 0; }
+  double endSec() const { return isSpan() ? TSec + DurSec : TSec; }
+};
+
+/// One sample of a named time series (queue depths, load estimates).
+struct CounterEvent {
+  double TSec = 0;
+  double Value = 0;
+  uint64_t Seq = 0;
+  int32_t Counter = -1; ///< Id into the session's counter-name table.
+};
+
+/// Which clock the timestamps come from.
+enum class ClockDomain : uint8_t {
+  Simulated, ///< Discrete-event simulation seconds.
+  Steady,    ///< std::chrono::steady_clock seconds since run start.
+};
+
+/// A complete recorded run: events in deterministic (TSec, Seq) order
+/// plus the tables that give ids their names and the run-level aggregates
+/// the analyzer needs to reproduce computeOverheads.
+struct TraceSession {
+  ClockDomain Domain = ClockDomain::Simulated;
+  std::vector<SpanEvent> Events;
+  std::vector<CounterEvent> Counters;
+  std::vector<std::string> FunctionNames; ///< Indexed by SpanEvent::Function.
+  std::vector<std::string> CounterNames;  ///< Indexed by CounterEvent::Counter.
+  uint32_t NumHosts = 0;
+  uint32_t NumSections = 0;
+
+  // Run-level aggregates (carried in the trace file's otherData block).
+  double ParElapsedSec = 0;
+  double SeqElapsedSec = 0; ///< Zero when no sequential baseline was run.
+  uint32_t NumFunctions = 0;
+
+  const std::string &functionName(int32_t Id) const {
+    static const std::string Unknown = "?";
+    return Id >= 0 && static_cast<size_t>(Id) < FunctionNames.size()
+               ? FunctionNames[static_cast<size_t>(Id)]
+               : Unknown;
+  }
+};
+
+/// Renders one event as a human-readable line (the successor of the old
+/// free-text TraceEvent strings), e.g.
+/// "ws3: compile 'f4' (attempt 1) 612.0s..1843.2s".
+std::string renderEvent(const TraceSession &S, const SpanEvent &E);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_EVENT_H

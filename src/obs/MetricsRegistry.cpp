@@ -1,0 +1,138 @@
+//===- MetricsRegistry.cpp - Counters, gauges, histograms ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include <cmath>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+unsigned Histogram::bucketFor(double Value) {
+  if (!(Value > 0))
+    return 0;
+  int E = std::ilogb(Value); // floor(log2(Value)) for finite positives
+  int Index = E + 32;
+  if (Index < 0)
+    Index = 0;
+  if (Index >= static_cast<int>(NumBuckets))
+    Index = NumBuckets - 1;
+  return static_cast<unsigned>(Index);
+}
+
+double Histogram::bucketLowerBound(unsigned Index) {
+  if (Index == 0)
+    return 0;
+  return std::ldexp(1.0, static_cast<int>(Index) - 32);
+}
+
+void Histogram::record(double Value) {
+  ++Buckets[bucketFor(Value)];
+  if (Count == 0 || Value < Min)
+    Min = Value;
+  if (Count == 0 || Value > Max)
+    Max = Value;
+  ++Count;
+  Sum += Value;
+}
+
+template <class T>
+T *MetricsRegistry::find(std::vector<Named<T>> &Vec, std::string_view Name) {
+  for (auto &N : Vec)
+    if (N.Name == Name)
+      return &N.Value;
+  return nullptr;
+}
+
+template <class T>
+const T *MetricsRegistry::find(const std::vector<Named<T>> &Vec,
+                               std::string_view Name) {
+  for (const auto &N : Vec)
+    if (N.Name == Name)
+      return &N.Value;
+  return nullptr;
+}
+
+template <class T>
+T &MetricsRegistry::findOrCreate(std::vector<Named<T>> &Vec,
+                                 std::string_view Name) {
+  if (T *V = find(Vec, Name))
+    return *V;
+  Vec.push_back(Named<T>{std::string(Name), T{}});
+  return Vec.back().Value;
+}
+
+void MetricsRegistry::add(std::string_view Name, double Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  findOrCreate(Counters, Name) += Delta;
+}
+
+void MetricsRegistry::setGauge(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  findOrCreate(Gauges, Name) = Value;
+}
+
+void MetricsRegistry::observe(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  findOrCreate(Histograms, Name).record(Value);
+}
+
+double MetricsRegistry::counter(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const double *V = find(Counters, Name);
+  return V ? *V : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const double *V = find(Gauges, Name);
+  return V ? *V : 0;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const Histogram *H = find(Histograms, Name);
+  return H ? *H : Histogram{};
+}
+
+json::Value MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  json::Value Root = json::Value::object();
+
+  json::Value CountersV = json::Value::object();
+  for (const auto &N : Counters)
+    CountersV.set(N.Name, json::Value(N.Value));
+  Root.set("counters", std::move(CountersV));
+
+  json::Value GaugesV = json::Value::object();
+  for (const auto &N : Gauges)
+    GaugesV.set(N.Name, json::Value(N.Value));
+  Root.set("gauges", std::move(GaugesV));
+
+  json::Value HistsV = json::Value::object();
+  for (const auto &N : Histograms) {
+    const Histogram &H = N.Value;
+    json::Value HV = json::Value::object();
+    HV.set("count", json::Value(H.Count));
+    HV.set("sum", json::Value(H.Sum));
+    HV.set("min", json::Value(H.Min));
+    HV.set("max", json::Value(H.Max));
+    HV.set("mean", json::Value(H.mean()));
+    json::Value BucketsV = json::Value::array();
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+      if (H.Buckets[I] == 0)
+        continue;
+      json::Value Pair = json::Value::array();
+      Pair.push(json::Value(Histogram::bucketLowerBound(I)));
+      Pair.push(json::Value(H.Buckets[I]));
+      BucketsV.push(std::move(Pair));
+    }
+    HV.set("buckets", std::move(BucketsV));
+    HistsV.set(N.Name, std::move(HV));
+  }
+  Root.set("histograms", std::move(HistsV));
+  return Root;
+}

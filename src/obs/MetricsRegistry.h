@@ -1,0 +1,93 @@
+//===- MetricsRegistry.h - Counters, gauges, histograms ---------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics registry threaded through the compiler driver's four
+/// phases and the fault-recovery paths of both parallel engines.
+/// Counters accumulate, gauges hold the latest value, histograms bucket
+/// observations into fixed log2 buckets (bucket i covers
+/// [2^(i-32), 2^(i-31)); nonpositive values land in bucket 0), so a
+/// distribution of compile times or code sizes serializes as 64 integers
+/// regardless of sample count. All mutation is mutex-guarded: the thread
+/// engine's function masters record concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_METRICSREGISTRY_H
+#define WARPC_OBS_METRICSREGISTRY_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+/// Fixed-bucket log2 histogram.
+struct Histogram {
+  static constexpr unsigned NumBuckets = 64;
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+
+  /// Bucket index for \p Value: 32 + floor(log2(Value)), clamped.
+  static unsigned bucketFor(double Value);
+  /// Inclusive lower bound of bucket \p Index (0 for the first bucket).
+  static double bucketLowerBound(unsigned Index);
+
+  void record(double Value);
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+};
+
+/// Named counters, gauges, and histograms. Lookup interns the name on
+/// first use; readers snapshot under the same lock as writers.
+class MetricsRegistry {
+public:
+  void add(std::string_view Name, double Delta = 1.0);
+  void setGauge(std::string_view Name, double Value);
+  void observe(std::string_view Name, double Value);
+
+  double counter(std::string_view Name) const;
+  double gauge(std::string_view Name) const;
+  /// Copy of the named histogram (zeroed if never observed).
+  Histogram histogram(std::string_view Name) const;
+
+  /// Serializes the registry:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"count": n, "sum": s, "min": m, "max": M, "mean": u,
+  ///   "buckets": [[lowerBound, count], ...nonzero only]}}}
+  json::Value toJson() const;
+
+private:
+  template <class T> struct Named {
+    std::string Name;
+    T Value{};
+  };
+  template <class T>
+  static T *find(std::vector<Named<T>> &Vec, std::string_view Name);
+  template <class T>
+  static const T *find(const std::vector<Named<T>> &Vec,
+                       std::string_view Name);
+  template <class T>
+  static T &findOrCreate(std::vector<Named<T>> &Vec, std::string_view Name);
+
+  mutable std::mutex Mutex;
+  std::vector<Named<double>> Counters;
+  std::vector<Named<double>> Gauges;
+  std::vector<Named<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_METRICSREGISTRY_H

@@ -1,0 +1,285 @@
+//===- TraceAnalysis.cpp - Critical-path trace analysis ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceAnalysis.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+/// (TSec, Seq) order — the deterministic total order of the stream.
+bool before(const SpanEvent &A, const SpanEvent &B) {
+  if (A.TSec != B.TSec)
+    return A.TSec < B.TSec;
+  return A.Seq < B.Seq;
+}
+
+/// Latest event of \p K satisfying \p Pred, by (TSec, Seq).
+template <class Pred>
+const SpanEvent *latest(const TraceSession &S, EventKind K, Pred P) {
+  const SpanEvent *Best = nullptr;
+  for (const SpanEvent &E : S.Events)
+    if (E.Kind == K && P(E) && (!Best || before(*Best, E)))
+      Best = &E;
+  return Best;
+}
+
+const SpanEvent *latest(const TraceSession &S, EventKind K) {
+  return latest(S, K, [](const SpanEvent &) { return true; });
+}
+
+bool isMasterCpuKind(EventKind K) {
+  return K == EventKind::SpanMasterFork || K == EventKind::SpanParse ||
+         K == EventKind::SpanSchedule || K == EventKind::SpanSectionFork;
+}
+
+bool isSectionCpuKind(EventKind K) {
+  return K == EventKind::SpanFunctionFork ||
+         K == EventKind::SpanDirectives || K == EventKind::SpanCombine;
+}
+
+} // namespace
+
+TraceReport obs::analyzeTrace(const TraceSession &S) {
+  TraceReport R;
+  R.ParElapsedSec = S.ParElapsedSec;
+  R.SeqElapsedSec = S.SeqElapsedSec;
+  R.NumFunctions = S.NumFunctions;
+
+  // A session that never had run totals attached still has an elapsed
+  // time: the last event's end.
+  if (R.ParElapsedSec <= 0)
+    for (const SpanEvent &E : S.Events)
+      R.ParElapsedSec = std::max(R.ParElapsedSec, E.endSec());
+
+  // --- Per-host utilization and the CPU / fault ledgers, in one pass.
+  uint32_t NumHosts = S.NumHosts;
+  for (const SpanEvent &E : S.Events)
+    if (E.Host >= 0)
+      NumHosts = std::max(NumHosts, static_cast<uint32_t>(E.Host) + 1);
+  R.Hosts.resize(NumHosts);
+  for (uint32_t H = 0; H != NumHosts; ++H)
+    R.Hosts[H].Host = static_cast<int32_t>(H);
+
+  for (const SpanEvent &E : S.Events) {
+    if (E.isSpan() && E.Host >= 0) {
+      HostUtilization &U = R.Hosts[static_cast<size_t>(E.Host)];
+      U.BusySec += E.DurSec;
+      ++U.Spans;
+    }
+    if (isMasterCpuKind(E.Kind))
+      R.MasterCpuSec += E.CpuSec;
+    else if (isSectionCpuKind(E.Kind))
+      R.SectionCpuSec += E.CpuSec;
+    switch (E.Kind) {
+    case EventKind::TimeoutFired:
+      ++R.TimeoutsFired;
+      break;
+    case EventKind::Reassigned:
+      ++R.Reassignments;
+      break;
+    case EventKind::SpeculationLaunched:
+      ++R.SpeculationsLaunched;
+      break;
+    case EventKind::SpanMasterRecompile:
+      ++R.MasterRecompiles;
+      break;
+    case EventKind::MessageLost:
+      ++R.MessagesLost;
+      break;
+    case EventKind::AttemptLost:
+      ++R.AttemptsLost;
+      break;
+    case EventKind::ResultRejected:
+      ++R.ResultsRejected;
+      break;
+    case EventKind::FunctionDone:
+      ++R.FunctionsCompleted;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // --- Section 4.2.3 decomposition, exactly as computeOverheads does it:
+  // total = par elapsed - seq elapsed / k; impl = coordination CPU;
+  // sys = total - impl. Requires a sequential baseline and k > 0.
+  if (S.NumFunctions > 0 && S.SeqElapsedSec > 0) {
+    R.HasOverheads = true;
+    R.TotalOverheadSec =
+        R.ParElapsedSec - R.SeqElapsedSec / S.NumFunctions;
+    R.ImplOverheadSec = R.MasterCpuSec + R.SectionCpuSec;
+    R.SysOverheadSec = R.TotalOverheadSec - R.ImplOverheadSec;
+  }
+
+  // --- Critical path: walk the winning chain backwards from the end of
+  // the run, then emit it forwards. Each selector tolerates a missing
+  // hop so the walk works for both engines' event shapes.
+  std::vector<const SpanEvent *> Path;
+  auto Add = [&](const SpanEvent *E) {
+    if (E)
+      Path.push_back(E);
+  };
+
+  const SpanEvent *SectionEnd = latest(S, EventKind::SectionDone);
+  int32_t CritSection = SectionEnd ? SectionEnd->Section : -1;
+  auto InCritSection = [&](const SpanEvent &E) {
+    return CritSection < 0 || E.Section == CritSection;
+  };
+
+  const SpanEvent *Done =
+      latest(S, EventKind::FunctionDone, InCritSection);
+  int32_t CritFn = Done ? Done->Function : -1;
+  int32_t CritAttempt = Done ? Done->Attempt : 0;
+  auto IsCritAttempt = [&](const SpanEvent &E) {
+    return E.Function == CritFn && E.Attempt == CritAttempt;
+  };
+
+  Add(latest(S, EventKind::SpanMasterFork));
+  Add(latest(S, EventKind::SpanStartup,
+             [](const SpanEvent &E) { return E.Function < 0; }));
+  Add(latest(S, EventKind::SpanParse));
+  Add(latest(S, EventKind::SpanSchedule));
+  Add(latest(S, EventKind::SpanSectionFork, InCritSection));
+  Add(latest(S, EventKind::SpanDirectives, InCritSection));
+  if (CritFn >= 0) {
+    // Attempt 0 on the winning FunctionDone marks a master-fallback win;
+    // otherwise the winner was a distributed attempt and its own
+    // fork/startup/compile spans are the chain.
+    const SpanEvent *Recompile =
+        CritAttempt == 0
+            ? latest(S, EventKind::SpanMasterRecompile,
+                     [&](const SpanEvent &E) { return E.Function == CritFn; })
+            : nullptr;
+    if (Recompile) {
+      Add(Recompile);
+    } else {
+      Add(latest(S, EventKind::SpanFunctionFork, IsCritAttempt));
+      Add(latest(S, EventKind::SpanStartup, IsCritAttempt));
+      Add(latest(S, EventKind::SpanCompile, IsCritAttempt));
+    }
+  }
+  Add(Done);
+  Add(latest(S, EventKind::SpanCombine, InCritSection));
+  Add(SectionEnd);
+  Add(latest(S, EventKind::AllSectionsDone));
+  Add(latest(S, EventKind::SpanAssembly));
+  Add(latest(S, EventKind::ModuleLinked));
+  Add(latest(S, EventKind::RunComplete));
+
+  std::sort(Path.begin(), Path.end(),
+            [](const SpanEvent *A, const SpanEvent *B) {
+              return before(*A, *B);
+            });
+
+  double PrevEnd = 0;
+  for (const SpanEvent *E : Path) {
+    CriticalPathStep Step;
+    Step.E = *E;
+    Step.WaitBeforeSec = std::max(0.0, E->TSec - PrevEnd);
+    R.CriticalPathWaitSec += Step.WaitBeforeSec;
+    PrevEnd = std::max(PrevEnd, E->endSec());
+    R.CriticalPath.push_back(Step);
+  }
+  return R;
+}
+
+std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
+  std::string Out;
+  auto Line = [&](const std::string &T) { Out += T + "\n"; };
+
+  Line("=== warp-traceview ===");
+  Line("clock domain: " +
+       std::string(S.Domain == ClockDomain::Simulated
+                       ? "simulated 1989 cluster"
+                       : "steady (thread engine)") +
+       "; hosts: " + std::to_string(R.Hosts.size()) +
+       "; sections: " + std::to_string(S.NumSections) +
+       "; functions: " + std::to_string(R.NumFunctions));
+  Line("events: " + std::to_string(S.Events.size()) + " (" +
+       std::to_string(S.Counters.size()) + " counter sample(s))");
+  std::string Elapsed =
+      "parallel elapsed: " + formatDouble(R.ParElapsedSec, 1) + " s";
+  if (R.SeqElapsedSec > 0)
+    Elapsed +=
+        "; sequential baseline: " + formatDouble(R.SeqElapsedSec, 1) + " s";
+  Line(Elapsed);
+
+  Line("");
+  Line("-- critical path --");
+  for (const CriticalPathStep &Step : R.CriticalPath) {
+    const SpanEvent &E = Step.E;
+    std::string Row = "  " + padLeft(formatDouble(E.TSec, 1), 9) + "s  ";
+    Row += E.isSpan() ? padLeft(formatDouble(E.DurSec, 1), 8) + "s  "
+                      : padLeft("-", 9) + "  ";
+    std::string Name = kindName(E.Kind);
+    if (Name.rfind("span_", 0) == 0)
+      Name = Name.substr(5);
+    if (E.Host >= 0)
+      Name += " @ws" + std::to_string(E.Host);
+    if (E.Function >= 0)
+      Name += " '" + S.functionName(E.Function) + "'";
+    else if (E.Section >= 0)
+      Name += " section " + std::to_string(E.Section);
+    if (E.Attempt > 1)
+      Name += " (attempt " + std::to_string(E.Attempt) + ")";
+    Row += padRight(Name, 44);
+    if (Step.WaitBeforeSec > 0)
+      Row += "  wait " + formatDouble(Step.WaitBeforeSec, 1) + "s";
+    Line(Row);
+  }
+  Line("  critical-path wait total: " +
+       formatDouble(R.CriticalPathWaitSec, 1) + " s");
+
+  Line("");
+  Line("-- per-host utilization --");
+  for (const HostUtilization &U : R.Hosts) {
+    double Pct = U.utilizationPct(R.ParElapsedSec);
+    unsigned Filled =
+        static_cast<unsigned>(std::min(100.0, std::max(0.0, Pct)) / 5.0);
+    std::string Bar(Filled, '#');
+    Bar.resize(20, '.');
+    Line("  " + padRight("ws" + std::to_string(U.Host), 5) + "[" + Bar +
+         "] " + padLeft(formatDouble(Pct, 1), 5) + "%  busy " +
+         formatDouble(U.BusySec, 0) + " s in " + std::to_string(U.Spans) +
+         " span(s)");
+  }
+
+  if (R.HasOverheads) {
+    Line("");
+    Line("-- overhead decomposition (Section 4.2.3) --");
+    Line("  total overhead:          " +
+         padLeft(formatDouble(R.TotalOverheadSec, 1), 10) + " s  (" +
+         formatDouble(R.relTotalPct(), 1) + "% of parallel elapsed)");
+    Line("  implementation overhead: " +
+         padLeft(formatDouble(R.ImplOverheadSec, 1), 10) + " s  (master " +
+         formatDouble(R.MasterCpuSec, 1) + " s, section masters " +
+         formatDouble(R.SectionCpuSec, 1) + " s)");
+    Line("  system overhead:         " +
+         padLeft(formatDouble(R.SysOverheadSec, 1), 10) + " s  (" +
+         formatDouble(R.relSysPct(), 1) + "%)");
+  }
+
+  if (R.TimeoutsFired || R.Reassignments || R.SpeculationsLaunched ||
+      R.MasterRecompiles || R.MessagesLost || R.AttemptsLost ||
+      R.ResultsRejected) {
+    Line("");
+    Line("-- fault recovery --");
+    Line("  timeouts fired:     " + std::to_string(R.TimeoutsFired));
+    Line("  reassignments:      " + std::to_string(R.Reassignments));
+    Line("  speculations:       " + std::to_string(R.SpeculationsLaunched));
+    Line("  master recompiles:  " + std::to_string(R.MasterRecompiles));
+    Line("  messages lost:      " + std::to_string(R.MessagesLost));
+    Line("  attempts lost:      " + std::to_string(R.AttemptsLost));
+    Line("  results rejected:   " + std::to_string(R.ResultsRejected));
+  }
+  return Out;
+}

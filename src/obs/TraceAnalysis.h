@@ -1,0 +1,100 @@
+//===- TraceAnalysis.h - Critical-path trace analysis -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs a run from its trace: the critical path through the
+/// master -> section master -> function master chain, per-host busy/idle
+/// utilization, and the paper's Section 4.2.3 overhead decomposition
+/// rebuilt from the spans' CPU attributions — provably the same numbers
+/// as parallel::computeOverheads on the aggregate stats, which is what
+/// makes the trace a trustworthy artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_TRACEANALYSIS_H
+#define WARPC_OBS_TRACEANALYSIS_H
+
+#include "obs/Event.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+/// Busy/idle accounting for one host (workstation or worker thread).
+struct HostUtilization {
+  int32_t Host = -1;
+  double BusySec = 0; ///< Sum of span extents on this host's track.
+  unsigned Spans = 0;
+  double utilizationPct(double ElapsedSec) const {
+    return ElapsedSec > 0 ? 100.0 * BusySec / ElapsedSec : 0;
+  }
+};
+
+/// One hop of the critical path, in time order.
+struct CriticalPathStep {
+  SpanEvent E;
+  /// Dead time between the previous hop's end and this hop's start
+  /// (queueing, network transfers, scheduling gaps).
+  double WaitBeforeSec = 0;
+};
+
+/// Everything the analyzer derives from one trace.
+struct TraceReport {
+  double ParElapsedSec = 0;
+  double SeqElapsedSec = 0;
+  uint32_t NumFunctions = 0;
+
+  // Implementation-overhead CPU rebuilt from the spans' cpu attributions.
+  double MasterCpuSec = 0;
+  double SectionCpuSec = 0;
+
+  // The Section 4.2.3 decomposition (zeroed when the trace carries no
+  // sequential baseline or has zero functions — same convention as
+  // parallel::computeOverheads).
+  double TotalOverheadSec = 0;
+  double ImplOverheadSec = 0;
+  double SysOverheadSec = 0;
+  bool HasOverheads = false;
+
+  double relTotalPct() const {
+    return ParElapsedSec > 0 ? 100.0 * TotalOverheadSec / ParElapsedSec : 0;
+  }
+  double relSysPct() const {
+    return ParElapsedSec > 0 ? 100.0 * SysOverheadSec / ParElapsedSec : 0;
+  }
+
+  std::vector<HostUtilization> Hosts; ///< Indexed by host id.
+  std::vector<CriticalPathStep> CriticalPath; ///< Time order.
+  /// Sum of WaitBeforeSec over the path: elapsed time nothing on the
+  /// critical chain was computing.
+  double CriticalPathWaitSec = 0;
+
+  // Fault-recovery tallies seen in the trace.
+  unsigned TimeoutsFired = 0;
+  unsigned Reassignments = 0;
+  unsigned SpeculationsLaunched = 0;
+  unsigned MasterRecompiles = 0;
+  unsigned MessagesLost = 0;
+  unsigned AttemptsLost = 0;
+  unsigned ResultsRejected = 0;
+  unsigned FunctionsCompleted = 0;
+};
+
+/// Analyzes \p S. Works on both freshly recorded sessions and sessions
+/// parsed back from a trace-JSON file.
+TraceReport analyzeTrace(const TraceSession &S);
+
+/// Renders the report as the warp-traceview text output: the critical
+/// path with waits, a per-host utilization bar chart, the overhead
+/// decomposition, and the fault tallies.
+std::string renderReport(const TraceSession &S, const TraceReport &R);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_TRACEANALYSIS_H

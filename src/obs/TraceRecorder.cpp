@@ -1,0 +1,102 @@
+//===- TraceRecorder.cpp - Trace event recording -------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceRecorder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+SpanEvent &TraceRecorder::Lane::instant(double TSec, EventKind K, Phase Ph) {
+  SpanEvent E;
+  E.TSec = TSec;
+  E.DurSec = -1;
+  E.Kind = K;
+  E.Ph = Ph;
+  E.Seq = Parent.NextSeq.fetch_add(1, std::memory_order_relaxed);
+  Events.push_back(E);
+  return Events.back();
+}
+
+SpanEvent &TraceRecorder::Lane::span(double TSec, double DurSec, EventKind K,
+                                     Phase Ph) {
+  assert(DurSec >= 0 && "span duration must be nonnegative");
+  SpanEvent &E = instant(TSec, K, Ph);
+  E.DurSec = DurSec;
+  return E;
+}
+
+void TraceRecorder::Lane::counter(double TSec, int32_t CounterId,
+                                  double Value) {
+  CounterEvent C;
+  C.TSec = TSec;
+  C.Value = Value;
+  C.Counter = CounterId;
+  C.Seq = Parent.NextSeq.fetch_add(1, std::memory_order_relaxed);
+  Counters.push_back(C);
+}
+
+TraceRecorder::TraceRecorder(ClockDomain Domain)
+    : Domain(Domain), Start(std::chrono::steady_clock::now()) {
+  Session.Domain = Domain;
+  makeLanes(1);
+}
+
+double TraceRecorder::nowSec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+int32_t TraceRecorder::internFunction(std::string_view Name) {
+  for (size_t I = 0; I != Session.FunctionNames.size(); ++I)
+    if (Session.FunctionNames[I] == Name)
+      return static_cast<int32_t>(I);
+  Session.FunctionNames.emplace_back(Name);
+  return static_cast<int32_t>(Session.FunctionNames.size() - 1);
+}
+
+int32_t TraceRecorder::internCounter(std::string_view Name) {
+  for (size_t I = 0; I != Session.CounterNames.size(); ++I)
+    if (Session.CounterNames[I] == Name)
+      return static_cast<int32_t>(I);
+  Session.CounterNames.emplace_back(Name);
+  return static_cast<int32_t>(Session.CounterNames.size() - 1);
+}
+
+void TraceRecorder::makeLanes(unsigned Count) {
+  while (Lanes.size() < Count)
+    Lanes.push_back(std::unique_ptr<Lane>(new Lane(*this)));
+}
+
+TraceSession TraceRecorder::finish() {
+  for (auto &L : Lanes) {
+    Session.Events.insert(Session.Events.end(), L->Events.begin(),
+                          L->Events.end());
+    Session.Counters.insert(Session.Counters.end(), L->Counters.begin(),
+                            L->Counters.end());
+    L->Events.clear();
+    L->Counters.clear();
+  }
+  std::sort(Session.Events.begin(), Session.Events.end(),
+            [](const SpanEvent &A, const SpanEvent &B) {
+              if (A.TSec != B.TSec)
+                return A.TSec < B.TSec;
+              return A.Seq < B.Seq;
+            });
+  std::sort(Session.Counters.begin(), Session.Counters.end(),
+            [](const CounterEvent &A, const CounterEvent &B) {
+              if (A.TSec != B.TSec)
+                return A.TSec < B.TSec;
+              return A.Seq < B.Seq;
+            });
+  TraceSession Out = std::move(Session);
+  Session = TraceSession();
+  Session.Domain = Domain;
+  return Out;
+}

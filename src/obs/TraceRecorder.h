@@ -1,0 +1,112 @@
+//===- TraceRecorder.h - Trace event recording ------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records typed SpanEvents/CounterEvents from either execution engine.
+///
+/// The cluster simulator is single-threaded and passes simulated
+/// timestamps; it writes through lane 0. The thread engine creates one
+/// lane per worker thread up front (lanes are append-only and never
+/// reallocate while workers run), stamps events with steady-clock seconds
+/// since the run started, and the lanes are merged at finish().
+///
+/// Every event gets a process-wide monotonically increasing sequence
+/// number at emission. finish() sorts the merged stream by
+/// (TSec, Seq) — a *stable* total order, so two runs of the deterministic
+/// simulator serialize byte-identically even when many events share a
+/// timestamp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_TRACERECORDER_H
+#define WARPC_OBS_TRACERECORDER_H
+
+#include "obs/Event.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+class TraceRecorder {
+public:
+  /// One append-only event buffer. The simulator uses lane 0; the thread
+  /// engine gives each worker its own lane so recording never contends.
+  class Lane {
+  public:
+    /// Appends an instant event and returns it for field assignment.
+    SpanEvent &instant(double TSec, EventKind K, Phase Ph);
+
+    /// Appends a completed span [TSec, TSec + DurSec].
+    SpanEvent &span(double TSec, double DurSec, EventKind K, Phase Ph);
+
+    /// Appends a counter sample.
+    void counter(double TSec, int32_t CounterId, double Value);
+
+  private:
+    friend class TraceRecorder;
+    explicit Lane(TraceRecorder &Parent) : Parent(Parent) {}
+    TraceRecorder &Parent;
+    std::vector<SpanEvent> Events;
+    std::vector<CounterEvent> Counters;
+  };
+
+  explicit TraceRecorder(ClockDomain Domain);
+
+  ClockDomain domain() const { return Domain; }
+
+  /// Steady-clock seconds since the recorder was constructed. Only
+  /// meaningful in the Steady domain.
+  double nowSec() const;
+
+  /// Interns \p Name, returning a stable id. Not thread-safe: intern all
+  /// functions before workers start (both engines know the full task list
+  /// up front).
+  int32_t internFunction(std::string_view Name);
+  int32_t internCounter(std::string_view Name);
+
+  /// Declares the host/section topology recorded in the session.
+  void setTopology(uint32_t NumHosts, uint32_t NumSections) {
+    Session.NumHosts = NumHosts;
+    Session.NumSections = NumSections;
+  }
+
+  /// Run-level aggregates carried into the serialized trace.
+  void setRunTotals(double ParElapsedSec, double SeqElapsedSec,
+                    uint32_t NumFunctions) {
+    Session.ParElapsedSec = ParElapsedSec;
+    Session.SeqElapsedSec = SeqElapsedSec;
+    Session.NumFunctions = NumFunctions;
+  }
+
+  /// Creates \p Count lanes (discarding none already made). Call before
+  /// any worker thread runs; lane(i) is then safe to use concurrently
+  /// with lane(j) for i != j.
+  void makeLanes(unsigned Count);
+  Lane &lane(unsigned Index) { return *Lanes[Index]; }
+  unsigned numLanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+  /// Merges all lanes into the session, sorted by (TSec, Seq), and
+  /// returns it. The recorder is empty afterwards. Must be called after
+  /// all workers have joined.
+  TraceSession finish();
+
+private:
+  ClockDomain Domain;
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<uint64_t> NextSeq{0};
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  TraceSession Session;
+};
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_TRACERECORDER_H

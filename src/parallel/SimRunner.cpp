@@ -99,13 +99,15 @@ struct SimContext {
 
   /// CPU burst on workstation \p W. A degraded host (FaultPlan slowdown
   /// factor > 1) stretches its bursts; host 0 — the master's own
-  /// workstation — is never degraded.
-  void cpu(unsigned W, double Seconds, std::function<void()> Done) {
+  /// workstation — is never degraded. \p Done receives the time the burst
+  /// queued behind other work on the same machine, so a caller can place
+  /// a trace span over just the service interval.
+  void cpu(unsigned W, double Seconds, std::function<void(double)> Done) {
     assert(W < Ws.size() && "workstation out of range");
     double Stretch =
         (Faults && W != 0) ? std::max(1.0, Faults->slowdown(W)) : 1.0;
     Ws[W]->request(jittered(Seconds) * Stretch,
-                   [Done = std::move(Done)](double) { Done(); });
+                   [Done = std::move(Done)](double Waited) { Done(Waited); });
   }
 
   /// Lisp process startup on \p W: core-image download from the file
@@ -114,9 +116,10 @@ struct SimContext {
     double Start = Sim.now();
     transfer(Host.CoreDownloadKB,
              [this, W, Start, Done = std::move(Done)](double) {
-               cpu(W, Host.LispInitSec, [this, Start, Done = std::move(Done)] {
-                 Done(Sim.now() - Start);
-               });
+               cpu(W, Host.LispInitSec,
+                   [this, Start, Done = std::move(Done)](double) {
+                     Done(Sim.now() - Start);
+                   });
              });
   }
 
@@ -128,7 +131,7 @@ struct SimContext {
     StepCost Cost = Model.evaluate(Step, Host);
     if (Cost.PageTrafficKB < 1.0) {
       cpu(W, Cost.computeSec(),
-          [Cost, Done = std::move(Done)] { Done(Cost); });
+          [Cost, Done = std::move(Done)](double) { Done(Cost); });
       return;
     }
     // Thrashing: alternate compute and page-fault service.
@@ -145,7 +148,7 @@ struct SimContext {
         return;
       }
       --Loop->Remaining;
-      cpu(W, Cost.computeSec() / Chunks, [this, Cost, Loop] {
+      cpu(W, Cost.computeSec() / Chunks, [this, Cost, Loop](double) {
         transfer(Cost.PageTrafficKB / Chunks, [this, Loop](double Sec) {
           PageWaitSec += Sec;
           Loop->Step();
@@ -248,6 +251,7 @@ namespace {
 /// One function's distribution state during a fault-tolerant run.
 struct TaskRec {
   const FunctionTask *Task = nullptr;
+  int32_t FnId = -1; ///< Interned function id for trace events.
   unsigned Section = 0;
   unsigned HomeWs = 0; ///< Workstation the scheduler originally chose.
   unsigned LastWs = 0; ///< Workstation of the most recent attempt.
@@ -281,10 +285,12 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                                     const Assignment &Assign,
                                     const HostConfig &Host,
                                     const CostModel &Model,
-                                    std::vector<TraceEvent> *Trace,
+                                    obs::TraceRecorder *Rec,
                                     const driver::FaultPolicy &Policy) {
   assert(Assign.WsOf.size() == Job.Sections.size() &&
          "assignment does not match the job");
+  using obs::EventKind;
+  using obs::FaultCause;
   SimContext Ctx(Host, Model);
   const FaultPlan &Plan = Host.Faults;
   const bool FaultsActive = !Plan.empty();
@@ -293,9 +299,18 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   PRNG LossPRNG(Plan.Seed);
   ParStats Stats;
   Stats.ProcessorsUsed = Assign.ProcessorsUsed;
-  auto Record = [&](const std::string &What) {
-    if (Trace)
-      Trace->push_back(TraceEvent{Ctx.Sim.now(), What});
+
+  // All emission goes through lane 0: the simulator is single-threaded.
+  // Spans that feed a Stats CPU ledger carry the exact unjittered value
+  // in CpuSec; the span extent itself is simulated elapsed time.
+  obs::TraceRecorder::Lane *Lane = Rec ? &Rec->lane(0) : nullptr;
+  auto Instant = [&](EventKind K, obs::Phase Ph) -> obs::SpanEvent * {
+    return Lane ? &Lane->instant(Ctx.Sim.now(), K, Ph) : nullptr;
+  };
+  auto Span = [&](double StartSec, EventKind K,
+                  obs::Phase Ph) -> obs::SpanEvent * {
+    return Lane ? &Lane->span(StartSec, Ctx.Sim.now() - StartSec, K, Ph)
+                : nullptr;
   };
 
   const unsigned NumSections = static_cast<unsigned>(Job.Sections.size());
@@ -346,6 +361,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     for (unsigned F = 0; F != Job.Sections[S].size(); ++F) {
       TaskRec TR;
       TR.Task = &Job.Sections[S][F];
+      TR.FnId = Rec ? Rec->internFunction(TR.Task->FunctionName)
+                    : static_cast<int32_t>(Tasks->size());
       TR.Section = S;
       TR.HomeWs = Assign.WsOf[S][F];
       TR.LastWs = TR.HomeWs;
@@ -354,6 +371,13 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       Tasks->push_back(TR);
     }
   }
+
+  // Time series of concurrently compiling function masters.
+  const int32_t ActiveCtr =
+      Rec ? Rec->internCounter("active_function_masters") : -1;
+  auto ActiveFnMasters = std::make_shared<int>(0);
+  if (Rec)
+    Rec->setTopology(Host.NumWorkstations, NumSections);
 
   // Estimated work currently placed on each host; reassignment picks the
   // least-loaded live machine.
@@ -390,16 +414,23 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // that, and must not count toward the elapsed time.
   double FinishedAtSec = -1.0;
   auto RunAssembly = [&] {
-    Record("master: all sections complete; assembly begins");
+    if (auto *E = Instant(EventKind::AllSectionsDone, obs::Phase::Assembly))
+      E->Host = 0;
     Ctx.transfer(TotalOutputKB, [&](double) {
+      const double AsmStart = Ctx.Sim.now();
       LispStep Asm;
       Asm.WorkSec = Model.phase4Sec(Job.Phase4);
       Asm.AllocKB = static_cast<double>(Job.Phase4.allocationKB());
       Asm.LiveKB =
           Job.parseResidentKB() + TotalOutputKB * OutputRetainFactor;
-      Ctx.lispStep(0, Asm, [&](StepCost) {
-        // Assembly is compiler work, not coordination overhead.
-        Record("master: download module linked");
+      Ctx.lispStep(0, Asm, [&, AsmStart](StepCost) {
+        // Assembly is compiler work, not coordination overhead, so its
+        // span carries no CpuSec attribution.
+        if (auto *E = Span(AsmStart, EventKind::SpanAssembly,
+                           obs::Phase::Assembly))
+          E->Host = 0;
+        if (auto *E = Instant(EventKind::ModuleLinked, obs::Phase::Assembly))
+          E->Host = 0;
         double ImageKB =
             static_cast<double>(Job.Phase4.ImageBytes) / 1024.0 + 1.0;
         Ctx.transfer(ImageKB, [&](double) { FinishedAtSec = Ctx.Sim.now(); });
@@ -430,12 +461,35 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       WsLoad[W] += TR.EstimateSec;
     }
     const bool Extra = (*Tasks)[Id].Attempts > 1;
+    const int32_t Attempt = static_cast<int32_t>((*Tasks)[Id].Attempts);
+    // Tags every event of this attempt, so the analyzer can stitch the
+    // winning fork -> startup -> compile -> done chain back together.
+    auto Tag = [Tasks, Id, Attempt, Speculative](obs::SpanEvent *E,
+                                                 int32_t HostId) {
+      if (!E)
+        return;
+      TaskRec &TR = (*Tasks)[Id];
+      E->Host = HostId;
+      E->Section = static_cast<int32_t>(TR.Section);
+      E->Function = TR.FnId;
+      E->Attempt = Attempt;
+      E->Speculative = Speculative;
+    };
+    const double ForkStart = Ctx.Sim.now();
     // The fork of each function master runs on the section master's
     // machine (the user's workstation).
-    Ctx.cpu(0, Host.ForkSec, [&, Eng, Id, W, Speculative, Extra] {
+    Ctx.cpu(0, Host.ForkSec, [&, Eng, Id, W, Speculative, Extra, Tag,
+                              ForkStart](double ForkWaitSec) {
       Stats.SectionCpuSec += Host.ForkSec;
       TaskRec &TR = (*Tasks)[Id];
       const FunctionTask *Task = TR.Task;
+      // The fork's CPU hits the section-master ledger no matter what
+      // happens next, so the span is emitted unconditionally too.
+      if (auto *E = Span(ForkStart + ForkWaitSec, EventKind::SpanFunctionFork,
+                         obs::Phase::Setup)) {
+        Tag(E, 0);
+        E->CpuSec = Host.ForkSec;
+      }
       if (TR.Done) {
         WsLoad[W] -= TR.EstimateSec;
         return;
@@ -443,70 +497,98 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       if (FaultsActive && !HostUp(W)) {
         // The fork's first message goes unanswered: the master notices
         // right away and re-places the function without burning a timeout.
-        Record("master: ws" + std::to_string(W) + " is down; cannot place '" +
-               Task->FunctionName + "'");
+        if (auto *E = Instant(EventKind::PlacementFailed,
+                              obs::Phase::Recovery)) {
+          Tag(E, static_cast<int32_t>(W));
+          E->Cause = FaultCause::HostDown;
+        }
         WsLoad[W] -= TR.EstimateSec;
         Eng->Recover(Id);
         return;
       }
-      Record("fork function master for '" + Task->FunctionName + "' -> ws" +
-             std::to_string(W) +
-             (Speculative ? " (speculative)" : (Extra ? " (retry)" : "")));
       const double AttemptStart = Ctx.Sim.now();
       TR.LastAttemptStart = AttemptStart;
       if (!Speculative)
         Eng->ArmSpec(Id);
-      Ctx.startLisp(W, [&, Eng, Id, W, Task, Speculative, Extra,
+      Ctx.startLisp(W, [&, Eng, Id, W, Task, Speculative, Extra, Tag,
                         AttemptStart](double StartupSec) {
         TaskRec &TR = (*Tasks)[Id];
         if (LostWork(W, AttemptStart)) {
-          Record("ws" + std::to_string(W) + ": crashed; '" +
-                 Task->FunctionName + "' startup lost");
+          if (auto *E = Instant(EventKind::AttemptLost,
+                                obs::Phase::Recovery)) {
+            Tag(E, static_cast<int32_t>(W));
+            E->Cause = FaultCause::CrashDuringStartup;
+          }
           Stats.RetriesSec += ConsumedSince(W, AttemptStart);
           WsLoad[W] -= TR.EstimateSec;
           return;
         }
         if (TR.Done) {
+          if (auto *E = Instant(EventKind::AttemptLost,
+                                obs::Phase::Recovery)) {
+            Tag(E, static_cast<int32_t>(W));
+            E->Cause = FaultCause::Superseded;
+          }
           Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
           WsLoad[W] -= TR.EstimateSec;
           return;
         }
         Stats.StartupSec += StartupSec;
-        Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
-               "' compiling (startup took " +
-               std::to_string(static_cast<int>(StartupSec)) + "s)");
+        Tag(Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
+                 obs::Phase::Setup),
+            static_cast<int32_t>(W));
+        const double CompileStart = Ctx.Sim.now();
+        if (Lane && ActiveCtr >= 0)
+          Lane->counter(CompileStart, ActiveCtr, ++*ActiveFnMasters);
         LispStep Step = MakeStep(*Task);
-        Ctx.lispStep(W, Step, [&, Eng, Id, W, Task, Speculative, Extra,
-                               AttemptStart](StepCost Cost) {
+        Ctx.lispStep(W, Step, [&, Eng, Id, W, Task, Speculative, Extra, Tag,
+                               AttemptStart, CompileStart](StepCost Cost) {
+          if (Lane && ActiveCtr >= 0)
+            Lane->counter(Ctx.Sim.now(), ActiveCtr, --*ActiveFnMasters);
           TaskRec &TR = (*Tasks)[Id];
           if (LostWork(W, AttemptStart)) {
-            Record("ws" + std::to_string(W) + ": crashed; '" +
-                   Task->FunctionName + "' compile lost");
+            if (auto *E = Instant(EventKind::AttemptLost,
+                                  obs::Phase::Recovery)) {
+              Tag(E, static_cast<int32_t>(W));
+              E->Cause = FaultCause::CrashDuringCompile;
+            }
             Stats.RetriesSec += ConsumedSince(W, AttemptStart);
             WsLoad[W] -= TR.EstimateSec;
             return;
           }
           if (TR.Done) {
+            if (auto *E = Instant(EventKind::AttemptLost,
+                                  obs::Phase::Recovery)) {
+              Tag(E, static_cast<int32_t>(W));
+              E->Cause = FaultCause::Superseded;
+            }
             Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
             WsLoad[W] -= TR.EstimateSec;
             return;
           }
           Stats.FnCpuSec += Cost.computeSec();
           Stats.FnGCSec += Cost.GCSec;
-          Record("ws" + std::to_string(W) + ": '" + Task->FunctionName +
-                 "' done (cpu+gc " +
-                 std::to_string(static_cast<int>(Cost.computeSec())) + "s)");
+          Tag(Span(CompileStart, EventKind::SpanCompile, obs::Phase::Compile),
+              static_cast<int32_t>(W));
           Ctx.transfer(Task->OutputKB, [&, Eng, Id, W, Task, Speculative,
-                                        Extra, AttemptStart](double) {
+                                        Extra, Tag, AttemptStart](double) {
             TaskRec &TR = (*Tasks)[Id];
             if (LostWork(W, AttemptStart)) {
-              Record("ws" + std::to_string(W) + ": crashed; '" +
-                     Task->FunctionName + "' result file lost");
+              if (auto *E = Instant(EventKind::AttemptLost,
+                                    obs::Phase::Recovery)) {
+                Tag(E, static_cast<int32_t>(W));
+                E->Cause = FaultCause::CrashDuringResult;
+              }
               Stats.RetriesSec += ConsumedSince(W, AttemptStart);
               WsLoad[W] -= TR.EstimateSec;
               return;
             }
             if (TR.Done) {
+              if (auto *E = Instant(EventKind::AttemptLost,
+                                    obs::Phase::Recovery)) {
+                Tag(E, static_cast<int32_t>(W));
+                E->Cause = FaultCause::Superseded;
+              }
               Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
               WsLoad[W] -= TR.EstimateSec;
               return;
@@ -515,17 +597,25 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
             // completion message itself can still be lost.
             if (FaultsActive && W != 0 && Plan.MessageLossProb > 0 &&
                 LossPRNG.uniform() < Plan.MessageLossProb) {
-              Record("ws" + std::to_string(W) + ": completion message for '" +
-                     Task->FunctionName + "' lost");
+              if (auto *E = Instant(EventKind::MessageLost,
+                                    obs::Phase::Recovery)) {
+                Tag(E, static_cast<int32_t>(W));
+                E->Cause = FaultCause::MessageLoss;
+              }
               Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
               WsLoad[W] -= TR.EstimateSec;
               return;
             }
             Ctx.Sim.after(Host.MessageSec, [&, Eng, Id, W, Speculative, Extra,
-                                            AttemptStart] {
+                                            Tag, AttemptStart] {
               TaskRec &TR = (*Tasks)[Id];
               WsLoad[W] -= TR.EstimateSec;
               if (TR.Done) {
+                if (auto *E = Instant(EventKind::AttemptLost,
+                                      obs::Phase::Recovery)) {
+                  Tag(E, static_cast<int32_t>(W));
+                  E->Cause = FaultCause::Superseded;
+                }
                 Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
                 return;
               }
@@ -543,6 +633,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                 ++Stats.SpeculativeWins;
               if (Extra)
                 Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+              Tag(Instant(EventKind::FunctionDone, obs::Phase::Compile),
+                  static_cast<int32_t>(W));
               TR.Join->arrive();
             });
           });
@@ -563,8 +655,14 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           if (TR.Done || TR.FallbackStarted)
             return;
           ++Stats.TimeoutsFired;
-          Record("master: timeout waiting for '" + TR.Task->FunctionName +
-                 "' on ws" + std::to_string(TR.LastWs));
+          if (auto *E = Instant(EventKind::TimeoutFired,
+                                obs::Phase::Recovery)) {
+            E->Host = static_cast<int32_t>(TR.LastWs);
+            E->Section = static_cast<int32_t>(TR.Section);
+            E->Function = TR.FnId;
+            E->Attempt = static_cast<int32_t>(TR.Attempts);
+            E->Cause = FaultCause::TimeoutExpired;
+          }
           Eng->Recover(Id);
         });
   };
@@ -583,9 +681,12 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       ++Stats.FunctionsReassigned;
     }
     TR.NextTimeoutSec *= Policy.BackoffFactor;
-    Record("master: reassigning '" + TR.Task->FunctionName + "' to ws" +
-           std::to_string(W) + " (attempt " + std::to_string(TR.Attempts + 1) +
-           ")");
+    if (auto *E = Instant(EventKind::Reassigned, obs::Phase::Recovery)) {
+      E->Host = static_cast<int32_t>(W);
+      E->Section = static_cast<int32_t>(TR.Section);
+      E->Function = TR.FnId;
+      E->Attempt = static_cast<int32_t>(TR.Attempts + 1);
+    }
     Eng->ArmTimeout(Id);
     Eng->Launch(Id, W, false);
   };
@@ -603,8 +704,6 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       TR.Timeout = nullptr;
     }
     ++Stats.MasterRecompiles;
-    Record("master: retries exhausted for '" + TR.Task->FunctionName +
-           "'; recompiling in the master's own process");
     const double Start = Ctx.Sim.now();
     LispStep Step = MakeStep(*TR.Task);
     Step.LiveKB += Job.parseResidentKB();
@@ -612,6 +711,15 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       TaskRec &TR = (*Tasks)[Id];
       Stats.FnCpuSec += Cost.computeSec();
       Stats.FnGCSec += Cost.GCSec;
+      // Emitted whether or not this recompile wins, so the trace's
+      // recompile count matches Stats.MasterRecompiles.
+      if (auto *E = Span(Start, EventKind::SpanMasterRecompile,
+                         obs::Phase::Recovery)) {
+        E->Host = 0;
+        E->Section = static_cast<int32_t>(TR.Section);
+        E->Function = TR.FnId;
+        E->Cause = FaultCause::AttemptCapReached;
+      }
       if (TR.Done) {
         Stats.RetriesSec += Ctx.Sim.now() - Start;
         return;
@@ -627,9 +735,15 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           TR.SpecCheck = nullptr;
         }
         ++Stats.FunctionsCompleted;
-        Record("master: '" + TR.Task->FunctionName +
-               "' recompiled locally; section " + std::to_string(TR.Section) +
-               " notified");
+        // Attempt 0 marks a master-fallback win (never a distributed
+        // attempt, whose numbering starts at 1).
+        if (auto *E = Instant(EventKind::FunctionDone, obs::Phase::Compile)) {
+          E->Host = 0;
+          E->Section = static_cast<int32_t>(TR.Section);
+          E->Function = TR.FnId;
+          E->Attempt = 0;
+          E->Cause = FaultCause::AttemptCapReached;
+        }
         TR.Join->arrive();
       });
     });
@@ -660,8 +774,14 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           if (TR.Attempts >= Policy.MaxAttempts)
             return; // the watchdog path handles exhaustion
           unsigned W = PickHost(TR.LastWs);
-          Record("master: speculating straggler '" + TR.Task->FunctionName +
-                 "' on ws" + std::to_string(W));
+          if (auto *E = Instant(EventKind::SpeculationLaunched,
+                                obs::Phase::Recovery)) {
+            E->Host = static_cast<int32_t>(W);
+            E->Section = static_cast<int32_t>(TR.Section);
+            E->Function = TR.FnId;
+            E->Attempt = static_cast<int32_t>(TR.Attempts + 1);
+            E->Speculative = true;
+          }
           Eng->Launch(Id, W, true);
         });
   };
@@ -678,16 +798,28 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     // files, combines code and diagnostics, and reports to the master.
     JoinCounter *SectionsJoinPtr = SectionsJoin.get();
     auto Combine = [&, S, SectionOutKB, SectionsJoinPtr] {
-      Record("section master " + std::to_string(S) +
-             ": combining results and diagnostics");
-      Ctx.transfer(SectionOutKB, [&, SectionOutKB, SectionsJoinPtr](double) {
+      const double CombineStart = Ctx.Sim.now();
+      Ctx.transfer(SectionOutKB, [&, S, SectionOutKB, SectionsJoinPtr,
+                                  CombineStart](double) {
         double CombineSec = Model.cMasterSec(CombineWorkPerKB * SectionOutKB);
-        Ctx.cpu(0, CombineSec, [&, CombineSec, SectionOutKB,
-                                SectionsJoinPtr] {
+        Ctx.cpu(0, CombineSec, [&, S, CombineSec, SectionOutKB,
+                                SectionsJoinPtr, CombineStart](double) {
           Stats.SectionCpuSec += CombineSec;
-          Ctx.transfer(SectionOutKB, [&, SectionsJoinPtr](double) {
-            Ctx.Sim.after(Host.MessageSec,
-                          [SectionsJoinPtr] { SectionsJoinPtr->arrive(); });
+          if (auto *E = Span(CombineStart, EventKind::SpanCombine,
+                             obs::Phase::Combine)) {
+            E->Host = 0;
+            E->Section = static_cast<int32_t>(S);
+            E->CpuSec = CombineSec;
+          }
+          Ctx.transfer(SectionOutKB, [&, S, SectionsJoinPtr](double) {
+            Ctx.Sim.after(Host.MessageSec, [&, S, SectionsJoinPtr] {
+              if (auto *E = Instant(EventKind::SectionDone,
+                                    obs::Phase::Combine)) {
+                E->Host = 0;
+                E->Section = static_cast<int32_t>(S);
+              }
+              SectionsJoinPtr->arrive();
+            });
           });
         });
       });
@@ -701,8 +833,16 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     // arming a watchdog per function when a fault plan is active. The
     // timeout is derived from the master's own cost estimate.
     double DirectiveSec = Model.cMasterSec(DirectiveWorkPerFn * NumFns);
-    Ctx.cpu(0, DirectiveSec, [&, Eng, S, DirectiveSec] {
+    const double DirectivesStart = Ctx.Sim.now();
+    Ctx.cpu(0, DirectiveSec, [&, Eng, S, DirectiveSec,
+                              DirectivesStart](double WaitSec) {
       Stats.SectionCpuSec += DirectiveSec;
+      if (auto *E = Span(DirectivesStart + WaitSec, EventKind::SpanDirectives,
+                         obs::Phase::Schedule)) {
+        E->Host = 0;
+        E->Section = static_cast<int32_t>(S);
+        E->CpuSec = DirectiveSec;
+      }
       for (size_t Id : SectionTaskIds[S]) {
         TaskRec &TR = (*Tasks)[Id];
         TR.NextTimeoutSec = std::max(Policy.MinTimeoutSec,
@@ -714,27 +854,56 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   };
 
   // --- Master: fork the parse process, parse, schedule, fork sections.
-  Ctx.cpu(0, Host.ForkSec, [&, StartSection] {
+  const double MasterForkStart = Ctx.Sim.now();
+  Ctx.cpu(0, Host.ForkSec, [&, StartSection, MasterForkStart](double WaitSec) {
     Stats.MasterCpuSec += Host.ForkSec;
+    if (auto *E = Span(MasterForkStart + WaitSec, EventKind::SpanMasterFork,
+                       obs::Phase::Setup)) {
+      E->Host = 0;
+      E->CpuSec = Host.ForkSec;
+    }
     Ctx.startLisp(0, [&, StartSection](double StartupSec) {
       Stats.StartupSec += StartupSec;
+      if (auto *E = Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
+                         obs::Phase::Setup))
+        E->Host = 0;
+      const double ParseStart = Ctx.Sim.now();
       LispStep Parse;
       Parse.WorkSec = Model.phase1Sec(Job.Phase1);
       Parse.AllocKB = static_cast<double>(Job.Phase1.allocationKB());
       Parse.LiveKB = Job.parseResidentKB() * 0.5;
-      Ctx.lispStep(0, Parse, [&, StartSection](StepCost Cost) {
+      Ctx.lispStep(0, Parse, [&, StartSection, ParseStart](StepCost Cost) {
         // "Time for one extra parse of the program to determine
         // partitioning" counts as master (implementation) overhead.
         Stats.MasterCpuSec += Cost.computeSec();
-        Record("master: setup parse complete; scheduling " +
-               std::to_string(Job.numFunctions()) + " function(s)");
+        if (auto *E = Span(ParseStart, EventKind::SpanParse,
+                           obs::Phase::Parse)) {
+          E->Host = 0;
+          E->CpuSec = Cost.computeSec();
+        }
         double SchedSec =
             Model.cMasterSec(SchedWorkPerFn * Job.numFunctions());
-        Ctx.cpu(0, SchedSec, [&, SchedSec, StartSection] {
+        const double SchedStart = Ctx.Sim.now();
+        Ctx.cpu(0, SchedSec, [&, SchedSec, StartSection,
+                              SchedStart](double WaitSec) {
           Stats.MasterCpuSec += SchedSec;
+          if (auto *E = Span(SchedStart + WaitSec, EventKind::SpanSchedule,
+                             obs::Phase::Schedule)) {
+            E->Host = 0;
+            E->CpuSec = SchedSec;
+          }
           for (unsigned S = 0; S != NumSections; ++S) {
-            Ctx.cpu(0, Host.ForkSec, [&, S, StartSection] {
+            const double SecForkStart = Ctx.Sim.now();
+            Ctx.cpu(0, Host.ForkSec, [&, S, StartSection,
+                                      SecForkStart](double WaitSec) {
               Stats.MasterCpuSec += Host.ForkSec;
+              if (auto *E = Span(SecForkStart + WaitSec,
+                                 EventKind::SpanSectionFork,
+                                 obs::Phase::Setup)) {
+                E->Host = 0;
+                E->Section = static_cast<int32_t>(S);
+                E->CpuSec = Host.ForkSec;
+              }
               StartSection(S);
             });
           }
@@ -747,6 +916,15 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   Stats.ElapsedSec = FinishedAtSec >= 0 ? FinishedAtSec : DrainedAtSec;
   Stats.NetWaitSec = Ctx.NetWaitSec;
   Stats.PageWaitSec = Ctx.PageWaitSec;
+  if (Rec) {
+    obs::SpanEvent &E = Lane->instant(Stats.ElapsedSec,
+                                      EventKind::RunComplete,
+                                      obs::Phase::Assembly);
+    E.Host = 0;
+    // Callers that also ran a sequential baseline overwrite the zero
+    // SeqElapsedSec via setRunTotals before finish().
+    Rec->setRunTotals(Stats.ElapsedSec, 0.0, Job.numFunctions());
+  }
   // Break the shared_ptr cycles among the engine's recursive closures.
   Eng->Launch = nullptr;
   Eng->ArmTimeout = nullptr;

@@ -34,6 +34,7 @@
 
 #include "cluster/HostSystem.h"
 #include "driver/FaultPolicy.h"
+#include "obs/TraceRecorder.h"
 #include "parallel/CostModel.h"
 #include "parallel/Job.h"
 #include "parallel/Scheduler.h"
@@ -112,16 +113,14 @@ SeqStats simulateSequential(const CompilationJob &Job,
                             const cluster::HostConfig &Host,
                             const CostModel &Model);
 
-/// One timestamped event of a simulated run (for timeline displays).
-struct TraceEvent {
-  double AtSec = 0;
-  std::string What;
-};
-
-/// Simulates the parallel compiler under \p Assign. When \p Trace is
+/// Simulates the parallel compiler under \p Assign. When \p Rec is
 /// non-null, the run's milestones (parse, scheduling, every function
-/// master's start and finish, section combination, assembly, and all
-/// fault-handling decisions) are appended in time order.
+/// master's startup and compile span, section combination, assembly, and
+/// all fault-handling decisions) are recorded as typed events with
+/// simulated timestamps through lane 0, the topology and run totals are
+/// attached, and coordination spans carry the exact CPU seconds added to
+/// the MasterCpuSec/SectionCpuSec ledgers — so a trace analyzer can
+/// rebuild computeOverheads' implementation overhead from the trace.
 ///
 /// Failures come from Host.Faults (crashes, reboots, slow hosts, lost
 /// messages); \p Policy governs the master's reaction: per-function
@@ -135,7 +134,7 @@ struct TraceEvent {
 ParStats simulateParallel(const CompilationJob &Job, const Assignment &Assign,
                           const cluster::HostConfig &Host,
                           const CostModel &Model,
-                          std::vector<TraceEvent> *Trace = nullptr,
+                          obs::TraceRecorder *Rec = nullptr,
                           const driver::FaultPolicy &Policy =
                               driver::FaultPolicy());
 

@@ -49,21 +49,35 @@ FaultInjection parallel::makeSeededInjection(uint64_t Seed, double VanishProb,
 ThreadRunResult parallel::compileModuleParallel(
     const std::string &Source, const codegen::MachineModel &MM,
     unsigned NumWorkers, const driver::FaultPolicy &Policy,
-    const FaultInjection *Inject) {
+    const FaultInjection *Inject, obs::TraceRecorder *Rec,
+    obs::MetricsRegistry *Metrics) {
   assert(NumWorkers > 0 && "need at least one worker");
   assert(Policy.MaxAttempts > 0 && "need at least one attempt");
+  assert((!Rec || Rec->domain() == obs::ClockDomain::Steady) &&
+         "the thread engine records steady-clock timestamps");
+  using obs::EventKind;
+  using obs::FaultCause;
   ThreadRunResult Result;
   Timer Total;
 
   // Phase 1: the master parses and checks sequentially; errors abort the
   // compilation here, before any parallel work starts.
   Timer PhaseTimer;
-  driver::ParseResult Parsed = driver::parseAndCheck(Source);
+  const double ParseStart = Rec ? Rec->nowSec() : 0;
+  driver::ParseResult Parsed = driver::parseAndCheck(Source, Metrics);
   Result.Phase1Sec = PhaseTimer.seconds();
+  if (Rec) {
+    obs::SpanEvent &E = Rec->lane(0).span(
+        ParseStart, Rec->nowSec() - ParseStart, EventKind::SpanParse,
+        obs::Phase::Parse);
+    E.Host = 0;
+  }
   Result.Module.Diags.merge(Parsed.Diags);
   Result.Module.Phase1 = Parsed.Metrics;
   if (!Parsed.succeeded()) {
     Result.ElapsedSec = Total.seconds();
+    if (Rec)
+      Rec->setRunTotals(Result.ElapsedSec, 0.0, 0);
     return Result;
   }
 
@@ -71,12 +85,20 @@ ThreadRunResult parallel::compileModuleParallel(
   struct Task {
     const w2::SectionDecl *Section;
     const w2::FunctionDecl *Function;
+    int32_t SectionId = -1;
+    int32_t FnId = -1; ///< Interned trace id (interned before any thread).
   };
   std::vector<Task> Tasks;
   for (size_t S = 0; S != Parsed.Module->numSections(); ++S) {
     const w2::SectionDecl *Section = Parsed.Module->getSection(S);
-    for (size_t F = 0; F != Section->numFunctions(); ++F)
-      Tasks.push_back(Task{Section, Section->getFunction(F)});
+    for (size_t F = 0; F != Section->numFunctions(); ++F) {
+      Task T{Section, Section->getFunction(F), static_cast<int32_t>(S), -1};
+      if (Rec)
+        T.FnId = Rec->internFunction(T.Function->getName());
+      else
+        T.FnId = static_cast<int32_t>(Tasks.size());
+      Tasks.push_back(T);
+    }
   }
 
   // Phases 2+3: a pool of function-master threads drains the pending list
@@ -92,6 +114,11 @@ ThreadRunResult parallel::compileModuleParallel(
       static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
   Result.WorkersUsed = Workers;
 
+  // Lane 0 belongs to the master; worker thread i records on lane 1 + i.
+  // All lanes exist before any thread starts.
+  if (Rec)
+    Rec->makeLanes(Workers + 1);
+
   std::vector<char> Produced(Tasks.size(), 0);
   std::atomic<unsigned> Poisoned{0};
   std::vector<size_t> Pending(Tasks.size());
@@ -104,17 +131,37 @@ ThreadRunResult parallel::compileModuleParallel(
       Result.RetriesAttempted += static_cast<unsigned>(Pending.size());
 
     std::atomic<size_t> NextTask{0};
-    auto Worker = [&] {
+    auto Worker = [&](unsigned Wix) {
+      obs::TraceRecorder::Lane *Lane = Rec ? &Rec->lane(1 + Wix) : nullptr;
+      const int32_t HostId = static_cast<int32_t>(1 + Wix);
+      auto Tag = [&](obs::SpanEvent &E, const Task &T) {
+        E.Host = HostId;
+        E.Section = T.SectionId;
+        E.Function = T.FnId;
+        E.Attempt = static_cast<int32_t>(Attempt);
+      };
       while (true) {
         size_t Slot = NextTask.fetch_add(1);
         if (Slot >= Pending.size())
           return;
         size_t Index = Pending[Slot];
+        const Task &T = Tasks[Index];
+        Timer AttemptTimer;
+        const double T0 = Rec ? Rec->nowSec() : 0;
         // A "failed" master vanishes without producing its result file.
-        if (Inject && Inject->Vanish && Inject->Vanish(Index, Attempt))
+        if (Inject && Inject->Vanish && Inject->Vanish(Index, Attempt)) {
+          if (Metrics)
+            Metrics->add("fault.workers_vanished");
+          if (Lane) {
+            obs::SpanEvent &E = Lane->instant(
+                Rec->nowSec(), EventKind::AttemptLost, obs::Phase::Recovery);
+            Tag(E, T);
+            E.Cause = FaultCause::CrashDuringCompile;
+          }
           continue;
-        driver::FunctionResult R = driver::compileFunction(
-            *Tasks[Index].Section, *Tasks[Index].Function, MM);
+        }
+        driver::FunctionResult R =
+            driver::compileFunction(*T.Section, *T.Function, MM, Metrics);
         if (Inject && Inject->Poison && Inject->Poison(Index, Attempt)) {
           // A sick master writes a truncated result file.
           R.Program.Image.clear();
@@ -122,11 +169,30 @@ ThreadRunResult parallel::compileModuleParallel(
         }
         // The section master accepts a result file only after checking it
         // names the right task and carries a complete image.
-        if (!driver::validateFunctionResult(*Tasks[Index].Section,
-                                            *Tasks[Index].Function, R)) {
+        if (!driver::validateFunctionResult(*T.Section, *T.Function, R)) {
           Poisoned.fetch_add(1);
+          if (Metrics)
+            Metrics->add("fault.poisoned_results");
+          if (Lane) {
+            obs::SpanEvent &E = Lane->instant(
+                Rec->nowSec(), EventKind::ResultRejected,
+                obs::Phase::Recovery);
+            Tag(E, T);
+            E.Cause = FaultCause::PoisonedResult;
+          }
           continue;
         }
+        if (Lane) {
+          const double Now = Rec->nowSec();
+          Tag(Lane->span(T0, Now - T0, EventKind::SpanCompile,
+                         obs::Phase::Compile),
+              T);
+          Tag(Lane->instant(Now, EventKind::FunctionDone,
+                            obs::Phase::Compile),
+              T);
+        }
+        if (Metrics)
+          Metrics->observe("thread.compile_sec", AttemptTimer.seconds());
         FnResults[Index] = std::move(R);
         Produced[Index] = 1;
       }
@@ -135,12 +201,12 @@ ThreadRunResult parallel::compileModuleParallel(
     unsigned RoundWorkers =
         static_cast<unsigned>(std::min<size_t>(Workers, Pending.size()));
     if (RoundWorkers <= 1) {
-      Worker();
+      Worker(0);
     } else {
       std::vector<std::thread> Pool;
       Pool.reserve(RoundWorkers);
       for (unsigned W = 0; W != RoundWorkers; ++W)
-        Pool.emplace_back(Worker);
+        Pool.emplace_back(Worker, W);
       for (std::thread &T : Pool)
         T.join();
     }
@@ -162,20 +228,59 @@ ThreadRunResult parallel::compileModuleParallel(
   // cap is recompiled here, on the master's own machine, before assembly
   // starts. The master trusts its own results — no injection applies.
   for (size_t Index : Pending) {
-    FnResults[Index] = driver::compileFunction(*Tasks[Index].Section,
-                                               *Tasks[Index].Function, MM);
+    const Task &T = Tasks[Index];
+    const double T0 = Rec ? Rec->nowSec() : 0;
+    FnResults[Index] =
+        driver::compileFunction(*T.Section, *T.Function, MM, Metrics);
     ++Result.FunctionsRecovered;
+    if (Rec) {
+      const double Now = Rec->nowSec();
+      obs::SpanEvent &E =
+          Rec->lane(0).span(T0, Now - T0, EventKind::SpanMasterRecompile,
+                            obs::Phase::Recovery);
+      E.Host = 0;
+      E.Section = T.SectionId;
+      E.Function = T.FnId;
+      E.Cause = FaultCause::AttemptCapReached;
+      obs::SpanEvent &D = Rec->lane(0).instant(Now, EventKind::FunctionDone,
+                                               obs::Phase::Compile);
+      D.Host = 0;
+      D.Section = T.SectionId;
+      D.Function = T.FnId;
+      D.Attempt = 0; // master-fallback win
+      D.Cause = FaultCause::AttemptCapReached;
+    }
   }
   Result.ParallelPhaseSec = PhaseTimer.seconds();
 
   // Phase 4: the section masters combine results; the master links.
   PhaseTimer.restart();
+  const double AsmStart = Rec ? Rec->nowSec() : 0;
   driver::assembleAndLink(*Parsed.Module, std::move(FnResults),
-                          Result.Module);
+                          Result.Module, Metrics);
   Result.Phase4Sec = PhaseTimer.seconds();
 
   Result.Module.Succeeded = !Result.Module.Diags.hasErrors();
   Result.ElapsedSec = Total.seconds();
+  if (Rec) {
+    const double Now = Rec->nowSec();
+    obs::SpanEvent &E = Rec->lane(0).span(
+        AsmStart, Now - AsmStart, EventKind::SpanAssembly,
+        obs::Phase::Assembly);
+    E.Host = 0;
+    Rec->lane(0).instant(Now, EventKind::RunComplete, obs::Phase::Assembly)
+        .Host = 0;
+    Rec->setTopology(Workers + 1, static_cast<uint32_t>(
+                                      Parsed.Module->numSections()));
+    Rec->setRunTotals(Result.ElapsedSec, 0.0,
+                      static_cast<uint32_t>(Tasks.size()));
+  }
+  if (Metrics) {
+    Metrics->add("fault.retries_attempted", Result.RetriesAttempted);
+    Metrics->add("fault.functions_reassigned", Result.FunctionsReassigned);
+    Metrics->add("fault.functions_recovered", Result.FunctionsRecovered);
+    Metrics->setGauge("thread.workers_used", Result.WorkersUsed);
+  }
   return Result;
 }
 

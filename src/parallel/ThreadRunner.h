@@ -28,6 +28,8 @@
 #include "codegen/MachineModel.h"
 #include "driver/Compiler.h"
 #include "driver/FaultPolicy.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 
 #include <cstdint>
 #include <functional>
@@ -87,11 +89,20 @@ FaultInjection makeSeededInjection(uint64_t Seed, double VanishProb,
 /// poisoned results) are retried by the pool until Policy.MaxAttempts,
 /// then recompiled by the master itself. The result is bit-identical to
 /// driver::compileModuleSequential no matter the failure schedule.
+///
+/// A non-null \p Rec must be in the Steady clock domain; the run records
+/// parse/compile/assembly spans stamped with steady-clock seconds since
+/// the recorder was created — the master on lane 0, worker thread i on
+/// lane 1+i (lanes are created before any thread starts, so recording
+/// never contends). A non-null \p Metrics additionally receives the
+/// driver's phase1-4 series plus fault.* counters for the recovery paths.
 ThreadRunResult compileModuleParallel(const std::string &Source,
                                       const codegen::MachineModel &MM,
                                       unsigned NumWorkers,
                                       const driver::FaultPolicy &Policy,
-                                      const FaultInjection *Inject = nullptr);
+                                      const FaultInjection *Inject = nullptr,
+                                      obs::TraceRecorder *Rec = nullptr,
+                                      obs::MetricsRegistry *Metrics = nullptr);
 
 /// Legacy entry point: one attempt per function (\p InjectFailure decides
 /// per flat index); the master recompiles every function whose master

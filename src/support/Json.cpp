@@ -1,0 +1,422 @@
+//===- Json.cpp - Minimal JSON value model -----------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace warpc;
+using namespace warpc::json;
+
+void Value::set(std::string Key, Value V) {
+  for (auto &[K2, V2] : ObjectV) {
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return;
+    }
+  }
+  ObjectV.emplace_back(std::move(Key), std::move(V));
+}
+
+const Value &Value::get(std::string_view Key) const {
+  static const Value Null;
+  for (const auto &[K2, V2] : ObjectV)
+    if (K2 == Key)
+      return V2;
+  return Null;
+}
+
+bool Value::has(std::string_view Key) const {
+  for (const auto &[K2, V2] : ObjectV) {
+    (void)V2;
+    if (K2 == Key)
+      return true;
+  }
+  return false;
+}
+
+void json::escapeString(std::string_view Text, std::string &Out) {
+  Out.push_back('"');
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to exactly the same double
+/// (printf %.17g always round-trips; prefer fewer digits when they do).
+void appendDouble(double D, std::string &Out) {
+  if (!std::isfinite(D)) {
+    Out += D > 0 ? "1e9999" : (D < 0 ? "-1e9999" : "0");
+    return;
+  }
+  if (D == 0) {
+    // "%g" prints "-0", which reads back as the integer 0 and drops the
+    // sign bit; spell the zeroes so they stay doubles.
+    Out += std::signbit(D) ? "-0.0" : "0.0";
+    return;
+  }
+  char Buf[40];
+  for (int Precision : {15, 16, 17}) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, D);
+    if (std::strtod(Buf, nullptr) == D)
+      break;
+  }
+  Out += Buf;
+}
+
+void indentTo(std::string &Out, int Indent, int Depth) {
+  Out.push_back('\n');
+  Out.append(static_cast<size_t>(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+void Value::dumpTo(std::string &Out, int Indent, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntV);
+    break;
+  case Kind::Double:
+    appendDouble(DoubleV, Out);
+    break;
+  case Kind::String:
+    escapeString(StringV, Out);
+    break;
+  case Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Value &E : ArrayV) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      if (Indent >= 0)
+        indentTo(Out, Indent, Depth + 1);
+      E.dumpTo(Out, Indent, Depth + 1);
+    }
+    if (Indent >= 0 && !ArrayV.empty())
+      indentTo(Out, Indent, Depth);
+    Out.push_back(']');
+    break;
+  }
+  case Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[Key, V] : ObjectV) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      if (Indent >= 0)
+        indentTo(Out, Indent, Depth + 1);
+      escapeString(Key, Out);
+      Out.push_back(':');
+      if (Indent >= 0)
+        Out.push_back(' ');
+      V.dumpTo(Out, Indent, Depth + 1);
+    }
+    if (Indent >= 0 && !ObjectV.empty())
+      indentTo(Out, Indent, Depth);
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+std::string Value::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  Value run() {
+    Value V = parseValue();
+    if (!Error.empty())
+      return Value();
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after the document");
+      return Value();
+    }
+    return V;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return Value();
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return Value(parseString());
+    if (C == 't') {
+      if (literal("true"))
+        return Value(true);
+    } else if (C == 'f') {
+      if (literal("false"))
+        return Value(false);
+    } else if (C == 'n') {
+      if (literal("null"))
+        return Value(nullptr);
+    } else if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+      return parseNumber();
+    }
+    fail("unexpected character");
+    return Value();
+  }
+
+  Value parseNumber() {
+    size_t Start = Pos;
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        IsDouble = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    if (Num.empty() || Num == "-") {
+      fail("malformed number");
+      return Value();
+    }
+    if (!IsDouble) {
+      errno = 0;
+      char *End = nullptr;
+      long long I = std::strtoll(Num.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0')
+        return Value(static_cast<int64_t>(I));
+    }
+    return Value(std::strtod(Num.c_str(), nullptr));
+  }
+
+  std::string parseString() {
+    std::string Out;
+    ++Pos; // opening quote
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return Out;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return Out;
+          }
+        }
+        // UTF-8 encode the code point (BMP only; enough for our files).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        fail("bad escape character");
+        return Out;
+      }
+    }
+    fail("unterminated string");
+    return Out;
+  }
+
+  Value parseArray() {
+    Value V = Value::array();
+    ++Pos; // '['
+    skipWs();
+    if (consume(']'))
+      return V;
+    while (true) {
+      V.push(parseValue());
+      if (!Error.empty())
+        return V;
+      if (consume(']'))
+        return V;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return V;
+      }
+    }
+  }
+
+  Value parseObject() {
+    Value V = Value::object();
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}'))
+      return V;
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail("expected object key");
+        return V;
+      }
+      std::string Key = parseString();
+      if (!Error.empty())
+        return V;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return V;
+      }
+      V.set(std::move(Key), parseValue());
+      if (!Error.empty())
+        return V;
+      if (consume('}'))
+        return V;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return V;
+      }
+    }
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Value json::parse(std::string_view Text, std::string &Error) {
+  Error.clear();
+  Parser P(Text, Error);
+  return P.run();
+}

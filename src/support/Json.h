@@ -1,0 +1,116 @@
+//===- Json.h - Minimal JSON value model ------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value model with a writer and a recursive-descent parser,
+/// used by the observability sinks (Chrome trace-event files, stats files,
+/// BENCH_*.json rows). Numbers are written with enough digits that a
+/// double survives an emit -> parse round trip bit-exactly, which the
+/// trace analyzer relies on when it cross-checks the aggregate stats.
+/// Object keys keep insertion order so serialized output is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_JSON_H
+#define WARPC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace warpc {
+namespace json {
+
+/// One JSON value; a tagged union over the seven JSON types (integers are
+/// kept distinct from doubles so counters print without a decimal point).
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  Value(std::nullptr_t) : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Bool), BoolV(B) {}
+  Value(int I) : K(Kind::Int), IntV(I) {}
+  Value(unsigned U) : K(Kind::Int), IntV(static_cast<int64_t>(U)) {}
+  Value(int64_t I) : K(Kind::Int), IntV(I) {}
+  Value(uint64_t U) : K(Kind::Int), IntV(static_cast<int64_t>(U)) {}
+  Value(double D) : K(Kind::Double), DoubleV(D) {}
+  Value(const char *S) : K(Kind::String), StringV(S) {}
+  Value(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return BoolV; }
+  int64_t integer() const {
+    return K == Kind::Double ? static_cast<int64_t>(DoubleV) : IntV;
+  }
+  double number() const {
+    return K == Kind::Int ? static_cast<double>(IntV) : DoubleV;
+  }
+  const std::string &str() const { return StringV; }
+
+  // Array access.
+  std::vector<Value> &elements() { return ArrayV; }
+  const std::vector<Value> &elements() const { return ArrayV; }
+  void push(Value V) { ArrayV.push_back(std::move(V)); }
+  size_t size() const { return ArrayV.size(); }
+  const Value &operator[](size_t I) const { return ArrayV[I]; }
+
+  // Object access. Keys keep insertion order; set() replaces in place.
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return ObjectV;
+  }
+  void set(std::string Key, Value V);
+  /// Member lookup; returns null for a missing key (a shared static).
+  const Value &get(std::string_view Key) const;
+  bool has(std::string_view Key) const;
+
+  /// Serializes compactly (no whitespace) when \p Indent < 0, otherwise
+  /// pretty-prints with \p Indent spaces per level.
+  std::string dump(int Indent = -1) const;
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  int64_t IntV = 0;
+  double DoubleV = 0;
+  std::string StringV;
+  std::vector<Value> ArrayV;
+  std::vector<std::pair<std::string, Value>> ObjectV;
+};
+
+/// Appends \p Text JSON-escaped (quotes included) to \p Out.
+void escapeString(std::string_view Text, std::string &Out);
+
+/// Parses \p Text as one JSON document. On failure returns a null value
+/// and sets \p Error to a message with a byte offset.
+Value parse(std::string_view Text, std::string &Error);
+
+} // namespace json
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_JSON_H

@@ -1,0 +1,119 @@
+//===- MetricsRegistryTest.cpp ---------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The metrics registry the driver phases and both parallel engines report
+// into: counter/gauge semantics, the fixed log2 histogram's bucket edges,
+// the JSON serialization, and concurrent recording from many threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace warpc;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+TEST(MetricsRegistryTest, CountersAccumulateAndGaugesReplace) {
+  MetricsRegistry M;
+  EXPECT_EQ(M.counter("phase1.runs"), 0.0);
+  M.add("phase1.runs");
+  M.add("phase1.runs");
+  M.add("phase1.tokens", 120);
+  EXPECT_EQ(M.counter("phase1.runs"), 2.0);
+  EXPECT_EQ(M.counter("phase1.tokens"), 120.0);
+
+  M.setGauge("workers", 4);
+  M.setGauge("workers", 9);
+  EXPECT_EQ(M.gauge("workers"), 9.0);
+  EXPECT_EQ(M.gauge("absent"), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdges) {
+  // bucketFor is 32 + floor(log2(V)), clamped to [0, 63]; nonpositive
+  // values land in bucket 0.
+  EXPECT_EQ(Histogram::bucketFor(1.0), 32u);
+  EXPECT_EQ(Histogram::bucketFor(1.5), 32u);
+  EXPECT_EQ(Histogram::bucketFor(2.0), 33u);
+  EXPECT_EQ(Histogram::bucketFor(3.0), 33u);
+  EXPECT_EQ(Histogram::bucketFor(0.5), 31u);
+  EXPECT_EQ(Histogram::bucketFor(0.0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(-7.0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1e300), 63u);
+
+  EXPECT_EQ(Histogram::bucketLowerBound(0), 0.0);
+  EXPECT_EQ(Histogram::bucketLowerBound(32), 1.0);
+  EXPECT_EQ(Histogram::bucketLowerBound(33), 2.0);
+  EXPECT_EQ(Histogram::bucketLowerBound(31), 0.5);
+}
+
+TEST(MetricsRegistryTest, HistogramSummaryStats) {
+  MetricsRegistry M;
+  for (double V : {4.0, 1.0, 9.0, 16.0})
+    M.observe("phase2.ir_instrs", V);
+  Histogram H = M.histogram("phase2.ir_instrs");
+  EXPECT_EQ(H.Count, 4u);
+  EXPECT_DOUBLE_EQ(H.Sum, 30.0);
+  EXPECT_DOUBLE_EQ(H.Min, 1.0);
+  EXPECT_DOUBLE_EQ(H.Max, 16.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 7.5);
+  EXPECT_EQ(H.Buckets[32], 1u); // 1.0
+  EXPECT_EQ(H.Buckets[34], 1u); // 4.0
+  EXPECT_EQ(H.Buckets[35], 1u); // 9.0
+  EXPECT_EQ(H.Buckets[36], 1u); // 16.0
+
+  // Never-observed histograms read back zeroed.
+  Histogram Empty = M.histogram("absent");
+  EXPECT_EQ(Empty.Count, 0u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, JsonSerialization) {
+  MetricsRegistry M;
+  M.add("phase1.runs");
+  M.setGauge("workers", 3);
+  M.observe("compile_sec", 2.0);
+  M.observe("compile_sec", 5.0);
+
+  json::Value J = M.toJson();
+  EXPECT_EQ(J.get("counters").get("phase1.runs").number(), 1.0);
+  EXPECT_EQ(J.get("gauges").get("workers").number(), 3.0);
+  const json::Value &H = J.get("histograms").get("compile_sec");
+  EXPECT_EQ(H.get("count").integer(), 2);
+  EXPECT_DOUBLE_EQ(H.get("sum").number(), 7.0);
+  EXPECT_DOUBLE_EQ(H.get("mean").number(), 3.5);
+  // Only the two nonzero buckets serialize: [lowerBound, count] pairs.
+  const json::Value &Buckets = H.get("buckets");
+  ASSERT_EQ(Buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(Buckets[0][0].number(), 2.0);
+  EXPECT_EQ(Buckets[0][1].integer(), 1);
+  EXPECT_DOUBLE_EQ(Buckets[1][0].number(), 4.0);
+  EXPECT_EQ(Buckets[1][1].integer(), 1);
+
+  // The document survives a dump/parse round trip.
+  std::string Error;
+  json::Value Back = json::parse(J.dump(2), Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.get("counters").get("phase1.runs").number(), 1.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsLossless) {
+  MetricsRegistry M;
+  constexpr unsigned Threads = 8, PerThread = 1000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&M] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        M.add("hits");
+        M.observe("values", 1.0);
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+  EXPECT_EQ(M.counter("hits"), double(Threads * PerThread));
+  EXPECT_EQ(M.histogram("values").Count, uint64_t(Threads) * PerThread);
+}

@@ -1,0 +1,384 @@
+//===- TraceObsTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The observability layer end to end: Chrome trace-event schema validity
+// (what Perfetto requires to load the file), lossless trace-JSON round
+// trips, the critical-path analyzer, and the cross-check that the
+// Section 4.2.3 overhead decomposition rebuilt from a trace matches
+// parallel::computeOverheads on the aggregate stats to 1e-9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+#include "obs/TraceAnalysis.h"
+#include "obs/TraceRecorder.h"
+#include "parallel/SimRunner.h"
+#include "parallel/ThreadRunner.h"
+#include "support/Json.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using namespace warpc::obs;
+using workload::FunctionSize;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+const cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+const CostModel Model = CostModel::lisp1989();
+
+struct TracedRun {
+  TraceSession Session;
+  SeqStats Seq;
+  ParStats Par;
+  unsigned NumFunctions = 0;
+};
+
+/// Simulates \p Source with tracing on, attaching the sequential baseline
+/// the way warpc --simulate does.
+TracedRun tracedSimRun(const std::string &Source,
+                       const cluster::FaultPlan *Plan = nullptr,
+                       const driver::FaultPolicy &Policy =
+                           driver::FaultPolicy()) {
+  TracedRun Run;
+  auto Job = buildJob(Source, MM);
+  EXPECT_TRUE(static_cast<bool>(Job));
+  cluster::HostConfig H = Host;
+  if (Plan)
+    H.Faults = *Plan;
+  Run.NumFunctions = Job->numFunctions();
+  Run.Seq = simulateSequential(*Job, Host, Model);
+  Assignment Assign = scheduleFCFS(*Job, H.NumWorkstations);
+  TraceRecorder Rec(ClockDomain::Simulated);
+  Run.Par = simulateParallel(*Job, Assign, H, Model, &Rec, Policy);
+  Rec.setRunTotals(Run.Par.ElapsedSec, Run.Seq.ElapsedSec,
+                   Run.NumFunctions);
+  Run.Session = Rec.finish();
+  return Run;
+}
+
+unsigned countKind(const TraceSession &S, EventKind K) {
+  unsigned N = 0;
+  for (const SpanEvent &E : S.Events)
+    N += E.Kind == K;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event schema (what Perfetto needs to load the file)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceObsTest, ChromeTraceSchemaIsPerfettoValid) {
+  TracedRun Run = tracedSimRun(workload::makeTestModule(FunctionSize::Small, 4));
+  std::string Text = writeChromeTrace(Run.Session);
+
+  std::string Error;
+  json::Value Root = json::parse(Text, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  ASSERT_TRUE(Root.isObject());
+  ASSERT_TRUE(Root.get("traceEvents").isArray());
+  EXPECT_TRUE(Root.get("otherData").isObject());
+
+  unsigned Spans = 0, Instants = 0, ThreadNames = 0, ProcessNames = 0;
+  for (const json::Value &Ev : Root.get("traceEvents").elements()) {
+    ASSERT_TRUE(Ev.isObject());
+    const std::string &Ph = Ev.get("ph").str();
+    ASSERT_TRUE(Ph == "X" || Ph == "i" || Ph == "C" || Ph == "M") << Ph;
+    EXPECT_TRUE(Ev.get("pid").isNumber());
+    if (Ph == "M") {
+      // Metadata: names the process and one track per host.
+      const std::string &Name = Ev.get("name").str();
+      EXPECT_TRUE(Name == "process_name" || Name == "thread_name") << Name;
+      EXPECT_TRUE(Ev.get("args").get("name").isString());
+      ThreadNames += Name == "thread_name";
+      ProcessNames += Name == "process_name";
+      continue;
+    }
+    EXPECT_TRUE(Ev.get("ts").isNumber());
+    EXPECT_GE(Ev.get("ts").number(), 0.0);
+    if (Ph == "X") {
+      // Complete events: a duration and a track.
+      ASSERT_TRUE(Ev.get("dur").isNumber());
+      EXPECT_GE(Ev.get("dur").number(), 0.0);
+      EXPECT_TRUE(Ev.get("tid").isNumber());
+      EXPECT_TRUE(Ev.get("name").isString());
+      EXPECT_TRUE(Ev.get("cat").isString());
+      ++Spans;
+    } else if (Ph == "i") {
+      EXPECT_EQ(Ev.get("s").str(), "t"); // thread-scoped instant
+      ++Instants;
+    } else { // "C"
+      EXPECT_TRUE(Ev.get("args").get("value").isNumber());
+    }
+  }
+  EXPECT_EQ(ProcessNames, 1u);
+  EXPECT_EQ(ThreadNames, Run.Session.NumHosts); // one track per host
+  EXPECT_GT(Spans, 0u);
+  EXPECT_GT(Instants, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(TraceObsTest, TraceJsonRoundTripIsLossless) {
+  TracedRun Run = tracedSimRun(workload::makeTestModule(FunctionSize::Small, 5));
+  const TraceSession &A = Run.Session;
+
+  TraceSession B;
+  std::string Error;
+  ASSERT_TRUE(parseChromeTrace(writeChromeTrace(A), B, Error)) << Error;
+
+  EXPECT_EQ(B.Domain, A.Domain);
+  EXPECT_EQ(B.NumHosts, A.NumHosts);
+  EXPECT_EQ(B.NumSections, A.NumSections);
+  EXPECT_EQ(B.NumFunctions, A.NumFunctions);
+  // Doubles ride in args at full precision: bit-exact equality.
+  EXPECT_EQ(B.ParElapsedSec, A.ParElapsedSec);
+  EXPECT_EQ(B.SeqElapsedSec, A.SeqElapsedSec);
+  EXPECT_EQ(B.FunctionNames, A.FunctionNames);
+  EXPECT_EQ(B.CounterNames, A.CounterNames);
+
+  ASSERT_EQ(B.Events.size(), A.Events.size());
+  for (size_t I = 0; I != A.Events.size(); ++I) {
+    const SpanEvent &EA = A.Events[I], &EB = B.Events[I];
+    EXPECT_EQ(EB.Kind, EA.Kind) << "event " << I;
+    EXPECT_EQ(EB.TSec, EA.TSec) << "event " << I;
+    EXPECT_EQ(EB.isSpan(), EA.isSpan()) << "event " << I;
+    if (EA.isSpan())
+      EXPECT_EQ(EB.DurSec, EA.DurSec) << "event " << I;
+    EXPECT_EQ(EB.CpuSec, EA.CpuSec) << "event " << I;
+    EXPECT_EQ(EB.Seq, EA.Seq) << "event " << I;
+    EXPECT_EQ(EB.Host, EA.Host) << "event " << I;
+    EXPECT_EQ(EB.Section, EA.Section) << "event " << I;
+    EXPECT_EQ(EB.Function, EA.Function) << "event " << I;
+    EXPECT_EQ(EB.Attempt, EA.Attempt) << "event " << I;
+    EXPECT_EQ(EB.Cause, EA.Cause) << "event " << I;
+    EXPECT_EQ(EB.Speculative, EA.Speculative) << "event " << I;
+    EXPECT_EQ(EB.Ph, EA.Ph) << "event " << I;
+  }
+  ASSERT_EQ(B.Counters.size(), A.Counters.size());
+  for (size_t I = 0; I != A.Counters.size(); ++I) {
+    EXPECT_EQ(B.Counters[I].TSec, A.Counters[I].TSec) << "counter " << I;
+    EXPECT_EQ(B.Counters[I].Value, A.Counters[I].Value) << "counter " << I;
+    EXPECT_EQ(B.Counters[I].Counter, A.Counters[I].Counter)
+        << "counter " << I;
+  }
+}
+
+TEST(TraceObsTest, RoundTripPreservesCriticalPathAndOverheads) {
+  cluster::FaultPlan Plan;
+  Plan.hostMut(2).SlowdownFactor = 3.0;
+  Plan.MessageLossProb = 0.1;
+  Plan.Seed = 11;
+  TracedRun Run =
+      tracedSimRun(workload::makeTestModule(FunctionSize::Small, 6), &Plan);
+
+  TraceSession Back;
+  std::string Error;
+  ASSERT_TRUE(parseChromeTrace(writeChromeTrace(Run.Session), Back, Error))
+      << Error;
+
+  TraceReport RA = analyzeTrace(Run.Session);
+  TraceReport RB = analyzeTrace(Back);
+
+  ASSERT_EQ(RB.CriticalPath.size(), RA.CriticalPath.size());
+  for (size_t I = 0; I != RA.CriticalPath.size(); ++I) {
+    EXPECT_EQ(RB.CriticalPath[I].E.Kind, RA.CriticalPath[I].E.Kind)
+        << "step " << I;
+    EXPECT_EQ(RB.CriticalPath[I].E.TSec, RA.CriticalPath[I].E.TSec)
+        << "step " << I;
+    EXPECT_EQ(RB.CriticalPath[I].E.Host, RA.CriticalPath[I].E.Host)
+        << "step " << I;
+    EXPECT_EQ(RB.CriticalPath[I].WaitBeforeSec,
+              RA.CriticalPath[I].WaitBeforeSec)
+        << "step " << I;
+  }
+  EXPECT_EQ(RB.TotalOverheadSec, RA.TotalOverheadSec);
+  EXPECT_EQ(RB.ImplOverheadSec, RA.ImplOverheadSec);
+  EXPECT_EQ(RB.SysOverheadSec, RA.SysOverheadSec);
+  EXPECT_EQ(RB.MasterCpuSec, RA.MasterCpuSec);
+  EXPECT_EQ(RB.SectionCpuSec, RA.SectionCpuSec);
+  ASSERT_EQ(RB.Hosts.size(), RA.Hosts.size());
+  for (size_t H = 0; H != RA.Hosts.size(); ++H)
+    EXPECT_EQ(RB.Hosts[H].BusySec, RA.Hosts[H].BusySec) << "host " << H;
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer vs the aggregate stats
+//===----------------------------------------------------------------------===//
+
+TEST(TraceObsTest, AnalyzerMatchesComputeOverheads) {
+  TracedRun Run = tracedSimRun(workload::makeUserProgram());
+  TraceReport R = analyzeTrace(Run.Session);
+
+  // The spans' CPU attributions reproduce the stats ledgers exactly.
+  EXPECT_NEAR(R.MasterCpuSec, Run.Par.MasterCpuSec, 1e-9);
+  EXPECT_NEAR(R.SectionCpuSec, Run.Par.SectionCpuSec, 1e-9);
+
+  OverheadBreakdown Ov =
+      computeOverheads(Run.Seq, Run.Par, Run.NumFunctions);
+  ASSERT_TRUE(R.HasOverheads);
+  EXPECT_NEAR(R.TotalOverheadSec, Ov.TotalSec, 1e-9);
+  EXPECT_NEAR(R.ImplOverheadSec, Ov.ImplSec, 1e-9);
+  EXPECT_NEAR(R.SysOverheadSec, Ov.SysSec, 1e-9);
+  EXPECT_DOUBLE_EQ(R.ParElapsedSec, Run.Par.ElapsedSec);
+
+  EXPECT_EQ(R.FunctionsCompleted, Run.Par.FunctionsCompleted);
+  EXPECT_EQ(R.NumFunctions, Run.NumFunctions);
+
+  // Utilization stays physical: no host is busy longer than the run.
+  for (const HostUtilization &H : R.Hosts) {
+    EXPECT_LE(H.BusySec, R.ParElapsedSec + 1e-9) << "host " << H.Host;
+    EXPECT_LE(H.utilizationPct(R.ParElapsedSec), 100.0 + 1e-9);
+  }
+
+  // The path is in time order, starts at the master's first fork, and
+  // ends when the final image lands.
+  ASSERT_GE(R.CriticalPath.size(), 5u);
+  EXPECT_EQ(R.CriticalPath.front().E.Kind, EventKind::SpanMasterFork);
+  EXPECT_EQ(R.CriticalPath.back().E.Kind, EventKind::RunComplete);
+  for (size_t I = 1; I < R.CriticalPath.size(); ++I)
+    EXPECT_GE(R.CriticalPath[I].E.TSec, R.CriticalPath[I - 1].E.TSec)
+        << "step " << I;
+}
+
+TEST(TraceObsTest, AnalyzerMatchesStatsUnderFaults) {
+  cluster::FaultPlan Plan;
+  Plan.hostMut(1).CrashAtSec = 150;
+  Plan.hostMut(1).RebootAfterSec = 400;
+  Plan.hostMut(3).SlowdownFactor = 5.0;
+  Plan.MessageLossProb = 0.15;
+  Plan.Seed = 9;
+  driver::FaultPolicy Policy;
+  TracedRun Run = tracedSimRun(workload::makeTestModule(FunctionSize::Small, 6),
+                               &Plan, Policy);
+  TraceReport R = analyzeTrace(Run.Session);
+
+  // Fault-recovery tallies in the trace match the aggregate counters.
+  EXPECT_EQ(R.TimeoutsFired, Run.Par.TimeoutsFired);
+  EXPECT_EQ(R.MasterRecompiles, Run.Par.MasterRecompiles);
+  EXPECT_EQ(R.FunctionsCompleted, Run.Par.FunctionsCompleted);
+  // Reassigned events fire per retry; the stat counts unique functions.
+  EXPECT_GE(R.Reassignments, Run.Par.FunctionsReassigned);
+
+  OverheadBreakdown Ov =
+      computeOverheads(Run.Seq, Run.Par, Run.NumFunctions);
+  EXPECT_NEAR(R.TotalOverheadSec, Ov.TotalSec, 1e-9);
+  EXPECT_NEAR(R.ImplOverheadSec, Ov.ImplSec, 1e-9);
+  EXPECT_NEAR(R.SysOverheadSec, Ov.SysSec, 1e-9);
+
+  // The report renders without tripping any internal checks.
+  std::string Text = renderReport(Run.Session, R);
+  EXPECT_NE(Text.find("critical path"), std::string::npos);
+  EXPECT_NE(Text.find("fault recovery"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Overhead-breakdown edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(TraceObsTest, OverheadBreakdownEdgeCases) {
+  // k == 0: no ideal speedup to compare against; everything reports zero.
+  SeqStats Seq;
+  Seq.ElapsedSec = 100;
+  ParStats Par;
+  Par.ElapsedSec = 40;
+  OverheadBreakdown Zero = computeOverheads(Seq, Par, 0);
+  EXPECT_DOUBLE_EQ(Zero.TotalSec, 0.0);
+  EXPECT_DOUBLE_EQ(Zero.ImplSec, 0.0);
+  EXPECT_DOUBLE_EQ(Zero.SysSec, 0.0);
+
+  // Zero parallel elapsed: the relative percentages must not divide by
+  // zero.
+  OverheadBreakdown Degenerate;
+  Degenerate.TotalSec = 5;
+  Degenerate.SysSec = 3;
+  Degenerate.ParElapsedSec = 0;
+  EXPECT_DOUBLE_EQ(Degenerate.relTotalPct(), 0.0);
+  EXPECT_DOUBLE_EQ(Degenerate.relSysPct(), 0.0);
+
+  // Negative system overhead (super-linear corner: the parallel run beats
+  // the ideal) flows through as a negative percentage, not a clamp.
+  OverheadBreakdown Negative;
+  Negative.TotalSec = -2;
+  Negative.ImplSec = 1;
+  Negative.SysSec = -3;
+  Negative.ParElapsedSec = 50;
+  EXPECT_DOUBLE_EQ(Negative.relTotalPct(), -4.0);
+  EXPECT_DOUBLE_EQ(Negative.relSysPct(), -6.0);
+
+  // The analyzer-side report mirrors the same conventions.
+  TraceReport R;
+  R.TotalOverheadSec = 5;
+  R.SysOverheadSec = -1;
+  R.ParElapsedSec = 0;
+  EXPECT_DOUBLE_EQ(R.relTotalPct(), 0.0);
+  EXPECT_DOUBLE_EQ(R.relSysPct(), 0.0);
+  R.ParElapsedSec = 10;
+  EXPECT_DOUBLE_EQ(R.relTotalPct(), 50.0);
+  EXPECT_DOUBLE_EQ(R.relSysPct(), -10.0);
+
+  // A session with no sequential baseline carries no decomposition.
+  TraceRecorder Rec(ClockDomain::Simulated);
+  Rec.lane(0).instant(0.0, EventKind::RunComplete, Phase::Assembly);
+  Rec.setRunTotals(1.0, 0.0, 4);
+  TraceReport NoBaseline = analyzeTrace(Rec.finish());
+  EXPECT_FALSE(NoBaseline.HasOverheads);
+  EXPECT_DOUBLE_EQ(NoBaseline.TotalOverheadSec, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The thread engine's trace
+//===----------------------------------------------------------------------===//
+
+TEST(TraceObsTest, ThreadEngineTraceIsAnalyzable) {
+  std::string Source = workload::makeTestModule(FunctionSize::Tiny, 6);
+  TraceRecorder Rec(ClockDomain::Steady);
+  MetricsRegistry Metrics;
+  ThreadRunResult Run = compileModuleParallel(
+      Source, MM, 3, driver::FaultPolicy(), nullptr, &Rec, &Metrics);
+  ASSERT_TRUE(Run.Module.Succeeded);
+  TraceSession S = Rec.finish();
+
+  EXPECT_EQ(S.Domain, ClockDomain::Steady);
+  EXPECT_EQ(S.NumHosts, 4u); // master + 3 workers
+  EXPECT_EQ(S.NumFunctions, 6u);
+  EXPECT_EQ(countKind(S, EventKind::SpanParse), 1u);
+  EXPECT_EQ(countKind(S, EventKind::SpanCompile), 6u);
+  EXPECT_EQ(countKind(S, EventKind::FunctionDone), 6u);
+  EXPECT_EQ(countKind(S, EventKind::SpanAssembly), 1u);
+  EXPECT_EQ(countKind(S, EventKind::RunComplete), 1u);
+
+  // Merged lanes are in (TSec, Seq) order.
+  for (size_t I = 1; I < S.Events.size(); ++I) {
+    EXPECT_TRUE(S.Events[I - 1].TSec < S.Events[I].TSec ||
+                (S.Events[I - 1].TSec == S.Events[I].TSec &&
+                 S.Events[I - 1].Seq < S.Events[I].Seq))
+        << "event " << I;
+  }
+
+  TraceReport R = analyzeTrace(S);
+  EXPECT_EQ(R.FunctionsCompleted, 6u);
+  ASSERT_FALSE(R.CriticalPath.empty());
+  EXPECT_EQ(R.CriticalPath.back().E.Kind, EventKind::RunComplete);
+  // Real-time traces carry no simulated baseline: no 4.2.3 decomposition.
+  EXPECT_FALSE(R.HasOverheads);
+
+  EXPECT_EQ(Metrics.counter("phase2.functions"), 6.0);
+  EXPECT_EQ(Metrics.counter("phase1.runs"), 1.0);
+  EXPECT_EQ(Metrics.histogram("thread.compile_sec").Count, 6u);
+
+  // The trace serializes and parses like the simulator's.
+  TraceSession Back;
+  std::string Error;
+  ASSERT_TRUE(parseChromeTrace(writeChromeTrace(S), Back, Error)) << Error;
+  EXPECT_EQ(Back.Events.size(), S.Events.size());
+  EXPECT_EQ(Back.Domain, ClockDomain::Steady);
+}

@@ -11,13 +11,19 @@
 
 #include "parallel/SimRunner.h"
 
+#include "obs/ChromeTrace.h"
+#include "obs/TraceRecorder.h"
 #include "workload/Generator.h"
 
+#include <functional>
 #include <gtest/gtest.h>
 
 using namespace warpc;
 using namespace warpc::parallel;
 using cluster::FaultPlan;
+using obs::EventKind;
+using obs::SpanEvent;
+using obs::TraceSession;
 using workload::FunctionSize;
 
 namespace {
@@ -32,23 +38,48 @@ CompilationJob jobFor(FunctionSize Size, unsigned N) {
   return Job.takeValue();
 }
 
-/// Time of the first trace event whose text contains \p Needle.
-double eventTime(const std::vector<TraceEvent> &Trace,
-                 const std::string &Needle) {
-  for (const TraceEvent &E : Trace)
-    if (E.What.find(Needle) != std::string::npos)
-      return E.AtSec;
-  ADD_FAILURE() << "no trace event contains '" << Needle << "'";
-  return 0;
+/// First event of kind \p K satisfying \p Pred, or null.
+const SpanEvent *
+findEvent(const TraceSession &S, EventKind K,
+          const std::function<bool(const SpanEvent &)> &Pred =
+              [](const SpanEvent &) { return true; }) {
+  for (const SpanEvent &E : S.Events)
+    if (E.Kind == K && Pred(E))
+      return &E;
+  return nullptr;
 }
 
-/// Runs the job under \p Plan and returns the stats.
+/// Interned id of the function named \p Name (-1 if absent).
+int32_t fnId(const TraceSession &S, const std::string &Name) {
+  for (size_t I = 0; I != S.FunctionNames.size(); ++I)
+    if (S.FunctionNames[I] == Name)
+      return static_cast<int32_t>(I);
+  ADD_FAILURE() << "no function named '" << Name << "' in the trace";
+  return -1;
+}
+
+/// Runs the job under \p Plan; when \p Out is non-null the run is traced
+/// and the finished session stored there.
 ParStats runWithPlan(const CompilationJob &Job, const Assignment &Assign,
                      const FaultPlan &Plan, const driver::FaultPolicy &Policy,
-                     std::vector<TraceEvent> *Trace = nullptr) {
+                     TraceSession *Out = nullptr) {
   cluster::HostConfig Host = CleanHost;
   Host.Faults = Plan;
-  return simulateParallel(Job, Assign, Host, Model, Trace, Policy);
+  if (!Out)
+    return simulateParallel(Job, Assign, Host, Model, nullptr, Policy);
+  obs::TraceRecorder Rec(obs::ClockDomain::Simulated);
+  ParStats Stats = simulateParallel(Job, Assign, Host, Model, &Rec, Policy);
+  *Out = Rec.finish();
+  return Stats;
+}
+
+/// Traced clean run.
+ParStats runClean(const CompilationJob &Job, const Assignment &Assign,
+                  TraceSession &Out) {
+  obs::TraceRecorder Rec(obs::ClockDomain::Simulated);
+  ParStats Stats = simulateParallel(Job, Assign, CleanHost, Model, &Rec);
+  Out = Rec.finish();
+  return Stats;
 }
 
 } // namespace
@@ -64,21 +95,27 @@ TEST(FaultSimTest, CrashMatrixAlwaysCompletes) {
 
   // Phase boundaries from a clean traced run. FCFS puts function fN+1 on
   // workstation N, so each host's own mid-compile instant is the midpoint
-  // of its "compiling" and "done" trace events.
-  std::vector<TraceEvent> Clean;
-  ParStats Base = simulateParallel(Job, Assign, CleanHost, Model, &Clean);
-  double FanOutSec = eventTime(Clean, "setup parse complete");
-  double CombineSec = eventTime(Clean, "combining results");
+  // of its compile span.
+  TraceSession Clean;
+  ParStats Base = runClean(Job, Assign, Clean);
+  const SpanEvent *Parse = findEvent(Clean, EventKind::SpanParse);
+  const SpanEvent *Combine = findEvent(Clean, EventKind::SpanCombine);
+  ASSERT_NE(Parse, nullptr);
+  ASSERT_NE(Combine, nullptr);
+  double FanOutSec = Parse->endSec();
+  double CombineSec = Combine->TSec;
 
   driver::FaultPolicy Policy;
   Policy.SpeculateStragglers = false; // recovery via the watchdog only
 
   for (unsigned W = 1; W <= 3; ++W) {
-    std::string Fn = "'f" + std::to_string(W + 1) + "'";
-    std::string Ws = "ws" + std::to_string(W) + ": ";
-    double MidSec = (eventTime(Clean, Ws + Fn + " compiling") +
-                     eventTime(Clean, Ws + Fn + " done")) /
-                    2;
+    int32_t Fn = fnId(Clean, "f" + std::to_string(W + 1));
+    const SpanEvent *Compile =
+        findEvent(Clean, EventKind::SpanCompile, [&](const SpanEvent &E) {
+          return E.Host == static_cast<int32_t>(W) && E.Function == Fn;
+        });
+    ASSERT_NE(Compile, nullptr) << "ws" << W;
+    double MidSec = (Compile->TSec + Compile->endSec()) / 2;
     enum ElapsedVs { Any, Slower, Same };
     struct Boundary {
       const char *Name;
@@ -104,12 +141,14 @@ TEST(FaultSimTest, CrashMatrixAlwaysCompletes) {
       EXPECT_EQ(Par.FunctionsCompleted, 4u);
       EXPECT_EQ(Par.FunctionsReassigned, B.ExpectReassigned);
       EXPECT_EQ(Par.MasterRecompiles, 0u);
-      if (B.Elapsed == Slower)
+      if (B.Elapsed == Slower) {
         EXPECT_GT(Par.ElapsedSec, Base.ElapsedSec);
-      else if (B.Elapsed == Same)
+      } else if (B.Elapsed == Same) {
         EXPECT_DOUBLE_EQ(Par.ElapsedSec, Base.ElapsedSec);
-      if (B.ExpectReassigned > 0)
+      }
+      if (B.ExpectReassigned > 0) {
         EXPECT_GT(Par.RetriesSec, 0.0);
+      }
       // The Section 4.2.3 decomposition stays internally consistent.
       OverheadBreakdown Ov = computeOverheads(Seq, Par, 4);
       EXPECT_NEAR(Ov.TotalSec, Ov.ImplSec + Ov.SysSec, 1e-9);
@@ -134,7 +173,7 @@ TEST(FaultSimTest, SameSeedAndPlanGiveIdenticalTraces) {
   Plan.Seed = 42;
   driver::FaultPolicy Policy;
 
-  std::vector<TraceEvent> TraceA, TraceB;
+  TraceSession TraceA, TraceB;
   ParStats A = runWithPlan(Job, Assign, Plan, Policy, &TraceA);
   ParStats B = runWithPlan(Job, Assign, Plan, Policy, &TraceB);
 
@@ -143,11 +182,19 @@ TEST(FaultSimTest, SameSeedAndPlanGiveIdenticalTraces) {
   EXPECT_EQ(A.FunctionsReassigned, B.FunctionsReassigned);
   EXPECT_EQ(A.TimeoutsFired, B.TimeoutsFired);
   EXPECT_EQ(A.SpeculativeWins, B.SpeculativeWins);
-  ASSERT_EQ(TraceA.size(), TraceB.size());
-  for (size_t I = 0; I != TraceA.size(); ++I) {
-    EXPECT_DOUBLE_EQ(TraceA[I].AtSec, TraceB[I].AtSec) << "event " << I;
-    EXPECT_EQ(TraceA[I].What, TraceB[I].What) << "event " << I;
+  ASSERT_EQ(TraceA.Events.size(), TraceB.Events.size());
+  for (size_t I = 0; I != TraceA.Events.size(); ++I) {
+    const SpanEvent &EA = TraceA.Events[I];
+    const SpanEvent &EB = TraceB.Events[I];
+    EXPECT_DOUBLE_EQ(EA.TSec, EB.TSec) << "event " << I;
+    EXPECT_EQ(EA.Kind, EB.Kind) << "event " << I;
+    EXPECT_EQ(EA.Host, EB.Host) << "event " << I;
+    EXPECT_EQ(EA.Function, EB.Function) << "event " << I;
+    EXPECT_EQ(EA.Attempt, EB.Attempt) << "event " << I;
   }
+  // The (TSec, Seq) tie-break makes the order a deterministic total
+  // order, so two runs serialize to byte-identical trace files.
+  EXPECT_EQ(obs::writeChromeTrace(TraceA), obs::writeChromeTrace(TraceB));
 }
 
 TEST(FaultSimTest, ArmedButInertPlanMatchesLegacySchedule) {
@@ -157,24 +204,26 @@ TEST(FaultSimTest, ArmedButInertPlanMatchesLegacySchedule) {
   CompilationJob Job = jobFor(FunctionSize::Medium, 4);
   Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
 
-  std::vector<TraceEvent> Legacy;
-  ParStats Base = simulateParallel(Job, Assign, CleanHost, Model, &Legacy);
+  TraceSession Legacy;
+  ParStats Base = runClean(Job, Assign, Legacy);
 
   FaultPlan Inert;
   Inert.hostMut(1).CrashAtSec = 1e9;
   driver::FaultPolicy Policy;
   Policy.SpeculateStragglers = false;
-  std::vector<TraceEvent> Armed;
+  TraceSession Armed;
   ParStats Par = runWithPlan(Job, Assign, Inert, Policy, &Armed);
 
   EXPECT_DOUBLE_EQ(Par.ElapsedSec, Base.ElapsedSec);
   EXPECT_EQ(Par.TimeoutsFired, 0u);
   EXPECT_EQ(Par.FunctionsReassigned, 0u);
   EXPECT_DOUBLE_EQ(Par.RetriesSec, 0.0);
-  ASSERT_EQ(Armed.size(), Legacy.size());
-  for (size_t I = 0; I != Legacy.size(); ++I) {
-    EXPECT_DOUBLE_EQ(Armed[I].AtSec, Legacy[I].AtSec) << "event " << I;
-    EXPECT_EQ(Armed[I].What, Legacy[I].What) << "event " << I;
+  ASSERT_EQ(Armed.Events.size(), Legacy.Events.size());
+  for (size_t I = 0; I != Legacy.Events.size(); ++I) {
+    EXPECT_DOUBLE_EQ(Armed.Events[I].TSec, Legacy.Events[I].TSec)
+        << "event " << I;
+    EXPECT_EQ(Armed.Events[I].Kind, Legacy.Events[I].Kind) << "event " << I;
+    EXPECT_EQ(Armed.Events[I].Host, Legacy.Events[I].Host) << "event " << I;
   }
 }
 
@@ -190,25 +239,20 @@ TEST(FaultSimTest, ThirdOfMastersDyingPlusPermanentHostLoss) {
   ASSERT_EQ(K, 9u);
   Assignment Assign = scheduleFCFS(Job, CleanHost.NumWorkstations);
 
-  std::vector<TraceEvent> Clean;
-  simulateParallel(Job, Assign, CleanHost, Model, &Clean);
+  TraceSession Clean;
+  runClean(Job, Assign, Clean);
 
   // ceil(9/3) = 3 function masters die mid-compile; a fourth host is down
   // before the fan-out and never comes back.
   FaultPlan Plan;
   for (unsigned W = 1; W <= 3; ++W) {
-    std::string Ws = "ws" + std::to_string(W) + ": ";
-    double Compiling = 0, Done = 0;
-    for (const TraceEvent &E : Clean) {
-      if (E.What.rfind(Ws, 0) == 0 &&
-          E.What.find("compiling") != std::string::npos && Compiling == 0)
-        Compiling = E.AtSec;
-      if (E.What.rfind(Ws, 0) == 0 &&
-          E.What.find("done") != std::string::npos && Done == 0)
-        Done = E.AtSec;
-    }
-    ASSERT_GT(Done, Compiling) << "ws" << W;
-    Plan.hostMut(W).CrashAtSec = (Compiling + Done) / 2; // never reboots
+    const SpanEvent *Compile =
+        findEvent(Clean, EventKind::SpanCompile, [&](const SpanEvent &E) {
+          return E.Host == static_cast<int32_t>(W);
+        });
+    ASSERT_NE(Compile, nullptr) << "ws" << W;
+    ASSERT_GT(Compile->DurSec, 0.0) << "ws" << W;
+    Plan.hostMut(W).CrashAtSec = Compile->TSec + Compile->DurSec / 2;
   }
   Plan.hostMut(4).CrashAtSec = 0.0;
 
@@ -246,12 +290,28 @@ TEST(FaultSimTest, TotalMessageLossFallsBackToMasterRecompiles) {
   driver::FaultPolicy Policy;
   Policy.SpeculateStragglers = false;
   Policy.MaxAttempts = 1;
-  ParStats Par = runWithPlan(Job, Assign, Plan, Policy);
+  TraceSession Trace;
+  ParStats Par = runWithPlan(Job, Assign, Plan, Policy, &Trace);
 
   EXPECT_EQ(Par.FunctionsCompleted, 4u);
   EXPECT_EQ(Par.MasterRecompiles, 3u);
   EXPECT_EQ(Par.TimeoutsFired, 3u);
   EXPECT_GT(Par.RetriesSec, 0.0);
+
+  // The typed stream records the same story: three dropped completion
+  // messages, three watchdog expirations, three master recompiles whose
+  // accepted results carry the attempt-0 fallback marker.
+  unsigned Lost = 0, Timeouts = 0, Recompiles = 0, FallbackWins = 0;
+  for (const SpanEvent &E : Trace.Events) {
+    Lost += E.Kind == EventKind::MessageLost;
+    Timeouts += E.Kind == EventKind::TimeoutFired;
+    Recompiles += E.Kind == EventKind::SpanMasterRecompile;
+    FallbackWins += E.Kind == EventKind::FunctionDone && E.Attempt == 0;
+  }
+  EXPECT_EQ(Lost, 3u);
+  EXPECT_EQ(Timeouts, 3u);
+  EXPECT_EQ(Recompiles, 3u);
+  EXPECT_EQ(FallbackWins, 3u);
 }
 
 TEST(FaultSimTest, SpeculationBeatsWatchdogOnSlowHost) {

@@ -1,0 +1,122 @@
+//===- JsonTest.cpp --------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The JSON value model the observability sinks are built on. The key
+// property under test: a double survives dump() -> parse() bit-exactly,
+// which is what lets the trace analyzer cross-check aggregate stats
+// against a trace file to 1e-9 and better.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace warpc;
+using json::Value;
+
+namespace {
+
+bool bitIdentical(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+double reparse(double D) {
+  std::string Error;
+  Value V = json::parse(Value(D).dump(), Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_TRUE(V.isNumber());
+  return V.number();
+}
+
+} // namespace
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  const double Cases[] = {0.0,
+                          1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          6458.8374562199,
+                          1e-9,
+                          -3.25e17,
+                          123456789.123456789,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          -0.0};
+  for (double D : Cases)
+    EXPECT_TRUE(bitIdentical(D, reparse(D))) << D;
+}
+
+TEST(JsonTest, IntegersStayIntegers) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(static_cast<int64_t>(-7)).dump(), "-7");
+  EXPECT_EQ(Value(static_cast<uint64_t>(1) << 40).dump(), "1099511627776");
+  std::string Error;
+  Value V = json::parse("1099511627776", Error);
+  EXPECT_EQ(V.kind(), Value::Kind::Int);
+  EXPECT_EQ(V.integer(), int64_t(1) << 40);
+}
+
+TEST(JsonTest, StringsEscapeAndUnescape) {
+  const std::string Nasty = "a\"b\\c\n\t\r\x01 d/e";
+  std::string Error;
+  Value V = json::parse(Value(Nasty).dump(), Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(V.str(), Nasty);
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  Value Obj = Value::object();
+  Obj.set("zeta", 1);
+  Obj.set("alpha", 2);
+  Obj.set("mid", Value::array());
+  EXPECT_EQ(Obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":[]}");
+  // set() on an existing key replaces in place, preserving position.
+  Obj.set("zeta", 9);
+  EXPECT_EQ(Obj.dump(), "{\"zeta\":9,\"alpha\":2,\"mid\":[]}");
+}
+
+TEST(JsonTest, NestedDocumentRoundTrips) {
+  Value Root = Value::object();
+  Root.set("name", "warpc");
+  Root.set("ok", true);
+  Root.set("none", nullptr);
+  Value Arr = Value::array();
+  Arr.push(1);
+  Arr.push(2.5);
+  Arr.push("three");
+  Root.set("items", std::move(Arr));
+
+  std::string Error;
+  Value Back = json::parse(Root.dump(2), Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.get("name").str(), "warpc");
+  EXPECT_TRUE(Back.get("ok").boolean());
+  EXPECT_TRUE(Back.get("none").isNull());
+  ASSERT_EQ(Back.get("items").size(), 3u);
+  EXPECT_EQ(Back.get("items")[0].integer(), 1);
+  EXPECT_DOUBLE_EQ(Back.get("items")[1].number(), 2.5);
+  EXPECT_EQ(Back.get("items")[2].str(), "three");
+  // Missing keys read as null without inserting.
+  EXPECT_TRUE(Back.get("absent").isNull());
+  EXPECT_FALSE(Back.has("absent"));
+}
+
+TEST(JsonTest, MalformedInputReportsAnError) {
+  for (const char *Bad : {"{", "[1,", "\"unterminated", "{\"a\" 1}", "tru",
+                          ""}) {
+    std::string Error;
+    Value V = json::parse(Bad, Error);
+    EXPECT_FALSE(Error.empty()) << "'" << Bad << "' parsed";
+    EXPECT_TRUE(V.isNull());
+  }
+  // Trailing garbage after a valid document is an error too.
+  std::string Error;
+  json::parse("{} x", Error);
+  EXPECT_FALSE(Error.empty());
+}

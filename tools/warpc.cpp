@@ -20,6 +20,10 @@
 //                      cost estimate (default 3)
 //   --demo <which>     compile a built-in workload instead of a file:
 //                      tiny|small|medium|large|huge|user|fig1
+//   --trace-json <f>   write a Chrome trace-event JSON file (loadable in
+//                      Perfetto) of the simulated run (with --simulate)
+//                      or of the threaded compilation
+//   --stats-json <f>   write run statistics + compiler metrics as JSON
 //   --verbose          print per-function statistics
 //
 //===----------------------------------------------------------------------===//
@@ -27,8 +31,12 @@
 #include "cluster/FaultPlan.h"
 #include "driver/Compiler.h"
 #include "driver/FaultPolicy.h"
+#include "obs/ChromeTrace.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "w2/ASTPrinter.h"
 #include "w2/Inliner.h"
@@ -37,12 +45,16 @@
 #include "w2/Sema.h"
 #include "workload/Generator.h"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace warpc;
 
@@ -53,6 +65,8 @@ struct Options {
   std::string OutputFile;
   std::string Demo;
   std::string FaultPlanSpec;
+  std::string TraceJsonFile;
+  std::string StatsJsonFile;
   unsigned Workers = 1;
   unsigned SimProcessors = 14;
   double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
@@ -78,6 +92,9 @@ void usage(const char *Prog) {
                "  --timeout-factor <x>  watchdog timeout as a multiple of\n"
                "                   the master's cost estimate (default 3)\n"
                "  --demo <w>       tiny|small|medium|large|huge|user|fig1\n"
+               "  --trace-json <f> write a Perfetto-loadable trace of the\n"
+               "                   simulated (--simulate) or threaded run\n"
+               "  --stats-json <f> write run statistics + metrics as JSON\n"
                "  --verbose        per-function statistics\n",
                Prog);
 }
@@ -128,6 +145,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr, "error: --timeout-factor must be > 1\n");
         return false;
       }
+    } else if (Arg == "--trace-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceJsonFile = V;
+    } else if (Arg == "--stats-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.StatsJsonFile = V;
     } else if (Arg == "--inline") {
       Opts.Inline = true;
     } else if (Arg == "--simulate") {
@@ -184,6 +211,81 @@ bool loadSource(const Options &Opts, std::string &Source) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Shared statistics formatter: every run statistic is recorded once and
+// rendered twice — as an aligned text line on stdout and as a key in the
+// --stats-json document — so the two outputs can never drift apart.
+//===----------------------------------------------------------------------===//
+
+class StatsReport {
+public:
+  void beginGroup(std::string Key, std::string Title, int Indent = 0) {
+    Groups.push_back({std::move(Key), std::move(Title), Indent, {}});
+  }
+  void add(std::string Key, std::string Label, std::string Text,
+           json::Value V) {
+    Groups.back().Rows.push_back(
+        {std::move(Key), std::move(Label), std::move(Text), std::move(V)});
+  }
+
+  bool empty() const { return Groups.empty(); }
+
+  /// Renders every group as a "title:" heading with aligned value rows.
+  std::string renderText() const {
+    std::string Out;
+    for (const Group &G : Groups) {
+      Out.append(static_cast<size_t>(G.Indent), ' ');
+      Out += G.Title;
+      Out += ":\n";
+      size_t Width = 0;
+      for (const Row &R : G.Rows)
+        Width = std::max(Width, R.Label.size());
+      for (const Row &R : G.Rows) {
+        Out.append(static_cast<size_t>(G.Indent) + 2, ' ');
+        Out += R.Label;
+        Out += ':';
+        Out.append(Width - R.Label.size() + 1, ' ');
+        Out += R.Text;
+        Out += '\n';
+      }
+    }
+    return Out;
+  }
+
+  /// Nests each group's rows under the group's key.
+  json::Value toJson() const {
+    json::Value Root = json::Value::object();
+    for (const Group &G : Groups) {
+      json::Value Obj = json::Value::object();
+      for (const Row &R : G.Rows)
+        Obj.set(R.Key, R.Json);
+      Root.set(G.Key, std::move(Obj));
+    }
+    return Root;
+  }
+
+private:
+  struct Row {
+    std::string Key, Label, Text;
+    json::Value Json;
+  };
+  struct Group {
+    std::string Key, Title;
+    int Indent;
+    std::vector<Row> Rows;
+  };
+  std::vector<Group> Groups;
+};
+
+std::string fmt(const char *Format, ...) {
+  char Buf[160];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Args);
+  va_end(Args);
+  return Buf;
+}
+
 /// Runs the full pipeline and prints every requested report.
 int compileAndReport(const Options &Opts, const std::string &Source) {
   codegen::MachineModel MM = codegen::MachineModel::warpCell();
@@ -209,29 +311,49 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     return 1;
   }
 
-  // Phases 2-4 through the standard pipeline (threaded when requested).
+  // Observability: every driver phase reports into one registry, and
+  // --trace-json records either the simulated run (with --simulate) or
+  // the threaded compilation below.
+  obs::MetricsRegistry Metrics;
+  obs::TraceSession Session;
+  bool HaveSession = false;
+  bool TraceThreads = !Opts.TraceJsonFile.empty() && !Opts.Simulate;
+
+  // Phases 2-4 through the standard pipeline (threaded when requested,
+  // or whenever the real compilation itself is being traced — the trace
+  // models the master/worker hierarchy, so it rides the thread engine).
   driver::ModuleResult Result;
   {
     std::vector<driver::FunctionResult> FnResults;
-    if (Opts.Workers <= 1) {
+    if (Opts.Workers <= 1 && !TraceThreads) {
       for (size_t S = 0; S != Module->numSections(); ++S) {
         const w2::SectionDecl *Section = Module->getSection(S);
         for (size_t F = 0; F != Section->numFunctions(); ++F)
           FnResults.push_back(driver::compileFunction(
-              *Section, *Section->getFunction(F), MM));
+              *Section, *Section->getFunction(F), MM, &Metrics));
       }
-      driver::assembleAndLink(*Module, std::move(FnResults), Result);
+      driver::assembleAndLink(*Module, std::move(FnResults), Result,
+                              &Metrics);
       Result.Succeeded = !Result.Diags.hasErrors();
     } else {
       // The thread runner consumes source text; after inlining, the
       // transformed AST is pretty-printed back to W2 first.
       std::string ThreadSource =
           Opts.Inline ? w2::printModule(*Module) : Source;
-      parallel::ThreadRunResult Par =
-          parallel::compileModuleParallel(ThreadSource, MM, Opts.Workers);
+      std::unique_ptr<obs::TraceRecorder> Rec;
+      if (TraceThreads)
+        Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+      parallel::ThreadRunResult Par = parallel::compileModuleParallel(
+          ThreadSource, MM, Opts.Workers, driver::FaultPolicy(),
+          /*Inject=*/nullptr, Rec.get(), &Metrics);
       Result = std::move(Par.Module);
-      std::printf("parallel compile with %u workers: %.1f ms\n",
-                  Par.WorkersUsed, Par.ElapsedSec * 1e3);
+      if (Rec) {
+        Session = Rec->finish();
+        HaveSession = true;
+      }
+      if (Opts.Workers > 1)
+        std::printf("parallel compile with %u workers: %.1f ms\n",
+                    Par.WorkersUsed, Par.ElapsedSec * 1e3);
     }
   }
   if (!Result.Succeeded) {
@@ -272,6 +394,7 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     std::printf("wrote %s\n", Opts.OutputFile.c_str());
   }
 
+  StatsReport Report;
   if (Opts.Simulate) {
     auto Host = cluster::HostConfig::sunNetwork1989();
     auto Model = parallel::CostModel::lisp1989();
@@ -296,37 +419,112 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
         Opts.SimProcessors >= Job->numFunctions()
             ? parallel::scheduleFCFS(*Job, Opts.SimProcessors)
             : parallel::scheduleBalanced(*Job, Opts.SimProcessors);
-    parallel::ParStats Par =
-        parallel::simulateParallel(*Job, Assign, Host, Model, nullptr,
-                                   Policy);
-    std::printf("\nsimulated 1989 host (%u processors):\n",
-                Opts.SimProcessors);
-    std::printf("  sequential: %8.0f s (%.1f min)\n", Seq.ElapsedSec,
-                Seq.ElapsedSec / 60);
-    std::printf("  parallel:   %8.0f s (%.1f min)\n", Par.ElapsedSec,
-                Par.ElapsedSec / 60);
-    std::printf("  speedup:    %8.2f\n", Seq.ElapsedSec / Par.ElapsedSec);
+    std::unique_ptr<obs::TraceRecorder> Rec;
+    if (!Opts.TraceJsonFile.empty())
+      Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Simulated);
+    parallel::ParStats Par = parallel::simulateParallel(
+        *Job, Assign, Host, Model, Rec.get(), Policy);
+    if (Rec) {
+      // The simulator fills the topology; the sequential baseline is the
+      // caller's to attach — it is what makes the trace self-describing
+      // enough for warp-traceview's overhead decomposition.
+      Rec->setRunTotals(Par.ElapsedSec, Seq.ElapsedSec,
+                        Job->numFunctions());
+      Session = Rec->finish();
+      HaveSession = true;
+    }
+
+    Report.beginGroup("simulation",
+                      fmt("simulated 1989 host (%u processors)",
+                          Opts.SimProcessors));
+    Report.add("sequential_sec", "sequential",
+               fmt("%8.0f s (%.1f min)", Seq.ElapsedSec, Seq.ElapsedSec / 60),
+               Seq.ElapsedSec);
+    Report.add("parallel_sec", "parallel",
+               fmt("%8.0f s (%.1f min)", Par.ElapsedSec, Par.ElapsedSec / 60),
+               Par.ElapsedSec);
+    double Speedup = Par.ElapsedSec > 0 ? Seq.ElapsedSec / Par.ElapsedSec : 0;
+    Report.add("speedup", "speedup", fmt("%8.2f", Speedup), Speedup);
+
+    parallel::OverheadBreakdown OB =
+        parallel::computeOverheads(Seq, Par, Job->numFunctions());
+    Report.beginGroup("overheads", "overhead decomposition (Section 4.2.3)",
+                      2);
+    Report.add("total_sec", "total",
+               fmt("%8.0f s (%.1f%% of elapsed)", OB.TotalSec,
+                   OB.relTotalPct()),
+               OB.TotalSec);
+    Report.add("impl_sec", "implementation", fmt("%8.0f s", OB.ImplSec),
+               OB.ImplSec);
+    Report.add("sys_sec", "system",
+               fmt("%8.0f s (%.1f%% of elapsed)", OB.SysSec, OB.relSysPct()),
+               OB.SysSec);
+
     if (!Host.Faults.empty()) {
       // Fault-tolerance overhead: the same run on healthy hardware.
       cluster::HostConfig Clean = Host;
       Clean.Faults = cluster::FaultPlan();
-      parallel::ParStats Base =
-          parallel::simulateParallel(*Job, Assign, Clean, Model, nullptr,
-                                     Policy);
+      parallel::ParStats Base = parallel::simulateParallel(
+          *Job, Assign, Clean, Model, nullptr, Policy);
       double OverheadSec = Par.ElapsedSec - Base.ElapsedSec;
-      std::printf("  under faults:\n");
-      std::printf("    timeouts fired:      %u\n", Par.TimeoutsFired);
-      std::printf("    reassigned:          %u function(s)\n",
-                  Par.FunctionsReassigned);
-      std::printf("    speculative wins:    %u\n", Par.SpeculativeWins);
-      std::printf("    master recompiles:   %u\n", Par.MasterRecompiles);
-      std::printf("    retry time:          %.0f s\n", Par.RetriesSec);
-      std::printf("    fault overhead:      %.0f s (%.1f%% of parallel "
-                  "elapsed)\n",
-                  OverheadSec,
-                  Par.ElapsedSec > 0 ? 100.0 * OverheadSec / Par.ElapsedSec
-                                     : 0.0);
+      Report.beginGroup("faults", "under faults", 2);
+      Report.add("timeouts_fired", "timeouts fired",
+                 fmt("%u", Par.TimeoutsFired), Par.TimeoutsFired);
+      Report.add("functions_reassigned", "reassigned",
+                 fmt("%u function(s)", Par.FunctionsReassigned),
+                 Par.FunctionsReassigned);
+      Report.add("speculative_wins", "speculative wins",
+                 fmt("%u", Par.SpeculativeWins), Par.SpeculativeWins);
+      Report.add("master_recompiles", "master recompiles",
+                 fmt("%u", Par.MasterRecompiles), Par.MasterRecompiles);
+      Report.add("retry_sec", "retry time", fmt("%.0f s", Par.RetriesSec),
+                 Par.RetriesSec);
+      Report.add("fault_overhead_sec", "fault overhead",
+                 fmt("%.0f s (%.1f%% of parallel elapsed)", OverheadSec,
+                     Par.ElapsedSec > 0
+                         ? 100.0 * OverheadSec / Par.ElapsedSec
+                         : 0.0),
+                 OverheadSec);
     }
+  }
+  if (!Report.empty())
+    std::printf("\n%s", Report.renderText().c_str());
+
+  if (!Opts.TraceJsonFile.empty()) {
+    std::string Error;
+    if (!HaveSession ||
+        !obs::writeChromeTraceFile(Session, Opts.TraceJsonFile, Error)) {
+      std::fprintf(stderr, "error: cannot write trace '%s': %s\n",
+                   Opts.TraceJsonFile.c_str(),
+                   HaveSession ? Error.c_str() : "no trace was recorded");
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu events; open in Perfetto or "
+                "chrome://tracing)\n",
+                Opts.TraceJsonFile.c_str(), Session.Events.size());
+  }
+
+  if (!Opts.StatsJsonFile.empty()) {
+    json::Value Root = json::Value::object();
+    json::Value Run = json::Value::object();
+    Run.set("module", Result.Image.ModuleName);
+    Run.set("sections", static_cast<uint64_t>(Result.Image.Sections.size()));
+    Run.set("functions", static_cast<uint64_t>(Result.Functions.size()));
+    Run.set("image_bytes", static_cast<uint64_t>(Result.Image.byteSize()));
+    Run.set("workers", Opts.Workers);
+    Run.set("simulated", Opts.Simulate);
+    Root.set("run", std::move(Run));
+    if (!Report.empty())
+      Root.set("stats", Report.toJson());
+    Root.set("metrics", Metrics.toJson());
+    std::ofstream Out(Opts.StatsJsonFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.StatsJsonFile.c_str());
+      return 1;
+    }
+    Out << Root.dump(1) << "\n";
+    std::printf("wrote stats %s\n", Opts.StatsJsonFile.c_str());
   }
   return 0;
 }
