@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks and warnings-as-errors policy in .clang-tidy)
+# over every first-party translation unit, using the compile database the
+# CMake configure step exports.
+#
+# clang-tidy is optional tooling: when it is not installed (the default
+# CI image ships only gcc) the script reports and exits 0 so pipelines
+# that chain it with verify.sh keep working.
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_DIR/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint: $TIDY not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "== configure (for compile_commands.json) =="
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR"
+fi
+
+mapfile -t SOURCES < <(find "$REPO_DIR/src" "$REPO_DIR/tools" -name '*.cpp' | sort)
+echo "== clang-tidy (${#SOURCES[@]} files) =="
+printf '%s\n' "${SOURCES[@]}" \
+  | xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet
+
+echo "== lint OK =="

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
 # smoke-test the observability pipeline end to end (warpc --trace-json
-# -> warp-traceview on an example module).
+# -> warp-traceview on an example module) and the static analyzer
+# (warp-lint over the built-in demos). Set WARPC_VERIFY_SANITIZE=1 to
+# also build and run the analysis tests under ASan+UBSan.
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,5 +32,27 @@ test -s "$TMP_DIR/user.stats.json"
 "$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/user.trace.json" \
     | tee "$TMP_DIR/traceview.out"
 grep -q "critical path" "$TMP_DIR/traceview.out"
+
+echo "== lint smoke test =="
+# Every shipped workload must lint clean, and the diagnostic stream must
+# be byte-identical no matter how many analysis workers run.
+for demo in fig1 user; do
+  "$BUILD_DIR/tools/warp-lint" --demo "$demo" | tee "$TMP_DIR/lint.out"
+  grep -q "0 error(s), 0 warning(s)" "$TMP_DIR/lint.out"
+done
+"$BUILD_DIR/tools/warp-lint" --demo user --format json --jobs 1 \
+    > "$TMP_DIR/lint.j1.json"
+"$BUILD_DIR/tools/warp-lint" --demo user --format json --jobs 8 \
+    > "$TMP_DIR/lint.j8.json"
+cmp "$TMP_DIR/lint.j1.json" "$TMP_DIR/lint.j8.json"
+
+if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
+  echo "== asan+ubsan =="
+  SAN_DIR="${SAN_BUILD_DIR:-$REPO_DIR/build-asan}"
+  cmake -B "$SAN_DIR" -S "$REPO_DIR" -DWARPC_SANITIZE="address;undefined"
+  cmake --build "$SAN_DIR" -j "$JOBS"
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+  "$SAN_DIR/tools/warp-lint" --demo user --jobs 4 > /dev/null
+fi
 
 echo "== OK =="

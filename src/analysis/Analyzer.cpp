@@ -1,0 +1,600 @@
+//===- Analyzer.cpp - Per-function static-analysis checks -----------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The per-function checks run on freshly lowered, *unoptimized* IR so that
+// every source-level store and load is still visible (the optimizer would
+// happily delete exactly the dead stores we want to report). Each check is
+// a small client of the opt/ dataflow framework:
+//
+//   use-before-init   ReachingDefs: a scalar load with no same-block store
+//                     before it and no reaching definition at block entry
+//                     reads garbage on every path (definite, not may).
+//   dead-store        a backward liveness solve over scalar *variables*
+//                     (the opt/ Liveness is over registers): a store to a
+//                     variable dead at that point can never be observed.
+//   unreachable-code  CFG reachability from the entry block.
+//   array-bounds      LoopInfo: induction registers get exact attained
+//                     ranges from the literal-bound for-loop lowering;
+//                     subscript intervals follow affine chains, and only
+//                     provable violations are reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "opt/LoopInfo.h"
+#include "opt/ReachingDefs.h"
+#include "support/BitSet.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::w2;
+
+namespace {
+
+/// Where each instruction defining a register lives.
+struct DefRef {
+  ir::BlockId Block;
+  uint32_t Pos;
+  const ir::Instr *I;
+};
+
+using DefMap = std::map<ir::Reg, std::vector<DefRef>>;
+
+DefMap buildDefMap(const ir::IRFunction &F) {
+  DefMap Defs;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+    for (size_t Pos = 0; Pos != BB->Instrs.size(); ++Pos) {
+      const ir::Instr &I = BB->Instrs[Pos];
+      if (I.definesReg())
+        Defs[I.Dst].push_back({static_cast<ir::BlockId>(B),
+                               static_cast<uint32_t>(Pos), &I});
+    }
+  }
+  return Defs;
+}
+
+/// Declaration-site facts gathered from the AST: the initializer-store
+/// exemption for the dead-store check and the "declared here" notes.
+struct DeclInfo {
+  std::string Name;
+  SourceLoc Loc;
+  bool HasInit = false;
+};
+
+void collectDecls(const Stmt *S, std::vector<DeclInfo> &Out) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      collectDecls(Child.get(), Out);
+    return;
+  case Stmt::Kind::Decl: {
+    const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    Out.push_back({D->getName(), D->getLoc(), D->getInit() != nullptr});
+    return;
+  }
+  case Stmt::Kind::If:
+    collectDecls(cast<IfStmt>(S)->getThen(), Out);
+    collectDecls(cast<IfStmt>(S)->getElse(), Out);
+    return;
+  case Stmt::Kind::For:
+    collectDecls(cast<ForStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::While:
+    collectDecls(cast<WhileStmt>(S)->getBody(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Blocks reachable from the entry. Checks other than unreachable-code
+/// skip dead blocks: dataflow facts there are vacuous (nothing reaches
+/// them), and any finding would merely cascade off the one unreachable-code
+/// report the user already gets.
+std::vector<bool> computeReachable(const ir::IRFunction &F) {
+  std::vector<bool> Reachable(F.numBlocks(), false);
+  if (F.numBlocks() == 0)
+    return Reachable;
+  std::vector<ir::BlockId> Work{0};
+  Reachable[0] = true;
+  while (!Work.empty()) {
+    ir::BlockId B = Work.back();
+    Work.pop_back();
+    for (ir::BlockId Succ : F.block(B)->successors())
+      if (!Reachable[Succ]) {
+        Reachable[Succ] = true;
+        Work.push_back(Succ);
+      }
+  }
+  return Reachable;
+}
+
+/// Context shared by the per-function checks.
+struct FnContext {
+  const SectionDecl &Section;
+  const FunctionDecl &F;
+  uint32_t Ordinal;
+  const ir::IRFunction &IR;
+  std::vector<bool> Reachable;
+  DefMap Defs;
+  std::vector<DeclInfo> Decls;
+  /// Source locations of stores emitted for declaration initializers.
+  std::set<std::pair<uint32_t, uint32_t>> InitStoreLocs;
+
+  const DeclInfo *declOf(const std::string &Name, bool RequireNoInit) const {
+    for (const DeclInfo &D : Decls)
+      if (D.Name == Name && (!RequireNoInit || !D.HasInit))
+        return &D;
+    return nullptr;
+  }
+
+  Diag makeDiag(const char *CheckId, SourceLoc Loc,
+                std::string Message) const {
+    Diag D;
+    D.CheckId = CheckId;
+    const CheckInfo *Info = findCheck(CheckId);
+    D.Sev = Info ? Info->DefaultSev : Severity::Warning;
+    D.Section = Section.getName();
+    D.Function = F.getName();
+    D.FunctionOrdinal = Ordinal;
+    D.Loc = Loc;
+    D.Range.Begin = Loc;
+    D.Message = std::move(Message);
+    return D;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// use-before-init
+//===----------------------------------------------------------------------===//
+
+void checkUseBeforeInit(const FnContext &Ctx, std::vector<Diag> &Out) {
+  const ir::IRFunction &F = Ctx.IR;
+  opt::ReachingDefsInfo RD = opt::ReachingDefsInfo::compute(F);
+  std::set<std::pair<uint32_t, uint32_t>> Reported;
+
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    if (!Ctx.Reachable[B])
+      continue;
+    const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+    std::set<ir::VarId> StoredHere;
+    for (const ir::Instr &I : BB->Instrs) {
+      if (I.Op == ir::Opcode::StoreVar) {
+        StoredHere.insert(I.Var);
+        continue;
+      }
+      if (I.Op != ir::Opcode::LoadVar)
+        continue;
+      const ir::Variable &V = F.variable(I.Var);
+      if (V.IsParam || V.Ty.isArray())
+        continue;
+      if (StoredHere.count(I.Var))
+        continue;
+      if (!RD.defsReaching(static_cast<ir::BlockId>(B), I.Var).empty())
+        continue;
+      if (!Reported.insert({I.Loc.Line, I.Loc.Column}).second)
+        continue;
+      Diag D = Ctx.makeDiag(check::UseBeforeInit, I.Loc,
+                            "variable '" + V.Name +
+                                "' is read before any value is assigned "
+                                "to it");
+      if (const DeclInfo *Decl = Ctx.declOf(V.Name, /*RequireNoInit=*/true))
+        D.Notes.push_back(
+            {Decl->Loc, "'" + V.Name + "' declared here without an "
+                                       "initializer"});
+      Out.push_back(std::move(D));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// dead-store
+//===----------------------------------------------------------------------===//
+
+void checkDeadStores(const FnContext &Ctx, std::vector<Diag> &Out) {
+  const ir::IRFunction &F = Ctx.IR;
+  size_t NumVars = F.numVariables();
+  size_t NumBlocks = F.numBlocks();
+  if (NumVars == 0 || NumBlocks == 0)
+    return;
+
+  // Use/Def per block over scalar variables.
+  std::vector<BitSet> Use(NumBlocks, BitSet(NumVars));
+  std::vector<BitSet> Def(NumBlocks, BitSet(NumVars));
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+    for (const ir::Instr &I : BB->Instrs) {
+      if (I.Op == ir::Opcode::LoadVar) {
+        if (!Def[B].test(I.Var))
+          Use[B].set(I.Var);
+      } else if (I.Op == ir::Opcode::StoreVar) {
+        Def[B].set(I.Var);
+      }
+    }
+  }
+
+  std::vector<BitSet> LiveIn(NumBlocks, BitSet(NumVars));
+  std::vector<BitSet> LiveOut(NumBlocks, BitSet(NumVars));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NumBlocks; B-- > 0;) {
+      const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+      BitSet NewOut(NumVars);
+      for (ir::BlockId Succ : BB->successors())
+        NewOut.unionWith(LiveIn[Succ]);
+      BitSet NewIn = NewOut;
+      NewIn.subtract(Def[B]);
+      NewIn.unionWith(Use[B]);
+      if (!(NewOut == LiveOut[B]) || !(NewIn == LiveIn[B])) {
+        LiveOut[B] = std::move(NewOut);
+        LiveIn[B] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  // A register defined by Recv feeds a store the programmer cannot avoid:
+  // consuming (and discarding) a stream element is part of the channel
+  // protocol, not a dead computation.
+  auto isRecvBacked = [&](const ir::Instr &Store) {
+    if (Store.Operands.empty())
+      return false;
+    auto It = Ctx.Defs.find(Store.Operands[0]);
+    if (It == Ctx.Defs.end())
+      return false;
+    for (const DefRef &D : It->second)
+      if (D.I->Op == ir::Opcode::Recv)
+        return true;
+    return false;
+  };
+
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    if (!Ctx.Reachable[B])
+      continue;
+    const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+    BitSet Live = LiveOut[B];
+    for (size_t Pos = BB->Instrs.size(); Pos-- > 0;) {
+      const ir::Instr &I = BB->Instrs[Pos];
+      if (I.Op == ir::Opcode::LoadVar) {
+        Live.set(I.Var);
+        continue;
+      }
+      if (I.Op != ir::Opcode::StoreVar)
+        continue;
+      const ir::Variable &V = F.variable(I.Var);
+      bool Dead = !Live.test(I.Var);
+      Live.reset(I.Var);
+      if (!Dead || V.Ty.isArray())
+        continue;
+      if (Ctx.InitStoreLocs.count({I.Loc.Line, I.Loc.Column}))
+        continue;
+      if (isRecvBacked(I))
+        continue;
+      Diag D = Ctx.makeDiag(check::DeadStore, I.Loc,
+                            "value assigned to '" + V.Name +
+                                "' is never used");
+      FixItHint Fix;
+      Fix.Range.Begin = SourceLoc(I.Loc.Line, 1);
+      Fix.Range.End = SourceLoc(I.Loc.Line + 1, 1);
+      Fix.Replacement.clear();
+      D.FixIts.push_back(std::move(Fix));
+      Out.push_back(std::move(D));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// unreachable-code
+//===----------------------------------------------------------------------===//
+
+void checkUnreachable(const FnContext &Ctx, std::vector<Diag> &Out) {
+  const ir::IRFunction &F = Ctx.IR;
+  size_t NumBlocks = F.numBlocks();
+  if (NumBlocks == 0)
+    return;
+  const std::vector<bool> &Reachable = Ctx.Reachable;
+  std::vector<std::vector<ir::BlockId>> Preds = F.computePredecessors();
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    if (Reachable[B])
+      continue;
+    // Report only region entries: unreachable blocks whose predecessors
+    // are all reachable (or absent), so one dead tail yields one report.
+    bool Entry = true;
+    for (ir::BlockId P : Preds[B])
+      if (!Reachable[P])
+        Entry = false;
+    if (!Entry)
+      continue;
+    // Synthetic blocks (a lone compiler-emitted terminator, e.g. the merge
+    // after an if whose both arms return) are not source-level dead code.
+    const ir::BasicBlock *BB = F.block(static_cast<ir::BlockId>(B));
+    const ir::Instr *First = nullptr;
+    for (const ir::Instr &I : BB->Instrs)
+      if (!ir::isTerminator(I.Op)) {
+        First = &I;
+        break;
+      }
+    if (!First || !First->Loc.isValid())
+      continue;
+    // The fall-off-the-end return the lowering synthesizes at the closing
+    // brace (e.g. the merge after an if whose arms both return) is not
+    // user code either; it is stamped with the function's end location.
+    if (First->Loc.Line == Ctx.F.getEndLoc().Line &&
+        First->Loc.Column == Ctx.F.getEndLoc().Column)
+      continue;
+    Out.push_back(Ctx.makeDiag(
+        check::UnreachableCode, First->Loc,
+        "code is unreachable; no control path from the function entry "
+        "reaches it"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// array-bounds
+//===----------------------------------------------------------------------===//
+
+/// An integer interval. EndpointsAttained means both Lo and Hi are values
+/// the expression actually takes at run time (not just interval slack), so
+/// an out-of-range endpoint is a provable violation.
+struct IRange {
+  bool Known = false;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  bool EndpointsAttained = false;
+
+  bool isSingleton() const { return Known && Lo == Hi; }
+  static IRange unknown() { return {}; }
+  static IRange of(int64_t L, int64_t H, bool Attained) {
+    return {true, L, H, Attained};
+  }
+};
+
+class BoundsChecker {
+public:
+  BoundsChecker(const FnContext &Ctx) : Ctx(Ctx), F(Ctx.IR) {
+    computeInductionRanges();
+  }
+
+  void run(std::vector<Diag> &Out) {
+    std::set<std::tuple<uint32_t, uint32_t, ir::VarId>> Reported;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      if (!Ctx.Reachable[B])
+        continue;
+      for (const ir::Instr &I : F.block(static_cast<ir::BlockId>(B))->Instrs) {
+        bool IsLoad = I.Op == ir::Opcode::LoadElem;
+        bool IsStore = I.Op == ir::Opcode::StoreElem;
+        if (!IsLoad && !IsStore)
+          continue;
+        const ir::Variable &V = F.variable(I.Var);
+        if (!V.Ty.isArray() || I.Operands.empty())
+          continue;
+        auto Extent = static_cast<int64_t>(V.Ty.arraySize());
+        IRange R = rangeOf(I.Operands[0], 0);
+        if (!R.Known)
+          continue;
+        std::string Problem;
+        if (R.Hi < 0 || R.Lo >= Extent)
+          Problem = "subscript of '" + V.Name + "' is always out of bounds "
+                    "(range [" + std::to_string(R.Lo) + ".." +
+                    std::to_string(R.Hi) + "], extent " +
+                    std::to_string(Extent) + ")";
+        else if (R.EndpointsAttained && R.Hi >= Extent)
+          Problem = "subscript of '" + V.Name + "' reaches " +
+                    std::to_string(R.Hi) + ", past the last element (extent " +
+                    std::to_string(Extent) + ")";
+        else if (R.EndpointsAttained && R.Lo < 0)
+          Problem = "subscript of '" + V.Name + "' reaches " +
+                    std::to_string(R.Lo) + ", below the first element";
+        if (Problem.empty())
+          continue;
+        if (!Reported.insert({I.Loc.Line, I.Loc.Column, I.Var}).second)
+          continue;
+        Out.push_back(Ctx.makeDiag(check::ArrayBounds, I.Loc,
+                                   std::move(Problem)));
+      }
+    }
+  }
+
+private:
+  /// Matches the IRBuilder's for-loop shape on each natural loop: the
+  /// header compares the induction register against the bound and the
+  /// induction register has exactly the {Copy lo, Add self+step} def pair.
+  void computeInductionRanges() {
+    opt::LoopInfo LI = opt::LoopInfo::compute(F);
+    for (const opt::Loop &L : LI.loops()) {
+      const ir::BasicBlock *H = F.block(L.Header);
+      const ir::Instr *Term = H->terminator();
+      if (!Term || Term->Op != ir::Opcode::CondBr || Term->Operands.empty())
+        continue;
+      const ir::Instr *Cmp = singleDef(Term->Operands[0]);
+      if (!Cmp || (Cmp->Op != ir::Opcode::CmpLE &&
+                   Cmp->Op != ir::Opcode::CmpGE) ||
+          Cmp->Operands.size() != 2)
+        continue;
+      ir::Reg Ind = Cmp->Operands[0];
+      auto It = Ctx.Defs.find(Ind);
+      if (It == Ctx.Defs.end() || It->second.size() != 2)
+        continue;
+      const ir::Instr *Init = nullptr, *Advance = nullptr;
+      for (const DefRef &D : It->second) {
+        if (D.I->Op == ir::Opcode::Copy)
+          Init = D.I;
+        else if (D.I->Op == ir::Opcode::Add && D.I->Operands.size() == 2 &&
+                 D.I->Operands[0] == Ind && L.contains(D.Block))
+          Advance = D.I;
+      }
+      if (!Init || !Advance || Init->Operands.size() != 1)
+        continue;
+      int64_t Lo, Hi, Step;
+      if (!constOf(Init->Operands[0], Lo) || !constOf(Cmp->Operands[1], Hi) ||
+          !constOf(Advance->Operands[1], Step) || Step == 0)
+        continue;
+      int64_t MinA, MaxA;
+      if (Step > 0) {
+        if (Hi < Lo)
+          continue; // zero-trip: the body never runs
+        int64_t K = (Hi - Lo) / Step;
+        MinA = Lo;
+        MaxA = Lo + K * Step;
+      } else {
+        if (Lo < Hi)
+          continue;
+        int64_t K = (Lo - Hi) / (-Step);
+        MinA = Lo + K * Step;
+        MaxA = Lo;
+      }
+      InductionRange[Ind] = IRange::of(MinA, MaxA, /*Attained=*/true);
+    }
+  }
+
+  const ir::Instr *singleDef(ir::Reg R) const {
+    auto It = Ctx.Defs.find(R);
+    if (It == Ctx.Defs.end() || It->second.size() != 1)
+      return nullptr;
+    return It->second[0].I;
+  }
+
+  bool constOf(ir::Reg R, int64_t &V) const {
+    const ir::Instr *D = singleDef(R);
+    if (D && D->Op == ir::Opcode::ConstInt) {
+      V = D->IntImm;
+      return true;
+    }
+    return false;
+  }
+
+  IRange rangeOf(ir::Reg R, unsigned Depth) {
+    if (Depth > 16)
+      return IRange::unknown();
+    auto Ind = InductionRange.find(R);
+    if (Ind != InductionRange.end())
+      return Ind->second;
+    const ir::Instr *D = singleDef(R);
+    if (!D)
+      return IRange::unknown();
+    switch (D->Op) {
+    case ir::Opcode::ConstInt:
+      return IRange::of(D->IntImm, D->IntImm, true);
+    case ir::Opcode::Copy:
+      return rangeOf(D->Operands[0], Depth + 1);
+    case ir::Opcode::Add:
+    case ir::Opcode::Sub: {
+      IRange A = rangeOf(D->Operands[0], Depth + 1);
+      IRange B = rangeOf(D->Operands[1], Depth + 1);
+      if (!A.Known || !B.Known)
+        return IRange::unknown();
+      bool Attained = (A.EndpointsAttained && B.isSingleton()) ||
+                      (A.isSingleton() && B.EndpointsAttained);
+      if (D->Op == ir::Opcode::Add)
+        return IRange::of(A.Lo + B.Lo, A.Hi + B.Hi, Attained);
+      return IRange::of(A.Lo - B.Hi, A.Hi - B.Lo, Attained);
+    }
+    case ir::Opcode::Mul: {
+      IRange A = rangeOf(D->Operands[0], Depth + 1);
+      IRange B = rangeOf(D->Operands[1], Depth + 1);
+      if (!A.Known || !B.Known)
+        return IRange::unknown();
+      if (B.isSingleton())
+        return scale(A, B.Lo);
+      if (A.isSingleton())
+        return scale(B, A.Lo);
+      return IRange::unknown();
+    }
+    default:
+      return IRange::unknown();
+    }
+  }
+
+  static IRange scale(IRange A, int64_t C) {
+    int64_t L = A.Lo * C, H = A.Hi * C;
+    if (L > H)
+      std::swap(L, H);
+    return IRange::of(L, H, A.EndpointsAttained);
+  }
+
+  const FnContext &Ctx;
+  const ir::IRFunction &F;
+  std::map<ir::Reg, IRange> InductionRange;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+std::vector<Diag> analysis::analyzeFunction(const SectionDecl &Section,
+                                            const FunctionDecl &F,
+                                            uint32_t Ordinal,
+                                            const AnalysisOptions &Opts) {
+  std::unique_ptr<ir::IRFunction> IRF = ir::lowerFunction(F);
+  FnContext Ctx{Section,        F,  Ordinal, *IRF, computeReachable(*IRF),
+                buildDefMap(*IRF), {},      {}};
+  collectDecls(F.getBody(), Ctx.Decls);
+  for (const DeclInfo &D : Ctx.Decls)
+    if (D.HasInit)
+      Ctx.InitStoreLocs.insert({D.Loc.Line, D.Loc.Column});
+
+  std::vector<Diag> Out;
+  if (Opts.enabled(check::UseBeforeInit))
+    checkUseBeforeInit(Ctx, Out);
+  if (Opts.enabled(check::DeadStore))
+    checkDeadStores(Ctx, Out);
+  if (Opts.enabled(check::UnreachableCode))
+    checkUnreachable(Ctx, Out);
+  if (Opts.enabled(check::ArrayBounds))
+    BoundsChecker(Ctx).run(Out);
+  sortDiags(Out);
+  return Out;
+}
+
+ModuleAnalysis analysis::analyzeModule(const ModuleDecl &M,
+                                       const std::string &Source,
+                                       const AnalysisOptions &Opts) {
+  ModuleAnalysis Result;
+  uint32_t Ordinal = 0;
+  for (size_t S = 0; S != M.numSections(); ++S) {
+    const SectionDecl *Section = M.getSection(S);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      std::vector<Diag> Fn = analyzeFunction(*Section,
+                                             *Section->getFunction(FI),
+                                             Ordinal++, Opts);
+      Result.Diags.insert(Result.Diags.end(),
+                          std::make_move_iterator(Fn.begin()),
+                          std::make_move_iterator(Fn.end()));
+      ++Result.FunctionsAnalyzed;
+    }
+  }
+  std::vector<Diag> Chan = checkChannelProtocol(M, Opts);
+  Result.Diags.insert(Result.Diags.end(),
+                      std::make_move_iterator(Chan.begin()),
+                      std::make_move_iterator(Chan.end()));
+  Result.Diags = finalizeModuleDiags(std::move(Result.Diags), Source, Opts);
+  return Result;
+}
+
+std::vector<Diag> analysis::finalizeModuleDiags(std::vector<Diag> Diags,
+                                                const std::string &Source,
+                                                const AnalysisOptions &Opts) {
+  if (Opts.WarningsAsErrors)
+    promoteWarnings(Diags);
+  if (Opts.HonorSuppressions && !Source.empty())
+    Diags = applySuppressions(std::move(Diags), Source);
+  sortDiags(Diags);
+  return Diags;
+}

@@ -1,0 +1,126 @@
+//===- Analyzer.h - Static-analysis driver ----------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis subsystem's entry points. Per-function checks lower the
+/// checked AST to (unoptimized) IR and run the dataflow-backed checks —
+/// use-before-init on ReachingDefs, dead stores on a scalar-variable
+/// liveness solve, unreachable code on CFG reachability, and constant
+/// array-bounds violations on LoopInfo-derived induction ranges. The
+/// channel-protocol checker is a module-level pass: it computes symbolic
+/// per-function Send/Recv counts from the structured AST (exact for W2's
+/// literal-bound for-loops) and compares adjacent cell programs along the
+/// systolic array.
+///
+/// analyzeFunction touches only one function body plus sibling signatures,
+/// which is what lets the parallel runner schedule it per function exactly
+/// like compilation phases 2+3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_ANALYZER_H
+#define WARPC_ANALYSIS_ANALYZER_H
+
+#include "analysis/Checks.h"
+#include "analysis/Diagnostic.h"
+#include "w2/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+
+/// A possibly-unknown value count on one channel direction.
+struct SymCount {
+  bool Known = true;
+  uint64_t N = 0;
+
+  static SymCount unknown() { return {false, 0}; }
+  static SymCount of(uint64_t V) { return {true, V}; }
+  bool isZero() const { return Known && N == 0; }
+
+  SymCount operator+(SymCount O) const {
+    if (!Known || !O.Known)
+      return unknown();
+    return of(N + O.N);
+  }
+  SymCount times(SymCount Trip) const {
+    if (isZero())
+      return of(0);
+    if (Trip.isZero())
+      return of(0);
+    if (!Known || !Trip.Known)
+      return unknown();
+    return of(N * Trip.N);
+  }
+  friend bool operator==(SymCount A, SymCount B) {
+    return A.Known == B.Known && (!A.Known || A.N == B.N);
+  }
+  friend bool operator!=(SymCount A, SymCount B) { return !(A == B); }
+};
+
+/// Send/Recv counts of one function execution, per channel direction.
+struct ChannelCounts {
+  SymCount SendX, SendY, RecvX, RecvY;
+
+  bool anyTraffic() const {
+    return !SendX.isZero() || !SendY.isZero() || !RecvX.isZero() ||
+           !RecvY.isZero();
+  }
+};
+
+/// Runs the per-function checks on one semantically checked function.
+/// \p Ordinal is the function's flat index in module declaration order
+/// (the deterministic sort key).
+std::vector<Diag> analyzeFunction(const w2::SectionDecl &Section,
+                                  const w2::FunctionDecl &F, uint32_t Ordinal,
+                                  const AnalysisOptions &Opts);
+
+/// Computes the symbolic channel counts of \p F (call expansion within
+/// \p Section, literal trip counts, Unknown for data-dependent paths).
+/// Exposed for tests; checkChannelProtocol is the consuming pass.
+ChannelCounts channelCountsOf(const w2::SectionDecl &Section,
+                              const w2::FunctionDecl &F);
+
+/// The module-level channel-protocol pass: chains every channel-using,
+/// uncalled function in declaration order — the cell programs of the
+/// linear systolic array, each cell's Y output feeding the next cell's X
+/// input — and flags known-vs-known count mismatches on each link.
+/// X-direction sends with no downstream receiver drain to the host
+/// interface and are not flagged. Also emits the channel-path warnings
+/// for if-arms with diverging counts.
+std::vector<Diag> checkChannelProtocol(const w2::ModuleDecl &M,
+                                       const AnalysisOptions &Opts);
+
+/// Result of analyzing a whole module.
+struct ModuleAnalysis {
+  /// Canonically sorted, suppression-filtered diagnostics.
+  std::vector<Diag> Diags;
+  uint32_t FunctionsAnalyzed = 0;
+};
+
+/// Sequential whole-module analysis: per-function checks in declaration
+/// order, then the channel-protocol pass, then -Werror promotion,
+/// suppression filtering against \p Source, and the canonical sort.
+/// The parallel runner produces byte-identical output to this.
+ModuleAnalysis analyzeModule(const w2::ModuleDecl &M,
+                             const std::string &Source,
+                             const AnalysisOptions &Opts);
+
+/// The shared tail of module analysis: -Werror promotion, suppression
+/// filtering against \p Source, and the canonical sort. Both the
+/// sequential analyzeModule and the parallel runner funnel through this,
+/// which is what makes their outputs byte-identical by construction.
+std::vector<Diag> finalizeModuleDiags(std::vector<Diag> Diags,
+                                      const std::string &Source,
+                                      const AnalysisOptions &Opts);
+
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_ANALYZER_H

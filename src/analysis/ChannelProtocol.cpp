@@ -1,0 +1,478 @@
+//===- ChannelProtocol.cpp - Systolic channel-protocol checker ------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Computes symbolic per-function Send/Recv counts from the structured AST.
+// W2 has no break or goto, so counts compose exactly: a sequence sums, a
+// for-loop with literal bounds multiplies by its trip count, an if whose
+// arms agree keeps the agreed count. Everything else (while loops,
+// diverging arms, recursion) degrades to Unknown, which the link check
+// treats as a wildcard — only known-vs-known disagreements are flagged, so
+// the pass cannot produce false positives on data-dependent protocols.
+//
+// The module-level pass then chains every channel-using, uncalled function
+// in declaration order: the cell programs of the linear systolic array,
+// cell i's Y output feeding cell i+1's X input (the wiring of the
+// interpreter and the systolic_pipeline example). A known mismatch on a
+// link is the canonical Warp deadlock: the downstream cell either blocks
+// forever waiting for values that never arrive, or values accumulate
+// unread on the link. X-direction sends with no downstream reader drain to
+// the host interface and are deliberately not flagged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "support/Casting.h"
+
+#include <map>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::w2;
+
+namespace {
+
+/// How a statement can leave the enclosing function.
+enum class ExitKind { None, May, Definite };
+
+struct WalkResult {
+  ChannelCounts Counts;
+  ExitKind Exit = ExitKind::None;
+};
+
+SymCount &countFor(ChannelCounts &C, Channel Ch, bool IsSend) {
+  if (IsSend)
+    return Ch == Channel::X ? C.SendX : C.SendY;
+  return Ch == Channel::X ? C.RecvX : C.RecvY;
+}
+
+ChannelCounts addCounts(const ChannelCounts &A, const ChannelCounts &B) {
+  return {A.SendX + B.SendX, A.SendY + B.SendY, A.RecvX + B.RecvX,
+          A.RecvY + B.RecvY};
+}
+
+ChannelCounts timesCounts(const ChannelCounts &A, SymCount Trip) {
+  return {A.SendX.times(Trip), A.SendY.times(Trip), A.RecvX.times(Trip),
+          A.RecvY.times(Trip)};
+}
+
+/// Per-channel merge after a may-exit point: counts that might or might
+/// not execute stay only if they are exactly zero.
+ChannelCounts afterMayExit(const ChannelCounts &Sofar,
+                           const ChannelCounts &Later) {
+  ChannelCounts Out = Sofar;
+  auto Blur = [](SymCount &Acc, SymCount Add) {
+    if (!Add.isZero())
+      Acc = SymCount::unknown();
+  };
+  Blur(Out.SendX, Later.SendX);
+  Blur(Out.SendY, Later.SendY);
+  Blur(Out.RecvX, Later.RecvX);
+  Blur(Out.RecvY, Later.RecvY);
+  return Out;
+}
+
+/// Walks one section's functions, memoizing per-function counts and
+/// collecting the channel-path diagnostics once per function body.
+class ChannelWalker {
+public:
+  ChannelWalker(const SectionDecl &Section, const AnalysisOptions &Opts)
+      : Section(Section), Opts(Opts) {}
+
+  ChannelCounts countsOf(const FunctionDecl &F) {
+    auto It = Memo.find(&F);
+    if (It != Memo.end())
+      return It->second;
+    if (!InProgress.insert(&F).second)
+      return allUnknown(); // recursion: no exact count exists
+    CurrentFn = &F;
+    WalkResult R = walkStmt(F.getBody());
+    InProgress.erase(&F);
+    Memo[&F] = R.Counts;
+    return R.Counts;
+  }
+
+  /// Diagnostics accumulated while walking bodies (channel-path).
+  std::vector<Diag> takeDiags() { return std::move(Diags); }
+
+  void setOrdinal(const FunctionDecl *F, uint32_t Ordinal) {
+    Ordinals[F] = Ordinal;
+  }
+
+private:
+  static ChannelCounts allUnknown() {
+    return {SymCount::unknown(), SymCount::unknown(), SymCount::unknown(),
+            SymCount::unknown()};
+  }
+
+  /// Channel traffic hidden inside an expression: calls to sibling
+  /// functions whose bodies send or receive.
+  ChannelCounts exprCounts(const Expr *E) {
+    ChannelCounts Zero{};
+    if (!E)
+      return Zero;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::VarRef:
+      return Zero;
+    case Expr::Kind::Index:
+      return exprCounts(cast<IndexExpr>(E)->getIndex());
+    case Expr::Kind::Unary:
+      return exprCounts(cast<UnaryExpr>(E)->getOperand());
+    case Expr::Kind::Cast:
+      return exprCounts(cast<CastExpr>(E)->getOperand());
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return addCounts(exprCounts(B->getLHS()), exprCounts(B->getRHS()));
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      ChannelCounts Sum{};
+      for (size_t I = 0; I != C->getNumArgs(); ++I)
+        Sum = addCounts(Sum, exprCounts(C->getArg(I)));
+      if (C->getCallee() == "sqrt" || C->getCallee() == "abs")
+        return Sum;
+      if (const FunctionDecl *Callee = Section.lookup(C->getCallee()))
+        return addCounts(Sum, countsOf(*Callee));
+      return Sum;
+    }
+    }
+    return Zero;
+  }
+
+  WalkResult walkStmt(const Stmt *S) {
+    WalkResult R;
+    if (!S)
+      return R;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts()) {
+        if (R.Exit == ExitKind::Definite)
+          break; // statically unreachable; the CFG check reports it
+        WalkResult C = walkStmt(Child.get());
+        if (R.Exit == ExitKind::May)
+          R.Counts = afterMayExit(R.Counts, C.Counts);
+        else
+          R.Counts = addCounts(R.Counts, C.Counts);
+        if (C.Exit == ExitKind::Definite)
+          R.Exit = R.Exit == ExitKind::May ? ExitKind::May : ExitKind::Definite;
+        else if (C.Exit == ExitKind::May)
+          R.Exit = ExitKind::May;
+      }
+      return R;
+    }
+    case Stmt::Kind::Decl:
+      R.Counts = exprCounts(cast<DeclStmt>(S)->getDecl()->getInit());
+      return R;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      R.Counts = addCounts(exprCounts(A->getTarget()),
+                           exprCounts(A->getValue()));
+      return R;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      ChannelCounts Cond = exprCounts(I->getCond());
+      WalkResult Then = walkStmt(I->getThen());
+      WalkResult Else = walkStmt(I->getElse());
+      R.Counts = Cond;
+      R.Counts = addCounts(R.Counts,
+                           mergeArms(Then.Counts, Else.Counts, I->getLoc()));
+      if (Then.Exit == ExitKind::Definite && Else.Exit == ExitKind::Definite)
+        R.Exit = ExitKind::Definite;
+      else if (Then.Exit != ExitKind::None || Else.Exit != ExitKind::None)
+        R.Exit = ExitKind::May;
+      return R;
+    }
+    case Stmt::Kind::For: {
+      const auto *L = cast<ForStmt>(S);
+      ChannelCounts Bounds =
+          addCounts(exprCounts(L->getLo()), exprCounts(L->getHi()));
+      WalkResult Body = walkStmt(L->getBody());
+      SymCount Trip = tripCount(L);
+      if (Body.Exit == ExitKind::None) {
+        R.Counts = addCounts(Bounds, timesCounts(Body.Counts, Trip));
+      } else if (Body.Exit == ExitKind::Definite) {
+        // The body returns on its first iteration (if it runs at all).
+        bool Runs = Trip.Known && Trip.N > 0;
+        R.Counts = addCounts(Bounds, Runs ? Body.Counts
+                                          : afterMayExit({}, Body.Counts));
+        R.Exit = Runs ? ExitKind::Definite : ExitKind::May;
+      } else {
+        R.Counts = addCounts(Bounds, afterMayExit({}, Body.Counts));
+        R.Exit = ExitKind::May;
+      }
+      return R;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      ChannelCounts Cond = exprCounts(W->getCond());
+      WalkResult Body = walkStmt(W->getBody());
+      // Iteration count is data-dependent: zero traffic stays zero,
+      // anything else is unknown.
+      ChannelCounts Blurred =
+          afterMayExit({}, addCounts(Cond, Body.Counts));
+      R.Counts = Blurred;
+      if (Body.Exit != ExitKind::None)
+        R.Exit = ExitKind::May;
+      return R;
+    }
+    case Stmt::Kind::Return:
+      R.Counts = exprCounts(cast<ReturnStmt>(S)->getValue());
+      R.Exit = ExitKind::Definite;
+      return R;
+    case Stmt::Kind::Send: {
+      const auto *Snd = cast<SendStmt>(S);
+      R.Counts = exprCounts(Snd->getValue());
+      countFor(R.Counts, Snd->getChannel(), /*IsSend=*/true) =
+          countFor(R.Counts, Snd->getChannel(), true) + SymCount::of(1);
+      return R;
+    }
+    case Stmt::Kind::Receive: {
+      const auto *Rcv = cast<ReceiveStmt>(S);
+      R.Counts = exprCounts(Rcv->getTarget());
+      countFor(R.Counts, Rcv->getChannel(), /*IsSend=*/false) =
+          countFor(R.Counts, Rcv->getChannel(), false) + SymCount::of(1);
+      return R;
+    }
+    case Stmt::Kind::ExprStmt:
+      R.Counts = exprCounts(cast<ExprStmt>(S)->getExpr());
+      return R;
+    }
+    return R;
+  }
+
+  static SymCount tripCount(const ForStmt *L) {
+    const auto *Lo = dyn_cast<IntLitExpr>(L->getLo());
+    const auto *Hi = dyn_cast<IntLitExpr>(L->getHi());
+    int64_t Step = L->getStep();
+    if (!Lo || !Hi || Step == 0)
+      return SymCount::unknown();
+    int64_t LoV = Lo->getValue(), HiV = Hi->getValue();
+    if (Step > 0)
+      return SymCount::of(HiV >= LoV
+                              ? static_cast<uint64_t>((HiV - LoV) / Step + 1)
+                              : 0);
+    return SymCount::of(LoV >= HiV
+                            ? static_cast<uint64_t>((LoV - HiV) / -Step + 1)
+                            : 0);
+  }
+
+  /// Per-channel merge of if-arms; diverging known counts get the
+  /// channel-path warning (once per if and channel).
+  ChannelCounts mergeArms(const ChannelCounts &T, const ChannelCounts &E,
+                          SourceLoc Loc) {
+    ChannelCounts Out;
+    auto MergeOne = [&](SymCount A, SymCount B, const char *What) {
+      if (A == B)
+        return A;
+      if (A.Known && B.Known && Opts.enabled(check::ChannelPath) &&
+          CurrentFn) {
+        Diag D;
+        D.CheckId = check::ChannelPath;
+        const CheckInfo *Info = findCheck(check::ChannelPath);
+        D.Sev = Info ? Info->DefaultSev : Severity::Warning;
+        D.Section = Section.getName();
+        D.Function = CurrentFn->getName();
+        auto It = Ordinals.find(CurrentFn);
+        D.FunctionOrdinal = It != Ordinals.end() ? It->second : 0;
+        D.Loc = Loc;
+        D.Range.Begin = Loc;
+        D.Message = "the branches of this if " + std::string(What) + " " +
+                    std::to_string(A.N) + " vs " + std::to_string(B.N) +
+                    " value(s); the cell's channel protocol becomes "
+                    "data-dependent";
+        Diags.push_back(std::move(D));
+      }
+      return SymCount::unknown();
+    };
+    Out.SendX = MergeOne(T.SendX, E.SendX, "send on X");
+    Out.SendY = MergeOne(T.SendY, E.SendY, "send on Y");
+    Out.RecvX = MergeOne(T.RecvX, E.RecvX, "receive on X");
+    Out.RecvY = MergeOne(T.RecvY, E.RecvY, "receive on Y");
+    return Out;
+  }
+
+  const SectionDecl &Section;
+  const AnalysisOptions &Opts;
+  const FunctionDecl *CurrentFn = nullptr;
+  std::map<const FunctionDecl *, ChannelCounts> Memo;
+  std::set<const FunctionDecl *> InProgress;
+  std::map<const FunctionDecl *, uint32_t> Ordinals;
+  std::vector<Diag> Diags;
+};
+
+/// Collects the names of functions called anywhere in \p S.
+void collectCallees(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::Index:
+    collectCallees(cast<IndexExpr>(E)->getIndex(), Out);
+    return;
+  case Expr::Kind::Unary:
+    collectCallees(cast<UnaryExpr>(E)->getOperand(), Out);
+    return;
+  case Expr::Kind::Cast:
+    collectCallees(cast<CastExpr>(E)->getOperand(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectCallees(cast<BinaryExpr>(E)->getLHS(), Out);
+    collectCallees(cast<BinaryExpr>(E)->getRHS(), Out);
+    return;
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out.insert(C->getCallee());
+    for (size_t I = 0; I != C->getNumArgs(); ++I)
+      collectCallees(C->getArg(I), Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void collectCallees(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &C : cast<BlockStmt>(S)->stmts())
+      collectCallees(C.get(), Out);
+    return;
+  case Stmt::Kind::Decl:
+    collectCallees(cast<DeclStmt>(S)->getDecl()->getInit(), Out);
+    return;
+  case Stmt::Kind::Assign:
+    collectCallees(cast<AssignStmt>(S)->getTarget(), Out);
+    collectCallees(cast<AssignStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::If:
+    collectCallees(cast<IfStmt>(S)->getCond(), Out);
+    collectCallees(cast<IfStmt>(S)->getThen(), Out);
+    collectCallees(cast<IfStmt>(S)->getElse(), Out);
+    return;
+  case Stmt::Kind::For:
+    collectCallees(cast<ForStmt>(S)->getLo(), Out);
+    collectCallees(cast<ForStmt>(S)->getHi(), Out);
+    collectCallees(cast<ForStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::While:
+    collectCallees(cast<WhileStmt>(S)->getCond(), Out);
+    collectCallees(cast<WhileStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::Return:
+    collectCallees(cast<ReturnStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::Send:
+    collectCallees(cast<SendStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::Receive:
+    collectCallees(cast<ReceiveStmt>(S)->getTarget(), Out);
+    return;
+  case Stmt::Kind::ExprStmt:
+    collectCallees(cast<ExprStmt>(S)->getExpr(), Out);
+    return;
+  }
+}
+
+std::string countStr(SymCount C) {
+  return C.Known ? std::to_string(C.N) : std::string("a data-dependent "
+                                                     "number of");
+}
+
+} // namespace
+
+ChannelCounts analysis::channelCountsOf(const SectionDecl &Section,
+                                        const FunctionDecl &F) {
+  AnalysisOptions Opts;
+  Opts.Disabled.insert(check::ChannelPath); // counts only, no diagnostics
+  ChannelWalker Walker(Section, Opts);
+  return Walker.countsOf(F);
+}
+
+std::vector<Diag> analysis::checkChannelProtocol(const ModuleDecl &M,
+                                                 const AnalysisOptions &Opts) {
+  std::vector<Diag> Out;
+  if (!Opts.enabled(check::ChannelMismatch) &&
+      !Opts.enabled(check::ChannelPath))
+    return Out;
+
+  /// One cell program of the linear array.
+  struct Stage {
+    const FunctionDecl *F = nullptr;
+    const SectionDecl *Section = nullptr;
+    uint32_t Ordinal = 0;
+    ChannelCounts Counts;
+  };
+  std::vector<Stage> Stages;
+
+  uint32_t Ordinal = 0;
+  for (size_t S = 0; S != M.numSections(); ++S) {
+    const SectionDecl *Section = M.getSection(S);
+    // Functions called by a sibling run inline inside the caller's cell
+    // program, not as an array stage of their own.
+    std::set<std::string> Called;
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI)
+      collectCallees(Section->getFunction(FI)->getBody(), Called);
+
+    ChannelWalker Walker(*Section, Opts);
+    uint32_t Base = Ordinal;
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI)
+      Walker.setOrdinal(Section->getFunction(FI), Base + FI);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      const FunctionDecl *F = Section->getFunction(FI);
+      ChannelCounts Counts = Walker.countsOf(*F);
+      if (Counts.anyTraffic() && !Called.count(F->getName()))
+        Stages.push_back({F, Section, Ordinal, Counts});
+      ++Ordinal;
+    }
+    for (Diag &D : Walker.takeDiags())
+      Out.push_back(std::move(D));
+  }
+
+  if (!Opts.enabled(check::ChannelMismatch))
+    return Out;
+
+  for (size_t I = 0; I + 1 < Stages.size(); ++I) {
+    const Stage &Up = Stages[I];
+    const Stage &Down = Stages[I + 1];
+    SymCount Sent = Up.Counts.SendY;
+    SymCount Received = Down.Counts.RecvX;
+    if (!Sent.Known || !Received.Known || Sent == Received)
+      continue;
+    Diag D;
+    D.CheckId = check::ChannelMismatch;
+    const CheckInfo *Info = findCheck(check::ChannelMismatch);
+    D.Sev = Info ? Info->DefaultSev : Severity::Warning;
+    D.Section = Down.Section->getName();
+    D.Function = Down.F->getName();
+    D.FunctionOrdinal = Down.Ordinal;
+    D.Loc = Down.F->getLoc();
+    D.Range.Begin = D.Loc;
+    D.Message = "cell program '" + Down.F->getName() + "' receives " +
+                countStr(Received) + " value(s) on X but the upstream cell '" +
+                Up.F->getName() + "' sends " + countStr(Sent) + " on Y";
+    D.Notes.push_back({Up.F->getLoc(), "'" + Up.F->getName() +
+                                           "' defined here sends " +
+                                           countStr(Sent) + " value(s) on Y"});
+    if (Received.N > Sent.N)
+      D.Notes.push_back({Down.F->getLoc(),
+                         "the downstream cell blocks forever waiting for " +
+                             std::to_string(Received.N - Sent.N) +
+                             " value(s) that never arrive (systolic "
+                             "deadlock)"});
+    else
+      D.Notes.push_back({Up.F->getLoc(),
+                         std::to_string(Sent.N - Received.N) +
+                             " value(s) are left queued on the link and "
+                             "never consumed"});
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- Checks.cpp - Static-analysis check registry ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checks.h"
+
+using namespace warpc;
+using namespace warpc::analysis;
+
+const std::vector<CheckInfo> &analysis::allChecks() {
+  static const std::vector<CheckInfo> Table = {
+      {check::UseBeforeInit,
+       "scalar variable read on every path before any store reaches it",
+       Severity::Error},
+      {check::DeadStore,
+       "scalar store whose value no later load can observe", Severity::Warning},
+      {check::UnreachableCode,
+       "statement unreachable from the function entry", Severity::Warning},
+      {check::ArrayBounds,
+       "array subscript provably outside the declared extent",
+       Severity::Error},
+      {check::ChannelMismatch,
+       "adjacent cell programs disagree on the number of values crossing "
+       "the systolic link (potential deadlock)",
+       Severity::Warning},
+      {check::ChannelPath,
+       "branch arms send or receive different numbers of values",
+       Severity::Warning},
+  };
+  return Table;
+}
+
+const CheckInfo *analysis::findCheck(const std::string &Id) {
+  for (const CheckInfo &C : allChecks())
+    if (Id == C.Id)
+      return &C;
+  return nullptr;
+}

@@ -1,0 +1,65 @@
+//===- Checks.h - Static-analysis check registry ----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalog of analysis checks and the option block controlling a run.
+/// Every diagnostic the analyzer emits carries one of these ids, and the
+/// CLIs resolve --disable/--list-checks against this table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_CHECKS_H
+#define WARPC_ANALYSIS_CHECKS_H
+
+#include "analysis/Diagnostic.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+
+/// Stable check identifiers (the strings that appear in diagnostics,
+/// suppression comments and --disable lists).
+namespace check {
+inline constexpr const char *UseBeforeInit = "use-before-init";
+inline constexpr const char *DeadStore = "dead-store";
+inline constexpr const char *UnreachableCode = "unreachable-code";
+inline constexpr const char *ArrayBounds = "array-bounds";
+inline constexpr const char *ChannelMismatch = "channel-mismatch";
+inline constexpr const char *ChannelPath = "channel-path";
+} // namespace check
+
+/// One registry entry.
+struct CheckInfo {
+  const char *Id;
+  const char *Summary;
+  Severity DefaultSev;
+};
+
+/// All registered checks, in a fixed order.
+const std::vector<CheckInfo> &allChecks();
+
+/// Looks up a check by id; null when unknown.
+const CheckInfo *findCheck(const std::string &Id);
+
+/// Options for one analysis run.
+struct AnalysisOptions {
+  /// Check ids excluded from the run.
+  std::set<std::string> Disabled;
+  /// Upgrade every warning to an error (-Werror).
+  bool WarningsAsErrors = false;
+  /// Honor "lint: allow(...)" suppression comments (needs source text).
+  bool HonorSuppressions = true;
+
+  bool enabled(const char *Id) const { return !Disabled.count(Id); }
+};
+
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_CHECKS_H

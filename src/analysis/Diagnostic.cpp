@@ -1,0 +1,223 @@
+//===- Diagnostic.cpp - Structured analysis diagnostics -------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace warpc;
+using namespace warpc::analysis;
+
+const char *analysis::severityName(Severity S) {
+  return S == Severity::Error ? "error" : "warning";
+}
+
+bool analysis::diagLess(const Diag &A, const Diag &B) {
+  return std::tie(A.FunctionOrdinal, A.Loc.Line, A.Loc.Column, A.CheckId,
+                  A.Message) < std::tie(B.FunctionOrdinal, B.Loc.Line,
+                                        B.Loc.Column, B.CheckId, B.Message);
+}
+
+void analysis::sortDiags(std::vector<Diag> &Diags) {
+  std::stable_sort(Diags.begin(), Diags.end(), diagLess);
+}
+
+DiagCounts analysis::countDiags(const std::vector<Diag> &Diags) {
+  DiagCounts C;
+  for (const Diag &D : Diags) {
+    if (D.Sev == Severity::Error)
+      ++C.Errors;
+    else
+      ++C.Warnings;
+  }
+  return C;
+}
+
+std::string analysis::renderText(const std::vector<Diag> &Diags,
+                                 bool Summary) {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.Loc.str() + ": " + severityName(D.Sev) + ": " + D.Message;
+    if (!D.Function.empty())
+      Out += " (in '" + D.Function + "')";
+    Out += " [" + D.CheckId + "]\n";
+    for (const DiagNote &N : D.Notes)
+      Out += "  " + N.Loc.str() + ": note: " + N.Message + "\n";
+    for (const FixItHint &F : D.FixIts) {
+      bool Insert = !F.Range.End.isValid() || F.Range.End == F.Range.Begin;
+      Out += "  fix-it: ";
+      if (F.Replacement.empty())
+        Out += "remove " + F.Range.Begin.str() + ".." + F.Range.End.str();
+      else if (Insert)
+        Out += "insert '" + F.Replacement + "' at " + F.Range.Begin.str();
+      else
+        Out += "replace " + F.Range.Begin.str() + ".." + F.Range.End.str() +
+               " with '" + F.Replacement + "'";
+      Out += "\n";
+    }
+  }
+  if (Summary) {
+    DiagCounts C = countDiags(Diags);
+    Out += std::to_string(C.Errors) + " error(s), " +
+           std::to_string(C.Warnings) + " warning(s)\n";
+  }
+  return Out;
+}
+
+static json::Value locJson(SourceLoc L) {
+  json::Value O = json::Value::object();
+  O.set("line", static_cast<uint64_t>(L.Line));
+  O.set("column", static_cast<uint64_t>(L.Column));
+  return O;
+}
+
+json::Value analysis::renderJson(const std::vector<Diag> &Diags) {
+  json::Value Root = json::Value::object();
+  Root.set("version", static_cast<uint64_t>(1));
+  json::Value Arr = json::Value::array();
+  for (const Diag &D : Diags) {
+    json::Value O = json::Value::object();
+    O.set("check", D.CheckId);
+    O.set("severity", severityName(D.Sev));
+    O.set("section", D.Section);
+    O.set("function", D.Function);
+    O.set("line", static_cast<uint64_t>(D.Loc.Line));
+    O.set("column", static_cast<uint64_t>(D.Loc.Column));
+    if (D.Range.End.isValid()) {
+      O.set("endLine", static_cast<uint64_t>(D.Range.End.Line));
+      O.set("endColumn", static_cast<uint64_t>(D.Range.End.Column));
+    }
+    O.set("message", D.Message);
+    if (!D.Notes.empty()) {
+      json::Value Notes = json::Value::array();
+      for (const DiagNote &N : D.Notes) {
+        json::Value NO = locJson(N.Loc);
+        NO.set("message", N.Message);
+        Notes.push(std::move(NO));
+      }
+      O.set("notes", std::move(Notes));
+    }
+    if (!D.FixIts.empty()) {
+      json::Value Fixes = json::Value::array();
+      for (const FixItHint &F : D.FixIts) {
+        json::Value FO = json::Value::object();
+        FO.set("begin", locJson(F.Range.Begin));
+        FO.set("end", locJson(F.Range.End.isValid() ? F.Range.End
+                                                    : F.Range.Begin));
+        FO.set("replacement", F.Replacement);
+        Fixes.push(std::move(FO));
+      }
+      O.set("fixits", std::move(Fixes));
+    }
+    Arr.push(std::move(O));
+  }
+  Root.set("diagnostics", std::move(Arr));
+  DiagCounts C = countDiags(Diags);
+  json::Value Counts = json::Value::object();
+  Counts.set("errors", C.Errors);
+  Counts.set("warnings", C.Warnings);
+  Root.set("counts", std::move(Counts));
+  return Root;
+}
+
+void analysis::promoteWarnings(std::vector<Diag> &Diags) {
+  for (Diag &D : Diags)
+    D.Sev = Severity::Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression comments
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The check ids allowed on one source line; "all" becomes the wildcard.
+struct Allowance {
+  bool All = false;
+  std::set<std::string> Ids;
+
+  bool covers(const std::string &Id) const { return All || Ids.count(Id); }
+};
+
+} // namespace
+
+/// Parses "lint: allow(a, b)" out of a comment body; returns false when
+/// the marker is absent or malformed.
+static bool parseAllowance(const std::string &Comment, Allowance &A) {
+  size_t Marker = Comment.find("lint:");
+  if (Marker == std::string::npos)
+    return false;
+  size_t Open = Comment.find("allow(", Marker);
+  if (Open == std::string::npos)
+    return false;
+  size_t Close = Comment.find(')', Open);
+  if (Close == std::string::npos)
+    return false;
+  std::string List = Comment.substr(Open + 6, Close - Open - 6);
+  std::string Id;
+  auto Flush = [&]() {
+    if (Id.empty())
+      return;
+    if (Id == "all")
+      A.All = true;
+    else
+      A.Ids.insert(Id);
+    Id.clear();
+  };
+  for (char Ch : List) {
+    if (Ch == ',' || std::isspace(static_cast<unsigned char>(Ch)))
+      Flush();
+    else
+      Id += Ch;
+  }
+  Flush();
+  return A.All || !A.Ids.empty();
+}
+
+std::vector<Diag> analysis::applySuppressions(std::vector<Diag> Diags,
+                                              const std::string &Source) {
+  // Map line number -> allowance, honoring the next-line form for
+  // comment-only lines.
+  std::map<uint32_t, Allowance> ByLine;
+  uint32_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    std::string Line = Source.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    ++LineNo;
+    size_t C1 = Line.find("//");
+    size_t C2 = Line.find("--");
+    size_t CommentAt = std::min(C1, C2);
+    if (CommentAt != std::string::npos) {
+      Allowance A;
+      if (parseAllowance(Line.substr(CommentAt), A)) {
+        size_t FirstText = Line.find_first_not_of(" \t");
+        uint32_t Target = FirstText == CommentAt ? LineNo + 1 : LineNo;
+        Allowance &Slot = ByLine[Target];
+        Slot.All = Slot.All || A.All;
+        Slot.Ids.insert(A.Ids.begin(), A.Ids.end());
+      }
+    }
+    if (Eol == std::string::npos)
+      break;
+    Pos = Eol + 1;
+  }
+
+  std::vector<Diag> Kept;
+  Kept.reserve(Diags.size());
+  for (Diag &D : Diags) {
+    auto It = ByLine.find(D.Loc.Line);
+    if (It != ByLine.end() && It->second.covers(D.CheckId))
+      continue;
+    Kept.push_back(std::move(D));
+  }
+  return Kept;
+}

@@ -1,0 +1,116 @@
+//===- Diagnostic.h - Structured analysis diagnostics -----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostic model of the static-analysis subsystem: a
+/// source-ranged Diag with severity, check id, attached notes and fix-it
+/// hints, plus the two renderers (text and JSON) and the suppression
+/// filter. Unlike the front end's free-text DiagnosticEngine, every field
+/// here is machine-readable, and the ordering is a deterministic function
+/// of the diagnostic contents alone — per-function parallel analysis can
+/// merge worker results in any completion order and still serialize
+/// byte-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_DIAGNOSTIC_H
+#define WARPC_ANALYSIS_DIAGNOSTIC_H
+
+#include "support/Json.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+
+/// Diagnostic severity. Notes never appear top-level; they ride along as
+/// Diag::Notes entries.
+enum class Severity : uint8_t { Warning, Error };
+
+/// Returns "warning" or "error".
+const char *severityName(Severity S);
+
+/// A half-open source extent [Begin, End). End.isValid() may be false
+/// when only a point location is known.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+/// Secondary location attached to a diagnostic ("declared here",
+/// "sends happen in this loop").
+struct DiagNote {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// A suggested edit: replace \p Range with \p Replacement. An empty range
+/// (End == Begin) means "insert before Begin"; an empty replacement means
+/// "remove the range".
+struct FixItHint {
+  SourceRange Range;
+  std::string Replacement;
+};
+
+/// One analysis finding. FunctionOrdinal is the function's flat index in
+/// module declaration order; together with the source location and check
+/// id it makes the sort key total, so the merged diagnostic stream is
+/// independent of which worker analyzed which function first.
+struct Diag {
+  std::string CheckId;
+  Severity Sev = Severity::Warning;
+  std::string Section;
+  std::string Function;
+  uint32_t FunctionOrdinal = 0;
+  SourceLoc Loc;
+  SourceRange Range; ///< Optional; Range.Begin usually equals Loc.
+  std::string Message;
+  std::vector<DiagNote> Notes;
+  std::vector<FixItHint> FixIts;
+};
+
+/// Strict-weak ordering on (FunctionOrdinal, Loc, CheckId, Message):
+/// deterministic regardless of production order.
+bool diagLess(const Diag &A, const Diag &B);
+
+/// Stable-sorts \p Diags into the canonical order.
+void sortDiags(std::vector<Diag> &Diags);
+
+/// Counts per severity.
+struct DiagCounts {
+  uint64_t Errors = 0;
+  uint64_t Warnings = 0;
+};
+DiagCounts countDiags(const std::vector<Diag> &Diags);
+
+/// Renders the diagnostics as human-readable text, one primary line per
+/// diagnostic ("12:5: warning: ... [dead-store]") with indented note and
+/// fix-it lines, followed by a summary line when \p Summary is true.
+std::string renderText(const std::vector<Diag> &Diags, bool Summary = true);
+
+/// Renders {"version":1, "diagnostics":[...], "counts":{...}}. Given
+/// canonically sorted input the output is byte-deterministic (json::Value
+/// objects keep insertion order).
+json::Value renderJson(const std::vector<Diag> &Diags);
+
+/// Upgrades every warning to an error (the --werror treatment).
+void promoteWarnings(std::vector<Diag> &Diags);
+
+/// Suppression comments. A W2 comment ("//" or "--") containing
+///   lint: allow(check-id[, check-id...])
+/// suppresses matching diagnostics on its own line — or, when the comment
+/// is the only thing on its line, on the next line. "allow(all)" matches
+/// every check. Returns the diagnostics that survive.
+std::vector<Diag> applySuppressions(std::vector<Diag> Diags,
+                                    const std::string &Source);
+
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_DIAGNOSTIC_H

@@ -202,50 +202,201 @@ std::string ir::printFunction(const IRFunction &F) {
 // Verification
 //===----------------------------------------------------------------------===//
 
-std::string ir::verifyFunction(const IRFunction &F) {
-  if (F.numBlocks() == 0)
-    return "function '" + F.name() + "' has no blocks";
+std::string ir::VerifierIssue::str(const IRFunction &F) const {
+  std::string Out = "function '" + F.name() + "'";
+  if (Block != InvalidBlock) {
+    Out += " bb" + std::to_string(Block);
+    if (InstrPos != ~0u)
+      Out += "[" + std::to_string(InstrPos) + "]";
+  }
+  if (Loc.isValid())
+    Out += " (" + Loc.str() + ")";
+  return Out + ": " + Message;
+}
 
-  for (size_t B = 0; B != F.numBlocks(); ++B) {
-    const BasicBlock *BB = F.block(static_cast<BlockId>(B));
-    std::string Where =
-        "function '" + F.name() + "' block bb" + std::to_string(B);
-    if (BB->Instrs.empty())
-      return Where + " is empty";
+namespace {
+
+/// Exact operand arity and result-register expectations per opcode.
+struct OpShape {
+  uint32_t NumOperands;
+  bool DefinesDst;
+};
+
+bool shapeOf(Opcode Op, OpShape &S) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    S = {2, true};
+    return true;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::IntToFloat:
+  case Opcode::Copy:
+  case Opcode::Sqrt:
+  case Opcode::Abs:
+    S = {1, true};
+    return true;
+  case Opcode::ConstInt:
+  case Opcode::ConstFloat:
+  case Opcode::LoadVar:
+  case Opcode::Recv:
+    S = {0, true};
+    return true;
+  case Opcode::StoreVar:
+  case Opcode::Send:
+    S = {1, false};
+    return true;
+  case Opcode::LoadElem:
+    S = {1, true};
+    return true;
+  case Opcode::StoreElem:
+    S = {2, false};
+    return true;
+  case Opcode::Br:
+    S = {0, false};
+    return true;
+  case Opcode::CondBr:
+    S = {1, false};
+    return true;
+  // Variable arity: Call takes any number of scalar args, Ret an optional
+  // value.
+  case Opcode::Call:
+  case Opcode::Ret:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+std::vector<VerifierIssue> ir::verifyFunctionIssues(const IRFunction &F) {
+  std::vector<VerifierIssue> Issues;
+  auto Report = [&](BlockId B, uint32_t Pos, SourceLoc Loc,
+                    std::string Message) {
+    Issues.push_back({std::move(Message), B, Pos, Loc});
+  };
+
+  if (F.numBlocks() == 0) {
+    Report(InvalidBlock, ~0u, SourceLoc(), "has no blocks");
+    return Issues;
+  }
+
+  // Pass 1: which registers have a definition anywhere (the IR is not
+  // SSA, so multiple defs — induction registers — are legal).
+  std::vector<bool> HasDef(F.numRegs(), false);
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs)
+      if (I.definesReg() && I.Dst < F.numRegs())
+        HasDef[I.Dst] = true;
+
+  for (size_t BI = 0; BI != F.numBlocks(); ++BI) {
+    BlockId B = static_cast<BlockId>(BI);
+    const BasicBlock *BB = F.block(B);
+    if (BB->Instrs.empty()) {
+      Report(B, ~0u, SourceLoc(), "block is empty");
+      continue;
+    }
     if (!isTerminator(BB->Instrs.back().Op))
-      return Where + " does not end in a terminator";
-    for (size_t Pos = 0; Pos != BB->Instrs.size(); ++Pos) {
-      const Instr &I = BB->Instrs[Pos];
-      if (isTerminator(I.Op) && Pos + 1 != BB->Instrs.size())
-        return Where + " has a terminator before the end";
-      for (Reg R : I.Operands)
+      Report(B, static_cast<uint32_t>(BB->Instrs.size() - 1),
+             BB->Instrs.back().Loc, "block does not end in a terminator");
+
+    for (size_t PosI = 0; PosI != BB->Instrs.size(); ++PosI) {
+      const Instr &I = BB->Instrs[PosI];
+      uint32_t Pos = static_cast<uint32_t>(PosI);
+      std::string Name = opcodeName(I.Op);
+      if (isTerminator(I.Op) && PosI + 1 != BB->Instrs.size())
+        Report(B, Pos, I.Loc, "terminator before the end of the block");
+
+      for (Reg R : I.Operands) {
         if (R >= F.numRegs())
-          return Where + " uses unallocated register %" + std::to_string(R);
+          Report(B, Pos, I.Loc,
+                 Name + " uses unallocated register %" + std::to_string(R));
+        else if (!HasDef[R])
+          Report(B, Pos, I.Loc,
+                 Name + " uses register %" + std::to_string(R) +
+                     " which no instruction defines");
+      }
       if (I.definesReg() && I.Dst >= F.numRegs())
-        return Where + " defines unallocated register %" +
-               std::to_string(I.Dst);
+        Report(B, Pos, I.Loc,
+               Name + " defines unallocated register %" +
+                   std::to_string(I.Dst));
+
+      OpShape Shape;
+      if (shapeOf(I.Op, Shape)) {
+        if (I.Operands.size() != Shape.NumOperands)
+          Report(B, Pos, I.Loc,
+                 Name + " expects " + std::to_string(Shape.NumOperands) +
+                     " operand(s), has " + std::to_string(I.Operands.size()));
+        if (Shape.DefinesDst && !I.definesReg())
+          Report(B, Pos, I.Loc, Name + " must define a result register");
+        if (!Shape.DefinesDst && I.definesReg())
+          Report(B, Pos, I.Loc, Name + " must not define a result register");
+      } else if (I.Op == Opcode::Ret && I.Operands.size() > 1) {
+        Report(B, Pos, I.Loc, "ret takes at most one operand");
+      }
+
       switch (I.Op) {
       case Opcode::LoadVar:
       case Opcode::StoreVar:
       case Opcode::LoadElem:
       case Opcode::StoreElem:
-        if (I.Var >= F.numVariables())
-          return Where + " references unknown variable slot";
+        if (I.Var >= F.numVariables()) {
+          Report(B, Pos, I.Loc, Name + " references unknown variable slot");
+          break;
+        }
+        if ((I.Op == Opcode::LoadVar || I.Op == Opcode::StoreVar) &&
+            F.variable(I.Var).Ty.isArray())
+          Report(B, Pos, I.Loc,
+                 Name + " addresses array variable '" +
+                     F.variable(I.Var).Name + "' as a scalar");
+        if ((I.Op == Opcode::LoadElem || I.Op == Opcode::StoreElem) &&
+            !F.variable(I.Var).Ty.isArray())
+          Report(B, Pos, I.Loc,
+                 Name + " subscripts scalar variable '" +
+                     F.variable(I.Var).Name + "'");
+        break;
+      case Opcode::Call:
+        for (VarId A : I.ArrayArgs)
+          if (A >= F.numVariables())
+            Report(B, Pos, I.Loc, "call passes unknown variable slot");
         break;
       case Opcode::Br:
         if (I.Target0 >= F.numBlocks())
-          return Where + " branches to unknown block";
+          Report(B, Pos, I.Loc, "branch to unknown block");
         break;
       case Opcode::CondBr:
         if (I.Target0 >= F.numBlocks() || I.Target1 >= F.numBlocks())
-          return Where + " branches to unknown block";
-        if (I.Operands.size() != 1)
-          return Where + " conditional branch needs one condition operand";
+          Report(B, Pos, I.Loc, "branch to unknown block");
         break;
       default:
         break;
       }
     }
   }
-  return "";
+  return Issues;
+}
+
+std::string ir::verifyFunction(const IRFunction &F) {
+  std::vector<VerifierIssue> Issues = verifyFunctionIssues(F);
+  return Issues.empty() ? std::string() : Issues.front().str(F);
+}
+
+uint64_t ir::countChannelOps(const IRFunction &F) {
+  uint64_t N = 0;
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    for (const Instr &I : F.block(static_cast<BlockId>(B))->Instrs)
+      if (I.Op == Opcode::Send || I.Op == Opcode::Recv)
+        ++N;
+  return N;
 }

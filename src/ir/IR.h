@@ -213,10 +213,40 @@ private:
 /// tests and by -debug style dumps.
 std::string printFunction(const IRFunction &F);
 
-/// Structural validity checks: every block ends in exactly one terminator,
-/// branch targets are in range, register operands are allocated, variable
-/// ids are in range. Returns an empty string on success, else a message.
+/// One structural problem the verifier found, anchored to the offending
+/// instruction so failures in a thousand-instruction function are
+/// actionable.
+struct VerifierIssue {
+  std::string Message;
+  BlockId Block = InvalidBlock;
+  /// Position of the offending instruction within the block; ~0u when the
+  /// issue concerns the block or function as a whole.
+  uint32_t InstrPos = ~0u;
+  SourceLoc Loc;
+
+  /// Renders "function 'f' bb2[3] (12:5): message".
+  std::string str(const IRFunction &F) const;
+};
+
+/// Structural validity checks, all of them: every block is non-empty and
+/// ends in exactly one terminator, branch targets and variable ids are in
+/// range, every opcode carries its exact operand arity and defines (or
+/// does not define) a result register as its semantics demand, scalar
+/// memory ops name scalar variables and element ops name arrays, and
+/// every operand register has at least one definition somewhere in the
+/// function — the check that catches a transformation deleting a def
+/// whose uses survive (e.g. an overzealous DCE). Returns every issue
+/// found, not just the first.
+std::vector<VerifierIssue> verifyFunctionIssues(const IRFunction &F);
+
+/// Compatibility wrapper: the first issue rendered as a string, or an
+/// empty string when the function verifies.
 std::string verifyFunction(const IRFunction &F);
+
+/// Number of Send/Recv instructions. Channel traffic is an observable
+/// effect of a cell program, so this count is invariant across every
+/// opt/ pass — the debug-build pipeline asserts it.
+uint64_t countChannelOps(const IRFunction &F);
 
 } // namespace ir
 } // namespace warpc

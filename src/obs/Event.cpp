@@ -27,6 +27,7 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::SpanCombine, "span_combine"},
     {EventKind::SpanAssembly, "span_assembly"},
     {EventKind::SpanMasterRecompile, "span_master_recompile"},
+    {EventKind::SpanAnalyze, "span_analyze"},
     {EventKind::PlacementFailed, "placement_failed"},
     {EventKind::AttemptLost, "attempt_lost"},
     {EventKind::MessageLost, "message_lost"},
@@ -45,7 +46,7 @@ constexpr std::pair<Phase, const char *> PhaseNames[] = {
     {Phase::Setup, "setup"},       {Phase::Parse, "parse"},
     {Phase::Schedule, "schedule"}, {Phase::Compile, "compile"},
     {Phase::Combine, "combine"},   {Phase::Assembly, "assembly"},
-    {Phase::Recovery, "recovery"},
+    {Phase::Recovery, "recovery"}, {Phase::Analyze, "analyze"},
 };
 
 constexpr std::pair<FaultCause, const char *> CauseNames[] = {
@@ -93,6 +94,7 @@ bool obs::isSpanKind(EventKind K) {
   case EventKind::SpanCombine:
   case EventKind::SpanAssembly:
   case EventKind::SpanMasterRecompile:
+  case EventKind::SpanAnalyze:
     return true;
   default:
     return false;

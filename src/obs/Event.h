@@ -42,6 +42,7 @@ enum class EventKind : uint8_t {
   SpanCombine,         ///< Section master combines results.
   SpanAssembly,        ///< Phase 4 in the master's Lisp process.
   SpanMasterRecompile, ///< Attempt-cap fallback in the master.
+  SpanAnalyze,         ///< Static analysis of one function on one worker.
 
   // Instants (milestones and fault-handling decisions).
   PlacementFailed,  ///< Target host down at fork time.
@@ -76,6 +77,7 @@ enum class Phase : uint8_t {
   Combine,  ///< Section-master result combination.
   Assembly, ///< Phase 4.
   Recovery, ///< Fault handling: timeouts, retries, fallbacks.
+  Analyze,  ///< Static-analysis checks (warp-lint / --analyze).
 };
 
 const char *phaseName(Phase P);

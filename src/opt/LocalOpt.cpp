@@ -10,7 +10,9 @@
 #include "support/BitSet.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -579,19 +581,59 @@ uint64_t opt::removeUnreachableBlocks(IRFunction &F, OptStats &Stats) {
 // Pipeline
 //===----------------------------------------------------------------------===//
 
+#ifndef NDEBUG
+namespace {
+
+/// Debug-build pipeline invariants, asserted after every pass: the
+/// function still verifies (no pass may break structural validity, even
+/// transiently), and no Send/Recv was created or removed — channel
+/// traffic is an observable effect of a cell program, so an optimizer
+/// that drops one has miscompiled the systolic protocol.
+void checkPassInvariants(const IRFunction &F, const char *Pass,
+                         uint64_t ChannelOpsBefore) {
+  std::vector<ir::VerifierIssue> Issues = ir::verifyFunctionIssues(F);
+  if (!Issues.empty()) {
+    std::fprintf(stderr, "after %s: %s\n", Pass,
+                 Issues.front().str(F).c_str());
+    assert(false && "opt pass broke the IR verifier");
+  }
+  if (ir::countChannelOps(F) != ChannelOpsBefore) {
+    std::fprintf(stderr, "after %s: channel op count changed (%llu -> %llu)\n",
+                 Pass, static_cast<unsigned long long>(ChannelOpsBefore),
+                 static_cast<unsigned long long>(ir::countChannelOps(F)));
+    assert(false && "opt pass added or removed a Send/Recv");
+  }
+}
+
+} // namespace
+#define WARPC_CHECK_PASS(Name) checkPassInvariants(F, Name, ChannelOps)
+#else
+#define WARPC_CHECK_PASS(Name) (void)0
+#endif
+
 OptStats opt::runLocalOpt(IRFunction &F) {
   OptStats Stats;
+#ifndef NDEBUG
+  const uint64_t ChannelOps = ir::countChannelOps(F);
+#endif
   const uint64_t MaxSweeps = 10;
   for (uint64_t Sweep = 0; Sweep != MaxSweeps; ++Sweep) {
     ++Stats.Iterations;
     uint64_t Applied = 0;
     Applied += removeUnreachableBlocks(F, Stats);
+    WARPC_CHECK_PASS("removeUnreachableBlocks");
     Applied += foldConstants(F, Stats);
+    WARPC_CHECK_PASS("foldConstants");
     Applied += propagateCopies(F, Stats);
+    WARPC_CHECK_PASS("propagateCopies");
     Applied += eliminateCommonSubexprs(F, Stats);
+    WARPC_CHECK_PASS("eliminateCommonSubexprs");
     Applied += propagateCopies(F, Stats);
+    WARPC_CHECK_PASS("propagateCopies");
     Applied += eliminateDeadStores(F, Stats);
+    WARPC_CHECK_PASS("eliminateDeadStores");
     Applied += eliminateDeadCode(F, Stats);
+    WARPC_CHECK_PASS("eliminateDeadCode");
     if (Applied == 0)
       break;
   }

@@ -1,0 +1,147 @@
+//===- AnalysisRunner.cpp - Parallel static analysis ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/AnalysisRunner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using warpc::obs::EventKind;
+
+namespace {
+
+/// One function's analysis task: everything a worker needs, resolved on
+/// the master before any thread starts.
+struct Task {
+  const w2::SectionDecl *Section = nullptr;
+  const w2::FunctionDecl *Function = nullptr;
+  uint32_t Ordinal = 0;
+  int32_t SectionId = -1;
+  int32_t FnId = -1;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+AnalysisRunResult
+parallel::analyzeModuleParallel(const w2::ModuleDecl &M,
+                                const std::string &Source,
+                                const analysis::AnalysisOptions &Opts,
+                                unsigned NumWorkers, obs::TraceRecorder *Rec,
+                                obs::MetricsRegistry *Metrics) {
+  const auto RunStart = std::chrono::steady_clock::now();
+  AnalysisRunResult Result;
+
+  std::vector<Task> Tasks;
+  for (size_t S = 0; S != M.numSections(); ++S) {
+    const w2::SectionDecl *Section = M.getSection(S);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      Task T;
+      T.Section = Section;
+      T.Function = Section->getFunction(FI);
+      T.Ordinal = static_cast<uint32_t>(Tasks.size());
+      T.SectionId = static_cast<int32_t>(S);
+      Tasks.push_back(T);
+    }
+  }
+
+  const unsigned Workers = std::max(
+      1u, std::min(NumWorkers, static_cast<unsigned>(
+                                   std::max<size_t>(1, Tasks.size()))));
+  Result.WorkersUsed = Workers;
+
+  if (Rec) {
+    // Intern every name and create every lane before a worker exists:
+    // interning is not thread-safe, lanes must not reallocate mid-run.
+    for (Task &T : Tasks)
+      T.FnId = Rec->internFunction(T.Function->getName());
+    Rec->makeLanes(Workers + 1);
+  }
+
+  // Per-ordinal result slots: workers race only on the claim counter,
+  // never on the output, so the merge order is declaration order no
+  // matter which thread analyzed which function.
+  std::vector<std::vector<analysis::Diag>> Slots(Tasks.size());
+  std::atomic<size_t> NextTask{0};
+
+  const auto FanOutStart = std::chrono::steady_clock::now();
+  auto WorkerBody = [&](unsigned Wix) {
+    obs::TraceRecorder::Lane *Lane = Rec ? &Rec->lane(1 + Wix) : nullptr;
+    for (;;) {
+      const size_t I = NextTask.fetch_add(1);
+      if (I >= Tasks.size())
+        break;
+      const Task &T = Tasks[I];
+      const double T0 = Rec ? Rec->nowSec() : 0;
+      const auto C0 = std::chrono::steady_clock::now();
+      Slots[I] = analysis::analyzeFunction(*T.Section, *T.Function, T.Ordinal,
+                                           Opts);
+      if (Lane) {
+        obs::SpanEvent &E =
+            Lane->span(T0, Rec->nowSec() - T0, EventKind::SpanAnalyze,
+                       obs::Phase::Analyze);
+        E.Host = static_cast<int32_t>(1 + Wix);
+        E.Section = T.SectionId;
+        E.Function = T.FnId;
+      }
+      if (Metrics)
+        Metrics->observe("analysis.function_sec", secondsSince(C0));
+    }
+  };
+
+  if (Workers == 1 || Tasks.size() <= 1) {
+    WorkerBody(0);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back(WorkerBody, W);
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  Result.ParallelPhaseSec = secondsSince(FanOutStart);
+
+  // Master tail: ordered merge, the module-level channel pass, and the
+  // same finalize step the sequential analyzer uses.
+  std::vector<analysis::Diag> Merged;
+  for (std::vector<analysis::Diag> &S : Slots)
+    Merged.insert(Merged.end(), std::make_move_iterator(S.begin()),
+                  std::make_move_iterator(S.end()));
+  const double ChanStart = Rec ? Rec->nowSec() : 0;
+  std::vector<analysis::Diag> Chan = analysis::checkChannelProtocol(M, Opts);
+  Merged.insert(Merged.end(), std::make_move_iterator(Chan.begin()),
+                std::make_move_iterator(Chan.end()));
+  Result.Analysis.Diags =
+      analysis::finalizeModuleDiags(std::move(Merged), Source, Opts);
+  Result.Analysis.FunctionsAnalyzed = static_cast<uint32_t>(Tasks.size());
+  if (Rec) {
+    obs::SpanEvent &E =
+        Rec->lane(0).span(ChanStart, Rec->nowSec() - ChanStart,
+                          EventKind::SpanCombine, obs::Phase::Analyze);
+    E.Host = 0;
+  }
+
+  Result.ElapsedSec = secondsSince(RunStart);
+  if (Metrics) {
+    Metrics->add("analysis.functions", static_cast<double>(Tasks.size()));
+    const analysis::DiagCounts Counts =
+        analysis::countDiags(Result.Analysis.Diags);
+    Metrics->add("analysis.diags.errors", static_cast<double>(Counts.Errors));
+    Metrics->add("analysis.diags.warnings",
+                 static_cast<double>(Counts.Warnings));
+    Metrics->setGauge("analysis.workers", Workers);
+  }
+  return Result;
+}

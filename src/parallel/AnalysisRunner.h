@@ -1,0 +1,62 @@
+//===- AnalysisRunner.h - Parallel static analysis --------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the static-analysis checks as a parallel phase over the same unit
+/// of work the compiler parallelizes: the function. Per-function checks
+/// touch only one function body plus sibling signatures, so worker threads
+/// claim functions first-come-first-served — the thread-pool analogue of
+/// forking function masters — while the module-level channel-protocol pass
+/// runs on the master afterwards.
+///
+/// Results land in per-function slots indexed by declaration ordinal and
+/// are merged in that order, then funneled through the same
+/// finalizeModuleDiags tail as the sequential analyzer. The merged
+/// diagnostics are therefore byte-identical across worker counts; a test
+/// asserts the JSON matches for 1..N workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_ANALYSISRUNNER_H
+#define WARPC_PARALLEL_ANALYSISRUNNER_H
+
+#include "analysis/Analyzer.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+#include "w2/AST.h"
+
+#include <string>
+
+namespace warpc {
+namespace parallel {
+
+/// Result of a thread-backed parallel analysis.
+struct AnalysisRunResult {
+  analysis::ModuleAnalysis Analysis;
+  double ElapsedSec = 0;       ///< Wall clock of the whole analysis.
+  double ParallelPhaseSec = 0; ///< Wall clock of the per-function fan-out.
+  unsigned WorkersUsed = 0;
+};
+
+/// Analyzes \p M with up to \p NumWorkers analysis workers running
+/// concurrently. Output is byte-identical to analysis::analyzeModule
+/// regardless of NumWorkers or interleaving.
+///
+/// A non-null \p Rec must be in the Steady clock domain; worker i records
+/// SpanAnalyze spans on lane 1+i, the master uses lane 0. A non-null
+/// \p Metrics receives analysis.functions, analysis.diags.{errors,
+/// warnings}, and an analysis.function_sec distribution.
+AnalysisRunResult analyzeModuleParallel(const w2::ModuleDecl &M,
+                                        const std::string &Source,
+                                        const analysis::AnalysisOptions &Opts,
+                                        unsigned NumWorkers,
+                                        obs::TraceRecorder *Rec = nullptr,
+                                        obs::MetricsRegistry *Metrics = nullptr);
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_ANALYSISRUNNER_H

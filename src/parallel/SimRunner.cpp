@@ -61,6 +61,11 @@ struct SimContext {
 
   /// Closures kept alive for the duration of the run.
   std::vector<std::shared_ptr<void>> Keep;
+  /// Self-referential closures (a loop object whose continuation captures
+  /// a shared_ptr to itself) register a breaker here; the destructor runs
+  /// them once the event loop has drained so the reference cycles cannot
+  /// outlive the run.
+  std::vector<std::function<void()>> CycleBreakers;
 
   SimContext(const HostConfig &Host, const CostModel &Model)
       : Ethernet(Sim, "ethernet", Host.EthernetContention),
@@ -69,6 +74,11 @@ struct SimContext {
     for (unsigned W = 0; W != Host.NumWorkstations; ++W)
       Ws.push_back(
           std::make_unique<SerialResource>(Sim, "ws" + std::to_string(W)));
+  }
+
+  ~SimContext() {
+    for (std::function<void()> &Break : CycleBreakers)
+      Break();
   }
 
   /// Uniform service-time stretch in [1-J, 1+J].
@@ -142,6 +152,7 @@ struct SimContext {
     };
     auto Loop = std::make_shared<ChunkLoop>();
     Keep.push_back(Loop);
+    CycleBreakers.push_back([Loop] { Loop->Step = nullptr; });
     Loop->Step = [this, W, Cost, Loop, Done = std::move(Done)] {
       if (Loop->Remaining == 0) {
         Done(Cost);

@@ -170,13 +170,13 @@ private:
         emit(Pad + "acc = acc + tmp * " + constant() + ";");
         return;
       case 1:
-        emit(Pad + "tmp = xin * gain + " + constant() + ";");
+        emit(Pad + "acc = acc + xin * gain + " + constant() + ";");
         return;
       case 2:
         emit(Pad + "acc = acc * " + constant() + " + xin;");
         return;
       default:
-        emit(Pad + "tmp = abs(tmp) + " + constant() + ";");
+        emit(Pad + "acc = acc + abs(tmp) + " + constant() + ";");
         return;
       }
     }
@@ -209,7 +209,7 @@ private:
            ";");
       return;
     case 11:
-      emit(Pad + "tmp = " + arrayRef(Level) + " * gain;");
+      emit(Pad + "tmp = tmp + " + arrayRef(Level) + " * gain;");
       return;
     case 12:
       emit(Pad + arrayRef(Level) + " = tmp + " + constant() + ";");
@@ -224,7 +224,7 @@ private:
       return;
     case 14:
       if (Rng.below(4) == 0) {
-        emit(Pad + "tmp = sqrt(" + arrayRef(Level) + " * " +
+        emit(Pad + "tmp = tmp + sqrt(" + arrayRef(Level) + " * " +
              arrayRef(Level) + " + " + constant() + ");");
         return;
       }

@@ -1,0 +1,272 @@
+//===- ChannelProtocolTest.cpp ---------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using warpc::test::checkModule;
+
+namespace {
+
+ChannelCounts countsOfFirst(const std::string &Source) {
+  auto M = checkModule(Source);
+  EXPECT_TRUE(M);
+  if (!M)
+    return {};
+  const w2::SectionDecl *S = M->getSection(0);
+  return channelCountsOf(*S, *S->getFunction(0));
+}
+
+} // namespace
+
+TEST(ChannelProtocolTest, StraightLineCountsAreExact) {
+  ChannelCounts C = countsOfFirst(R"(module m;
+section s cells 2 {
+function f() {
+  var v: float = 0.0;
+  receive(X, v);
+  send(Y, v);
+  send(Y, v * 2.0);
+}
+}
+)");
+  EXPECT_EQ(C.RecvX, SymCount::of(1));
+  EXPECT_EQ(C.SendY, SymCount::of(2));
+  EXPECT_EQ(C.SendX, SymCount::of(0));
+  EXPECT_EQ(C.RecvY, SymCount::of(0));
+}
+
+TEST(ChannelProtocolTest, LiteralLoopMultipliesCounts) {
+  ChannelCounts C = countsOfFirst(R"(module m;
+section s cells 2 {
+function f() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+    send(Y, v);
+  }
+}
+}
+)");
+  EXPECT_EQ(C.RecvX, SymCount::of(16));
+  EXPECT_EQ(C.SendY, SymCount::of(16));
+}
+
+TEST(ChannelProtocolTest, WhileLoopIsUnknown) {
+  ChannelCounts C = countsOfFirst(R"(module m;
+section s cells 2 {
+function f(n: int) {
+  var v: float = 0.0;
+  var i: int = 0;
+  while (i < n) {
+    receive(X, v);
+    send(Y, v);
+    i = i + 1;
+  }
+}
+}
+)");
+  EXPECT_FALSE(C.RecvX.Known);
+  EXPECT_FALSE(C.SendY.Known);
+}
+
+TEST(ChannelProtocolTest, CalleeCountsExpand) {
+  ChannelCounts C = countsOfFirst(R"(module m;
+section s cells 2 {
+function f() {
+  var v: float = 0.0;
+  for i = 0 to 3 {
+    v = step(v);
+  }
+}
+function step(x: float): float {
+  var v: float = 0.0;
+  receive(X, v);
+  send(Y, v + x);
+  return v;
+}
+}
+)");
+  EXPECT_EQ(C.RecvX, SymCount::of(4));
+  EXPECT_EQ(C.SendY, SymCount::of(4));
+}
+
+TEST(ChannelProtocolTest, BalancedChainIsClean) {
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function up() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+    send(Y, v);
+  }
+}
+}
+section b cells 2 {
+function down() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+    send(Y, v * 2.0);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(checkChannelProtocol(*M, {}).empty());
+}
+
+TEST(ChannelProtocolTest, MismatchedLinkIsFlaggedWithDeadlockNote) {
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function up() {
+  var v: float = 0.0;
+  for i = 0 to 14 {
+    send(Y, v);
+  }
+}
+function down() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  std::vector<Diag> Diags = checkChannelProtocol(*M, {});
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "channel-mismatch");
+  EXPECT_EQ(Diags[0].Function, "down");
+  EXPECT_NE(Diags[0].Message.find("receives 16"), std::string::npos)
+      << Diags[0].Message;
+  EXPECT_NE(Diags[0].Message.find("sends 15"), std::string::npos);
+  ASSERT_EQ(Diags[0].Notes.size(), 2u);
+  EXPECT_NE(Diags[0].Notes[1].Message.find("systolic deadlock"),
+            std::string::npos);
+}
+
+TEST(ChannelProtocolTest, OverfedLinkNotesQueuedValues) {
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function up() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    send(Y, v);
+  }
+}
+function down() {
+  var v: float = 0.0;
+  for i = 0 to 11 {
+    receive(X, v);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  std::vector<Diag> Diags = checkChannelProtocol(*M, {});
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Notes[1].Message.find("never consumed"),
+            std::string::npos)
+      << Diags[0].Notes[1].Message;
+}
+
+TEST(ChannelProtocolTest, UnknownCountsAreNotFlagged) {
+  // A data-dependent producer matches any consumer: the checker only
+  // flags known-vs-known mismatches, which is what keeps it free of
+  // false positives.
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function up(n: int) {
+  var v: float = 0.0;
+  var i: int = 0;
+  while (i < n) {
+    send(Y, v);
+    i = i + 1;
+  }
+}
+function down() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(checkChannelProtocol(*M, {}).empty());
+}
+
+TEST(ChannelProtocolTest, HelperFunctionsAreNotChainCells) {
+  // 'step' is called by 'up', so it is part of up's cell program, not a
+  // separate stage in the systolic chain.
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function up() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    v = step(v);
+  }
+}
+function step(x: float): float {
+  send(Y, x);
+  return x;
+}
+function down() {
+  var v: float = 0.0;
+  for i = 0 to 15 {
+    receive(X, v);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(checkChannelProtocol(*M, {}).empty());
+}
+
+TEST(ChannelProtocolTest, DivergingIfArmsGetPathWarning) {
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function f(n: int) {
+  var v: float = 0.0;
+  if (n > 0) {
+    send(Y, v);
+  } else {
+    send(Y, v);
+    send(Y, v);
+  }
+}
+}
+)");
+  ASSERT_TRUE(M);
+  std::vector<Diag> Diags = checkChannelProtocol(*M, {});
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "channel-path");
+  EXPECT_NE(Diags[0].Message.find("1 vs 2"), std::string::npos)
+      << Diags[0].Message;
+}
+
+TEST(ChannelProtocolTest, TailXSendsDrainToHost) {
+  // The final cell's X output leaves the array toward the host
+  // interface; with no downstream cell there is nothing to check.
+  auto M = checkModule(R"(module m;
+section a cells 2 {
+function only() {
+  var v: float = 0.0;
+  receive(X, v);
+  send(X, v);
+  send(X, v);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(checkChannelProtocol(*M, {}).empty());
+}

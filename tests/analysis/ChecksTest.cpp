@@ -1,0 +1,237 @@
+//===- ChecksTest.cpp ------------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-check golden tests: each check flags its seeded defect at the right
+// location and stays silent on the equivalent correct code. Sources are
+// written with "module" on line 1 so the expected line numbers can be read
+// straight off the test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using warpc::test::checkModule;
+
+namespace {
+
+/// Parses \p Source and runs the per-function checks on its first
+/// function.
+std::vector<Diag> analyzeFirst(const std::string &Source,
+                               const AnalysisOptions &Opts = {}) {
+  auto M = checkModule(Source);
+  if (!M)
+    return {};
+  const w2::SectionDecl *S = M->getSection(0);
+  return analyzeFunction(*S, *S->getFunction(0), 0, Opts);
+}
+
+} // namespace
+
+TEST(ChecksTest, UseBeforeInitFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var x: float;
+  var y: float = 0.0;
+  y = x * 2.0;
+  return y;
+}
+}
+)");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "use-before-init");
+  EXPECT_EQ(Diags[0].Sev, Severity::Error);
+  EXPECT_EQ(Diags[0].Loc.Line, 6u); // the read of x
+  ASSERT_EQ(Diags[0].Notes.size(), 1u);
+  EXPECT_EQ(Diags[0].Notes[0].Loc.Line, 4u); // the declaration
+}
+
+TEST(ChecksTest, InitializedOnAllPathsNotFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(n: int): float {
+  var x: float;
+  if (n > 0) {
+    x = 1.0;
+  } else {
+    x = 2.0;
+  }
+  return x;
+}
+}
+)");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ChecksTest, DeadStoreFlaggedWithFixIt) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(a: float): float {
+  var t: float = 0.0;
+  t = a * 2.0;
+  t = a * 3.0;
+  return t;
+}
+}
+)");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "dead-store");
+  EXPECT_EQ(Diags[0].Sev, Severity::Warning);
+  EXPECT_EQ(Diags[0].Loc.Line, 5u); // the overwritten store
+  ASSERT_EQ(Diags[0].FixIts.size(), 1u);
+  EXPECT_TRUE(Diags[0].FixIts[0].Replacement.empty()); // a removal
+}
+
+TEST(ChecksTest, DeclInitAndRecvStoresAreExempt) {
+  // The declaration initializer is overwritten and the received value is
+  // never read — both are idiomatic W2 and must not be flagged.
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var t: float = 1.0;
+  receive(X, t);
+  t = 2.0;
+  return t;
+}
+}
+)");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ChecksTest, LoopCarriedStoreIsLive) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var t: float = 0.0;
+  var acc: float = 0.0;
+  for i = 0 to 9 {
+    acc = acc + t;
+    t = t + 1.0;
+  }
+  return acc;
+}
+}
+)");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ChecksTest, UnreachableCodeFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(a: float): float {
+  return a;
+  a = a + 1.0;
+  return a;
+}
+}
+)");
+  ASSERT_GE(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "unreachable-code");
+  EXPECT_EQ(Diags[0].Loc.Line, 5u);
+}
+
+TEST(ChecksTest, BothArmsReturnNotFlagged) {
+  // The synthetic merge block the lowering emits after an if whose arms
+  // both return must not be reported: it holds no user code.
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(n: int): float {
+  if (n > 0) {
+    return 1.0;
+  } else {
+    return 2.0;
+  }
+}
+}
+)");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ChecksTest, ConstantIndexOutOfBoundsFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var buf: float[8];
+  buf[3] = 1.0;
+  return buf[8];
+}
+}
+)");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "array-bounds");
+  EXPECT_EQ(Diags[0].Sev, Severity::Error);
+  EXPECT_EQ(Diags[0].Loc.Line, 6u);
+  EXPECT_NE(Diags[0].Message.find("'buf'"), std::string::npos);
+}
+
+TEST(ChecksTest, InductionRangeOverrunFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var buf: float[8];
+  var acc: float = 0.0;
+  for i = 0 to 8 {
+    acc = acc + buf[i];
+  }
+  return acc;
+}
+}
+)");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].CheckId, "array-bounds");
+  EXPECT_NE(Diags[0].Message.find("reaches 8"), std::string::npos)
+      << Diags[0].Message;
+}
+
+TEST(ChecksTest, InBoundsLoopAndOffsetNotFlagged) {
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(): float {
+  var buf: float[8];
+  var acc: float = 0.0;
+  for i = 0 to 6 {
+    acc = acc + buf[i + 1];
+  }
+  return acc;
+}
+}
+)");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ChecksTest, DisabledCheckEmitsNothing) {
+  AnalysisOptions Opts;
+  Opts.Disabled.insert("dead-store");
+  std::vector<Diag> Diags = analyzeFirst(
+      R"(module m;
+section s cells 2 {
+function f(a: float): float {
+  var t: float = 0.0;
+  t = a * 2.0;
+  t = a * 3.0;
+  return t;
+}
+}
+)",
+      Opts);
+  EXPECT_TRUE(Diags.empty());
+}

@@ -1,0 +1,149 @@
+//===- DeterminismTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel analysis runner's core guarantee: the serialized diagnostic
+// stream is byte-identical to the sequential analyzer's for every worker
+// count, because results merge by declaration ordinal and sort on a total
+// key that never depends on completion order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/AnalysisRunner.h"
+
+#include "../TestHelpers.h"
+#include "obs/TraceRecorder.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using warpc::test::checkModule;
+
+namespace {
+
+/// A module with functions across three sections and a spread of
+/// diagnostics, so the merge order actually matters.
+std::string defectiveModule() {
+  return R"(module dm;
+section a cells 2 {
+function f1(g: float): float {
+  var t: float = 0.0;
+  t = g;
+  t = g * 2.0;
+  return t;
+}
+function f2(): float {
+  var x: float;
+  return x;
+}
+}
+section b cells 2 {
+function f3(): float {
+  var buf: float[4];
+  return buf[9];
+}
+function f4(g: float): float {
+  return g;
+}
+}
+section c cells 2 {
+function f5(g: float): float {
+  var t: float = 0.0;
+  t = g;
+  t = g * 3.0;
+  return t;
+}
+}
+)";
+}
+
+} // namespace
+
+TEST(DeterminismTest, JsonIsByteIdenticalAcrossWorkerCounts) {
+  std::string Source = defectiveModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+
+  ModuleAnalysis Seq = analyzeModule(*M, Source, {});
+  ASSERT_FALSE(Seq.Diags.empty());
+  std::string Golden = renderJson(Seq.Diags).dump(1);
+
+  for (unsigned Workers : {1u, 2u, 3u, 4u, 8u}) {
+    parallel::AnalysisRunResult Run =
+        parallel::analyzeModuleParallel(*M, Source, {}, Workers);
+    EXPECT_EQ(Run.WorkersUsed, std::min<unsigned>(Workers, 5u));
+    EXPECT_EQ(renderJson(Run.Analysis.Diags).dump(1), Golden)
+        << "workers=" << Workers;
+  }
+}
+
+TEST(DeterminismTest, RepeatedRunsAreStable) {
+  std::string Source = workload::makeUserProgram();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  parallel::AnalysisRunResult First =
+      parallel::analyzeModuleParallel(*M, Source, {}, 4);
+  for (int I = 0; I != 3; ++I) {
+    parallel::AnalysisRunResult Again =
+        parallel::analyzeModuleParallel(*M, Source, {}, 4);
+    EXPECT_EQ(renderJson(Again.Analysis.Diags).dump(1),
+              renderJson(First.Analysis.Diags).dump(1));
+  }
+}
+
+TEST(DeterminismTest, TextRenderingMatchesSequentialToo) {
+  std::string Source = defectiveModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Seq = analyzeModule(*M, Source, {});
+  parallel::AnalysisRunResult Par =
+      parallel::analyzeModuleParallel(*M, Source, {}, 3);
+  EXPECT_EQ(renderText(Par.Analysis.Diags), renderText(Seq.Diags));
+  EXPECT_EQ(Par.Analysis.FunctionsAnalyzed, 5u);
+}
+
+TEST(DeterminismTest, RunRecordsAnalyzeSpansAndMetrics) {
+  std::string Source = defectiveModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+
+  obs::TraceRecorder Rec(obs::ClockDomain::Steady);
+  obs::MetricsRegistry Metrics;
+  parallel::AnalysisRunResult Run =
+      parallel::analyzeModuleParallel(*M, Source, {}, 2, &Rec, &Metrics);
+  ASSERT_EQ(Run.Analysis.FunctionsAnalyzed, 5u);
+
+  obs::TraceSession Session = Rec.finish();
+  unsigned AnalyzeSpans = 0;
+  for (const obs::SpanEvent &E : Session.Events) {
+    if (E.Kind == obs::EventKind::SpanAnalyze) {
+      ++AnalyzeSpans;
+      EXPECT_TRUE(E.isSpan());
+      EXPECT_EQ(E.Ph, obs::Phase::Analyze);
+      EXPECT_GE(E.Function, 0);
+    }
+  }
+  EXPECT_EQ(AnalyzeSpans, 5u); // one per function
+
+  EXPECT_EQ(Metrics.counter("analysis.functions"), 5.0);
+  EXPECT_EQ(Metrics.counter("analysis.diags.errors") +
+                Metrics.counter("analysis.diags.warnings"),
+            static_cast<double>(Run.Analysis.Diags.size()));
+  EXPECT_EQ(Metrics.histogram("analysis.function_sec").Count, 5u);
+}
+
+TEST(DeterminismTest, SpanAnalyzeSerializesWithStableName) {
+  EXPECT_STREQ(obs::kindName(obs::EventKind::SpanAnalyze), "span_analyze");
+  obs::EventKind K;
+  ASSERT_TRUE(obs::kindFromName("span_analyze", K));
+  EXPECT_EQ(K, obs::EventKind::SpanAnalyze);
+  EXPECT_TRUE(obs::isSpanKind(obs::EventKind::SpanAnalyze));
+  EXPECT_STREQ(obs::phaseName(obs::Phase::Analyze), "analyze");
+  obs::Phase P;
+  ASSERT_TRUE(obs::phaseFromName("analyze", P));
+  EXPECT_EQ(P, obs::Phase::Analyze);
+}

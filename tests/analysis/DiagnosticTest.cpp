@@ -1,0 +1,145 @@
+//===- DiagnosticTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostic.h"
+
+#include "analysis/Checks.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::analysis;
+
+namespace {
+
+Diag makeDiag(uint32_t Ordinal, uint32_t Line, uint32_t Col,
+              const char *Check, const char *Msg,
+              Severity Sev = Severity::Warning) {
+  Diag D;
+  D.CheckId = Check;
+  D.Sev = Sev;
+  D.Section = "s";
+  D.Function = "f";
+  D.FunctionOrdinal = Ordinal;
+  D.Loc = SourceLoc(Line, Col);
+  D.Message = Msg;
+  return D;
+}
+
+} // namespace
+
+TEST(DiagnosticTest, OrderingIsTotalAndDeterministic) {
+  std::vector<Diag> Diags = {
+      makeDiag(1, 5, 1, "dead-store", "b"),
+      makeDiag(0, 9, 1, "dead-store", "a"),
+      makeDiag(0, 2, 7, "use-before-init", "c"),
+      makeDiag(0, 2, 7, "array-bounds", "d"),
+      makeDiag(0, 2, 3, "dead-store", "e"),
+  };
+  sortDiags(Diags);
+  EXPECT_EQ(Diags[0].Message, "e"); // earliest column on line 2
+  EXPECT_EQ(Diags[1].Message, "d"); // check id breaks the (2,7) tie
+  EXPECT_EQ(Diags[2].Message, "c");
+  EXPECT_EQ(Diags[3].Message, "a"); // still ordinal 0
+  EXPECT_EQ(Diags[4].Message, "b"); // ordinal outranks location
+}
+
+TEST(DiagnosticTest, TextRendering) {
+  Diag D = makeDiag(0, 12, 5, "dead-store", "value assigned to 'x' is "
+                                            "never used");
+  D.Notes.push_back({SourceLoc(3, 3), "'x' declared here"});
+  std::string Text = renderText({D});
+  EXPECT_NE(Text.find("12:5: warning: value assigned to 'x' is never used "
+                      "(in 'f') [dead-store]"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("  3:3: note: 'x' declared here"), std::string::npos);
+  EXPECT_NE(Text.find("0 error(s), 1 warning(s)"), std::string::npos);
+}
+
+TEST(DiagnosticTest, FixItRendering) {
+  Diag D = makeDiag(0, 4, 1, "dead-store", "m");
+  D.FixIts.push_back({{SourceLoc(4, 1), SourceLoc(5, 1)}, ""});
+  std::string Text = renderText({D}, /*Summary=*/false);
+  EXPECT_NE(Text.find("fix-it: remove 4:1..5:1"), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("error(s)"), std::string::npos);
+}
+
+TEST(DiagnosticTest, JsonRendering) {
+  Diag D = makeDiag(2, 7, 9, "array-bounds", "oob", Severity::Error);
+  json::Value Root = renderJson({D});
+  std::string Dump = Root.dump(1);
+  EXPECT_NE(Dump.find("\"version\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"array-bounds\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"error\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"line\": 7"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("\"errors\": 1"), std::string::npos) << Dump;
+}
+
+TEST(DiagnosticTest, PromoteWarnings) {
+  std::vector<Diag> Diags = {makeDiag(0, 1, 1, "dead-store", "m")};
+  promoteWarnings(Diags);
+  EXPECT_EQ(Diags[0].Sev, Severity::Error);
+  DiagCounts Counts = countDiags(Diags);
+  EXPECT_EQ(Counts.Errors, 1u);
+  EXPECT_EQ(Counts.Warnings, 0u);
+}
+
+TEST(DiagnosticTest, SuppressionOnSameLine) {
+  std::string Source = "line one\n"
+                       "x = 1; // lint: allow(dead-store)\n"
+                       "y = 2;\n";
+  std::vector<Diag> Diags = {makeDiag(0, 2, 1, "dead-store", "a"),
+                             makeDiag(0, 3, 1, "dead-store", "b")};
+  std::vector<Diag> Kept = applySuppressions(std::move(Diags), Source);
+  ASSERT_EQ(Kept.size(), 1u);
+  EXPECT_EQ(Kept[0].Message, "b");
+}
+
+TEST(DiagnosticTest, SuppressionCommentAloneTargetsNextLine) {
+  std::string Source = "  -- lint: allow(use-before-init, dead-store)\n"
+                       "x = y;\n"
+                       "z = w;\n";
+  std::vector<Diag> Diags = {makeDiag(0, 2, 1, "use-before-init", "a"),
+                             makeDiag(0, 2, 5, "dead-store", "b"),
+                             makeDiag(0, 3, 1, "use-before-init", "c")};
+  std::vector<Diag> Kept = applySuppressions(std::move(Diags), Source);
+  ASSERT_EQ(Kept.size(), 1u);
+  EXPECT_EQ(Kept[0].Message, "c");
+}
+
+TEST(DiagnosticTest, SuppressionAllowAll) {
+  std::string Source = "x = 1; // lint: allow(all)\n";
+  std::vector<Diag> Diags = {makeDiag(0, 1, 1, "array-bounds", "a"),
+                             makeDiag(0, 1, 2, "channel-mismatch", "b")};
+  EXPECT_TRUE(applySuppressions(std::move(Diags), Source).empty());
+}
+
+TEST(DiagnosticTest, UnrelatedCheckIdIsNotSuppressed) {
+  std::string Source = "x = 1; // lint: allow(dead-store)\n";
+  std::vector<Diag> Diags = {makeDiag(0, 1, 1, "array-bounds", "a")};
+  EXPECT_EQ(applySuppressions(std::move(Diags), Source).size(), 1u);
+}
+
+TEST(DiagnosticTest, CheckRegistryIsConsistent) {
+  EXPECT_GE(allChecks().size(), 6u);
+  for (const CheckInfo &C : allChecks()) {
+    const CheckInfo *Found = findCheck(C.Id);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_STREQ(Found->Id, C.Id);
+  }
+  EXPECT_EQ(findCheck("no-such-check"), nullptr);
+  EXPECT_EQ(findCheck(check::UseBeforeInit)->DefaultSev, Severity::Error);
+  EXPECT_EQ(findCheck(check::DeadStore)->DefaultSev, Severity::Warning);
+}
+
+TEST(DiagnosticTest, OptionsDisableChecks) {
+  AnalysisOptions Opts;
+  EXPECT_TRUE(Opts.enabled(check::DeadStore));
+  Opts.Disabled.insert(check::DeadStore);
+  EXPECT_FALSE(Opts.enabled(check::DeadStore));
+  EXPECT_TRUE(Opts.enabled(check::ArrayBounds));
+}

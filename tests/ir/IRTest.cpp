@@ -133,6 +133,105 @@ TEST(IRTest, VerifyRejectsMidBlockTerminator) {
   EXPECT_NE(verifyFunction(*F), "");
 }
 
+TEST(IRTest, VerifierCollectsEveryIssue) {
+  IRFunction F("f", w2::Type::voidTy());
+  BasicBlock *B = F.createBlock();
+  Instr C;
+  C.Op = Opcode::ConstInt;
+  C.Dst = F.newReg();
+  B->Instrs.push_back(C); // no terminator -> issue 1
+  F.createBlock();        // empty block -> issue 2
+  std::vector<VerifierIssue> Issues = verifyFunctionIssues(F);
+  EXPECT_GE(Issues.size(), 2u);
+  // The compatibility wrapper reports the first issue as text.
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(IRTest, VerifierIssueRendersItsAnchor) {
+  IRFunction F("f", w2::Type::voidTy());
+  F.createBlock();
+  std::vector<VerifierIssue> Issues = verifyFunctionIssues(F);
+  ASSERT_EQ(Issues.size(), 1u);
+  std::string Text = Issues[0].str(F);
+  EXPECT_NE(Text.find("function 'f'"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("bb0"), std::string::npos) << Text;
+}
+
+TEST(IRTest, VerifierRejectsWrongArity) {
+  auto F = makeTwoBlockFunction();
+  // Add takes exactly two operands; give it one.
+  Instr Bad;
+  Bad.Op = Opcode::Add;
+  Bad.Dst = F->newReg();
+  Bad.Operands = {0};
+  F->block(0)->Instrs.insert(F->block(0)->Instrs.begin(), Bad);
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
+TEST(IRTest, VerifierRejectsMissingResultRegister) {
+  auto F = makeTwoBlockFunction();
+  Instr Bad;
+  Bad.Op = Opcode::ConstInt; // must define a result
+  Bad.Dst = InvalidReg;
+  F->block(0)->Instrs.insert(F->block(0)->Instrs.begin(), Bad);
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
+TEST(IRTest, VerifierCatchesUseWithoutAnyDef) {
+  // The overzealous-DCE scenario: an operand register that was allocated
+  // but whose defining instruction has been deleted.
+  auto F = makeTwoBlockFunction();
+  Reg Orphan = F->newReg(); // allocated, never defined
+  Instr Use;
+  Use.Op = Opcode::Neg;
+  Use.Dst = F->newReg();
+  Use.Operands = {Orphan};
+  F->block(0)->Instrs.insert(F->block(0)->Instrs.begin() + 1, Use);
+  std::string Verdict = verifyFunction(*F);
+  EXPECT_NE(Verdict.find("no instruction defines"), std::string::npos)
+      << Verdict;
+}
+
+TEST(IRTest, VerifierChecksVariableClass) {
+  IRFunction F("f", w2::Type::voidTy());
+  VarId Arr = F.addVariable(Variable{
+      "buf", w2::Type::arrayTy(w2::ScalarKind::Float, 8), false});
+  BasicBlock *B = F.createBlock();
+  Instr Load;
+  Load.Op = Opcode::LoadVar; // scalar access to an array variable
+  Load.Ty = ValueType::Float;
+  Load.Dst = F.newReg();
+  Load.Var = Arr;
+  B->Instrs.push_back(Load);
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  B->Instrs.push_back(Ret);
+  std::string Verdict = verifyFunction(F);
+  EXPECT_NE(Verdict.find("as a scalar"), std::string::npos) << Verdict;
+}
+
+TEST(IRTest, CountChannelOps) {
+  IRFunction F("f", w2::Type::voidTy());
+  VarId V = F.addVariable(Variable{"v", w2::Type::floatTy(), false});
+  (void)V;
+  BasicBlock *B = F.createBlock();
+  Instr R1;
+  R1.Op = Opcode::Recv;
+  R1.Ty = ValueType::Float;
+  R1.Dst = F.newReg();
+  B->Instrs.push_back(R1);
+  Instr S1;
+  S1.Op = Opcode::Send;
+  S1.Ty = ValueType::Float;
+  S1.Operands = {R1.Dst};
+  B->Instrs.push_back(S1);
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  B->Instrs.push_back(Ret);
+  EXPECT_EQ(countChannelOps(F), 2u);
+  EXPECT_EQ(verifyFunction(F), "");
+}
+
 TEST(IRTest, PrintContainsStructure) {
   auto F = makeTwoBlockFunction();
   std::string Text = printFunction(*F);

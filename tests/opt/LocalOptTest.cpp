@@ -210,6 +210,33 @@ function f() {
   EXPECT_EQ(countOps(*F, Opcode::Send), 1u);
 }
 
+TEST(LocalOptTest, ChannelOpCountInvariantUnderFullPipeline) {
+  // Channel traffic is an observable effect of a cell program: however
+  // dead the surrounding computation, every Send/Recv must survive the
+  // whole optimization pipeline (the debug build asserts this after
+  // every pass; this test pins it in all builds).
+  auto F = lowerFirstFunction(wrapFunction(R"(
+function f(gain: float): float {
+  var v: float = 0.0;
+  var waste: float = 0.0;
+  var acc: float = 0.0;
+  for i = 0 to 7 {
+    receive(X, v);
+    waste = v * 2.0 + 3.0 * 4.0;
+    send(Y, v * gain);
+  }
+  send(X, acc);
+  return acc;
+}
+)"));
+  ASSERT_TRUE(F);
+  uint64_t Before = countChannelOps(*F);
+  EXPECT_EQ(Before, 3u); // recv + send in the loop, send after
+  opt::runLocalOpt(*F);
+  EXPECT_EQ(countChannelOps(*F), Before);
+  EXPECT_TRUE(verifyFunctionIssues(*F).empty());
+}
+
 TEST(LocalOptTest, UnreachableCodeNeutralized) {
   auto F = lowerFirstFunction(wrapFunction(R"(
 function f(): int {

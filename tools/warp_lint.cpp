@@ -1,0 +1,206 @@
+//===- warp_lint.cpp - Standalone W2 static-analysis driver ---------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Runs the analysis checks without compiling:
+//
+//   warp-lint [options] module.w2
+//   warp-lint --demo fig1 --format json
+//
+// Options:
+//   --format <text|json>  output format (default text)
+//   --disable <ids>       comma-separated check ids to skip (repeatable)
+//   --werror              treat warnings as errors
+//   --no-suppressions     ignore "lint: allow(...)" comments
+//   --jobs <N>            analyze N functions concurrently (default 1)
+//   --list-checks         print the check catalog and exit
+//   --demo <which>        lint a built-in workload instead of a file
+//
+// Exit status: 0 clean (or warnings only), 1 any error-severity
+// diagnostic or a front-end failure, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/Checks.h"
+#include "analysis/Diagnostic.h"
+#include "driver/Compiler.h"
+#include "parallel/AnalysisRunner.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace warpc;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string Demo;
+  analysis::AnalysisOptions Analysis;
+  unsigned Jobs = 1;
+  bool Json = false;
+  bool ListChecks = false;
+};
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [options] <module.w2>\n"
+               "  --format <f>      text (default) or json\n"
+               "  --disable <ids>   comma-separated check ids to skip\n"
+               "  --werror          treat warnings as errors\n"
+               "  --no-suppressions ignore 'lint: allow(...)' comments\n"
+               "  --jobs <N>        analyze N functions concurrently\n"
+               "  --list-checks     print the check catalog and exit\n"
+               "  --demo <w>        tiny|small|medium|large|huge|user|fig1\n",
+               Prog);
+}
+
+bool addDisabled(const std::string &List, Options &Opts) {
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Id = List.substr(Pos, Comma - Pos);
+    if (!Id.empty()) {
+      if (!analysis::findCheck(Id)) {
+        std::fprintf(stderr, "error: unknown check '%s'\n", Id.c_str());
+        return false;
+      }
+      Opts.Analysis.Disabled.insert(Id);
+    }
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--format") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::string(V) == "json")
+        Opts.Json = true;
+      else if (std::string(V) == "text")
+        Opts.Json = false;
+      else {
+        std::fprintf(stderr, "error: unknown format '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--disable") {
+      const char *V = Next();
+      if (!V || !addDisabled(V, Opts))
+        return false;
+    } else if (Arg == "--werror") {
+      Opts.Analysis.WarningsAsErrors = true;
+    } else if (Arg == "--no-suppressions") {
+      Opts.Analysis.HonorSuppressions = false;
+    } else if (Arg == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Jobs == 0)
+        Opts.Jobs = 1;
+    } else if (Arg == "--list-checks") {
+      Opts.ListChecks = true;
+    } else if (Arg == "--demo") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Demo = V;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.InputFile = Arg;
+    }
+  }
+  return Opts.ListChecks || !Opts.InputFile.empty() || !Opts.Demo.empty();
+}
+
+bool loadSource(const Options &Opts, std::string &Source) {
+  if (!Opts.Demo.empty()) {
+    if (Opts.Demo == "user") {
+      Source = workload::makeUserProgram();
+      return true;
+    }
+    if (Opts.Demo == "fig1") {
+      Source = workload::makeFigure1Program();
+      return true;
+    }
+    for (auto Size : workload::AllSizes) {
+      if (Opts.Demo == std::string(workload::sizeName(Size)).substr(2)) {
+        Source = workload::makeTestModule(Size, 4);
+        return true;
+      }
+    }
+    std::fprintf(stderr, "error: unknown demo '%s'\n", Opts.Demo.c_str());
+    return false;
+  }
+  std::ifstream In(Opts.InputFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Opts.InputFile.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Source = Buffer.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+  if (Opts.ListChecks) {
+    for (const analysis::CheckInfo &C : analysis::allChecks())
+      std::printf("%-18s %-7s %s\n", C.Id,
+                  analysis::severityName(C.DefaultSev), C.Summary);
+    return 0;
+  }
+
+  std::string Source;
+  if (!loadSource(Opts, Source))
+    return 1;
+
+  // Phase 1 exactly as the compiler runs it: analysis needs a checked AST,
+  // and front-end errors outrank anything the checks could say.
+  driver::ParseResult Parsed = driver::parseAndCheck(Source);
+  if (!Parsed.succeeded()) {
+    std::fprintf(stderr, "%s", Parsed.Diags.str().c_str());
+    return 1;
+  }
+
+  parallel::AnalysisRunResult Run = parallel::analyzeModuleParallel(
+      *Parsed.Module, Source, Opts.Analysis, Opts.Jobs);
+  const std::vector<analysis::Diag> &Diags = Run.Analysis.Diags;
+
+  if (Opts.Json) {
+    std::printf("%s\n", analysis::renderJson(Diags).dump(1).c_str());
+  } else {
+    std::string Text = analysis::renderText(Diags);
+    std::fputs(Text.c_str(), stdout);
+  }
+  return analysis::countDiags(Diags).Errors ? 1 : 0;
+}

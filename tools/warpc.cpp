@@ -28,8 +28,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
+#include "analysis/Checks.h"
+#include "analysis/Diagnostic.h"
 #include "cluster/FaultPlan.h"
 #include "driver/Compiler.h"
+#include "parallel/AnalysisRunner.h"
 #include "driver/FaultPolicy.h"
 #include "obs/ChromeTrace.h"
 #include "obs/MetricsRegistry.h"
@@ -67,6 +71,8 @@ struct Options {
   std::string FaultPlanSpec;
   std::string TraceJsonFile;
   std::string StatsJsonFile;
+  std::string AnalyzeJsonFile;
+  analysis::AnalysisOptions Analysis;
   unsigned Workers = 1;
   unsigned SimProcessors = 14;
   double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
@@ -74,6 +80,7 @@ struct Options {
   bool Inline = false;
   bool Simulate = false;
   bool Verbose = false;
+  bool Analyze = false;
 };
 
 void usage(const char *Prog) {
@@ -95,6 +102,12 @@ void usage(const char *Prog) {
                "  --trace-json <f> write a Perfetto-loadable trace of the\n"
                "                   simulated (--simulate) or threaded run\n"
                "  --stats-json <f> write run statistics + metrics as JSON\n"
+               "  --analyze        run the static-analysis checks first;\n"
+               "                   error findings abort the compilation\n"
+               "  --analyze-json <f>  write the findings as JSON (implies\n"
+               "                   --analyze)\n"
+               "  --werror         treat analysis warnings as errors\n"
+               "  --disable-checks <ids>  comma-separated check ids to skip\n"
                "  --verbose        per-function statistics\n",
                Prog);
 }
@@ -155,6 +168,36 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.StatsJsonFile = V;
+    } else if (Arg == "--analyze") {
+      Opts.Analyze = true;
+    } else if (Arg == "--analyze-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.AnalyzeJsonFile = V;
+      Opts.Analyze = true;
+    } else if (Arg == "--werror") {
+      Opts.Analysis.WarningsAsErrors = true;
+    } else if (Arg == "--disable-checks") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string List = V;
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Id = List.substr(Pos, Comma - Pos);
+        if (!Id.empty()) {
+          if (!analysis::findCheck(Id)) {
+            std::fprintf(stderr, "error: unknown check '%s'\n", Id.c_str());
+            return false;
+          }
+          Opts.Analysis.Disabled.insert(Id);
+        }
+        Pos = Comma + 1;
+      }
     } else if (Arg == "--inline") {
       Opts.Inline = true;
     } else if (Arg == "--simulate") {
@@ -309,6 +352,31 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
   if (!Sema.checkModule(*Module)) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
+  }
+
+  // Static analysis as its own parallel phase: the checks fan out per
+  // function like compilation phases 2+3, and error findings abort
+  // before any code is generated.
+  if (Opts.Analyze) {
+    parallel::AnalysisRunResult Run = parallel::analyzeModuleParallel(
+        *Module, Source, Opts.Analysis, Opts.Workers);
+    if (!Run.Analysis.Diags.empty())
+      std::fputs(analysis::renderText(Run.Analysis.Diags).c_str(), stderr);
+    else
+      std::printf("analysis: %u function(s) clean\n",
+                  Run.Analysis.FunctionsAnalyzed);
+    if (!Opts.AnalyzeJsonFile.empty()) {
+      std::ofstream Out(Opts.AnalyzeJsonFile);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Opts.AnalyzeJsonFile.c_str());
+        return 1;
+      }
+      Out << analysis::renderJson(Run.Analysis.Diags).dump(1) << "\n";
+      std::printf("wrote analysis %s\n", Opts.AnalyzeJsonFile.c_str());
+    }
+    if (analysis::countDiags(Run.Analysis.Diags).Errors)
+      return 1;
   }
 
   // Observability: every driver phase reports into one registry, and
