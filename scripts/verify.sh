@@ -46,12 +46,30 @@ done
     > "$TMP_DIR/lint.j8.json"
 cmp "$TMP_DIR/lint.j1.json" "$TMP_DIR/lint.j8.json"
 
+echo "== cache smoke test =="
+# A cold disk-cache build followed by a warm rebuild: the images must be
+# byte-identical and the warm run must report a nonzero hit count.
+"$BUILD_DIR/tools/warpc" --demo small --cache disk \
+    --cache-dir "$TMP_DIR/cache" -o "$TMP_DIR/cold.img" \
+    --stats-json "$TMP_DIR/cold.stats.json"
+"$BUILD_DIR/tools/warpc" --demo small --cache disk \
+    --cache-dir "$TMP_DIR/cache" -o "$TMP_DIR/warm.img" \
+    --stats-json "$TMP_DIR/warm.stats.json"
+cmp "$TMP_DIR/cold.img" "$TMP_DIR/warm.img"
+HITS="$(sed -n 's/.*"cache.hits": \([0-9.]*\).*/\1/p' \
+    "$TMP_DIR/warm.stats.json" | head -1)"
+test -n "$HITS"
+test "${HITS%.*}" -gt 0
+
 if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
   echo "== asan+ubsan =="
   SAN_DIR="${SAN_BUILD_DIR:-$REPO_DIR/build-asan}"
   cmake -B "$SAN_DIR" -S "$REPO_DIR" -DWARPC_SANITIZE="address;undefined"
   cmake --build "$SAN_DIR" -j "$JOBS"
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+  # The cache suite exercises concurrent lookup/store from worker
+  # threads; run it explicitly under the sanitizers.
+  ctest --test-dir "$SAN_DIR" -L cache --output-on-failure -j "$JOBS"
   "$SAN_DIR/tools/warp-lint" --demo user --jobs 4 > /dev/null
 fi
 

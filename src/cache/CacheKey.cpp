@@ -1,0 +1,434 @@
+//===- CacheKey.cpp - Content-addressed function cache keys -------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheKey.h"
+
+#include "w2/Inliner.h"
+
+#include <cassert>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::cache;
+using namespace warpc::w2;
+
+namespace {
+
+/// Streaming structural hasher: two splitmix64-style accumulators with
+/// different seeds fed the same word stream. The mixing is order
+/// sensitive, so "a+(b*c)" and "(a+b)*c" hash apart even though they
+/// feed the same multiset of tags.
+class StructHasher {
+public:
+  StructHasher() : A(0x243F6A8885A308D3ULL), B(0x13198A2E03707344ULL) {}
+
+  void word(uint64_t W) {
+    A = mix(A ^ (W + 0x9E3779B97F4A7C15ULL));
+    B = mix(B + (W ^ 0xBF58476D1CE4E5B9ULL));
+  }
+  void tag(uint32_t T) { word(0xA000000000000000ULL | T); }
+  void str(const std::string &S) {
+    word(S.size());
+    uint64_t Acc = 0;
+    unsigned N = 0;
+    for (unsigned char C : S) {
+      Acc = (Acc << 8) | C;
+      if (++N == 8) {
+        word(Acc);
+        Acc = 0;
+        N = 0;
+      }
+    }
+    if (N)
+      word(Acc | (static_cast<uint64_t>(N) << 56));
+  }
+
+  uint64_t lo() const { return mix(A); }
+  uint64_t hi() const { return mix(B); }
+  /// A single 64-bit digest (for component hashes like BodyHash).
+  uint64_t digest() const { return mix(A * 0x2545F4914F6CDD1DULL + B); }
+
+private:
+  static uint64_t mix(uint64_t X) {
+    X ^= X >> 30;
+    X *= 0xBF58476D1CE4E5B9ULL;
+    X ^= X >> 27;
+    X *= 0x94D049BB133111EBULL;
+    X ^= X >> 31;
+    return X;
+  }
+  uint64_t A, B;
+};
+
+// Tag spaces keep node kinds, operators and field markers from aliasing.
+enum : uint32_t {
+  TagType = 0x100,
+  TagExpr = 0x200,
+  TagStmt = 0x300,
+  TagField = 0x400,
+  TagDecl = 0x500,
+};
+
+void hashType(StructHasher &H, const Type &T) {
+  H.tag(TagType + static_cast<uint32_t>(T.scalar()));
+  H.word(T.arraySize());
+}
+
+void hashExpr(StructHasher &H, const Expr *E) {
+  if (!E) {
+    H.tag(TagExpr + 0xFF); // explicit null marker: absence is structure too
+    return;
+  }
+  H.tag(TagExpr + static_cast<uint32_t>(E->getKind()));
+  hashType(H, E->getType()); // Sema's verdict is part of the content
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    H.word(static_cast<uint64_t>(cast<IntLitExpr>(E)->getValue()));
+    break;
+  case Expr::Kind::FloatLit: {
+    // Hash the bit pattern: -0.0 and 0.0 generate different constants.
+    double V = cast<FloatLitExpr>(E)->getValue();
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    H.word(Bits);
+    break;
+  }
+  case Expr::Kind::VarRef:
+    H.str(cast<VarRefExpr>(E)->getName());
+    break;
+  case Expr::Kind::Index: {
+    const auto *IE = cast<IndexExpr>(E);
+    H.str(IE->getBaseName());
+    hashExpr(H, IE->getIndex());
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    H.tag(TagField + static_cast<uint32_t>(UE->getOp()));
+    hashExpr(H, UE->getOperand());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    H.tag(TagField + 0x10 + static_cast<uint32_t>(BE->getOp()));
+    hashExpr(H, BE->getLHS());
+    hashExpr(H, BE->getRHS());
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    H.str(CE->getCallee());
+    H.word(CE->getNumArgs());
+    for (size_t I = 0; I != CE->getNumArgs(); ++I)
+      hashExpr(H, CE->getArg(I));
+    break;
+  }
+  case Expr::Kind::Cast:
+    hashExpr(H, cast<CastExpr>(E)->getOperand());
+    break;
+  }
+}
+
+void hashStmt(StructHasher &H, const Stmt *S) {
+  if (!S) {
+    H.tag(TagStmt + 0xFF);
+    return;
+  }
+  H.tag(TagStmt + static_cast<uint32_t>(S->getKind()));
+  switch (S->getKind()) {
+  case Stmt::Kind::Block: {
+    const auto *BS = cast<BlockStmt>(S);
+    H.word(BS->size());
+    for (const StmtPtr &Child : BS->stmts())
+      hashStmt(H, Child.get());
+    break;
+  }
+  case Stmt::Kind::Decl: {
+    const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    H.str(D->getName());
+    hashType(H, D->getType());
+    hashExpr(H, D->getInit());
+    break;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *AS = cast<AssignStmt>(S);
+    hashExpr(H, AS->getTarget());
+    hashExpr(H, AS->getValue());
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    hashExpr(H, IS->getCond());
+    hashStmt(H, IS->getThen());
+    hashStmt(H, IS->getElse());
+    break;
+  }
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    H.str(FS->getIndVar());
+    hashExpr(H, FS->getLo());
+    hashExpr(H, FS->getHi());
+    H.word(static_cast<uint64_t>(FS->getStep()));
+    hashStmt(H, FS->getBody());
+    break;
+  }
+  case Stmt::Kind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    hashExpr(H, WS->getCond());
+    hashStmt(H, WS->getBody());
+    break;
+  }
+  case Stmt::Kind::Return:
+    hashExpr(H, cast<ReturnStmt>(S)->getValue());
+    break;
+  case Stmt::Kind::Send: {
+    const auto *SS = cast<SendStmt>(S);
+    H.tag(TagField + 0x40 + static_cast<uint32_t>(SS->getChannel()));
+    hashExpr(H, SS->getValue());
+    break;
+  }
+  case Stmt::Kind::Receive: {
+    const auto *RS = cast<ReceiveStmt>(S);
+    H.tag(TagField + 0x40 + static_cast<uint32_t>(RS->getChannel()));
+    hashExpr(H, RS->getTarget());
+    break;
+  }
+  case Stmt::Kind::ExprStmt:
+    hashExpr(H, cast<ExprStmt>(S)->getExpr());
+    break;
+  }
+}
+
+/// Signature + body of one function. The declaration's line numbers are
+/// hashed deliberately: phase-2/3 diagnostics carry F.getLoc(), so a
+/// function that moved in the file must miss rather than replay stale
+/// locations.
+void hashFunction(StructHasher &H, const FunctionDecl &F) {
+  H.tag(TagDecl);
+  H.str(F.getName());
+  H.word(F.getLoc().Line);
+  H.word(F.getEndLoc().Line);
+  hashType(H, F.getReturnType());
+  H.word(F.params().size());
+  for (const ParamDecl &P : F.params()) {
+    H.str(P.Name);
+    hashType(H, P.Ty);
+  }
+  hashStmt(H, F.getBody());
+}
+
+void hashSignature(StructHasher &H, const FunctionDecl &F) {
+  H.str(F.getName());
+  hashType(H, F.getReturnType());
+  H.word(F.params().size());
+  for (const ParamDecl &P : F.params())
+    hashType(H, P.Ty);
+}
+
+/// Collects the distinct callee names of \p F's body (section-local calls
+/// and intrinsics alike; intrinsics simply never resolve in the section).
+void collectCallees(const Expr *E, std::set<std::string> &Out);
+
+void collectCallees(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      collectCallees(Child.get(), Out);
+    break;
+  case Stmt::Kind::Decl:
+    collectCallees(cast<DeclStmt>(S)->getDecl()->getInit(), Out);
+    break;
+  case Stmt::Kind::Assign:
+    collectCallees(cast<AssignStmt>(S)->getTarget(), Out);
+    collectCallees(cast<AssignStmt>(S)->getValue(), Out);
+    break;
+  case Stmt::Kind::If:
+    collectCallees(cast<IfStmt>(S)->getCond(), Out);
+    collectCallees(cast<IfStmt>(S)->getThen(), Out);
+    collectCallees(cast<IfStmt>(S)->getElse(), Out);
+    break;
+  case Stmt::Kind::For:
+    collectCallees(cast<ForStmt>(S)->getLo(), Out);
+    collectCallees(cast<ForStmt>(S)->getHi(), Out);
+    collectCallees(cast<ForStmt>(S)->getBody(), Out);
+    break;
+  case Stmt::Kind::While:
+    collectCallees(cast<WhileStmt>(S)->getCond(), Out);
+    collectCallees(cast<WhileStmt>(S)->getBody(), Out);
+    break;
+  case Stmt::Kind::Return:
+    collectCallees(cast<ReturnStmt>(S)->getValue(), Out);
+    break;
+  case Stmt::Kind::Send:
+    collectCallees(cast<SendStmt>(S)->getValue(), Out);
+    break;
+  case Stmt::Kind::Receive:
+    collectCallees(cast<ReceiveStmt>(S)->getTarget(), Out);
+    break;
+  case Stmt::Kind::ExprStmt:
+    collectCallees(cast<ExprStmt>(S)->getExpr(), Out);
+    break;
+  }
+}
+
+void collectCallees(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    Out.insert(CE->getCallee());
+    for (size_t I = 0; I != CE->getNumArgs(); ++I)
+      collectCallees(CE->getArg(I), Out);
+    break;
+  }
+  case Expr::Kind::Index:
+    collectCallees(cast<IndexExpr>(E)->getIndex(), Out);
+    break;
+  case Expr::Kind::Unary:
+    collectCallees(cast<UnaryExpr>(E)->getOperand(), Out);
+    break;
+  case Expr::Kind::Binary:
+    collectCallees(cast<BinaryExpr>(E)->getLHS(), Out);
+    collectCallees(cast<BinaryExpr>(E)->getRHS(), Out);
+    break;
+  case Expr::Kind::Cast:
+    collectCallees(cast<CastExpr>(E)->getOperand(), Out);
+    break;
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::VarRef:
+    break;
+  }
+}
+
+} // namespace
+
+std::string CacheKey::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xF];
+  for (unsigned I = 0; I != 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xF];
+  return Out;
+}
+
+uint64_t cache::compilerBuildId() {
+  // The pipeline's identity. Bump the tag whenever phase 2/3 output can
+  // change for an unchanged input (new passes, scheduler fixes, ...).
+  StructHasher H;
+  H.str("warpc-pipeline-1");
+  return H.digest();
+}
+
+uint64_t cache::hashMachineModel(const codegen::MachineModel &MM) {
+  StructHasher H;
+  for (unsigned K = 0; K != codegen::NumFUKinds; ++K)
+    H.word(MM.slots(static_cast<codegen::FUKind>(K)));
+  H.word(MM.intRegs());
+  H.word(MM.floatRegs());
+  return H.digest();
+}
+
+CacheContext CacheContext::forModel(const codegen::MachineModel &MM) {
+  CacheContext Ctx;
+  Ctx.MachineHash = hashMachineModel(MM);
+  Ctx.BuildId = compilerBuildId();
+  return Ctx;
+}
+
+FunctionFingerprint cache::fingerprintFunction(const SectionDecl &Section,
+                                               const FunctionDecl &F,
+                                               const CacheContext &Ctx) {
+  FunctionFingerprint FP;
+  FP.MachineHash = Ctx.MachineHash;
+  FP.OptLevel = Ctx.OptLevel;
+  FP.BuildId = Ctx.BuildId;
+
+  {
+    StructHasher H;
+    H.str(Section.getName());
+    H.word(Section.getNumCells());
+    hashFunction(H, F);
+    FP.BodyHash = H.digest();
+  }
+
+  // Callee component: signatures of every resolvable callee, plus the
+  // full body of callees the inliner would accept — those bodies can be
+  // spliced into this function, so their edits are this function's edits.
+  std::set<std::string> Callees;
+  collectCallees(F.getBody(), Callees);
+  StructHasher H;
+  H.word(Callees.size());
+  for (const std::string &Name : Callees) {
+    const FunctionDecl *Callee = Section.lookup(Name);
+    if (!Callee) {
+      H.str(Name); // intrinsic or unresolved: name-only
+      continue;
+    }
+    hashSignature(H, *Callee);
+    if (w2::isInlinableCallee(*Callee, w2::InlineOptions()))
+      hashFunction(H, *Callee);
+  }
+  FP.CalleeHash = H.digest();
+  return FP;
+}
+
+CacheKey cache::keyOf(const FunctionFingerprint &FP) {
+  StructHasher H;
+  H.word(FP.BodyHash);
+  H.word(FP.CalleeHash);
+  H.word(FP.MachineHash);
+  H.word(FP.OptLevel);
+  H.word(FP.BuildId);
+  CacheKey K;
+  K.Hi = H.hi();
+  K.Lo = H.lo();
+  // Zero is the "invalid" sentinel; nudge the astronomically unlikely
+  // collision off it.
+  if (!K.valid())
+    K.Lo = 1;
+  return K;
+}
+
+const char *cache::rebuildReasonName(RebuildReason R) {
+  switch (R) {
+  case RebuildReason::Hit:
+    return "hit";
+  case RebuildReason::NewFunction:
+    return "new-function";
+  case RebuildReason::BuildIdChange:
+    return "build-id-change";
+  case RebuildReason::MachineModelChange:
+    return "machine-model-change";
+  case RebuildReason::OptLevelChange:
+    return "opt-level-change";
+  case RebuildReason::BodyEdit:
+    return "body-edit";
+  case RebuildReason::CalleeEdit:
+    return "callee-edit";
+  }
+  return "unknown";
+}
+
+RebuildReason cache::classifyRebuild(const FunctionFingerprint &Old,
+                                     const FunctionFingerprint &New) {
+  if (Old.BuildId != New.BuildId)
+    return RebuildReason::BuildIdChange;
+  if (Old.MachineHash != New.MachineHash)
+    return RebuildReason::MachineModelChange;
+  if (Old.OptLevel != New.OptLevel)
+    return RebuildReason::OptLevelChange;
+  if (Old.BodyHash != New.BodyHash)
+    return RebuildReason::BodyEdit;
+  if (Old.CalleeHash != New.CalleeHash)
+    return RebuildReason::CalleeEdit;
+  return RebuildReason::Hit;
+}

@@ -1,0 +1,136 @@
+//===- CacheKey.h - Content-addressed function cache keys -------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Key derivation for the function-level compilation cache. The unit of
+/// caching is the unit of parallelism: one checked function, compiled
+/// through phases 2+3 by a function master. A function's key is a stable
+/// 128-bit hash over
+///
+///   - its post-semantic AST fingerprint (structure, operators, literal
+///     values, Sema-assigned types, and the declaration's source lines —
+///     the lines matter because cached diagnostics replay the original
+///     locations),
+///   - a callee fingerprint: the signatures of every same-section callee
+///     plus the full body hash of callees simple enough for the inliner
+///     to expand, so editing a small helper invalidates its inliners,
+///   - the compilation context: machine-model parameters, optimization
+///     level, and the compiler's own build id.
+///
+/// Two functions with equal keys produce byte-identical phase-2/3 results;
+/// everything downstream (the runners' dispatch-skipping, the incremental
+/// differential tests) rests on that property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CACHE_CACHEKEY_H
+#define WARPC_CACHE_CACHEKEY_H
+
+#include "codegen/MachineModel.h"
+#include "w2/AST.h"
+
+#include <cstdint>
+#include <string>
+
+namespace warpc {
+namespace cache {
+
+/// A 128-bit content address. Two independently-seeded 64-bit mixers run
+/// over the same byte stream; a collision must defeat both.
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool valid() const { return Hi != 0 || Lo != 0; }
+  /// 32 lowercase hex digits; the on-disk entry file name.
+  std::string hex() const;
+
+  friend bool operator==(const CacheKey &A, const CacheKey &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const CacheKey &A, const CacheKey &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const CacheKey &A, const CacheKey &B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+};
+
+/// The separable components of a function's key. Keeping them apart is
+/// what lets --explain-rebuild name the invalidation reason instead of
+/// just reporting "hash changed".
+struct FunctionFingerprint {
+  uint64_t BodyHash = 0;    ///< Post-sema AST of the function itself.
+  uint64_t CalleeHash = 0;  ///< Same-section callee signatures/bodies.
+  uint64_t MachineHash = 0; ///< Machine-model parameters.
+  uint32_t OptLevel = 0;
+  uint64_t BuildId = 0; ///< Compiler build identity.
+
+  friend bool operator==(const FunctionFingerprint &A,
+                         const FunctionFingerprint &B) {
+    return A.BodyHash == B.BodyHash && A.CalleeHash == B.CalleeHash &&
+           A.MachineHash == B.MachineHash && A.OptLevel == B.OptLevel &&
+           A.BuildId == B.BuildId;
+  }
+  friend bool operator!=(const FunctionFingerprint &A,
+                         const FunctionFingerprint &B) {
+    return !(A == B);
+  }
+};
+
+/// Everything about the compilation environment that flows into keys.
+struct CacheContext {
+  uint64_t MachineHash = 0;
+  /// The pipeline has exactly one optimization level today; the level is
+  /// part of every key so adding -O levels later invalidates correctly.
+  uint32_t OptLevel = 1;
+  uint64_t BuildId = 0;
+
+  static CacheContext forModel(const codegen::MachineModel &MM);
+};
+
+/// Identity of this compiler build. Any change to the pipeline must move
+/// this value, or stale caches would replay old codegen; deriving it from
+/// the version tag keeps that a one-line bump.
+uint64_t compilerBuildId();
+
+/// Hashes the machine-model parameters that influence generated code
+/// (functional-unit slots, register file sizes).
+uint64_t hashMachineModel(const codegen::MachineModel &MM);
+
+/// Fingerprints one checked function of \p Section under \p Ctx. Must run
+/// after Sema: expression types are part of the hash.
+FunctionFingerprint fingerprintFunction(const w2::SectionDecl &Section,
+                                        const w2::FunctionDecl &F,
+                                        const CacheContext &Ctx);
+
+/// Folds a fingerprint into its content address.
+CacheKey keyOf(const FunctionFingerprint &FP);
+
+/// Why a function does or does not hit the cache, for --explain-rebuild.
+enum class RebuildReason : uint8_t {
+  Hit,                ///< Cached result reused.
+  NewFunction,        ///< Never seen by this cache before.
+  BuildIdChange,      ///< The compiler itself changed.
+  MachineModelChange, ///< Target parameters changed.
+  OptLevelChange,     ///< Optimization level changed.
+  BodyEdit,           ///< The function's own source changed.
+  CalleeEdit,         ///< A callee it could inline changed.
+};
+
+/// Stable lowercase identifier ("hit", "body-edit", ...).
+const char *rebuildReasonName(RebuildReason R);
+
+/// Compares a function's previous fingerprint with its current one and
+/// names the first difference, in blame order: build id, machine model,
+/// opt level, own body, callees. Equal fingerprints are a Hit.
+RebuildReason classifyRebuild(const FunctionFingerprint &Old,
+                              const FunctionFingerprint &New);
+
+} // namespace cache
+} // namespace warpc
+
+#endif // WARPC_CACHE_CACHEKEY_H

@@ -1,0 +1,426 @@
+//===- CompileCache.cpp - Function-level compilation cache ------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+
+#include "support/BinaryStream.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace warpc;
+using namespace warpc::cache;
+
+namespace {
+
+/// On-disk entry header: magic, format version, payload size, payload
+/// checksum. Any mismatch (wrong version, torn write, bit rot) makes the
+/// entry a miss.
+constexpr char EntryMagic[4] = {'W', 'C', 'C', '1'};
+constexpr uint32_t FormatVersion = 1;
+
+std::string hex64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool parseHex64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    V <<= 4;
+    if (C >= '0' && C <= '9')
+      V |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  Out = V;
+  return true;
+}
+
+void encodeMetrics(BinaryWriter &W, const driver::WorkMetrics &M) {
+  W.u64(M.Tokens);
+  W.u64(M.AstNodes);
+  W.u64(M.SemaNodes);
+  W.u64(M.IRInstrs);
+  W.u64(M.OptVisited);
+  W.u64(M.OptTransforms);
+  W.u64(M.DataflowIterations);
+  W.u64(M.DependenceWork);
+  W.u64(M.ListSchedAttempts);
+  W.u64(M.ModuloSchedAttempts);
+  W.u64(M.RecMIIWork);
+  W.u64(M.RegAllocWork);
+  W.u64(M.CodeWords);
+  W.u64(M.ImageBytes);
+  W.u32(M.SourceLines);
+  W.u32(M.LoopDepth);
+  W.u32(M.LoopCount);
+}
+
+void decodeMetrics(BinaryReader &R, driver::WorkMetrics &M) {
+  M.Tokens = R.u64();
+  M.AstNodes = R.u64();
+  M.SemaNodes = R.u64();
+  M.IRInstrs = R.u64();
+  M.OptVisited = R.u64();
+  M.OptTransforms = R.u64();
+  M.DataflowIterations = R.u64();
+  M.DependenceWork = R.u64();
+  M.ListSchedAttempts = R.u64();
+  M.ModuloSchedAttempts = R.u64();
+  M.RecMIIWork = R.u64();
+  M.RegAllocWork = R.u64();
+  M.CodeWords = R.u64();
+  M.ImageBytes = R.u64();
+  M.SourceLines = R.u32();
+  M.LoopDepth = R.u32();
+  M.LoopCount = R.u32();
+}
+
+std::string manifestKey(const std::string &Section, const std::string &Fn) {
+  return Section + "." + Fn;
+}
+
+} // namespace
+
+std::vector<uint8_t> cache::encodeFunctionResult(
+    const driver::FunctionResult &R) {
+  BinaryWriter W;
+  W.str(R.SectionName);
+  W.str(R.FunctionName);
+
+  W.str(R.Program.FunctionName);
+  W.u64(R.Program.CodeWords);
+  W.u32(R.Program.IntRegsUsed);
+  W.u32(R.Program.FloatRegsUsed);
+  W.u32(R.Program.Spills);
+  W.str(R.Program.Listing);
+  W.bytes(R.Program.Image);
+
+  encodeMetrics(W, R.Metrics);
+
+  const std::vector<Diagnostic> &Diags = R.Diags.diagnostics();
+  W.u64(Diags.size());
+  for (const Diagnostic &D : Diags) {
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u32(D.Loc.Line);
+    W.u32(D.Loc.Column);
+    W.str(D.Message);
+  }
+
+  W.u64(R.IRInstrsAfterOpt);
+  W.u32(R.LoopsPipelined);
+  W.u32(R.LoopsConsidered);
+  return W.take();
+}
+
+bool cache::decodeFunctionResult(const std::vector<uint8_t> &Bytes,
+                                 driver::FunctionResult &Out) {
+  BinaryReader R(Bytes);
+  Out = driver::FunctionResult();
+  Out.SectionName = R.str();
+  Out.FunctionName = R.str();
+
+  Out.Program.FunctionName = R.str();
+  Out.Program.CodeWords = R.u64();
+  Out.Program.IntRegsUsed = R.u32();
+  Out.Program.FloatRegsUsed = R.u32();
+  Out.Program.Spills = R.u32();
+  Out.Program.Listing = R.str();
+  Out.Program.Image = R.bytes();
+
+  decodeMetrics(R, Out.Metrics);
+
+  uint64_t NumDiags = R.u64();
+  // A length prefix larger than the stream can hold is corruption; the
+  // reader would also catch it, but failing early avoids a huge loop.
+  if (!R.ok() || NumDiags > Bytes.size())
+    return false;
+  for (uint64_t I = 0; I != NumDiags; ++I) {
+    uint8_t Kind = R.u8();
+    uint32_t Line = R.u32();
+    uint32_t Col = R.u32();
+    std::string Message = R.str();
+    if (!R.ok() || Kind > static_cast<uint8_t>(DiagKind::Error))
+      return false;
+    Out.Diags.report(static_cast<DiagKind>(Kind), SourceLoc(Line, Col),
+                     std::move(Message));
+  }
+
+  Out.IRInstrsAfterOpt = R.u64();
+  Out.LoopsPipelined = R.u32();
+  Out.LoopsConsidered = R.u32();
+  return R.atEnd();
+}
+
+CompileCache::CompileCache(CacheMode Mode, const CacheContext &Ctx,
+                           std::string Dir, obs::MetricsRegistry *Metrics)
+    : Mode(Mode), Ctx(Ctx), Dir(std::move(Dir)), Metrics(Metrics) {
+  if (this->Mode != CacheMode::Disk)
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(this->Dir, EC);
+  loadManifest();
+}
+
+void CompileCache::note(const char *Counter, double Delta) {
+  if (Metrics)
+    Metrics->add(Counter, Delta);
+}
+
+std::string CompileCache::entryPath(const CacheKey &Key) const {
+  if (Mode != CacheMode::Disk)
+    return "";
+  return Dir + "/" + Key.hex() + ".wcf";
+}
+
+std::optional<driver::FunctionResult>
+CompileCache::lookup(const w2::SectionDecl &Section, const w2::FunctionDecl &F) {
+  if (Mode == CacheMode::Off)
+    return std::nullopt;
+  CacheKey Key = keyOf(fingerprintFunction(Section, F, Ctx));
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    driver::FunctionResult R;
+    if (decodeFunctionResult(It->second, R)) {
+      ++Stats.Hits;
+      note("cache.hits");
+      return R;
+    }
+    // An undecodable in-memory entry can only come from a disk load that
+    // slipped past the checksum; drop it and recompile.
+    Entries.erase(It);
+    ++Stats.CorruptEntries;
+    note("cache.corrupt_entries");
+  } else if (Mode == CacheMode::Disk) {
+    std::optional<driver::FunctionResult> R = loadDiskEntry(Key);
+    if (R) {
+      ++Stats.Hits;
+      note("cache.hits");
+      return R;
+    }
+  }
+  ++Stats.Misses;
+  note("cache.misses");
+  return std::nullopt;
+}
+
+std::optional<driver::FunctionResult>
+CompileCache::loadDiskEntry(const CacheKey &Key) {
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In)
+    return std::nullopt; // Clean miss: never stored.
+  std::vector<uint8_t> File((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  In.close();
+
+  BinaryReader R(File);
+  bool MagicOk = true;
+  for (char C : EntryMagic)
+    MagicOk &= R.u8() == static_cast<uint8_t>(C);
+  uint32_t Version = R.u32();
+  uint64_t PayloadSize = R.u64();
+  uint64_t Checksum = R.u64();
+  constexpr size_t HeaderSize = 4 + 4 + 8 + 8;
+  driver::FunctionResult Result;
+  if (!R.ok() || !MagicOk || Version != FormatVersion ||
+      PayloadSize != File.size() - HeaderSize ||
+      Checksum != fnv1a64(File.data() + HeaderSize, File.size() - HeaderSize) ||
+      !decodeFunctionResult(
+          std::vector<uint8_t>(File.begin() + HeaderSize, File.end()),
+          Result)) {
+    ++Stats.CorruptEntries;
+    note("cache.corrupt_entries");
+    return std::nullopt;
+  }
+  Stats.BytesLoaded += File.size();
+  note("cache.bytes_loaded", static_cast<double>(File.size()));
+  Entries.emplace(Key,
+                  std::vector<uint8_t>(File.begin() + HeaderSize, File.end()));
+  return Result;
+}
+
+void CompileCache::store(const w2::SectionDecl &Section,
+                         const w2::FunctionDecl &F,
+                         const driver::FunctionResult &R) {
+  if (Mode == CacheMode::Off)
+    return;
+  CacheKey Key = keyOf(fingerprintFunction(Section, F, Ctx));
+  std::vector<uint8_t> Bytes = encodeFunctionResult(R);
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Stores;
+  Stats.BytesStored += Bytes.size();
+  note("cache.stores");
+  note("cache.bytes_stored", static_cast<double>(Bytes.size()));
+  if (Mode == CacheMode::Disk)
+    storeDiskEntry(Key, Bytes);
+  Entries[Key] = std::move(Bytes);
+}
+
+void CompileCache::storeDiskEntry(const CacheKey &Key,
+                                  const std::vector<uint8_t> &Bytes) {
+  BinaryWriter W;
+  for (char C : EntryMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(FormatVersion);
+  W.u64(Bytes.size());
+  W.u64(fnv1a64(Bytes));
+  std::string Path = entryPath(Key);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return; // A cache that cannot write is slow, not broken.
+    Out.write(reinterpret_cast<const char *>(W.buffer().data()),
+              static_cast<std::streamsize>(W.buffer().size()));
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    if (!Out)
+      return;
+  }
+  // Rename is atomic on POSIX: readers see the old file or the complete
+  // new one, never a torn write.
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}
+
+bool CompileCache::contains(const CacheKey &Key) {
+  if (Mode == CacheMode::Off)
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entries.count(Key))
+    return true;
+  if (Mode != CacheMode::Disk)
+    return false;
+  std::error_code EC;
+  return std::filesystem::exists(entryPath(Key), EC);
+}
+
+CacheStats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+std::vector<ExplainEntry>
+CompileCache::explainModule(const w2::ModuleDecl &Module) {
+  std::vector<ExplainEntry> Out;
+  for (size_t S = 0; S != Module.numSections(); ++S) {
+    const w2::SectionDecl *Section = Module.getSection(S);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      const w2::FunctionDecl *F = Section->getFunction(FI);
+      ExplainEntry E;
+      E.SectionName = Section->getName();
+      E.FunctionName = F->getName();
+      FunctionFingerprint FP = fingerprintFunction(*Section, *F, Ctx);
+      E.Key = keyOf(FP);
+      if (contains(E.Key)) {
+        E.Reason = RebuildReason::Hit;
+      } else {
+        std::lock_guard<std::mutex> Lock(Mu);
+        auto It = Manifest.find(manifestKey(E.SectionName, E.FunctionName));
+        if (It == Manifest.end())
+          E.Reason = RebuildReason::NewFunction;
+        else {
+          E.Reason = classifyRebuild(It->second, FP);
+          // Equal fingerprints without a stored entry means the entry was
+          // evicted or deleted; "hit" would be a lie.
+          if (E.Reason == RebuildReason::Hit)
+            E.Reason = RebuildReason::NewFunction;
+        }
+      }
+      Out.push_back(std::move(E));
+    }
+  }
+  return Out;
+}
+
+void CompileCache::rememberModule(const w2::ModuleDecl &Module) {
+  if (Mode == CacheMode::Off)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t S = 0; S != Module.numSections(); ++S) {
+    const w2::SectionDecl *Section = Module.getSection(S);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      const w2::FunctionDecl *F = Section->getFunction(FI);
+      Manifest[manifestKey(Section->getName(), F->getName())] =
+          fingerprintFunction(*Section, *F, Ctx);
+    }
+  }
+  if (Mode == CacheMode::Disk)
+    saveManifest();
+}
+
+void CompileCache::loadManifest() {
+  std::ifstream In(Dir + "/manifest.json");
+  if (!In)
+    return;
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::string Error;
+  json::Value Root = json::parse(Text, Error);
+  if (!Root.isObject() || Root.get("version").integer() != FormatVersion)
+    return; // Unreadable manifest: every function is simply "new".
+  const json::Value &Fns = Root.get("functions");
+  if (!Fns.isObject())
+    return;
+  for (const auto &[Name, V] : Fns.members()) {
+    if (!V.isObject())
+      continue;
+    FunctionFingerprint FP;
+    uint32_t Opt = static_cast<uint32_t>(V.get("opt").integer());
+    if (!parseHex64(V.get("body").str(), FP.BodyHash) ||
+        !parseHex64(V.get("callee").str(), FP.CalleeHash) ||
+        !parseHex64(V.get("machine").str(), FP.MachineHash) ||
+        !parseHex64(V.get("build").str(), FP.BuildId))
+      continue;
+    FP.OptLevel = Opt;
+    Manifest[Name] = FP;
+  }
+}
+
+void CompileCache::saveManifest() {
+  json::Value Fns = json::Value::object();
+  for (const auto &[Name, FP] : Manifest) {
+    json::Value V = json::Value::object();
+    V.set("body", hex64(FP.BodyHash));
+    V.set("callee", hex64(FP.CalleeHash));
+    V.set("machine", hex64(FP.MachineHash));
+    V.set("opt", static_cast<uint64_t>(FP.OptLevel));
+    V.set("build", hex64(FP.BuildId));
+    Fns.set(Name, std::move(V));
+  }
+  json::Value Root = json::Value::object();
+  Root.set("version", static_cast<uint64_t>(FormatVersion));
+  Root.set("functions", std::move(Fns));
+
+  std::string Path = Dir + "/manifest.json";
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return;
+    Out << Root.dump(2) << "\n";
+    if (!Out)
+      return;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}

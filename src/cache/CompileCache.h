@@ -1,0 +1,134 @@
+//===- CompileCache.h - Function-level compilation cache --------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The production driver::FunctionResultCache: a content-addressed store
+/// of serialized phase-2/3 results (generated code, work metrics,
+/// diagnostics). Entries live in memory; in Disk mode they are also
+/// persisted one file per key under a cache directory, written atomically
+/// (temp file + rename) with a versioned header and checksum so a
+/// torn or corrupted file degrades into a miss, never into wrong code.
+///
+/// The paper's 1989 cluster could not afford this — diskless
+/// workstations, no persistent store — but the function-level granularity
+/// it pioneered is exactly the right cache granularity: a hit makes a
+/// function master's entire job unnecessary, the cheapest speedup there
+/// is. Alongside the store the cache keeps a manifest of every function's
+/// last-seen fingerprint, which is what lets --explain-rebuild name *why*
+/// a function missed (body edit, callee edit, opt level, machine model,
+/// compiler build) instead of just that it missed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_CACHE_COMPILECACHE_H
+#define WARPC_CACHE_COMPILECACHE_H
+
+#include "cache/CacheKey.h"
+#include "driver/Compiler.h"
+#include "obs/MetricsRegistry.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace cache {
+
+/// Where entries live.
+enum class CacheMode : uint8_t {
+  Off,    ///< Every lookup misses; stores are dropped.
+  Memory, ///< In-process store only.
+  Disk,   ///< In-process store backed by a persistent directory.
+};
+
+/// Whole-run cache accounting (mirrored into cache.* metrics).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+  uint64_t BytesLoaded = 0; ///< Serialized bytes of disk hits.
+  uint64_t BytesStored = 0; ///< Serialized bytes written (memory + disk).
+  uint64_t CorruptEntries = 0; ///< Disk entries rejected by integrity checks.
+};
+
+/// One --explain-rebuild line: a function's fate in the coming build.
+struct ExplainEntry {
+  std::string SectionName;
+  std::string FunctionName;
+  RebuildReason Reason = RebuildReason::NewFunction;
+  CacheKey Key;
+};
+
+/// Serializes a FunctionResult (used by the disk backend; exposed for the
+/// round-trip and corruption tests).
+std::vector<uint8_t> encodeFunctionResult(const driver::FunctionResult &R);
+/// Decodes; returns false on any malformation, leaving \p Out unspecified.
+bool decodeFunctionResult(const std::vector<uint8_t> &Bytes,
+                          driver::FunctionResult &Out);
+
+class CompileCache : public driver::FunctionResultCache {
+public:
+  /// \p Dir is required in Disk mode (created if absent); ignored
+  /// otherwise. A non-null \p Metrics receives cache.* counters as the
+  /// run progresses. In Disk mode construction loads the manifest.
+  CompileCache(CacheMode Mode, const CacheContext &Ctx, std::string Dir = "",
+               obs::MetricsRegistry *Metrics = nullptr);
+
+  CacheMode mode() const { return Mode; }
+  const CacheContext &context() const { return Ctx; }
+
+  // driver::FunctionResultCache — thread-safe.
+  std::optional<driver::FunctionResult>
+  lookup(const w2::SectionDecl &Section, const w2::FunctionDecl &F) override;
+  void store(const w2::SectionDecl &Section, const w2::FunctionDecl &F,
+             const driver::FunctionResult &R) override;
+
+  /// Whether \p Key has an entry, without accounting a hit or a miss
+  /// (the simulator's pre-pass uses this to mark warm tasks).
+  bool contains(const CacheKey &Key);
+
+  CacheStats stats() const;
+
+  /// Classifies every function of \p Module against the manifest: Hit if
+  /// its key has an entry, otherwise the first fingerprint difference
+  /// since the function was last seen (NewFunction when never seen).
+  /// Pure — neither stats nor manifest change.
+  std::vector<ExplainEntry> explainModule(const w2::ModuleDecl &Module);
+
+  /// Records every function's current fingerprint in the manifest (the
+  /// "last build" --explain-rebuild compares against). In Disk mode the
+  /// manifest is persisted immediately.
+  void rememberModule(const w2::ModuleDecl &Module);
+
+  /// The entry file for \p Key (Disk mode; empty otherwise). Exposed so
+  /// tests can corrupt entries where the implementation expects them.
+  std::string entryPath(const CacheKey &Key) const;
+
+private:
+  std::optional<driver::FunctionResult> loadDiskEntry(const CacheKey &Key);
+  void storeDiskEntry(const CacheKey &Key, const std::vector<uint8_t> &Bytes);
+  void loadManifest();
+  void saveManifest();
+  void note(const char *Counter, double Delta = 1);
+
+  CacheMode Mode;
+  CacheContext Ctx;
+  std::string Dir;
+  obs::MetricsRegistry *Metrics;
+
+  mutable std::mutex Mu;
+  std::map<CacheKey, std::vector<uint8_t>> Entries; ///< Serialized results.
+  /// Last-seen fingerprint per "section.function" name.
+  std::map<std::string, FunctionFingerprint> Manifest;
+  CacheStats Stats;
+};
+
+} // namespace cache
+} // namespace warpc
+
+#endif // WARPC_CACHE_COMPILECACHE_H

@@ -66,6 +66,12 @@ struct HostConfig {
   /// One parent-child synchronization message.
   double MessageSec = 0.05;
 
+  /// Time for the section master to probe the compilation cache and
+  /// accept a stored result for one cached function (key hash plus a
+  /// manifest read on the master's workstation; the result file itself
+  /// already sits on the file server).
+  double CacheLookupSec = 0.5;
+
   /// Measurement jitter: every service time is stretched by a uniform
   /// factor in [1-Jitter, 1+Jitter]. Zero keeps the simulation exactly
   /// deterministic; the methodology bench uses a few percent to mirror

@@ -153,6 +153,22 @@ FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
   return Result;
 }
 
+FunctionResult driver::compileFunctionCached(const w2::SectionDecl &Section,
+                                             const w2::FunctionDecl &F,
+                                             const codegen::MachineModel &MM,
+                                             FunctionResultCache *Cache,
+                                             obs::MetricsRegistry *Metrics) {
+  if (Cache) {
+    std::optional<FunctionResult> Hit = Cache->lookup(Section, F);
+    if (Hit && validateFunctionResult(Section, F, *Hit))
+      return std::move(*Hit);
+  }
+  FunctionResult R = compileFunction(Section, F, MM, Metrics);
+  if (Cache && validateFunctionResult(Section, F, R))
+    Cache->store(Section, F, R);
+  return R;
+}
+
 bool driver::validateFunctionResult(const w2::SectionDecl &Section,
                                     const w2::FunctionDecl &F,
                                     const FunctionResult &R) {
@@ -219,7 +235,8 @@ void driver::assembleAndLink(const w2::ModuleDecl &Module,
 
 ModuleResult driver::compileModuleSequential(const std::string &Source,
                                              const codegen::MachineModel &MM,
-                                             obs::MetricsRegistry *Metrics) {
+                                             obs::MetricsRegistry *Metrics,
+                                             FunctionResultCache *Cache) {
   ModuleResult Result;
 
   ParseResult Parsed = parseAndCheck(Source, Metrics);
@@ -232,8 +249,8 @@ ModuleResult driver::compileModuleSequential(const std::string &Source,
   for (size_t S = 0; S != Parsed.Module->numSections(); ++S) {
     const w2::SectionDecl *Section = Parsed.Module->getSection(S);
     for (size_t F = 0; F != Section->numFunctions(); ++F)
-      Functions.push_back(
-          compileFunction(*Section, *Section->getFunction(F), MM, Metrics));
+      Functions.push_back(compileFunctionCached(
+          *Section, *Section->getFunction(F), MM, Cache, Metrics));
   }
 
   assembleAndLink(*Parsed.Module, std::move(Functions), Result, Metrics);

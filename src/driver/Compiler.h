@@ -28,6 +28,7 @@
 #include "w2/AST.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,38 @@ FunctionResult compileFunction(const w2::SectionDecl &Section,
                                const codegen::MachineModel &MM,
                                obs::MetricsRegistry *Metrics = nullptr);
 
+/// Interface to a content-addressed store of phase-2/3 results, keyed by
+/// the function's post-semantic fingerprint (see cache::CompileCache, the
+/// production implementation). The driver depends only on this interface
+/// so the cache library can depend on the driver's result types without a
+/// cycle. Implementations must be safe to call from concurrent function
+/// masters.
+class FunctionResultCache {
+public:
+  virtual ~FunctionResultCache() = default;
+
+  /// Returns the cached result for \p F compiled in \p Section, or
+  /// nullopt on a miss (including any load/integrity failure).
+  virtual std::optional<FunctionResult>
+  lookup(const w2::SectionDecl &Section, const w2::FunctionDecl &F) = 0;
+
+  /// Records a freshly compiled (and validated) result.
+  virtual void store(const w2::SectionDecl &Section, const w2::FunctionDecl &F,
+                     const FunctionResult &R) = 0;
+};
+
+/// compileFunction with a cache in front: a hit skips phases 2+3
+/// entirely and replays the stored result — bit-identical code, metrics
+/// and diagnostics — a miss compiles and fills the cache. \p Cache may be
+/// null (plain compileFunction). Cached results still pass
+/// validateFunctionResult before being trusted; a result that does not is
+/// treated as a miss.
+FunctionResult compileFunctionCached(const w2::SectionDecl &Section,
+                                     const w2::FunctionDecl &F,
+                                     const codegen::MachineModel &MM,
+                                     FunctionResultCache *Cache,
+                                     obs::MetricsRegistry *Metrics = nullptr);
+
 /// Sanity-checks a function master's result against the task it was
 /// asked to compile: the master's defense against a corrupted (poisoned)
 /// result file from a dying worker or host (paper Section 5.2). Returns
@@ -113,10 +146,12 @@ void assembleAndLink(const w2::ModuleDecl &Module,
 
 /// The sequential compiler: all four phases in one process, functions
 /// compiled one after another. The baseline every speedup in the paper is
-/// measured against.
+/// measured against. A non-null \p Cache front-ends every function
+/// compile (incremental sequential recompilation).
 ModuleResult compileModuleSequential(const std::string &Source,
                                      const codegen::MachineModel &MM,
-                                     obs::MetricsRegistry *Metrics = nullptr);
+                                     obs::MetricsRegistry *Metrics = nullptr,
+                                     FunctionResultCache *Cache = nullptr);
 
 } // namespace driver
 } // namespace warpc

@@ -28,6 +28,7 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::SpanAssembly, "span_assembly"},
     {EventKind::SpanMasterRecompile, "span_master_recompile"},
     {EventKind::SpanAnalyze, "span_analyze"},
+    {EventKind::SpanCacheHit, "span_cache_hit"},
     {EventKind::PlacementFailed, "placement_failed"},
     {EventKind::AttemptLost, "attempt_lost"},
     {EventKind::MessageLost, "message_lost"},
@@ -95,6 +96,7 @@ bool obs::isSpanKind(EventKind K) {
   case EventKind::SpanAssembly:
   case EventKind::SpanMasterRecompile:
   case EventKind::SpanAnalyze:
+  case EventKind::SpanCacheHit:
     return true;
   default:
     return false;

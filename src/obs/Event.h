@@ -43,6 +43,7 @@ enum class EventKind : uint8_t {
   SpanAssembly,        ///< Phase 4 in the master's Lisp process.
   SpanMasterRecompile, ///< Attempt-cap fallback in the master.
   SpanAnalyze,         ///< Static analysis of one function on one worker.
+  SpanCacheHit,        ///< Cached result replayed instead of compiling.
 
   // Instants (milestones and fault-handling decisions).
   PlacementFailed,  ///< Target host down at fork time.

@@ -43,7 +43,8 @@ bool isMasterCpuKind(EventKind K) {
 
 bool isSectionCpuKind(EventKind K) {
   return K == EventKind::SpanFunctionFork ||
-         K == EventKind::SpanDirectives || K == EventKind::SpanCombine;
+         K == EventKind::SpanDirectives || K == EventKind::SpanCombine ||
+         K == EventKind::SpanCacheHit;
 }
 
 } // namespace
@@ -103,6 +104,9 @@ TraceReport obs::analyzeTrace(const TraceSession &S) {
       break;
     case EventKind::FunctionDone:
       ++R.FunctionsCompleted;
+      break;
+    case EventKind::SpanCacheHit:
+      ++R.CacheHits;
       break;
     default:
       break;
@@ -280,6 +284,13 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
     Line("  messages lost:      " + std::to_string(R.MessagesLost));
     Line("  attempts lost:      " + std::to_string(R.AttemptsLost));
     Line("  results rejected:   " + std::to_string(R.ResultsRejected));
+  }
+
+  if (R.CacheHits) {
+    Line("");
+    Line("-- compilation cache --");
+    Line("  cache hits:         " + std::to_string(R.CacheHits) + " of " +
+         std::to_string(R.NumFunctions) + " function(s)");
   }
   return Out;
 }

@@ -83,6 +83,10 @@ struct TraceReport {
   unsigned AttemptsLost = 0;
   unsigned ResultsRejected = 0;
   unsigned FunctionsCompleted = 0;
+  /// Functions satisfied from the compilation cache (SpanCacheHit spans).
+  /// Cached functions never emit FunctionDone, so this count and
+  /// FunctionsCompleted partition the module's functions.
+  unsigned CacheHits = 0;
 };
 
 /// Analyzes \p S. Works on both freshly recorded sessions and sessions

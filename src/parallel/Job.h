@@ -35,6 +35,10 @@ struct FunctionTask {
   driver::WorkMetrics Metrics;
   /// Size of the function's result file (the assembled cell program).
   double OutputKB = 0;
+  /// A warm compilation-cache entry covers this function: the simulator
+  /// replays the stored result at lookup cost instead of launching a
+  /// function master, and the scheduler assigns it no workstation.
+  bool Cached = false;
 };
 
 /// A whole module ready for (simulated or real) parallel compilation.
@@ -46,6 +50,9 @@ struct CompilationJob {
   std::vector<std::vector<FunctionTask>> Sections;
   /// Phase-4 (combination + linking) work.
   driver::WorkMetrics Phase4;
+  /// Whether a compilation cache is in play for this run. Uncached tasks
+  /// of a cache-enabled job count as misses in ParStats.
+  bool CacheEnabled = false;
 
   unsigned numFunctions() const {
     unsigned N = 0;

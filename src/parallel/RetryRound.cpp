@@ -1,0 +1,53 @@
+//===- RetryRound.cpp - Shared retry-round bookkeeping ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/RetryRound.h"
+
+#include <cassert>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+AttemptGate parallel::checkAttempt(bool LostToCrash,
+                                   obs::FaultCause CrashCause,
+                                   bool Superseded) {
+  AttemptGate G;
+  if (LostToCrash) {
+    G.Proceed = false;
+    G.Cause = CrashCause;
+    G.ClipAtCrash = true;
+  } else if (Superseded) {
+    G.Proceed = false;
+    G.Cause = obs::FaultCause::Superseded;
+  }
+  return G;
+}
+
+RetryRoundTracker::RetryRoundTracker(size_t NumTasks)
+    : Produced(NumTasks, 0), Pending(NumTasks) {
+  for (size_t Index = 0; Index != NumTasks; ++Index)
+    Pending[Index] = Index;
+}
+
+void RetryRoundTracker::beginRound(unsigned Attempt) {
+  assert(Attempt > CurrentAttempt && "rounds must advance");
+  CurrentAttempt = Attempt;
+  if (Attempt > 1)
+    RetriesAttempted += static_cast<unsigned>(Pending.size());
+}
+
+void RetryRoundTracker::settleRound() {
+  std::vector<size_t> StillPending;
+  for (size_t Index : Pending) {
+    if (Produced[Index]) {
+      if (CurrentAttempt > 1)
+        ++FunctionsReassigned;
+    } else {
+      StillPending.push_back(Index);
+    }
+  }
+  Pending = std::move(StillPending);
+}

@@ -1,0 +1,96 @@
+//===- RetryRound.h - Shared retry-round bookkeeping ------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result-validation decision both engines make at every attempt
+/// milestone, and the round bookkeeping the thread engine repeats per
+/// retry round. Both used to live as copy-pasted blocks inside
+/// SimRunner.cpp and ThreadRunner.cpp; keeping one implementation means
+/// the simulator and the real thread pool cannot drift in how they decide
+/// that an attempt's work is lost, which failure cause they report, or
+/// how they bill abandoned time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_RETRYROUND_H
+#define WARPC_PARALLEL_RETRYROUND_H
+
+#include "obs/Event.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+
+/// Verdict on one attempt milestone: whether the attempt may proceed,
+/// and — if not — why it was abandoned and how to bill its elapsed time.
+struct AttemptGate {
+  bool Proceed = true;
+  /// The cause to stamp on the AttemptLost event (None when proceeding).
+  obs::FaultCause Cause = obs::FaultCause::None;
+  /// True when the abandoned time must be clipped at the host's crash
+  /// instant: a crash that goes unnoticed for a while is not billed as
+  /// retry time past the moment the work was actually lost. Superseded
+  /// attempts bill their full elapsed — the machine really was busy.
+  bool ClipAtCrash = false;
+};
+
+/// The milestone check an attempt runs after every step (startup done,
+/// compile done, result written, message delivered). \p LostToCrash is
+/// whether the attempt's host crashed since the attempt began, and
+/// \p CrashCause names the step it would have died in; \p Superseded is
+/// whether a competing attempt already delivered. A crash outranks
+/// supersession: a dead host's work is lost whether or not someone else
+/// finished first, and its billing must clip at the crash.
+AttemptGate checkAttempt(bool LostToCrash, obs::FaultCause CrashCause,
+                         bool Superseded);
+
+/// Produced / pending partition of a fault-tolerant retry loop: which
+/// functions have an accepted result, which still need an attempt, and
+/// the retry and reassignment tallies the engines report. One instance
+/// drives all rounds of one run.
+///
+/// Not synchronized: workers may mark produced() concurrently only for
+/// distinct indices (each function index has one accepted result), and
+/// beginRound()/settleRound() must be called with no workers running.
+class RetryRoundTracker {
+public:
+  explicit RetryRoundTracker(size_t NumTasks);
+
+  /// Starts the round for \p Attempt (1-based). Every function still
+  /// pending on a second or later round counts as a retry attempted.
+  void beginRound(unsigned Attempt);
+
+  /// Records an accepted result for \p Index.
+  void produced(size_t Index) { Produced[Index] = 1; }
+  bool isProduced(size_t Index) const { return Produced[Index] != 0; }
+
+  /// Ends the round: drops produced functions from the pending list. A
+  /// function produced on a retry round counts as reassigned — the pool
+  /// analogue of moving a function master to another workstation.
+  void settleRound();
+
+  /// Functions still lacking a result (the next round's worklist, or the
+  /// master-fallback worklist after the attempt cap).
+  const std::vector<size_t> &pending() const { return Pending; }
+  bool allProduced() const { return Pending.empty(); }
+
+  unsigned retriesAttempted() const { return RetriesAttempted; }
+  unsigned functionsReassigned() const { return FunctionsReassigned; }
+
+private:
+  std::vector<char> Produced;
+  std::vector<size_t> Pending;
+  unsigned CurrentAttempt = 0;
+  unsigned RetriesAttempted = 0;
+  unsigned FunctionsReassigned = 0;
+};
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_RETRYROUND_H

@@ -29,6 +29,13 @@ Assignment parallel::scheduleFCFS(const CompilationJob &Job,
   for (const auto &Section : Job.Sections) {
     std::vector<unsigned> Ws;
     for (size_t F = 0; F != Section.size(); ++F) {
+      // Cached functions never launch a function master: they stay on
+      // host 0 without consuming a round-robin slot, so a warm run packs
+      // its real work onto as few machines as a smaller module would.
+      if (Section[F].Cached) {
+        Ws.push_back(0);
+        continue;
+      }
       unsigned Target = Next % NumProcessors;
       ++Next;
       Ws.push_back(Target);
@@ -52,8 +59,12 @@ Assignment parallel::scheduleBalanced(const CompilationJob &Job,
   std::vector<Item> Items;
   for (unsigned S = 0; S != Job.Sections.size(); ++S)
     for (unsigned F = 0; F != Job.Sections[S].size(); ++F)
-      Items.push_back(
-          Item{S, F, heuristicCostEstimate(Job.Sections[S][F].Metrics)});
+      // Cached functions carry no compile load; leaving them out of the
+      // LPT pass keeps their zero cost from occupying a machine. Their
+      // WsOf entry stays at the host-0 default.
+      if (!Job.Sections[S][F].Cached)
+        Items.push_back(
+            Item{S, F, heuristicCostEstimate(Job.Sections[S][F].Metrics)});
 
   // Longest processing time first onto the least-loaded machine.
   std::sort(Items.begin(), Items.end(), [](const Item &A, const Item &B) {

@@ -7,6 +7,7 @@
 #include "parallel/SimRunner.h"
 
 #include "cluster/Simulation.h"
+#include "parallel/RetryRound.h"
 #include "support/PRNG.h"
 
 #include <algorithm>
@@ -452,6 +453,30 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   auto SectionsJoin =
       std::make_unique<JoinCounter>(NumSections, [&] { RunAssembly(); });
 
+  // One milestone check, shared with the thread engine through
+  // checkAttempt: abandon the attempt if its host crashed since it began
+  // (billing clipped at the crash instant) or if a competing attempt
+  // already delivered (billing the full elapsed — the machine really ran).
+  // \p ReleaseLoad is false only after the caller already released the
+  // host's estimated load itself.
+  auto AttemptAbandoned = [&](size_t Id, unsigned W, double AttemptStart,
+                              bool LostToCrash, FaultCause CrashCause,
+                              const auto &Tag, bool ReleaseLoad) -> bool {
+    TaskRec &TR = (*Tasks)[Id];
+    AttemptGate Gate = checkAttempt(LostToCrash, CrashCause, TR.Done);
+    if (Gate.Proceed)
+      return false;
+    if (auto *E = Instant(EventKind::AttemptLost, obs::Phase::Recovery)) {
+      Tag(E, static_cast<int32_t>(W));
+      E->Cause = Gate.Cause;
+    }
+    Stats.RetriesSec += Gate.ClipAtCrash ? ConsumedSince(W, AttemptStart)
+                                         : Ctx.Sim.now() - AttemptStart;
+    if (ReleaseLoad)
+      WsLoad[W] -= TR.EstimateSec;
+    return true;
+  };
+
   // --- The fault engine: launching (and re-launching) function masters,
   // watchdog timeouts, reassignment, straggler speculation, and the
   // master-local fallback recompile. With an empty fault plan only Launch
@@ -523,27 +548,9 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
         Eng->ArmSpec(Id);
       Ctx.startLisp(W, [&, Eng, Id, W, Task, Speculative, Extra, Tag,
                         AttemptStart](double StartupSec) {
-        TaskRec &TR = (*Tasks)[Id];
-        if (LostWork(W, AttemptStart)) {
-          if (auto *E = Instant(EventKind::AttemptLost,
-                                obs::Phase::Recovery)) {
-            Tag(E, static_cast<int32_t>(W));
-            E->Cause = FaultCause::CrashDuringStartup;
-          }
-          Stats.RetriesSec += ConsumedSince(W, AttemptStart);
-          WsLoad[W] -= TR.EstimateSec;
+        if (AttemptAbandoned(Id, W, AttemptStart, LostWork(W, AttemptStart),
+                             FaultCause::CrashDuringStartup, Tag, true))
           return;
-        }
-        if (TR.Done) {
-          if (auto *E = Instant(EventKind::AttemptLost,
-                                obs::Phase::Recovery)) {
-            Tag(E, static_cast<int32_t>(W));
-            E->Cause = FaultCause::Superseded;
-          }
-          Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
-          WsLoad[W] -= TR.EstimateSec;
-          return;
-        }
         Stats.StartupSec += StartupSec;
         Tag(Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
                  obs::Phase::Setup),
@@ -556,27 +563,10 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                                AttemptStart, CompileStart](StepCost Cost) {
           if (Lane && ActiveCtr >= 0)
             Lane->counter(Ctx.Sim.now(), ActiveCtr, --*ActiveFnMasters);
-          TaskRec &TR = (*Tasks)[Id];
-          if (LostWork(W, AttemptStart)) {
-            if (auto *E = Instant(EventKind::AttemptLost,
-                                  obs::Phase::Recovery)) {
-              Tag(E, static_cast<int32_t>(W));
-              E->Cause = FaultCause::CrashDuringCompile;
-            }
-            Stats.RetriesSec += ConsumedSince(W, AttemptStart);
-            WsLoad[W] -= TR.EstimateSec;
+          if (AttemptAbandoned(Id, W, AttemptStart,
+                               LostWork(W, AttemptStart),
+                               FaultCause::CrashDuringCompile, Tag, true))
             return;
-          }
-          if (TR.Done) {
-            if (auto *E = Instant(EventKind::AttemptLost,
-                                  obs::Phase::Recovery)) {
-              Tag(E, static_cast<int32_t>(W));
-              E->Cause = FaultCause::Superseded;
-            }
-            Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
-            WsLoad[W] -= TR.EstimateSec;
-            return;
-          }
           Stats.FnCpuSec += Cost.computeSec();
           Stats.FnGCSec += Cost.GCSec;
           Tag(Span(CompileStart, EventKind::SpanCompile, obs::Phase::Compile),
@@ -584,26 +574,10 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           Ctx.transfer(Task->OutputKB, [&, Eng, Id, W, Task, Speculative,
                                         Extra, Tag, AttemptStart](double) {
             TaskRec &TR = (*Tasks)[Id];
-            if (LostWork(W, AttemptStart)) {
-              if (auto *E = Instant(EventKind::AttemptLost,
-                                    obs::Phase::Recovery)) {
-                Tag(E, static_cast<int32_t>(W));
-                E->Cause = FaultCause::CrashDuringResult;
-              }
-              Stats.RetriesSec += ConsumedSince(W, AttemptStart);
-              WsLoad[W] -= TR.EstimateSec;
+            if (AttemptAbandoned(Id, W, AttemptStart,
+                                 LostWork(W, AttemptStart),
+                                 FaultCause::CrashDuringResult, Tag, true))
               return;
-            }
-            if (TR.Done) {
-              if (auto *E = Instant(EventKind::AttemptLost,
-                                    obs::Phase::Recovery)) {
-                Tag(E, static_cast<int32_t>(W));
-                E->Cause = FaultCause::Superseded;
-              }
-              Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
-              WsLoad[W] -= TR.EstimateSec;
-              return;
-            }
             // The result file is durable on the server now; only the
             // completion message itself can still be lost.
             if (FaultsActive && W != 0 && Plan.MessageLossProb > 0 &&
@@ -621,15 +595,11 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                                             Tag, AttemptStart] {
               TaskRec &TR = (*Tasks)[Id];
               WsLoad[W] -= TR.EstimateSec;
-              if (TR.Done) {
-                if (auto *E = Instant(EventKind::AttemptLost,
-                                      obs::Phase::Recovery)) {
-                  Tag(E, static_cast<int32_t>(W));
-                  E->Cause = FaultCause::Superseded;
-                }
-                Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
+              // The load was already released; a crash can no longer lose
+              // the durable result file, only supersession applies.
+              if (AttemptAbandoned(Id, W, AttemptStart, false,
+                                   FaultCause::None, Tag, false))
                 return;
-              }
               TR.Done = true;
               if (TR.Timeout) {
                 *TR.Timeout = true;
@@ -856,6 +826,36 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       }
       for (size_t Id : SectionTaskIds[S]) {
         TaskRec &TR = (*Tasks)[Id];
+        // A warm cache entry replaces the whole function-master
+        // lifecycle (fork, startup, compile, write-back) with a fixed-
+        // cost lookup on the section master's own machine. The result
+        // file already sits on the file server, so Combine's gather
+        // transfer still moves it; no timeout is armed — host 0 does not
+        // fail.
+        if (Job.CacheEnabled && TR.Task->Cached) {
+          const double LookupStart = Ctx.Sim.now();
+          Ctx.cpu(0, Host.CacheLookupSec, [&, Id,
+                                           LookupStart](double WaitSec) {
+            TaskRec &TR = (*Tasks)[Id];
+            Stats.SectionCpuSec += Host.CacheLookupSec;
+            if (auto *E = Span(LookupStart + WaitSec,
+                               EventKind::SpanCacheHit,
+                               obs::Phase::Compile)) {
+              E->Host = 0;
+              E->Section = static_cast<int32_t>(TR.Section);
+              E->Function = TR.FnId;
+              E->CpuSec = Host.CacheLookupSec;
+            }
+            ++Stats.CacheHits;
+            Stats.CacheBytesKB += TR.Task->OutputKB;
+            ++Stats.FunctionsCompleted;
+            TR.Done = true;
+            TR.Join->arrive();
+          });
+          continue;
+        }
+        if (Job.CacheEnabled)
+          ++Stats.CacheMisses;
         TR.NextTimeoutSec = std::max(Policy.MinTimeoutSec,
                                      Policy.TimeoutFactor * TR.EstimateSec);
         Eng->ArmTimeout(Id);

@@ -85,6 +85,13 @@ struct ParStats {
   unsigned MasterRecompiles = 0;    ///< Attempt-cap fallbacks on the master.
   unsigned FunctionsCompleted = 0;  ///< Functions with an accepted result.
 
+  // Compilation cache (all zero unless Job.CacheEnabled). A hit replaces
+  // the function master's whole lifecycle with a fixed-cost lookup on the
+  // master's workstation; its result file is already on the file server.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  double CacheBytesKB = 0; ///< Result-file KB served from the cache.
+
   /// The paper reports parallel CPU time per processor.
   double perProcessorCpuSec() const {
     return ProcessorsUsed ? FnCpuSec / ProcessorsUsed : 0;

@@ -6,6 +6,7 @@
 
 #include "parallel/ThreadRunner.h"
 
+#include "parallel/RetryRound.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -50,7 +51,7 @@ ThreadRunResult parallel::compileModuleParallel(
     const std::string &Source, const codegen::MachineModel &MM,
     unsigned NumWorkers, const driver::FaultPolicy &Policy,
     const FaultInjection *Inject, obs::TraceRecorder *Rec,
-    obs::MetricsRegistry *Metrics) {
+    obs::MetricsRegistry *Metrics, driver::FunctionResultCache *Cache) {
   assert(NumWorkers > 0 && "need at least one worker");
   assert(Policy.MaxAttempts > 0 && "need at least one attempt");
   assert((!Rec || Rec->domain() == obs::ClockDomain::Steady) &&
@@ -119,16 +120,43 @@ ThreadRunResult parallel::compileModuleParallel(
   if (Rec)
     Rec->makeLanes(Workers + 1);
 
-  std::vector<char> Produced(Tasks.size(), 0);
   std::atomic<unsigned> Poisoned{0};
-  std::vector<size_t> Pending(Tasks.size());
-  for (size_t Index = 0; Index != Tasks.size(); ++Index)
-    Pending[Index] = Index;
+  RetryRoundTracker Rounds(Tasks.size());
+
+  // Cache pre-filter: the master probes the cache once per function and
+  // replays hits in place, so only misses ever enter the pending list.
+  // Sequential and master-side, which keeps the result deterministic no
+  // matter the worker count.
+  if (Cache) {
+    for (size_t Index = 0; Index != Tasks.size(); ++Index) {
+      const Task &T = Tasks[Index];
+      const double T0 = Rec ? Rec->nowSec() : 0;
+      std::optional<driver::FunctionResult> Hit =
+          Cache->lookup(*T.Section, *T.Function);
+      if (Hit && driver::validateFunctionResult(*T.Section, *T.Function,
+                                                *Hit)) {
+        FnResults[Index] = std::move(*Hit);
+        Rounds.produced(Index);
+        ++Result.CacheHits;
+        if (Rec) {
+          obs::SpanEvent &E = Rec->lane(0).span(T0, Rec->nowSec() - T0,
+                                                EventKind::SpanCacheHit,
+                                                obs::Phase::Compile);
+          E.Host = 0;
+          E.Section = T.SectionId;
+          E.Function = T.FnId;
+        }
+      } else {
+        ++Result.CacheMisses;
+      }
+    }
+    Rounds.settleRound();
+  }
 
   for (unsigned Attempt = 1;
-       Attempt <= Policy.MaxAttempts && !Pending.empty(); ++Attempt) {
-    if (Attempt > 1)
-      Result.RetriesAttempted += static_cast<unsigned>(Pending.size());
+       Attempt <= Policy.MaxAttempts && !Rounds.allProduced(); ++Attempt) {
+    Rounds.beginRound(Attempt);
+    const std::vector<size_t> &Pending = Rounds.pending();
 
     std::atomic<size_t> NextTask{0};
     auto Worker = [&](unsigned Wix) {
@@ -193,8 +221,10 @@ ThreadRunResult parallel::compileModuleParallel(
         }
         if (Metrics)
           Metrics->observe("thread.compile_sec", AttemptTimer.seconds());
+        if (Cache)
+          Cache->store(*T.Section, *T.Function, R);
         FnResults[Index] = std::move(R);
-        Produced[Index] = 1;
+        Rounds.produced(Index);
       }
     };
 
@@ -211,27 +241,22 @@ ThreadRunResult parallel::compileModuleParallel(
         T.join();
     }
 
-    std::vector<size_t> StillPending;
-    for (size_t Index : Pending) {
-      if (Produced[Index]) {
-        if (Attempt > 1)
-          ++Result.FunctionsReassigned;
-      } else {
-        StillPending.push_back(Index);
-      }
-    }
-    Pending = std::move(StillPending);
+    Rounds.settleRound();
   }
   Result.PoisonedResultsDetected = Poisoned.load();
+  Result.RetriesAttempted = Rounds.retriesAttempted();
+  Result.FunctionsReassigned = Rounds.functionsReassigned();
 
   // Recovery of last resort: any function still missing after the attempt
   // cap is recompiled here, on the master's own machine, before assembly
   // starts. The master trusts its own results — no injection applies.
-  for (size_t Index : Pending) {
+  for (size_t Index : Rounds.pending()) {
     const Task &T = Tasks[Index];
     const double T0 = Rec ? Rec->nowSec() : 0;
     FnResults[Index] =
         driver::compileFunction(*T.Section, *T.Function, MM, Metrics);
+    if (Cache)
+      Cache->store(*T.Section, *T.Function, FnResults[Index]);
     ++Result.FunctionsRecovered;
     if (Rec) {
       const double Now = Rec->nowSec();

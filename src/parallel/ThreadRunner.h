@@ -60,6 +60,11 @@ struct ThreadRunResult {
   /// Results rejected by driver::validateFunctionResult (truncated or
   /// mislabeled result files from a sick master).
   unsigned PoisonedResultsDetected = 0;
+  /// Functions satisfied from the compilation cache before any worker was
+  /// dispatched (and the remainder, which the pool compiled). Both zero
+  /// when no cache was supplied.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
 };
 
 /// Test hook simulating the loss of a function master (a crashed child
@@ -96,13 +101,23 @@ FaultInjection makeSeededInjection(uint64_t Seed, double VanishProb,
 /// lane 1+i (lanes are created before any thread starts, so recording
 /// never contends). A non-null \p Metrics additionally receives the
 /// driver's phase1-4 series plus fault.* counters for the recovery paths.
+///
+/// A non-null \p Cache front-ends the fan-out: after phase 1 the master
+/// probes it for every function, and hits — replayed results that pass
+/// validation — skip worker dispatch entirely (a SpanCacheHit span on the
+/// master's lane marks each). Only misses enter the pending list; their
+/// validated results are stored back, so an immediate rerun hits on every
+/// function. Fault injection applies to misses only — cached functions
+/// never ran a function master that could vanish.
 ThreadRunResult compileModuleParallel(const std::string &Source,
                                       const codegen::MachineModel &MM,
                                       unsigned NumWorkers,
                                       const driver::FaultPolicy &Policy,
                                       const FaultInjection *Inject = nullptr,
                                       obs::TraceRecorder *Rec = nullptr,
-                                      obs::MetricsRegistry *Metrics = nullptr);
+                                      obs::MetricsRegistry *Metrics = nullptr,
+                                      driver::FunctionResultCache *Cache =
+                                          nullptr);
 
 /// Legacy entry point: one attempt per function (\p InjectFailure decides
 /// per flat index); the master recompiles every function whose master

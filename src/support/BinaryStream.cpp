@@ -1,0 +1,106 @@
+//===- BinaryStream.cpp - Bounds-checked binary encoding ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryStream.h"
+
+#include <cstring>
+
+using namespace warpc;
+
+void BinaryWriter::u32(uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void BinaryWriter::u64(uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void BinaryWriter::f64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void BinaryWriter::str(const std::string &S) {
+  u64(S.size());
+  Buf.insert(Buf.end(), S.begin(), S.end());
+}
+
+void BinaryWriter::bytes(const std::vector<uint8_t> &B) {
+  u64(B.size());
+  Buf.insert(Buf.end(), B.begin(), B.end());
+}
+
+bool BinaryReader::take(size_t N) {
+  if (Failed || N > Size - Pos || Pos > Size) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t BinaryReader::u8() {
+  if (!take(1))
+    return 0;
+  return Data[Pos++];
+}
+
+uint32_t BinaryReader::u32() {
+  if (!take(4))
+    return 0;
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+  return V;
+}
+
+uint64_t BinaryReader::u64() {
+  if (!take(8))
+    return 0;
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+  return V;
+}
+
+double BinaryReader::f64() {
+  uint64_t Bits = u64();
+  double V = 0;
+  if (!Failed)
+    std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string BinaryReader::str() {
+  uint64_t N = u64();
+  if (!take(static_cast<size_t>(N)))
+    return std::string();
+  std::string S(reinterpret_cast<const char *>(Data + Pos),
+                static_cast<size_t>(N));
+  Pos += static_cast<size_t>(N);
+  return S;
+}
+
+std::vector<uint8_t> BinaryReader::bytes() {
+  uint64_t N = u64();
+  if (!take(static_cast<size_t>(N)))
+    return {};
+  std::vector<uint8_t> B(Data + Pos, Data + Pos + N);
+  Pos += static_cast<size_t>(N);
+  return B;
+}
+
+uint64_t warpc::fnv1a64(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}

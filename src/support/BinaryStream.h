@@ -1,0 +1,86 @@
+//===- BinaryStream.h - Bounds-checked binary encoding ----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny little-endian binary writer/reader pair for serialized compiler
+/// artifacts (cache entries, result files). The writer appends fixed-width
+/// scalars and length-prefixed strings; the reader is fully bounds-checked
+/// and turns any malformed input — truncation, oversized length prefixes —
+/// into a sticky failure flag instead of undefined behavior, which is what
+/// lets a corrupted cache file degrade into a miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_BINARYSTREAM_H
+#define WARPC_SUPPORT_BINARYSTREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+
+/// Appends little-endian scalars and length-prefixed byte ranges to a
+/// growing buffer.
+class BinaryWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  /// Doubles travel as their IEEE-754 bit pattern: bit-exact round trip.
+  void f64(double V);
+  /// u64 length prefix followed by the raw bytes.
+  void str(const std::string &S);
+  void bytes(const std::vector<uint8_t> &B);
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Reads the writer's encoding back. Every accessor returns a value-typed
+/// default once the stream has failed; check ok() after decoding a whole
+/// record rather than after every field.
+class BinaryReader {
+public:
+  BinaryReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit BinaryReader(const std::vector<uint8_t> &B)
+      : BinaryReader(B.data(), B.size()) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64();
+  std::string str();
+  std::vector<uint8_t> bytes();
+
+  bool ok() const { return !Failed; }
+  /// True when every byte has been consumed and nothing failed — a whole-
+  /// record integrity check against trailing garbage.
+  bool atEnd() const { return !Failed && Pos == Size; }
+
+private:
+  bool take(size_t N);
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// FNV-1a over a byte range: the cache file checksum. Not cryptographic;
+/// it guards against truncation and bit rot, not adversaries.
+uint64_t fnv1a64(const uint8_t *Data, size_t Size);
+inline uint64_t fnv1a64(const std::vector<uint8_t> &B) {
+  return fnv1a64(B.data(), B.size());
+}
+
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_BINARYSTREAM_H

@@ -1,0 +1,472 @@
+//===- CompileCacheTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation cache: key derivation and invalidation reasons, the
+/// serialized entry format, disk persistence and corruption tolerance,
+/// and the acceptance property that a warm recompile of an unchanged
+/// module performs zero phase-2/3 compilations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+
+#include "driver/Compiler.h"
+#include "obs/MetricsRegistry.h"
+#include "parallel/ThreadRunner.h"
+#include "w2/Lexer.h"
+#include "w2/Parser.h"
+#include "w2/Sema.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace warpc;
+using namespace warpc::cache;
+
+namespace {
+
+std::unique_ptr<w2::ModuleDecl> check(const std::string &Source) {
+  DiagnosticEngine Diags;
+  w2::Lexer L(Source, Diags);
+  w2::Parser P(L.lexAll(), Diags);
+  auto M = P.parseModule();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  w2::Sema S(Diags);
+  S.checkModule(*M);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return M;
+}
+
+/// A module with an inlinable helper called by its second function; the
+/// trailing filler keeps f2's line numbers stable when the helper's body
+/// is edited via \p HelperExpr.
+std::string helperModule(const std::string &HelperExpr) {
+  return "module m;\n"
+         "section s cells 2 {\n"
+         "  function helper(x: float): float {\n"
+         "    return " +
+         HelperExpr +
+         ";\n"
+         "  }\n"
+         "  function f2(a: float[8]): float {\n"
+         "    var acc: float = 0.0;\n"
+         "    for i = 0 to 7 {\n"
+         "      acc = acc + helper(a[i]);\n"
+         "    }\n"
+         "    return acc;\n"
+         "  }\n"
+         "}\n";
+}
+
+FunctionFingerprint fpOf(const w2::ModuleDecl &M, size_t Fn,
+                         const CacheContext &Ctx) {
+  const w2::SectionDecl *S = M.getSection(0);
+  return fingerprintFunction(*S, *S->getFunction(Fn), Ctx);
+}
+
+/// A scratch directory unique to the running test.
+class TempDir {
+public:
+  TempDir() {
+    const testing::TestInfo *TI =
+        testing::UnitTest::GetInstance()->current_test_info();
+    Path = std::filesystem::temp_directory_path() /
+           (std::string("warpc_cache_") + TI->test_suite_name() + "_" +
+            TI->name());
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+  std::string str() const { return Path.string(); }
+
+private:
+  std::filesystem::path Path;
+};
+
+driver::FunctionResult compileFirst(const w2::ModuleDecl &M) {
+  const w2::SectionDecl *S = M.getSection(0);
+  return driver::compileFunction(*S, *S->getFunction(0),
+                                 codegen::MachineModel::warpCell());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Keys and invalidation reasons
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeyTest, StableAcrossIdenticalParses) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M1 = check(helperModule("x * 2.0"));
+  auto M2 = check(helperModule("x * 2.0"));
+  EXPECT_EQ(fpOf(*M1, 0, Ctx), fpOf(*M2, 0, Ctx));
+  EXPECT_EQ(keyOf(fpOf(*M1, 1, Ctx)), keyOf(fpOf(*M2, 1, Ctx)));
+}
+
+TEST(CacheKeyTest, BodyEditInvalidates) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto Old = check(helperModule("x * 2.0"));
+  auto New = check(helperModule("x * 3.0"));
+  FunctionFingerprint FOld = fpOf(*Old, 0, Ctx), FNew = fpOf(*New, 0, Ctx);
+  EXPECT_NE(FOld.BodyHash, FNew.BodyHash);
+  EXPECT_EQ(classifyRebuild(FOld, FNew), RebuildReason::BodyEdit);
+}
+
+TEST(CacheKeyTest, CalleeEditInvalidatesInliner) {
+  // Editing the inlinable helper must invalidate f2 — whose own body is
+  // untouched — through the callee component, and name it CalleeEdit.
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto Old = check(helperModule("x * 2.0"));
+  auto New = check(helperModule("x * 3.0"));
+  FunctionFingerprint FOld = fpOf(*Old, 1, Ctx), FNew = fpOf(*New, 1, Ctx);
+  EXPECT_EQ(FOld.BodyHash, FNew.BodyHash);
+  EXPECT_NE(FOld.CalleeHash, FNew.CalleeHash);
+  EXPECT_EQ(classifyRebuild(FOld, FNew), RebuildReason::CalleeEdit);
+  EXPECT_NE(keyOf(FOld), keyOf(FNew));
+}
+
+TEST(CacheKeyTest, ContextChangesBlameInOrder) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  FunctionFingerprint Base = fpOf(*M, 0, Ctx);
+
+  FunctionFingerprint F = Base;
+  F.OptLevel = Base.OptLevel + 1;
+  EXPECT_EQ(classifyRebuild(Base, F), RebuildReason::OptLevelChange);
+
+  F = Base;
+  F.MachineHash ^= 1;
+  EXPECT_EQ(classifyRebuild(Base, F), RebuildReason::MachineModelChange);
+
+  F = Base;
+  F.BuildId ^= 1;
+  EXPECT_EQ(classifyRebuild(Base, F), RebuildReason::BuildIdChange);
+
+  // Blame order: the compiler's own identity outranks everything.
+  F = Base;
+  F.BuildId ^= 1;
+  F.MachineHash ^= 1;
+  F.BodyHash ^= 1;
+  EXPECT_EQ(classifyRebuild(Base, F), RebuildReason::BuildIdChange);
+
+  EXPECT_EQ(classifyRebuild(Base, Base), RebuildReason::Hit);
+}
+
+TEST(CacheKeyTest, MachineModelHashIsStable) {
+  // The same configuration must hash identically run to run (disk caches
+  // outlive the process), and the hash must be a nontrivial digest.
+  uint64_t A = hashMachineModel(codegen::MachineModel::warpCell());
+  uint64_t B = hashMachineModel(codegen::MachineModel::warpCell());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, 0u);
+}
+
+TEST(CacheKeyTest, HexIs32LowercaseDigits) {
+  CacheKey K{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  EXPECT_EQ(K.hex(), "0123456789abcdeffedcba9876543210");
+}
+
+//===----------------------------------------------------------------------===//
+// Entry serialization
+//===----------------------------------------------------------------------===//
+
+TEST(CacheCodecTest, RoundTripsEverything) {
+  auto M = check(helperModule("x * 2.0"));
+  driver::FunctionResult R = compileFirst(*M);
+  R.Diags.report(DiagKind::Note, SourceLoc(7, 3), "kept note");
+
+  driver::FunctionResult Out;
+  ASSERT_TRUE(decodeFunctionResult(encodeFunctionResult(R), Out));
+  EXPECT_EQ(Out.SectionName, R.SectionName);
+  EXPECT_EQ(Out.FunctionName, R.FunctionName);
+  EXPECT_EQ(Out.Program.Image, R.Program.Image);
+  EXPECT_EQ(Out.Program.Listing, R.Program.Listing);
+  EXPECT_EQ(Out.Program.CodeWords, R.Program.CodeWords);
+  EXPECT_EQ(Out.Metrics.IRInstrs, R.Metrics.IRInstrs);
+  EXPECT_EQ(Out.Metrics.SourceLines, R.Metrics.SourceLines);
+  EXPECT_EQ(Out.IRInstrsAfterOpt, R.IRInstrsAfterOpt);
+  EXPECT_EQ(Out.LoopsPipelined, R.LoopsPipelined);
+  EXPECT_EQ(Out.Diags.str(), R.Diags.str());
+}
+
+TEST(CacheCodecTest, RejectsTruncationAtEveryLength) {
+  auto M = check(helperModule("x * 2.0"));
+  std::vector<uint8_t> Bytes = encodeFunctionResult(compileFirst(*M));
+  ASSERT_GT(Bytes.size(), 8u);
+  // Every proper prefix must be rejected, never crash or half-decode.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Len);
+    driver::FunctionResult Out;
+    EXPECT_FALSE(decodeFunctionResult(Cut, Out)) << "prefix " << Len;
+  }
+  driver::FunctionResult Out;
+  std::vector<uint8_t> Padded = Bytes;
+  Padded.push_back(0); // trailing garbage is malformation too
+  EXPECT_FALSE(decodeFunctionResult(Padded, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Memory mode
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, MemoryHitAfterStore) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+
+  CompileCache Cache(CacheMode::Memory, Ctx);
+  EXPECT_FALSE(Cache.lookup(*S, *F).has_value());
+  driver::FunctionResult R = compileFirst(*M);
+  Cache.store(*S, *F, R);
+  auto Hit = Cache.lookup(*S, *F);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Program.Image, R.Program.Image);
+
+  CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 1u);
+  EXPECT_EQ(CS.Stores, 1u);
+  EXPECT_GT(CS.BytesStored, 0u);
+}
+
+TEST(CompileCacheTest, OffModeNeverHitsNorCounts) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+
+  CompileCache Cache(CacheMode::Off, Ctx);
+  Cache.store(*S, *F, compileFirst(*M));
+  EXPECT_FALSE(Cache.lookup(*S, *F).has_value());
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+  EXPECT_EQ(Cache.stats().Stores, 0u);
+}
+
+TEST(CompileCacheTest, MetricsRegistryReceivesCounters) {
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+
+  obs::MetricsRegistry Metrics;
+  CompileCache Cache(CacheMode::Memory, Ctx, "", &Metrics);
+  Cache.lookup(*S, *F); // miss
+  Cache.store(*S, *F, compileFirst(*M));
+  Cache.lookup(*S, *F); // hit
+  EXPECT_EQ(Metrics.counter("cache.misses"), 1.0);
+  EXPECT_EQ(Metrics.counter("cache.hits"), 1.0);
+  EXPECT_EQ(Metrics.counter("cache.stores"), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Disk mode
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, DiskRoundTripAcrossInstances) {
+  TempDir Dir;
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+  driver::FunctionResult R = compileFirst(*M);
+
+  {
+    CompileCache Writer(CacheMode::Disk, Ctx, Dir.str());
+    Writer.store(*S, *F, R);
+    Writer.rememberModule(*M);
+  }
+  // A fresh process: only the directory survives.
+  CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+  auto Hit = Reader.lookup(*S, *F);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Program.Image, R.Program.Image);
+  EXPECT_EQ(Hit->Diags.str(), R.Diags.str());
+  CacheStats CS = Reader.stats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_GT(CS.BytesLoaded, 0u);
+  EXPECT_EQ(CS.CorruptEntries, 0u);
+}
+
+TEST(CompileCacheTest, TruncatedDiskEntryDegradesToMiss) {
+  TempDir Dir;
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+
+  std::string Path;
+  {
+    CompileCache Writer(CacheMode::Disk, Ctx, Dir.str());
+    Writer.store(*S, *F, compileFirst(*M));
+    Path = Writer.entryPath(keyOf(fingerprintFunction(*S, *F, Ctx)));
+  }
+  ASSERT_TRUE(std::filesystem::exists(Path));
+  std::filesystem::resize_file(Path,
+                               std::filesystem::file_size(Path) / 2);
+
+  CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+  EXPECT_FALSE(Reader.lookup(*S, *F).has_value());
+  CacheStats CS = Reader.stats();
+  EXPECT_EQ(CS.Hits, 0u);
+  EXPECT_EQ(CS.Misses, 1u);
+  EXPECT_EQ(CS.CorruptEntries, 1u);
+}
+
+TEST(CompileCacheTest, BitFlippedDiskEntryDegradesToMiss) {
+  TempDir Dir;
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto M = check(helperModule("x * 2.0"));
+  const w2::SectionDecl *S = M->getSection(0);
+  const w2::FunctionDecl *F = S->getFunction(0);
+
+  std::string Path;
+  {
+    CompileCache Writer(CacheMode::Disk, Ctx, Dir.str());
+    Writer.store(*S, *F, compileFirst(*M));
+    Path = Writer.entryPath(keyOf(fingerprintFunction(*S, *F, Ctx)));
+  }
+  // Flip one payload bit; the checksum must catch it.
+  std::fstream File(Path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(File.good());
+  File.seekg(0, std::ios::end);
+  auto Size = File.tellg();
+  File.seekp(static_cast<std::streamoff>(Size) - 3);
+  char C;
+  File.seekg(static_cast<std::streamoff>(Size) - 3);
+  File.get(C);
+  File.seekp(static_cast<std::streamoff>(Size) - 3);
+  File.put(static_cast<char>(C ^ 0x40));
+  File.close();
+
+  CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+  EXPECT_FALSE(Reader.lookup(*S, *F).has_value());
+  EXPECT_EQ(Reader.stats().CorruptEntries, 1u);
+}
+
+TEST(CompileCacheTest, ExplainNamesEveryReason) {
+  TempDir Dir;
+  auto Ctx = CacheContext::forModel(codegen::MachineModel::warpCell());
+  auto Old = check(helperModule("x * 2.0"));
+
+  {
+    CompileCache Writer(CacheMode::Disk, Ctx, Dir.str());
+    const w2::SectionDecl *S = Old->getSection(0);
+    Writer.store(*S, *S->getFunction(0), compileFirst(*Old));
+    Writer.rememberModule(*Old);
+  }
+
+  // Unchanged module: helper was stored (hit), f2 was never stored but
+  // is in the manifest — an evicted entry reads as a rebuild.
+  {
+    CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+    auto Plan = Reader.explainModule(*Old);
+    ASSERT_EQ(Plan.size(), 2u);
+    EXPECT_EQ(Plan[0].FunctionName, "helper");
+    EXPECT_EQ(Plan[0].Reason, RebuildReason::Hit);
+    EXPECT_EQ(Plan[1].FunctionName, "f2");
+    EXPECT_NE(Plan[1].Reason, RebuildReason::Hit);
+  }
+
+  // Edited helper: its own miss is a BodyEdit, f2's is a CalleeEdit.
+  auto New = check(helperModule("x * 3.0"));
+  {
+    CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+    auto Plan = Reader.explainModule(*New);
+    ASSERT_EQ(Plan.size(), 2u);
+    EXPECT_EQ(Plan[0].Reason, RebuildReason::BodyEdit);
+    EXPECT_EQ(Plan[1].Reason, RebuildReason::CalleeEdit);
+  }
+
+  // A module the manifest has never seen.
+  {
+    CompileCache Reader(CacheMode::Disk, Ctx, Dir.str());
+    auto Fresh = check("module fresh;\nsection t cells 2 {\n"
+                       "  function lone(x: int): int {\n"
+                       "    return x + 1;\n  }\n}\n");
+    auto Plan = Reader.explainModule(*Fresh);
+    ASSERT_EQ(Plan.size(), 1u);
+    EXPECT_EQ(Plan[0].Reason, RebuildReason::NewFunction);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance: a warm recompile performs zero phase-2/3 compilations
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, WarmRecompileRunsZeroPhase23) {
+  const unsigned N = 6;
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Large, N);
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  CompileCache Cache(CacheMode::Memory, CacheContext::forModel(MM));
+
+  obs::MetricsRegistry Cold;
+  driver::ModuleResult First =
+      driver::compileModuleSequential(Source, MM, &Cold, &Cache);
+  ASSERT_TRUE(First.Succeeded);
+  EXPECT_EQ(Cold.counter("phase2.functions"), static_cast<double>(N));
+
+  obs::MetricsRegistry Warm;
+  driver::ModuleResult Second =
+      driver::compileModuleSequential(Source, MM, &Warm, &Cache);
+  ASSERT_TRUE(Second.Succeeded);
+  // The acceptance property: every function replayed, none compiled.
+  EXPECT_EQ(Warm.counter("phase2.functions"), 0.0);
+  EXPECT_EQ(Cache.stats().Hits, static_cast<uint64_t>(N));
+  EXPECT_EQ(Second.Image.Image, First.Image.Image);
+  EXPECT_EQ(Second.Diags.str(), First.Diags.str());
+}
+
+TEST(CompileCacheTest, ThreadRunnerSkipsDispatchOnWarmCache) {
+  const unsigned N = 8;
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Small, N);
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  CompileCache Cache(CacheMode::Memory, CacheContext::forModel(MM));
+
+  parallel::ThreadRunResult Cold = parallel::compileModuleParallel(
+      Source, MM, 4, driver::FaultPolicy(), nullptr, nullptr, nullptr,
+      &Cache);
+  ASSERT_TRUE(Cold.Module.Succeeded);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, N);
+
+  parallel::ThreadRunResult WarmRun = parallel::compileModuleParallel(
+      Source, MM, 4, driver::FaultPolicy(), nullptr, nullptr, nullptr,
+      &Cache);
+  ASSERT_TRUE(WarmRun.Module.Succeeded);
+  EXPECT_EQ(WarmRun.CacheHits, N);
+  EXPECT_EQ(WarmRun.CacheMisses, 0u);
+  EXPECT_EQ(WarmRun.Module.Image.Image, Cold.Module.Image.Image);
+}
+
+TEST(CompileCacheTest, WorkerCountCannotChangeWarmOrColdOutput) {
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Small, 6);
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  driver::ModuleResult Baseline = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Baseline.Succeeded);
+
+  for (unsigned Workers : {1u, 4u, 16u}) {
+    CompileCache Cache(CacheMode::Memory, CacheContext::forModel(MM));
+    for (int Pass = 0; Pass != 2; ++Pass) { // cold, then warm
+      parallel::ThreadRunResult Run = parallel::compileModuleParallel(
+          Source, MM, Workers, driver::FaultPolicy(), nullptr, nullptr,
+          nullptr, &Cache);
+      ASSERT_TRUE(Run.Module.Succeeded);
+      EXPECT_EQ(Run.Module.Image.Image, Baseline.Image.Image)
+          << Workers << " workers, pass " << Pass;
+      EXPECT_EQ(Run.Module.Diags.str(), Baseline.Diags.str())
+          << Workers << " workers, pass " << Pass;
+    }
+  }
+}

@@ -1,0 +1,234 @@
+//===- IncrementalDifferentialTest.cpp -------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized differential harness for incremental recompilation: seeded
+/// modules receive seeded single-function mutations, and after every edit
+/// a warm-cache incremental build must be bit-identical to a cold rebuild
+/// — at every worker count, and with fault injection active. The cache
+/// may change how little work a build does, never what it produces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+
+#include "cluster/FaultPlan.h"
+#include "driver/Compiler.h"
+#include "parallel/Job.h"
+#include "parallel/Scheduler.h"
+#include "parallel/SimRunner.h"
+#include "parallel/ThreadRunner.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace warpc;
+
+namespace {
+
+/// Functions per module; small enough that 51 seeds stay fast, large
+/// enough that a mutation leaves most of the module reusable.
+constexpr unsigned NumFns = 6;
+
+/// splitmix64: the per-test decision stream (which function to edit).
+uint64_t nextRand(uint64_t &State) {
+  uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// One module variant: function i is generated from Seeds[i]. Same-size
+/// regeneration keeps every function's line span fixed, so editing one
+/// function cannot shift (and thereby invalidate) its siblings.
+std::string buildModule(const std::vector<uint64_t> &Seeds) {
+  std::string Out = "module inc;\nsection main cells 10 {\n";
+  for (unsigned I = 0; I != Seeds.size(); ++I)
+    Out += workload::generateFunction(workload::FunctionSize::Small,
+                                      "f" + std::to_string(I + 1), Seeds[I]);
+  Out += "}\n";
+  return Out;
+}
+
+class IncrementalDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(IncrementalDifferentialTest, WarmEqualsColdUnderMutation) {
+  const uint64_t Seed = GetParam();
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  cache::CompileCache Cache(cache::CacheMode::Memory,
+                            cache::CacheContext::forModel(MM));
+
+  uint64_t Rng = Seed;
+  std::vector<uint64_t> Seeds;
+  for (unsigned I = 0; I != NumFns; ++I)
+    Seeds.push_back(Seed * 977 + I);
+
+  // Cold build fills the cache.
+  {
+    std::string Source = buildModule(Seeds);
+    driver::ModuleResult Cold = driver::compileModuleSequential(Source, MM);
+    ASSERT_TRUE(Cold.Succeeded);
+    parallel::ThreadRunResult First = parallel::compileModuleParallel(
+        Source, MM, 4, driver::FaultPolicy(), nullptr, nullptr, nullptr,
+        &Cache);
+    ASSERT_TRUE(First.Module.Succeeded);
+    EXPECT_EQ(First.CacheMisses, NumFns);
+    EXPECT_EQ(First.Module.Image.Image, Cold.Image.Image);
+  }
+
+  // Three single-function edits; after each, incremental == cold rebuild.
+  for (unsigned Step = 0; Step != 3; ++Step) {
+    unsigned Edited = static_cast<unsigned>(nextRand(Rng) % NumFns);
+    Seeds[Edited] += 1 + (nextRand(Rng) % 1000) * NumFns; // always fresh
+    std::string Source = buildModule(Seeds);
+
+    driver::ModuleResult Cold = driver::compileModuleSequential(Source, MM);
+    ASSERT_TRUE(Cold.Succeeded);
+
+    bool FirstWarm = true;
+    for (unsigned Workers : {1u, 4u, 16u}) {
+      parallel::ThreadRunResult Warm = parallel::compileModuleParallel(
+          Source, MM, Workers, driver::FaultPolicy(), nullptr, nullptr,
+          nullptr, &Cache);
+      ASSERT_TRUE(Warm.Module.Succeeded);
+      EXPECT_EQ(Warm.Module.Image.Image, Cold.Image.Image)
+          << "seed " << Seed << " step " << Step << " workers " << Workers;
+      EXPECT_EQ(Warm.Module.Diags.str(), Cold.Diags.str())
+          << "seed " << Seed << " step " << Step << " workers " << Workers;
+      if (FirstWarm) {
+        // Exactly the edited function rebuilt; its siblings replayed.
+        EXPECT_EQ(Warm.CacheHits, NumFns - 1)
+            << "seed " << Seed << " step " << Step;
+        EXPECT_EQ(Warm.CacheMisses, 1u)
+            << "seed " << Seed << " step " << Step;
+        FirstWarm = false;
+      } else {
+        EXPECT_EQ(Warm.CacheHits, NumFns);
+      }
+    }
+  }
+}
+
+TEST_P(IncrementalDifferentialTest, WarmEqualsColdUnderFaultInjection) {
+  // The same property with function masters vanishing and poisoning
+  // results: recovery may retry misses, but never corrupt the output —
+  // and cached functions are exempt from injection entirely.
+  const uint64_t Seed = GetParam();
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  cache::CompileCache Cache(cache::CacheMode::Memory,
+                            cache::CacheContext::forModel(MM));
+
+  std::vector<uint64_t> Seeds;
+  for (unsigned I = 0; I != NumFns; ++I)
+    Seeds.push_back(Seed * 977 + I);
+
+  parallel::FaultInjection Inject =
+      parallel::makeSeededInjection(Seed, 0.3, 0.2);
+  std::string Source = buildModule(Seeds);
+  driver::ModuleResult Cold = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Cold.Succeeded);
+
+  parallel::ThreadRunResult First = parallel::compileModuleParallel(
+      Source, MM, 4, driver::FaultPolicy(), &Inject, nullptr, nullptr,
+      &Cache);
+  ASSERT_TRUE(First.Module.Succeeded);
+  EXPECT_EQ(First.Module.Image.Image, Cold.Image.Image);
+
+  // Edit one function, then rebuild warm under the same injection.
+  uint64_t Rng = Seed ^ 0xABCD;
+  Seeds[nextRand(Rng) % NumFns] += NumFns;
+  Source = buildModule(Seeds);
+  Cold = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Cold.Succeeded);
+  for (unsigned Workers : {1u, 4u, 16u}) {
+    parallel::ThreadRunResult Warm = parallel::compileModuleParallel(
+        Source, MM, Workers, driver::FaultPolicy(), &Inject, nullptr,
+        nullptr, &Cache);
+    ASSERT_TRUE(Warm.Module.Succeeded);
+    EXPECT_EQ(Warm.Module.Image.Image, Cold.Image.Image)
+        << "seed " << Seed << " workers " << Workers;
+    EXPECT_EQ(Warm.Module.Diags.str(), Cold.Diags.str())
+        << "seed " << Seed << " workers " << Workers;
+  }
+}
+
+// The acceptance floor: at least 50 seeded mutation schedules.
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDifferentialTest,
+                         testing::Range<uint64_t>(300, 351));
+
+//===----------------------------------------------------------------------===//
+// Simulated 1989 host: warm tasks under an active fault plan
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalSimTest, CachedTasksSurviveFaultPlan) {
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Small, 8);
+  auto Job = parallel::buildJob(Source, MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+
+  // Warm half the module; host 3 crashes mid-run and messages drop.
+  Job->CacheEnabled = true;
+  unsigned Warm = 0;
+  for (auto &Section : Job->Sections)
+    for (parallel::FunctionTask &T : Section)
+      if (Warm++ % 2 == 0)
+        T.Cached = true;
+
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  std::string Error;
+  ASSERT_TRUE(cluster::parseFaultPlan("crash=3@100+400,loss=0.02,seed=5",
+                                      Host.Faults, Error))
+      << Error;
+
+  parallel::Assignment Assign = parallel::scheduleBalanced(*Job, 6);
+  parallel::ParStats Par =
+      parallel::simulateParallel(*Job, Assign, Host, parallel::CostModel::lisp1989());
+
+  // Every function completes despite the faults; the warm half replayed
+  // at lookup cost, the cold half compiled (and possibly retried).
+  EXPECT_EQ(Par.FunctionsCompleted, 8u);
+  EXPECT_EQ(Par.CacheHits, 4u);
+  EXPECT_EQ(Par.CacheMisses, 4u);
+  EXPECT_GT(Par.CacheBytesKB, 0.0);
+  EXPECT_GT(Par.ElapsedSec, 0.0);
+}
+
+TEST(IncrementalSimTest, FullyWarmRunBeatsColdRun) {
+  codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Medium, 8);
+  auto Job = parallel::buildJob(Source, MM);
+  ASSERT_TRUE(static_cast<bool>(Job));
+  cluster::HostConfig Host = cluster::HostConfig::sunNetwork1989();
+  auto Model = parallel::CostModel::lisp1989();
+
+  Job->CacheEnabled = true;
+  parallel::Assignment Assign = parallel::scheduleBalanced(*Job, 8);
+  parallel::ParStats ColdRun =
+      parallel::simulateParallel(*Job, Assign, Host, Model);
+  EXPECT_EQ(ColdRun.CacheMisses, 8u);
+
+  for (auto &Section : Job->Sections)
+    for (parallel::FunctionTask &T : Section)
+      T.Cached = true;
+  parallel::Assignment WarmAssign = parallel::scheduleBalanced(*Job, 8);
+  parallel::ParStats WarmRun =
+      parallel::simulateParallel(*Job, WarmAssign, Host, Model);
+
+  EXPECT_EQ(WarmRun.CacheHits, 8u);
+  EXPECT_EQ(WarmRun.CacheMisses, 0u);
+  EXPECT_EQ(WarmRun.FunctionsCompleted, 8u);
+  // Replay costs a lookup per function, far below any compile.
+  EXPECT_LT(WarmRun.ElapsedSec, ColdRun.ElapsedSec / 2);
+  // Warm tasks occupy no workstation beyond the master's.
+  EXPECT_EQ(WarmRun.ProcessorsUsed, 0u);
+}

@@ -1,0 +1,123 @@
+//===- RetryRoundTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared retry-round helpers both engines now use: the attempt
+/// milestone gate (crash vs supersession precedence and billing) and the
+/// produced/pending round tracker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parallel/RetryRound.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+TEST(CheckAttemptTest, CleanAttemptProceeds) {
+  AttemptGate G = checkAttempt(/*LostToCrash=*/false,
+                               obs::FaultCause::CrashDuringCompile,
+                               /*Superseded=*/false);
+  EXPECT_TRUE(G.Proceed);
+  EXPECT_EQ(G.Cause, obs::FaultCause::None);
+  EXPECT_FALSE(G.ClipAtCrash);
+}
+
+TEST(CheckAttemptTest, CrashAbandonsWithClippedBilling) {
+  AttemptGate G = checkAttempt(/*LostToCrash=*/true,
+                               obs::FaultCause::CrashDuringStartup,
+                               /*Superseded=*/false);
+  EXPECT_FALSE(G.Proceed);
+  EXPECT_EQ(G.Cause, obs::FaultCause::CrashDuringStartup);
+  // A crash that goes unnoticed must not bill time past the crash.
+  EXPECT_TRUE(G.ClipAtCrash);
+}
+
+TEST(CheckAttemptTest, SupersededAbandonsWithFullBilling) {
+  AttemptGate G = checkAttempt(/*LostToCrash=*/false,
+                               obs::FaultCause::CrashDuringResult,
+                               /*Superseded=*/true);
+  EXPECT_FALSE(G.Proceed);
+  EXPECT_EQ(G.Cause, obs::FaultCause::Superseded);
+  // The machine really was busy the whole time; bill all of it.
+  EXPECT_FALSE(G.ClipAtCrash);
+}
+
+TEST(CheckAttemptTest, CrashOutranksSupersession) {
+  // A dead host's work is lost whether or not a competitor finished
+  // first — the cause and the billing must be the crash's.
+  AttemptGate G = checkAttempt(/*LostToCrash=*/true,
+                               obs::FaultCause::CrashDuringCompile,
+                               /*Superseded=*/true);
+  EXPECT_FALSE(G.Proceed);
+  EXPECT_EQ(G.Cause, obs::FaultCause::CrashDuringCompile);
+  EXPECT_TRUE(G.ClipAtCrash);
+}
+
+TEST(RetryRoundTrackerTest, FirstRoundIsNotARetry) {
+  RetryRoundTracker T(3);
+  EXPECT_EQ(T.pending().size(), 3u);
+  EXPECT_FALSE(T.allProduced());
+
+  T.beginRound(1);
+  EXPECT_EQ(T.retriesAttempted(), 0u);
+  T.produced(0);
+  T.produced(1);
+  T.produced(2);
+  T.settleRound();
+
+  EXPECT_TRUE(T.allProduced());
+  EXPECT_EQ(T.retriesAttempted(), 0u);
+  EXPECT_EQ(T.functionsReassigned(), 0u);
+}
+
+TEST(RetryRoundTrackerTest, LaterRoundsCountRetriesAndReassignments) {
+  RetryRoundTracker T(4);
+  T.beginRound(1);
+  T.produced(0);
+  T.produced(2);
+  T.settleRound();
+  ASSERT_EQ(T.pending().size(), 2u);
+  EXPECT_EQ(T.pending()[0], 1u);
+  EXPECT_EQ(T.pending()[1], 3u);
+
+  // Round 2 re-attempts both; one succeeds.
+  T.beginRound(2);
+  EXPECT_EQ(T.retriesAttempted(), 2u);
+  T.produced(1);
+  T.settleRound();
+  EXPECT_EQ(T.functionsReassigned(), 1u);
+  EXPECT_FALSE(T.allProduced());
+
+  // Round 3 re-attempts the last one.
+  T.beginRound(3);
+  EXPECT_EQ(T.retriesAttempted(), 3u);
+  T.produced(3);
+  T.settleRound();
+  EXPECT_EQ(T.functionsReassigned(), 2u);
+  EXPECT_TRUE(T.allProduced());
+}
+
+TEST(RetryRoundTrackerTest, ExhaustedRoundsLeaveMasterWorklist) {
+  RetryRoundTracker T(2);
+  T.beginRound(1);
+  T.settleRound();
+  T.beginRound(2);
+  T.settleRound();
+  // Nothing ever produced: the pending list is the master-fallback
+  // worklist, and no reassignment was ever completed.
+  EXPECT_EQ(T.pending().size(), 2u);
+  EXPECT_EQ(T.retriesAttempted(), 2u);
+  EXPECT_EQ(T.functionsReassigned(), 0u);
+  EXPECT_FALSE(T.isProduced(0));
+
+  // The master produces them outside any round.
+  T.produced(0);
+  T.produced(1);
+  EXPECT_TRUE(T.isProduced(0));
+  EXPECT_TRUE(T.isProduced(1));
+}

@@ -24,6 +24,10 @@
 //                      Perfetto) of the simulated run (with --simulate)
 //                      or of the threaded compilation
 //   --stats-json <f>   write run statistics + compiler metrics as JSON
+//   --cache <mode>     off|memory|disk: content-addressed function cache
+//   --cache-dir <dir>  persistent cache directory (implies --cache disk)
+//   --cache-stats      print cache hit/miss/store statistics
+//   --explain-rebuild  print every function's cache fate and why
 //   --verbose          print per-function statistics
 //
 //===----------------------------------------------------------------------===//
@@ -31,6 +35,7 @@
 #include "analysis/Analyzer.h"
 #include "analysis/Checks.h"
 #include "analysis/Diagnostic.h"
+#include "cache/CompileCache.h"
 #include "cluster/FaultPlan.h"
 #include "driver/Compiler.h"
 #include "parallel/AnalysisRunner.h"
@@ -56,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -72,7 +78,9 @@ struct Options {
   std::string TraceJsonFile;
   std::string StatsJsonFile;
   std::string AnalyzeJsonFile;
+  std::string CacheDir;
   analysis::AnalysisOptions Analysis;
+  cache::CacheMode CacheMode = cache::CacheMode::Off;
   unsigned Workers = 1;
   unsigned SimProcessors = 14;
   double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
@@ -81,6 +89,8 @@ struct Options {
   bool Simulate = false;
   bool Verbose = false;
   bool Analyze = false;
+  bool CacheStats = false;
+  bool ExplainRebuild = false;
 };
 
 void usage(const char *Prog) {
@@ -108,6 +118,13 @@ void usage(const char *Prog) {
                "                   --analyze)\n"
                "  --werror         treat analysis warnings as errors\n"
                "  --disable-checks <ids>  comma-separated check ids to skip\n"
+               "  --cache <m>      off|memory|disk: content-addressed cache\n"
+               "                   of per-function phase-2/3 results\n"
+               "  --cache-dir <d>  persistent cache directory (implies\n"
+               "                   --cache disk)\n"
+               "  --cache-stats    print cache hit/miss/store statistics\n"
+               "  --explain-rebuild  print each function's cache fate and\n"
+               "                   the invalidation reason\n"
                "  --verbose        per-function statistics\n",
                Prog);
 }
@@ -198,6 +215,33 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         }
         Pos = Comma + 1;
       }
+    } else if (Arg == "--cache") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string Mode = V;
+      if (Mode == "off")
+        Opts.CacheMode = cache::CacheMode::Off;
+      else if (Mode == "memory")
+        Opts.CacheMode = cache::CacheMode::Memory;
+      else if (Mode == "disk")
+        Opts.CacheMode = cache::CacheMode::Disk;
+      else {
+        std::fprintf(stderr,
+                     "error: --cache must be off, memory, or disk\n");
+        return false;
+      }
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheDir = V;
+      if (Opts.CacheMode == cache::CacheMode::Off)
+        Opts.CacheMode = cache::CacheMode::Disk;
+    } else if (Arg == "--cache-stats") {
+      Opts.CacheStats = true;
+    } else if (Arg == "--explain-rebuild") {
+      Opts.ExplainRebuild = true;
     } else if (Arg == "--inline") {
       Opts.Inline = true;
     } else if (Arg == "--simulate") {
@@ -217,6 +261,15 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else {
       Opts.InputFile = Arg;
     }
+  }
+  if (Opts.CacheMode == cache::CacheMode::Disk && Opts.CacheDir.empty()) {
+    std::fprintf(stderr, "error: --cache disk needs --cache-dir\n");
+    return false;
+  }
+  if (Opts.ExplainRebuild && Opts.CacheMode == cache::CacheMode::Off) {
+    std::fprintf(stderr,
+                 "error: --explain-rebuild needs --cache memory or disk\n");
+    return false;
   }
   return !Opts.InputFile.empty() || !Opts.Demo.empty();
 }
@@ -387,6 +440,27 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
   bool HaveSession = false;
   bool TraceThreads = !Opts.TraceJsonFile.empty() && !Opts.Simulate;
 
+  // The compilation cache fronts phases 2+3: functions whose content
+  // address matches a stored entry replay the stored result instead of
+  // compiling. The rebuild plan is read before compiling, so it (and the
+  // simulator's warm-task marking below) reflects what this run reuses
+  // rather than what the run itself stored.
+  std::unique_ptr<cache::CompileCache> Cache;
+  std::vector<cache::ExplainEntry> Explain;
+  if (Opts.CacheMode != cache::CacheMode::Off) {
+    Cache = std::make_unique<cache::CompileCache>(
+        Opts.CacheMode, cache::CacheContext::forModel(MM), Opts.CacheDir,
+        &Metrics);
+    Explain = Cache->explainModule(*Module);
+    if (Opts.ExplainRebuild) {
+      std::printf("rebuild plan (%zu function(s)):\n", Explain.size());
+      for (const cache::ExplainEntry &E : Explain)
+        std::printf("  %s.%s: %s\n", E.SectionName.c_str(),
+                    E.FunctionName.c_str(),
+                    cache::rebuildReasonName(E.Reason));
+    }
+  }
+
   // Phases 2-4 through the standard pipeline (threaded when requested,
   // or whenever the real compilation itself is being traced — the trace
   // models the master/worker hierarchy, so it rides the thread engine).
@@ -397,8 +471,9 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
       for (size_t S = 0; S != Module->numSections(); ++S) {
         const w2::SectionDecl *Section = Module->getSection(S);
         for (size_t F = 0; F != Section->numFunctions(); ++F)
-          FnResults.push_back(driver::compileFunction(
-              *Section, *Section->getFunction(F), MM, &Metrics));
+          FnResults.push_back(driver::compileFunctionCached(
+              *Section, *Section->getFunction(F), MM, Cache.get(),
+              &Metrics));
       }
       driver::assembleAndLink(*Module, std::move(FnResults), Result,
                               &Metrics);
@@ -413,7 +488,7 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
         Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
       parallel::ThreadRunResult Par = parallel::compileModuleParallel(
           ThreadSource, MM, Opts.Workers, driver::FaultPolicy(),
-          /*Inject=*/nullptr, Rec.get(), &Metrics);
+          /*Inject=*/nullptr, Rec.get(), &Metrics, Cache.get());
       Result = std::move(Par.Module);
       if (Rec) {
         Session = Rec->finish();
@@ -428,6 +503,10 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     std::fprintf(stderr, "%s", Result.Diags.str().c_str());
     return 1;
   }
+  // Record the module's fingerprints so the next invocation can name why
+  // each function rebuilds (the entries themselves were stored above).
+  if (Cache)
+    Cache->rememberModule(*Module);
 
   std::printf("compiled module '%s': %zu section(s), %zu function(s), "
               "image %llu bytes\n",
@@ -481,6 +560,19 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
                    Job.getError().message().c_str());
       return 0;
     }
+    if (Cache) {
+      // Replay the pre-compile rebuild plan onto the job: every function
+      // that was a cache hit in this process becomes a warm task, so the
+      // simulated 1989 run models the same incremental recompile.
+      std::set<std::string> Warm;
+      for (const cache::ExplainEntry &E : Explain)
+        if (E.Reason == cache::RebuildReason::Hit)
+          Warm.insert(E.SectionName + "." + E.FunctionName);
+      for (auto &Section : Job->Sections)
+        for (parallel::FunctionTask &T : Section)
+          T.Cached = Warm.count(T.SectionName + "." + T.FunctionName) != 0;
+      Job->CacheEnabled = true;
+    }
     parallel::SeqStats Seq =
         parallel::simulateSequential(*Job, Host, Model);
     parallel::Assignment Assign =
@@ -513,6 +605,12 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
                Par.ElapsedSec);
     double Speedup = Par.ElapsedSec > 0 ? Seq.ElapsedSec / Par.ElapsedSec : 0;
     Report.add("speedup", "speedup", fmt("%8.2f", Speedup), Speedup);
+    if (Job->CacheEnabled) {
+      Report.add("cache_hits", "cache hits", fmt("%8u", Par.CacheHits),
+                 Par.CacheHits);
+      Report.add("cache_misses", "cache misses", fmt("%8u", Par.CacheMisses),
+                 Par.CacheMisses);
+    }
 
     parallel::OverheadBreakdown OB =
         parallel::computeOverheads(Seq, Par, Job->numFunctions());
@@ -554,6 +652,26 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
                          : 0.0),
                  OverheadSec);
     }
+  }
+
+  if (Cache && Opts.CacheStats) {
+    cache::CacheStats CS = Cache->stats();
+    Report.beginGroup("cache", "compilation cache");
+    Report.add("hits", "hits", fmt("%8llu", (unsigned long long)CS.Hits),
+               CS.Hits);
+    Report.add("misses", "misses", fmt("%8llu", (unsigned long long)CS.Misses),
+               CS.Misses);
+    Report.add("stores", "stores", fmt("%8llu", (unsigned long long)CS.Stores),
+               CS.Stores);
+    Report.add("bytes_loaded", "bytes loaded",
+               fmt("%8llu", (unsigned long long)CS.BytesLoaded),
+               CS.BytesLoaded);
+    Report.add("bytes_stored", "bytes stored",
+               fmt("%8llu", (unsigned long long)CS.BytesStored),
+               CS.BytesStored);
+    Report.add("corrupt_entries", "corrupt entries",
+               fmt("%8llu", (unsigned long long)CS.CorruptEntries),
+               CS.CorruptEntries);
   }
   if (!Report.empty())
     std::printf("\n%s", Report.renderText().c_str());
