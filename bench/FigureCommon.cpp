@@ -114,6 +114,7 @@ void bench::printFigureHeader(const std::string &Figure,
     S.Enabled = true;
     S.Path = std::string(Dir) + "/BENCH_" + figureSlug(Figure) + ".json";
     S.Doc = json::Value::object();
+    S.Doc.set("schema", "warpc-bench-v1");
     S.Doc.set("figure", Figure);
     S.Doc.set("title", Title);
     S.Doc.set("paper", PaperExpectation);

@@ -65,7 +65,8 @@ void printFigureHeader(const std::string &Figure, const std::string &Title,
 /// Machine-readable figure output. When the WARPC_BENCH_JSON environment
 /// variable names a directory, every figure binary writes
 /// <dir>/BENCH_<figure>.json ("Figure 6" -> BENCH_fig06.json) holding
-/// {"figure", "title", "paper", "rows": [...]} next to its text table;
+/// {"schema": "warpc-bench-v1", "figure", "title", "paper", "rows": [...]}
+/// next to its text table (warp-perf diffs these documents);
 /// the shared printers below record their rows automatically, and
 /// figure-specific mains append theirs with benchJsonRow(). Without the
 /// variable the sink is inert and the binaries behave exactly as before.

@@ -61,6 +61,25 @@ HITS="$(sed -n 's/.*"cache.hits": \([0-9.]*\).*/\1/p' \
 test -n "$HITS"
 test "${HITS%.*}" -gt 0
 
+echo "== perf gate smoke test =="
+# Two identical simulated runs must clear the regression gate; halving
+# the machine to two processors must trip it (exit 1).
+"$BUILD_DIR/tools/warpc" --demo small --simulate \
+    --stats-json "$TMP_DIR/perf.base.json" > /dev/null
+"$BUILD_DIR/tools/warpc" --demo small --simulate \
+    --stats-json "$TMP_DIR/perf.same.json" > /dev/null
+"$BUILD_DIR/tools/warp-perf" "$TMP_DIR/perf.base.json" \
+    "$TMP_DIR/perf.same.json" | tee "$TMP_DIR/perf.out"
+grep -q "0 regression(s)" "$TMP_DIR/perf.out"
+"$BUILD_DIR/tools/warpc" --demo small --simulate --processors 2 \
+    --stats-json "$TMP_DIR/perf.slow.json" > /dev/null
+if "$BUILD_DIR/tools/warp-perf" "$TMP_DIR/perf.base.json" \
+    "$TMP_DIR/perf.slow.json" > "$TMP_DIR/perf.slow.out"; then
+  echo "error: warp-perf failed to flag the slowed run" >&2
+  exit 1
+fi
+grep -q "REGRESSION" "$TMP_DIR/perf.slow.out"
+
 if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
   echo "== asan+ubsan =="
   SAN_DIR="${SAN_BUILD_DIR:-$REPO_DIR/build-asan}"

@@ -72,6 +72,11 @@ struct HostConfig {
   /// already sits on the file server).
   double CacheLookupSec = 0.5;
 
+  /// Telemetry sampling period in (simulated) seconds: how often the
+  /// parallel runners poll their gauges (queue depth, in-flight compiles,
+  /// per-host busy fraction, cache hit rate) into bounded time series.
+  double TelemetrySamplePeriodSec = 5.0;
+
   /// Measurement jitter: every service time is stretched by a uniform
   /// factor in [1-Jitter, 1+Jitter]. Zero keeps the simulation exactly
   /// deterministic; the methodology bench uses a few percent to mirror

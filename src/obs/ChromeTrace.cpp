@@ -8,8 +8,10 @@
 
 #include "support/Json.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 using namespace warpc;
 using namespace warpc::obs;
@@ -38,6 +40,8 @@ json::Value eventArgs(const SpanEvent &E) {
   if (E.CpuSec != 0)
     Args.set("cpu", json::Value(E.CpuSec));
   Args.set("seq", json::Value(E.Seq));
+  if (E.Parent != 0)
+    Args.set("parent", json::Value(E.Parent));
   if (E.Host >= 0)
     Args.set("host", json::Value(E.Host));
   if (E.Section >= 0)
@@ -110,6 +114,58 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
     Events.push(std::move(Ev));
   }
 
+  // Causal flow arrows. Perfetto only anchors flows on slices, so each
+  // span with a Parent link draws an arrow from its nearest *span*
+  // ancestor (walking through instant milestones like FunctionDone); the
+  // instants themselves draw nothing — their children bridge past them.
+  {
+    std::unordered_map<uint64_t, const SpanEvent *> ById;
+    ById.reserve(S.Events.size());
+    for (const SpanEvent &E : S.Events)
+      ById.emplace(E.spanId(), &E);
+    for (const SpanEvent &E : S.Events) {
+      if (!E.isSpan() || E.Parent == 0)
+        continue;
+      const SpanEvent *Anchor = nullptr;
+      uint64_t Walk = E.Parent;
+      for (unsigned Guard = 0; Walk != 0 && Guard != 64; ++Guard) {
+        auto It = ById.find(Walk);
+        if (It == ById.end())
+          break;
+        if (It->second->isSpan()) {
+          Anchor = It->second;
+          break;
+        }
+        Walk = It->second->Parent;
+      }
+      if (!Anchor)
+        continue;
+      json::Value Start = json::Value::object();
+      Start.set("name", json::Value("causal"));
+      Start.set("cat", json::Value("flow"));
+      Start.set("ph", json::Value("s"));
+      Start.set("id", json::Value(E.spanId()));
+      // Anchor at the producing span's end, nudged inside the slice so
+      // Perfetto binds it to that slice rather than a later one.
+      double AnchorSec =
+          std::min(Anchor->endSec(), std::max(Anchor->TSec, E.TSec));
+      Start.set("ts", json::Value(AnchorSec * 1e6));
+      Start.set("pid", json::Value(Pid));
+      Start.set("tid", json::Value(TidOf(*Anchor)));
+      Events.push(std::move(Start));
+      json::Value Finish = json::Value::object();
+      Finish.set("name", json::Value("causal"));
+      Finish.set("cat", json::Value("flow"));
+      Finish.set("ph", json::Value("f"));
+      Finish.set("bp", json::Value("e")); // bind to enclosing slice
+      Finish.set("id", json::Value(E.spanId()));
+      Finish.set("ts", json::Value(E.TSec * 1e6));
+      Finish.set("pid", json::Value(Pid));
+      Finish.set("tid", json::Value(TidOf(E)));
+      Events.push(std::move(Finish));
+    }
+  }
+
   for (const CounterEvent &C : S.Counters) {
     if (C.Counter < 0 ||
         static_cast<size_t>(C.Counter) >= S.CounterNames.size())
@@ -133,6 +189,7 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
 
   json::Value Other = json::Value::object();
   Other.set("tool", json::Value("warpc"));
+  Other.set("traceId", json::Value(S.TraceId));
   Other.set("clockDomain",
             json::Value(S.Domain == ClockDomain::Simulated ? "simulated"
                                                            : "steady"));
@@ -173,9 +230,15 @@ bool obs::writeChromeTraceFile(const TraceSession &S, const std::string &Path,
 bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
                            std::string &Error) {
   Out = TraceSession();
-  json::Value Root = json::parse(Text, Error);
-  if (!Error.empty())
+  if (Text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    Error = "empty trace file (no JSON content)";
     return false;
+  }
+  json::Value Root = json::parse(Text, Error);
+  if (!Error.empty()) {
+    Error = "truncated or malformed trace JSON: " + Error;
+    return false;
+  }
   if (!Root.isObject() || !Root.get("traceEvents").isArray()) {
     Error = "not a Chrome trace: missing traceEvents array";
     return false;
@@ -186,6 +249,8 @@ bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
     Out.Domain = Other.get("clockDomain").str() == "steady"
                      ? ClockDomain::Steady
                      : ClockDomain::Simulated;
+    if (Other.has("traceId"))
+      Out.TraceId = static_cast<uint64_t>(Other.get("traceId").integer());
     Out.NumHosts = static_cast<uint32_t>(Other.get("numHosts").integer());
     Out.NumSections =
         static_cast<uint32_t>(Other.get("numSections").integer());
@@ -226,6 +291,9 @@ bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
     E.DurSec = Args.has("dur") ? Args.get("dur").number() : -1.0;
     E.CpuSec = Args.has("cpu") ? Args.get("cpu").number() : 0.0;
     E.Seq = static_cast<uint64_t>(Args.get("seq").integer());
+    E.Parent = Args.has("parent")
+                   ? static_cast<uint64_t>(Args.get("parent").integer())
+                   : 0;
     E.Host = Args.has("host")
                  ? static_cast<int32_t>(Args.get("host").integer())
                  : -1;

@@ -41,6 +41,7 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::AllSectionsDone, "all_sections_done"},
     {EventKind::ModuleLinked, "module_linked"},
     {EventKind::RunComplete, "run_complete"},
+    {EventKind::AnomalyDetected, "anomaly_detected"},
 };
 
 constexpr std::pair<Phase, const char *> PhaseNames[] = {

@@ -58,6 +58,7 @@ enum class EventKind : uint8_t {
   AllSectionsDone,  ///< Assembly can begin.
   ModuleLinked,     ///< Download module linked.
   RunComplete,      ///< Final image transfer landed.
+  AnomalyDetected,  ///< Telemetry flagged a spike or straggler.
 };
 
 /// Returns a stable lowercase identifier ("span_compile", "timeout_fired")
@@ -101,8 +102,8 @@ enum class FaultCause : uint8_t {
 const char *causeName(FaultCause C);
 bool causeFromName(const std::string &Name, FaultCause &C);
 
-/// One trace record. 56 bytes, no owned strings: names are interned in
-/// the TraceSession the event belongs to.
+/// One trace record, no owned strings: names are interned in the
+/// TraceSession the event belongs to.
 struct SpanEvent {
   double TSec = 0;    ///< Start time (or instant time) in seconds.
   double DurSec = -1; ///< Extent; negative for instants.
@@ -112,6 +113,10 @@ struct SpanEvent {
   /// decomposition from the trace alone.
   double CpuSec = 0;
   uint64_t Seq = 0;   ///< Emission order: the deterministic tie-break.
+  /// Span id of the event that causally produced this one (the dispatch
+  /// or result message edge), or 0 for a root. Span ids are Seq + 1 so
+  /// that 0 never names a real event; see spanId().
+  uint64_t Parent = 0;
   int32_t Host = -1;  ///< Simulated workstation or thread lane; -1 n/a.
   int32_t Section = -1;
   int32_t Function = -1; ///< Flat function id into the name table.
@@ -123,6 +128,18 @@ struct SpanEvent {
 
   bool isSpan() const { return DurSec >= 0; }
   double endSec() const { return isSpan() ? TSec + DurSec : TSec; }
+  /// The id other events use as their Parent link (nonzero).
+  uint64_t spanId() const { return Seq + 1; }
+};
+
+/// The W3C-style propagation triple for one event: which run it belongs
+/// to, its own id, and the id of the event that caused it. This is what
+/// the engines conceptually pass along every dispatch/result message;
+/// the flat SpanEvent fields are its storage.
+struct SpanContext {
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentSpanId = 0;
 };
 
 /// One sample of a named time series (queue depths, load estimates).
@@ -148,6 +165,10 @@ struct TraceSession {
   std::vector<CounterEvent> Counters;
   std::vector<std::string> FunctionNames; ///< Indexed by SpanEvent::Function.
   std::vector<std::string> CounterNames;  ///< Indexed by CounterEvent::Counter.
+  /// Identifies the run all spans belong to. Derived from the run's
+  /// content (not wall clock) so identical runs serialize identically;
+  /// kept in [0, 2^63) so it survives a JSON integer round trip.
+  uint64_t TraceId = 0;
   uint32_t NumHosts = 0;
   uint32_t NumSections = 0;
 
@@ -161,6 +182,11 @@ struct TraceSession {
     return Id >= 0 && static_cast<size_t>(Id) < FunctionNames.size()
                ? FunctionNames[static_cast<size_t>(Id)]
                : Unknown;
+  }
+
+  /// The propagation triple for one recorded event.
+  SpanContext contextOf(const SpanEvent &E) const {
+    return {TraceId, E.spanId(), E.Parent};
   }
 };
 

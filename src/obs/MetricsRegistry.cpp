@@ -6,6 +6,7 @@
 
 #include "obs/MetricsRegistry.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace warpc;
@@ -27,6 +28,31 @@ double Histogram::bucketLowerBound(unsigned Index) {
   if (Index == 0)
     return 0;
   return std::ldexp(1.0, static_cast<int>(Index) - 32);
+}
+
+double Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q <= 0)
+    return Min;
+  if (Q >= 1)
+    return Max;
+  double Target = Q * static_cast<double>(Count);
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    double Before = static_cast<double>(Cum);
+    Cum += Buckets[I];
+    if (static_cast<double>(Cum) < Target)
+      continue;
+    double Lo = bucketLowerBound(I);
+    double Hi = I + 1 < NumBuckets ? bucketLowerBound(I + 1) : Max;
+    double Frac = (Target - Before) / static_cast<double>(Buckets[I]);
+    double V = Lo + (Hi - Lo) * Frac;
+    return std::min(std::max(V, Min), Max);
+  }
+  return Max;
 }
 
 void Histogram::record(double Value) {
@@ -98,6 +124,15 @@ Histogram MetricsRegistry::histogram(std::string_view Name) const {
   return H ? *H : Histogram{};
 }
 
+std::vector<std::string> MetricsRegistry::histogramNames() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::string> Out;
+  Out.reserve(Histograms.size());
+  for (const auto &N : Histograms)
+    Out.push_back(N.Name);
+  return Out;
+}
+
 json::Value MetricsRegistry::toJson() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   json::Value Root = json::Value::object();
@@ -121,6 +156,9 @@ json::Value MetricsRegistry::toJson() const {
     HV.set("min", json::Value(H.Min));
     HV.set("max", json::Value(H.Max));
     HV.set("mean", json::Value(H.mean()));
+    HV.set("p50", json::Value(H.quantile(0.50)));
+    HV.set("p95", json::Value(H.quantile(0.95)));
+    HV.set("p99", json::Value(H.quantile(0.99)));
     json::Value BucketsV = json::Value::array();
     for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
       if (H.Buckets[I] == 0)

@@ -47,6 +47,12 @@ struct Histogram {
 
   void record(double Value);
   double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+  /// Estimated quantile (0 <= Q <= 1) by walking the cumulative bucket
+  /// counts and interpolating linearly inside the target bucket, clamped
+  /// to the observed [Min, Max] — the log2 buckets never let an estimate
+  /// resolve beyond the true extremes. 0 when empty.
+  double quantile(double Q) const;
 };
 
 /// Named counters, gauges, and histograms. Lookup interns the name on
@@ -61,10 +67,13 @@ public:
   double gauge(std::string_view Name) const;
   /// Copy of the named histogram (zeroed if never observed).
   Histogram histogram(std::string_view Name) const;
+  /// Names of all observed histograms, in first-observation order.
+  std::vector<std::string> histogramNames() const;
 
   /// Serializes the registry:
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///  {"count": n, "sum": s, "min": m, "max": M, "mean": u,
+  ///   "p50": q, "p95": q, "p99": q,
   ///   "buckets": [[lowerBound, count], ...nonzero only]}}}
   json::Value toJson() const;
 

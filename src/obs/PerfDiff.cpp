@@ -1,0 +1,189 @@
+//===- PerfDiff.cpp - Perf-regression gate over stats/bench JSON ---------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfDiff.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+bool contains(std::string_view Haystack, std::string_view Needle) {
+  return Haystack.find(Needle) != std::string_view::npos;
+}
+
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// Identifying label for one element of an array of objects: its string
+/// members plus the well-known shape counters, e.g.
+/// "[size=s_small,functions=16]".
+std::string rowLabel(const json::Value &Row, size_t Index) {
+  std::string Label;
+  for (const auto &[Key, V] : Row.members()) {
+    bool Identifying =
+        V.isString() || ((Key == "functions" || Key == "workers" ||
+                          Key == "processors" || Key == "hosts") &&
+                         V.isNumber());
+    if (!Identifying)
+      continue;
+    if (!Label.empty())
+      Label += ',';
+    Label += Key + "=" + (V.isString() ? V.str() : V.dump());
+  }
+  if (Label.empty())
+    Label = std::to_string(Index);
+  return "[" + Label + "]";
+}
+
+void flattenInto(const json::Value &V, const std::string &Path,
+                 std::vector<PerfMetric> &Out) {
+  if (V.isNumber()) {
+    if (!Path.empty())
+      Out.push_back({Path, V.number()});
+    return;
+  }
+  if (V.isObject()) {
+    for (const auto &[Key, Member] : V.members()) {
+      if (Key == "schema")
+        continue; // version tag, not a metric
+      flattenInto(Member, Path.empty() ? Key : Path + "." + Key, Out);
+    }
+    return;
+  }
+  if (V.isArray()) {
+    // Only arrays of objects (BENCH rows) are walked; scalar arrays are
+    // raw data (histogram buckets, series samples), not metrics.
+    for (size_t I = 0; I != V.size(); ++I)
+      if (V[I].isObject())
+        flattenInto(V[I], Path + rowLabel(V[I], I), Out);
+  }
+}
+
+} // namespace
+
+PerfDirection obs::metricDirection(std::string_view Path) {
+  // Only the leaf name decides: row labels and group names carry
+  // identifying text ("size=...") that must not sway the direction.
+  size_t Dot = Path.rfind('.');
+  std::string_view Leaf =
+      Dot == std::string_view::npos ? Path : Path.substr(Dot + 1);
+  if (contains(Leaf, "speedup") || contains(Leaf, "hit_rate") ||
+      contains(Leaf, "hits"))
+    return PerfDirection::HigherIsBetter;
+  if (endsWith(Leaf, "_sec") || endsWith(Leaf, "sec") ||
+      endsWith(Leaf, "_ms") || contains(Leaf, "elapsed") ||
+      contains(Leaf, "overhead") || contains(Leaf, "wait") ||
+      contains(Leaf, "p50") || contains(Leaf, "p95") || contains(Leaf, "p99"))
+    return PerfDirection::LowerIsBetter;
+  return PerfDirection::Informational;
+}
+
+std::vector<PerfMetric> obs::flattenMetrics(const json::Value &Doc) {
+  std::vector<PerfMetric> Out;
+  flattenInto(Doc, "", Out);
+  return Out;
+}
+
+PerfDiffResult obs::diffPerf(const std::vector<json::Value> &Baselines,
+                             const json::Value &Candidate,
+                             const PerfDiffOptions &Opts) {
+  PerfDiffResult R;
+
+  // Pool the baseline repeats per path; insertion order of the first
+  // appearance keeps the report deterministic.
+  std::vector<std::string> Order;
+  std::map<std::string, Summary> Pool;
+  for (const json::Value &B : Baselines) {
+    for (const PerfMetric &M : flattenMetrics(B)) {
+      auto [It, Fresh] = Pool.try_emplace(M.Path);
+      if (Fresh)
+        Order.push_back(M.Path);
+      It->second.add(M.Value);
+    }
+  }
+
+  std::map<std::string, double> Cand;
+  std::vector<std::string> CandOrder;
+  for (const PerfMetric &M : flattenMetrics(Candidate)) {
+    if (Cand.emplace(M.Path, M.Value).second)
+      CandOrder.push_back(M.Path);
+  }
+
+  for (const std::string &Path : Order) {
+    const Summary &Base = Pool.at(Path);
+    auto It = Cand.find(Path);
+    if (It == Cand.end()) {
+      R.MissingInCandidate.push_back(Path);
+      continue;
+    }
+    PerfDelta D;
+    D.Path = Path;
+    D.Baseline = Base.mean();
+    D.Candidate = It->second;
+    D.Direction = metricDirection(Path);
+    D.ThresholdPct = Opts.DefaultThresholdPct;
+    if (Base.count() > 1)
+      D.ThresholdPct = std::max(D.ThresholdPct,
+                                200.0 * Base.maxRelativeDeviation());
+    double Delta = D.Candidate - D.Baseline;
+    if (std::abs(D.Baseline) > Opts.MinAbsDelta)
+      D.DeltaPct = 100.0 * Delta / std::abs(D.Baseline);
+    bool Gateable = D.Direction != PerfDirection::Informational &&
+                    std::abs(Delta) > Opts.MinAbsDelta &&
+                    std::abs(D.Baseline) > Opts.MinAbsDelta;
+    if (Gateable) {
+      double Worse = D.DeltaPct * -static_cast<int>(D.Direction);
+      D.Regression = Worse > D.ThresholdPct;
+      D.Improvement = -Worse > D.ThresholdPct;
+    }
+    R.Regressions += D.Regression;
+    R.Improvements += D.Improvement;
+    R.Deltas.push_back(std::move(D));
+  }
+
+  for (const std::string &Path : CandOrder)
+    if (!Pool.count(Path))
+      R.OnlyInCandidate.push_back(Path);
+  return R;
+}
+
+std::string obs::renderPerfDiff(const PerfDiffResult &R, bool ShowAll) {
+  std::string Out;
+  char Line[256];
+  for (const PerfDelta &D : R.Deltas) {
+    if (!ShowAll && !D.Regression && !D.Improvement)
+      continue;
+    const char *Tag = D.Regression      ? "REGRESSION "
+                      : D.Improvement   ? "improvement"
+                                        : "unchanged  ";
+    std::snprintf(Line, sizeof(Line),
+                  "%s  %-48s %12.6g -> %12.6g  (%+.2f%%, threshold %.1f%%)\n",
+                  Tag, D.Path.c_str(), D.Baseline, D.Candidate, D.DeltaPct,
+                  D.ThresholdPct);
+    Out += Line;
+  }
+  for (const std::string &Path : R.MissingInCandidate)
+    Out += "missing in candidate: " + Path + "\n";
+  if (ShowAll)
+    for (const std::string &Path : R.OnlyInCandidate)
+      Out += "only in candidate: " + Path + "\n";
+  std::snprintf(Line, sizeof(Line),
+                "warp-perf: %u regression(s), %u improvement(s), "
+                "%zu metric(s) compared\n",
+                R.Regressions, R.Improvements, R.Deltas.size());
+  Out += Line;
+  return Out;
+}

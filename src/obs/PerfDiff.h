@@ -1,0 +1,99 @@
+//===- PerfDiff.h - Perf-regression gate over stats/bench JSON --*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diff engine behind tools/warp-perf: flattens two (or more)
+/// --stats-json / BENCH_*.json documents into dotted numeric metric
+/// paths, classifies each metric's improvement direction by name, and
+/// compares a candidate run against the baseline(s) under a noise
+/// threshold. With several baseline documents (methodology-style
+/// repeats) the per-metric threshold widens to twice the repeats' max
+/// relative deviation — the paper's own "<10% deviation" bound is the
+/// floor. Pure data-in/data-out so tests can drive it without files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_PERFDIFF_H
+#define WARPC_OBS_PERFDIFF_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+/// One numeric metric extracted from a JSON document.
+struct PerfMetric {
+  std::string Path;
+  double Value = 0;
+};
+
+/// Which way "better" points for a metric.
+enum class PerfDirection : int {
+  HigherIsBetter = 1,
+  Informational = 0,
+  LowerIsBetter = -1,
+};
+
+/// Direction by metric name: time/overhead/wait metrics are
+/// lower-is-better, speedup/hit-rate metrics are higher-is-better,
+/// everything else (counts, sizes, ids) is informational — compared and
+/// reported but never gated.
+PerfDirection metricDirection(std::string_view Path);
+
+/// Flattens a document into dotted numeric paths. Objects nest with '.';
+/// arrays of objects (BENCH rows) label each element by its identifying
+/// members (string values plus "functions"/"workers"/"processors");
+/// arrays of scalars (histogram buckets, series samples) are skipped.
+std::vector<PerfMetric> flattenMetrics(const json::Value &Doc);
+
+/// How one metric moved between baseline and candidate.
+struct PerfDelta {
+  std::string Path;
+  double Baseline = 0;
+  double Candidate = 0;
+  double DeltaPct = 0; ///< 100 * (candidate - baseline) / |baseline|.
+  double ThresholdPct = 0;
+  PerfDirection Direction = PerfDirection::Informational;
+  bool Regression = false;
+  bool Improvement = false;
+};
+
+struct PerfDiffOptions {
+  /// Noise floor: moves within this percentage never gate. The default
+  /// mirrors the paper's "<10% deviation across repeats" methodology.
+  double DefaultThresholdPct = 10.0;
+  /// Absolute moves smaller than this are float dust, never gated.
+  double MinAbsDelta = 1e-9;
+};
+
+struct PerfDiffResult {
+  std::vector<PerfDelta> Deltas; ///< Every metric present on both sides.
+  unsigned Regressions = 0;
+  unsigned Improvements = 0;
+  std::vector<std::string> MissingInCandidate;
+  std::vector<std::string> OnlyInCandidate;
+};
+
+/// Diffs \p Candidate against the mean of \p Baselines. With two or more
+/// baselines, each metric's threshold widens to
+/// max(DefaultThresholdPct, 200 * maxRelativeDeviation) of the repeats.
+PerfDiffResult diffPerf(const std::vector<json::Value> &Baselines,
+                        const json::Value &Candidate,
+                        const PerfDiffOptions &Opts = {});
+
+/// Human-readable report; final line is always
+/// "warp-perf: N regression(s), M improvement(s), K metric(s) compared".
+/// \p ShowAll lists unchanged metrics too.
+std::string renderPerfDiff(const PerfDiffResult &R, bool ShowAll = false);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_PERFDIFF_H

@@ -1,0 +1,78 @@
+//===- StatsReport.cpp - Shared run-statistics formatter -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsReport.h"
+
+#include "obs/MetricsRegistry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+void StatsReport::beginGroup(std::string Key, std::string Title, int Indent) {
+  Groups.push_back({std::move(Key), std::move(Title), Indent, {}});
+}
+
+void StatsReport::add(std::string Key, std::string Label, std::string Text,
+                      json::Value V) {
+  Groups.back().Rows.push_back(
+      {std::move(Key), std::move(Label), std::move(Text), std::move(V)});
+}
+
+std::string StatsReport::renderText() const {
+  std::string Out;
+  for (const Group &G : Groups) {
+    Out.append(static_cast<size_t>(G.Indent), ' ');
+    Out += G.Title;
+    Out += ":\n";
+    size_t Width = 0;
+    for (const Row &R : G.Rows)
+      Width = std::max(Width, R.Label.size());
+    for (const Row &R : G.Rows) {
+      Out.append(static_cast<size_t>(G.Indent) + 2, ' ');
+      Out += R.Label;
+      Out += ':';
+      Out.append(Width - R.Label.size() + 1, ' ');
+      Out += R.Text;
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+json::Value StatsReport::toJson() const {
+  json::Value Root = json::Value::object();
+  for (const Group &G : Groups) {
+    json::Value Obj = json::Value::object();
+    for (const Row &R : G.Rows)
+      Obj.set(R.Key, R.Json);
+    Root.set(G.Key, std::move(Obj));
+  }
+  return Root;
+}
+
+void obs::appendHistogramQuantiles(StatsReport &Report,
+                                   const MetricsRegistry &M) {
+  std::vector<std::string> Names = M.histogramNames();
+  if (Names.empty())
+    return;
+  Report.beginGroup("latency_quantiles", "latency quantiles");
+  for (const std::string &Name : Names) {
+    Histogram H = M.histogram(Name);
+    char Text[96];
+    std::snprintf(Text, sizeof(Text), "p50 %.4g  p95 %.4g  p99 %.4g  (n=%llu)",
+                  H.quantile(0.50), H.quantile(0.95), H.quantile(0.99),
+                  static_cast<unsigned long long>(H.Count));
+    json::Value Obj = json::Value::object();
+    Obj.set("p50", json::Value(H.quantile(0.50)));
+    Obj.set("p95", json::Value(H.quantile(0.95)));
+    Obj.set("p99", json::Value(H.quantile(0.99)));
+    Obj.set("count", json::Value(H.Count));
+    Report.add(Name, Name, Text, std::move(Obj));
+  }
+}

@@ -1,0 +1,69 @@
+//===- StatsReport.h - Shared run-statistics formatter ----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every run statistic is recorded once and rendered twice — as an
+/// aligned text line on stdout and as a key in the --stats-json document
+/// — so the two outputs can never drift apart. Moved out of the warpc
+/// tool so tests can pin the schema (see StatsSchemaVersion) and other
+/// tools can reuse the table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_STATSREPORT_H
+#define WARPC_OBS_STATSREPORT_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Version tag written as the leading "schema" key of every --stats-json
+/// document. Bump when the document's shape changes incompatibly.
+/// v2: added schema/series blocks and histogram p50/p95/p99 keys.
+inline constexpr const char *StatsSchemaVersion = "warpc-stats-v2";
+
+class StatsReport {
+public:
+  void beginGroup(std::string Key, std::string Title, int Indent = 0);
+  void add(std::string Key, std::string Label, std::string Text,
+           json::Value V);
+
+  bool empty() const { return Groups.empty(); }
+
+  /// Renders every group as a "title:" heading with aligned value rows.
+  std::string renderText() const;
+
+  /// Nests each group's rows under the group's key, preserving insertion
+  /// order — the JSON document's key order is the recording order.
+  json::Value toJson() const;
+
+private:
+  struct Row {
+    std::string Key, Label, Text;
+    json::Value Json;
+  };
+  struct Group {
+    std::string Key, Title;
+    int Indent;
+    std::vector<Row> Rows;
+  };
+  std::vector<Group> Groups;
+};
+
+/// Appends one "latency_quantiles" group with p50/p95/p99 rows for every
+/// histogram recorded in \p M (no-op when there are none).
+void appendHistogramQuantiles(StatsReport &Report, const MetricsRegistry &M);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_STATSREPORT_H

@@ -1,0 +1,208 @@
+//===- TimeSeries.cpp - Sampled telemetry ring buffers -------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TimeSeries.h"
+
+#include "obs/TraceRecorder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+TimeSeries::TimeSeries(std::string Name, size_t Capacity)
+    : Name(std::move(Name)), Capacity(std::max<size_t>(Capacity, 4)) {
+  Samples.reserve(this->Capacity);
+}
+
+void TimeSeries::sample(double TSec, double Value) {
+  if (!Samples.empty()) {
+    if (TSec < Samples.back().TSec)
+      return; // out of order
+    if (TSec - Samples.back().TSec < MinGapSec)
+      return; // inside the decimation gap
+  }
+  if (Samples.size() == Capacity) {
+    // Keep every other sample; future samples must then arrive at least
+    // twice the average retained spacing apart. Deterministic: depends
+    // only on the samples seen so far.
+    size_t Out = 0;
+    for (size_t I = 0; I < Samples.size(); I += 2)
+      Samples[Out++] = Samples[I];
+    Samples.resize(Out);
+    double SpanSec = Samples.back().TSec - Samples.front().TSec;
+    MinGapSec = std::max(MinGapSec * 2,
+                         2.0 * SpanSec / static_cast<double>(Capacity));
+    if (TSec - Samples.back().TSec < MinGapSec)
+      return;
+  }
+  Samples.push_back({TSec, Value});
+}
+
+TimeSeriesSet::TimeSeriesSet(size_t CapacityPerSeries)
+    : Capacity(CapacityPerSeries) {}
+
+void TimeSeriesSet::registerGauge(std::string Name,
+                                  std::function<double()> Read) {
+  Entries.push_back({TimeSeries(std::move(Name), Capacity), std::move(Read)});
+}
+
+void TimeSeriesSet::sampleAll(double TSec) {
+  for (Entry &E : Entries)
+    E.Series.sample(TSec, E.Read ? E.Read() : 0.0);
+}
+
+std::vector<TimeSeries> TimeSeriesSet::snapshot() const {
+  std::vector<TimeSeries> Out;
+  Out.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Out.push_back(E.Series);
+  return Out;
+}
+
+namespace {
+
+/// Trailing-digit host index of a per-host series name, or -1.
+int32_t hostIndexOf(const std::string &Name, const std::string &Prefix) {
+  if (Name.rfind(Prefix, 0) != 0)
+    return -1;
+  size_t End = Name.size();
+  size_t Begin = End;
+  while (Begin > Prefix.size() && std::isdigit(Name[Begin - 1]) != 0)
+    --Begin;
+  if (Begin == End)
+    return -1;
+  return static_cast<int32_t>(std::stol(Name.substr(Begin)));
+}
+
+} // namespace
+
+std::vector<Anomaly> obs::detectAnomalies(const std::vector<TimeSeries> &Series,
+                                          const AnomalyPolicy &Policy) {
+  std::vector<Anomaly> Out;
+
+  // Per-series spikes: the most extreme sample, if it sits far outside
+  // the series' own distribution.
+  for (const TimeSeries &TS : Series) {
+    const std::vector<TimeSample> &S = TS.samples();
+    if (S.size() < Policy.MinSamples)
+      continue;
+    double Sum = 0;
+    for (const TimeSample &P : S)
+      Sum += P.Value;
+    double Mean = Sum / static_cast<double>(S.size());
+    double Var = 0;
+    for (const TimeSample &P : S)
+      Var += (P.Value - Mean) * (P.Value - Mean);
+    double Stddev = std::sqrt(Var / static_cast<double>(S.size()));
+    if (Stddev <= 1e-12)
+      continue;
+    const TimeSample *Worst = &S.front();
+    for (const TimeSample &P : S)
+      if (std::abs(P.Value - Mean) > std::abs(Worst->Value - Mean))
+        Worst = &P;
+    if (std::abs(Worst->Value - Mean) <= Policy.SigmaThreshold * Stddev)
+      continue;
+    Anomaly A;
+    A.Series = TS.name();
+    A.TSec = Worst->TSec;
+    A.Value = Worst->Value;
+    A.Mean = Mean;
+    A.Stddev = Stddev;
+    A.Host = hostIndexOf(TS.name(), Policy.HostSeriesPrefix);
+    A.Reason = "spike";
+    Out.push_back(std::move(A));
+  }
+
+  // Cross-host stragglers: compare each non-master host's final busy
+  // fraction against the mean of its peers.
+  struct HostFinal {
+    const TimeSeries *TS;
+    int32_t Host;
+    double Final;
+  };
+  std::vector<HostFinal> Hosts;
+  for (const TimeSeries &TS : Series) {
+    int32_t H = hostIndexOf(TS.name(), Policy.HostSeriesPrefix);
+    if (H < 1 || TS.samples().size() < Policy.MinSamples)
+      continue; // host 0 is the master: always busy, never a straggler
+    Hosts.push_back({&TS, H, TS.samples().back().Value});
+  }
+  if (Hosts.size() >= 3) {
+    for (const HostFinal &HF : Hosts) {
+      double PeerSum = 0;
+      for (const HostFinal &Other : Hosts)
+        if (&Other != &HF)
+          PeerSum += Other.Final;
+      double PeerMean = PeerSum / static_cast<double>(Hosts.size() - 1);
+      if (PeerMean <= 0.05 || HF.Final >= Policy.StragglerRatio * PeerMean)
+        continue;
+      Anomaly A;
+      A.Series = HF.TS->name();
+      A.TSec = HF.TS->samples().back().TSec;
+      A.Value = HF.Final;
+      A.Mean = PeerMean;
+      A.Stddev = 0;
+      A.Host = HF.Host;
+      A.Reason = "straggler";
+      Out.push_back(std::move(A));
+    }
+  }
+  return Out;
+}
+
+std::vector<TimeSeries> obs::sessionSeries(const TraceSession &S,
+                                           size_t Capacity) {
+  std::vector<TimeSeries> Out;
+  Out.reserve(S.CounterNames.size());
+  for (const std::string &Name : S.CounterNames)
+    Out.emplace_back(Name, Capacity);
+  for (const CounterEvent &C : S.Counters)
+    if (C.Counter >= 0 && static_cast<size_t>(C.Counter) < Out.size())
+      Out[static_cast<size_t>(C.Counter)].sample(C.TSec, C.Value);
+  return Out;
+}
+
+void obs::emitCounterTracks(TraceRecorder &Rec, unsigned LaneIndex,
+                            const std::vector<TimeSeries> &Series) {
+  for (const TimeSeries &TS : Series) {
+    if (TS.empty())
+      continue;
+    int32_t Id = Rec.internCounter(TS.name());
+    for (const TimeSample &P : TS.samples())
+      Rec.lane(LaneIndex).counter(P.TSec, Id, P.Value);
+  }
+}
+
+json::Value obs::seriesJson(const std::vector<TimeSeries> &Series) {
+  json::Value Out = json::Value::object();
+  for (const TimeSeries &TS : Series) {
+    if (TS.empty())
+      continue;
+    json::Value S = json::Value::object();
+    double Min = TS.samples().front().Value;
+    double Max = Min;
+    for (const TimeSample &P : TS.samples()) {
+      Min = std::min(Min, P.Value);
+      Max = std::max(Max, P.Value);
+    }
+    S.set("last", json::Value(TS.samples().back().Value));
+    S.set("min", json::Value(Min));
+    S.set("max", json::Value(Max));
+    json::Value Points = json::Value::array();
+    for (const TimeSample &P : TS.samples()) {
+      json::Value Pt = json::Value::array();
+      Pt.push(json::Value(P.TSec));
+      Pt.push(json::Value(P.Value));
+      Points.push(std::move(Pt));
+    }
+    S.set("samples", std::move(Points));
+    Out.set(TS.name(), std::move(S));
+  }
+  return Out;
+}

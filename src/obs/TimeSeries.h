@@ -1,0 +1,147 @@
+//===- TimeSeries.h - Sampled telemetry ring buffers ------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Periodically sampled gauges (ready-queue depth, in-flight compiles,
+/// per-host busy fraction, cache hit rate) recorded as bounded time
+/// series. The simulator samples on the simulated clock from a
+/// self-rescheduling tick event; the thread engine runs a steady-clock
+/// sampler thread. Either way the series end up as Perfetto counter
+/// tracks in the trace, a "series" block in --stats-json, and input to
+/// the straggler/spike anomaly detector.
+///
+/// A TimeSeries is a fixed-capacity ring with deterministic decimation:
+/// when full it drops every other retained sample and doubles its minimum
+/// keep-gap, so memory stays bounded while the whole run remains covered
+/// at halved resolution. The same input always yields the same retained
+/// samples — the determinism tests rely on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_TIMESERIES_H
+#define WARPC_OBS_TIMESERIES_H
+
+#include "obs/Event.h"
+#include "support/Json.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+class TraceRecorder;
+
+/// One retained sample of a gauge.
+struct TimeSample {
+  double TSec = 0;
+  double Value = 0;
+};
+
+/// A bounded, monotonically timestamped series of gauge samples.
+class TimeSeries {
+public:
+  explicit TimeSeries(std::string Name, size_t Capacity = 512);
+
+  const std::string &name() const { return Name; }
+  size_t capacity() const { return Capacity; }
+  /// Samples closer than this to the last retained one are dropped; grows
+  /// as the ring decimates.
+  double minKeepGapSec() const { return MinGapSec; }
+
+  /// Records one sample. Out-of-order (earlier than the last retained)
+  /// samples are dropped; so are samples inside the current keep-gap.
+  void sample(double TSec, double Value);
+
+  const std::vector<TimeSample> &samples() const { return Samples; }
+  bool empty() const { return Samples.empty(); }
+
+private:
+  std::string Name;
+  size_t Capacity;
+  double MinGapSec = 0;
+  std::vector<TimeSample> Samples;
+};
+
+/// A set of named gauges sampled together. registerGauge wires a read
+/// callback; sampleAll polls every gauge at one timestamp. The callbacks
+/// must be safe to call from the sampling context (the simulator's event
+/// loop, or the thread engine's sampler thread reading atomics).
+class TimeSeriesSet {
+public:
+  explicit TimeSeriesSet(size_t CapacityPerSeries = 512);
+
+  void registerGauge(std::string Name, std::function<double()> Read);
+
+  /// Polls every registered gauge at \p TSec.
+  void sampleAll(double TSec);
+
+  size_t numSeries() const { return Entries.size(); }
+
+  /// Copies of the retained series, in registration order.
+  std::vector<TimeSeries> snapshot() const;
+
+private:
+  size_t Capacity;
+  struct Entry {
+    TimeSeries Series;
+    std::function<double()> Read;
+  };
+  std::vector<Entry> Entries;
+};
+
+/// One telemetry anomaly: a sample far outside its series' distribution,
+/// or a host whose busy fraction lags its peers (a straggler).
+struct Anomaly {
+  std::string Series;
+  double TSec = 0;
+  double Value = 0;
+  double Mean = 0;
+  double Stddev = 0;
+  int32_t Host = -1; ///< Parsed from the series name when host-scoped.
+  std::string Reason;
+};
+
+/// Detection thresholds. The defaults are deliberately loose: the gate
+/// is meant to flag genuinely sick runs, not jittered ones.
+struct AnomalyPolicy {
+  double SigmaThreshold = 4.0; ///< Spike: |v - mean| > threshold * stddev.
+  size_t MinSamples = 8;       ///< Series shorter than this are ignored.
+  /// Straggler: a host's final busy fraction below this ratio of the
+  /// mean of its peers (host series only, master excluded).
+  double StragglerRatio = 0.5;
+  /// Series named "<prefix>...<digits>" are treated as per-host gauges.
+  std::string HostSeriesPrefix = "host.busy";
+};
+
+/// Flags spikes per series and stragglers across host-scoped series.
+/// Deterministic: output order follows series order.
+std::vector<Anomaly> detectAnomalies(const std::vector<TimeSeries> &Series,
+                                     const AnomalyPolicy &Policy = {});
+
+/// Rebuilds series from a recorded session's counter samples, one series
+/// per counter name, in counter-id order. The inverse of
+/// emitCounterTracks — lets the trace analyzer re-run anomaly detection
+/// on a trace file without the live gauges.
+std::vector<TimeSeries> sessionSeries(const TraceSession &S,
+                                      size_t Capacity = 512);
+
+/// Appends every sample as a CounterEvent on \p LaneIndex of \p Rec so
+/// the series render as Perfetto counter tracks. Interns counter names;
+/// call from the owning (master) context only, after workers joined.
+void emitCounterTracks(TraceRecorder &Rec, unsigned LaneIndex,
+                       const std::vector<TimeSeries> &Series);
+
+/// {"name": {"last": v, "min": v, "max": v, "samples": [[t, v], ...]}}
+/// with keys in series order — deterministic for deterministic runs.
+json::Value seriesJson(const std::vector<TimeSeries> &Series);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_TIMESERIES_H

@@ -9,6 +9,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace warpc;
 using namespace warpc::obs;
@@ -48,6 +49,17 @@ bool isSectionCpuKind(EventKind K) {
 }
 
 } // namespace
+
+PathCategory obs::pathCategory(EventKind K) {
+  if (isMasterCpuKind(K) || isSectionCpuKind(K))
+    return PathCategory::Coordination;
+  if (K == EventKind::SpanStartup)
+    return PathCategory::Startup;
+  if (K == EventKind::SpanCompile || K == EventKind::SpanAssembly ||
+      K == EventKind::SpanMasterRecompile || K == EventKind::SpanAnalyze)
+    return PathCategory::Compute;
+  return PathCategory::Milestone;
+}
 
 TraceReport obs::analyzeTrace(const TraceSession &S) {
   TraceReport R;
@@ -108,10 +120,36 @@ TraceReport obs::analyzeTrace(const TraceSession &S) {
     case EventKind::SpanCacheHit:
       ++R.CacheHits;
       break;
+    case EventKind::AnomalyDetected:
+      ++R.AnomalyEvents;
+      break;
     default:
       break;
     }
   }
+
+  // --- Scheduler counter tracks: the last sample wins (the stream is in
+  // (TSec, Seq) order, both freshly recorded and parsed back).
+  {
+    std::unordered_map<int32_t, double> Last;
+    for (const CounterEvent &C : S.Counters) {
+      if (C.Counter < 0 ||
+          static_cast<size_t>(C.Counter) >= S.CounterNames.size())
+        continue;
+      if (S.CounterNames[static_cast<size_t>(C.Counter)].rfind(
+              "scheduler.", 0) == 0)
+        Last[C.Counter] = C.Value;
+    }
+    for (size_t I = 0; I != S.CounterNames.size(); ++I) {
+      auto It = Last.find(static_cast<int32_t>(I));
+      if (It != Last.end())
+        R.SchedulerCounters.emplace_back(S.CounterNames[I], It->second);
+    }
+  }
+
+  // --- Re-run the anomaly detector over the trace's counter tracks, so
+  // a trace file is enough to reproduce what the live run flagged.
+  R.Anomalies = detectAnomalies(sessionSeries(S));
 
   // --- Section 4.2.3 decomposition, exactly as computeOverheads does it:
   // total = par elapsed - seq elapsed / k; impl = coordination CPU;
@@ -124,14 +162,34 @@ TraceReport obs::analyzeTrace(const TraceSession &S) {
     R.SysOverheadSec = R.TotalOverheadSec - R.ImplOverheadSec;
   }
 
-  // --- Critical path: walk the winning chain backwards from the end of
-  // the run, then emit it forwards. Each selector tolerates a missing
-  // hop so the walk works for both engines' event shapes.
+  // --- Critical path. Preferred: walk the recorded Parent links
+  // backwards from RunComplete — the actual dispatch/result message
+  // chain the engines threaded through every hop. Traces without causal
+  // ids fall back to the legacy kind-based heuristic below.
   std::vector<const SpanEvent *> Path;
   auto Add = [&](const SpanEvent *E) {
     if (E)
       Path.push_back(E);
   };
+
+  if (const SpanEvent *End = latest(S, EventKind::RunComplete);
+      End && End->Parent != 0) {
+    std::unordered_map<uint64_t, const SpanEvent *> ById;
+    ById.reserve(S.Events.size());
+    for (const SpanEvent &E : S.Events)
+      ById.emplace(E.spanId(), &E);
+    const SpanEvent *Cur = End;
+    // The size bound breaks any Parent cycle a corrupt trace could hold.
+    while (Cur && Path.size() <= S.Events.size()) {
+      Path.push_back(Cur);
+      if (Cur->Parent == 0)
+        break;
+      auto It = ById.find(Cur->Parent);
+      Cur = It == ById.end() ? nullptr : It->second;
+    }
+    std::reverse(Path.begin(), Path.end());
+    R.CausalPath = true;
+  }
 
   const SpanEvent *SectionEnd = latest(S, EventKind::SectionDone);
   int32_t CritSection = SectionEnd ? SectionEnd->Section : -1;
@@ -147,37 +205,41 @@ TraceReport obs::analyzeTrace(const TraceSession &S) {
     return E.Function == CritFn && E.Attempt == CritAttempt;
   };
 
-  Add(latest(S, EventKind::SpanMasterFork));
-  Add(latest(S, EventKind::SpanStartup,
-             [](const SpanEvent &E) { return E.Function < 0; }));
-  Add(latest(S, EventKind::SpanParse));
-  Add(latest(S, EventKind::SpanSchedule));
-  Add(latest(S, EventKind::SpanSectionFork, InCritSection));
-  Add(latest(S, EventKind::SpanDirectives, InCritSection));
-  if (CritFn >= 0) {
-    // Attempt 0 on the winning FunctionDone marks a master-fallback win;
-    // otherwise the winner was a distributed attempt and its own
-    // fork/startup/compile spans are the chain.
-    const SpanEvent *Recompile =
-        CritAttempt == 0
-            ? latest(S, EventKind::SpanMasterRecompile,
-                     [&](const SpanEvent &E) { return E.Function == CritFn; })
-            : nullptr;
-    if (Recompile) {
-      Add(Recompile);
-    } else {
-      Add(latest(S, EventKind::SpanFunctionFork, IsCritAttempt));
-      Add(latest(S, EventKind::SpanStartup, IsCritAttempt));
-      Add(latest(S, EventKind::SpanCompile, IsCritAttempt));
+  if (!R.CausalPath) {
+    Add(latest(S, EventKind::SpanMasterFork));
+    Add(latest(S, EventKind::SpanStartup,
+               [](const SpanEvent &E) { return E.Function < 0; }));
+    Add(latest(S, EventKind::SpanParse));
+    Add(latest(S, EventKind::SpanSchedule));
+    Add(latest(S, EventKind::SpanSectionFork, InCritSection));
+    Add(latest(S, EventKind::SpanDirectives, InCritSection));
+    if (CritFn >= 0) {
+      // Attempt 0 on the winning FunctionDone marks a master-fallback
+      // win; otherwise the winner was a distributed attempt and its own
+      // fork/startup/compile spans are the chain.
+      const SpanEvent *Recompile =
+          CritAttempt == 0
+              ? latest(S, EventKind::SpanMasterRecompile,
+                       [&](const SpanEvent &E) {
+                         return E.Function == CritFn;
+                       })
+              : nullptr;
+      if (Recompile) {
+        Add(Recompile);
+      } else {
+        Add(latest(S, EventKind::SpanFunctionFork, IsCritAttempt));
+        Add(latest(S, EventKind::SpanStartup, IsCritAttempt));
+        Add(latest(S, EventKind::SpanCompile, IsCritAttempt));
+      }
     }
+    Add(Done);
+    Add(latest(S, EventKind::SpanCombine, InCritSection));
+    Add(SectionEnd);
+    Add(latest(S, EventKind::AllSectionsDone));
+    Add(latest(S, EventKind::SpanAssembly));
+    Add(latest(S, EventKind::ModuleLinked));
+    Add(latest(S, EventKind::RunComplete));
   }
-  Add(Done);
-  Add(latest(S, EventKind::SpanCombine, InCritSection));
-  Add(SectionEnd);
-  Add(latest(S, EventKind::AllSectionsDone));
-  Add(latest(S, EventKind::SpanAssembly));
-  Add(latest(S, EventKind::ModuleLinked));
-  Add(latest(S, EventKind::RunComplete));
 
   std::sort(Path.begin(), Path.end(),
             [](const SpanEvent *A, const SpanEvent *B) {
@@ -185,12 +247,31 @@ TraceReport obs::analyzeTrace(const TraceSession &S) {
             });
 
   double PrevEnd = 0;
+  int32_t PrevHost = -1;
   for (const SpanEvent *E : Path) {
     CriticalPathStep Step;
     Step.E = *E;
     Step.WaitBeforeSec = std::max(0.0, E->TSec - PrevEnd);
+    Step.Category = pathCategory(E->Kind);
+    if (PrevHost >= 0 && E->Host >= 0 && E->Host != PrevHost)
+      Step.Hop = E->Host == 0 ? PathHop::Result : PathHop::Dispatch;
+    switch (Step.Category) {
+    case PathCategory::Coordination:
+      R.PathCoordinationCpuSec += E->CpuSec;
+      break;
+    case PathCategory::Startup:
+      R.PathStartupSec += std::max(0.0, E->DurSec);
+      break;
+    case PathCategory::Compute:
+      R.PathComputeSec += std::max(0.0, E->DurSec);
+      break;
+    case PathCategory::Milestone:
+      break;
+    }
     R.CriticalPathWaitSec += Step.WaitBeforeSec;
     PrevEnd = std::max(PrevEnd, E->endSec());
+    if (E->Host >= 0)
+      PrevHost = E->Host;
     R.CriticalPath.push_back(Step);
   }
   return R;
@@ -218,12 +299,18 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
   Line(Elapsed);
 
   Line("");
-  Line("-- critical path --");
+  Line(std::string("-- critical path --") +
+       (R.CausalPath ? " (causal message chain)" : " (heuristic)"));
   for (const CriticalPathStep &Step : R.CriticalPath) {
     const SpanEvent &E = Step.E;
     std::string Row = "  " + padLeft(formatDouble(E.TSec, 1), 9) + "s  ";
     Row += E.isSpan() ? padLeft(formatDouble(E.DurSec, 1), 8) + "s  "
                       : padLeft("-", 9) + "  ";
+    const char *Cat = Step.Category == PathCategory::Coordination ? "coord"
+                      : Step.Category == PathCategory::Startup    ? "start"
+                      : Step.Category == PathCategory::Compute    ? "comp "
+                                                                  : "mark ";
+    Row += std::string("[") + Cat + "] ";
     std::string Name = kindName(E.Kind);
     if (Name.rfind("span_", 0) == 0)
       Name = Name.substr(5);
@@ -236,12 +323,27 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
     if (E.Attempt > 1)
       Name += " (attempt " + std::to_string(E.Attempt) + ")";
     Row += padRight(Name, 44);
-    if (Step.WaitBeforeSec > 0)
+    if (Step.WaitBeforeSec > 0) {
       Row += "  wait " + formatDouble(Step.WaitBeforeSec, 1) + "s";
+      if (Step.Hop == PathHop::Dispatch)
+        Row += " (dispatch hop)";
+      else if (Step.Hop == PathHop::Result)
+        Row += " (result hop)";
+    } else if (Step.Hop == PathHop::Dispatch) {
+      Row += "  (dispatch hop)";
+    } else if (Step.Hop == PathHop::Result) {
+      Row += "  (result hop)";
+    }
     Line(Row);
   }
   Line("  critical-path wait total: " +
        formatDouble(R.CriticalPathWaitSec, 1) + " s");
+  Line("  path decomposition: compute " +
+       formatDouble(R.PathComputeSec, 1) + " s, startup " +
+       formatDouble(R.PathStartupSec, 1) + " s, coordination cpu " +
+       formatDouble(R.PathCoordinationCpuSec, 1) +
+       " s, message/queue wait " + formatDouble(R.CriticalPathWaitSec, 1) +
+       " s");
 
   Line("");
   Line("-- per-host utilization --");
@@ -272,9 +374,12 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
          formatDouble(R.relSysPct(), 1) + "%)");
   }
 
+  bool SchedulerActivity = false;
+  for (const auto &[Name, Value] : R.SchedulerCounters)
+    SchedulerActivity = SchedulerActivity || Value != 0;
   if (R.TimeoutsFired || R.Reassignments || R.SpeculationsLaunched ||
       R.MasterRecompiles || R.MessagesLost || R.AttemptsLost ||
-      R.ResultsRejected) {
+      R.ResultsRejected || SchedulerActivity) {
     Line("");
     Line("-- fault recovery --");
     Line("  timeouts fired:     " + std::to_string(R.TimeoutsFired));
@@ -284,6 +389,23 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
     Line("  messages lost:      " + std::to_string(R.MessagesLost));
     Line("  attempts lost:      " + std::to_string(R.AttemptsLost));
     Line("  results rejected:   " + std::to_string(R.ResultsRejected));
+    for (const auto &[Name, Value] : R.SchedulerCounters)
+      Line("  " + padRight(Name + ":", 20) + formatDouble(Value, 0));
+  }
+
+  if (!R.Anomalies.empty() || R.AnomalyEvents) {
+    Line("");
+    Line("-- telemetry anomalies --");
+    for (const Anomaly &A : R.Anomalies) {
+      std::string Row = "  " + A.Reason + ": " + A.Series + " = " +
+                        formatDouble(A.Value, 2) + " at " +
+                        formatDouble(A.TSec, 1) + "s (mean " +
+                        formatDouble(A.Mean, 2) + ")";
+      Line(Row);
+    }
+    if (R.AnomalyEvents)
+      Line("  " + std::to_string(R.AnomalyEvents) +
+           " anomaly event(s) flagged by the run");
   }
 
   if (R.CacheHits) {

@@ -18,8 +18,10 @@
 #define WARPC_OBS_TRACEANALYSIS_H
 
 #include "obs/Event.h"
+#include "obs/TimeSeries.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace warpc {
@@ -35,12 +37,32 @@ struct HostUtilization {
   }
 };
 
+/// Which Section 4.2.3 bucket a critical-path step's time belongs to.
+enum class PathCategory : uint8_t {
+  Coordination, ///< Master/section-master CPU (implementation overhead).
+  Startup,      ///< Lisp process startup (system overhead).
+  Compute,      ///< Real compilation/assembly work.
+  Milestone,    ///< Instants: message arrivals, completion marks.
+};
+
+PathCategory pathCategory(EventKind K);
+
+/// The message hop that delivered a critical-path step, inferred from
+/// the host transition against the previous step.
+enum class PathHop : uint8_t {
+  None,     ///< Same host as the previous step.
+  Dispatch, ///< Master -> worker (fork/placement message).
+  Result,   ///< Worker -> master (completion message).
+};
+
 /// One hop of the critical path, in time order.
 struct CriticalPathStep {
   SpanEvent E;
   /// Dead time between the previous hop's end and this hop's start
   /// (queueing, network transfers, scheduling gaps).
   double WaitBeforeSec = 0;
+  PathCategory Category = PathCategory::Milestone;
+  PathHop Hop = PathHop::None;
 };
 
 /// Everything the analyzer derives from one trace.
@@ -73,6 +95,18 @@ struct TraceReport {
   /// Sum of WaitBeforeSec over the path: elapsed time nothing on the
   /// critical chain was computing.
   double CriticalPathWaitSec = 0;
+  /// True when the path was reconstructed from the events' Parent links
+  /// (the recorded message causality); false when the trace predates
+  /// causal ids and the legacy kind-based heuristic was used.
+  bool CausalPath = false;
+  /// Message-level decomposition of the path: where its elapsed time
+  /// went, by PathCategory. Coordination is CPU seconds (a subset of
+  /// ImplOverheadSec); Startup/Compute are span extents; the remaining
+  /// elapsed is CriticalPathWaitSec (message/queue latency, system
+  /// overhead per Section 4.2.3).
+  double PathCoordinationCpuSec = 0;
+  double PathStartupSec = 0;
+  double PathComputeSec = 0;
 
   // Fault-recovery tallies seen in the trace.
   unsigned TimeoutsFired = 0;
@@ -87,6 +121,16 @@ struct TraceReport {
   /// Cached functions never emit FunctionDone, so this count and
   /// FunctionsCompleted partition the module's functions.
   unsigned CacheHits = 0;
+
+  /// Final value of every "scheduler.*" counter track, in counter-id
+  /// order (watchdog fires, reassignments, speculative launches).
+  std::vector<std::pair<std::string, double>> SchedulerCounters;
+
+  /// Anomalies re-detected from the trace's counter tracks with the
+  /// default policy — the same detector the engines ran live.
+  std::vector<Anomaly> Anomalies;
+  /// AnomalyDetected instants the run itself emitted.
+  unsigned AnomalyEvents = 0;
 };
 
 /// Analyzes \p S. Works on both freshly recorded sessions and sessions

@@ -75,6 +75,25 @@ void TraceRecorder::makeLanes(unsigned Count) {
 }
 
 TraceSession TraceRecorder::finish() {
+  if (Session.TraceId == 0) {
+    // FNV-1a over the interned tables and topology: content-derived, so
+    // deterministic runs get deterministic ids (wall clock would break
+    // the byte-identical-trace invariant the fault tests rely on).
+    uint64_t H = 1469598103934665603ull;
+    auto Mix = [&H](const char *Data, size_t N) {
+      for (size_t I = 0; I != N; ++I) {
+        H ^= static_cast<unsigned char>(Data[I]);
+        H *= 1099511628211ull;
+      }
+    };
+    for (const std::string &Name : Session.FunctionNames)
+      Mix(Name.data(), Name.size() + 1);
+    uint32_t Shape[3] = {Session.NumHosts, Session.NumSections,
+                         Session.NumFunctions};
+    Mix(reinterpret_cast<const char *>(Shape), sizeof(Shape));
+    // Keep the id positive through a JSON int64 round trip.
+    Session.TraceId = (H >> 1) | 1;
+  }
   for (auto &L : Lanes) {
     Session.Events.insert(Session.Events.end(), L->Events.begin(),
                           L->Events.end());

@@ -86,6 +86,10 @@ public:
     Session.NumFunctions = NumFunctions;
   }
 
+  /// Overrides the session trace id. When unset, finish() derives one
+  /// from the run's content so identical runs keep byte-identical traces.
+  void setTraceId(uint64_t Id) { Session.TraceId = Id; }
+
   /// Creates \p Count lanes (discarding none already made). Call before
   /// any worker thread runs; lane(i) is then safe to use concurrently
   /// with lane(j) for i != j.

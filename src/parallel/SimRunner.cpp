@@ -7,6 +7,7 @@
 #include "parallel/SimRunner.h"
 
 #include "cluster/Simulation.h"
+#include "obs/TimeSeries.h"
 #include "parallel/RetryRound.h"
 #include "support/PRNG.h"
 
@@ -275,6 +276,9 @@ struct TaskRec {
   double EstimateSec = 0;       ///< Master's cost-model elapsed estimate.
   double NextTimeoutSec = 0;    ///< Current watchdog interval (backs off).
   double LastAttemptStart = 0;
+  /// Span id of the most recent attempt's fork — the causal parent of a
+  /// watchdog firing against that attempt.
+  uint64_t LastForkId = 0;
   Simulation::CancelToken Timeout;
   Simulation::CancelToken SpecCheck;
   JoinCounter *Join = nullptr;
@@ -283,12 +287,15 @@ struct TaskRec {
 /// Recursive fault-handling actions. Held by shared_ptr in SimContext::Keep
 /// so the mutually-recursive std::functions outlive every scheduled event;
 /// the cycles are broken explicitly after the event loop drains.
+/// Except for ArmTimeout (which reads the task's LastForkId when the
+/// watchdog actually fires), every action takes the span id of the event
+/// that caused it, so recovery chains stay causally linked in the trace.
 struct FaultEngine {
-  std::function<void(size_t, unsigned, bool)> Launch;
+  std::function<void(size_t, unsigned, bool, uint64_t)> Launch;
   std::function<void(size_t)> ArmTimeout;
-  std::function<void(size_t)> ArmSpec;
-  std::function<void(size_t)> Recover;
-  std::function<void(size_t)> MasterFallback;
+  std::function<void(size_t, uint64_t)> ArmSpec;
+  std::function<void(size_t, uint64_t)> Recover;
+  std::function<void(size_t, uint64_t)> MasterFallback;
 };
 
 } // namespace
@@ -388,8 +395,26 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   const int32_t ActiveCtr =
       Rec ? Rec->internCounter("active_function_masters") : -1;
   auto ActiveFnMasters = std::make_shared<int>(0);
+  // Cumulative scheduler activity, sampled at each recovery event so the
+  // fault machinery shows up as counter tracks next to the gauges.
+  const int32_t WatchdogCtr =
+      Rec ? Rec->internCounter("scheduler.watchdog_fires") : -1;
+  const int32_t ReassignCtr =
+      Rec ? Rec->internCounter("scheduler.reassignments") : -1;
+  const int32_t SpecCtr =
+      Rec ? Rec->internCounter("scheduler.speculative_launches") : -1;
+  unsigned ReassignEvents = 0;
+  unsigned SpecEvents = 0;
   if (Rec)
     Rec->setTopology(Host.NumWorkstations, NumSections);
+
+  // Span ids of the causal frontier: the newest accepted result per
+  // section (parents SpanCombine), the last section's completion report
+  // (parents AllSectionsDone), and the link milestone (parents
+  // RunComplete). Zero means "not yet recorded".
+  std::vector<uint64_t> SectionLastDoneId(NumSections, 0);
+  uint64_t LastSectionDoneId = 0;
+  uint64_t ModuleLinkedId = 0;
 
   // Estimated work currently placed on each host; reassignment picks the
   // least-loaded live machine.
@@ -426,23 +451,35 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // that, and must not count toward the elapsed time.
   double FinishedAtSec = -1.0;
   auto RunAssembly = [&] {
-    if (auto *E = Instant(EventKind::AllSectionsDone, obs::Phase::Assembly))
+    uint64_t AllDoneId = 0;
+    if (auto *E = Instant(EventKind::AllSectionsDone, obs::Phase::Assembly)) {
       E->Host = 0;
-    Ctx.transfer(TotalOutputKB, [&](double) {
+      E->Parent = LastSectionDoneId;
+      AllDoneId = E->spanId();
+    }
+    Ctx.transfer(TotalOutputKB, [&, AllDoneId](double) {
       const double AsmStart = Ctx.Sim.now();
       LispStep Asm;
       Asm.WorkSec = Model.phase4Sec(Job.Phase4);
       Asm.AllocKB = static_cast<double>(Job.Phase4.allocationKB());
       Asm.LiveKB =
           Job.parseResidentKB() + TotalOutputKB * OutputRetainFactor;
-      Ctx.lispStep(0, Asm, [&, AsmStart](StepCost) {
+      Ctx.lispStep(0, Asm, [&, AsmStart, AllDoneId](StepCost) {
         // Assembly is compiler work, not coordination overhead, so its
         // span carries no CpuSec attribution.
+        uint64_t AsmId = AllDoneId;
         if (auto *E = Span(AsmStart, EventKind::SpanAssembly,
-                           obs::Phase::Assembly))
+                           obs::Phase::Assembly)) {
           E->Host = 0;
-        if (auto *E = Instant(EventKind::ModuleLinked, obs::Phase::Assembly))
+          E->Parent = AllDoneId;
+          AsmId = E->spanId();
+        }
+        if (auto *E = Instant(EventKind::ModuleLinked,
+                              obs::Phase::Assembly)) {
           E->Host = 0;
+          E->Parent = AsmId;
+          ModuleLinkedId = E->spanId();
+        }
         double ImageKB =
             static_cast<double>(Job.Phase4.ImageBytes) / 1024.0 + 1.0;
         Ctx.transfer(ImageKB, [&](double) { FinishedAtSec = Ctx.Sim.now(); });
@@ -461,7 +498,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // host's estimated load itself.
   auto AttemptAbandoned = [&](size_t Id, unsigned W, double AttemptStart,
                               bool LostToCrash, FaultCause CrashCause,
-                              const auto &Tag, bool ReleaseLoad) -> bool {
+                              const auto &Tag, bool ReleaseLoad,
+                              uint64_t ParentId) -> bool {
     TaskRec &TR = (*Tasks)[Id];
     AttemptGate Gate = checkAttempt(LostToCrash, CrashCause, TR.Done);
     if (Gate.Proceed)
@@ -469,6 +507,7 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     if (auto *E = Instant(EventKind::AttemptLost, obs::Phase::Recovery)) {
       Tag(E, static_cast<int32_t>(W));
       E->Cause = Gate.Cause;
+      E->Parent = ParentId;
     }
     Stats.RetriesSec += Gate.ClipAtCrash ? ConsumedSince(W, AttemptStart)
                                          : Ctx.Sim.now() - AttemptStart;
@@ -489,7 +528,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // the attempt if its host crashed since the attempt began or if a
   // competing attempt already delivered; a discarded attempt is *not*
   // retried here — the master's watchdog timeout drives recovery.
-  Eng->Launch = [&, Eng](size_t Id, unsigned W, bool Speculative) {
+  Eng->Launch = [&, Eng](size_t Id, unsigned W, bool Speculative,
+                         uint64_t ParentId) {
     {
       TaskRec &TR = (*Tasks)[Id];
       ++TR.Attempts;
@@ -515,17 +555,21 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     // The fork of each function master runs on the section master's
     // machine (the user's workstation).
     Ctx.cpu(0, Host.ForkSec, [&, Eng, Id, W, Speculative, Extra, Tag,
-                              ForkStart](double ForkWaitSec) {
+                              ForkStart, ParentId](double ForkWaitSec) {
       Stats.SectionCpuSec += Host.ForkSec;
       TaskRec &TR = (*Tasks)[Id];
       const FunctionTask *Task = TR.Task;
       // The fork's CPU hits the section-master ledger no matter what
       // happens next, so the span is emitted unconditionally too.
+      uint64_t ForkId = ParentId;
       if (auto *E = Span(ForkStart + ForkWaitSec, EventKind::SpanFunctionFork,
                          obs::Phase::Setup)) {
         Tag(E, 0);
         E->CpuSec = Host.ForkSec;
+        E->Parent = ParentId;
+        ForkId = E->spanId();
       }
+      TR.LastForkId = ForkId;
       if (TR.Done) {
         WsLoad[W] -= TR.EstimateSec;
         return;
@@ -533,50 +577,67 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       if (FaultsActive && !HostUp(W)) {
         // The fork's first message goes unanswered: the master notices
         // right away and re-places the function without burning a timeout.
+        uint64_t FailId = ForkId;
         if (auto *E = Instant(EventKind::PlacementFailed,
                               obs::Phase::Recovery)) {
           Tag(E, static_cast<int32_t>(W));
           E->Cause = FaultCause::HostDown;
+          E->Parent = ForkId;
+          FailId = E->spanId();
         }
         WsLoad[W] -= TR.EstimateSec;
-        Eng->Recover(Id);
+        Eng->Recover(Id, FailId);
         return;
       }
       const double AttemptStart = Ctx.Sim.now();
       TR.LastAttemptStart = AttemptStart;
       if (!Speculative)
-        Eng->ArmSpec(Id);
+        Eng->ArmSpec(Id, ForkId);
       Ctx.startLisp(W, [&, Eng, Id, W, Task, Speculative, Extra, Tag,
-                        AttemptStart](double StartupSec) {
+                        AttemptStart, ForkId](double StartupSec) {
         if (AttemptAbandoned(Id, W, AttemptStart, LostWork(W, AttemptStart),
-                             FaultCause::CrashDuringStartup, Tag, true))
+                             FaultCause::CrashDuringStartup, Tag, true,
+                             ForkId))
           return;
         Stats.StartupSec += StartupSec;
-        Tag(Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
-                 obs::Phase::Setup),
-            static_cast<int32_t>(W));
+        uint64_t StartupId = ForkId;
+        if (auto *E = Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
+                           obs::Phase::Setup)) {
+          Tag(E, static_cast<int32_t>(W));
+          E->Parent = ForkId;
+          StartupId = E->spanId();
+        }
         const double CompileStart = Ctx.Sim.now();
         if (Lane && ActiveCtr >= 0)
           Lane->counter(CompileStart, ActiveCtr, ++*ActiveFnMasters);
         LispStep Step = MakeStep(*Task);
         Ctx.lispStep(W, Step, [&, Eng, Id, W, Task, Speculative, Extra, Tag,
-                               AttemptStart, CompileStart](StepCost Cost) {
+                               AttemptStart, CompileStart,
+                               StartupId](StepCost Cost) {
           if (Lane && ActiveCtr >= 0)
             Lane->counter(Ctx.Sim.now(), ActiveCtr, --*ActiveFnMasters);
           if (AttemptAbandoned(Id, W, AttemptStart,
                                LostWork(W, AttemptStart),
-                               FaultCause::CrashDuringCompile, Tag, true))
+                               FaultCause::CrashDuringCompile, Tag, true,
+                               StartupId))
             return;
           Stats.FnCpuSec += Cost.computeSec();
           Stats.FnGCSec += Cost.GCSec;
-          Tag(Span(CompileStart, EventKind::SpanCompile, obs::Phase::Compile),
-              static_cast<int32_t>(W));
+          uint64_t CompileId = StartupId;
+          if (auto *E = Span(CompileStart, EventKind::SpanCompile,
+                             obs::Phase::Compile)) {
+            Tag(E, static_cast<int32_t>(W));
+            E->Parent = StartupId;
+            CompileId = E->spanId();
+          }
           Ctx.transfer(Task->OutputKB, [&, Eng, Id, W, Task, Speculative,
-                                        Extra, Tag, AttemptStart](double) {
+                                        Extra, Tag, AttemptStart,
+                                        CompileId](double) {
             TaskRec &TR = (*Tasks)[Id];
             if (AttemptAbandoned(Id, W, AttemptStart,
                                  LostWork(W, AttemptStart),
-                                 FaultCause::CrashDuringResult, Tag, true))
+                                 FaultCause::CrashDuringResult, Tag, true,
+                                 CompileId))
               return;
             // The result file is durable on the server now; only the
             // completion message itself can still be lost.
@@ -586,19 +647,20 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                                     obs::Phase::Recovery)) {
                 Tag(E, static_cast<int32_t>(W));
                 E->Cause = FaultCause::MessageLoss;
+                E->Parent = CompileId;
               }
               Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
               WsLoad[W] -= TR.EstimateSec;
               return;
             }
             Ctx.Sim.after(Host.MessageSec, [&, Eng, Id, W, Speculative, Extra,
-                                            Tag, AttemptStart] {
+                                            Tag, AttemptStart, CompileId] {
               TaskRec &TR = (*Tasks)[Id];
               WsLoad[W] -= TR.EstimateSec;
               // The load was already released; a crash can no longer lose
               // the durable result file, only supersession applies.
               if (AttemptAbandoned(Id, W, AttemptStart, false,
-                                   FaultCause::None, Tag, false))
+                                   FaultCause::None, Tag, false, CompileId))
                 return;
               TR.Done = true;
               if (TR.Timeout) {
@@ -614,8 +676,15 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                 ++Stats.SpeculativeWins;
               if (Extra)
                 Stats.RetriesSec += Ctx.Sim.now() - AttemptStart;
-              Tag(Instant(EventKind::FunctionDone, obs::Phase::Compile),
-                  static_cast<int32_t>(W));
+              // The completion message crosses back to the section master;
+              // its id becomes the section's causal frontier so Combine
+              // chains off whichever result really arrived last.
+              if (auto *E = Instant(EventKind::FunctionDone,
+                                    obs::Phase::Compile)) {
+                Tag(E, static_cast<int32_t>(W));
+                E->Parent = CompileId;
+                SectionLastDoneId[TR.Section] = E->spanId();
+              }
               TR.Join->arrive();
             });
           });
@@ -636,6 +705,7 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           if (TR.Done || TR.FallbackStarted)
             return;
           ++Stats.TimeoutsFired;
+          uint64_t TimeoutId = TR.LastForkId;
           if (auto *E = Instant(EventKind::TimeoutFired,
                                 obs::Phase::Recovery)) {
             E->Host = static_cast<int32_t>(TR.LastWs);
@@ -643,17 +713,21 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
             E->Function = TR.FnId;
             E->Attempt = static_cast<int32_t>(TR.Attempts);
             E->Cause = FaultCause::TimeoutExpired;
+            E->Parent = TR.LastForkId;
+            TimeoutId = E->spanId();
           }
-          Eng->Recover(Id);
+          if (Lane && WatchdogCtr >= 0)
+            Lane->counter(Ctx.Sim.now(), WatchdogCtr, Stats.TimeoutsFired);
+          Eng->Recover(Id, TimeoutId);
         });
   };
 
-  Eng->Recover = [&, Eng](size_t Id) {
+  Eng->Recover = [&, Eng](size_t Id, uint64_t ParentId) {
     TaskRec &TR = (*Tasks)[Id];
     if (TR.Done || TR.FallbackStarted)
       return;
     if (TR.Attempts >= Policy.MaxAttempts) {
-      Eng->MasterFallback(Id);
+      Eng->MasterFallback(Id, ParentId);
       return;
     }
     unsigned W = PickHost(TR.LastWs);
@@ -662,20 +736,26 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
       ++Stats.FunctionsReassigned;
     }
     TR.NextTimeoutSec *= Policy.BackoffFactor;
+    uint64_t ReassignId = ParentId;
     if (auto *E = Instant(EventKind::Reassigned, obs::Phase::Recovery)) {
       E->Host = static_cast<int32_t>(W);
       E->Section = static_cast<int32_t>(TR.Section);
       E->Function = TR.FnId;
       E->Attempt = static_cast<int32_t>(TR.Attempts + 1);
+      E->Parent = ParentId;
+      ReassignId = E->spanId();
     }
+    ++ReassignEvents;
+    if (Lane && ReassignCtr >= 0)
+      Lane->counter(Ctx.Sim.now(), ReassignCtr, ReassignEvents);
     Eng->ArmTimeout(Id);
-    Eng->Launch(Id, W, false);
+    Eng->Launch(Id, W, false, ReassignId);
   };
 
   // Last resort after the attempt cap: the master recompiles the function
   // in its own Lisp process, which already holds the module's parse data.
   // Host 0 is reliable, so this always completes.
-  Eng->MasterFallback = [&, Eng](size_t Id) {
+  Eng->MasterFallback = [&, Eng](size_t Id, uint64_t ParentId) {
     TaskRec &TR = (*Tasks)[Id];
     if (TR.Done || TR.FallbackStarted)
       return;
@@ -688,24 +768,28 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     const double Start = Ctx.Sim.now();
     LispStep Step = MakeStep(*TR.Task);
     Step.LiveKB += Job.parseResidentKB();
-    Ctx.lispStep(0, Step, [&, Eng, Id, Start](StepCost Cost) {
+    Ctx.lispStep(0, Step, [&, Eng, Id, Start, ParentId](StepCost Cost) {
       TaskRec &TR = (*Tasks)[Id];
       Stats.FnCpuSec += Cost.computeSec();
       Stats.FnGCSec += Cost.GCSec;
       // Emitted whether or not this recompile wins, so the trace's
       // recompile count matches Stats.MasterRecompiles.
+      uint64_t RecompileId = ParentId;
       if (auto *E = Span(Start, EventKind::SpanMasterRecompile,
                          obs::Phase::Recovery)) {
         E->Host = 0;
         E->Section = static_cast<int32_t>(TR.Section);
         E->Function = TR.FnId;
         E->Cause = FaultCause::AttemptCapReached;
+        E->Parent = ParentId;
+        RecompileId = E->spanId();
       }
       if (TR.Done) {
         Stats.RetriesSec += Ctx.Sim.now() - Start;
         return;
       }
-      Ctx.transfer(TR.Task->OutputKB, [&, Eng, Id, Start](double) {
+      Ctx.transfer(TR.Task->OutputKB, [&, Eng, Id, Start,
+                                       RecompileId](double) {
         TaskRec &TR = (*Tasks)[Id];
         Stats.RetriesSec += Ctx.Sim.now() - Start;
         if (TR.Done)
@@ -724,6 +808,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
           E->Function = TR.FnId;
           E->Attempt = 0;
           E->Cause = FaultCause::AttemptCapReached;
+          E->Parent = RecompileId;
+          SectionLastDoneId[TR.Section] = E->spanId();
         }
         TR.Join->arrive();
       });
@@ -737,7 +823,7 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
   // original is not declared dead; the hard watchdog still backs it up.
   // One speculation per function, and only if no recovery has superseded
   // the attempt it was armed for.
-  Eng->ArmSpec = [&, Eng](size_t Id) {
+  Eng->ArmSpec = [&, Eng](size_t Id, uint64_t ParentId) {
     if (!FaultsActive || !Policy.SpeculateStragglers)
       return;
     TaskRec &TR = (*Tasks)[Id];
@@ -748,13 +834,14 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     double SlackSec = std::max(Policy.MinTimeoutSec,
                                0.5 * Policy.TimeoutFactor * TR.EstimateSec);
     TR.SpecCheck = Ctx.Sim.atCancellable(
-        Ctx.Sim.now() + SlackSec, [&, Eng, Id, ArmedAttempts] {
+        Ctx.Sim.now() + SlackSec, [&, Eng, Id, ArmedAttempts, ParentId] {
           TaskRec &TR = (*Tasks)[Id];
           if (TR.Done || TR.FallbackStarted || TR.Attempts != ArmedAttempts)
             return;
           if (TR.Attempts >= Policy.MaxAttempts)
             return; // the watchdog path handles exhaustion
           unsigned W = PickHost(TR.LastWs);
+          uint64_t SpecId = ParentId;
           if (auto *E = Instant(EventKind::SpeculationLaunched,
                                 obs::Phase::Recovery)) {
             E->Host = static_cast<int32_t>(W);
@@ -762,13 +849,18 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
             E->Function = TR.FnId;
             E->Attempt = static_cast<int32_t>(TR.Attempts + 1);
             E->Speculative = true;
+            E->Parent = ParentId;
+            SpecId = E->spanId();
           }
-          Eng->Launch(Id, W, true);
+          ++SpecEvents;
+          if (Lane && SpecCtr >= 0)
+            Lane->counter(Ctx.Sim.now(), SpecCtr, SpecEvents);
+          Eng->Launch(Id, W, true, SpecId);
         });
   };
 
   // --- Section masters.
-  auto StartSection = [&, Eng](unsigned S) {
+  auto StartSection = [&, Eng](unsigned S, uint64_t ParentId) {
     const auto &SectionTasks = Job.Sections[S];
     const unsigned NumFns = static_cast<unsigned>(SectionTasks.size());
     double SectionOutKB = 0;
@@ -777,6 +869,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
 
     // When every function is done, the section master gathers the result
     // files, combines code and diagnostics, and reports to the master.
+    // Combine's causal parent is the section's last accepted result: the
+    // message that released the join.
     JoinCounter *SectionsJoinPtr = SectionsJoin.get();
     auto Combine = [&, S, SectionOutKB, SectionsJoinPtr] {
       const double CombineStart = Ctx.Sim.now();
@@ -786,18 +880,25 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
         Ctx.cpu(0, CombineSec, [&, S, CombineSec, SectionOutKB,
                                 SectionsJoinPtr, CombineStart](double) {
           Stats.SectionCpuSec += CombineSec;
+          uint64_t CombineId = SectionLastDoneId[S];
           if (auto *E = Span(CombineStart, EventKind::SpanCombine,
                              obs::Phase::Combine)) {
             E->Host = 0;
             E->Section = static_cast<int32_t>(S);
             E->CpuSec = CombineSec;
+            E->Parent = SectionLastDoneId[S];
+            CombineId = E->spanId();
           }
-          Ctx.transfer(SectionOutKB, [&, S, SectionsJoinPtr](double) {
-            Ctx.Sim.after(Host.MessageSec, [&, S, SectionsJoinPtr] {
+          Ctx.transfer(SectionOutKB, [&, S, SectionsJoinPtr,
+                                      CombineId](double) {
+            Ctx.Sim.after(Host.MessageSec, [&, S, SectionsJoinPtr,
+                                            CombineId] {
               if (auto *E = Instant(EventKind::SectionDone,
                                     obs::Phase::Combine)) {
                 E->Host = 0;
                 E->Section = static_cast<int32_t>(S);
+                E->Parent = CombineId;
+                LastSectionDoneId = E->spanId();
               }
               SectionsJoinPtr->arrive();
             });
@@ -815,14 +916,17 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
     // timeout is derived from the master's own cost estimate.
     double DirectiveSec = Model.cMasterSec(DirectiveWorkPerFn * NumFns);
     const double DirectivesStart = Ctx.Sim.now();
-    Ctx.cpu(0, DirectiveSec, [&, Eng, S, DirectiveSec,
-                              DirectivesStart](double WaitSec) {
+    Ctx.cpu(0, DirectiveSec, [&, Eng, S, DirectiveSec, DirectivesStart,
+                              ParentId](double WaitSec) {
       Stats.SectionCpuSec += DirectiveSec;
+      uint64_t DirectivesId = ParentId;
       if (auto *E = Span(DirectivesStart + WaitSec, EventKind::SpanDirectives,
                          obs::Phase::Schedule)) {
         E->Host = 0;
         E->Section = static_cast<int32_t>(S);
         E->CpuSec = DirectiveSec;
+        E->Parent = ParentId;
+        DirectivesId = E->spanId();
       }
       for (size_t Id : SectionTaskIds[S]) {
         TaskRec &TR = (*Tasks)[Id];
@@ -834,8 +938,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
         // fail.
         if (Job.CacheEnabled && TR.Task->Cached) {
           const double LookupStart = Ctx.Sim.now();
-          Ctx.cpu(0, Host.CacheLookupSec, [&, Id,
-                                           LookupStart](double WaitSec) {
+          Ctx.cpu(0, Host.CacheLookupSec, [&, Id, LookupStart,
+                                           DirectivesId](double WaitSec) {
             TaskRec &TR = (*Tasks)[Id];
             Stats.SectionCpuSec += Host.CacheLookupSec;
             if (auto *E = Span(LookupStart + WaitSec,
@@ -845,6 +949,8 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
               E->Section = static_cast<int32_t>(TR.Section);
               E->Function = TR.FnId;
               E->CpuSec = Host.CacheLookupSec;
+              E->Parent = DirectivesId;
+              SectionLastDoneId[TR.Section] = E->spanId();
             }
             ++Stats.CacheHits;
             Stats.CacheBytesKB += TR.Task->OutputKB;
@@ -859,63 +965,127 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
         TR.NextTimeoutSec = std::max(Policy.MinTimeoutSec,
                                      Policy.TimeoutFactor * TR.EstimateSec);
         Eng->ArmTimeout(Id);
-        Eng->Launch(Id, TR.HomeWs, false);
+        Eng->Launch(Id, TR.HomeWs, false, DirectivesId);
       }
     });
   };
+
+  // --- Telemetry sampler: a self-rescheduling tick on the simulated
+  // clock polls the scheduler/cache/host gauges. The tick requests no
+  // resources, so arming it never perturbs the run's service times; the
+  // first sample is taken synchronously at t=0, before the master forks.
+  std::shared_ptr<obs::TimeSeriesSet> Telemetry;
+  if (Rec) {
+    Telemetry = std::make_shared<obs::TimeSeriesSet>();
+    Telemetry->registerGauge("sched.tasks_pending", [Tasks] {
+      int Pending = 0;
+      for (const TaskRec &TR : *Tasks)
+        Pending += TR.Done ? 0 : 1;
+      return static_cast<double>(Pending);
+    });
+    Telemetry->registerGauge("sched.inflight_compiles", [ActiveFnMasters] {
+      return static_cast<double>(*ActiveFnMasters);
+    });
+    Telemetry->registerGauge("cache.hit_rate", [&Stats] {
+      double Probes =
+          static_cast<double>(Stats.CacheHits + Stats.CacheMisses);
+      return Probes > 0 ? Stats.CacheHits / Probes : 0.0;
+    });
+    for (unsigned W = 0; W != Host.NumWorkstations; ++W)
+      Telemetry->registerGauge("host.busy.ws" + std::to_string(W),
+                               [&Ctx, W] {
+                                 double Now = Ctx.Sim.now();
+                                 if (Now <= 0)
+                                   return 0.0;
+                                 return std::min(
+                                     1.0, Ctx.Ws[W]->busySeconds() / Now);
+                               });
+    struct SamplerLoop {
+      std::function<void()> Tick;
+    };
+    auto Sampler = std::make_shared<SamplerLoop>();
+    Ctx.Keep.push_back(Sampler);
+    Ctx.CycleBreakers.push_back([Sampler] { Sampler->Tick = nullptr; });
+    Sampler->Tick = [&, Sampler, Telemetry] {
+      if (FinishedAtSec >= 0)
+        return;
+      Telemetry->sampleAll(Ctx.Sim.now());
+      Ctx.Sim.after(Host.TelemetrySamplePeriodSec, [Sampler] {
+        if (Sampler->Tick)
+          Sampler->Tick();
+      });
+    };
+    Sampler->Tick();
+  }
 
   // --- Master: fork the parse process, parse, schedule, fork sections.
   const double MasterForkStart = Ctx.Sim.now();
   Ctx.cpu(0, Host.ForkSec, [&, StartSection, MasterForkStart](double WaitSec) {
     Stats.MasterCpuSec += Host.ForkSec;
+    uint64_t MForkId = 0;
     if (auto *E = Span(MasterForkStart + WaitSec, EventKind::SpanMasterFork,
                        obs::Phase::Setup)) {
       E->Host = 0;
       E->CpuSec = Host.ForkSec;
+      MForkId = E->spanId();
     }
-    Ctx.startLisp(0, [&, StartSection](double StartupSec) {
+    Ctx.startLisp(0, [&, StartSection, MForkId](double StartupSec) {
       Stats.StartupSec += StartupSec;
+      uint64_t MStartupId = MForkId;
       if (auto *E = Span(Ctx.Sim.now() - StartupSec, EventKind::SpanStartup,
-                         obs::Phase::Setup))
+                         obs::Phase::Setup)) {
         E->Host = 0;
+        E->Parent = MForkId;
+        MStartupId = E->spanId();
+      }
       const double ParseStart = Ctx.Sim.now();
       LispStep Parse;
       Parse.WorkSec = Model.phase1Sec(Job.Phase1);
       Parse.AllocKB = static_cast<double>(Job.Phase1.allocationKB());
       Parse.LiveKB = Job.parseResidentKB() * 0.5;
-      Ctx.lispStep(0, Parse, [&, StartSection, ParseStart](StepCost Cost) {
+      Ctx.lispStep(0, Parse, [&, StartSection, ParseStart,
+                              MStartupId](StepCost Cost) {
         // "Time for one extra parse of the program to determine
         // partitioning" counts as master (implementation) overhead.
         Stats.MasterCpuSec += Cost.computeSec();
+        uint64_t ParseId = MStartupId;
         if (auto *E = Span(ParseStart, EventKind::SpanParse,
                            obs::Phase::Parse)) {
           E->Host = 0;
           E->CpuSec = Cost.computeSec();
+          E->Parent = MStartupId;
+          ParseId = E->spanId();
         }
         double SchedSec =
             Model.cMasterSec(SchedWorkPerFn * Job.numFunctions());
         const double SchedStart = Ctx.Sim.now();
-        Ctx.cpu(0, SchedSec, [&, SchedSec, StartSection,
-                              SchedStart](double WaitSec) {
+        Ctx.cpu(0, SchedSec, [&, SchedSec, StartSection, SchedStart,
+                              ParseId](double WaitSec) {
           Stats.MasterCpuSec += SchedSec;
+          uint64_t SchedId = ParseId;
           if (auto *E = Span(SchedStart + WaitSec, EventKind::SpanSchedule,
                              obs::Phase::Schedule)) {
             E->Host = 0;
             E->CpuSec = SchedSec;
+            E->Parent = ParseId;
+            SchedId = E->spanId();
           }
           for (unsigned S = 0; S != NumSections; ++S) {
             const double SecForkStart = Ctx.Sim.now();
-            Ctx.cpu(0, Host.ForkSec, [&, S, StartSection,
-                                      SecForkStart](double WaitSec) {
+            Ctx.cpu(0, Host.ForkSec, [&, S, StartSection, SecForkStart,
+                                      SchedId](double WaitSec) {
               Stats.MasterCpuSec += Host.ForkSec;
+              uint64_t SecForkId = SchedId;
               if (auto *E = Span(SecForkStart + WaitSec,
                                  EventKind::SpanSectionFork,
                                  obs::Phase::Setup)) {
                 E->Host = 0;
                 E->Section = static_cast<int32_t>(S);
                 E->CpuSec = Host.ForkSec;
+                E->Parent = SchedId;
+                SecForkId = E->spanId();
               }
-              StartSection(S);
+              StartSection(S, SecForkId);
             });
           }
         });
@@ -932,9 +1102,23 @@ ParStats parallel::simulateParallel(const CompilationJob &Job,
                                       EventKind::RunComplete,
                                       obs::Phase::Assembly);
     E.Host = 0;
+    E.Parent = ModuleLinkedId;
     // Callers that also ran a sequential baseline overwrite the zero
     // SeqElapsedSec via setRunTotals before finish().
     Rec->setRunTotals(Stats.ElapsedSec, 0.0, Job.numFunctions());
+    if (Telemetry) {
+      // Close the series with an end-of-run sample (the straggler check
+      // reads each host's final busy fraction), then materialize them as
+      // counter tracks and flag anomalies in the trace itself.
+      Telemetry->sampleAll(Stats.ElapsedSec);
+      std::vector<obs::TimeSeries> Series = Telemetry->snapshot();
+      obs::emitCounterTracks(*Rec, 0, Series);
+      for (const obs::Anomaly &A : obs::detectAnomalies(Series)) {
+        obs::SpanEvent &AE = Lane->instant(
+            A.TSec, EventKind::AnomalyDetected, obs::Phase::Recovery);
+        AE.Host = A.Host;
+      }
+    }
   }
   // Break the shared_ptr cycles among the engine's recursive closures.
   Eng->Launch = nullptr;

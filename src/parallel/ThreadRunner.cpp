@@ -6,11 +6,14 @@
 
 #include "parallel/ThreadRunner.h"
 
+#include "obs/TimeSeries.h"
 #include "parallel/RetryRound.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -67,11 +70,15 @@ ThreadRunResult parallel::compileModuleParallel(
   const double ParseStart = Rec ? Rec->nowSec() : 0;
   driver::ParseResult Parsed = driver::parseAndCheck(Source, Metrics);
   Result.Phase1Sec = PhaseTimer.seconds();
+  // Root of the run's causal chain: every dispatch edge below ultimately
+  // parents back to the parse span.
+  uint64_t ParseId = 0;
   if (Rec) {
     obs::SpanEvent &E = Rec->lane(0).span(
         ParseStart, Rec->nowSec() - ParseStart, EventKind::SpanParse,
         obs::Phase::Parse);
     E.Host = 0;
+    ParseId = E.spanId();
   }
   Result.Module.Diags.merge(Parsed.Diags);
   Result.Module.Phase1 = Parsed.Metrics;
@@ -119,9 +126,29 @@ ThreadRunResult parallel::compileModuleParallel(
   // All lanes exist before any thread starts.
   if (Rec)
     Rec->makeLanes(Workers + 1);
+  const int32_t RetryCtr =
+      Rec ? Rec->internCounter("scheduler.retries") : -1;
+  const int32_t ReassignCtr =
+      Rec ? Rec->internCounter("scheduler.reassignments") : -1;
 
   std::atomic<unsigned> Poisoned{0};
   RetryRoundTracker Rounds(Tasks.size());
+
+  // Causal parent of each function's next attempt: the dispatch edge. A
+  // fresh function chains off the parse (the master's pending list); a
+  // retried one chains off the loss/rejection that sent it back. Each
+  // index is touched only by its single claimant within a round, and
+  // rounds are joined, so plain slots are race-free.
+  std::vector<uint64_t> AttemptParent(Tasks.size(), ParseId);
+  // Span id of the newest accepted result, the causal parent of assembly.
+  // Ids increase with emission order, so max = last result that landed.
+  std::atomic<uint64_t> LastResultId{0};
+  auto NoteResult = [&LastResultId](uint64_t Id) {
+    uint64_t Cur = LastResultId.load(std::memory_order_relaxed);
+    while (Cur < Id && !LastResultId.compare_exchange_weak(
+                           Cur, Id, std::memory_order_relaxed)) {
+    }
+  };
 
   // Cache pre-filter: the master probes the cache once per function and
   // replays hits in place, so only misses ever enter the pending list.
@@ -145,12 +172,56 @@ ThreadRunResult parallel::compileModuleParallel(
           E.Host = 0;
           E.Section = T.SectionId;
           E.Function = T.FnId;
+          E.Parent = ParseId;
+          NoteResult(E.spanId());
         }
       } else {
         ++Result.CacheMisses;
       }
     }
     Rounds.settleRound();
+  }
+
+  // --- Telemetry sampler: a steady-clock thread polls the gauges into
+  // bounded ring buffers. It reads only atomics and never touches the
+  // recorder; the series become counter tracks after every worker joins.
+  std::atomic<size_t> Produced{Tasks.size() - Rounds.pending().size()};
+  std::atomic<unsigned> InFlight{0};
+  std::vector<std::atomic<double>> WorkerBusySec(Workers);
+  const double HitRate =
+      (Result.CacheHits + Result.CacheMisses) > 0
+          ? static_cast<double>(Result.CacheHits) /
+                (Result.CacheHits + Result.CacheMisses)
+          : 0.0;
+  obs::TimeSeriesSet Telemetry;
+  std::atomic<bool> StopSampler{false};
+  std::thread SamplerThread;
+  if (Rec) {
+    Telemetry.registerGauge("sched.tasks_pending", [&Tasks, &Produced] {
+      return static_cast<double>(Tasks.size() -
+                                 Produced.load(std::memory_order_relaxed));
+    });
+    Telemetry.registerGauge("sched.inflight_compiles", [&InFlight] {
+      return static_cast<double>(InFlight.load(std::memory_order_relaxed));
+    });
+    Telemetry.registerGauge("cache.hit_rate", [HitRate] { return HitRate; });
+    for (unsigned W = 0; W != Workers; ++W)
+      Telemetry.registerGauge(
+          "host.busy.w" + std::to_string(W + 1), [&WorkerBusySec, W, Rec] {
+            double Now = Rec->nowSec();
+            if (Now <= 0)
+              return 0.0;
+            return std::min(
+                1.0, WorkerBusySec[W].load(std::memory_order_relaxed) / Now);
+          });
+    SamplerThread = std::thread([&] {
+      // Runs are milliseconds long, so the period is sub-millisecond to
+      // land enough samples; the ring decimates if the run drags on.
+      while (!StopSampler.load(std::memory_order_relaxed)) {
+        Telemetry.sampleAll(Rec->nowSec());
+        std::this_thread::sleep_for(std::chrono::microseconds(250));
+      }
+    });
   }
 
   for (unsigned Attempt = 1;
@@ -185,11 +256,17 @@ ThreadRunResult parallel::compileModuleParallel(
                 Rec->nowSec(), EventKind::AttemptLost, obs::Phase::Recovery);
             Tag(E, T);
             E.Cause = FaultCause::CrashDuringCompile;
+            E.Parent = AttemptParent[Index];
+            AttemptParent[Index] = E.spanId();
           }
           continue;
         }
+        InFlight.fetch_add(1, std::memory_order_relaxed);
         driver::FunctionResult R =
             driver::compileFunction(*T.Section, *T.Function, MM, Metrics);
+        InFlight.fetch_sub(1, std::memory_order_relaxed);
+        WorkerBusySec[Wix].fetch_add(AttemptTimer.seconds(),
+                                     std::memory_order_relaxed);
         if (Inject && Inject->Poison && Inject->Poison(Index, Attempt)) {
           // A sick master writes a truncated result file.
           R.Program.Image.clear();
@@ -207,17 +284,22 @@ ThreadRunResult parallel::compileModuleParallel(
                 obs::Phase::Recovery);
             Tag(E, T);
             E.Cause = FaultCause::PoisonedResult;
+            E.Parent = AttemptParent[Index];
+            AttemptParent[Index] = E.spanId();
           }
           continue;
         }
         if (Lane) {
           const double Now = Rec->nowSec();
-          Tag(Lane->span(T0, Now - T0, EventKind::SpanCompile,
-                         obs::Phase::Compile),
-              T);
-          Tag(Lane->instant(Now, EventKind::FunctionDone,
-                            obs::Phase::Compile),
-              T);
+          obs::SpanEvent &C = Lane->span(T0, Now - T0, EventKind::SpanCompile,
+                                         obs::Phase::Compile);
+          Tag(C, T);
+          C.Parent = AttemptParent[Index];
+          obs::SpanEvent &D = Lane->instant(Now, EventKind::FunctionDone,
+                                            obs::Phase::Compile);
+          Tag(D, T);
+          D.Parent = C.spanId();
+          NoteResult(D.spanId());
         }
         if (Metrics)
           Metrics->observe("thread.compile_sec", AttemptTimer.seconds());
@@ -225,6 +307,7 @@ ThreadRunResult parallel::compileModuleParallel(
           Cache->store(*T.Section, *T.Function, R);
         FnResults[Index] = std::move(R);
         Rounds.produced(Index);
+        Produced.fetch_add(1, std::memory_order_relaxed);
       }
     };
 
@@ -242,6 +325,15 @@ ThreadRunResult parallel::compileModuleParallel(
     }
 
     Rounds.settleRound();
+    // Workers are joined between rounds, so the master may sample the
+    // cumulative scheduler activity onto its own lane.
+    if (Rec) {
+      const double Now = Rec->nowSec();
+      if (RetryCtr >= 0)
+        Rec->lane(0).counter(Now, RetryCtr, Rounds.retriesAttempted());
+      if (ReassignCtr >= 0)
+        Rec->lane(0).counter(Now, ReassignCtr, Rounds.functionsReassigned());
+    }
   }
   Result.PoisonedResultsDetected = Poisoned.load();
   Result.RetriesAttempted = Rounds.retriesAttempted();
@@ -258,6 +350,7 @@ ThreadRunResult parallel::compileModuleParallel(
     if (Cache)
       Cache->store(*T.Section, *T.Function, FnResults[Index]);
     ++Result.FunctionsRecovered;
+    Produced.fetch_add(1, std::memory_order_relaxed);
     if (Rec) {
       const double Now = Rec->nowSec();
       obs::SpanEvent &E =
@@ -267,6 +360,7 @@ ThreadRunResult parallel::compileModuleParallel(
       E.Section = T.SectionId;
       E.Function = T.FnId;
       E.Cause = FaultCause::AttemptCapReached;
+      E.Parent = AttemptParent[Index];
       obs::SpanEvent &D = Rec->lane(0).instant(Now, EventKind::FunctionDone,
                                                obs::Phase::Compile);
       D.Host = 0;
@@ -274,6 +368,8 @@ ThreadRunResult parallel::compileModuleParallel(
       D.Function = T.FnId;
       D.Attempt = 0; // master-fallback win
       D.Cause = FaultCause::AttemptCapReached;
+      D.Parent = E.spanId();
+      NoteResult(D.spanId());
     }
   }
   Result.ParallelPhaseSec = PhaseTimer.seconds();
@@ -287,18 +383,36 @@ ThreadRunResult parallel::compileModuleParallel(
 
   Result.Module.Succeeded = !Result.Module.Diags.hasErrors();
   Result.ElapsedSec = Total.seconds();
+  if (SamplerThread.joinable()) {
+    StopSampler.store(true, std::memory_order_relaxed);
+    SamplerThread.join();
+  }
   if (Rec) {
     const double Now = Rec->nowSec();
     obs::SpanEvent &E = Rec->lane(0).span(
         AsmStart, Now - AsmStart, EventKind::SpanAssembly,
         obs::Phase::Assembly);
     E.Host = 0;
-    Rec->lane(0).instant(Now, EventKind::RunComplete, obs::Phase::Assembly)
-        .Host = 0;
+    E.Parent = LastResultId.load() ? LastResultId.load() : ParseId;
+    obs::SpanEvent &RC =
+        Rec->lane(0).instant(Now, EventKind::RunComplete,
+                             obs::Phase::Assembly);
+    RC.Host = 0;
+    RC.Parent = E.spanId();
     Rec->setTopology(Workers + 1, static_cast<uint32_t>(
                                       Parsed.Module->numSections()));
     Rec->setRunTotals(Result.ElapsedSec, 0.0,
                       static_cast<uint32_t>(Tasks.size()));
+    // Close the series with a final sample, materialize them as counter
+    // tracks on the master lane, and flag anomalies in the trace.
+    Telemetry.sampleAll(Now);
+    std::vector<obs::TimeSeries> Series = Telemetry.snapshot();
+    obs::emitCounterTracks(*Rec, 0, Series);
+    for (const obs::Anomaly &A : obs::detectAnomalies(Series)) {
+      obs::SpanEvent &AE = Rec->lane(0).instant(
+          A.TSec, EventKind::AnomalyDetected, obs::Phase::Recovery);
+      AE.Host = A.Host;
+    }
   }
   if (Metrics) {
     Metrics->add("fault.retries_attempted", Result.RetriesAttempted);

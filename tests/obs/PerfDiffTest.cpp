@@ -1,0 +1,195 @@
+//===- PerfDiffTest.cpp ----------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The perf-regression gate behind tools/warp-perf: metric flattening of
+// --stats-json and BENCH documents, direction classification, the noise
+// threshold (including the repeat-widened form), and the gate verdicts
+// on identical, regressed, and improved candidates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfDiff.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+json::Value parseOrDie(const std::string &Text) {
+  std::string Error;
+  json::Value V = json::parse(Text, Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  return V;
+}
+
+/// A miniature --stats-json document with the gateable headline numbers.
+json::Value statsDoc(double ParSec, double Speedup, double OverheadSec) {
+  json::Value Stats = json::Value::object();
+  json::Value Simulation = json::Value::object();
+  Simulation.set("parallel_sec", ParSec);
+  Simulation.set("speedup", Speedup);
+  Stats.set("simulation", Simulation);
+  json::Value Overheads = json::Value::object();
+  Overheads.set("total_sec", OverheadSec);
+  Stats.set("overheads", Overheads);
+  json::Value Root = json::Value::object();
+  Root.set("schema", "warpc-stats-v2");
+  Root.set("stats", Stats);
+  return Root;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Flattening and direction
+//===----------------------------------------------------------------------===//
+
+TEST(PerfDiffTest, FlattenSkipsSchemaAndScalarArrays) {
+  json::Value Doc = parseOrDie(R"({
+    "schema": "warpc-stats-v2",
+    "stats": {"simulation": {"parallel_sec": 4.5}},
+    "metrics": {"histograms": {"h": {"buckets": [1, 2, 3]}}}
+  })");
+  std::vector<PerfMetric> Metrics = flattenMetrics(Doc);
+  ASSERT_EQ(Metrics.size(), 1u);
+  EXPECT_EQ(Metrics[0].Path, "stats.simulation.parallel_sec");
+  EXPECT_DOUBLE_EQ(Metrics[0].Value, 4.5);
+}
+
+TEST(PerfDiffTest, BenchRowsAreLabeledByIdentity) {
+  json::Value Doc = parseOrDie(R"({
+    "schema": "warpc-bench-v1",
+    "rows": [
+      {"size": "s_small", "functions": 4, "par_elapsed_sec": 100.0},
+      {"size": "s_small", "functions": 8, "par_elapsed_sec": 60.0}
+    ]
+  })");
+  // Each row flattens its numeric members (the identity counter too)
+  // under a label built from its identifying fields.
+  std::vector<PerfMetric> Metrics = flattenMetrics(Doc);
+  ASSERT_EQ(Metrics.size(), 4u);
+  EXPECT_EQ(Metrics[1].Path,
+            "rows[size=s_small,functions=4].par_elapsed_sec");
+  EXPECT_DOUBLE_EQ(Metrics[1].Value, 100.0);
+  EXPECT_EQ(Metrics[3].Path,
+            "rows[size=s_small,functions=8].par_elapsed_sec");
+  // The row label's "size=..." text must not sway the direction: the
+  // leaf is an elapsed time, lower is better.
+  EXPECT_EQ(metricDirection(Metrics[1].Path), PerfDirection::LowerIsBetter);
+}
+
+TEST(PerfDiffTest, MetricDirectionByLeafName) {
+  EXPECT_EQ(metricDirection("stats.simulation.speedup"),
+            PerfDirection::HigherIsBetter);
+  EXPECT_EQ(metricDirection("stats.cache.hit_rate"),
+            PerfDirection::HigherIsBetter);
+  EXPECT_EQ(metricDirection("stats.simulation.parallel_sec"),
+            PerfDirection::LowerIsBetter);
+  EXPECT_EQ(metricDirection("stats.overheads.total_sec"),
+            PerfDirection::LowerIsBetter);
+  EXPECT_EQ(metricDirection("metrics.histograms.compile.p95"),
+            PerfDirection::LowerIsBetter);
+  EXPECT_EQ(metricDirection("run.functions"), PerfDirection::Informational);
+  EXPECT_EQ(metricDirection("stats.faults.timeouts_fired"),
+            PerfDirection::Informational);
+}
+
+//===----------------------------------------------------------------------===//
+// The gate
+//===----------------------------------------------------------------------===//
+
+TEST(PerfDiffTest, IdenticalRunsPassWithZeroRegressions) {
+  json::Value Doc = statsDoc(256.7, 2.72, 82.2);
+  PerfDiffResult R = diffPerf({Doc}, Doc);
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.Improvements, 0u);
+  ASSERT_EQ(R.Deltas.size(), 3u);
+  for (const PerfDelta &D : R.Deltas)
+    EXPECT_DOUBLE_EQ(D.DeltaPct, 0.0);
+  std::string Text = renderPerfDiff(R);
+  EXPECT_NE(Text.find("warp-perf: 0 regression(s)"), std::string::npos);
+}
+
+TEST(PerfDiffTest, SlowedElapsedGates) {
+  PerfDiffResult R =
+      diffPerf({statsDoc(100, 3.0, 80)}, statsDoc(150, 3.0, 80));
+  EXPECT_EQ(R.Regressions, 1u);
+  ASSERT_FALSE(R.Deltas.empty());
+  const PerfDelta &D = R.Deltas[0];
+  EXPECT_EQ(D.Path, "stats.simulation.parallel_sec");
+  EXPECT_TRUE(D.Regression);
+  EXPECT_DOUBLE_EQ(D.DeltaPct, 50.0);
+  std::string Text = renderPerfDiff(R);
+  EXPECT_NE(Text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(Text.find("stats.simulation.parallel_sec"), std::string::npos);
+}
+
+TEST(PerfDiffTest, LoweredSpeedupGatesDespiteHigherIsBetter) {
+  PerfDiffResult R =
+      diffPerf({statsDoc(100, 3.0, 80)}, statsDoc(100, 1.5, 80));
+  EXPECT_EQ(R.Regressions, 1u);
+  EXPECT_TRUE(R.Deltas[1].Regression);
+  EXPECT_EQ(R.Deltas[1].Path, "stats.simulation.speedup");
+  // And a raised speedup is an improvement, not a regression.
+  PerfDiffResult Up =
+      diffPerf({statsDoc(100, 3.0, 80)}, statsDoc(100, 4.5, 80));
+  EXPECT_EQ(Up.Regressions, 0u);
+  EXPECT_EQ(Up.Improvements, 1u);
+}
+
+TEST(PerfDiffTest, MovesInsideNoiseFloorNeverGate) {
+  // +9% elapsed sits inside the default 10% methodology bound.
+  PerfDiffResult R =
+      diffPerf({statsDoc(100, 3.0, 80)}, statsDoc(109, 3.0, 80));
+  EXPECT_EQ(R.Regressions, 0u);
+}
+
+TEST(PerfDiffTest, RepeatsWidenTheThreshold) {
+  // Three noisy baseline repeats: 100, 130, 70 — max relative deviation
+  // 30%, so the threshold widens to 60% and a +50% candidate passes.
+  std::vector<json::Value> Repeats = {statsDoc(100, 3.0, 80),
+                                      statsDoc(130, 3.0, 80),
+                                      statsDoc(70, 3.0, 80)};
+  PerfDiffResult R = diffPerf(Repeats, statsDoc(150, 3.0, 80));
+  ASSERT_FALSE(R.Deltas.empty());
+  EXPECT_DOUBLE_EQ(R.Deltas[0].Baseline, 100.0); // mean of the repeats
+  EXPECT_GT(R.Deltas[0].ThresholdPct, 10.0);
+  EXPECT_FALSE(R.Deltas[0].Regression);
+  // Against a single tight baseline the same candidate gates.
+  EXPECT_EQ(diffPerf({statsDoc(100, 3.0, 80)}, statsDoc(150, 3.0, 80))
+                .Regressions,
+            1u);
+}
+
+TEST(PerfDiffTest, InformationalMetricsNeverGate) {
+  json::Value A = json::Value::object();
+  A.set("functions", 4.0);
+  json::Value B = json::Value::object();
+  B.set("functions", 400.0);
+  PerfDiffResult R = diffPerf({A}, B);
+  EXPECT_EQ(R.Regressions, 0u);
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_FALSE(R.Deltas[0].Regression);
+  EXPECT_EQ(R.Deltas[0].Direction, PerfDirection::Informational);
+}
+
+TEST(PerfDiffTest, MissingAndExtraMetricsAreReportedNotGated) {
+  json::Value Base = parseOrDie(R"({"a_sec": 1.0, "b_sec": 2.0})");
+  json::Value Cand = parseOrDie(R"({"a_sec": 1.0, "c_sec": 3.0})");
+  PerfDiffResult R = diffPerf({Base}, Cand);
+  EXPECT_EQ(R.Regressions, 0u);
+  ASSERT_EQ(R.MissingInCandidate.size(), 1u);
+  EXPECT_EQ(R.MissingInCandidate[0], "b_sec");
+  ASSERT_EQ(R.OnlyInCandidate.size(), 1u);
+  EXPECT_EQ(R.OnlyInCandidate[0], "c_sec");
+  std::string Text = renderPerfDiff(R, /*ShowAll=*/true);
+  EXPECT_NE(Text.find("missing in candidate: b_sec"), std::string::npos);
+  EXPECT_NE(Text.find("only in candidate: c_sec"), std::string::npos);
+}

@@ -1,0 +1,126 @@
+//===- StatsSchemaTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Pins the --stats-json contract: the versioned schema tag, the stable
+// key order of the StatsReport formatter (text and JSON render from the
+// same recording, so they can never drift), and the p50/p95/p99
+// histogram quantile rows derived from MetricsRegistry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+#include "obs/StatsReport.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+TEST(StatsSchemaTest, SchemaVersionIsPinned) {
+  // Bumping the version is an intentional, test-visible act: warp-perf
+  // and any external consumer key on this tag.
+  EXPECT_STREQ(StatsSchemaVersion, "warpc-stats-v2");
+}
+
+TEST(StatsSchemaTest, ReportKeysAreStableAndOrdered) {
+  StatsReport Report;
+  Report.beginGroup("run", "run");
+  Report.add("engine", "engine", "simulate", "simulate");
+  Report.add("functions", "functions", "8", static_cast<int64_t>(8));
+  Report.beginGroup("simulation", "simulated cluster");
+  Report.add("parallel_sec", "parallel elapsed", "256.74 s", 256.74);
+  Report.add("speedup", "speedup", "2.72x", 2.72);
+
+  json::Value Doc = Report.toJson();
+  ASSERT_TRUE(Doc.isObject());
+  // Golden key order: exactly the recording order, nothing sorted.
+  ASSERT_EQ(Doc.members().size(), 2u);
+  EXPECT_EQ(Doc.members()[0].first, "run");
+  EXPECT_EQ(Doc.members()[1].first, "simulation");
+  const json::Value &Run = Doc.get("run");
+  ASSERT_EQ(Run.members().size(), 2u);
+  EXPECT_EQ(Run.members()[0].first, "engine");
+  EXPECT_EQ(Run.members()[1].first, "functions");
+  EXPECT_EQ(Run.get("engine").str(), "simulate");
+  const json::Value &Simulation = Doc.get("simulation");
+  EXPECT_EQ(Simulation.members()[0].first, "parallel_sec");
+  EXPECT_DOUBLE_EQ(Simulation.get("speedup").number(), 2.72);
+
+  // The text render carries the same facts in the same order (golden).
+  EXPECT_EQ(Report.renderText(),
+            "run:\n"
+            "  engine:    simulate\n"
+            "  functions: 8\n"
+            "simulated cluster:\n"
+            "  parallel elapsed: 256.74 s\n"
+            "  speedup:          2.72x\n");
+}
+
+TEST(StatsSchemaTest, SerializedReportSurvivesAParseRoundTrip) {
+  StatsReport Report;
+  Report.beginGroup("overheads", "overheads (Section 4.2.3)");
+  Report.add("total_sec", "total", "82.26 s", 82.2553);
+  Report.add("sys_sec", "system", "74.07 s", 74.0707);
+
+  std::string Text = Report.toJson().dump(1);
+  std::string Error;
+  json::Value Back = json::parse(Text, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  // Doubles survive bit-exactly (the writer round-trips doubles).
+  EXPECT_EQ(Back.get("overheads").get("total_sec").number(), 82.2553);
+  EXPECT_EQ(Back.get("overheads").get("sys_sec").number(), 74.0707);
+}
+
+TEST(StatsSchemaTest, HistogramQuantilesAppearInReportAndJson) {
+  MetricsRegistry Metrics;
+  for (int I = 1; I <= 100; ++I)
+    Metrics.observe("thread.compile_sec", I * 0.01); // 0.01 .. 1.00
+  StatsReport Report;
+  appendHistogramQuantiles(Report, Metrics);
+  ASSERT_FALSE(Report.empty());
+
+  json::Value Doc = Report.toJson();
+  ASSERT_TRUE(Doc.has("latency_quantiles"));
+  const json::Value &Q =
+      Doc.get("latency_quantiles").get("thread.compile_sec");
+  ASSERT_TRUE(Q.isObject());
+  double P50 = Q.get("p50").number();
+  double P95 = Q.get("p95").number();
+  double P99 = Q.get("p99").number();
+  // Quantiles are ordered and clamped inside the observed range.
+  EXPECT_GE(P50, 0.01);
+  EXPECT_LE(P99, 1.0);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+
+  std::string Text = Report.renderText();
+  EXPECT_NE(Text.find("thread.compile_sec"), std::string::npos);
+  EXPECT_NE(Text.find("p50"), std::string::npos);
+  EXPECT_NE(Text.find("p99"), std::string::npos);
+}
+
+TEST(StatsSchemaTest, QuantilesAreNoOpWithoutHistograms) {
+  MetricsRegistry Metrics;
+  Metrics.add("phase1.runs"); // counters alone add no quantile group
+  StatsReport Report;
+  appendHistogramQuantiles(Report, Metrics);
+  EXPECT_TRUE(Report.empty());
+}
+
+TEST(StatsSchemaTest, MetricsJsonCarriesQuantileKeys) {
+  MetricsRegistry Metrics;
+  for (int I = 0; I != 32; ++I)
+    Metrics.observe("h", 1 << (I % 5));
+  json::Value Doc = Metrics.toJson();
+  const json::Value &H = Doc.get("histograms").get("h");
+  ASSERT_TRUE(H.isObject());
+  EXPECT_TRUE(H.has("p50"));
+  EXPECT_TRUE(H.has("p95"));
+  EXPECT_TRUE(H.has("p99"));
+  EXPECT_EQ(H.get("count").number(), 32.0);
+  EXPECT_LE(H.get("p50").number(), H.get("p99").number());
+}

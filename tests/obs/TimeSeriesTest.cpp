@@ -1,0 +1,208 @@
+//===- TimeSeriesTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The telemetry ring buffers: bounded retention under decimation,
+// deterministic sampling, JSON export, the counter-track round trip
+// through a recorded session, and the spike/straggler anomaly detector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TimeSeries.h"
+#include "obs/TraceRecorder.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+//===----------------------------------------------------------------------===//
+// Ring-buffer retention
+//===----------------------------------------------------------------------===//
+
+TEST(TimeSeriesTest, RetainsEverythingUnderCapacity) {
+  TimeSeries S("gauge", 64);
+  for (int I = 0; I != 50; ++I)
+    S.sample(I, I * 2.0);
+  ASSERT_EQ(S.samples().size(), 50u);
+  EXPECT_DOUBLE_EQ(S.samples().front().TSec, 0.0);
+  EXPECT_DOUBLE_EQ(S.samples().back().TSec, 49.0);
+  EXPECT_DOUBLE_EQ(S.samples().back().Value, 98.0);
+}
+
+TEST(TimeSeriesTest, DecimationBoundsMemoryButCoversTheRun) {
+  TimeSeries S("gauge", 32);
+  const int N = 10000;
+  for (int I = 0; I != N; ++I)
+    S.sample(I, I);
+  // Bounded: never exceeds capacity.
+  EXPECT_LE(S.samples().size(), 32u);
+  EXPECT_GE(S.samples().size(), 8u); // but not degenerate either
+  // Covers the run: first retained sample is the very first one, the
+  // last retained sample is near the end.
+  EXPECT_DOUBLE_EQ(S.samples().front().TSec, 0.0);
+  EXPECT_GT(S.samples().back().TSec, N - 2 * S.minKeepGapSec() - 1);
+  // Still monotonically timestamped.
+  for (size_t I = 1; I < S.samples().size(); ++I)
+    EXPECT_GT(S.samples()[I].TSec, S.samples()[I - 1].TSec);
+}
+
+TEST(TimeSeriesTest, DropsOutOfOrderAndInGapSamples) {
+  TimeSeries S("gauge", 8);
+  S.sample(10, 1);
+  S.sample(5, 2); // earlier than the last retained: dropped
+  ASSERT_EQ(S.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(S.samples()[0].Value, 1.0);
+}
+
+TEST(TimeSeriesTest, SamplingIsDeterministic) {
+  auto Fill = [](TimeSeries &S) {
+    for (int I = 0; I != 5000; ++I)
+      S.sample(I * 0.25, std::sin(I * 0.01));
+  };
+  TimeSeries A("a", 64), B("a", 64);
+  Fill(A);
+  Fill(B);
+  ASSERT_EQ(A.samples().size(), B.samples().size());
+  for (size_t I = 0; I != A.samples().size(); ++I) {
+    EXPECT_EQ(A.samples()[I].TSec, B.samples()[I].TSec) << I;
+    EXPECT_EQ(A.samples()[I].Value, B.samples()[I].Value) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Gauge sets
+//===----------------------------------------------------------------------===//
+
+TEST(TimeSeriesTest, GaugeSetPollsEveryGaugeAtOneTimestamp) {
+  TimeSeriesSet Set;
+  double Pending = 10, Busy = 0.5;
+  Set.registerGauge("sched.tasks_pending", [&] { return Pending; });
+  Set.registerGauge("host.busy.ws1", [&] { return Busy; });
+  Set.sampleAll(0);
+  Pending = 7;
+  Busy = 0.9;
+  Set.sampleAll(5);
+  std::vector<TimeSeries> Series = Set.snapshot();
+  ASSERT_EQ(Series.size(), 2u);
+  EXPECT_EQ(Series[0].name(), "sched.tasks_pending");
+  ASSERT_EQ(Series[0].samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(Series[0].samples()[1].Value, 7.0);
+  EXPECT_EQ(Series[1].name(), "host.busy.ws1");
+  EXPECT_DOUBLE_EQ(Series[1].samples()[1].Value, 0.9);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export and the counter-track round trip
+//===----------------------------------------------------------------------===//
+
+TEST(TimeSeriesTest, SeriesJsonShapeAndOrder) {
+  TimeSeries A("alpha", 8), B("beta", 8);
+  A.sample(0, 3);
+  A.sample(10, 1);
+  A.sample(20, 2);
+  B.sample(0, -1);
+  json::Value Doc = seriesJson({A, B});
+  ASSERT_TRUE(Doc.isObject());
+  ASSERT_EQ(Doc.members().size(), 2u);
+  EXPECT_EQ(Doc.members()[0].first, "alpha"); // series order, not luck
+  EXPECT_EQ(Doc.members()[1].first, "beta");
+  const json::Value &Alpha = Doc.get("alpha");
+  EXPECT_DOUBLE_EQ(Alpha.get("last").number(), 2.0);
+  EXPECT_DOUBLE_EQ(Alpha.get("min").number(), 1.0);
+  EXPECT_DOUBLE_EQ(Alpha.get("max").number(), 3.0);
+  ASSERT_TRUE(Alpha.get("samples").isArray());
+  ASSERT_EQ(Alpha.get("samples").elements().size(), 3u);
+  const json::Value &First = Alpha.get("samples").elements()[0];
+  EXPECT_DOUBLE_EQ(First.elements()[0].number(), 0.0);
+  EXPECT_DOUBLE_EQ(First.elements()[1].number(), 3.0);
+}
+
+TEST(TimeSeriesTest, CounterTrackRoundTripThroughSession) {
+  TimeSeries A("sched.tasks_pending", 16), B("cache.hit_rate", 16);
+  for (int I = 0; I != 10; ++I) {
+    A.sample(I, 10 - I);
+    B.sample(I, I / 10.0);
+  }
+  TraceRecorder Rec(ClockDomain::Simulated);
+  Rec.lane(0).instant(0.0, EventKind::RunComplete, Phase::Assembly);
+  emitCounterTracks(Rec, 0, {A, B});
+  TraceSession S = Rec.finish();
+
+  std::vector<TimeSeries> Back = sessionSeries(S);
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_EQ(Back[0].name(), "sched.tasks_pending");
+  EXPECT_EQ(Back[1].name(), "cache.hit_rate");
+  ASSERT_EQ(Back[0].samples().size(), A.samples().size());
+  for (size_t I = 0; I != A.samples().size(); ++I) {
+    EXPECT_EQ(Back[0].samples()[I].TSec, A.samples()[I].TSec) << I;
+    EXPECT_EQ(Back[0].samples()[I].Value, A.samples()[I].Value) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Anomaly detection
+//===----------------------------------------------------------------------===//
+
+TEST(TimeSeriesTest, FlatSeriesRaisesNoAnomalies) {
+  TimeSeries S("sched.tasks_pending", 64);
+  for (int I = 0; I != 20; ++I)
+    S.sample(I, 5.0);
+  EXPECT_TRUE(detectAnomalies({S}).empty());
+}
+
+TEST(TimeSeriesTest, SpikeDetection) {
+  TimeSeries S("queue.depth", 64);
+  for (int I = 0; I != 30; ++I)
+    S.sample(I, 10.0 + (I % 2)); // tight distribution around 10.5
+  S.sample(30, 500.0);           // a wild spike
+  std::vector<Anomaly> Found = detectAnomalies({S});
+  ASSERT_EQ(Found.size(), 1u);
+  EXPECT_EQ(Found[0].Series, "queue.depth");
+  EXPECT_DOUBLE_EQ(Found[0].Value, 500.0);
+  EXPECT_NE(Found[0].Reason.find("spike"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, ShortSeriesNeverSpike) {
+  TimeSeries S("queue.depth", 64);
+  S.sample(0, 1);
+  S.sample(1, 1000); // would be a spike with enough history
+  EXPECT_TRUE(detectAnomalies({S}).empty());
+}
+
+TEST(TimeSeriesTest, StragglerDetectionAcrossHostSeries) {
+  // Three workers: two healthy at ~0.9 busy, one limping at 0.2.
+  std::vector<TimeSeries> Series;
+  for (int W = 1; W <= 3; ++W) {
+    TimeSeries S("host.busy.ws" + std::to_string(W), 64);
+    double Final = W == 2 ? 0.2 : 0.9;
+    for (int I = 0; I != 12; ++I)
+      S.sample(I * 5.0, Final * (I + 1) / 12.0);
+    Series.push_back(S);
+  }
+  std::vector<Anomaly> Found = detectAnomalies(Series);
+  bool SawStraggler = false;
+  for (const Anomaly &A : Found)
+    if (A.Reason.find("straggler") != std::string::npos) {
+      SawStraggler = true;
+      EXPECT_EQ(A.Series, "host.busy.ws2");
+      EXPECT_EQ(A.Host, 2);
+    }
+  EXPECT_TRUE(SawStraggler);
+
+  // With every host equally busy nobody is a straggler.
+  std::vector<TimeSeries> Even;
+  for (int W = 1; W <= 3; ++W) {
+    TimeSeries S("host.busy.ws" + std::to_string(W), 64);
+    for (int I = 0; I != 12; ++I)
+      S.sample(I * 5.0, 0.8);
+    Even.push_back(S);
+  }
+  for (const Anomaly &A : detectAnomalies(Even))
+    EXPECT_EQ(A.Reason.find("straggler"), std::string::npos);
+}

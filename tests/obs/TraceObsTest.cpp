@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace warpc;
 using namespace warpc::parallel;
 using namespace warpc::obs;
@@ -86,10 +88,14 @@ TEST(TraceObsTest, ChromeTraceSchemaIsPerfettoValid) {
   EXPECT_TRUE(Root.get("otherData").isObject());
 
   unsigned Spans = 0, Instants = 0, ThreadNames = 0, ProcessNames = 0;
+  unsigned FlowStarts = 0, FlowFinishes = 0;
+  std::set<std::string> CounterNames;
   for (const json::Value &Ev : Root.get("traceEvents").elements()) {
     ASSERT_TRUE(Ev.isObject());
     const std::string &Ph = Ev.get("ph").str();
-    ASSERT_TRUE(Ph == "X" || Ph == "i" || Ph == "C" || Ph == "M") << Ph;
+    ASSERT_TRUE(Ph == "X" || Ph == "i" || Ph == "C" || Ph == "M" ||
+                Ph == "s" || Ph == "f")
+        << Ph;
     EXPECT_TRUE(Ev.get("pid").isNumber());
     if (Ph == "M") {
       // Metadata: names the process and one track per host.
@@ -113,14 +119,32 @@ TEST(TraceObsTest, ChromeTraceSchemaIsPerfettoValid) {
     } else if (Ph == "i") {
       EXPECT_EQ(Ev.get("s").str(), "t"); // thread-scoped instant
       ++Instants;
+    } else if (Ph == "s" || Ph == "f") {
+      // Flow events: a binding id and a track; the finish side binds to
+      // the enclosing slice (bp:"e").
+      EXPECT_TRUE(Ev.get("id").isString() || Ev.get("id").isNumber());
+      EXPECT_TRUE(Ev.get("tid").isNumber());
+      EXPECT_TRUE(Ev.get("name").isString());
+      if (Ph == "s")
+        ++FlowStarts;
+      else {
+        EXPECT_EQ(Ev.get("bp").str(), "e");
+        ++FlowFinishes;
+      }
     } else { // "C"
       EXPECT_TRUE(Ev.get("args").get("value").isNumber());
+      CounterNames.insert(Ev.get("name").str());
     }
   }
   EXPECT_EQ(ProcessNames, 1u);
   EXPECT_EQ(ThreadNames, Run.Session.NumHosts); // one track per host
   EXPECT_GT(Spans, 0u);
   EXPECT_GT(Instants, 0u);
+  // The causal edges materialize as paired flow arrows, and the
+  // telemetry sampler populates at least the four standard gauge tracks.
+  EXPECT_GT(FlowStarts, 0u);
+  EXPECT_EQ(FlowFinishes, FlowStarts);
+  EXPECT_GE(CounterNames.size(), 4u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -136,6 +160,7 @@ TEST(TraceObsTest, TraceJsonRoundTripIsLossless) {
   ASSERT_TRUE(parseChromeTrace(writeChromeTrace(A), B, Error)) << Error;
 
   EXPECT_EQ(B.Domain, A.Domain);
+  EXPECT_EQ(B.TraceId, A.TraceId);
   EXPECT_EQ(B.NumHosts, A.NumHosts);
   EXPECT_EQ(B.NumSections, A.NumSections);
   EXPECT_EQ(B.NumFunctions, A.NumFunctions);
@@ -162,6 +187,7 @@ TEST(TraceObsTest, TraceJsonRoundTripIsLossless) {
     EXPECT_EQ(EB.Cause, EA.Cause) << "event " << I;
     EXPECT_EQ(EB.Speculative, EA.Speculative) << "event " << I;
     EXPECT_EQ(EB.Ph, EA.Ph) << "event " << I;
+    EXPECT_EQ(EB.Parent, EA.Parent) << "event " << I;
   }
   ASSERT_EQ(B.Counters.size(), A.Counters.size());
   for (size_t I = 0; I != A.Counters.size(); ++I) {
@@ -247,6 +273,23 @@ TEST(TraceObsTest, AnalyzerMatchesComputeOverheads) {
   for (size_t I = 1; I < R.CriticalPath.size(); ++I)
     EXPECT_GE(R.CriticalPath[I].E.TSec, R.CriticalPath[I - 1].E.TSec)
         << "step " << I;
+
+  // The path is a genuine causal chain: every step's Parent is the
+  // previous step's span id, so each hop is a recorded message edge.
+  ASSERT_TRUE(R.CausalPath);
+  for (size_t I = 1; I < R.CriticalPath.size(); ++I)
+    EXPECT_EQ(R.CriticalPath[I].E.Parent, R.CriticalPath[I - 1].E.spanId())
+        << "step " << I;
+
+  // The message-level decomposition stays consistent with the 4.2.3
+  // categories: coordination CPU on the path is a subset of the
+  // implementation overhead, startup rides in the system bucket, and
+  // real compute dominates a fault-free run.
+  EXPECT_LE(R.PathCoordinationCpuSec, R.ImplOverheadSec + 1e-9);
+  EXPECT_GE(R.PathStartupSec, 0.0);
+  EXPECT_GT(R.PathComputeSec, 0.0);
+  EXPECT_LE(R.PathStartupSec + R.PathComputeSec,
+            R.ParElapsedSec + 1e-9);
 }
 
 TEST(TraceObsTest, AnalyzerMatchesStatsUnderFaults) {
@@ -370,6 +413,18 @@ TEST(TraceObsTest, ThreadEngineTraceIsAnalyzable) {
   EXPECT_EQ(R.CriticalPath.back().E.Kind, EventKind::RunComplete);
   // Real-time traces carry no simulated baseline: no 4.2.3 decomposition.
   EXPECT_FALSE(R.HasOverheads);
+
+  // The thread engine threads the same causal ids: the path is a
+  // Parent-linked chain ending in a RunComplete that names its cause.
+  EXPECT_TRUE(R.CausalPath);
+  EXPECT_NE(R.CriticalPath.back().E.Parent, 0u);
+  for (size_t I = 1; I < R.CriticalPath.size(); ++I)
+    EXPECT_EQ(R.CriticalPath[I].E.Parent, R.CriticalPath[I - 1].E.spanId())
+        << "step " << I;
+  // The steady-clock sampler leaves counter tracks behind (each gauge is
+  // flushed once more at finish even if the run outpaced the period).
+  EXPECT_FALSE(S.CounterNames.empty());
+  EXPECT_FALSE(S.Counters.empty());
 
   EXPECT_EQ(Metrics.counter("phase2.functions"), 6.0);
   EXPECT_EQ(Metrics.counter("phase1.runs"), 1.0);

@@ -1,0 +1,119 @@
+//===- warp_perf.cpp - Perf-regression gate CLI ---------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Compares a candidate performance document against one or more baseline
+// documents and fails (exit 1) when a gated metric regressed beyond the
+// noise threshold:
+//
+//   warp-perf baseline.json candidate.json
+//   warp-perf run1.json run2.json run3.json candidate.json   # repeats
+//   warp-perf --threshold 15 --all baseline.json candidate.json
+//
+// Inputs are the JSON files written by `warpc --stats-json` or by the
+// benchmark binaries (BENCH_*.json). With several baselines the
+// per-metric threshold widens to twice the repeats' max relative
+// deviation, so naturally noisy metrics do not gate spuriously.
+//
+// Exit codes: 0 no regressions, 1 regressions found, 2 usage/IO error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfDiff.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace warpc;
+
+static bool readJsonFile(const std::string &Path, json::Value &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: %s: cannot open file\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  Out = json::parse(Buf.str(), Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+static void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: warp-perf [options] <baseline.json> [more-baselines...] "
+      "<candidate.json>\n"
+      "  compares the last file (candidate) against the preceding\n"
+      "  baseline(s); several baselines act as methodology repeats and\n"
+      "  widen each metric's noise threshold accordingly\n"
+      "options:\n"
+      "  --threshold <pct>   noise floor in percent (default 10)\n"
+      "  --all               list unchanged metrics too\n"
+      "exit: 0 no regressions, 1 regressions, 2 usage/IO error\n");
+}
+
+int main(int Argc, char **Argv) {
+  obs::PerfDiffOptions Opts;
+  bool ShowAll = false;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--threshold") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --threshold needs a value\n");
+        return 2;
+      }
+      Opts.DefaultThresholdPct = std::atof(Argv[++I]);
+      if (Opts.DefaultThresholdPct < 0) {
+        std::fprintf(stderr, "error: --threshold must be >= 0\n");
+        return 2;
+      }
+    } else if (std::strcmp(Argv[I], "--all") == 0) {
+      ShowAll = true;
+    } else if (std::strcmp(Argv[I], "--help") == 0 ||
+               std::strcmp(Argv[I], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", Argv[I]);
+      return 2;
+    } else {
+      Paths.push_back(Argv[I]);
+    }
+  }
+  if (Paths.size() < 2) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::vector<json::Value> Baselines;
+  for (size_t I = 0; I + 1 < Paths.size(); ++I) {
+    json::Value Doc;
+    if (!readJsonFile(Paths[I], Doc))
+      return 2;
+    Baselines.push_back(std::move(Doc));
+  }
+  json::Value Candidate;
+  if (!readJsonFile(Paths.back(), Candidate))
+    return 2;
+
+  obs::PerfDiffResult R = obs::diffPerf(Baselines, Candidate, Opts);
+  if (R.Deltas.empty()) {
+    std::fprintf(stderr,
+                 "error: no comparable numeric metrics between %s and %s\n",
+                 Paths.front().c_str(), Paths.back().c_str());
+    return 2;
+  }
+  std::fputs(obs::renderPerfDiff(R, ShowAll).c_str(), stdout);
+  return R.Regressions ? 1 : 0;
+}

@@ -56,6 +56,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
     return 1;
   }
+  if (Session.Events.empty()) {
+    std::fprintf(stderr,
+                 "error: %s: trace contains no events (was the run "
+                 "recorded with --trace-json?)\n",
+                 Path.c_str());
+    return 1;
+  }
 
   if (DumpEvents) {
     for (const obs::SpanEvent &E : Session.Events)

@@ -24,6 +24,7 @@
 //                      Perfetto) of the simulated run (with --simulate)
 //                      or of the threaded compilation
 //   --stats-json <f>   write run statistics + compiler metrics as JSON
+//   --sample-period <s>  simulated seconds between telemetry samples
 //   --cache <mode>     off|memory|disk: content-addressed function cache
 //   --cache-dir <dir>  persistent cache directory (implies --cache disk)
 //   --cache-stats      print cache hit/miss/store statistics
@@ -42,6 +43,8 @@
 #include "driver/FaultPolicy.h"
 #include "obs/ChromeTrace.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/StatsReport.h"
+#include "obs/TimeSeries.h"
 #include "obs/TraceRecorder.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
@@ -84,6 +87,8 @@ struct Options {
   unsigned Workers = 1;
   unsigned SimProcessors = 14;
   double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
+  /// 0 keeps the HostConfig default.
+  double SamplePeriodSec = 0;
   bool EmitAsm = false;
   bool Inline = false;
   bool Simulate = false;
@@ -112,6 +117,8 @@ void usage(const char *Prog) {
                "  --trace-json <f> write a Perfetto-loadable trace of the\n"
                "                   simulated (--simulate) or threaded run\n"
                "  --stats-json <f> write run statistics + metrics as JSON\n"
+               "  --sample-period <s>  simulated seconds between telemetry\n"
+               "                   samples (default 5)\n"
                "  --analyze        run the static-analysis checks first;\n"
                "                   error findings abort the compilation\n"
                "  --analyze-json <f>  write the findings as JSON (implies\n"
@@ -185,6 +192,15 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.StatsJsonFile = V;
+    } else if (Arg == "--sample-period") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SamplePeriodSec = std::strtod(V, nullptr);
+      if (Opts.SamplePeriodSec <= 0) {
+        std::fprintf(stderr, "error: --sample-period must be > 0\n");
+        return false;
+      }
     } else if (Arg == "--analyze") {
       Opts.Analyze = true;
     } else if (Arg == "--analyze-json") {
@@ -307,71 +323,10 @@ bool loadSource(const Options &Opts, std::string &Source) {
   return true;
 }
 
-//===----------------------------------------------------------------------===//
-// Shared statistics formatter: every run statistic is recorded once and
-// rendered twice — as an aligned text line on stdout and as a key in the
-// --stats-json document — so the two outputs can never drift apart.
-//===----------------------------------------------------------------------===//
-
-class StatsReport {
-public:
-  void beginGroup(std::string Key, std::string Title, int Indent = 0) {
-    Groups.push_back({std::move(Key), std::move(Title), Indent, {}});
-  }
-  void add(std::string Key, std::string Label, std::string Text,
-           json::Value V) {
-    Groups.back().Rows.push_back(
-        {std::move(Key), std::move(Label), std::move(Text), std::move(V)});
-  }
-
-  bool empty() const { return Groups.empty(); }
-
-  /// Renders every group as a "title:" heading with aligned value rows.
-  std::string renderText() const {
-    std::string Out;
-    for (const Group &G : Groups) {
-      Out.append(static_cast<size_t>(G.Indent), ' ');
-      Out += G.Title;
-      Out += ":\n";
-      size_t Width = 0;
-      for (const Row &R : G.Rows)
-        Width = std::max(Width, R.Label.size());
-      for (const Row &R : G.Rows) {
-        Out.append(static_cast<size_t>(G.Indent) + 2, ' ');
-        Out += R.Label;
-        Out += ':';
-        Out.append(Width - R.Label.size() + 1, ' ');
-        Out += R.Text;
-        Out += '\n';
-      }
-    }
-    return Out;
-  }
-
-  /// Nests each group's rows under the group's key.
-  json::Value toJson() const {
-    json::Value Root = json::Value::object();
-    for (const Group &G : Groups) {
-      json::Value Obj = json::Value::object();
-      for (const Row &R : G.Rows)
-        Obj.set(R.Key, R.Json);
-      Root.set(G.Key, std::move(Obj));
-    }
-    return Root;
-  }
-
-private:
-  struct Row {
-    std::string Key, Label, Text;
-    json::Value Json;
-  };
-  struct Group {
-    std::string Key, Title;
-    int Indent;
-    std::vector<Row> Rows;
-  };
-  std::vector<Group> Groups;
-};
+// The statistics formatter lives in obs/StatsReport.h so tests (and other
+// tools) can pin its text and JSON shape; every run statistic is recorded
+// once and rendered twice, so the two outputs can never drift apart.
+using obs::StatsReport;
 
 std::string fmt(const char *Format, ...) {
   char Buf[160];
@@ -544,6 +499,8 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
   StatsReport Report;
   if (Opts.Simulate) {
     auto Host = cluster::HostConfig::sunNetwork1989();
+    if (Opts.SamplePeriodSec > 0)
+      Host.TelemetrySamplePeriodSec = Opts.SamplePeriodSec;
     auto Model = parallel::CostModel::lisp1989();
     driver::FaultPolicy Policy;
     Policy.TimeoutFactor = Opts.TimeoutFactor;
@@ -579,8 +536,10 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
         Opts.SimProcessors >= Job->numFunctions()
             ? parallel::scheduleFCFS(*Job, Opts.SimProcessors)
             : parallel::scheduleBalanced(*Job, Opts.SimProcessors);
+    // Recording also powers the --stats-json "series" block, so the
+    // recorder runs whenever either artifact was requested.
     std::unique_ptr<obs::TraceRecorder> Rec;
-    if (!Opts.TraceJsonFile.empty())
+    if (!Opts.TraceJsonFile.empty() || !Opts.StatsJsonFile.empty())
       Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Simulated);
     parallel::ParStats Par = parallel::simulateParallel(
         *Job, Assign, Host, Model, Rec.get(), Policy);
@@ -673,6 +632,11 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
                fmt("%8llu", (unsigned long long)CS.CorruptEntries),
                CS.CorruptEntries);
   }
+  // Latency quantiles from the metrics histograms ride the same report;
+  // they matter to the perf gate, so any --stats-json run carries them.
+  if (Opts.Verbose || !Opts.StatsJsonFile.empty())
+    obs::appendHistogramQuantiles(Report, Metrics);
+
   if (!Report.empty())
     std::printf("\n%s", Report.renderText().c_str());
 
@@ -692,6 +656,7 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
 
   if (!Opts.StatsJsonFile.empty()) {
     json::Value Root = json::Value::object();
+    Root.set("schema", obs::StatsSchemaVersion);
     json::Value Run = json::Value::object();
     Run.set("module", Result.Image.ModuleName);
     Run.set("sections", static_cast<uint64_t>(Result.Image.Sections.size()));
@@ -703,6 +668,9 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     if (!Report.empty())
       Root.set("stats", Report.toJson());
     Root.set("metrics", Metrics.toJson());
+    Root.set("series", HaveSession
+                           ? obs::seriesJson(obs::sessionSeries(Session))
+                           : json::Value::object());
     std::ofstream Out(Opts.StatsJsonFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
