@@ -19,6 +19,13 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== process engine tests =="
+# The process suite forks real warp-worker pools; cap the worker grid to
+# the runner's core count so constrained CI machines never oversubscribe
+# (the cap only drops grid points above it, never the suite).
+WARPC_TEST_MAX_WORKERS="${WARPC_TEST_MAX_WORKERS:-$JOBS}" \
+    ctest --test-dir "$BUILD_DIR" -L process --output-on-failure -j "$JOBS"
+
 echo "== trace smoke test =="
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -60,6 +67,21 @@ HITS="$(sed -n 's/.*"cache.hits": \([0-9.]*\).*/\1/p' \
     "$TMP_DIR/warm.stats.json" | head -1)"
 test -n "$HITS"
 test "${HITS%.*}" -gt 0
+
+echo "== process engine smoke test =="
+# The real fork/exec backend must produce the same image as the
+# sequential compiler, label its documents, and survive the retry paths
+# through the installed CLI, not just the tests.
+"$BUILD_DIR/tools/warpc" --demo small -o "$TMP_DIR/seq.img" > /dev/null
+"$BUILD_DIR/tools/warpc" --demo small --engine process --processors 4 \
+    -o "$TMP_DIR/proc.img" \
+    --trace-json "$TMP_DIR/proc.trace.json" \
+    --stats-json "$TMP_DIR/proc.stats.json" | tee "$TMP_DIR/proc.out"
+cmp "$TMP_DIR/seq.img" "$TMP_DIR/proc.img"
+grep -q "process compile with" "$TMP_DIR/proc.out"
+grep -q '"engine": "process"' "$TMP_DIR/proc.stats.json"
+"$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/proc.trace.json" \
+    | grep -q "process engine"
 
 echo "== perf gate smoke test =="
 # Two identical simulated runs must clear the regression gate; halving

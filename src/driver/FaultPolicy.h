@@ -20,6 +20,9 @@
 #ifndef WARPC_DRIVER_FAULTPOLICY_H
 #define WARPC_DRIVER_FAULTPOLICY_H
 
+#include <cstddef>
+#include <cstdint>
+
 namespace warpc {
 namespace driver {
 
@@ -52,6 +55,60 @@ struct FaultPolicy {
   /// result arrives first. The original attempt is not declared dead;
   /// the hard watchdog still backs it up. One speculation per function.
   bool SpeculateStragglers = true;
+};
+
+/// splitmix64 finalizer over a (seed, function, attempt, salt) tuple: a
+/// stateless uniform draw in [0, 1). Every fault-injection decision in
+/// the thread and process engines is a pure function of these arguments,
+/// so failure schedules replay identically regardless of thread
+/// interleaving, worker count, or which OS process evaluates the draw.
+inline double seededFaultDraw(uint64_t Seed, uint64_t Fn, uint64_t Attempt,
+                              uint64_t Salt) {
+  uint64_t X = Seed + 0x9E3779B97F4A7C15ULL * (Fn + 1) +
+               0xBF58476D1CE4E5B9ULL * (Attempt + 1) +
+               0x94D049BB133111EBULL * (Salt + 1);
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ULL;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBULL;
+  X ^= X >> 31;
+  return static_cast<double>(X >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Process-level fault injection for the fork/exec engine. Unlike the
+/// thread engine's in-process FaultInjection hooks, this plan is shipped
+/// to the worker processes over the wire (it must serialize), and the
+/// workers act it out for real: a Kill decision raises SIGKILL in the
+/// worker at a phase boundary, a Stall sleeps past the master's watchdog,
+/// and a Corrupt decision truncates or garbles the result frame. The
+/// master's recovery path therefore faces genuine process death, not a
+/// simulated vanish. All decisions are seededFaultDraw(Seed, Fn, Attempt)
+/// draws — pure per (function, attempt) — so retry/reassignment stats are
+/// deterministic at any worker count.
+struct ProcessFaultPlan {
+  uint64_t Seed = 0;
+  /// P(raise(SIGKILL) at a seeded phase boundary: task receipt, end of
+  /// compile, or midway through writing the result frame).
+  double KillProb = 0;
+  /// P(sleep StallSec before compiling — a wedged worker the master's
+  /// watchdog must detect and kill).
+  double StallProb = 0;
+  /// P(deliver a damaged result: a truncated payload that fails
+  /// validation, or a frame with a bad checksum).
+  double CorruptProb = 0;
+  double StallSec = 30.0;
+  /// Inject only into attempts <= this number (1-based); 0 means every
+  /// attempt. MaxFaultAttempt=1 makes first attempts fail and retries
+  /// succeed — the deterministic retry/reassignment scenario.
+  uint32_t MaxFaultAttempt = 0;
+
+  bool enabled() const {
+    return KillProb > 0 || StallProb > 0 || CorruptProb > 0;
+  }
+  /// Whether injection applies to \p Attempt at all.
+  bool applies(uint32_t Attempt) const {
+    return MaxFaultAttempt == 0 || Attempt <= MaxFaultAttempt;
+  }
 };
 
 } // namespace driver

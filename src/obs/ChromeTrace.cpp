@@ -76,9 +76,11 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
     M.set("pid", json::Value(Pid));
     json::Value Args = json::Value::object();
     Args.set("name",
-             json::Value(S.Domain == ClockDomain::Simulated
-                             ? "warpc simulated 1989 cluster"
-                             : "warpc thread engine"));
+             json::Value(S.Engine == "process"
+                             ? "warpc process engine"
+                             : S.Domain == ClockDomain::Simulated
+                                   ? "warpc simulated 1989 cluster"
+                                   : "warpc thread engine"));
     M.set("args", std::move(Args));
     Events.push(std::move(M));
   }
@@ -189,6 +191,10 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
 
   json::Value Other = json::Value::object();
   Other.set("tool", json::Value("warpc"));
+  // Only engine-labeled sessions write the key, so traces from before the
+  // label existed (and their goldens) stay byte-identical.
+  if (!S.Engine.empty())
+    Other.set("engine", json::Value(S.Engine));
   Other.set("traceId", json::Value(S.TraceId));
   Other.set("clockDomain",
             json::Value(S.Domain == ClockDomain::Simulated ? "simulated"
@@ -249,6 +255,8 @@ bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
     Out.Domain = Other.get("clockDomain").str() == "steady"
                      ? ClockDomain::Steady
                      : ClockDomain::Simulated;
+    if (Other.has("engine"))
+      Out.Engine = Other.get("engine").str();
     if (Other.has("traceId"))
       Out.TraceId = static_cast<uint64_t>(Other.get("traceId").integer());
     Out.NumHosts = static_cast<uint32_t>(Other.get("numHosts").integer());

@@ -165,6 +165,11 @@ struct TraceSession {
   std::vector<CounterEvent> Counters;
   std::vector<std::string> FunctionNames; ///< Indexed by SpanEvent::Function.
   std::vector<std::string> CounterNames;  ///< Indexed by CounterEvent::Counter.
+  /// Which execution engine produced the run ("sim", "thread",
+  /// "process"), or empty for traces recorded before engines were
+  /// labeled. Lets warp-traceview and warp-perf tell a thread run from a
+  /// process run of the same module.
+  std::string Engine;
   /// Identifies the run all spans belong to. Derived from the run's
   /// content (not wall clock) so identical runs serialize identically;
   /// kept in [0, 2^63) so it survives a JSON integer round trip.

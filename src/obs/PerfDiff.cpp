@@ -56,10 +56,19 @@ void flattenInto(const json::Value &V, const std::string &Path,
     return;
   }
   if (V.isObject()) {
+    // An object carrying an "engine" string labels its whole subtree, so
+    // thread- and process-engine runs of the same workload never alias
+    // the same metric path. Array rows already fold the engine into
+    // their rowLabel (the path then ends in ']'), so only bare object
+    // paths get the suffix.
+    std::string Here = Path;
+    const json::Value &Engine = V.get("engine");
+    if (Engine.isString() && !endsWith(Here, "]"))
+      Here += "[engine=" + Engine.str() + "]";
     for (const auto &[Key, Member] : V.members()) {
       if (Key == "schema")
         continue; // version tag, not a metric
-      flattenInto(Member, Path.empty() ? Key : Path + "." + Key, Out);
+      flattenInto(Member, Here.empty() ? Key : Here + "." + Key, Out);
     }
     return;
   }

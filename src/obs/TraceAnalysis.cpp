@@ -282,10 +282,15 @@ std::string obs::renderReport(const TraceSession &S, const TraceReport &R) {
   auto Line = [&](const std::string &T) { Out += T + "\n"; };
 
   Line("=== warp-traceview ===");
+  // Steady-domain traces carry an engine label from the recorder (thread
+  // vs process); older documents without one default to the thread
+  // engine, which is what every pre-label trace actually was.
   Line("clock domain: " +
        std::string(S.Domain == ClockDomain::Simulated
                        ? "simulated 1989 cluster"
-                       : "steady (thread engine)") +
+                       : !S.Engine.empty()
+                             ? "steady (" + S.Engine + " engine)"
+                             : "steady (thread engine)") +
        "; hosts: " + std::to_string(R.Hosts.size()) +
        "; sections: " + std::to_string(S.NumSections) +
        "; functions: " + std::to_string(R.NumFunctions));

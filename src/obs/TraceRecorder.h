@@ -90,6 +90,12 @@ public:
   /// from the run's content so identical runs keep byte-identical traces.
   void setTraceId(uint64_t Id) { Session.TraceId = Id; }
 
+  /// Labels the session with the engine that recorded it ("sim",
+  /// "thread", "process").
+  void setEngine(std::string_view Engine) {
+    Session.Engine = std::string(Engine);
+  }
+
   /// Creates \p Count lanes (discarding none already made). Call before
   /// any worker thread runs; lane(i) is then safe to use concurrently
   /// with lane(j) for i != j.

@@ -1,0 +1,1018 @@
+//===- ProcessRunner.cpp - Fork/exec parallel compilation -----------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ProcessRunner.h"
+
+#include "cache/CompileCache.h"
+#include "obs/TimeSeries.h"
+#include "parallel/RetryRound.h"
+#include "parallel/Scheduler.h"
+#include "support/Timer.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+std::string parallel::defaultWorkerBinary() {
+  if (const char *Env = std::getenv("WARPC_WORKER_BIN"))
+    if (*Env)
+      return Env;
+  // A warp-worker next to the running executable (the build tree layout
+  // and any sane install layout).
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    std::string Self(Buf);
+    size_t Slash = Self.rfind('/');
+    if (Slash != std::string::npos) {
+      std::string Candidate = Self.substr(0, Slash + 1) + "warp-worker";
+      if (::access(Candidate.c_str(), X_OK) == 0)
+        return Candidate;
+    }
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessPool
+//===----------------------------------------------------------------------===//
+
+ProcessPool::ProcessPool(std::string WorkerBinary)
+    : Binary(std::move(WorkerBinary)) {}
+
+ProcessPool::~ProcessPool() {
+  // Reap everything: a master torn down mid-run must not leak orphans.
+  for (unsigned W = 0; W != Workers.size(); ++W)
+    kill(W);
+}
+
+unsigned ProcessPool::aliveCount() const {
+  unsigned N = 0;
+  for (const Worker &W : Workers)
+    N += W.Alive;
+  return N;
+}
+
+int ProcessPool::spawn(const wire::InitMsg &Init) {
+  // An unusable binary fails here, before the fork: exec failure inside
+  // the child would surface only as an instant EOF, burning a spawn (and
+  // an attempt) per dispatch until the budget declared the pool broken.
+  if (Binary.empty() || ::access(Binary.c_str(), X_OK) != 0)
+    return -1;
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) != 0)
+    return -1;
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    return -1;
+  }
+  if (Pid == 0) {
+    // Child: the socket becomes stdin + stdout; warp-worker re-points
+    // stdout at /dev/null itself before any library code can print.
+    ::close(Sv[0]);
+    ::dup2(Sv[1], 0);
+    ::dup2(Sv[1], 1);
+    if (Sv[1] > 1)
+      ::close(Sv[1]);
+    ::execl(Binary.c_str(), Binary.c_str(), (char *)nullptr);
+    _exit(127); // exec failed: the master sees an immediate EOF.
+  }
+
+  ::close(Sv[1]);
+  // CLOEXEC so later spawns do not inherit this end (an inherited copy
+  // would defer this worker's EOF past its death); nonblocking so the
+  // master's event loop never sleeps inside a read.
+  ::fcntl(Sv[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(Sv[0], F_SETFL, O_NONBLOCK);
+
+  Worker W;
+  W.Pid = Pid;
+  W.Fd = Sv[0];
+  W.Alive = true;
+  Workers.push_back(std::move(W));
+  ++Spawned;
+  unsigned Index = static_cast<unsigned>(Workers.size() - 1);
+  if (!send(Index, wire::FrameType::Init, wire::encodeInit(Init))) {
+    kill(Index);
+    return -1;
+  }
+  return static_cast<int>(Index);
+}
+
+bool ProcessPool::send(unsigned W, wire::FrameType Type,
+                       const std::vector<uint8_t> &Payload) {
+  Worker &Wk = Workers[W];
+  if (!Wk.Alive)
+    return false;
+  std::vector<uint8_t> Frame = wire::encodeFrame(Type, Payload);
+  size_t Off = 0;
+  Timer Stuck;
+  while (Off < Frame.size()) {
+    ssize_t N = ::send(Wk.Fd, Frame.data() + Off, Frame.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      BytesSent += static_cast<uint64_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The worker is not draining its socket. Give it a bounded window
+      // (a busy-but-healthy worker empties a full buffer in microseconds)
+      // before declaring the write failed.
+      if (Stuck.seconds() > 5.0)
+        return false;
+      struct pollfd P{Wk.Fd, POLLOUT, 0};
+      ::poll(&P, 1, 50);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // EPIPE and friends: the worker is gone.
+  }
+  return true;
+}
+
+bool ProcessPool::pump(unsigned W) {
+  Worker &Wk = Workers[W];
+  if (!Wk.Alive)
+    return false;
+  uint8_t Buf[65536];
+  while (true) {
+    ssize_t N = ::recv(Wk.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      BytesReceived += static_cast<uint64_t>(N);
+      Wk.Decoder.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;
+    if (N < 0 && errno == EINTR)
+      continue;
+    // EOF or hard error: the worker died. Reap it now.
+    reap(W, /*Block=*/true);
+    return false;
+  }
+}
+
+void ProcessPool::reap(unsigned W, bool Block) {
+  Worker &Wk = Workers[W];
+  if (!Wk.Alive)
+    return;
+  if (!Wk.Reaped && Wk.Pid > 0) {
+    int Status = 0;
+    pid_t R = ::waitpid(Wk.Pid, &Status, Block ? 0 : WNOHANG);
+    if (R == Wk.Pid) {
+      Wk.WaitStatus = Status;
+      Wk.Reaped = true;
+    } else if (!Block && R == 0) {
+      return; // still running
+    } else {
+      Wk.Reaped = true; // ECHILD etc.: nothing left to wait for
+    }
+  }
+  Wk.Alive = false;
+  if (Wk.Fd >= 0) {
+    ::close(Wk.Fd);
+    Wk.Fd = -1;
+  }
+}
+
+void ProcessPool::kill(unsigned W) {
+  Worker &Wk = Workers[W];
+  if (!Wk.Alive)
+    return;
+  if (Wk.Pid > 0 && !Wk.Reaped)
+    ::kill(Wk.Pid, SIGKILL);
+  reap(W, /*Block=*/true);
+}
+
+bool ProcessPool::shutdown(unsigned W, double GraceSec) {
+  Worker &Wk = Workers[W];
+  if (!Wk.Alive)
+    return true;
+  bool Sent = send(W, wire::FrameType::Shutdown, {});
+  Timer Grace;
+  while (Sent && Grace.seconds() < GraceSec) {
+    int Status = 0;
+    pid_t R = ::waitpid(Wk.Pid, &Status, WNOHANG);
+    if (R == Wk.Pid) {
+      Wk.WaitStatus = Status;
+      Wk.Reaped = true;
+      Wk.Alive = false;
+      ::close(Wk.Fd);
+      Wk.Fd = -1;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill(W);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// compileModuleProcess
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One dispatched attempt a seat is executing.
+struct Flight {
+  size_t Index = 0;        ///< Flat function index.
+  unsigned Attempt = 0;    ///< 1-based round number.
+  bool Speculative = false;
+  double T0 = 0;           ///< Recorder time at dispatch.
+  Timer Age;               ///< Real time since dispatch.
+  double SoftSec = 0;      ///< Speculation threshold.
+  double HardSec = 0;      ///< Watchdog deadline.
+};
+
+/// Round-local fate of one pending function: produced, or every attempt
+/// (original + optional speculative duplicate) failed.
+struct RoundTask {
+  bool OrigOutstanding = false;
+  bool SpecOutstanding = false;
+  bool Done = false;
+};
+
+} // namespace
+
+ProcessRunResult parallel::compileModuleProcess(
+    const std::string &Source, const codegen::MachineModel &MM,
+    unsigned NumWorkers, const driver::FaultPolicy &Policy,
+    const ProcessRunnerConfig &Config, obs::TraceRecorder *Rec,
+    obs::MetricsRegistry *Metrics, driver::FunctionResultCache *Cache) {
+  assert(NumWorkers > 0 && "need at least one worker");
+  assert(Policy.MaxAttempts > 0 && "need at least one attempt");
+  assert((!Rec || Rec->domain() == obs::ClockDomain::Steady) &&
+         "the process engine records steady-clock timestamps");
+  using obs::EventKind;
+  using obs::FaultCause;
+  ProcessRunResult Result;
+  Timer Total;
+
+  // Phase 1: the master parses and checks sequentially, exactly like the
+  // thread engine; errors abort before any process is forked.
+  Timer PhaseTimer;
+  const double ParseStart = Rec ? Rec->nowSec() : 0;
+  driver::ParseResult Parsed = driver::parseAndCheck(Source, Metrics);
+  Result.Phase1Sec = PhaseTimer.seconds();
+  uint64_t ParseId = 0;
+  if (Rec) {
+    Rec->setEngine("process");
+    obs::SpanEvent &E = Rec->lane(0).span(ParseStart,
+                                          Rec->nowSec() - ParseStart,
+                                          EventKind::SpanParse,
+                                          obs::Phase::Parse);
+    E.Host = 0;
+    ParseId = E.spanId();
+  }
+  Result.Module.Diags.merge(Parsed.Diags);
+  Result.Module.Phase1 = Parsed.Metrics;
+  if (!Parsed.succeeded()) {
+    Result.ElapsedSec = Total.seconds();
+    if (Rec)
+      Rec->setRunTotals(Result.ElapsedSec, 0.0, 0);
+    return Result;
+  }
+
+  struct Task {
+    const w2::SectionDecl *Section;
+    const w2::FunctionDecl *Function;
+    int32_t SectionId = -1;
+    int32_t FnId = -1;
+    uint32_t FnInSection = 0;
+  };
+  std::vector<Task> Tasks;
+  for (size_t S = 0; S != Parsed.Module->numSections(); ++S) {
+    const w2::SectionDecl *Section = Parsed.Module->getSection(S);
+    for (size_t F = 0; F != Section->numFunctions(); ++F) {
+      Task T{Section, Section->getFunction(F), static_cast<int32_t>(S), -1,
+             static_cast<uint32_t>(F)};
+      T.FnId = Rec ? Rec->internFunction(T.Function->getName())
+                   : static_cast<int32_t>(Tasks.size());
+      Tasks.push_back(T);
+    }
+  }
+
+  PhaseTimer.restart();
+  std::vector<driver::FunctionResult> FnResults(Tasks.size());
+  const unsigned Seats =
+      static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
+  Result.WorkersUsed = Seats;
+  if (Rec)
+    Rec->makeLanes(Seats + 1);
+  const int32_t RetryCtr = Rec ? Rec->internCounter("scheduler.retries") : -1;
+  const int32_t ReassignCtr =
+      Rec ? Rec->internCounter("scheduler.reassignments") : -1;
+  const int32_t WatchdogCtr =
+      Rec ? Rec->internCounter("scheduler.watchdog_fires") : -1;
+  const int32_t SpecCtr =
+      Rec ? Rec->internCounter("scheduler.speculative_launches") : -1;
+
+  RetryRoundTracker Rounds(Tasks.size());
+  std::vector<uint64_t> AttemptParent(Tasks.size(), ParseId);
+  uint64_t LastResultId = 0;
+  auto NoteResult = [&LastResultId](uint64_t Id) {
+    LastResultId = std::max(LastResultId, Id);
+  };
+
+  // Cache pre-filter: sequential and master-side, so hits are identical
+  // at any worker count (mirrors ThreadRunner byte for byte).
+  if (Cache) {
+    for (size_t Index = 0; Index != Tasks.size(); ++Index) {
+      const Task &T = Tasks[Index];
+      const double T0 = Rec ? Rec->nowSec() : 0;
+      std::optional<driver::FunctionResult> Hit =
+          Cache->lookup(*T.Section, *T.Function);
+      if (Hit &&
+          driver::validateFunctionResult(*T.Section, *T.Function, *Hit)) {
+        FnResults[Index] = std::move(*Hit);
+        Rounds.produced(Index);
+        ++Result.CacheHits;
+        if (Rec) {
+          obs::SpanEvent &E = Rec->lane(0).span(T0, Rec->nowSec() - T0,
+                                                EventKind::SpanCacheHit,
+                                                obs::Phase::Compile);
+          E.Host = 0;
+          E.Section = T.SectionId;
+          E.Function = T.FnId;
+          E.Parent = ParseId;
+          NoteResult(E.spanId());
+        }
+      } else {
+        ++Result.CacheMisses;
+      }
+    }
+    Rounds.settleRound();
+  }
+
+  // --- The pool and the master's bookkeeping over it.
+  ProcessPool Pool(Config.WorkerBinary.empty() ? defaultWorkerBinary()
+                                               : Config.WorkerBinary);
+  std::vector<int> SeatSlot(Seats, -1);   ///< Pool slot per seat, -1 = none.
+  std::vector<char> SeatBusy(Seats, 0);
+  std::vector<Flight> SeatFlight(Seats);
+  std::vector<double> SeatSpawnT0(Seats, 0); ///< For the startup span.
+  std::vector<char> SeatHello(Seats, 0);
+  std::vector<double> SeatLoadSec(Seats, 0); ///< chooseReassignment's load.
+  std::vector<unsigned> PrevSeat(Tasks.size(), 0);
+  std::vector<char> EverAttempted(Tasks.size(), 0);
+  // Worst case, every attempt of every function kills its worker (or
+  // ForkPerTask retires one per attempt), so the derived budget covers a
+  // full fault schedule at any pool size while still bounding a respawn
+  // storm from a broken binary.
+  const unsigned SpawnBudget =
+      Config.MaxTotalSpawns
+          ? Config.MaxTotalSpawns
+          : Seats +
+                static_cast<unsigned>(Tasks.size()) *
+                    (Policy.MaxAttempts + 1) +
+                8;
+  bool PoolBroken = Tasks.empty();
+
+  // Telemetry: the master samples its own gauges from the event loop (no
+  // sampler thread — the loop already wakes on every state change).
+  size_t ProducedCount = Tasks.size() - Rounds.pending().size();
+  unsigned InFlightCount = 0;
+  const double HitRate = (Result.CacheHits + Result.CacheMisses) > 0
+                             ? static_cast<double>(Result.CacheHits) /
+                                   (Result.CacheHits + Result.CacheMisses)
+                             : 0.0;
+  obs::TimeSeriesSet Telemetry;
+  if (Rec) {
+    Telemetry.registerGauge("sched.tasks_pending", [&Tasks, &ProducedCount] {
+      return static_cast<double>(Tasks.size() - ProducedCount);
+    });
+    Telemetry.registerGauge("sched.inflight_compiles", [&InFlightCount] {
+      return static_cast<double>(InFlightCount);
+    });
+    Telemetry.registerGauge("cache.hit_rate", [HitRate] { return HitRate; });
+    for (unsigned W = 0; W != Seats; ++W)
+      Telemetry.registerGauge(
+          "host.busy.w" + std::to_string(W + 1), [&SeatLoadSec, W, Rec] {
+            double Now = Rec->nowSec();
+            return Now > 0 ? std::min(1.0, SeatLoadSec[W] / Now) : 0.0;
+          });
+  }
+
+  auto SpawnSeat = [&](unsigned Seat) -> bool {
+    if (Pool.spawned() >= SpawnBudget)
+      return false;
+    wire::InitMsg Init;
+    Init.WorkerIndex = Seat;
+    Init.ModuleSource = Source;
+    Init.Faults = Config.Faults;
+    SeatSpawnT0[Seat] = Rec ? Rec->nowSec() : 0;
+    int Slot = Pool.spawn(Init);
+    if (Slot < 0)
+      return false;
+    SeatSlot[Seat] = Slot;
+    SeatHello[Seat] = 0;
+    if (Metrics)
+      Metrics->add("process.workers_spawned");
+    return true;
+  };
+  auto SeatLive = [&](unsigned Seat) {
+    return SeatSlot[Seat] >= 0 &&
+           Pool.alive(static_cast<unsigned>(SeatSlot[Seat]));
+  };
+
+  // Per-round state, kept outside the loop so late (superseded) results
+  // from a previous round resolve against stable storage.
+  std::vector<RoundTask> RoundState(Tasks.size());
+  std::vector<char> SpecLaunched(Tasks.size(), 0);
+  size_t RoundResolved = 0;
+  size_t RoundSize = 0;
+
+  auto ChainEvent = [&](unsigned Lane, size_t Index, EventKind K,
+                        FaultCause Cause, unsigned Attempt,
+                        bool Speculative) {
+    if (!Rec)
+      return;
+    obs::SpanEvent &E =
+        Rec->lane(Lane).instant(Rec->nowSec(), K, obs::Phase::Recovery);
+    E.Host = static_cast<int32_t>(Lane == 0 ? 0 : Lane);
+    E.Section = Tasks[Index].SectionId;
+    E.Function = Tasks[Index].FnId;
+    E.Attempt = static_cast<int32_t>(Attempt);
+    E.Cause = Cause;
+    E.Speculative = Speculative;
+    E.Parent = AttemptParent[Index];
+    AttemptParent[Index] = E.spanId();
+  };
+
+  // Marks one outstanding attempt finished-without-result and advances
+  // the round when the task has no attempt left that could still land.
+  auto AttemptFailed = [&](unsigned Seat, FaultCause Cause, EventKind Kind) {
+    Flight &F = SeatFlight[Seat];
+    RoundTask &RT = RoundState[F.Index];
+    const bool Superseded = RT.Done;
+    AttemptGate Gate = checkAttempt(
+        /*LostToCrash=*/Cause != FaultCause::None &&
+            Cause != FaultCause::Superseded,
+        Cause, Superseded);
+    ChainEvent(1 + Seat, F.Index, Kind,
+               Gate.Proceed ? Cause : Gate.Cause, F.Attempt, F.Speculative);
+    if (F.Speculative)
+      RT.SpecOutstanding = false;
+    else
+      RT.OrigOutstanding = false;
+    SeatBusy[Seat] = 0;
+    InFlightCount = InFlightCount ? InFlightCount - 1 : 0;
+    if (!RT.Done && !RT.OrigOutstanding && !RT.SpecOutstanding) {
+      RT.Done = true; // failed this round; the next round retries it
+      ++RoundResolved;
+    }
+  };
+
+  auto AcceptResult = [&](unsigned Seat, driver::FunctionResult &&R) {
+    Flight &F = SeatFlight[Seat];
+    RoundTask &RT = RoundState[F.Index];
+    const Task &T = Tasks[F.Index];
+    if (RT.Done) {
+      // A competing attempt (usually the speculative duplicate) already
+      // delivered; this result is discarded, not wrong.
+      ChainEvent(1 + Seat, F.Index, EventKind::AttemptLost,
+                 FaultCause::Superseded, F.Attempt, F.Speculative);
+      if (F.Speculative)
+        RT.SpecOutstanding = false;
+      else
+        RT.OrigOutstanding = false;
+      SeatBusy[Seat] = 0;
+      InFlightCount = InFlightCount ? InFlightCount - 1 : 0;
+      return;
+    }
+    if (Rec) {
+      const double Now = Rec->nowSec();
+      obs::SpanEvent &C = Rec->lane(1 + Seat).span(
+          F.T0, Now - F.T0, EventKind::SpanCompile, obs::Phase::Compile);
+      C.Host = static_cast<int32_t>(1 + Seat);
+      C.Section = T.SectionId;
+      C.Function = T.FnId;
+      C.Attempt = static_cast<int32_t>(F.Attempt);
+      C.Speculative = F.Speculative;
+      C.Parent = AttemptParent[F.Index];
+      obs::SpanEvent &D = Rec->lane(1 + Seat).instant(
+          Now, EventKind::FunctionDone, obs::Phase::Compile);
+      D.Host = C.Host;
+      D.Section = T.SectionId;
+      D.Function = T.FnId;
+      D.Attempt = C.Attempt;
+      D.Parent = C.spanId();
+      NoteResult(D.spanId());
+    }
+    if (Metrics)
+      Metrics->observe("process.compile_sec", F.Age.seconds());
+    if (Cache)
+      Cache->store(*T.Section, *T.Function, R);
+    FnResults[F.Index] = std::move(R);
+    Rounds.produced(F.Index);
+    ++ProducedCount;
+    if (F.Speculative) {
+      ++Result.SpeculativeWins;
+      RT.SpecOutstanding = false;
+    } else {
+      RT.OrigOutstanding = false;
+    }
+    SeatLoadSec[Seat] += F.Age.seconds();
+    SeatBusy[Seat] = 0;
+    InFlightCount = InFlightCount ? InFlightCount - 1 : 0;
+    RT.Done = true;
+    ++RoundResolved;
+  };
+
+  // Processes every whole frame a live seat has buffered.
+  auto DrainFrames = [&](unsigned Seat) {
+    wire::FrameDecoder &Dec =
+        Pool.decoder(static_cast<unsigned>(SeatSlot[Seat]));
+    wire::Frame Frame;
+    while (true) {
+      wire::DecodeStatus St = Dec.next(Frame);
+      if (St == wire::DecodeStatus::NeedMore)
+        return true;
+      if (St == wire::DecodeStatus::Corrupt) {
+        // The stream is unusable; drop the worker and let the attempt be
+        // retried next round (the wire protocol's "retriable, never
+        // fatal" contract).
+        ++Result.FrameErrors;
+        if (Metrics)
+          Metrics->add("process.frame_errors");
+        Pool.kill(static_cast<unsigned>(SeatSlot[Seat]));
+        if (SeatBusy[Seat])
+          AttemptFailed(Seat, FaultCause::PoisonedResult,
+                        EventKind::ResultRejected);
+        return false;
+      }
+      switch (Frame.Type) {
+      case wire::FrameType::Hello: {
+        wire::HelloMsg Hello;
+        if (!wire::decodeHello(Frame.Payload, Hello) ||
+            Hello.NumFunctions != Tasks.size()) {
+          ++Result.FrameErrors;
+          Pool.kill(static_cast<unsigned>(SeatSlot[Seat]));
+          if (SeatBusy[Seat])
+            AttemptFailed(Seat, FaultCause::PoisonedResult,
+                          EventKind::ResultRejected);
+          return false;
+        }
+        if (!SeatHello[Seat]) {
+          SeatHello[Seat] = 1;
+          if (Rec) {
+            obs::SpanEvent &E = Rec->lane(1 + Seat).span(
+                SeatSpawnT0[Seat], Rec->nowSec() - SeatSpawnT0[Seat],
+                EventKind::SpanStartup, obs::Phase::Setup);
+            E.Host = static_cast<int32_t>(1 + Seat);
+            E.Parent = ParseId;
+          }
+        }
+        break;
+      }
+      case wire::FrameType::Result: {
+        if (!SeatBusy[Seat])
+          break; // stale frame from an attempt already written off
+        wire::ResultMsg Msg;
+        driver::FunctionResult R;
+        const Flight &F = SeatFlight[Seat];
+        const Task &T = Tasks[F.Index];
+        bool Valid = wire::decodeResult(Frame.Payload, Msg) &&
+                     Msg.TaskIndex == F.Index &&
+                     cache::decodeFunctionResult(Msg.ResultBytes, R) &&
+                     driver::validateFunctionResult(*T.Section, *T.Function,
+                                                    R);
+        if (!Valid) {
+          ++Result.PoisonedResultsDetected;
+          if (Metrics)
+            Metrics->add("fault.poisoned_results");
+          AttemptFailed(Seat, FaultCause::PoisonedResult,
+                        EventKind::ResultRejected);
+          break;
+        }
+        AcceptResult(Seat, std::move(R));
+        break;
+      }
+      case wire::FrameType::WorkerError: {
+        // A worker that reports a fatal condition is as good as dead.
+        Pool.kill(static_cast<unsigned>(SeatSlot[Seat]));
+        if (SeatBusy[Seat])
+          AttemptFailed(Seat, FaultCause::CrashDuringCompile,
+                        EventKind::AttemptLost);
+        return false;
+      }
+      default:
+        break; // master-bound streams carry no other frame types
+      }
+    }
+  };
+
+  auto NoteWorkerDeath = [&](unsigned Seat) {
+    ++Result.WorkerDeaths;
+    if (Metrics) {
+      Metrics->add("process.worker_deaths");
+      Metrics->add("fault.workers_vanished");
+    }
+    if (SeatBusy[Seat]) {
+      const bool MidResult =
+          Pool.decoder(static_cast<unsigned>(SeatSlot[Seat]))
+              .bufferedBytes() > 0;
+      AttemptFailed(Seat,
+                    MidResult ? FaultCause::CrashDuringResult
+                              : FaultCause::CrashDuringCompile,
+                    EventKind::AttemptLost);
+    }
+  };
+
+  // --- The retry rounds.
+  for (unsigned Attempt = 1;
+       Attempt <= Policy.MaxAttempts && !Rounds.allProduced() && !PoolBroken;
+       ++Attempt) {
+    Rounds.beginRound(Attempt);
+    std::vector<size_t> Queue = Rounds.pending();
+    size_t QueueHead = 0;
+    RoundSize = Queue.size();
+    RoundResolved = 0;
+    for (size_t Index : Queue) {
+      RoundState[Index] = RoundTask();
+      SpecLaunched[Index] = 0;
+    }
+    const double HardSec =
+        Config.WatchdogSec *
+        std::pow(Policy.BackoffFactor, static_cast<double>(Attempt - 1));
+    const double SoftSec = HardSec / 2;
+
+    while (RoundResolved < RoundSize) {
+      // 1. Dispatch pending tasks onto idle seats (FCFS; retried tasks
+      //    are steered away from the seat that failed them).
+      bool Dispatched = true;
+      while (QueueHead < Queue.size() && Dispatched) {
+        Dispatched = false;
+        // Idle seats, respawning as needed.
+        std::vector<char> SeatIdle(Seats, 0);
+        unsigned IdleCount = 0;
+        for (unsigned S = 0; S != Seats; ++S) {
+          if (SeatBusy[S])
+            continue;
+          if (!SeatLive(S) && !SpawnSeat(S))
+            continue;
+          SeatIdle[S] = 1;
+          ++IdleCount;
+        }
+        if (IdleCount == 0)
+          break;
+        size_t Index = Queue[QueueHead];
+        unsigned Seat = Seats; // invalid
+        if (EverAttempted[Index]) {
+          // The paper's reassignment decision: the least-loaded live host
+          // other than the one that failed the function.
+          std::vector<char> HostAlive(SeatIdle.begin(), SeatIdle.end());
+          unsigned Choice = chooseReassignment(
+              SeatLoadSec, HostAlive, PrevSeat[Index]);
+          if (Choice < Seats && SeatIdle[Choice])
+            Seat = Choice;
+        }
+        if (Seat == Seats)
+          for (unsigned S = 0; S != Seats; ++S)
+            if (SeatIdle[S]) {
+              Seat = S;
+              break;
+            }
+        if (Seat == Seats)
+          break;
+
+        wire::TaskMsg Msg;
+        Msg.TaskIndex = static_cast<uint32_t>(Index);
+        Msg.Section = static_cast<uint32_t>(Tasks[Index].SectionId);
+        Msg.Function = Tasks[Index].FnInSection;
+        Msg.Attempt = Attempt;
+        if (!Pool.send(static_cast<unsigned>(SeatSlot[Seat]),
+                       wire::FrameType::Task, wire::encodeTask(Msg))) {
+          // The send itself failed: the worker is gone before the attempt
+          // began. Replace it and redo the dispatch (no attempt consumed).
+          Pool.kill(static_cast<unsigned>(SeatSlot[Seat]));
+          NoteWorkerDeath(Seat);
+          Dispatched = true;
+          continue;
+        }
+        if (Rec && EverAttempted[Index] && Seat != PrevSeat[Index]) {
+          obs::SpanEvent &E = Rec->lane(0).instant(
+              Rec->nowSec(), EventKind::Reassigned, obs::Phase::Recovery);
+          E.Host = 0;
+          E.Section = Tasks[Index].SectionId;
+          E.Function = Tasks[Index].FnId;
+          E.Attempt = static_cast<int32_t>(Attempt);
+          E.Parent = AttemptParent[Index];
+          AttemptParent[Index] = E.spanId();
+        }
+        Flight F;
+        F.Index = Index;
+        F.Attempt = Attempt;
+        F.Speculative = false;
+        F.T0 = Rec ? Rec->nowSec() : 0;
+        F.Age.restart();
+        F.SoftSec = SoftSec;
+        F.HardSec = HardSec;
+        SeatFlight[Seat] = F;
+        SeatBusy[Seat] = 1;
+        ++InFlightCount;
+        RoundState[Index].OrigOutstanding = true;
+        EverAttempted[Index] = 1;
+        PrevSeat[Index] = Seat;
+        ++QueueHead;
+        Dispatched = true;
+      }
+
+      // If nothing is running and nothing can be dispatched, the pool is
+      // unrecoverable (spawn budget burned or binary unusable): fail the
+      // rest of the round and let the master fallback finish the job.
+      if (InFlightCount == 0 && QueueHead >= Queue.size()) {
+        bool Progressed = false;
+        for (size_t QI = 0; QI != Queue.size(); ++QI) {
+          RoundTask &RT = RoundState[Queue[QI]];
+          if (!RT.Done && !RT.OrigOutstanding && !RT.SpecOutstanding) {
+            RT.Done = true;
+            ++RoundResolved;
+            Progressed = true;
+          }
+        }
+        if (!Progressed)
+          break;
+        continue;
+      }
+      if (InFlightCount == 0 && QueueHead < Queue.size()) {
+        // Idle-less dispatch stall with no inflight work: every seat is
+        // unspawnable. Give up on the distributed path entirely.
+        PoolBroken = true;
+        for (size_t QI = QueueHead; QI != Queue.size(); ++QI) {
+          RoundTask &RT = RoundState[Queue[QI]];
+          if (!RT.Done) {
+            RT.Done = true;
+            ++RoundResolved;
+          }
+        }
+        continue;
+      }
+
+      // 2. Straggler speculation: with the queue drained and idle seats
+      //    available, duplicate the oldest attempt past its soft
+      //    deadline (one duplicate per function per round).
+      if (Config.SpeculateStragglers && Policy.SpeculateStragglers &&
+          QueueHead >= Queue.size()) {
+        for (unsigned B = 0; B != Seats; ++B) {
+          if (!SeatBusy[B] || SeatFlight[B].Speculative)
+            continue;
+          Flight &F = SeatFlight[B];
+          if (RoundState[F.Index].Done || SpecLaunched[F.Index] ||
+              F.Age.seconds() < F.SoftSec)
+            continue;
+          unsigned Idle = Seats;
+          for (unsigned S = 0; S != Seats; ++S) {
+            if (SeatBusy[S] || S == B)
+              continue;
+            if (!SeatLive(S) && !SpawnSeat(S))
+              continue;
+            Idle = S;
+            break;
+          }
+          if (Idle == Seats)
+            break;
+          wire::TaskMsg Msg;
+          Msg.TaskIndex = static_cast<uint32_t>(F.Index);
+          Msg.Section = static_cast<uint32_t>(Tasks[F.Index].SectionId);
+          Msg.Function = Tasks[F.Index].FnInSection;
+          Msg.Attempt = F.Attempt;
+          Msg.Speculative = 1;
+          if (!Pool.send(static_cast<unsigned>(SeatSlot[Idle]),
+                         wire::FrameType::Task, wire::encodeTask(Msg))) {
+            Pool.kill(static_cast<unsigned>(SeatSlot[Idle]));
+            NoteWorkerDeath(Idle);
+            continue;
+          }
+          SpecLaunched[F.Index] = 1;
+          ++Result.SpeculativeLaunches;
+          if (Metrics)
+            Metrics->add("fault.speculations_launched");
+          if (Rec) {
+            obs::SpanEvent &E = Rec->lane(0).instant(
+                Rec->nowSec(), EventKind::SpeculationLaunched,
+                obs::Phase::Recovery);
+            E.Host = 0;
+            E.Section = Tasks[F.Index].SectionId;
+            E.Function = Tasks[F.Index].FnId;
+            E.Attempt = static_cast<int32_t>(F.Attempt);
+            E.Speculative = true;
+            E.Parent = AttemptParent[F.Index];
+            AttemptParent[F.Index] = E.spanId();
+          }
+          Flight D;
+          D.Index = F.Index;
+          D.Attempt = F.Attempt;
+          D.Speculative = true;
+          D.T0 = Rec ? Rec->nowSec() : 0;
+          D.Age.restart();
+          D.SoftSec = F.SoftSec;
+          D.HardSec = F.HardSec;
+          SeatFlight[Idle] = D;
+          SeatBusy[Idle] = 1;
+          ++InFlightCount;
+          RoundState[F.Index].SpecOutstanding = true;
+        }
+      }
+
+      // 3. Wait for results, deaths, or the next watchdog deadline.
+      std::vector<struct pollfd> Fds;
+      std::vector<unsigned> FdSeat;
+      double NearestDeadline = 0.25; // poll floor: re-check dispatch often
+      for (unsigned S = 0; S != Seats; ++S) {
+        if (!SeatLive(S))
+          continue;
+        Fds.push_back({Pool.fd(static_cast<unsigned>(SeatSlot[S])), POLLIN,
+                       0});
+        FdSeat.push_back(S);
+        if (SeatBusy[S])
+          NearestDeadline = std::min(
+              NearestDeadline,
+              SeatFlight[S].HardSec - SeatFlight[S].Age.seconds());
+      }
+      if (!Fds.empty()) {
+        int TimeoutMs = static_cast<int>(
+            std::max(1.0, std::min(250.0, NearestDeadline * 1000)));
+        ::poll(Fds.data(), Fds.size(), TimeoutMs);
+        for (size_t I = 0; I != Fds.size(); ++I) {
+          if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+          unsigned S = FdSeat[I];
+          if (!SeatLive(S))
+            continue; // killed while handling an earlier fd this pass
+          if (Pool.pump(static_cast<unsigned>(SeatSlot[S]))) {
+            DrainFrames(S);
+          } else {
+            // Drain whatever whole frames landed before the stream died,
+            // then account the death.
+            DrainFrames(S);
+            if (SeatLive(S))
+              continue;
+            NoteWorkerDeath(S);
+          }
+        }
+      }
+
+      // 4. Watchdog: kill attempts past their hard deadline.
+      for (unsigned S = 0; S != Seats; ++S) {
+        if (!SeatBusy[S] || !SeatLive(S))
+          continue;
+        Flight &F = SeatFlight[S];
+        if (F.Age.seconds() < F.HardSec)
+          continue;
+        const bool Counted = !RoundState[F.Index].Done;
+        Pool.kill(static_cast<unsigned>(SeatSlot[S]));
+        if (Counted) {
+          ++Result.WatchdogFires;
+          if (Metrics)
+            Metrics->add("fault.timeouts_fired");
+          if (Rec) {
+            obs::SpanEvent &E = Rec->lane(0).instant(
+                Rec->nowSec(), EventKind::TimeoutFired, obs::Phase::Recovery);
+            E.Host = 0;
+            E.Section = Tasks[F.Index].SectionId;
+            E.Function = Tasks[F.Index].FnId;
+            E.Attempt = static_cast<int32_t>(F.Attempt);
+            E.Parent = AttemptParent[F.Index];
+            AttemptParent[F.Index] = E.spanId();
+          }
+        }
+        AttemptFailed(S, FaultCause::TimeoutExpired, EventKind::AttemptLost);
+      }
+
+      // 5. ForkPerTask retires seats that finished an attempt, so the
+      //    next dispatch pays a fresh fork+exec+reparse.
+      if (Config.ForkPerTask)
+        for (unsigned S = 0; S != Seats; ++S)
+          if (!SeatBusy[S] && SeatLive(S))
+            Pool.shutdown(static_cast<unsigned>(SeatSlot[S]), 0.2);
+
+      if (Rec)
+        Telemetry.sampleAll(Rec->nowSec());
+    }
+
+    Rounds.settleRound();
+    if (Rec) {
+      const double Now = Rec->nowSec();
+      if (RetryCtr >= 0)
+        Rec->lane(0).counter(Now, RetryCtr, Rounds.retriesAttempted());
+      if (ReassignCtr >= 0)
+        Rec->lane(0).counter(Now, ReassignCtr, Rounds.functionsReassigned());
+      if (WatchdogCtr >= 0)
+        Rec->lane(0).counter(Now, WatchdogCtr, Result.WatchdogFires);
+      if (SpecCtr >= 0)
+        Rec->lane(0).counter(Now, SpecCtr, Result.SpeculativeLaunches);
+    }
+  }
+  Result.RetriesAttempted = Rounds.retriesAttempted();
+  Result.FunctionsReassigned = Rounds.functionsReassigned();
+  Result.WorkersSpawned = Pool.spawned();
+
+  // Recovery of last resort, identical to the thread engine: anything
+  // still missing is compiled in the master's own process.
+  for (size_t Index : Rounds.pending()) {
+    const Task &T = Tasks[Index];
+    const double T0 = Rec ? Rec->nowSec() : 0;
+    FnResults[Index] =
+        driver::compileFunction(*T.Section, *T.Function, MM, Metrics);
+    if (Cache)
+      Cache->store(*T.Section, *T.Function, FnResults[Index]);
+    ++Result.FunctionsRecovered;
+    ++ProducedCount;
+    if (Rec) {
+      const double Now = Rec->nowSec();
+      obs::SpanEvent &E = Rec->lane(0).span(T0, Now - T0,
+                                            EventKind::SpanMasterRecompile,
+                                            obs::Phase::Recovery);
+      E.Host = 0;
+      E.Section = T.SectionId;
+      E.Function = T.FnId;
+      E.Cause = FaultCause::AttemptCapReached;
+      E.Parent = AttemptParent[Index];
+      obs::SpanEvent &D = Rec->lane(0).instant(Now, EventKind::FunctionDone,
+                                               obs::Phase::Compile);
+      D.Host = 0;
+      D.Section = T.SectionId;
+      D.Function = T.FnId;
+      D.Attempt = 0;
+      D.Cause = FaultCause::AttemptCapReached;
+      D.Parent = E.spanId();
+      NoteResult(D.spanId());
+    }
+  }
+  Result.ParallelPhaseSec = PhaseTimer.seconds();
+
+  // Wind the pool down politely; the destructor SIGKILLs any holdout
+  // (e.g. a worker still sleeping through an injected stall).
+  for (unsigned S = 0; S != Seats; ++S)
+    if (SeatLive(S))
+      Pool.shutdown(static_cast<unsigned>(SeatSlot[S]), 0.2);
+
+  // Phase 4: assembly and linking, sequential in the master.
+  PhaseTimer.restart();
+  const double AsmStart = Rec ? Rec->nowSec() : 0;
+  driver::assembleAndLink(*Parsed.Module, std::move(FnResults),
+                          Result.Module, Metrics);
+  Result.Phase4Sec = PhaseTimer.seconds();
+
+  Result.Module.Succeeded = !Result.Module.Diags.hasErrors();
+  Result.ElapsedSec = Total.seconds();
+  if (Rec) {
+    const double Now = Rec->nowSec();
+    obs::SpanEvent &E = Rec->lane(0).span(AsmStart, Now - AsmStart,
+                                          EventKind::SpanAssembly,
+                                          obs::Phase::Assembly);
+    E.Host = 0;
+    E.Parent = LastResultId ? LastResultId : ParseId;
+    obs::SpanEvent &RC = Rec->lane(0).instant(Now, EventKind::RunComplete,
+                                              obs::Phase::Assembly);
+    RC.Host = 0;
+    RC.Parent = E.spanId();
+    Rec->setTopology(Seats + 1,
+                     static_cast<uint32_t>(Parsed.Module->numSections()));
+    Rec->setRunTotals(Result.ElapsedSec, 0.0,
+                      static_cast<uint32_t>(Tasks.size()));
+    Telemetry.sampleAll(Now);
+    std::vector<obs::TimeSeries> Series = Telemetry.snapshot();
+    obs::emitCounterTracks(*Rec, 0, Series);
+    for (const obs::Anomaly &A : obs::detectAnomalies(Series)) {
+      obs::SpanEvent &AE = Rec->lane(0).instant(
+          A.TSec, EventKind::AnomalyDetected, obs::Phase::Recovery);
+      AE.Host = A.Host;
+    }
+  }
+  if (Metrics) {
+    Metrics->add("fault.retries_attempted", Result.RetriesAttempted);
+    Metrics->add("fault.functions_reassigned", Result.FunctionsReassigned);
+    Metrics->add("fault.functions_recovered", Result.FunctionsRecovered);
+    Metrics->add("process.watchdog_fires", Result.WatchdogFires);
+    Metrics->add("process.bytes_sent", Pool.bytesSent());
+    Metrics->add("process.bytes_received", Pool.bytesReceived());
+    Metrics->setGauge("process.workers_used", Result.WorkersUsed);
+  }
+  return Result;
+}

@@ -1,0 +1,197 @@
+//===- ProcessRunner.h - Fork/exec parallel compilation ---------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real multi-process backend: the paper's heavy-weight UNIX
+/// processes, for real this time. The master fork/execs a pool of
+/// warp-worker processes, ships each an Init frame (module source + fault
+/// plan) over a socketpair, then dispatches post-sema function units as
+/// Task frames and collects serialized FunctionResults — all framed with
+/// support/BinaryStream (see WireProtocol.h).
+///
+/// Control flow is the same retry-round structure as the thread engine
+/// (parallel/RetryRound.h): failed attempts — workers that actually died
+/// of SIGKILL, stalled workers the watchdog killed, results whose frames
+/// arrived damaged — are retried round by round, reassigned away from the
+/// worker that failed them via Scheduler::chooseReassignment, up to the
+/// FaultPolicy attempt cap; the master then recompiles the leftovers
+/// itself, so the run always completes and the image is bit-identical to
+/// driver::compileModuleSequential.
+///
+/// Worker startup (fork + exec + phase-1 reparse) is the §4.2.3-dominant
+/// overhead this backend finally makes real: a resident pool pays it once
+/// per worker, the ForkPerTask config pays it once per attempt — the two
+/// ends bench/ablation_process measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_PROCESSRUNNER_H
+#define WARPC_PARALLEL_PROCESSRUNNER_H
+
+#include "codegen/MachineModel.h"
+#include "driver/Compiler.h"
+#include "driver/FaultPolicy.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+#include "parallel/WireProtocol.h"
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+
+/// Result of a process-backed parallel compilation. The Module and the
+/// retry/reassignment/recovery/cache counters are deterministic functions
+/// of (source, fault plan) at any worker count; the timing fields and the
+/// process-lifecycle tallies (deaths observed, watchdog fires,
+/// speculation) depend on real scheduling.
+struct ProcessRunResult {
+  driver::ModuleResult Module;
+  double ElapsedSec = 0;
+  double Phase1Sec = 0;        ///< Master-side sequential parse + sema.
+  double ParallelPhaseSec = 0; ///< Spawn + fan-out + collection.
+  double Phase4Sec = 0;        ///< Sequential assembly + linking.
+  unsigned WorkersUsed = 0;    ///< Pool seats (<= NumWorkers, <= tasks).
+  unsigned WorkersSpawned = 0; ///< Processes forked, including respawns.
+  unsigned WorkerDeaths = 0;   ///< Workers that died without Shutdown.
+  unsigned WatchdogFires = 0;  ///< Attempts the master timed out and killed.
+  unsigned FrameErrors = 0;    ///< Streams dropped for corrupt framing.
+  unsigned FunctionsRecovered = 0;
+  unsigned RetriesAttempted = 0;
+  unsigned FunctionsReassigned = 0;
+  unsigned PoisonedResultsDetected = 0;
+  unsigned SpeculativeLaunches = 0;
+  unsigned SpeculativeWins = 0;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+};
+
+/// Knobs specific to the process backend (the shared retry/timeout policy
+/// stays in driver::FaultPolicy).
+struct ProcessRunnerConfig {
+  /// Path to the warp-worker executable; empty resolves through
+  /// defaultWorkerBinary(). If no binary can be spawned at all, the
+  /// master compiles every function itself (counted in
+  /// FunctionsRecovered) — degraded, never wrong.
+  std::string WorkerBinary;
+  /// Real-time watchdog: an attempt older than this (backed off by
+  /// FaultPolicy::BackoffFactor per retry round) is declared lost and its
+  /// worker killed. Generous by default so healthy runs never trip it.
+  double WatchdogSec = 10.0;
+  /// Straggler duplicates past half the watchdog (FaultPolicy's soft
+  /// deadline), first valid result wins.
+  bool SpeculateStragglers = true;
+  /// Retire each worker after one attempt and fork a fresh one for the
+  /// next — the paper's fork-per-function-master configuration, measured
+  /// against the resident pool by bench/ablation_process.
+  bool ForkPerTask = false;
+  /// Hard cap on processes forked over the whole run (0 derives one from
+  /// the worker count, attempt cap, and task count): the backstop against
+  /// respawn storms when every spawn dies instantly.
+  unsigned MaxTotalSpawns = 0;
+  /// Shipped to every worker in its Init frame.
+  driver::ProcessFaultPlan Faults;
+};
+
+/// Resolves the worker binary: $WARPC_WORKER_BIN if set, else a
+/// "warp-worker" sibling of the current executable, else "" (master
+/// fallback only).
+std::string defaultWorkerBinary();
+
+/// A pool of warp-worker processes connected over socketpairs. Owns the
+/// processes: the destructor SIGKILLs and reaps every worker still
+/// alive, so a master torn down mid-run (or by an exception) never leaks
+/// orphans. Exposed separately from compileModuleProcess so lifecycle
+/// tests can drive spawn/shutdown/kill directly.
+class ProcessPool {
+public:
+  explicit ProcessPool(std::string WorkerBinary);
+  ~ProcessPool();
+  ProcessPool(const ProcessPool &) = delete;
+  ProcessPool &operator=(const ProcessPool &) = delete;
+
+  /// Forks and execs one worker and sends it \p Init. Returns the new
+  /// worker's slot index, or -1 when the process could not be created.
+  /// (An exec that fails inside the child surfaces later as an immediate
+  /// EOF on the socket, like any other worker death.)
+  int spawn(const wire::InitMsg &Init);
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned spawned() const { return Spawned; }
+  unsigned aliveCount() const;
+  bool alive(unsigned W) const { return Workers[W].Alive; }
+  pid_t pid(unsigned W) const { return Workers[W].Pid; }
+  int fd(unsigned W) const { return Workers[W].Fd; }
+  /// waitpid status; meaningful once the worker has been reaped.
+  int exitStatus(unsigned W) const { return Workers[W].WaitStatus; }
+  wire::FrameDecoder &decoder(unsigned W) { return Workers[W].Decoder; }
+
+  /// Sends one frame; false when the worker is dead or the write failed
+  /// (the caller should treat the worker as lost).
+  bool send(unsigned W, wire::FrameType Type,
+            const std::vector<uint8_t> &Payload);
+
+  /// Drains available bytes into the worker's decoder without blocking.
+  /// Returns false on EOF or a read error — the worker is gone (it is
+  /// reaped and marked dead before returning).
+  bool pump(unsigned W);
+
+  /// SIGKILL + reap. Idempotent.
+  void kill(unsigned W);
+
+  /// Polite shutdown: send the Shutdown frame, give the worker
+  /// \p GraceSec to exit, then SIGKILL. Returns true when the worker
+  /// exited within the grace period.
+  bool shutdown(unsigned W, double GraceSec = 0.5);
+
+  /// Total bytes moved over all sockets (process.bytes_* metrics).
+  uint64_t bytesSent() const { return BytesSent; }
+  uint64_t bytesReceived() const { return BytesReceived; }
+
+private:
+  struct Worker {
+    pid_t Pid = -1;
+    int Fd = -1;
+    bool Alive = false;
+    bool Reaped = false;
+    int WaitStatus = 0;
+    wire::FrameDecoder Decoder;
+  };
+  void reap(unsigned W, bool Block);
+
+  std::string Binary;
+  std::vector<Worker> Workers;
+  unsigned Spawned = 0;
+  uint64_t BytesSent = 0;
+  uint64_t BytesReceived = 0;
+};
+
+/// Compiles \p Source on a pool of up to \p NumWorkers real worker
+/// processes under \p Policy, with \p Config naming the worker binary,
+/// watchdog, and process-level fault plan. Mirrors
+/// compileModuleParallel's contract: a non-null \p Rec (Steady domain)
+/// receives parse/startup/compile/assembly spans with causal Parent
+/// links — the master on lane 0, pool seat i on lane 1+i — plus sched.*
+/// counter tracks and telemetry series; a non-null \p Metrics receives
+/// the driver's phase counters plus fault.* and process.* counters; a
+/// non-null \p Cache is probed master-side before any dispatch, so hits
+/// are worker-count-independent. Workers compile with
+/// codegen::MachineModel::warpCell() — the only model the system defines
+/// — and \p MM is used for the master's own fallback compiles.
+ProcessRunResult compileModuleProcess(
+    const std::string &Source, const codegen::MachineModel &MM,
+    unsigned NumWorkers, const driver::FaultPolicy &Policy,
+    const ProcessRunnerConfig &Config = ProcessRunnerConfig(),
+    obs::TraceRecorder *Rec = nullptr, obs::MetricsRegistry *Metrics = nullptr,
+    driver::FunctionResultCache *Cache = nullptr);
+
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_PROCESSRUNNER_H

@@ -20,32 +20,16 @@
 using namespace warpc;
 using namespace warpc::parallel;
 
-namespace {
-
-/// splitmix64 finalizer over a (seed, function, attempt, salt) tuple:
-/// a stateless uniform draw in [0, 1).
-double hashDraw(uint64_t Seed, uint64_t Fn, uint64_t Attempt, uint64_t Salt) {
-  uint64_t X = Seed + 0x9E3779B97F4A7C15ULL * (Fn + 1) +
-               0xBF58476D1CE4E5B9ULL * (Attempt + 1) +
-               0x94D049BB133111EBULL * (Salt + 1);
-  X ^= X >> 30;
-  X *= 0xBF58476D1CE4E5B9ULL;
-  X ^= X >> 27;
-  X *= 0x94D049BB133111EBULL;
-  X ^= X >> 31;
-  return static_cast<double>(X >> 11) * (1.0 / 9007199254740992.0);
-}
-
-} // namespace
-
 FaultInjection parallel::makeSeededInjection(uint64_t Seed, double VanishProb,
                                              double PoisonProb) {
+  // Salts 1 and 2 are the thread engine's draws; the process engine's
+  // ProcessFaultPlan uses salts 3+ of the same shared generator.
   FaultInjection Inj;
   Inj.Vanish = [Seed, VanishProb](size_t Fn, unsigned Attempt) {
-    return hashDraw(Seed, Fn, Attempt, 1) < VanishProb;
+    return driver::seededFaultDraw(Seed, Fn, Attempt, 1) < VanishProb;
   };
   Inj.Poison = [Seed, PoisonProb](size_t Fn, unsigned Attempt) {
-    return hashDraw(Seed, Fn, Attempt, 2) < PoisonProb;
+    return driver::seededFaultDraw(Seed, Fn, Attempt, 2) < PoisonProb;
   };
   return Inj;
 }

@@ -1,0 +1,189 @@
+//===- WireProtocol.cpp - Master/worker wire protocol ---------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/WireProtocol.h"
+
+#include <cstring>
+
+using namespace warpc;
+using namespace warpc::parallel;
+using namespace warpc::parallel::wire;
+
+std::vector<uint8_t> wire::encodeFrame(FrameType Type,
+                                       const std::vector<uint8_t> &Payload) {
+  BinaryWriter W;
+  W.u32(FrameMagic);
+  W.u8(ProtocolVersion);
+  W.u8(static_cast<uint8_t>(Type));
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  BinaryWriter T;
+  T.u64(fnv1a64(Payload));
+  const std::vector<uint8_t> &Trailer = T.buffer();
+  Out.insert(Out.end(), Trailer.begin(), Trailer.end());
+  return Out;
+}
+
+void FrameDecoder::fail(const std::string &Why) {
+  Failed = true;
+  Error = Why;
+  Buf.clear();
+  Pos = 0;
+}
+
+void FrameDecoder::feed(const uint8_t *Data, size_t Size) {
+  if (Failed || Size == 0)
+    return;
+  // Compact once the dead prefix dominates, so a long-lived worker
+  // connection does not grow its buffer without bound.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+DecodeStatus FrameDecoder::next(Frame &Out) {
+  if (Failed)
+    return DecodeStatus::Corrupt;
+  const size_t Avail = Buf.size() - Pos;
+  if (Avail < FrameHeaderSize)
+    return DecodeStatus::NeedMore;
+
+  BinaryReader Header(Buf.data() + Pos, FrameHeaderSize);
+  const uint32_t Magic = Header.u32();
+  const uint8_t Version = Header.u8();
+  const uint8_t Type = Header.u8();
+  const uint32_t Len = Header.u32();
+  if (Magic != FrameMagic) {
+    fail("bad frame magic");
+    return DecodeStatus::Corrupt;
+  }
+  if (Version != ProtocolVersion) {
+    fail("unsupported protocol version " + std::to_string(Version));
+    return DecodeStatus::Corrupt;
+  }
+  if (Type == 0 || Type > MaxFrameType) {
+    fail("unknown frame type " + std::to_string(Type));
+    return DecodeStatus::Corrupt;
+  }
+  if (Len > MaxFramePayload) {
+    fail("oversized frame payload (" + std::to_string(Len) + " bytes)");
+    return DecodeStatus::Corrupt;
+  }
+  const size_t Whole = FrameHeaderSize + Len + FrameTrailerSize;
+  if (Avail < Whole)
+    return DecodeStatus::NeedMore;
+
+  const uint8_t *Payload = Buf.data() + Pos + FrameHeaderSize;
+  BinaryReader Trailer(Payload + Len, FrameTrailerSize);
+  if (Trailer.u64() != fnv1a64(Payload, Len)) {
+    fail("frame checksum mismatch");
+    return DecodeStatus::Corrupt;
+  }
+  Out.Type = static_cast<FrameType>(Type);
+  Out.Payload.assign(Payload, Payload + Len);
+  Pos += Whole;
+  return DecodeStatus::Ready;
+}
+
+// --- Message payload codecs ----------------------------------------------
+
+std::vector<uint8_t> wire::encodeHello(const HelloMsg &M) {
+  BinaryWriter W;
+  W.u64(M.Pid);
+  W.u32(M.Protocol);
+  W.u32(M.WorkerIndex);
+  W.u32(M.NumFunctions);
+  return W.take();
+}
+
+bool wire::decodeHello(const std::vector<uint8_t> &Payload, HelloMsg &Out) {
+  BinaryReader R(Payload);
+  Out.Pid = R.u64();
+  Out.Protocol = R.u32();
+  Out.WorkerIndex = R.u32();
+  Out.NumFunctions = R.u32();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeInit(const InitMsg &M) {
+  BinaryWriter W;
+  W.u32(M.WorkerIndex);
+  W.str(M.ModuleSource);
+  W.u64(M.Faults.Seed);
+  W.f64(M.Faults.KillProb);
+  W.f64(M.Faults.StallProb);
+  W.f64(M.Faults.CorruptProb);
+  W.f64(M.Faults.StallSec);
+  W.u32(M.Faults.MaxFaultAttempt);
+  return W.take();
+}
+
+bool wire::decodeInit(const std::vector<uint8_t> &Payload, InitMsg &Out) {
+  BinaryReader R(Payload);
+  Out.WorkerIndex = R.u32();
+  Out.ModuleSource = R.str();
+  Out.Faults.Seed = R.u64();
+  Out.Faults.KillProb = R.f64();
+  Out.Faults.StallProb = R.f64();
+  Out.Faults.CorruptProb = R.f64();
+  Out.Faults.StallSec = R.f64();
+  Out.Faults.MaxFaultAttempt = R.u32();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeTask(const TaskMsg &M) {
+  BinaryWriter W;
+  W.u32(M.TaskIndex);
+  W.u32(M.Section);
+  W.u32(M.Function);
+  W.u32(M.Attempt);
+  W.u8(M.Speculative);
+  return W.take();
+}
+
+bool wire::decodeTask(const std::vector<uint8_t> &Payload, TaskMsg &Out) {
+  BinaryReader R(Payload);
+  Out.TaskIndex = R.u32();
+  Out.Section = R.u32();
+  Out.Function = R.u32();
+  Out.Attempt = R.u32();
+  Out.Speculative = R.u8();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeResult(const ResultMsg &M) {
+  BinaryWriter W;
+  W.u32(M.TaskIndex);
+  W.u32(M.Attempt);
+  W.u8(M.Speculative);
+  W.bytes(M.ResultBytes);
+  return W.take();
+}
+
+bool wire::decodeResult(const std::vector<uint8_t> &Payload, ResultMsg &Out) {
+  BinaryReader R(Payload);
+  Out.TaskIndex = R.u32();
+  Out.Attempt = R.u32();
+  Out.Speculative = R.u8();
+  Out.ResultBytes = R.bytes();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeWorkerError(const WorkerErrorMsg &M) {
+  BinaryWriter W;
+  W.str(M.Message);
+  return W.take();
+}
+
+bool wire::decodeWorkerError(const std::vector<uint8_t> &Payload,
+                             WorkerErrorMsg &Out) {
+  BinaryReader R(Payload);
+  Out.Message = R.str();
+  return R.atEnd();
+}

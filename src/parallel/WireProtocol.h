@@ -1,0 +1,171 @@
+//===- WireProtocol.h - Master/worker wire protocol -------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed binary protocol between the master and its warp-worker
+/// processes, built on support/BinaryStream. Every message travels as one
+/// frame:
+///
+///   u32 magic | u8 version | u8 type | u32 payload length
+///   payload bytes...
+///   u64 fnv1a-64 checksum of the payload
+///
+/// The decoder is incremental (feed() arbitrary byte chunks, next() yields
+/// whole frames) and treats every malformation — a garbage header, an
+/// oversized length, a checksum mismatch — as a sticky Corrupt verdict
+/// rather than undefined behavior or an unbounded read. A truncated frame
+/// simply never completes (NeedMore); the master resolves it through the
+/// worker's EOF or its watchdog, so a dying worker can never hang or crash
+/// the master. Corruption is retriable by construction: the master kills
+/// the worker whose stream went bad and retries the attempt elsewhere,
+/// exactly like any other worker death.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_PARALLEL_WIREPROTOCOL_H
+#define WARPC_PARALLEL_WIREPROTOCOL_H
+
+#include "driver/FaultPolicy.h"
+#include "support/BinaryStream.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace parallel {
+namespace wire {
+
+/// "WRP1" little-endian: rejects streams that are not ours at all.
+inline constexpr uint32_t FrameMagic = 0x31505257;
+inline constexpr uint8_t ProtocolVersion = 1;
+/// Largest payload the decoder will buffer. A function result is a few
+/// KB; the module source in an Init frame is the only large payload, and
+/// 64 MiB bounds even absurd generated modules.
+inline constexpr uint32_t MaxFramePayload = 64u << 20;
+/// magic + version + type + payload length.
+inline constexpr size_t FrameHeaderSize = 10;
+/// Trailing payload checksum.
+inline constexpr size_t FrameTrailerSize = 8;
+
+enum class FrameType : uint8_t {
+  Hello = 1,    ///< worker -> master: pid + sanity data after Init.
+  Init = 2,     ///< master -> worker: module source + fault plan.
+  Task = 3,     ///< master -> worker: compile one function.
+  Result = 4,   ///< worker -> master: serialized FunctionResult.
+  WorkerError = 5, ///< worker -> master: fatal worker-side condition.
+  Shutdown = 6, ///< master -> worker: exit cleanly.
+};
+inline constexpr uint8_t MaxFrameType =
+    static_cast<uint8_t>(FrameType::Shutdown);
+
+struct Frame {
+  FrameType Type = FrameType::Hello;
+  std::vector<uint8_t> Payload;
+};
+
+/// Encodes one whole frame (header + payload + checksum).
+std::vector<uint8_t> encodeFrame(FrameType Type,
+                                 const std::vector<uint8_t> &Payload);
+
+enum class DecodeStatus : uint8_t {
+  NeedMore, ///< No complete frame buffered yet.
+  Ready,    ///< \p Out holds the next frame.
+  Corrupt,  ///< The stream is damaged beyond resync; discard the peer.
+};
+
+/// Incremental frame scanner over a byte stream. Corruption is sticky:
+/// once a header or checksum fails, nothing later in the stream can be
+/// trusted (frames carry no resync markers), so every subsequent next()
+/// also reports Corrupt and the caller must drop the connection.
+class FrameDecoder {
+public:
+  void feed(const uint8_t *Data, size_t Size);
+  DecodeStatus next(Frame &Out);
+
+  bool corrupt() const { return Failed; }
+  const std::string &error() const { return Error; }
+  /// Bytes buffered but not yet consumed (a nonzero value at EOF means
+  /// the peer died mid-frame).
+  size_t bufferedBytes() const { return Buf.size() - Pos; }
+
+private:
+  void fail(const std::string &Why);
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+// --- Message payloads ----------------------------------------------------
+
+/// worker -> master, in response to Init: proof the worker parsed the
+/// module and agrees on its shape.
+struct HelloMsg {
+  uint64_t Pid = 0;
+  uint32_t Protocol = ProtocolVersion;
+  uint32_t WorkerIndex = 0;
+  uint32_t NumFunctions = 0;
+};
+
+/// master -> worker, once per process: everything a function master needs
+/// before any task arrives. The worker runs phase 1 on the source itself
+/// — the paper's startup cost, paid per process and amortized by the
+/// resident pool.
+struct InitMsg {
+  uint32_t WorkerIndex = 0;
+  std::string ModuleSource;
+  driver::ProcessFaultPlan Faults;
+};
+
+/// master -> worker: compile function \p Function of section \p Section
+/// (indices into the worker's own parse, which is identical to the
+/// master's because the source is identical).
+struct TaskMsg {
+  uint32_t TaskIndex = 0; ///< Flat function index (the master's key).
+  uint32_t Section = 0;
+  uint32_t Function = 0;
+  uint32_t Attempt = 1;
+  /// Straggler duplicates are exempt from fault injection: the (Fn,
+  /// Attempt) draw was already consumed by the original attempt, and the
+  /// duplicate models re-placement on a healthy host.
+  uint8_t Speculative = 0;
+};
+
+/// worker -> master: the serialized driver::FunctionResult (the same
+/// cache::encodeFunctionResult codec the disk cache uses).
+struct ResultMsg {
+  uint32_t TaskIndex = 0;
+  uint32_t Attempt = 1;
+  uint8_t Speculative = 0;
+  std::vector<uint8_t> ResultBytes;
+};
+
+struct WorkerErrorMsg {
+  std::string Message;
+};
+
+std::vector<uint8_t> encodeHello(const HelloMsg &M);
+bool decodeHello(const std::vector<uint8_t> &Payload, HelloMsg &Out);
+
+std::vector<uint8_t> encodeInit(const InitMsg &M);
+bool decodeInit(const std::vector<uint8_t> &Payload, InitMsg &Out);
+
+std::vector<uint8_t> encodeTask(const TaskMsg &M);
+bool decodeTask(const std::vector<uint8_t> &Payload, TaskMsg &Out);
+
+std::vector<uint8_t> encodeResult(const ResultMsg &M);
+bool decodeResult(const std::vector<uint8_t> &Payload, ResultMsg &Out);
+
+std::vector<uint8_t> encodeWorkerError(const WorkerErrorMsg &M);
+bool decodeWorkerError(const std::vector<uint8_t> &Payload,
+                       WorkerErrorMsg &Out);
+
+} // namespace wire
+} // namespace parallel
+} // namespace warpc
+
+#endif // WARPC_PARALLEL_WIREPROTOCOL_H

@@ -85,6 +85,44 @@ TEST(PerfDiffTest, BenchRowsAreLabeledByIdentity) {
   EXPECT_EQ(metricDirection(Metrics[1].Path), PerfDirection::LowerIsBetter);
 }
 
+TEST(PerfDiffTest, EngineLabeledDocumentsNeverAliasAcrossEngines) {
+  // Objects carrying an "engine" string (warpc's stats run block, the
+  // process-ablation bench rows) label their subtree, so a thread run
+  // and a process run of the same workload diff as distinct metrics.
+  json::Value Thread = parseOrDie(R"({
+    "run": {"engine": "thread", "workers": 4, "image_bytes": 512},
+    "stats": {"simulation": {"parallel_sec": 4.0}}
+  })");
+  json::Value Process = parseOrDie(R"({
+    "run": {"engine": "process", "workers": 4, "image_bytes": 512},
+    "stats": {"simulation": {"parallel_sec": 5.0}}
+  })");
+  std::vector<PerfMetric> T = flattenMetrics(Thread);
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Path, "run[engine=thread].workers");
+  EXPECT_EQ(T[1].Path, "run[engine=thread].image_bytes");
+  std::vector<PerfMetric> P = flattenMetrics(Process);
+  EXPECT_EQ(P[0].Path, "run[engine=process].workers");
+
+  // Diffing a process candidate against a thread baseline compares only
+  // the shared unlabeled paths; the engine-specific ones are reported as
+  // missing/extra, never silently compared against the other engine.
+  PerfDiffResult R = diffPerf({Thread}, Process);
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_EQ(R.Deltas[0].Path, "stats.simulation.parallel_sec");
+  EXPECT_EQ(R.MissingInCandidate.size(), 2u);
+  EXPECT_EQ(R.OnlyInCandidate.size(), 2u);
+
+  // Bench rows already carry the engine inside their row label (built
+  // from every string member), so they do not get a second suffix.
+  json::Value Bench = parseOrDie(R"({
+    "rows": [{"engine": "process", "workers": 2, "elapsed_sec": 1.5}]
+  })");
+  std::vector<PerfMetric> B = flattenMetrics(Bench);
+  ASSERT_EQ(B.size(), 2u);
+  EXPECT_EQ(B[1].Path, "rows[engine=process,workers=2].elapsed_sec");
+}
+
 TEST(PerfDiffTest, MetricDirectionByLeafName) {
   EXPECT_EQ(metricDirection("stats.simulation.speedup"),
             PerfDirection::HigherIsBetter);

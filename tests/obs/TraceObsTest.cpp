@@ -198,6 +198,24 @@ TEST(TraceObsTest, TraceJsonRoundTripIsLossless) {
   }
 }
 
+TEST(TraceObsTest, EngineLabelRoundTripsAndStaysAbsentWhenUnset) {
+  // Engine-labeled sessions (thread/process/sim) carry the label through
+  // the Chrome JSON; unlabeled sessions write no "engine" key at all, so
+  // pre-label trace documents keep their exact bytes.
+  TracedRun Run = tracedSimRun(workload::makeTestModule(FunctionSize::Tiny, 2));
+  TraceSession A = Run.Session;
+  ASSERT_TRUE(A.Engine.empty());
+  EXPECT_EQ(writeChromeTrace(A).find("\"engine\""), std::string::npos);
+
+  A.Engine = "process";
+  std::string Text = writeChromeTrace(A);
+  EXPECT_NE(Text.find("warpc process engine"), std::string::npos);
+  TraceSession B;
+  std::string Error;
+  ASSERT_TRUE(parseChromeTrace(Text, B, Error)) << Error;
+  EXPECT_EQ(B.Engine, "process");
+}
+
 TEST(TraceObsTest, RoundTripPreservesCriticalPathAndOverheads) {
   cluster::FaultPlan Plan;
   Plan.hostMut(2).SlowdownFactor = 3.0;

@@ -1,0 +1,181 @@
+//===- ProcessDifferentialTest.cpp -----------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The extended differential oracle for the process engine: across a
+// population of seeded modules, real fork/exec worker pools of every
+// size — healthy, SIGKILLed at phase boundaries, delivering corrupted
+// frames, or replaying a warm cache — must hand phase 4 exactly the
+// input the sequential compiler would, producing bit-identical download
+// images and identical diagnostics.
+//
+// CI can cap the worker grid with WARPC_TEST_MAX_WORKERS (verify.sh sets
+// it on constrained runners); the cap only drops grid points above it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ProcessRunner.h"
+
+#include "cache/CompileCache.h"
+#include "driver/Compiler.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::driver;
+using namespace warpc::parallel;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+std::string workerBin() {
+#ifdef WARPC_WORKER_BIN
+  return WARPC_WORKER_BIN;
+#else
+  return defaultWorkerBinary();
+#endif
+}
+
+unsigned maxTestWorkers() {
+  if (const char *E = std::getenv("WARPC_TEST_MAX_WORKERS"))
+    if (int V = std::atoi(E); V > 0)
+      return static_cast<unsigned>(V);
+  return 16;
+}
+
+std::vector<unsigned> workerGrid() {
+  std::vector<unsigned> Grid;
+  for (unsigned W : {1u, 4u, 16u})
+    if (W <= maxTestWorkers())
+      Grid.push_back(W);
+  if (Grid.empty())
+    Grid.push_back(1);
+  return Grid;
+}
+
+ProcessRunnerConfig cleanConfig() {
+  ProcessRunnerConfig C;
+  C.WorkerBinary = workerBin();
+  return C;
+}
+
+} // namespace
+
+class ProcessDifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProcessDifferentialSweep, ProcessMatchesSequentialEverywhere) {
+  uint64_t Seed = GetParam();
+  workload::FunctionSize Size = Seed % 2 ? workload::FunctionSize::Small
+                                         : workload::FunctionSize::Tiny;
+  unsigned Count = 1 + Seed % 8;
+  std::string Source = workload::makeTestModule(Size, Count, Seed);
+
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded) << Seq.Diags.str();
+
+  // Clean pools across the worker grid.
+  for (unsigned Workers : workerGrid()) {
+    ProcessRunResult Par = compileModuleProcess(Source, MM, Workers,
+                                                driver::FaultPolicy(),
+                                                cleanConfig());
+    ASSERT_TRUE(Par.Module.Succeeded)
+        << "seed=" << Seed << " workers=" << Workers;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "seed=" << Seed << " workers=" << Workers;
+    EXPECT_EQ(Par.Module.Diags.str(), Seq.Diags.str())
+        << "seed=" << Seed << " workers=" << Workers;
+    EXPECT_EQ(Par.FunctionsRecovered, 0u)
+        << "seed=" << Seed << " workers=" << Workers
+        << ": clean run should not need the master fallback";
+  }
+
+  // Kill-based fault schedules: workers die of real SIGKILLs at seeded
+  // phase boundaries and result frames arrive damaged; recovery must
+  // still reproduce the sequential image bit for bit.
+  for (uint64_t FaultSeed : {Seed, Seed + 101}) {
+    ProcessRunnerConfig Config = cleanConfig();
+    Config.Faults.Seed = FaultSeed;
+    Config.Faults.KillProb = 0.35;
+    Config.Faults.CorruptProb = 0.25;
+    Config.SpeculateStragglers = false;
+    ProcessRunResult Par = compileModuleProcess(
+        Source, MM, std::min(4u, maxTestWorkers()), driver::FaultPolicy(),
+        Config);
+    ASSERT_TRUE(Par.Module.Succeeded)
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Diags.str(), Seq.Diags.str())
+        << "seed=" << Seed << " fault-seed=" << FaultSeed;
+  }
+}
+
+// >= 50 seeded modules, disjoint from the thread engine's sweep range so
+// the two oracles cover different module populations.
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcessDifferentialSweep,
+                         ::testing::Range<uint64_t>(300, 350));
+
+TEST(ProcessDifferentialTest, WarmCacheEqualsColdAtEveryWorkerCount) {
+  // Cold fills the cache through real worker processes; warm must
+  // replay every function master-side — zero processes spawned — and
+  // still match, at any worker count and even under a hostile fault
+  // plan (a cache hit never reaches the faulty pool).
+  std::string Source =
+      workload::makeTestModule(workload::FunctionSize::Small, 6, 77);
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  cache::CompileCache Cache(cache::CacheMode::Memory,
+                            cache::CacheContext::forModel(MM));
+  ProcessRunResult Cold = compileModuleProcess(
+      Source, MM, std::min(4u, maxTestWorkers()), driver::FaultPolicy(),
+      cleanConfig(), nullptr, nullptr, &Cache);
+  ASSERT_TRUE(Cold.Module.Succeeded);
+  EXPECT_EQ(Cold.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_GT(Cold.CacheMisses, 0u);
+
+  for (unsigned Workers : workerGrid()) {
+    ProcessRunnerConfig Config = cleanConfig();
+    Config.Faults.Seed = 5;
+    Config.Faults.KillProb = 1.0; // irrelevant: no task may reach the pool
+    ProcessRunResult Warm =
+        compileModuleProcess(Source, MM, Workers, driver::FaultPolicy(),
+                             Config, nullptr, nullptr, &Cache);
+    ASSERT_TRUE(Warm.Module.Succeeded) << "workers=" << Workers;
+    EXPECT_EQ(Warm.Module.Image.Image, Seq.Image.Image)
+        << "workers=" << Workers;
+    EXPECT_EQ(Warm.CacheHits, Cold.CacheMisses) << "workers=" << Workers;
+    EXPECT_EQ(Warm.CacheMisses, 0u) << "workers=" << Workers;
+    EXPECT_EQ(Warm.WorkersSpawned, 0u)
+        << "workers=" << Workers << ": warm run forked a process";
+  }
+}
+
+TEST(ProcessDifferentialTest, HostileKillScheduleOnUserProgram) {
+  // One realistic module under kill rates high enough that many
+  // functions burn all distributed attempts and fall back to the master.
+  std::string Source = workload::makeUserProgram();
+  ModuleResult Seq = compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  for (uint64_t FaultSeed = 1; FaultSeed <= 4; ++FaultSeed) {
+    ProcessRunnerConfig Config = cleanConfig();
+    Config.Faults.Seed = FaultSeed;
+    Config.Faults.KillProb = 0.6;
+    Config.Faults.CorruptProb = 0.3;
+    Config.SpeculateStragglers = false;
+    ProcessRunResult Par = compileModuleProcess(
+        Source, MM, std::min(8u, maxTestWorkers()), driver::FaultPolicy(),
+        Config);
+    ASSERT_TRUE(Par.Module.Succeeded) << "fault-seed=" << FaultSeed;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "fault-seed=" << FaultSeed;
+  }
+}

@@ -1,0 +1,363 @@
+//===- ProcessRunnerTest.cpp -----------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Unit coverage for the process engine: worker-pool lifecycle, real
+// SIGKILL recovery, stalled workers under the watchdog, orphan reaping,
+// straggler speculation, and the worker-count independence of the
+// deterministic statistics.
+//
+// The warp-worker binary path comes from the WARPC_WORKER_BIN compile
+// definition (set by tests/CMakeLists.txt to the built tool).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ProcessRunner.h"
+
+#include "driver/Compiler.h"
+#include "obs/TraceRecorder.h"
+#include "support/Timer.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+std::string workerBin() {
+#ifdef WARPC_WORKER_BIN
+  return WARPC_WORKER_BIN;
+#else
+  return defaultWorkerBinary();
+#endif
+}
+
+ProcessRunnerConfig baseConfig() {
+  ProcessRunnerConfig C;
+  C.WorkerBinary = workerBin();
+  return C;
+}
+
+/// Pumps worker \p W until a frame of \p Want arrives or \p TimeoutSec
+/// passes. Returns true and leaves the frame in \p Out on success.
+bool waitFrame(ProcessPool &Pool, unsigned W, wire::FrameType Want,
+               wire::Frame &Out, double TimeoutSec = 20.0) {
+  Timer T;
+  while (T.seconds() < TimeoutSec) {
+    bool Live = Pool.pump(W);
+    while (true) {
+      wire::DecodeStatus St = Pool.decoder(W).next(Out);
+      if (St == wire::DecodeStatus::Ready) {
+        if (Out.Type == Want)
+          return true;
+        continue; // skip earlier frames (e.g. Hello before Result)
+      }
+      if (St == wire::DecodeStatus::Corrupt)
+        return false;
+      break;
+    }
+    if (!Live)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+unsigned countFunctions(const std::string &Source) {
+  driver::ParseResult P = driver::parseAndCheck(Source);
+  unsigned N = 0;
+  for (size_t S = 0; S != P.Module->numSections(); ++S)
+    N += static_cast<unsigned>(P.Module->getSection(S)->numFunctions());
+  return N;
+}
+
+} // namespace
+
+TEST(ProcessPoolTest, SpawnHandshakeAndGracefulShutdown) {
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/2, /*Seed=*/1);
+  ProcessPool Pool(workerBin());
+  wire::InitMsg Init;
+  Init.WorkerIndex = 0;
+  Init.ModuleSource = Source;
+  int W = Pool.spawn(Init);
+  ASSERT_GE(W, 0) << "worker did not spawn; binary=" << workerBin();
+  EXPECT_TRUE(Pool.alive(W));
+  EXPECT_GT(Pool.pid(W), 0);
+  EXPECT_EQ(Pool.spawned(), 1u);
+
+  // The Hello proves the worker parsed the shipped source and sees the
+  // same function count the master would.
+  wire::Frame F;
+  ASSERT_TRUE(waitFrame(Pool, W, wire::FrameType::Hello, F));
+  wire::HelloMsg Hello;
+  ASSERT_TRUE(wire::decodeHello(F.Payload, Hello));
+  EXPECT_EQ(Hello.Pid, static_cast<uint64_t>(Pool.pid(W)));
+  EXPECT_EQ(Hello.Protocol, wire::ProtocolVersion);
+  EXPECT_EQ(Hello.NumFunctions, countFunctions(Source));
+
+  // It compiles a task on request...
+  wire::TaskMsg Task;
+  Task.TaskIndex = 0;
+  Task.Section = 0;
+  Task.Function = 0;
+  ASSERT_TRUE(Pool.send(W, wire::FrameType::Task, wire::encodeTask(Task)));
+  ASSERT_TRUE(waitFrame(Pool, W, wire::FrameType::Result, F));
+  wire::ResultMsg Res;
+  ASSERT_TRUE(wire::decodeResult(F.Payload, Res));
+  EXPECT_EQ(Res.TaskIndex, 0u);
+  EXPECT_FALSE(Res.ResultBytes.empty());
+
+  // ...and exits cleanly when told to.
+  EXPECT_TRUE(Pool.shutdown(W, /*GraceSec=*/10.0));
+  EXPECT_FALSE(Pool.alive(W));
+  ASSERT_TRUE(WIFEXITED(Pool.exitStatus(W)));
+  EXPECT_EQ(WEXITSTATUS(Pool.exitStatus(W)), 0);
+}
+
+TEST(ProcessPoolTest, DestructorReapsEveryWorker) {
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/1, /*Seed=*/2);
+  std::vector<pid_t> Pids;
+  {
+    ProcessPool Pool(workerBin());
+    for (unsigned I = 0; I != 3; ++I) {
+      wire::InitMsg Init;
+      Init.WorkerIndex = I;
+      Init.ModuleSource = Source;
+      int W = Pool.spawn(Init);
+      ASSERT_GE(W, 0);
+      Pids.push_back(Pool.pid(W));
+    }
+    EXPECT_EQ(Pool.aliveCount(), 3u);
+    // Pool goes out of scope mid-conversation: teardown must SIGKILL and
+    // reap all three, leaving no zombies and no orphans.
+  }
+  for (pid_t P : Pids) {
+    errno = 0;
+    pid_t R = ::waitpid(P, nullptr, WNOHANG);
+    EXPECT_EQ(R, -1) << "worker " << P << " left as zombie";
+    EXPECT_EQ(errno, ECHILD) << "worker " << P << " still our child";
+  }
+}
+
+TEST(ProcessRunnerTest, CleanRunMatchesSequential) {
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Small,
+                                                /*Count=*/5, /*Seed=*/11);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  ProcessRunResult Par = compileModuleProcess(Source, MM, 4,
+                                              driver::FaultPolicy(),
+                                              baseConfig());
+  ASSERT_TRUE(Par.Module.Succeeded) << Par.Module.Diags.str();
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(Par.Module.Diags.str(), Seq.Diags.str());
+  EXPECT_EQ(Par.WorkersUsed, 4u);
+  EXPECT_EQ(Par.WorkerDeaths, 0u);
+  EXPECT_EQ(Par.RetriesAttempted, 0u);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u);
+  EXPECT_GE(Par.WorkersSpawned, 1u);
+}
+
+TEST(ProcessRunnerTest, SigkilledWorkersRetryAndReassign) {
+  // Every first attempt dies of a real SIGKILL at a seeded phase
+  // boundary; every second attempt (injection window passed) succeeds.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/6, /*Seed=*/21);
+  const unsigned N = countFunctions(Source);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  ProcessRunnerConfig Config = baseConfig();
+  Config.Faults.Seed = 9001;
+  Config.Faults.KillProb = 1.0;
+  Config.Faults.MaxFaultAttempt = 1;
+  Config.SpeculateStragglers = false;
+
+  ProcessRunResult Par =
+      compileModuleProcess(Source, MM, 4, driver::FaultPolicy(), Config);
+  ASSERT_TRUE(Par.Module.Succeeded) << Par.Module.Diags.str();
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(Par.WorkerDeaths, N) << "one real process death per function";
+  EXPECT_EQ(Par.RetriesAttempted, N);
+  EXPECT_EQ(Par.FunctionsReassigned, N);
+  EXPECT_EQ(Par.FunctionsRecovered, 0u) << "retries, not master fallback";
+  EXPECT_GT(Par.WorkersSpawned, 4u) << "dead seats were respawned";
+}
+
+TEST(ProcessRunnerTest, StalledWorkerTripsWatchdog) {
+  // The worker wedges (sleeps far past the deadline); the master's
+  // watchdog must fire, kill it, and retry.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/1, /*Seed=*/31);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  ProcessRunnerConfig Config = baseConfig();
+  Config.Faults.Seed = 7;
+  Config.Faults.StallProb = 1.0;
+  Config.Faults.StallSec = 60.0;
+  Config.Faults.MaxFaultAttempt = 1;
+  Config.WatchdogSec = 0.6;
+  Config.SpeculateStragglers = false;
+
+  Timer T;
+  ProcessRunResult Par =
+      compileModuleProcess(Source, MM, 1, driver::FaultPolicy(), Config);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(Par.WatchdogFires, 1u);
+  EXPECT_EQ(Par.RetriesAttempted, 1u);
+  EXPECT_GE(T.seconds(), 0.6) << "completed before the watchdog could fire";
+  EXPECT_LT(T.seconds(), 30.0) << "waited for the stall instead of killing";
+}
+
+TEST(ProcessRunnerTest, SpeculationBeatsStalledStraggler) {
+  // Exactly one of four functions stalls; once the queue drains, the
+  // idle seats must speculate a duplicate past the soft deadline and the
+  // duplicate's result must win while the original sleeps.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/4, /*Seed=*/41);
+  const unsigned N = countFunctions(Source);
+  ASSERT_GE(N, 2u);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  // The draw is a pure shared function, so the test can search for a
+  // seed whose schedule stalls exactly one first attempt.
+  const double StallProb = 0.5;
+  uint64_t Seed = 0;
+  for (uint64_t S = 1; S != 20000 && !Seed; ++S) {
+    unsigned Stalls = 0;
+    for (unsigned Fn = 0; Fn != N; ++Fn)
+      Stalls += driver::seededFaultDraw(S, Fn, 1, 4) < StallProb;
+    if (Stalls == 1)
+      Seed = S;
+  }
+  ASSERT_NE(Seed, 0u);
+
+  ProcessRunnerConfig Config = baseConfig();
+  Config.Faults.Seed = Seed;
+  Config.Faults.StallProb = StallProb;
+  Config.Faults.StallSec = 60.0;
+  Config.Faults.MaxFaultAttempt = 1;
+  Config.WatchdogSec = 1.6; // soft deadline at 0.8s
+  Config.SpeculateStragglers = true;
+
+  Timer T;
+  ProcessRunResult Par = compileModuleProcess(
+      Source, MM, N, driver::FaultPolicy(), Config);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+  EXPECT_GE(Par.SpeculativeLaunches, 1u);
+  EXPECT_GE(Par.SpeculativeWins, 1u);
+  EXPECT_EQ(Par.RetriesAttempted, 0u)
+      << "speculation should settle the round without a retry";
+  EXPECT_LT(T.seconds(), 30.0);
+}
+
+TEST(ProcessRunnerTest, DeterministicStatsAtAnyWorkerCount) {
+  // Every recovery statistic that is a pure function of (source, fault
+  // plan) must be identical at 1, 4, and 16 workers: the injection draws
+  // are per (function, attempt), cache probing is master-side, and
+  // retry accounting is round-based.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/8, /*Seed=*/51);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  ProcessRunnerConfig Config = baseConfig();
+  Config.Faults.Seed = 99;
+  Config.Faults.KillProb = 0.4;
+  Config.Faults.CorruptProb = 0.35;
+  Config.SpeculateStragglers = false;
+
+  struct Stats {
+    unsigned Retries, Reassigned, Deaths, FrameErrors, Poisoned, Recovered;
+  };
+  std::vector<Stats> All;
+  for (unsigned Workers : {1u, 4u, 16u}) {
+    ProcessRunResult Par =
+        compileModuleProcess(Source, MM, Workers, driver::FaultPolicy(),
+                             Config);
+    ASSERT_TRUE(Par.Module.Succeeded) << "workers=" << Workers;
+    EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image)
+        << "workers=" << Workers;
+    All.push_back({Par.RetriesAttempted, Par.FunctionsReassigned,
+                   Par.WorkerDeaths, Par.FrameErrors,
+                   Par.PoisonedResultsDetected, Par.FunctionsRecovered});
+  }
+  for (size_t I = 1; I != All.size(); ++I) {
+    EXPECT_EQ(All[I].Retries, All[0].Retries);
+    EXPECT_EQ(All[I].Reassigned, All[0].Reassigned);
+    EXPECT_EQ(All[I].Deaths, All[0].Deaths);
+    EXPECT_EQ(All[I].FrameErrors, All[0].FrameErrors);
+    EXPECT_EQ(All[I].Poisoned, All[0].Poisoned);
+    EXPECT_EQ(All[I].Recovered, All[0].Recovered);
+  }
+  // The schedule above was chosen to actually exercise the machinery.
+  EXPECT_GT(All[0].Deaths, 0u);
+  EXPECT_GT(All[0].FrameErrors + All[0].Poisoned, 0u);
+}
+
+TEST(ProcessRunnerTest, MissingWorkerBinaryDegradesToMasterFallback) {
+  // With no spawnable worker at all, the engine must still produce the
+  // right image: everything funnels into the master-recompile path.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/3, /*Seed=*/61);
+  const unsigned N = countFunctions(Source);
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  ProcessRunnerConfig Config;
+  Config.WorkerBinary = "/nonexistent/warp-worker";
+  ProcessRunResult Par =
+      compileModuleProcess(Source, MM, 4, driver::FaultPolicy(), Config);
+  ASSERT_TRUE(Par.Module.Succeeded);
+  EXPECT_EQ(Par.Module.Image.Image, Seq.Image.Image);
+  EXPECT_EQ(Par.FunctionsRecovered, N);
+  EXPECT_EQ(Par.WorkersSpawned, 0u);
+}
+
+TEST(ProcessRunnerTest, TraceCarriesEngineLabelAndCausalChain) {
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                /*Count=*/3, /*Seed=*/71);
+  const unsigned N = countFunctions(Source);
+
+  obs::TraceRecorder Rec(obs::ClockDomain::Steady);
+  ProcessRunResult Par = compileModuleProcess(
+      Source, MM, 2, driver::FaultPolicy(), baseConfig(), &Rec);
+  ASSERT_TRUE(Par.Module.Succeeded);
+
+  obs::TraceSession S = Rec.finish();
+  EXPECT_EQ(S.Engine, "process");
+  EXPECT_EQ(S.NumHosts, Par.WorkersUsed + 1);
+  EXPECT_EQ(S.NumFunctions, N);
+
+  unsigned Startups = 0, Compiles = 0, Dones = 0, Completes = 0;
+  for (const obs::SpanEvent &E : S.Events) {
+    Startups += E.Kind == obs::EventKind::SpanStartup;
+    Compiles += E.Kind == obs::EventKind::SpanCompile;
+    if (E.Kind == obs::EventKind::FunctionDone) {
+      ++Dones;
+      EXPECT_NE(E.Parent, 0u) << "result without a causal dispatch edge";
+    }
+    Completes += E.Kind == obs::EventKind::RunComplete;
+  }
+  EXPECT_GE(Startups, 1u) << "worker startup spans missing";
+  EXPECT_EQ(Compiles, N);
+  EXPECT_EQ(Dones, N);
+  EXPECT_EQ(Completes, 1u);
+}

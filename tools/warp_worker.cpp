@@ -1,0 +1,242 @@
+//===- warp_worker.cpp - Function-master worker process -------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of the process engine: one real UNIX process per pool
+/// seat, exec'd by parallel::ProcessPool with its socketpair on stdin.
+/// Protocol (see parallel/WireProtocol.h):
+///
+///   master -> Init      (module source + fault plan)
+///   worker -> Hello     (pid + function count: proof of an identical parse)
+///   master -> Task ...  (compile one function; Result back per task)
+///   master -> Shutdown  (exit 0; EOF means the same)
+///
+/// The worker runs phase 1 on the shipped source itself — the paper's
+/// per-process startup cost — then serves Task frames until told to stop.
+/// Fault injection is acted out for real: a Kill decision raises SIGKILL
+/// in this process at a seeded phase boundary, a Stall sleeps past the
+/// master's watchdog, a Corrupt decision sends a damaged result. Every
+/// decision is a driver::seededFaultDraw, pure per (function, attempt),
+/// so schedules replay identically at any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "driver/Compiler.h"
+#include "parallel/WireProtocol.h"
+
+#include <sys/prctl.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::parallel;
+
+namespace {
+
+// Draw salts 3..7; the thread engine's makeSeededInjection owns 1 and 2.
+constexpr uint64_t SaltKill = 3;
+constexpr uint64_t SaltStall = 4;
+constexpr uint64_t SaltCorrupt = 5;
+constexpr uint64_t SaltKillBoundary = 6;
+constexpr uint64_t SaltCorruptMode = 7;
+
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = ::write(Fd, Data + Off, Size - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool sendFrame(int Fd, wire::FrameType Type,
+               const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Frame = wire::encodeFrame(Type, Payload);
+  return writeAll(Fd, Frame.data(), Frame.size());
+}
+
+[[noreturn]] void dieNow() {
+  ::raise(SIGKILL);
+  _exit(137); // unreachable; SIGKILL cannot be handled
+}
+
+} // namespace
+
+int main() {
+  // Die with the master: an orphaned worker must never outlive the
+  // compilation that spawned it.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+
+  // The socketpair arrives as stdin and stdout. Keep a private copy of
+  // the write end and point stdout at /dev/null so no library printf can
+  // ever inject bytes into the frame stream.
+  const int InFd = 0;
+  const int ProtoFd = ::dup(1);
+  if (ProtoFd < 0)
+    return 1;
+  int DevNull = ::open("/dev/null", O_WRONLY);
+  if (DevNull >= 0) {
+    ::dup2(DevNull, 1);
+    if (DevNull != 1)
+      ::close(DevNull);
+  }
+
+  wire::FrameDecoder Decoder;
+  wire::Frame Frame;
+  auto ReadFrame = [&](wire::Frame &Out) -> bool {
+    while (true) {
+      wire::DecodeStatus St = Decoder.next(Out);
+      if (St == wire::DecodeStatus::Ready)
+        return true;
+      if (St == wire::DecodeStatus::Corrupt)
+        return false;
+      uint8_t Buf[65536];
+      ssize_t N = ::read(InFd, Buf, sizeof(Buf));
+      if (N > 0) {
+        Decoder.feed(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false; // EOF: the master hung up
+    }
+  };
+
+  // --- Handshake: Init in, Hello out.
+  if (!ReadFrame(Frame) || Frame.Type != wire::FrameType::Init)
+    return 1;
+  wire::InitMsg Init;
+  if (!wire::decodeInit(Frame.Payload, Init))
+    return 1;
+
+  // Phase 1 on the shipped source: the per-process startup the paper
+  // measures. The parse is identical to the master's because the bytes
+  // are identical; task frames index into it.
+  driver::ParseResult Parsed = driver::parseAndCheck(Init.ModuleSource);
+  if (!Parsed.succeeded()) {
+    wire::WorkerErrorMsg Err;
+    Err.Message = "phase 1 failed in worker";
+    sendFrame(ProtoFd, wire::FrameType::WorkerError,
+              wire::encodeWorkerError(Err));
+    return 1;
+  }
+  uint32_t NumFunctions = 0;
+  for (size_t S = 0; S != Parsed.Module->numSections(); ++S)
+    NumFunctions += static_cast<uint32_t>(
+        Parsed.Module->getSection(S)->numFunctions());
+
+  wire::HelloMsg Hello;
+  Hello.Pid = static_cast<uint64_t>(::getpid());
+  Hello.WorkerIndex = Init.WorkerIndex;
+  Hello.NumFunctions = NumFunctions;
+  if (!sendFrame(ProtoFd, wire::FrameType::Hello, wire::encodeHello(Hello)))
+    return 1;
+
+  const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  const driver::ProcessFaultPlan &Plan = Init.Faults;
+
+  // --- Serve tasks until Shutdown or EOF.
+  while (ReadFrame(Frame)) {
+    if (Frame.Type == wire::FrameType::Shutdown)
+      return 0;
+    if (Frame.Type != wire::FrameType::Task)
+      continue; // ignore anything unexpected rather than die confused
+    wire::TaskMsg Task;
+    if (!wire::decodeTask(Frame.Payload, Task))
+      return 1;
+    if (Task.Section >= Parsed.Module->numSections())
+      return 1;
+    const w2::SectionDecl *Section = Parsed.Module->getSection(Task.Section);
+    if (Task.Function >= Section->numFunctions())
+      return 1;
+    const w2::FunctionDecl *Fn = Section->getFunction(Task.Function);
+
+    // Fault decisions for this attempt. Speculative duplicates are
+    // exempt: the (function, attempt) draw was consumed by the original,
+    // and the duplicate models re-placement on a healthy host.
+    const bool Injectable =
+        Plan.enabled() && Plan.applies(Task.Attempt) && !Task.Speculative;
+    const uint64_t FnKey = Task.TaskIndex;
+    const bool Kill =
+        Injectable && driver::seededFaultDraw(Plan.Seed, FnKey, Task.Attempt,
+                                              SaltKill) < Plan.KillProb;
+    const bool Stall =
+        Injectable && driver::seededFaultDraw(Plan.Seed, FnKey, Task.Attempt,
+                                              SaltStall) < Plan.StallProb;
+    const bool Corrupt =
+        Injectable && driver::seededFaultDraw(Plan.Seed, FnKey, Task.Attempt,
+                                              SaltCorrupt) < Plan.CorruptProb;
+    // 0 = on task receipt, 1 = after compiling, 2 = mid-result-write.
+    const int KillBoundary =
+        Kill ? static_cast<int>(driver::seededFaultDraw(
+                                    Plan.Seed, FnKey, Task.Attempt,
+                                    SaltKillBoundary) *
+                                3.0)
+             : -1;
+
+    if (KillBoundary == 0)
+      dieNow();
+    if (Stall) {
+      // A wedged worker: sleep past the master's watchdog. The master
+      // SIGKILLs this process long before the sleep ends.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(Plan.StallSec));
+    }
+
+    driver::FunctionResult R = driver::compileFunction(*Section, *Fn, MM);
+    if (KillBoundary == 1)
+      dieNow();
+
+    if (Corrupt &&
+        driver::seededFaultDraw(Plan.Seed, FnKey, Task.Attempt,
+                                SaltCorruptMode) < 0.5) {
+      // Truncated result: decodes fine, fails validateFunctionResult.
+      R.Program.Image.clear();
+      R.Program.CodeWords = 0;
+    }
+
+    wire::ResultMsg Msg;
+    Msg.TaskIndex = Task.TaskIndex;
+    Msg.Attempt = Task.Attempt;
+    Msg.Speculative = Task.Speculative;
+    Msg.ResultBytes = cache::encodeFunctionResult(R);
+    std::vector<uint8_t> Out =
+        wire::encodeFrame(wire::FrameType::Result, wire::encodeResult(Msg));
+    if (Corrupt &&
+        driver::seededFaultDraw(Plan.Seed, FnKey, Task.Attempt,
+                                SaltCorruptMode) >= 0.5) {
+      // Damaged frame: flip a payload byte so the checksum fails and the
+      // master's decoder reports Corrupt.
+      if (Out.size() > wire::FrameHeaderSize)
+        Out[wire::FrameHeaderSize] ^= 0xFF;
+    }
+    if (KillBoundary == 2) {
+      // Die midway through the result write: the master sees a truncated
+      // frame (NeedMore) resolved by this process's EOF.
+      writeAll(ProtoFd, Out.data(), Out.size() / 2);
+      dieNow();
+    }
+    if (!writeAll(ProtoFd, Out.data(), Out.size()))
+      return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,7 @@
 #include "obs/StatsReport.h"
 #include "obs/TimeSeries.h"
 #include "obs/TraceRecorder.h"
+#include "parallel/ProcessRunner.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
 #include "support/Json.h"
@@ -82,9 +83,13 @@ struct Options {
   std::string StatsJsonFile;
   std::string AnalyzeJsonFile;
   std::string CacheDir;
+  /// Which parallel backend compiles phases 2+3: "thread" (in-process
+  /// function masters) or "process" (real fork/exec warp-worker pool).
+  std::string Engine = "thread";
   analysis::AnalysisOptions Analysis;
   cache::CacheMode CacheMode = cache::CacheMode::Off;
   unsigned Workers = 1;
+  bool WorkersGiven = false;
   unsigned SimProcessors = 14;
   double TimeoutFactor = driver::FaultPolicy().TimeoutFactor;
   /// 0 keeps the HostConfig default.
@@ -103,7 +108,11 @@ void usage(const char *Prog) {
                "usage: %s [options] <module.w2>\n"
                "  -o <file>        write the download module image\n"
                "  --emit-asm       print Warp assembly listings\n"
-               "  --parallel <N>   use N function-master threads\n"
+               "  --parallel <N>   use N function-master workers\n"
+               "  --engine <e>     thread|process: run function masters as\n"
+               "                   in-process threads or as real forked\n"
+               "                   warp-worker processes (--processors sets\n"
+               "                   the pool size when --parallel is absent)\n"
                "  --inline         inline small functions first\n"
                "  --simulate       replay on the simulated 1989 host\n"
                "  --processors <N> processors for the simulated run\n"
@@ -160,6 +169,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Workers = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
       if (Opts.Workers == 0)
         Opts.Workers = 1;
+      Opts.WorkersGiven = true;
+    } else if (Arg == "--engine") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Engine = V;
+      if (Opts.Engine != "thread" && Opts.Engine != "process") {
+        std::fprintf(stderr, "error: --engine must be thread or process\n");
+        return false;
+      }
     } else if (Arg == "--processors") {
       const char *V = Next();
       if (!V)
@@ -416,13 +435,40 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     }
   }
 
-  // Phases 2-4 through the standard pipeline (threaded when requested,
-  // or whenever the real compilation itself is being traced — the trace
-  // models the master/worker hierarchy, so it rides the thread engine).
+  // Phases 2-4 through the standard pipeline: the process engine forks a
+  // real warp-worker pool, the thread engine runs in-process function
+  // masters (also used whenever the real compilation itself is being
+  // traced — the trace models the master/worker hierarchy).
   driver::ModuleResult Result;
+  parallel::ProcessRunResult ProcStats;
+  bool UsedProcess = false;
   {
     std::vector<driver::FunctionResult> FnResults;
-    if (Opts.Workers <= 1 && !TraceThreads) {
+    if (Opts.Engine == "process") {
+      // Pool size defaults to --processors when --parallel is absent, so
+      // `--engine process --processors 14` reads like the paper's runs.
+      unsigned Pool = Opts.WorkersGiven ? Opts.Workers : Opts.SimProcessors;
+      std::string ProcSource =
+          Opts.Inline ? w2::printModule(*Module) : Source;
+      std::unique_ptr<obs::TraceRecorder> Rec;
+      if (TraceThreads)
+        Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+      driver::FaultPolicy Policy;
+      Policy.TimeoutFactor = Opts.TimeoutFactor;
+      parallel::ProcessRunnerConfig Config;
+      Config.WorkerBinary = parallel::defaultWorkerBinary();
+      ProcStats = parallel::compileModuleProcess(
+          ProcSource, MM, Pool, Policy, Config, Rec.get(), &Metrics,
+          Cache.get());
+      UsedProcess = true;
+      Result = std::move(ProcStats.Module);
+      if (Rec) {
+        Session = Rec->finish();
+        HaveSession = true;
+      }
+      std::printf("process compile with %u worker process(es): %.1f ms\n",
+                  ProcStats.WorkersUsed, ProcStats.ElapsedSec * 1e3);
+    } else if (Opts.Workers <= 1 && !TraceThreads) {
       for (size_t S = 0; S != Module->numSections(); ++S) {
         const w2::SectionDecl *Section = Module->getSection(S);
         for (size_t F = 0; F != Section->numFunctions(); ++F)
@@ -439,8 +485,10 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
       std::string ThreadSource =
           Opts.Inline ? w2::printModule(*Module) : Source;
       std::unique_ptr<obs::TraceRecorder> Rec;
-      if (TraceThreads)
+      if (TraceThreads) {
         Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+        Rec->setEngine("thread");
+      }
       parallel::ThreadRunResult Par = parallel::compileModuleParallel(
           ThreadSource, MM, Opts.Workers, driver::FaultPolicy(),
           /*Inject=*/nullptr, Rec.get(), &Metrics, Cache.get());
@@ -539,8 +587,10 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     // Recording also powers the --stats-json "series" block, so the
     // recorder runs whenever either artifact was requested.
     std::unique_ptr<obs::TraceRecorder> Rec;
-    if (!Opts.TraceJsonFile.empty() || !Opts.StatsJsonFile.empty())
+    if (!Opts.TraceJsonFile.empty() || !Opts.StatsJsonFile.empty()) {
       Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Simulated);
+      Rec->setEngine("sim");
+    }
     parallel::ParStats Par = parallel::simulateParallel(
         *Job, Assign, Host, Model, Rec.get(), Policy);
     if (Rec) {
@@ -613,6 +663,40 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     }
   }
 
+  if (UsedProcess) {
+    Report.beginGroup("process",
+                      fmt("process engine (%u worker process(es))",
+                          ProcStats.WorkersUsed));
+    Report.add("elapsed_ms", "elapsed",
+               fmt("%8.1f ms", ProcStats.ElapsedSec * 1e3),
+               ProcStats.ElapsedSec * 1e3);
+    Report.add("workers_spawned", "processes spawned",
+               fmt("%8u", ProcStats.WorkersSpawned), ProcStats.WorkersSpawned);
+    Report.add("worker_deaths", "worker deaths",
+               fmt("%8u", ProcStats.WorkerDeaths), ProcStats.WorkerDeaths);
+    Report.add("watchdog_fires", "watchdog fires",
+               fmt("%8u", ProcStats.WatchdogFires), ProcStats.WatchdogFires);
+    Report.add("frame_errors", "frame errors",
+               fmt("%8u", ProcStats.FrameErrors), ProcStats.FrameErrors);
+    Report.add("retries", "retries",
+               fmt("%8u", ProcStats.RetriesAttempted),
+               ProcStats.RetriesAttempted);
+    Report.add("reassigned", "reassigned",
+               fmt("%8u", ProcStats.FunctionsReassigned),
+               ProcStats.FunctionsReassigned);
+    Report.add("master_recovered", "master recovered",
+               fmt("%8u", ProcStats.FunctionsRecovered),
+               ProcStats.FunctionsRecovered);
+    if (ProcStats.SpeculativeLaunches) {
+      Report.add("speculative_launches", "speculative launches",
+                 fmt("%8u", ProcStats.SpeculativeLaunches),
+                 ProcStats.SpeculativeLaunches);
+      Report.add("speculative_wins", "speculative wins",
+                 fmt("%8u", ProcStats.SpeculativeWins),
+                 ProcStats.SpeculativeWins);
+    }
+  }
+
   if (Cache && Opts.CacheStats) {
     cache::CacheStats CS = Cache->stats();
     Report.beginGroup("cache", "compilation cache");
@@ -662,7 +746,9 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     Run.set("sections", static_cast<uint64_t>(Result.Image.Sections.size()));
     Run.set("functions", static_cast<uint64_t>(Result.Functions.size()));
     Run.set("image_bytes", static_cast<uint64_t>(Result.Image.byteSize()));
-    Run.set("workers", Opts.Workers);
+    Run.set("engine", Opts.Engine);
+    Run.set("workers",
+            UsedProcess ? ProcStats.WorkersUsed : Opts.Workers);
     Run.set("simulated", Opts.Simulate);
     Root.set("run", std::move(Run));
     if (!Report.empty())
