@@ -52,6 +52,30 @@ done
 "$BUILD_DIR/tools/warp-lint" --demo user --format json --jobs 8 \
     > "$TMP_DIR/lint.j8.json"
 cmp "$TMP_DIR/lint.j1.json" "$TMP_DIR/lint.j8.json"
+# The analysis wavefront trace must load in warp-traceview and carry the
+# per-SCC summarize spans.
+"$BUILD_DIR/tools/warp-lint" --demo user --jobs 4 \
+    --trace-json "$TMP_DIR/lint.trace.json" > /dev/null
+grep -q "span_summarize" "$TMP_DIR/lint.trace.json"
+"$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/lint.trace.json" \
+    | grep -q "thread engine"
+
+echo "== warm summary smoke test =="
+# A second lint over an unchanged module must replay every SCC summary
+# from the cache (nonzero hits) without changing a byte of output.
+"$BUILD_DIR/tools/warp-lint" --demo user --format json \
+    --summary-cache "$TMP_DIR/summaries" \
+    --stats-json "$TMP_DIR/lint.cold.stats.json" \
+    > "$TMP_DIR/lint.cold.json"
+"$BUILD_DIR/tools/warp-lint" --demo user --format json \
+    --summary-cache "$TMP_DIR/summaries" \
+    --stats-json "$TMP_DIR/lint.warm.stats.json" \
+    > "$TMP_DIR/lint.warm.json"
+cmp "$TMP_DIR/lint.cold.json" "$TMP_DIR/lint.warm.json"
+SUMMARY_HITS="$(sed -n 's/.*"analysis.summary.hits": \([0-9.]*\).*/\1/p' \
+    "$TMP_DIR/lint.warm.stats.json" | head -1)"
+test -n "$SUMMARY_HITS"
+test "${SUMMARY_HITS%.*}" -gt 0
 
 echo "== cache smoke test =="
 # A cold disk-cache build followed by a warm rebuild: the images must be
@@ -111,6 +135,10 @@ if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
   # The cache suite exercises concurrent lookup/store from worker
   # threads; run it explicitly under the sanitizers.
   ctest --test-dir "$SAN_DIR" -L cache --output-on-failure -j "$JOBS"
+  # The analysis suite drives the interprocedural wavefront (shared
+  # summary maps, per-SCC diag slots) across worker counts; the
+  # sanitizers are the only witness for its data-race freedom.
+  ctest --test-dir "$SAN_DIR" -L analysis --output-on-failure -j "$JOBS"
   "$SAN_DIR/tools/warp-lint" --demo user --jobs 4 > /dev/null
 fi
 

@@ -25,6 +25,7 @@
 
 #include "analysis/Analyzer.h"
 
+#include "analysis/interproc/InterprocAnalysis.h"
 #include "ir/IR.h"
 #include "ir/IRBuilder.h"
 #include "opt/LoopInfo.h"
@@ -584,17 +585,32 @@ ModuleAnalysis analysis::analyzeModule(const ModuleDecl &M,
   Result.Diags.insert(Result.Diags.end(),
                       std::make_move_iterator(Chan.begin()),
                       std::make_move_iterator(Chan.end()));
-  Result.Diags = finalizeModuleDiags(std::move(Result.Diags), Source, Opts);
+  interproc::InterprocResult IP = interproc::runInterproc(M, Opts);
+  Result.Diags.insert(Result.Diags.end(),
+                      std::make_move_iterator(IP.Diags.begin()),
+                      std::make_move_iterator(IP.Diags.end()));
+  interproc::supersedeChannelMismatch(Result.Diags);
+  Result.Diags = finalizeModuleDiags(std::move(Result.Diags), Source, Opts,
+                                     &M);
   return Result;
 }
 
 std::vector<Diag> analysis::finalizeModuleDiags(std::vector<Diag> Diags,
                                                 const std::string &Source,
-                                                const AnalysisOptions &Opts) {
+                                                const AnalysisOptions &Opts,
+                                                const w2::ModuleDecl *M) {
   if (Opts.WarningsAsErrors)
     promoteWarnings(Diags);
-  if (Opts.HonorSuppressions && !Source.empty())
-    Diags = applySuppressions(std::move(Diags), Source);
+  if (Opts.HonorSuppressions && !Source.empty()) {
+    std::vector<uint32_t> DeclLines;
+    if (M)
+      for (size_t S = 0; S != M->numSections(); ++S) {
+        const SectionDecl *Section = M->getSection(S);
+        for (size_t FI = 0; FI != Section->numFunctions(); ++FI)
+          DeclLines.push_back(Section->getFunction(FI)->getLoc().Line);
+      }
+    Diags = applySuppressions(std::move(Diags), Source, DeclLines);
+  }
   sortDiags(Diags);
   return Diags;
 }

@@ -105,9 +105,12 @@ struct ModuleAnalysis {
 };
 
 /// Sequential whole-module analysis: per-function checks in declaration
-/// order, then the channel-protocol pass, then -Werror promotion,
-/// suppression filtering against \p Source, and the canonical sort.
-/// The parallel runner produces byte-identical output to this.
+/// order, then the channel-protocol pass, then the interprocedural
+/// bottom-up phase (summary checks plus the whole-program deadlock
+/// detector, which supersedes channel-mismatch warnings on links it
+/// proves deadlocked), then -Werror promotion, suppression filtering
+/// against \p Source, and the canonical sort. The parallel runner
+/// produces byte-identical output to this.
 ModuleAnalysis analyzeModule(const w2::ModuleDecl &M,
                              const std::string &Source,
                              const AnalysisOptions &Opts);
@@ -116,9 +119,12 @@ ModuleAnalysis analyzeModule(const w2::ModuleDecl &M,
 /// filtering against \p Source, and the canonical sort. Both the
 /// sequential analyzeModule and the parallel runner funnel through this,
 /// which is what makes their outputs byte-identical by construction.
+/// When \p M is given, function-scope "lint: allow-fn(...)" comments on
+/// declaration lines are honored in addition to the line-level form.
 std::vector<Diag> finalizeModuleDiags(std::vector<Diag> Diags,
                                       const std::string &Source,
-                                      const AnalysisOptions &Opts);
+                                      const AnalysisOptions &Opts,
+                                      const w2::ModuleDecl *M = nullptr);
 
 } // namespace analysis
 } // namespace warpc

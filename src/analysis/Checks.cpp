@@ -28,6 +28,22 @@ const std::vector<CheckInfo> &analysis::allChecks() {
       {check::ChannelPath,
        "branch arms send or receive different numbers of values",
        Severity::Warning},
+      {check::InterprocArrayBounds,
+       "argument passed through a call chain is provably subscripted "
+       "outside the array extent in a callee",
+       Severity::Error},
+      {check::InterprocDivZero,
+       "argument passed through a call chain provably reaches zero at a "
+       "division in a callee",
+       Severity::Error},
+      {check::InterprocUninit,
+       "uninitialized array passed to a callee that reads it before any "
+       "write",
+       Severity::Error},
+      {check::ChannelDeadlock,
+       "whole-program systolic link where the downstream cell provably "
+       "blocks forever on values the upstream cell never sends",
+       Severity::Error},
   };
   return Table;
 }

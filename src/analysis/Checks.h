@@ -32,6 +32,10 @@ inline constexpr const char *UnreachableCode = "unreachable-code";
 inline constexpr const char *ArrayBounds = "array-bounds";
 inline constexpr const char *ChannelMismatch = "channel-mismatch";
 inline constexpr const char *ChannelPath = "channel-path";
+inline constexpr const char *InterprocArrayBounds = "interproc-array-bounds";
+inline constexpr const char *InterprocDivZero = "interproc-div-zero";
+inline constexpr const char *InterprocUninit = "interproc-uninit";
+inline constexpr const char *ChannelDeadlock = "channel-deadlock";
 } // namespace check
 
 /// One registry entry.

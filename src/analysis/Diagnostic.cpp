@@ -148,19 +148,23 @@ struct Allowance {
 
 } // namespace
 
-/// Parses "lint: allow(a, b)" out of a comment body; returns false when
-/// the marker is absent or malformed.
-static bool parseAllowance(const std::string &Comment, Allowance &A) {
+/// Parses "lint: <form>a, b)" out of a comment body, where \p Form is
+/// "allow(" or "allow-fn("; returns false when the marker is absent or
+/// malformed. The two forms cannot shadow each other: "allow(" never
+/// matches at an "allow-fn(" site because of the '-'.
+static bool parseAllowance(const std::string &Comment, const std::string &Form,
+                           Allowance &A) {
   size_t Marker = Comment.find("lint:");
   if (Marker == std::string::npos)
     return false;
-  size_t Open = Comment.find("allow(", Marker);
+  size_t Open = Comment.find(Form, Marker);
   if (Open == std::string::npos)
     return false;
   size_t Close = Comment.find(')', Open);
   if (Close == std::string::npos)
     return false;
-  std::string List = Comment.substr(Open + 6, Close - Open - 6);
+  std::string List =
+      Comment.substr(Open + Form.size(), Close - Open - Form.size());
   std::string Id;
   auto Flush = [&]() {
     if (Id.empty())
@@ -181,11 +185,11 @@ static bool parseAllowance(const std::string &Comment, Allowance &A) {
   return A.All || !A.Ids.empty();
 }
 
-std::vector<Diag> analysis::applySuppressions(std::vector<Diag> Diags,
-                                              const std::string &Source) {
-  // Map line number -> allowance, honoring the next-line form for
-  // comment-only lines.
-  std::map<uint32_t, Allowance> ByLine;
+/// Scans \p Source for suppression comments, filling one map per form.
+/// Both forms honor the next-line targeting for comment-only lines.
+static void collectAllowances(const std::string &Source,
+                              std::map<uint32_t, Allowance> &ByLine,
+                              std::map<uint32_t, Allowance> &FnByLine) {
   uint32_t LineNo = 0;
   size_t Pos = 0;
   while (Pos <= Source.size()) {
@@ -197,19 +201,38 @@ std::vector<Diag> analysis::applySuppressions(std::vector<Diag> Diags,
     size_t C2 = Line.find("--");
     size_t CommentAt = std::min(C1, C2);
     if (CommentAt != std::string::npos) {
+      std::string Comment = Line.substr(CommentAt);
+      size_t FirstText = Line.find_first_not_of(" \t");
+      uint32_t Target = FirstText == CommentAt ? LineNo + 1 : LineNo;
       Allowance A;
-      if (parseAllowance(Line.substr(CommentAt), A)) {
-        size_t FirstText = Line.find_first_not_of(" \t");
-        uint32_t Target = FirstText == CommentAt ? LineNo + 1 : LineNo;
+      if (parseAllowance(Comment, "allow(", A)) {
         Allowance &Slot = ByLine[Target];
         Slot.All = Slot.All || A.All;
         Slot.Ids.insert(A.Ids.begin(), A.Ids.end());
+      }
+      Allowance F;
+      if (parseAllowance(Comment, "allow-fn(", F)) {
+        Allowance &Slot = FnByLine[Target];
+        Slot.All = Slot.All || F.All;
+        Slot.Ids.insert(F.Ids.begin(), F.Ids.end());
       }
     }
     if (Eol == std::string::npos)
       break;
     Pos = Eol + 1;
   }
+}
+
+std::vector<Diag> analysis::applySuppressions(std::vector<Diag> Diags,
+                                              const std::string &Source) {
+  return applySuppressions(std::move(Diags), Source, {});
+}
+
+std::vector<Diag>
+analysis::applySuppressions(std::vector<Diag> Diags, const std::string &Source,
+                            const std::vector<uint32_t> &FunctionDeclLines) {
+  std::map<uint32_t, Allowance> ByLine, FnByLine;
+  collectAllowances(Source, ByLine, FnByLine);
 
   std::vector<Diag> Kept;
   Kept.reserve(Diags.size());
@@ -217,6 +240,11 @@ std::vector<Diag> analysis::applySuppressions(std::vector<Diag> Diags,
     auto It = ByLine.find(D.Loc.Line);
     if (It != ByLine.end() && It->second.covers(D.CheckId))
       continue;
+    if (D.FunctionOrdinal < FunctionDeclLines.size()) {
+      auto FnIt = FnByLine.find(FunctionDeclLines[D.FunctionOrdinal]);
+      if (FnIt != FnByLine.end() && FnIt->second.covers(D.CheckId))
+        continue;
+    }
     Kept.push_back(std::move(D));
   }
   return Kept;

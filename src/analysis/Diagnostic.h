@@ -110,6 +110,18 @@ void promoteWarnings(std::vector<Diag> &Diags);
 std::vector<Diag> applySuppressions(std::vector<Diag> Diags,
                                     const std::string &Source);
 
+/// Like the two-argument form, but additionally honors the function-scope
+/// variant
+///   lint: allow-fn(check-id[, check-id...])
+/// on a function's declaration line (or, comment-only-line form, the line
+/// above it), which suppresses matching diagnostics anywhere in that
+/// function. \p FunctionDeclLines maps function ordinal -> declaration
+/// line. Precedence: the line-level allow() is consulted first; allow-fn
+/// only widens the suppression, it can never re-enable a check.
+std::vector<Diag>
+applySuppressions(std::vector<Diag> Diags, const std::string &Source,
+                  const std::vector<uint32_t> &FunctionDeclLines);
+
 } // namespace analysis
 } // namespace warpc
 

@@ -1,0 +1,289 @@
+//===- CallGraph.cpp - Module call graph and SCC condensation -------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc/CallGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::analysis::interproc;
+using namespace warpc::w2;
+
+namespace {
+
+void collectCallNames(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::Index:
+    collectCallNames(cast<IndexExpr>(E)->getIndex(), Out);
+    return;
+  case Expr::Kind::Unary:
+    collectCallNames(cast<UnaryExpr>(E)->getOperand(), Out);
+    return;
+  case Expr::Kind::Cast:
+    collectCallNames(cast<CastExpr>(E)->getOperand(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectCallNames(cast<BinaryExpr>(E)->getLHS(), Out);
+    collectCallNames(cast<BinaryExpr>(E)->getRHS(), Out);
+    return;
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out.insert(C->getCallee());
+    for (size_t I = 0; I != C->getNumArgs(); ++I)
+      collectCallNames(C->getArg(I), Out);
+    return;
+  }
+  }
+}
+
+void collectCallNames(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &C : cast<BlockStmt>(S)->stmts())
+      collectCallNames(C.get(), Out);
+    return;
+  case Stmt::Kind::Decl:
+    collectCallNames(cast<DeclStmt>(S)->getDecl()->getInit(), Out);
+    return;
+  case Stmt::Kind::Assign:
+    collectCallNames(cast<AssignStmt>(S)->getTarget(), Out);
+    collectCallNames(cast<AssignStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::If:
+    collectCallNames(cast<IfStmt>(S)->getCond(), Out);
+    collectCallNames(cast<IfStmt>(S)->getThen(), Out);
+    collectCallNames(cast<IfStmt>(S)->getElse(), Out);
+    return;
+  case Stmt::Kind::For:
+    collectCallNames(cast<ForStmt>(S)->getLo(), Out);
+    collectCallNames(cast<ForStmt>(S)->getHi(), Out);
+    collectCallNames(cast<ForStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::While:
+    collectCallNames(cast<WhileStmt>(S)->getCond(), Out);
+    collectCallNames(cast<WhileStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::Return:
+    collectCallNames(cast<ReturnStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::Send:
+    collectCallNames(cast<SendStmt>(S)->getValue(), Out);
+    return;
+  case Stmt::Kind::Receive:
+    collectCallNames(cast<ReceiveStmt>(S)->getTarget(), Out);
+    return;
+  case Stmt::Kind::ExprStmt:
+    collectCallNames(cast<ExprStmt>(S)->getExpr(), Out);
+    return;
+  }
+}
+
+} // namespace
+
+CallGraph CallGraph::build(const ModuleDecl &M) {
+  CallGraph G;
+
+  // Pass 1: one node per function, flat declaration order, plus a
+  // per-section name -> ordinal index (W2 calls resolve within a section).
+  std::vector<std::map<std::string, uint32_t>> BySection(M.numSections());
+  for (size_t S = 0; S != M.numSections(); ++S) {
+    const SectionDecl *Section = M.getSection(S);
+    for (size_t FI = 0; FI != Section->numFunctions(); ++FI) {
+      Node N;
+      N.Section = Section;
+      N.Function = Section->getFunction(FI);
+      N.Ordinal = static_cast<uint32_t>(G.Nodes.size());
+      N.SectionIndex = static_cast<uint32_t>(S);
+      BySection[S][N.Function->getName()] = N.Ordinal;
+      G.Nodes.push_back(std::move(N));
+    }
+  }
+
+  // Pass 2: resolve call edges. std::set keeps callee lists deduplicated;
+  // ordinals are inserted in ascending order by construction of the map.
+  for (Node &N : G.Nodes) {
+    std::set<std::string> Names;
+    collectCallNames(N.Function->getBody(), Names);
+    std::set<uint32_t> Callees;
+    const auto &Lookup = BySection[N.SectionIndex];
+    for (const std::string &Name : Names) {
+      auto It = Lookup.find(Name);
+      if (It != Lookup.end())
+        Callees.insert(It->second);
+    }
+    N.Callees.assign(Callees.begin(), Callees.end());
+  }
+  for (const Node &N : G.Nodes)
+    for (uint32_t Callee : N.Callees)
+      G.Nodes[Callee].Callers.push_back(N.Ordinal);
+
+  return G;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC. Recursion depth would be bounded by the longest
+/// call chain, but the sanitizer builds analyze adversarial inputs, so an
+/// explicit stack keeps the pass depth-proof.
+struct TarjanState {
+  const CallGraph &G;
+  std::vector<uint32_t> Index, LowLink;
+  std::vector<bool> OnStack, Visited;
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+  /// Raw components in Tarjan completion order (reverse topological).
+  std::vector<std::vector<uint32_t>> Components;
+
+  explicit TarjanState(const CallGraph &G)
+      : G(G), Index(G.Nodes.size(), 0), LowLink(G.Nodes.size(), 0),
+        OnStack(G.Nodes.size(), false), Visited(G.Nodes.size(), false) {}
+
+  void run(uint32_t Root) {
+    struct Frame {
+      uint32_t V;
+      size_t NextChild = 0;
+    };
+    std::vector<Frame> Frames;
+    Frames.push_back({Root});
+    Visited[Root] = true;
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      const auto &Callees = G.Nodes[F.V].Callees;
+      if (F.NextChild < Callees.size()) {
+        uint32_t W = Callees[F.NextChild++];
+        if (!Visited[W]) {
+          Visited[W] = true;
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          Frames.push_back({W});
+        } else if (OnStack[W]) {
+          LowLink[F.V] = std::min(LowLink[F.V], Index[W]);
+        }
+        continue;
+      }
+      // All children done: pop the frame, fold lowlink into the parent,
+      // and emit a component when V is its root.
+      uint32_t V = F.V;
+      Frames.pop_back();
+      if (!Frames.empty())
+        LowLink[Frames.back().V] = std::min(LowLink[Frames.back().V],
+                                            LowLink[V]);
+      if (LowLink[V] == Index[V]) {
+        std::vector<uint32_t> Comp;
+        for (;;) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Comp.push_back(W);
+          if (W == V)
+            break;
+        }
+        std::sort(Comp.begin(), Comp.end());
+        Components.push_back(std::move(Comp));
+      }
+    }
+  }
+};
+
+} // namespace
+
+SCCDecomposition SCCDecomposition::compute(const CallGraph &G) {
+  SCCDecomposition D;
+  const size_t N = G.Nodes.size();
+  D.SCCOf.assign(N, 0);
+
+  TarjanState T(G);
+  for (uint32_t V = 0; V != N; ++V)
+    if (!T.Visited[V])
+      T.run(V);
+
+  // Renumber components by smallest member ordinal so the id assignment
+  // is a pure function of the module, independent of traversal order.
+  std::sort(T.Components.begin(), T.Components.end(),
+            [](const std::vector<uint32_t> &A, const std::vector<uint32_t> &B) {
+              return A.front() < B.front();
+            });
+
+  D.SCCs.resize(T.Components.size());
+  for (uint32_t Id = 0; Id != T.Components.size(); ++Id) {
+    D.SCCs[Id].Members = std::move(T.Components[Id]);
+    for (uint32_t M : D.SCCs[Id].Members)
+      D.SCCOf[M] = Id;
+  }
+
+  for (uint32_t Id = 0; Id != D.SCCs.size(); ++Id) {
+    SCC &C = D.SCCs[Id];
+    std::set<uint32_t> Callees;
+    bool SelfEdge = false;
+    for (uint32_t M : C.Members)
+      for (uint32_t Callee : G.Nodes[M].Callees) {
+        uint32_t CS = D.SCCOf[Callee];
+        if (CS == Id)
+          SelfEdge = true;
+        else
+          Callees.insert(CS);
+      }
+    C.CalleeSCCs.assign(Callees.begin(), Callees.end());
+    C.Recursive = C.Members.size() > 1 || SelfEdge;
+  }
+
+  // Wavefront levels: a callee-first longest-path layering. Callee SCC
+  // levels are always computable before the caller's because the
+  // condensation is acyclic; iterate until stable (bounded by SCC count,
+  // in practice one or two sweeps for declaration-ordered programs).
+  std::vector<bool> Done(D.SCCs.size(), false);
+  size_t Remaining = D.SCCs.size();
+  while (Remaining != 0) {
+    bool Progress = false;
+    for (uint32_t Id = 0; Id != D.SCCs.size(); ++Id) {
+      if (Done[Id])
+        continue;
+      uint32_t Level = 0;
+      bool Ready = true;
+      for (uint32_t Callee : D.SCCs[Id].CalleeSCCs) {
+        if (!Done[Callee]) {
+          Ready = false;
+          break;
+        }
+        Level = std::max(Level, D.SCCs[Callee].Level + 1);
+      }
+      if (Ready) {
+        D.SCCs[Id].Level = Level;
+        Done[Id] = true;
+        --Remaining;
+        Progress = true;
+      }
+    }
+    if (!Progress)
+      break; // unreachable: the condensation is a DAG
+  }
+
+  uint32_t MaxLevel = 0;
+  for (const SCC &C : D.SCCs)
+    MaxLevel = std::max(MaxLevel, C.Level);
+  D.Waves.assign(D.SCCs.empty() ? 0 : MaxLevel + 1, {});
+  for (uint32_t Id = 0; Id != D.SCCs.size(); ++Id)
+    D.Waves[D.SCCs[Id].Level].push_back(Id);
+
+  return D;
+}

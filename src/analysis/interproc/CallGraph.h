@@ -1,0 +1,85 @@
+//===- CallGraph.h - Module call graph and SCC condensation -----*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-module call graph over which the interprocedural summary
+/// analysis runs bottom-up. Nodes are functions in flat declaration-ordinal
+/// order (the same ordinal the diagnostic sort key uses); edges resolve W2
+/// call expressions against the enclosing section (calls never cross
+/// sections, and the sqrt/abs intrinsics are not nodes).
+///
+/// The condensation groups nodes into strongly connected components and
+/// assigns each SCC a wavefront level: level 0 SCCs call nothing, and a
+/// level-L SCC only calls SCCs of level < L. Processing the waves in
+/// ascending level order with a barrier between levels guarantees every
+/// callee summary is complete before any caller reads it — which is what
+/// lets SCCs inside one wave run on any number of workers in any order
+/// with deterministic results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_INTERPROC_CALLGRAPH_H
+#define WARPC_ANALYSIS_INTERPROC_CALLGRAPH_H
+
+#include "w2/AST.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+namespace interproc {
+
+/// The module call graph in flat function-ordinal space.
+struct CallGraph {
+  struct Node {
+    const w2::SectionDecl *Section = nullptr;
+    const w2::FunctionDecl *Function = nullptr;
+    uint32_t Ordinal = 0;
+    uint32_t SectionIndex = 0;
+    /// Distinct callee ordinals, ascending. Unresolvable names (intrinsics,
+    /// typos Sema would have rejected) are simply absent.
+    std::vector<uint32_t> Callees;
+    /// Distinct caller ordinals, ascending (the inverse edges).
+    std::vector<uint32_t> Callers;
+  };
+
+  std::vector<Node> Nodes;
+
+  static CallGraph build(const w2::ModuleDecl &M);
+};
+
+/// The SCC condensation plus the wavefront schedule.
+struct SCCDecomposition {
+  struct SCC {
+    /// Member function ordinals, ascending.
+    std::vector<uint32_t> Members;
+    /// Distinct callee SCC ids, ascending; never contains the SCC itself.
+    std::vector<uint32_t> CalleeSCCs;
+    /// Wavefront level: 0 for leaves, otherwise 1 + max callee level.
+    uint32_t Level = 0;
+    /// True for multi-member SCCs and direct self-recursion; recursive
+    /// SCCs get degraded (conservative) summaries.
+    bool Recursive = false;
+  };
+
+  /// SCC id per function ordinal.
+  std::vector<uint32_t> SCCOf;
+  /// SCCs ordered deterministically by smallest member ordinal. The order
+  /// is NOT topological; use Waves for scheduling.
+  std::vector<SCC> SCCs;
+  /// Waves[L] lists the SCC ids of level L, ascending. Every SCC appears
+  /// in exactly one wave.
+  std::vector<std::vector<uint32_t>> Waves;
+
+  static SCCDecomposition compute(const CallGraph &G);
+};
+
+} // namespace interproc
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_INTERPROC_CALLGRAPH_H

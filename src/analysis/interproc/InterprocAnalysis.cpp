@@ -1,0 +1,140 @@
+//===- InterprocAnalysis.cpp - Whole-program analysis driver --------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc/InterprocAnalysis.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::analysis::interproc;
+
+bool interproc::anyInterprocCheckEnabled(const AnalysisOptions &Opts) {
+  return Opts.enabled(check::InterprocArrayBounds) ||
+         Opts.enabled(check::InterprocDivZero) ||
+         Opts.enabled(check::InterprocUninit) ||
+         Opts.enabled(check::ChannelDeadlock);
+}
+
+InterprocResult interproc::runInterproc(const w2::ModuleDecl &M,
+                                        const AnalysisOptions &Opts) {
+  InterprocResult R;
+  if (!anyInterprocCheckEnabled(Opts))
+    return R;
+
+  R.Graph = CallGraph::build(M);
+  if (R.Graph.Nodes.empty())
+    return R;
+  R.SCCs = SCCDecomposition::compute(R.Graph);
+  R.Summaries.resize(R.Graph.Nodes.size());
+
+  // One diag slot per SCC so the merge order is a pure function of the
+  // module — the parallel driver fills the same slots from worker threads
+  // and merges identically.
+  std::vector<std::vector<Diag>> Slots(R.SCCs.SCCs.size());
+  for (const std::vector<uint32_t> &Wave : R.SCCs.Waves)
+    for (uint32_t Id : Wave) {
+      SCCOutput Out = summarizeSCC(R.Graph, R.SCCs, Id, R.Summaries, Opts);
+      for (FunctionSummary &S : Out.Summaries)
+        R.Summaries[S.Ordinal] = std::move(S);
+      Slots[Id] = std::move(Out.Diags);
+    }
+  for (std::vector<Diag> &S : Slots)
+    R.Diags.insert(R.Diags.end(), std::make_move_iterator(S.begin()),
+                   std::make_move_iterator(S.end()));
+
+  std::vector<Diag> DeadlockDiags =
+      checkSystolicDeadlock(R.Graph, R.Summaries, Opts);
+  R.Diags.insert(R.Diags.end(),
+                 std::make_move_iterator(DeadlockDiags.begin()),
+                 std::make_move_iterator(DeadlockDiags.end()));
+  return R;
+}
+
+namespace {
+
+/// Renders a witness chain as notes: intermediate frames are the call
+/// sites the traffic flows through; the final frame is the operation
+/// itself.
+void appendChainNotes(Diag &D, const CallChain &Chain, const char *LeafWhat) {
+  for (size_t I = 0; I != Chain.size(); ++I) {
+    const ChainLink &L = Chain[I];
+    if (I + 1 != Chain.size())
+      D.Notes.push_back({L.Loc, "the traffic flows through this call in '" +
+                                    L.Function + "'"});
+    else
+      D.Notes.push_back(
+          {L.Loc, std::string(LeafWhat) + " in '" + L.Function + "' is here"});
+  }
+}
+
+} // namespace
+
+std::vector<Diag> interproc::checkSystolicDeadlock(
+    const CallGraph &G, const std::vector<FunctionSummary> &Summaries,
+    const AnalysisOptions &Opts) {
+  std::vector<Diag> Diags;
+  if (!Opts.enabled(check::ChannelDeadlock))
+    return Diags;
+
+  // Cell programs are the uncalled functions with channel traffic, in
+  // declaration order — the same pipeline model the intraprocedural
+  // protocol check uses, but over composed summaries, so traffic hidden
+  // behind helper calls with symbolic trip counts still resolves.
+  std::vector<const FunctionSummary *> Stages;
+  for (const CallGraph::Node &N : G.Nodes) {
+    const FunctionSummary &S = Summaries[N.Ordinal];
+    if (S.HasChannelTraffic && N.Callers.empty())
+      Stages.push_back(&S);
+  }
+
+  for (size_t I = 0; I + 1 < Stages.size(); ++I) {
+    const FunctionSummary &Up = *Stages[I];
+    const FunctionSummary &Down = *Stages[I + 1];
+    std::optional<uint64_t> Sent = Up.Channels.SendY.constantCount();
+    std::optional<uint64_t> Received = Down.Channels.RecvX.constantCount();
+    if (!Sent || !Received || *Received <= *Sent)
+      continue; // matched or overfed links are the old warning's business
+
+    Diag D;
+    D.CheckId = check::ChannelDeadlock;
+    const CheckInfo *Info = findCheck(check::ChannelDeadlock);
+    D.Sev = Info ? Info->DefaultSev : Severity::Error;
+    D.Section = Down.SectionName;
+    D.Function = Down.FunctionName;
+    D.FunctionOrdinal = Down.Ordinal;
+    D.Loc = G.Nodes[Down.Ordinal].Function->getLoc();
+    D.Range.Begin = D.Loc;
+    D.Message = "cell program '" + Down.FunctionName +
+                "' deadlocks: it receives " + std::to_string(*Received) +
+                " value(s) on X but the upstream cell '" + Up.FunctionName +
+                "' sends only " + std::to_string(*Sent) + " on Y";
+    appendChainNotes(D, Down.Channels.RecvXChain, "the starving receive");
+    appendChainNotes(D, Up.Channels.SendYChain, "the last send");
+    D.Notes.push_back({G.Nodes[Down.Ordinal].Function->getLoc(),
+                       "cells downstream of '" + Down.FunctionName +
+                           "' never receive their inputs once this link "
+                           "stalls"});
+    Diags.push_back(std::move(D));
+  }
+  return Diags;
+}
+
+void interproc::supersedeChannelMismatch(std::vector<Diag> &Diags) {
+  std::set<uint32_t> Deadlocked;
+  for (const Diag &D : Diags)
+    if (D.CheckId == check::ChannelDeadlock)
+      Deadlocked.insert(D.FunctionOrdinal);
+  if (Deadlocked.empty())
+    return;
+  Diags.erase(std::remove_if(Diags.begin(), Diags.end(),
+                             [&](const Diag &D) {
+                               return D.CheckId == check::ChannelMismatch &&
+                                      Deadlocked.count(D.FunctionOrdinal);
+                             }),
+              Diags.end());
+}

@@ -1,0 +1,74 @@
+//===- InterprocAnalysis.h - Whole-program analysis driver ------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential whole-program analysis driver: builds the call graph,
+/// condenses it into SCC wavefronts, summarizes every SCC bottom-up, and
+/// runs the module-level systolic deadlock check over the composed channel
+/// summaries. The parallel driver in parallel/AnalysisRunner schedules the
+/// same waves across workers and must merge identically — summarizeSCC is
+/// a pure function, so the only coordination is the per-wave barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_INTERPROC_INTERPROCANALYSIS_H
+#define WARPC_ANALYSIS_INTERPROC_INTERPROCANALYSIS_H
+
+#include "analysis/Checks.h"
+#include "analysis/interproc/CallGraph.h"
+#include "analysis/interproc/Summarize.h"
+#include "analysis/interproc/Summary.h"
+
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+namespace interproc {
+
+/// True when at least one of the four interprocedural checks is enabled —
+/// the drivers skip the whole phase otherwise.
+bool anyInterprocCheckEnabled(const AnalysisOptions &Opts);
+
+/// Everything the interprocedural phase produced. Diags are pre-finalize:
+/// the caller is responsible for promotion, suppression and sorting.
+struct InterprocResult {
+  CallGraph Graph;
+  SCCDecomposition SCCs;
+  /// Indexed by function ordinal.
+  std::vector<FunctionSummary> Summaries;
+  std::vector<Diag> Diags;
+};
+
+/// Runs the bottom-up phase sequentially: waves in ascending level order,
+/// SCC ids ascending within each wave, diagnostics merged by SCC id
+/// ascending, then the module-level deadlock check. The caller merges
+/// Diags with the intraprocedural stream and applies
+/// supersedeChannelMismatch to the combined list.
+InterprocResult runInterproc(const w2::ModuleDecl &M,
+                             const AnalysisOptions &Opts);
+
+/// The whole-program systolic deadlock check: composes per-function
+/// channel summaries into the cell-to-cell pipeline (uncalled functions
+/// with channel traffic, in declaration order) and reports every link
+/// whose downstream cell provably waits for more values than the upstream
+/// cell ever sends. Fires only on starved links with both counts known;
+/// the intraprocedural channel-mismatch warning keeps covering overfed
+/// links. \p Summaries is indexed by function ordinal.
+std::vector<Diag>
+checkSystolicDeadlock(const CallGraph &G,
+                      const std::vector<FunctionSummary> &Summaries,
+                      const AnalysisOptions &Opts);
+
+/// Removes channel-mismatch diagnostics anchored at functions for which a
+/// channel-deadlock error exists in \p Diags: the deadlock verdict
+/// subsumes the weaker intraprocedural warning on the same link.
+void supersedeChannelMismatch(std::vector<Diag> &Diags);
+
+} // namespace interproc
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_INTERPROC_INTERPROCANALYSIS_H

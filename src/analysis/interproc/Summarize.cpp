@@ -1,0 +1,1231 @@
+//===- Summarize.cpp - Bottom-up SCC summarization ------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// One structured walk per member function computes everything the summary
+// needs in program order: symbolic channel counts (the ChannelWalker
+// algebra lifted from literal counts to polynomials in the parameters),
+// divisor/subscript demands on parameters, array-parameter effect bits,
+// and the caller-side checks at every call site — demanded intervals
+// against argument ranges, reads-before-write against uninitialized local
+// arrays, and transitive demand re-export when an argument is affine in
+// the caller's own parameter.
+//
+// The checks deliberately fire only where the intraprocedural passes are
+// blind: demands are exported only for parameter-dependent expressions
+// (anything a single function body can resolve is the PR-3 bounds
+// checker's job), and uninitialized-array reads are flagged only through
+// call boundaries (intraprocedural use-before-init skips arrays).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc/Summarize.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::analysis::interproc;
+using namespace warpc::w2;
+
+namespace {
+
+constexpr size_t MaxChainLinks = 8;
+constexpr size_t MaxDemands = 32;
+
+CallChain prepend(ChainLink L, const CallChain &Rest) {
+  CallChain C;
+  C.reserve(std::min(Rest.size() + 1, MaxChainLinks));
+  C.push_back(std::move(L));
+  for (const ChainLink &R : Rest) {
+    if (C.size() >= MaxChainLinks)
+      break;
+    C.push_back(R);
+  }
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Channel algebra over ChannelPoly
+//===----------------------------------------------------------------------===//
+
+/// One direction's accumulated count plus the witness chain of the first
+/// contributing site.
+struct DirState {
+  ChannelPoly P; ///< Zero by default.
+  CallChain Chain;
+
+  bool hasTraffic() const { return !P.isZero(); }
+};
+
+struct ChanState {
+  DirState SendX, SendY, RecvX, RecvY;
+};
+
+DirState addDir(const DirState &A, const DirState &B) {
+  DirState R;
+  if (!A.P.Known || !B.P.Known)
+    R.P = ChannelPoly::unknown();
+  else
+    R.P = ChannelPoly::of(A.P.P + B.P.P); // invalid poly degrades to unknown
+  R.Chain = A.hasTraffic() ? A.Chain : B.Chain;
+  return R;
+}
+
+ChanState addChan(const ChanState &A, const ChanState &B) {
+  return {addDir(A.SendX, B.SendX), addDir(A.SendY, B.SendY),
+          addDir(A.RecvX, B.RecvX), addDir(A.RecvY, B.RecvY)};
+}
+
+DirState timesDir(const DirState &D, const ChannelPoly &Trip) {
+  if (D.P.isZero())
+    return {};
+  if (Trip.isZero())
+    return {};
+  DirState R;
+  if (!D.P.Known || !Trip.Known)
+    R.P = ChannelPoly::unknown();
+  else
+    R.P = ChannelPoly::of(D.P.P * Trip.P);
+  R.Chain = D.Chain;
+  return R;
+}
+
+ChanState timesChan(const ChanState &C, const ChannelPoly &Trip) {
+  return {timesDir(C.SendX, Trip), timesDir(C.SendY, Trip),
+          timesDir(C.RecvX, Trip), timesDir(C.RecvY, Trip)};
+}
+
+/// Counts that might or might not execute: anything nonzero blurs to
+/// unknown (same rule as the intraprocedural walker).
+DirState blurDir(const DirState &Sofar, const DirState &Later) {
+  if (!Later.hasTraffic())
+    return Sofar;
+  DirState R;
+  R.P = ChannelPoly::unknown();
+  R.Chain = Sofar.hasTraffic() ? Sofar.Chain : Later.Chain;
+  return R;
+}
+
+ChanState afterMayExit(const ChanState &Sofar, const ChanState &Later) {
+  return {blurDir(Sofar.SendX, Later.SendX), blurDir(Sofar.SendY, Later.SendY),
+          blurDir(Sofar.RecvX, Later.RecvX),
+          blurDir(Sofar.RecvY, Later.RecvY)};
+}
+
+/// If-arm merge: agreeing counts survive, diverging counts go unknown.
+/// No diagnostic here — the intraprocedural channel-path check already
+/// reports diverging arms.
+DirState mergeArmDir(const DirState &A, const DirState &B) {
+  if (A.P == B.P) {
+    DirState R = A;
+    if (!R.hasTraffic())
+      R.Chain = B.Chain;
+    return R;
+  }
+  DirState R;
+  R.P = ChannelPoly::unknown();
+  R.Chain = A.hasTraffic() ? A.Chain : B.Chain;
+  return R;
+}
+
+ChanState mergeArms(const ChanState &A, const ChanState &B) {
+  return {mergeArmDir(A.SendX, B.SendX), mergeArmDir(A.SendY, B.SendY),
+          mergeArmDir(A.RecvX, B.RecvX), mergeArmDir(A.RecvY, B.RecvY)};
+}
+
+/// How a statement can leave the enclosing function.
+enum class ExitKind { None, May, Definite };
+
+struct WalkResult {
+  ChanState Chan;
+  ExitKind Exit = ExitKind::None;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-function summarizer
+//===----------------------------------------------------------------------===//
+
+/// State of one local array while walking in program order.
+struct LocalArray {
+  SourceLoc DeclLoc;
+  int64_t Extent = 0;
+  bool MaybeWritten = false;
+};
+
+class Summarizer {
+public:
+  Summarizer(const CallGraph &G,
+             const std::vector<FunctionSummary> &AllSummaries,
+             const AnalysisOptions &Opts, std::vector<Diag> &Diags)
+      : G(G), All(AllSummaries), Opts(Opts), Diags(Diags) {
+    for (const CallGraph::Node &N : G.Nodes)
+      Lookup[{N.SectionIndex, N.Function->getName()}] = N.Ordinal;
+  }
+
+  FunctionSummary run(uint32_t Ordinal);
+
+private:
+  // -- prepass ------------------------------------------------------------
+  void collectMutated(const Stmt *S);
+  void collectMutatedExprTargets(const Expr *E);
+
+  // -- value models -------------------------------------------------------
+  Interval exprInterval(const Expr *E) const;
+  SymPoly exprPoly(const Expr *E) const;
+  const FunctionSummary *calleeSummary(const std::string &Name) const;
+
+  // -- the walk -----------------------------------------------------------
+  WalkResult walkStmt(const Stmt *S, bool Definite);
+  ChanState visitExpr(const Expr *E, bool Definite);
+  ChannelPoly tripPoly(const ForStmt *L) const;
+
+  void handleIndexSite(const IndexExpr *IE, bool IsWrite, bool Definite);
+  void handleDivSite(const Expr *Divisor, SourceLoc Loc);
+  void handleCall(const CallExpr *C, bool Definite, ChanState &Chan);
+
+  // -- demand checking and export ----------------------------------------
+  void checkDemandAt(const ParamDemand &D, const Interval &ArgI,
+                     SourceLoc CallLoc, const std::string &CalleeName);
+  void exportDemand(ParamDemand D);
+  void reportDivisor(SourceLoc Loc, const CallChain &Chain,
+                     const Interval &I);
+  void reportSubscript(SourceLoc Loc, const CallChain &Chain,
+                       const std::string &ArrayName, int64_t Extent,
+                       const Interval &I);
+
+  Diag makeDiag(const char *CheckId, SourceLoc Loc, std::string Message);
+  void appendChainNotes(Diag &D, const CallChain &Chain, const char *LeafWhat);
+
+  // -- per-function state -------------------------------------------------
+  const CallGraph &G;
+  const std::vector<FunctionSummary> &All;
+  const AnalysisOptions &Opts;
+  std::vector<Diag> &Diags;
+  std::map<std::pair<uint32_t, std::string>, uint32_t> Lookup;
+
+  const CallGraph::Node *Node = nullptr;
+  FunctionSummary Sum;
+  std::map<std::string, uint32_t> IntParams;  ///< scalar int param -> index
+  std::map<std::string, uint32_t> ArrayParams; ///< array param -> index
+  std::map<uint32_t, size_t> UseSlot;          ///< param index -> ArrayUses
+  std::vector<bool> ParamMaybeWritten;         ///< per ArrayUses slot
+  std::map<std::string, LocalArray> Locals;
+  std::map<std::string, int64_t> ConstLocals; ///< literal-init, never mutated
+  std::set<std::string> Mutated;              ///< assigned/received/induction
+  std::map<std::string, Interval> Env;        ///< live induction variables
+  Interval RetAcc;
+  bool SawReturnValue = false;
+};
+
+FunctionSummary Summarizer::run(uint32_t Ordinal) {
+  Node = &G.Nodes[Ordinal];
+  const FunctionDecl &F = *Node->Function;
+
+  Sum = FunctionSummary();
+  Sum.Ordinal = Ordinal;
+  Sum.SectionName = Node->Section->getName();
+  Sum.FunctionName = F.getName();
+  Sum.NumParams = static_cast<uint32_t>(F.params().size());
+
+  IntParams.clear();
+  ArrayParams.clear();
+  UseSlot.clear();
+  ParamMaybeWritten.clear();
+  Locals.clear();
+  ConstLocals.clear();
+  Mutated.clear();
+  Env.clear();
+  RetAcc = Interval();
+  SawReturnValue = false;
+
+  for (uint32_t I = 0; I != Sum.NumParams; ++I) {
+    const ParamDecl &P = F.params()[I];
+    if (P.Ty.isArray()) {
+      ArrayParams[P.Name] = I;
+      UseSlot[I] = Sum.ArrayUses.size();
+      ArrayParamUse U;
+      U.ParamIndex = I;
+      Sum.ArrayUses.push_back(U);
+      ParamMaybeWritten.push_back(false);
+    } else if (P.Ty.isInt()) {
+      IntParams[P.Name] = I;
+    }
+  }
+
+  collectMutated(F.getBody());
+
+  WalkResult R = walkStmt(F.getBody(), /*Definite=*/true);
+
+  Sum.Channels.SendX = R.Chan.SendX.P;
+  Sum.Channels.SendY = R.Chan.SendY.P;
+  Sum.Channels.RecvX = R.Chan.RecvX.P;
+  Sum.Channels.RecvY = R.Chan.RecvY.P;
+  Sum.Channels.SendXChain = R.Chan.SendX.Chain;
+  Sum.Channels.SendYChain = R.Chan.SendY.Chain;
+  Sum.Channels.RecvXChain = R.Chan.RecvX.Chain;
+  Sum.Channels.RecvYChain = R.Chan.RecvY.Chain;
+  Sum.HasChannelTraffic = Sum.Channels.anyTraffic();
+
+  if (F.getReturnType().isInt() && SawReturnValue &&
+      R.Exit == ExitKind::Definite)
+    Sum.Ret = RetAcc;
+  else
+    Sum.Ret = Interval::top();
+
+  Sum.Pure = !Sum.HasChannelTraffic && !Sum.WritesArrayParams;
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// Prepass: which scalar names are ever mutated
+//===----------------------------------------------------------------------===//
+
+void Summarizer::collectMutatedExprTargets(const Expr *E) {
+  if (!E)
+    return;
+  if (const auto *V = dyn_cast<VarRefExpr>(E))
+    Mutated.insert(V->getName());
+}
+
+void Summarizer::collectMutated(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &C : cast<BlockStmt>(S)->stmts())
+      collectMutated(C.get());
+    return;
+  case Stmt::Kind::Assign:
+    collectMutatedExprTargets(cast<AssignStmt>(S)->getTarget());
+    return;
+  case Stmt::Kind::Receive:
+    collectMutatedExprTargets(cast<ReceiveStmt>(S)->getTarget());
+    return;
+  case Stmt::Kind::If:
+    collectMutated(cast<IfStmt>(S)->getThen());
+    collectMutated(cast<IfStmt>(S)->getElse());
+    return;
+  case Stmt::Kind::For:
+    Mutated.insert(cast<ForStmt>(S)->getIndVar());
+    collectMutated(cast<ForStmt>(S)->getBody());
+    return;
+  case Stmt::Kind::While:
+    collectMutated(cast<WhileStmt>(S)->getBody());
+    return;
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Value models
+//===----------------------------------------------------------------------===//
+
+const FunctionSummary *
+Summarizer::calleeSummary(const std::string &Name) const {
+  auto It = Lookup.find({Node->SectionIndex, Name});
+  if (It == Lookup.end())
+    return nullptr;
+  const FunctionSummary &S = All[It->second];
+  // An empty name marks a summary slot the wavefront has not filled; the
+  // only way to see one here is an in-SCC edge, which summarizeSCC routes
+  // to the conservative path instead.
+  return S.FunctionName.empty() ? nullptr : &S;
+}
+
+Interval Summarizer::exprInterval(const Expr *E) const {
+  if (!E)
+    return Interval::top();
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return Interval::single(cast<IntLitExpr>(E)->getValue());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRefExpr>(E)->getName();
+    auto Ind = Env.find(Name);
+    if (Ind != Env.end())
+      return Ind->second;
+    auto Const = ConstLocals.find(Name);
+    if (Const != ConstLocals.end())
+      return Interval::single(Const->second);
+    return Interval::top();
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() != UnaryOp::Neg)
+      return Interval::top();
+    return affineImage(exprInterval(U->getOperand()), -1, 0);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Interval L = exprInterval(B->getLHS());
+    Interval R = exprInterval(B->getRHS());
+    if (!L.Known || !R.Known)
+      return Interval::top();
+    // Attainment survives only when one side is a single point — the same
+    // licensing rule the intraprocedural bounds checker uses.
+    bool Attained = (L.Attained && R.isSingle(R.Lo)) ||
+                    (L.isSingle(L.Lo) && R.Attained);
+    switch (B->getOp()) {
+    case BinaryOp::Add: {
+      int64_t Lo, Hi;
+      if (__builtin_add_overflow(L.Lo, R.Lo, &Lo) ||
+          __builtin_add_overflow(L.Hi, R.Hi, &Hi))
+        return Interval::top();
+      return Interval::of(Lo, Hi, Attained);
+    }
+    case BinaryOp::Sub: {
+      int64_t Lo, Hi;
+      if (__builtin_sub_overflow(L.Lo, R.Hi, &Lo) ||
+          __builtin_sub_overflow(L.Hi, R.Lo, &Hi))
+        return Interval::top();
+      return Interval::of(Lo, Hi, Attained);
+    }
+    case BinaryOp::Mul: {
+      const Interval *Range = &L, *Point = &R;
+      if (L.isSingle(L.Lo))
+        std::swap(Range, Point);
+      else if (!R.isSingle(R.Lo))
+        return Interval::top();
+      return affineImage(*Range, Point->Lo, 0);
+    }
+    default:
+      return Interval::top();
+    }
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (const FunctionSummary *S = calleeSummary(C->getCallee()))
+      return S->Ret;
+    return Interval::top();
+  }
+  default:
+    return Interval::top();
+  }
+}
+
+SymPoly Summarizer::exprPoly(const Expr *E) const {
+  if (!E)
+    return SymPoly::invalid();
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return SymPoly::constant(cast<IntLitExpr>(E)->getValue());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRefExpr>(E)->getName();
+    auto P = IntParams.find(Name);
+    if (P != IntParams.end())
+      return SymPoly::param(P->second);
+    auto Const = ConstLocals.find(Name);
+    if (Const != ConstLocals.end())
+      return SymPoly::constant(Const->second);
+    return SymPoly::invalid();
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() != UnaryOp::Neg)
+      return SymPoly::invalid();
+    return SymPoly::constant(0) - exprPoly(U->getOperand());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      return exprPoly(B->getLHS()) + exprPoly(B->getRHS());
+    case BinaryOp::Sub:
+      return exprPoly(B->getLHS()) - exprPoly(B->getRHS());
+    case BinaryOp::Mul:
+      return exprPoly(B->getLHS()) * exprPoly(B->getRHS());
+    default:
+      return SymPoly::invalid();
+    }
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const FunctionSummary *S = calleeSummary(C->getCallee());
+    if (S && S->Ret.Known && S->Ret.Lo == S->Ret.Hi)
+      return SymPoly::constant(S->Ret.Lo);
+    return SymPoly::invalid();
+  }
+  default:
+    return SymPoly::invalid();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+Diag Summarizer::makeDiag(const char *CheckId, SourceLoc Loc,
+                          std::string Message) {
+  Diag D;
+  D.CheckId = CheckId;
+  const CheckInfo *Info = findCheck(CheckId);
+  D.Sev = Info ? Info->DefaultSev : Severity::Error;
+  D.Section = Sum.SectionName;
+  D.Function = Sum.FunctionName;
+  D.FunctionOrdinal = Sum.Ordinal;
+  D.Loc = Loc;
+  D.Range.Begin = Loc;
+  D.Message = std::move(Message);
+  return D;
+}
+
+void Summarizer::appendChainNotes(Diag &D, const CallChain &Chain,
+                                  const char *LeafWhat) {
+  for (size_t I = 0; I != Chain.size(); ++I) {
+    const ChainLink &L = Chain[I];
+    if (I + 1 != Chain.size())
+      D.Notes.push_back({L.Loc, "the value flows through this call in '" +
+                                    L.Function + "'"});
+    else
+      D.Notes.push_back(
+          {L.Loc, std::string(LeafWhat) + " in '" + L.Function + "' is here"});
+  }
+}
+
+void Summarizer::reportDivisor(SourceLoc Loc, const CallChain &Chain,
+                               const Interval &I) {
+  if (!Opts.enabled(check::InterprocDivZero))
+    return;
+  std::string Msg;
+  bool ThroughCall = Chain.size() > 1 || (Chain.size() == 1 &&
+                                          Chain[0].Function != Sum.FunctionName);
+  std::string Prefix =
+      ThroughCall
+          ? "division by zero through this call to '" + Chain[0].Function + "'"
+          : std::string("division by zero");
+  if (I.isSingle(0))
+    Msg = Prefix + ": the divisor is always 0";
+  else
+    Msg = Prefix + ": the divisor ranges over [" + std::to_string(I.Lo) +
+          ", " + std::to_string(I.Hi) + "] and attains 0";
+  Diag D = makeDiag(check::InterprocDivZero, Loc, std::move(Msg));
+  if (ThroughCall)
+    appendChainNotes(D, Chain, "the division");
+  Diags.push_back(std::move(D));
+}
+
+void Summarizer::reportSubscript(SourceLoc Loc, const CallChain &Chain,
+                                 const std::string &ArrayName, int64_t Extent,
+                                 const Interval &I) {
+  if (!Opts.enabled(check::InterprocArrayBounds))
+    return;
+  bool Always = I.Hi < 0 || I.Lo >= Extent;
+  std::string Idx = I.isSingle(I.Lo)
+                        ? "index " + std::to_string(I.Lo)
+                        : "indices in [" + std::to_string(I.Lo) + ", " +
+                              std::to_string(I.Hi) + "]";
+  std::string Msg = "out-of-bounds access through this call to '" +
+                    Chain[0].Function + "': '" + ArrayName + "[" +
+                    std::to_string(Extent) + "]' is subscripted with " + Idx;
+  Msg += Always ? ", entirely outside 0.." + std::to_string(Extent - 1)
+                : ", which reaches outside 0.." + std::to_string(Extent - 1);
+  Diag D = makeDiag(check::InterprocArrayBounds, Loc, std::move(Msg));
+  appendChainNotes(D, Chain, "the subscript");
+  Diags.push_back(std::move(D));
+}
+
+//===----------------------------------------------------------------------===//
+// Demand checking and export
+//===----------------------------------------------------------------------===//
+
+/// Does the image interval prove a division by zero? Either the divisor
+/// is the constant 0, or both endpoints occur and one of them is 0
+/// (interior points may be skipped by loop strides, so only endpoint
+/// zeros are provable).
+static bool provesDivZero(const Interval &I) {
+  if (!I.Known)
+    return false;
+  return I.isSingle(0) || (I.Attained && (I.Lo == 0 || I.Hi == 0));
+}
+
+/// Does the image interval prove an out-of-bounds subscript of
+/// [0, Extent)? Entirely-outside needs no attainment; otherwise an
+/// attained endpoint must fall outside.
+static bool provesOutOfBounds(const Interval &I, int64_t Extent) {
+  if (!I.Known)
+    return false;
+  if (I.Hi < 0 || I.Lo >= Extent)
+    return true;
+  return I.Attained && (I.Lo < 0 || I.Hi >= Extent);
+}
+
+void Summarizer::checkDemandAt(const ParamDemand &D, const Interval &ArgI,
+                               SourceLoc CallLoc,
+                               const std::string &CalleeName) {
+  Interval Image = affineImage(ArgI, D.Scale, D.Offset);
+  if (!Image.Known)
+    return;
+  CallChain Chain = prepend({CalleeName, CallLoc}, D.Chain);
+  // The first chain frame names the callee; the leaf frames live in
+  // D.Chain already. Anchor the diagnostic at the call site.
+  if (D.K == ParamDemand::Divisor) {
+    if (provesDivZero(Image))
+      reportDivisor(CallLoc, Chain, Image);
+  } else {
+    if (provesOutOfBounds(Image, D.Extent))
+      reportSubscript(CallLoc, Chain, D.ArrayName, D.Extent, Image);
+  }
+}
+
+void Summarizer::exportDemand(ParamDemand D) {
+  if (Sum.Demands.size() >= MaxDemands)
+    return;
+  for (const ParamDemand &Existing : Sum.Demands)
+    if (Existing.K == D.K && Existing.ParamIndex == D.ParamIndex &&
+        Existing.Scale == D.Scale && Existing.Offset == D.Offset &&
+        Existing.Extent == D.Extent && Existing.ArrayName == D.ArrayName)
+      return; // identical demand already exported; keep the first witness
+  Sum.Demands.push_back(std::move(D));
+}
+
+void Summarizer::handleDivSite(const Expr *Divisor, SourceLoc Loc) {
+  Interval I = exprInterval(Divisor);
+  if (I.Known) {
+    if (provesDivZero(I))
+      reportDivisor(Loc, {{Sum.FunctionName, Loc}}, I);
+    return; // locally resolved, nothing to export
+  }
+  uint32_t Param;
+  int64_t Scale, Offset;
+  SymPoly P = exprPoly(Divisor);
+  if (!P.asAffine(Param, Scale, Offset))
+    return;
+  ParamDemand D;
+  D.K = ParamDemand::Divisor;
+  D.ParamIndex = Param;
+  D.Scale = Scale;
+  D.Offset = Offset;
+  D.Chain = {{Sum.FunctionName, Loc}};
+  exportDemand(std::move(D));
+}
+
+void Summarizer::handleIndexSite(const IndexExpr *IE, bool IsWrite,
+                                 bool Definite) {
+  const std::string &Name = IE->getBaseName();
+  int64_t Extent = 0;
+
+  auto PA = ArrayParams.find(Name);
+  if (PA != ArrayParams.end()) {
+    size_t Slot = UseSlot[PA->second];
+    ArrayParamUse &U = Sum.ArrayUses[Slot];
+    Extent = Node->Function->params()[PA->second].Ty.arraySize();
+    if (IsWrite) {
+      U.MayWrite = true;
+      if (Definite)
+        U.DefinitelyWrites = true;
+      ParamMaybeWritten[Slot] = true;
+      Sum.WritesArrayParams = true;
+    } else if (!ParamMaybeWritten[Slot] && !U.ReadsBeforeWrite) {
+      U.ReadsBeforeWrite = true;
+      U.ReadChain = {{Sum.FunctionName, IE->getLoc()}};
+    }
+  } else {
+    auto LA = Locals.find(Name);
+    if (LA != Locals.end()) {
+      Extent = LA->second.Extent;
+      if (IsWrite)
+        LA->second.MaybeWritten = true;
+    }
+  }
+
+  // Demand export: only parameter-dependent subscripts — anything the
+  // body resolves locally is the intraprocedural bounds checker's job.
+  if (Extent <= 0)
+    return;
+  uint32_t Param;
+  int64_t Scale, Offset;
+  SymPoly P = exprPoly(IE->getIndex());
+  if (!P.asAffine(Param, Scale, Offset))
+    return;
+  ParamDemand D;
+  D.K = ParamDemand::ArrayIndex;
+  D.ParamIndex = Param;
+  D.Scale = Scale;
+  D.Offset = Offset;
+  D.Extent = Extent;
+  D.ArrayName = Name;
+  D.Chain = {{Sum.FunctionName, IE->getLoc()}};
+  exportDemand(std::move(D));
+}
+
+//===----------------------------------------------------------------------===//
+// Call sites
+//===----------------------------------------------------------------------===//
+
+void Summarizer::handleCall(const CallExpr *C, bool Definite,
+                            ChanState &Chan) {
+  const FunctionSummary *S = calleeSummary(C->getCallee());
+  if (!S)
+    return; // intrinsic or in-SCC edge: nothing composable
+
+  SourceLoc CallLoc = C->getLoc();
+
+  // Demands: check resolvable argument intervals, re-export what stays
+  // affine in our own parameters.
+  for (const ParamDemand &D : S->Demands) {
+    if (D.ParamIndex >= C->getNumArgs())
+      continue;
+    const Expr *Arg = C->getArg(D.ParamIndex);
+    Interval ArgI = exprInterval(Arg);
+    if (ArgI.Known) {
+      checkDemandAt(D, ArgI, CallLoc, S->FunctionName);
+      continue; // resolved here, no export
+    }
+    uint32_t Param;
+    int64_t Scale, Offset;
+    SymPoly ArgP = exprPoly(Arg);
+    if (!ArgP.asAffine(Param, Scale, Offset))
+      continue;
+    // Demand is on Scale_d*arg + Off_d; arg == Scale*p + Offset, so the
+    // composed demand is (Scale_d*Scale)*p + (Scale_d*Offset + Off_d).
+    int64_t NewScale, ScaledOff, NewOffset;
+    if (__builtin_mul_overflow(D.Scale, Scale, &NewScale) ||
+        __builtin_mul_overflow(D.Scale, Offset, &ScaledOff) ||
+        __builtin_add_overflow(ScaledOff, D.Offset, &NewOffset) ||
+        NewScale == 0)
+      continue;
+    ParamDemand Out;
+    Out.K = D.K;
+    Out.ParamIndex = Param;
+    Out.Scale = NewScale;
+    Out.Offset = NewOffset;
+    Out.Extent = D.Extent;
+    Out.ArrayName = D.ArrayName;
+    Out.Chain = prepend({S->FunctionName, CallLoc}, D.Chain);
+    exportDemand(std::move(Out));
+  }
+
+  // Array arguments: compose effect bits and flag reads of provably
+  // uninitialized local arrays through the callee's out-parameters.
+  for (size_t I = 0; I != C->getNumArgs(); ++I) {
+    const auto *V = dyn_cast<VarRefExpr>(C->getArg(I));
+    if (!V)
+      continue;
+    const ArrayParamUse *U = nullptr;
+    for (const ArrayParamUse &Use : S->ArrayUses)
+      if (Use.ParamIndex == I) {
+        U = &Use;
+        break;
+      }
+    if (!U)
+      continue;
+
+    auto LA = Locals.find(V->getName());
+    if (LA != Locals.end()) {
+      if (U->ReadsBeforeWrite && !LA->second.MaybeWritten &&
+          Opts.enabled(check::InterprocUninit)) {
+        Diag D = makeDiag(
+            check::InterprocUninit, CallLoc,
+            "'" + V->getName() + "' is passed to '" + S->FunctionName +
+                "', which reads it before writing it, but no element has "
+                "been initialized");
+        D.Notes.push_back(
+            {LA->second.DeclLoc, "'" + V->getName() + "' declared here"});
+        appendChainNotes(D, prepend({S->FunctionName, CallLoc}, U->ReadChain),
+                         "the read");
+        Diags.push_back(std::move(D));
+      }
+      if (U->MayWrite)
+        LA->second.MaybeWritten = true;
+      continue;
+    }
+
+    auto PA = ArrayParams.find(V->getName());
+    if (PA != ArrayParams.end()) {
+      size_t Slot = UseSlot[PA->second];
+      ArrayParamUse &Own = Sum.ArrayUses[Slot];
+      if (U->ReadsBeforeWrite && !ParamMaybeWritten[Slot] &&
+          !Own.ReadsBeforeWrite) {
+        Own.ReadsBeforeWrite = true;
+        Own.ReadChain = prepend({S->FunctionName, CallLoc}, U->ReadChain);
+      }
+      if (U->MayWrite) {
+        Own.MayWrite = true;
+        ParamMaybeWritten[Slot] = true;
+        Sum.WritesArrayParams = true;
+        if (U->DefinitelyWrites && Definite)
+          Own.DefinitelyWrites = true;
+      }
+    }
+  }
+
+  // Channel counts: substitute argument polynomials into the callee's
+  // symbolic counts. A direction the callee never touches stays zero; a
+  // substitution that does not resolve degrades to unknown.
+  if (S->HasChannelTraffic) {
+    std::vector<SymPoly> ArgPolys;
+    ArgPolys.reserve(C->getNumArgs());
+    for (size_t I = 0; I != C->getNumArgs(); ++I)
+      ArgPolys.push_back(exprPoly(C->getArg(I)));
+
+    auto SubstDir = [&](const ChannelPoly &P,
+                        const CallChain &CalleeChain) -> DirState {
+      DirState D;
+      if (P.isZero())
+        return D;
+      if (!P.Known)
+        D.P = ChannelPoly::unknown();
+      else
+        D.P = ChannelPoly::of(P.P.substitute(ArgPolys));
+      D.Chain = prepend({S->FunctionName, CallLoc}, CalleeChain);
+      return D;
+    };
+    ChanState CallChan;
+    CallChan.SendX = SubstDir(S->Channels.SendX, S->Channels.SendXChain);
+    CallChan.SendY = SubstDir(S->Channels.SendY, S->Channels.SendYChain);
+    CallChan.RecvX = SubstDir(S->Channels.RecvX, S->Channels.RecvXChain);
+    CallChan.RecvY = SubstDir(S->Channels.RecvY, S->Channels.RecvYChain);
+    Chan = addChan(Chan, CallChan);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expression and statement walks
+//===----------------------------------------------------------------------===//
+
+ChanState Summarizer::visitExpr(const Expr *E, bool Definite) {
+  ChanState Chan;
+  if (!E)
+    return Chan;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::VarRef:
+    return Chan;
+  case Expr::Kind::Index: {
+    const auto *IE = cast<IndexExpr>(E);
+    Chan = visitExpr(IE->getIndex(), Definite);
+    handleIndexSite(IE, /*IsWrite=*/false, Definite);
+    return Chan;
+  }
+  case Expr::Kind::Unary:
+    return visitExpr(cast<UnaryExpr>(E)->getOperand(), Definite);
+  case Expr::Kind::Cast:
+    return visitExpr(cast<CastExpr>(E)->getOperand(), Definite);
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Chan = addChan(visitExpr(B->getLHS(), Definite),
+                   visitExpr(B->getRHS(), Definite));
+    if (B->getOp() == BinaryOp::Div || B->getOp() == BinaryOp::Rem)
+      handleDivSite(B->getRHS(), B->getLoc());
+    return Chan;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    for (size_t I = 0; I != C->getNumArgs(); ++I)
+      Chan = addChan(Chan, visitExpr(C->getArg(I), Definite));
+    handleCall(C, Definite, Chan);
+    return Chan;
+  }
+  }
+  return Chan;
+}
+
+ChannelPoly Summarizer::tripPoly(const ForStmt *L) const {
+  const auto *Lo = dyn_cast<IntLitExpr>(L->getLo());
+  const auto *Hi = dyn_cast<IntLitExpr>(L->getHi());
+  int64_t Step = L->getStep();
+  if (Step == 0)
+    return ChannelPoly::unknown();
+  if (Lo && Hi) {
+    int64_t LoV = Lo->getValue(), HiV = Hi->getValue();
+    int64_t Trips;
+    if (Step > 0)
+      Trips = HiV >= LoV ? (HiV - LoV) / Step + 1 : 0;
+    else
+      Trips = LoV >= HiV ? (LoV - HiV) / -Step + 1 : 0;
+    return ChannelPoly::of(SymPoly::constant(Trips));
+  }
+  if (Step != 1)
+    return ChannelPoly::unknown();
+  // Symbolic bounds with unit step: hi - lo + 1. A negative value at a
+  // call site means zero trips; ChannelPoly::constantCount degrades such
+  // results to unknown rather than reporting a wrong count.
+  SymPoly LoP = exprPoly(L->getLo());
+  SymPoly HiP = exprPoly(L->getHi());
+  return ChannelPoly::of(HiP - LoP + SymPoly::constant(1));
+}
+
+WalkResult Summarizer::walkStmt(const Stmt *S, bool Definite) {
+  WalkResult R;
+  if (!S)
+    return R;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block: {
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts()) {
+      if (R.Exit == ExitKind::Definite)
+        break; // statically unreachable; the CFG check reports it
+      WalkResult C = walkStmt(Child.get(), Definite && R.Exit == ExitKind::None);
+      if (R.Exit == ExitKind::May)
+        R.Chan = afterMayExit(R.Chan, C.Chan);
+      else
+        R.Chan = addChan(R.Chan, C.Chan);
+      if (C.Exit == ExitKind::Definite)
+        // A definite exit subsumes earlier may-exits: paths that left
+        // early already accumulated their return value, and every
+        // remaining path exits here.
+        R.Exit = ExitKind::Definite;
+      else if (C.Exit == ExitKind::May)
+        R.Exit = ExitKind::May;
+    }
+    return R;
+  }
+  case Stmt::Kind::Decl: {
+    const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    R.Chan = visitExpr(D->getInit(), Definite);
+    if (D->getType().isArray()) {
+      Locals[D->getName()] = {D->getLoc(),
+                              static_cast<int64_t>(D->getType().arraySize()),
+                              /*MaybeWritten=*/false};
+    } else if (D->getType().isInt() && !Mutated.count(D->getName())) {
+      if (const Expr *Init = D->getInit())
+        if (const auto *Lit = dyn_cast<IntLitExpr>(Init))
+          ConstLocals[D->getName()] = Lit->getValue();
+    }
+    return R;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    // The value is read before the target is written.
+    R.Chan = visitExpr(A->getValue(), Definite);
+    if (const auto *IE = dyn_cast<IndexExpr>(A->getTarget())) {
+      R.Chan = addChan(R.Chan, visitExpr(IE->getIndex(), Definite));
+      handleIndexSite(IE, /*IsWrite=*/true, Definite);
+    } else {
+      R.Chan = addChan(R.Chan, visitExpr(A->getTarget(), Definite));
+    }
+    return R;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    ChanState Cond = visitExpr(I->getCond(), Definite);
+    WalkResult Then = walkStmt(I->getThen(), /*Definite=*/false);
+    WalkResult Else = walkStmt(I->getElse(), /*Definite=*/false);
+    R.Chan = addChan(Cond, mergeArms(Then.Chan, Else.Chan));
+    if (Then.Exit == ExitKind::Definite && Else.Exit == ExitKind::Definite)
+      R.Exit = ExitKind::Definite;
+    else if (Then.Exit != ExitKind::None || Else.Exit != ExitKind::None)
+      R.Exit = ExitKind::May;
+    return R;
+  }
+  case Stmt::Kind::For: {
+    const auto *L = cast<ForStmt>(S);
+    ChanState Bounds = addChan(visitExpr(L->getLo(), Definite),
+                               visitExpr(L->getHi(), Definite));
+    ChannelPoly Trip = tripPoly(L);
+
+    // Literal bounds give the induction variable an attained range for
+    // the body walk; Env entries are scoped to the loop.
+    const auto *Lo = dyn_cast<IntLitExpr>(L->getLo());
+    const auto *Hi = dyn_cast<IntLitExpr>(L->getHi());
+    bool HaveEnv = false;
+    Interval Saved;
+    bool HadSaved = false;
+    std::optional<uint64_t> Trips = Trip.constantCount();
+    if (Lo && Hi && L->getStep() != 0 && Trips && *Trips > 0) {
+      int64_t LoV = Lo->getValue(), Step = L->getStep();
+      int64_t Last = LoV + (static_cast<int64_t>(*Trips) - 1) * Step;
+      auto It = Env.find(L->getIndVar());
+      if (It != Env.end()) {
+        Saved = It->second;
+        HadSaved = true;
+      }
+      Env[L->getIndVar()] = Interval::of(std::min(LoV, Last),
+                                         std::max(LoV, Last), true);
+      HaveEnv = true;
+    }
+
+    WalkResult Body = walkStmt(L->getBody(), /*Definite=*/false);
+
+    if (HaveEnv) {
+      if (HadSaved)
+        Env[L->getIndVar()] = Saved;
+      else
+        Env.erase(L->getIndVar());
+    }
+
+    if (Body.Exit == ExitKind::None) {
+      R.Chan = addChan(Bounds, timesChan(Body.Chan, Trip));
+    } else if (Body.Exit == ExitKind::Definite) {
+      bool Runs = Trips && *Trips > 0;
+      R.Chan = addChan(Bounds, Runs ? Body.Chan
+                                    : afterMayExit(ChanState{}, Body.Chan));
+      R.Exit = Runs ? ExitKind::Definite : ExitKind::May;
+    } else {
+      R.Chan = addChan(Bounds, afterMayExit(ChanState{}, Body.Chan));
+      R.Exit = ExitKind::May;
+    }
+    return R;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    ChanState Cond = visitExpr(W->getCond(), /*Definite=*/false);
+    WalkResult Body = walkStmt(W->getBody(), /*Definite=*/false);
+    R.Chan = afterMayExit(ChanState{}, addChan(Cond, Body.Chan));
+    if (Body.Exit != ExitKind::None)
+      R.Exit = ExitKind::May;
+    return R;
+  }
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    R.Chan = visitExpr(Ret->getValue(), Definite);
+    if (Ret->getValue()) {
+      Interval V = exprInterval(Ret->getValue());
+      RetAcc = SawReturnValue ? Interval::join(RetAcc, V) : V;
+      SawReturnValue = true;
+    }
+    R.Exit = ExitKind::Definite;
+    return R;
+  }
+  case Stmt::Kind::Send: {
+    const auto *Snd = cast<SendStmt>(S);
+    R.Chan = visitExpr(Snd->getValue(), Definite);
+    DirState One;
+    One.P = ChannelPoly::of(SymPoly::constant(1));
+    One.Chain = {{Sum.FunctionName, Snd->getLoc()}};
+    DirState &Dir = Snd->getChannel() == Channel::X ? R.Chan.SendX
+                                                    : R.Chan.SendY;
+    Dir = addDir(Dir, One);
+    return R;
+  }
+  case Stmt::Kind::Receive: {
+    const auto *Rcv = cast<ReceiveStmt>(S);
+    if (const auto *IE = dyn_cast<IndexExpr>(Rcv->getTarget())) {
+      R.Chan = visitExpr(IE->getIndex(), Definite);
+      handleIndexSite(IE, /*IsWrite=*/true, Definite);
+    } else {
+      R.Chan = visitExpr(Rcv->getTarget(), Definite);
+    }
+    DirState One;
+    One.P = ChannelPoly::of(SymPoly::constant(1));
+    One.Chain = {{Sum.FunctionName, Rcv->getLoc()}};
+    DirState &Dir = Rcv->getChannel() == Channel::X ? R.Chan.RecvX
+                                                    : R.Chan.RecvY;
+    Dir = addDir(Dir, One);
+    return R;
+  }
+  case Stmt::Kind::ExprStmt:
+    R.Chan = visitExpr(cast<ExprStmt>(S)->getExpr(), Definite);
+    return R;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive SCCs: conservative summaries
+//===----------------------------------------------------------------------===//
+
+/// Per-direction syntactic traffic bits for the conservative path.
+struct TouchBits {
+  bool SendX = false, SendY = false, RecvX = false, RecvY = false;
+
+  bool any() const { return SendX || SendY || RecvX || RecvY; }
+  void merge(const TouchBits &O) {
+    SendX |= O.SendX;
+    SendY |= O.SendY;
+    RecvX |= O.RecvX;
+    RecvY |= O.RecvY;
+  }
+};
+
+void collectOwnTouches(const Stmt *S, TouchBits &Out,
+                       std::set<std::string> &Callees);
+
+void collectOwnTouches(const Expr *E, TouchBits &Out,
+                       std::set<std::string> &Callees) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::Index:
+    collectOwnTouches(cast<IndexExpr>(E)->getIndex(), Out, Callees);
+    return;
+  case Expr::Kind::Unary:
+    collectOwnTouches(cast<UnaryExpr>(E)->getOperand(), Out, Callees);
+    return;
+  case Expr::Kind::Cast:
+    collectOwnTouches(cast<CastExpr>(E)->getOperand(), Out, Callees);
+    return;
+  case Expr::Kind::Binary:
+    collectOwnTouches(cast<BinaryExpr>(E)->getLHS(), Out, Callees);
+    collectOwnTouches(cast<BinaryExpr>(E)->getRHS(), Out, Callees);
+    return;
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Callees.insert(C->getCallee());
+    for (size_t I = 0; I != C->getNumArgs(); ++I)
+      collectOwnTouches(C->getArg(I), Out, Callees);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void collectOwnTouches(const Stmt *S, TouchBits &Out,
+                       std::set<std::string> &Callees) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &C : cast<BlockStmt>(S)->stmts())
+      collectOwnTouches(C.get(), Out, Callees);
+    return;
+  case Stmt::Kind::Decl:
+    collectOwnTouches(cast<DeclStmt>(S)->getDecl()->getInit(), Out, Callees);
+    return;
+  case Stmt::Kind::Assign:
+    collectOwnTouches(cast<AssignStmt>(S)->getTarget(), Out, Callees);
+    collectOwnTouches(cast<AssignStmt>(S)->getValue(), Out, Callees);
+    return;
+  case Stmt::Kind::If:
+    collectOwnTouches(cast<IfStmt>(S)->getCond(), Out, Callees);
+    collectOwnTouches(cast<IfStmt>(S)->getThen(), Out, Callees);
+    collectOwnTouches(cast<IfStmt>(S)->getElse(), Out, Callees);
+    return;
+  case Stmt::Kind::For:
+    collectOwnTouches(cast<ForStmt>(S)->getLo(), Out, Callees);
+    collectOwnTouches(cast<ForStmt>(S)->getHi(), Out, Callees);
+    collectOwnTouches(cast<ForStmt>(S)->getBody(), Out, Callees);
+    return;
+  case Stmt::Kind::While:
+    collectOwnTouches(cast<WhileStmt>(S)->getCond(), Out, Callees);
+    collectOwnTouches(cast<WhileStmt>(S)->getBody(), Out, Callees);
+    return;
+  case Stmt::Kind::Return:
+    collectOwnTouches(cast<ReturnStmt>(S)->getValue(), Out, Callees);
+    return;
+  case Stmt::Kind::Send:
+    collectOwnTouches(cast<SendStmt>(S)->getValue(), Out, Callees);
+    if (cast<SendStmt>(S)->getChannel() == Channel::X)
+      Out.SendX = true;
+    else
+      Out.SendY = true;
+    return;
+  case Stmt::Kind::Receive:
+    collectOwnTouches(cast<ReceiveStmt>(S)->getTarget(), Out, Callees);
+    if (cast<ReceiveStmt>(S)->getChannel() == Channel::X)
+      Out.RecvX = true;
+    else
+      Out.RecvY = true;
+    return;
+  case Stmt::Kind::ExprStmt:
+    collectOwnTouches(cast<ExprStmt>(S)->getExpr(), Out, Callees);
+    return;
+  }
+}
+
+TouchBits touchesOfSummary(const FunctionSummary &S) {
+  TouchBits T;
+  T.SendX = !S.Channels.SendX.isZero();
+  T.SendY = !S.Channels.SendY.isZero();
+  T.RecvX = !S.Channels.RecvX.isZero();
+  T.RecvY = !S.Channels.RecvY.isZero();
+  return T;
+}
+
+/// Conservative summary for a member of a recursive SCC: unknown counts
+/// on every direction the SCC can reach syntactically, unknown returns,
+/// pessimistic write bits, no demands, no diagnostics.
+std::vector<FunctionSummary>
+summarizeRecursive(const CallGraph &G, const SCCDecomposition &D,
+                   uint32_t SCCId,
+                   const std::vector<FunctionSummary> &AllSummaries) {
+  const SCCDecomposition::SCC &C = D.SCCs[SCCId];
+
+  // Per-member syntactic touches plus callee names, then a fixpoint over
+  // the members (out-of-SCC callees are already summarized).
+  std::map<uint32_t, TouchBits> Own;
+  std::map<uint32_t, std::set<uint32_t>> CalleeOrdinals;
+  for (uint32_t M : C.Members) {
+    const CallGraph::Node &N = G.Nodes[M];
+    TouchBits T;
+    std::set<std::string> Names;
+    collectOwnTouches(N.Function->getBody(), T, Names);
+    for (uint32_t Callee : N.Callees) {
+      if (D.SCCOf[Callee] == SCCId)
+        CalleeOrdinals[M].insert(Callee);
+      else
+        T.merge(touchesOfSummary(AllSummaries[Callee]));
+    }
+    Own[M] = T;
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t M : C.Members)
+      for (uint32_t Callee : CalleeOrdinals[M]) {
+        TouchBits Before = Own[M];
+        Own[M].merge(Own[Callee]);
+        if (!(Before.SendX == Own[M].SendX && Before.SendY == Own[M].SendY &&
+              Before.RecvX == Own[M].RecvX && Before.RecvY == Own[M].RecvY))
+          Changed = true;
+      }
+  }
+
+  std::vector<FunctionSummary> Out;
+  for (uint32_t M : C.Members) {
+    const CallGraph::Node &N = G.Nodes[M];
+    FunctionSummary S;
+    S.Ordinal = M;
+    S.SectionName = N.Section->getName();
+    S.FunctionName = N.Function->getName();
+    S.NumParams = static_cast<uint32_t>(N.Function->params().size());
+    S.Ret = Interval::top();
+    const TouchBits &T = Own[M];
+    CallChain Decl = {{S.FunctionName, N.Function->getLoc()}};
+    auto Dir = [&](bool Touched) {
+      return Touched ? ChannelPoly::unknown()
+                     : ChannelPoly::of(SymPoly::constant(0));
+    };
+    S.Channels.SendX = Dir(T.SendX);
+    S.Channels.SendY = Dir(T.SendY);
+    S.Channels.RecvX = Dir(T.RecvX);
+    S.Channels.RecvY = Dir(T.RecvY);
+    if (T.SendX)
+      S.Channels.SendXChain = Decl;
+    if (T.SendY)
+      S.Channels.SendYChain = Decl;
+    if (T.RecvX)
+      S.Channels.RecvXChain = Decl;
+    if (T.RecvY)
+      S.Channels.RecvYChain = Decl;
+    S.HasChannelTraffic = T.any();
+    for (uint32_t I = 0; I != S.NumParams; ++I)
+      if (N.Function->params()[I].Ty.isArray()) {
+        ArrayParamUse U;
+        U.ParamIndex = I;
+        U.MayWrite = true; // pessimistic: never claim reads-before-write
+        S.ArrayUses.push_back(U);
+      }
+    S.WritesArrayParams = !S.ArrayUses.empty();
+    S.Pure = false;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+} // namespace
+
+SCCOutput interproc::summarizeSCC(const CallGraph &G,
+                                  const SCCDecomposition &D, uint32_t SCCId,
+                                  const std::vector<FunctionSummary> &All,
+                                  const AnalysisOptions &Opts) {
+  SCCOutput Out;
+  const SCCDecomposition::SCC &C = D.SCCs[SCCId];
+  if (C.Recursive) {
+    Out.Summaries = summarizeRecursive(G, D, SCCId, All);
+    return Out;
+  }
+  Summarizer S(G, All, Opts, Out.Diags);
+  for (uint32_t M : C.Members)
+    Out.Summaries.push_back(S.run(M));
+  sortDiags(Out.Diags);
+  return Out;
+}

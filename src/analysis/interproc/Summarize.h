@@ -1,0 +1,50 @@
+//===- Summarize.h - Bottom-up SCC summarization ----------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summarizes the member functions of one call-graph SCC, composing the
+/// already-computed summaries of every callee SCC. This is the unit the
+/// wavefront drivers schedule: all SCCs of one level are independent, so
+/// workers can claim them in any order; the barrier between levels
+/// guarantees the AllSummaries entries an SCC reads are complete.
+///
+/// Summarization also performs the caller-side halves of the three
+/// interprocedural checks (interval demands against arguments, reads of
+/// uninitialized arrays through out-parameters), so the returned SCCOutput
+/// carries both the summaries and the ready-to-merge diagnostics — which
+/// is exactly what the summary cache persists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_INTERPROC_SUMMARIZE_H
+#define WARPC_ANALYSIS_INTERPROC_SUMMARIZE_H
+
+#include "analysis/Checks.h"
+#include "analysis/interproc/CallGraph.h"
+#include "analysis/interproc/Summary.h"
+
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+namespace interproc {
+
+/// Summarizes SCC \p SCCId of \p D. \p AllSummaries is indexed by function
+/// ordinal; the entries of every callee SCC must already be filled in (the
+/// wavefront schedule guarantees this). The result is a pure function of
+/// the member bodies, the callee summaries, and the enabled-check set —
+/// workers may compute it in any order, and the cache may replay it.
+/// Recursive SCCs get conservative summaries and never emit diagnostics.
+SCCOutput summarizeSCC(const CallGraph &G, const SCCDecomposition &D,
+                       uint32_t SCCId,
+                       const std::vector<FunctionSummary> &AllSummaries,
+                       const AnalysisOptions &Opts);
+
+} // namespace interproc
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_INTERPROC_SUMMARIZE_H

@@ -1,0 +1,565 @@
+//===- Summary.cpp - Per-function interprocedural summaries ---------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc/Summary.h"
+
+#include <algorithm>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::analysis::interproc;
+
+//===----------------------------------------------------------------------===//
+// SymPoly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Degree and term caps. W2 channel counts come from loop nests a few
+/// levels deep, so real polynomials are tiny; the caps only stop
+/// adversarial inputs from blowing up the analysis, and exceeding them
+/// degrades to "unknown", never to a wrong count.
+constexpr uint32_t MaxDegree = 4;
+constexpr uint32_t MaxTermCount = 16;
+
+bool addOverflows(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_add_overflow(A, B, &Out);
+}
+
+bool mulOverflows(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+} // namespace
+
+SymPoly SymPoly::constant(int64_t C) {
+  SymPoly P;
+  if (C != 0)
+    P.Terms[{}] = C;
+  return P;
+}
+
+SymPoly SymPoly::param(uint32_t Index) {
+  SymPoly P;
+  P.Terms[{Index}] = 1;
+  return P;
+}
+
+int64_t SymPoly::constantValue() const {
+  auto It = Terms.find({});
+  return It == Terms.end() ? 0 : It->second;
+}
+
+uint32_t SymPoly::degree() const {
+  uint32_t D = 0;
+  for (const auto &[Mono, Coeff] : Terms)
+    D = std::max(D, static_cast<uint32_t>(Mono.size()));
+  return D;
+}
+
+bool SymPoly::usesParam(uint32_t P) const {
+  for (const auto &[Mono, Coeff] : Terms)
+    if (std::find(Mono.begin(), Mono.end(), P) != Mono.end())
+      return true;
+  return false;
+}
+
+bool SymPoly::withinCaps() const {
+  return Terms.size() <= MaxTermCount && degree() <= MaxDegree;
+}
+
+SymPoly SymPoly::operator+(const SymPoly &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  SymPoly R = *this;
+  for (const auto &[Mono, Coeff] : O.Terms) {
+    int64_t Sum;
+    if (addOverflows(R.Terms[Mono], Coeff, Sum))
+      return invalid();
+    if (Sum == 0)
+      R.Terms.erase(Mono);
+    else
+      R.Terms[Mono] = Sum;
+  }
+  if (!R.withinCaps())
+    return invalid();
+  return R;
+}
+
+SymPoly SymPoly::operator-(const SymPoly &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  SymPoly Neg = O;
+  for (auto &[Mono, Coeff] : Neg.Terms) {
+    if (Coeff == INT64_MIN)
+      return invalid();
+    Coeff = -Coeff;
+  }
+  return *this + Neg;
+}
+
+SymPoly SymPoly::operator*(const SymPoly &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  SymPoly R;
+  for (const auto &[MonoA, CoeffA] : Terms)
+    for (const auto &[MonoB, CoeffB] : O.Terms) {
+      int64_t Coeff;
+      if (mulOverflows(CoeffA, CoeffB, Coeff))
+        return invalid();
+      std::vector<uint32_t> Mono;
+      Mono.reserve(MonoA.size() + MonoB.size());
+      std::merge(MonoA.begin(), MonoA.end(), MonoB.begin(), MonoB.end(),
+                 std::back_inserter(Mono));
+      int64_t Sum;
+      if (addOverflows(R.Terms[Mono], Coeff, Sum))
+        return invalid();
+      if (Sum == 0)
+        R.Terms.erase(Mono);
+      else
+        R.Terms[Mono] = Sum;
+    }
+  if (!R.withinCaps())
+    return invalid();
+  return R;
+}
+
+SymPoly SymPoly::substitute(const std::vector<SymPoly> &Args) const {
+  if (!Valid)
+    return invalid();
+  SymPoly R;
+  for (const auto &[Mono, Coeff] : Terms) {
+    SymPoly Term = constant(Coeff);
+    for (uint32_t P : Mono) {
+      if (P >= Args.size() || !Args[P].valid())
+        return invalid();
+      Term = Term * Args[P];
+      if (!Term.valid())
+        return invalid();
+    }
+    R = R + Term;
+    if (!R.valid())
+      return invalid();
+  }
+  return R;
+}
+
+bool SymPoly::asAffine(uint32_t &Param, int64_t &Scale, int64_t &Offset) const {
+  if (!Valid)
+    return false;
+  bool HaveLinear = false;
+  Scale = 0;
+  Offset = 0;
+  for (const auto &[Mono, Coeff] : Terms) {
+    if (Mono.empty()) {
+      Offset = Coeff;
+    } else if (Mono.size() == 1 && !HaveLinear) {
+      HaveLinear = true;
+      Param = Mono[0];
+      Scale = Coeff;
+    } else {
+      return false; // second linear term or degree >= 2
+    }
+  }
+  return HaveLinear && Scale != 0;
+}
+
+std::string SymPoly::str(const std::vector<std::string> &ParamNames) const {
+  if (!Valid)
+    return "<unknown>";
+  if (Terms.empty())
+    return "0";
+  auto NameOf = [&](uint32_t P) {
+    return P < ParamNames.size() ? ParamNames[P]
+                                 : "p" + std::to_string(P);
+  };
+  // Non-constant terms in monomial order, constant last: "2*n^2 + n + 3".
+  std::string Out;
+  auto Append = [&](const std::vector<uint32_t> &Mono, int64_t Coeff) {
+    if (!Out.empty())
+      Out += Coeff < 0 ? " - " : " + ";
+    else if (Coeff < 0)
+      Out += "-";
+    uint64_t Mag = Coeff < 0 ? 0ull - static_cast<uint64_t>(Coeff)
+                             : static_cast<uint64_t>(Coeff);
+    bool NeedCoeff = Mag != 1 || Mono.empty();
+    if (NeedCoeff)
+      Out += std::to_string(Mag);
+    size_t I = 0;
+    while (I != Mono.size()) {
+      size_t J = I;
+      while (J != Mono.size() && Mono[J] == Mono[I])
+        ++J;
+      if (NeedCoeff || I != 0)
+        Out += "*";
+      NeedCoeff = true;
+      Out += NameOf(Mono[I]);
+      if (J - I > 1)
+        Out += "^" + std::to_string(J - I);
+      I = J;
+    }
+  };
+  for (const auto &[Mono, Coeff] : Terms)
+    if (!Mono.empty())
+      Append(Mono, Coeff);
+  auto Const = Terms.find({});
+  if (Const != Terms.end())
+    Append({}, Const->second);
+  return Out;
+}
+
+void SymPoly::encode(BinaryWriter &W) const {
+  W.u8(Valid ? 1 : 0);
+  if (!Valid)
+    return;
+  W.u64(Terms.size());
+  for (const auto &[Mono, Coeff] : Terms) {
+    W.u64(Mono.size());
+    for (uint32_t P : Mono)
+      W.u32(P);
+    W.i64(Coeff);
+  }
+}
+
+std::optional<SymPoly> SymPoly::decode(BinaryReader &R) {
+  uint8_t ValidByte = R.u8();
+  if (!R.ok() || ValidByte > 1)
+    return std::nullopt;
+  if (!ValidByte)
+    return invalid();
+  SymPoly P;
+  uint64_t NumTerms = R.u64();
+  if (!R.ok() || NumTerms > MaxTermCount)
+    return std::nullopt;
+  for (uint64_t T = 0; T != NumTerms; ++T) {
+    uint64_t MonoSize = R.u64();
+    if (!R.ok() || MonoSize > MaxDegree)
+      return std::nullopt;
+    std::vector<uint32_t> Mono(MonoSize);
+    for (uint64_t I = 0; I != MonoSize; ++I)
+      Mono[I] = R.u32();
+    int64_t Coeff = R.i64();
+    if (!R.ok() || Coeff == 0 ||
+        !std::is_sorted(Mono.begin(), Mono.end()) || P.Terms.count(Mono))
+      return std::nullopt;
+    P.Terms.emplace(std::move(Mono), Coeff);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Interval
+//===----------------------------------------------------------------------===//
+
+Interval Interval::join(const Interval &A, const Interval &B) {
+  if (!A.Known || !B.Known)
+    return top();
+  return of(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi),
+            A.Attained && B.Attained);
+}
+
+Interval interproc::affineImage(const Interval &I, int64_t Scale,
+                                int64_t Offset) {
+  if (!I.Known)
+    return Interval::top();
+  int64_t A, B;
+  if (mulOverflows(I.Lo, Scale, A) || mulOverflows(I.Hi, Scale, B))
+    return Interval::top();
+  if (A > B)
+    std::swap(A, B);
+  int64_t Lo, Hi;
+  if (addOverflows(A, Offset, Lo) || addOverflows(B, Offset, Hi))
+    return Interval::top();
+  // Affine maps carry endpoints to endpoints, so attainment survives.
+  return Interval::of(Lo, Hi, I.Attained);
+}
+
+//===----------------------------------------------------------------------===//
+// ChannelPoly
+//===----------------------------------------------------------------------===//
+
+std::optional<uint64_t> ChannelPoly::constantCount() const {
+  if (!Known || !P.valid() || !P.isConstant())
+    return std::nullopt;
+  int64_t V = P.constantValue();
+  if (V < 0)
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+//===----------------------------------------------------------------------===//
+// SCCOutput serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void encodeLoc(BinaryWriter &W, SourceLoc L) {
+  W.u32(L.Line);
+  W.u32(L.Column);
+}
+
+SourceLoc decodeLoc(BinaryReader &R) {
+  uint32_t Line = R.u32();
+  uint32_t Col = R.u32();
+  return SourceLoc(Line, Col);
+}
+
+void encodeChain(BinaryWriter &W, const CallChain &C) {
+  W.u64(C.size());
+  for (const ChainLink &L : C) {
+    W.str(L.Function);
+    encodeLoc(W, L.Loc);
+  }
+}
+
+bool decodeChain(BinaryReader &R, CallChain &Out) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N > (1u << 16))
+    return false;
+  Out.resize(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    Out[I].Function = R.str();
+    Out[I].Loc = decodeLoc(R);
+  }
+  return R.ok();
+}
+
+void encodeInterval(BinaryWriter &W, const Interval &I) {
+  W.u8(I.Known ? 1 : 0);
+  W.i64(I.Lo);
+  W.i64(I.Hi);
+  W.u8(I.Attained ? 1 : 0);
+}
+
+bool decodeInterval(BinaryReader &R, Interval &Out) {
+  uint8_t Known = R.u8();
+  Out.Lo = R.i64();
+  Out.Hi = R.i64();
+  uint8_t Attained = R.u8();
+  if (!R.ok() || Known > 1 || Attained > 1)
+    return false;
+  Out.Known = Known;
+  Out.Attained = Attained;
+  if (!Out.Known)
+    Out = Interval::top();
+  return true;
+}
+
+void encodeChannelPoly(BinaryWriter &W, const ChannelPoly &P) {
+  W.u8(P.Known ? 1 : 0);
+  if (P.Known)
+    P.P.encode(W);
+}
+
+bool decodeChannelPoly(BinaryReader &R, ChannelPoly &Out) {
+  uint8_t Known = R.u8();
+  if (!R.ok() || Known > 1)
+    return false;
+  if (!Known) {
+    Out = ChannelPoly::unknown();
+    return true;
+  }
+  std::optional<SymPoly> P = SymPoly::decode(R);
+  if (!P || !P->valid())
+    return false;
+  Out = ChannelPoly::of(std::move(*P));
+  return true;
+}
+
+void encodeSummary(BinaryWriter &W, const FunctionSummary &S) {
+  W.u32(S.Ordinal);
+  W.str(S.SectionName);
+  W.str(S.FunctionName);
+  W.u32(S.NumParams);
+  encodeInterval(W, S.Ret);
+
+  W.u64(S.Demands.size());
+  for (const ParamDemand &D : S.Demands) {
+    W.u8(static_cast<uint8_t>(D.K));
+    W.u32(D.ParamIndex);
+    W.i64(D.Scale);
+    W.i64(D.Offset);
+    W.i64(D.Extent);
+    W.str(D.ArrayName);
+    encodeChain(W, D.Chain);
+  }
+
+  W.u64(S.ArrayUses.size());
+  for (const ArrayParamUse &U : S.ArrayUses) {
+    W.u32(U.ParamIndex);
+    W.u8((U.ReadsBeforeWrite ? 1 : 0) | (U.MayWrite ? 2 : 0) |
+         (U.DefinitelyWrites ? 4 : 0));
+    encodeChain(W, U.ReadChain);
+  }
+
+  encodeChannelPoly(W, S.Channels.SendX);
+  encodeChannelPoly(W, S.Channels.SendY);
+  encodeChannelPoly(W, S.Channels.RecvX);
+  encodeChannelPoly(W, S.Channels.RecvY);
+  encodeChain(W, S.Channels.SendXChain);
+  encodeChain(W, S.Channels.SendYChain);
+  encodeChain(W, S.Channels.RecvXChain);
+  encodeChain(W, S.Channels.RecvYChain);
+
+  W.u8((S.WritesArrayParams ? 1 : 0) | (S.HasChannelTraffic ? 2 : 0) |
+       (S.Pure ? 4 : 0));
+}
+
+bool decodeSummary(BinaryReader &R, FunctionSummary &S) {
+  S.Ordinal = R.u32();
+  S.SectionName = R.str();
+  S.FunctionName = R.str();
+  S.NumParams = R.u32();
+  if (!decodeInterval(R, S.Ret))
+    return false;
+
+  uint64_t NumDemands = R.u64();
+  if (!R.ok() || NumDemands > (1u << 16))
+    return false;
+  S.Demands.resize(NumDemands);
+  for (ParamDemand &D : S.Demands) {
+    uint8_t K = R.u8();
+    if (!R.ok() || K > ParamDemand::ArrayIndex)
+      return false;
+    D.K = static_cast<ParamDemand::Kind>(K);
+    D.ParamIndex = R.u32();
+    D.Scale = R.i64();
+    D.Offset = R.i64();
+    D.Extent = R.i64();
+    D.ArrayName = R.str();
+    if (!decodeChain(R, D.Chain))
+      return false;
+  }
+
+  uint64_t NumUses = R.u64();
+  if (!R.ok() || NumUses > (1u << 16))
+    return false;
+  S.ArrayUses.resize(NumUses);
+  for (ArrayParamUse &U : S.ArrayUses) {
+    U.ParamIndex = R.u32();
+    uint8_t Bits = R.u8();
+    if (!R.ok() || Bits > 7)
+      return false;
+    U.ReadsBeforeWrite = Bits & 1;
+    U.MayWrite = Bits & 2;
+    U.DefinitelyWrites = Bits & 4;
+    if (!decodeChain(R, U.ReadChain))
+      return false;
+  }
+
+  if (!decodeChannelPoly(R, S.Channels.SendX) ||
+      !decodeChannelPoly(R, S.Channels.SendY) ||
+      !decodeChannelPoly(R, S.Channels.RecvX) ||
+      !decodeChannelPoly(R, S.Channels.RecvY) ||
+      !decodeChain(R, S.Channels.SendXChain) ||
+      !decodeChain(R, S.Channels.SendYChain) ||
+      !decodeChain(R, S.Channels.RecvXChain) ||
+      !decodeChain(R, S.Channels.RecvYChain))
+    return false;
+
+  uint8_t Bits = R.u8();
+  if (!R.ok() || Bits > 7)
+    return false;
+  S.WritesArrayParams = Bits & 1;
+  S.HasChannelTraffic = Bits & 2;
+  S.Pure = Bits & 4;
+  return true;
+}
+
+void encodeDiag(BinaryWriter &W, const Diag &D) {
+  W.str(D.CheckId);
+  W.u8(static_cast<uint8_t>(D.Sev));
+  W.str(D.Section);
+  W.str(D.Function);
+  W.u32(D.FunctionOrdinal);
+  encodeLoc(W, D.Loc);
+  encodeLoc(W, D.Range.Begin);
+  encodeLoc(W, D.Range.End);
+  W.str(D.Message);
+  W.u64(D.Notes.size());
+  for (const DiagNote &N : D.Notes) {
+    encodeLoc(W, N.Loc);
+    W.str(N.Message);
+  }
+  W.u64(D.FixIts.size());
+  for (const FixItHint &F : D.FixIts) {
+    encodeLoc(W, F.Range.Begin);
+    encodeLoc(W, F.Range.End);
+    W.str(F.Replacement);
+  }
+}
+
+bool decodeDiag(BinaryReader &R, Diag &D) {
+  D.CheckId = R.str();
+  uint8_t Sev = R.u8();
+  if (!R.ok() || Sev > static_cast<uint8_t>(Severity::Error))
+    return false;
+  D.Sev = static_cast<Severity>(Sev);
+  D.Section = R.str();
+  D.Function = R.str();
+  D.FunctionOrdinal = R.u32();
+  D.Loc = decodeLoc(R);
+  D.Range.Begin = decodeLoc(R);
+  D.Range.End = decodeLoc(R);
+  D.Message = R.str();
+  uint64_t NumNotes = R.u64();
+  if (!R.ok() || NumNotes > (1u << 16))
+    return false;
+  D.Notes.resize(NumNotes);
+  for (DiagNote &N : D.Notes) {
+    N.Loc = decodeLoc(R);
+    N.Message = R.str();
+  }
+  uint64_t NumFixIts = R.u64();
+  if (!R.ok() || NumFixIts > (1u << 16))
+    return false;
+  D.FixIts.resize(NumFixIts);
+  for (FixItHint &F : D.FixIts) {
+    F.Range.Begin = decodeLoc(R);
+    F.Range.End = decodeLoc(R);
+    F.Replacement = R.str();
+  }
+  return R.ok();
+}
+
+} // namespace
+
+std::vector<uint8_t> interproc::encodeSCCOutput(const SCCOutput &O) {
+  BinaryWriter W;
+  W.u32(SummaryFormatVersion);
+  W.u64(O.Summaries.size());
+  for (const FunctionSummary &S : O.Summaries)
+    encodeSummary(W, S);
+  W.u64(O.Diags.size());
+  for (const Diag &D : O.Diags)
+    encodeDiag(W, D);
+  return W.take();
+}
+
+std::optional<SCCOutput>
+interproc::decodeSCCOutput(const std::vector<uint8_t> &Bytes) {
+  BinaryReader R(Bytes);
+  if (R.u32() != SummaryFormatVersion || !R.ok())
+    return std::nullopt;
+  SCCOutput O;
+  uint64_t NumSummaries = R.u64();
+  if (!R.ok() || NumSummaries > (1u << 20))
+    return std::nullopt;
+  O.Summaries.resize(NumSummaries);
+  for (FunctionSummary &S : O.Summaries)
+    if (!decodeSummary(R, S))
+      return std::nullopt;
+  uint64_t NumDiags = R.u64();
+  if (!R.ok() || NumDiags > (1u << 20))
+    return std::nullopt;
+  O.Diags.resize(NumDiags);
+  for (Diag &D : O.Diags)
+    if (!decodeDiag(R, D))
+      return std::nullopt;
+  if (!R.atEnd())
+    return std::nullopt;
+  return O;
+}

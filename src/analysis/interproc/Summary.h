@@ -1,0 +1,283 @@
+//===- Summary.h - Per-function interprocedural summaries -------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary lattice of the interprocedural analysis. A FunctionSummary
+/// abstracts one function's externally visible behavior:
+///
+///   - an interval for the returned value (int returns only),
+///   - *demands* on scalar parameters: sites where an affine image of a
+///     parameter is used as a divisor or as an array subscript, so callers
+///     can check concrete arguments against them,
+///   - per array-parameter effect bits (reads-before-write, writes), the
+///     vehicle for use-of-uninitialized through out-parameters,
+///   - channel Send/Recv counts as symbolic polynomials in the parameters
+///     (loop trips with affine bounds multiply through), with a source
+///     witness chain per direction,
+///   - side-effect/purity bits.
+///
+/// Summaries compose bottom-up over the call graph: a call site
+/// substitutes argument polynomials into the callee's counts, checks the
+/// callee's demands against argument intervals, and re-exports demands
+/// that remain affine in the caller's own parameters. Diagnostics found
+/// while summarizing ride along in SCCOutput so a summary-cache hit can
+/// replay them without re-walking the bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_ANALYSIS_INTERPROC_SUMMARY_H
+#define WARPC_ANALYSIS_INTERPROC_SUMMARY_H
+
+#include "analysis/Diagnostic.h"
+#include "support/BinaryStream.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace analysis {
+namespace interproc {
+
+//===----------------------------------------------------------------------===//
+// SymPoly
+//===----------------------------------------------------------------------===//
+
+/// A multivariate polynomial over function parameters with int64
+/// coefficients. Terms map a monomial — the sorted multiset of parameter
+/// indices, e.g. {0,0,1} for p0^2*p1 — to its coefficient; the empty
+/// monomial is the constant term. Construction fails closed: operations
+/// that would exceed the degree/term caps or overflow coefficients mark
+/// the poly invalid, and invalid polys poison everything downstream into
+/// "unknown".
+class SymPoly {
+public:
+  SymPoly() = default;
+
+  static SymPoly constant(int64_t C);
+  static SymPoly param(uint32_t P);
+  static SymPoly invalid() {
+    SymPoly P;
+    P.Valid = false;
+    return P;
+  }
+
+  bool valid() const { return Valid; }
+  bool isZero() const { return Valid && Terms.empty(); }
+  bool isConstant() const { return Valid && degree() == 0; }
+  /// Constant value; only meaningful when isConstant().
+  int64_t constantValue() const;
+  uint32_t degree() const;
+  /// True when the poly mentions parameter \p P.
+  bool usesParam(uint32_t P) const;
+
+  SymPoly operator+(const SymPoly &O) const;
+  SymPoly operator-(const SymPoly &O) const;
+  SymPoly operator*(const SymPoly &O) const;
+
+  /// Substitutes Args[i] for parameter i. Parameters without a
+  /// corresponding argument, or invalid arguments in used positions,
+  /// invalidate the result.
+  SymPoly substitute(const std::vector<SymPoly> &Args) const;
+
+  /// Decomposes an affine-in-one-parameter poly: value == Scale*param +
+  /// Offset with Scale != 0. Pure constants return false.
+  bool asAffine(uint32_t &Param, int64_t &Scale, int64_t &Offset) const;
+
+  /// Human-readable form for diagnostics, e.g. "3*n + 2" given parameter
+  /// names; falls back to "p<i>" past the name list.
+  std::string str(const std::vector<std::string> &ParamNames) const;
+
+  friend bool operator==(const SymPoly &A, const SymPoly &B) {
+    return A.Valid == B.Valid && (!A.Valid || A.Terms == B.Terms);
+  }
+  friend bool operator!=(const SymPoly &A, const SymPoly &B) {
+    return !(A == B);
+  }
+
+  void encode(BinaryWriter &W) const;
+  static std::optional<SymPoly> decode(BinaryReader &R);
+
+private:
+  bool withinCaps() const;
+
+  bool Valid = true;
+  std::map<std::vector<uint32_t>, int64_t> Terms;
+};
+
+//===----------------------------------------------------------------------===//
+// Interval
+//===----------------------------------------------------------------------===//
+
+/// A possibly-unknown integer interval. Attained mirrors the intraproc
+/// bounds checker's EndpointsAttained bit: when set, both endpoints occur
+/// on some execution, which is what licenses "reaches" diagnostics
+/// (interior points may be skipped by loop strides).
+struct Interval {
+  bool Known = false;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  bool Attained = false;
+
+  static Interval top() { return {}; }
+  static Interval of(int64_t Lo, int64_t Hi, bool Attained) {
+    return {true, Lo, Hi, Attained};
+  }
+  static Interval single(int64_t V) { return of(V, V, true); }
+
+  bool isSingle(int64_t V) const { return Known && Lo == V && Hi == V; }
+
+  /// Lattice join (interval hull); attainment survives only when both
+  /// sides attain their endpoints.
+  static Interval join(const Interval &A, const Interval &B);
+
+  friend bool operator==(const Interval &A, const Interval &B) {
+    return A.Known == B.Known &&
+           (!A.Known ||
+            (A.Lo == B.Lo && A.Hi == B.Hi && A.Attained == B.Attained));
+  }
+};
+
+/// Scale*I + Offset with saturation to Top on overflow.
+Interval affineImage(const Interval &I, int64_t Scale, int64_t Offset);
+
+//===----------------------------------------------------------------------===//
+// Summary components
+//===----------------------------------------------------------------------===//
+
+/// One frame of a call-chain witness: the function a site lives in and
+/// the site's location. Chains start at the summarized function and end
+/// at the leaf site.
+struct ChainLink {
+  std::string Function;
+  SourceLoc Loc;
+
+  friend bool operator==(const ChainLink &A, const ChainLink &B) {
+    return A.Function == B.Function && A.Loc.Line == B.Loc.Line &&
+           A.Loc.Column == B.Loc.Column;
+  }
+};
+
+using CallChain = std::vector<ChainLink>;
+
+/// A demand on a scalar parameter: somewhere in this function (or a
+/// transitive callee) the value Scale*param + Offset is used as a divisor
+/// or as a subscript into an array of the given extent.
+struct ParamDemand {
+  enum Kind : uint8_t { Divisor, ArrayIndex };
+
+  Kind K = Divisor;
+  uint32_t ParamIndex = 0;
+  int64_t Scale = 1;
+  int64_t Offset = 0;
+  int64_t Extent = 0;      ///< ArrayIndex only.
+  std::string ArrayName;   ///< ArrayIndex only, for messages.
+  CallChain Chain;         ///< First frame is in the summarized function.
+
+  friend bool operator==(const ParamDemand &A, const ParamDemand &B) {
+    return A.K == B.K && A.ParamIndex == B.ParamIndex && A.Scale == B.Scale &&
+           A.Offset == B.Offset && A.Extent == B.Extent &&
+           A.ArrayName == B.ArrayName && A.Chain == B.Chain;
+  }
+};
+
+/// Effect bits for one array parameter.
+struct ArrayParamUse {
+  uint32_t ParamIndex = 0;
+  /// Some element is read at a point no write to the array can precede —
+  /// the callee-side half of use-of-uninitialized-through-out-parameter.
+  bool ReadsBeforeWrite = false;
+  /// The function may write the array (any path).
+  bool MayWrite = false;
+  /// The function writes the array on every complete execution.
+  bool DefinitelyWrites = false;
+  CallChain ReadChain; ///< Witness for the first uninitialized-capable read.
+
+  friend bool operator==(const ArrayParamUse &A, const ArrayParamUse &B) {
+    return A.ParamIndex == B.ParamIndex &&
+           A.ReadsBeforeWrite == B.ReadsBeforeWrite &&
+           A.MayWrite == B.MayWrite &&
+           A.DefinitelyWrites == B.DefinitelyWrites &&
+           A.ReadChain == B.ReadChain;
+  }
+};
+
+/// A possibly-unknown symbolic channel count.
+struct ChannelPoly {
+  bool Known = true;
+  SymPoly P; ///< Zero poly by default.
+
+  static ChannelPoly unknown() { return {false, SymPoly()}; }
+  static ChannelPoly of(SymPoly Poly) {
+    if (!Poly.valid())
+      return unknown();
+    return {true, std::move(Poly)};
+  }
+  bool isZero() const { return Known && P.isZero(); }
+  /// Constant evaluation; negative results (artifacts of unclamped
+  /// symbolic trip counts) degrade to nullopt.
+  std::optional<uint64_t> constantCount() const;
+
+  friend bool operator==(const ChannelPoly &A, const ChannelPoly &B) {
+    return A.Known == B.Known && (!A.Known || A.P == B.P);
+  }
+};
+
+/// The four channel directions of one function execution, with a witness
+/// chain per direction pointing at the first contributing site.
+struct ChannelSummary {
+  ChannelPoly SendX, SendY, RecvX, RecvY;
+  CallChain SendXChain, SendYChain, RecvXChain, RecvYChain;
+
+  bool anyTraffic() const {
+    return !SendX.isZero() || !SendY.isZero() || !RecvX.isZero() ||
+           !RecvY.isZero();
+  }
+};
+
+/// Everything the analysis knows about one function from the outside.
+struct FunctionSummary {
+  uint32_t Ordinal = 0;
+  std::string SectionName;
+  std::string FunctionName;
+  uint32_t NumParams = 0;
+  Interval Ret; ///< Top for void/float returns and recursive SCCs.
+  std::vector<ParamDemand> Demands;
+  std::vector<ArrayParamUse> ArrayUses; ///< One entry per array parameter.
+  ChannelSummary Channels;
+  bool WritesArrayParams = false;
+  bool HasChannelTraffic = false;
+  /// No channel traffic and no writes through array parameters — calls
+  /// are observable only through the returned value.
+  bool Pure = false;
+};
+
+/// Result of summarizing one SCC: member summaries plus the caller-side
+/// diagnostics discovered while walking the member bodies. This is the
+/// summary-cache unit.
+struct SCCOutput {
+  std::vector<FunctionSummary> Summaries;
+  std::vector<Diag> Diags;
+};
+
+/// Version tag of the SCCOutput wire format. Also folded into summary
+/// cache keys, so bumping it orphans (rather than misdecodes) old
+/// entries.
+inline constexpr uint32_t SummaryFormatVersion = 1;
+
+/// Serializes an SCCOutput (version-tagged; decode returns nullopt on any
+/// malformation, which the cache treats as a miss).
+std::vector<uint8_t> encodeSCCOutput(const SCCOutput &O);
+std::optional<SCCOutput> decodeSCCOutput(const std::vector<uint8_t> &Bytes);
+
+} // namespace interproc
+} // namespace analysis
+} // namespace warpc
+
+#endif // WARPC_ANALYSIS_INTERPROC_SUMMARY_H

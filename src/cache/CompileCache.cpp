@@ -24,6 +24,11 @@ namespace {
 constexpr char EntryMagic[4] = {'W', 'C', 'C', '1'};
 constexpr uint32_t FormatVersion = 1;
 
+/// Interprocedural summary entries use their own magic so a summary file
+/// can never be confused with a compile entry, but share the header
+/// layout and integrity discipline.
+constexpr char SummaryMagic[4] = {'W', 'C', 'S', '1'};
+
 std::string hex64(uint64_t V) {
   char Buf[17];
   std::snprintf(Buf, sizeof(Buf), "%016llx",
@@ -298,6 +303,103 @@ void CompileCache::storeDiskEntry(const CacheKey &Key,
   std::filesystem::rename(Tmp, Path, EC);
   if (EC)
     std::filesystem::remove(Tmp, EC);
+}
+
+std::string CompileCache::summaryPath(const CacheKey &Key) const {
+  if (Mode != CacheMode::Disk)
+    return "";
+  return Dir + "/" + Key.hex() + ".wsm";
+}
+
+std::optional<std::vector<uint8_t>>
+CompileCache::lookupSummary(const CacheKey &Key) {
+  if (Mode == CacheMode::Off)
+    return std::nullopt;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = SummaryEntries.find(Key);
+  if (It != SummaryEntries.end())
+    return It->second;
+  if (Mode == CacheMode::Disk)
+    return loadDiskSummary(Key);
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>>
+CompileCache::loadDiskSummary(const CacheKey &Key) {
+  std::ifstream In(summaryPath(Key), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::vector<uint8_t> File((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  In.close();
+
+  BinaryReader R(File);
+  bool MagicOk = true;
+  for (char C : SummaryMagic)
+    MagicOk &= R.u8() == static_cast<uint8_t>(C);
+  uint32_t Version = R.u32();
+  uint64_t PayloadSize = R.u64();
+  uint64_t Checksum = R.u64();
+  constexpr size_t HeaderSize = 4 + 4 + 8 + 8;
+  if (!R.ok() || !MagicOk || Version != FormatVersion ||
+      File.size() < HeaderSize ||
+      PayloadSize != File.size() - HeaderSize ||
+      Checksum !=
+          fnv1a64(File.data() + HeaderSize, File.size() - HeaderSize)) {
+    ++Stats.CorruptEntries;
+    note("cache.corrupt_entries");
+    return std::nullopt;
+  }
+  std::vector<uint8_t> Payload(File.begin() + HeaderSize, File.end());
+  SummaryEntries.emplace(Key, Payload);
+  return Payload;
+}
+
+void CompileCache::storeSummary(const CacheKey &Key,
+                                const std::vector<uint8_t> &Bytes) {
+  if (Mode == CacheMode::Off)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Mode == CacheMode::Disk)
+    storeDiskSummary(Key, Bytes);
+  SummaryEntries[Key] = Bytes;
+}
+
+void CompileCache::storeDiskSummary(const CacheKey &Key,
+                                    const std::vector<uint8_t> &Bytes) {
+  BinaryWriter W;
+  for (char C : SummaryMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(FormatVersion);
+  W.u64(Bytes.size());
+  W.u64(fnv1a64(Bytes));
+  std::string Path = summaryPath(Key);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(reinterpret_cast<const char *>(W.buffer().data()),
+              static_cast<std::streamsize>(W.buffer().size()));
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    if (!Out)
+      return;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}
+
+RebuildReason CompileCache::classifySummaryMiss(const std::string &Section,
+                                                const std::string &Fn,
+                                                const FunctionFingerprint &FP) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Manifest.find(manifestKey(Section, Fn));
+  if (It == Manifest.end())
+    return RebuildReason::NewFunction;
+  return classifyRebuild(It->second, FP);
 }
 
 bool CompileCache::contains(const CacheKey &Key) {

@@ -109,9 +109,36 @@ public:
   /// tests can corrupt entries where the implementation expects them.
   std::string entryPath(const CacheKey &Key) const;
 
+  /// Byte-level store for interprocedural SCC summaries. Keys are
+  /// computed by the analysis driver (post-sema body hashes of the SCC
+  /// members composed with the callee SCC keys); payloads are opaque here
+  /// — encode/decode live with the analysis so the cache library needs no
+  /// dependency on it. Disk mode persists one "<hex>.wsm" file per key
+  /// with the same versioned-header + checksum + atomic-rename discipline
+  /// as compile entries. No cache.* metrics are accounted; the analysis
+  /// runner owns the analysis.summary.* counters.
+  std::optional<std::vector<uint8_t>> lookupSummary(const CacheKey &Key);
+  void storeSummary(const CacheKey &Key, const std::vector<uint8_t> &Bytes);
+
+  /// Classifies why one SCC member's summary missed: NewFunction when the
+  /// manifest has never seen the function, otherwise the first
+  /// fingerprint difference since the last rememberModule. Unlike
+  /// explainModule this can legitimately return Hit — the summary key
+  /// also covers the enabled-check set and the callee SCC keys, either of
+  /// which can change while the function fingerprint stays equal.
+  RebuildReason classifySummaryMiss(const std::string &Section,
+                                    const std::string &Fn,
+                                    const FunctionFingerprint &FP);
+
+  /// The summary file for \p Key (Disk mode; empty otherwise).
+  std::string summaryPath(const CacheKey &Key) const;
+
 private:
   std::optional<driver::FunctionResult> loadDiskEntry(const CacheKey &Key);
   void storeDiskEntry(const CacheKey &Key, const std::vector<uint8_t> &Bytes);
+  std::optional<std::vector<uint8_t>> loadDiskSummary(const CacheKey &Key);
+  void storeDiskSummary(const CacheKey &Key,
+                        const std::vector<uint8_t> &Bytes);
   void loadManifest();
   void saveManifest();
   void note(const char *Counter, double Delta = 1);
@@ -123,6 +150,8 @@ private:
 
   mutable std::mutex Mu;
   std::map<CacheKey, std::vector<uint8_t>> Entries; ///< Serialized results.
+  /// Serialized interprocedural SCC summaries (opaque payloads).
+  std::map<CacheKey, std::vector<uint8_t>> SummaryEntries;
   /// Last-seen fingerprint per "section.function" name.
   std::map<std::string, FunctionFingerprint> Manifest;
   CacheStats Stats;

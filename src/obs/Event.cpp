@@ -29,6 +29,7 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::SpanMasterRecompile, "span_master_recompile"},
     {EventKind::SpanAnalyze, "span_analyze"},
     {EventKind::SpanCacheHit, "span_cache_hit"},
+    {EventKind::SpanSummarize, "span_summarize"},
     {EventKind::PlacementFailed, "placement_failed"},
     {EventKind::AttemptLost, "attempt_lost"},
     {EventKind::MessageLost, "message_lost"},
@@ -98,6 +99,7 @@ bool obs::isSpanKind(EventKind K) {
   case EventKind::SpanMasterRecompile:
   case EventKind::SpanAnalyze:
   case EventKind::SpanCacheHit:
+  case EventKind::SpanSummarize:
     return true;
   default:
     return false;

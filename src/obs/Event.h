@@ -44,6 +44,7 @@ enum class EventKind : uint8_t {
   SpanMasterRecompile, ///< Attempt-cap fallback in the master.
   SpanAnalyze,         ///< Static analysis of one function on one worker.
   SpanCacheHit,        ///< Cached result replayed instead of compiling.
+  SpanSummarize,       ///< Interprocedural summarization of one SCC.
 
   // Instants (milestones and fault-handling decisions).
   PlacementFailed,  ///< Target host down at fork time.

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,9 @@ class TraceRecorder {
 public:
   /// One append-only event buffer. The simulator uses lane 0; the thread
   /// engine gives each worker its own lane so recording never contends.
+  /// Events live in a deque so the references instant()/span() hand out
+  /// stay valid across later appends (callers routinely hold the parent
+  /// span while emitting its child instant).
   class Lane {
   public:
     /// Appends an instant event and returns it for field assignment.
@@ -54,7 +58,7 @@ public:
     friend class TraceRecorder;
     explicit Lane(TraceRecorder &Parent) : Parent(Parent) {}
     TraceRecorder &Parent;
-    std::vector<SpanEvent> Events;
+    std::deque<SpanEvent> Events;
     std::vector<CounterEvent> Counters;
   };
 

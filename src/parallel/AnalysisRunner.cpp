@@ -6,15 +6,22 @@
 
 #include "parallel/AnalysisRunner.h"
 
+#include "analysis/interproc/InterprocAnalysis.h"
+#include "support/BinaryStream.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <thread>
 #include <vector>
 
 using namespace warpc;
 using namespace warpc::parallel;
 using warpc::obs::EventKind;
+
+namespace ip = warpc::analysis::interproc;
 
 namespace {
 
@@ -33,14 +40,73 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+/// Trace bookkeeping for one summarized SCC: the span that produced its
+/// summaries, so dependent SCCs can link their causal parent.
+struct SCCSpan {
+  uint64_t SpanId = 0;
+  double EndSec = 0;
+};
+
+/// Content key of one SCC's summaries: the wire-format version, the
+/// compiler build, the enabled bits of the cached checks, every member's
+/// identity (ordinal + names — diagnostics embed them) and post-sema body
+/// hash, and the callee SCC keys. Computed bottom-up on the master, so an
+/// edit invalidates the dirty SCC and every ancestor transitively.
+cache::CacheKey
+summaryKeyOf(const ip::CallGraph &G, const ip::SCCDecomposition &D,
+             uint32_t SCCId, const std::vector<cache::FunctionFingerprint> &FPs,
+             const std::vector<cache::CacheKey> &Keys,
+             const analysis::AnalysisOptions &Opts) {
+  BinaryWriter W;
+  W.u32(ip::SummaryFormatVersion);
+  W.u64(cache::compilerBuildId());
+  W.u8(Opts.enabled(analysis::check::InterprocArrayBounds) ? 1 : 0);
+  W.u8(Opts.enabled(analysis::check::InterprocDivZero) ? 1 : 0);
+  W.u8(Opts.enabled(analysis::check::InterprocUninit) ? 1 : 0);
+  const ip::SCCDecomposition::SCC &C = D.SCCs[SCCId];
+  W.u8(C.Recursive ? 1 : 0);
+  W.u64(C.Members.size());
+  for (uint32_t M : C.Members) {
+    W.u32(M);
+    W.str(G.Nodes[M].Section->getName());
+    W.str(G.Nodes[M].Function->getName());
+    W.u64(FPs[M].BodyHash);
+  }
+  W.u64(C.CalleeSCCs.size());
+  for (uint32_t Callee : C.CalleeSCCs) {
+    W.u64(Keys[Callee].Hi);
+    W.u64(Keys[Callee].Lo);
+  }
+  cache::CacheKey K;
+  K.Hi = fnv1a64(W.buffer());
+  W.u64(K.Hi);
+  K.Lo = fnv1a64(W.buffer());
+  if (!K.valid())
+    K.Lo = 1;
+  return K;
+}
+
 } // namespace
+
+unsigned parallel::defaultAnalysisWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  if (N == 0)
+    N = 1;
+  if (const char *Cap = std::getenv("WARPC_TEST_MAX_WORKERS")) {
+    const unsigned C = static_cast<unsigned>(std::strtoul(Cap, nullptr, 10));
+    if (C > 0 && N > C)
+      N = C;
+  }
+  return N;
+}
 
 AnalysisRunResult
 parallel::analyzeModuleParallel(const w2::ModuleDecl &M,
                                 const std::string &Source,
                                 const analysis::AnalysisOptions &Opts,
                                 unsigned NumWorkers, obs::TraceRecorder *Rec,
-                                obs::MetricsRegistry *Metrics) {
+                                obs::MetricsRegistry *Metrics,
+                                cache::CompileCache *SummaryCache) {
   const auto RunStart = std::chrono::steady_clock::now();
   AnalysisRunResult Result;
 
@@ -113,6 +179,140 @@ parallel::analyzeModuleParallel(const w2::ModuleDecl &M,
   }
   Result.ParallelPhaseSec = secondsSince(FanOutStart);
 
+  // ---- interprocedural wavefront phase ----------------------------------
+  // SCCs of one wave are independent (every callee summary is complete by
+  // the barrier below), so workers claim them FCFS exactly like the
+  // per-function tasks; per-SCC slots make the merge order a pure
+  // function of the module.
+  std::vector<analysis::Diag> InterDiags;
+  std::atomic<uint64_t> SumHits{0}, SumMisses{0}, SumStores{0},
+      SumInvalidated{0};
+  if (ip::anyInterprocCheckEnabled(Opts) && !Tasks.empty()) {
+    const ip::CallGraph G = ip::CallGraph::build(M);
+    const ip::SCCDecomposition D = ip::SCCDecomposition::compute(G);
+    const size_t NumSCCs = D.SCCs.size();
+    std::vector<ip::FunctionSummary> AllSummaries(G.Nodes.size());
+    std::vector<std::vector<analysis::Diag>> SCCSlots(NumSCCs);
+    std::vector<SCCSpan> Spans(NumSCCs);
+
+    // Summary-cache keys, bottom-up on the master (cheap: hashing only).
+    std::vector<cache::FunctionFingerprint> FPs;
+    std::vector<cache::CacheKey> Keys;
+    if (SummaryCache) {
+      FPs.resize(G.Nodes.size());
+      for (const ip::CallGraph::Node &N : G.Nodes)
+        FPs[N.Ordinal] = cache::fingerprintFunction(*N.Section, *N.Function,
+                                                    SummaryCache->context());
+      Keys.resize(NumSCCs);
+      for (const std::vector<uint32_t> &Wave : D.Waves)
+        for (uint32_t Id : Wave)
+          Keys[Id] = summaryKeyOf(G, D, Id, FPs, Keys, Opts);
+    }
+
+    auto SummarizeOne = [&](uint32_t SCCId, unsigned Wix) {
+      obs::TraceRecorder::Lane *Lane = Rec ? &Rec->lane(1 + Wix) : nullptr;
+      const double T0 = Rec ? Rec->nowSec() : 0;
+      const auto C0 = std::chrono::steady_clock::now();
+
+      ip::SCCOutput Out;
+      bool Hit = false;
+      if (SummaryCache) {
+        if (std::optional<std::vector<uint8_t>> Bytes =
+                SummaryCache->lookupSummary(Keys[SCCId])) {
+          if (std::optional<ip::SCCOutput> Decoded =
+                  ip::decodeSCCOutput(*Bytes)) {
+            Out = std::move(*Decoded);
+            Hit = true;
+          }
+        }
+      }
+      if (!Hit) {
+        Out = ip::summarizeSCC(G, D, SCCId, AllSummaries, Opts);
+        if (SummaryCache) {
+          SummaryCache->storeSummary(Keys[SCCId], ip::encodeSCCOutput(Out));
+          ++SumStores;
+          // Name the invalidation: a member whose fingerprint drifted
+          // since the last rememberModule is an edit; members the
+          // manifest never saw are new, not invalidated.
+          bool Invalidated = false;
+          for (uint32_t Mb : D.SCCs[SCCId].Members) {
+            const ip::CallGraph::Node &N = G.Nodes[Mb];
+            cache::RebuildReason Reason = SummaryCache->classifySummaryMiss(
+                N.Section->getName(), N.Function->getName(), FPs[Mb]);
+            if (Reason != cache::RebuildReason::Hit &&
+                Reason != cache::RebuildReason::NewFunction)
+              Invalidated = true;
+          }
+          if (Invalidated)
+            ++SumInvalidated;
+        }
+      }
+      if (SummaryCache) {
+        if (Hit)
+          ++SumHits;
+        else
+          ++SumMisses;
+      }
+
+      for (ip::FunctionSummary &S : Out.Summaries)
+        AllSummaries[S.Ordinal] = std::move(S);
+      SCCSlots[SCCId] = std::move(Out.Diags);
+
+      if (Lane) {
+        // Causal parent: the callee SCC whose summaries landed last —
+        // the dependency that actually gated this summarization.
+        uint64_t Parent = 0;
+        double ParentEnd = -1;
+        for (uint32_t Callee : D.SCCs[SCCId].CalleeSCCs)
+          if (Spans[Callee].SpanId && Spans[Callee].EndSec > ParentEnd) {
+            Parent = Spans[Callee].SpanId;
+            ParentEnd = Spans[Callee].EndSec;
+          }
+        obs::SpanEvent &E =
+            Lane->span(T0, Rec->nowSec() - T0, EventKind::SpanSummarize,
+                       obs::Phase::Analyze);
+        E.Host = static_cast<int32_t>(1 + Wix);
+        E.Parent = Parent;
+        Spans[SCCId] = {E.spanId(), E.endSec()};
+      }
+      if (Metrics)
+        Metrics->observe("analysis.scc_sec", secondsSince(C0));
+    };
+
+    for (const std::vector<uint32_t> &Wave : D.Waves) {
+      std::atomic<size_t> NextSCC{0};
+      auto WaveBody = [&](unsigned Wix) {
+        for (;;) {
+          const size_t I = NextSCC.fetch_add(1);
+          if (I >= Wave.size())
+            break;
+          SummarizeOne(Wave[I], Wix);
+        }
+      };
+      if (Workers == 1 || Wave.size() <= 1) {
+        WaveBody(0);
+      } else {
+        std::vector<std::thread> Pool;
+        Pool.reserve(Workers);
+        for (unsigned W = 0; W != Workers; ++W)
+          Pool.emplace_back(WaveBody, W);
+        for (std::thread &Th : Pool)
+          Th.join();
+      }
+    }
+
+    for (std::vector<analysis::Diag> &S : SCCSlots)
+      InterDiags.insert(InterDiags.end(), std::make_move_iterator(S.begin()),
+                        std::make_move_iterator(S.end()));
+    // The deadlock detector composes summaries across the whole module;
+    // it is cheap and never cached (its verdicts depend on every stage).
+    std::vector<analysis::Diag> Deadlocks =
+        ip::checkSystolicDeadlock(G, AllSummaries, Opts);
+    InterDiags.insert(InterDiags.end(),
+                      std::make_move_iterator(Deadlocks.begin()),
+                      std::make_move_iterator(Deadlocks.end()));
+  }
+
   // Master tail: ordered merge, the module-level channel pass, and the
   // same finalize step the sequential analyzer uses.
   std::vector<analysis::Diag> Merged;
@@ -123,8 +323,11 @@ parallel::analyzeModuleParallel(const w2::ModuleDecl &M,
   std::vector<analysis::Diag> Chan = analysis::checkChannelProtocol(M, Opts);
   Merged.insert(Merged.end(), std::make_move_iterator(Chan.begin()),
                 std::make_move_iterator(Chan.end()));
+  Merged.insert(Merged.end(), std::make_move_iterator(InterDiags.begin()),
+                std::make_move_iterator(InterDiags.end()));
+  ip::supersedeChannelMismatch(Merged);
   Result.Analysis.Diags =
-      analysis::finalizeModuleDiags(std::move(Merged), Source, Opts);
+      analysis::finalizeModuleDiags(std::move(Merged), Source, Opts, &M);
   Result.Analysis.FunctionsAnalyzed = static_cast<uint32_t>(Tasks.size());
   if (Rec) {
     obs::SpanEvent &E =
@@ -136,6 +339,13 @@ parallel::analyzeModuleParallel(const w2::ModuleDecl &M,
   Result.ElapsedSec = secondsSince(RunStart);
   if (Metrics) {
     Metrics->add("analysis.functions", static_cast<double>(Tasks.size()));
+    if (SummaryCache) {
+      Metrics->add("analysis.summary.hits", static_cast<double>(SumHits));
+      Metrics->add("analysis.summary.misses", static_cast<double>(SumMisses));
+      Metrics->add("analysis.summary.stores", static_cast<double>(SumStores));
+      Metrics->add("analysis.summary.invalidated",
+                   static_cast<double>(SumInvalidated));
+    }
     const analysis::DiagCounts Counts =
         analysis::countDiags(Result.Analysis.Diags);
     Metrics->add("analysis.diags.errors", static_cast<double>(Counts.Errors));

@@ -18,12 +18,22 @@
 /// diagnostics are therefore byte-identical across worker counts; a test
 /// asserts the JSON matches for 1..N workers.
 ///
+/// The interprocedural phase reuses the same discipline at SCC
+/// granularity: the call-graph condensation's wavefront levels run in
+/// ascending order with a barrier between levels, workers claim the SCCs
+/// of one wave first-come-first-served, and results land in per-SCC slots
+/// merged by SCC id. An optional CompileCache persists per-SCC summary
+/// bytes keyed by the members' post-sema body hashes composed with the
+/// callee SCC keys, so a warm run re-summarizes only the SCCs an edit
+/// dirtied (plus their ancestors, whose keys change transitively).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARPC_PARALLEL_ANALYSISRUNNER_H
 #define WARPC_PARALLEL_ANALYSISRUNNER_H
 
 #include "analysis/Analyzer.h"
+#include "cache/CompileCache.h"
 #include "obs/MetricsRegistry.h"
 #include "obs/TraceRecorder.h"
 #include "w2/AST.h"
@@ -32,6 +42,13 @@
 
 namespace warpc {
 namespace parallel {
+
+/// The worker count "auto" resolves to: std::thread::hardware_concurrency
+/// (minimum 1), clamped by the WARPC_TEST_MAX_WORKERS environment variable
+/// when set — the same cap the determinism tests use to keep CI machines
+/// from oversubscribing. Used by warp-lint --jobs 0 and the warpc
+/// --analyze default.
+unsigned defaultAnalysisWorkers();
 
 /// Result of a thread-backed parallel analysis.
 struct AnalysisRunResult {
@@ -46,15 +63,24 @@ struct AnalysisRunResult {
 /// regardless of NumWorkers or interleaving.
 ///
 /// A non-null \p Rec must be in the Steady clock domain; worker i records
-/// SpanAnalyze spans on lane 1+i, the master uses lane 0. A non-null
-/// \p Metrics receives analysis.functions, analysis.diags.{errors,
-/// warnings}, and an analysis.function_sec distribution.
+/// SpanAnalyze (per function) and SpanSummarize (per SCC) spans on lane
+/// 1+i, the master uses lane 0. A non-null \p Metrics receives
+/// analysis.functions, analysis.diags.{errors, warnings}, an
+/// analysis.function_sec distribution, an analysis.scc_sec distribution,
+/// and — when \p SummaryCache is non-null — the
+/// analysis.summary.{hits,misses,stores,invalidated} counters.
+///
+/// \p SummaryCache, when non-null, persists interprocedural SCC summaries
+/// across runs; hits replay the cached summaries and diagnostics without
+/// re-walking the member bodies. Cached or not, the output is identical.
 AnalysisRunResult analyzeModuleParallel(const w2::ModuleDecl &M,
                                         const std::string &Source,
                                         const analysis::AnalysisOptions &Opts,
                                         unsigned NumWorkers,
                                         obs::TraceRecorder *Rec = nullptr,
-                                        obs::MetricsRegistry *Metrics = nullptr);
+                                        obs::MetricsRegistry *Metrics = nullptr,
+                                        cache::CompileCache *SummaryCache =
+                                            nullptr);
 
 } // namespace parallel
 } // namespace warpc

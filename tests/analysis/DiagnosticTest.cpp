@@ -47,6 +47,51 @@ TEST(DiagnosticTest, OrderingIsTotalAndDeterministic) {
   EXPECT_EQ(Diags[4].Message, "b"); // ordinal outranks location
 }
 
+TEST(DiagnosticTest, OrderingTieBreaksOnCheckIdThenMessage) {
+  // Interprocedural checks can anchor several diagnostics at the same
+  // call site (one ordinal, one location), so the CheckId and Message
+  // legs of diagLess carry the determinism guarantee there.
+  Diag ArrA = makeDiag(3, 4, 9, "interproc-array-bounds", "alpha");
+  Diag DivA = makeDiag(3, 4, 9, "interproc-div-zero", "alpha");
+  Diag DivB = makeDiag(3, 4, 9, "interproc-div-zero", "beta");
+
+  EXPECT_TRUE(diagLess(ArrA, DivA));  // CheckId decides the (3, 4:9) tie
+  EXPECT_FALSE(diagLess(DivA, ArrA));
+  EXPECT_TRUE(diagLess(DivA, DivB));  // Message decides the final tie
+  EXPECT_FALSE(diagLess(DivB, DivA));
+  EXPECT_FALSE(diagLess(DivA, DivA)); // irreflexive: a total strict order
+
+  std::vector<Diag> Diags = {DivB, DivA, ArrA};
+  sortDiags(Diags);
+  EXPECT_EQ(Diags[0].CheckId, "interproc-array-bounds");
+  EXPECT_EQ(Diags[1].Message, "alpha");
+  EXPECT_EQ(Diags[2].Message, "beta");
+}
+
+TEST(DiagnosticTest, JsonEscapesControlCharactersAndKeepsNonAscii) {
+  // Messages quote user identifiers verbatim, so the JSON renderer must
+  // survive quotes, backslashes, control bytes and multi-byte UTF-8.
+  Diag D = makeDiag(0, 1, 1, "dead-store",
+                    "tab\there \"quoted\" back\\slash\nbell\x01 \xCF\x80");
+  std::string Dump = renderJson({D}).dump(1);
+  EXPECT_NE(Dump.find("tab\\there"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("\\\"quoted\\\""), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("back\\\\slash"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("\\nbell"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("\\u0001"), std::string::npos) << Dump;
+  // Non-ASCII is not escaped: the UTF-8 bytes of U+03C0 pass through.
+  EXPECT_NE(Dump.find("\xCF\x80"), std::string::npos) << Dump;
+  // No raw control byte may survive into the serialized form.
+  for (char C : Dump)
+    ASSERT_TRUE(static_cast<unsigned char>(C) >= 0x20 || C == '\n') << Dump;
+
+  // The escaped form parses back to the original message.
+  std::string Error;
+  json::Value Root = json::parse(Dump, Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Root.get("diagnostics")[0].get("message").str(), D.Message);
+}
+
 TEST(DiagnosticTest, TextRendering) {
   Diag D = makeDiag(0, 12, 5, "dead-store", "value assigned to 'x' is "
                                             "never used");

@@ -1,0 +1,1025 @@
+//===- InterprocTest.cpp --------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The interprocedural summary framework: call-graph/SCC structure, the
+// SymPoly and Interval algebra, per-function summaries, the whole-program
+// checks that catch defects the intraprocedural checks provably miss, the
+// systolic deadlock detector, and the incremental summary cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc/InterprocAnalysis.h"
+
+#include "../TestHelpers.h"
+#include "analysis/Analyzer.h"
+#include "cache/CompileCache.h"
+#include "obs/TraceRecorder.h"
+#include "parallel/AnalysisRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::analysis;
+using namespace warpc::analysis::interproc;
+using warpc::test::checkModule;
+
+namespace {
+
+/// Runs the bottom-up fixpoint sequentially: waves in ascending level
+/// order, member summaries filled into the flat ordinal-indexed vector.
+std::vector<FunctionSummary> summarizeAll(const CallGraph &G,
+                                          const SCCDecomposition &D,
+                                          const AnalysisOptions &Opts,
+                                          std::vector<Diag> *Diags = nullptr) {
+  std::vector<FunctionSummary> All(G.Nodes.size());
+  for (const std::vector<uint32_t> &Wave : D.Waves)
+    for (uint32_t Id : Wave) {
+      SCCOutput Out = summarizeSCC(G, D, Id, All, Opts);
+      for (FunctionSummary &S : Out.Summaries)
+        All[S.Ordinal] = std::move(S);
+      if (Diags)
+        Diags->insert(Diags->end(), Out.Diags.begin(), Out.Diags.end());
+    }
+  return All;
+}
+
+/// Options with only the intraprocedural checks active.
+AnalysisOptions intraprocOnly() {
+  AnalysisOptions Opts;
+  Opts.Disabled = {check::InterprocArrayBounds, check::InterprocDivZero,
+                   check::InterprocUninit, check::ChannelDeadlock};
+  return Opts;
+}
+
+/// Ids of every diagnostic present in \p Diags.
+std::set<std::string> checkIdsOf(const std::vector<Diag> &Diags) {
+  std::set<std::string> Ids;
+  for (const Diag &D : Diags)
+    Ids.insert(D.CheckId);
+  return Ids;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SymPoly algebra
+//===----------------------------------------------------------------------===//
+
+TEST(SymPolyTest, ConstantAndParamBasics) {
+  SymPoly C = SymPoly::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constantValue(), 7);
+  EXPECT_TRUE(SymPoly::constant(0).isZero());
+
+  SymPoly P = SymPoly::param(2);
+  EXPECT_FALSE(P.isConstant());
+  EXPECT_EQ(P.degree(), 1u);
+  EXPECT_TRUE(P.usesParam(2));
+  EXPECT_FALSE(P.usesParam(1));
+  EXPECT_FALSE(SymPoly::invalid().valid());
+}
+
+TEST(SymPolyTest, ArithmeticAndCancellation) {
+  SymPoly N = SymPoly::param(0);
+  SymPoly Expr = N * SymPoly::constant(3) + SymPoly::constant(2);
+  EXPECT_EQ(Expr.degree(), 1u);
+
+  // 3n + 2 - 3n == 2: subtraction cancels terms exactly.
+  SymPoly Diff = Expr - N * SymPoly::constant(3);
+  EXPECT_TRUE(Diff.isConstant());
+  EXPECT_EQ(Diff.constantValue(), 2);
+
+  // (n + 1)^2 = n^2 + 2n + 1, evaluated at n = 4.
+  SymPoly Sq = (N + SymPoly::constant(1)) * (N + SymPoly::constant(1));
+  EXPECT_EQ(Sq.degree(), 2u);
+  std::vector<SymPoly> Four = {SymPoly::constant(4)};
+  SymPoly V = Sq.substitute(Four);
+  ASSERT_TRUE(V.isConstant());
+  EXPECT_EQ(V.constantValue(), 25);
+}
+
+TEST(SymPolyTest, SubstituteComposesPolynomials) {
+  // p0 * p1 with p0 := 2m, p1 := m + 1  ==>  2m^2 + 2m.
+  SymPoly Prod = SymPoly::param(0) * SymPoly::param(1);
+  SymPoly M = SymPoly::param(0);
+  std::vector<SymPoly> Args = {M * SymPoly::constant(2),
+                               M + SymPoly::constant(1)};
+  SymPoly R = Prod.substitute(Args);
+  ASSERT_TRUE(R.valid());
+  std::vector<SymPoly> Five = {SymPoly::constant(5)};
+  EXPECT_EQ(R.substitute(Five).constantValue(), 2 * 25 + 2 * 5);
+}
+
+TEST(SymPolyTest, SubstituteMissingArgFailsClosed) {
+  SymPoly P = SymPoly::param(1);
+  std::vector<SymPoly> OneArg = {SymPoly::constant(3)};
+  EXPECT_FALSE(P.substitute(OneArg).valid());
+  std::vector<SymPoly> Bad = {SymPoly::constant(3), SymPoly::invalid()};
+  EXPECT_FALSE(P.substitute(Bad).valid());
+  // An invalid argument in an UNUSED position is harmless.
+  SymPoly Q = SymPoly::param(0);
+  EXPECT_TRUE(Q.substitute(Bad).valid());
+}
+
+TEST(SymPolyTest, DegreeCapFailsClosed) {
+  SymPoly N = SymPoly::param(0);
+  SymPoly P = N;
+  for (int I = 0; I != 4; ++I)
+    P = P * N;
+  EXPECT_FALSE(P.valid()) << "degree 5 must exceed the cap";
+  // Invalid poisons downstream arithmetic.
+  EXPECT_FALSE((P + SymPoly::constant(1)).valid());
+}
+
+TEST(SymPolyTest, AsAffineDecomposition) {
+  SymPoly A = SymPoly::param(3) * SymPoly::constant(-2) + SymPoly::constant(7);
+  uint32_t Param = 0;
+  int64_t Scale = 0, Offset = 0;
+  ASSERT_TRUE(A.asAffine(Param, Scale, Offset));
+  EXPECT_EQ(Param, 3u);
+  EXPECT_EQ(Scale, -2);
+  EXPECT_EQ(Offset, 7);
+
+  EXPECT_FALSE(SymPoly::constant(4).asAffine(Param, Scale, Offset));
+  SymPoly Quad = SymPoly::param(0) * SymPoly::param(0);
+  EXPECT_FALSE(Quad.asAffine(Param, Scale, Offset));
+  SymPoly TwoVars = SymPoly::param(0) + SymPoly::param(1);
+  EXPECT_FALSE(TwoVars.asAffine(Param, Scale, Offset));
+}
+
+TEST(SymPolyTest, CodecRoundTrip) {
+  SymPoly P = SymPoly::param(0) * SymPoly::param(1) +
+              SymPoly::param(2) * SymPoly::constant(-9) +
+              SymPoly::constant(42);
+  BinaryWriter W;
+  P.encode(W);
+  BinaryReader R(W.buffer());
+  std::optional<SymPoly> Back = SymPoly::decode(R);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, P);
+
+  BinaryWriter W2;
+  SymPoly::invalid().encode(W2);
+  BinaryReader R2(W2.buffer());
+  std::optional<SymPoly> Inv = SymPoly::decode(R2);
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_FALSE(Inv->valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Interval lattice
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalTest, JoinAndAttainment) {
+  Interval A = Interval::of(1, 3, true);
+  Interval B = Interval::of(5, 9, true);
+  Interval J = Interval::join(A, B);
+  EXPECT_TRUE(J.Known);
+  EXPECT_EQ(J.Lo, 1);
+  EXPECT_EQ(J.Hi, 9);
+  EXPECT_TRUE(J.Attained);
+
+  Interval NoAtt = Interval::join(A, Interval::of(5, 9, false));
+  EXPECT_FALSE(NoAtt.Attained);
+  EXPECT_FALSE(Interval::join(A, Interval::top()).Known);
+}
+
+TEST(IntervalTest, AffineImageSaturatesOnOverflow) {
+  Interval I = Interval::of(-2, 3, true);
+  Interval Img = affineImage(I, -4, 1);
+  EXPECT_TRUE(Img.Known);
+  EXPECT_EQ(Img.Lo, -11);
+  EXPECT_EQ(Img.Hi, 9);
+  EXPECT_TRUE(Img.Attained);
+
+  Interval Huge = Interval::of(INT64_MAX / 2, INT64_MAX, true);
+  EXPECT_FALSE(affineImage(Huge, 3, 0).Known) << "overflow must go to Top";
+  EXPECT_FALSE(affineImage(Interval::top(), 1, 0).Known);
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph and SCC condensation
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, DiamondEdgesAndWavefronts) {
+  auto M = checkModule(R"(module cg;
+section s cells 2 {
+function leaf(x: int): int {
+  return x + 1;
+}
+function left(x: int): int {
+  return leaf(x);
+}
+function right(x: int): int {
+  return leaf(leaf(x));
+}
+function top(x: int): int {
+  return left(x) + right(x);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  ASSERT_EQ(G.Nodes.size(), 4u);
+  EXPECT_EQ(G.Nodes[0].Function->getName(), "leaf");
+  EXPECT_TRUE(G.Nodes[0].Callees.empty());
+  EXPECT_EQ(G.Nodes[0].Callers, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(G.Nodes[1].Callees, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(G.Nodes[2].Callees, (std::vector<uint32_t>{0}))
+      << "duplicate call sites collapse to one edge";
+  EXPECT_EQ(G.Nodes[3].Callees, (std::vector<uint32_t>{1, 2}));
+
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  ASSERT_EQ(D.SCCs.size(), 4u);
+  for (const SCCDecomposition::SCC &C : D.SCCs)
+    EXPECT_FALSE(C.Recursive);
+  // leaf at level 0; left/right at 1; top at 2.
+  EXPECT_EQ(D.SCCs[D.SCCOf[0]].Level, 0u);
+  EXPECT_EQ(D.SCCs[D.SCCOf[1]].Level, 1u);
+  EXPECT_EQ(D.SCCs[D.SCCOf[2]].Level, 1u);
+  EXPECT_EQ(D.SCCs[D.SCCOf[3]].Level, 2u);
+  ASSERT_EQ(D.Waves.size(), 3u);
+  EXPECT_EQ(D.Waves[0].size(), 1u);
+  EXPECT_EQ(D.Waves[1].size(), 2u);
+  EXPECT_EQ(D.Waves[2].size(), 1u);
+}
+
+TEST(CallGraphTest, CallsNeverCrossSectionsAndIntrinsicsAreNotNodes) {
+  auto M = checkModule(R"(module cg2;
+section a cells 2 {
+function f(x: float): float {
+  return sqrt(x);
+}
+}
+section b cells 2 {
+function f(x: float): float {
+  return abs(x);
+}
+function g(x: float): float {
+  return f(x);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  ASSERT_EQ(G.Nodes.size(), 3u);
+  EXPECT_TRUE(G.Nodes[0].Callees.empty()) << "sqrt is not a node";
+  EXPECT_TRUE(G.Nodes[0].Callers.empty()) << "b.g must not call a.f";
+  EXPECT_EQ(G.Nodes[2].Callees, (std::vector<uint32_t>{1}))
+      << "b.g resolves f against its own section";
+}
+
+TEST(CallGraphTest, MutualRecursionFormsOneRecursiveSCC) {
+  auto M = checkModule(R"(module rec;
+section s cells 2 {
+function odd(n: int): int {
+  if (n > 0) {
+    return even(n - 1);
+  }
+  return 0;
+}
+function even(n: int): int {
+  if (n > 0) {
+    return odd(n - 1);
+  }
+  return 1;
+}
+function driver(): int {
+  return even(8);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  ASSERT_EQ(D.SCCs.size(), 2u);
+  EXPECT_EQ(D.SCCOf[0], D.SCCOf[1]);
+  const SCCDecomposition::SCC &Rec = D.SCCs[D.SCCOf[0]];
+  EXPECT_TRUE(Rec.Recursive);
+  EXPECT_EQ(Rec.Members, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Rec.Level, 0u);
+  EXPECT_EQ(D.SCCs[D.SCCOf[2]].Level, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Summaries
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryTest, ReturnIntervalsPropagateThroughCalls) {
+  auto M = checkModule(R"(module sums;
+section s cells 2 {
+function five(): int {
+  return 5;
+}
+function six(): int {
+  return five() + 1;
+}
+function pick(c: int): int {
+  if (c > 0) {
+    return 1;
+  }
+  return 3;
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  std::vector<FunctionSummary> All = summarizeAll(G, D, {});
+  EXPECT_EQ(All[0].Ret, Interval::single(5));
+  EXPECT_EQ(All[1].Ret, Interval::single(6));
+  EXPECT_TRUE(All[2].Ret.Known);
+  EXPECT_EQ(All[2].Ret.Lo, 1);
+  EXPECT_EQ(All[2].Ret.Hi, 3);
+  EXPECT_TRUE(All[2].Ret.Attained);
+  for (const FunctionSummary &S : All)
+    EXPECT_TRUE(S.Pure) << S.FunctionName;
+}
+
+TEST(SummaryTest, DivisorDemandExportedAndReExported) {
+  auto M = checkModule(R"(module dem;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function shifted(k: int): int {
+  return inv(k - 3);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  std::vector<FunctionSummary> All = summarizeAll(G, D, {});
+
+  ASSERT_EQ(All[0].Demands.size(), 1u);
+  EXPECT_EQ(All[0].Demands[0].K, ParamDemand::Divisor);
+  EXPECT_EQ(All[0].Demands[0].ParamIndex, 0u);
+  EXPECT_EQ(All[0].Demands[0].Scale, 1);
+  EXPECT_EQ(All[0].Demands[0].Offset, 0);
+
+  // shifted re-exports the demand composed through the argument k - 3.
+  ASSERT_EQ(All[1].Demands.size(), 1u);
+  EXPECT_EQ(All[1].Demands[0].K, ParamDemand::Divisor);
+  EXPECT_EQ(All[1].Demands[0].ParamIndex, 0u);
+  EXPECT_EQ(All[1].Demands[0].Scale, 1);
+  EXPECT_EQ(All[1].Demands[0].Offset, -3);
+  EXPECT_GE(All[1].Demands[0].Chain.size(), 2u)
+      << "the witness chain crosses the call";
+}
+
+TEST(SummaryTest, ChannelCountsAreSymbolicInParams) {
+  auto M = checkModule(R"(module chan;
+section s cells 2 {
+function pump(n: int) {
+  var v: float = 1.0;
+  for i = 1 to n {
+    send(Y, v);
+  }
+}
+function fixed() {
+  var v: float = 0.0;
+  for i = 0 to 9 {
+    receive(X, v);
+  }
+}
+function caller() {
+  pump(6);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  std::vector<FunctionSummary> All = summarizeAll(G, D, {});
+
+  // pump's SendY is the symbolic trip count of "for i = 1 to n": n.
+  ASSERT_TRUE(All[0].Channels.SendY.Known);
+  std::vector<SymPoly> Four = {SymPoly::constant(4)};
+  EXPECT_EQ(All[0].Channels.SendY.P.substitute(Four).constantValue(), 4);
+  EXPECT_TRUE(All[0].HasChannelTraffic);
+  EXPECT_FALSE(All[0].Pure);
+
+  EXPECT_EQ(All[1].Channels.RecvX.constantCount(),
+            std::optional<uint64_t>(10));
+
+  // The call site substitutes the literal argument into the callee poly.
+  EXPECT_EQ(All[2].Channels.SendY.constantCount(),
+            std::optional<uint64_t>(6));
+  EXPECT_FALSE(All[2].Channels.SendY.P.usesParam(0));
+}
+
+TEST(SummaryTest, RecursiveSCCDegradesToConservative) {
+  auto M = checkModule(R"(module rec2;
+section s cells 2 {
+function ping(n: int): int {
+  if (n > 0) {
+    return pong(n - 1);
+  }
+  return 0;
+}
+function pong(n: int): int {
+  var v: float = 1.0;
+  send(Y, v);
+  return ping(n);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  ASSERT_TRUE(D.SCCs[D.SCCOf[0]].Recursive);
+  std::vector<Diag> Diags;
+  std::vector<FunctionSummary> All = summarizeAll(G, D, {}, &Diags);
+  EXPECT_TRUE(Diags.empty()) << "recursive SCCs never diagnose";
+  // Send traffic inside the cycle taints both members' SendY to unknown;
+  // the untouched directions stay exactly zero.
+  EXPECT_FALSE(All[0].Channels.SendY.Known);
+  EXPECT_FALSE(All[1].Channels.SendY.Known);
+  EXPECT_TRUE(All[0].Channels.RecvX.isZero());
+  EXPECT_FALSE(All[0].Ret.Known);
+  EXPECT_FALSE(All[0].Pure);
+}
+
+TEST(SummaryTest, SCCOutputCodecRoundTripsSummariesAndDiags) {
+  auto M = checkModule(R"(module codec;
+section s cells 2 {
+function inv(d: int): int {
+  return 7 / d;
+}
+function bad(): int {
+  return inv(0);
+}
+}
+)");
+  ASSERT_TRUE(M);
+  CallGraph G = CallGraph::build(*M);
+  SCCDecomposition D = SCCDecomposition::compute(G);
+  std::vector<FunctionSummary> All(G.Nodes.size());
+  SCCOutput Leaf = summarizeSCC(G, D, D.SCCOf[0], All, {});
+  ASSERT_EQ(Leaf.Summaries.size(), 1u);
+  All[0] = Leaf.Summaries[0];
+  SCCOutput Caller = summarizeSCC(G, D, D.SCCOf[1], All, {});
+  ASSERT_EQ(Caller.Diags.size(), 1u);
+  EXPECT_EQ(Caller.Diags[0].CheckId, check::InterprocDivZero);
+
+  std::vector<uint8_t> Bytes = encodeSCCOutput(Caller);
+  std::optional<SCCOutput> Back = decodeSCCOutput(Bytes);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->Summaries.size(), Caller.Summaries.size());
+  EXPECT_EQ(Back->Summaries[0].FunctionName, "bad");
+  EXPECT_EQ(Back->Summaries[0].Ret, Caller.Summaries[0].Ret);
+  ASSERT_EQ(Back->Diags.size(), 1u);
+  EXPECT_EQ(Back->Diags[0].CheckId, Caller.Diags[0].CheckId);
+  EXPECT_EQ(Back->Diags[0].Message, Caller.Diags[0].Message);
+  EXPECT_EQ(Back->Diags[0].Loc.Line, Caller.Diags[0].Loc.Line);
+  ASSERT_EQ(Back->Diags[0].Notes.size(), Caller.Diags[0].Notes.size());
+  ASSERT_FALSE(Back->Diags[0].Notes.empty());
+  EXPECT_EQ(Back->Diags[0].Notes.back().Message,
+            Caller.Diags[0].Notes.back().Message);
+
+  // Any truncation decodes to nullopt, never to garbage.
+  for (size_t Cut : {size_t(0), Bytes.size() / 2, Bytes.size() - 1}) {
+    std::vector<uint8_t> Trunc(Bytes.begin(),
+                               Bytes.begin() + static_cast<long>(Cut));
+    EXPECT_FALSE(decodeSCCOutput(Trunc).has_value()) << "cut=" << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The whole-program checks catch what the intraprocedural ones miss
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Each defect here crosses a call boundary, which is exactly what the
+/// per-function checks cannot see: the bad divisor, the uninitialized
+/// array, and the out-of-range subscript all live in the callee while the
+/// offending value lives in the caller.
+std::string interprocDefectModule() {
+  return R"(module ipdef;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function sum8(a: float[8]): float {
+  var acc: float = 0.0;
+  for i = 0 to 7 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+function nth(k: int): int {
+  var arr: int[4];
+  for i = 0 to 3 {
+    arr[i] = i;
+  }
+  return arr[k];
+}
+function main() {
+  var z: int = inv(0);
+  var buf: float[8];
+  var s: float = sum8(buf);
+  var w: int = nth(9);
+}
+}
+)";
+}
+
+} // namespace
+
+TEST(InterprocChecksTest, IntraproceduralChecksProvablyMissTheDefects) {
+  std::string Source = interprocDefectModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Intra = analyzeModule(*M, Source, intraprocOnly());
+  EXPECT_TRUE(Intra.Diags.empty())
+      << "the defects must be invisible intraprocedurally:\n"
+      << renderText(Intra.Diags);
+}
+
+TEST(InterprocChecksTest, EachWholeProgramCheckCatchesItsDefect) {
+  std::string Source = interprocDefectModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Full = analyzeModule(*M, Source, {});
+  std::set<std::string> Ids = checkIdsOf(Full.Diags);
+  EXPECT_TRUE(Ids.count(check::InterprocDivZero)) << renderText(Full.Diags);
+  EXPECT_TRUE(Ids.count(check::InterprocUninit)) << renderText(Full.Diags);
+  EXPECT_TRUE(Ids.count(check::InterprocArrayBounds))
+      << renderText(Full.Diags);
+  EXPECT_EQ(countDiags(Full.Diags).Errors, 3u) << renderText(Full.Diags);
+  for (const Diag &D : Full.Diags) {
+    EXPECT_EQ(D.Function, "main") << "diags anchor at the caller";
+    EXPECT_FALSE(D.Notes.empty()) << "every finding carries its witness";
+  }
+}
+
+TEST(InterprocChecksTest, DisablingOneCheckLeavesTheOthers) {
+  std::string Source = interprocDefectModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  AnalysisOptions Opts;
+  Opts.Disabled.insert(check::InterprocDivZero);
+  ModuleAnalysis R = analyzeModule(*M, Source, Opts);
+  std::set<std::string> Ids = checkIdsOf(R.Diags);
+  EXPECT_FALSE(Ids.count(check::InterprocDivZero));
+  EXPECT_TRUE(Ids.count(check::InterprocUninit));
+  EXPECT_TRUE(Ids.count(check::InterprocArrayBounds));
+}
+
+TEST(InterprocChecksTest, RangeDivisorAttainingZeroIsFlagged) {
+  std::string Source = R"(module rng;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function main(): int {
+  var acc: int = 0;
+  for i = 0 to 3 {
+    acc = acc + inv(i);
+  }
+  return acc;
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis R = analyzeModule(*M, Source, {});
+  ASSERT_EQ(R.Diags.size(), 1u) << renderText(R.Diags);
+  EXPECT_EQ(R.Diags[0].CheckId, check::InterprocDivZero);
+  EXPECT_NE(R.Diags[0].Message.find("attains 0"), std::string::npos)
+      << R.Diags[0].Message;
+}
+
+TEST(InterprocChecksTest, SafeArgumentsStayClean) {
+  std::string Source = R"(module safe;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function nth(k: int): int {
+  var arr: int[4];
+  for i = 0 to 3 {
+    arr[i] = i;
+  }
+  return arr[k];
+}
+function fill(a: float[8]): float {
+  for i = 0 to 7 {
+    a[i] = 0.5;
+  }
+  return a[0];
+}
+function main(): float {
+  var z: int = inv(5);
+  var w: int = nth(3);
+  var buf: float[8];
+  return fill(buf);
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis R = analyzeModule(*M, Source, {});
+  EXPECT_TRUE(R.Diags.empty()) << renderText(R.Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program deadlock detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A starved link hidden behind a helper call: pump's trip count is a
+/// parameter, so the intraprocedural protocol check sees Unknown and stays
+/// silent; the summary substitutes the literal argument and proves 4 < 8.
+std::string deadlockModule() {
+  return R"(module pipe;
+section s cells 2 {
+function pump(n: int) {
+  var v: float = 1.0;
+  for i = 1 to n {
+    send(Y, v);
+  }
+}
+function stage_a() {
+  pump(4);
+}
+function stage_b() {
+  var v: float = 0.0;
+  for i = 1 to 8 {
+    receive(X, v);
+  }
+  send(Y, v);
+}
+}
+)";
+}
+
+} // namespace
+
+TEST(DeadlockTest, StarvedLinkThroughHelperCallIsDetected) {
+  std::string Source = deadlockModule();
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+
+  ModuleAnalysis Intra = analyzeModule(*M, Source, intraprocOnly());
+  EXPECT_FALSE(checkIdsOf(Intra.Diags).count(check::ChannelMismatch))
+      << "unknown upstream count must keep the old warning silent:\n"
+      << renderText(Intra.Diags);
+
+  ModuleAnalysis Full = analyzeModule(*M, Source, {});
+  ASSERT_EQ(countDiags(Full.Diags).Errors, 1u) << renderText(Full.Diags);
+  const Diag *DL = nullptr;
+  for (const Diag &D : Full.Diags)
+    if (D.CheckId == check::ChannelDeadlock)
+      DL = &D;
+  ASSERT_NE(DL, nullptr) << renderText(Full.Diags);
+  EXPECT_EQ(DL->Function, "stage_b") << "anchored at the starved consumer";
+  EXPECT_NE(DL->Message.find("receives 8"), std::string::npos)
+      << DL->Message;
+  EXPECT_NE(DL->Message.find("sends only 4"), std::string::npos)
+      << DL->Message;
+  // The witness names both ends and walks the producing call chain.
+  bool SawRecv = false, SawSend = false, SawChain = false;
+  for (const DiagNote &N : DL->Notes) {
+    SawRecv |= N.Message.find("starving receive") != std::string::npos;
+    SawSend |= N.Message.find("last send") != std::string::npos;
+    SawChain |= N.Message.find("'pump'") != std::string::npos;
+  }
+  EXPECT_TRUE(SawRecv && SawSend && SawChain) << renderText(Full.Diags);
+}
+
+TEST(DeadlockTest, DeadlockSupersedesChannelMismatchOnTheSameLink) {
+  // Literal counts on both sides: the intraprocedural channel-mismatch
+  // CAN see this link, but the deadlock verdict is strictly stronger and
+  // replaces it.
+  std::string Source = R"(module pipe2;
+section s cells 2 {
+function stage_a() {
+  var v: float = 1.0;
+  for i = 1 to 4 {
+    send(Y, v);
+  }
+}
+function stage_b() {
+  var v: float = 0.0;
+  for i = 1 to 8 {
+    receive(X, v);
+  }
+  send(Y, v);
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Intra = analyzeModule(*M, Source, intraprocOnly());
+  EXPECT_TRUE(checkIdsOf(Intra.Diags).count(check::ChannelMismatch))
+      << renderText(Intra.Diags);
+
+  ModuleAnalysis Full = analyzeModule(*M, Source, {});
+  std::set<std::string> Ids = checkIdsOf(Full.Diags);
+  EXPECT_TRUE(Ids.count(check::ChannelDeadlock)) << renderText(Full.Diags);
+  EXPECT_FALSE(Ids.count(check::ChannelMismatch))
+      << "the mismatch warning must be superseded:\n"
+      << renderText(Full.Diags);
+}
+
+TEST(DeadlockTest, OverfedLinkIsNotADeadlock) {
+  // Upstream sends MORE than downstream consumes: backpressure, not
+  // starvation. The mismatch warning stays; no deadlock error.
+  std::string Source = R"(module pipe3;
+section s cells 2 {
+function stage_a() {
+  var v: float = 1.0;
+  for i = 1 to 9 {
+    send(Y, v);
+  }
+}
+function stage_b() {
+  var v: float = 0.0;
+  for i = 1 to 3 {
+    receive(X, v);
+  }
+  send(Y, v);
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Full = analyzeModule(*M, Source, {});
+  std::set<std::string> Ids = checkIdsOf(Full.Diags);
+  EXPECT_FALSE(Ids.count(check::ChannelDeadlock)) << renderText(Full.Diags);
+  EXPECT_TRUE(Ids.count(check::ChannelMismatch)) << renderText(Full.Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental summary cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A three-deep call chain plus an isolated function, with one replayable
+/// diagnostic, so a leaf edit dirties exactly three SCCs and leaves one
+/// warm.
+std::string chainModule(const char *LeafBody) {
+  std::string S = R"(module chain;
+section s cells 2 {
+function leaf(d: int): int {
+)";
+  S += LeafBody;
+  S += R"(
+}
+function mid(k: int): int {
+  return leaf(k) + 1;
+}
+function top(): int {
+  return mid(0);
+}
+function iso(): int {
+  return 7;
+}
+}
+)";
+  return S;
+}
+
+struct CachedRun {
+  std::string Json;
+  double Hits = 0, Misses = 0, Stores = 0, Invalidated = 0;
+};
+
+CachedRun runWithCache(const std::string &Source, cache::CompileCache &Cache,
+                       unsigned Workers) {
+  CachedRun R;
+  auto M = checkModule(Source);
+  EXPECT_TRUE(M);
+  if (!M)
+    return R;
+  obs::MetricsRegistry Metrics;
+  parallel::AnalysisRunResult Run = parallel::analyzeModuleParallel(
+      *M, Source, {}, Workers, nullptr, &Metrics, &Cache);
+  Cache.rememberModule(*M);
+  R.Json = renderJson(Run.Analysis.Diags).dump(1);
+  R.Hits = Metrics.counter("analysis.summary.hits");
+  R.Misses = Metrics.counter("analysis.summary.misses");
+  R.Stores = Metrics.counter("analysis.summary.stores");
+  R.Invalidated = Metrics.counter("analysis.summary.invalidated");
+  return R;
+}
+
+} // namespace
+
+TEST(SummaryCacheTest, WarmRunReplaysWithoutReanalysis) {
+  std::string Source = chainModule("  return 100 / d;");
+  cache::CompileCache Cache(cache::CacheMode::Memory, cache::CacheContext{});
+
+  CachedRun Cold = runWithCache(Source, Cache, 4);
+  EXPECT_EQ(Cold.Hits, 0.0);
+  EXPECT_EQ(Cold.Misses, 4.0);
+  EXPECT_EQ(Cold.Stores, 4.0);
+  EXPECT_EQ(Cold.Invalidated, 0.0) << "a cold cache is new, not invalidated";
+  EXPECT_NE(Cold.Json.find("interproc-div-zero"), std::string::npos)
+      << "top passes 0 down the chain: the diagnostic must exist\n"
+      << Cold.Json;
+
+  CachedRun Warm = runWithCache(Source, Cache, 4);
+  EXPECT_EQ(Warm.Hits, 4.0);
+  EXPECT_EQ(Warm.Misses, 0.0);
+  EXPECT_EQ(Warm.Stores, 0.0);
+  EXPECT_EQ(Warm.Json, Cold.Json)
+      << "cache replay must be byte-identical to cold analysis";
+}
+
+TEST(SummaryCacheTest, LeafEditReanalyzesOnlyTheDirtySCCChain) {
+  std::string Source = chainModule("  return 100 / d;");
+  cache::CompileCache Cache(cache::CacheMode::Memory, cache::CacheContext{});
+  runWithCache(Source, Cache, 4);
+
+  // Edit only leaf's body: the keys of leaf, mid and top change
+  // transitively; iso stays warm.
+  std::string Edited = chainModule("  return 200 / d;");
+  CachedRun After = runWithCache(Edited, Cache, 4);
+  EXPECT_EQ(After.Hits, 1.0) << "iso must stay warm";
+  EXPECT_EQ(After.Misses, 3.0) << "exactly the dirty SCC chain re-analyzes";
+  EXPECT_GE(After.Invalidated, 1.0)
+      << "the manifest must classify leaf's body edit";
+
+  // The incremental output matches an uncached sequential run.
+  auto M = checkModule(Edited);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Fresh = analyzeModule(*M, Edited, {});
+  EXPECT_EQ(After.Json, renderJson(Fresh.Diags).dump(1));
+}
+
+TEST(SummaryCacheTest, CheckConfigurationIsPartOfTheKey) {
+  std::string Source = chainModule("  return 100 / d;");
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  cache::CompileCache Cache(cache::CacheMode::Memory, cache::CacheContext{});
+
+  obs::MetricsRegistry M1;
+  parallel::analyzeModuleParallel(*M, Source, {}, 2, nullptr, &M1, &Cache);
+  EXPECT_EQ(M1.counter("analysis.summary.misses"), 4.0);
+
+  // Disabling a check must not replay summaries keyed to the old
+  // configuration — their payload carries that configuration's diags.
+  AnalysisOptions NoDiv;
+  NoDiv.Disabled.insert(check::InterprocDivZero);
+  obs::MetricsRegistry M2;
+  parallel::AnalysisRunResult R2 = parallel::analyzeModuleParallel(
+      *M, Source, NoDiv, 2, nullptr, &M2, &Cache);
+  EXPECT_EQ(M2.counter("analysis.summary.hits"), 0.0);
+  EXPECT_EQ(M2.counter("analysis.summary.misses"), 4.0);
+  EXPECT_FALSE(checkIdsOf(R2.Analysis.Diags).count(check::InterprocDivZero));
+
+  // The original configuration still hits its own entries.
+  obs::MetricsRegistry M3;
+  parallel::analyzeModuleParallel(*M, Source, {}, 2, nullptr, &M3, &Cache);
+  EXPECT_EQ(M3.counter("analysis.summary.hits"), 4.0);
+}
+
+TEST(SummaryCacheTest, DiskSummariesSurviveReopen) {
+  std::string Source = chainModule("  return 100 / d;");
+  std::string Dir = ::testing::TempDir() + "warpc_interproc_summary_cache";
+  std::filesystem::remove_all(Dir);
+
+  std::string ColdJson;
+  {
+    cache::CompileCache Cache(cache::CacheMode::Disk, cache::CacheContext{},
+                              Dir);
+    CachedRun Cold = runWithCache(Source, Cache, 2);
+    EXPECT_EQ(Cold.Misses, 4.0);
+    EXPECT_EQ(Cold.Stores, 4.0);
+    ColdJson = Cold.Json;
+  }
+  {
+    // A fresh cache object over the same directory models a new process:
+    // summaries and manifest reload from disk and warm-hit.
+    cache::CompileCache Cache(cache::CacheMode::Disk, cache::CacheContext{},
+                              Dir);
+    CachedRun Warm = runWithCache(Source, Cache, 2);
+    EXPECT_EQ(Warm.Hits, 4.0);
+    EXPECT_EQ(Warm.Misses, 0.0);
+    EXPECT_EQ(Warm.Json, ColdJson);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural phase observability
+//===----------------------------------------------------------------------===//
+
+TEST(InterprocObsTest, SummarizeSpansAndSccMetricsAreRecorded) {
+  std::string Source = chainModule("  return d + 1;");
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  obs::TraceRecorder Rec(obs::ClockDomain::Steady);
+  obs::MetricsRegistry Metrics;
+  parallel::analyzeModuleParallel(*M, Source, {}, 2, &Rec, &Metrics);
+
+  obs::TraceSession Session = Rec.finish();
+  unsigned Summarize = 0, WithParent = 0;
+  for (const obs::SpanEvent &E : Session.Events)
+    if (E.Kind == obs::EventKind::SpanSummarize) {
+      ++Summarize;
+      EXPECT_TRUE(E.isSpan());
+      EXPECT_EQ(E.Ph, obs::Phase::Analyze);
+      WithParent += E.Parent != 0;
+    }
+  EXPECT_EQ(Summarize, 4u) << "one span per SCC";
+  // mid waits on leaf, top waits on mid: exactly those two spans carry a
+  // causal parent; leaf and iso are roots.
+  EXPECT_EQ(WithParent, 2u);
+  EXPECT_EQ(Metrics.histogram("analysis.scc_sec").Count, 4u);
+
+  EXPECT_STREQ(obs::kindName(obs::EventKind::SpanSummarize),
+               "span_summarize");
+  obs::EventKind K;
+  ASSERT_TRUE(obs::kindFromName("span_summarize", K));
+  EXPECT_EQ(K, obs::EventKind::SpanSummarize);
+  EXPECT_TRUE(obs::isSpanKind(obs::EventKind::SpanSummarize));
+}
+
+//===----------------------------------------------------------------------===//
+// Function-scope suppressions
+//===----------------------------------------------------------------------===//
+
+TEST(AllowFnTest, FunctionScopeSuppressionCoversTheWholeBody) {
+  std::string Source = R"(module sup;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+// lint: allow-fn(interproc-div-zero)
+function main(): int {
+  var a: int = inv(0);
+  var b: int = inv(0);
+  return a + b;
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis R = analyzeModule(*M, Source, {});
+  EXPECT_TRUE(R.Diags.empty()) << renderText(R.Diags);
+
+  AnalysisOptions NoSup;
+  NoSup.HonorSuppressions = false;
+  ModuleAnalysis Raw = analyzeModule(*M, Source, NoSup);
+  EXPECT_EQ(countDiags(Raw.Diags).Errors, 2u) << renderText(Raw.Diags);
+}
+
+TEST(AllowFnTest, SuppressionIsScopedToItsFunction) {
+  std::string Source = R"(module sup2;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+// lint: allow-fn(interproc-div-zero)
+function forgiven(): int {
+  return inv(0);
+}
+function guilty(): int {
+  return inv(0);
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis R = analyzeModule(*M, Source, {});
+  ASSERT_EQ(R.Diags.size(), 1u) << renderText(R.Diags);
+  EXPECT_EQ(R.Diags[0].Function, "guilty");
+}
+
+TEST(AllowFnTest, LineLevelAllowStillWorksWithoutAllowFn) {
+  // The line-level allow() composes with (and is consulted before) the
+  // function-scope form; here only the first call site is forgiven.
+  std::string Source = R"(module sup3;
+section s cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function main(): int {
+  var a: int = inv(0); // lint: allow(interproc-div-zero)
+  var b: int = inv(0);
+  return a + b;
+}
+}
+)";
+  auto M = checkModule(Source);
+  ASSERT_TRUE(M);
+  ModuleAnalysis R = analyzeModule(*M, Source, {});
+  ASSERT_EQ(R.Diags.size(), 1u) << renderText(R.Diags);
+  EXPECT_EQ(R.Diags[0].Loc.Line, 8u);
+}

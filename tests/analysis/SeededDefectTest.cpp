@@ -64,6 +64,68 @@ function stage2(): float {
 //  16 sends on Y vs 12 received on X -> channel-mismatch at stage2
 //  25: unreachable-code (after the return on line 24)
 
+// The interprocedural corpus: every defect needs whole-program reasoning
+// — a zero divisor, an out-of-range index and an uninitialized array all
+// flow through calls, and the starved channel link hides its send count
+// behind a data-dependent helper loop. Line numbers are load-bearing:
+// "module" is line 1.
+const char *InterprocCorpusSource = R"(module ipcorpus;
+section stages cells 2 {
+function inv(d: int): int {
+  return 100 / d;
+}
+function sum8(a: float[8]): float {
+  var acc: float = 0.0;
+  for i = 0 to 7 {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+function nth(k: int): int {
+  var arr: int[4];
+  for i = 0 to 3 {
+    arr[i] = i;
+  }
+  return arr[k];
+}
+function pump(n: int) {
+  var v: float = 1.0;
+  for i = 1 to n {
+    send(Y, v);
+  }
+}
+function stage_a() {
+  var z: int = inv(0);
+  var buf: float[8];
+  var s: float = sum8(buf);
+  var w: int = nth(9);
+  pump(4);
+}
+function stage_b() {
+  var v: float = 0.0;
+  for i = 1 to 8 {
+    receive(X, v);
+  }
+}
+}
+)";
+// Defects, by line:
+//  27: interproc-div-zero     (inv(0) divides 100 by its argument)
+//  29: interproc-uninit       (sum8 reads 'buf' before any write)
+//  30: interproc-array-bounds (nth subscripts int[4] with 9)
+//  33: channel-deadlock       (stage_b expects 8 values, pump(4) sends 4)
+
+/// Everything the sequential analyzer knows minus the whole-program
+/// passes — the baseline the interprocedural corpus must slip past.
+AnalysisOptions intraproceduralOnly() {
+  AnalysisOptions Opts;
+  Opts.Disabled.insert(check::InterprocArrayBounds);
+  Opts.Disabled.insert(check::InterprocDivZero);
+  Opts.Disabled.insert(check::InterprocUninit);
+  Opts.Disabled.insert(check::ChannelDeadlock);
+  return Opts;
+}
+
 bool hasDiag(const std::vector<Diag> &Diags, const char *Check,
              uint32_t Line, const char *Function) {
   return std::any_of(Diags.begin(), Diags.end(), [&](const Diag &D) {
@@ -119,6 +181,46 @@ TEST(SeededDefectTest, SuppressionCommentSilencesOneDefect) {
   AnalysisOptions NoSupp;
   NoSupp.HonorSuppressions = false;
   EXPECT_EQ(analyzeModule(*M, Suppressed, NoSupp).Diags.size(), 5u);
+}
+
+TEST(SeededDefectTest, InterprocDefectsAreInvisibleIntraprocedurally) {
+  auto M = checkModule(InterprocCorpusSource);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Result =
+      analyzeModule(*M, InterprocCorpusSource, intraproceduralOnly());
+  EXPECT_TRUE(Result.Diags.empty())
+      << "the whole-program corpus must slip past the per-function checks:\n"
+      << renderText(Result.Diags);
+}
+
+TEST(SeededDefectTest, InterprocDefectClassesAreFlaggedAtTheirLocations) {
+  auto M = checkModule(InterprocCorpusSource);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Result = analyzeModule(*M, InterprocCorpusSource, {});
+
+  EXPECT_TRUE(hasDiag(Result.Diags, "interproc-div-zero", 27, "stage_a"));
+  EXPECT_TRUE(hasDiag(Result.Diags, "interproc-uninit", 29, "stage_a"));
+  EXPECT_TRUE(hasDiag(Result.Diags, "interproc-array-bounds", 30, "stage_a"));
+  EXPECT_TRUE(hasDiag(Result.Diags, "channel-deadlock", 33, "stage_b"));
+  EXPECT_EQ(Result.Diags.size(), 4u) << renderText(Result.Diags);
+
+  // All four are errors, and each carries its call-chain witness.
+  EXPECT_EQ(countDiags(Result.Diags).Errors, 4u);
+  for (const Diag &D : Result.Diags)
+    EXPECT_FALSE(D.Notes.empty()) << D.CheckId;
+}
+
+TEST(SeededDefectTest, SuppressionSilencesOneInterprocDefect) {
+  std::string Suppressed = InterprocCorpusSource;
+  size_t At = Suppressed.find("var w: int = nth(9);");
+  ASSERT_NE(At, std::string::npos);
+  Suppressed.insert(At + std::string("var w: int = nth(9);").size(),
+                    " // lint: allow(interproc-array-bounds)");
+  auto M = checkModule(Suppressed);
+  ASSERT_TRUE(M);
+  ModuleAnalysis Result = analyzeModule(*M, Suppressed, {});
+  EXPECT_FALSE(hasDiag(Result.Diags, "interproc-array-bounds", 30, "stage_a"));
+  EXPECT_EQ(Result.Diags.size(), 3u) << renderText(Result.Diags);
 }
 
 TEST(SeededDefectTest, GeneratedWorkloadsAreDiagnosticFree) {

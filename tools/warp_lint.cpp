@@ -12,7 +12,13 @@
 //   --disable <ids>       comma-separated check ids to skip (repeatable)
 //   --werror              treat warnings as errors
 //   --no-suppressions     ignore "lint: allow(...)" comments
-//   --jobs <N>            analyze N functions concurrently (default 1)
+//   --jobs <N>            analyze N functions concurrently (default 1;
+//                         0 = auto-detect hardware concurrency)
+//   --summary-cache <d>   persist interprocedural summaries under <d> so
+//                         warm runs re-analyze only edited SCC chains
+//   --stats-json <f>      write the analysis metrics as JSON
+//   --trace-json <f>      write a Chrome trace of the analysis wavefront
+//                         (SpanAnalyze/SpanSummarize spans per worker lane)
 //   --list-checks         print the check catalog and exit
 //   --demo <which>        lint a built-in workload instead of a file
 //
@@ -24,13 +30,19 @@
 #include "analysis/Analyzer.h"
 #include "analysis/Checks.h"
 #include "analysis/Diagnostic.h"
+#include "cache/CompileCache.h"
+#include "codegen/MachineModel.h"
 #include "driver/Compiler.h"
+#include "obs/ChromeTrace.h"
+#include "obs/MetricsRegistry.h"
 #include "parallel/AnalysisRunner.h"
+#include "support/Json.h"
 #include "workload/Generator.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -41,6 +53,9 @@ namespace {
 struct Options {
   std::string InputFile;
   std::string Demo;
+  std::string SummaryCacheDir;
+  std::string StatsJsonFile;
+  std::string TraceJsonFile;
   analysis::AnalysisOptions Analysis;
   unsigned Jobs = 1;
   bool Json = false;
@@ -55,6 +70,12 @@ void usage(const char *Prog) {
                "  --werror          treat warnings as errors\n"
                "  --no-suppressions ignore 'lint: allow(...)' comments\n"
                "  --jobs <N>        analyze N functions concurrently\n"
+               "                    (0 = auto-detect hardware concurrency)\n"
+               "  --summary-cache <d>  persist interprocedural summaries\n"
+               "                    under <d> for incremental re-analysis\n"
+               "  --stats-json <f>  write the analysis metrics as JSON\n"
+               "  --trace-json <f>  write a Chrome trace of the analysis\n"
+               "                    wavefront (view with warp-traceview)\n"
                "  --list-checks     print the check catalog and exit\n"
                "  --demo <w>        tiny|small|medium|large|huge|user|fig1\n",
                Prog);
@@ -115,7 +136,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
       if (Opts.Jobs == 0)
-        Opts.Jobs = 1;
+        Opts.Jobs = parallel::defaultAnalysisWorkers();
+    } else if (Arg == "--summary-cache") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SummaryCacheDir = V;
+    } else if (Arg == "--stats-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.StatsJsonFile = V;
+    } else if (Arg == "--trace-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceJsonFile = V;
     } else if (Arg == "--list-checks") {
       Opts.ListChecks = true;
     } else if (Arg == "--demo") {
@@ -192,9 +228,59 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // The summary cache keys by the same post-sema fingerprints the compile
+  // cache uses, under the standard cell model so a shared directory
+  // interoperates with warpc --cache-dir.
+  obs::MetricsRegistry Metrics;
+  std::unique_ptr<cache::CompileCache> SummaryCache;
+  if (!Opts.SummaryCacheDir.empty())
+    SummaryCache = std::make_unique<cache::CompileCache>(
+        cache::CacheMode::Disk,
+        cache::CacheContext::forModel(codegen::MachineModel::warpCell()),
+        Opts.SummaryCacheDir, &Metrics);
+
+  std::unique_ptr<obs::TraceRecorder> Rec;
+  if (!Opts.TraceJsonFile.empty()) {
+    Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+    Rec->setEngine("thread");
+  }
+
   parallel::AnalysisRunResult Run = parallel::analyzeModuleParallel(
-      *Parsed.Module, Source, Opts.Analysis, Opts.Jobs);
+      *Parsed.Module, Source, Opts.Analysis, Opts.Jobs, Rec.get(), &Metrics,
+      SummaryCache.get());
   const std::vector<analysis::Diag> &Diags = Run.Analysis.Diags;
+  if (SummaryCache)
+    SummaryCache->rememberModule(*Parsed.Module);
+
+  if (Rec) {
+    Rec->setTopology(Run.WorkersUsed + 1,
+                     static_cast<uint32_t>(Parsed.Module->numSections()));
+    Rec->setRunTotals(Run.ElapsedSec, 0.0,
+                      static_cast<uint32_t>(Run.Analysis.FunctionsAnalyzed));
+    obs::TraceSession Session = Rec->finish();
+    std::string Error;
+    if (!obs::writeChromeTraceFile(Session, Opts.TraceJsonFile, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  if (!Opts.StatsJsonFile.empty()) {
+    json::Value Root = json::Value::object();
+    json::Value RunInfo = json::Value::object();
+    RunInfo.set("jobs", static_cast<uint64_t>(Run.WorkersUsed));
+    RunInfo.set("functions",
+                static_cast<uint64_t>(Run.Analysis.FunctionsAnalyzed));
+    Root.set("run", std::move(RunInfo));
+    Root.set("metrics", Metrics.toJson());
+    std::ofstream Out(Opts.StatsJsonFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.StatsJsonFile.c_str());
+      return 1;
+    }
+    Out << Root.dump(1) << "\n";
+  }
 
   if (Opts.Json) {
     std::printf("%s\n", analysis::renderJson(Diags).dump(1).c_str());

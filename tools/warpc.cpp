@@ -381,12 +381,47 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
     return 1;
   }
 
+  // Observability: every driver phase reports into one registry, and
+  // --trace-json records either the simulated run (with --simulate) or
+  // the threaded compilation below.
+  obs::MetricsRegistry Metrics;
+  obs::TraceSession Session;
+  bool HaveSession = false;
+  bool TraceThreads = !Opts.TraceJsonFile.empty() && !Opts.Simulate;
+
+  // The compilation cache fronts phases 2+3: functions whose content
+  // address matches a stored entry replay the stored result instead of
+  // compiling. The rebuild plan is read before compiling, so it (and the
+  // simulator's warm-task marking below) reflects what this run reuses
+  // rather than what the run itself stored. The same cache carries the
+  // interprocedural summary store --analyze reads and writes.
+  std::unique_ptr<cache::CompileCache> Cache;
+  std::vector<cache::ExplainEntry> Explain;
+  if (Opts.CacheMode != cache::CacheMode::Off) {
+    Cache = std::make_unique<cache::CompileCache>(
+        Opts.CacheMode, cache::CacheContext::forModel(MM), Opts.CacheDir,
+        &Metrics);
+    Explain = Cache->explainModule(*Module);
+    if (Opts.ExplainRebuild) {
+      std::printf("rebuild plan (%zu function(s)):\n", Explain.size());
+      for (const cache::ExplainEntry &E : Explain)
+        std::printf("  %s.%s: %s\n", E.SectionName.c_str(),
+                    E.FunctionName.c_str(),
+                    cache::rebuildReasonName(E.Reason));
+    }
+  }
+
   // Static analysis as its own parallel phase: the checks fan out per
   // function like compilation phases 2+3, and error findings abort
-  // before any code is generated.
+  // before any code is generated. Without an explicit --parallel the
+  // analysis uses every available core — it is pure and deterministic,
+  // so there is no reason to leave cores idle.
   if (Opts.Analyze) {
+    const unsigned AnalysisJobs =
+        Opts.WorkersGiven ? Opts.Workers : parallel::defaultAnalysisWorkers();
     parallel::AnalysisRunResult Run = parallel::analyzeModuleParallel(
-        *Module, Source, Opts.Analysis, Opts.Workers);
+        *Module, Source, Opts.Analysis, AnalysisJobs, /*Rec=*/nullptr,
+        &Metrics, Cache.get());
     if (!Run.Analysis.Diags.empty())
       std::fputs(analysis::renderText(Run.Analysis.Diags).c_str(), stderr);
     else
@@ -402,36 +437,12 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
       Out << analysis::renderJson(Run.Analysis.Diags).dump(1) << "\n";
       std::printf("wrote analysis %s\n", Opts.AnalyzeJsonFile.c_str());
     }
-    if (analysis::countDiags(Run.Analysis.Diags).Errors)
+    if (analysis::countDiags(Run.Analysis.Diags).Errors) {
+      // Remember the fingerprints even on an aborted build: the stored
+      // summaries are valid and the next --analyze should warm-hit.
+      if (Cache)
+        Cache->rememberModule(*Module);
       return 1;
-  }
-
-  // Observability: every driver phase reports into one registry, and
-  // --trace-json records either the simulated run (with --simulate) or
-  // the threaded compilation below.
-  obs::MetricsRegistry Metrics;
-  obs::TraceSession Session;
-  bool HaveSession = false;
-  bool TraceThreads = !Opts.TraceJsonFile.empty() && !Opts.Simulate;
-
-  // The compilation cache fronts phases 2+3: functions whose content
-  // address matches a stored entry replay the stored result instead of
-  // compiling. The rebuild plan is read before compiling, so it (and the
-  // simulator's warm-task marking below) reflects what this run reuses
-  // rather than what the run itself stored.
-  std::unique_ptr<cache::CompileCache> Cache;
-  std::vector<cache::ExplainEntry> Explain;
-  if (Opts.CacheMode != cache::CacheMode::Off) {
-    Cache = std::make_unique<cache::CompileCache>(
-        Opts.CacheMode, cache::CacheContext::forModel(MM), Opts.CacheDir,
-        &Metrics);
-    Explain = Cache->explainModule(*Module);
-    if (Opts.ExplainRebuild) {
-      std::printf("rebuild plan (%zu function(s)):\n", Explain.size());
-      for (const cache::ExplainEntry &E : Explain)
-        std::printf("  %s.%s: %s\n", E.SectionName.c_str(),
-                    E.FunctionName.c_str(),
-                    cache::rebuildReasonName(E.Reason));
     }
   }
 
