@@ -1,0 +1,202 @@
+//===- ablation_daemon.cpp - Compile-service latency under open-loop load ----===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+// The paper's compiler served one user per invocation; the warpd service
+// multiplexes many. This ablation drives a live in-process CompileService
+// through its real AF_UNIX socket with an open-loop arrival schedule —
+// requests land on the clock whether or not earlier ones finished, the
+// honest way to measure a queueing system — and reports per-request
+// latency percentiles and the admission behavior as the offered rate
+// crosses the single executor's capacity. Rows carry engine "daemon" so
+// warp-perf diffs service runs as their own metric family.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::bench;
+using namespace warpc::service;
+
+namespace {
+
+double quantile(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(Q * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main() {
+  printFigureHeader(
+      "Ablation daemon",
+      "compile-service latency vs offered load (open-loop arrivals, "
+      "one executor, bounded queue)",
+      "below saturation the daemon adds little over the bare compile; "
+      "past it queueing dominates the tail and the bounded admission "
+      "queue sheds the overflow as explicit rejects instead of letting "
+      "latency grow without bound");
+
+  // A small module population cycled by the generator; cache off so
+  // every request costs the same real compile.
+  std::vector<std::string> Sources;
+  for (uint64_t Seed = 0; Seed != 8; ++Seed)
+    Sources.push_back(
+        workload::makeTestModule(workload::FunctionSize::Tiny, 2, 7000 + Seed));
+
+  ServiceConfig Config;
+  Config.SocketPath =
+      "/tmp/warpc-bench-daemon-" + std::to_string(getpid()) + ".sock";
+  Config.Engine = "sequential";
+  Config.MaxInFlight = 1;
+  Config.MaxQueue = 16;
+  Config.CacheMode = cache::CacheMode::Off;
+  // A deterministic service-time floor (the executor's test hook): tiny
+  // modules compile in ~0.1 ms, which is too noisy a denominator for a
+  // stable capacity estimate on shared CI hosts. 4 ms per request makes
+  // the saturation knee land at the same capacity fraction everywhere.
+  const double FloorSec = 0.004;
+  Config.DebugCompileDelaySec = FloorSec;
+  CompileService Service(Config);
+  std::string Error;
+  if (!Service.start(Error)) {
+    std::fprintf(stderr, "fatal: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // Calibrate capacity: one synchronous request's service time sets the
+  // saturation point the rate sweep brackets.
+  double ServiceSec = 0.001;
+  {
+    Client C;
+    if (!C.connect(Config.SocketPath, Error)) {
+      std::fprintf(stderr, "fatal: %s\n", Error.c_str());
+      return 1;
+    }
+    wire::CompileRequestMsg Req;
+    Req.RequestId = 1;
+    Req.ModuleSource = Sources[0];
+    RequestOutcome Out;
+    if (!C.compile(Req, Out, Error) || !Out.Accepted ||
+        Out.Result.Status != 0) {
+      std::fprintf(stderr, "fatal: calibration compile failed\n");
+      return 1;
+    }
+    ServiceSec = std::max(Out.Result.CompileSec, 1e-4) + FloorSec;
+  }
+  const double CapacityRps = 1.0 / ServiceSec;
+
+  TextTable Table({"engine", "offered [req/s]", "sent", "completed",
+                   "rejected", "p50 [ms]", "p95 [ms]", "p99 [ms]"});
+
+  for (double Fraction : {0.25, 0.75, 1.5, 4.0}) {
+    const double Rate = Fraction * CapacityRps;
+    const unsigned Total = 40;
+    Client C;
+    if (!C.connect(Config.SocketPath, Error)) {
+      std::fprintf(stderr, "fatal: %s\n", Error.c_str());
+      return 1;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point Start = Clock::now();
+    unsigned Sent = 0;
+    for (unsigned I = 0; I != Total; ++I) {
+      // Open loop: request I is due at I/Rate regardless of progress.
+      const double DueSec = I / Rate;
+      for (;;) {
+        double Now =
+            std::chrono::duration<double>(Clock::now() - Start).count();
+        if (Now >= DueSec)
+          break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(DueSec - Now));
+      }
+      wire::CompileRequestMsg Req;
+      Req.RequestId = 10 + I;
+      Req.ModuleSource = Sources[I % Sources.size()];
+      if (!C.submit(Req, Error)) {
+        std::fprintf(stderr, "fatal: submit: %s\n", Error.c_str());
+        return 1;
+      }
+      ++Sent;
+    }
+
+    unsigned Completed = 0, Rejected = 0;
+    std::vector<double> LatencySec;
+    for (unsigned I = 0; I != Total; ++I) {
+      RequestOutcome Out;
+      if (!C.await(10 + I, Out, Error)) {
+        std::fprintf(stderr, "fatal: await: %s\n", Error.c_str());
+        return 1;
+      }
+      if (!Out.Accepted) {
+        ++Rejected;
+        continue;
+      }
+      if (Out.Result.Status != 0) {
+        std::fprintf(stderr, "fatal: request %u failed\n", I);
+        return 1;
+      }
+      ++Completed;
+      // Server-side residence: queue wait plus service time (floor +
+      // compile), the latency the daemon is accountable for
+      // (client-side adds only socket hops).
+      LatencySec.push_back(Out.Result.QueueSec + FloorSec +
+                           Out.Result.CompileSec);
+    }
+
+    const double P50 = quantile(LatencySec, 0.50) * 1e3;
+    const double P95 = quantile(LatencySec, 0.95) * 1e3;
+    const double P99 = quantile(LatencySec, 0.99) * 1e3;
+    Table.addRow({"daemon", formatDouble(Rate, 1), std::to_string(Sent),
+                  std::to_string(Completed), std::to_string(Rejected),
+                  formatDouble(P50, 2), formatDouble(P95, 2),
+                  formatDouble(P99, 2)});
+
+    json::Value Row = json::Value::object();
+    Row.set("engine", "daemon");
+    Row.set("offered_rps", Rate);
+    Row.set("capacity_fraction", Fraction);
+    Row.set("sent", Sent);
+    Row.set("completed", Completed);
+    Row.set("rejected", Rejected);
+    Row.set("p50_sec", P50 / 1e3);
+    Row.set("p95_sec", P95 / 1e3);
+    Row.set("p99_sec", P99 / 1e3);
+    benchJsonRow(std::move(Row));
+  }
+
+  wire::ServerStatsMsg Stats = Service.statsSnapshot();
+  Service.requestDrain();
+  Service.wait();
+
+  std::printf("%s\n", Table.str().c_str());
+  std::printf("service totals: %llu accepted, %llu completed, %llu "
+              "rejected; request p50/p95/p99 = %.2f/%.2f/%.2f ms\n",
+              static_cast<unsigned long long>(Stats.Accepted),
+              static_cast<unsigned long long>(Stats.Completed),
+              static_cast<unsigned long long>(Stats.Rejected),
+              Stats.P50Ms, Stats.P95Ms, Stats.P99Ms);
+  std::printf("note: open-loop arrivals; rejected rows are the bounded\n"
+              "queue's explicit backpressure, not lost requests. Absolute\n"
+              "rates depend on the host; the durable shape is the tail\n"
+              "latency knee at the capacity crossing.\n");
+  return 0;
+}

@@ -107,6 +107,36 @@ grep -q '"engine": "process"' "$TMP_DIR/proc.stats.json"
 "$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/proc.trace.json" \
     | grep -q "process engine"
 
+echo "== daemon smoke test =="
+# The resident compile service end to end through the installed CLI: a
+# warpd on a private socket must serve warpc --server the same bytes the
+# local compiler produces, label its documents engine "daemon", and
+# drain cleanly (exit 0) on SIGTERM.
+"$BUILD_DIR/tools/warpd" --socket "$TMP_DIR/warpd.sock" \
+    --stats-json "$TMP_DIR/daemon.stats.json" \
+    > "$TMP_DIR/daemon.out" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$TMP_DIR/warpd.sock" ] && break
+  sleep 0.1
+done
+"$BUILD_DIR/tools/warpc" --demo small --server="$TMP_DIR/warpd.sock" \
+    -o "$TMP_DIR/daemon.img" \
+    --stats-json "$TMP_DIR/client.stats.json" | tee "$TMP_DIR/client.out"
+grep -q "daemon compile via" "$TMP_DIR/client.out"
+grep -q '"engine": "daemon"' "$TMP_DIR/client.stats.json"
+cmp "$TMP_DIR/seq.img" "$TMP_DIR/daemon.img"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+grep -q "drained" "$TMP_DIR/daemon.out"
+grep -q '"engine": "daemon"' "$TMP_DIR/daemon.stats.json"
+# With no daemon on the socket the client must fall back to a local
+# compile (with a diagnostic) and still produce the same image.
+"$BUILD_DIR/tools/warpc" --demo small --server="$TMP_DIR/warpd.sock" \
+    -o "$TMP_DIR/fallback.img" 2> "$TMP_DIR/fallback.err"
+grep -q "compiling locally" "$TMP_DIR/fallback.err"
+cmp "$TMP_DIR/seq.img" "$TMP_DIR/fallback.img"
+
 echo "== perf gate smoke test =="
 # Two identical simulated runs must clear the regression gate; halving
 # the machine to two processors must trip it (exit 1).
@@ -139,6 +169,10 @@ if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
   # summary maps, per-SCC diag slots) across worker counts; the
   # sanitizers are the only witness for its data-race freedom.
   ctest --test-dir "$SAN_DIR" -L analysis --output-on-failure -j "$JOBS"
+  # The service suite runs the daemon's event loop, executor pool, and
+  # live socket clients; the sanitizers watch the loop/executor handoff.
+  WARPC_TEST_MAX_WORKERS="${WARPC_TEST_MAX_WORKERS:-$JOBS}" \
+      ctest --test-dir "$SAN_DIR" -L service --output-on-failure -j "$JOBS"
   "$SAN_DIR/tools/warp-lint" --demo user --jobs 4 > /dev/null
 fi
 

@@ -14,81 +14,17 @@ using namespace warpc::parallel::wire;
 
 std::vector<uint8_t> wire::encodeFrame(FrameType Type,
                                        const std::vector<uint8_t> &Payload) {
-  BinaryWriter W;
-  W.u32(FrameMagic);
-  W.u8(ProtocolVersion);
-  W.u8(static_cast<uint8_t>(Type));
-  W.u32(static_cast<uint32_t>(Payload.size()));
-  std::vector<uint8_t> Out = W.take();
-  Out.insert(Out.end(), Payload.begin(), Payload.end());
-  BinaryWriter T;
-  T.u64(fnv1a64(Payload));
-  const std::vector<uint8_t> &Trailer = T.buffer();
-  Out.insert(Out.end(), Trailer.begin(), Trailer.end());
-  return Out;
-}
-
-void FrameDecoder::fail(const std::string &Why) {
-  Failed = true;
-  Error = Why;
-  Buf.clear();
-  Pos = 0;
-}
-
-void FrameDecoder::feed(const uint8_t *Data, size_t Size) {
-  if (Failed || Size == 0)
-    return;
-  // Compact once the dead prefix dominates, so a long-lived worker
-  // connection does not grow its buffer without bound.
-  if (Pos > 4096 && Pos * 2 > Buf.size()) {
-    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
-    Pos = 0;
-  }
-  Buf.insert(Buf.end(), Data, Data + Size);
+  return framing::encodeFrame(Spec, static_cast<uint8_t>(Type), Payload);
 }
 
 DecodeStatus FrameDecoder::next(Frame &Out) {
-  if (Failed)
-    return DecodeStatus::Corrupt;
-  const size_t Avail = Buf.size() - Pos;
-  if (Avail < FrameHeaderSize)
-    return DecodeStatus::NeedMore;
-
-  BinaryReader Header(Buf.data() + Pos, FrameHeaderSize);
-  const uint32_t Magic = Header.u32();
-  const uint8_t Version = Header.u8();
-  const uint8_t Type = Header.u8();
-  const uint32_t Len = Header.u32();
-  if (Magic != FrameMagic) {
-    fail("bad frame magic");
-    return DecodeStatus::Corrupt;
+  framing::RawFrame Raw;
+  const DecodeStatus S = Inner.next(Raw);
+  if (S == DecodeStatus::Ready) {
+    Out.Type = static_cast<FrameType>(Raw.Type);
+    Out.Payload = std::move(Raw.Payload);
   }
-  if (Version != ProtocolVersion) {
-    fail("unsupported protocol version " + std::to_string(Version));
-    return DecodeStatus::Corrupt;
-  }
-  if (Type == 0 || Type > MaxFrameType) {
-    fail("unknown frame type " + std::to_string(Type));
-    return DecodeStatus::Corrupt;
-  }
-  if (Len > MaxFramePayload) {
-    fail("oversized frame payload (" + std::to_string(Len) + " bytes)");
-    return DecodeStatus::Corrupt;
-  }
-  const size_t Whole = FrameHeaderSize + Len + FrameTrailerSize;
-  if (Avail < Whole)
-    return DecodeStatus::NeedMore;
-
-  const uint8_t *Payload = Buf.data() + Pos + FrameHeaderSize;
-  BinaryReader Trailer(Payload + Len, FrameTrailerSize);
-  if (Trailer.u64() != fnv1a64(Payload, Len)) {
-    fail("frame checksum mismatch");
-    return DecodeStatus::Corrupt;
-  }
-  Out.Type = static_cast<FrameType>(Type);
-  Out.Payload.assign(Payload, Payload + Len);
-  Pos += Whole;
-  return DecodeStatus::Ready;
+  return S;
 }
 
 // --- Message payload codecs ----------------------------------------------

@@ -30,6 +30,7 @@
 
 #include "driver/FaultPolicy.h"
 #include "support/BinaryStream.h"
+#include "support/Framing.h"
 
 #include <cstdint>
 #include <string>
@@ -47,9 +48,9 @@ inline constexpr uint8_t ProtocolVersion = 1;
 /// 64 MiB bounds even absurd generated modules.
 inline constexpr uint32_t MaxFramePayload = 64u << 20;
 /// magic + version + type + payload length.
-inline constexpr size_t FrameHeaderSize = 10;
+inline constexpr size_t FrameHeaderSize = framing::FrameHeaderSize;
 /// Trailing payload checksum.
-inline constexpr size_t FrameTrailerSize = 8;
+inline constexpr size_t FrameTrailerSize = framing::FrameTrailerSize;
 
 enum class FrameType : uint8_t {
   Hello = 1,    ///< worker -> master: pid + sanity data after Init.
@@ -62,6 +63,10 @@ enum class FrameType : uint8_t {
 inline constexpr uint8_t MaxFrameType =
     static_cast<uint8_t>(FrameType::Shutdown);
 
+/// The master/worker instantiation of the shared frame layer.
+inline constexpr framing::FrameSpec Spec = {FrameMagic, ProtocolVersion,
+                                            MaxFrameType, MaxFramePayload};
+
 struct Frame {
   FrameType Type = FrameType::Hello;
   std::vector<uint8_t> Payload;
@@ -71,33 +76,28 @@ struct Frame {
 std::vector<uint8_t> encodeFrame(FrameType Type,
                                  const std::vector<uint8_t> &Payload);
 
-enum class DecodeStatus : uint8_t {
-  NeedMore, ///< No complete frame buffered yet.
-  Ready,    ///< \p Out holds the next frame.
-  Corrupt,  ///< The stream is damaged beyond resync; discard the peer.
-};
+using DecodeStatus = framing::DecodeStatus;
 
-/// Incremental frame scanner over a byte stream. Corruption is sticky:
+/// Incremental frame scanner over a byte stream; a typed view of
+/// framing::Decoder bound to this protocol's Spec. Corruption is sticky:
 /// once a header or checksum fails, nothing later in the stream can be
 /// trusted (frames carry no resync markers), so every subsequent next()
 /// also reports Corrupt and the caller must drop the connection.
 class FrameDecoder {
 public:
-  void feed(const uint8_t *Data, size_t Size);
+  FrameDecoder() : Inner(Spec) {}
+
+  void feed(const uint8_t *Data, size_t Size) { Inner.feed(Data, Size); }
   DecodeStatus next(Frame &Out);
 
-  bool corrupt() const { return Failed; }
-  const std::string &error() const { return Error; }
+  bool corrupt() const { return Inner.corrupt(); }
+  const std::string &error() const { return Inner.error(); }
   /// Bytes buffered but not yet consumed (a nonzero value at EOF means
   /// the peer died mid-frame).
-  size_t bufferedBytes() const { return Buf.size() - Pos; }
+  size_t bufferedBytes() const { return Inner.bufferedBytes(); }
 
 private:
-  void fail(const std::string &Why);
-  std::vector<uint8_t> Buf;
-  size_t Pos = 0;
-  bool Failed = false;
-  std::string Error;
+  framing::Decoder Inner;
 };
 
 // --- Message payloads ----------------------------------------------------

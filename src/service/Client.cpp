@@ -1,0 +1,252 @@
+//===- Client.cpp - Compile-service client --------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+using namespace warpc;
+using namespace warpc::service;
+
+std::string service::defaultSocketPath() {
+  return "/tmp/warpd-" + std::to_string(::getuid()) + ".sock";
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "service: bad socket path: " + SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = std::string("service: socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "service: connect " + SocketPath + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+
+  wire::ClientHelloMsg H;
+  H.Protocol = wire::ProtocolVersion;
+  H.Pid = static_cast<uint64_t>(::getpid());
+  if (!sendBytes(wire::encodeFrame(wire::MsgType::ClientHello,
+                                   wire::encodeClientHello(H)),
+                 Error)) {
+    close();
+    return false;
+  }
+  wire::Frame F;
+  if (!readFrame(F, Error, 30.0)) {
+    close();
+    return false;
+  }
+  if (F.Type == wire::MsgType::Rejected) {
+    wire::RejectedMsg R;
+    Error = "service: hello rejected";
+    if (wire::decodeRejected(F.Payload, R) && !R.Detail.empty())
+      Error += ": " + R.Detail;
+    close();
+    return false;
+  }
+  if (F.Type != wire::MsgType::ServerHello ||
+      !wire::decodeServerHello(F.Payload, Hello)) {
+    Error = "service: malformed hello response";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendBytes(const std::vector<uint8_t> &Bytes, std::string &Error) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    const ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Error = std::string("service: send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::readFrame(wire::Frame &Out, std::string &Error,
+                       double TimeoutSec) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(TimeoutSec);
+  while (true) {
+    const wire::DecodeStatus S = Decoder.next(Out);
+    if (S == wire::DecodeStatus::Ready)
+      return true;
+    if (S == wire::DecodeStatus::Corrupt) {
+      Error = "service: corrupt response stream: " + Decoder.error();
+      return false;
+    }
+    const auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline) {
+      Error = "service: timed out waiting for a response";
+      return false;
+    }
+    const int WaitMs = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count());
+    pollfd P = {Fd, POLLIN, 0};
+    const int RC = ::poll(&P, 1, WaitMs > 0 ? WaitMs : 1);
+    if (RC < 0 && errno != EINTR) {
+      Error = std::string("service: poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (RC <= 0)
+      continue;
+    uint8_t Chunk[16384];
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Decoder.feed(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      Error = "service: server closed the connection";
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+      continue;
+    Error = std::string("service: recv: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+bool Client::submit(const wire::CompileRequestMsg &Msg, std::string &Error) {
+  if (Fd < 0) {
+    Error = "service: not connected";
+    return false;
+  }
+  return sendBytes(wire::encodeFrame(wire::MsgType::CompileRequest,
+                                     wire::encodeCompileRequest(Msg)),
+                   Error);
+}
+
+bool Client::await(uint64_t RequestId, RequestOutcome &Out, std::string &Error,
+                   double TimeoutSec) {
+  auto Buffered = Pending.find(RequestId);
+  if (Buffered != Pending.end()) {
+    Out = std::move(Buffered->second);
+    Pending.erase(Buffered);
+    return true;
+  }
+  while (true) {
+    wire::Frame F;
+    if (!readFrame(F, Error, TimeoutSec))
+      return false;
+    RequestOutcome O;
+    uint64_t Id = 0;
+    if (F.Type == wire::MsgType::CompileResult) {
+      if (!wire::decodeCompileResult(F.Payload, O.Result)) {
+        Error = "service: malformed CompileResult";
+        return false;
+      }
+      O.Accepted = true;
+      Id = O.Result.RequestId;
+    } else if (F.Type == wire::MsgType::Rejected) {
+      if (!wire::decodeRejected(F.Payload, O.Reject)) {
+        Error = "service: malformed Rejected";
+        return false;
+      }
+      O.Accepted = false;
+      Id = O.Reject.RequestId;
+    } else {
+      continue; // ServerStats etc. for some other call: drop.
+    }
+    if (Id == RequestId) {
+      Out = std::move(O);
+      return true;
+    }
+    Pending[Id] = std::move(O);
+  }
+}
+
+bool Client::compile(const wire::CompileRequestMsg &Msg, RequestOutcome &Out,
+                     std::string &Error, double TimeoutSec) {
+  if (!submit(Msg, Error))
+    return false;
+  return await(Msg.RequestId, Out, Error, TimeoutSec);
+}
+
+bool Client::cancel(uint64_t RequestId, std::string &Error) {
+  if (Fd < 0) {
+    Error = "service: not connected";
+    return false;
+  }
+  wire::CancelMsg M;
+  M.RequestId = RequestId;
+  return sendBytes(
+      wire::encodeFrame(wire::MsgType::Cancel, wire::encodeCancel(M)), Error);
+}
+
+bool Client::serverStats(wire::ServerStatsMsg &Out, std::string &Error,
+                         double TimeoutSec) {
+  if (Fd < 0) {
+    Error = "service: not connected";
+    return false;
+  }
+  if (!sendBytes(wire::encodeFrame(wire::MsgType::StatsRequest, {}), Error))
+    return false;
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(TimeoutSec);
+  while (true) {
+    wire::Frame F;
+    const double Left =
+        std::chrono::duration<double>(Deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    if (Left <= 0) {
+      Error = "service: timed out waiting for stats";
+      return false;
+    }
+    if (!readFrame(F, Error, Left))
+      return false;
+    if (F.Type == wire::MsgType::ServerStats)
+      return wire::decodeServerStats(F.Payload, Out) ||
+             (Error = "service: malformed ServerStats", false);
+    // A compile outcome racing the stats call: buffer it.
+    RequestOutcome O;
+    if (F.Type == wire::MsgType::CompileResult &&
+        wire::decodeCompileResult(F.Payload, O.Result)) {
+      O.Accepted = true;
+      Pending[O.Result.RequestId] = std::move(O);
+    } else if (F.Type == wire::MsgType::Rejected &&
+               wire::decodeRejected(F.Payload, O.Reject)) {
+      O.Accepted = false;
+      Pending[O.Reject.RequestId] = std::move(O);
+    }
+  }
+}

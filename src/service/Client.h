@@ -1,0 +1,91 @@
+//===- Client.h - Compile-service client ------------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The blocking client side of the compile service: connect + hello
+/// handshake, then synchronous compile / cancel / stats calls. warpc
+/// --server, the daemon tests, and bench/ablation_daemon all speak
+/// through this class; it owns one connection and may pipeline requests
+/// from one thread (submit() then await()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SERVICE_CLIENT_H
+#define WARPC_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace warpc {
+namespace service {
+
+/// Default rendezvous path when the user names none: per-uid under
+/// /tmp, matching what warpd binds without --socket.
+std::string defaultSocketPath();
+
+/// Terminal outcome of one request as seen by the client.
+struct RequestOutcome {
+  bool Accepted = false; ///< False: rejected at admission (see Reject).
+  wire::CompileResultMsg Result;
+  wire::RejectedMsg Reject;
+};
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects and completes the hello exchange. False + \p Error when
+  /// the socket is absent, refuses, or negotiation fails.
+  bool connect(const std::string &SocketPath, std::string &Error);
+  void close();
+  bool connected() const { return Fd >= 0; }
+  const wire::ServerHelloMsg &serverHello() const { return Hello; }
+
+  /// Sends one CompileRequest without waiting (pipelining). \p Msg's
+  /// RequestId must be nonzero and unique among this connection's
+  /// outstanding requests.
+  bool submit(const wire::CompileRequestMsg &Msg, std::string &Error);
+
+  /// Blocks until the outcome of \p RequestId arrives (responses for
+  /// other outstanding requests are buffered for their own await()).
+  /// False + \p Error on transport failure or timeout.
+  bool await(uint64_t RequestId, RequestOutcome &Out, std::string &Error,
+             double TimeoutSec = 300.0);
+
+  /// submit() + await() in one call.
+  bool compile(const wire::CompileRequestMsg &Msg, RequestOutcome &Out,
+               std::string &Error, double TimeoutSec = 300.0);
+
+  /// Sends a Cancel for \p RequestId (the outcome still arrives via
+  /// await(), as Cancelled if the cancel won the race).
+  bool cancel(uint64_t RequestId, std::string &Error);
+
+  /// Round-trips a StatsRequest.
+  bool serverStats(wire::ServerStatsMsg &Out, std::string &Error,
+                   double TimeoutSec = 30.0);
+
+private:
+  bool sendBytes(const std::vector<uint8_t> &Bytes, std::string &Error);
+  /// Reads until one frame is available; false on EOF/corrupt/timeout.
+  bool readFrame(wire::Frame &Out, std::string &Error, double TimeoutSec);
+
+  int Fd = -1;
+  wire::FrameDecoder Decoder;
+  wire::ServerHelloMsg Hello;
+  /// Outcomes that arrived while awaiting a different request.
+  std::map<uint64_t, RequestOutcome> Pending;
+};
+
+} // namespace service
+} // namespace warpc
+
+#endif // WARPC_SERVICE_CLIENT_H

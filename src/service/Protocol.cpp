@@ -1,0 +1,188 @@
+//===- Protocol.cpp - Compile-service wire protocol -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/BinaryStream.h"
+
+using namespace warpc;
+using namespace warpc::service;
+using namespace warpc::service::wire;
+
+std::vector<uint8_t> wire::encodeFrame(MsgType Type,
+                                       const std::vector<uint8_t> &Payload) {
+  return framing::encodeFrame(Spec, static_cast<uint8_t>(Type), Payload);
+}
+
+DecodeStatus FrameDecoder::next(Frame &Out) {
+  framing::RawFrame Raw;
+  const DecodeStatus S = Inner.next(Raw);
+  if (S == DecodeStatus::Ready) {
+    Out.Type = static_cast<MsgType>(Raw.Type);
+    Out.Payload = std::move(Raw.Payload);
+  }
+  return S;
+}
+
+// --- Message payload codecs ----------------------------------------------
+
+std::vector<uint8_t> wire::encodeClientHello(const ClientHelloMsg &M) {
+  BinaryWriter W;
+  W.u32(M.Protocol);
+  W.u64(M.Pid);
+  return W.take();
+}
+
+bool wire::decodeClientHello(const std::vector<uint8_t> &Payload,
+                             ClientHelloMsg &Out) {
+  BinaryReader R(Payload);
+  Out.Protocol = R.u32();
+  Out.Pid = R.u64();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeServerHello(const ServerHelloMsg &M) {
+  BinaryWriter W;
+  W.u32(M.Protocol);
+  W.u64(M.Pid);
+  W.u32(M.MaxQueue);
+  W.u32(M.MaxInFlight);
+  return W.take();
+}
+
+bool wire::decodeServerHello(const std::vector<uint8_t> &Payload,
+                             ServerHelloMsg &Out) {
+  BinaryReader R(Payload);
+  Out.Protocol = R.u32();
+  Out.Pid = R.u64();
+  Out.MaxQueue = R.u32();
+  Out.MaxInFlight = R.u32();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeCompileRequest(const CompileRequestMsg &M) {
+  BinaryWriter W;
+  W.u64(M.RequestId);
+  W.str(M.ModuleSource);
+  W.u8(M.Engine);
+  W.u32(M.Workers);
+  W.u8(M.UseCache);
+  W.u8(M.Priority);
+  W.u32(M.DeadlineMs);
+  return W.take();
+}
+
+bool wire::decodeCompileRequest(const std::vector<uint8_t> &Payload,
+                                CompileRequestMsg &Out) {
+  BinaryReader R(Payload);
+  Out.RequestId = R.u64();
+  Out.ModuleSource = R.str();
+  Out.Engine = R.u8();
+  Out.Workers = R.u32();
+  Out.UseCache = R.u8();
+  Out.Priority = R.u8();
+  Out.DeadlineMs = R.u32();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeCompileResult(const CompileResultMsg &M) {
+  BinaryWriter W;
+  W.u64(M.RequestId);
+  W.u8(M.Status);
+  W.str(M.ModuleName);
+  W.u32(M.NumSections);
+  W.u32(M.NumFunctions);
+  W.str(M.DiagText);
+  W.bytes(M.Image);
+  W.str(M.EngineUsed);
+  W.u32(M.WorkersUsed);
+  W.f64(M.QueueSec);
+  W.f64(M.CompileSec);
+  W.u64(M.CacheHits);
+  W.u64(M.CacheMisses);
+  return W.take();
+}
+
+bool wire::decodeCompileResult(const std::vector<uint8_t> &Payload,
+                               CompileResultMsg &Out) {
+  BinaryReader R(Payload);
+  Out.RequestId = R.u64();
+  Out.Status = R.u8();
+  Out.ModuleName = R.str();
+  Out.NumSections = R.u32();
+  Out.NumFunctions = R.u32();
+  Out.DiagText = R.str();
+  Out.Image = R.bytes();
+  Out.EngineUsed = R.str();
+  Out.WorkersUsed = R.u32();
+  Out.QueueSec = R.f64();
+  Out.CompileSec = R.f64();
+  Out.CacheHits = R.u64();
+  Out.CacheMisses = R.u64();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeRejected(const RejectedMsg &M) {
+  BinaryWriter W;
+  W.u64(M.RequestId);
+  W.u8(M.Reason);
+  W.str(M.Detail);
+  return W.take();
+}
+
+bool wire::decodeRejected(const std::vector<uint8_t> &Payload,
+                          RejectedMsg &Out) {
+  BinaryReader R(Payload);
+  Out.RequestId = R.u64();
+  Out.Reason = R.u8();
+  Out.Detail = R.str();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeCancel(const CancelMsg &M) {
+  BinaryWriter W;
+  W.u64(M.RequestId);
+  return W.take();
+}
+
+bool wire::decodeCancel(const std::vector<uint8_t> &Payload, CancelMsg &Out) {
+  BinaryReader R(Payload);
+  Out.RequestId = R.u64();
+  return R.atEnd();
+}
+
+std::vector<uint8_t> wire::encodeServerStats(const ServerStatsMsg &M) {
+  BinaryWriter W;
+  W.u64(M.Accepted);
+  W.u64(M.Rejected);
+  W.u64(M.Completed);
+  W.u64(M.Cancelled);
+  W.u64(M.Expired);
+  W.u32(M.QueueDepth);
+  W.u32(M.InFlight);
+  W.u32(M.Connections);
+  W.f64(M.P50Ms);
+  W.f64(M.P95Ms);
+  W.f64(M.P99Ms);
+  return W.take();
+}
+
+bool wire::decodeServerStats(const std::vector<uint8_t> &Payload,
+                             ServerStatsMsg &Out) {
+  BinaryReader R(Payload);
+  Out.Accepted = R.u64();
+  Out.Rejected = R.u64();
+  Out.Completed = R.u64();
+  Out.Cancelled = R.u64();
+  Out.Expired = R.u64();
+  Out.QueueDepth = R.u32();
+  Out.InFlight = R.u32();
+  Out.Connections = R.u32();
+  Out.P50Ms = R.f64();
+  Out.P95Ms = R.f64();
+  Out.P99Ms = R.f64();
+  return R.atEnd();
+}

@@ -1,0 +1,214 @@
+//===- Protocol.h - Compile-service wire protocol ---------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed request/response protocol between warpc clients and the
+/// warpd compile service, built on the same support/Framing transport as
+/// the master/worker protocol (its own 'WSV1' magic, so the two streams
+/// can never be confused) and support/BinaryStream payload codecs.
+///
+/// Session shape: the client opens an AF_UNIX stream connection and sends
+/// ClientHello; the server answers ServerHello (or Rejected{version} and
+/// closes — version negotiation happens before any work is admitted).
+/// After the handshake the client may pipeline any number of
+/// CompileRequest / Cancel / StatsRequest frames; the server answers each
+/// CompileRequest with exactly one CompileResult or Rejected, in
+/// whatever order requests finish. Every admitted request gets exactly
+/// one terminal response — backpressure is an explicit
+/// Rejected{queue_full}, never a silent drop.
+///
+/// ComPar-style per-request configuration (engine, worker count, cache
+/// participation, priority, deadline) rides in the CompileRequest frame,
+/// so one resident daemon serves heterogeneous client policies without
+/// restarts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SERVICE_PROTOCOL_H
+#define WARPC_SERVICE_PROTOCOL_H
+
+#include "support/Framing.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace service {
+namespace wire {
+
+/// "WSV1" little-endian: rejects master/worker ('WRP1') and foreign
+/// streams outright.
+inline constexpr uint32_t FrameMagic = 0x31565357;
+inline constexpr uint8_t ProtocolVersion = 1;
+/// Compile sources and result images are at most a few MiB; 64 MiB
+/// bounds even absurd generated modules, matching the worker protocol.
+inline constexpr uint32_t MaxFramePayload = 64u << 20;
+
+enum class MsgType : uint8_t {
+  ClientHello = 1,    ///< client -> server: version + pid.
+  ServerHello = 2,    ///< server -> client: version + capacity.
+  CompileRequest = 3, ///< client -> server: one module to compile.
+  CompileResult = 4,  ///< server -> client: terminal outcome of a request.
+  Rejected = 5,       ///< server -> client: request refused at admission.
+  Cancel = 6,         ///< client -> server: abandon a pending request.
+  StatsRequest = 7,   ///< client -> server: ask for a ServerStats frame.
+  ServerStats = 8,    ///< server -> client: live service counters.
+};
+inline constexpr uint8_t MaxMsgType =
+    static_cast<uint8_t>(MsgType::ServerStats);
+
+/// The compile-service instantiation of the shared frame layer.
+inline constexpr framing::FrameSpec Spec = {FrameMagic, ProtocolVersion,
+                                            MaxMsgType, MaxFramePayload};
+
+struct Frame {
+  MsgType Type = MsgType::ClientHello;
+  std::vector<uint8_t> Payload;
+};
+
+std::vector<uint8_t> encodeFrame(MsgType Type,
+                                 const std::vector<uint8_t> &Payload);
+
+using DecodeStatus = framing::DecodeStatus;
+
+/// Typed view of framing::Decoder bound to the service Spec; same sticky
+/// corruption and zero-phantom-frame guarantees as the worker protocol.
+class FrameDecoder {
+public:
+  FrameDecoder() : Inner(Spec) {}
+
+  void feed(const uint8_t *Data, size_t Size) { Inner.feed(Data, Size); }
+  DecodeStatus next(Frame &Out);
+
+  bool corrupt() const { return Inner.corrupt(); }
+  const std::string &error() const { return Inner.error(); }
+  size_t bufferedBytes() const { return Inner.bufferedBytes(); }
+
+private:
+  framing::Decoder Inner;
+};
+
+// --- Message payloads ----------------------------------------------------
+
+struct ClientHelloMsg {
+  uint32_t Protocol = ProtocolVersion;
+  uint64_t Pid = 0;
+};
+
+struct ServerHelloMsg {
+  uint32_t Protocol = ProtocolVersion;
+  uint64_t Pid = 0;
+  uint32_t MaxQueue = 0;
+  uint32_t MaxInFlight = 0;
+};
+
+/// Which backend compiles the request's functions.
+enum class RequestEngine : uint8_t {
+  Default = 0, ///< whatever the daemon was started with.
+  Thread = 1,  ///< in-process thread pool.
+  Process = 2, ///< fork/exec warp-worker pool.
+};
+
+struct CompileRequestMsg {
+  /// Client-chosen id, unique per connection; echoed in the response.
+  uint64_t RequestId = 0;
+  std::string ModuleSource;
+  uint8_t Engine = 0;  ///< RequestEngine.
+  uint32_t Workers = 0; ///< 0 = daemon default.
+  uint8_t UseCache = 1; ///< 0 opts this request out of the shared cache.
+  uint8_t Priority = 0; ///< 0 = normal, 1 = high (served first).
+  /// Admission-to-dispatch budget in milliseconds; 0 = none. A request
+  /// still queued when its deadline lapses completes as DeadlineExpired
+  /// instead of occupying an executor.
+  uint32_t DeadlineMs = 0;
+};
+
+enum class ResultStatus : uint8_t {
+  Ok = 0,
+  CompileError = 1,    ///< diagnostics in DiagText, no image.
+  Cancelled = 2,       ///< client cancel or disconnect won the race.
+  DeadlineExpired = 3, ///< queued past the request's deadline.
+};
+
+struct CompileResultMsg {
+  uint64_t RequestId = 0;
+  uint8_t Status = 0; ///< ResultStatus.
+  std::string ModuleName;
+  uint32_t NumSections = 0;
+  uint32_t NumFunctions = 0;
+  std::string DiagText;
+  std::vector<uint8_t> Image;
+  std::string EngineUsed;
+  uint32_t WorkersUsed = 0;
+  double QueueSec = 0.0;
+  double CompileSec = 0.0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+enum class RejectReason : uint8_t {
+  QueueFull = 0,       ///< bounded admission queue at capacity.
+  Draining = 1,        ///< SIGTERM received; no new work admitted.
+  VersionMismatch = 2, ///< hello negotiation failed.
+  BadRequest = 3,      ///< malformed payload or duplicate request id.
+};
+
+struct RejectedMsg {
+  uint64_t RequestId = 0; ///< 0 when rejecting the hello itself.
+  uint8_t Reason = 0;     ///< RejectReason.
+  std::string Detail;
+};
+
+struct CancelMsg {
+  uint64_t RequestId = 0;
+};
+
+struct ServerStatsMsg {
+  uint64_t Accepted = 0;
+  uint64_t Rejected = 0;
+  uint64_t Completed = 0;
+  uint64_t Cancelled = 0;
+  uint64_t Expired = 0;
+  uint32_t QueueDepth = 0;
+  uint32_t InFlight = 0;
+  uint32_t Connections = 0;
+  double P50Ms = 0.0;
+  double P95Ms = 0.0;
+  double P99Ms = 0.0;
+};
+
+std::vector<uint8_t> encodeClientHello(const ClientHelloMsg &M);
+bool decodeClientHello(const std::vector<uint8_t> &Payload,
+                       ClientHelloMsg &Out);
+
+std::vector<uint8_t> encodeServerHello(const ServerHelloMsg &M);
+bool decodeServerHello(const std::vector<uint8_t> &Payload,
+                       ServerHelloMsg &Out);
+
+std::vector<uint8_t> encodeCompileRequest(const CompileRequestMsg &M);
+bool decodeCompileRequest(const std::vector<uint8_t> &Payload,
+                          CompileRequestMsg &Out);
+
+std::vector<uint8_t> encodeCompileResult(const CompileResultMsg &M);
+bool decodeCompileResult(const std::vector<uint8_t> &Payload,
+                         CompileResultMsg &Out);
+
+std::vector<uint8_t> encodeRejected(const RejectedMsg &M);
+bool decodeRejected(const std::vector<uint8_t> &Payload, RejectedMsg &Out);
+
+std::vector<uint8_t> encodeCancel(const CancelMsg &M);
+bool decodeCancel(const std::vector<uint8_t> &Payload, CancelMsg &Out);
+
+std::vector<uint8_t> encodeServerStats(const ServerStatsMsg &M);
+bool decodeServerStats(const std::vector<uint8_t> &Payload,
+                       ServerStatsMsg &Out);
+
+} // namespace wire
+} // namespace service
+} // namespace warpc
+
+#endif // WARPC_SERVICE_PROTOCOL_H

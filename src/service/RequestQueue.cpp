@@ -1,0 +1,109 @@
+//===- RequestQueue.cpp - Bounded fair admission queue --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RequestQueue.h"
+
+#include <algorithm>
+
+using namespace warpc;
+using namespace warpc::service;
+
+bool RequestQueue::push(QueuedRequest R) {
+  if (Count >= MaxQueued)
+    return false;
+  Tier &T = tierFor(R.Msg.Priority);
+  const uint64_t Conn = R.ConnId;
+  auto It = T.PerConn.find(Conn);
+  if (It == T.PerConn.end()) {
+    It = T.PerConn.emplace(Conn, std::deque<QueuedRequest>()).first;
+    T.Order.push_back(Conn);
+  }
+  It->second.push_back(std::move(R));
+  ++Count;
+  return true;
+}
+
+bool RequestQueue::Tier::popNext(QueuedRequest &Out) {
+  // Visit connections round-robin from the cursor; a connection whose
+  // subqueue drained is unlinked lazily here so the cursor stays cheap.
+  while (!Order.empty()) {
+    if (Cursor >= Order.size())
+      Cursor = 0;
+    const uint64_t Conn = Order[Cursor];
+    auto It = PerConn.find(Conn);
+    if (It == PerConn.end() || It->second.empty()) {
+      if (It != PerConn.end())
+        PerConn.erase(It);
+      Order.erase(Order.begin() + static_cast<long>(Cursor));
+      continue;
+    }
+    Out = std::move(It->second.front());
+    It->second.pop_front();
+    // Advance past this connection so its next request waits its turn.
+    ++Cursor;
+    return true;
+  }
+  return false;
+}
+
+bool RequestQueue::pop(QueuedRequest &Out) {
+  if (High.popNext(Out) || Normal.popNext(Out)) {
+    --Count;
+    return true;
+  }
+  return false;
+}
+
+void RequestQueue::expireDeadlines(double NowSec,
+                                   std::vector<QueuedRequest> &Expired) {
+  for (Tier *T : {&High, &Normal}) {
+    for (auto &[Conn, Q] : T->PerConn) {
+      for (auto It = Q.begin(); It != Q.end();) {
+        const uint32_t Ms = It->Msg.DeadlineMs;
+        if (Ms != 0 && NowSec - It->EnqueuedSec >= Ms / 1000.0) {
+          Expired.push_back(std::move(*It));
+          It = Q.erase(It);
+          --Count;
+        } else {
+          ++It;
+        }
+      }
+    }
+  }
+}
+
+size_t RequestQueue::dropConnection(uint64_t ConnId) {
+  size_t Dropped = 0;
+  for (Tier *T : {&High, &Normal}) {
+    auto It = T->PerConn.find(ConnId);
+    if (It != T->PerConn.end()) {
+      Dropped += It->second.size();
+      It->second.clear();
+      // The Order entry is unlinked lazily by popNext.
+    }
+  }
+  Count -= Dropped;
+  return Dropped;
+}
+
+bool RequestQueue::cancel(uint64_t ConnId, uint64_t RequestId,
+                          QueuedRequest &Out) {
+  for (Tier *T : {&High, &Normal}) {
+    auto It = T->PerConn.find(ConnId);
+    if (It == T->PerConn.end())
+      continue;
+    auto Found = std::find_if(
+        It->second.begin(), It->second.end(),
+        [&](const QueuedRequest &R) { return R.Msg.RequestId == RequestId; });
+    if (Found != It->second.end()) {
+      Out = std::move(*Found);
+      It->second.erase(Found);
+      --Count;
+      return true;
+    }
+  }
+  return false;
+}

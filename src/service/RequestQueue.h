@@ -1,0 +1,99 @@
+//===- RequestQueue.h - Bounded fair admission queue ------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's admission queue: a bounded buffer of admitted-but-not-
+/// dispatched compile requests with two scheduling obligations the paper's
+/// single-user master never had:
+///
+///  * Fairness: one chatty client must not starve the others, so within a
+///    priority tier requests are dequeued round-robin across client
+///    connections (each connection keeps FIFO order for its own requests,
+///    preserving per-client determinism).
+///  * Priorities and deadlines: high-priority requests are served before
+///    any normal ones, and a request still queued past its deadline is
+///    surfaced to the caller as expired instead of occupying an executor.
+///
+/// The queue is deliberately a plain single-threaded data structure —
+/// only the service event loop touches it — so its scheduling policy is
+/// directly unit-testable without sockets or clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SERVICE_REQUESTQUEUE_H
+#define WARPC_SERVICE_REQUESTQUEUE_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace warpc {
+namespace service {
+
+/// One admitted compile request waiting for an executor.
+struct QueuedRequest {
+  uint64_t ConnId = 0;
+  wire::CompileRequestMsg Msg;
+  /// Monotonic admission timestamp, seconds (caller's clock).
+  double EnqueuedSec = 0.0;
+};
+
+class RequestQueue {
+public:
+  explicit RequestQueue(size_t MaxQueued) : MaxQueued(MaxQueued) {}
+
+  /// Admits one request. Returns false (and leaves the queue unchanged)
+  /// when the bound is reached — the caller owes the client an explicit
+  /// Rejected{queue_full}.
+  bool push(QueuedRequest R);
+
+  /// Dequeues the next request by policy: the high tier drains before the
+  /// normal tier; within a tier, connections are visited round-robin in
+  /// first-seen order and each yields its oldest request. Returns false
+  /// when empty.
+  bool pop(QueuedRequest &Out);
+
+  /// Moves every queued request whose deadline lapsed at \p NowSec into
+  /// \p Expired (the caller answers each with DeadlineExpired).
+  void expireDeadlines(double NowSec, std::vector<QueuedRequest> &Expired);
+
+  /// Drops every queued request from \p ConnId (client disconnected; no
+  /// responses owed). Returns how many were dropped.
+  size_t dropConnection(uint64_t ConnId);
+
+  /// Removes the one queued request (ConnId, RequestId) if still queued;
+  /// true and \p Out filled on success (the caller answers Cancelled).
+  bool cancel(uint64_t ConnId, uint64_t RequestId, QueuedRequest &Out);
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t capacity() const { return MaxQueued; }
+
+private:
+  struct Tier {
+    /// Per-connection FIFO subqueues plus the round-robin visit order.
+    std::map<uint64_t, std::deque<QueuedRequest>> PerConn;
+    std::vector<uint64_t> Order;
+    size_t Cursor = 0;
+
+    bool popNext(QueuedRequest &Out);
+  };
+
+  Tier &tierFor(uint8_t Priority) { return Priority ? High : Normal; }
+
+  size_t MaxQueued;
+  size_t Count = 0;
+  Tier High;
+  Tier Normal;
+};
+
+} // namespace service
+} // namespace warpc
+
+#endif // WARPC_SERVICE_REQUESTQUEUE_H

@@ -1,0 +1,802 @@
+//===- Server.cpp - The warpd compile service -----------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "cache/CacheKey.h"
+#include "codegen/MachineModel.h"
+#include "driver/Compiler.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+#include "parallel/ProcessRunner.h"
+#include "parallel/ThreadRunner.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+using namespace warpc;
+using namespace warpc::service;
+
+namespace {
+
+/// Per-request view of the shared cache: forwards to the service-wide
+/// CompileCache but tallies hits/misses locally, so each CompileResult
+/// reports its own cache interaction even when many requests share the
+/// store concurrently.
+class CountingCache : public driver::FunctionResultCache {
+public:
+  explicit CountingCache(driver::FunctionResultCache &Inner) : Inner(Inner) {}
+
+  std::optional<driver::FunctionResult>
+  lookup(const w2::SectionDecl &Section, const w2::FunctionDecl &F) override {
+    std::optional<driver::FunctionResult> R = Inner.lookup(Section, F);
+    if (R)
+      ++Hits;
+    else
+      ++Misses;
+    return R;
+  }
+
+  void store(const w2::SectionDecl &Section, const w2::FunctionDecl &F,
+             const driver::FunctionResult &R) override {
+    Inner.store(Section, F, R);
+  }
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  driver::FunctionResultCache &Inner;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace
+
+CompileService::CompileService(ServiceConfig ConfigIn,
+                               obs::MetricsRegistry *Metrics,
+                               obs::TraceRecorder *RecIn)
+    : Config(std::move(ConfigIn)),
+      Queue(Config.MaxQueue ? Config.MaxQueue : 1) {
+  if (Config.MaxInFlight == 0)
+    Config.MaxInFlight = 1;
+  if (Config.MaxQueue == 0)
+    Config.MaxQueue = 1;
+  if (Metrics) {
+    Met = Metrics;
+  } else {
+    OwnMetrics = std::make_unique<obs::MetricsRegistry>();
+    Met = OwnMetrics.get();
+  }
+  Rec = RecIn;
+  Epoch = std::chrono::steady_clock::now();
+}
+
+CompileService::~CompileService() {
+  if (LoopRunning.load())
+    stop();
+  wait();
+}
+
+double CompileService::nowSec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Epoch)
+      .count();
+}
+
+bool CompileService::start(std::string &Error) {
+  if (Config.SocketPath.empty()) {
+    Error = "service: empty socket path";
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "service: socket path too long: " + Config.SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  // Stale-socket detection: a path that still accepts connections is a
+  // live daemon (refuse to fight it); one that refuses is a leftover
+  // from a SIGKILLed run and is taken over.
+  if (::access(Config.SocketPath.c_str(), F_OK) == 0) {
+    const int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Probe >= 0) {
+      const int RC = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                               sizeof(Addr));
+      ::close(Probe);
+      if (RC == 0) {
+        Error = "service: another daemon is already serving " +
+                Config.SocketPath;
+        return false;
+      }
+    }
+    ::unlink(Config.SocketPath.c_str());
+  }
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Error = std::string("service: socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = std::string("service: bind ") + Config.SocketPath + ": " +
+            std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  SocketBound = true;
+  if (::listen(ListenFd, 64) < 0) {
+    Error = std::string("service: listen: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Config.SocketPath.c_str());
+    SocketBound = false;
+    return false;
+  }
+
+  int Pipe[2];
+  if (::pipe2(Pipe, O_CLOEXEC | O_NONBLOCK) < 0) {
+    Error = std::string("service: pipe2: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Config.SocketPath.c_str());
+    SocketBound = false;
+    return false;
+  }
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+
+  if (Config.CacheMode != cache::CacheMode::Off)
+    Cache = std::make_unique<cache::CompileCache>(
+        Config.CacheMode,
+        cache::CacheContext::forModel(codegen::MachineModel::warpCell()),
+        Config.CacheDir, Met);
+
+  if (Rec)
+    Rec->makeLanes(1 + Config.MaxInFlight);
+
+  LoopRunning.store(true);
+  for (unsigned E = 0; E != Config.MaxInFlight; ++E)
+    Executors.emplace_back([this, E] { executorMain(E); });
+  LoopThread = std::thread([this] { loopMain(); });
+  return true;
+}
+
+void CompileService::requestDrain() {
+  DrainFlag.store(true);
+  if (WakeWrite >= 0) {
+    const char B = 'w';
+    [[maybe_unused]] ssize_t RC = ::write(WakeWrite, &B, 1);
+  }
+}
+
+void CompileService::stop() {
+  StopFlag.store(true);
+  if (WakeWrite >= 0) {
+    const char B = 'w';
+    [[maybe_unused]] ssize_t RC = ::write(WakeWrite, &B, 1);
+  }
+}
+
+void CompileService::wait() {
+  if (LoopThread.joinable())
+    LoopThread.join();
+  {
+    std::lock_guard<std::mutex> L(ExecMu);
+    ChannelClosed = true;
+  }
+  ExecCv.notify_all();
+  for (std::thread &T : Executors)
+    if (T.joinable())
+      T.join();
+  Executors.clear();
+  if (WakeRead >= 0) {
+    ::close(WakeRead);
+    ::close(WakeWrite);
+    WakeRead = WakeWrite = -1;
+  }
+}
+
+wire::ServerStatsMsg CompileService::statsSnapshot() const {
+  wire::ServerStatsMsg S;
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    S = Counters;
+  }
+  const obs::Histogram H = Met->histogram("service.request_sec");
+  if (H.Count) {
+    S.P50Ms = H.quantile(0.50) * 1e3;
+    S.P95Ms = H.quantile(0.95) * 1e3;
+    S.P99Ms = H.quantile(0.99) * 1e3;
+  }
+  return S;
+}
+
+// --- Loop-side plumbing --------------------------------------------------
+
+void CompileService::sendFrame(Conn &C, wire::MsgType Type,
+                               const std::vector<uint8_t> &Payload) {
+  const std::vector<uint8_t> Bytes = wire::encodeFrame(Type, Payload);
+  C.Outbox.insert(C.Outbox.end(), Bytes.begin(), Bytes.end());
+}
+
+bool CompileService::flushOutbox(Conn &C) {
+  while (C.OutPos < C.Outbox.size()) {
+    const ssize_t N =
+        ::send(C.Fd, C.Outbox.data() + C.OutPos, C.Outbox.size() - C.OutPos,
+               MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // EPIPE/ECONNRESET: the client is gone.
+  }
+  C.Outbox.clear();
+  C.OutPos = 0;
+  return true;
+}
+
+void CompileService::closeConn(uint64_t ConnId) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  ::close(It->second.Fd);
+  const size_t Dropped = Queue.dropConnection(ConnId);
+  if (Dropped)
+    Met->add("service.disconnect_drops", static_cast<double>(Dropped));
+  for (auto &[Seq, Info] : InFlight)
+    if (Info.ConnId == ConnId)
+      Info.OwnerGone = true;
+  Met->add("service.disconnects");
+  Conns.erase(It);
+}
+
+void CompileService::respondTerminal(uint64_t ConnId,
+                                     wire::CompileResultMsg Result) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  It->second.PendingIds.erase(Result.RequestId);
+  sendFrame(It->second, wire::MsgType::CompileResult,
+            wire::encodeCompileResult(Result));
+  // A failed flush marks the connection for deferred close: callers may
+  // hold a Conn reference, so nothing is erased from here.
+  if (!flushOutbox(It->second))
+    It->second.Broken = true;
+}
+
+void CompileService::handleRequest(Conn &C,
+                                   const wire::CompileRequestMsg &Msg) {
+  auto reject = [&](wire::RejectReason Reason, const std::string &Detail) {
+    wire::RejectedMsg R;
+    R.RequestId = Msg.RequestId;
+    R.Reason = static_cast<uint8_t>(Reason);
+    R.Detail = Detail;
+    sendFrame(C, wire::MsgType::Rejected, wire::encodeRejected(R));
+    Met->add("service.admission_rejects");
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Counters.Rejected;
+  };
+
+  if (DrainStarted) {
+    reject(wire::RejectReason::Draining, "service is draining");
+    return;
+  }
+  if (Msg.RequestId == 0 || C.PendingIds.count(Msg.RequestId)) {
+    reject(wire::RejectReason::BadRequest,
+           Msg.RequestId == 0 ? "request id must be nonzero"
+                              : "duplicate request id");
+    return;
+  }
+  if (Msg.Engine > static_cast<uint8_t>(wire::RequestEngine::Process)) {
+    reject(wire::RejectReason::BadRequest, "unknown engine");
+    return;
+  }
+  QueuedRequest Q;
+  Q.ConnId = C.Id;
+  Q.Msg = Msg;
+  Q.EnqueuedSec = nowSec();
+  if (!Queue.push(std::move(Q))) {
+    reject(wire::RejectReason::QueueFull,
+           "admission queue at capacity (" +
+               std::to_string(Queue.capacity()) + ")");
+    return;
+  }
+  C.PendingIds.insert(Msg.RequestId);
+  Met->add("service.accepted");
+  std::lock_guard<std::mutex> L(StatsMu);
+  ++Counters.Accepted;
+}
+
+void CompileService::handleCancel(Conn &C, const wire::CancelMsg &Msg) {
+  QueuedRequest Q;
+  if (Queue.cancel(C.Id, Msg.RequestId, Q)) {
+    wire::CompileResultMsg R;
+    R.RequestId = Msg.RequestId;
+    R.Status = static_cast<uint8_t>(wire::ResultStatus::Cancelled);
+    R.QueueSec = nowSec() - Q.EnqueuedSec;
+    Met->add("service.cancelled");
+    {
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Counters.Cancelled;
+    }
+    respondTerminal(C.Id, std::move(R));
+    return;
+  }
+  // Already dispatched: flag it so the completion is delivered (and
+  // counted) as Cancelled. A request that already completed is a benign
+  // race — the client has its result.
+  for (auto &[Seq, Info] : InFlight)
+    if (Info.ConnId == C.Id && Info.RequestId == Msg.RequestId)
+      Info.Cancelled = true;
+}
+
+void CompileService::handleFrame(Conn &C, const wire::Frame &F) {
+  if (!C.HelloDone) {
+    wire::ClientHelloMsg H;
+    if (F.Type != wire::MsgType::ClientHello ||
+        !wire::decodeClientHello(F.Payload, H)) {
+      wire::RejectedMsg R;
+      R.Reason = static_cast<uint8_t>(wire::RejectReason::BadRequest);
+      R.Detail = "expected a ClientHello frame";
+      sendFrame(C, wire::MsgType::Rejected, wire::encodeRejected(R));
+      C.CloseAfterFlush = true;
+      return;
+    }
+    if (H.Protocol != wire::ProtocolVersion) {
+      wire::RejectedMsg R;
+      R.Reason = static_cast<uint8_t>(wire::RejectReason::VersionMismatch);
+      R.Detail = "server speaks protocol " +
+                 std::to_string(wire::ProtocolVersion) + ", client sent " +
+                 std::to_string(H.Protocol);
+      sendFrame(C, wire::MsgType::Rejected, wire::encodeRejected(R));
+      Met->add("service.admission_rejects");
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Counters.Rejected;
+      }
+      C.CloseAfterFlush = true;
+      return;
+    }
+    C.HelloDone = true;
+    wire::ServerHelloMsg S;
+    S.Protocol = wire::ProtocolVersion;
+    S.Pid = static_cast<uint64_t>(::getpid());
+    S.MaxQueue = Config.MaxQueue;
+    S.MaxInFlight = Config.MaxInFlight;
+    sendFrame(C, wire::MsgType::ServerHello, wire::encodeServerHello(S));
+    return;
+  }
+
+  switch (F.Type) {
+  case wire::MsgType::CompileRequest: {
+    wire::CompileRequestMsg M;
+    if (!wire::decodeCompileRequest(F.Payload, M)) {
+      wire::RejectedMsg R;
+      R.Reason = static_cast<uint8_t>(wire::RejectReason::BadRequest);
+      R.Detail = "malformed CompileRequest payload";
+      sendFrame(C, wire::MsgType::Rejected, wire::encodeRejected(R));
+      C.CloseAfterFlush = true;
+      return;
+    }
+    handleRequest(C, M);
+    return;
+  }
+  case wire::MsgType::Cancel: {
+    wire::CancelMsg M;
+    if (wire::decodeCancel(F.Payload, M))
+      handleCancel(C, M);
+    return;
+  }
+  case wire::MsgType::StatsRequest: {
+    wire::ServerStatsMsg S = statsSnapshot();
+    S.QueueDepth = static_cast<uint32_t>(Queue.size());
+    S.InFlight = static_cast<uint32_t>(InFlight.size());
+    S.Connections = static_cast<uint32_t>(Conns.size());
+    sendFrame(C, wire::MsgType::ServerStats, wire::encodeServerStats(S));
+    return;
+  }
+  default: {
+    // Server-to-client types (or a second hello) from a client are a
+    // protocol violation.
+    wire::RejectedMsg R;
+    R.Reason = static_cast<uint8_t>(wire::RejectReason::BadRequest);
+    R.Detail = "unexpected frame type from client";
+    sendFrame(C, wire::MsgType::Rejected, wire::encodeRejected(R));
+    C.CloseAfterFlush = true;
+    return;
+  }
+  }
+}
+
+void CompileService::handleReadable(Conn &C) {
+  uint8_t Chunk[16384];
+  while (true) {
+    const ssize_t N = ::recv(C.Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      C.Decoder.feed(Chunk, static_cast<size_t>(N));
+      wire::Frame F;
+      while (!C.CloseAfterFlush) {
+        const wire::DecodeStatus S = C.Decoder.next(F);
+        if (S == wire::DecodeStatus::Ready) {
+          handleFrame(C, F);
+          continue;
+        }
+        if (S == wire::DecodeStatus::Corrupt) {
+          Met->add("service.frame_errors");
+          closeConn(C.Id);
+          return;
+        }
+        break; // NeedMore.
+      }
+      if (N < static_cast<ssize_t>(sizeof(Chunk)))
+        return; // Drained what was available.
+      continue;
+    }
+    if (N == 0) { // EOF: the client is gone.
+      closeConn(C.Id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    if (errno == EINTR)
+      continue;
+    closeConn(C.Id);
+    return;
+  }
+}
+
+void CompileService::acceptNew() {
+  while (true) {
+    const int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return;
+    Conn C;
+    C.Fd = Fd;
+    C.Id = NextConnId++;
+    const uint64_t Id = C.Id;
+    Conns.emplace(Id, std::move(C));
+    Met->add("service.connections_accepted");
+  }
+}
+
+void CompileService::beginDrainInLoop() {
+  DrainStarted = true;
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (SocketBound) {
+    ::unlink(Config.SocketPath.c_str());
+    SocketBound = false;
+  }
+}
+
+void CompileService::pumpDispatch() {
+  // Deadline sweep first: a request queued past its budget completes as
+  // DeadlineExpired instead of occupying an executor.
+  std::vector<QueuedRequest> Expired;
+  Queue.expireDeadlines(nowSec(), Expired);
+  for (QueuedRequest &Q : Expired) {
+    wire::CompileResultMsg R;
+    R.RequestId = Q.Msg.RequestId;
+    R.Status = static_cast<uint8_t>(wire::ResultStatus::DeadlineExpired);
+    R.QueueSec = nowSec() - Q.EnqueuedSec;
+    Met->add("service.deadline_expired");
+    {
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Counters.Expired;
+    }
+    respondTerminal(Q.ConnId, std::move(R));
+  }
+
+  while (InFlight.size() < Config.MaxInFlight) {
+    QueuedRequest Q;
+    if (!Queue.pop(Q))
+      break;
+    const double Now = nowSec();
+    Dispatch D;
+    D.Seq = NextSeq++;
+    D.ConnId = Q.ConnId;
+    D.Msg = std::move(Q.Msg);
+    D.EnqueuedSec = Q.EnqueuedSec;
+    D.DispatchedSec = Now;
+    if (Rec) {
+      obs::SpanEvent &S =
+          Rec->lane(0).span(Q.EnqueuedSec, Now - Q.EnqueuedSec,
+                            obs::EventKind::SpanSchedule, obs::Phase::Schedule);
+      D.ScheduleSpanId = S.spanId();
+    }
+    InFlightInfo Info;
+    Info.ConnId = D.ConnId;
+    Info.RequestId = D.Msg.RequestId;
+    InFlight.emplace(D.Seq, Info);
+    {
+      std::lock_guard<std::mutex> L(ExecMu);
+      ExecQ.push_back(std::move(D));
+    }
+    ExecCv.notify_one();
+  }
+
+  Met->setGauge("service.queue_depth", static_cast<double>(Queue.size()));
+  Met->setGauge("service.inflight", static_cast<double>(InFlight.size()));
+  Met->setGauge("service.connections", static_cast<double>(Conns.size()));
+}
+
+void CompileService::loopMain() {
+  std::vector<pollfd> Fds;
+  std::vector<uint64_t> ConnIds;
+  while (true) {
+    if (StopFlag.load())
+      break;
+    if (DrainFlag.load() && !DrainStarted)
+      beginDrainInLoop();
+    pumpDispatch();
+    {
+      std::vector<uint64_t> Broken;
+      for (auto &[Id, C] : Conns)
+        if (C.Broken)
+          Broken.push_back(Id);
+      for (uint64_t Id : Broken)
+        closeConn(Id);
+    }
+    if (DrainStarted && Queue.empty() && InFlight.empty()) {
+      bool Flushed = true;
+      for (auto &[Id, C] : Conns)
+        if (C.OutPos < C.Outbox.size())
+          Flushed = false;
+      if (Flushed)
+        break;
+    }
+
+    Fds.clear();
+    ConnIds.clear();
+    Fds.push_back({WakeRead, POLLIN, 0});
+    if (ListenFd >= 0)
+      Fds.push_back({ListenFd, POLLIN, 0});
+    const size_t ConnBase = Fds.size();
+    for (auto &[Id, C] : Conns) {
+      short Ev = POLLIN;
+      if (C.OutPos < C.Outbox.size())
+        Ev |= POLLOUT;
+      Fds.push_back({C.Fd, Ev, 0});
+      ConnIds.push_back(Id);
+    }
+    // Block unless queued deadlines need a sweep.
+    const int TimeoutMs = Queue.empty() ? -1 : 20;
+    const int RC = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+    if (RC < 0 && errno != EINTR)
+      break;
+
+    // Drain wake bytes and collect completions.
+    {
+      uint8_t Sink[256];
+      while (::read(WakeRead, Sink, sizeof(Sink)) > 0) {
+      }
+    }
+    std::deque<Completion> Done;
+    {
+      std::lock_guard<std::mutex> L(DoneMu);
+      Done.swap(DoneQ);
+    }
+    for (Completion &C : Done) {
+      auto It = InFlight.find(C.Seq);
+      if (It == InFlight.end())
+        continue;
+      const InFlightInfo Info = It->second;
+      InFlight.erase(It);
+      if (Info.OwnerGone)
+        continue; // Disconnected client: nothing owed, pool unharmed.
+      Met->observe("service.request_sec",
+                   C.Result.QueueSec + C.Result.CompileSec);
+      Met->observe("service.queue_sec", C.Result.QueueSec);
+      Met->observe("service.compile_sec", C.Result.CompileSec);
+      if (Info.Cancelled) {
+        wire::CompileResultMsg R;
+        R.RequestId = Info.RequestId;
+        R.Status = static_cast<uint8_t>(wire::ResultStatus::Cancelled);
+        R.QueueSec = C.Result.QueueSec;
+        R.CompileSec = C.Result.CompileSec;
+        Met->add("service.cancelled");
+        {
+          std::lock_guard<std::mutex> L(StatsMu);
+          ++Counters.Cancelled;
+        }
+        respondTerminal(Info.ConnId, std::move(R));
+        continue;
+      }
+      Met->add("service.completed");
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Counters.Completed;
+      }
+      respondTerminal(Info.ConnId, std::move(C.Result));
+    }
+
+    if (RC > 0) {
+      if (ListenFd >= 0 && ConnBase == 2 && (Fds[1].revents & POLLIN))
+        acceptNew();
+      for (size_t I = 0; I != ConnIds.size(); ++I) {
+        const uint64_t Id = ConnIds[I];
+        const short Rev = Fds[ConnBase + I].revents;
+        if (!Rev)
+          continue;
+        auto It = Conns.find(Id);
+        if (It == Conns.end())
+          continue; // Closed earlier in this sweep.
+        if (It->second.Broken) {
+          closeConn(Id);
+          continue;
+        }
+        if (Rev & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Deliver any final bytes, then drop.
+          if (Rev & POLLIN)
+            handleReadable(It->second);
+          It = Conns.find(Id);
+          if (It != Conns.end())
+            closeConn(Id);
+          continue;
+        }
+        if (Rev & POLLIN) {
+          handleReadable(It->second);
+          It = Conns.find(Id);
+          if (It == Conns.end())
+            continue;
+        }
+        if ((Rev & POLLOUT) && !flushOutbox(It->second)) {
+          closeConn(Id);
+          continue;
+        }
+        if (It->second.CloseAfterFlush &&
+            It->second.OutPos >= It->second.Outbox.size())
+          closeConn(Id);
+      }
+    }
+  }
+
+  // Teardown: no more admissions or deliveries.
+  LoopRunning.store(false);
+  std::vector<uint64_t> Ids;
+  for (auto &[Id, C] : Conns)
+    Ids.push_back(Id);
+  for (uint64_t Id : Ids)
+    closeConn(Id);
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (SocketBound) {
+    ::unlink(Config.SocketPath.c_str());
+    SocketBound = false;
+  }
+  {
+    std::lock_guard<std::mutex> L(ExecMu);
+    ChannelClosed = true;
+  }
+  ExecCv.notify_all();
+}
+
+// --- Executor side -------------------------------------------------------
+
+CompileService::Completion CompileService::runCompile(const Dispatch &D,
+                                                      unsigned ExecutorIndex) {
+  if (Config.DebugCompileDelaySec > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(Config.DebugCompileDelaySec));
+
+  const wire::CompileRequestMsg &Msg = D.Msg;
+  std::string Engine = Config.Engine;
+  if (Msg.Engine == static_cast<uint8_t>(wire::RequestEngine::Thread))
+    Engine = "thread";
+  else if (Msg.Engine == static_cast<uint8_t>(wire::RequestEngine::Process))
+    Engine = "process";
+  unsigned Workers = Msg.Workers ? Msg.Workers : Config.DefaultWorkers;
+  if (Workers == 0)
+    Workers = 1;
+
+  std::unique_ptr<CountingCache> RequestCache;
+  if (Cache && Msg.UseCache)
+    RequestCache = std::make_unique<CountingCache>(*Cache);
+
+  const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+  const double T0 = nowSec();
+  driver::ModuleResult Module;
+  unsigned WorkersUsed = 1;
+  if (Engine == "process") {
+    parallel::ProcessRunnerConfig PC;
+    PC.WorkerBinary = Config.WorkerBinary;
+    PC.WatchdogSec = Config.WatchdogSec;
+    PC.Faults = Config.Faults;
+    parallel::ProcessRunResult PR = parallel::compileModuleProcess(
+        Msg.ModuleSource, MM, Workers, Config.Policy, PC, /*Rec=*/nullptr,
+        Met, RequestCache.get());
+    Module = std::move(PR.Module);
+    WorkersUsed = PR.WorkersUsed ? PR.WorkersUsed : 1;
+  } else if (Engine == "thread") {
+    parallel::ThreadRunResult TR = parallel::compileModuleParallel(
+        Msg.ModuleSource, MM, Workers, Config.Policy, /*Inject=*/nullptr,
+        /*Rec=*/nullptr, Met, RequestCache.get());
+    Module = std::move(TR.Module);
+    WorkersUsed = TR.WorkersUsed ? TR.WorkersUsed : 1;
+  } else {
+    Engine = "sequential";
+    Module = driver::compileModuleSequential(Msg.ModuleSource, MM, Met,
+                                             RequestCache.get());
+  }
+  const double T1 = nowSec();
+
+  if (Rec) {
+    obs::SpanEvent &S = Rec->lane(1 + ExecutorIndex)
+                            .span(T0, T1 - T0, obs::EventKind::SpanCompile,
+                                  obs::Phase::Compile);
+    S.Parent = D.ScheduleSpanId;
+    S.Host = static_cast<int32_t>(ExecutorIndex);
+  }
+
+  Completion Out;
+  Out.Seq = D.Seq;
+  Out.ConnId = D.ConnId;
+  wire::CompileResultMsg &R = Out.Result;
+  R.RequestId = Msg.RequestId;
+  R.Status = static_cast<uint8_t>(Module.Succeeded
+                                      ? wire::ResultStatus::Ok
+                                      : wire::ResultStatus::CompileError);
+  R.ModuleName = Module.Image.ModuleName;
+  R.NumSections = static_cast<uint32_t>(Module.Image.Sections.size());
+  R.NumFunctions = static_cast<uint32_t>(Module.Functions.size());
+  R.DiagText = Module.Diags.str();
+  R.Image = std::move(Module.Image.Image);
+  R.EngineUsed = Engine;
+  R.WorkersUsed = WorkersUsed;
+  R.QueueSec = D.DispatchedSec - D.EnqueuedSec;
+  R.CompileSec = T1 - T0;
+  if (RequestCache) {
+    R.CacheHits = RequestCache->hits();
+    R.CacheMisses = RequestCache->misses();
+  }
+  return Out;
+}
+
+void CompileService::executorMain(unsigned Index) {
+  while (true) {
+    Dispatch D;
+    {
+      std::unique_lock<std::mutex> L(ExecMu);
+      ExecCv.wait(L, [&] { return ChannelClosed || !ExecQ.empty(); });
+      if (ExecQ.empty())
+        return; // Channel closed and drained.
+      D = std::move(ExecQ.front());
+      ExecQ.pop_front();
+    }
+    Completion C = runCompile(D, Index);
+    {
+      std::lock_guard<std::mutex> L(DoneMu);
+      DoneQ.push_back(std::move(C));
+    }
+    if (WakeWrite >= 0) {
+      const char B = 'w';
+      [[maybe_unused]] ssize_t RC = ::write(WakeWrite, &B, 1);
+    }
+  }
+}

@@ -1,0 +1,238 @@
+//===- Server.h - The warpd compile service ---------------------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident compile service behind warpd: a single event-loop thread
+/// owning an AF_UNIX listening socket, every client connection, and the
+/// bounded fair RequestQueue; plus a fixed pool of executor threads that
+/// drive admitted requests through the existing engines
+/// (driver::compileModuleSequential, parallel::compileModuleParallel,
+/// parallel::compileModuleProcess) against one shared cache::CompileCache.
+///
+/// The paper's master compiled one module for one user and exited; this
+/// is the long-lived front end the ROADMAP's service north-star needs.
+/// The structural rules:
+///
+///  * Admission is explicit. A request is either admitted (and then owed
+///    exactly one terminal CompileResult — Ok, CompileError, Cancelled,
+///    or DeadlineExpired) or answered Rejected{queue_full | draining |
+///    version | bad_request} on the spot. Nothing is silently dropped.
+///  * Fairness and priority live in RequestQueue (round-robin across
+///    connections within a priority tier); deadline expiry is checked at
+///    dispatch so a doomed request never occupies an executor.
+///  * Drain (SIGTERM) stops accepting connections and admitting work,
+///    completes everything already admitted, flushes every outbox, and
+///    only then lets the loop exit — the same "finish what you started"
+///    discipline the worker pool's shutdown handshake has.
+///  * Client death is a cancellation: queued requests are unlinked,
+///    in-flight results are discarded on completion, and the executor
+///    pool is never poisoned — the next request sees a healthy service.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SERVICE_SERVER_H
+#define WARPC_SERVICE_SERVER_H
+
+#include "cache/CompileCache.h"
+#include "driver/FaultPolicy.h"
+#include "service/Protocol.h"
+#include "service/RequestQueue.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace obs
+
+namespace service {
+
+struct ServiceConfig {
+  std::string SocketPath;
+  /// Engine for requests that say RequestEngine::Default:
+  /// "sequential", "thread", or "process".
+  std::string Engine = "sequential";
+  /// Worker count for requests that say 0.
+  unsigned DefaultWorkers = 1;
+  /// Executor threads == maximum concurrently compiling requests.
+  unsigned MaxInFlight = 2;
+  /// Bound on admitted-but-not-dispatched requests (RequestQueue size).
+  unsigned MaxQueue = 64;
+  /// warp-worker path for process-engine requests; empty resolves via
+  /// parallel::defaultWorkerBinary().
+  std::string WorkerBinary;
+  cache::CacheMode CacheMode = cache::CacheMode::Memory;
+  std::string CacheDir;
+  /// Retry/timeout policy shared by every request.
+  driver::FaultPolicy Policy;
+  /// Watchdog for process-engine requests.
+  double WatchdogSec = 10.0;
+  /// Fault plan shipped to process-engine workers (tests only).
+  driver::ProcessFaultPlan Faults;
+  /// Test hook: sleep this long in the executor before each compile, so
+  /// lifecycle tests can hold requests in flight deterministically.
+  double DebugCompileDelaySec = 0.0;
+};
+
+class CompileService {
+public:
+  /// A non-null \p Metrics receives the service.* counters, gauges, and
+  /// latency histograms (otherwise an internal registry collects them
+  /// for statsSnapshot()). A non-null \p Rec (Steady domain) receives a
+  /// SpanSchedule per request on lane 0 (queue residence) and a
+  /// SpanCompile on lane 1+executor with a causal Parent link; the
+  /// caller labels the session via Rec->setEngine("daemon").
+  explicit CompileService(ServiceConfig Config,
+                          obs::MetricsRegistry *Metrics = nullptr,
+                          obs::TraceRecorder *Rec = nullptr);
+  ~CompileService();
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Binds and listens on Config.SocketPath and starts the loop and
+  /// executor threads. A live daemon already serving the path is a
+  /// startup failure; a stale socket file (nothing accepting) is
+  /// unlinked and taken over. False + \p Error on failure.
+  bool start(std::string &Error);
+
+  /// Begins a graceful drain (async-signal-safe: a SIGTERM handler may
+  /// call this). No new connections or requests are admitted; admitted
+  /// work completes and is delivered; then the loop exits.
+  void requestDrain();
+
+  /// Hard stop: the loop exits now, queued requests are dropped, and
+  /// in-flight compiles finish into the void. For tests and fatal paths.
+  void stop();
+
+  /// Joins the loop and executor threads (after requestDrain()/stop(),
+  /// or blocks until one happens).
+  void wait();
+
+  bool running() const { return LoopRunning.load(); }
+  const std::string &socketPath() const { return Config.SocketPath; }
+
+  /// Live counters in wire form (also what StatsRequest answers with).
+  wire::ServerStatsMsg statsSnapshot() const;
+
+private:
+  struct Conn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    wire::FrameDecoder Decoder;
+    std::vector<uint8_t> Outbox;
+    size_t OutPos = 0;
+    bool HelloDone = false;
+    /// Flush the outbox, then close (protocol errors, version rejects).
+    bool CloseAfterFlush = false;
+    /// A write failed (EPIPE): the loop closes this connection at the
+    /// next safe point. Deferred so frame handlers never invalidate the
+    /// Conn reference they are working on.
+    bool Broken = false;
+    /// RequestIds admitted (queued or in flight) on this connection;
+    /// guards against duplicate-id confusion.
+    std::set<uint64_t> PendingIds;
+  };
+
+  /// Executor handoff: one admitted request leaving the queue.
+  struct Dispatch {
+    uint64_t Seq = 0;
+    uint64_t ConnId = 0;
+    wire::CompileRequestMsg Msg;
+    double EnqueuedSec = 0.0;
+    double DispatchedSec = 0.0;
+    uint64_t ScheduleSpanId = 0;
+  };
+
+  /// Executor -> loop: a finished compile.
+  struct Completion {
+    uint64_t Seq = 0;
+    uint64_t ConnId = 0;
+    wire::CompileResultMsg Result;
+  };
+
+  struct InFlightInfo {
+    uint64_t ConnId = 0;
+    uint64_t RequestId = 0;
+    bool Cancelled = false;
+    bool OwnerGone = false;
+  };
+
+  void loopMain();
+  void executorMain(unsigned Index);
+  Completion runCompile(const Dispatch &D, unsigned ExecutorIndex);
+
+  void acceptNew();
+  void handleReadable(Conn &C);
+  void handleFrame(Conn &C, const wire::Frame &F);
+  void handleRequest(Conn &C, const wire::CompileRequestMsg &Msg);
+  void handleCancel(Conn &C, const wire::CancelMsg &Msg);
+  void sendFrame(Conn &C, wire::MsgType Type,
+                 const std::vector<uint8_t> &Payload);
+  bool flushOutbox(Conn &C);
+  void closeConn(uint64_t ConnId);
+  void respondTerminal(uint64_t ConnId, wire::CompileResultMsg Result);
+  void pumpDispatch();
+  void beginDrainInLoop();
+  double nowSec() const;
+
+  ServiceConfig Config;
+  obs::MetricsRegistry *Met = nullptr; ///< External or &OwnMetrics.
+  std::unique_ptr<obs::MetricsRegistry> OwnMetrics;
+  obs::TraceRecorder *Rec = nullptr;
+  std::unique_ptr<cache::CompileCache> Cache;
+
+  int ListenFd = -1;
+  int WakeRead = -1;
+  int WakeWrite = -1;
+  bool SocketBound = false;
+
+  std::thread LoopThread;
+  std::vector<std::thread> Executors;
+  std::atomic<bool> LoopRunning{false};
+  std::atomic<bool> DrainFlag{false};
+  std::atomic<bool> StopFlag{false};
+  bool DrainStarted = false;
+
+  // Loop-thread-only state.
+  std::map<uint64_t, Conn> Conns;
+  uint64_t NextConnId = 1;
+  uint64_t NextSeq = 1;
+  RequestQueue Queue;
+  std::map<uint64_t, InFlightInfo> InFlight;
+
+  // Executor handoff channel.
+  std::mutex ExecMu;
+  std::condition_variable ExecCv;
+  std::deque<Dispatch> ExecQ;
+  bool ChannelClosed = false;
+
+  // Completion channel (executors -> loop).
+  std::mutex DoneMu;
+  std::deque<Completion> DoneQ;
+
+  // Aggregate counters (loop thread writes, statsSnapshot reads).
+  mutable std::mutex StatsMu;
+  wire::ServerStatsMsg Counters;
+
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+} // namespace service
+} // namespace warpc
+
+#endif // WARPC_SERVICE_SERVER_H

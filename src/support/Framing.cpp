@@ -1,0 +1,93 @@
+//===- Framing.cpp - Generic checksummed frame transport ------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Framing.h"
+
+#include "support/BinaryStream.h"
+
+#include <cstddef>
+
+using namespace warpc;
+using namespace warpc::framing;
+
+std::vector<uint8_t> framing::encodeFrame(const FrameSpec &Spec, uint8_t Type,
+                                          const std::vector<uint8_t> &Payload) {
+  BinaryWriter W;
+  W.u32(Spec.Magic);
+  W.u8(Spec.Version);
+  W.u8(Type);
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  BinaryWriter T;
+  T.u64(fnv1a64(Payload));
+  const std::vector<uint8_t> &Trailer = T.buffer();
+  Out.insert(Out.end(), Trailer.begin(), Trailer.end());
+  return Out;
+}
+
+void Decoder::fail(const std::string &Why) {
+  Failed = true;
+  Error = Why;
+  Buf.clear();
+  Pos = 0;
+}
+
+void Decoder::feed(const uint8_t *Data, size_t Size) {
+  if (Failed || Size == 0)
+    return;
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+DecodeStatus Decoder::next(RawFrame &Out) {
+  if (Failed)
+    return DecodeStatus::Corrupt;
+  const size_t Avail = Buf.size() - Pos;
+  if (Avail < FrameHeaderSize)
+    return DecodeStatus::NeedMore;
+
+  BinaryReader Header(Buf.data() + Pos, FrameHeaderSize);
+  const uint32_t Magic = Header.u32();
+  const uint8_t Version = Header.u8();
+  const uint8_t Type = Header.u8();
+  const uint32_t Len = Header.u32();
+  if (Magic != Spec.Magic) {
+    fail("bad frame magic");
+    return DecodeStatus::Corrupt;
+  }
+  if (Version != Spec.Version) {
+    fail("unsupported protocol version " + std::to_string(Version));
+    return DecodeStatus::Corrupt;
+  }
+  if (Type == 0 || Type > Spec.MaxType) {
+    fail("unknown frame type " + std::to_string(Type));
+    return DecodeStatus::Corrupt;
+  }
+  if (Len > Spec.MaxPayload) {
+    fail("oversized frame payload (" + std::to_string(Len) + " bytes)");
+    return DecodeStatus::Corrupt;
+  }
+  const size_t Whole = FrameHeaderSize + Len + FrameTrailerSize;
+  if (Avail < Whole)
+    return DecodeStatus::NeedMore;
+
+  const uint8_t *Payload = Buf.data() + Pos + FrameHeaderSize;
+  BinaryReader Trailer(Payload + Len, FrameTrailerSize);
+  if (Trailer.u64() != fnv1a64(Payload, Len)) {
+    fail("frame checksum mismatch");
+    return DecodeStatus::Corrupt;
+  }
+  Out.Type = Type;
+  Out.Payload.assign(Payload, Payload + Len);
+  Pos += Whole;
+  return DecodeStatus::Ready;
+}

@@ -1,0 +1,98 @@
+//===- Framing.h - Generic checksummed frame transport ----------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared frame layer under every warpc socket protocol. A frame is
+///
+///   u32 magic | u8 version | u8 type | u32 payload length
+///   payload bytes...
+///   u64 fnv1a-64 checksum of the payload
+///
+/// parameterized by a FrameSpec (magic word, protocol version, highest
+/// valid type byte, payload cap) so the master/worker protocol
+/// (parallel/WireProtocol.h, magic 'WRP1') and the compile-service
+/// protocol (service/Protocol.h, magic 'WSV1') share one encoder and one
+/// incremental decoder — and therefore one set of robustness guarantees:
+/// any malformation is a sticky Corrupt verdict, truncation is NeedMore
+/// forever (resolved by the peer's EOF), and no fed byte sequence can
+/// crash, hang, or yield a frame that was not sent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_SUPPORT_FRAMING_H
+#define WARPC_SUPPORT_FRAMING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace framing {
+
+/// magic + version + type + payload length.
+inline constexpr size_t FrameHeaderSize = 10;
+/// Trailing payload checksum.
+inline constexpr size_t FrameTrailerSize = 8;
+
+/// What distinguishes one warpc frame protocol from another. Frames from
+/// a peer speaking a different spec fail on the magic (or version) check
+/// and poison the stream — cross-protocol confusion can never decode.
+struct FrameSpec {
+  uint32_t Magic = 0;
+  uint8_t Version = 1;
+  /// Valid type bytes are 1..MaxType; 0 is reserved-invalid.
+  uint8_t MaxType = 0;
+  /// Largest payload the decoder will buffer.
+  uint32_t MaxPayload = 64u << 20;
+};
+
+/// A decoded frame: the raw type byte (the protocol layer casts it to its
+/// own enum) and the verified payload.
+struct RawFrame {
+  uint8_t Type = 0;
+  std::vector<uint8_t> Payload;
+};
+
+/// Encodes one whole frame (header + payload + checksum) under \p Spec.
+std::vector<uint8_t> encodeFrame(const FrameSpec &Spec, uint8_t Type,
+                                 const std::vector<uint8_t> &Payload);
+
+enum class DecodeStatus : uint8_t {
+  NeedMore, ///< No complete frame buffered yet.
+  Ready,    ///< \p Out holds the next frame.
+  Corrupt,  ///< The stream is damaged beyond resync; discard the peer.
+};
+
+/// Incremental frame scanner over a byte stream. Corruption is sticky:
+/// once a header or checksum fails, nothing later in the stream can be
+/// trusted (frames carry no resync markers), so every subsequent next()
+/// also reports Corrupt and the caller must drop the connection.
+class Decoder {
+public:
+  explicit Decoder(const FrameSpec &Spec) : Spec(Spec) {}
+
+  void feed(const uint8_t *Data, size_t Size);
+  DecodeStatus next(RawFrame &Out);
+
+  bool corrupt() const { return Failed; }
+  const std::string &error() const { return Error; }
+  /// Bytes buffered but not yet consumed (a nonzero value at EOF means
+  /// the peer died mid-frame).
+  size_t bufferedBytes() const { return Buf.size() - Pos; }
+
+private:
+  void fail(const std::string &Why);
+  FrameSpec Spec;
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+} // namespace framing
+} // namespace warpc
+
+#endif // WARPC_SUPPORT_FRAMING_H

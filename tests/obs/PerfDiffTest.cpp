@@ -123,6 +123,31 @@ TEST(PerfDiffTest, EngineLabeledDocumentsNeverAliasAcrossEngines) {
   EXPECT_EQ(B[1].Path, "rows[engine=process,workers=2].elapsed_sec");
 }
 
+TEST(PerfDiffTest, DaemonDocumentsLabelEngineDaemon) {
+  // warpd --stats-json and the daemon ablation bench both carry
+  // engine "daemon"; their metrics must diff as their own family, never
+  // against a local thread/process run of the same workload.
+  json::Value Stats = parseOrDie(R"({
+    "schema": "warpc-stats-v2",
+    "run": {"engine": "daemon", "accepted": 40, "completed": 38},
+    "metrics": {"counters": {"service.admission_rejects": 2}}
+  })");
+  std::vector<PerfMetric> S = flattenMetrics(Stats);
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0].Path, "run[engine=daemon].accepted");
+  EXPECT_EQ(S[1].Path, "run[engine=daemon].completed");
+
+  json::Value Bench = parseOrDie(R"({
+    "schema": "warpc-bench-v1",
+    "rows": [{"engine": "daemon", "offered_rps": 250.0, "sent": 40,
+              "rejected": 3, "p95_sec": 0.08}]
+  })");
+  std::vector<PerfMetric> B = flattenMetrics(Bench);
+  ASSERT_EQ(B.size(), 4u);
+  EXPECT_EQ(B[3].Path, "rows[engine=daemon].p95_sec");
+  EXPECT_EQ(metricDirection(B[3].Path), PerfDirection::LowerIsBetter);
+}
+
 TEST(PerfDiffTest, MetricDirectionByLeafName) {
   EXPECT_EQ(metricDirection("stats.simulation.speedup"),
             PerfDirection::HigherIsBetter);

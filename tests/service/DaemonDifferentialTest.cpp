@@ -1,0 +1,321 @@
+//===- DaemonDifferentialTest.cpp ------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// The differential oracle for the compile service: concurrent clients
+// pushing shuffled populations of seeded modules through a live warpd
+// event loop — at every engine and worker count, with a warm shared
+// cache, and under a seeded process fault plan — must receive download
+// images byte-identical to driver::compileModuleSequential and the same
+// diagnostics. The daemon is a router; it must never change the answer.
+//
+// CI can cap the worker grid with WARPC_TEST_MAX_WORKERS (verify.sh sets
+// it on constrained runners); the cap only drops grid points above it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include "driver/Compiler.h"
+#include "support/PRNG.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::service;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+std::string workerBin() {
+#ifdef WARPC_WORKER_BIN
+  return WARPC_WORKER_BIN;
+#else
+  return parallel::defaultWorkerBinary();
+#endif
+}
+
+unsigned maxTestWorkers() {
+  if (const char *E = std::getenv("WARPC_TEST_MAX_WORKERS"))
+    if (int V = std::atoi(E); V > 0)
+      return static_cast<unsigned>(V);
+  return 16;
+}
+
+std::vector<unsigned> workerGrid() {
+  std::vector<unsigned> Grid;
+  for (unsigned W : {1u, 4u, 16u})
+    if (W <= maxTestWorkers())
+      Grid.push_back(W);
+  if (Grid.empty())
+    Grid.push_back(1);
+  return Grid;
+}
+
+/// Unique AF_UNIX rendezvous per service instance (short: sun_path is
+/// ~108 bytes).
+std::string freshSocketPath() {
+  static int Counter = 0;
+  return "/tmp/warpc-dtest-" + std::to_string(getpid()) + "-" +
+         std::to_string(++Counter) + ".sock";
+}
+
+struct Oracle {
+  std::string Source;
+  std::vector<uint8_t> Image;
+  std::string Diags;
+};
+
+/// The seeded module population with its sequential ground truth.
+std::vector<Oracle> makeOracles(size_t Count, uint64_t SeedBase) {
+  std::vector<Oracle> Out;
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t Seed = SeedBase + I;
+    Oracle O;
+    O.Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                        1 + Seed % 4, Seed);
+    driver::ModuleResult Seq = driver::compileModuleSequential(O.Source, MM);
+    EXPECT_TRUE(Seq.Succeeded) << Seq.Diags.str();
+    O.Image = Seq.Image.Image;
+    O.Diags = Seq.Diags.str();
+    Out.push_back(std::move(O));
+  }
+  return Out;
+}
+
+/// One client connection compiling \p Indices (in that order) against
+/// \p Oracles through the daemon at \p Path; every mismatch is recorded
+/// into \p Failures (gtest assertions are not thread-safe enough to
+/// fail from raw threads, so the main thread re-asserts).
+void clientWorker(const std::string &Path, const std::vector<Oracle> &Oracles,
+                  const std::vector<size_t> &Indices, uint8_t Engine,
+                  uint32_t Workers, std::vector<std::string> &Failures) {
+  Client C;
+  std::string Error;
+  if (!C.connect(Path, Error)) {
+    Failures.push_back("connect: " + Error);
+    return;
+  }
+  uint64_t NextId = 1;
+  for (size_t Idx : Indices) {
+    wire::CompileRequestMsg Req;
+    Req.RequestId = NextId++;
+    Req.ModuleSource = Oracles[Idx].Source;
+    Req.Engine = Engine;
+    Req.Workers = Workers;
+    RequestOutcome Out;
+    if (!C.compile(Req, Out, Error)) {
+      Failures.push_back("module " + std::to_string(Idx) +
+                         ": transport: " + Error);
+      return;
+    }
+    if (!Out.Accepted) {
+      Failures.push_back("module " + std::to_string(Idx) + ": rejected: " +
+                         Out.Reject.Detail);
+      continue;
+    }
+    if (Out.Result.Status != static_cast<uint8_t>(wire::ResultStatus::Ok)) {
+      Failures.push_back("module " + std::to_string(Idx) + ": status " +
+                         std::to_string(Out.Result.Status) + ": " +
+                         Out.Result.DiagText);
+      continue;
+    }
+    if (Out.Result.Image != Oracles[Idx].Image)
+      Failures.push_back("module " + std::to_string(Idx) +
+                         ": image differs from sequential");
+    if (Out.Result.DiagText != Oracles[Idx].Diags)
+      Failures.push_back("module " + std::to_string(Idx) +
+                         ": diagnostics differ from sequential");
+  }
+}
+
+/// Runs \p NumClients concurrent connections, each compiling its own
+/// shuffle of the full population.
+std::vector<std::string> runClients(const std::string &Path,
+                                    const std::vector<Oracle> &Oracles,
+                                    unsigned NumClients, uint8_t Engine,
+                                    uint32_t Workers, uint64_t ShuffleSeed) {
+  std::vector<std::vector<size_t>> Shares(NumClients);
+  PRNG Rng(ShuffleSeed);
+  std::vector<size_t> Order(Oracles.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  for (size_t I = Order.size(); I > 1; --I)
+    std::swap(Order[I - 1], Order[Rng.below(I)]);
+  // Deal the one shuffle round-robin: disjoint shares, every module
+  // covered exactly once per round, submission order still randomized.
+  for (size_t I = 0; I != Order.size(); ++I)
+    Shares[I % NumClients].push_back(Order[I]);
+  std::vector<std::vector<std::string>> Failures(NumClients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != NumClients; ++C)
+    Threads.emplace_back(clientWorker, Path, std::cref(Oracles),
+                         std::cref(Shares[C]), Engine, Workers,
+                         std::ref(Failures[C]));
+  for (std::thread &T : Threads)
+    T.join();
+  std::vector<std::string> All;
+  for (std::vector<std::string> &F : Failures)
+    All.insert(All.end(), F.begin(), F.end());
+  return All;
+}
+
+} // namespace
+
+TEST(DaemonDifferentialTest, ConcurrentClientsMatchSequentialAcrossGrid) {
+  // 50 seeded modules, four concurrent clients each compiling a shuffled
+  // disjoint share, at every worker count: the daemon's thread engine
+  // must reproduce the sequential image and diagnostics bit for bit.
+  std::vector<Oracle> Oracles = makeOracles(50, 9000);
+
+  for (unsigned Workers : workerGrid()) {
+    ServiceConfig Config;
+    Config.SocketPath = freshSocketPath();
+    Config.Engine = "thread";
+    Config.DefaultWorkers = Workers;
+    Config.MaxInFlight = 2;
+    Config.CacheMode = cache::CacheMode::Off;
+    CompileService Service(Config);
+    std::string Error;
+    ASSERT_TRUE(Service.start(Error)) << Error;
+
+    std::vector<std::string> Failures =
+        runClients(Config.SocketPath, Oracles, 4,
+                   static_cast<uint8_t>(wire::RequestEngine::Default),
+                   /*Workers=*/0, /*ShuffleSeed=*/Workers * 131 + 1);
+    for (const std::string &F : Failures)
+      ADD_FAILURE() << "workers=" << Workers << ": " << F;
+
+    wire::ServerStatsMsg Stats = Service.statsSnapshot();
+    EXPECT_EQ(Stats.Accepted, Oracles.size()) << "workers=" << Workers;
+    EXPECT_EQ(Stats.Completed, Oracles.size()) << "workers=" << Workers;
+    EXPECT_EQ(Stats.Rejected, 0u) << "workers=" << Workers;
+
+    Service.requestDrain();
+    Service.wait();
+  }
+}
+
+TEST(DaemonDifferentialTest, PerRequestEngineSelectionMatchesSequential) {
+  // One daemon, heterogeneous clients: requests choosing the default
+  // (sequential) engine and the thread engine in the same session all
+  // match the oracle.
+  std::vector<Oracle> Oracles = makeOracles(8, 9100);
+
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.Engine = "sequential";
+  Config.MaxInFlight = 2;
+  Config.CacheMode = cache::CacheMode::Off;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  for (uint8_t Engine : {static_cast<uint8_t>(wire::RequestEngine::Default),
+                         static_cast<uint8_t>(wire::RequestEngine::Thread)}) {
+    std::vector<std::string> Failures =
+        runClients(Config.SocketPath, Oracles, 2, Engine,
+                   /*Workers=*/Engine ? 4u : 0u, /*ShuffleSeed=*/Engine + 7);
+    for (const std::string &F : Failures)
+      ADD_FAILURE() << "engine=" << unsigned(Engine) << ": " << F;
+  }
+
+  Service.requestDrain();
+  Service.wait();
+}
+
+TEST(DaemonDifferentialTest, WarmSharedCacheMatchesColdAcrossClients) {
+  // Round 1 (one client) fills the shared cache; round 2 (four
+  // concurrent clients, shuffled) must replay every function from it —
+  // all hits, zero misses — and still match the sequential oracle.
+  std::vector<Oracle> Oracles = makeOracles(10, 9200);
+
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.Engine = "thread";
+  Config.DefaultWorkers = 2;
+  Config.MaxInFlight = 2;
+  Config.CacheMode = cache::CacheMode::Memory;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  std::vector<std::string> Cold = runClients(
+      Config.SocketPath, Oracles, 1,
+      static_cast<uint8_t>(wire::RequestEngine::Default), 0, 11);
+  for (const std::string &F : Cold)
+    ADD_FAILURE() << "cold: " << F;
+
+  // Warm round: every module already cached, any client, any order.
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  for (size_t Idx = 0; Idx != Oracles.size(); ++Idx) {
+    wire::CompileRequestMsg Req;
+    Req.RequestId = 100 + Idx;
+    Req.ModuleSource = Oracles[Idx].Source;
+    RequestOutcome Out;
+    ASSERT_TRUE(C.compile(Req, Out, Error)) << Error;
+    ASSERT_TRUE(Out.Accepted);
+    ASSERT_EQ(Out.Result.Status,
+              static_cast<uint8_t>(wire::ResultStatus::Ok));
+    EXPECT_EQ(Out.Result.Image, Oracles[Idx].Image) << "module " << Idx;
+    EXPECT_GT(Out.Result.CacheHits, 0u) << "module " << Idx;
+    EXPECT_EQ(Out.Result.CacheMisses, 0u) << "module " << Idx;
+  }
+  C.close();
+
+  std::vector<std::string> Warm = runClients(
+      Config.SocketPath, Oracles, 4,
+      static_cast<uint8_t>(wire::RequestEngine::Default), 0, 13);
+  for (const std::string &F : Warm)
+    ADD_FAILURE() << "warm: " << F;
+
+  Service.requestDrain();
+  Service.wait();
+}
+
+TEST(DaemonDifferentialTest, ProcessEngineUnderFaultPlanMatchesSequential) {
+  // Real fork/exec pools behind the daemon, first clean and then with a
+  // seeded kill/corrupt schedule: recovery happens inside the engine and
+  // the client still sees the sequential bytes.
+  std::vector<Oracle> Oracles = makeOracles(6, 9300);
+  const unsigned Workers = std::min(2u, maxTestWorkers());
+
+  for (bool Faulty : {false, true}) {
+    ServiceConfig Config;
+    Config.SocketPath = freshSocketPath();
+    Config.Engine = "process";
+    Config.DefaultWorkers = Workers;
+    Config.MaxInFlight = 1;
+    Config.CacheMode = cache::CacheMode::Off;
+    Config.WorkerBinary = workerBin();
+    if (Faulty) {
+      Config.Faults.Seed = 23;
+      Config.Faults.KillProb = 0.35;
+      Config.Faults.CorruptProb = 0.25;
+    }
+    CompileService Service(Config);
+    std::string Error;
+    ASSERT_TRUE(Service.start(Error)) << Error;
+
+    std::vector<std::string> Failures = runClients(
+        Config.SocketPath, Oracles, 2,
+        static_cast<uint8_t>(wire::RequestEngine::Default), 0,
+        /*ShuffleSeed=*/Faulty ? 29 : 31);
+    for (const std::string &F : Failures)
+      ADD_FAILURE() << (Faulty ? "faulty: " : "clean: ") << F;
+
+    Service.requestDrain();
+    Service.wait();
+  }
+}

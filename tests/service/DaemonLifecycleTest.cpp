@@ -1,0 +1,498 @@
+//===- DaemonLifecycleTest.cpp ---------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Lifecycle discipline of the compile service: graceful drain completes
+// in-flight work and refuses new work with an explicit Rejected; a
+// client disconnect mid-request cancels cleanly without poisoning the
+// executor pool; cancels and queue-full admission are explicit terminal
+// outcomes; stale sockets are taken over while a live daemon refuses a
+// second bind; hello version negotiation rejects future clients; and the
+// exec'd warpd binary drains on SIGTERM and — even SIGKILLed mid-stall —
+// leaves no orphaned warp-worker behind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include "driver/Compiler.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace warpc;
+using namespace warpc::service;
+
+namespace {
+
+const codegen::MachineModel MM = codegen::MachineModel::warpCell();
+
+std::string freshSocketPath() {
+  static int Counter = 0;
+  return "/tmp/warpc-ltest-" + std::to_string(getpid()) + "-" +
+         std::to_string(++Counter) + ".sock";
+}
+
+std::string testModule() {
+  return workload::makeTestModule(workload::FunctionSize::Tiny, 2, 404);
+}
+
+wire::CompileRequestMsg request(uint64_t Id, const std::string &Source) {
+  wire::CompileRequestMsg Req;
+  Req.RequestId = Id;
+  Req.ModuleSource = Source;
+  return Req;
+}
+
+void sleepMs(int Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+#ifdef WARPC_WARPD_BIN
+std::string warpdBin() { return WARPC_WARPD_BIN; }
+#endif
+#ifdef WARPC_WORKER_BIN
+std::string workerBin() { return WARPC_WORKER_BIN; }
+#endif
+
+/// fork/execs \p Argv (NULL-terminated); returns the child pid.
+pid_t spawn(std::vector<std::string> Argv) {
+  std::vector<char *> CArgv;
+  for (std::string &A : Argv)
+    CArgv.push_back(A.data());
+  CArgv.push_back(nullptr);
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    // Quiet child: the test output should not interleave with warpd's.
+    if (FILE *Null = fopen("/dev/null", "w")) {
+      dup2(fileno(Null), 1);
+      dup2(fileno(Null), 2);
+    }
+    execv(CArgv[0], CArgv.data());
+    _exit(127);
+  }
+  return Pid;
+}
+
+/// Polls until a client can connect to \p Path (daemon ready).
+bool awaitDaemon(const std::string &Path, Client &C, std::string &Error,
+                 int MaxMs = 10000) {
+  for (int Waited = 0; Waited < MaxMs; Waited += 50) {
+    if (C.connect(Path, Error))
+      return true;
+    sleepMs(50);
+  }
+  return false;
+}
+
+/// True while any /proc process's cmdline mentions \p Needle (scans
+/// other processes' command lines to catch orphans we cannot waitpid).
+bool anyProcessMentions(const std::string &Needle) {
+  DIR *Proc = opendir("/proc");
+  if (!Proc)
+    return false;
+  bool Found = false;
+  while (dirent *E = readdir(Proc)) {
+    if (E->d_name[0] < '0' || E->d_name[0] > '9')
+      continue;
+    std::ifstream In(std::string("/proc/") + E->d_name + "/cmdline");
+    std::string Cmd((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+    if (Cmd.find(Needle) != std::string::npos) {
+      Found = true;
+      break;
+    }
+  }
+  closedir(Proc);
+  return Found;
+}
+
+} // namespace
+
+TEST(DaemonLifecycleTest, DrainCompletesInFlightThenRefusesNew) {
+  // One slow executor: r1 compiles, r2 queues, drain begins, r3 must be
+  // refused with Rejected{draining} while r1 and r2 still complete and
+  // are delivered before the loop exits.
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.MaxInFlight = 1;
+  Config.DebugCompileDelaySec = 0.3;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  const std::string Source = testModule();
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  ASSERT_TRUE(C.submit(request(1, Source), Error)) << Error;
+  ASSERT_TRUE(C.submit(request(2, Source), Error)) << Error;
+  sleepMs(100); // let r1 reach the executor
+  Service.requestDrain();
+  sleepMs(50); // let the drain flag land before r3 arrives
+  ASSERT_TRUE(C.submit(request(3, Source), Error)) << Error;
+
+  RequestOutcome O3;
+  ASSERT_TRUE(C.await(3, O3, Error)) << Error;
+  EXPECT_FALSE(O3.Accepted);
+  EXPECT_EQ(O3.Reject.Reason,
+            static_cast<uint8_t>(wire::RejectReason::Draining));
+
+  for (uint64_t Id : {uint64_t(1), uint64_t(2)}) {
+    RequestOutcome Out;
+    ASSERT_TRUE(C.await(Id, Out, Error)) << "r" << Id << ": " << Error;
+    ASSERT_TRUE(Out.Accepted);
+    EXPECT_EQ(Out.Result.Status,
+              static_cast<uint8_t>(wire::ResultStatus::Ok));
+    EXPECT_EQ(Out.Result.Image, Seq.Image.Image) << "r" << Id;
+  }
+  Service.wait();
+  EXPECT_FALSE(Service.running());
+
+  wire::ServerStatsMsg Stats = Service.statsSnapshot();
+  EXPECT_EQ(Stats.Accepted, 2u);
+  EXPECT_EQ(Stats.Completed, 2u);
+  EXPECT_EQ(Stats.Rejected, 1u);
+  // Drain unlinks the rendezvous: nothing can half-connect afterwards.
+  EXPECT_NE(access(Config.SocketPath.c_str(), F_OK), 0);
+}
+
+TEST(DaemonLifecycleTest, DisconnectMidRequestDoesNotPoisonPool) {
+  // Client A vanishes while its request is in flight and another is
+  // queued; the service drops both silently and the next client gets a
+  // correct compile from a healthy pool.
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.MaxInFlight = 1;
+  Config.DebugCompileDelaySec = 0.2;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  const std::string Source = testModule();
+  driver::ModuleResult Seq = driver::compileModuleSequential(Source, MM);
+  ASSERT_TRUE(Seq.Succeeded);
+
+  {
+    Client A;
+    ASSERT_TRUE(A.connect(Config.SocketPath, Error)) << Error;
+    ASSERT_TRUE(A.submit(request(1, Source), Error)) << Error;
+    ASSERT_TRUE(A.submit(request(2, Source), Error)) << Error;
+    sleepMs(100); // r1 in flight, r2 queued
+    A.close();    // abrupt disconnect
+  }
+
+  Client B;
+  ASSERT_TRUE(B.connect(Config.SocketPath, Error)) << Error;
+  RequestOutcome Out;
+  ASSERT_TRUE(B.compile(request(1, Source), Out, Error)) << Error;
+  ASSERT_TRUE(Out.Accepted);
+  EXPECT_EQ(Out.Result.Status, static_cast<uint8_t>(wire::ResultStatus::Ok));
+  EXPECT_EQ(Out.Result.Image, Seq.Image.Image);
+  EXPECT_TRUE(Service.running());
+
+  Service.requestDrain();
+  Service.wait();
+}
+
+TEST(DaemonLifecycleTest, CancelQueuedRequestIsCancelledNotCompiled) {
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.MaxInFlight = 1;
+  Config.DebugCompileDelaySec = 0.3;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  const std::string Source = testModule();
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  ASSERT_TRUE(C.submit(request(1, Source), Error)) << Error;
+  ASSERT_TRUE(C.submit(request(2, Source), Error)) << Error;
+  sleepMs(100); // r1 in flight, r2 still queued
+  ASSERT_TRUE(C.cancel(2, Error)) << Error;
+
+  RequestOutcome O2;
+  ASSERT_TRUE(C.await(2, O2, Error)) << Error;
+  ASSERT_TRUE(O2.Accepted);
+  EXPECT_EQ(O2.Result.Status,
+            static_cast<uint8_t>(wire::ResultStatus::Cancelled));
+
+  RequestOutcome O1;
+  ASSERT_TRUE(C.await(1, O1, Error)) << Error;
+  ASSERT_TRUE(O1.Accepted);
+  EXPECT_EQ(O1.Result.Status, static_cast<uint8_t>(wire::ResultStatus::Ok));
+
+  Service.requestDrain();
+  Service.wait();
+  EXPECT_EQ(Service.statsSnapshot().Cancelled, 1u);
+}
+
+TEST(DaemonLifecycleTest, QueueFullIsExplicitReject) {
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.MaxInFlight = 1;
+  Config.MaxQueue = 1;
+  Config.DebugCompileDelaySec = 0.4;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  const std::string Source = testModule();
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  ASSERT_TRUE(C.submit(request(1, Source), Error)) << Error;
+  sleepMs(100); // r1 dispatched out of the queue
+  ASSERT_TRUE(C.submit(request(2, Source), Error)) << Error;
+  sleepMs(100); // r2 occupies the single queue slot
+  ASSERT_TRUE(C.submit(request(3, Source), Error)) << Error;
+
+  RequestOutcome O3;
+  ASSERT_TRUE(C.await(3, O3, Error)) << Error;
+  EXPECT_FALSE(O3.Accepted);
+  EXPECT_EQ(O3.Reject.Reason,
+            static_cast<uint8_t>(wire::RejectReason::QueueFull));
+
+  for (uint64_t Id : {uint64_t(1), uint64_t(2)}) {
+    RequestOutcome Out;
+    ASSERT_TRUE(C.await(Id, Out, Error)) << Error;
+    ASSERT_TRUE(Out.Accepted);
+    EXPECT_EQ(Out.Result.Status, static_cast<uint8_t>(wire::ResultStatus::Ok));
+  }
+
+  Service.requestDrain();
+  Service.wait();
+}
+
+TEST(DaemonLifecycleTest, DeadlineExpiredWhileQueued) {
+  // A request with a 50 ms budget behind a 300 ms compile must come back
+  // DeadlineExpired without ever occupying the executor.
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  Config.MaxInFlight = 1;
+  Config.DebugCompileDelaySec = 0.3;
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  const std::string Source = testModule();
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  ASSERT_TRUE(C.submit(request(1, Source), Error)) << Error;
+  sleepMs(100);
+  wire::CompileRequestMsg Doomed = request(2, Source);
+  Doomed.DeadlineMs = 50;
+  ASSERT_TRUE(C.submit(Doomed, Error)) << Error;
+
+  RequestOutcome O2;
+  ASSERT_TRUE(C.await(2, O2, Error)) << Error;
+  ASSERT_TRUE(O2.Accepted);
+  EXPECT_EQ(O2.Result.Status,
+            static_cast<uint8_t>(wire::ResultStatus::DeadlineExpired));
+
+  RequestOutcome O1;
+  ASSERT_TRUE(C.await(1, O1, Error)) << Error;
+  EXPECT_EQ(O1.Result.Status, static_cast<uint8_t>(wire::ResultStatus::Ok));
+
+  Service.requestDrain();
+  Service.wait();
+  EXPECT_EQ(Service.statsSnapshot().Expired, 1u);
+}
+
+TEST(DaemonLifecycleTest, LiveDaemonRefusesSecondBindStaleSocketTakenOver) {
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  CompileService First(Config);
+  std::string Error;
+  ASSERT_TRUE(First.start(Error)) << Error;
+
+  // Second daemon on the same path: the connect probe finds a live
+  // server and refuses to steal the socket.
+  {
+    CompileService Second(Config);
+    std::string E2;
+    EXPECT_FALSE(Second.start(E2));
+    EXPECT_NE(E2.find("already"), std::string::npos) << E2;
+  }
+  First.requestDrain();
+  First.wait();
+
+  // Stale socket: a bound-then-abandoned file with no listener behind
+  // it must be unlinked and taken over.
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+          sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0)
+      << strerror(errno);
+  ::close(Fd); // socket file remains, nothing accepts
+  ASSERT_EQ(access(Config.SocketPath.c_str(), F_OK), 0);
+
+  CompileService Third(Config);
+  ASSERT_TRUE(Third.start(Error)) << Error;
+  Client C;
+  ASSERT_TRUE(C.connect(Config.SocketPath, Error)) << Error;
+  Third.requestDrain();
+  Third.wait();
+}
+
+TEST(DaemonLifecycleTest, VersionMismatchHelloIsRejectedAndClosed) {
+  ServiceConfig Config;
+  Config.SocketPath = freshSocketPath();
+  CompileService Service(Config);
+  std::string Error;
+  ASSERT_TRUE(Service.start(Error)) << Error;
+
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+          sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0)
+      << strerror(errno);
+
+  wire::ClientHelloMsg Hello;
+  Hello.Protocol = 99; // from the future
+  Hello.Pid = static_cast<uint64_t>(getpid());
+  std::vector<uint8_t> F =
+      wire::encodeFrame(wire::MsgType::ClientHello,
+                        wire::encodeClientHello(Hello));
+  ASSERT_EQ(write(Fd, F.data(), F.size()), static_cast<ssize_t>(F.size()));
+
+  // Expect exactly one Rejected{version} frame, then EOF.
+  wire::FrameDecoder D;
+  wire::Frame In;
+  bool GotReject = false;
+  bool GotEof = false;
+  for (int Spin = 0; Spin != 200 && !GotEof; ++Spin) {
+    uint8_t Buf[512];
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      D.feed(Buf, static_cast<size_t>(N));
+      while (D.next(In) == wire::DecodeStatus::Ready) {
+        ASSERT_EQ(In.Type, wire::MsgType::Rejected);
+        wire::RejectedMsg R;
+        ASSERT_TRUE(wire::decodeRejected(In.Payload, R));
+        EXPECT_EQ(R.Reason,
+                  static_cast<uint8_t>(wire::RejectReason::VersionMismatch));
+        GotReject = true;
+      }
+    } else if (N == 0) {
+      GotEof = true;
+    } else {
+      sleepMs(10);
+    }
+  }
+  EXPECT_TRUE(GotReject);
+  EXPECT_TRUE(GotEof) << "server must close a mismatched session";
+  ::close(Fd);
+
+  Service.requestDrain();
+  Service.wait();
+}
+
+#if defined(WARPC_WARPD_BIN) && defined(WARPC_WORKER_BIN)
+
+TEST(DaemonLifecycleTest, ExecdWarpdDrainsOnSigterm) {
+  const std::string Path = freshSocketPath();
+  pid_t Pid = spawn({warpdBin(), "--socket", Path, "--delay-ms", "200"});
+  ASSERT_GT(Pid, 0);
+
+  Client C;
+  std::string Error;
+  ASSERT_TRUE(awaitDaemon(Path, C, Error)) << Error;
+  ASSERT_TRUE(C.submit(request(1, testModule()), Error)) << Error;
+  sleepMs(50); // request admitted and compiling
+  ASSERT_EQ(kill(Pid, SIGTERM), 0);
+
+  // Drain semantics: the in-flight result is still delivered.
+  RequestOutcome Out;
+  ASSERT_TRUE(C.await(1, Out, Error)) << Error;
+  ASSERT_TRUE(Out.Accepted);
+  EXPECT_EQ(Out.Result.Status, static_cast<uint8_t>(wire::ResultStatus::Ok));
+
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  EXPECT_NE(access(Path.c_str(), F_OK), 0) << "socket must be unlinked";
+}
+
+TEST(DaemonLifecycleTest, SigkilledWarpdLeavesNoOrphanWorkers) {
+  // A uniquely named copy of warp-worker makes orphans attributable to
+  // this test alone; --stall-sec holds the worker mid-request so the
+  // SIGKILL lands while the process pool is live.
+  const std::string Marker = "warp-worker-orphan-" +
+                             std::to_string(getpid());
+  const std::string WorkerCopy = "/tmp/" + Marker;
+  {
+    std::ifstream Src(workerBin(), std::ios::binary);
+    ASSERT_TRUE(Src.good());
+    std::ofstream Dst(WorkerCopy, std::ios::binary);
+    Dst << Src.rdbuf();
+  }
+  ASSERT_EQ(chmod(WorkerCopy.c_str(), 0755), 0);
+
+  const std::string Path = freshSocketPath();
+  pid_t Pid = spawn({warpdBin(), "--socket", Path, "--engine", "process",
+                     "--worker-bin", WorkerCopy, "--stall-sec", "2",
+                     "--watchdog-sec", "30"});
+  ASSERT_GT(Pid, 0);
+
+  Client C;
+  std::string Error;
+  ASSERT_TRUE(awaitDaemon(Path, C, Error)) << Error;
+  wire::CompileRequestMsg Req = request(1, testModule());
+  Req.Workers = 1;
+  ASSERT_TRUE(C.submit(Req, Error)) << Error;
+
+  // Wait for the stalled worker to appear, then kill the daemon cold.
+  bool WorkerSeen = false;
+  for (int Spin = 0; Spin != 100 && !WorkerSeen; ++Spin) {
+    WorkerSeen = anyProcessMentions(Marker);
+    if (!WorkerSeen)
+      sleepMs(50);
+  }
+  ASSERT_TRUE(WorkerSeen) << "worker process never spawned";
+  ASSERT_EQ(kill(Pid, SIGKILL), 0);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFSIGNALED(Status));
+
+  // No reparented warp-worker may survive: the stalled worker notices
+  // the dead pipe as soon as it wakes and exits on its own.
+  bool Gone = false;
+  for (int Spin = 0; Spin != 200 && !Gone; ++Spin) {
+    Gone = !anyProcessMentions(Marker);
+    if (!Gone)
+      sleepMs(50);
+  }
+  EXPECT_TRUE(Gone) << "orphaned worker still alive after daemon SIGKILL";
+  unlink(WorkerCopy.c_str());
+  unlink(Path.c_str());
+}
+
+#endif // WARPC_WARPD_BIN && WARPC_WORKER_BIN

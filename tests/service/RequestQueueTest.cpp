@@ -1,0 +1,180 @@
+//===- RequestQueueTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Unit tests for the daemon's admission queue scheduling policy: bounded
+// admission, round-robin fairness across connections within a priority
+// tier (FIFO per connection), the high tier draining first, cancel and
+// disconnect unlinking, and deadline expiry. The queue is a plain
+// single-threaded structure, so the policy is pinned here without
+// sockets or clocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RequestQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::service;
+
+namespace {
+
+QueuedRequest req(uint64_t ConnId, uint64_t RequestId, uint8_t Priority = 0,
+                  uint32_t DeadlineMs = 0, double EnqueuedSec = 0.0) {
+  QueuedRequest R;
+  R.ConnId = ConnId;
+  R.Msg.RequestId = RequestId;
+  R.Msg.Priority = Priority;
+  R.Msg.DeadlineMs = DeadlineMs;
+  R.EnqueuedSec = EnqueuedSec;
+  return R;
+}
+
+/// Drains the queue and returns (ConnId, RequestId) in pop order.
+std::vector<std::pair<uint64_t, uint64_t>> drainAll(RequestQueue &Q) {
+  std::vector<std::pair<uint64_t, uint64_t>> Out;
+  QueuedRequest R;
+  while (Q.pop(R))
+    Out.push_back({R.ConnId, R.Msg.RequestId});
+  return Out;
+}
+
+} // namespace
+
+TEST(RequestQueueTest, RoundRobinAcrossConnectionsFifoWithin) {
+  // Conn 1 floods three requests before conns 2 and 3 get one each in:
+  // the rotation must interleave 1,2,3 while each connection's own
+  // requests stay in submission order.
+  RequestQueue Q(16);
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.push(req(1, 11)));
+  ASSERT_TRUE(Q.push(req(1, 12)));
+  ASSERT_TRUE(Q.push(req(2, 20)));
+  ASSERT_TRUE(Q.push(req(3, 30)));
+  ASSERT_TRUE(Q.push(req(3, 31)));
+  EXPECT_EQ(Q.size(), 6u);
+
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  std::vector<std::pair<uint64_t, uint64_t>> Want = {
+      {1, 10}, {2, 20}, {3, 30}, {1, 11}, {3, 31}, {1, 12}};
+  EXPECT_EQ(Order, Want);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(RequestQueueTest, LateJoinerEntersRotation) {
+  RequestQueue Q(16);
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.push(req(1, 11)));
+  QueuedRequest R;
+  ASSERT_TRUE(Q.pop(R));
+  EXPECT_EQ(R.Msg.RequestId, 10u);
+  // Conn 2 shows up mid-rotation; it must be served before conn 1's
+  // backlog drains completely.
+  ASSERT_TRUE(Q.push(req(2, 20)));
+  ASSERT_TRUE(Q.push(req(1, 12)));
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_TRUE(Order[0] == std::make_pair(uint64_t(2), uint64_t(20)) ||
+              Order[1] == std::make_pair(uint64_t(2), uint64_t(20)))
+      << "late joiner was starved to the end";
+}
+
+TEST(RequestQueueTest, HighTierDrainsBeforeNormal) {
+  RequestQueue Q(16);
+  ASSERT_TRUE(Q.push(req(1, 10, /*Priority=*/0)));
+  ASSERT_TRUE(Q.push(req(2, 20, /*Priority=*/1)));
+  ASSERT_TRUE(Q.push(req(1, 11, /*Priority=*/1)));
+  ASSERT_TRUE(Q.push(req(2, 21, /*Priority=*/0)));
+
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  // Both high-priority requests come out before any normal one, round
+  // robin across conns within the tier (conn 2 was seen first in high).
+  std::vector<std::pair<uint64_t, uint64_t>> Want = {
+      {2, 20}, {1, 11}, {1, 10}, {2, 21}};
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(RequestQueueTest, BoundRejectsWithoutMutation) {
+  RequestQueue Q(2);
+  EXPECT_EQ(Q.capacity(), 2u);
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.push(req(1, 11)));
+  EXPECT_FALSE(Q.push(req(2, 20))) << "push past the bound must fail";
+  EXPECT_FALSE(Q.push(req(1, 12, /*Priority=*/1)))
+      << "the bound covers both tiers";
+  EXPECT_EQ(Q.size(), 2u);
+
+  // Popping frees a slot; admission resumes.
+  QueuedRequest R;
+  ASSERT_TRUE(Q.pop(R));
+  EXPECT_TRUE(Q.push(req(2, 20)));
+  EXPECT_EQ(Q.size(), 2u);
+}
+
+TEST(RequestQueueTest, CancelRemovesExactlyOne) {
+  RequestQueue Q(16);
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.push(req(1, 11)));
+  ASSERT_TRUE(Q.push(req(2, 10))); // same RequestId, different conn
+
+  QueuedRequest Out;
+  ASSERT_TRUE(Q.cancel(1, 10, Out));
+  EXPECT_EQ(Out.ConnId, 1u);
+  EXPECT_EQ(Out.Msg.RequestId, 10u);
+  EXPECT_EQ(Q.size(), 2u);
+
+  // Already gone; and the wrong connection must not match.
+  EXPECT_FALSE(Q.cancel(1, 10, Out));
+  EXPECT_FALSE(Q.cancel(3, 11, Out));
+
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  std::vector<std::pair<uint64_t, uint64_t>> Want = {{1, 11}, {2, 10}};
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(RequestQueueTest, DropConnectionUnlinksItsRequests) {
+  RequestQueue Q(16);
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.push(req(2, 20)));
+  ASSERT_TRUE(Q.push(req(1, 11, /*Priority=*/1)));
+  ASSERT_TRUE(Q.push(req(1, 12)));
+
+  EXPECT_EQ(Q.dropConnection(1), 3u);
+  EXPECT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q.dropConnection(1), 0u);
+
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  std::vector<std::pair<uint64_t, uint64_t>> Want = {{2, 20}};
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(RequestQueueTest, DeadlineExpirySweepsBothTiers) {
+  RequestQueue Q(16);
+  // 100 ms deadlines enqueued at t=0; no deadline on 11/21.
+  ASSERT_TRUE(Q.push(req(1, 10, 0, /*DeadlineMs=*/100, /*EnqueuedSec=*/0.0)));
+  ASSERT_TRUE(Q.push(req(1, 11, 0, 0, 0.0)));
+  ASSERT_TRUE(Q.push(req(2, 20, 1, /*DeadlineMs=*/100, /*EnqueuedSec=*/0.0)));
+  ASSERT_TRUE(Q.push(req(2, 21, 1, 0, 0.0)));
+
+  std::vector<QueuedRequest> Expired;
+  Q.expireDeadlines(/*NowSec=*/0.05, Expired);
+  EXPECT_TRUE(Expired.empty()) << "nothing has lapsed at 50 ms";
+
+  Q.expireDeadlines(/*NowSec=*/0.2, Expired);
+  ASSERT_EQ(Expired.size(), 2u);
+  EXPECT_EQ(Q.size(), 2u);
+  std::vector<std::pair<uint64_t, uint64_t>> Order = drainAll(Q);
+  std::vector<std::pair<uint64_t, uint64_t>> Want = {{2, 21}, {1, 11}};
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(RequestQueueTest, PopOnEmptyIsFalse) {
+  RequestQueue Q(4);
+  QueuedRequest R;
+  EXPECT_FALSE(Q.pop(R));
+  ASSERT_TRUE(Q.push(req(1, 10)));
+  ASSERT_TRUE(Q.pop(R));
+  EXPECT_FALSE(Q.pop(R));
+  EXPECT_TRUE(Q.empty());
+}

@@ -1,0 +1,430 @@
+//===- ServiceWireTest.cpp -------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Robustness tests for the client/daemon service protocol, mirroring the
+// master/worker WireProtocolTest contract: any malformed input —
+// truncated frames, garbage headers, oversized payloads, flipped bytes,
+// the wrong protocol's magic — degrades to NeedMore or a sticky Corrupt
+// verdict. Nothing here may crash, hang, or yield a frame that was not
+// sent. The version-mismatch hello must survive the codec so the server
+// can answer Rejected{version} instead of dropping the connection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "parallel/WireProtocol.h"
+#include "support/PRNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace warpc;
+using namespace warpc::service::wire;
+
+namespace {
+
+std::vector<uint8_t> requestFrame(uint64_t RequestId = 7) {
+  CompileRequestMsg M;
+  M.RequestId = RequestId;
+  M.ModuleSource = "module m;\nsection s cells 2 { }\n";
+  M.Engine = 1;
+  M.Workers = 4;
+  M.Priority = 1;
+  M.DeadlineMs = 250;
+  return encodeFrame(MsgType::CompileRequest, encodeCompileRequest(M));
+}
+
+/// Feeds \p Bytes in chunks of \p Chunk and drains every decodable frame.
+std::vector<Frame> drain(FrameDecoder &D, const std::vector<uint8_t> &Bytes,
+                         size_t Chunk) {
+  std::vector<Frame> Out;
+  for (size_t I = 0; I < Bytes.size(); I += Chunk) {
+    D.feed(Bytes.data() + I, std::min(Chunk, Bytes.size() - I));
+    Frame F;
+    while (D.next(F) == DecodeStatus::Ready)
+      Out.push_back(F);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ServiceWireTest, MessageCodecsRoundTrip) {
+  ClientHelloMsg CH;
+  CH.Pid = 123456;
+  ClientHelloMsg CH2;
+  ASSERT_TRUE(decodeClientHello(encodeClientHello(CH), CH2));
+  EXPECT_EQ(CH2.Protocol, ProtocolVersion);
+  EXPECT_EQ(CH2.Pid, CH.Pid);
+
+  ServerHelloMsg SH;
+  SH.Pid = 999;
+  SH.MaxQueue = 64;
+  SH.MaxInFlight = 8;
+  ServerHelloMsg SH2;
+  ASSERT_TRUE(decodeServerHello(encodeServerHello(SH), SH2));
+  EXPECT_EQ(SH2.Protocol, ProtocolVersion);
+  EXPECT_EQ(SH2.Pid, SH.Pid);
+  EXPECT_EQ(SH2.MaxQueue, SH.MaxQueue);
+  EXPECT_EQ(SH2.MaxInFlight, SH.MaxInFlight);
+
+  CompileRequestMsg Q;
+  Q.RequestId = 42;
+  Q.ModuleSource = "module m;\nsection s cells 4 { }\n";
+  Q.Engine = 2;
+  Q.Workers = 16;
+  Q.UseCache = 0;
+  Q.Priority = 1;
+  Q.DeadlineMs = 1500;
+  CompileRequestMsg Q2;
+  ASSERT_TRUE(decodeCompileRequest(encodeCompileRequest(Q), Q2));
+  EXPECT_EQ(Q2.RequestId, Q.RequestId);
+  EXPECT_EQ(Q2.ModuleSource, Q.ModuleSource);
+  EXPECT_EQ(Q2.Engine, Q.Engine);
+  EXPECT_EQ(Q2.Workers, Q.Workers);
+  EXPECT_EQ(Q2.UseCache, Q.UseCache);
+  EXPECT_EQ(Q2.Priority, Q.Priority);
+  EXPECT_EQ(Q2.DeadlineMs, Q.DeadlineMs);
+
+  CompileResultMsg R;
+  R.RequestId = 42;
+  R.Status = static_cast<uint8_t>(ResultStatus::Ok);
+  R.ModuleName = "m";
+  R.NumSections = 3;
+  R.NumFunctions = 9;
+  R.DiagText = "note: pipelined loop at depth 2\n";
+  R.Image = {1, 2, 3, 0, 255, 7};
+  R.EngineUsed = "process";
+  R.WorkersUsed = 4;
+  R.QueueSec = 0.25;
+  R.CompileSec = 1.5;
+  R.CacheHits = 5;
+  R.CacheMisses = 4;
+  CompileResultMsg R2;
+  ASSERT_TRUE(decodeCompileResult(encodeCompileResult(R), R2));
+  EXPECT_EQ(R2.RequestId, R.RequestId);
+  EXPECT_EQ(R2.Status, R.Status);
+  EXPECT_EQ(R2.ModuleName, R.ModuleName);
+  EXPECT_EQ(R2.NumSections, R.NumSections);
+  EXPECT_EQ(R2.NumFunctions, R.NumFunctions);
+  EXPECT_EQ(R2.DiagText, R.DiagText);
+  EXPECT_EQ(R2.Image, R.Image);
+  EXPECT_EQ(R2.EngineUsed, R.EngineUsed);
+  EXPECT_EQ(R2.WorkersUsed, R.WorkersUsed);
+  EXPECT_EQ(R2.QueueSec, R.QueueSec);
+  EXPECT_EQ(R2.CompileSec, R.CompileSec);
+  EXPECT_EQ(R2.CacheHits, R.CacheHits);
+  EXPECT_EQ(R2.CacheMisses, R.CacheMisses);
+
+  RejectedMsg J;
+  J.RequestId = 42;
+  J.Reason = static_cast<uint8_t>(RejectReason::QueueFull);
+  J.Detail = "queue full (64 queued)";
+  RejectedMsg J2;
+  ASSERT_TRUE(decodeRejected(encodeRejected(J), J2));
+  EXPECT_EQ(J2.RequestId, J.RequestId);
+  EXPECT_EQ(J2.Reason, J.Reason);
+  EXPECT_EQ(J2.Detail, J.Detail);
+
+  CancelMsg C;
+  C.RequestId = 42;
+  CancelMsg C2;
+  ASSERT_TRUE(decodeCancel(encodeCancel(C), C2));
+  EXPECT_EQ(C2.RequestId, C.RequestId);
+
+  ServerStatsMsg S;
+  S.Accepted = 100;
+  S.Rejected = 3;
+  S.Completed = 90;
+  S.Cancelled = 4;
+  S.Expired = 2;
+  S.QueueDepth = 5;
+  S.InFlight = 2;
+  S.Connections = 7;
+  S.P50Ms = 1.5;
+  S.P95Ms = 9.0;
+  S.P99Ms = 22.5;
+  ServerStatsMsg S2;
+  ASSERT_TRUE(decodeServerStats(encodeServerStats(S), S2));
+  EXPECT_EQ(S2.Accepted, S.Accepted);
+  EXPECT_EQ(S2.Rejected, S.Rejected);
+  EXPECT_EQ(S2.Completed, S.Completed);
+  EXPECT_EQ(S2.Cancelled, S.Cancelled);
+  EXPECT_EQ(S2.Expired, S.Expired);
+  EXPECT_EQ(S2.QueueDepth, S.QueueDepth);
+  EXPECT_EQ(S2.InFlight, S.InFlight);
+  EXPECT_EQ(S2.Connections, S.Connections);
+  EXPECT_EQ(S2.P50Ms, S.P50Ms);
+  EXPECT_EQ(S2.P95Ms, S.P95Ms);
+  EXPECT_EQ(S2.P99Ms, S.P99Ms);
+}
+
+TEST(ServiceWireTest, VersionMismatchHelloIsDecodable) {
+  // Version negotiation happens on the decoded payload, not the frame
+  // header — a future-version hello must survive the codec so the
+  // server can answer Rejected{version} instead of a silent close.
+  ClientHelloMsg M;
+  M.Protocol = 99;
+  M.Pid = 1;
+  ClientHelloMsg Out;
+  ASSERT_TRUE(decodeClientHello(encodeClientHello(M), Out));
+  EXPECT_EQ(Out.Protocol, 99u);
+}
+
+TEST(ServiceWireTest, TruncatedPayloadsFailCleanly) {
+  // Chopped message payloads must decode to false, not read out of
+  // bounds; extra trailing bytes must fail the atEnd discipline.
+  const std::vector<std::vector<uint8_t>> Payloads = {
+      encodeClientHello(ClientHelloMsg()),
+      encodeServerHello(ServerHelloMsg()),
+      encodeCompileRequest([] {
+        CompileRequestMsg M;
+        M.RequestId = 1;
+        M.ModuleSource = "module m;\n";
+        return M;
+      }()),
+      encodeCompileResult([] {
+        CompileResultMsg M;
+        M.RequestId = 1;
+        M.ModuleName = "m";
+        M.DiagText = "d";
+        M.Image = {1, 2, 3};
+        M.EngineUsed = "thread";
+        return M;
+      }()),
+      encodeRejected([] {
+        RejectedMsg M;
+        M.Detail = "full";
+        return M;
+      }()),
+      encodeCancel(CancelMsg()),
+      encodeServerStats(ServerStatsMsg()),
+  };
+  auto decodeAny = [](size_t Which, const std::vector<uint8_t> &Bytes) {
+    switch (Which) {
+    case 0: { ClientHelloMsg M; return decodeClientHello(Bytes, M); }
+    case 1: { ServerHelloMsg M; return decodeServerHello(Bytes, M); }
+    case 2: { CompileRequestMsg M; return decodeCompileRequest(Bytes, M); }
+    case 3: { CompileResultMsg M; return decodeCompileResult(Bytes, M); }
+    case 4: { RejectedMsg M; return decodeRejected(Bytes, M); }
+    case 5: { CancelMsg M; return decodeCancel(Bytes, M); }
+    default: { ServerStatsMsg M; return decodeServerStats(Bytes, M); }
+    }
+  };
+  for (size_t Which = 0; Which != Payloads.size(); ++Which) {
+    const std::vector<uint8_t> &Full = Payloads[Which];
+    ASSERT_TRUE(decodeAny(Which, Full)) << "codec " << Which;
+    for (size_t N = 0; N < Full.size(); ++N) {
+      std::vector<uint8_t> Cut(Full.begin(), Full.begin() + N);
+      EXPECT_FALSE(decodeAny(Which, Cut))
+          << "codec " << Which << " prefix " << N;
+    }
+    std::vector<uint8_t> Extra = Full;
+    Extra.push_back(0);
+    EXPECT_FALSE(decodeAny(Which, Extra)) << "codec " << Which;
+  }
+}
+
+TEST(ServiceWireTest, FramesSurviveArbitraryChunking) {
+  std::vector<uint8_t> Stream;
+  for (uint64_t Id = 1; Id <= 5; ++Id) {
+    std::vector<uint8_t> F = requestFrame(Id);
+    Stream.insert(Stream.end(), F.begin(), F.end());
+  }
+  for (size_t Chunk : {size_t(1), size_t(2), size_t(3), size_t(7),
+                       Stream.size()}) {
+    FrameDecoder D;
+    std::vector<Frame> Frames = drain(D, Stream, Chunk);
+    ASSERT_EQ(Frames.size(), 5u) << "chunk " << Chunk;
+    for (uint64_t Id = 1; Id <= 5; ++Id) {
+      EXPECT_EQ(Frames[Id - 1].Type, MsgType::CompileRequest);
+      CompileRequestMsg M;
+      ASSERT_TRUE(decodeCompileRequest(Frames[Id - 1].Payload, M));
+      EXPECT_EQ(M.RequestId, Id);
+    }
+    EXPECT_FALSE(D.corrupt());
+    EXPECT_EQ(D.bufferedBytes(), 0u);
+  }
+}
+
+TEST(ServiceWireTest, TruncatedFrameIsNeedMoreForever) {
+  std::vector<uint8_t> Full = requestFrame();
+  std::vector<uint8_t> Cut(Full.begin(), Full.end() - 1);
+  FrameDecoder D;
+  D.feed(Cut.data(), Cut.size());
+  Frame F;
+  EXPECT_EQ(D.next(F), DecodeStatus::NeedMore);
+  EXPECT_EQ(D.next(F), DecodeStatus::NeedMore);
+  EXPECT_FALSE(D.corrupt());
+  // The missing byte completes the frame.
+  D.feed(&Full.back(), 1);
+  EXPECT_EQ(D.next(F), DecodeStatus::Ready);
+  EXPECT_EQ(F.Type, MsgType::CompileRequest);
+}
+
+TEST(ServiceWireTest, GarbageHeaderIsStickyCorrupt) {
+  const char *Junk = "GET / HTTP/1.1\r\n";
+  FrameDecoder D;
+  D.feed(reinterpret_cast<const uint8_t *>(Junk), strlen(Junk));
+  Frame F;
+  EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  EXPECT_TRUE(D.corrupt());
+  EXPECT_FALSE(D.error().empty());
+  // A valid frame cannot resurrect a corrupt connection.
+  std::vector<uint8_t> Good = requestFrame();
+  D.feed(Good.data(), Good.size());
+  EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+}
+
+TEST(ServiceWireTest, WorkerProtocolFramesAreForeign) {
+  // The master/worker stream ('WRP1') must never parse as a service
+  // stream: the magics are distinct by construction.
+  parallel::wire::HelloMsg H;
+  H.Pid = 1;
+  std::vector<uint8_t> Foreign = parallel::wire::encodeFrame(
+      parallel::wire::FrameType::Hello, parallel::wire::encodeHello(H));
+  FrameDecoder D;
+  D.feed(Foreign.data(), Foreign.size());
+  Frame F;
+  EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  EXPECT_TRUE(D.corrupt());
+}
+
+TEST(ServiceWireTest, BadVersionTypeAndLengthAreCorrupt) {
+  std::vector<uint8_t> Good = requestFrame();
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad[4] = ProtocolVersion + 1; // version byte
+    FrameDecoder D;
+    D.feed(Bad.data(), Bad.size());
+    Frame F;
+    EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  }
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad[5] = MaxMsgType + 1; // type byte above the last message
+    FrameDecoder D;
+    D.feed(Bad.data(), Bad.size());
+    Frame F;
+    EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  }
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad[5] = 0; // type 0 is reserved-invalid
+    FrameDecoder D;
+    D.feed(Bad.data(), Bad.size());
+    Frame F;
+    EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  }
+}
+
+TEST(ServiceWireTest, OversizedPayloadRejectedWithoutBuffering) {
+  // A header declaring a payload over the cap must corrupt immediately,
+  // from the header alone — no attempt to buffer 64 MiB of nothing.
+  std::vector<uint8_t> Header = requestFrame();
+  Header.resize(10); // header only
+  uint32_t Huge = MaxFramePayload + 1;
+  memcpy(Header.data() + 6, &Huge, 4);
+  FrameDecoder D;
+  D.feed(Header.data(), Header.size());
+  Frame F;
+  EXPECT_EQ(D.next(F), DecodeStatus::Corrupt);
+  EXPECT_TRUE(D.corrupt());
+}
+
+TEST(ServiceWireTest, FlippedPayloadByteFailsChecksum) {
+  std::vector<uint8_t> Good = requestFrame();
+  const size_t PayloadBegin = 10;
+  const size_t PayloadEnd = Good.size() - 8;
+  for (size_t I = PayloadBegin; I != PayloadEnd; ++I) {
+    std::vector<uint8_t> Bad = Good;
+    Bad[I] ^= 0x40;
+    FrameDecoder D;
+    D.feed(Bad.data(), Bad.size());
+    Frame F;
+    EXPECT_EQ(D.next(F), DecodeStatus::Corrupt) << "byte " << I;
+  }
+}
+
+TEST(ServiceWireTest, EmptyPayloadFrameRoundTrips) {
+  // StatsRequest carries no payload at all.
+  std::vector<uint8_t> F = encodeFrame(MsgType::StatsRequest, {});
+  EXPECT_EQ(F.size(), 10u + 8u);
+  FrameDecoder D;
+  D.feed(F.data(), F.size());
+  Frame Out;
+  ASSERT_EQ(D.next(Out), DecodeStatus::Ready);
+  EXPECT_EQ(Out.Type, MsgType::StatsRequest);
+  EXPECT_TRUE(Out.Payload.empty());
+}
+
+TEST(ServiceWireTest, LongStreamStaysBounded) {
+  // A long-lived client session: the decoder must recycle its buffer
+  // rather than growing without bound.
+  FrameDecoder D;
+  std::vector<uint8_t> F = requestFrame();
+  for (int I = 0; I != 5000; ++I) {
+    D.feed(F.data(), F.size());
+    Frame Out;
+    ASSERT_EQ(D.next(Out), DecodeStatus::Ready);
+  }
+  EXPECT_FALSE(D.corrupt());
+  EXPECT_EQ(D.bufferedBytes(), 0u);
+}
+
+TEST(ServiceWireTest, FuzzedStreamsNeverYieldPhantomFrames) {
+  // Pure-noise streams: the decoder must terminate on every feed (no
+  // hang), and any frame it does yield must carry a verified checksum —
+  // overwhelmingly unlikely from noise, so expect none.
+  PRNG Rng(20260808);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    FrameDecoder D;
+    size_t Len = 1 + Rng.below(512);
+    std::vector<uint8_t> Noise(Len);
+    for (uint8_t &B : Noise)
+      B = static_cast<uint8_t>(Rng.below(256));
+    Frame F;
+    size_t Yielded = 0;
+    for (size_t I = 0; I < Noise.size();) {
+      size_t Chunk = 1 + Rng.below(63);
+      Chunk = std::min(Chunk, Noise.size() - I);
+      D.feed(Noise.data() + I, Chunk);
+      I += Chunk;
+      while (D.next(F) == DecodeStatus::Ready)
+        ++Yielded;
+      if (D.corrupt())
+        break;
+    }
+    EXPECT_EQ(Yielded, 0u) << "trial " << Trial;
+  }
+}
+
+TEST(ServiceWireTest, FuzzedMutationsOfValidStreamsDegradeToCorrupt) {
+  // Random single-byte mutations of a valid multi-frame stream: every
+  // outcome must be a subset of the original frames followed by NeedMore
+  // or Corrupt — never a crash, never a frame with altered content.
+  PRNG Rng(8081989);
+  std::vector<uint8_t> Stream;
+  for (uint64_t Id = 1; Id <= 4; ++Id) {
+    std::vector<uint8_t> F = requestFrame(Id);
+    Stream.insert(Stream.end(), F.begin(), F.end());
+  }
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::vector<uint8_t> Bad = Stream;
+    Bad[Rng.below(Bad.size())] ^= static_cast<uint8_t>(1 + Rng.below(255));
+    FrameDecoder D;
+    std::vector<Frame> Frames = drain(D, Bad, 1 + Rng.below(16));
+    ASSERT_LE(Frames.size(), 4u);
+    for (size_t I = 0; I != Frames.size(); ++I) {
+      CompileRequestMsg M;
+      // Any frame that surfaced must be one of the originals, intact.
+      ASSERT_TRUE(decodeCompileRequest(Frames[I].Payload, M))
+          << "trial " << Trial;
+      EXPECT_GE(M.RequestId, 1u);
+      EXPECT_LE(M.RequestId, 4u);
+      EXPECT_EQ(M.Workers, 4u);
+      EXPECT_EQ(M.DeadlineMs, 250u);
+    }
+  }
+}

@@ -49,6 +49,7 @@
 #include "parallel/ProcessRunner.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
+#include "service/Client.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "w2/ASTPrinter.h"
@@ -86,6 +87,11 @@ struct Options {
   /// Which parallel backend compiles phases 2+3: "thread" (in-process
   /// function masters) or "process" (real fork/exec warp-worker pool).
   std::string Engine = "thread";
+  bool EngineGiven = false;
+  /// --server[=PATH]: forward the compile to a running warpd and render
+  /// its result; fall back to a local compile when no daemon answers.
+  bool UseServer = false;
+  std::string ServerPath;
   analysis::AnalysisOptions Analysis;
   cache::CacheMode CacheMode = cache::CacheMode::Off;
   unsigned Workers = 1;
@@ -113,6 +119,10 @@ void usage(const char *Prog) {
                "                   in-process threads or as real forked\n"
                "                   warp-worker processes (--processors sets\n"
                "                   the pool size when --parallel is absent)\n"
+               "  --server[=PATH]  forward the compile to a running warpd\n"
+               "                   daemon (default socket when PATH is\n"
+               "                   omitted); falls back to a local compile\n"
+               "                   when no daemon answers\n"
                "  --inline         inline small functions first\n"
                "  --simulate       replay on the simulated 1989 host\n"
                "  --processors <N> processors for the simulated run\n"
@@ -177,6 +187,17 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Engine = V;
       if (Opts.Engine != "thread" && Opts.Engine != "process") {
         std::fprintf(stderr, "error: --engine must be thread or process\n");
+        return false;
+      }
+      Opts.EngineGiven = true;
+    } else if (Arg == "--server" ||
+               Arg.rfind("--server=", 0) == 0) {
+      Opts.UseServer = true;
+      Opts.ServerPath = Arg == "--server"
+                            ? service::defaultSocketPath()
+                            : Arg.substr(std::strlen("--server="));
+      if (Opts.ServerPath.empty()) {
+        std::fprintf(stderr, "error: --server= needs a socket path\n");
         return false;
       }
     } else if (Arg == "--processors") {
@@ -782,6 +803,115 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
 
 } // namespace
 
+/// Forwards the compile to a running warpd and renders the result with
+/// the same output shape as a local run (same "compiled module" line,
+/// diagnostics stream, -o image bytes, and stats-json schema — the
+/// smoke test cmp's the two images byte for byte). Sets \p FellBack
+/// instead of failing when no daemon answers the socket.
+int compileViaServer(const Options &Opts, const std::string &Source,
+                     bool &FellBack) {
+  FellBack = false;
+  service::Client Client;
+  std::string Error;
+  if (!Client.connect(Opts.ServerPath, Error)) {
+    std::fprintf(stderr, "warning: %s; compiling locally\n", Error.c_str());
+    FellBack = true;
+    return 0;
+  }
+  for (const auto &[Given, Flag] :
+       {std::pair<bool, const char *>{Opts.Simulate, "--simulate"},
+        {Opts.Analyze, "--analyze"},
+        {Opts.EmitAsm, "--emit-asm"},
+        {Opts.Verbose, "--verbose"},
+        {Opts.Inline, "--inline"},
+        {Opts.ExplainRebuild, "--explain-rebuild"},
+        {!Opts.TraceJsonFile.empty(), "--trace-json"}})
+    if (Given)
+      std::fprintf(stderr, "warning: %s is ignored under --server\n", Flag);
+
+  service::wire::CompileRequestMsg Req;
+  Req.RequestId = 1;
+  Req.ModuleSource = Source;
+  Req.Engine = !Opts.EngineGiven ? 0 : (Opts.Engine == "process" ? 2 : 1);
+  Req.Workers = Opts.WorkersGiven ? Opts.Workers : 0;
+  Req.UseCache = 1;
+
+  service::RequestOutcome Outcome;
+  if (!Client.compile(Req, Outcome, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Outcome.Accepted) {
+    std::fprintf(stderr, "error: server rejected the request: %s\n",
+                 Outcome.Reject.Detail.c_str());
+    return 1;
+  }
+  const service::wire::CompileResultMsg &R = Outcome.Result;
+  using service::wire::ResultStatus;
+  if (R.Status == static_cast<uint8_t>(ResultStatus::CompileError)) {
+    std::fprintf(stderr, "%s", R.DiagText.c_str());
+    return 1;
+  }
+  if (R.Status != static_cast<uint8_t>(ResultStatus::Ok)) {
+    std::fprintf(stderr, "error: server %s the request\n",
+                 R.Status == static_cast<uint8_t>(ResultStatus::Cancelled)
+                     ? "cancelled"
+                     : "expired");
+    return 1;
+  }
+
+  std::printf("daemon compile via %s: engine %s, %u worker(s), %.1f ms "
+              "(%.1f ms queued)\n",
+              Opts.ServerPath.c_str(), R.EngineUsed.c_str(), R.WorkersUsed,
+              R.CompileSec * 1e3, R.QueueSec * 1e3);
+  std::printf("compiled module '%s': %zu section(s), %zu function(s), "
+              "image %llu bytes\n",
+              R.ModuleName.c_str(), static_cast<size_t>(R.NumSections),
+              static_cast<size_t>(R.NumFunctions),
+              static_cast<unsigned long long>(R.Image.size()));
+  std::fputs(R.DiagText.c_str(), stdout);
+
+  if (!Opts.OutputFile.empty()) {
+    std::ofstream Out(Opts.OutputFile, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.OutputFile.c_str());
+      return 1;
+    }
+    Out.write(reinterpret_cast<const char *>(R.Image.data()),
+              static_cast<std::streamsize>(R.Image.size()));
+    std::printf("wrote %s\n", Opts.OutputFile.c_str());
+  }
+
+  if (!Opts.StatsJsonFile.empty()) {
+    json::Value Root = json::Value::object();
+    Root.set("schema", obs::StatsSchemaVersion);
+    json::Value Run = json::Value::object();
+    Run.set("module", R.ModuleName);
+    Run.set("sections", static_cast<uint64_t>(R.NumSections));
+    Run.set("functions", static_cast<uint64_t>(R.NumFunctions));
+    Run.set("image_bytes", static_cast<uint64_t>(R.Image.size()));
+    Run.set("engine", "daemon");
+    Run.set("backend_engine", R.EngineUsed);
+    Run.set("workers", static_cast<uint64_t>(R.WorkersUsed));
+    Run.set("socket", Opts.ServerPath);
+    Run.set("queue_ms", R.QueueSec * 1e3);
+    Run.set("compile_ms", R.CompileSec * 1e3);
+    Run.set("cache_hits", R.CacheHits);
+    Run.set("cache_misses", R.CacheMisses);
+    Root.set("run", std::move(Run));
+    std::ofstream Out(Opts.StatsJsonFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.StatsJsonFile.c_str());
+      return 1;
+    }
+    Out << Root.dump(1) << "\n";
+    std::printf("wrote stats %s\n", Opts.StatsJsonFile.c_str());
+  }
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
@@ -791,5 +921,12 @@ int main(int Argc, char **Argv) {
   std::string Source;
   if (!loadSource(Opts, Source))
     return 1;
+  if (Opts.UseServer) {
+    bool FellBack = false;
+    const int RC = compileViaServer(Opts, Source, FellBack);
+    if (!FellBack)
+      return RC;
+    // No daemon on the socket: the compile still happens, locally.
+  }
   return compileAndReport(Opts, Source);
 }

@@ -1,0 +1,206 @@
+//===- warpd.cpp - The warpc compile-service daemon -----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived front end for the compile service: binds the AF_UNIX
+/// socket, serves warpc --server clients until SIGTERM/SIGINT, then
+/// drains gracefully (in-flight and queued work completes and is
+/// delivered; new work is refused) and exits 0. Optionally dumps the
+/// service trace and stats on exit, labeled engine "daemon".
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/StatsReport.h"
+#include "obs/TraceRecorder.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Json.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace warpc;
+
+namespace {
+
+service::CompileService *ActiveService = nullptr;
+
+void onTerminate(int) {
+  if (ActiveService)
+    ActiveService->requestDrain();
+}
+
+void printUsage() {
+  std::fputs(
+      "usage: warpd [options]\n"
+      "  --socket PATH      AF_UNIX socket to serve (default: per-uid "
+      "/tmp/warpd-<uid>.sock)\n"
+      "  --engine NAME      default engine for requests: sequential | "
+      "thread | process\n"
+      "  --workers N        default worker count per request (default 1)\n"
+      "  --inflight N       concurrent compiles / executor threads "
+      "(default 2)\n"
+      "  --max-queue N      admission queue bound (default 64)\n"
+      "  --cache MODE       off | memory | disk (default memory)\n"
+      "  --cache-dir DIR    disk cache directory\n"
+      "  --worker-bin PATH  warp-worker binary for process requests\n"
+      "  --watchdog-sec S   process-engine watchdog (default 10)\n"
+      "  --delay-ms N       test hook: sleep N ms before each compile\n"
+      "  --stall-sec S      test hook: process workers stall S sec\n"
+      "  --trace-json FILE  write the daemon trace on exit\n"
+      "  --stats-json FILE  write service metrics on exit\n",
+      stderr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::ServiceConfig Config;
+  Config.SocketPath = service::defaultSocketPath();
+  std::string TraceFile;
+  std::string StatsFile;
+
+  auto needValue = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--socket") {
+      Config.SocketPath = needValue(I);
+    } else if (Arg == "--engine") {
+      Config.Engine = needValue(I);
+      if (Config.Engine != "sequential" && Config.Engine != "thread" &&
+          Config.Engine != "process") {
+        std::fprintf(stderr, "error: unknown engine '%s'\n",
+                     Config.Engine.c_str());
+        return 2;
+      }
+    } else if (Arg == "--workers") {
+      Config.DefaultWorkers = static_cast<unsigned>(atoi(needValue(I)));
+    } else if (Arg == "--inflight") {
+      Config.MaxInFlight = static_cast<unsigned>(atoi(needValue(I)));
+    } else if (Arg == "--max-queue") {
+      Config.MaxQueue = static_cast<unsigned>(atoi(needValue(I)));
+    } else if (Arg == "--cache") {
+      const std::string Mode = needValue(I);
+      if (Mode == "off")
+        Config.CacheMode = cache::CacheMode::Off;
+      else if (Mode == "memory")
+        Config.CacheMode = cache::CacheMode::Memory;
+      else if (Mode == "disk")
+        Config.CacheMode = cache::CacheMode::Disk;
+      else {
+        std::fprintf(stderr, "error: unknown cache mode '%s'\n", Mode.c_str());
+        return 2;
+      }
+    } else if (Arg == "--cache-dir") {
+      Config.CacheDir = needValue(I);
+    } else if (Arg == "--worker-bin") {
+      Config.WorkerBinary = needValue(I);
+    } else if (Arg == "--watchdog-sec") {
+      Config.WatchdogSec = atof(needValue(I));
+    } else if (Arg == "--delay-ms") {
+      Config.DebugCompileDelaySec = atof(needValue(I)) / 1000.0;
+    } else if (Arg == "--stall-sec") {
+      // Deterministic stall plan for lifecycle tests: every process
+      // worker sleeps before its first result, holding the request in
+      // flight for as long as the test needs.
+      Config.Faults.Seed = 1;
+      Config.Faults.StallProb = 1.0;
+      Config.Faults.StallSec = atof(needValue(I));
+    } else if (Arg == "--trace-json") {
+      TraceFile = needValue(I);
+    } else if (Arg == "--stats-json") {
+      StatsFile = needValue(I);
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    }
+  }
+  if (Config.CacheMode == cache::CacheMode::Disk && Config.CacheDir.empty()) {
+    std::fprintf(stderr, "error: --cache disk needs --cache-dir\n");
+    return 2;
+  }
+
+  obs::MetricsRegistry Metrics;
+  std::unique_ptr<obs::TraceRecorder> Rec;
+  if (!TraceFile.empty()) {
+    Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+    Rec->setEngine("daemon");
+  }
+
+  service::CompileService Service(Config, &Metrics, Rec.get());
+  std::string Error;
+  if (!Service.start(Error)) {
+    std::fprintf(stderr, "warpd: %s\n", Error.c_str());
+    return 1;
+  }
+  ActiveService = &Service;
+  std::signal(SIGTERM, onTerminate);
+  std::signal(SIGINT, onTerminate);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("warpd: listening on %s (engine %s, %u in flight, queue %u)\n",
+              Config.SocketPath.c_str(), Config.Engine.c_str(),
+              Config.MaxInFlight, Config.MaxQueue);
+  std::fflush(stdout);
+
+  Service.wait();
+  ActiveService = nullptr;
+
+  const service::wire::ServerStatsMsg Stats = Service.statsSnapshot();
+  std::printf("warpd: drained: %llu accepted, %llu completed, %llu rejected, "
+              "%llu cancelled, %llu expired\n",
+              static_cast<unsigned long long>(Stats.Accepted),
+              static_cast<unsigned long long>(Stats.Completed),
+              static_cast<unsigned long long>(Stats.Rejected),
+              static_cast<unsigned long long>(Stats.Cancelled),
+              static_cast<unsigned long long>(Stats.Expired));
+
+  if (Rec) {
+    obs::TraceSession Session = Rec->finish();
+    std::string WriteError;
+    if (!obs::writeChromeTraceFile(Session, TraceFile, WriteError)) {
+      std::fprintf(stderr, "error: cannot write trace '%s': %s\n",
+                   TraceFile.c_str(), WriteError.c_str());
+      return 1;
+    }
+  }
+  if (!StatsFile.empty()) {
+    json::Value Root = json::Value::object();
+    Root.set("schema", obs::StatsSchemaVersion);
+    json::Value Run = json::Value::object();
+    Run.set("engine", "daemon");
+    Run.set("socket", Config.SocketPath);
+    Run.set("accepted", static_cast<uint64_t>(Stats.Accepted));
+    Run.set("completed", static_cast<uint64_t>(Stats.Completed));
+    Run.set("rejected", static_cast<uint64_t>(Stats.Rejected));
+    Root.set("run", std::move(Run));
+    Root.set("metrics", Metrics.toJson());
+    std::ofstream Out(StatsFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", StatsFile.c_str());
+      return 1;
+    }
+    Out << Root.dump(1) << "\n";
+  }
+  return 0;
+}
