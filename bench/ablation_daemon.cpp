@@ -14,6 +14,7 @@
 
 #include "FigureCommon.h"
 
+#include "obs/TraceContext.h"
 #include "service/Client.h"
 #include "service/Server.h"
 #include "support/StringUtils.h"
@@ -22,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -39,6 +41,120 @@ double quantile(std::vector<double> Sorted, double Q) {
   std::sort(Sorted.begin(), Sorted.end());
   size_t Idx = static_cast<size_t>(Q * (Sorted.size() - 1) + 0.5);
   return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Locates warp-worker for the compute-split section: $WARPC_WORKER_BIN,
+/// then a sibling of this binary, then the build tree's tools/ next to
+/// bench/. Empty when none is runnable (the section is then skipped —
+/// the master-fallback path would silently measure the wrong thing).
+std::string findWorkerBinary() {
+  if (const char *Env = std::getenv("WARPC_WORKER_BIN"))
+    if (*Env)
+      return Env;
+  char Buf[4096];
+  const ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = '\0';
+  const std::string Self(Buf);
+  const size_t Slash = Self.rfind('/');
+  if (Slash == std::string::npos)
+    return "";
+  const std::string Dir = Self.substr(0, Slash);
+  for (const char *Rel : {"/warp-worker", "/../tools/warp-worker"}) {
+    const std::string Cand = Dir + Rel;
+    if (::access(Cand.c_str(), X_OK) == 0)
+      return Cand;
+  }
+  return "";
+}
+
+/// Drives a few requests through a process-engine service with tracing
+/// on and splits each request's compute between the worker processes
+/// (optimize + codegen spans in the returned shard) and the master side
+/// (everything else in the executor's wall time). This is the service
+/// reading of the paper's Section 4.2.3 question: how much of the work
+/// actually left the master?
+void runComputeSplit(const std::vector<std::string> &Sources,
+                     const std::string &WorkerBin) {
+  ServiceConfig Config;
+  Config.SocketPath =
+      "/tmp/warpc-bench-daemon-split-" + std::to_string(getpid()) + ".sock";
+  Config.Engine = "process";
+  Config.DefaultWorkers = 2;
+  Config.MaxInFlight = 1;
+  Config.MaxQueue = 16;
+  Config.CacheMode = cache::CacheMode::Off;
+  Config.WorkerBinary = WorkerBin;
+  CompileService Service(Config);
+  std::string Error;
+  if (!Service.start(Error)) {
+    std::fprintf(stderr, "warning: compute-split service failed: %s\n",
+                 Error.c_str());
+    return;
+  }
+  Client C;
+  if (!C.connect(Config.SocketPath, Error)) {
+    std::fprintf(stderr, "warning: compute-split connect failed: %s\n",
+                 Error.c_str());
+    Service.requestDrain();
+    Service.wait();
+    return;
+  }
+
+  unsigned Completed = 0;
+  double TotalSec = 0, WorkerOptSec = 0, WorkerCgSec = 0;
+  for (unsigned I = 0; I != 8; ++I) {
+    wire::CompileRequestMsg Req;
+    Req.RequestId = 1 + I;
+    Req.ModuleSource = Sources[I % Sources.size()];
+    Req.TraceId = 0x5EED0000 + I; // Any nonzero id turns tracing on.
+    RequestOutcome Out;
+    if (!C.compile(Req, Out, Error) || !Out.Accepted ||
+        Out.Result.Status != 0)
+      continue;
+    ++Completed;
+    TotalSec += Out.Result.CompileSec;
+    obs::SpanShard Shard;
+    if (obs::decodeSpanShard(Out.Result.ShardBytes, Shard))
+      for (const obs::ShardSpan &S : Shard.Spans) {
+        if (S.DurSec <= 0)
+          continue;
+        if (S.Kind == obs::EventKind::SpanOptimize)
+          WorkerOptSec += S.DurSec;
+        else if (S.Kind == obs::EventKind::SpanCodegen)
+          WorkerCgSec += S.DurSec;
+      }
+  }
+  Service.requestDrain();
+  Service.wait();
+  if (Completed == 0) {
+    std::fprintf(stderr, "warning: compute-split: no request completed\n");
+    return;
+  }
+
+  const double WorkerSec = WorkerOptSec + WorkerCgSec;
+  const double MasterSec = std::max(TotalSec - WorkerSec, 0.0);
+  const double Share = TotalSec > 0 ? WorkerSec / TotalSec : 0.0;
+  TextTable Split({"engine", "requests", "master-side [ms]",
+                   "worker opt [ms]", "worker codegen [ms]", "worker share"});
+  Split.addRow({"daemon+process", std::to_string(Completed),
+                formatDouble(MasterSec * 1e3, 2),
+                formatDouble(WorkerOptSec * 1e3, 2),
+                formatDouble(WorkerCgSec * 1e3, 2),
+                formatDouble(Share * 100.0, 1) + "%"});
+  std::printf("\ncompute split (process engine, traced shards):\n%s\n",
+              Split.str().c_str());
+
+  json::Value Row = json::Value::object();
+  Row.set("engine", "daemon");
+  Row.set("metric", "compute_split");
+  Row.set("requests", Completed);
+  Row.set("master_side_sec", MasterSec);
+  Row.set("worker_opt_sec", WorkerOptSec);
+  Row.set("worker_codegen_sec", WorkerCgSec);
+  Row.set("worker_share", Share);
+  benchJsonRow(std::move(Row));
 }
 
 } // namespace
@@ -103,7 +219,8 @@ int main() {
   const double CapacityRps = 1.0 / ServiceSec;
 
   TextTable Table({"engine", "offered [req/s]", "sent", "completed",
-                   "rejected", "p50 [ms]", "p95 [ms]", "p99 [ms]"});
+                   "rejected", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+                   "qwait p50 [ms]", "qwait p95 [ms]"});
 
   for (double Fraction : {0.25, 0.75, 1.5, 4.0}) {
     const double Rate = Fraction * CapacityRps;
@@ -140,6 +257,7 @@ int main() {
 
     unsigned Completed = 0, Rejected = 0;
     std::vector<double> LatencySec;
+    std::vector<double> QueueWaitSec;
     for (unsigned I = 0; I != Total; ++I) {
       RequestOutcome Out;
       if (!C.await(10 + I, Out, Error)) {
@@ -160,15 +278,20 @@ int main() {
       // (client-side adds only socket hops).
       LatencySec.push_back(Out.Result.QueueSec + FloorSec +
                            Out.Result.CompileSec);
+      QueueWaitSec.push_back(Out.Result.QueueSec);
     }
 
     const double P50 = quantile(LatencySec, 0.50) * 1e3;
     const double P95 = quantile(LatencySec, 0.95) * 1e3;
     const double P99 = quantile(LatencySec, 0.99) * 1e3;
+    const double QW50 = quantile(QueueWaitSec, 0.50) * 1e3;
+    const double QW95 = quantile(QueueWaitSec, 0.95) * 1e3;
+    const double QW99 = quantile(QueueWaitSec, 0.99) * 1e3;
     Table.addRow({"daemon", formatDouble(Rate, 1), std::to_string(Sent),
                   std::to_string(Completed), std::to_string(Rejected),
                   formatDouble(P50, 2), formatDouble(P95, 2),
-                  formatDouble(P99, 2)});
+                  formatDouble(P99, 2), formatDouble(QW50, 2),
+                  formatDouble(QW95, 2)});
 
     json::Value Row = json::Value::object();
     Row.set("engine", "daemon");
@@ -180,6 +303,9 @@ int main() {
     Row.set("p50_sec", P50 / 1e3);
     Row.set("p95_sec", P95 / 1e3);
     Row.set("p99_sec", P99 / 1e3);
+    Row.set("queue_wait_p50_sec", QW50 / 1e3);
+    Row.set("queue_wait_p95_sec", QW95 / 1e3);
+    Row.set("queue_wait_p99_sec", QW99 / 1e3);
     benchJsonRow(std::move(Row));
   }
 
@@ -194,6 +320,21 @@ int main() {
               static_cast<unsigned long long>(Stats.Completed),
               static_cast<unsigned long long>(Stats.Rejected),
               Stats.P50Ms, Stats.P95Ms, Stats.P99Ms);
+  if (Stats.QueueWaitNormal.Count != 0)
+    std::printf("queue wait (priority 0): p50/p95/p99 = %.2f/%.2f/%.2f ms "
+                "over %llu requests\n",
+                Stats.QueueWaitNormal.P50 * 1e3,
+                Stats.QueueWaitNormal.P95 * 1e3,
+                Stats.QueueWaitNormal.P99 * 1e3,
+                static_cast<unsigned long long>(Stats.QueueWaitNormal.Count));
+
+  const std::string WorkerBin = findWorkerBinary();
+  if (!WorkerBin.empty())
+    runComputeSplit(Sources, WorkerBin);
+  else
+    std::printf("compute split skipped: no warp-worker binary found "
+                "(set WARPC_WORKER_BIN)\n");
+
   std::printf("note: open-loop arrivals; rejected rows are the bounded\n"
               "queue's explicit backpressure, not lost requests. Absolute\n"
               "rates depend on the host; the durable shape is the tail\n"

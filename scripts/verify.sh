@@ -137,6 +137,33 @@ grep -q '"engine": "daemon"' "$TMP_DIR/daemon.stats.json"
 grep -q "compiling locally" "$TMP_DIR/fallback.err"
 cmp "$TMP_DIR/seq.img" "$TMP_DIR/fallback.img"
 
+echo "== daemon trace smoke test =="
+# Distributed tracing end to end: one warpc --server compile against a
+# process-engine warpd must yield a single merged trace whose spans come
+# from at least three distinct processes (client, daemon, workers),
+# linked by flow events, and warp-traceview must attribute the request.
+"$BUILD_DIR/tools/warpd" --socket "$TMP_DIR/warpd-trace.sock" \
+    --engine process --workers 2 \
+    --worker-bin "$BUILD_DIR/tools/warp-worker" \
+    > "$TMP_DIR/daemon-trace.out" 2>&1 &
+TRACE_DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$TMP_DIR/warpd-trace.sock" ] && break
+  sleep 0.1
+done
+"$BUILD_DIR/tools/warpc" --demo tiny --server="$TMP_DIR/warpd-trace.sock" \
+    --engine process --trace-json "$TMP_DIR/daemon.trace.json" > /dev/null
+kill -TERM "$TRACE_DAEMON_PID"
+wait "$TRACE_DAEMON_PID"
+TRACE_PIDS="$(grep -o '"pid": *[0-9]*' "$TMP_DIR/daemon.trace.json" \
+    | sort -u | wc -l)"
+test "$TRACE_PIDS" -ge 3
+FLOW_EVENTS="$(grep -c '"ph": *"s"' "$TMP_DIR/daemon.trace.json")"
+test "$FLOW_EVENTS" -ge 1
+"$BUILD_DIR/tools/warp-traceview" "$TMP_DIR/daemon.trace.json" \
+    | tee "$TMP_DIR/daemon-traceview.out"
+grep -q "service requests" "$TMP_DIR/daemon-traceview.out"
+
 echo "== perf gate smoke test =="
 # Two identical simulated runs must clear the regression gate; halving
 # the machine to two processors must trip it (exit 1).
@@ -173,6 +200,14 @@ if [ "${WARPC_VERIFY_SANITIZE:-0}" = "1" ]; then
   # live socket clients; the sanitizers watch the loop/executor handoff.
   WARPC_TEST_MAX_WORKERS="${WARPC_TEST_MAX_WORKERS:-$JOBS}" \
       ctest --test-dir "$SAN_DIR" -L service --output-on-failure -j "$JOBS"
+  # The obs suite covers the span-shard codec (bounds checks, fuzzed
+  # payloads) and the clock-aligned splice; run it explicitly so memory
+  # errors in the decoder surface under the sanitizers.
+  ctest --test-dir "$SAN_DIR" -L obs --output-on-failure -j "$JOBS"
+  # The process suite ships worker span shards over the wire; the
+  # sanitizers watch the shard encode/decode on both ends of the pipe.
+  WARPC_TEST_MAX_WORKERS="${WARPC_TEST_MAX_WORKERS:-$JOBS}" \
+      ctest --test-dir "$SAN_DIR" -L process --output-on-failure -j "$JOBS"
   "$SAN_DIR/tools/warp-lint" --demo user --jobs 4 > /dev/null
 fi
 

@@ -16,6 +16,7 @@
 #include "w2/Sema.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace warpc;
 using namespace warpc::driver;
@@ -73,7 +74,10 @@ ParseResult driver::parseAndCheck(const std::string &Source,
 FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
                                        const w2::FunctionDecl &F,
                                        const codegen::MachineModel &MM,
-                                       obs::MetricsRegistry *Metrics) {
+                                       obs::MetricsRegistry *Metrics,
+                                       FunctionPhaseTimes *Times) {
+  using PhaseClock = std::chrono::steady_clock;
+  const PhaseClock::time_point Phase2Start = PhaseClock::now();
   FunctionResult Result;
   Result.SectionName = Section.getName();
   Result.FunctionName = F.getName();
@@ -102,6 +106,11 @@ FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
       Live.Iterations * IRF->instructionCount() +
       Reach.Iterations * IRF->instructionCount();
   Result.IRInstrsAfterOpt = IRF->instructionCount();
+
+  const PhaseClock::time_point Phase3Start = PhaseClock::now();
+  if (Times)
+    Times->OptSec =
+        std::chrono::duration<double>(Phase3Start - Phase2Start).count();
 
   // Phase 3: scheduling and register allocation.
   codegen::MachineFunction MF = codegen::generateCode(*IRF, MM);
@@ -150,6 +159,9 @@ FunctionResult driver::compileFunction(const w2::SectionDecl &Section,
     if (MF.RA.Spills > 0)
       Metrics->add("phase3.spills", static_cast<double>(MF.RA.Spills));
   }
+  if (Times)
+    Times->CodegenSec =
+        std::chrono::duration<double>(PhaseClock::now() - Phase3Start).count();
   return Result;
 }
 

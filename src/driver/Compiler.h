@@ -66,17 +66,29 @@ struct FunctionResult {
   uint32_t LoopsConsidered = 0;
 };
 
+/// Wall-clock split of one compileFunction call along the paper's phase
+/// boundary: phase 2 (lowering, local optimization, dataflow) vs phase 3
+/// (scheduling, register allocation, per-function assembly). Filled by
+/// compileFunction when a non-null pointer is passed; worker processes
+/// turn these into span_optimize/span_codegen trace spans.
+struct FunctionPhaseTimes {
+  double OptSec = 0;
+  double CodegenSec = 0;
+};
+
 /// Compiles one checked function through phases 2 and 3 (+ its private
 /// slice of assembly). \p Section provides the signatures of sibling
 /// functions; the body of no other function is touched, which is what
 /// makes function-level parallel compilation correct. A non-null
 /// \p Metrics receives phase2.*/phase3.* distributions (IR sizes, code
 /// words, spills); recording is mutex-guarded, so concurrent function
-/// masters may share one registry.
+/// masters may share one registry. A non-null \p Times receives the
+/// wall-clock phase split.
 FunctionResult compileFunction(const w2::SectionDecl &Section,
                                const w2::FunctionDecl &F,
                                const codegen::MachineModel &MM,
-                               obs::MetricsRegistry *Metrics = nullptr);
+                               obs::MetricsRegistry *Metrics = nullptr,
+                               FunctionPhaseTimes *Times = nullptr);
 
 /// Interface to a content-addressed store of phase-2/3 results, keyed by
 /// the function's post-semantic fingerprint (see cache::CompileCache, the

@@ -54,6 +54,10 @@ json::Value eventArgs(const SpanEvent &E) {
     Args.set("cause", json::Value(causeName(E.Cause)));
   if (E.Speculative)
     Args.set("speculative", json::Value(true));
+  if (E.Pid != 0)
+    Args.set("pid", json::Value(E.Pid));
+  if (E.Bytes != 0)
+    Args.set("bytes", json::Value(E.Bytes));
   return Args;
 }
 
@@ -67,6 +71,10 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
   auto TidOf = [](const SpanEvent &E) {
     return static_cast<int64_t>(E.Host >= 0 ? E.Host : 0);
   };
+  // Spliced foreign spans keep their recording process's pid so Perfetto
+  // draws one process group per real OS process; pid 0 is the
+  // trace-owning process (and the only pid in single-process traces).
+  auto PidOf = [](const SpanEvent &E) { return static_cast<int64_t>(E.Pid); };
 
   // Track-naming metadata. Perfetto shows these as process/thread names.
   {
@@ -99,6 +107,18 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
     M.set("args", std::move(Args));
     Events.push(std::move(M));
   }
+  for (const auto &[FPid, FName] : S.ProcessNames) {
+    if (FPid == 0)
+      continue;
+    json::Value M = json::Value::object();
+    M.set("name", json::Value("process_name"));
+    M.set("ph", json::Value("M"));
+    M.set("pid", json::Value(static_cast<int64_t>(FPid)));
+    json::Value Args = json::Value::object();
+    Args.set("name", json::Value(FName));
+    M.set("args", std::move(Args));
+    Events.push(std::move(M));
+  }
 
   for (const SpanEvent &E : S.Events) {
     json::Value Ev = json::Value::object();
@@ -110,7 +130,7 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
       Ev.set("dur", json::Value(E.DurSec * 1e6));
     else
       Ev.set("s", json::Value("t")); // thread-scoped instant
-    Ev.set("pid", json::Value(Pid));
+    Ev.set("pid", json::Value(PidOf(E)));
     Ev.set("tid", json::Value(TidOf(E)));
     Ev.set("args", eventArgs(E));
     Events.push(std::move(Ev));
@@ -152,7 +172,7 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
       double AnchorSec =
           std::min(Anchor->endSec(), std::max(Anchor->TSec, E.TSec));
       Start.set("ts", json::Value(AnchorSec * 1e6));
-      Start.set("pid", json::Value(Pid));
+      Start.set("pid", json::Value(PidOf(*Anchor)));
       Start.set("tid", json::Value(TidOf(*Anchor)));
       Events.push(std::move(Start));
       json::Value Finish = json::Value::object();
@@ -162,7 +182,7 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
       Finish.set("bp", json::Value("e")); // bind to enclosing slice
       Finish.set("id", json::Value(E.spanId()));
       Finish.set("ts", json::Value(E.TSec * 1e6));
-      Finish.set("pid", json::Value(Pid));
+      Finish.set("pid", json::Value(PidOf(E)));
       Finish.set("tid", json::Value(TidOf(E)));
       Events.push(std::move(Finish));
     }
@@ -213,6 +233,18 @@ std::string obs::writeChromeTrace(const TraceSession &S) {
   for (const std::string &N : S.CounterNames)
     CtrNames.push(json::Value(N));
   Other.set("counterNames", std::move(CtrNames));
+  // Only multi-process sessions write the key, so single-process traces
+  // (and their goldens) stay byte-identical.
+  if (!S.ProcessNames.empty()) {
+    json::Value Procs = json::Value::array();
+    for (const auto &[FPid, FName] : S.ProcessNames) {
+      json::Value P = json::Value::object();
+      P.set("pid", json::Value(FPid));
+      P.set("name", json::Value(FName));
+      Procs.push(std::move(P));
+    }
+    Other.set("processNames", std::move(Procs));
+  }
   Root.set("otherData", std::move(Other));
 
   return Root.dump(1);
@@ -270,6 +302,12 @@ bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
       Out.FunctionNames.push_back(N.str());
     for (const json::Value &N : Other.get("counterNames").elements())
       Out.CounterNames.push_back(N.str());
+    if (Other.has("processNames"))
+      for (const json::Value &P : Other.get("processNames").elements())
+        if (P.isObject())
+          Out.ProcessNames.emplace_back(
+              static_cast<uint64_t>(P.get("pid").integer()),
+              P.get("name").str());
   }
 
   for (const json::Value &Ev : Root.get("traceEvents").elements()) {
@@ -316,6 +354,12 @@ bool obs::parseChromeTrace(const std::string &Text, TraceSession &Out,
                     : 0;
     if (Args.has("cause"))
       causeFromName(Args.get("cause").str(), E.Cause);
+    E.Pid = Args.has("pid")
+                ? static_cast<uint64_t>(Args.get("pid").integer())
+                : 0;
+    E.Bytes = Args.has("bytes")
+                  ? static_cast<uint64_t>(Args.get("bytes").integer())
+                  : 0;
     E.Speculative = Args.get("speculative").kind() == json::Value::Kind::Bool
                         ? Args.get("speculative").boolean()
                         : false;

@@ -30,6 +30,8 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::SpanAnalyze, "span_analyze"},
     {EventKind::SpanCacheHit, "span_cache_hit"},
     {EventKind::SpanSummarize, "span_summarize"},
+    {EventKind::SpanOptimize, "span_optimize"},
+    {EventKind::SpanCodegen, "span_codegen"},
     {EventKind::PlacementFailed, "placement_failed"},
     {EventKind::AttemptLost, "attempt_lost"},
     {EventKind::MessageLost, "message_lost"},
@@ -43,6 +45,7 @@ constexpr std::pair<EventKind, const char *> KindNames[] = {
     {EventKind::ModuleLinked, "module_linked"},
     {EventKind::RunComplete, "run_complete"},
     {EventKind::AnomalyDetected, "anomaly_detected"},
+    {EventKind::RequestAdmitted, "request_admitted"},
 };
 
 constexpr std::pair<Phase, const char *> PhaseNames[] = {
@@ -100,6 +103,8 @@ bool obs::isSpanKind(EventKind K) {
   case EventKind::SpanAnalyze:
   case EventKind::SpanCacheHit:
   case EventKind::SpanSummarize:
+  case EventKind::SpanOptimize:
+  case EventKind::SpanCodegen:
     return true;
   default:
     return false;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace warpc {
@@ -45,6 +46,8 @@ enum class EventKind : uint8_t {
   SpanAnalyze,         ///< Static analysis of one function on one worker.
   SpanCacheHit,        ///< Cached result replayed instead of compiling.
   SpanSummarize,       ///< Interprocedural summarization of one SCC.
+  SpanOptimize,        ///< Phase 2 alone, recorded inside a worker process.
+  SpanCodegen,         ///< Phase 3 alone, recorded inside a worker process.
 
   // Instants (milestones and fault-handling decisions).
   PlacementFailed,  ///< Target host down at fork time.
@@ -60,6 +63,7 @@ enum class EventKind : uint8_t {
   ModuleLinked,     ///< Download module linked.
   RunComplete,      ///< Final image transfer landed.
   AnomalyDetected,  ///< Telemetry flagged a spike or straggler.
+  RequestAdmitted,  ///< Service request passed admission control.
 };
 
 /// Returns a stable lowercase identifier ("span_compile", "timeout_fired")
@@ -118,6 +122,14 @@ struct SpanEvent {
   /// or result message edge), or 0 for a root. Span ids are Seq + 1 so
   /// that 0 never names a real event; see spanId().
   uint64_t Parent = 0;
+  /// OS process the event was recorded in, or 0 for the trace-owning
+  /// process. Nonzero only in multi-process traces (spliced worker or
+  /// daemon shards); ChromeTrace maps it to the Chrome pid so Perfetto
+  /// draws one process group per real process.
+  uint64_t Pid = 0;
+  /// Payload bytes the event accounts for (result frames, shipped
+  /// images); 0 when not applicable. Feeds the per-request summary.
+  uint64_t Bytes = 0;
   int32_t Host = -1;  ///< Simulated workstation or thread lane; -1 n/a.
   int32_t Section = -1;
   int32_t Function = -1; ///< Flat function id into the name table.
@@ -166,6 +178,10 @@ struct TraceSession {
   std::vector<CounterEvent> Counters;
   std::vector<std::string> FunctionNames; ///< Indexed by SpanEvent::Function.
   std::vector<std::string> CounterNames;  ///< Indexed by CounterEvent::Counter.
+  /// Labels for the foreign processes whose spans were spliced into this
+  /// session (SpanEvent::Pid → display name). Empty for single-process
+  /// traces; pid 0 (the trace-owning process) is never listed here.
+  std::vector<std::pair<uint64_t, std::string>> ProcessNames;
   /// Which execution engine produced the run ("sim", "thread",
   /// "process"), or empty for traces recorded before engines were
   /// labeled. Lets warp-traceview and warp-perf tell a thread run from a

@@ -56,7 +56,8 @@ PathCategory obs::pathCategory(EventKind K) {
   if (K == EventKind::SpanStartup)
     return PathCategory::Startup;
   if (K == EventKind::SpanCompile || K == EventKind::SpanAssembly ||
-      K == EventKind::SpanMasterRecompile || K == EventKind::SpanAnalyze)
+      K == EventKind::SpanMasterRecompile || K == EventKind::SpanAnalyze ||
+      K == EventKind::SpanOptimize || K == EventKind::SpanCodegen)
     return PathCategory::Compute;
   return PathCategory::Milestone;
 }

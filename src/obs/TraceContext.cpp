@@ -1,0 +1,236 @@
+//===- TraceContext.cpp - Cross-process trace propagation --------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceContext.h"
+
+#include "support/BinaryStream.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+/// Shard wire format version. Bumped only for incompatible layout
+/// changes; an unknown version decodes to failure and the splicing side
+/// simply loses the remote detail.
+constexpr uint8_t ShardVersion = 1;
+
+constexpr uint8_t MaxKind = static_cast<uint8_t>(EventKind::RequestAdmitted);
+constexpr uint8_t MaxPhase = static_cast<uint8_t>(Phase::Analyze);
+constexpr uint8_t MaxCause = static_cast<uint8_t>(FaultCause::Superseded);
+
+} // namespace
+
+std::vector<uint8_t> obs::encodeSpanShard(const SpanShard &Shard) {
+  const size_t NumNames = std::min(Shard.FunctionNames.size(), MaxShardNames);
+  const size_t NumSpans = std::min(Shard.Spans.size(), MaxShardSpans);
+  const size_t NumProcs = std::min(Shard.ProcessNames.size(), MaxShardProcs);
+
+  BinaryWriter W;
+  W.u8(ShardVersion);
+  W.u64(Shard.TraceId);
+  W.u64(Shard.Pid);
+  W.str(Shard.ProcessName);
+  W.u32(static_cast<uint32_t>(NumProcs));
+  for (size_t I = 0; I != NumProcs; ++I) {
+    W.u64(Shard.ProcessNames[I].first);
+    W.str(Shard.ProcessNames[I].second);
+  }
+  W.u32(static_cast<uint32_t>(NumNames));
+  for (size_t I = 0; I != NumNames; ++I)
+    W.str(Shard.FunctionNames[I]);
+  W.u32(static_cast<uint32_t>(NumSpans));
+  for (size_t I = 0; I != NumSpans; ++I) {
+    const ShardSpan &S = Shard.Spans[I];
+    W.f64(S.TSec);
+    W.f64(S.DurSec);
+    W.f64(S.CpuSec);
+    W.u64(S.LocalId);
+    W.u64(S.LocalParent);
+    W.u64(S.Bytes);
+    W.u64(S.Pid);
+    W.u32(static_cast<uint32_t>(S.Section));
+    W.u32(static_cast<uint32_t>(S.Function));
+    W.u32(static_cast<uint32_t>(S.Attempt));
+    W.u8(static_cast<uint8_t>(S.Kind));
+    W.u8(static_cast<uint8_t>(S.Ph));
+    W.u8(static_cast<uint8_t>(S.Cause));
+    W.u8(S.Speculative ? 1 : 0);
+  }
+  return W.take();
+}
+
+bool obs::decodeSpanShard(const std::vector<uint8_t> &Bytes, SpanShard &Out) {
+  BinaryReader R(Bytes);
+  if (R.u8() != ShardVersion)
+    return false;
+  SpanShard S;
+  S.TraceId = R.u64();
+  S.Pid = R.u64();
+  S.ProcessName = R.str();
+  const uint32_t NumProcs = R.u32();
+  if (!R.ok() || NumProcs > MaxShardProcs)
+    return false;
+  S.ProcessNames.reserve(NumProcs);
+  for (uint32_t I = 0; I != NumProcs; ++I) {
+    const uint64_t Pid = R.u64();
+    S.ProcessNames.emplace_back(Pid, R.str());
+  }
+  const uint32_t NumNames = R.u32();
+  if (!R.ok() || NumNames > MaxShardNames)
+    return false;
+  S.FunctionNames.reserve(NumNames);
+  for (uint32_t I = 0; I != NumNames; ++I)
+    S.FunctionNames.push_back(R.str());
+  const uint32_t NumSpans = R.u32();
+  if (!R.ok() || NumSpans > MaxShardSpans)
+    return false;
+  S.Spans.reserve(NumSpans);
+  for (uint32_t I = 0; I != NumSpans; ++I) {
+    ShardSpan E;
+    E.TSec = R.f64();
+    E.DurSec = R.f64();
+    E.CpuSec = R.f64();
+    E.LocalId = R.u64();
+    E.LocalParent = R.u64();
+    E.Bytes = R.u64();
+    E.Pid = R.u64();
+    E.Section = static_cast<int32_t>(R.u32());
+    E.Function = static_cast<int32_t>(R.u32());
+    E.Attempt = static_cast<int32_t>(R.u32());
+    const uint8_t Kind = R.u8();
+    const uint8_t Ph = R.u8();
+    const uint8_t Cause = R.u8();
+    const uint8_t Spec = R.u8();
+    if (!R.ok() || Kind > MaxKind || Ph > MaxPhase || Cause > MaxCause ||
+        Spec > 1)
+      return false;
+    E.Kind = static_cast<EventKind>(Kind);
+    E.Ph = static_cast<Phase>(Ph);
+    E.Cause = static_cast<FaultCause>(Cause);
+    E.Speculative = Spec != 0;
+    if (E.Function >= 0 && static_cast<uint32_t>(E.Function) >= NumNames)
+      return false;
+    // A span record must carry a nonzero local id for parent links to
+    // resolve; instants may leave it zero.
+    if (E.DurSec >= 0 && E.LocalId == 0)
+      return false;
+    S.Spans.push_back(E);
+  }
+  if (!R.atEnd())
+    return false;
+  Out = std::move(S);
+  return true;
+}
+
+ClockSync obs::estimateClockOffset(double LocalSendSec, double RemoteRecvSec,
+                                   double RemoteSendSec, double LocalRecvSec) {
+  ClockSync Sync;
+  // A peer predating the timestamp echo sends zeros; a causally
+  // disordered pair means a stamp was garbage. Either way the estimate
+  // is unusable and the caller falls back to offset 0 + window clamping.
+  if (RemoteRecvSec <= 0 && RemoteSendSec <= 0)
+    return Sync;
+  if (LocalRecvSec < LocalSendSec || RemoteSendSec < RemoteRecvSec)
+    return Sync;
+  Sync.OffsetSec = ((LocalSendSec - RemoteRecvSec) +
+                    (LocalRecvSec - RemoteSendSec)) /
+                   2.0;
+  Sync.RttSec =
+      (LocalRecvSec - LocalSendSec) - (RemoteSendSec - RemoteRecvSec);
+  Sync.Valid = Sync.RttSec >= 0;
+  return Sync;
+}
+
+size_t obs::spliceShard(const SpanShard &Shard, TraceRecorder &R,
+                        TraceRecorder::Lane &L, const SpliceOptions &Opts) {
+  const bool Clamp = Opts.WindowEndSec >= Opts.WindowStartSec;
+  R.noteProcess(Shard.Pid, Shard.ProcessName);
+  for (const auto &[Pid, Name] : Shard.ProcessNames)
+    R.noteProcess(Pid, Name);
+
+  // Remote function ids → local interned ids.
+  std::vector<int32_t> NameMap;
+  NameMap.reserve(Shard.FunctionNames.size());
+  for (const std::string &Name : Shard.FunctionNames)
+    NameMap.push_back(R.internFunction(Name));
+
+  // Two passes: emit every event first (span ids are assigned at
+  // emission), then resolve shard-local parent links — a shard may list
+  // a child before its parent.
+  std::unordered_map<uint64_t, uint64_t> IdMap;
+  std::vector<std::pair<SpanEvent *, uint64_t>> Emitted;
+  Emitted.reserve(Shard.Spans.size());
+  for (const ShardSpan &S : Shard.Spans) {
+    double T = S.TSec + Opts.OffsetSec;
+    double Dur = S.DurSec;
+    if (Clamp) {
+      T = std::min(std::max(T, Opts.WindowStartSec), Opts.WindowEndSec);
+      if (Dur >= 0)
+        Dur = std::min(Dur, Opts.WindowEndSec - T);
+    }
+    SpanEvent &E = Dur >= 0 ? L.span(T, Dur, S.Kind, S.Ph)
+                            : L.instant(T, S.Kind, S.Ph);
+    E.CpuSec = S.CpuSec;
+    E.Pid = S.Pid != 0 ? S.Pid : Shard.Pid;
+    E.Bytes = S.Bytes;
+    E.Host = Opts.Host;
+    E.Section = S.Section;
+    E.Function = S.Function >= 0 &&
+                         static_cast<size_t>(S.Function) < NameMap.size()
+                     ? NameMap[static_cast<size_t>(S.Function)]
+                     : -1;
+    E.Attempt = S.Attempt;
+    E.Cause = S.Cause;
+    E.Speculative = S.Speculative;
+    if (S.LocalId != 0)
+      IdMap[S.LocalId] = E.spanId();
+    Emitted.push_back({&E, S.LocalParent});
+  }
+  for (auto &[E, LocalParent] : Emitted) {
+    if (LocalParent != 0) {
+      auto It = IdMap.find(LocalParent);
+      E->Parent = It != IdMap.end() ? It->second : Opts.ParentSpanId;
+    } else {
+      E->Parent = Opts.ParentSpanId;
+    }
+  }
+  return Emitted.size();
+}
+
+SpanShard obs::shardFromSession(const TraceSession &S, uint64_t Pid,
+                                const std::string &ProcessName,
+                                double ShiftSec) {
+  SpanShard Shard;
+  Shard.TraceId = S.TraceId;
+  Shard.Pid = Pid;
+  Shard.ProcessName = ProcessName;
+  Shard.ProcessNames = S.ProcessNames;
+  Shard.FunctionNames = S.FunctionNames;
+  Shard.Spans.reserve(S.Events.size());
+  for (const SpanEvent &E : S.Events) {
+    ShardSpan Out;
+    Out.TSec = E.TSec + ShiftSec;
+    Out.DurSec = E.DurSec;
+    Out.CpuSec = E.CpuSec;
+    Out.LocalId = E.spanId();
+    Out.LocalParent = E.Parent;
+    Out.Bytes = E.Bytes;
+    Out.Pid = E.Pid;
+    Out.Section = E.Section;
+    Out.Function = E.Function;
+    Out.Attempt = E.Attempt;
+    Out.Kind = E.Kind;
+    Out.Ph = E.Ph;
+    Out.Cause = E.Cause;
+    Out.Speculative = E.Speculative;
+    Shard.Spans.push_back(Out);
+  }
+  return Shard;
+}

@@ -1,0 +1,169 @@
+//===- TraceContext.h - Cross-process trace propagation ---------*- C++ -*-===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Distributed tracing across the client → daemon → worker process chain.
+///
+/// Three pieces:
+///
+///  - TraceContext: the (TraceId, ParentSpanId) pair a dispatching process
+///    attaches to WSV1 CompileRequest and WRP1 Init/Task frames so the
+///    receiving process can record spans that belong to the caller's trace.
+///
+///  - SpanShard: a bounded, self-contained batch of spans recorded in a
+///    remote process (its own pid, process label and function-name table,
+///    shard-local parent links). Workers ship one shard per Result frame;
+///    the daemon ships one per CompileResult. decodeSpanShard is fully
+///    bounds-checked — a corrupt shard decodes to failure, never UB, and
+///    the splicing side simply loses the remote detail.
+///
+///  - Clock alignment: the two processes run independent steady clocks
+///    with different epochs. estimateClockOffset implements the NTP
+///    symmetric-delay midpoint over a request/response pair (master sends
+///    Init at T1, worker stamps receipt W1 and its Hello send W2, master
+///    stamps Hello receipt T2): offset = ((T1 - W1) + (T2 - W2)) / 2,
+///    which cancels the remote processing time between W1 and W2.
+///    spliceShard applies the offset and clamps into the dispatch→result
+///    flight window so the merged trace stays monotonic even when the
+///    estimate is off by part of the RTT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARPC_OBS_TRACECONTEXT_H
+#define WARPC_OBS_TRACECONTEXT_H
+
+#include "obs/Event.h"
+#include "obs/TraceRecorder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warpc {
+namespace obs {
+
+/// The propagation pair a parent process sends with a dispatch: which
+/// trace the remote spans belong to and which local span caused them.
+/// TraceId == 0 means "caller is not tracing" — the remote side records
+/// nothing and ships no shard.
+struct TraceContext {
+  uint64_t TraceId = 0;
+  uint64_t ParentSpanId = 0;
+
+  bool tracing() const { return TraceId != 0; }
+};
+
+/// One span or instant inside a shard. Ids are shard-local: LocalParent
+/// names another record's LocalId, or 0 for a shard root (spliceShard
+/// re-parents roots under the master-side dispatch span).
+struct ShardSpan {
+  double TSec = 0;    ///< In the recording process's clock.
+  double DurSec = -1; ///< Negative for instants.
+  double CpuSec = 0;
+  uint64_t LocalId = 0;
+  uint64_t LocalParent = 0;
+  uint64_t Bytes = 0;
+  /// OS process the span was originally recorded in; 0 means the shard's
+  /// own process. Nonzero when a shard re-ships spans it itself spliced
+  /// from a third process (daemon forwarding worker spans to the client).
+  uint64_t Pid = 0;
+  int32_t Section = -1;
+  int32_t Function = -1; ///< Into the shard's own name table.
+  int32_t Attempt = 0;
+  EventKind Kind = EventKind::RunComplete;
+  Phase Ph = Phase::Setup;
+  FaultCause Cause = FaultCause::None;
+  bool Speculative = false;
+};
+
+/// A batch of remote spans plus everything needed to splice them into
+/// another process's trace: the trace they belong to, the pid and label
+/// of the recording process, and a private function-name table.
+struct SpanShard {
+  uint64_t TraceId = 0;
+  uint64_t Pid = 0;
+  std::string ProcessName;
+  /// Labels for third processes whose spans ride inside this shard (the
+  /// per-span Pid field above names them); the shard's own pid is never
+  /// listed here.
+  std::vector<std::pair<uint64_t, std::string>> ProcessNames;
+  std::vector<std::string> FunctionNames;
+  std::vector<ShardSpan> Spans;
+};
+
+/// Hard bounds on what encodeSpanShard will emit and decodeSpanShard will
+/// accept. A worker compiling one function records a handful of spans;
+/// the caps exist so a buggy or hostile peer cannot balloon the master's
+/// trace or allocate unbounded memory during decode.
+constexpr size_t MaxShardSpans = 1024;
+constexpr size_t MaxShardNames = 1024;
+constexpr size_t MaxShardProcs = 64;
+
+/// Serializes \p Shard (truncating to the bounds above, deterministically
+/// keeping the earliest records) and returns the bytes.
+std::vector<uint8_t> encodeSpanShard(const SpanShard &Shard);
+
+/// Decodes bytes produced by encodeSpanShard. Returns false on any
+/// truncation, trailing garbage, out-of-range enum or id — the shard is
+/// then untouched garbage and must be dropped, not spliced.
+bool decodeSpanShard(const std::vector<uint8_t> &Bytes, SpanShard &Out);
+
+/// The result of one timestamp-echo exchange. OffsetSec is what to ADD to
+/// a remote timestamp to express it on the local clock; RttSec is the
+/// network round trip excluding remote processing.
+struct ClockSync {
+  double OffsetSec = 0;
+  double RttSec = 0;
+  bool Valid = false;
+};
+
+/// NTP symmetric-delay midpoint over one request/response pair. All four
+/// stamps are seconds on their own process's steady clock:
+/// \p LocalSendSec / \p LocalRecvSec on the local clock, \p RemoteRecvSec
+/// / \p RemoteSendSec on the remote clock. Returns Valid=false when the
+/// stamps are not causally ordered (a worker predating the protocol sends
+/// zeros — the caller then splices with offset 0 and relies on clamping).
+ClockSync estimateClockOffset(double LocalSendSec, double RemoteRecvSec,
+                              double RemoteSendSec, double LocalRecvSec);
+
+/// How spliceShard maps remote spans into the local trace.
+struct SpliceOptions {
+  /// Local span id the shard's roots are parented under (the dispatch
+  /// span that caused the remote work). 0 leaves roots unparented.
+  uint64_t ParentSpanId = 0;
+  /// Remote→local clock offset (ClockSync::OffsetSec), added to every
+  /// remote timestamp.
+  double OffsetSec = 0;
+  /// Flight window on the local clock: dispatch send time → result
+  /// receive time. Spliced events are clamped inside it so the merged
+  /// trace is monotonic regardless of offset error. Leave WindowEndSec
+  /// below WindowStartSec to disable clamping.
+  double WindowStartSec = 0;
+  double WindowEndSec = -1;
+  /// Host lane id stamped on the spliced events (-1 keeps the shard's
+  /// events unattributed).
+  int32_t Host = -1;
+};
+
+/// Replays \p Shard into \p L, re-interning function names through \p R,
+/// remapping shard-local parent links onto the freshly assigned local
+/// span ids and stamping every event with the shard's Pid. Returns the
+/// number of events spliced. Must be called from a thread that may use
+/// R.internFunction (single-threaded splice point).
+size_t spliceShard(const SpanShard &Shard, TraceRecorder &R,
+                   TraceRecorder::Lane &L, const SpliceOptions &Opts);
+
+/// Builds a shard from a finished per-request TraceSession, shifting
+/// every timestamp by \p ShiftSec (used to move a request-scoped
+/// recorder's epoch onto the process-wide one before shipping).
+SpanShard shardFromSession(const TraceSession &S, uint64_t Pid,
+                           const std::string &ProcessName,
+                           double ShiftSec = 0);
+
+} // namespace obs
+} // namespace warpc
+
+#endif // WARPC_OBS_TRACECONTEXT_H

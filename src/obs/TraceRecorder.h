@@ -94,10 +94,27 @@ public:
   /// from the run's content so identical runs keep byte-identical traces.
   void setTraceId(uint64_t Id) { Session.TraceId = Id; }
 
+  /// The session trace id as currently set (0 until setTraceId or
+  /// finish()). A master propagating trace context to other processes
+  /// must set a nonzero id up front so shards can name their trace.
+  uint64_t traceId() const { return Session.TraceId; }
+
   /// Labels the session with the engine that recorded it ("sim",
   /// "thread", "process").
   void setEngine(std::string_view Engine) {
     Session.Engine = std::string(Engine);
+  }
+
+  /// Registers a display name for a foreign process whose spans are being
+  /// spliced into this trace. Idempotent per pid; not thread-safe (same
+  /// constraint as internFunction — call from the splice point only).
+  void noteProcess(uint64_t Pid, std::string_view Name) {
+    if (Pid == 0)
+      return;
+    for (const auto &[P, N] : Session.ProcessNames)
+      if (P == Pid)
+        return;
+    Session.ProcessNames.emplace_back(Pid, std::string(Name));
   }
 
   /// Creates \p Count lanes (discarding none already made). Call before

@@ -8,8 +8,10 @@
 
 #include "cache/CompileCache.h"
 #include "obs/TimeSeries.h"
+#include "obs/TraceContext.h"
 #include "parallel/RetryRound.h"
 #include "parallel/Scheduler.h"
+#include "support/BinaryStream.h"
 #include "support/Timer.h"
 
 #include <fcntl.h>
@@ -279,8 +281,21 @@ ProcessRunResult parallel::compileModuleProcess(
   driver::ParseResult Parsed = driver::parseAndCheck(Source, Metrics);
   Result.Phase1Sec = PhaseTimer.seconds();
   uint64_t ParseId = 0;
+  uint64_t TraceId = 0;
   if (Rec) {
     Rec->setEngine("process");
+    // Workers stamp their shards with the trace id they were handed, so a
+    // nonzero id must exist before the first Init goes out. Derive it
+    // from the source when the caller did not pick one: content-derived,
+    // so identical runs keep identical trace ids.
+    TraceId = Rec->traceId();
+    if (TraceId == 0) {
+      TraceId = fnv1a64(reinterpret_cast<const uint8_t *>(Source.data()),
+                        Source.size());
+      if (TraceId == 0)
+        TraceId = 1;
+      Rec->setTraceId(TraceId);
+    }
     obs::SpanEvent &E = Rec->lane(0).span(ParseStart,
                                           Rec->nowSec() - ParseStart,
                                           EventKind::SpanParse,
@@ -376,6 +391,9 @@ ProcessRunResult parallel::compileModuleProcess(
   std::vector<Flight> SeatFlight(Seats);
   std::vector<double> SeatSpawnT0(Seats, 0); ///< For the startup span.
   std::vector<char> SeatHello(Seats, 0);
+  /// Per-seat worker→master clock offset, estimated from the Init→Hello
+  /// timestamp echo. Invalid (offset 0) for workers predating the echo.
+  std::vector<obs::ClockSync> SeatSync(Seats);
   std::vector<double> SeatLoadSec(Seats, 0); ///< chooseReassignment's load.
   std::vector<unsigned> PrevSeat(Tasks.size(), 0);
   std::vector<char> EverAttempted(Tasks.size(), 0);
@@ -424,12 +442,17 @@ ProcessRunResult parallel::compileModuleProcess(
     Init.WorkerIndex = Seat;
     Init.ModuleSource = Source;
     Init.Faults = Config.Faults;
+    if (Rec) {
+      Init.TraceId = TraceId;
+      Init.ParentSpanId = ParseId;
+    }
     SeatSpawnT0[Seat] = Rec ? Rec->nowSec() : 0;
     int Slot = Pool.spawn(Init);
     if (Slot < 0)
       return false;
     SeatSlot[Seat] = Slot;
     SeatHello[Seat] = 0;
+    SeatSync[Seat] = obs::ClockSync();
     if (Metrics)
       Metrics->add("process.workers_spawned");
     return true;
@@ -487,7 +510,8 @@ ProcessRunResult parallel::compileModuleProcess(
     }
   };
 
-  auto AcceptResult = [&](unsigned Seat, driver::FunctionResult &&R) {
+  auto AcceptResult = [&](unsigned Seat, const wire::ResultMsg &Msg,
+                          driver::FunctionResult &&R) {
     Flight &F = SeatFlight[Seat];
     RoundTask &RT = RoundState[F.Index];
     const Task &T = Tasks[F.Index];
@@ -514,6 +538,25 @@ ProcessRunResult parallel::compileModuleProcess(
       C.Attempt = static_cast<int32_t>(F.Attempt);
       C.Speculative = F.Speculative;
       C.Parent = AttemptParent[F.Index];
+      C.Bytes = Msg.ResultBytes.size();
+      // Splice the worker's own opt/codegen spans under the accepted
+      // compile span. The shard's shape depends only on the task, so the
+      // merged span topology is identical at any worker count; timestamps
+      // are converted with the seat's clock offset and clamped into the
+      // dispatch→accept flight window so the trace stays monotonic.
+      if (!Msg.ShardBytes.empty()) {
+        obs::SpanShard Shard;
+        if (obs::decodeSpanShard(Msg.ShardBytes, Shard) &&
+            Shard.TraceId == TraceId) {
+          obs::SpliceOptions SO;
+          SO.ParentSpanId = C.spanId();
+          SO.OffsetSec = SeatSync[Seat].Valid ? SeatSync[Seat].OffsetSec : 0;
+          SO.WindowStartSec = F.T0;
+          SO.WindowEndSec = Now;
+          SO.Host = static_cast<int32_t>(1 + Seat);
+          obs::spliceShard(Shard, *Rec, Rec->lane(1 + Seat), SO);
+        }
+      }
       obs::SpanEvent &D = Rec->lane(1 + Seat).instant(
           Now, EventKind::FunctionDone, obs::Phase::Compile);
       D.Host = C.Host;
@@ -580,11 +623,22 @@ ProcessRunResult parallel::compileModuleProcess(
         if (!SeatHello[Seat]) {
           SeatHello[Seat] = 1;
           if (Rec) {
+            const double HelloRecv = Rec->nowSec();
+            // One NTP-style midpoint per worker lifetime: Init send (T1)
+            // and Hello receive (T2) on the master clock bracket the
+            // worker's InitRecv/HelloSend echo. Shards from this seat are
+            // spliced with the resulting offset.
+            SeatSync[Seat] = obs::estimateClockOffset(
+                SeatSpawnT0[Seat], Hello.InitRecvSec, Hello.HelloSendSec,
+                HelloRecv);
             obs::SpanEvent &E = Rec->lane(1 + Seat).span(
-                SeatSpawnT0[Seat], Rec->nowSec() - SeatSpawnT0[Seat],
+                SeatSpawnT0[Seat], HelloRecv - SeatSpawnT0[Seat],
                 EventKind::SpanStartup, obs::Phase::Setup);
             E.Host = static_cast<int32_t>(1 + Seat);
             E.Parent = ParseId;
+            E.Pid = Hello.Pid;
+            Rec->noteProcess(Hello.Pid,
+                             "warp-worker " + std::to_string(Seat));
           }
         }
         break;
@@ -609,7 +663,7 @@ ProcessRunResult parallel::compileModuleProcess(
                         EventKind::ResultRejected);
           break;
         }
-        AcceptResult(Seat, std::move(R));
+        AcceptResult(Seat, Msg, std::move(R));
         break;
       }
       case wire::FrameType::WorkerError: {
@@ -705,6 +759,7 @@ ProcessRunResult parallel::compileModuleProcess(
         Msg.Section = static_cast<uint32_t>(Tasks[Index].SectionId);
         Msg.Function = Tasks[Index].FnInSection;
         Msg.Attempt = Attempt;
+        Msg.ParentSpanId = AttemptParent[Index];
         if (!Pool.send(static_cast<unsigned>(SeatSlot[Seat]),
                        wire::FrameType::Task, wire::encodeTask(Msg))) {
           // The send itself failed: the worker is gone before the attempt
@@ -802,6 +857,7 @@ ProcessRunResult parallel::compileModuleProcess(
           Msg.Function = Tasks[F.Index].FnInSection;
           Msg.Attempt = F.Attempt;
           Msg.Speculative = 1;
+          Msg.ParentSpanId = AttemptParent[F.Index];
           if (!Pool.send(static_cast<unsigned>(SeatSlot[Idle]),
                          wire::FrameType::Task, wire::encodeTask(Msg))) {
             Pool.kill(static_cast<unsigned>(SeatSlot[Idle]));

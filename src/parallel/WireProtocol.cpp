@@ -29,12 +29,20 @@ DecodeStatus FrameDecoder::next(Frame &Out) {
 
 // --- Message payload codecs ----------------------------------------------
 
+// Trace-context and timestamp fields are trailing extensions: encoders
+// always write them, decoders accept a payload that ends where the old
+// format did (the new fields keep their zero defaults). The frame
+// checksum has already vouched for integrity by the time a codec runs,
+// so "ends early" means "older peer", not "truncated".
+
 std::vector<uint8_t> wire::encodeHello(const HelloMsg &M) {
   BinaryWriter W;
   W.u64(M.Pid);
   W.u32(M.Protocol);
   W.u32(M.WorkerIndex);
   W.u32(M.NumFunctions);
+  W.f64(M.InitRecvSec);
+  W.f64(M.HelloSendSec);
   return W.take();
 }
 
@@ -44,6 +52,10 @@ bool wire::decodeHello(const std::vector<uint8_t> &Payload, HelloMsg &Out) {
   Out.Protocol = R.u32();
   Out.WorkerIndex = R.u32();
   Out.NumFunctions = R.u32();
+  if (R.atEnd())
+    return true;
+  Out.InitRecvSec = R.f64();
+  Out.HelloSendSec = R.f64();
   return R.atEnd();
 }
 
@@ -57,6 +69,8 @@ std::vector<uint8_t> wire::encodeInit(const InitMsg &M) {
   W.f64(M.Faults.CorruptProb);
   W.f64(M.Faults.StallSec);
   W.u32(M.Faults.MaxFaultAttempt);
+  W.u64(M.TraceId);
+  W.u64(M.ParentSpanId);
   return W.take();
 }
 
@@ -70,6 +84,10 @@ bool wire::decodeInit(const std::vector<uint8_t> &Payload, InitMsg &Out) {
   Out.Faults.CorruptProb = R.f64();
   Out.Faults.StallSec = R.f64();
   Out.Faults.MaxFaultAttempt = R.u32();
+  if (R.atEnd())
+    return true;
+  Out.TraceId = R.u64();
+  Out.ParentSpanId = R.u64();
   return R.atEnd();
 }
 
@@ -80,6 +98,7 @@ std::vector<uint8_t> wire::encodeTask(const TaskMsg &M) {
   W.u32(M.Function);
   W.u32(M.Attempt);
   W.u8(M.Speculative);
+  W.u64(M.ParentSpanId);
   return W.take();
 }
 
@@ -90,6 +109,9 @@ bool wire::decodeTask(const std::vector<uint8_t> &Payload, TaskMsg &Out) {
   Out.Function = R.u32();
   Out.Attempt = R.u32();
   Out.Speculative = R.u8();
+  if (R.atEnd())
+    return true;
+  Out.ParentSpanId = R.u64();
   return R.atEnd();
 }
 
@@ -99,6 +121,7 @@ std::vector<uint8_t> wire::encodeResult(const ResultMsg &M) {
   W.u32(M.Attempt);
   W.u8(M.Speculative);
   W.bytes(M.ResultBytes);
+  W.bytes(M.ShardBytes);
   return W.take();
 }
 
@@ -108,6 +131,9 @@ bool wire::decodeResult(const std::vector<uint8_t> &Payload, ResultMsg &Out) {
   Out.Attempt = R.u32();
   Out.Speculative = R.u8();
   Out.ResultBytes = R.bytes();
+  if (R.atEnd())
+    return true;
+  Out.ShardBytes = R.bytes();
   return R.atEnd();
 }
 

@@ -104,11 +104,20 @@ private:
 
 /// worker -> master, in response to Init: proof the worker parsed the
 /// module and agrees on its shape.
+///
+/// The two timestamps are the worker's half of the NTP-style clock
+/// exchange (obs::estimateClockOffset): when Init arrived and when this
+/// Hello was sent, both in seconds on the worker's own steady clock.
+/// They are optional trailing fields — a frame from an older worker
+/// (zeros) still decodes, and the master then splices shards with offset
+/// 0 plus flight-window clamping.
 struct HelloMsg {
   uint64_t Pid = 0;
   uint32_t Protocol = ProtocolVersion;
   uint32_t WorkerIndex = 0;
   uint32_t NumFunctions = 0;
+  double InitRecvSec = 0;
+  double HelloSendSec = 0;
 };
 
 /// master -> worker, once per process: everything a function master needs
@@ -119,6 +128,12 @@ struct InitMsg {
   uint32_t WorkerIndex = 0;
   std::string ModuleSource;
   driver::ProcessFaultPlan Faults;
+  /// Distributed-trace propagation (optional trailing fields; old frames
+  /// decode with zeros). TraceId == 0 tells the worker not to record or
+  /// ship spans at all; ParentSpanId is the master-side span the worker's
+  /// startup work is caused by.
+  uint64_t TraceId = 0;
+  uint64_t ParentSpanId = 0;
 };
 
 /// master -> worker: compile function \p Function of section \p Section
@@ -133,6 +148,10 @@ struct TaskMsg {
   /// Attempt) draw was already consumed by the original attempt, and the
   /// duplicate models re-placement on a healthy host.
   uint8_t Speculative = 0;
+  /// Master-side span id of the dispatch edge this task rides (optional
+  /// trailing field; old frames decode with 0). The worker parents its
+  /// per-task span shard under it.
+  uint64_t ParentSpanId = 0;
 };
 
 /// worker -> master: the serialized driver::FunctionResult (the same
@@ -142,6 +161,11 @@ struct ResultMsg {
   uint32_t Attempt = 1;
   uint8_t Speculative = 0;
   std::vector<uint8_t> ResultBytes;
+  /// Encoded obs::SpanShard with the worker's own spans for this task
+  /// (optional trailing field; empty from old workers or when the master
+  /// is not tracing). A shard that fails to decode is dropped, never
+  /// fatal — tracing must not affect compilation.
+  std::vector<uint8_t> ShardBytes;
 };
 
 struct WorkerErrorMsg {

@@ -55,6 +55,7 @@ bool Client::connect(const std::string &SocketPath, std::string &Error) {
   wire::ClientHelloMsg H;
   H.Protocol = wire::ProtocolVersion;
   H.Pid = static_cast<uint64_t>(::getpid());
+  HelloSendTp = std::chrono::steady_clock::now();
   if (!sendBytes(wire::encodeFrame(wire::MsgType::ClientHello,
                                    wire::encodeClientHello(H)),
                  Error)) {
@@ -66,6 +67,7 @@ bool Client::connect(const std::string &SocketPath, std::string &Error) {
     close();
     return false;
   }
+  HelloRecvTp = std::chrono::steady_clock::now();
   if (F.Type == wire::MsgType::Rejected) {
     wire::RejectedMsg R;
     Error = "service: hello rejected";

@@ -18,6 +18,7 @@
 
 #include "service/Protocol.h"
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -50,6 +51,18 @@ public:
   bool connected() const { return Fd >= 0; }
   const wire::ServerHelloMsg &serverHello() const { return Hello; }
 
+  /// When the ClientHello frame was sent / the ServerHello arrived, on
+  /// this process's steady clock. Together with the daemon-side stamps
+  /// echoed in serverHello() these are the four inputs to
+  /// obs::estimateClockOffset, letting a tracing caller express daemon
+  /// shard timestamps on its own recorder clock.
+  std::chrono::steady_clock::time_point helloSendTime() const {
+    return HelloSendTp;
+  }
+  std::chrono::steady_clock::time_point helloRecvTime() const {
+    return HelloRecvTp;
+  }
+
   /// Sends one CompileRequest without waiting (pipelining). \p Msg's
   /// RequestId must be nonzero and unique among this connection's
   /// outstanding requests.
@@ -81,6 +94,8 @@ private:
   int Fd = -1;
   wire::FrameDecoder Decoder;
   wire::ServerHelloMsg Hello;
+  std::chrono::steady_clock::time_point HelloSendTp;
+  std::chrono::steady_clock::time_point HelloRecvTp;
   /// Outcomes that arrived while awaiting a different request.
   std::map<uint64_t, RequestOutcome> Pending;
 };

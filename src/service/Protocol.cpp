@@ -8,6 +8,8 @@
 
 #include "support/BinaryStream.h"
 
+#include <algorithm>
+
 using namespace warpc;
 using namespace warpc::service;
 using namespace warpc::service::wire;
@@ -44,12 +46,20 @@ bool wire::decodeClientHello(const std::vector<uint8_t> &Payload,
   return R.atEnd();
 }
 
+// Trace-context, timestamp and quantile fields are trailing extensions:
+// encoders always write them, decoders accept a payload that ends where
+// the old format did (the new fields keep their defaults). The frame
+// checksum has already vouched for integrity by the time a codec runs,
+// so "ends early" means "older peer", not "truncated".
+
 std::vector<uint8_t> wire::encodeServerHello(const ServerHelloMsg &M) {
   BinaryWriter W;
   W.u32(M.Protocol);
   W.u64(M.Pid);
   W.u32(M.MaxQueue);
   W.u32(M.MaxInFlight);
+  W.f64(M.HelloRecvSec);
+  W.f64(M.HelloSendSec);
   return W.take();
 }
 
@@ -60,6 +70,10 @@ bool wire::decodeServerHello(const std::vector<uint8_t> &Payload,
   Out.Pid = R.u64();
   Out.MaxQueue = R.u32();
   Out.MaxInFlight = R.u32();
+  if (R.atEnd())
+    return true;
+  Out.HelloRecvSec = R.f64();
+  Out.HelloSendSec = R.f64();
   return R.atEnd();
 }
 
@@ -72,6 +86,8 @@ std::vector<uint8_t> wire::encodeCompileRequest(const CompileRequestMsg &M) {
   W.u8(M.UseCache);
   W.u8(M.Priority);
   W.u32(M.DeadlineMs);
+  W.u64(M.TraceId);
+  W.u64(M.ParentSpanId);
   return W.take();
 }
 
@@ -85,6 +101,10 @@ bool wire::decodeCompileRequest(const std::vector<uint8_t> &Payload,
   Out.UseCache = R.u8();
   Out.Priority = R.u8();
   Out.DeadlineMs = R.u32();
+  if (R.atEnd())
+    return true;
+  Out.TraceId = R.u64();
+  Out.ParentSpanId = R.u64();
   return R.atEnd();
 }
 
@@ -103,6 +123,7 @@ std::vector<uint8_t> wire::encodeCompileResult(const CompileResultMsg &M) {
   W.f64(M.CompileSec);
   W.u64(M.CacheHits);
   W.u64(M.CacheMisses);
+  W.bytes(M.ShardBytes);
   return W.take();
 }
 
@@ -122,6 +143,9 @@ bool wire::decodeCompileResult(const std::vector<uint8_t> &Payload,
   Out.CompileSec = R.f64();
   Out.CacheHits = R.u64();
   Out.CacheMisses = R.u64();
+  if (R.atEnd())
+    return true;
+  Out.ShardBytes = R.bytes();
   return R.atEnd();
 }
 
@@ -154,6 +178,24 @@ bool wire::decodeCancel(const std::vector<uint8_t> &Payload, CancelMsg &Out) {
   return R.atEnd();
 }
 
+namespace {
+
+void writeQuantiles(BinaryWriter &W, const QuantileSummary &Q) {
+  W.u64(Q.Count);
+  W.f64(Q.P50);
+  W.f64(Q.P95);
+  W.f64(Q.P99);
+}
+
+void readQuantiles(BinaryReader &R, QuantileSummary &Q) {
+  Q.Count = R.u64();
+  Q.P50 = R.f64();
+  Q.P95 = R.f64();
+  Q.P99 = R.f64();
+}
+
+} // namespace
+
 std::vector<uint8_t> wire::encodeServerStats(const ServerStatsMsg &M) {
   BinaryWriter W;
   W.u64(M.Accepted);
@@ -167,6 +209,15 @@ std::vector<uint8_t> wire::encodeServerStats(const ServerStatsMsg &M) {
   W.f64(M.P50Ms);
   W.f64(M.P95Ms);
   W.f64(M.P99Ms);
+  writeQuantiles(W, M.QueueWaitNormal);
+  writeQuantiles(W, M.QueueWaitHigh);
+  const uint32_t NumEngines = static_cast<uint32_t>(
+      std::min<size_t>(M.EngineLatencies.size(), MaxEngineLatencyRows));
+  W.u32(NumEngines);
+  for (uint32_t I = 0; I != NumEngines; ++I) {
+    W.str(M.EngineLatencies[I].Engine);
+    writeQuantiles(W, M.EngineLatencies[I].Latency);
+  }
   return W.take();
 }
 
@@ -184,5 +235,17 @@ bool wire::decodeServerStats(const std::vector<uint8_t> &Payload,
   Out.P50Ms = R.f64();
   Out.P95Ms = R.f64();
   Out.P99Ms = R.f64();
+  if (R.atEnd())
+    return true;
+  readQuantiles(R, Out.QueueWaitNormal);
+  readQuantiles(R, Out.QueueWaitHigh);
+  const uint32_t NumEngines = R.u32();
+  if (!R.ok() || NumEngines > MaxEngineLatencyRows)
+    return false;
+  Out.EngineLatencies.resize(NumEngines);
+  for (uint32_t I = 0; I != NumEngines; ++I) {
+    Out.EngineLatencies[I].Engine = R.str();
+    readQuantiles(R, Out.EngineLatencies[I].Latency);
+  }
   return R.atEnd();
 }

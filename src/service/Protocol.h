@@ -104,6 +104,13 @@ struct ServerHelloMsg {
   uint64_t Pid = 0;
   uint32_t MaxQueue = 0;
   uint32_t MaxInFlight = 0;
+  /// The daemon's half of the NTP-style clock exchange (see
+  /// obs::estimateClockOffset): when the ClientHello arrived and when
+  /// this ServerHello was sent, both in seconds on the daemon's steady
+  /// clock. Optional trailing fields — an older daemon sends nothing and
+  /// the client then splices daemon shards with offset 0 plus clamping.
+  double HelloRecvSec = 0;
+  double HelloSendSec = 0;
 };
 
 /// Which backend compiles the request's functions.
@@ -125,6 +132,12 @@ struct CompileRequestMsg {
   /// still queued when its deadline lapses completes as DeadlineExpired
   /// instead of occupying an executor.
   uint32_t DeadlineMs = 0;
+  /// Distributed-trace propagation (optional trailing fields; old frames
+  /// decode with zeros). TraceId == 0 means the client is not tracing
+  /// and the daemon records no per-request spans and ships no shard;
+  /// ParentSpanId is the client-side span this request is caused by.
+  uint64_t TraceId = 0;
+  uint64_t ParentSpanId = 0;
 };
 
 enum class ResultStatus : uint8_t {
@@ -148,6 +161,11 @@ struct CompileResultMsg {
   double CompileSec = 0.0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Encoded obs::SpanShard with the daemon's request lifecycle spans
+  /// (and the worker spans already spliced into them) for this request
+  /// (optional trailing field; empty from old daemons or untraced
+  /// requests). A shard that fails to decode is dropped, never fatal.
+  std::vector<uint8_t> ShardBytes;
 };
 
 enum class RejectReason : uint8_t {
@@ -167,6 +185,25 @@ struct CancelMsg {
   uint64_t RequestId = 0;
 };
 
+/// p50/p95/p99 of one server-side histogram plus its sample count; the
+/// unit is whatever the histogram records (seconds here).
+struct QuantileSummary {
+  uint64_t Count = 0;
+  double P50 = 0.0;
+  double P95 = 0.0;
+  double P99 = 0.0;
+};
+
+/// Completed-request latency quantiles for one backend engine.
+struct EngineLatency {
+  std::string Engine;
+  QuantileSummary Latency;
+};
+
+/// Hard cap on per-engine rows a decoder will accept (there are three
+/// real engines; the bound guards allocation against a hostile peer).
+inline constexpr uint32_t MaxEngineLatencyRows = 16;
+
 struct ServerStatsMsg {
   uint64_t Accepted = 0;
   uint64_t Rejected = 0;
@@ -179,6 +216,13 @@ struct ServerStatsMsg {
   double P50Ms = 0.0;
   double P95Ms = 0.0;
   double P99Ms = 0.0;
+  // Optional trailing extension (old frames decode with empty values):
+  // queue-wait quantiles split by request priority and end-to-end
+  // request latency split by backend engine, the live decomposition
+  // warp-top renders.
+  QuantileSummary QueueWaitNormal; ///< seconds, priority 0.
+  QuantileSummary QueueWaitHigh;   ///< seconds, priority 1.
+  std::vector<EngineLatency> EngineLatencies; ///< seconds, per engine.
 };
 
 std::vector<uint8_t> encodeClientHello(const ClientHelloMsg &M);

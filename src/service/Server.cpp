@@ -10,6 +10,7 @@
 #include "codegen/MachineModel.h"
 #include "driver/Compiler.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/TraceContext.h"
 #include "obs/TraceRecorder.h"
 #include "parallel/ProcessRunner.h"
 #include "parallel/ThreadRunner.h"
@@ -225,6 +226,24 @@ wire::ServerStatsMsg CompileService::statsSnapshot() const {
     S.P95Ms = H.quantile(0.95) * 1e3;
     S.P99Ms = H.quantile(0.99) * 1e3;
   }
+  auto Fill = [&](const std::string &Name, wire::QuantileSummary &Q) {
+    const obs::Histogram QH = Met->histogram(Name);
+    Q.Count = QH.Count;
+    if (QH.Count) {
+      Q.P50 = QH.quantile(0.50);
+      Q.P95 = QH.quantile(0.95);
+      Q.P99 = QH.quantile(0.99);
+    }
+  };
+  Fill("service.queue_wait_sec.p0", S.QueueWaitNormal);
+  Fill("service.queue_wait_sec.p1", S.QueueWaitHigh);
+  for (const char *Engine : {"sequential", "thread", "process"}) {
+    wire::EngineLatency Row;
+    Row.Engine = Engine;
+    Fill("service.engine_sec." + Row.Engine, Row.Latency);
+    if (Row.Latency.Count)
+      S.EngineLatencies.push_back(std::move(Row));
+  }
   return S;
 }
 
@@ -316,6 +335,7 @@ void CompileService::handleRequest(Conn &C,
   Q.ConnId = C.Id;
   Q.Msg = Msg;
   Q.EnqueuedSec = nowSec();
+  const double Admitted = Q.EnqueuedSec;
   if (!Queue.push(std::move(Q))) {
     reject(wire::RejectReason::QueueFull,
            "admission queue at capacity (" +
@@ -323,6 +343,17 @@ void CompileService::handleRequest(Conn &C,
     return;
   }
   C.PendingIds.insert(Msg.RequestId);
+  if (Rec) {
+    // The admission instant anchors the request's lifecycle in the
+    // daemon trace; Section carries the connection id and Attempt the
+    // request id, which is what warp-traceview's --conn/--request
+    // filters select on.
+    obs::SpanEvent &E = Rec->lane(0).instant(
+        Admitted, obs::EventKind::RequestAdmitted, obs::Phase::Schedule);
+    E.Host = 0;
+    E.Section = static_cast<int32_t>(C.Id);
+    E.Attempt = static_cast<int32_t>(Msg.RequestId);
+  }
   Met->add("service.accepted");
   std::lock_guard<std::mutex> L(StatsMu);
   ++Counters.Accepted;
@@ -353,6 +384,9 @@ void CompileService::handleCancel(Conn &C, const wire::CancelMsg &Msg) {
 
 void CompileService::handleFrame(Conn &C, const wire::Frame &F) {
   if (!C.HelloDone) {
+    // Stamped before any processing: the daemon's half of the NTP-style
+    // clock exchange clients use to align daemon shards.
+    const double HelloRecv = nowSec();
     wire::ClientHelloMsg H;
     if (F.Type != wire::MsgType::ClientHello ||
         !wire::decodeClientHello(F.Payload, H)) {
@@ -384,6 +418,8 @@ void CompileService::handleFrame(Conn &C, const wire::Frame &F) {
     S.Pid = static_cast<uint64_t>(::getpid());
     S.MaxQueue = Config.MaxQueue;
     S.MaxInFlight = Config.MaxInFlight;
+    S.HelloRecvSec = HelloRecv;
+    S.HelloSendSec = nowSec();
     sendFrame(C, wire::MsgType::ServerHello, wire::encodeServerHello(S));
     return;
   }
@@ -526,6 +562,9 @@ void CompileService::pumpDispatch() {
       obs::SpanEvent &S =
           Rec->lane(0).span(Q.EnqueuedSec, Now - Q.EnqueuedSec,
                             obs::EventKind::SpanSchedule, obs::Phase::Schedule);
+      S.Host = 0;
+      S.Section = static_cast<int32_t>(D.ConnId);
+      S.Attempt = static_cast<int32_t>(D.Msg.RequestId);
       D.ScheduleSpanId = S.spanId();
     }
     InFlightInfo Info;
@@ -612,6 +651,14 @@ void CompileService::loopMain() {
                    C.Result.QueueSec + C.Result.CompileSec);
       Met->observe("service.queue_sec", C.Result.QueueSec);
       Met->observe("service.compile_sec", C.Result.CompileSec);
+      // The §4.2.3-style decomposition warp-top renders live: queue wait
+      // split by priority tier, end-to-end latency split by engine.
+      Met->observe(C.Priority ? "service.queue_wait_sec.p1"
+                              : "service.queue_wait_sec.p0",
+                   C.Result.QueueSec);
+      if (!C.Result.EngineUsed.empty())
+        Met->observe("service.engine_sec." + C.Result.EngineUsed,
+                     C.Result.QueueSec + C.Result.CompileSec);
       if (Info.Cancelled) {
         wire::CompileResultMsg R;
         R.RequestId = Info.RequestId;
@@ -719,6 +766,29 @@ CompileService::Completion CompileService::runCompile(const Dispatch &D,
   if (Cache && Msg.UseCache)
     RequestCache = std::make_unique<CountingCache>(*Cache);
 
+  // A traced request (nonzero TraceId from the client) gets its own
+  // recorder, confined to this executor thread: the engine records into
+  // it exactly as it would for a standalone warpc run — including
+  // splicing worker shards for the process engine — and the finished
+  // session ships back to the client as one shard. Recorder times are
+  // seconds since construction; ReqEpochSec moves them onto the daemon
+  // clock before shipping so the client's offset math lines up.
+  std::unique_ptr<obs::TraceRecorder> ReqRec;
+  double ReqEpochSec = 0;
+  uint64_t QueueSpanId = 0;
+  if (Msg.TraceId != 0) {
+    ReqRec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+    ReqEpochSec = nowSec();
+    ReqRec->setTraceId(Msg.TraceId);
+    obs::SpanEvent &QS = ReqRec->lane(0).span(
+        D.EnqueuedSec - ReqEpochSec, D.DispatchedSec - D.EnqueuedSec,
+        obs::EventKind::SpanSchedule, obs::Phase::Schedule);
+    QS.Host = 0;
+    QS.Section = static_cast<int32_t>(D.ConnId);
+    QS.Attempt = static_cast<int32_t>(Msg.RequestId);
+    QueueSpanId = QS.spanId();
+  }
+
   const codegen::MachineModel MM = codegen::MachineModel::warpCell();
   const double T0 = nowSec();
   driver::ModuleResult Module;
@@ -729,14 +799,14 @@ CompileService::Completion CompileService::runCompile(const Dispatch &D,
     PC.WatchdogSec = Config.WatchdogSec;
     PC.Faults = Config.Faults;
     parallel::ProcessRunResult PR = parallel::compileModuleProcess(
-        Msg.ModuleSource, MM, Workers, Config.Policy, PC, /*Rec=*/nullptr,
+        Msg.ModuleSource, MM, Workers, Config.Policy, PC, ReqRec.get(),
         Met, RequestCache.get());
     Module = std::move(PR.Module);
     WorkersUsed = PR.WorkersUsed ? PR.WorkersUsed : 1;
   } else if (Engine == "thread") {
     parallel::ThreadRunResult TR = parallel::compileModuleParallel(
         Msg.ModuleSource, MM, Workers, Config.Policy, /*Inject=*/nullptr,
-        /*Rec=*/nullptr, Met, RequestCache.get());
+        ReqRec.get(), Met, RequestCache.get());
     Module = std::move(TR.Module);
     WorkersUsed = TR.WorkersUsed ? TR.WorkersUsed : 1;
   } else {
@@ -752,11 +822,14 @@ CompileService::Completion CompileService::runCompile(const Dispatch &D,
                                   obs::Phase::Compile);
     S.Parent = D.ScheduleSpanId;
     S.Host = static_cast<int32_t>(ExecutorIndex);
+    S.Section = static_cast<int32_t>(D.ConnId);
+    S.Attempt = static_cast<int32_t>(Msg.RequestId);
   }
 
   Completion Out;
   Out.Seq = D.Seq;
   Out.ConnId = D.ConnId;
+  Out.Priority = Msg.Priority;
   wire::CompileResultMsg &R = Out.Result;
   R.RequestId = Msg.RequestId;
   R.Status = static_cast<uint8_t>(Module.Succeeded
@@ -774,6 +847,21 @@ CompileService::Completion CompileService::runCompile(const Dispatch &D,
   if (RequestCache) {
     R.CacheHits = RequestCache->hits();
     R.CacheMisses = RequestCache->misses();
+  }
+  if (ReqRec) {
+    // Executor wrapper span: the request's on-CPU window, parented under
+    // its queue-wait span so the causal chain is queue → execute.
+    obs::SpanEvent &ES = ReqRec->lane(0).span(T0 - ReqEpochSec, T1 - T0,
+                                              obs::EventKind::SpanCompile,
+                                              obs::Phase::Compile);
+    ES.Host = 0;
+    ES.Section = static_cast<int32_t>(D.ConnId);
+    ES.Attempt = static_cast<int32_t>(Msg.RequestId);
+    ES.Bytes = R.Image.size();
+    ES.Parent = QueueSpanId;
+    obs::TraceSession TS = ReqRec->finish();
+    R.ShardBytes = obs::encodeSpanShard(obs::shardFromSession(
+        TS, static_cast<uint64_t>(::getpid()), "warpd", ReqEpochSec));
   }
   return Out;
 }

@@ -162,6 +162,7 @@ private:
   struct Completion {
     uint64_t Seq = 0;
     uint64_t ConnId = 0;
+    uint8_t Priority = 0; ///< Request priority, for the queue-wait split.
     wire::CompileResultMsg Result;
   };
 

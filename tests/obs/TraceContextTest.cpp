@@ -1,0 +1,303 @@
+//===- TraceContextTest.cpp ------------------------------------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// Coverage for cross-process trace propagation: the span-shard codec
+// (round trip, every-prefix truncation, flipped-byte fuzz, hostile
+// bounds), the NTP-midpoint clock-offset estimator, and spliceShard's
+// parent remapping / window clamping / pid forwarding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceContext.h"
+
+#include "obs/TraceRecorder.h"
+#include "support/BinaryStream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace warpc;
+using namespace warpc::obs;
+
+namespace {
+
+SpanShard sampleShard() {
+  SpanShard Shard;
+  Shard.TraceId = 0xABCDEF0012345678ull;
+  Shard.Pid = 31337;
+  Shard.ProcessName = "warp-worker 2";
+  Shard.ProcessNames = {{4000, "warp-worker 0"}, {4001, "warp-worker 1"}};
+  Shard.FunctionNames = {"f0", "kernel_main"};
+
+  ShardSpan Opt;
+  Opt.TSec = 1.25;
+  Opt.DurSec = 0.5;
+  Opt.CpuSec = 0.4;
+  Opt.LocalId = 1;
+  Opt.LocalParent = 0;
+  Opt.Section = 0;
+  Opt.Function = 1;
+  Opt.Attempt = 2;
+  Opt.Kind = EventKind::SpanOptimize;
+  Opt.Ph = Phase::Compile;
+  Shard.Spans.push_back(Opt);
+
+  ShardSpan Cg;
+  Cg.TSec = 1.75;
+  Cg.DurSec = 0.25;
+  Cg.LocalId = 2;
+  Cg.LocalParent = 1;
+  Cg.Bytes = 4096;
+  Cg.Pid = 4001; // Re-shipped from a third process.
+  Cg.Function = 0;
+  Cg.Kind = EventKind::SpanCodegen;
+  Cg.Ph = Phase::Compile;
+  Cg.Speculative = true;
+  Shard.Spans.push_back(Cg);
+
+  ShardSpan Done; // An instant: DurSec stays negative, LocalId may be 0.
+  Done.TSec = 2.0;
+  Done.Kind = EventKind::FunctionDone;
+  Done.Ph = Phase::Compile;
+  Done.LocalParent = 2;
+  Shard.Spans.push_back(Done);
+  return Shard;
+}
+
+} // namespace
+
+TEST(TraceContextTest, ShardCodecRoundTrips) {
+  const SpanShard In = sampleShard();
+  SpanShard Out;
+  ASSERT_TRUE(decodeSpanShard(encodeSpanShard(In), Out));
+  EXPECT_EQ(Out.TraceId, In.TraceId);
+  EXPECT_EQ(Out.Pid, In.Pid);
+  EXPECT_EQ(Out.ProcessName, In.ProcessName);
+  EXPECT_EQ(Out.ProcessNames, In.ProcessNames);
+  EXPECT_EQ(Out.FunctionNames, In.FunctionNames);
+  ASSERT_EQ(Out.Spans.size(), In.Spans.size());
+  for (size_t I = 0; I != In.Spans.size(); ++I) {
+    const ShardSpan &A = In.Spans[I];
+    const ShardSpan &B = Out.Spans[I];
+    EXPECT_EQ(B.TSec, A.TSec) << I;
+    EXPECT_EQ(B.DurSec, A.DurSec) << I;
+    EXPECT_EQ(B.CpuSec, A.CpuSec) << I;
+    EXPECT_EQ(B.LocalId, A.LocalId) << I;
+    EXPECT_EQ(B.LocalParent, A.LocalParent) << I;
+    EXPECT_EQ(B.Bytes, A.Bytes) << I;
+    EXPECT_EQ(B.Pid, A.Pid) << I;
+    EXPECT_EQ(B.Section, A.Section) << I;
+    EXPECT_EQ(B.Function, A.Function) << I;
+    EXPECT_EQ(B.Attempt, A.Attempt) << I;
+    EXPECT_EQ(B.Kind, A.Kind) << I;
+    EXPECT_EQ(B.Ph, A.Ph) << I;
+    EXPECT_EQ(B.Cause, A.Cause) << I;
+    EXPECT_EQ(B.Speculative, A.Speculative) << I;
+  }
+}
+
+TEST(TraceContextTest, ShardCodecEveryPrefixFails) {
+  // Unlike the version-tolerant frame payloads, the shard format is new
+  // in its entirety: no prefix is a valid older encoding, so every
+  // truncation must fail outright. Trailing garbage too.
+  const std::vector<uint8_t> Full = encodeSpanShard(sampleShard());
+  for (size_t N = 0; N < Full.size(); ++N) {
+    SpanShard Out;
+    std::vector<uint8_t> Cut(Full.begin(), Full.begin() + N);
+    EXPECT_FALSE(decodeSpanShard(Cut, Out)) << "prefix " << N;
+  }
+  std::vector<uint8_t> Extra = Full;
+  Extra.push_back(0);
+  SpanShard Out;
+  EXPECT_FALSE(decodeSpanShard(Extra, Out));
+}
+
+TEST(TraceContextTest, ShardCodecFlippedByteFuzz) {
+  // Flipping any single byte must never crash or produce an out-of-bounds
+  // shard. (A flip inside a float payload can still decode successfully —
+  // the frame checksum, not this codec, vouches integrity on the wire.)
+  const std::vector<uint8_t> Full = encodeSpanShard(sampleShard());
+  for (size_t I = 0; I < Full.size(); ++I) {
+    for (uint8_t Bit : {uint8_t(0x01), uint8_t(0x80)}) {
+      std::vector<uint8_t> Mut = Full;
+      Mut[I] ^= Bit;
+      SpanShard Out;
+      if (decodeSpanShard(Mut, Out)) {
+        EXPECT_LE(Out.Spans.size(), MaxShardSpans);
+        EXPECT_LE(Out.FunctionNames.size(), MaxShardNames);
+        EXPECT_LE(Out.ProcessNames.size(), MaxShardProcs);
+        for (const ShardSpan &S : Out.Spans)
+          if (S.Function >= 0)
+            EXPECT_LT(static_cast<size_t>(S.Function),
+                      Out.FunctionNames.size());
+      }
+    }
+  }
+}
+
+TEST(TraceContextTest, ShardCodecRejectsHostileCounts) {
+  // A hand-built payload claiming more records than the caps must be
+  // rejected before any allocation is attempted.
+  BinaryWriter W;
+  W.u8(1); // ShardVersion
+  W.u64(1);
+  W.u64(1234);
+  W.str("evil");
+  W.u32(static_cast<uint32_t>(MaxShardProcs + 1));
+  SpanShard Out;
+  EXPECT_FALSE(decodeSpanShard(W.take(), Out));
+
+  BinaryWriter W2;
+  W2.u8(1);
+  W2.u64(1);
+  W2.u64(1234);
+  W2.str("evil");
+  W2.u32(0);
+  W2.u32(static_cast<uint32_t>(MaxShardNames + 1));
+  EXPECT_FALSE(decodeSpanShard(W2.take(), Out));
+
+  BinaryWriter W3;
+  W3.u8(1);
+  W3.u64(1);
+  W3.u64(1234);
+  W3.str("evil");
+  W3.u32(0);
+  W3.u32(0);
+  W3.u32(static_cast<uint32_t>(MaxShardSpans + 1));
+  EXPECT_FALSE(decodeSpanShard(W3.take(), Out));
+}
+
+TEST(TraceContextTest, EncodeTruncatesOversizedShards) {
+  SpanShard Big;
+  Big.TraceId = 7;
+  Big.Pid = 1;
+  for (size_t I = 0; I != MaxShardSpans + 50; ++I) {
+    ShardSpan S;
+    S.TSec = static_cast<double>(I);
+    S.DurSec = 0.001;
+    S.LocalId = I + 1;
+    S.Kind = EventKind::SpanCompile;
+    S.Ph = Phase::Compile;
+    Big.Spans.push_back(S);
+  }
+  SpanShard Out;
+  ASSERT_TRUE(decodeSpanShard(encodeSpanShard(Big), Out));
+  EXPECT_EQ(Out.Spans.size(), MaxShardSpans);
+  // Deterministic truncation keeps the earliest records.
+  EXPECT_EQ(Out.Spans.front().TSec, 0.0);
+  EXPECT_EQ(Out.Spans.back().TSec, static_cast<double>(MaxShardSpans - 1));
+}
+
+TEST(TraceContextTest, ClockOffsetRecoversSkew) {
+  // Remote clock runs 5s behind local; symmetric 100ms one-way delay,
+  // 300ms remote processing. The midpoint recovers the offset exactly
+  // and the RTT excludes the processing time.
+  const double T1 = 10.0;
+  const double W1 = 10.1 - 5.0;
+  const double W2 = W1 + 0.3;
+  const double T2 = 10.5;
+  const ClockSync S = estimateClockOffset(T1, W1, W2, T2);
+  ASSERT_TRUE(S.Valid);
+  EXPECT_NEAR(S.OffsetSec, 5.0, 1e-12);
+  EXPECT_NEAR(S.RttSec, 0.2, 1e-12);
+  // Offset is what to ADD to remote time: the remote receive instant
+  // lands at the local send + half the RTT.
+  EXPECT_NEAR(W1 + S.OffsetSec, T1 + S.RttSec / 2, 1e-12);
+}
+
+TEST(TraceContextTest, ClockOffsetRejectsLegacyAndDisorder) {
+  // A peer predating the echo sends zeros.
+  EXPECT_FALSE(estimateClockOffset(10.0, 0.0, 0.0, 10.5).Valid);
+  // Causally impossible stamps (receive before send on either side).
+  EXPECT_FALSE(estimateClockOffset(10.0, 5.0, 4.0, 10.5).Valid);
+  EXPECT_FALSE(estimateClockOffset(10.0, 5.0, 5.1, 9.0).Valid);
+  const ClockSync S = estimateClockOffset(10.0, 0.0, 0.0, 10.5);
+  EXPECT_EQ(S.OffsetSec, 0.0);
+}
+
+TEST(TraceContextTest, SpliceRemapsParentsAndStampsPids) {
+  TraceRecorder R(ClockDomain::Steady);
+  R.makeLanes(1);
+  SpanEvent &Dispatch =
+      R.lane(0).span(0.0, 3.0, EventKind::SpanCompile, Phase::Compile);
+
+  SpliceOptions Opts;
+  Opts.ParentSpanId = Dispatch.spanId();
+  Opts.OffsetSec = 0;
+  Opts.WindowStartSec = 0;
+  Opts.WindowEndSec = -1; // No clamping.
+  Opts.Host = 5;
+  const SpanShard Shard = sampleShard();
+  EXPECT_EQ(spliceShard(Shard, R, R.lane(0), Opts), Shard.Spans.size());
+
+  TraceSession S = R.finish();
+  ASSERT_EQ(S.Events.size(), 1 + Shard.Spans.size());
+
+  const SpanEvent *Opt = nullptr, *Cg = nullptr, *Done = nullptr;
+  for (const SpanEvent &E : S.Events) {
+    if (E.Kind == EventKind::SpanOptimize)
+      Opt = &E;
+    else if (E.Kind == EventKind::SpanCodegen)
+      Cg = &E;
+    else if (E.Kind == EventKind::FunctionDone)
+      Done = &E;
+  }
+  ASSERT_TRUE(Opt && Cg && Done);
+  // Shard roots hang off the dispatch span; intra-shard links remap to
+  // the freshly assigned local ids.
+  EXPECT_EQ(Opt->Parent, Dispatch.spanId());
+  EXPECT_EQ(Cg->Parent, Opt->spanId());
+  EXPECT_EQ(Done->Parent, Cg->spanId());
+  // The shard's own spans carry its pid; re-shipped third-process spans
+  // keep theirs, and every foreign pid got a display name.
+  EXPECT_EQ(Opt->Pid, Shard.Pid);
+  EXPECT_EQ(Cg->Pid, 4001u);
+  EXPECT_EQ(Opt->Host, 5);
+  EXPECT_EQ(Cg->Bytes, 4096u);
+  bool SawShardPid = false, SawThirdPid = false;
+  for (const auto &[Pid, Name] : S.ProcessNames) {
+    SawShardPid |= Pid == Shard.Pid && Name == Shard.ProcessName;
+    SawThirdPid |= Pid == 4001 && Name == "warp-worker 1";
+  }
+  EXPECT_TRUE(SawShardPid);
+  EXPECT_TRUE(SawThirdPid);
+  // Function names re-interned through the splicing recorder.
+  ASSERT_GE(Opt->Function, 0);
+  EXPECT_EQ(S.FunctionNames[static_cast<size_t>(Opt->Function)],
+            "kernel_main");
+}
+
+TEST(TraceContextTest, SpliceClampsIntoFlightWindow) {
+  TraceRecorder R(ClockDomain::Steady);
+  R.makeLanes(1);
+
+  SpanShard Shard;
+  Shard.TraceId = 9;
+  Shard.Pid = 77;
+  ShardSpan Early; // Before the window: clamps to its start.
+  Early.TSec = -50.0;
+  Early.DurSec = 0.5;
+  Early.LocalId = 1;
+  Early.Kind = EventKind::SpanOptimize;
+  Early.Ph = Phase::Compile;
+  ShardSpan Late; // Past the window: clamps to the end, duration 0.
+  Late.TSec = 100.0;
+  Late.DurSec = 2.0;
+  Late.LocalId = 2;
+  Late.Kind = EventKind::SpanCodegen;
+  Late.Ph = Phase::Compile;
+  Shard.Spans = {Early, Late};
+
+  SpliceOptions Opts;
+  Opts.WindowStartSec = 10.0;
+  Opts.WindowEndSec = 11.0;
+  spliceShard(Shard, R, R.lane(0), Opts);
+  TraceSession S = R.finish();
+  ASSERT_EQ(S.Events.size(), 2u);
+  for (const SpanEvent &E : S.Events) {
+    EXPECT_GE(E.TSec, 10.0);
+    EXPECT_LE(E.TSec + std::max(E.DurSec, 0.0), 11.0);
+  }
+}

@@ -24,9 +24,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace warpc;
 using namespace warpc::parallel;
@@ -360,4 +364,51 @@ TEST(ProcessRunnerTest, TraceCarriesEngineLabelAndCausalChain) {
   EXPECT_EQ(Compiles, N);
   EXPECT_EQ(Dones, N);
   EXPECT_EQ(Completes, 1u);
+}
+
+TEST(ProcessRunnerTest, WorkerShardTopologyIsWorkerCountInvariant) {
+  // Every accepted function result splices exactly one optimize and one
+  // codegen span from the worker that produced it, parented under the
+  // master's accepted compile span. That shape depends only on the
+  // module, never on how many workers shared the tasks — the merged
+  // trace at 1, 4, and 16 workers must have identical span topology.
+  std::string Source = workload::makeTestModule(workload::FunctionSize::Tiny,
+                                                3, 4242);
+  std::vector<std::vector<std::string>> Shapes;
+  for (unsigned Workers : {1u, 4u, 16u}) {
+    obs::TraceRecorder Rec(obs::ClockDomain::Steady);
+    ProcessRunResult Par = compileModuleProcess(
+        Source, MM, Workers, driver::FaultPolicy(), baseConfig(), &Rec);
+    ASSERT_TRUE(Par.Module.Succeeded) << "workers=" << Workers;
+    obs::TraceSession S = Rec.finish();
+
+    std::map<uint64_t, const obs::SpanEvent *> ById;
+    for (const obs::SpanEvent &E : S.Events)
+      ById[E.spanId()] = &E;
+    std::vector<std::string> Shape;
+    for (const obs::SpanEvent &E : S.Events) {
+      if (E.Kind != obs::EventKind::SpanOptimize &&
+          E.Kind != obs::EventKind::SpanCodegen)
+        continue;
+      // Worker-side spans carry the worker's real pid.
+      EXPECT_NE(E.Pid, 0u) << "workers=" << Workers;
+      const std::string Fn =
+          E.Function >= 0 ? S.FunctionNames[static_cast<size_t>(E.Function)]
+                          : "?";
+      auto ParentIt = ById.find(E.Parent);
+      ASSERT_NE(ParentIt, ById.end()) << "workers=" << Workers;
+      const obs::SpanEvent &P = *ParentIt->second;
+      EXPECT_EQ(P.Kind, obs::EventKind::SpanCompile) << "workers=" << Workers;
+      const std::string ParentFn =
+          P.Function >= 0 ? S.FunctionNames[static_cast<size_t>(P.Function)]
+                          : "?";
+      Shape.push_back(std::string(obs::kindName(E.Kind)) + " " + Fn +
+                      " under " + ParentFn);
+    }
+    std::sort(Shape.begin(), Shape.end());
+    EXPECT_FALSE(Shape.empty()) << "workers=" << Workers;
+    Shapes.push_back(std::move(Shape));
+  }
+  EXPECT_EQ(Shapes[0], Shapes[1]);
+  EXPECT_EQ(Shapes[0], Shapes[2]);
 }

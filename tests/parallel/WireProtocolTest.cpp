@@ -109,18 +109,109 @@ TEST(WireProtocolTest, MessageCodecsRoundTrip) {
 
 TEST(WireProtocolTest, TruncatedPayloadsFailCleanly) {
   // Chopped message payloads must decode to false, not read out of
-  // bounds. (The BinaryReader underneath is bounds-checked; this pins
-  // the atEnd discipline of every codec.)
+  // bounds — with one deliberate exception per codec: the prefix that is
+  // exactly a pre-trace-context encoding decodes successfully (that is
+  // the version-tolerance contract; see LegacyPayloadsStillDecode).
+  // Hello's legacy boundary sits before the two f64 timestamp echoes.
   std::vector<uint8_t> Full = encodeHello(HelloMsg());
+  const size_t LegacySize = Full.size() - 2 * sizeof(double);
   for (size_t N = 0; N < Full.size(); ++N) {
     HelloMsg M;
     std::vector<uint8_t> Cut(Full.begin(), Full.begin() + N);
-    EXPECT_FALSE(decodeHello(Cut, M)) << "prefix " << N;
+    EXPECT_EQ(decodeHello(Cut, M), N == LegacySize) << "prefix " << N;
   }
   std::vector<uint8_t> Extra = Full;
   Extra.push_back(0);
   HelloMsg M;
   EXPECT_FALSE(decodeHello(Extra, M)) << "trailing garbage accepted";
+}
+
+TEST(WireProtocolTest, TraceContextFieldsRoundTrip) {
+  HelloMsg H;
+  H.InitRecvSec = 1.5;
+  H.HelloSendSec = 1.75;
+  HelloMsg H2;
+  ASSERT_TRUE(decodeHello(encodeHello(H), H2));
+  EXPECT_EQ(H2.InitRecvSec, H.InitRecvSec);
+  EXPECT_EQ(H2.HelloSendSec, H.HelloSendSec);
+
+  InitMsg I;
+  I.ModuleSource = "module m;\n";
+  I.TraceId = 0xFEEDFACEull;
+  I.ParentSpanId = 42;
+  InitMsg I2;
+  ASSERT_TRUE(decodeInit(encodeInit(I), I2));
+  EXPECT_EQ(I2.TraceId, I.TraceId);
+  EXPECT_EQ(I2.ParentSpanId, I.ParentSpanId);
+
+  TaskMsg T;
+  T.TaskIndex = 3;
+  T.ParentSpanId = 99;
+  TaskMsg T2;
+  ASSERT_TRUE(decodeTask(encodeTask(T), T2));
+  EXPECT_EQ(T2.ParentSpanId, T.ParentSpanId);
+
+  ResultMsg R;
+  R.TaskIndex = 5;
+  R.ResultBytes = {1, 2, 3};
+  R.ShardBytes = {9, 8, 7, 6};
+  ResultMsg R2;
+  ASSERT_TRUE(decodeResult(encodeResult(R), R2));
+  EXPECT_EQ(R2.ResultBytes, R.ResultBytes);
+  EXPECT_EQ(R2.ShardBytes, R.ShardBytes);
+}
+
+TEST(WireProtocolTest, LegacyPayloadsStillDecode) {
+  // A peer built before distributed tracing encodes the same leading
+  // fields and simply stops early. Chopping the new trailing fields off
+  // a current encoding reproduces that byte stream exactly; it must
+  // decode with the trace fields left at their "not tracing" defaults.
+  {
+    HelloMsg M;
+    M.Pid = 777;
+    M.InitRecvSec = 5.0; // Must NOT survive the legacy chop.
+    std::vector<uint8_t> Bytes = encodeHello(M);
+    Bytes.resize(Bytes.size() - 2 * sizeof(double));
+    HelloMsg Out;
+    ASSERT_TRUE(decodeHello(Bytes, Out));
+    EXPECT_EQ(Out.Pid, 777u);
+    EXPECT_EQ(Out.InitRecvSec, 0.0);
+    EXPECT_EQ(Out.HelloSendSec, 0.0);
+  }
+  {
+    InitMsg M;
+    M.ModuleSource = "module m;\n";
+    M.TraceId = 1234;
+    std::vector<uint8_t> Bytes = encodeInit(M);
+    Bytes.resize(Bytes.size() - 2 * sizeof(uint64_t));
+    InitMsg Out;
+    ASSERT_TRUE(decodeInit(Bytes, Out));
+    EXPECT_EQ(Out.ModuleSource, M.ModuleSource);
+    EXPECT_EQ(Out.TraceId, 0u);
+    EXPECT_EQ(Out.ParentSpanId, 0u);
+  }
+  {
+    TaskMsg M;
+    M.TaskIndex = 7;
+    M.ParentSpanId = 55;
+    std::vector<uint8_t> Bytes = encodeTask(M);
+    Bytes.resize(Bytes.size() - sizeof(uint64_t));
+    TaskMsg Out;
+    ASSERT_TRUE(decodeTask(Bytes, Out));
+    EXPECT_EQ(Out.TaskIndex, 7u);
+    EXPECT_EQ(Out.ParentSpanId, 0u);
+  }
+  {
+    ResultMsg M;
+    M.TaskIndex = 2;
+    M.ResultBytes = {1, 2, 3};
+    std::vector<uint8_t> Bytes = encodeResult(M);
+    Bytes.resize(Bytes.size() - sizeof(uint64_t)); // Empty trailing bytes().
+    ResultMsg Out;
+    ASSERT_TRUE(decodeResult(Bytes, Out));
+    EXPECT_EQ(Out.ResultBytes, M.ResultBytes);
+    EXPECT_TRUE(Out.ShardBytes.empty());
+  }
 }
 
 TEST(WireProtocolTest, FramesSurviveArbitraryChunking) {

@@ -212,12 +212,22 @@ TEST(ServiceWireTest, TruncatedPayloadsFailCleanly) {
     default: { ServerStatsMsg M; return decodeServerStats(Bytes, M); }
     }
   };
+  // Per-codec size of the optional trace/stats extension appended this
+  // protocol revision: the prefix that chops exactly those bytes is a
+  // valid pre-extension encoding and must still decode (version
+  // tolerance); every other prefix must fail. ServerHello and
+  // CompileRequest grew 16 bytes (two u64/f64 trailers), CompileResult a
+  // length-prefixed empty shard (u64 length), ServerStats two 32-byte
+  // quantile blocks plus a u32 engine-row count.
+  const size_t LegacyTail[] = {0, 16, 16, 8, 0, 0, 68};
+  static_assert(sizeof(LegacyTail) / sizeof(LegacyTail[0]) == 7, "");
   for (size_t Which = 0; Which != Payloads.size(); ++Which) {
     const std::vector<uint8_t> &Full = Payloads[Which];
     ASSERT_TRUE(decodeAny(Which, Full)) << "codec " << Which;
+    const size_t LegacySize = Full.size() - LegacyTail[Which];
     for (size_t N = 0; N < Full.size(); ++N) {
       std::vector<uint8_t> Cut(Full.begin(), Full.begin() + N);
-      EXPECT_FALSE(decodeAny(Which, Cut))
+      EXPECT_EQ(decodeAny(Which, Cut), N == LegacySize)
           << "codec " << Which << " prefix " << N;
     }
     std::vector<uint8_t> Extra = Full;
@@ -425,6 +435,151 @@ TEST(ServiceWireTest, FuzzedMutationsOfValidStreamsDegradeToCorrupt) {
       EXPECT_LE(M.RequestId, 4u);
       EXPECT_EQ(M.Workers, 4u);
       EXPECT_EQ(M.DeadlineMs, 250u);
+    }
+  }
+}
+
+TEST(ServiceWireTest, TraceAndStatsExtensionsRoundTrip) {
+  ServerHelloMsg SH;
+  SH.HelloRecvSec = 3.25;
+  SH.HelloSendSec = 3.5;
+  ServerHelloMsg SH2;
+  ASSERT_TRUE(decodeServerHello(encodeServerHello(SH), SH2));
+  EXPECT_EQ(SH2.HelloRecvSec, SH.HelloRecvSec);
+  EXPECT_EQ(SH2.HelloSendSec, SH.HelloSendSec);
+
+  CompileRequestMsg Req;
+  Req.RequestId = 9;
+  Req.ModuleSource = "module m;\n";
+  Req.TraceId = 0xC0FFEEull;
+  Req.ParentSpanId = 12;
+  CompileRequestMsg Req2;
+  ASSERT_TRUE(decodeCompileRequest(encodeCompileRequest(Req), Req2));
+  EXPECT_EQ(Req2.TraceId, Req.TraceId);
+  EXPECT_EQ(Req2.ParentSpanId, Req.ParentSpanId);
+
+  CompileResultMsg Res;
+  Res.RequestId = 9;
+  Res.ShardBytes = {5, 4, 3, 2, 1};
+  CompileResultMsg Res2;
+  ASSERT_TRUE(decodeCompileResult(encodeCompileResult(Res), Res2));
+  EXPECT_EQ(Res2.ShardBytes, Res.ShardBytes);
+
+  ServerStatsMsg St;
+  St.Accepted = 100;
+  St.QueueWaitNormal.Count = 80;
+  St.QueueWaitNormal.P50 = 0.001;
+  St.QueueWaitNormal.P95 = 0.010;
+  St.QueueWaitNormal.P99 = 0.050;
+  St.QueueWaitHigh.Count = 20;
+  St.QueueWaitHigh.P50 = 0.0005;
+  EngineLatency EL;
+  EL.Engine = "process";
+  EL.Latency.Count = 60;
+  EL.Latency.P50 = 0.02;
+  EL.Latency.P95 = 0.09;
+  EL.Latency.P99 = 0.2;
+  St.EngineLatencies = {EL};
+  ServerStatsMsg St2;
+  ASSERT_TRUE(decodeServerStats(encodeServerStats(St), St2));
+  EXPECT_EQ(St2.QueueWaitNormal.Count, 80u);
+  EXPECT_EQ(St2.QueueWaitNormal.P95, 0.010);
+  EXPECT_EQ(St2.QueueWaitHigh.Count, 20u);
+  ASSERT_EQ(St2.EngineLatencies.size(), 1u);
+  EXPECT_EQ(St2.EngineLatencies[0].Engine, "process");
+  EXPECT_EQ(St2.EngineLatencies[0].Latency.P99, 0.2);
+}
+
+TEST(ServiceWireTest, LegacyPayloadsWithoutExtensionsDecode) {
+  // A pre-tracing peer's encodings are exactly today's bytes minus the
+  // trailing extension; chopping reproduces them. The extension fields
+  // must come back at their defaults, not leftovers.
+  {
+    ServerHelloMsg M;
+    M.Pid = 4242;
+    M.HelloRecvSec = 9.0;
+    std::vector<uint8_t> Bytes = encodeServerHello(M);
+    Bytes.resize(Bytes.size() - 2 * sizeof(double));
+    ServerHelloMsg Out;
+    ASSERT_TRUE(decodeServerHello(Bytes, Out));
+    EXPECT_EQ(Out.Pid, 4242u);
+    EXPECT_EQ(Out.HelloRecvSec, 0.0);
+  }
+  {
+    CompileRequestMsg M;
+    M.RequestId = 3;
+    M.ModuleSource = "module m;\n";
+    M.TraceId = 777;
+    std::vector<uint8_t> Bytes = encodeCompileRequest(M);
+    Bytes.resize(Bytes.size() - 2 * sizeof(uint64_t));
+    CompileRequestMsg Out;
+    ASSERT_TRUE(decodeCompileRequest(Bytes, Out));
+    EXPECT_EQ(Out.RequestId, 3u);
+    EXPECT_EQ(Out.ModuleSource, M.ModuleSource);
+    EXPECT_EQ(Out.TraceId, 0u);
+    EXPECT_EQ(Out.ParentSpanId, 0u);
+  }
+  {
+    CompileResultMsg M;
+    M.RequestId = 3;
+    M.Image = {9, 9, 9};
+    std::vector<uint8_t> Bytes = encodeCompileResult(M);
+    Bytes.resize(Bytes.size() - sizeof(uint64_t)); // Empty bytes() trailer.
+    CompileResultMsg Out;
+    ASSERT_TRUE(decodeCompileResult(Bytes, Out));
+    EXPECT_EQ(Out.Image, M.Image);
+    EXPECT_TRUE(Out.ShardBytes.empty());
+  }
+  {
+    ServerStatsMsg M;
+    M.Accepted = 11;
+    M.P95Ms = 2.5;
+    std::vector<uint8_t> Bytes = encodeServerStats(M);
+    Bytes.resize(Bytes.size() - 68); // Two quantile blocks + row count.
+    ServerStatsMsg Out;
+    ASSERT_TRUE(decodeServerStats(Bytes, Out));
+    EXPECT_EQ(Out.Accepted, 11u);
+    EXPECT_EQ(Out.P95Ms, 2.5);
+    EXPECT_EQ(Out.QueueWaitNormal.Count, 0u);
+    EXPECT_TRUE(Out.EngineLatencies.empty());
+  }
+}
+
+TEST(ServiceWireTest, ServerStatsRejectsOversizedEngineTable) {
+  // The encoder clamps to MaxEngineLatencyRows, so a row count past the
+  // cap can only come from a hostile peer; it must be rejected before
+  // the decoder allocates.
+  ServerStatsMsg M;
+  for (uint32_t I = 0; I != MaxEngineLatencyRows + 4; ++I) {
+    EngineLatency E;
+    E.Engine = "e" + std::to_string(I);
+    M.EngineLatencies.push_back(E);
+  }
+  std::vector<uint8_t> Bytes = encodeServerStats(M);
+  ServerStatsMsg Out;
+  ASSERT_TRUE(decodeServerStats(Bytes, Out));
+  EXPECT_EQ(Out.EngineLatencies.size(), size_t(MaxEngineLatencyRows));
+}
+
+TEST(ServiceWireTest, ServerStatsFlippedByteFuzz) {
+  // Single-byte flips across the full extended encoding must never
+  // crash; a successful decode must still respect the engine-table cap.
+  ServerStatsMsg M;
+  M.Accepted = 5;
+  M.QueueWaitNormal.Count = 3;
+  M.QueueWaitNormal.P50 = 0.5;
+  EngineLatency E;
+  E.Engine = "thread";
+  E.Latency.Count = 2;
+  M.EngineLatencies = {E};
+  const std::vector<uint8_t> Full = encodeServerStats(M);
+  for (size_t I = 0; I < Full.size(); ++I) {
+    for (uint8_t Bit : {uint8_t(0x01), uint8_t(0x80)}) {
+      std::vector<uint8_t> Mut = Full;
+      Mut[I] ^= Bit;
+      ServerStatsMsg Out;
+      if (decodeServerStats(Mut, Out))
+        EXPECT_LE(Out.EngineLatencies.size(), size_t(MaxEngineLatencyRows));
     }
   }
 }

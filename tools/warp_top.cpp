@@ -1,0 +1,148 @@
+//===- warp_top.cpp - Live compile-service dashboard ----------------------===//
+//
+// Part of the warpc project (PLDI 1989 parallel compilation reproduction).
+//
+// top(1) for warpd: connects to a running daemon and redraws its live
+// counters, queue/in-flight gauges, per-priority queue-wait quantiles,
+// and per-engine end-to-end latency quantiles every refresh interval.
+//
+//   warp-top                      # refresh the default socket every 2s
+//   warp-top --interval 0.5
+//   warp-top --once               # one snapshot, no screen control
+//
+// The stats frame is the same ServerStats message warpd --status prints;
+// warp-top adds deltas between refreshes (requests/sec) so throughput is
+// visible without a second terminal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace warpc;
+
+namespace {
+
+void printUsage() {
+  std::fputs("usage: warp-top [options]\n"
+             "  --socket PATH    daemon socket (default: per-uid "
+             "/tmp/warpd-<uid>.sock)\n"
+             "  --interval SEC   refresh period (default 2)\n"
+             "  --once           print one snapshot and exit\n"
+             "  --count N        exit after N refreshes\n",
+             stderr);
+}
+
+void printQuantiles(const char *Label,
+                    const service::wire::QuantileSummary &Q) {
+  if (Q.Count == 0) {
+    std::printf("  %-16s (no samples)\n", Label);
+    return;
+  }
+  std::printf("  %-16s p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   "
+              "n=%llu\n",
+              Label, Q.P50 * 1e3, Q.P95 * 1e3, Q.P99 * 1e3,
+              static_cast<unsigned long long>(Q.Count));
+}
+
+void render(const std::string &Socket, const service::wire::ServerHelloMsg &H,
+            const service::wire::ServerStatsMsg &S, double CompletedPerSec,
+            bool Clear) {
+  if (Clear)
+    std::fputs("\x1b[H\x1b[2J", stdout);
+  std::printf("warp-top — %s  (warpd pid %llu, protocol %u)\n\n",
+              Socket.c_str(), static_cast<unsigned long long>(H.Pid),
+              H.Protocol);
+  std::printf("  queue %-6u in-flight %-6u connections %-6u", S.QueueDepth,
+              S.InFlight, S.Connections);
+  if (CompletedPerSec >= 0)
+    std::printf(" throughput %.1f req/s", CompletedPerSec);
+  std::printf("\n");
+  std::printf("  accepted %llu   completed %llu   rejected %llu   "
+              "cancelled %llu   expired %llu\n\n",
+              static_cast<unsigned long long>(S.Accepted),
+              static_cast<unsigned long long>(S.Completed),
+              static_cast<unsigned long long>(S.Rejected),
+              static_cast<unsigned long long>(S.Cancelled),
+              static_cast<unsigned long long>(S.Expired));
+  std::printf("  %-16s p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms\n",
+              "compile", S.P50Ms, S.P95Ms, S.P99Ms);
+  printQuantiles("queue-wait p0", S.QueueWaitNormal);
+  printQuantiles("queue-wait p1", S.QueueWaitHigh);
+  for (const service::wire::EngineLatency &E : S.EngineLatencies)
+    printQuantiles(("engine " + E.Engine).c_str(), E.Latency);
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket = service::defaultSocketPath();
+  double IntervalSec = 2.0;
+  bool Once = false;
+  long Count = -1;
+
+  auto needValue = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--socket") {
+      Socket = needValue(I);
+    } else if (Arg == "--interval") {
+      IntervalSec = atof(needValue(I));
+      if (IntervalSec <= 0)
+        IntervalSec = 0.1;
+    } else if (Arg == "--once") {
+      Once = true;
+    } else if (Arg == "--count") {
+      Count = atol(needValue(I));
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    }
+  }
+  if (Once)
+    Count = 1;
+
+  service::Client Client;
+  std::string Error;
+  if (!Client.connect(Socket, Error)) {
+    std::fprintf(stderr, "warp-top: %s\n", Error.c_str());
+    return 1;
+  }
+
+  uint64_t LastCompleted = 0;
+  bool HaveLast = false;
+  for (long Tick = 0; Count < 0 || Tick < Count; ++Tick) {
+    service::wire::ServerStatsMsg S;
+    if (!Client.serverStats(S, Error)) {
+      std::fprintf(stderr, "warp-top: %s\n", Error.c_str());
+      return 1;
+    }
+    const double Rate =
+        HaveLast ? (S.Completed - LastCompleted) / IntervalSec : -1.0;
+    LastCompleted = S.Completed;
+    HaveLast = true;
+    render(Socket, Client.serverHello(), S, Rate, /*Clear=*/!Once);
+    if (Count >= 0 && Tick + 1 >= Count)
+      break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(IntervalSec));
+  }
+  return 0;
+}

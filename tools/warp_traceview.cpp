@@ -14,6 +14,12 @@
 // decomposition rebuilt from the spans' CPU attributions, and the
 // fault-recovery decisions the master took.
 //
+// Traces recorded through the compile service carry request lifecycle
+// tags (connection id in Section, request id in Attempt on admission /
+// queue-wait / executor spans). For those, a per-request summary table
+// is appended, and --request N / --conn N restrict the whole report to
+// one request's (or one connection's) causal subtree.
+//
 //===----------------------------------------------------------------------===//
 
 #include "obs/ChromeTrace.h"
@@ -21,17 +27,65 @@
 #include "obs/TraceAnalysis.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 using namespace warpc;
+
+namespace {
+
+/// True when \p E carries a request lifecycle tag (Section = connection
+/// id, Attempt = request id). The tag kinds are only ever emitted by the
+/// compile service; the Function < 0 guard keeps per-function compile
+/// spans (whose Attempt is a retry counter) out.
+bool isRequestTag(const obs::SpanEvent &E) {
+  switch (E.Kind) {
+  case obs::EventKind::RequestAdmitted:
+    return E.Attempt > 0;
+  case obs::EventKind::SpanSchedule:
+    return E.Attempt > 0 && E.Section >= 0;
+  case obs::EventKind::SpanCompile:
+    return E.Attempt > 0 && E.Function < 0;
+  default:
+    return false;
+  }
+}
+
+/// Aggregates for one service request, keyed by its request id.
+struct RequestRow {
+  int32_t Conn = -1;
+  double QueueWaitSec = 0;    ///< Queue residence (SpanSchedule tags).
+  double EngineSec = 0;       ///< Executor compile span.
+  double ClientSec = 0;       ///< Client-observed request span.
+  double WorkerSec = 0;       ///< Worker-process optimize+codegen time.
+  uint64_t Bytes = 0;         ///< Largest payload attributed (the image).
+};
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   std::string Path;
   bool DumpEvents = false;
+  int64_t FilterRequest = -1;
+  int64_t FilterConn = -1;
+  auto needValue = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--events") == 0) {
       DumpEvents = true;
+    } else if (std::strcmp(Argv[I], "--request") == 0) {
+      FilterRequest = atoll(needValue(I));
+    } else if (std::strcmp(Argv[I], "--conn") == 0) {
+      FilterConn = atoll(needValue(I));
     } else if (std::strcmp(Argv[I], "--help") == 0 ||
                std::strcmp(Argv[I], "-h") == 0) {
       Path.clear();
@@ -45,8 +99,11 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty()) {
     std::fprintf(stderr,
-                 "usage: warp-traceview [--events] <trace.json>\n"
-                 "  analyzes a trace written by warpc --trace-json\n");
+                 "usage: warp-traceview [--events] [--request N] [--conn N] "
+                 "<trace.json>\n"
+                 "  analyzes a trace written by warpc --trace-json\n"
+                 "  --request N  restrict to service request id N\n"
+                 "  --conn N     restrict to service connection id N\n");
     return 2;
   }
 
@@ -64,6 +121,82 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Resolve which service request (if any) owns each event: an event is
+  // owned by the nearest request-tagged ancestor on its Parent chain.
+  const size_t N = Session.Events.size();
+  std::unordered_map<uint64_t, size_t> BySpanId;
+  BySpanId.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    BySpanId[Session.Events[I].spanId()] = I;
+  std::vector<int32_t> OwnerReq(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    size_t Cur = I;
+    for (int Depth = 0; Depth < 64; ++Depth) {
+      const obs::SpanEvent &E = Session.Events[Cur];
+      if (isRequestTag(E)) {
+        OwnerReq[I] = E.Attempt;
+        break;
+      }
+      if (E.Parent == 0)
+        break;
+      auto It = BySpanId.find(E.Parent);
+      if (It == BySpanId.end())
+        break;
+      Cur = It->second;
+    }
+  }
+
+  // Per-request aggregation. The executor span carries the connection id
+  // (client-side tags do not), so the conn column comes from whichever
+  // tag knows it.
+  std::map<int32_t, RequestRow> Rows;
+  for (size_t I = 0; I < N; ++I) {
+    if (OwnerReq[I] == 0)
+      continue;
+    const obs::SpanEvent &E = Session.Events[I];
+    RequestRow &R = Rows[OwnerReq[I]];
+    if (isRequestTag(E) && E.Section >= 0)
+      R.Conn = E.Section;
+    const double Dur = E.DurSec > 0 ? E.DurSec : 0;
+    if (isRequestTag(E) && E.Kind == obs::EventKind::SpanSchedule)
+      R.QueueWaitSec += Dur;
+    else if (isRequestTag(E) && E.Kind == obs::EventKind::SpanCompile) {
+      if (E.Section >= 0)
+        R.EngineSec += Dur;
+      else
+        R.ClientSec += Dur;
+    } else if (E.Kind == obs::EventKind::SpanOptimize ||
+               E.Kind == obs::EventKind::SpanCodegen)
+      R.WorkerSec += Dur;
+    if (E.Bytes > R.Bytes)
+      R.Bytes = E.Bytes;
+  }
+
+  if (FilterRequest >= 0 || FilterConn >= 0) {
+    std::vector<obs::SpanEvent> Kept;
+    for (size_t I = 0; I < N; ++I) {
+      const int32_t Req = OwnerReq[I];
+      if (Req == 0)
+        continue;
+      if (FilterRequest >= 0 && Req != FilterRequest)
+        continue;
+      if (FilterConn >= 0) {
+        auto It = Rows.find(Req);
+        if (It == Rows.end() || It->second.Conn != FilterConn)
+          continue;
+      }
+      Kept.push_back(Session.Events[I]);
+    }
+    if (Kept.empty()) {
+      std::fprintf(stderr,
+                   "error: %s: no events match the requested filter (is "
+                   "this a service trace?)\n",
+                   Path.c_str());
+      return 1;
+    }
+    Session.Events = std::move(Kept);
+  }
+
   if (DumpEvents) {
     for (const obs::SpanEvent &E : Session.Events)
       std::printf("%s\n", obs::renderEvent(Session, E).c_str());
@@ -72,5 +205,27 @@ int main(int Argc, char **Argv) {
 
   obs::TraceReport Report = obs::analyzeTrace(Session);
   std::fputs(obs::renderReport(Session, Report).c_str(), stdout);
+
+  // Service lifecycle summary: one row per request that left tags in
+  // this trace (silent for plain single-process traces).
+  bool First = true;
+  for (const auto &[Req, R] : Rows) {
+    if (FilterRequest >= 0 && Req != FilterRequest)
+      continue;
+    if (FilterConn >= 0 && R.Conn != FilterConn)
+      continue;
+    if (First) {
+      std::printf("\nservice requests:\n"
+                  "  %8s %6s %12s %12s %12s %12s %10s\n",
+                  "request", "conn", "queue-wait", "engine", "client",
+                  "worker-cpu", "bytes");
+      First = false;
+    }
+    auto Ms = [](double S) { return S * 1e3; };
+    std::printf("  %8d %6d %9.2f ms %9.2f ms %9.2f ms %9.2f ms %10llu\n",
+                Req, R.Conn, Ms(R.QueueWaitSec), Ms(R.EngineSec),
+                Ms(R.ClientSec), Ms(R.WorkerSec),
+                static_cast<unsigned long long>(R.Bytes));
+  }
   return 0;
 }

@@ -26,6 +26,7 @@
 
 #include "cache/CompileCache.h"
 #include "driver/Compiler.h"
+#include "obs/TraceContext.h"
 #include "parallel/WireProtocol.h"
 
 #include <sys/prctl.h>
@@ -100,6 +101,16 @@ int main() {
       ::close(DevNull);
   }
 
+  // The worker's own steady clock, epoch = process start. Timestamps on
+  // this clock ride the Hello frame (timestamp echo) and the per-task
+  // span shards; the master converts them with the offset it estimates
+  // from the Init→Hello exchange.
+  using WClock = std::chrono::steady_clock;
+  const WClock::time_point WStart = WClock::now();
+  auto NowSec = [&] {
+    return std::chrono::duration<double>(WClock::now() - WStart).count();
+  };
+
   wire::FrameDecoder Decoder;
   wire::Frame Frame;
   auto ReadFrame = [&](wire::Frame &Out) -> bool {
@@ -124,6 +135,7 @@ int main() {
   // --- Handshake: Init in, Hello out.
   if (!ReadFrame(Frame) || Frame.Type != wire::FrameType::Init)
     return 1;
+  const double InitRecvSec = NowSec();
   wire::InitMsg Init;
   if (!wire::decodeInit(Frame.Payload, Init))
     return 1;
@@ -148,6 +160,8 @@ int main() {
   Hello.Pid = static_cast<uint64_t>(::getpid());
   Hello.WorkerIndex = Init.WorkerIndex;
   Hello.NumFunctions = NumFunctions;
+  Hello.InitRecvSec = InitRecvSec;
+  Hello.HelloSendSec = NowSec();
   if (!sendFrame(ProtoFd, wire::FrameType::Hello, wire::encodeHello(Hello)))
     return 1;
 
@@ -202,7 +216,13 @@ int main() {
           std::chrono::duration<double>(Plan.StallSec));
     }
 
-    driver::FunctionResult R = driver::compileFunction(*Section, *Fn, MM);
+    // Phase split only when the master is tracing; timing is free but
+    // the shard machinery should be provably absent otherwise.
+    const bool Tracing = Init.TraceId != 0;
+    const double TaskStartSec = NowSec();
+    driver::FunctionPhaseTimes Times;
+    driver::FunctionResult R = driver::compileFunction(
+        *Section, *Fn, MM, nullptr, Tracing ? &Times : nullptr);
     if (KillBoundary == 1)
       dieNow();
 
@@ -219,6 +239,36 @@ int main() {
     Msg.Attempt = Task.Attempt;
     Msg.Speculative = Task.Speculative;
     Msg.ResultBytes = cache::encodeFunctionResult(R);
+    if (Tracing) {
+      // The worker's own view of phases 2 and 3, on the worker's clock.
+      // Both spans are shard roots: the master re-parents them under the
+      // span it records when it accepts this result, so the shape of the
+      // shard depends only on the task — never on the pool size.
+      obs::SpanShard Shard;
+      Shard.TraceId = Init.TraceId;
+      Shard.Pid = static_cast<uint64_t>(::getpid());
+      Shard.ProcessName = "warp-worker " + std::to_string(Init.WorkerIndex);
+      Shard.FunctionNames.push_back(Fn->getName());
+      obs::ShardSpan Opt;
+      Opt.TSec = TaskStartSec;
+      Opt.DurSec = Times.OptSec;
+      Opt.LocalId = 1;
+      Opt.Section = static_cast<int32_t>(Task.Section);
+      Opt.Function = 0;
+      Opt.Attempt = static_cast<int32_t>(Task.Attempt);
+      Opt.Kind = obs::EventKind::SpanOptimize;
+      Opt.Ph = obs::Phase::Compile;
+      Opt.Speculative = Task.Speculative != 0;
+      Shard.Spans.push_back(Opt);
+      obs::ShardSpan Cg = Opt;
+      Cg.TSec = TaskStartSec + Times.OptSec;
+      Cg.DurSec = Times.CodegenSec;
+      Cg.LocalId = 2;
+      Cg.Kind = obs::EventKind::SpanCodegen;
+      Cg.Bytes = Msg.ResultBytes.size();
+      Shard.Spans.push_back(Cg);
+      Msg.ShardBytes = obs::encodeSpanShard(Shard);
+    }
     std::vector<uint8_t> Out =
         wire::encodeFrame(wire::FrameType::Result, wire::encodeResult(Msg));
     if (Corrupt &&

@@ -45,11 +45,13 @@
 #include "obs/MetricsRegistry.h"
 #include "obs/StatsReport.h"
 #include "obs/TimeSeries.h"
+#include "obs/TraceContext.h"
 #include "obs/TraceRecorder.h"
 #include "parallel/ProcessRunner.h"
 #include "parallel/SimRunner.h"
 #include "parallel/ThreadRunner.h"
 #include "service/Client.h"
+#include "support/BinaryStream.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "w2/ASTPrinter.h"
@@ -811,12 +813,36 @@ int compileAndReport(const Options &Opts, const std::string &Source) {
 int compileViaServer(const Options &Opts, const std::string &Source,
                      bool &FellBack) {
   FellBack = false;
+  // The client-side trace: connect + request spans recorded here, the
+  // daemon's shard (with the worker spans it already spliced) merged in
+  // after the result lands. The recorder exists before connect() so the
+  // hello exchange is representable on its clock.
+  const bool Tracing = !Opts.TraceJsonFile.empty();
+  std::unique_ptr<obs::TraceRecorder> Rec;
+  if (Tracing) {
+    Rec = std::make_unique<obs::TraceRecorder>(obs::ClockDomain::Steady);
+    uint64_t TraceId = fnv1a64(
+        reinterpret_cast<const uint8_t *>(Source.data()), Source.size());
+    Rec->setTraceId(TraceId ? TraceId : 1);
+    Rec->setEngine("client");
+    Rec->makeLanes(2); // lane 0: client lifecycle, lane 1: daemon shard.
+  }
+
   service::Client Client;
   std::string Error;
+  const double ConnT0 = Rec ? Rec->nowSec() : 0;
   if (!Client.connect(Opts.ServerPath, Error)) {
     std::fprintf(stderr, "warning: %s; compiling locally\n", Error.c_str());
     FellBack = true;
     return 0;
+  }
+  uint64_t ConnectSpanId = 0;
+  if (Rec) {
+    obs::SpanEvent &E =
+        Rec->lane(0).span(ConnT0, Rec->nowSec() - ConnT0,
+                          obs::EventKind::SpanStartup, obs::Phase::Setup);
+    E.Host = 0;
+    ConnectSpanId = E.spanId();
   }
   for (const auto &[Given, Flag] :
        {std::pair<bool, const char *>{Opts.Simulate, "--simulate"},
@@ -824,8 +850,7 @@ int compileViaServer(const Options &Opts, const std::string &Source,
         {Opts.EmitAsm, "--emit-asm"},
         {Opts.Verbose, "--verbose"},
         {Opts.Inline, "--inline"},
-        {Opts.ExplainRebuild, "--explain-rebuild"},
-        {!Opts.TraceJsonFile.empty(), "--trace-json"}})
+        {Opts.ExplainRebuild, "--explain-rebuild"}})
     if (Given)
       std::fprintf(stderr, "warning: %s is ignored under --server\n", Flag);
 
@@ -836,11 +861,28 @@ int compileViaServer(const Options &Opts, const std::string &Source,
   Req.Workers = Opts.WorkersGiven ? Opts.Workers : 0;
   Req.UseCache = 1;
 
+  // The request span brackets submit → result; its id rides the frame so
+  // every daemon- and worker-side span hangs off it causally.
+  const double ReqT0 = Rec ? Rec->nowSec() : 0;
+  obs::SpanEvent *ReqSpan = nullptr;
+  if (Rec) {
+    ReqSpan = &Rec->lane(0).span(ReqT0, 0, obs::EventKind::SpanCompile,
+                                 obs::Phase::Compile);
+    ReqSpan->Host = 0;
+    ReqSpan->Attempt = static_cast<int32_t>(Req.RequestId);
+    ReqSpan->Parent = ConnectSpanId;
+    Req.TraceId = Rec->traceId();
+    Req.ParentSpanId = ReqSpan->spanId();
+  }
+
   service::RequestOutcome Outcome;
   if (!Client.compile(Req, Outcome, Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  const double ReqT1 = Rec ? Rec->nowSec() : 0;
+  if (ReqSpan)
+    ReqSpan->DurSec = ReqT1 - ReqT0;
   if (!Outcome.Accepted) {
     std::fprintf(stderr, "error: server rejected the request: %s\n",
                  Outcome.Reject.Detail.c_str());
@@ -870,6 +912,55 @@ int compileViaServer(const Options &Opts, const std::string &Source,
               static_cast<size_t>(R.NumFunctions),
               static_cast<unsigned long long>(R.Image.size()));
   std::fputs(R.DiagText.c_str(), stdout);
+
+  if (Rec) {
+    ReqSpan->Bytes = R.Image.size();
+    // Merge the daemon's shard. The hello exchange gives the four NTP
+    // stamps; the two client-side ones are converted from steady-clock
+    // time points onto the recorder clock. An invalid sync (old daemon)
+    // splices with offset 0 and lets the flight-window clamp keep the
+    // merged trace monotonic.
+    if (!R.ShardBytes.empty()) {
+      obs::SpanShard Shard;
+      if (obs::decodeSpanShard(R.ShardBytes, Shard) &&
+          Shard.TraceId == Rec->traceId()) {
+        auto ToRec = [&](std::chrono::steady_clock::time_point Tp) {
+          return Rec->nowSec() -
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Tp)
+                     .count();
+        };
+        const obs::ClockSync Sync = obs::estimateClockOffset(
+            ToRec(Client.helloSendTime()), Client.serverHello().HelloRecvSec,
+            Client.serverHello().HelloSendSec, ToRec(Client.helloRecvTime()));
+        obs::SpliceOptions SO;
+        SO.ParentSpanId = ReqSpan->spanId();
+        SO.OffsetSec = Sync.Valid ? Sync.OffsetSec : 0;
+        SO.WindowStartSec = ReqT0;
+        SO.WindowEndSec = ReqT1;
+        SO.Host = 1;
+        obs::spliceShard(Shard, *Rec, Rec->lane(1), SO);
+      }
+    }
+    const double Now = Rec->nowSec();
+    obs::SpanEvent &Done = Rec->lane(0).instant(
+        Now, obs::EventKind::RunComplete, obs::Phase::Assembly);
+    Done.Host = 0;
+    Done.Parent = ReqSpan->spanId();
+    Rec->setTopology(2, R.NumSections);
+    Rec->setRunTotals(Now, 0.0, R.NumFunctions);
+    obs::TraceSession Session = Rec->finish();
+    std::string TraceError;
+    if (!obs::writeChromeTraceFile(Session, Opts.TraceJsonFile,
+                                   TraceError)) {
+      std::fprintf(stderr, "error: cannot write trace '%s': %s\n",
+                   Opts.TraceJsonFile.c_str(), TraceError.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu events; open in Perfetto or "
+                "chrome://tracing)\n",
+                Opts.TraceJsonFile.c_str(), Session.Events.size());
+  }
 
   if (!Opts.OutputFile.empty()) {
     std::ofstream Out(Opts.OutputFile, std::ios::binary);

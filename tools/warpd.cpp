@@ -39,9 +39,53 @@ void onTerminate(int) {
     ActiveService->requestDrain();
 }
 
+/// One-shot --status: connect to a running daemon as an ordinary client
+/// and print its live counters and latency decomposition, then exit.
+/// This is the scripting-friendly sibling of warp-top's refreshing view.
+int runStatus(const std::string &SocketPath) {
+  service::Client Client;
+  std::string Error;
+  if (!Client.connect(SocketPath, Error)) {
+    std::fprintf(stderr, "warpd: %s\n", Error.c_str());
+    return 1;
+  }
+  service::wire::ServerStatsMsg S;
+  if (!Client.serverStats(S, Error)) {
+    std::fprintf(stderr, "warpd: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("warpd at %s (protocol %u, pid %llu)\n", SocketPath.c_str(),
+              Client.serverHello().Protocol,
+              static_cast<unsigned long long>(Client.serverHello().Pid));
+  std::printf("  requests   accepted %llu  completed %llu  rejected %llu  "
+              "cancelled %llu  expired %llu\n",
+              static_cast<unsigned long long>(S.Accepted),
+              static_cast<unsigned long long>(S.Completed),
+              static_cast<unsigned long long>(S.Rejected),
+              static_cast<unsigned long long>(S.Cancelled),
+              static_cast<unsigned long long>(S.Expired));
+  std::printf("  live       queue %u  in-flight %u  connections %u\n",
+              S.QueueDepth, S.InFlight, S.Connections);
+  std::printf("  latency    p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n", S.P50Ms,
+              S.P95Ms, S.P99Ms);
+  auto PrintQ = [](const char *Label, const service::wire::QuantileSummary &Q) {
+    if (Q.Count == 0)
+      return;
+    std::printf("  %-10s p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (n=%llu)\n",
+                Label, Q.P50 * 1e3, Q.P95 * 1e3, Q.P99 * 1e3,
+                static_cast<unsigned long long>(Q.Count));
+  };
+  PrintQ("wait p0", S.QueueWaitNormal);
+  PrintQ("wait p1", S.QueueWaitHigh);
+  for (const service::wire::EngineLatency &E : S.EngineLatencies)
+    PrintQ(("eng " + E.Engine).c_str(), E.Latency);
+  return 0;
+}
+
 void printUsage() {
   std::fputs(
       "usage: warpd [options]\n"
+      "  --status           print a running daemon's live stats and exit\n"
       "  --socket PATH      AF_UNIX socket to serve (default: per-uid "
       "/tmp/warpd-<uid>.sock)\n"
       "  --engine NAME      default engine for requests: sequential | "
@@ -68,6 +112,7 @@ int main(int Argc, char **Argv) {
   Config.SocketPath = service::defaultSocketPath();
   std::string TraceFile;
   std::string StatsFile;
+  bool StatusMode = false;
 
   auto needValue = [&](int &I) -> const char * {
     if (I + 1 >= Argc) {
@@ -79,7 +124,9 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
-    if (Arg == "--socket") {
+    if (Arg == "--status") {
+      StatusMode = true;
+    } else if (Arg == "--socket") {
       Config.SocketPath = needValue(I);
     } else if (Arg == "--engine") {
       Config.Engine = needValue(I);
@@ -139,6 +186,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: --cache disk needs --cache-dir\n");
     return 2;
   }
+  if (StatusMode)
+    return runStatus(Config.SocketPath);
 
   obs::MetricsRegistry Metrics;
   std::unique_ptr<obs::TraceRecorder> Rec;
@@ -195,6 +244,13 @@ int main(int Argc, char **Argv) {
     Run.set("rejected", static_cast<uint64_t>(Stats.Rejected));
     Root.set("run", std::move(Run));
     Root.set("metrics", Metrics.toJson());
+    // The warp-perf-gateable quantile block: every histogram the service
+    // recorded (service.queue_wait_sec.p0/.p1, service.engine_sec.*)
+    // with its p50/p95/p99, under the same "stats" key warpc uses.
+    obs::StatsReport Report;
+    obs::appendHistogramQuantiles(Report, Metrics);
+    if (!Report.empty())
+      Root.set("stats", Report.toJson());
     std::ofstream Out(StatsFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write '%s'\n", StatsFile.c_str());
